@@ -1,0 +1,32 @@
+//! Grounding cost: dense (paper-literal, `ADom`-enumerating) vs sparse
+//! (support-join) modes, and the downstream effect on evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlo_bench::GraphInstance;
+use dlo_core::{ground, ground_sparse, BoolDatabase};
+
+fn bench_grounding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ground_sssp");
+    for n in [12usize, 24, 48] {
+        let g = GraphInstance::random(n, 3 * n, 9, 23);
+        let (prog, edb) = g.sssp();
+        let bools = BoolDatabase::new();
+        // Equivalent fixpoints (checked once per size).
+        let dense = ground(&prog, &edb, &bools);
+        let sparse = ground_sparse(&prog, &edb, &bools);
+        let dv = dlo_core::naive_eval_system(&dense, 1_000_000).unwrap();
+        let sv = dlo_core::naive_eval_system(&sparse, 1_000_000).unwrap();
+        assert_eq!(dv, sv);
+
+        group.bench_with_input(BenchmarkId::new("dense", n), &(), |b, ()| {
+            b.iter(|| ground(std::hint::black_box(&prog), &edb, &bools))
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", n), &(), |b, ()| {
+            b.iter(|| ground_sparse(std::hint::black_box(&prog), &edb, &bools))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grounding);
+criterion_main!(benches);

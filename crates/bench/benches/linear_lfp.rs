@@ -1,0 +1,61 @@
+//! E18 — Theorem 5.22: `LinearLFP` (Algorithm 2) and the FWK closure vs
+//! naïve iteration on linear systems over `Trop⁺_p`.
+//!
+//! On the adversarial `N`-cycle the naïve algorithm needs `(p+1)N − 1`
+//! iterations of `O(N²)` work; `LinearLFP` runs in `O(pN + N³)` and the
+//! FWK closure in `O(N³)` star operations. The paper's predicted shape:
+//! elimination wins as `p` and `N` grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlo_pops::{PreSemiring, TropP};
+use dlo_semilin::{fwk_solve, linear_lfp_auto, linear_naive_lfp, trop_p_cycle, AffineFn, AffineSystem, Matrix};
+
+const P: usize = 3;
+
+fn system_from_matrix(a: &Matrix<TropP<P>>, b: &[TropP<P>]) -> AffineSystem<TropP<P>> {
+    let n = a.dim();
+    let fns = (0..n)
+        .map(|i| {
+            let mut f = AffineFn::new();
+            for j in 0..n {
+                if !a.get(i, j).is_zero() {
+                    f.add_term(j, a.get(i, j).clone());
+                }
+            }
+            if !b[i].is_zero() {
+                f.add_const(b[i].clone());
+            }
+            f
+        })
+        .collect();
+    AffineSystem { fns }
+}
+
+fn bench_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linear_lfp_trop3_cycle");
+    for n in [8usize, 16, 32] {
+        let a = trop_p_cycle::<P>(n);
+        let mut b = vec![TropP::<P>::zero(); n];
+        b[0] = TropP::<P>::one();
+        let sys = system_from_matrix(&a, &b);
+        // Correctness gate: all three agree.
+        let (naive, steps) = linear_naive_lfp(&a, &b, 1_000_000).unwrap();
+        assert_eq!(linear_lfp_auto(&sys), naive);
+        assert_eq!(fwk_solve(&a, &b), naive);
+        assert_eq!(steps, (P + 1) * n - 1 + 1); // index + confirming step
+
+        group.bench_with_input(BenchmarkId::new("naive", n), &(&a, &b), |bch, (a, b)| {
+            bch.iter(|| linear_naive_lfp(std::hint::black_box(a), b, 1_000_000))
+        });
+        group.bench_with_input(BenchmarkId::new("linear_lfp", n), &sys, |bch, sys| {
+            bch.iter(|| linear_lfp_auto(std::hint::black_box(sys)))
+        });
+        group.bench_with_input(BenchmarkId::new("fwk", n), &(&a, &b), |bch, (a, b)| {
+            bch.iter(|| fwk_solve(std::hint::black_box(a), b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle);
+criterion_main!(benches);

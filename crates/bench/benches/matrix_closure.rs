@@ -1,0 +1,50 @@
+//! E17 (performance side) — matrix closure `A*` by iteration vs
+//! Floyd–Warshall–Kleene, sweeping `N` over `Trop⁺` and `Trop⁺_p`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlo_bench::GraphInstance;
+use dlo_pops::Trop;
+use dlo_semilin::{closure_fixpoint, fwk_closure, trop_p_cycle, Matrix};
+
+fn trop_matrix(g: &GraphInstance) -> Matrix<Trop> {
+    let mut a = Matrix::<Trop>::zeros(g.n);
+    for &(u, v, w) in &g.edges {
+        a.set(u, v, Trop::finite(w));
+    }
+    a
+}
+
+fn bench_trop_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closure_trop_random");
+    for n in [16usize, 32, 64] {
+        let g = GraphInstance::random(n, 4 * n, 9, 17);
+        let a = trop_matrix(&g);
+        let (iter, _) = closure_fixpoint(&a, 1_000_000).unwrap();
+        assert_eq!(fwk_closure(&a), iter);
+        group.bench_with_input(BenchmarkId::new("iterative", n), &a, |b, a| {
+            b.iter(|| closure_fixpoint(std::hint::black_box(a), 1_000_000))
+        });
+        group.bench_with_input(BenchmarkId::new("fwk", n), &a, |b, a| {
+            b.iter(|| fwk_closure(std::hint::black_box(a)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_trop_p_cycle_closure(c: &mut Criterion) {
+    // The Lemma 5.20 adversarial family: iteration pays (p+1)N−1 rounds.
+    let mut group = c.benchmark_group("closure_trop2_cycle");
+    for n in [8usize, 16, 32] {
+        let a = trop_p_cycle::<2>(n);
+        group.bench_with_input(BenchmarkId::new("iterative", n), &a, |b, a| {
+            b.iter(|| closure_fixpoint(std::hint::black_box(a), 1_000_000))
+        });
+        group.bench_with_input(BenchmarkId::new("fwk", n), &a, |b, a| {
+            b.iter(|| fwk_closure(std::hint::black_box(a)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trop_closure, bench_trop_p_cycle_closure);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! E20 — naïve (Algorithm 1) vs semi-naïve (Algorithm 3) evaluation.
+//!
+//! The paper's claim (Sec. 6): semi-naïve avoids rediscovering facts, so
+//! per-fixpoint work drops from `iterations × all monomials` to roughly
+//! `touched monomials`. The gap widens with the diameter of the instance
+//! (paths and grids are adversarial for naïve).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlo_bench::GraphInstance;
+use dlo_core::examples_lib::quadratic_tc_program;
+use dlo_core::{ground_sparse, naive_eval_system, seminaive_eval_system, BoolDatabase};
+use dlo_pops::{Bool, Trop};
+
+fn bench_sssp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sssp_trop");
+    for (name, g) in [
+        ("path64", GraphInstance::path(64)),
+        ("grid8", GraphInstance::grid(8)),
+        ("random96", GraphInstance::random(96, 380, 9, 5)),
+    ] {
+        let (prog, edb) = g.sssp();
+        let sys = ground_sparse(&prog, &edb, &BoolDatabase::new());
+        // Correctness gate before timing.
+        let naive = naive_eval_system(&sys, 1_000_000).unwrap();
+        let semi = seminaive_eval_system(&sys, 1_000_000).0.unwrap();
+        assert_eq!(naive, semi);
+        group.bench_with_input(BenchmarkId::new("naive", name), &sys, |b, sys| {
+            b.iter(|| naive_eval_system(std::hint::black_box(sys), 1_000_000))
+        });
+        group.bench_with_input(BenchmarkId::new("seminaive", name), &sys, |b, sys| {
+            b.iter(|| seminaive_eval_system(std::hint::black_box(sys), 1_000_000))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tc_bool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tc_bool_linear");
+    for (name, g) in [
+        ("path48", GraphInstance::path(48)),
+        ("random40", GraphInstance::random(40, 100, 1, 9)),
+    ] {
+        let prog = dlo_core::examples_lib::apsp_program::<Bool>();
+        let edb = g.bool_edb();
+        let sys = ground_sparse(&prog, &edb, &BoolDatabase::new());
+        let naive = naive_eval_system(&sys, 1_000_000).unwrap();
+        let semi = seminaive_eval_system(&sys, 1_000_000).0.unwrap();
+        assert_eq!(naive, semi);
+        group.bench_with_input(BenchmarkId::new("naive", name), &sys, |b, sys| {
+            b.iter(|| naive_eval_system(std::hint::black_box(sys), 1_000_000))
+        });
+        group.bench_with_input(BenchmarkId::new("seminaive", name), &sys, |b, sys| {
+            b.iter(|| seminaive_eval_system(std::hint::black_box(sys), 1_000_000))
+        });
+    }
+    group.finish();
+}
+
+fn bench_quadratic_tc(c: &mut Criterion) {
+    // Example 6.6: the non-linear rule T(x,z) ∧ T(z,y).
+    let mut group = c.benchmark_group("tc_bool_quadratic");
+    let g = GraphInstance::path(20);
+    let prog = quadratic_tc_program::<Bool>();
+    let edb = g.bool_edb();
+    let sys = ground_sparse(&prog, &edb, &BoolDatabase::new());
+    group.bench_function("naive_path20", |b| {
+        b.iter(|| naive_eval_system(std::hint::black_box(&sys), 1_000_000))
+    });
+    group.bench_function("seminaive_path20", |b| {
+        b.iter(|| seminaive_eval_system(std::hint::black_box(&sys), 1_000_000))
+    });
+    group.finish();
+}
+
+fn bench_apsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apsp_trop");
+    let g = GraphInstance::random(24, 70, 9, 31);
+    let prog = dlo_core::examples_lib::apsp_program::<Trop>();
+    let edb = g.trop_edb();
+    let sys = ground_sparse(&prog, &edb, &BoolDatabase::new());
+    group.bench_function("naive_random24", |b| {
+        b.iter(|| naive_eval_system(std::hint::black_box(&sys), 1_000_000))
+    });
+    group.bench_function("seminaive_random24", |b| {
+        b.iter(|| seminaive_eval_system(std::hint::black_box(&sys), 1_000_000))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sssp,
+    bench_tc_bool,
+    bench_quadratic_tc,
+    bench_apsp
+);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! E21: Example 1.1 / eq. (3) — all-pairs shortest paths.
+//!
+//! The same datalog° program, instantiated over `Trop⁺` (APSP) and `𝔹`
+//! (transitive closure), cross-checked against the Floyd–Warshall oracle
+//! and the matrix-closure substrate; plus the semi-naïve variant of
+//! eq. (7) with identical answers (Theorem 6.4).
+
+use dlo_bench::{print_table, GraphInstance};
+use dlo_core::examples_lib::apsp_program;
+use dlo_core::{ground_sparse, naive_eval_system, seminaive_eval_system, BoolDatabase};
+use dlo_pops::{PreSemiring, Trop};
+use dlo_semilin::{fwk_closure, Matrix};
+
+#[allow(clippy::needless_range_loop)] // Floyd–Warshall reads clearest with indices
+fn main() {
+    let mut ok = true;
+    let g = GraphInstance::random(7, 16, 9, 99);
+
+    // datalog° APSP over Trop+.
+    let prog = apsp_program::<Trop>();
+    let edb = g.trop_edb();
+    let sys = ground_sparse(&prog, &edb, &BoolDatabase::new());
+    let naive = naive_eval_system(&sys, 100_000).unwrap();
+    let (semi, stats) = seminaive_eval_system(&sys, 100_000);
+    let semi = semi.unwrap();
+    ok &= naive == semi;
+
+    // Floyd–Warshall oracle.
+    let inf = f64::INFINITY;
+    let mut d = vec![vec![inf; g.n]; g.n];
+    for &(u, v, w) in &g.edges {
+        d[u][v] = d[u][v].min(w);
+    }
+    for k in 0..g.n {
+        for i in 0..g.n {
+            for j in 0..g.n {
+                if d[i][k] + d[k][j] < d[i][j] {
+                    d[i][j] = d[i][k] + d[k][j];
+                }
+            }
+        }
+    }
+
+    // Matrix closure (A⁺ = A ⊗ A*): the program (3) computes paths of
+    // length ≥ 1, matching A⁺ rather than the reflexive A*.
+    let mut a = Matrix::<Trop>::zeros(g.n);
+    for &(u, v, w) in &g.edges {
+        let merged = Trop::finite(w).add(a.get(u, v));
+        a.set(u, v, merged);
+    }
+    let aplus = a.mul(&fwk_closure(&a));
+
+    let t = naive.get("T").unwrap();
+    let mut rows = vec![];
+    let mut mismatches = 0;
+    for i in 0..g.n {
+        for j in 0..g.n {
+            let from_engine = t.get(&vec![g.node(i), g.node(j)]).get();
+            let from_matrix = aplus.get(i, j).get();
+            let from_fw = d[i][j];
+            if from_engine != from_fw || from_matrix != from_fw {
+                mismatches += 1;
+            }
+            if i < 3 && j < 3 {
+                rows.push(vec![
+                    format!("T({i},{j})"),
+                    format!("{from_engine}"),
+                    format!("{from_matrix}"),
+                    format!("{from_fw}"),
+                ]);
+            }
+        }
+    }
+    print_table(
+        "Example 1.1 — APSP over Trop+: datalog° vs matrix closure vs Floyd–Warshall (3×3 corner)",
+        &["pair", "datalog°", "A·A* (FWK)", "Floyd–Warshall"],
+        &rows,
+    );
+    ok &= mismatches == 0;
+    println!(
+        "{} pairs cross-checked, {mismatches} mismatches; semi-naive = naive (Thm 6.4), semi-naive did {} monomial ops over {} iterations",
+        g.n * g.n,
+        stats.monomial_evals,
+        stats.iterations
+    );
+
+    // Boolean reading: same program computes transitive closure.
+    let (progb, edbb) = dlo_core::examples_lib::linear_tc_bool(&[
+        ("a", "b"),
+        ("b", "c"),
+        ("c", "a"),
+        ("c", "d"),
+    ]);
+    let sysb = ground_sparse(&progb, &edbb, &BoolDatabase::new());
+    let outb = naive_eval_system(&sysb, 1000).unwrap();
+    let tb = outb.get("T").unwrap();
+    ok &= tb.support_size() == 12; // {a,b,c}×{a,b,c,d}: the cycle reaches all
+    println!(
+        "\nsame program over B on a 4-node graph: |TC| = {} tuples (expected 12)",
+        tb.support_size()
+    );
+
+    println!("\n{}", if ok { "REPRO OK" } else { "REPRO MISMATCH" });
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,128 @@
+//! E8: the five-way convergence taxonomy of Sec. 4.2, one witness each.
+//!
+//! (i)   ⋁ J(t) is not a fixpoint        — ℕ×ℕ lexicographic, F(x,y)=(x,y+1)
+//! (ii)  lfp exists, naïve diverges      — ℕ∪{∞}, f(x) = x+1
+//! (iii) always converges, data-dependent steps — Trop⁺_{≤η} (stable,
+//!       not uniformly: steps grow with 1/weight)
+//! (iv)  converges in steps depending only on |ADom| — Trop⁺_p
+//! (v)   converges in polynomially many steps — 𝔹 / Trop⁺ (0-stable)
+
+use dlo_bench::{print_table, GraphInstance};
+use dlo_core::{naive_eval_sparse, BoolDatabase};
+use dlo_fixpoint::{naive_lfp, Outcome};
+use dlo_pops::natpair_lex::{case_i_chain_lub, case_i_ico};
+use dlo_pops::{NatInf, NatPairLex, Pops, PreSemiring, TropEta, TropP};
+
+fn main() {
+    let mut ok = true;
+    let mut rows: Vec<Vec<String>> = vec![];
+
+    // (i) — the lub of the Kleene chain is not a fixpoint.
+    {
+        let lub = case_i_chain_lub();
+        let not_fix = case_i_ico(lub) != lub;
+        let chain_below = {
+            let mut x = NatPairLex::bottom();
+            (0..100).all(|_| {
+                let below = x.leq(&lub);
+                x = case_i_ico(x);
+                below
+            })
+        };
+        ok &= not_fix && chain_below;
+        rows.push(vec![
+            "(i)".into(),
+            "N×N lex, F(x,y)=(x,y+1)".into(),
+            format!("⋁J(t)=(1,0) fixpoint? {}", !not_fix),
+        ]);
+    }
+
+    // (ii) — lfp = ∞ exists but naive never reaches it.
+    {
+        let f = |x: &NatInf| x.add(&NatInf::one());
+        let diverges = matches!(naive_lfp(f, NatInf::bottom(), 1000), Outcome::Diverged { .. });
+        let inf_is_fixpoint = f(&NatInf::Inf) == NatInf::Inf;
+        ok &= diverges && inf_is_fixpoint;
+        rows.push(vec![
+            "(ii)".into(),
+            "N∪{∞}, f(x)=x+1".into(),
+            format!("lfp=∞ exists, naive diverges: {diverges}"),
+        ]);
+    }
+
+    // (iii) — Trop⁺_{≤η}: converges, steps depend on the VALUES (weights).
+    {
+        type T = TropEta<64>;
+        // x :- 1 ⊕ w·x with w the weight: stability index ~ η/w.
+        let steps_for = |w: u64| -> usize {
+            let c = T::singleton(w);
+            dlo_pops::stability::element_stability_index(&c, 10_000).unwrap()
+        };
+        let (s8, s2, s1) = (steps_for(8), steps_for(2), steps_for(1));
+        ok &= s8 < s2 && s2 < s1;
+        rows.push(vec![
+            "(iii)".into(),
+            "Trop+_{<=64}".into(),
+            format!("index(w=8)={s8} < index(w=2)={s2} < index(w=1)={s1}"),
+        ]);
+    }
+
+    // (iv) — Trop⁺_p: steps bounded by a function of |ADom| only
+    // ((p+1)·N − 1 for linear programs), independent of the weights.
+    {
+        const P: usize = 2;
+        let g1 = GraphInstance::cycle(6);
+        let steps = |scale: f64| -> usize {
+            let mut edb = dlo_core::Database::<TropP<P>>::new();
+            edb.insert(
+                "E",
+                dlo_core::Relation::from_pairs(
+                    2,
+                    g1.edges.iter().map(|&(u, v, w)| {
+                        (
+                            vec![g1.node(u), g1.node(v)],
+                            TropP::<P>::from_costs(&[w * scale]),
+                        )
+                    }),
+                ),
+            );
+            let prog = dlo_bench::single_source_int_program::<TropP<P>>(0);
+            match naive_eval_sparse(&prog, &edb, &BoolDatabase::new(), 10_000) {
+                dlo_core::EvalOutcome::Converged { steps, .. } => steps,
+                _ => usize::MAX,
+            }
+        };
+        let (a, b) = (steps(1.0), steps(1000.0));
+        ok &= a == b && a <= (P + 1) * 6;
+        rows.push(vec![
+            "(iv)".into(),
+            format!("Trop+_{P} 6-cycle"),
+            format!("steps {a} = {b} regardless of weights (≤ (p+1)N = {})", (P + 1) * 6),
+        ]);
+    }
+
+    // (v) — 0-stable: ≤ N steps (Corollary 5.19).
+    {
+        let g = GraphInstance::random(14, 40, 9, 7);
+        let (prog, edb) = g.sssp();
+        match naive_eval_sparse(&prog, &edb, &BoolDatabase::new(), 10_000) {
+            dlo_core::EvalOutcome::Converged { steps, .. } => {
+                ok &= steps <= g.n;
+                rows.push(vec![
+                    "(v)".into(),
+                    "Trop+ random graph n=14".into(),
+                    format!("steps {steps} ≤ N = {}", g.n),
+                ]);
+            }
+            _ => ok = false,
+        }
+    }
+
+    print_table(
+        "Sec. 4.2 — the five convergence/divergence classes",
+        &["case", "witness POPS", "observation"],
+        &rows,
+    );
+    println!("{}", if ok { "REPRO OK" } else { "REPRO MISMATCH" });
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,45 @@
+//! E9: Example 5.5 — the Catalan expansion of `f(x) = b ⊕ a·x²`
+//! (eq. 33/35).
+//!
+//! Prints the coefficient of `aⁿ bⁿ⁺¹` in the formal iterate `f^(q)(0)`
+//! for a grid of `(q, n)` and checks that the stabilized column equals the
+//! Catalan numbers.
+
+use dlo_bench::print_table;
+use dlo_provenance::catalan::{catalan, iterate_coefficients};
+
+fn main() {
+    let mut ok = true;
+    let max_n = 7u32;
+    let max_q = (max_n + 2) as usize;
+
+    let mut rows = vec![];
+    for q in 0..=max_q {
+        let coeffs = iterate_coefficients(q, max_n);
+        let mut row = vec![format!("f^({q})(0)")];
+        row.extend(coeffs.iter().map(|c| c.to_string()));
+        rows.push(row);
+    }
+    let mut catalan_row = vec!["Catalan".to_string()];
+    catalan_row.extend((0..=max_n as usize).map(|n| catalan(n).to_string()));
+    rows.push(catalan_row);
+
+    let headers: Vec<String> = std::iter::once("iterate".to_string())
+        .chain((0..=max_n).map(|n| format!("a^{n}b^{}", n + 1)))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(
+        "Example 5.5 — coefficients λ^(q)_n of a^n b^(n+1) in f^(q)(0), f(x) = b + a x²",
+        &headers_ref,
+        &rows,
+    );
+
+    // The paper's eq. (33): for q ≥ n+1, λ^(q)_n = C_n.
+    let final_coeffs = iterate_coefficients(max_q, max_n);
+    for (n, c) in final_coeffs.iter().enumerate() {
+        ok &= *c == catalan(n);
+    }
+    println!("paper (eq. 33): stabilized coefficients are the Catalan numbers 1, 1, 2, 5, 14, 42, 132, 429, …");
+    println!("{}", if ok { "REPRO OK" } else { "REPRO MISMATCH" });
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,87 @@
+//! E17: Lemma 5.20 / Corollary 5.21 — matrix stability over `Trop⁺_p`.
+//!
+//! The `N`-cycle attains exactly `(p+1)·N − 1`; random matrices stay at or
+//! below the bound. Also cross-checks the Floyd–Warshall–Kleene closure
+//! against the iterative one on every instance.
+
+use dlo_bench::print_table;
+use dlo_fixpoint::trop_p_matrix_bound;
+use dlo_pops::{PreSemiring, TropP};
+use dlo_semilin::{fwk_closure, matrix_stability_index, trop_p_cycle, closure_fixpoint, Matrix};
+
+fn cycle_row<const P: usize>(n: usize, ok: &mut bool) -> Vec<String> {
+    let a = trop_p_cycle::<P>(n);
+    let q = matrix_stability_index(&a, 100_000).unwrap();
+    let bound = trop_p_matrix_bound(P, n);
+    *ok &= q as u128 == bound;
+    // FWK agrees with the iterated closure.
+    let (iter, _) = closure_fixpoint(&a, 100_000).unwrap();
+    *ok &= fwk_closure(&a) == iter;
+    vec![
+        format!("p={P}, N={n}"),
+        q.to_string(),
+        bound.to_string(),
+        "yes".into(),
+    ]
+}
+
+fn main() {
+    let mut ok = true;
+
+    let rows = vec![
+        cycle_row::<0>(4, &mut ok),
+        cycle_row::<0>(8, &mut ok),
+        cycle_row::<1>(4, &mut ok),
+        cycle_row::<1>(8, &mut ok),
+        cycle_row::<2>(4, &mut ok),
+        cycle_row::<2>(8, &mut ok),
+        cycle_row::<3>(6, &mut ok),
+        cycle_row::<4>(5, &mut ok),
+    ];
+    print_table(
+        "Lemma 5.20 — the N-cycle over Trop+_p attains exactly (p+1)N−1",
+        &["instance", "measured index", "(p+1)N−1", "FWK = iterative?"],
+        &rows,
+    );
+
+    // Random matrices: index ≤ bound, FWK agreement.
+    const P: usize = 2;
+    let mut rows = vec![];
+    let mut seed = 0x1234_5678_9abc_def0u64;
+    let mut rng = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    for n in [3usize, 5, 7, 9] {
+        let mut worst = 0usize;
+        for _ in 0..20 {
+            let a = Matrix::<TropP<P>>::from_fn(n, |_, _| {
+                if rng() % 3 == 0 {
+                    TropP::<P>::from_costs(&[(rng() % 9) as f64])
+                } else {
+                    TropP::<P>::zero()
+                }
+            });
+            let q = matrix_stability_index(&a, 100_000).unwrap();
+            ok &= q as u128 <= trop_p_matrix_bound(P, n);
+            let (iter, _) = closure_fixpoint(&a, 100_000).unwrap();
+            ok &= fwk_closure(&a) == iter;
+            worst = worst.max(q);
+        }
+        rows.push(vec![
+            format!("N={n} (20 random)"),
+            worst.to_string(),
+            trop_p_matrix_bound(P, n).to_string(),
+        ]);
+    }
+    print_table(
+        "Cor. 5.21 — random Trop+_2 matrices: worst measured index ≤ (p+1)N−1",
+        &["instance", "worst index", "bound"],
+        &rows,
+    );
+
+    println!("{}", if ok { "REPRO OK" } else { "REPRO MISMATCH" });
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,96 @@
+//! E10/E11: Example 5.7 + Fig. 3 — parse trees and Lemma 5.6.
+//!
+//! Lists the x-rooted parse trees of depth ≤ 2 of the Example 5.7 grammar
+//! and verifies Lemma 5.6 (formal iterate = Σ of tree yields) on it and on
+//! random grammars.
+
+use dlo_provenance::grammar::{check_lemma_5_6, example_5_7, trees_upto, Grammar};
+use dlo_provenance::{formal_iterates, Sym};
+
+fn render_tree(
+    g: &Grammar,
+    names: &dyn Fn(Sym) -> char,
+    vars: &[&str],
+    t: &dlo_provenance::Tree,
+) -> String {
+    let prod = &g.prods[t.var][t.prod];
+    if t.children.is_empty() {
+        format!("{}→{}", vars[t.var], names(prod.terminal))
+    } else {
+        let kids: Vec<String> = t
+            .children
+            .iter()
+            .map(|c| render_tree(g, names, vars, c))
+            .collect();
+        format!(
+            "{}→{}[{}]",
+            vars[t.var],
+            names(prod.terminal),
+            kids.join(", ")
+        )
+    }
+}
+
+fn main() {
+    let mut ok = true;
+    let (g, _) = example_5_7();
+    let names = |s: Sym| b"abcuvw"[s.0 as usize] as char;
+
+    println!("Example 5.7 grammar: x → a x y | b y | c ; y → u x y | v x | w\n");
+    println!("x-rooted parse trees of depth ≤ 2 (Fig. 3) and their yields:");
+    let trees = trees_upto(&g, 0, 2, 1000).unwrap();
+    for t in &trees {
+        let y = t.yield_expo(&g);
+        let yield_str: String = y
+            .0
+            .iter()
+            .flat_map(|(s, k)| std::iter::repeat_n(names(*s), *k as usize))
+            .collect();
+        println!("  {:<28} yield {}", render_tree(&g, &names, &["x", "y"], t), yield_str);
+    }
+    ok &= trees.len() == 3;
+
+    // (f^(2)(0))₁ = a·c·w + b·w + c — from the formal side.
+    let its = formal_iterates(&g.to_formal_system(), 2);
+    println!("\n(f^(2)(0))_x = {:?}   (s0..s5 = a, b, c, u, v, w)", its[2][0]);
+    ok &= its[2][0].len() == 3;
+
+    // Lemma 5.6 on Example 5.7 and on pseudo-random grammars.
+    println!("\nLemma 5.6 checks (formal iterate == Σ yields of trees of depth ≤ q):");
+    ok &= check_lemma_5_6(&g, 3, 5_000_000).is_ok();
+    println!("  example 5.7, q ≤ 3: OK");
+
+    let mut seed = 0xabcdef1234567890u64;
+    let mut rng = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    for trial in 0..6 {
+        // Random grammar: 2 vars, ≤3 productions each, arity ≤ 2.
+        let nvars = 2 + (rng() % 2) as usize;
+        let mut rg = Grammar::new(nvars);
+        let mut sym = 0u32;
+        for v in 0..nvars {
+            let nprods = 1 + rng() % 3;
+            for _ in 0..nprods {
+                let arity = (rng() % 3) as usize;
+                let children: Vec<usize> =
+                    (0..arity).map(|_| (rng() % nvars as u64) as usize).collect();
+                rg.add(v, Sym(sym), children);
+                sym += 1;
+            }
+        }
+        match check_lemma_5_6(&rg, 3, 5_000_000) {
+            Ok(()) => println!("  random grammar #{trial} ({nvars} vars): OK"),
+            Err((i, q)) => {
+                println!("  random grammar #{trial}: MISMATCH at var {i}, q={q}");
+                ok = false;
+            }
+        }
+    }
+
+    println!("\n{}", if ok { "REPRO OK" } else { "REPRO MISMATCH" });
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,88 @@
+//! E12/E13: Propositions 5.3 and 5.4 — stability sweeps.
+//!
+//! * `Trop⁺_p` is p-stable and tight: the unit `1_p` has stability index
+//!   exactly `p` (sweep over p);
+//! * `Trop⁺_{≤η}` is stable but not uniformly: singletons `{a}` have index
+//!   `⌈η/a⌉`-ish, growing without bound as `a` shrinks.
+
+use dlo_bench::print_table;
+use dlo_pops::stability::element_stability_index;
+use dlo_pops::{PreSemiring, TropEta, TropP};
+
+fn trop_p_unit_index<const P: usize>() -> (usize, Option<usize>) {
+    (P, element_stability_index(&TropP::<P>::one(), 200))
+}
+
+fn main() {
+    let mut ok = true;
+
+    // --- Proposition 5.3 ----------------------------------------------------
+    let sweep = [
+        trop_p_unit_index::<0>(),
+        trop_p_unit_index::<1>(),
+        trop_p_unit_index::<2>(),
+        trop_p_unit_index::<3>(),
+        trop_p_unit_index::<4>(),
+        trop_p_unit_index::<5>(),
+        trop_p_unit_index::<6>(),
+        trop_p_unit_index::<8>(),
+    ];
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|(p, ix)| {
+            vec![
+                format!("Trop+_{p}"),
+                format!("{:?}", ix.unwrap()),
+                p.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Prop. 5.3 — stability index of the unit 1_p over Trop+_p (tight: = p)",
+        &["semiring", "measured index of 1_p", "paper"],
+        &rows,
+    );
+    ok &= sweep.iter().all(|(p, ix)| ix == &Some(*p));
+
+    // Random elements are also p-stable (sampled):
+    const P: usize = 3;
+    let mut seed = 0x5eed5eed5eed5eedu64;
+    let mut rng = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    for _ in 0..200 {
+        let costs: Vec<f64> = (0..rng() % 4).map(|_| (rng() % 20) as f64).collect();
+        let u = TropP::<P>::from_costs(&costs);
+        let ix = element_stability_index(&u, 100).expect("stable");
+        ok &= ix <= P;
+    }
+    println!("200 random Trop+_3 elements: every stability index ≤ 3 — OK\n");
+
+    // --- Proposition 5.4 ----------------------------------------------------
+    const ETA: u64 = 720;
+    let mut rows = vec![];
+    let mut last = 0;
+    for a in [720, 360, 240, 120, 60, 30, 10, 5, 2, 1] {
+        let ix = element_stability_index(&TropEta::<ETA>::singleton(a), 100_000).unwrap();
+        rows.push(vec![
+            format!("{{{a}}}"),
+            ix.to_string(),
+            format!("{}", ETA.div_ceil(a)),
+        ]);
+        ok &= ix >= last;
+        ok &= ix <= ((ETA / a) + 1) as usize;
+        last = ix;
+    }
+    print_table(
+        "Prop. 5.4 — Trop+_{<=720}: index of {a} grows without bound as a shrinks",
+        &["element", "measured index", "⌈η/a⌉"],
+        &rows,
+    );
+    ok &= last >= 700; // unbounded growth exhibited
+
+    println!("{}", if ok { "REPRO OK" } else { "REPRO MISMATCH" });
+    std::process::exit(if ok { 0 } else { 1 });
+}

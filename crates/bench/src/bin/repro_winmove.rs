@@ -1,0 +1,149 @@
+//! E22/E23/E24: Sec. 7 — win-move under three semantics.
+//!
+//! * the alternating-fixpoint table J(0)..J(6) of Sec. 7.1 (Fig. 4 graph);
+//! * the datalog°-over-THREE table W(0)..W(4) of Sec. 7.2;
+//! * their agreement with each other and with a game-theoretic oracle on
+//!   the figure and on random graphs;
+//! * the `P(a) :- P(a)` discrepancy of Sec. 7.3;
+//! * FOUR never derives ⊤ in the lfp (Fitting's Prop. 7.1 check, E29).
+
+use dlo_bench::print_table;
+use dlo_pops::{Four, PreSemiring, Pops};
+use dlo_wellfounded::{
+    fig4_adjacency, fitting_lfp, well_founded, win_move_program, Literal, NegProgram,
+    WinMoveInstance,
+};
+
+fn main() {
+    let mut ok = true;
+    let p = win_move_program(&fig4_adjacency());
+    let order = ["a", "b", "c", "d", "e", "f"];
+    let ix = |n: &str| p.atom_index(&format!("W({n})")).unwrap();
+
+    // --- Sec. 7.1: alternating fixpoint table ------------------------------
+    let wf = well_founded(&p);
+    let mut rows = vec![];
+    for (t, interp) in wf.trace.iter().enumerate() {
+        let mut row = vec![format!("J({t})")];
+        row.extend(order.iter().map(|n| if interp[ix(n)] { "1" } else { "0" }.to_string()));
+        rows.push(row);
+    }
+    let mut headers = vec!["iterate"];
+    headers.extend(order.iter().map(|n| match *n {
+        "a" => "W(a)", "b" => "W(b)", "c" => "W(c)",
+        "d" => "W(d)", "e" => "W(e)", _ => "W(f)",
+    }));
+    print_table(
+        "Sec. 7.1 — alternating fixpoint on the Fig. 4 win-move game",
+        &headers,
+        &rows,
+    );
+
+    // --- Sec. 7.2: THREE-valued naive trace ---------------------------------
+    let (lfp3, trace3) = fitting_lfp(&p);
+    let mut rows = vec![];
+    for (t, interp) in trace3.iter().enumerate() {
+        let mut row = vec![format!("W({t})")];
+        row.extend(order.iter().map(|n| {
+            match interp[ix(n)] {
+                dlo_pops::Three::Undef => "⊥",
+                dlo_pops::Three::False => "0",
+                dlo_pops::Three::True => "1",
+            }
+            .to_string()
+        }));
+        rows.push(row);
+    }
+    print_table(
+        "Sec. 7.2 — datalog° over THREE on the same game (lfp = W(4))",
+        &headers,
+        &rows,
+    );
+    ok &= trace3.len() == 5;
+
+    // Agreement: well-founded == Fitting == oracle, on Fig. 4 …
+    let fig4_inst = WinMoveInstance {
+        n: 6,
+        edges: vec![(0, 1), (0, 2), (1, 0), (2, 3), (2, 4), (3, 4), (4, 5)],
+    };
+    match fig4_inst.check_equivalence() {
+        Ok(assign) => {
+            println!("well-founded = Fitting/THREE = game oracle on Fig. 4: {assign:?}\n");
+        }
+        Err(e) => {
+            println!("DISAGREEMENT on Fig. 4: {e}\n");
+            ok = false;
+        }
+    }
+    let _ = lfp3;
+
+    // … and on 40 random graphs.
+    let mut agree = 0;
+    for seed in 1..=40u64 {
+        let inst = WinMoveInstance::random(9, 18, seed);
+        match inst.check_equivalence() {
+            Ok(_) => agree += 1,
+            Err(e) => {
+                println!("seed {seed}: {e}");
+                ok = false;
+            }
+        }
+    }
+    println!("random graphs: {agree}/40 agree across all three semantics\n");
+
+    // --- Sec. 7.3: the P(a) :- P(a) discrepancy ----------------------------
+    let mut q = NegProgram::new();
+    let a = q.atom("P(a)");
+    q.rule(a, vec![Literal::Pos(a)]);
+    let (l3, _) = fitting_lfp(&q);
+    let wfq = well_founded(&q);
+    println!(
+        "Sec. 7.3 — P(a) :- P(a): THREE lfp says {:?}, well-founded says {:?} (they differ, as Fitting discusses)",
+        l3[a], wfq.assignment[a]
+    );
+    ok &= l3[a] == dlo_pops::Three::Undef;
+    ok &= wfq.assignment[a] == dlo_wellfounded::Wf::False;
+
+    // --- E29: FOUR never reaches ⊤ in the lfp -------------------------------
+    // Iterate win-move ICO over FOUR from ⊥ on random instances.
+    let mut top_seen = false;
+    for seed in 1..=20u64 {
+        let inst = WinMoveInstance::random(7, 12, seed);
+        let prog = inst.program();
+        let n = prog.num_atoms();
+        let mut x = vec![Four::Undef; n];
+        for _ in 0..100 {
+            let mut next = vec![Four::False; n];
+            for r in &prog.rules {
+                let mut v = Four::True;
+                for l in &r.body {
+                    let lit = match l {
+                        Literal::Pos(b) => x[*b],
+                        Literal::Neg(b) => x[*b].not(),
+                    };
+                    v = v.mul(&lit);
+                }
+                next[r.head] = next[r.head].add(&v);
+            }
+            if next == x {
+                break;
+            }
+            x = next;
+        }
+        top_seen |= x.contains(&Four::Both);
+        // And FOUR's lfp restricted to {⊥,0,1} equals THREE's.
+        let (three, _) = fitting_lfp(&prog);
+        ok &= x
+            .iter()
+            .zip(&three)
+            .all(|(f, t)| *f == Four::from_three(*t));
+    }
+    println!(
+        "FOUR lfp on 20 random games: ⊤ derived? {top_seen} (Fitting Prop. 7.1 predicts never); agrees with THREE lfp"
+    );
+    ok &= !top_seen;
+    let _ = Four::bottom();
+
+    println!("\n{}", if ok { "REPRO OK" } else { "REPRO MISMATCH" });
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,266 @@
+//! Seeded synthetic workload generators (graphs and programs).
+//!
+//! The paper reports no machine experiments, so the performance claims
+//! (semi-naïve beats naïve; `LinearLFP`/FWK beat iteration on p-stable
+//! semirings; 0-stable ⇒ ≤ N steps) are exercised on synthetic inputs:
+//! Erdős–Rényi-style random digraphs, grids, paths, and cycles — all
+//! generated from explicit seeds for byte-identical reruns.
+
+use dlo_core::relation::{bool_relation, Database, Relation};
+use dlo_core::value::{Constant, Tuple};
+use dlo_pops::Trop;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated directed graph with integer node ids.
+#[derive(Clone, Debug)]
+pub struct GraphInstance {
+    /// Node count.
+    pub n: usize,
+    /// Directed edges with weights.
+    pub edges: Vec<(usize, usize, f64)>,
+}
+
+impl GraphInstance {
+    /// A random digraph with `m` distinct non-loop edges, weights in
+    /// `1..=max_w`.
+    pub fn random(n: usize, m: usize, max_w: u32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = vec![];
+        let mut seen = std::collections::BTreeSet::new();
+        while edges.len() < m {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v || !seen.insert((u, v)) {
+                continue;
+            }
+            let w = rng.gen_range(1..=max_w) as f64;
+            edges.push((u, v, w));
+        }
+        GraphInstance { n, edges }
+    }
+
+    /// A directed path `0 → 1 → … → n-1` with unit weights.
+    pub fn path(n: usize) -> Self {
+        GraphInstance {
+            n,
+            edges: (0..n - 1).map(|i| (i, i + 1, 1.0)).collect(),
+        }
+    }
+
+    /// A directed cycle with unit weights.
+    pub fn cycle(n: usize) -> Self {
+        GraphInstance {
+            n,
+            edges: (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect(),
+        }
+    }
+
+    /// A `k × k` grid with edges right and down, unit weights.
+    pub fn grid(k: usize) -> Self {
+        let idx = |r: usize, c: usize| r * k + c;
+        let mut edges = vec![];
+        for r in 0..k {
+            for c in 0..k {
+                if c + 1 < k {
+                    edges.push((idx(r, c), idx(r, c + 1), 1.0));
+                }
+                if r + 1 < k {
+                    edges.push((idx(r, c), idx(r + 1, c), 1.0));
+                }
+            }
+        }
+        GraphInstance { n: k * k, edges }
+    }
+
+    /// Node name for id `i`.
+    pub fn node(&self, i: usize) -> Constant {
+        Constant::Int(i as i64)
+    }
+
+    /// The edge relation as a `Trop⁺` EDB named `E`.
+    pub fn trop_edb(&self) -> Database<Trop> {
+        let mut db = Database::new();
+        db.insert(
+            "E",
+            Relation::from_pairs(
+                2,
+                self.edges.iter().map(|&(u, v, w)| {
+                    (
+                        vec![self.node(u), self.node(v)] as Tuple,
+                        Trop::finite(w),
+                    )
+                }),
+            ),
+        );
+        db
+    }
+
+    /// The edge relation as a Boolean EDB named `E` (as a POPS database,
+    /// for programs whose `E` is a factor).
+    pub fn bool_edb(&self) -> Database<dlo_pops::Bool> {
+        let mut db = Database::new();
+        db.insert(
+            "E",
+            bool_relation(
+                2,
+                self.edges
+                    .iter()
+                    .map(|&(u, v, _)| vec![self.node(u), self.node(v)] as Tuple),
+            ),
+        );
+        db
+    }
+
+    /// The single-source shortest-path program over `Trop⁺` from node 0,
+    /// paired with this graph's EDB.
+    pub fn sssp(&self) -> (dlo_core::Program<Trop>, Database<Trop>) {
+        (single_source_int_program(0), self.trop_edb())
+    }
+}
+
+/// `single_source_program` with an integer source (generator graphs use
+/// integer node ids).
+pub fn single_source_int_program<P: dlo_pops::Pops>(source: i64) -> dlo_core::Program<P> {
+    use dlo_core::ast::{Atom, Factor, Program, SumProduct, Term};
+    use dlo_core::formula::{CmpOp, Formula};
+    let mut p = Program::new();
+    p.rule(
+        Atom::new("L", vec![Term::v(0)]),
+        vec![
+            SumProduct::new(vec![]).with_condition(Formula::cmp(
+                Term::v(0),
+                CmpOp::Eq,
+                Term::c(source),
+            )),
+            SumProduct::new(vec![
+                Factor::atom("L", vec![Term::v(1)]),
+                Factor::atom("E", vec![Term::v(1), Term::v(0)]),
+            ]),
+        ],
+    );
+    p
+}
+
+/// A Dijkstra oracle for SSSP ground truth on generated graphs.
+pub fn dijkstra(g: &GraphInstance, source: usize) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; g.n];
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![vec![]; g.n];
+    for &(u, v, w) in &g.edges {
+        adj[u].push((v, w));
+    }
+    dist[source] = 0.0;
+    let mut heap = std::collections::BinaryHeap::new();
+    heap.push((std::cmp::Reverse(ordered(0.0)), source));
+    while let Some((std::cmp::Reverse(d), u)) = heap.pop() {
+        let d = d.0;
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, w) in &adj[u] {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push((std::cmp::Reverse(ordered(nd)), v));
+            }
+        }
+    }
+    dist
+}
+
+/// Orderable f64 wrapper for the heap (weights are never NaN).
+#[derive(PartialEq, PartialOrd)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("no NaN weights")
+    }
+}
+fn ordered(x: f64) -> OrdF64 {
+    OrdF64(x)
+}
+
+/// Prints a two-column table with a caption (the repro binaries' shared
+/// output format).
+pub fn print_table(caption: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("== {caption}");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+    }
+    let fmt = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt(&hdr));
+    for row in rows {
+        println!("{}", fmt(row));
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_graph_has_requested_shape() {
+        let g = GraphInstance::random(10, 25, 5, 42);
+        assert_eq!(g.n, 10);
+        assert_eq!(g.edges.len(), 25);
+        assert!(g.edges.iter().all(|&(u, v, w)| u != v && w >= 1.0));
+        // Determinism.
+        let g2 = GraphInstance::random(10, 25, 5, 42);
+        assert_eq!(g.edges, g2.edges);
+    }
+
+    #[test]
+    fn grid_and_path_shapes() {
+        let p = GraphInstance::path(5);
+        assert_eq!(p.edges.len(), 4);
+        let g = GraphInstance::grid(3);
+        assert_eq!(g.n, 9);
+        assert_eq!(g.edges.len(), 12);
+    }
+
+    #[test]
+    fn dijkstra_on_path() {
+        let g = GraphInstance::path(4);
+        assert_eq!(dijkstra(&g, 0), vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn engine_matches_dijkstra_on_random_graphs() {
+        for seed in [1u64, 2, 3] {
+            let g = GraphInstance::random(12, 30, 9, seed);
+            let (prog, edb) = g.sssp();
+            let out = dlo_core::naive_eval_sparse(
+                &prog,
+                &edb,
+                &dlo_core::BoolDatabase::new(),
+                10_000,
+            )
+            .unwrap();
+            let oracle = dijkstra(&g, 0);
+            let l = out.get("L");
+            for (i, d) in oracle.iter().enumerate() {
+                let got = l
+                    .map(|r| r.get(&vec![g.node(i)]))
+                    .unwrap_or(Trop::INF)
+                    .get();
+                assert_eq!(got, *d, "node {i} seed {seed}");
+            }
+        }
+    }
+}

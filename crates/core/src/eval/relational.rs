@@ -1,0 +1,579 @@
+//! Relational (tuple-at-a-time) evaluation — the production-engine path.
+//!
+//! The grounded backend (\[`crate::ground`\]) materializes one polynomial
+//! per ground IDB atom up front; faithful to eq. (27), but the grounding
+//! itself costs `O(|ADom|^vars)` in the worst case. This backend instead
+//! evaluates the immediate consequence operator *directly on relations*
+//! each iteration, the way Soufflé-style engines run datalog: every
+//! sum-product is a join over the supports of its atoms and of the
+//! positive condition atoms, `⊕`-aggregated into the head relation.
+//!
+//! Soundness requires supports to be exhaustive, i.e. absent = `0` =
+//! absorbing: the backend is therefore restricted to naturally ordered
+//! semirings (the same restriction as sparse grounding; the dense grounded
+//! backend remains the reference for exotic POPS like the lifted reals).
+//!
+//! Both the naïve loop and a semi-naïve loop (the relation-level reading
+//! of Theorem 6.5: one join per IDB occurrence, with that occurrence
+//! restricted to the Δ-support, earlier occurrences reading the new state
+//! and later ones the old state) are provided; both are cross-checked
+//! against the grounded backend in tests.
+
+use crate::ast::{Atom, Program, SumProduct, Term, Var};
+use crate::eval::EvalOutcome;
+use crate::formula::{eval_args, eval_term, Formula, Valuation};
+use crate::relation::{BoolDatabase, Database, Relation};
+use crate::value::Constant;
+use dlo_pops::{Bool, CompleteDistributiveDioid, NaturallyOrdered, Pops};
+use std::collections::BTreeSet;
+
+/// Which state an IDB occurrence reads during a join (Theorem 6.5's
+/// prefix-new / delta / suffix-old split; naïve always reads `New`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum IdbSource {
+    New,
+    Old,
+    Delta,
+}
+
+/// The IDB states visible to a join.
+struct IdbStates<'a, P: Pops> {
+    new: &'a Database<P>,
+    old: &'a Database<P>,
+    delta: &'a Database<P>,
+}
+
+// Manual impls: references are Copy regardless of `P` (derive would
+// incorrectly demand `P: Copy`).
+impl<P: Pops> Clone for IdbStates<'_, P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<P: Pops> Copy for IdbStates<'_, P> {}
+
+impl<'a, P: Pops> IdbStates<'a, P> {
+    fn get(&self, src: IdbSource, pred: &str) -> Option<&'a Relation<P>> {
+        match src {
+            IdbSource::New => self.new.get(pred),
+            IdbSource::Old => self.old.get(pred),
+            IdbSource::Delta => self.delta.get(pred),
+        }
+    }
+}
+
+/// A join participant.
+enum Binder<'a, P: Pops> {
+    /// A POPS factor: binds variables and supplies the value for factor
+    /// slot `fi`.
+    Factor {
+        atom: &'a Atom,
+        rel: Option<&'a Relation<P>>,
+        fi: usize,
+    },
+    /// A positive Boolean condition atom: binds variables only.
+    Guard {
+        atom: &'a Atom,
+        rel: Option<&'a Relation<Bool>>,
+    },
+}
+
+/// Extracts `Var = constant` bindings from the conjunctive spine of a
+/// condition — these pre-bind variables so indicator-style sum-products
+/// (`{1 | X = a}`) don't fall back to full-ADom enumeration.
+fn equality_bindings(phi: &Formula, theta: &mut Valuation) {
+    match phi {
+        Formula::And(a, b) => {
+            equality_bindings(a, theta);
+            equality_bindings(b, theta);
+        }
+        Formula::Cmp(Term::Var(v), crate::formula::CmpOp::Eq, Term::Const(c))
+        | Formula::Cmp(Term::Const(c), crate::formula::CmpOp::Eq, Term::Var(v)) => {
+            theta.entry(*v).or_insert_with(|| c.clone());
+        }
+        _ => {}
+    }
+}
+
+/// Unifies `atom.args` against `tuple` under `theta`; on success returns
+/// the variables newly bound (which the caller must unbind).
+fn unify(
+    atom: &Atom,
+    tuple: &[Constant],
+    theta: &mut Valuation,
+) -> Option<Vec<Var>> {
+    if tuple.len() != atom.args.len() {
+        return None;
+    }
+    let mut bound_here: Vec<Var> = vec![];
+    for (arg, c) in atom.args.iter().zip(tuple.iter()) {
+        let ok = match arg {
+            Term::Var(v) => match theta.get(v) {
+                Some(existing) => existing == c,
+                None => {
+                    theta.insert(*v, c.clone());
+                    bound_here.push(*v);
+                    true
+                }
+            },
+            term => match eval_term(term, theta) {
+                // Un-evaluable key-function terms are wildcards here; the
+                // full condition / value computation re-checks later.
+                None => true,
+                Some(val) => &val == c,
+            },
+        };
+        if !ok {
+            for b in &bound_here {
+                theta.remove(b);
+            }
+            return None;
+        }
+    }
+    Some(bound_here)
+}
+
+/// Nested-loop join over `binders`, then ADom enumeration for leftover
+/// variables; calls `visit` once per (possibly repeated) full valuation —
+/// the caller deduplicates.
+fn join<'a, P: Pops>(
+    binders: &[Binder<'a, P>],
+    vars: &[Var],
+    adom: &[Constant],
+    theta: &mut Valuation,
+    depth: usize,
+    values: &mut Vec<Option<&'a P>>,
+    visit: &mut impl FnMut(&Valuation, &[Option<&'a P>]),
+) {
+    if depth == binders.len() {
+        fn fill<'a, P: Pops>(
+            vars: &[Var],
+            adom: &[Constant],
+            theta: &mut Valuation,
+            values: &[Option<&'a P>],
+            visit: &mut impl FnMut(&Valuation, &[Option<&'a P>]),
+        ) {
+            match vars.iter().find(|v| !theta.contains_key(v)) {
+                None => visit(theta, values),
+                Some(&v) => {
+                    for c in adom {
+                        theta.insert(v, c.clone());
+                        fill(vars, adom, theta, values, visit);
+                    }
+                    theta.remove(&v);
+                }
+            }
+        }
+        fill(vars, adom, theta, values, visit);
+        return;
+    }
+    match &binders[depth] {
+        Binder::Factor { atom, rel, fi } => {
+            let Some(rel) = rel else { return }; // missing relation: all 0
+            for (tuple, value) in rel.support() {
+                if let Some(bound) = unify(atom, tuple, theta) {
+                    values[*fi] = Some(value);
+                    join(binders, vars, adom, theta, depth + 1, values, visit);
+                    values[*fi] = None;
+                    for b in &bound {
+                        theta.remove(b);
+                    }
+                }
+            }
+        }
+        Binder::Guard { atom, rel } => {
+            let Some(rel) = rel else { return }; // guard over empty: false
+            for (tuple, _) in rel.support() {
+                if let Some(bound) = unify(atom, tuple, theta) {
+                    join(binders, vars, adom, theta, depth + 1, values, visit);
+                    for b in &bound {
+                        theta.remove(b);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates one sum-product under a choice of per-occurrence IDB sources,
+/// `⊕`-merging the results into `out`.
+#[allow(clippy::too_many_arguments)]
+fn eval_sum_product<P: NaturallyOrdered>(
+    head: &Atom,
+    sp: &SumProduct<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+    idb_preds: &BTreeSet<String>,
+    occ_source: impl Fn(usize) -> IdbSource,
+    states: IdbStates<'_, P>,
+    adom: &[Constant],
+    out: &mut Relation<P>,
+) {
+    let mut vars: Vec<Var> = vec![];
+    head.vars(&mut vars);
+    for v in sp.vars() {
+        if !vars.contains(&v) {
+            vars.push(v);
+        }
+    }
+
+    let mut theta = Valuation::new();
+    equality_bindings(&sp.condition, &mut theta);
+
+    let mut binders: Vec<Binder<P>> = vec![];
+    let mut idb_occurrence = 0usize;
+    for (fi, f) in sp.factors.iter().enumerate() {
+        let rel = if idb_preds.contains(&f.atom.pred) {
+            let src = occ_source(idb_occurrence);
+            idb_occurrence += 1;
+            states.get(src, &f.atom.pred)
+        } else {
+            pops_edb.get(&f.atom.pred)
+        };
+        binders.push(Binder::Factor {
+            atom: &f.atom,
+            rel,
+            fi,
+        });
+    }
+    for a in sp.condition.conjunctive_atoms() {
+        binders.push(Binder::Guard {
+            atom: a,
+            rel: bool_edb.get(&a.pred),
+        });
+    }
+
+    let mut seen: BTreeSet<Vec<Constant>> = BTreeSet::new();
+    let mut values: Vec<Option<&P>> = vec![None; sp.factors.len()];
+    join(
+        &binders,
+        &vars,
+        adom,
+        &mut theta,
+        0,
+        &mut values,
+        &mut |theta, values| {
+            let key: Vec<Constant> = vars
+                .iter()
+                .map(|v| theta.get(v).expect("full valuation").clone())
+                .collect();
+            if !seen.insert(key) {
+                return;
+            }
+            if !sp.condition.eval(theta, bool_edb) {
+                return;
+            }
+            let mut acc = sp.coeff.clone().unwrap_or_else(P::one);
+            for (fi, f) in sp.factors.iter().enumerate() {
+                let Some(v) = values[fi] else { return };
+                let v = match &f.func {
+                    Some(func) => func.apply(v),
+                    None => v.clone(),
+                };
+                acc = acc.mul(&v);
+                if acc.is_zero() {
+                    return; // 0 absorbs: nothing to merge
+                }
+            }
+            if let Some(tuple) = eval_args(head, theta) {
+                out.merge(tuple, acc);
+            }
+        },
+    );
+}
+
+fn empty_idbs<P: Pops>(program: &Program<P>) -> Database<P> {
+    let mut db = Database::new();
+    for rule in &program.rules {
+        db.get_or_insert(&rule.head.pred, rule.head.args.len());
+    }
+    db
+}
+
+/// One application of the ICO over relations: `F(current)`.
+fn apply_ico_relational<P: NaturallyOrdered>(
+    program: &Program<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+    current: &Database<P>,
+    adom: &[Constant],
+    idb_preds: &BTreeSet<String>,
+) -> Database<P> {
+    let mut next = empty_idbs(program);
+    let states = IdbStates {
+        new: current,
+        old: current,
+        delta: current,
+    };
+    for rule in &program.rules {
+        for sp in &rule.body {
+            let mut out = next
+                .get(&rule.head.pred)
+                .cloned()
+                .expect("pre-seeded head relation");
+            eval_sum_product(
+                &rule.head,
+                sp,
+                pops_edb,
+                bool_edb,
+                idb_preds,
+                |_| IdbSource::New,
+                states,
+                adom,
+                &mut out,
+            );
+            next.insert(&rule.head.pred, out);
+        }
+    }
+    next
+}
+
+fn program_adom<P: Pops>(
+    program: &Program<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+) -> Vec<Constant> {
+    let mut adom: BTreeSet<Constant> = pops_edb.active_domain();
+    adom.extend(bool_edb.active_domain());
+    adom.extend(program.constants());
+    adom.into_iter().collect()
+}
+
+/// Naïve evaluation directly over relations (no grounding). Restricted to
+/// naturally ordered semirings; agrees with the grounded backend
+/// (cross-checked in tests and property suites).
+pub fn relational_naive_eval<P: NaturallyOrdered>(
+    program: &Program<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+    cap: usize,
+) -> EvalOutcome<P> {
+    let adom = program_adom(program, pops_edb, bool_edb);
+    let idb_preds: BTreeSet<String> = program.idb_preds().into_iter().collect();
+    let mut current = empty_idbs(program);
+    for steps in 0..=cap {
+        let next =
+            apply_ico_relational(program, pops_edb, bool_edb, &current, &adom, &idb_preds);
+        if next == current {
+            return EvalOutcome::Converged {
+                output: current,
+                steps,
+            };
+        }
+        current = next;
+    }
+    EvalOutcome::Diverged { last: current, cap }
+}
+
+/// Semi-naïve evaluation over relations: the relation-level differential
+/// rule of Theorem 6.5 (eq. 64/65). Constant sum-products are covered by
+/// the seeding step and skipped thereafter (eq. 65).
+pub fn relational_seminaive_eval<P: CompleteDistributiveDioid + NaturallyOrdered>(
+    program: &Program<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+    cap: usize,
+) -> EvalOutcome<P> {
+    let adom = program_adom(program, pops_edb, bool_edb);
+    let idb_preds: BTreeSet<String> = program.idb_preds().into_iter().collect();
+
+    // t = 0: full evaluation from the empty state; δ(0) = F(0) ⊖ 0 = F(0).
+    let mut old = empty_idbs(program);
+    let mut new = apply_ico_relational(program, pops_edb, bool_edb, &old, &adom, &idb_preds);
+    let mut delta = new.clone();
+
+    for steps in 1..=cap {
+        if delta.iter().all(|(_, r)| r.is_empty()) {
+            return EvalOutcome::Converged { output: new, steps };
+        }
+        let mut contrib = empty_idbs(program);
+        {
+            let states = IdbStates {
+                new: &new,
+                old: &old,
+                delta: &delta,
+            };
+            for rule in &program.rules {
+                for sp in &rule.body {
+                    let n_idb = sp
+                        .factors
+                        .iter()
+                        .filter(|f| idb_preds.contains(&f.atom.pred))
+                        .count();
+                    // Eq. (65): IDB-free sum-products never change.
+                    for k in 0..n_idb {
+                        let mut out = contrib
+                            .get(&rule.head.pred)
+                            .cloned()
+                            .expect("pre-seeded head relation");
+                        eval_sum_product(
+                            &rule.head,
+                            sp,
+                            pops_edb,
+                            bool_edb,
+                            &idb_preds,
+                            |occ| {
+                                use std::cmp::Ordering::*;
+                                match occ.cmp(&k) {
+                                    Less => IdbSource::New,
+                                    Equal => IdbSource::Delta,
+                                    Greater => IdbSource::Old,
+                                }
+                            },
+                            states,
+                            &adom,
+                            &mut out,
+                        );
+                        contrib.insert(&rule.head.pred, out);
+                    }
+                }
+            }
+        }
+        // δ' = contrib ⊖ new (pointwise on supports); new' = new ⊕ contrib.
+        let mut next_delta = empty_idbs(program);
+        let mut next_new = new.clone();
+        for (pred, c) in contrib.iter() {
+            let cur = next_new.get_or_insert(pred, c.arity());
+            let mut d = Relation::new(c.arity());
+            for (t, v) in c.support() {
+                let existing = cur.get(t);
+                let diff = v.minus(&existing);
+                if !diff.is_zero() {
+                    d.merge(t.clone(), diff);
+                    cur.merge(t.clone(), v.clone());
+                }
+            }
+            next_delta.insert(pred, d);
+        }
+        old = new;
+        new = next_new;
+        delta = next_delta;
+    }
+    EvalOutcome::Diverged { last: new, cap }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::naive::naive_eval_sparse;
+    use crate::examples_lib as ex;
+    use dlo_pops::{Bool, MinNat, Trop};
+
+    fn assert_all_equal<P: NaturallyOrdered + CompleteDistributiveDioid>(
+        program: &Program<P>,
+        pops: &Database<P>,
+        bools: &BoolDatabase,
+    ) {
+        let grounded = naive_eval_sparse(program, pops, bools, 100_000).unwrap();
+        let rel = relational_naive_eval(program, pops, bools, 100_000).unwrap();
+        let semi = relational_seminaive_eval(program, pops, bools, 100_000).unwrap();
+        for (pred, r) in grounded.iter() {
+            let rr = rel
+                .get(pred)
+                .cloned()
+                .unwrap_or_else(|| Relation::new(r.arity()));
+            let rs = semi
+                .get(pred)
+                .cloned()
+                .unwrap_or_else(|| Relation::new(r.arity()));
+            assert_eq!(r, &rr, "relational naive differs on {pred}");
+            assert_eq!(r, &rs, "relational semi-naive differs on {pred}");
+        }
+        for (pred, r) in rel.iter() {
+            if grounded.get(pred).is_none() {
+                assert!(r.is_empty(), "extra derivations in {pred}");
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_matches_grounded_backend() {
+        let (program, edb) = ex::sssp_trop("a");
+        assert_all_equal(&program, &edb, &BoolDatabase::new());
+    }
+
+    #[test]
+    fn apsp_matches_grounded_backend() {
+        let (program, edb) = ex::apsp_trop(&[
+            ("a", "b", 1.0),
+            ("b", "a", 2.0),
+            ("b", "c", 3.0),
+            ("c", "d", 4.0),
+            ("a", "c", 5.0),
+        ]);
+        assert_all_equal(&program, &edb, &BoolDatabase::new());
+    }
+
+    #[test]
+    fn quadratic_tc_matches_grounded_backend() {
+        let (program, edb) =
+            ex::quadratic_tc_bool(&[("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")]);
+        assert_all_equal(&program, &edb, &BoolDatabase::new());
+        let _ = Bool(true);
+    }
+
+    #[test]
+    fn condition_guards_and_indicators_work() {
+        // The SSSP program uses {1 | X = a}: the equality pre-binding path.
+        let program: Program<MinNat> = ex::single_source_program("s");
+        let mut edb = Database::new();
+        edb.insert(
+            "E",
+            Relation::from_pairs(
+                2,
+                vec![
+                    (crate::tup!["s", "t"], MinNat::finite(2)),
+                    (crate::tup!["t", "u"], MinNat::finite(3)),
+                ],
+            ),
+        );
+        assert_all_equal(&program, &edb, &BoolDatabase::new());
+        let out = relational_naive_eval(&program, &edb, &BoolDatabase::new(), 1000).unwrap();
+        assert_eq!(out.get("L").unwrap().get(&crate::tup!["u"]), MinNat(5));
+    }
+
+    #[test]
+    fn bool_condition_atoms_bind_through_guards() {
+        // BOM-style over MinNat: T(x) :- C(x) ⊕ Σ{T(y) | E(x,y)}.
+        let program: Program<MinNat> = ex::bom_program();
+        let mut pops = Database::new();
+        pops.insert(
+            "C",
+            Relation::from_pairs(
+                1,
+                vec![
+                    (crate::tup!["c"], MinNat::finite(1)),
+                    (crate::tup!["d"], MinNat::finite(10)),
+                ],
+            ),
+        );
+        let mut bools = BoolDatabase::new();
+        bools.insert(
+            "E",
+            crate::relation::bool_relation(2, vec![crate::tup!["c", "d"]]),
+        );
+        assert_all_equal(&program, &pops, &bools);
+        let out = relational_naive_eval(&program, &pops, &bools, 1000).unwrap();
+        // With ⊕ = min: T(c) = min(C(c), T(d)) = min(1, 10) = 1.
+        assert_eq!(out.get("T").unwrap().get(&crate::tup!["c"]), MinNat(1));
+    }
+
+    #[test]
+    fn divergence_detected() {
+        use crate::ast::{Atom, Factor, SumProduct, Term};
+        use dlo_pops::Nat;
+        let mut p = Program::<Nat>::new();
+        p.rule(
+            Atom::new("X", vec![Term::c("u")]),
+            vec![
+                SumProduct::new(vec![]).with_coeff(Nat(1)),
+                SumProduct::new(vec![Factor::atom("X", vec![Term::c("u")])]).with_coeff(Nat(2)),
+            ],
+        );
+        assert!(
+            !relational_naive_eval(&p, &Database::new(), &BoolDatabase::new(), 30)
+                .is_converged()
+        );
+        let _ = Trop::INF;
+    }
+}

@@ -1,0 +1,323 @@
+//! Conditionals `Φ` over the Boolean vocabulary (Definition 2.5).
+//!
+//! The paper allows first-order formulas over `σ_B`; we implement the
+//! quantifier-free fragment (atoms, `∧`, `∨`, `¬`, key comparisons), which
+//! covers every program in the paper — existential quantification is
+//! expressed through the rule's bound variables, as in all the examples.
+//! Formulas are evaluated under a full valuation `θ : V → D₀` against a
+//! Boolean instance.
+
+use crate::ast::{Atom, Term, Var};
+use crate::relation::BoolDatabase;
+use dlo_pops::Pops as _;
+use crate::value::{Constant, Tuple};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A comparison operator on keys.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<` (integers only)
+    Lt,
+    /// `≤` (integers only)
+    Le,
+    /// `>` (integers only)
+    Gt,
+    /// `≥` (integers only)
+    Ge,
+}
+
+/// A quantifier-free conditional over `σ_B` and key comparisons.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// Always true (the empty conjunction).
+    True,
+    /// Always false.
+    False,
+    /// A positive Boolean-EDB atom.
+    BoolAtom(Atom),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// A key comparison.
+    Cmp(Term, CmpOp, Term),
+}
+
+/// A valuation `θ : V → D₀`.
+pub type Valuation = BTreeMap<Var, Constant>;
+
+/// Evaluates a term under a valuation; `None` if a variable is unbound or a
+/// key function is applied to an ill-typed constant.
+pub fn eval_term(t: &Term, theta: &Valuation) -> Option<Constant> {
+    match t {
+        Term::Var(v) => theta.get(v).cloned(),
+        Term::Const(c) => Some(c.clone()),
+        Term::Apply(f, inner) => f.apply(&eval_term(inner, theta)?),
+    }
+}
+
+/// Evaluates an atom's argument tuple under a valuation.
+pub fn eval_args(atom: &Atom, theta: &Valuation) -> Option<Tuple> {
+    atom.args.iter().map(|t| eval_term(t, theta)).collect()
+}
+
+impl Formula {
+    /// Smart constructor for a comparison.
+    pub fn cmp(lhs: Term, op: CmpOp, rhs: Term) -> Formula {
+        Formula::Cmp(lhs, op, rhs)
+    }
+    /// Smart constructor for a positive Boolean atom.
+    pub fn atom(pred: &str, args: Vec<Term>) -> Formula {
+        Formula::BoolAtom(Atom::new(pred, args))
+    }
+    /// `self ∧ rhs`, simplifying `True`.
+    pub fn and(self, rhs: Formula) -> Formula {
+        match (self, rhs) {
+            (Formula::True, r) => r,
+            (l, Formula::True) => l,
+            (l, r) => Formula::And(Box::new(l), Box::new(r)),
+        }
+    }
+    /// `self ∨ rhs`, simplifying `False`.
+    pub fn or(self, rhs: Formula) -> Formula {
+        match (self, rhs) {
+            (Formula::False, r) => r,
+            (l, Formula::False) => l,
+            (l, r) => Formula::Or(Box::new(l), Box::new(r)),
+        }
+    }
+    /// `¬self`.
+    pub fn negate(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// Collects variables into `out` (deduplicated).
+    pub fn vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::BoolAtom(a) => a.vars(out),
+            Formula::Not(f) => f.vars(out),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            Formula::Cmp(l, _, r) => {
+                l.vars(out);
+                r.vars(out);
+            }
+        }
+    }
+
+    /// Collects constants (for `D₀`).
+    pub fn constants(&self, push: &mut impl FnMut(&Constant)) {
+        fn term(t: &Term, push: &mut impl FnMut(&Constant)) {
+            match t {
+                Term::Const(c) => push(c),
+                Term::Var(_) => {}
+                Term::Apply(_, t) => term(t, push),
+            }
+        }
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::BoolAtom(a) => {
+                for t in &a.args {
+                    term(t, push);
+                }
+            }
+            Formula::Not(f) => f.constants(push),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.constants(push);
+                b.constants(push);
+            }
+            Formula::Cmp(l, _, r) => {
+                term(l, push);
+                term(r, push);
+            }
+        }
+    }
+
+    /// Evaluates under a full valuation against a Boolean instance.
+    ///
+    /// Unbound variables make the formula evaluate to `false` (grounding
+    /// always supplies full valuations, so this is defensive).
+    pub fn eval(&self, theta: &Valuation, bools: &BoolDatabase) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::BoolAtom(a) => match eval_args(a, theta) {
+                Some(tuple) => bools
+                    .get(&a.pred)
+                    .map(|r| !r.get(&tuple).is_bottom())
+                    .unwrap_or(false),
+                None => false,
+            },
+            Formula::Not(f) => !f.eval(theta, bools),
+            Formula::And(a, b) => a.eval(theta, bools) && b.eval(theta, bools),
+            Formula::Or(a, b) => a.eval(theta, bools) || b.eval(theta, bools),
+            Formula::Cmp(l, op, r) => {
+                let (Some(lv), Some(rv)) = (eval_term(l, theta), eval_term(r, theta)) else {
+                    return false;
+                };
+                match op {
+                    CmpOp::Eq => lv == rv,
+                    CmpOp::Ne => lv != rv,
+                    CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                        let (Some(a), Some(b)) = (lv.as_int(), rv.as_int()) else {
+                            return false;
+                        };
+                        match op {
+                            CmpOp::Lt => a < b,
+                            CmpOp::Le => a <= b,
+                            CmpOp::Gt => a > b,
+                            CmpOp::Ge => a >= b,
+                            _ => unreachable!(),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The positive Boolean atoms reachable through the top-level
+    /// conjunction (used by the grounder to drive joins: these atoms can
+    /// *bind* variables, everything else only filters).
+    pub fn conjunctive_atoms(&self) -> Vec<&Atom> {
+        let mut out = vec![];
+        fn go<'a>(f: &'a Formula, out: &mut Vec<&'a Atom>) {
+            match f {
+                Formula::BoolAtom(a) => out.push(a),
+                Formula::And(a, b) => {
+                    go(a, out);
+                    go(b, out);
+                }
+                _ => {}
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "⊤"),
+            Formula::False => write!(f, "⊥"),
+            Formula::BoolAtom(a) => write!(f, "{a:?}"),
+            Formula::Not(x) => write!(f, "¬({x:?})"),
+            Formula::And(a, b) => write!(f, "({a:?} ∧ {b:?})"),
+            Formula::Or(a, b) => write!(f, "({a:?} ∨ {b:?})"),
+            Formula::Cmp(l, op, r) => {
+                let op = match op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Ne => "≠",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "≤",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => "≥",
+                };
+                write!(f, "{l:?} {op} {r:?}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::bool_relation;
+    use crate::tup;
+
+    fn theta(pairs: &[(u32, Constant)]) -> Valuation {
+        pairs.iter().map(|(v, c)| (Var(*v), c.clone())).collect()
+    }
+
+    fn graph_db() -> BoolDatabase {
+        let mut db = BoolDatabase::new();
+        db.insert("E", bool_relation(2, vec![tup!["a", "b"], tup!["b", "c"]]));
+        db
+    }
+
+    #[test]
+    fn atom_lookup() {
+        let db = graph_db();
+        let f = Formula::atom("E", vec![Term::v(0), Term::v(1)]);
+        assert!(f.eval(
+            &theta(&[(0, Constant::str("a")), (1, Constant::str("b"))]),
+            &db
+        ));
+        assert!(!f.eval(
+            &theta(&[(0, Constant::str("b")), (1, Constant::str("a"))]),
+            &db
+        ));
+    }
+
+    #[test]
+    fn missing_relation_is_false() {
+        let db = BoolDatabase::new();
+        let f = Formula::atom("Nope", vec![Term::c("x")]);
+        assert!(!f.eval(&theta(&[]), &db));
+    }
+
+    #[test]
+    fn comparisons() {
+        let db = BoolDatabase::new();
+        let t = theta(&[(0, Constant::int(5))]);
+        assert!(Formula::cmp(Term::v(0), CmpOp::Lt, Term::c(10)).eval(&t, &db));
+        assert!(!Formula::cmp(Term::v(0), CmpOp::Ge, Term::c(10)).eval(&t, &db));
+        assert!(Formula::cmp(Term::v(0), CmpOp::Eq, Term::c(5)).eval(&t, &db));
+        // Mixed-type ordering comparisons are false:
+        let t2 = theta(&[(0, Constant::str("x"))]);
+        assert!(!Formula::cmp(Term::v(0), CmpOp::Lt, Term::c(10)).eval(&t2, &db));
+        // Structural (in)equality works across types:
+        assert!(Formula::cmp(Term::v(0), CmpOp::Ne, Term::c(10)).eval(&t2, &db));
+    }
+
+    #[test]
+    fn connectives_and_simplifiers() {
+        let db = graph_db();
+        let t = theta(&[(0, Constant::str("a")), (1, Constant::str("b"))]);
+        let e = Formula::atom("E", vec![Term::v(0), Term::v(1)]);
+        assert!(e.clone().and(Formula::True).eval(&t, &db));
+        assert!(Formula::True.and(e.clone()).eval(&t, &db));
+        assert!(!e.clone().negate().eval(&t, &db));
+        assert!(e.clone().or(Formula::False).eval(&t, &db));
+        assert_eq!(Formula::False.or(e.clone()), e);
+    }
+
+    #[test]
+    fn key_function_in_comparison() {
+        use crate::ast::KeyFn;
+        let db = BoolDatabase::new();
+        let t = theta(&[(0, Constant::int(7))]);
+        // x + 1 = 8
+        let f = Formula::cmp(
+            Term::Apply(KeyFn::AddInt(1), Box::new(Term::v(0))),
+            CmpOp::Eq,
+            Term::c(8),
+        );
+        assert!(f.eval(&t, &db));
+    }
+
+    #[test]
+    fn conjunctive_atoms_extraction() {
+        let e1 = Formula::atom("E", vec![Term::v(0), Term::v(1)]);
+        let e2 = Formula::atom("F", vec![Term::v(1)]);
+        let f = e1
+            .clone()
+            .and(e2.clone())
+            .and(Formula::cmp(Term::v(0), CmpOp::Ne, Term::v(1)));
+        let atoms = f.conjunctive_atoms();
+        assert_eq!(atoms.len(), 2);
+        // Atoms under negation/disjunction are not binding:
+        let g = Formula::Not(Box::new(e1)).and(e2);
+        assert_eq!(g.conjunctive_atoms().len(), 1);
+    }
+}

@@ -1,0 +1,548 @@
+//! Grounding datalog° programs (Sec. 4.3).
+//!
+//! Grounding turns a program plus an EDB instance into the vector-valued
+//! polynomial system `x_i :- f_i(x₁, …, x_N)` of eq. (27): one POPS
+//! variable per ground IDB atom, one provenance polynomial per variable.
+//! EDB values are substituted into coefficients during grounding.
+//!
+//! Two modes (see DESIGN.md):
+//!
+//! * **dense** (default, always sound): bound variables not pinned by
+//!   positive Boolean condition atoms range over the full `D₀` — this is
+//!   the paper's semantics verbatim, required for POPS where `0` is not
+//!   absorbing (e.g. the lifted reals, where a `⊥`-valued EDB coefficient
+//!   must poison its sum);
+//! * **sparse** (requires a [`NaturallyOrdered`] semiring): additionally
+//!   joins on the supports of EDB POPS atoms and drops zero-coefficient
+//!   monomials — sound because `0 = ⊥` is absorbing, and the standard
+//!   trick for scaling to large instances.
+
+pub mod poly;
+
+use crate::ast::{Atom, Program, Term, Var};
+use crate::formula::{eval_args, eval_term, Valuation};
+use crate::relation::{BoolDatabase, Database};
+use crate::value::{Constant, GroundAtom, Tuple};
+use dlo_pops::{NaturallyOrdered, Pops};
+use poly::{Monomial, Polynomial, VarOcc};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The grounded polynomial system of eq. (27).
+#[derive(Clone, Debug)]
+pub struct GroundSystem<P> {
+    /// Ground IDB atoms, indexed by variable number.
+    pub atoms: Vec<GroundAtom>,
+    /// Reverse index.
+    pub index: BTreeMap<GroundAtom, usize>,
+    /// `polys[i]` defines variable `i`; `None` means the atom occurs only
+    /// in bodies and is never derived — its value stays `⊥`.
+    pub polys: Vec<Option<Polynomial<P>>>,
+}
+
+impl<P: Pops> GroundSystem<P> {
+    fn new() -> Self {
+        GroundSystem {
+            atoms: vec![],
+            index: BTreeMap::new(),
+            polys: vec![],
+        }
+    }
+
+    fn intern(&mut self, atom: GroundAtom) -> usize {
+        if let Some(&ix) = self.index.get(&atom) {
+            return ix;
+        }
+        let ix = self.atoms.len();
+        self.atoms.push(atom.clone());
+        self.index.insert(atom, ix);
+        self.polys.push(None);
+        ix
+    }
+
+    /// Number of POPS variables (ground IDB atoms), `N` in the paper.
+    pub fn num_vars(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Total number of monomials across all polynomials.
+    pub fn num_monomials(&self) -> usize {
+        self.polys
+            .iter()
+            .flatten()
+            .map(|p| p.monomials.len())
+            .sum()
+    }
+
+    /// Applies the grounded immediate consequence operator once.
+    pub fn apply_ico(&self, x: &[P]) -> Vec<P> {
+        self.polys
+            .iter()
+            .enumerate()
+            .map(|(i, p)| match p {
+                Some(p) => p.eval(x),
+                None => x[i].clone(), // never-derived atoms stay put (⊥)
+            })
+            .collect()
+    }
+
+    /// The all-`⊥` starting vector.
+    pub fn bottom(&self) -> Vec<P> {
+        vec![P::bottom(); self.num_vars()]
+    }
+
+    /// Whether the grounded system is linear (every polynomial affine).
+    pub fn is_affine(&self) -> bool {
+        self.polys
+            .iter()
+            .flatten()
+            .all(|p| p.is_affine())
+    }
+
+    /// Packs an assignment vector back into per-predicate relations.
+    pub fn to_database(&self, x: &[P]) -> Database<P> {
+        let mut db = Database::new();
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if !x[i].is_bottom() {
+                let arity = atom.tuple.len();
+                db.get_or_insert(&atom.pred, arity)
+                    .set(atom.tuple.clone(), x[i].clone());
+            }
+        }
+        db
+    }
+}
+
+/// Grounding configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GroundOptions {
+    /// Join on EDB POPS supports and drop zero-coefficient monomials
+    /// (sound only for naturally ordered semirings — enforced by using
+    /// [`ground_sparse`]).
+    sparse: bool,
+}
+
+/// Grounds a program (dense mode — sound for every POPS).
+pub fn ground<P: Pops>(
+    program: &Program<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+) -> GroundSystem<P> {
+    ground_with(program, pops_edb, bool_edb, GroundOptions { sparse: false })
+}
+
+/// Grounds a program in sparse mode; the `NaturallyOrdered` bound witnesses
+/// `⊥ = 0` with absorbing `0`, which makes support-joins and
+/// zero-coefficient dropping semantics-preserving.
+pub fn ground_sparse<P: NaturallyOrdered>(
+    program: &Program<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+) -> GroundSystem<P> {
+    ground_with(program, pops_edb, bool_edb, GroundOptions { sparse: true })
+}
+
+fn ground_with<P: Pops>(
+    program: &Program<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+    opts: GroundOptions,
+) -> GroundSystem<P> {
+    // D₀: active domains plus program constants (Sec. 4.3).
+    let mut adom: BTreeSet<Constant> = pops_edb.active_domain();
+    adom.extend(bool_edb.active_domain());
+    adom.extend(program.constants());
+    let adom: Vec<Constant> = adom.into_iter().collect();
+
+    let idb_preds: BTreeSet<String> = program.idb_preds().into_iter().collect();
+    let idb_arities: BTreeMap<String, usize> = program
+        .rules
+        .iter()
+        .map(|r| (r.head.pred.clone(), r.head.args.len()))
+        .collect();
+    let mut sys = GroundSystem::new();
+
+    for rule in &program.rules {
+        for sp in &rule.body {
+            // Variables of this grounding task: head vars ∪ sum-product vars.
+            let mut vars: Vec<Var> = vec![];
+            rule.head.vars(&mut vars);
+            for v in sp.vars() {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+
+            // Binding atoms drive the join: positive Boolean condition
+            // atoms always; EDB POPS factors additionally in sparse mode.
+            let mut binding: Vec<(&Atom, BindSource)> = sp
+                .condition
+                .conjunctive_atoms()
+                .into_iter()
+                .map(|a| (a, BindSource::Bool))
+                .collect();
+            if opts.sparse {
+                for f in &sp.factors {
+                    if !idb_preds.contains(&f.atom.pred) {
+                        binding.push((&f.atom, BindSource::Pops));
+                    }
+                }
+            }
+
+            let mut seen: BTreeSet<Vec<Constant>> = BTreeSet::new();
+            enumerate(
+                &binding,
+                &vars,
+                &adom,
+                pops_edb,
+                bool_edb,
+                &mut Valuation::new(),
+                0,
+                &mut |theta| {
+                    // Deduplicate valuations (wildcard positions in binding
+                    // atoms can replay the same θ).
+                    let key: Vec<Constant> = vars
+                        .iter()
+                        .map(|v| theta.get(v).expect("full valuation").clone())
+                        .collect();
+                    if !seen.insert(key) {
+                        return;
+                    }
+                    if !sp.condition.eval(theta, bool_edb) {
+                        return;
+                    }
+                    // Build the monomial.
+                    let mut coeff = sp.coeff.clone().unwrap_or_else(P::one);
+                    let mut occs: Vec<VarOcc<P>> = vec![];
+                    for f in &sp.factors {
+                        let Some(tuple) = eval_args(&f.atom, theta) else {
+                            return; // ill-typed key function: no grounding
+                        };
+                        if idb_preds.contains(&f.atom.pred) {
+                            let var =
+                                sys.intern(GroundAtom::new(&f.atom.pred, tuple));
+                            occs.push(VarOcc {
+                                var,
+                                func: f.func.clone(),
+                            });
+                        } else {
+                            let mut v = pops_edb
+                                .get(&f.atom.pred)
+                                .map(|r| r.get(&tuple))
+                                .unwrap_or_else(P::bottom);
+                            if let Some(func) = &f.func {
+                                v = func.apply(&v);
+                            }
+                            coeff = coeff.mul(&v);
+                        }
+                    }
+                    if opts.sparse && coeff.is_zero() {
+                        return; // 0 is absorbing here: the monomial vanishes
+                    }
+                    let Some(head_tuple) = eval_args(&rule.head, theta) else {
+                        return;
+                    };
+                    let head = sys.intern(GroundAtom::new(&rule.head.pred, head_tuple));
+                    sys.polys[head]
+                        .get_or_insert_with(Polynomial::new)
+                        .push(Monomial { coeff, occs });
+                },
+            );
+        }
+    }
+
+    // Dense mode implements eq. (27) literally: *every* ground IDB atom in
+    // GA(τ, D₀) is defined, possibly by the empty polynomial (= the empty
+    // sum 0). This matters on POPS where 0 ≠ ⊥ — e.g. win-move over THREE,
+    // where a sink node's Win value is 0 (false), not ⊥ (Sec. 7.2). Sparse
+    // mode targets naturally ordered semirings where 0 = ⊥ and skips this.
+    if !opts.sparse {
+        for (pred, arity) in &idb_arities {
+            let mut tuple: Vec<usize> = vec![0; *arity];
+            if adom.is_empty() && *arity > 0 {
+                continue;
+            }
+            loop {
+                let t: Tuple = tuple.iter().map(|&i| adom[i].clone()).collect();
+                let ix = sys.intern(GroundAtom::new(pred, t));
+                sys.polys[ix].get_or_insert_with(Polynomial::new);
+                // Odometer increment over ADom^arity.
+                let mut pos = 0;
+                loop {
+                    if pos == tuple.len() {
+                        break;
+                    }
+                    tuple[pos] += 1;
+                    if tuple[pos] < adom.len() {
+                        break;
+                    }
+                    tuple[pos] = 0;
+                    pos += 1;
+                }
+                if pos == tuple.len() {
+                    break;
+                }
+            }
+        }
+    }
+    sys
+}
+
+#[derive(Clone, Copy)]
+enum BindSource {
+    Bool,
+    Pops,
+}
+
+/// Nested-loop join over the binding atoms, then full-`ADom` enumeration of
+/// any still-unbound variables.
+#[allow(clippy::too_many_arguments)]
+fn enumerate<P: Pops>(
+    binding: &[(&Atom, BindSource)],
+    vars: &[Var],
+    adom: &[Constant],
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+    theta: &mut Valuation,
+    depth: usize,
+    visit: &mut impl FnMut(&Valuation),
+) {
+    if depth == binding.len() {
+        // Enumerate leftover variables over the active domain.
+        fn fill(
+            vars: &[Var],
+            adom: &[Constant],
+            theta: &mut Valuation,
+            visit: &mut impl FnMut(&Valuation),
+        ) {
+            match vars.iter().find(|v| !theta.contains_key(v)) {
+                None => visit(theta),
+                Some(&v) => {
+                    for c in adom {
+                        theta.insert(v, c.clone());
+                        fill(vars, adom, theta, visit);
+                    }
+                    theta.remove(&v);
+                }
+            }
+        }
+        fill(vars, adom, theta, visit);
+        return;
+    }
+
+    let (atom, source) = binding[depth];
+    // Collect the support tuples of the binding relation.
+    let tuples: Vec<Tuple> = match source {
+        BindSource::Bool => bool_edb
+            .get(&atom.pred)
+            .map(|r| r.support().map(|(t, _)| t.clone()).collect())
+            .unwrap_or_default(),
+        BindSource::Pops => pops_edb
+            .get(&atom.pred)
+            .map(|r| r.support().map(|(t, _)| t.clone()).collect())
+            .unwrap_or_default(),
+    };
+    'tuples: for tuple in tuples {
+        if tuple.len() != atom.args.len() {
+            continue; // arity mismatch: no grounding through this atom
+        }
+        let mut bound_here: Vec<Var> = vec![];
+        for (arg, c) in atom.args.iter().zip(tuple.iter()) {
+            match arg {
+                Term::Var(v) => match theta.get(v) {
+                    Some(existing) => {
+                        if existing != c {
+                            for b in &bound_here {
+                                theta.remove(b);
+                            }
+                            continue 'tuples;
+                        }
+                    }
+                    None => {
+                        theta.insert(*v, c.clone());
+                        bound_here.push(*v);
+                    }
+                },
+                term => {
+                    // Constant or key-function term: filter if evaluable,
+                    // wildcard otherwise (re-checked after full binding).
+                    if let Some(val) = eval_term(term, theta) {
+                        if &val != c {
+                            for b in &bound_here {
+                                theta.remove(b);
+                            }
+                            continue 'tuples;
+                        }
+                    }
+                }
+            }
+        }
+        enumerate(
+            binding, vars, adom, pops_edb, bool_edb, theta, depth + 1, visit,
+        );
+        for b in &bound_here {
+            theta.remove(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Factor, SumProduct};
+    use crate::formula::Formula;
+    use crate::relation::{bool_relation, Relation};
+    use crate::tup;
+    use dlo_pops::{LiftedReal, Trop};
+
+    /// SSSP program (Example 4.1): L(x) :- [x=a] ⊕ ⊕_z L(z) ⊗ E(z,x).
+    fn sssp_program() -> Program<Trop> {
+        let mut p = Program::new();
+        p.rule(
+            Atom::new("L", vec![Term::v(0)]),
+            vec![
+                SumProduct::new(vec![]).with_condition(Formula::cmp(
+                    Term::v(0),
+                    crate::formula::CmpOp::Eq,
+                    Term::c("a"),
+                )),
+                SumProduct::new(vec![
+                    Factor::atom("L", vec![Term::v(1)]),
+                    Factor::atom("E", vec![Term::v(1), Term::v(0)]),
+                ]),
+            ],
+        );
+        p
+    }
+
+    fn fig2a_edges() -> Database<Trop> {
+        let mut db = Database::new();
+        db.insert(
+            "E",
+            Relation::from_pairs(
+                2,
+                vec![
+                    (tup!["a", "b"], Trop::finite(1.0)),
+                    (tup!["b", "c"], Trop::finite(3.0)),
+                    (tup!["a", "c"], Trop::finite(5.0)),
+                    (tup!["c", "d"], Trop::finite(4.0)),
+                    (tup!["d", "b"], Trop::finite(2.0)),
+                ],
+            ),
+        );
+        db
+    }
+
+    #[test]
+    fn ground_sssp_dense_and_sparse_agree_on_fixpoint() {
+        let p = sssp_program();
+        let edb = fig2a_edges();
+        let bools = BoolDatabase::new();
+        let dense = ground(&p, &edb, &bools);
+        let sparse = ground_sparse(&p, &edb, &bools);
+        // Dense has a variable for every L(x), x ∈ ADom (4 atoms);
+        // sparse may skip unreachable combinations but fixpoints agree.
+        let run = |sys: &GroundSystem<Trop>| {
+            let mut x = sys.bottom();
+            for _ in 0..20 {
+                let nx = sys.apply_ico(&x);
+                if nx == x {
+                    break;
+                }
+                x = nx;
+            }
+            sys.to_database(&x)
+        };
+        assert_eq!(run(&dense), run(&sparse));
+    }
+
+    #[test]
+    fn ground_atom_count_dense() {
+        let p = sssp_program();
+        let sys = ground(&p, &fig2a_edges(), &BoolDatabase::new());
+        // L(a), L(b), L(c), L(d): 4 ground IDB atoms.
+        assert_eq!(sys.num_vars(), 4);
+        // Every atom is a head (x enumerates ADom in rule 1).
+        assert!(sys.polys.iter().all(|p| p.is_some()));
+    }
+
+    #[test]
+    fn never_derived_atoms_stay_bottom() {
+        // L(x) :- L(x) ⊗ E(x, x) with empty E: but with a head condition
+        // restricting heads to "a" only, L(b) never derived.
+        let mut p = Program::<Trop>::new();
+        p.rule(
+            Atom::new("L", vec![Term::c("a")]),
+            vec![SumProduct::new(vec![
+                Factor::atom("L", vec![Term::c("b")]),
+                Factor::atom("E", vec![Term::c("a"), Term::c("b")]),
+            ])],
+        );
+        let mut edb = Database::new();
+        edb.insert(
+            "E",
+            Relation::from_pairs(2, vec![(tup!["a", "b"], Trop::finite(1.0))]),
+        );
+        let sys = ground(&p, &edb, &BoolDatabase::new());
+        let lb = sys
+            .index
+            .get(&GroundAtom::new("L", tup!["b"]))
+            .copied()
+            .expect("L(b) occurs in a body");
+        // Dense mode defines L(b) by the empty polynomial (eq. 27): its
+        // value is the empty sum 0 = ⊥ in Trop.
+        assert!(sys.polys[lb].as_ref().unwrap().monomials.is_empty());
+        let x = sys.apply_ico(&sys.bottom());
+        assert!(x[lb].is_bottom());
+    }
+
+    /// Example 4.2 grounding over the lifted reals: the grounded program
+    /// printed in Sec. 4.4.
+    #[test]
+    fn ground_bill_of_material() {
+        use dlo_pops::lifted::lreal;
+        let mut p = Program::<LiftedReal>::new();
+        // T(x) :- C(x) + Σ_y {T(y) | E(x,y)}
+        p.rule(
+            Atom::new("T", vec![Term::v(0)]),
+            vec![
+                SumProduct::new(vec![Factor::atom("C", vec![Term::v(0)])]),
+                SumProduct::new(vec![Factor::atom("T", vec![Term::v(1)])]).with_condition(
+                    Formula::atom("E", vec![Term::v(0), Term::v(1)]),
+                ),
+            ],
+        );
+        let mut pops = Database::<LiftedReal>::new();
+        pops.insert(
+            "C",
+            Relation::from_pairs(
+                1,
+                vec![
+                    (tup!["c"], lreal(1.0)),
+                    (tup!["d"], lreal(10.0)),
+                ],
+            ),
+        );
+        let mut bools = BoolDatabase::new();
+        bools.insert(
+            "E",
+            bool_relation(
+                2,
+                vec![
+                    tup!["a", "b"],
+                    tup!["a", "c"],
+                    tup!["b", "a"],
+                    tup!["b", "c"],
+                    tup!["c", "d"],
+                ],
+            ),
+        );
+        let sys = ground(&p, &pops, &bools);
+        assert_eq!(sys.num_vars(), 4); // T(a), T(b), T(c), T(d)
+        // T(a)'s polynomial: C(a) constant (⊥!) + T(b) + T(c).
+        let ta = sys.index[&GroundAtom::new("T", tup!["a"])];
+        let poly = sys.polys[ta].as_ref().unwrap();
+        assert_eq!(poly.monomials.len(), 3);
+        // The C(a) coefficient is ⊥ — kept in dense mode (it must poison).
+        assert!(poly.monomials.iter().any(|m| m.coeff.is_bottom()));
+    }
+}

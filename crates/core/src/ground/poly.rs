@@ -1,0 +1,204 @@
+//! Provenance polynomials (Sec. 2.4, eq. 13; Sec. 4.3, eq. 27).
+//!
+//! After grounding, each ground IDB atom `x_i` is defined by a multivariate
+//! polynomial `f_i(x₁, …, x_N)` over the POPS: a `⊕`-sum of monomials
+//! `c ⊗ g₁(x_{v₁}) ⊗ g₂(x_{v₂}) ⊗ …`, where the coefficient `c` folds in
+//! all EDB values and each factor optionally applies a monotone interpreted
+//! function `g` (identity when absent). Exponents are represented by
+//! repeated factors (degrees are tiny in practice).
+
+use crate::ast::UnaryFn;
+use dlo_pops::Pops;
+
+/// One variable occurrence inside a monomial.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VarOcc<P> {
+    /// Index of the ground IDB atom.
+    pub var: usize,
+    /// Optional interpreted value function applied to the variable.
+    pub func: Option<UnaryFn<P>>,
+}
+
+impl<P: Pops> VarOcc<P> {
+    /// Evaluates this occurrence at `x`.
+    pub fn eval(&self, x: &P) -> P {
+        match &self.func {
+            None => x.clone(),
+            Some(f) => f.apply(x),
+        }
+    }
+}
+
+/// A monomial `c ⊗ Π occurrences` (eq. 8, extended with value functions).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Monomial<P> {
+    /// The coefficient (EDB values and explicit scalars folded together).
+    pub coeff: P,
+    /// The IDB variable occurrences (empty for constant monomials).
+    pub occs: Vec<VarOcc<P>>,
+}
+
+impl<P: Pops> Monomial<P> {
+    /// A constant monomial.
+    pub fn constant(c: P) -> Self {
+        Monomial {
+            coeff: c,
+            occs: vec![],
+        }
+    }
+
+    /// The degree (number of variable occurrences, counting multiplicity).
+    pub fn degree(&self) -> usize {
+        self.occs.len()
+    }
+
+    /// Evaluates at the assignment `x`.
+    pub fn eval(&self, x: &[P]) -> P {
+        let mut acc = self.coeff.clone();
+        for occ in &self.occs {
+            acc = acc.mul(&occ.eval(&x[occ.var]));
+        }
+        acc
+    }
+
+    /// The differential expansion used by semi-naïve evaluation
+    /// (Theorem 6.5, eq. 64): the `⊕`-sum over positions `k` of
+    /// `c ⊗ Π_{i<k} new[vᵢ] ⊗ delta[v_k] ⊗ Π_{i>k} old[vᵢ]`,
+    /// restricted to positions whose delta is non-zero.
+    pub fn eval_differential(&self, new: &[P], old: &[P], delta: &[P]) -> P {
+        let mut total = P::zero();
+        for k in 0..self.occs.len() {
+            if delta[self.occs[k].var].is_zero() {
+                continue;
+            }
+            let mut acc = self.coeff.clone();
+            for (i, occ) in self.occs.iter().enumerate() {
+                let arg = match i.cmp(&k) {
+                    std::cmp::Ordering::Less => &new[occ.var],
+                    std::cmp::Ordering::Equal => &delta[occ.var],
+                    std::cmp::Ordering::Greater => &old[occ.var],
+                };
+                acc = acc.mul(&occ.eval(arg));
+            }
+            total = total.add(&acc);
+        }
+        total
+    }
+}
+
+/// A provenance polynomial: a `⊕`-sum of monomials (eq. 9).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Polynomial<P> {
+    /// The monomials. The empty polynomial is the empty sum (= `0`).
+    pub monomials: Vec<Monomial<P>>,
+}
+
+impl<P: Pops> Polynomial<P> {
+    /// The empty polynomial.
+    pub fn new() -> Self {
+        Polynomial { monomials: vec![] }
+    }
+
+    /// Appends a monomial.
+    pub fn push(&mut self, m: Monomial<P>) {
+        self.monomials.push(m);
+    }
+
+    /// Evaluates at `x` (empty sum is `0`).
+    pub fn eval(&self, x: &[P]) -> P {
+        let mut acc = P::zero();
+        for m in &self.monomials {
+            acc = acc.add(&m.eval(x));
+        }
+        acc
+    }
+
+    /// The maximum monomial degree (0 for constants / empty).
+    pub fn degree(&self) -> usize {
+        self.monomials.iter().map(|m| m.degree()).max().unwrap_or(0)
+    }
+
+    /// Whether every monomial has degree ≤ 1 (an *affine* polynomial; the
+    /// paper calls grounded programs with this property linear).
+    pub fn is_affine(&self) -> bool {
+        self.degree() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlo_pops::{Nat, PreSemiring, Trop};
+
+    fn mono(coeff: u64, vars: &[usize]) -> Monomial<Nat> {
+        Monomial {
+            coeff: Nat(coeff),
+            occs: vars.iter().map(|&v| VarOcc { var: v, func: None }).collect(),
+        }
+    }
+
+    #[test]
+    fn eval_polynomial_over_nat() {
+        // f(x0, x1) = 2·x0·x1 + 3·x0² + 5
+        let f = Polynomial {
+            monomials: vec![mono(2, &[0, 1]), mono(3, &[0, 0]), mono(5, &[])],
+        };
+        assert_eq!(f.eval(&[Nat(4), Nat(7)]), Nat(2 * 28 + 3 * 16 + 5));
+        assert_eq!(f.degree(), 2);
+        assert!(!f.is_affine());
+    }
+
+    #[test]
+    fn empty_polynomial_is_zero() {
+        let f = Polynomial::<Nat>::new();
+        assert_eq!(f.eval(&[]), Nat::zero());
+    }
+
+    #[test]
+    fn eval_with_function_occurrence() {
+        use crate::ast::UnaryFn;
+        use dlo_pops::Three;
+        let notf = UnaryFn::new("not", |x: &Three| x.not());
+        let f = Polynomial {
+            monomials: vec![Monomial {
+                coeff: Three::True,
+                occs: vec![VarOcc {
+                    var: 0,
+                    func: Some(notf),
+                }],
+            }],
+        };
+        assert_eq!(f.eval(&[Three::False]), Three::True);
+        assert_eq!(f.eval(&[Three::True]), Three::False);
+        assert_eq!(f.eval(&[Three::Undef]), Three::Undef);
+    }
+
+    #[test]
+    fn differential_expansion_matches_inclusion_exclusion_on_dioid() {
+        // Over Trop (idempotent ⊕): F(x ⊕ δ) = F(new) should equal
+        // F(old) ⊕ differential when new = old ⊕ δ (Theorem 6.5 core step).
+        let m = Monomial::<Trop> {
+            coeff: Trop::finite(1.0),
+            occs: vec![
+                VarOcc { var: 0, func: None },
+                VarOcc { var: 1, func: None },
+            ],
+        };
+        let old = vec![Trop::finite(5.0), Trop::finite(7.0)];
+        let delta = vec![Trop::finite(2.0), Trop::INF]; // only x0 improved
+        let new: Vec<Trop> = old.iter().zip(&delta).map(|(o, d)| o.add(d)).collect();
+        let lhs = m.eval(&new);
+        let rhs = m.eval(&old).add(&m.eval_differential(&new, &old, &delta));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn differential_skips_zero_deltas() {
+        let m = mono(2, &[0, 1]);
+        // delta = (0, 0): no contribution.
+        assert_eq!(
+            m.eval_differential(&[Nat(9), Nat(9)], &[Nat(1), Nat(1)], &[Nat(0), Nat(0)]),
+            Nat(0)
+        );
+    }
+}

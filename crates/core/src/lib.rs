@@ -1,0 +1,45 @@
+//! # dlo-core — the datalog° language and engine
+//!
+//! The paper's primary contribution (Sec. 2.4, 4, 6) as an executable
+//! library:
+//!
+//! * [`value`] / [`relation`] — the key space, `P`-relations with finite
+//!   support, `P`-instances;
+//! * [`ast`] / [`formula`] — sum-sum-product rules with conditionals `Φ`,
+//!   case statements, interpreted key- and value-space functions;
+//! * [`ground`](mod@ground) — grounding to the provenance-polynomial system of
+//!   eq. (27), in dense (paper-literal) and sparse (support-join) modes;
+//! * [`eval`] — the naïve algorithm (Algorithm 1) with iteration traces,
+//!   and the semi-naïve algorithm (Algorithm 3 + the differential rule of
+//!   Theorem 6.5) for complete distributive dioids;
+//! * [`examples_lib`] — every example program of the paper as a
+//!   constructor (SSSP, APSP, bill-of-material, company control,
+//!   prefix-sum, win-move, …).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod diagnostics;
+pub mod display;
+pub mod eval;
+pub mod examples_lib;
+pub mod formula;
+pub mod ground;
+pub mod parser;
+pub mod relation;
+pub mod relops;
+pub mod strata;
+pub mod value;
+
+pub use ast::{Atom, Factor, KeyFn, Program, Rule, SumProduct, Term, UnaryFn, Var};
+pub use eval::naive::{naive_eval, naive_eval_sparse, naive_eval_system, naive_eval_trace};
+pub use eval::relational::{relational_naive_eval, relational_seminaive_eval};
+pub use eval::seminaive::{seminaive_eval, seminaive_eval_system, WorkStats};
+pub use eval::{EvalOutcome, Trace, DEFAULT_CAP};
+pub use display::{render_program, render_rule, PrintValue};
+pub use formula::{CmpOp, Formula};
+pub use ground::{ground, ground_sparse, GroundSystem};
+pub use parser::{parse_program, ParseValue, ProgramParser};
+pub use relation::{bool_relation, BoolDatabase, Database, Relation};
+pub use value::{Constant, GroundAtom, Tuple};

@@ -1,0 +1,339 @@
+//! Lexer for the datalog° surface syntax.
+//!
+//! Token conventions follow datalog tradition adapted to the paper:
+//! identifiers starting upper-case are key *variables* unless immediately
+//! applied to arguments (then they are predicate names); lower-case
+//! identifiers are symbolic constants; `$…` introduces a POPS scalar
+//! literal; `%` starts a line comment.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// An identifier (predicate, variable, constant or function name).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A quoted string literal.
+    Str(String),
+    /// A POPS scalar literal: the raw text after `$` up to a delimiter.
+    Scalar(String),
+    /// `:-`
+    Turnstile,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `|`
+    Bar,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Scalar(s) => write!(f, "${s}"),
+            Tok::Turnstile => write!(f, ":-"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Bar => write!(f, "|"),
+            Tok::Bang => write!(f, "!"),
+            Tok::AndAnd => write!(f, "&&"),
+            Tok::OrOr => write!(f, "||"),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "!="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// A lexing error with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the error.
+    pub at: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+/// Tokenizes a program source.
+pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
+    let bytes = src.as_bytes();
+    let mut toks = vec![];
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '%' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '.' => {
+                toks.push(Tok::Dot);
+                i += 1;
+            }
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    toks.push(Tok::OrOr);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Bar);
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    toks.push(Tok::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        at: i,
+                        msg: "expected `&&`".into(),
+                    });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Ne);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Bang);
+                    i += 1;
+                }
+            }
+            '=' => {
+                toks.push(Tok::Eq);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Le);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    toks.push(Tok::Turnstile);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        at: i,
+                        msg: "expected `:-`".into(),
+                    });
+                }
+            }
+            '-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return Err(LexError {
+                        at: i,
+                        msg: "unterminated string literal".into(),
+                    });
+                }
+                toks.push(Tok::Str(src[start..j].to_string()));
+                i = j + 1;
+            }
+            '$' => {
+                // Scalar literal: up to whitespace or a delimiter that
+                // cannot occur inside one (we allow '.' inside for floats,
+                // so the rule terminator must be preceded by whitespace or
+                // the scalar must not end with '.').
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_alphanumeric() || d == '.' || d == '-' || d == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                // A trailing '.' is the rule terminator, not scalar text.
+                let mut end = j;
+                if end > start && bytes[end - 1] == b'.' {
+                    end -= 1;
+                }
+                if end == start {
+                    return Err(LexError {
+                        at: i,
+                        msg: "empty scalar literal after `$`".into(),
+                    });
+                }
+                toks.push(Tok::Scalar(src[start..end].to_string()));
+                i = end;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                let text = &src[start..j];
+                let v: i64 = text.parse().map_err(|_| LexError {
+                    at: start,
+                    msg: format!("invalid integer `{text}`"),
+                })?;
+                toks.push(Tok::Int(v));
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(src[start..j].to_string()));
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    at: i,
+                    msg: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_a_rule() {
+        let toks = lex("T(X, Y) :- E(X, Y) + T(X, Z) * E(Z, Y).").unwrap();
+        assert_eq!(toks[0], Tok::Ident("T".into()));
+        assert_eq!(toks[1], Tok::LParen);
+        assert!(toks.contains(&Tok::Turnstile));
+        assert!(toks.contains(&Tok::Plus));
+        assert!(toks.contains(&Tok::Star));
+        assert_eq!(*toks.last().unwrap(), Tok::Dot);
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let toks = lex("% a comment\n  E(a, b). % trailing\n").unwrap();
+        assert_eq!(toks.len(), 7);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = lex("X <= 10 && Y != Z || !W(a)").unwrap();
+        assert!(toks.contains(&Tok::Le));
+        assert!(toks.contains(&Tok::AndAnd));
+        assert!(toks.contains(&Tok::Ne));
+        assert!(toks.contains(&Tok::OrOr));
+        assert!(toks.contains(&Tok::Bang));
+    }
+
+    #[test]
+    fn scalar_literals() {
+        let toks = lex("$3.5 $inf $2.").unwrap();
+        assert_eq!(toks[0], Tok::Scalar("3.5".into()));
+        assert_eq!(toks[1], Tok::Scalar("inf".into()));
+        // Trailing dot is the terminator:
+        assert_eq!(toks[2], Tok::Scalar("2".into()));
+        assert_eq!(toks[3], Tok::Dot);
+    }
+
+    #[test]
+    fn string_literals() {
+        let toks = lex("E(\"hello world\", b)").unwrap();
+        assert_eq!(toks[2], Tok::Str("hello world".into()));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = lex("E(a) :~ b").unwrap_err();
+        assert_eq!(err.at, 5);
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a & b").is_err());
+    }
+}

@@ -1,0 +1,548 @@
+//! A text frontend for datalog° (recursive descent over [`lexer`] tokens).
+//!
+//! Grammar (one rule per line, `%` comments):
+//!
+//! ```text
+//! rule    := head ":-" body "."
+//! head    := PRED "(" term ("," term)* ")"
+//! body    := sumprod ("+" sumprod)*
+//! sumprod := factors ["|" formula]
+//! factors := factor ("*" factor)*
+//! factor  := PRED "(" terms ")"            POPS atom
+//!          | FUNC "(" PRED "(" terms ")" ")"  value function around an atom
+//!          | "$" SCALAR                    scalar coefficient
+//!          | "1"                           the empty product
+//! term    := VAR | INT | lowercase-IDENT | STRING | VAR ("+"|"-") INT
+//! formula := disj; disj := conj ("||" conj)*; conj := atomf ("&&" atomf)*
+//! atomf   := "!" atomf | "(" formula ")" | PRED "(" terms ")"
+//!          | term cmp term | "true" | "false"
+//! cmp     := "=" | "!=" | "<" | "<=" | ">" | ">="
+//! ```
+//!
+//! Identifiers applied to `(` are predicates (or registered value
+//! functions); otherwise upper-case identifiers are variables and
+//! lower-case ones symbolic constants — matching the paper's notation.
+//! Variables are scoped per rule; non-head variables are implicitly
+//! `⊕`-aggregated (Definition 2.5). Scalars are parsed by the POPS's
+//! [`ParseValue`] implementation. Example (SSSP, Example 4.1):
+//!
+//! ```text
+//! L(X) :- $0 | X = a.
+//! L(X) :- L(Z) * E(Z, X).
+//! ```
+
+pub mod lexer;
+
+use crate::ast::{Atom, Factor, KeyFn, Program, SumProduct, Term, UnaryFn, Var};
+use crate::formula::{CmpOp, Formula};
+use crate::value::Constant;
+use lexer::{lex, Tok};
+use std::collections::BTreeMap;
+
+/// POPS types whose scalar literals can appear after `$` in program text.
+pub trait ParseValue: Sized {
+    /// Parses a scalar literal (the text after `$`).
+    fn parse_value(text: &str) -> Result<Self, String>;
+}
+
+impl ParseValue for dlo_pops::Trop {
+    fn parse_value(text: &str) -> Result<Self, String> {
+        if text == "inf" {
+            return Ok(dlo_pops::Trop::INF);
+        }
+        text.parse::<f64>()
+            .map_err(|e| format!("invalid tropical cost `{text}`: {e}"))
+            .map(dlo_pops::Trop::finite)
+    }
+}
+
+impl ParseValue for dlo_pops::Bool {
+    fn parse_value(text: &str) -> Result<Self, String> {
+        match text {
+            "true" | "1" => Ok(dlo_pops::Bool(true)),
+            "false" | "0" => Ok(dlo_pops::Bool(false)),
+            _ => Err(format!("invalid boolean `{text}`")),
+        }
+    }
+}
+
+impl ParseValue for dlo_pops::Nat {
+    fn parse_value(text: &str) -> Result<Self, String> {
+        text.parse::<u64>()
+            .map_err(|e| format!("invalid natural `{text}`: {e}"))
+            .map(dlo_pops::Nat)
+    }
+}
+
+impl ParseValue for dlo_pops::MinNat {
+    fn parse_value(text: &str) -> Result<Self, String> {
+        if text == "inf" {
+            return Ok(dlo_pops::MinNat::INF);
+        }
+        text.parse::<u64>()
+            .map_err(|e| format!("invalid cost `{text}`: {e}"))
+            .map(dlo_pops::MinNat::finite)
+    }
+}
+
+impl ParseValue for dlo_pops::LiftedReal {
+    fn parse_value(text: &str) -> Result<Self, String> {
+        if text == "bot" {
+            return Ok(dlo_pops::Lifted::Bot);
+        }
+        text.parse::<f64>()
+            .map_err(|e| format!("invalid real `{text}`: {e}"))
+            .map(|x| dlo_pops::Lifted::Val(dlo_pops::Real::of(x)))
+    }
+}
+
+impl ParseValue for dlo_pops::NNReal {
+    fn parse_value(text: &str) -> Result<Self, String> {
+        text.parse::<f64>()
+            .map_err(|e| format!("invalid value `{text}`: {e}"))
+            .map(dlo_pops::NNReal::of)
+    }
+}
+
+impl ParseValue for dlo_pops::Three {
+    fn parse_value(text: &str) -> Result<Self, String> {
+        match text {
+            "bot" => Ok(dlo_pops::Three::Undef),
+            "true" | "1" => Ok(dlo_pops::Three::True),
+            "false" | "0" => Ok(dlo_pops::Three::False),
+            _ => Err(format!("invalid THREE value `{text}`")),
+        }
+    }
+}
+
+/// A parse error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Message with context.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error: {}", self.msg)
+    }
+}
+impl std::error::Error for ParseError {}
+
+/// The parser, carrying the registry of value functions.
+pub struct ProgramParser<P> {
+    funcs: BTreeMap<String, UnaryFn<P>>,
+}
+
+impl<P: ParseValue + Clone> Default for ProgramParser<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: ParseValue + Clone> ProgramParser<P> {
+    /// A parser with no registered value functions.
+    pub fn new() -> Self {
+        ProgramParser {
+            funcs: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a named monotone value function usable as `name(Atom(..))`.
+    pub fn with_func(mut self, func: UnaryFn<P>) -> Self {
+        self.funcs.insert(func.name.to_string(), func);
+        self
+    }
+
+    /// Parses a whole program.
+    pub fn parse(&self, src: &str) -> Result<Program<P>, ParseError> {
+        let toks = lex(src).map_err(|e| ParseError {
+            msg: format!("at byte {}: {}", e.at, e.msg),
+        })?;
+        let mut st = State {
+            toks: &toks,
+            pos: 0,
+            vars: BTreeMap::new(),
+            funcs: &self.funcs,
+        };
+        let mut program = Program::new();
+        while !st.done() {
+            st.vars.clear();
+            let (head, body) = st.rule()?;
+            program.rule(head, body);
+        }
+        Ok(program)
+    }
+}
+
+/// Parses with the default (function-free) parser.
+pub fn parse_program<P: ParseValue + Clone>(src: &str) -> Result<Program<P>, ParseError> {
+    ProgramParser::new().parse(src)
+}
+
+struct State<'a, P> {
+    toks: &'a [Tok],
+    pos: usize,
+    vars: BTreeMap<String, Var>,
+    funcs: &'a BTreeMap<String, UnaryFn<P>>,
+}
+
+impl<'a, P: ParseValue + Clone> State<'a, P> {
+    fn done(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1)
+    }
+
+    fn bump(&mut self) -> Option<&Tok> {
+        let t = self.toks.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(t) if *t == tok => Ok(()),
+            got => Err(ParseError {
+                msg: format!(
+                    "expected `{tok}`, got {}",
+                    got.map(|t| t.to_string()).unwrap_or("end of input".into())
+                ),
+            }),
+        }
+    }
+
+    fn var(&mut self, name: &str) -> Var {
+        let next = Var(self.vars.len() as u32);
+        *self.vars.entry(name.to_string()).or_insert(next)
+    }
+
+    fn rule(&mut self) -> Result<(Atom, Vec<SumProduct<P>>), ParseError> {
+        let head = self.atom()?;
+        self.expect(Tok::Turnstile)?;
+        let mut body = vec![self.sum_product()?];
+        while self.peek() == Some(&Tok::Plus) {
+            self.bump();
+            body.push(self.sum_product()?);
+        }
+        self.expect(Tok::Dot)?;
+        Ok((head, body))
+    }
+
+    fn sum_product(&mut self) -> Result<SumProduct<P>, ParseError> {
+        let mut sp = SumProduct::new(vec![]);
+        loop {
+            match self.peek() {
+                Some(Tok::Scalar(text)) => {
+                    let v = P::parse_value(text).map_err(|msg| ParseError { msg })?;
+                    sp.coeff = Some(match sp.coeff.take() {
+                        None => v,
+                        Some(_) => {
+                            return Err(ParseError {
+                                msg: "at most one scalar per sum-product".into(),
+                            })
+                        }
+                    });
+                    self.bump();
+                }
+                Some(Tok::Int(1)) => {
+                    // The literal empty product.
+                    self.bump();
+                }
+                Some(Tok::Ident(_)) => {
+                    let factor = self.factor()?;
+                    sp.factors.push(factor);
+                }
+                other => {
+                    return Err(ParseError {
+                        msg: format!(
+                            "expected an atom, function, scalar or `1`, got {}",
+                            other.map(|t| t.to_string()).unwrap_or("end of input".into())
+                        ),
+                    })
+                }
+            }
+            if self.peek() == Some(&Tok::Star) {
+                self.bump();
+                continue;
+            }
+            break;
+        }
+        if self.peek() == Some(&Tok::Bar) {
+            self.bump();
+            sp.condition = self.formula()?;
+        }
+        Ok(sp)
+    }
+
+    fn factor(&mut self) -> Result<Factor<P>, ParseError> {
+        let Some(Tok::Ident(name)) = self.peek().cloned() else {
+            return Err(ParseError {
+                msg: "expected an identifier".into(),
+            });
+        };
+        if let Some(func) = self.funcs.get(&name).cloned() {
+            // FUNC ( Atom ) — function application around an atom.
+            self.bump();
+            self.expect(Tok::LParen)?;
+            let atom = self.atom()?;
+            self.expect(Tok::RParen)?;
+            return Ok(Factor {
+                atom,
+                func: Some(func),
+            });
+        }
+        let atom = self.atom()?;
+        Ok(Factor { atom, func: None })
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let Some(Tok::Ident(pred)) = self.bump().cloned() else {
+            return Err(ParseError {
+                msg: "expected a predicate name".into(),
+            });
+        };
+        self.expect(Tok::LParen)?;
+        let mut args = vec![];
+        if self.peek() != Some(&Tok::RParen) {
+            args.push(self.term()?);
+            while self.peek() == Some(&Tok::Comma) {
+                self.bump();
+                args.push(self.term()?);
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(Atom::new(&pred, args))
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        let base = match self.bump().cloned() {
+            Some(Tok::Int(i)) => Term::Const(Constant::Int(i)),
+            Some(Tok::Str(s)) => Term::Const(Constant::str(&s)),
+            Some(Tok::Ident(name)) => {
+                if name.chars().next().is_some_and(|c| c.is_uppercase()) {
+                    Term::Var(self.var(&name))
+                } else {
+                    Term::Const(Constant::str(&name))
+                }
+            }
+            Some(Tok::Minus) => {
+                // Negative integer constant.
+                match self.bump().cloned() {
+                    Some(Tok::Int(i)) => Term::Const(Constant::Int(-i)),
+                    other => {
+                        return Err(ParseError {
+                            msg: format!(
+                                "expected integer after `-`, got {}",
+                                other.map(|t| t.to_string()).unwrap_or("end".into())
+                            ),
+                        })
+                    }
+                }
+            }
+            other => {
+                return Err(ParseError {
+                    msg: format!(
+                        "expected a term, got {}",
+                        other.map(|t| t.to_string()).unwrap_or("end of input".into())
+                    ),
+                })
+            }
+        };
+        // Optional key-function suffix `+k` / `-k` on variables.
+        match (self.peek(), &base) {
+            (Some(Tok::Plus), Term::Var(_)) => {
+                if let Some(Tok::Int(k)) = self.peek2().cloned() {
+                    self.bump();
+                    self.bump();
+                    return Ok(Term::Apply(KeyFn::AddInt(k), Box::new(base)));
+                }
+                Ok(base)
+            }
+            (Some(Tok::Minus), Term::Var(_)) => {
+                if let Some(Tok::Int(k)) = self.peek2().cloned() {
+                    self.bump();
+                    self.bump();
+                    return Ok(Term::Apply(KeyFn::AddInt(-k), Box::new(base)));
+                }
+                Ok(base)
+            }
+            _ => Ok(base),
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.formula_conj()?;
+        while self.peek() == Some(&Tok::OrOr) {
+            self.bump();
+            let rhs = self.formula_conj()?;
+            lhs = Formula::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn formula_conj(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.formula_unit()?;
+        while self.peek() == Some(&Tok::AndAnd) {
+            self.bump();
+            let rhs = self.formula_unit()?;
+            lhs = Formula::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn formula_unit(&mut self) -> Result<Formula, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Bang) => {
+                self.bump();
+                Ok(Formula::Not(Box::new(self.formula_unit()?)))
+            }
+            Some(Tok::LParen) => {
+                self.bump();
+                let f = self.formula()?;
+                self.expect(Tok::RParen)?;
+                Ok(f)
+            }
+            Some(Tok::Ident(name)) => {
+                if name == "true" {
+                    self.bump();
+                    return Ok(Formula::True);
+                }
+                if name == "false" {
+                    self.bump();
+                    return Ok(Formula::False);
+                }
+                // Predicate atom or a comparison starting with a term.
+                if self.peek2() == Some(&Tok::LParen)
+                    && name.chars().next().is_some_and(|c| c.is_uppercase())
+                    && !self.vars.contains_key(&name)
+                {
+                    let atom = self.atom()?;
+                    return Ok(Formula::BoolAtom(atom));
+                }
+                self.comparison()
+            }
+            _ => self.comparison(),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.term()?;
+        let op = match self.bump() {
+            Some(Tok::Eq) => CmpOp::Eq,
+            Some(Tok::Ne) => CmpOp::Ne,
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            other => {
+                return Err(ParseError {
+                    msg: format!(
+                        "expected a comparison operator, got {}",
+                        other.map(|t| t.to_string()).unwrap_or("end of input".into())
+                    ),
+                })
+            }
+        };
+        let rhs = self.term()?;
+        Ok(Formula::Cmp(lhs, op, rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::naive::naive_eval;
+    use crate::examples_lib as ex;
+    use crate::relation::BoolDatabase;
+    use dlo_pops::{Three, Trop};
+
+    #[test]
+    fn parse_sssp_matches_builder() {
+        let src = "
+            % Example 4.1: SSSP from a.
+            L(X) :- $0 | X = a.
+            L(X) :- L(Z) * E(Z, X).
+        ";
+        let parsed: Program<Trop> = parse_program(src).unwrap();
+        let (_, edb) = ex::sssp_trop("a");
+        let from_text = naive_eval(&parsed, &edb, &BoolDatabase::new(), 100).unwrap();
+        let (builder, edb2) = ex::sssp_trop("a");
+        let from_builder = naive_eval(&builder, &edb2, &BoolDatabase::new(), 100).unwrap();
+        assert_eq!(from_text, from_builder);
+    }
+
+    #[test]
+    fn parse_apsp() {
+        let src = "T(X, Y) :- E(X, Y) + T(X, Z) * E(Z, Y).";
+        let p: Program<Trop> = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 1);
+        assert_eq!(p.rules[0].body.len(), 2);
+        assert!(p.is_linear());
+    }
+
+    #[test]
+    fn parse_value_function() {
+        let notf = UnaryFn::new("not", |x: &Three| x.not());
+        let parser = ProgramParser::<Three>::new().with_func(notf);
+        let p = parser
+            .parse("Win(X) :- not(Win(Y)) | E(X, Y).")
+            .unwrap();
+        let f = &p.rules[0].body[0].factors[0];
+        assert!(f.func.is_some());
+        assert_eq!(f.atom.pred, "Win");
+    }
+
+    #[test]
+    fn parse_key_functions_and_comparisons() {
+        let src = "W(I) :- V(0) | I = 0.\nW(I) :- W(I - 1) * V(I) | I != 0 && I < 100.";
+        let p: Program<dlo_pops::LiftedReal> = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 2);
+        let dbg = format!("{:?}", p.rules[1].body[0].factors[0].atom);
+        assert!(dbg.contains("-1"), "key function parsed: {dbg}");
+    }
+
+    #[test]
+    fn parse_scalars_and_unit() {
+        let src = "X(u) :- $1.\nX(u) :- $2 * X(u).";
+        let p: Program<dlo_pops::Nat> = parse_program(src).unwrap();
+        assert_eq!(p.rules[0].body[0].coeff, Some(dlo_pops::Nat(1)));
+        assert_eq!(p.rules[1].body[0].coeff, Some(dlo_pops::Nat(2)));
+        let src2 = "L(X) :- 1 | X = a.";
+        let p2: Program<dlo_pops::Bool> = parse_program(src2).unwrap();
+        assert!(p2.rules[0].body[0].factors.is_empty());
+    }
+
+    #[test]
+    fn variables_scoped_per_rule() {
+        let src = "A(X) :- B(X).\nC(X) :- D(X).";
+        let p: Program<Trop> = parse_program(src).unwrap();
+        // Both rules use Var(0) for their X.
+        assert_eq!(p.rules[0].head.args, p.rules[1].head.args);
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(parse_program::<Trop>("L(X) :- .").is_err());
+        assert!(parse_program::<Trop>("L(X) :- E(X, Y)").is_err()); // missing dot
+        assert!(parse_program::<Trop>("L(X) :- $oops.").is_err()); // bad scalar
+        let e = parse_program::<Trop>(":-").unwrap_err();
+        assert!(e.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn disjunction_and_negation_in_conditions() {
+        let src = "A(X) :- B(X) | (E(X, X) || !F(X)) && X != a.";
+        let p: Program<Trop> = parse_program(src).unwrap();
+        let cond = format!("{:?}", p.rules[0].body[0].condition);
+        assert!(cond.contains('∨'));
+        assert!(cond.contains('¬'));
+        assert!(cond.contains('≠'));
+    }
+}

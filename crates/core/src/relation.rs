@@ -1,0 +1,241 @@
+//! `P`-relations and `P`-instances (Sec. 2.3).
+//!
+//! A `P`-relation of arity `k` maps `k`-tuples over the key space to POPS
+//! values, with *finite support* (only finitely many tuples map to values
+//! `≠ ⊥`). A `P`-instance ([`Database`]) maps relation names to relations.
+//! Storage is `BTreeMap` throughout so iteration (and therefore grounding,
+//! evaluation, and printed tables) is fully deterministic.
+
+use crate::value::{Constant, Tuple};
+use dlo_pops::Pops;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A finite-support mapping `D^arity → P`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Relation<P: Pops> {
+    arity: usize,
+    /// Invariant: no stored value is `⊥` (absent ⇒ `⊥`).
+    entries: BTreeMap<Tuple, P>,
+}
+
+impl<P: Pops> Relation<P> {
+    /// An empty relation (everything `⊥`) of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Relation {
+            arity,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Builds a relation from `(tuple, value)` pairs; values equal to `⊥`
+    /// are dropped, duplicate tuples are combined with `⊕`.
+    pub fn from_pairs<I: IntoIterator<Item = (Tuple, P)>>(arity: usize, pairs: I) -> Self {
+        let mut rel = Relation::new(arity);
+        for (t, v) in pairs {
+            rel.merge(t, v);
+        }
+        rel
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The value of `tuple` (`⊥` when absent).
+    pub fn get(&self, tuple: &Tuple) -> P {
+        self.entries.get(tuple).cloned().unwrap_or_else(P::bottom)
+    }
+
+    /// Sets `tuple ↦ value` (removing the entry when `value = ⊥`).
+    pub fn set(&mut self, tuple: Tuple, value: P) {
+        debug_assert_eq!(tuple.len(), self.arity, "arity mismatch");
+        if value.is_bottom() {
+            self.entries.remove(&tuple);
+        } else {
+            self.entries.insert(tuple, value);
+        }
+    }
+
+    /// `⊕`-combines `value` into the entry for `tuple`.
+    ///
+    /// An absent tuple is *undefined* (`⊥`), not `0`: merging the first
+    /// value sets it outright (the sum of one term is that term), and only
+    /// genuine duplicates combine with `⊕`. Folding `⊥` in would be wrong
+    /// on POPS with strict addition (`⊥ ⊕ v = ⊥` on the lifted reals).
+    pub fn merge(&mut self, tuple: Tuple, value: P) {
+        match self.entries.get(&tuple) {
+            None => self.set(tuple, value),
+            Some(old) => {
+                let combined = old.add(&value);
+                self.set(tuple, combined);
+            }
+        }
+    }
+
+    /// The support: tuples with value `≠ ⊥`, in deterministic order.
+    pub fn support(&self) -> impl Iterator<Item = (&Tuple, &P)> {
+        self.entries.iter()
+    }
+
+    /// Number of supported tuples.
+    pub fn support_size(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether every tuple maps to `⊥`.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All constants appearing in the support (contribution to `ADom`).
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        self.entries
+            .keys()
+            .flat_map(|t| t.iter().cloned())
+            .collect()
+    }
+}
+
+impl<P: Pops> fmt::Debug for Relation<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut m = f.debug_map();
+        for (t, v) in &self.entries {
+            m.entry(&crate::value::fmt_tuple(t), v);
+        }
+        m.finish()
+    }
+}
+
+/// A `P`-instance: named relations over a single POPS (Sec. 2.3,
+/// `Inst(σ, D, P)`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Database<P: Pops> {
+    relations: BTreeMap<String, Relation<P>>,
+}
+
+impl<P: Pops> Default for Database<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Pops> Database<P> {
+    /// An empty instance.
+    pub fn new() -> Self {
+        Database {
+            relations: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) a relation.
+    pub fn insert(&mut self, name: &str, rel: Relation<P>) {
+        self.relations.insert(name.to_string(), rel);
+    }
+
+    /// Looks up a relation.
+    pub fn get(&self, name: &str) -> Option<&Relation<P>> {
+        self.relations.get(name)
+    }
+
+    /// Mutable lookup, creating an empty relation of `arity` if missing.
+    pub fn get_or_insert(&mut self, name: &str, arity: usize) -> &mut Relation<P> {
+        self.relations
+            .entry(name.to_string())
+            .or_insert_with(|| Relation::new(arity))
+    }
+
+    /// Iterates over `(name, relation)` deterministically.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Relation<P>)> {
+        self.relations.iter()
+    }
+
+    /// The active domain: all constants in all supports.
+    pub fn active_domain(&self) -> BTreeSet<Constant> {
+        self.relations
+            .values()
+            .flat_map(|r| r.constants())
+            .collect()
+    }
+}
+
+/// A Boolean instance (`σ_B` in the paper) is just a `Database<Bool>`;
+/// presence of a tuple means `true`.
+pub type BoolDatabase = Database<dlo_pops::Bool>;
+
+/// Convenience: builds a Boolean relation from a tuple list.
+pub fn bool_relation<I: IntoIterator<Item = Tuple>>(arity: usize, tuples: I) -> Relation<dlo_pops::Bool> {
+    Relation::from_pairs(
+        arity,
+        tuples.into_iter().map(|t| (t, dlo_pops::Bool(true))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+    use dlo_pops::{PreSemiring, Trop};
+
+    #[test]
+    fn bottom_is_not_stored() {
+        let mut r = Relation::<Trop>::new(2);
+        r.set(tup!["a", "b"], Trop::finite(3.0));
+        r.set(tup!["a", "c"], Trop::INF); // ⊥ — dropped
+        assert_eq!(r.support_size(), 1);
+        assert_eq!(r.get(&tup!["a", "b"]), Trop::finite(3.0));
+        assert_eq!(r.get(&tup!["a", "c"]), Trop::INF);
+        // overwriting with ⊥ deletes:
+        r.set(tup!["a", "b"], Trop::INF);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn merge_uses_add() {
+        let mut r = Relation::<Trop>::new(1);
+        r.merge(tup!["x"], Trop::finite(5.0));
+        r.merge(tup!["x"], Trop::finite(3.0));
+        assert_eq!(r.get(&tup!["x"]), Trop::finite(3.0)); // min
+    }
+
+    #[test]
+    fn from_pairs_combines_duplicates() {
+        let r = Relation::<Trop>::from_pairs(
+            1,
+            vec![
+                (tup!["x"], Trop::finite(5.0)),
+                (tup!["x"], Trop::finite(2.0)),
+            ],
+        );
+        assert_eq!(r.get(&tup!["x"]), Trop::finite(2.0));
+    }
+
+    #[test]
+    fn active_domain_collects_constants() {
+        let mut db = Database::<Trop>::new();
+        db.insert(
+            "E",
+            Relation::from_pairs(
+                2,
+                vec![
+                    (tup!["a", "b"], Trop::finite(1.0)),
+                    (tup!["b", "c"], Trop::finite(2.0)),
+                ],
+            ),
+        );
+        let adom = db.active_domain();
+        assert_eq!(adom.len(), 3);
+        assert!(adom.contains(&Constant::str("a")));
+    }
+
+    #[test]
+    fn relation_equality_ignores_bottom_entries() {
+        let mut a = Relation::<Trop>::new(1);
+        let mut b = Relation::<Trop>::new(1);
+        a.set(tup![1], Trop::finite(1.0));
+        b.set(tup![1], Trop::finite(1.0));
+        b.set(tup![2], Trop::zero()); // ⊥, not stored
+        assert_eq!(a, b);
+    }
+}

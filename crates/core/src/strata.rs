@@ -1,0 +1,164 @@
+//! Multiple value spaces via stratification (Sec. 4.5).
+//!
+//! When a program spans several POPS, the paper requires the mapping
+//! functions between value spaces to be monotone (then one joint fixpoint
+//! exists — e.g. the company-control program, which this library runs over
+//! the single POPS `ℝ₊` with a monotone threshold, see
+//! [`crate::examples_lib::company_control`]); otherwise the program must
+//! be *stratified*: run each stratum to its fixpoint, then translate
+//! chosen IDB relations into the EDBs of the next stratum through
+//! *bridges*. This module provides the bridges and a tiny two-space
+//! pipeline runner.
+
+use crate::relation::{BoolDatabase, Database, Relation};
+use dlo_pops::{Bool, Pops};
+
+/// Translates a `P`-relation into a Boolean relation tuple-wise: `keep`
+/// decides which (tuple, value) pairs become `true` facts. This is the
+/// `[Φ]`-style boundary of Example 4.3 (e.g. `v > 0.5`).
+pub fn bool_bridge<P: Pops>(rel: &Relation<P>, keep: impl Fn(&P) -> bool) -> Relation<Bool> {
+    Relation::from_pairs(
+        rel.arity(),
+        rel.support()
+            .filter(|(_, v)| keep(v))
+            .map(|(t, _)| (t.clone(), Bool(true))),
+    )
+}
+
+/// Translates a `P`-relation into a `Q`-relation value-wise; `None` drops
+/// the tuple (maps it to `⊥_Q`).
+pub fn map_bridge<P: Pops, Q: Pops>(
+    rel: &Relation<P>,
+    f: impl Fn(&P) -> Option<Q>,
+) -> Relation<Q> {
+    Relation::from_pairs(
+        rel.arity(),
+        rel.support()
+            .filter_map(|(t, v)| f(v).map(|q| (t.clone(), q))),
+    )
+}
+
+/// A stratified two-space run: evaluate `stage1`, bridge selected
+/// relations, then evaluate `stage2` with the bridged relations added to
+/// its EDBs. Both stages use dense grounding (sound everywhere).
+#[allow(clippy::too_many_arguments)]
+pub fn run_two_strata<P1: Pops, P2: Pops>(
+    stage1: &crate::ast::Program<P1>,
+    pops1: &Database<P1>,
+    bools1: &BoolDatabase,
+    cap1: usize,
+    bridge: impl Fn(&Database<P1>, &mut Database<P2>, &mut BoolDatabase),
+    stage2: &crate::ast::Program<P2>,
+    pops2: &Database<P2>,
+    bools2: &BoolDatabase,
+    cap2: usize,
+) -> Option<(Database<P1>, Database<P2>)> {
+    let out1 = crate::eval::naive::naive_eval(stage1, pops1, bools1, cap1).converged()?;
+    let mut pops2 = pops2.clone();
+    let mut bools2 = bools2.clone();
+    bridge(&out1.0, &mut pops2, &mut bools2);
+    let out2 = crate::eval::naive::naive_eval(stage2, &pops2, &bools2, cap2).converged()?;
+    Some((out1.0, out2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Factor, Program, SumProduct, Term};
+    use crate::formula::Formula;
+    use crate::relation::bool_relation;
+    use crate::tup;
+    use dlo_pops::{PreSemiring, Trop};
+
+    #[test]
+    fn bool_bridge_thresholds() {
+        let rel = Relation::<Trop>::from_pairs(
+            1,
+            vec![
+                (tup!["a"], Trop::finite(1.0)),
+                (tup!["b"], Trop::finite(9.0)),
+            ],
+        );
+        let b = bool_bridge(&rel, |v| v.get() < 5.0);
+        assert_eq!(b.support_size(), 1);
+        assert!(!b.get(&tup!["a"]).is_zero());
+    }
+
+    #[test]
+    fn map_bridge_translates_values() {
+        use dlo_pops::MinNat;
+        let rel = Relation::<Trop>::from_pairs(1, vec![(tup!["a"], Trop::finite(3.0))]);
+        let m: Relation<MinNat> = map_bridge(&rel, |v| Some(MinNat::finite(v.get() as u64)));
+        assert_eq!(m.get(&tup!["a"]), MinNat(3));
+    }
+
+    /// Stratified demo: stratum 1 computes Boolean reachability from `a`;
+    /// stratum 2 computes shortest paths over Trop⁺ restricted (through a
+    /// condition) to reachable targets.
+    #[test]
+    fn two_strata_reachability_then_sssp() {
+        use crate::examples_lib as ex;
+        use dlo_pops::Bool;
+        // Stratum 1: reach over B. The edge relation is a 𝔹-valued POPS
+        // EDB (it appears as a factor, not as a condition atom).
+        let (reach, pops1) = {
+            let p: Program<Bool> = ex::single_source_program("a");
+            let mut edb = Database::<Bool>::new();
+            edb.insert(
+                "E",
+                bool_relation(2, vec![tup!["a", "b"], tup!["b", "c"], tup!["x", "y"]]),
+            );
+            (p, edb)
+        };
+        // Stratum 2: L2(X) :- Len(Z, X) * L2(Z) | Reached(X); seed at a.
+        let mut stage2 = Program::<Trop>::new();
+        stage2.rule(
+            Atom::new("D", vec![Term::v(0)]),
+            vec![
+                SumProduct::new(vec![]).with_condition(
+                    Formula::cmp(Term::v(0), crate::formula::CmpOp::Eq, Term::c("a"))
+                        .and(Formula::atom("Reached", vec![Term::v(0)])),
+                ),
+                SumProduct::new(vec![
+                    Factor::atom("D", vec![Term::v(1)]),
+                    Factor::atom("Len", vec![Term::v(1), Term::v(0)]),
+                ])
+                .with_condition(Formula::atom("Reached", vec![Term::v(0)])),
+            ],
+        );
+        let mut pops2 = Database::<Trop>::new();
+        pops2.insert(
+            "Len",
+            Relation::from_pairs(
+                2,
+                vec![
+                    (tup!["a", "b"], Trop::finite(2.0)),
+                    (tup!["b", "c"], Trop::finite(3.0)),
+                    (tup!["x", "y"], Trop::finite(1.0)),
+                ],
+            ),
+        );
+        let (s1, s2) = run_two_strata(
+            &reach,
+            &pops1,
+            &BoolDatabase::new(),
+            100,
+            |out1, _pops2, bools2| {
+                // Bridge: reachable nodes become the Boolean EDB `Reached`.
+                if let Some(l) = out1.get("L") {
+                    bools2.insert("Reached", bool_bridge(l, |v| !v.is_zero()));
+                }
+            },
+            &stage2,
+            &pops2,
+            &BoolDatabase::new(),
+            100,
+        )
+        .expect("both strata converge");
+        assert_eq!(s1.get("L").unwrap().support_size(), 3); // a, b, c
+        let d = s2.get("D").unwrap();
+        assert_eq!(d.get(&tup!["c"]), Trop::finite(5.0));
+        // Unreachable component never gets a distance:
+        assert_eq!(d.get(&tup!["y"]), Trop::INF);
+    }
+}

@@ -1,0 +1,150 @@
+//! Key-space values (Sec. 2.3): constants, tuples, and ground atoms.
+//!
+//! The paper distinguishes the *key space* `D` (an infinite domain of
+//! constants) from the *value space* (the POPS). We support integer and
+//! string constants; tuples are fixed-arity vectors of constants.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A constant of the key space `D`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Constant {
+    /// An integer key.
+    Int(i64),
+    /// A symbolic (string) key.
+    Str(Arc<str>),
+}
+
+impl Constant {
+    /// A string constant.
+    pub fn str(s: &str) -> Constant {
+        Constant::Str(Arc::from(s))
+    }
+    /// An integer constant.
+    pub fn int(i: i64) -> Constant {
+        Constant::Int(i)
+    }
+    /// The integer value, if this is an integer constant.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Constant::Int(i) => Some(*i),
+            Constant::Str(_) => None,
+        }
+    }
+    /// The string value, if this is a string constant.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Constant::Int(_) => None,
+            Constant::Str(s) => Some(s),
+        }
+    }
+}
+
+impl fmt::Debug for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Int(i) => write!(f, "{i}"),
+            Constant::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<i64> for Constant {
+    fn from(i: i64) -> Self {
+        Constant::Int(i)
+    }
+}
+impl From<&str> for Constant {
+    fn from(s: &str) -> Self {
+        Constant::str(s)
+    }
+}
+
+/// A ground tuple over the key space.
+pub type Tuple = Vec<Constant>;
+
+/// Renders a tuple as `(a, b, c)`.
+pub fn fmt_tuple(t: &Tuple) -> String {
+    let inner: Vec<String> = t.iter().map(|c| c.to_string()).collect();
+    format!("({})", inner.join(", "))
+}
+
+/// Builds a tuple from anything convertible to constants.
+#[macro_export]
+macro_rules! tup {
+    ($($x:expr),* $(,)?) => {
+        vec![$($crate::value::Constant::from($x)),*]
+    };
+}
+
+/// A ground atom `R(t)`: a relation name applied to a tuple (Sec. 2.3, the
+/// Herbrand base `GA(σ, D)`).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroundAtom {
+    /// The relation name.
+    pub pred: Arc<str>,
+    /// The key tuple.
+    pub tuple: Tuple,
+}
+
+impl GroundAtom {
+    /// Constructs a ground atom.
+    pub fn new(pred: &str, tuple: Tuple) -> Self {
+        GroundAtom {
+            pred: Arc::from(pred),
+            tuple,
+        }
+    }
+}
+
+impl fmt::Debug for GroundAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.pred, fmt_tuple(&self.tuple))
+    }
+}
+
+impl fmt::Display for GroundAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.pred, fmt_tuple(&self.tuple))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_kinds() {
+        assert_eq!(Constant::int(3).as_int(), Some(3));
+        assert_eq!(Constant::str("a").as_str(), Some("a"));
+        assert_eq!(Constant::int(3).as_str(), None);
+    }
+
+    #[test]
+    fn tuple_macro() {
+        let t: Tuple = tup!["a", 3, "b"];
+        assert_eq!(t[0], Constant::str("a"));
+        assert_eq!(t[1], Constant::int(3));
+        assert_eq!(fmt_tuple(&t), "(a, 3, b)");
+    }
+
+    #[test]
+    fn ground_atom_display() {
+        let g = GroundAtom::new("E", tup!["a", "b"]);
+        assert_eq!(format!("{g}"), "E(a, b)");
+    }
+
+    #[test]
+    fn ordering_is_deterministic() {
+        let mut v = vec![Constant::str("b"), Constant::int(10), Constant::str("a")];
+        v.sort();
+        assert_eq!(v, vec![Constant::int(10), Constant::str("a"), Constant::str("b")]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Quantitative convergence bounds (Theorem 3.4, Theorem 5.12, Cor. 5.18).
+//!
+//! All bounds are computed in saturating `u128`, since the expressions
+//! `Σ_k Π_{i≤k} p_i` and `Σ_i (p+2)^i` grow exponentially in `N`.
+
+/// `E_n(a₁, …, a_n) = a₁ + a₁a₂ + … + a₁a₂⋯a_n` (Theorem 3.4).
+///
+/// The theorem's bound on the stability index of an `n`-component function
+/// over posets with per-component indexes `p₁ ≥ p₂ ≥ … ≥ p_n`; this helper
+/// sorts descending (which maximizes the expression, as the theorem notes).
+pub fn clone_bound(ps: &[usize]) -> u128 {
+    let mut sorted: Vec<u128> = ps.iter().map(|&p| p as u128).collect();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut total: u128 = 0;
+    let mut prefix: u128 = 1;
+    for p in sorted {
+        prefix = prefix.saturating_mul(p);
+        total = total.saturating_add(prefix);
+    }
+    total
+}
+
+/// `Σ_{i=1..n} b^i` with saturation.
+fn geometric_sum(b: u128, n: usize) -> u128 {
+    let mut total: u128 = 0;
+    let mut pow: u128 = 1;
+    for _ in 0..n {
+        pow = pow.saturating_mul(b);
+        total = total.saturating_add(pow);
+    }
+    total
+}
+
+/// Theorem 5.12(1) / Theorem 1.2: over a `p`-stable semiring, every
+/// polynomial function on `N` variables is `Σ_{i=1..N} (p+2)^i`-stable.
+pub fn general_bound(p: usize, n: usize) -> u128 {
+    geometric_sum(p as u128 + 2, n)
+}
+
+/// Theorem 5.12(1), linear case: `Σ_{i=1..N} (p+1)^i`.
+pub fn linear_bound(p: usize, n: usize) -> u128 {
+    geometric_sum(p as u128 + 1, n)
+}
+
+/// Theorem 5.12(2) / Corollary 5.19: over a 0-stable semiring every
+/// polynomial function on `N` variables is `N`-stable.
+pub fn zero_stable_bound(n: usize) -> u128 {
+    n as u128
+}
+
+/// Lemma 5.20 / Corollary 5.21: an `N × N` matrix over `Trop⁺_p` is
+/// `((p+1)N − 1)`-stable, and linear datalog° over `Trop⁺_p` converges in
+/// `(p+1)N − 1` steps (tight).
+pub fn trop_p_matrix_bound(p: usize, n: usize) -> u128 {
+    ((p as u128) + 1).saturating_mul(n as u128).saturating_sub(1)
+}
+
+/// Lemma 3.3 item (1): the two-block nested bound `pq + p + q`.
+pub fn nested_bound(p: usize, q: usize) -> u128 {
+    let (p, q) = (p as u128, q as u128);
+    p * q + p + q
+}
+
+/// Lemma 3.3 item (2): the symmetric two-block bound `pq + max(p, q)`.
+pub fn nested_bound_symmetric(p: usize, q: usize) -> u128 {
+    let (p, q) = (p as u128, q as u128);
+    p * q + p.max(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_bound_small_cases() {
+        // n = 1: E = p1.
+        assert_eq!(clone_bound(&[5]), 5);
+        // n = 2 (sorted desc): p1 + p1 p2 = 3 + 6 = 9.
+        assert_eq!(clone_bound(&[2, 3]), 9);
+        // Order independence (helper sorts): same as above.
+        assert_eq!(clone_bound(&[3, 2]), 9);
+        // All ones: E_n = n.
+        assert_eq!(clone_bound(&[1, 1, 1, 1]), 4);
+        // Empty: 0.
+        assert_eq!(clone_bound(&[]), 0);
+    }
+
+    #[test]
+    fn clone_bound_matches_nested_bound_for_two() {
+        // Theorem 3.4 with n = 2 refines Lemma 3.3: after sorting p ≥ q,
+        // E₂ = p + pq = pq + max(p, q) ≤ pq + p + q.
+        for p in 0..6usize {
+            for q in 0..6usize {
+                let e2 = clone_bound(&[p, q]);
+                assert!(e2 <= nested_bound(p, q));
+                assert_eq!(e2, nested_bound_symmetric(p, q));
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_5_12_bounds() {
+        // p = 0: general Σ 2^i = 2^{N+1} - 2; linear Σ 1 = N.
+        assert_eq!(general_bound(0, 3), 2 + 4 + 8);
+        assert_eq!(linear_bound(0, 3), 3);
+        // p = 1: Σ 3^i and Σ 2^i.
+        assert_eq!(general_bound(1, 2), 3 + 9);
+        assert_eq!(linear_bound(1, 2), 2 + 4);
+        assert_eq!(zero_stable_bound(17), 17);
+    }
+
+    #[test]
+    fn trop_p_matrix_bound_values() {
+        assert_eq!(trop_p_matrix_bound(0, 5), 4); // Trop: N-1
+        assert_eq!(trop_p_matrix_bound(2, 4), 11); // 3·4-1
+    }
+
+    #[test]
+    fn saturation_instead_of_overflow() {
+        assert_eq!(general_bound(usize::MAX, 64), u128::MAX);
+    }
+}

@@ -1,0 +1,155 @@
+//! Naïve (Kleene) fixpoint iteration over posets (Sec. 3, eq. 17).
+//!
+//! Starting from `⊥`, repeatedly apply a monotone function `f` until
+//! `f^(t+1)(⊥) = f^(t)(⊥)`. Divergence is a first-class outcome: every loop
+//! carries an iteration cap and returns [`Outcome::Diverged`] instead of
+//! hanging.
+
+/// The result of a capped fixpoint iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome<T> {
+    /// The iteration reached a fixpoint.
+    Converged {
+        /// The least fixpoint `f^(steps)(⊥)`.
+        value: T,
+        /// The number of applications needed: the least `t` with
+        /// `f^(t+1)(⊥) = f^(t)(⊥)` (the *stability index* of `f`, Def. 3.1).
+        steps: usize,
+    },
+    /// No fixpoint within the iteration cap.
+    Diverged {
+        /// The last iterate `f^(cap)(⊥)` computed.
+        last: T,
+    },
+}
+
+impl<T> Outcome<T> {
+    /// The converged value, panicking on divergence.
+    pub fn unwrap(self) -> T {
+        match self {
+            Outcome::Converged { value, .. } => value,
+            Outcome::Diverged { .. } => panic!("fixpoint iteration diverged"),
+        }
+    }
+
+    /// The converged value and step count, if any.
+    pub fn converged(self) -> Option<(T, usize)> {
+        match self {
+            Outcome::Converged { value, steps } => Some((value, steps)),
+            Outcome::Diverged { .. } => None,
+        }
+    }
+
+    /// Whether the iteration converged.
+    pub fn is_converged(&self) -> bool {
+        matches!(self, Outcome::Converged { .. })
+    }
+}
+
+/// Iterates `x ← f(x)` from `bottom` until a fixpoint or `cap` steps.
+///
+/// Returns the least fixpoint when `f` is monotone and `bottom` is the least
+/// element (Sec. 3): each `f^(t)(⊥)` is below every fixpoint by induction.
+pub fn naive_lfp<T: Clone + Eq>(f: impl Fn(&T) -> T, bottom: T, cap: usize) -> Outcome<T> {
+    let mut x = bottom;
+    for steps in 0..=cap {
+        let next = f(&x);
+        if next == x {
+            return Outcome::Converged { value: x, steps };
+        }
+        x = next;
+    }
+    Outcome::Diverged { last: x }
+}
+
+/// Like [`naive_lfp`], but records the full chain `⊥, f(⊥), f²(⊥), …` up to
+/// and including the fixpoint (or the cap). Used to regenerate the paper's
+/// iteration tables (Examples 4.1, 4.2, Sec. 7).
+pub fn naive_lfp_trace<T: Clone + Eq>(
+    f: impl Fn(&T) -> T,
+    bottom: T,
+    cap: usize,
+) -> (Vec<T>, Outcome<T>) {
+    let mut trace = vec![bottom.clone()];
+    let mut x = bottom;
+    for steps in 0..=cap {
+        let next = f(&x);
+        if next == x {
+            return (trace, Outcome::Converged { value: x, steps });
+        }
+        trace.push(next.clone());
+        x = next;
+    }
+    (trace.clone(), Outcome::Diverged { last: x })
+}
+
+/// The stability index of a monotone function `f` (Definition 3.1): the
+/// minimum `p` with `f^(p+1)(⊥) = f^(p)(⊥)`, or `None` if above `cap`.
+pub fn function_stability_index<T: Clone + Eq>(
+    f: impl Fn(&T) -> T,
+    bottom: T,
+    cap: usize,
+) -> Option<usize> {
+    match naive_lfp(f, bottom, cap) {
+        Outcome::Converged { steps, .. } => Some(steps),
+        Outcome::Diverged { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_monotone_saturating_function() {
+        // f(x) = min(x+1, 5) on the chain 0..=5.
+        let f = |x: &u32| (*x + 1).min(5);
+        match naive_lfp(f, 0u32, 100) {
+            Outcome::Converged { value, steps } => {
+                assert_eq!(value, 5);
+                assert_eq!(steps, 5);
+            }
+            _ => panic!("must converge"),
+        }
+    }
+
+    #[test]
+    fn identity_converges_immediately() {
+        let out = naive_lfp(|x: &u32| *x, 7u32, 10);
+        assert_eq!(
+            out,
+            Outcome::Converged {
+                value: 7,
+                steps: 0
+            }
+        );
+    }
+
+    #[test]
+    fn diverges_past_cap() {
+        let out = naive_lfp(|x: &u64| x + 1, 0u64, 50);
+        assert_eq!(out, Outcome::Diverged { last: 51 });
+        assert!(!out.is_converged());
+    }
+
+    #[test]
+    fn trace_records_whole_chain() {
+        let f = |x: &u32| (*x + 2).min(4);
+        let (trace, out) = naive_lfp_trace(f, 0u32, 10);
+        assert_eq!(trace, vec![0, 2, 4]);
+        assert!(matches!(out, Outcome::Converged { value: 4, steps: 2 }));
+    }
+
+    #[test]
+    fn stability_index_matches_definition() {
+        let f = |x: &u32| (*x + 1).min(3);
+        assert_eq!(function_stability_index(f, 0u32, 10), Some(3));
+        assert_eq!(function_stability_index(|x: &u32| x + 1, 0, 10), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged")]
+    fn unwrap_panics_on_divergence() {
+        naive_lfp(|x: &u64| x + 1, 0u64, 3).unwrap();
+    }
+}

@@ -1,0 +1,25 @@
+//! # dlo-fixpoint — least fixpoints of monotone functions over posets
+//!
+//! Implements Sec. 3 of *Convergence of Datalog over (Pre-) Semirings*:
+//!
+//! * [`iterate`] — capped naïve (Kleene) iteration `⊥, f(⊥), f²(⊥), …`
+//!   with divergence as a first-class outcome, traces for regenerating the
+//!   paper's tables, and function stability indexes (Definition 3.1);
+//! * [`nested`] — the nested fixpoint schedules of Lemmas 3.2/3.3 (Fig. 1);
+//! * [`bounds`] — the quantitative bounds: `E_n(p₁..p_n)` of Theorem 3.4,
+//!   the `Σ(p+2)^i` / `Σ(p+1)^i` bounds of Theorem 5.12, and the
+//!   `(p+1)N − 1` matrix bound of Lemma 5.20;
+//! * [`acc`] — the ascending chain condition on finite posets and the
+//!   height bound it induces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acc;
+pub mod bounds;
+pub mod iterate;
+pub mod nested;
+
+pub use bounds::{clone_bound, general_bound, linear_bound, trop_p_matrix_bound, zero_stable_bound};
+pub use iterate::{function_stability_index, naive_lfp, naive_lfp_trace, Outcome};
+pub use nested::{nested_lfp, product_lfp, Nested};

@@ -1,0 +1,157 @@
+//! Nested fixpoint schedules (Lemmas 3.2 and 3.3, Fig. 1).
+//!
+//! For a vector function `h = (f, g)` on a product poset `L₁ × L₂`, the
+//! least fixpoint can be computed by nesting: find, for each candidate `x`,
+//! the inner fixpoint `ȳ(x) = lfp(y ↦ g(x, y))`, then iterate
+//! `F(x) = f(x, ȳ(x))` to its fixpoint `x̄`, and finish with `ȳ = ȳ(x̄)`.
+//! Lemma 3.3 shows `(x̄, ȳ) = lfp(h)` and bounds the stability index of `h`
+//! by `pq + p + q` (and by `pq + max(p, q)` under the symmetric hypotheses).
+
+use crate::iterate::{naive_lfp, Outcome};
+
+/// Result of a nested fixpoint computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nested<X, Y> {
+    /// The first component `x̄ = F^(p)(⊥₁)`.
+    pub x: X,
+    /// The second component `ȳ = g_x̄^(q)(⊥₂)`.
+    pub y: Y,
+    /// Steps used by the outer iteration (`p` in Lemma 3.3).
+    pub outer_steps: usize,
+    /// Steps used by the final inner iteration (`q` in Lemma 3.3).
+    pub inner_steps: usize,
+}
+
+/// Computes `lfp(h)` for `h = (f, g)` by the Lemma 3.3 schedule.
+///
+/// `cap` bounds every inner and outer iteration separately; returns `None`
+/// if any of them diverges.
+pub fn nested_lfp<X, Y>(
+    f: impl Fn(&X, &Y) -> X,
+    g: impl Fn(&X, &Y) -> Y,
+    bottom_x: X,
+    bottom_y: Y,
+    cap: usize,
+) -> Option<Nested<X, Y>>
+where
+    X: Clone + Eq,
+    Y: Clone + Eq,
+{
+    // Inner solver: ȳ(x) = lfp(y ↦ g(x, y)).
+    let inner = |x: &X| -> Option<(Y, usize)> {
+        naive_lfp(|y: &Y| g(x, y), bottom_y.clone(), cap).converged()
+    };
+    // Outer iteration on F(x) = f(x, ȳ(x)).
+    let mut x = bottom_x;
+    let mut outer_steps = 0;
+    loop {
+        let (ybar, _) = inner(&x)?;
+        let next = f(&x, &ybar);
+        if next == x {
+            let (y, inner_steps) = inner(&x)?;
+            return Some(Nested {
+                x,
+                y,
+                outer_steps,
+                inner_steps,
+            });
+        }
+        if outer_steps >= cap {
+            return None;
+        }
+        x = next;
+        outer_steps += 1;
+    }
+}
+
+/// Computes `lfp(h)` directly on the product (the naive schedule), returning
+/// the pair and the product stability index. Used to validate the nested
+/// schedule and Lemma 3.3's step bounds.
+pub fn product_lfp<X, Y>(
+    f: impl Fn(&X, &Y) -> X,
+    g: impl Fn(&X, &Y) -> Y,
+    bottom_x: X,
+    bottom_y: Y,
+    cap: usize,
+) -> Outcome<(X, Y)>
+where
+    X: Clone + Eq,
+    Y: Clone + Eq,
+{
+    naive_lfp(
+        |(x, y): &(X, Y)| (f(x, y), g(x, y)),
+        (bottom_x, bottom_y),
+        cap,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Saturating counters: f depends on both args, g on both args.
+    /// f(x,y) = min(y, x+1) chained to 8; g(x,y) = min(x, y+1) chained to 8.
+    #[test]
+    fn nested_equals_product_on_coupled_counters() {
+        let f = |x: &u32, y: &u32| (*x + 1).min(*y + 1).min(8);
+        let g = |x: &u32, y: &u32| (*x + 2).min(*y + 1).min(6);
+        let nested = nested_lfp(f, g, 0u32, 0u32, 1000).expect("converges");
+        let direct = product_lfp(f, g, 0u32, 0u32, 1000).unwrap();
+        assert_eq!((nested.x, nested.y), direct);
+    }
+
+    /// Lemma 3.2: g independent of x -> h is (p+q)-stable.
+    #[test]
+    fn lemma_3_2_bound() {
+        // g(y) = min(y+1, q) with q = 4; f(x,y) = min(x+1, y) caps at 4, so
+        // with ȳ = 4, F(x) = min(x+1, 4): p = 4. Bound: p + q = 8.
+        let q = 4u32;
+        let f = |x: &u32, y: &u32| (*x + 1).min(*y);
+        let g = move |_x: &u32, y: &u32| (*y + 1).min(q);
+        let nested = nested_lfp(f, g, 0, 0, 100).unwrap();
+        assert_eq!((nested.x, nested.y), (4, 4));
+        let direct = naive_lfp(
+            |(x, y): &(u32, u32)| (f(x, y), g(x, y)),
+            (0u32, 0u32),
+            100,
+        );
+        match direct {
+            Outcome::Converged { value, steps } => {
+                assert_eq!(value, (4, 4));
+                assert!(steps <= 8, "Lemma 3.2: index {steps} must be ≤ p+q = 8");
+            }
+            _ => panic!("must converge"),
+        }
+    }
+
+    /// Lemma 3.3 bound pq + p + q on the product stability index.
+    #[test]
+    fn lemma_3_3_bound() {
+        // Counters where the inner variable resets its pace from the outer:
+        // g_x(y) = min(y+1, 3) is 3-stable for every x (q = 3);
+        // F(x) = f(x, ȳ) with f(x,y) = min(x + (y==3) as u32, 5): p = 5.
+        let f = |x: &u32, y: &u32| (*x + u32::from(*y == 3)).min(5);
+        let g = |_x: &u32, y: &u32| (*y + 1).min(3);
+        let nested = nested_lfp(f, g, 0, 0, 100).unwrap();
+        let direct = product_lfp(f, g, 0u32, 0u32, 100);
+        match direct {
+            Outcome::Converged { value, steps } => {
+                assert_eq!(value, (nested.x, nested.y));
+                let (p, q) = (5usize, 3usize);
+                assert!(
+                    steps <= p * q + p + q,
+                    "index {steps} must be ≤ pq+p+q = {}",
+                    p * q + p + q
+                );
+            }
+            _ => panic!("must converge"),
+        }
+    }
+
+    #[test]
+    fn diverging_inner_returns_none() {
+        let f = |x: &u32, _y: &u64| *x;
+        let g = |_x: &u32, y: &u64| y + 1;
+        assert!(nested_lfp(f, g, 0u32, 0u64, 50).is_none());
+    }
+}

@@ -1,0 +1,115 @@
+//! The completed POPS `S_⊥^⊤` (Sec. 2.5.1): undefined *and* contradiction.
+//!
+//! Extends a pre-semiring with `⊥` (undefined — absorbing for both
+//! operations, even against `⊤`) and `⊤` (contradiction — absorbing
+//! against everything except `⊥`). Intuition: `⊥` is the empty set of
+//! candidate values, each `x ∈ S` a singleton, `⊤` the whole of `S`.
+//! Order: `⊥ ⊑ x ⊑ ⊤`, values pairwise incomparable. Like the lifted POPS,
+//! the core semiring is trivial.
+
+use crate::traits::*;
+
+/// An element of the completed POPS `S_⊥^⊤`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Completed<S> {
+    /// Undefined (no information).
+    CBot,
+    /// A defined value.
+    CVal(S),
+    /// Contradiction (conflicting information).
+    CTop,
+}
+
+pub use Completed::{CBot, CTop, CVal};
+
+impl<S: PreSemiring> PreSemiring for Completed<S> {
+    fn zero() -> Self {
+        CVal(S::zero())
+    }
+    fn one() -> Self {
+        CVal(S::one())
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        match (self, rhs) {
+            (CBot, _) | (_, CBot) => CBot,
+            (CTop, _) | (_, CTop) => CTop,
+            (CVal(a), CVal(b)) => CVal(a.add(b)),
+        }
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        match (self, rhs) {
+            (CBot, _) | (_, CBot) => CBot,
+            (CTop, _) | (_, CTop) => CTop,
+            (CVal(a), CVal(b)) => CVal(a.mul(b)),
+        }
+    }
+}
+
+impl<S: PreSemiring> Pops for Completed<S> {
+    fn bottom() -> Self {
+        CBot
+    }
+    fn leq(&self, rhs: &Self) -> bool {
+        match (self, rhs) {
+            (CBot, _) => true,
+            (_, CTop) => true,
+            (CVal(a), CVal(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl<S: FiniteCarrier> FiniteCarrier for Completed<S> {
+    fn carrier() -> Vec<Self> {
+        std::iter::once(CBot)
+            .chain(S::carrier().into_iter().map(CVal))
+            .chain(std::iter::once(CTop))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nat::Nat;
+
+    type C = Completed<Nat>;
+
+    #[test]
+    fn bot_beats_top() {
+        assert_eq!(CTop::<Nat>.add(&CBot), C::bottom());
+        assert_eq!(CTop::<Nat>.mul(&CBot), CBot);
+    }
+
+    #[test]
+    fn top_absorbs_values() {
+        assert_eq!(CVal(Nat(3)).add(&CTop), CTop);
+        assert_eq!(CVal(Nat(3)).mul(&CTop), CTop);
+    }
+
+    #[test]
+    fn values_compute_in_s() {
+        assert_eq!(CVal(Nat(3)).add(&CVal(Nat(4))), CVal(Nat(7)));
+        assert_eq!(CVal(Nat(3)).mul(&CVal(Nat(4))), CVal(Nat(12)));
+    }
+
+    #[test]
+    fn diamond_order() {
+        assert!(CBot.leq(&CVal(Nat(1))));
+        assert!(CVal(Nat(1)).leq(&CTop));
+        assert!(CBot::<Nat>.leq(&CTop));
+        assert!(!CVal(Nat(1)).leq(&CVal(Nat(2))));
+        assert!(!CTop.leq(&CVal(Nat(1))));
+    }
+
+    #[test]
+    fn monotone_ops() {
+        // ⊥ ⊑ x and f(⊥) = ⊥ ⊑ f(x): spot-check the lattice diamond.
+        let chain = [CBot, CVal(Nat(2)), CTop];
+        for w in chain.windows(2) {
+            assert!(w[0].leq(&w[1]));
+            assert!(w[0].add(&CVal(Nat(5))).leq(&w[1].add(&CVal(Nat(5)))));
+            assert!(w[0].mul(&CVal(Nat(5))).leq(&w[1].mul(&CVal(Nat(5)))));
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! The core semiring `P ⊕ ⊥` of a POPS (Proposition 2.4).
+//!
+//! For a POPS with strict `⊗`, the subset `P ⊕ ⊥ = { x ⊕ ⊥ | x ∈ P }` is a
+//! semiring with units `0 ⊕ ⊥` and `1 ⊕ ⊥`. Convergence of datalog° on
+//! `P` is governed entirely by stability of this core (Theorem 1.2):
+//! recursive ground atoms live inside it (Prop. 5.16). This module
+//! computes the core concretely for finite POPS and checks Prop. 2.4's
+//! claims by enumeration.
+
+use crate::checker::Violation;
+use crate::traits::{FiniteCarrier, Pops};
+
+/// The carrier of the core semiring `P ⊕ ⊥`, deduplicated and sorted.
+pub fn core_carrier<P: Pops + FiniteCarrier>() -> Vec<P> {
+    let bot = P::bottom();
+    let mut out: Vec<P> = P::carrier().into_iter().map(|x| x.add(&bot)).collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Checks Proposition 2.4 by enumeration: the core is closed under `⊕`
+/// and `⊗`, with `⊥ = 0 ⊕ ⊥` as additive and `1 ⊕ ⊥` as multiplicative
+/// identity, and `⊥` absorbing for `⊗` inside the core.
+pub fn proposition_2_4<P: Pops + FiniteCarrier>() -> Vec<Violation> {
+    let mut v = vec![];
+    let mut check = |ok: bool, law: String| {
+        if !ok {
+            v.push(Violation { law });
+        }
+    };
+    let core = core_carrier::<P>();
+    let bot = P::bottom();
+    let zero_c = P::zero().add(&bot);
+    let one_c = P::one().add(&bot);
+    check(core.contains(&zero_c), "0⊕⊥ ∈ core".into());
+    check(core.contains(&one_c), "1⊕⊥ ∈ core".into());
+    for x in &core {
+        check(core.contains(&x.add(&bot)), format!("{x:?} ⊕ ⊥ ∈ core"));
+        check(&x.add(&zero_c) == x, format!("0⊕⊥ is ⊕-identity at {x:?}"));
+        check(&x.mul(&one_c) == x, format!("1⊕⊥ is ⊗-identity at {x:?}"));
+        check(
+            x.mul(&zero_c) == zero_c,
+            format!("0⊕⊥ absorbs ⊗ at {x:?} (semiring!)"),
+        );
+        for y in &core {
+            check(core.contains(&x.add(y)), format!("⊕-closed at {x:?},{y:?}"));
+            check(core.contains(&x.mul(y)), format!("⊗-closed at {x:?},{y:?}"));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boolean::Bool;
+    use crate::completed::Completed;
+    use crate::lifted::LiftedBool;
+    use crate::three::Three;
+    use crate::traits::PreSemiring;
+
+    #[test]
+    fn lifted_core_is_trivial() {
+        // S⊥ ⊕ ⊥ = {⊥} (Sec. 2.5.1).
+        let core = core_carrier::<LiftedBool>();
+        assert_eq!(core, vec![LiftedBool::Bot]);
+        assert!(proposition_2_4::<LiftedBool>().is_empty());
+    }
+
+    #[test]
+    fn completed_core_is_trivial() {
+        let core = core_carrier::<Completed<Bool>>();
+        assert_eq!(core.len(), 1);
+        assert!(proposition_2_4::<Completed<Bool>>().is_empty());
+    }
+
+    #[test]
+    fn three_core_is_bottom_and_true() {
+        // THREE ∨ ⊥ = {⊥, 1} ≅ 𝔹 (Sec. 2.5.2). Note THREE's ⊗ is not
+        // strict, yet Prop. 2.4's conclusions still hold here because
+        // 0 ∨ ⊥ = ⊥ pushes 0 onto ⊥ inside the core.
+        let core = core_carrier::<Three>();
+        assert_eq!(core, vec![Three::Undef, Three::True]);
+        assert!(proposition_2_4::<Three>().is_empty());
+        // The isomorphism with B: ⊥ ↦ 0, 1 ↦ 1 preserves both operations.
+        let iso = |x: &Three| *x == Three::True;
+        for x in &core {
+            for y in &core {
+                assert_eq!(iso(&x.add(y)), iso(x) || iso(y));
+                assert_eq!(iso(&x.mul(y)), iso(x) && iso(y));
+            }
+        }
+    }
+
+    #[test]
+    fn naturally_ordered_core_is_everything() {
+        // For a naturally ordered semiring, ⊥ = 0 and the core is P itself.
+        let core = core_carrier::<Bool>();
+        assert_eq!(core.len(), Bool::carrier().len());
+        assert!(proposition_2_4::<Bool>().is_empty());
+    }
+
+    /// Example 2.11: the product of a naturally ordered semiring with a
+    /// strict-⊕ POPS has the non-trivial core S × {⊥}.
+    #[test]
+    fn product_core_nontrivial() {
+        use crate::product::Product;
+        type E = Product<Bool, LiftedBool>;
+        let core = core_carrier::<E>();
+        assert_eq!(core.len(), 2); // (0,⊥) and (1,⊥)
+        assert!(core
+            .iter()
+            .all(|Product(_, b)| *b == LiftedBool::Bot));
+        assert!(proposition_2_4::<E>().is_empty());
+    }
+}

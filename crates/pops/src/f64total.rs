@@ -1,0 +1,210 @@
+//! A totally ordered, hashable, NaN-free wrapper around `f64`.
+//!
+//! Fixpoint detection requires exact equality on values, and relations use
+//! ordered containers, so raw `f64` (no `Eq`/`Ord`/`Hash`) cannot be used
+//! directly. `F64` excludes NaN, normalizes `-0.0` to `0.0`, and compares /
+//! hashes by the IEEE-754 bit pattern of the normalized value, which for
+//! NaN-free values coincides with the numeric order.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A NaN-free `f64` with total order, exact equality and hashing.
+///
+/// Infinity is allowed (the tropical semirings use `+∞` as their zero).
+#[derive(Clone, Copy)]
+pub struct F64(f64);
+
+impl F64 {
+    /// Positive infinity (`∞`, the tropical `0`).
+    pub const INFINITY: F64 = F64(f64::INFINITY);
+    /// Negative infinity (`-∞`, the max-plus `0`).
+    pub const NEG_INFINITY: F64 = F64(f64::NEG_INFINITY);
+    /// Zero.
+    pub const ZERO: F64 = F64(0.0);
+    /// One.
+    pub const ONE: F64 = F64(1.0);
+
+    /// Wraps a finite or infinite `f64`; returns `None` on NaN.
+    pub fn new(x: f64) -> Option<F64> {
+        if x.is_nan() {
+            None
+        } else if x == 0.0 {
+            Some(F64(0.0)) // normalize -0.0
+        } else {
+            Some(F64(x))
+        }
+    }
+
+    /// Wraps an `f64`, panicking on NaN. Shorthand used pervasively in
+    /// tests and examples.
+    pub fn of(x: f64) -> F64 {
+        F64::new(x).expect("F64::of: NaN is not a valid value")
+    }
+
+    /// The underlying `f64`.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Whether the value is finite.
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Saturating addition: `∞ + (-∞)` would be NaN, so the caller must not
+    /// mix opposite infinities; this is enforced with a debug assertion and
+    /// resolved in favour of the left operand's infinity in release builds.
+    #[allow(clippy::should_implement_trait)] // named for semiring symmetry
+    pub fn add(self, rhs: F64) -> F64 {
+        let s = self.0 + rhs.0;
+        if s.is_nan() {
+            debug_assert!(false, "F64::add produced NaN: {} + {}", self.0, rhs.0);
+            return if self.0.is_infinite() { self } else { rhs };
+        }
+        F64::of(s)
+    }
+
+    /// Multiplication; `0 × ∞` is defined as `0` (the convention for
+    /// ω-continuous semirings), not NaN.
+    #[allow(clippy::should_implement_trait)] // named for semiring symmetry
+    pub fn mul(self, rhs: F64) -> F64 {
+        if self.0 == 0.0 || rhs.0 == 0.0 {
+            return F64::ZERO;
+        }
+        F64::of(self.0 * rhs.0)
+    }
+
+    /// Numeric minimum.
+    pub fn min(self, rhs: F64) -> F64 {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Numeric maximum.
+    pub fn max(self, rhs: F64) -> F64 {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl PartialEq for F64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
+impl Eq for F64 {}
+
+impl PartialOrd for F64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for F64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // NaN is excluded by construction, so partial_cmp is total.
+        self.0.partial_cmp(&other.0).expect("F64 is NaN-free")
+    }
+}
+
+impl Hash for F64 {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl fmt::Debug for F64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == f64::INFINITY {
+            write!(f, "∞")
+        } else if self.0 == f64::NEG_INFINITY {
+            write!(f, "-∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for F64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<f64> for F64 {
+    fn from(x: f64) -> Self {
+        F64::of(x)
+    }
+}
+
+impl From<i32> for F64 {
+    fn from(x: i32) -> Self {
+        F64::of(x as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(x: F64) -> u64 {
+        let mut h = DefaultHasher::new();
+        x.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn nan_rejected() {
+        assert!(F64::new(f64::NAN).is_none());
+        assert!(F64::new(1.5).is_some());
+        assert!(F64::new(f64::INFINITY).is_some());
+    }
+
+    #[test]
+    fn negative_zero_normalized() {
+        assert_eq!(F64::of(-0.0), F64::of(0.0));
+        assert_eq!(hash_of(F64::of(-0.0)), hash_of(F64::of(0.0)));
+    }
+
+    #[test]
+    fn total_order_with_infinity() {
+        assert!(F64::NEG_INFINITY < F64::of(-3.0));
+        assert!(F64::of(-3.0) < F64::ZERO);
+        assert!(F64::ZERO < F64::of(7.5));
+        assert!(F64::of(7.5) < F64::INFINITY);
+    }
+
+    #[test]
+    fn zero_times_infinity_is_zero() {
+        assert_eq!(F64::ZERO.mul(F64::INFINITY), F64::ZERO);
+        assert_eq!(F64::INFINITY.mul(F64::ZERO), F64::ZERO);
+    }
+
+    #[test]
+    fn addition_with_infinity() {
+        assert_eq!(F64::INFINITY.add(F64::of(3.0)), F64::INFINITY);
+        assert_eq!(F64::of(2.0).add(F64::of(3.0)), F64::of(5.0));
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(F64::of(2.0).min(F64::of(3.0)), F64::of(2.0));
+        assert_eq!(F64::of(2.0).max(F64::of(3.0)), F64::of(3.0));
+        assert_eq!(F64::INFINITY.min(F64::of(3.0)), F64::of(3.0));
+    }
+
+    #[test]
+    fn display_infinity() {
+        assert_eq!(format!("{}", F64::INFINITY), "∞");
+        assert_eq!(format!("{}", F64::of(4.0)), "4");
+    }
+}

@@ -1,0 +1,177 @@
+//! The bilattice `FOUR` (Sec. 7.3, Fig. 5): Belnap's four-valued logic.
+//!
+//! Carrier `{⊥, 0, 1, ⊤}` where `⊤` means "both false and true"
+//! (contradiction). The semiring operations are lub (`∨`) and glb (`∧`) of
+//! the **truth** lattice `0 ≤_t ⊥,⊤ ≤_t 1` (with `⊥`, `⊤` incomparable:
+//! `⊥ ∨ ⊤ = 1`, `⊥ ∧ ⊤ = 0`); the POPS order is the **knowledge** order
+//! `⊥ ≤_k 0,1 ≤_k ⊤`.
+//!
+//! Fitting (Prop. 7.1 in \[21\]) showed `⊤` never occurs in the least
+//! fixpoint w.r.t. `≤_k`; the reproduction harness checks this on random
+//! win-move instances (experiment E29).
+
+use crate::traits::*;
+
+/// A Belnap four-valued truth value.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Four {
+    /// Neither false nor true (`⊥`).
+    Undef,
+    /// False (`0`).
+    False,
+    /// True (`1`).
+    True,
+    /// Both false and true (`⊤`).
+    Both,
+}
+
+impl Four {
+    /// (truth-knowledge) coordinates: truth in {0,1}, evidence-for /
+    /// evidence-against encoding. `⊥=(f:0,t:0)`, `0=(f:1,t:0)`,
+    /// `1=(f:0,t:1)`, `⊤=(f:1,t:1)`.
+    fn coords(self) -> (bool, bool) {
+        // (evidence_true, evidence_false)
+        match self {
+            Four::Undef => (false, false),
+            Four::False => (false, true),
+            Four::True => (true, false),
+            Four::Both => (true, true),
+        }
+    }
+
+    fn from_coords(t: bool, f: bool) -> Four {
+        match (t, f) {
+            (false, false) => Four::Undef,
+            (false, true) => Four::False,
+            (true, false) => Four::True,
+            (true, true) => Four::Both,
+        }
+    }
+
+    /// Belnap negation: swaps 0 and 1, fixes `⊥` and `⊤`. Monotone in `≤_k`.
+    #[allow(clippy::should_implement_trait)] // domain operation, not std::ops::Not
+    pub fn not(self) -> Four {
+        let (t, f) = self.coords();
+        Four::from_coords(f, t)
+    }
+
+    /// Embeds a `THREE` value.
+    pub fn from_three(x: crate::three::Three) -> Four {
+        match x {
+            crate::three::Three::Undef => Four::Undef,
+            crate::three::Three::False => Four::False,
+            crate::three::Three::True => Four::True,
+        }
+    }
+}
+
+impl PreSemiring for Four {
+    fn zero() -> Self {
+        Four::False
+    }
+    fn one() -> Self {
+        Four::True
+    }
+    /// `∨`: lub of the truth lattice. In coordinates:
+    /// evidence-for is or-ed, evidence-against is and-ed.
+    fn add(&self, rhs: &Self) -> Self {
+        let (t1, f1) = self.coords();
+        let (t2, f2) = rhs.coords();
+        Four::from_coords(t1 || t2, f1 && f2)
+    }
+    /// `∧`: glb of the truth lattice (dual).
+    fn mul(&self, rhs: &Self) -> Self {
+        let (t1, f1) = self.coords();
+        let (t2, f2) = rhs.coords();
+        Four::from_coords(t1 && t2, f1 || f2)
+    }
+}
+
+impl Semiring for Four {}
+impl Dioid for Four {}
+
+impl Pops for Four {
+    fn bottom() -> Self {
+        Four::Undef
+    }
+    /// Knowledge order: more evidence of either kind is higher.
+    fn leq(&self, rhs: &Self) -> bool {
+        let (t1, f1) = self.coords();
+        let (t2, f2) = rhs.coords();
+        (!t1 || t2) && (!f1 || f2)
+    }
+}
+
+impl FiniteCarrier for Four {
+    fn carrier() -> Vec<Self> {
+        vec![Four::Undef, Four::False, Four::True, Four::Both]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Four::*;
+
+    #[test]
+    fn truth_lattice_lub_glb() {
+        assert_eq!(Undef.add(&Both), True, "⊥ ∨ ⊤ = 1 (Fig. 5)");
+        assert_eq!(Undef.mul(&Both), False, "⊥ ∧ ⊤ = 0");
+        assert_eq!(False.add(&True), True);
+        assert_eq!(False.mul(&Undef), False);
+        assert_eq!(True.mul(&Undef), Undef);
+    }
+
+    #[test]
+    fn restriction_to_three_agrees() {
+        use crate::three::Three;
+        for x in Three::carrier() {
+            for y in Three::carrier() {
+                assert_eq!(
+                    Four::from_three(x.add(&y)),
+                    Four::from_three(x).add(&Four::from_three(y))
+                );
+                assert_eq!(
+                    Four::from_three(x.mul(&y)),
+                    Four::from_three(x).mul(&Four::from_three(y))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knowledge_order_diamond() {
+        assert!(Undef.leq(&False) && Undef.leq(&True));
+        assert!(False.leq(&Both) && True.leq(&Both));
+        assert!(!False.leq(&True) && !True.leq(&False));
+        assert!(Undef.leq(&Both));
+        assert_eq!(Four::bottom(), Undef);
+    }
+
+    #[test]
+    fn not_extended_with_top() {
+        assert_eq!(Both.not(), Both);
+        assert_eq!(Undef.not(), Undef);
+        assert_eq!(True.not(), False);
+    }
+
+    #[test]
+    fn ops_monotone_in_knowledge_order() {
+        for x in Four::carrier() {
+            for x2 in Four::carrier() {
+                if !x.leq(&x2) {
+                    continue;
+                }
+                for y in Four::carrier() {
+                    for y2 in Four::carrier() {
+                        if !y.leq(&y2) {
+                            continue;
+                        }
+                        assert!(x.add(&y).leq(&x2.add(&y2)));
+                        assert!(x.mul(&y).leq(&x2.mul(&y2)));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! # dlo-pops — partially ordered pre-semirings
+//!
+//! The algebraic substrate of the paper *Convergence of Datalog over
+//! (Pre-) Semirings* (PODS 2022): the trait hierarchy of Sec. 2
+//! (pre-semirings, semirings, POPS, dioids, complete distributive dioids,
+//! star semirings) together with every concrete structure the paper uses:
+//!
+//! * [`boolean::Bool`] — plain datalog;
+//! * [`nat::Nat`], [`real::Real`], [`natinf::NatInf`] — (un)stable bases;
+//! * [`trop::Trop`] — shortest paths, 0-stable, the ACC counterexample;
+//! * [`trop_p::TropP`] — top-(p+1) shortest paths, p-stable and tight;
+//! * [`trop_eta::TropEta`] — paths within η, stable but not uniformly;
+//! * [`lifted::Lifted`] / [`completed::Completed`] / [`powerset::PowerSet`]
+//!   — the three POPS extension procedures of Sec. 2.5.1;
+//! * [`three::Three`] and [`four::Four`] — Kleene/Belnap logics for
+//!   datalog° with negation (Sec. 7);
+//! * [`product::Product`] — non-trivial core semirings (Example 2.11);
+//! * [`natpair_lex::NatPairLex`], [`maxplus::MaxPlus`], [`minnat::MinNat`],
+//!   [`maxmin::MaxMin`] — divergence witnesses & additional dioids.
+//!
+//! The [`stability`] module implements Definition 5.1 (`u^(p)` sums,
+//! stability indexes), and [`checker`] verifies every law of Sec. 2/6
+//! exhaustively on the finite structures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boolean;
+pub mod checker;
+pub mod completed;
+pub mod core_semiring;
+pub mod f64total;
+pub mod four;
+pub mod lifted;
+pub mod maxmin;
+pub mod maxplus;
+pub mod minnat;
+pub mod nat;
+pub mod natinf;
+pub mod natpair_lex;
+pub mod nnreal;
+pub mod powerset;
+pub mod product;
+pub mod real;
+pub mod stability;
+pub mod three;
+pub mod traits;
+pub mod trop;
+pub mod trop_eta;
+pub mod trop_p;
+
+pub use boolean::Bool;
+pub use completed::Completed;
+pub use core_semiring::{core_carrier, proposition_2_4};
+pub use f64total::F64;
+pub use four::Four;
+pub use lifted::{Lifted, LiftedBool, LiftedNat, LiftedReal};
+pub use maxmin::MaxMin;
+pub use maxplus::MaxPlus;
+pub use minnat::MinNat;
+pub use nat::Nat;
+pub use natinf::NatInf;
+pub use natpair_lex::NatPairLex;
+pub use nnreal::NNReal;
+pub use powerset::PowerSet;
+pub use product::Product;
+pub use real::Real;
+pub use three::Three;
+pub use traits::{
+    CompleteDistributiveDioid, Dioid, FiniteCarrier, NaturallyOrdered, Pops, PreSemiring,
+    Semiring, StarSemiring, UniformlyStable,
+};
+pub use trop::Trop;
+pub use trop_eta::TropEta;
+pub use trop_p::TropP;

@@ -1,0 +1,151 @@
+//! Lifting a pre-semiring with an *undefined* value `⊥` (Sec. 2.5.1).
+//!
+//! `S_⊥` extends `S` with a new least element `⊥` that is absorbing for both
+//! operations: `x ⊕ ⊥ = x ⊗ ⊥ = ⊥`. The order is flat: `⊥ ⊑ x` and
+//! `x ⊑ y ⟺ x = y` otherwise. A lifted POPS is **never** a semiring
+//! (`0 ⊗ ⊥ = ⊥ ≠ 0`), and its core semiring `S_⊥ ⊕ ⊥ = {⊥}` is trivial —
+//! which is exactly why *every* datalog° program over `ℝ_⊥` converges
+//! (Corollary 5.19 with the 0-stable trivial core): the bill-of-material
+//! program of Example 4.2.
+
+use crate::traits::*;
+
+/// An element of the lifted POPS `S_⊥`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Lifted<S> {
+    /// The undefined value `⊥` (sorts below all values).
+    Bot,
+    /// A defined value from `S`.
+    Val(S),
+}
+
+pub use Lifted::{Bot, Val};
+
+impl<S> Lifted<S> {
+    /// Whether the value is defined.
+    pub fn is_defined(&self) -> bool {
+        matches!(self, Val(_))
+    }
+
+    /// The defined value, if any.
+    pub fn value(&self) -> Option<&S> {
+        match self {
+            Bot => None,
+            Val(v) => Some(v),
+        }
+    }
+}
+
+impl<S: PreSemiring> PreSemiring for Lifted<S> {
+    fn zero() -> Self {
+        Val(S::zero())
+    }
+    fn one() -> Self {
+        Val(S::one())
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        match (self, rhs) {
+            (Val(a), Val(b)) => Val(a.add(b)),
+            _ => Bot,
+        }
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        match (self, rhs) {
+            (Val(a), Val(b)) => Val(a.mul(b)),
+            _ => Bot,
+        }
+    }
+}
+
+// NOTE: deliberately *no* `Semiring` impl — `0 ⊗ ⊥ = ⊥ ≠ 0`.
+
+impl<S: PreSemiring> Pops for Lifted<S> {
+    fn bottom() -> Self {
+        Bot
+    }
+    fn leq(&self, rhs: &Self) -> bool {
+        match (self, rhs) {
+            (Bot, _) => true,
+            (Val(a), Val(b)) => a == b,
+            (Val(_), Bot) => false,
+        }
+    }
+}
+
+impl<S: FiniteCarrier> FiniteCarrier for Lifted<S> {
+    fn carrier() -> Vec<Self> {
+        std::iter::once(Bot)
+            .chain(S::carrier().into_iter().map(Val))
+            .collect()
+    }
+}
+
+/// The lifted reals `ℝ_⊥` (Example 4.2, bill of material).
+pub type LiftedReal = Lifted<crate::real::Real>;
+/// The lifted naturals `ℕ_⊥`.
+pub type LiftedNat = Lifted<crate::nat::Nat>;
+/// The lifted Booleans `𝔹_⊥` — *not* the same as `THREE`: here `0 ∧ ⊥ = ⊥`,
+/// in `THREE` `0 ∧ ⊥ = 0` (Sec. 2.5.2).
+pub type LiftedBool = Lifted<crate::boolean::Bool>;
+
+/// Convenience constructor for lifted reals.
+pub fn lreal(x: f64) -> LiftedReal {
+    Val(crate::real::Real::of(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boolean::Bool;
+    use crate::real::Real;
+
+    #[test]
+    fn bottom_absorbs_both_ops() {
+        let x = lreal(4.0);
+        assert_eq!(x.add(&Bot), Bot);
+        assert_eq!(x.mul(&Bot), Bot);
+        assert_eq!(LiftedReal::zero().mul(&Bot), Bot); // not a semiring
+    }
+
+    #[test]
+    fn defined_values_behave_like_s() {
+        assert_eq!(lreal(2.0).add(&lreal(3.0)), lreal(5.0));
+        assert_eq!(lreal(2.0).mul(&lreal(3.0)), lreal(6.0));
+    }
+
+    #[test]
+    fn flat_order() {
+        assert!(Bot.leq(&lreal(1.0)));
+        assert!(lreal(1.0).leq(&lreal(1.0)));
+        assert!(!lreal(1.0).leq(&lreal(2.0)));
+        assert!(!lreal(1.0).leq(&Bot));
+        assert_eq!(LiftedReal::bottom(), Bot);
+    }
+
+    #[test]
+    fn lifted_bool_differs_from_three() {
+        use crate::three::Three;
+        // In B⊥: 0 ∧ ⊥ = ⊥. In THREE: 0 ∧ ⊥ = 0.
+        let zero_and_bot = LiftedBool::Val(Bool(false)).mul(&LiftedBool::Bot);
+        assert_eq!(zero_and_bot, LiftedBool::Bot);
+        assert_eq!(Three::False.mul(&Three::Undef), Three::False);
+    }
+
+    #[test]
+    fn sec_2_2_subtlety_zero_coefficient_does_not_vanish() {
+        // Over R⊥, f(x) = 0·x + b is NOT the constant b: f(⊥) = ⊥ ≠ b.
+        let b = lreal(7.0);
+        let f = |x: &LiftedReal| LiftedReal::zero().mul(x).add(&b);
+        assert_eq!(f(&Bot), Bot);
+        assert_eq!(f(&lreal(5.0)), b);
+    }
+
+    #[test]
+    fn core_semiring_is_trivial() {
+        // P ⊕ ⊥ = {⊥}: adding ⊥ to anything gives ⊥.
+        for x in [Bot, lreal(0.0), lreal(9.0)] {
+            assert_eq!(x.add(&Bot), Bot);
+        }
+        let _ = Real::of(1.0); // silence unused import in some cfgs
+    }
+}

@@ -1,0 +1,100 @@
+//! The ω-complete semiring `(ℕ ∪ {∞}, +, ×, 0, 1)` (Sec. 4.2 case (ii)).
+//!
+//! Every monotone function here *has* a least fixpoint (the structure is
+//! ω-continuous), but the naïve algorithm need not reach it in finitely many
+//! steps: `f(x) = x + 1` has `lfp = ∞`, approached but never attained.
+//! `ℕ∞` therefore witnesses case (ii) of the convergence taxonomy: the lfp
+//! always exists, yet datalog° may diverge.
+//!
+//! Conventions: `∞ + x = ∞`, `∞ × x = ∞` for `x ≠ 0`, and `∞ × 0 = 0`
+//! (the standard ω-continuous convention, which preserves absorption).
+
+use crate::traits::*;
+
+/// A value in `ℕ ∪ {∞}`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum NatInf {
+    /// A finite natural.
+    Fin(u64),
+    /// The limit `∞` (top of the natural order).
+    Inf,
+}
+
+impl NatInf {
+    /// Whether this is `∞`.
+    pub fn is_inf(&self) -> bool {
+        matches!(self, NatInf::Inf)
+    }
+}
+
+impl PreSemiring for NatInf {
+    fn zero() -> Self {
+        NatInf::Fin(0)
+    }
+    fn one() -> Self {
+        NatInf::Fin(1)
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        match (self, rhs) {
+            (NatInf::Fin(a), NatInf::Fin(b)) => NatInf::Fin(a.saturating_add(*b)),
+            _ => NatInf::Inf,
+        }
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        match (self, rhs) {
+            (NatInf::Fin(a), NatInf::Fin(b)) => NatInf::Fin(a.saturating_mul(*b)),
+            (NatInf::Fin(0), _) | (_, NatInf::Fin(0)) => NatInf::Fin(0),
+            _ => NatInf::Inf,
+        }
+    }
+}
+
+impl Semiring for NatInf {}
+impl NaturallyOrdered for NatInf {}
+
+impl Pops for NatInf {
+    fn bottom() -> Self {
+        NatInf::Fin(0)
+    }
+    fn leq(&self, rhs: &Self) -> bool {
+        match (self, rhs) {
+            (NatInf::Fin(a), NatInf::Fin(b)) => a <= b,
+            (_, NatInf::Inf) => true,
+            (NatInf::Inf, NatInf::Fin(_)) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinity_conventions() {
+        assert_eq!(NatInf::Inf.add(&NatInf::Fin(3)), NatInf::Inf);
+        assert_eq!(NatInf::Inf.mul(&NatInf::Fin(3)), NatInf::Inf);
+        assert_eq!(NatInf::Inf.mul(&NatInf::Fin(0)), NatInf::Fin(0), "∞ × 0 = 0");
+        assert_eq!(NatInf::zero().mul(&NatInf::Inf), NatInf::Fin(0));
+    }
+
+    #[test]
+    fn case_ii_witness() {
+        // f(x) = x + 1: lfp is ∞ (a fixpoint: ∞ + 1 = ∞) but naive
+        // iteration from 0 never reaches it.
+        let f = |x: NatInf| x.add(&NatInf::one());
+        assert_eq!(f(NatInf::Inf), NatInf::Inf, "∞ is a fixpoint");
+        let mut x = NatInf::bottom();
+        for _ in 0..100 {
+            let nx = f(x);
+            assert_ne!(nx, x, "must keep strictly increasing");
+            x = nx;
+        }
+    }
+
+    #[test]
+    fn order() {
+        assert!(NatInf::Fin(3).leq(&NatInf::Inf));
+        assert!(!NatInf::Inf.leq(&NatInf::Fin(1_000_000)));
+        assert!(NatInf::Inf.leq(&NatInf::Inf));
+    }
+}

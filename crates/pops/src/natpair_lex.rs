@@ -1,0 +1,116 @@
+//! `ℕ × ℕ` with pairwise arithmetic and the *lexicographic* order
+//! (Sec. 4.2 case (i)).
+//!
+//! The paper's witness that `⋁_t J(t)` need not be a fixpoint: with
+//! `F(x, y) = (x, y+1)`, the chain `(0,0) ⊑ (0,1) ⊑ (0,2) ⊑ …` has least
+//! upper bound `(1, 0)`, which is not a fixpoint — indeed `F` has no
+//! fixpoint at all.
+//!
+//! Caveat (inherited from the paper's example): `⊗` is not monotone w.r.t.
+//! the lexicographic order in general (e.g. `(1,5) ⊑ (2,0)` but multiplying
+//! by `(0,1)` gives `(0,5) ⋢ (0,0)`); the case-(i) construction only uses
+//! `⊕` with constants, which *is* monotone. The structure is exposed for
+//! that demonstration and excluded from the generic monotonicity laws.
+
+use crate::traits::*;
+
+/// A pair in `ℕ × ℕ` under the lexicographic order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NatPairLex(pub u64, pub u64);
+
+impl PreSemiring for NatPairLex {
+    fn zero() -> Self {
+        NatPairLex(0, 0)
+    }
+    fn one() -> Self {
+        NatPairLex(1, 1)
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        NatPairLex(
+            self.0.saturating_add(rhs.0),
+            self.1.saturating_add(rhs.1),
+        )
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        NatPairLex(
+            self.0.saturating_mul(rhs.0),
+            self.1.saturating_mul(rhs.1),
+        )
+    }
+}
+
+impl Semiring for NatPairLex {}
+
+impl Pops for NatPairLex {
+    fn bottom() -> Self {
+        NatPairLex(0, 0)
+    }
+    /// Lexicographic: `(x,y) ⊑ (u,v)` iff `x < u`, or `x = u ∧ y ≤ v`.
+    fn leq(&self, rhs: &Self) -> bool {
+        self.0 < rhs.0 || (self.0 == rhs.0 && self.1 <= rhs.1)
+    }
+}
+
+/// The case-(i) function `F(x, y) = (x, y + 1)`.
+pub fn case_i_ico(p: NatPairLex) -> NatPairLex {
+    NatPairLex(p.0, p.1.saturating_add(1))
+}
+
+/// Least upper bound of the chain `F^(t)(⊥) = (0, t)`: `(1, 0)`.
+pub fn case_i_chain_lub() -> NatPairLex {
+    NatPairLex(1, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_order() {
+        assert!(NatPairLex(0, 99).leq(&NatPairLex(1, 0)));
+        assert!(NatPairLex(1, 0).leq(&NatPairLex(1, 5)));
+        assert!(!NatPairLex(1, 5).leq(&NatPairLex(1, 0)));
+    }
+
+    #[test]
+    fn case_i_lub_is_not_a_fixpoint() {
+        // Every chain element is below (1,0)...
+        let mut x = NatPairLex::bottom();
+        for _ in 0..50 {
+            assert!(x.leq(&case_i_chain_lub()));
+            x = case_i_ico(x);
+        }
+        // ...and (1,0) is the least upper bound but not a fixpoint:
+        let lub = case_i_chain_lub();
+        assert_ne!(case_i_ico(lub), lub, "F(1,0) = (1,1) ≠ (1,0)");
+        // No (x, y) is a fixpoint: y + 1 ≠ y (modulo saturation guard).
+        for x0 in 0..4 {
+            for y0 in 0..4 {
+                let p = NatPairLex(x0, y0);
+                assert_ne!(case_i_ico(p), p);
+            }
+        }
+    }
+
+    #[test]
+    fn addition_by_constant_is_monotone() {
+        let c = NatPairLex(0, 1);
+        let pairs = [
+            (NatPairLex(0, 3), NatPairLex(1, 0)),
+            (NatPairLex(2, 2), NatPairLex(2, 5)),
+        ];
+        for (a, b) in pairs {
+            assert!(a.leq(&b));
+            assert!(a.add(&c).leq(&b.add(&c)));
+        }
+    }
+
+    #[test]
+    fn mul_monotonicity_fails_as_documented() {
+        let a = NatPairLex(1, 5);
+        let b = NatPairLex(2, 0);
+        let c = NatPairLex(0, 1);
+        assert!(a.leq(&b));
+        assert!(!a.mul(&c).leq(&b.mul(&c)), "(0,5) ⋢ (0,0)");
+    }
+}

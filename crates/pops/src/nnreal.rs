@@ -1,0 +1,103 @@
+//! The non-negative reals `(ℝ₊ ∪ {∞}, +, ×, 0, 1)` with the natural order.
+//!
+//! Restricting `ℝ` to `ℝ₊` makes the natural order antisymmetric
+//! (`x ⪯ y ⟺ x ≤ y`), so unlike `ℝ` this **is** a naturally ordered
+//! semiring POPS. It is the value space of the company-control program
+//! (Example 4.3), where the Boolean IDB is encoded through the monotone
+//! threshold indicator `[x > c] : ℝ₊ → ℝ₊`. Not stable (`1 + x + x² + …`
+//! diverges for `x ≥ 1`), so programs over it converge only when their
+//! recursion dies out — caps apply.
+
+use crate::f64total::F64;
+use crate::traits::*;
+
+/// A non-negative real (with `∞` as the limit / top).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NNReal(pub F64);
+
+impl NNReal {
+    /// Constructs from a non-negative `f64`.
+    pub fn of(x: f64) -> NNReal {
+        assert!(x >= 0.0, "NNReal requires non-negative values, got {x}");
+        NNReal(F64::of(x))
+    }
+    /// The underlying value.
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+    /// The monotone threshold indicator `[x > c]` (Example 4.3's bridge
+    /// between value spaces): `1` if `x > c`, else `0`.
+    pub fn threshold(&self, c: f64) -> NNReal {
+        if self.get() > c {
+            NNReal::of(1.0)
+        } else {
+            NNReal::of(0.0)
+        }
+    }
+}
+
+impl PreSemiring for NNReal {
+    fn zero() -> Self {
+        NNReal(F64::ZERO)
+    }
+    fn one() -> Self {
+        NNReal(F64::ONE)
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        NNReal(self.0.add(rhs.0))
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        NNReal(self.0.mul(rhs.0))
+    }
+}
+
+impl Semiring for NNReal {}
+impl NaturallyOrdered for NNReal {}
+
+impl Pops for NNReal {
+    fn bottom() -> Self {
+        NNReal(F64::ZERO)
+    }
+    fn leq(&self, rhs: &Self) -> bool {
+        self.0 <= rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semiring_ops() {
+        assert_eq!(NNReal::of(1.5).add(&NNReal::of(2.0)), NNReal::of(3.5));
+        assert_eq!(NNReal::of(1.5).mul(&NNReal::of(2.0)), NNReal::of(3.0));
+        assert_eq!(NNReal::zero().mul(&NNReal::of(9.0)), NNReal::zero());
+    }
+
+    #[test]
+    fn natural_order_is_leq() {
+        assert!(NNReal::of(0.0).leq(&NNReal::of(0.5)));
+        assert!(!NNReal::of(0.6).leq(&NNReal::of(0.5)));
+        assert!(NNReal::bottom().is_zero());
+    }
+
+    #[test]
+    fn threshold_is_monotone() {
+        let xs = [0.0, 0.3, 0.5, 0.500001, 0.9, 2.0];
+        for w in xs.windows(2) {
+            let a = NNReal::of(w[0]).threshold(0.5);
+            let b = NNReal::of(w[1]).threshold(0.5);
+            assert!(a.leq(&b));
+        }
+        assert_eq!(NNReal::of(0.5).threshold(0.5), NNReal::of(0.0));
+        assert_eq!(NNReal::of(0.51).threshold(0.5), NNReal::of(1.0));
+    }
+
+    #[test]
+    fn not_stable_above_one() {
+        use crate::stability::element_stability_index;
+        assert_eq!(element_stability_index(&NNReal::of(1.0), 40), None);
+        // but 0 is 0-stable:
+        assert_eq!(element_stability_index(&NNReal::of(0.0), 40), Some(0));
+    }
+}

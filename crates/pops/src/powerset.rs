@@ -1,0 +1,170 @@
+//! The power-set POPS `P(S)` (Sec. 2.5.1): incomplete information.
+//!
+//! Elements are finite sets of `S`-values ordered by inclusion; operations
+//! act elementwise on sets: `A ⊕ B = {a ⊕ b | a ∈ A, b ∈ B}` and likewise
+//! for `⊗`. `⊥ = ∅` is "undefined", singletons are exact values, larger
+//! sets represent degrees of incompleteness (`⊤ = S` when `S` is finite is
+//! full contradiction).
+//!
+//! Note (paper subtlety): with `⊥ = ∅`, both operations are absorbed by
+//! `∅`, so `P(S) ⊕ ⊥ = {∅}` under the Prop. 2.4 reading, while the
+//! identity the paper prints (`P(S) ⊕ {0} = P(S)`) uses the additive unit
+//! `{0}` instead of the order-minimum. We implement `⊥ = ∅` (the order
+//! minimum) and exercise both readings in tests.
+
+use crate::traits::*;
+use std::collections::BTreeSet;
+
+/// A set of candidate values from `S`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PowerSet<S: Ord> {
+    set: BTreeSet<S>,
+}
+
+impl<S: PreSemiring + Ord> PowerSet<S> {
+    /// The empty set (`⊥`, undefined).
+    pub fn empty() -> Self {
+        PowerSet {
+            set: BTreeSet::new(),
+        }
+    }
+
+    /// A singleton (an exact value).
+    pub fn singleton(x: S) -> Self {
+        PowerSet {
+            set: std::iter::once(x).collect(),
+        }
+    }
+
+    /// From an iterator of values.
+    #[allow(clippy::should_implement_trait)] // inherent constructor, not FromIterator
+    pub fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        PowerSet {
+            set: iter.into_iter().collect(),
+        }
+    }
+
+    /// The member values.
+    pub fn members(&self) -> impl Iterator<Item = &S> {
+        self.set.iter()
+    }
+
+    /// Number of candidate values.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the set is empty (undefined).
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    fn lift2(&self, rhs: &Self, f: impl Fn(&S, &S) -> S) -> Self {
+        let mut out = BTreeSet::new();
+        for a in &self.set {
+            for b in &rhs.set {
+                out.insert(f(a, b));
+            }
+        }
+        PowerSet { set: out }
+    }
+}
+
+impl<S: PreSemiring + Ord> PreSemiring for PowerSet<S> {
+    fn zero() -> Self {
+        Self::singleton(S::zero())
+    }
+    fn one() -> Self {
+        Self::singleton(S::one())
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        self.lift2(rhs, |a, b| a.add(b))
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        self.lift2(rhs, |a, b| a.mul(b))
+    }
+}
+
+impl<S: PreSemiring + Ord> Pops for PowerSet<S> {
+    fn bottom() -> Self {
+        Self::empty()
+    }
+    fn leq(&self, rhs: &Self) -> bool {
+        self.set.is_subset(&rhs.set)
+    }
+}
+
+impl<S: PreSemiring + FiniteCarrier + Ord> FiniteCarrier for PowerSet<S> {
+    fn carrier() -> Vec<Self> {
+        let base = S::carrier();
+        assert!(base.len() <= 8, "carrier too large to enumerate subsets");
+        let mut out = vec![];
+        for mask in 0u32..(1 << base.len()) {
+            out.push(Self::from_iter(
+                base.iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, x)| x.clone()),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boolean::Bool;
+    use crate::nat::Nat;
+
+    type PN = PowerSet<Nat>;
+
+    #[test]
+    fn elementwise_ops() {
+        let a = PN::from_iter([Nat(1), Nat(2)]);
+        let b = PN::from_iter([Nat(10), Nat(20)]);
+        assert_eq!(
+            a.add(&b),
+            PN::from_iter([Nat(11), Nat(21), Nat(12), Nat(22)])
+        );
+        assert_eq!(
+            a.mul(&b),
+            PN::from_iter([Nat(10), Nat(20), Nat(40)])
+        );
+    }
+
+    #[test]
+    fn empty_absorbs() {
+        let a = PN::from_iter([Nat(1), Nat(2)]);
+        assert_eq!(a.add(&PN::empty()), PN::empty());
+        assert_eq!(a.mul(&PN::empty()), PN::empty());
+    }
+
+    #[test]
+    fn inclusion_order() {
+        let a = PN::from_iter([Nat(1)]);
+        let ab = PN::from_iter([Nat(1), Nat(2)]);
+        assert!(a.leq(&ab));
+        assert!(!ab.leq(&a));
+        assert!(PN::bottom().leq(&a));
+    }
+
+    #[test]
+    fn identity_units() {
+        let a = PN::from_iter([Nat(3), Nat(5)]);
+        assert_eq!(a.add(&PN::zero()), a);
+        assert_eq!(a.mul(&PN::one()), a);
+    }
+
+    #[test]
+    fn paper_identity_adding_unit_preserves_everything() {
+        // P(S) ⊕ {0} = P(S): x ⊕ {0} = x for every x (the paper's reading).
+        for x in PowerSet::<Bool>::carrier() {
+            assert_eq!(x.add(&PowerSet::<Bool>::zero()), x);
+        }
+        // Prop. 2.4 reading with ⊥ = ∅: the core collapses to {∅}.
+        for x in PowerSet::<Bool>::carrier() {
+            assert_eq!(x.add(&PowerSet::<Bool>::bottom()), PowerSet::empty());
+        }
+    }
+}

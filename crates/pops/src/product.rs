@@ -1,0 +1,93 @@
+//! The Cartesian product of two POPS (Sec. 2.5.4, Example 2.11).
+//!
+//! Operations and order are component-wise; `⊥ = (⊥₁, ⊥₂)`. The product is
+//! the paper's vehicle for exhibiting a *non-trivial core semiring*: for a
+//! naturally ordered semiring `S` and a strict-⊕ POPS `P` (e.g. a lifted
+//! semiring), the core of `S × P` is `S × {⊥_P}` — neither trivial nor the
+//! whole structure.
+
+use crate::traits::*;
+
+/// A pair in the product POPS `P1 × P2`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Product<A, B>(pub A, pub B);
+
+impl<A: PreSemiring, B: PreSemiring> PreSemiring for Product<A, B> {
+    fn zero() -> Self {
+        Product(A::zero(), B::zero())
+    }
+    fn one() -> Self {
+        Product(A::one(), B::one())
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        Product(self.0.add(&rhs.0), self.1.add(&rhs.1))
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        Product(self.0.mul(&rhs.0), self.1.mul(&rhs.1))
+    }
+}
+
+impl<A: Semiring, B: Semiring> Semiring for Product<A, B> {}
+impl<A: Dioid, B: Dioid> Dioid for Product<A, B> {}
+
+impl<A: Pops, B: Pops> Pops for Product<A, B> {
+    fn bottom() -> Self {
+        Product(A::bottom(), B::bottom())
+    }
+    fn leq(&self, rhs: &Self) -> bool {
+        self.0.leq(&rhs.0) && self.1.leq(&rhs.1)
+    }
+}
+
+impl<A: FiniteCarrier + Clone, B: FiniteCarrier + Clone> FiniteCarrier for Product<A, B> {
+    fn carrier() -> Vec<Self> {
+        let bs = B::carrier();
+        A::carrier()
+            .into_iter()
+            .flat_map(|a| bs.iter().map(move |b| Product(a.clone(), b.clone())))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boolean::Bool;
+    use crate::lifted::{Bot, LiftedNat, Val};
+    use crate::nat::Nat;
+    use crate::trop::Trop;
+
+    #[test]
+    fn componentwise_ops() {
+        let x = Product(Trop::finite(3.0), Bool(true));
+        let y = Product(Trop::finite(5.0), Bool(false));
+        assert_eq!(x.add(&y), Product(Trop::finite(3.0), Bool(true)));
+        assert_eq!(x.mul(&y), Product(Trop::finite(8.0), Bool(false)));
+    }
+
+    #[test]
+    fn componentwise_order() {
+        let bot = Product::<Trop, Bool>::bottom();
+        assert_eq!(bot, Product(Trop::INF, Bool(false)));
+        assert!(bot.leq(&Product(Trop::finite(1.0), Bool(true))));
+        let x = Product(Trop::finite(1.0), Bool(false));
+        let y = Product(Trop::finite(2.0), Bool(true));
+        assert!(!x.leq(&y), "first component 1 ⋢ 2 in Trop (reverse order)");
+        assert!(y.leq(&Product(Trop::finite(1.0), Bool(true))));
+    }
+
+    /// Example 2.11: core of S × P with S = ℕ (naturally ordered) and
+    /// P = ℕ_⊥ (strict ⊕) is ℕ × {⊥}.
+    #[test]
+    fn nontrivial_core_semiring() {
+        type E = Product<Nat, LiftedNat>;
+        let bottom = E::bottom();
+        assert_eq!(bottom, Product(Nat(0), Bot));
+        // x ⊕ ⊥ keeps the first component, collapses the second to ⊥:
+        for (a, b) in [(Nat(0), Val(Nat(3))), (Nat(7), Bot), (Nat(2), Val(Nat(0)))] {
+            let x = Product(a, b);
+            let in_core = x.add(&bottom);
+            assert_eq!(in_core, Product(a, Bot));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! The semiring of reals `(ℝ, +, ×, 0, 1)` (Example 2.2).
+//!
+//! `ℝ` is **not** naturally ordered (`x ⪯ y` holds for every pair), so it is
+//! not a POPS by itself; by Lemma 2.8 *no* POPS extension of `ℝ` can be a
+//! semiring. Its role in the paper is as the base of the lifted reals
+//! `ℝ_⊥ = Lifted<Real>` (the bill-of-material POPS, Example 4.2).
+
+use crate::f64total::F64;
+use crate::traits::*;
+
+/// A real semiring element (finite `f64`, NaN-free).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Real(pub F64);
+
+impl Real {
+    /// Constructs from an `f64` (must be finite, non-NaN).
+    pub fn of(x: f64) -> Real {
+        assert!(x.is_finite(), "Real::of requires a finite value");
+        Real(F64::of(x))
+    }
+    /// The underlying `f64`.
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+impl PreSemiring for Real {
+    fn zero() -> Self {
+        Real(F64::ZERO)
+    }
+    fn one() -> Self {
+        Real(F64::ONE)
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        Real(self.0.add(rhs.0))
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        Real(self.0.mul(rhs.0))
+    }
+}
+
+impl Semiring for Real {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_arithmetic() {
+        assert_eq!(Real::of(2.5).add(&Real::of(0.5)), Real::of(3.0));
+        assert_eq!(Real::of(2.0).mul(&Real::of(-3.0)), Real::of(-6.0));
+        assert_eq!(Real::zero().mul(&Real::of(9.0)), Real::zero());
+    }
+
+    #[test]
+    #[should_panic]
+    fn infinite_rejected() {
+        Real::of(f64::INFINITY);
+    }
+}

@@ -1,0 +1,105 @@
+//! Stability of semiring elements (Definition 5.1).
+//!
+//! For `u` in a semiring, `u^(p) = 1 ⊕ u ⊕ u² ⊕ … ⊕ u^p`. The element is
+//! *p-stable* when `u^(p) = u^(p+1)`; the least such `p` is its *stability
+//! index*. A semiring is *stable* if every element is stable, and
+//! *uniformly stable* (p-stable) if one `p` works for all elements.
+//! Convergence of datalog° on a POPS `P` is governed by stability of the
+//! core semiring `P ⊕ ⊥` (Theorem 1.2).
+
+use crate::traits::{PreSemiring, Semiring};
+
+/// Computes `u^(p) = 1 ⊕ u ⊕ u² ⊕ … ⊕ u^p` (eq. 30).
+pub fn powers_sum<S: PreSemiring>(u: &S, p: usize) -> S {
+    let mut acc = S::one(); // u^(0) = 1
+    let mut upow = S::one();
+    for _ in 0..p {
+        upow = upow.mul(u);
+        acc = acc.add(&upow);
+    }
+    acc
+}
+
+/// Returns the stability index of `u` — the least `p` with
+/// `u^(p) = u^(p+1)` — or `None` if no index `≤ cap` works.
+///
+/// By eq. (31), once `u^(p) = u^(p+1)` holds, `u^(p) = u^(q)` for all
+/// `q > p`, so the first fixed step is the index.
+pub fn element_stability_index<S: Semiring>(u: &S, cap: usize) -> Option<usize> {
+    let mut acc = S::one();
+    let mut upow = S::one();
+    for p in 0..=cap {
+        upow = upow.mul(u);
+        let next = acc.add(&upow);
+        if next == acc {
+            return Some(p);
+        }
+        acc = next;
+    }
+    None
+}
+
+/// Whether `u` is `p`-stable: `u^(p) = u^(p+1)`.
+pub fn is_p_stable<S: Semiring>(u: &S, p: usize) -> bool {
+    powers_sum(u, p) == powers_sum(u, p + 1)
+}
+
+/// The Kleene star of a `p`-stable element: `u* = u^(p)`.
+///
+/// This is the closure used by the Floyd–Warshall–Kleene algorithm and by
+/// `LinearLFP` (Sec. 5.5) on uniformly stable semirings.
+pub fn stable_star<S: Semiring>(u: &S, p: usize) -> S {
+    powers_sum(u, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boolean::Bool;
+    use crate::nat::Nat;
+    use crate::trop::Trop;
+
+    #[test]
+    fn powers_sum_over_nat() {
+        // 1 + 2 + 4 + 8 = 15
+        assert_eq!(powers_sum(&Nat(2), 3), Nat(15));
+        // u^(0) = 1
+        assert_eq!(powers_sum(&Nat(7), 0), Nat(1));
+    }
+
+    #[test]
+    fn nat_is_not_stable() {
+        assert_eq!(element_stability_index(&Nat(2), 30), None);
+        // ... except 0, which is 0-stable: 1 + 0 = 1.
+        assert_eq!(element_stability_index(&Nat(0), 30), Some(0));
+    }
+
+    #[test]
+    fn trop_is_zero_stable() {
+        for v in [0.0, 0.5, 3.0] {
+            assert_eq!(element_stability_index(&Trop::finite(v), 5), Some(0));
+        }
+        assert_eq!(element_stability_index(&Trop::INF, 5), Some(0));
+    }
+
+    #[test]
+    fn booleans_zero_stable() {
+        assert!(is_p_stable(&Bool(true), 0));
+        assert!(is_p_stable(&Bool(false), 0));
+    }
+
+    #[test]
+    fn stability_monotone_in_p() {
+        // p-stable implies q-stable for q >= p (eq. 31).
+        assert!(is_p_stable(&Trop::finite(2.0), 0));
+        assert!(is_p_stable(&Trop::finite(2.0), 1));
+        assert!(is_p_stable(&Trop::finite(2.0), 5));
+    }
+
+    #[test]
+    fn stable_star_on_trop() {
+        // star(a) = min(0, a, 2a, ...) = 0 = tropical one.
+        use crate::traits::PreSemiring;
+        assert_eq!(stable_star(&Trop::finite(4.0), 0), Trop::one());
+    }
+}

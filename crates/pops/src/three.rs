@@ -1,0 +1,185 @@
+//! The POPS `THREE` (Sec. 2.5.2): Kleene's strong three-valued logic under
+//! the *knowledge* order.
+//!
+//! Carrier `{⊥, 0, 1}`; `∨`/`∧` are max/min in the **truth** order
+//! `0 ≤_t ⊥ ≤_t 1`, while the POPS order is the **knowledge** order
+//! `⊥ <_k 0`, `⊥ <_k 1` (0 and 1 incomparable). Unlike the lifted Booleans,
+//! `0 ∧ ⊥ = 0`, so absorption holds and `THREE` **is** a semiring. Its core
+//! `THREE ∨ ⊥ = {⊥, 1} ≅ 𝔹`.
+//!
+//! The monotone (w.r.t. `≤_k`) negation `not(0)=1, not(1)=0, not(⊥)=⊥`
+//! lets datalog° express datalog with negation under Fitting's three-valued
+//! semantics (Sec. 7).
+
+use crate::traits::*;
+
+/// A truth value of Kleene's three-valued logic.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Three {
+    /// Undefined (`⊥`): least in the knowledge order.
+    Undef,
+    /// False (`0`).
+    False,
+    /// True (`1`).
+    True,
+}
+
+impl Three {
+    /// Position in the truth order `0 ≤_t ⊥ ≤_t 1`.
+    fn truth_rank(self) -> u8 {
+        match self {
+            Three::False => 0,
+            Three::Undef => 1,
+            Three::True => 2,
+        }
+    }
+
+    /// Kleene negation — monotone in the knowledge order.
+    #[allow(clippy::should_implement_trait)] // domain operation, not std::ops::Not
+    pub fn not(self) -> Three {
+        match self {
+            Three::Undef => Three::Undef,
+            Three::False => Three::True,
+            Three::True => Three::False,
+        }
+    }
+
+    /// Embeds a classical Boolean.
+    pub fn from_bool(b: bool) -> Three {
+        if b {
+            Three::True
+        } else {
+            Three::False
+        }
+    }
+}
+
+impl PreSemiring for Three {
+    fn zero() -> Self {
+        Three::False
+    }
+    fn one() -> Self {
+        Three::True
+    }
+    /// `∨` = max in the truth order.
+    fn add(&self, rhs: &Self) -> Self {
+        if self.truth_rank() >= rhs.truth_rank() {
+            *self
+        } else {
+            *rhs
+        }
+    }
+    /// `∧` = min in the truth order.
+    fn mul(&self, rhs: &Self) -> Self {
+        if self.truth_rank() <= rhs.truth_rank() {
+            *self
+        } else {
+            *rhs
+        }
+    }
+}
+
+impl Semiring for Three {}
+impl Dioid for Three {}
+
+impl Pops for Three {
+    fn bottom() -> Self {
+        Three::Undef
+    }
+    /// The knowledge order `⊥ <_k 0`, `⊥ <_k 1`.
+    fn leq(&self, rhs: &Self) -> bool {
+        *self == Three::Undef || self == rhs
+    }
+}
+
+impl FiniteCarrier for Three {
+    fn carrier() -> Vec<Self> {
+        vec![Three::Undef, Three::False, Three::True]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kleene_tables() {
+        use Three::*;
+        // ∨
+        assert_eq!(False.add(&Undef), Undef);
+        assert_eq!(True.add(&Undef), True);
+        assert_eq!(False.add(&False), False);
+        // ∧
+        assert_eq!(False.mul(&Undef), False); // absorption — unlike B⊥
+        assert_eq!(True.mul(&Undef), Undef);
+        assert_eq!(True.mul(&True), True);
+    }
+
+    #[test]
+    fn absorption_makes_it_a_semiring() {
+        use Three::*;
+        for x in Three::carrier() {
+            assert_eq!(False.mul(&x), False, "0 ∧ {x:?} must be 0");
+        }
+    }
+
+    #[test]
+    fn knowledge_order() {
+        use Three::*;
+        assert!(Undef.leq(&False));
+        assert!(Undef.leq(&True));
+        assert!(!False.leq(&True));
+        assert!(!True.leq(&False));
+        assert_eq!(Three::bottom(), Undef);
+    }
+
+    #[test]
+    fn ops_monotone_in_knowledge_order() {
+        for x in Three::carrier() {
+            for x2 in Three::carrier() {
+                if !x.leq(&x2) {
+                    continue;
+                }
+                for y in Three::carrier() {
+                    for y2 in Three::carrier() {
+                        if !y.leq(&y2) {
+                            continue;
+                        }
+                        assert!(x.add(&y).leq(&x2.add(&y2)), "∨ monotone");
+                        assert!(x.mul(&y).leq(&x2.mul(&y2)), "∧ monotone");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn not_is_monotone_and_involutive() {
+        use Three::*;
+        assert_eq!(Undef.not(), Undef);
+        assert_eq!(False.not(), True);
+        assert_eq!(True.not(), False);
+        for x in Three::carrier() {
+            assert_eq!(x.not().not(), x);
+            for y in Three::carrier() {
+                if x.leq(&y) {
+                    assert!(x.not().leq(&y.not()), "not monotone in ≤k");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn core_semiring_is_bottom_and_true() {
+        // THREE ∨ ⊥ = {x ∨ ⊥ | x} = {⊥, 1} ≅ B.
+        use std::collections::BTreeSet;
+        let core: BTreeSet<Three> = Three::carrier()
+            .into_iter()
+            .map(|x| x.add(&Three::Undef))
+            .collect();
+        assert_eq!(
+            core.into_iter().collect::<Vec<_>>(),
+            vec![Three::Undef, Three::True]
+        );
+    }
+}

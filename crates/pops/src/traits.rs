@@ -1,0 +1,180 @@
+//! The algebraic trait hierarchy of the paper (Sec. 2).
+//!
+//! ```text
+//! PreSemiring ─── Semiring ─┬─ NaturallyOrdered (marker; requires Pops)
+//!       │                   ├─ Dioid ── CompleteDistributiveDioid (requires Pops)
+//!       │                   └─ StarSemiring / UniformlyStable
+//!       └─ Pops (adds ⊥ and the partial order ⊑, decoupled from the algebra)
+//! ```
+//!
+//! All operations take `&self` and are pure. Elements must be `Eq` so that
+//! fixpoint iteration can detect convergence exactly, and `Hash + Ord` so
+//! they can be used in deterministic containers and law checkers.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A commutative pre-semiring `(S, ⊕, ⊗, 0, 1)` (Definition 2.1).
+///
+/// `(S, ⊕, 0)` is a commutative monoid, `(S, ⊗, 1)` is a commutative monoid
+/// (the paper only considers commutative pre-semirings), and `⊗` distributes
+/// over `⊕`. The absorption rule `0 ⊗ x = 0` is **not** required; structures
+/// for which it holds additionally implement the [`Semiring`] marker.
+pub trait PreSemiring: Clone + Eq + Ord + Hash + Debug + 'static {
+    /// The additive identity `0`.
+    fn zero() -> Self;
+    /// The multiplicative identity `1`.
+    fn one() -> Self;
+    /// Addition `⊕`.
+    fn add(&self, rhs: &Self) -> Self;
+    /// Multiplication `⊗`.
+    fn mul(&self, rhs: &Self) -> Self;
+
+    /// Whether this element equals `0`.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+    /// Whether this element equals `1`.
+    fn is_one(&self) -> bool {
+        *self == Self::one()
+    }
+
+    /// `self^k` with the convention `a^0 = 1` (Sec. 2.2).
+    fn pow(&self, k: u32) -> Self {
+        let mut acc = Self::one();
+        for _ in 0..k {
+            acc = acc.mul(self);
+        }
+        acc
+    }
+
+    /// `⊕`-fold of an iterator (empty sum is `0`).
+    fn sum<'a, I: IntoIterator<Item = &'a Self>>(iter: I) -> Self
+    where
+        Self: 'a,
+    {
+        iter.into_iter()
+            .fold(Self::zero(), |acc, x| acc.add(x))
+    }
+
+    /// `⊗`-fold of an iterator (empty product is `1`).
+    fn product<'a, I: IntoIterator<Item = &'a Self>>(iter: I) -> Self
+    where
+        Self: 'a,
+    {
+        iter.into_iter().fold(Self::one(), |acc, x| acc.mul(x))
+    }
+}
+
+/// Marker: the absorption rule `0 ⊗ x = 0` holds, making this a semiring
+/// (Definition 2.1).
+pub trait Semiring: PreSemiring {}
+
+/// A partially ordered pre-semiring (POPS, Definition 2.3).
+///
+/// `(P, ⊑)` is a poset with minimum element `⊥`, and `⊕`, `⊗` are monotone
+/// under `⊑`. Throughout the paper (and this library) `⊗` is assumed
+/// *strict*: `x ⊗ ⊥ = ⊥`.
+pub trait Pops: PreSemiring {
+    /// The least element `⊥` of the partial order.
+    fn bottom() -> Self;
+    /// The partial order `self ⊑ rhs`.
+    fn leq(&self, rhs: &Self) -> bool;
+
+    /// Whether this element equals `⊥`.
+    fn is_bottom(&self) -> bool {
+        *self == Self::bottom()
+    }
+
+    /// Strict order `self ⊏ rhs`.
+    fn strictly_below(&self, rhs: &Self) -> bool {
+        self != rhs && self.leq(rhs)
+    }
+}
+
+/// Marker: this POPS is a *naturally ordered semiring*: the POPS order `⊑`
+/// coincides with the natural order `x ⪯ y ⟺ ∃z. x ⊕ z = y`, and `⊥ = 0`
+/// (Sec. 2.1/2.5). For such structures the core semiring `P ⊕ ⊥` is `P`
+/// itself.
+pub trait NaturallyOrdered: Semiring + Pops {}
+
+/// Marker: `⊕` is idempotent (`a ⊕ a = a`), making this semiring a *dioid*
+/// (Sec. 6.1). By Proposition 6.1 a dioid is naturally ordered and `⊕` is the
+/// least upper bound of its natural order.
+pub trait Dioid: Semiring {}
+
+/// A POPS that is a *complete distributive dioid* (Definition 6.2): `⊑` is
+/// the dioid's natural order and `(S, ⊑)` is a complete distributive
+/// lattice. Provides the difference operator
+/// `b ⊖ a = ⋀ { c | a ⊕ c ⊒ b }` (eq. 58), which powers semi-naïve
+/// evaluation (Sec. 6).
+pub trait CompleteDistributiveDioid: Dioid + Pops {
+    /// `self ⊖ rhs` per eq. (58). Satisfies eq. (59) and (60) (Lemma 6.3):
+    /// `a ⊑ b ⟹ a ⊕ (b ⊖ a) = b` and `(a ⊕ b) ⊖ (a ⊕ c) = b ⊖ (a ⊕ c)`.
+    fn minus(&self, rhs: &Self) -> Self;
+}
+
+/// A semiring with a closure (star) operation `a* = ⨁_{i≥0} a^i`.
+///
+/// For a `p`-stable semiring `a* = a^(p) = 1 ⊕ a ⊕ … ⊕ a^p` (Sec. 5.5);
+/// this is what makes the Floyd–Warshall–Kleene algorithm and Algorithm 2
+/// (`LinearLFP`) applicable.
+pub trait StarSemiring: Semiring {
+    /// The Kleene star `a*`.
+    fn star(&self) -> Self;
+}
+
+/// A uniformly stable ("p-stable") semiring (Definition 5.1): there is a
+/// single `p` such that every element `u` satisfies `u^(p) = u^(p+1)` where
+/// `u^(p) = 1 ⊕ u ⊕ u² ⊕ … ⊕ u^p`.
+pub trait UniformlyStable: Semiring {
+    /// The uniform stability index `p`.
+    fn uniform_stability_index() -> usize;
+}
+
+/// A structure with a finite, enumerable carrier. Used by the exhaustive law
+/// checker ([`crate::checker`]) and by exhaustive tests.
+pub trait FiniteCarrier: Sized {
+    /// Every element of the carrier, in a deterministic order.
+    fn carrier() -> Vec<Self>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boolean::Bool;
+
+    #[test]
+    fn pow_zero_is_one() {
+        assert_eq!(Bool(false).pow(0), Bool(true));
+        assert_eq!(Bool(true).pow(0), Bool(true));
+    }
+
+    #[test]
+    fn pow_repeats_mul() {
+        assert_eq!(Bool(false).pow(3), Bool(false));
+        assert_eq!(Bool(true).pow(3), Bool(true));
+    }
+
+    #[test]
+    fn empty_sum_and_product() {
+        let empty: [Bool; 0] = [];
+        assert_eq!(Bool::sum(empty.iter()), Bool::zero());
+        assert_eq!(Bool::product(empty.iter()), Bool::one());
+    }
+
+    #[test]
+    fn sum_and_product_fold() {
+        let xs = [Bool(false), Bool(true), Bool(false)];
+        assert_eq!(Bool::sum(xs.iter()), Bool(true));
+        assert_eq!(Bool::product(xs.iter()), Bool(false));
+    }
+
+    #[test]
+    fn strictly_below_is_strict() {
+        use crate::traits::Pops;
+        assert!(Bool(false).strictly_below(&Bool(true)));
+        assert!(!Bool(true).strictly_below(&Bool(true)));
+        assert!(!Bool(true).strictly_below(&Bool(false)));
+    }
+}

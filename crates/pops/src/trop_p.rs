@@ -1,0 +1,245 @@
+//! The p-stable tropical semiring `Trop⁺_p` (Example 2.9).
+//!
+//! Elements are *bags* of `p+1` costs in `ℝ₊ ∪ {∞}` kept sorted ascending;
+//! `x ⊕ y = min_p(x ⊎ y)` (the `p+1` smallest of the bag union) and
+//! `x ⊗ y = min_p(x + y)` (the `p+1` smallest pairwise sums). A datalog°
+//! program over `Trop⁺_p` computes, e.g., the top `p+1` shortest path
+//! lengths (Example 4.1).
+//!
+//! `Trop⁺_p` is **p-stable and the bound is tight** (Proposition 5.3): the
+//! multiplicative unit `1_p = {{0, ∞, …, ∞}}` is not `(p-1)`-stable.
+
+use crate::f64total::F64;
+use crate::traits::*;
+
+/// A `Trop⁺_p` element: a sorted bag of exactly `P+1` costs.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TropP<const P: usize> {
+    /// Sorted ascending; length is always `P+1`.
+    costs: Vec<F64>,
+}
+
+impl<const P: usize> TropP<P> {
+    /// Builds an element from up to `P+1` costs; missing slots are filled
+    /// with `∞`, excess entries beyond the `P+1` smallest are dropped
+    /// (i.e. the input is passed through `min_p`).
+    pub fn from_costs(costs: &[f64]) -> Self {
+        let mut v: Vec<F64> = costs
+            .iter()
+            .map(|&c| {
+                assert!(c >= 0.0, "TropP costs must be non-negative, got {c}");
+                F64::of(c)
+            })
+            .collect();
+        v.sort_unstable();
+        v.truncate(P + 1);
+        while v.len() < P + 1 {
+            v.push(F64::INFINITY);
+        }
+        TropP { costs: v }
+    }
+
+    /// The sorted bag of costs (length `P+1`).
+    pub fn costs(&self) -> &[F64] {
+        &self.costs
+    }
+
+    /// The best (smallest) cost in the bag.
+    pub fn best(&self) -> F64 {
+        self.costs[0]
+    }
+
+    /// `min_p` of an arbitrary collection: sort ascending, keep `P+1`.
+    fn min_p(mut v: Vec<F64>) -> Self {
+        v.sort_unstable();
+        v.truncate(P + 1);
+        debug_assert_eq!(v.len(), P + 1);
+        TropP { costs: v }
+    }
+}
+
+impl<const P: usize> PreSemiring for TropP<P> {
+    fn zero() -> Self {
+        TropP {
+            costs: vec![F64::INFINITY; P + 1],
+        }
+    }
+    fn one() -> Self {
+        let mut costs = vec![F64::INFINITY; P + 1];
+        costs[0] = F64::ZERO;
+        TropP { costs }
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        // min_p of the bag union: merge two sorted runs.
+        let mut merged = Vec::with_capacity(2 * (P + 1));
+        let (mut i, mut j) = (0, 0);
+        while merged.len() < P + 1 {
+            if self.costs[i] <= rhs.costs[j] {
+                merged.push(self.costs[i]);
+                i += 1;
+            } else {
+                merged.push(rhs.costs[j]);
+                j += 1;
+            }
+        }
+        TropP { costs: merged }
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        // min_p of all pairwise sums.
+        let mut sums = Vec::with_capacity((P + 1) * (P + 1));
+        for &a in &self.costs {
+            for &b in &rhs.costs {
+                sums.push(a.add(b));
+            }
+        }
+        Self::min_p(sums)
+    }
+}
+
+impl<const P: usize> Semiring for TropP<P> {}
+impl<const P: usize> NaturallyOrdered for TropP<P> {}
+
+impl<const P: usize> Pops for TropP<P> {
+    fn bottom() -> Self {
+        Self::zero()
+    }
+
+    /// The natural order: `x ⊑ y ⟺ ∃z. x ⊕ z = y`.
+    ///
+    /// Decided greedily: walk `y` ascending while consuming matching
+    /// elements of `x`; any unconsumed element of `x` strictly smaller than
+    /// the current `y`-element would force itself into `min_p(x ⊎ z)`, so
+    /// the order fails. (Verified against brute force in tests.)
+    fn leq(&self, rhs: &Self) -> bool {
+        let mut i = 0; // pointer into self (x)
+        for &y in &rhs.costs {
+            if i < self.costs.len() && self.costs[i] < y {
+                // An unconsumed x-element strictly below the next y-element
+                // would force itself into min_p(x ⊎ z).
+                return false;
+            }
+            if i < self.costs.len() && self.costs[i] == y {
+                i += 1;
+            }
+            // else: y is supplied by z.
+        }
+        // Remaining x-elements are all ≥ max(y): with ties they can only be
+        // displaced by equal elements, which leaves the output bag intact
+        // only if they equal max(y)... Careful tie case: unconsumed
+        // x-elements equal to max(y) would still be candidates, but min_p
+        // breaks ties arbitrarily among equal values, so the output multiset
+        // is unchanged. Strictly larger leftovers never enter the output.
+        true
+    }
+}
+
+impl<const P: usize> StarSemiring for TropP<P> {
+    fn star(&self) -> Self {
+        crate::stability::stable_star(self, P)
+    }
+}
+
+impl<const P: usize> UniformlyStable for TropP<P> {
+    fn uniform_stability_index() -> usize {
+        P
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stability::{element_stability_index, is_p_stable, powers_sum};
+
+    type T2 = TropP<2>;
+
+    #[test]
+    fn example_2_9_ops() {
+        // {{3,7,9}} ⊕₂ {{3,7,7}} = {{3,3,7}}
+        let x = T2::from_costs(&[3.0, 7.0, 9.0]);
+        let y = T2::from_costs(&[3.0, 7.0, 7.0]);
+        assert_eq!(x.add(&y), T2::from_costs(&[3.0, 3.0, 7.0]));
+        // {{3,7,9}} ⊗₂ {{3,7,7}} = {{6,10,10}}
+        assert_eq!(x.mul(&y), T2::from_costs(&[6.0, 10.0, 10.0]));
+    }
+
+    #[test]
+    fn identities() {
+        let x = T2::from_costs(&[3.0, 7.0, 9.0]);
+        assert_eq!(x.add(&T2::zero()), x);
+        assert_eq!(x.mul(&T2::one()), x);
+    }
+
+    #[test]
+    fn eq_15_homomorphism() {
+        // min_p(min_p(x ⊎ y) ⊎ z) = min_p(x ⊎ y ⊎ z) — associativity probe.
+        let x = T2::from_costs(&[1.0, 4.0, 4.0]);
+        let y = T2::from_costs(&[2.0, 2.0, 9.0]);
+        let z = T2::from_costs(&[0.5, 3.0, 8.0]);
+        assert_eq!(x.add(&y).add(&z), x.add(&y.add(&z)));
+        assert_eq!(x.mul(&y).mul(&z), x.mul(&y.mul(&z)));
+        assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
+    }
+
+    #[test]
+    fn proposition_5_3_p_stable_and_tight() {
+        // Every element is p-stable...
+        for costs in [&[0.0, 1.0, 2.0][..], &[5.0][..], &[][..]] {
+            let u = T2::from_costs(costs);
+            assert!(is_p_stable(&u, 2), "{u:?} must be 2-stable");
+        }
+        // ...and 1_p is not (p-1)-stable: 1^(p-1) has p zeros and one ∞,
+        // 1^(p) has p+1 zeros.
+        let one = T2::one();
+        assert_eq!(powers_sum(&one, 1), T2::from_costs(&[0.0, 0.0]));
+        assert_eq!(powers_sum(&one, 2), T2::from_costs(&[0.0, 0.0, 0.0]));
+        assert_eq!(element_stability_index(&one, 10), Some(2));
+    }
+
+    #[test]
+    fn p_equals_zero_degenerates_to_trop() {
+        let x = TropP::<0>::from_costs(&[3.0]);
+        let y = TropP::<0>::from_costs(&[5.0]);
+        assert_eq!(x.add(&y), TropP::<0>::from_costs(&[3.0]));
+        assert_eq!(x.mul(&y), TropP::<0>::from_costs(&[8.0]));
+        assert_eq!(element_stability_index(&x, 5), Some(0));
+    }
+
+    /// Brute-force check of the natural order on a small discrete grid:
+    /// x ⪯ y iff some bag z over the grid has x ⊕ z = y.
+    #[test]
+    fn natural_order_matches_brute_force() {
+        type T1 = TropP<1>;
+        let grid = [0.0, 1.0, 2.0, f64::INFINITY];
+        let elements: Vec<T1> = {
+            let mut v = vec![];
+            for &a in &grid {
+                for &b in &grid {
+                    let e = T1::from_costs(
+                        &[a, b].iter().copied().filter(|c| c.is_finite()).collect::<Vec<_>>(),
+                    );
+                    if !v.contains(&e) {
+                        v.push(e);
+                    }
+                }
+            }
+            v
+        };
+        for x in &elements {
+            for y in &elements {
+                let brute = elements.iter().any(|z| &x.add(z) == y);
+                assert_eq!(
+                    x.leq(y),
+                    brute,
+                    "leq mismatch for x={x:?} y={y:?} (brute={brute})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn order_has_bottom() {
+        let x = T2::from_costs(&[3.0, 7.0]);
+        assert!(T2::bottom().leq(&x));
+        assert!(x.leq(&x));
+    }
+}

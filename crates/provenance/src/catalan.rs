@@ -1,0 +1,124 @@
+//! Example 5.5: the Catalan structure of `f(x) = b ⊕ a·x²`.
+//!
+//! Formally iterating `f` from `0` yields (eq. 33)
+//! `f^(q)(0) = Σ_{n<q} C_n aⁿ bⁿ⁺¹ + Σ_{n≥q} λ^(q)_n aⁿ bⁿ⁺¹` where
+//! `C_n = (2n choose n)/(n+1)` is the `n`-th Catalan number — the
+//! stabilized coefficients count binary parse trees. This module computes
+//! both sides independently and exposes the coefficient stream used by the
+//! reproduction harness (experiment E9).
+
+use crate::formal::{formal_iterates_truncated, Expo, FExpr, FormalPoly, Sym};
+#[cfg(test)]
+use crate::formal::formal_iterates;
+
+/// The terminal `a` of Example 5.5.
+pub const SYM_A: Sym = Sym(0);
+/// The terminal `b` of Example 5.5.
+pub const SYM_B: Sym = Sym(1);
+
+/// The system `f(x) = b + a·x²` as a formal expression.
+pub fn example_5_5_system() -> Vec<FExpr> {
+    vec![FExpr::Add(vec![
+        FExpr::sym(SYM_B),
+        FExpr::Mul(vec![FExpr::sym(SYM_A), FExpr::Var(0), FExpr::Var(0)]),
+    ])]
+}
+
+/// The exponent vector of `aⁿ bⁿ⁺¹`.
+pub fn expo_anbn1(n: u32) -> Expo {
+    let mut e = Expo::unit();
+    for _ in 0..n {
+        e = e.mul(&Expo::of(SYM_A));
+    }
+    for _ in 0..=n {
+        e = e.mul(&Expo::of(SYM_B));
+    }
+    e
+}
+
+/// The `n`-th Catalan number, computed by the Segner recurrence
+/// `C_{n+1} = Σ_i C_i C_{n-i}` (independent of the iteration machinery).
+pub fn catalan(n: usize) -> u128 {
+    let mut c = vec![0u128; n + 1];
+    c[0] = 1;
+    for m in 1..=n {
+        let mut acc: u128 = 0;
+        for i in 0..m {
+            acc = acc
+                .checked_add(c[i].checked_mul(c[m - 1 - i]).expect("overflow"))
+                .expect("overflow");
+        }
+        c[m] = acc;
+    }
+    c[n]
+}
+
+/// The coefficient `λ^(q)_n` of `aⁿ bⁿ⁺¹` in the formal iterate `f^(q)(0)`
+/// (eq. 33): returns the coefficients for `n = 0..max_n` at iteration `q`.
+pub fn iterate_coefficients(q: usize, max_n: u32) -> Vec<u128> {
+    // Truncate above the degree of aⁿbⁿ⁺¹ for n = max_n: multiplication
+    // never lowers degrees, so the retained coefficients are exact.
+    let its = formal_iterates_truncated(&example_5_5_system(), q, 2 * max_n + 1);
+    let fq: &FormalPoly = &its[q][0];
+    (0..=max_n).map(|n| fq.coeff(&expo_anbn1(n))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalan_numbers() {
+        let expected: [u128; 10] = [1, 1, 2, 5, 14, 42, 132, 429, 1430, 4862];
+        for (n, &c) in expected.iter().enumerate() {
+            assert_eq!(catalan(n), c);
+        }
+    }
+
+    #[test]
+    fn example_5_5_first_iterates() {
+        // f^(2)(0) = b + a b² ; f^(3)(0) = b + ab² + 2a²b³ + a³b⁴.
+        let c2 = iterate_coefficients(2, 3);
+        assert_eq!(c2, vec![1, 1, 0, 0]);
+        let c3 = iterate_coefficients(3, 3);
+        assert_eq!(c3, vec![1, 1, 2, 1]);
+        // f^(4)(0) = b + ab² + 2a²b³ + 5a³b⁴ + … (paper's expansion).
+        let c4 = iterate_coefficients(4, 3);
+        assert_eq!(&c4[..4], &[1, 1, 2, 5]);
+    }
+
+    #[test]
+    fn eq_33_coefficients_stabilize_to_catalan() {
+        // For q ≥ n + 1 the coefficient of aⁿ bⁿ⁺¹ equals C_n.
+        let max_n = 5u32;
+        let q = (max_n + 2) as usize;
+        let coeffs = iterate_coefficients(q, max_n);
+        for (n, c) in coeffs.iter().enumerate() {
+            assert_eq!(*c, catalan(n), "coefficient of a^{n} b^{}", n + 1);
+        }
+    }
+
+    #[test]
+    fn every_monomial_has_catalan_shape() {
+        // All monomials of f^(q)(0) are aⁿ bⁿ⁺¹ (Prop. 5.13 for this f).
+        let its = formal_iterates(&example_5_5_system(), 5);
+        for (v, _) in its[5][0].terms() {
+            let na = v.exponent(SYM_A);
+            let nb = v.exponent(SYM_B);
+            assert_eq!(nb, na + 1, "monomial a^{na} b^{nb}");
+        }
+    }
+
+    #[test]
+    fn tree_counts_match_coefficients() {
+        // The coefficient λ^(q)_v counts parse trees (eq. 44): compare the
+        // grammar enumeration with the formal expansion for q = 4.
+        use crate::grammar::{yields_sum, Grammar};
+        let mut g = Grammar::new(1);
+        g.add(0, SYM_A, vec![0, 0]);
+        g.add(0, SYM_B, vec![]);
+        let by_trees = yields_sum(&g, 0, 4, 1_000_000).unwrap();
+        let by_iteration = &formal_iterates(&example_5_5_system(), 4)[4][0];
+        assert_eq!(&by_trees, by_iteration);
+    }
+}

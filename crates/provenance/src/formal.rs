@@ -1,0 +1,305 @@
+//! The free commutative semiring `ℕ[Σ]` — formal multivariate polynomials
+//! with natural-number coefficients (the expansions of Sec. 5.2).
+//!
+//! Iterating a polynomial system symbolically in `ℕ[Σ]` produces exactly
+//! the expansions `f^(q)(0)` of eq. (33)/(43): a map from exponent vectors
+//! (Parikh images of parse-tree yields) to counts `λ^(q)_v` (eq. 44).
+//! Coefficients use checked `u128` arithmetic — iteration depths in the
+//! experiments keep them comfortably inside range, and overflow panics
+//! rather than corrupting counts.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A terminal symbol (coefficient name) of the free semiring.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Sym(pub u32);
+
+/// An exponent vector over `Σ` (the Parikh image of a monomial), sparse.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Expo(pub BTreeMap<Sym, u32>);
+
+impl Expo {
+    /// The empty exponent (the monomial `1`).
+    pub fn unit() -> Expo {
+        Expo(BTreeMap::new())
+    }
+
+    /// A single symbol.
+    pub fn of(s: Sym) -> Expo {
+        Expo(std::iter::once((s, 1)).collect())
+    }
+
+    /// Pointwise sum (monomial product).
+    pub fn mul(&self, rhs: &Expo) -> Expo {
+        let mut out = self.0.clone();
+        for (s, k) in &rhs.0 {
+            *out.entry(*s).or_insert(0) += k;
+        }
+        Expo(out)
+    }
+
+    /// Total degree `‖v‖₁`.
+    pub fn degree(&self) -> u32 {
+        self.0.values().sum()
+    }
+
+    /// The exponent of a symbol.
+    pub fn exponent(&self, s: Sym) -> u32 {
+        self.0.get(&s).copied().unwrap_or(0)
+    }
+}
+
+/// A formal polynomial: a finite map `exponent vector ↦ ℕ coefficient`.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct FormalPoly {
+    terms: BTreeMap<Expo, u128>,
+}
+
+impl FormalPoly {
+    /// The zero polynomial.
+    pub fn zero() -> FormalPoly {
+        FormalPoly {
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The unit polynomial `1`.
+    pub fn one() -> FormalPoly {
+        FormalPoly::monomial(Expo::unit(), 1)
+    }
+
+    /// A single symbol as a polynomial.
+    pub fn sym(s: Sym) -> FormalPoly {
+        FormalPoly::monomial(Expo::of(s), 1)
+    }
+
+    /// `c · x^v`.
+    pub fn monomial(v: Expo, c: u128) -> FormalPoly {
+        let mut terms = BTreeMap::new();
+        if c != 0 {
+            terms.insert(v, c);
+        }
+        FormalPoly { terms }
+    }
+
+    /// Polynomial sum.
+    pub fn add(&self, rhs: &FormalPoly) -> FormalPoly {
+        let mut out = self.terms.clone();
+        for (v, c) in &rhs.terms {
+            let slot = out.entry(v.clone()).or_insert(0);
+            *slot = slot.checked_add(*c).expect("ℕ[Σ] coefficient overflow");
+        }
+        FormalPoly { terms: out }
+    }
+
+    /// Polynomial product.
+    pub fn mul(&self, rhs: &FormalPoly) -> FormalPoly {
+        let mut out: BTreeMap<Expo, u128> = BTreeMap::new();
+        for (v1, c1) in &self.terms {
+            for (v2, c2) in &rhs.terms {
+                let v = v1.mul(v2);
+                let c = c1.checked_mul(*c2).expect("ℕ[Σ] coefficient overflow");
+                let slot = out.entry(v).or_insert(0);
+                *slot = slot.checked_add(c).expect("ℕ[Σ] coefficient overflow");
+            }
+        }
+        FormalPoly { terms: out }
+    }
+
+    /// The coefficient of an exponent vector (`λ_v` in eq. 43/44).
+    pub fn coeff(&self, v: &Expo) -> u128 {
+        self.terms.get(v).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(exponent, coefficient)` pairs.
+    pub fn terms(&self) -> impl Iterator<Item = (&Expo, &u128)> {
+        self.terms.iter()
+    }
+
+    /// Number of monomials.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Maximum total degree.
+    pub fn degree(&self) -> u32 {
+        self.terms.keys().map(|v| v.degree()).max().unwrap_or(0)
+    }
+
+    /// Drops monomials of total degree greater than `max_degree`.
+    pub fn truncate_degree(mut self, max_degree: u32) -> FormalPoly {
+        if max_degree == u32::MAX {
+            return self;
+        }
+        self.terms.retain(|v, _| v.degree() <= max_degree);
+        self
+    }
+}
+
+impl fmt::Debug for FormalPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        let parts: Vec<String> = self
+            .terms
+            .iter()
+            .map(|(v, c)| {
+                let mono: Vec<String> = v
+                    .0
+                    .iter()
+                    .map(|(s, k)| {
+                        if *k == 1 {
+                            format!("s{}", s.0)
+                        } else {
+                            format!("s{}^{}", s.0, k)
+                        }
+                    })
+                    .collect();
+                let m = if mono.is_empty() {
+                    "1".to_string()
+                } else {
+                    mono.join("·")
+                };
+                if *c == 1 {
+                    m
+                } else {
+                    format!("{c}·{m}")
+                }
+            })
+            .collect();
+        write!(f, "{}", parts.join(" + "))
+    }
+}
+
+/// A system of formal polynomial functions in `n` variables: each
+/// component is built from variables (indices) and `ℕ[Σ]` constants.
+#[derive(Clone, Debug)]
+pub enum FExpr {
+    /// A variable reference `x_i`.
+    Var(usize),
+    /// An `ℕ[Σ]` constant.
+    Const(FormalPoly),
+    /// Sum of sub-expressions.
+    Add(Vec<FExpr>),
+    /// Product of sub-expressions.
+    Mul(Vec<FExpr>),
+}
+
+impl FExpr {
+    /// A single-symbol constant.
+    pub fn sym(s: Sym) -> FExpr {
+        FExpr::Const(FormalPoly::sym(s))
+    }
+
+    /// Evaluates at a vector of formal polynomials.
+    pub fn eval(&self, x: &[FormalPoly]) -> FormalPoly {
+        match self {
+            FExpr::Var(i) => x[*i].clone(),
+            FExpr::Const(c) => c.clone(),
+            FExpr::Add(es) => es
+                .iter()
+                .fold(FormalPoly::zero(), |acc, e| acc.add(&e.eval(x))),
+            FExpr::Mul(es) => es
+                .iter()
+                .fold(FormalPoly::one(), |acc, e| acc.mul(&e.eval(x))),
+        }
+    }
+}
+
+/// Computes the formal iterates `f^(0)(0), …, f^(q)(0)` of a system
+/// (Sec. 5.2): `iterates[t][i]` is the `i`-th component of `f^(t)(0)`.
+pub fn formal_iterates(system: &[FExpr], q: usize) -> Vec<Vec<FormalPoly>> {
+    formal_iterates_truncated(system, q, u32::MAX)
+}
+
+/// [`formal_iterates`] with monomials of total degree `> max_degree`
+/// dropped after every step. Multiplication in `ℕ[Σ]` never decreases
+/// degrees, so coefficients of monomials with degree ≤ `max_degree` are
+/// exact — this keeps deep iterations (whose high-degree tails count
+/// doubly-exponentially many parse trees) inside `u128`.
+pub fn formal_iterates_truncated(
+    system: &[FExpr],
+    q: usize,
+    max_degree: u32,
+) -> Vec<Vec<FormalPoly>> {
+    let n = system.len();
+    let mut out = vec![vec![FormalPoly::zero(); n]];
+    for _ in 0..q {
+        let cur = out.last().unwrap();
+        let next: Vec<FormalPoly> = system
+            .iter()
+            .map(|f| f.eval(cur).truncate_degree(max_degree))
+            .collect();
+        out.push(next);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Sym = Sym(0);
+    const B: Sym = Sym(1);
+
+    #[test]
+    fn ring_operations() {
+        // (a + b)² = a² + 2ab + b².
+        let ab = FormalPoly::sym(A).add(&FormalPoly::sym(B));
+        let sq = ab.mul(&ab);
+        assert_eq!(sq.coeff(&Expo::of(A).mul(&Expo::of(A))), 1);
+        assert_eq!(sq.coeff(&Expo::of(A).mul(&Expo::of(B))), 2);
+        assert_eq!(sq.len(), 3);
+    }
+
+    #[test]
+    fn zero_and_one() {
+        let p = FormalPoly::sym(A);
+        assert_eq!(p.add(&FormalPoly::zero()), p);
+        assert_eq!(p.mul(&FormalPoly::one()), p);
+        assert!(p.mul(&FormalPoly::zero()).is_empty());
+    }
+
+    #[test]
+    fn expo_degree_and_mul() {
+        let v = Expo::of(A).mul(&Expo::of(A)).mul(&Expo::of(B));
+        assert_eq!(v.degree(), 3);
+        assert_eq!(v.exponent(A), 2);
+        assert_eq!(v.exponent(B), 1);
+    }
+
+    #[test]
+    fn formal_iterates_of_linear_system() {
+        // f(x) = 1 + a·x: f^(q)(0) = 1 + a + a² + … + a^{q-1} = a^(q-1).
+        let system = vec![FExpr::Add(vec![
+            FExpr::Const(FormalPoly::one()),
+            FExpr::Mul(vec![FExpr::sym(A), FExpr::Var(0)]),
+        ])];
+        let its = formal_iterates(&system, 4);
+        let f4 = &its[4][0];
+        for k in 0..4u32 {
+            let mut v = Expo::unit();
+            for _ in 0..k {
+                v = v.mul(&Expo::of(A));
+            }
+            assert_eq!(f4.coeff(&v), 1, "coefficient of a^{k}");
+        }
+        assert_eq!(f4.len(), 4);
+    }
+
+    #[test]
+    fn debug_rendering() {
+        let p = FormalPoly::sym(A)
+            .mul(&FormalPoly::sym(A))
+            .add(&FormalPoly::one())
+            .add(&FormalPoly::one());
+        assert_eq!(format!("{p:?}"), "2·1 + s0^2");
+    }
+}

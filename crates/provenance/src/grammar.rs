@@ -1,0 +1,264 @@
+//! Context-free grammars from polynomial systems (Sec. 5.2, eq. 38) and
+//! depth-bounded parse-tree enumeration (Lemma 5.6).
+//!
+//! Every monomial `a_{i,v} · x^v` of component `f_i` becomes a production
+//! `x_i → a_{i,v} x₁^{v₁} … x_N^{v_N}` whose terminal `a_{i,v}` is unique
+//! to the production. The yield of a parse tree is the (commutative)
+//! product of its leaf terminals; Lemma 5.6 states
+//! `(f^(q)(0))_i = Σ { Y(T) | T an x_i-rooted tree of depth ≤ q }`,
+//! which [`yields_sum`] verifies by *explicit enumeration* against the
+//! formal iterates of [`crate::formal`].
+
+use crate::formal::{Expo, FExpr, FormalPoly, Sym};
+
+/// A production `x_var → terminal · x_{children[0]} x_{children[1]} …`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Production {
+    /// The unique terminal symbol (the monomial's coefficient).
+    pub terminal: Sym,
+    /// The variables on the right-hand side (with multiplicity).
+    pub children: Vec<usize>,
+}
+
+/// A context-free grammar in the paper's normal form: one nonterminal per
+/// POPS variable, one production per monomial.
+#[derive(Clone, Debug, Default)]
+pub struct Grammar {
+    /// `prods[i]` are the productions of nonterminal `x_i`.
+    pub prods: Vec<Vec<Production>>,
+}
+
+impl Grammar {
+    /// A grammar with `n` nonterminals and no productions.
+    pub fn new(n: usize) -> Grammar {
+        Grammar {
+            prods: vec![vec![]; n],
+        }
+    }
+
+    /// Adds a production, returning its terminal symbol.
+    pub fn add(&mut self, var: usize, terminal: Sym, children: Vec<usize>) {
+        self.prods[var].push(Production { terminal, children });
+    }
+
+    /// Number of nonterminals.
+    pub fn num_vars(&self) -> usize {
+        self.prods.len()
+    }
+
+    /// The corresponding polynomial system over `ℕ[Σ]` (eq. 37): each
+    /// production contributes the monomial `terminal · Π children`.
+    pub fn to_formal_system(&self) -> Vec<FExpr> {
+        self.prods
+            .iter()
+            .map(|prods| {
+                FExpr::Add(
+                    prods
+                        .iter()
+                        .map(|p| {
+                            let mut factors = vec![FExpr::sym(p.terminal)];
+                            factors.extend(p.children.iter().map(|&c| FExpr::Var(c)));
+                            FExpr::Mul(factors)
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// A parse tree: a production choice plus subtrees for each child.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tree {
+    /// The root nonterminal.
+    pub var: usize,
+    /// Index into `grammar.prods[var]`.
+    pub prod: usize,
+    /// Subtrees, aligned with the production's children.
+    pub children: Vec<Tree>,
+}
+
+impl Tree {
+    /// Tree depth: a childless node has depth 1.
+    pub fn depth(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(|c| c.depth())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The Parikh image of the yield `Y(T)` (Sec. 5.2): the multiset of
+    /// leaf terminals.
+    pub fn yield_expo(&self, g: &Grammar) -> Expo {
+        let mut e = Expo::of(g.prods[self.var][self.prod].terminal);
+        for c in &self.children {
+            e = e.mul(&c.yield_expo(g));
+        }
+        e
+    }
+}
+
+/// Enumerates all parse trees rooted at `var` with depth ≤ `depth`.
+///
+/// `budget` caps the total number of trees produced (enumeration is
+/// exponential); `None` is returned if the budget is exceeded.
+pub fn trees_upto(g: &Grammar, var: usize, depth: usize, budget: usize) -> Option<Vec<Tree>> {
+    fn go(
+        g: &Grammar,
+        var: usize,
+        depth: usize,
+        budget: usize,
+        count: &mut usize,
+    ) -> Option<Vec<Tree>> {
+        if depth == 0 {
+            return Some(vec![]);
+        }
+        let mut out = vec![];
+        for (pi, prod) in g.prods[var].iter().enumerate() {
+            // Cartesian product of child tree lists.
+            let mut combos: Vec<Vec<Tree>> = vec![vec![]];
+            for &child in &prod.children {
+                let sub = go(g, child, depth - 1, budget, count)?;
+                let mut next = Vec::new();
+                for combo in &combos {
+                    for t in &sub {
+                        let mut c = combo.clone();
+                        c.push(t.clone());
+                        next.push(c);
+                    }
+                }
+                combos = next;
+                if combos.is_empty() {
+                    break;
+                }
+            }
+            for children in combos {
+                *count += 1;
+                if *count > budget {
+                    return None;
+                }
+                out.push(Tree {
+                    var,
+                    prod: pi,
+                    children,
+                });
+            }
+        }
+        Some(out)
+    }
+    let mut count = 0;
+    go(g, var, depth, budget, &mut count)
+}
+
+/// `Σ { Y(T) | T ∈ T_i^q }` as a formal polynomial — the right-hand side
+/// of Lemma 5.6, computed by explicit tree enumeration.
+pub fn yields_sum(g: &Grammar, var: usize, depth: usize, budget: usize) -> Option<FormalPoly> {
+    let trees = trees_upto(g, var, depth, budget)?;
+    let mut acc = FormalPoly::zero();
+    for t in &trees {
+        acc = acc.add(&FormalPoly::monomial(t.yield_expo(g), 1));
+    }
+    Some(acc)
+}
+
+/// Checks Lemma 5.6 on a grammar: for all components and all `q ≤ max_q`,
+/// the formal iterate equals the enumerated yield sum. Returns the first
+/// discrepancy as `(var, q)`.
+pub fn check_lemma_5_6(g: &Grammar, max_q: usize, budget: usize) -> Result<(), (usize, usize)> {
+    let system = g.to_formal_system();
+    let iterates = crate::formal::formal_iterates(&system, max_q);
+    for (q, row) in iterates.iter().enumerate() {
+        for (i, lhs) in row.iter().enumerate() {
+            let rhs = yields_sum(g, i, q, budget).expect("budget exceeded");
+            if lhs != &rhs {
+                return Err((i, q));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The grammar of Example 5.7 / Fig. 3:
+/// `x → a x y | b y | c` and `y → u x y | v x | w`, with
+/// terminals `a,b,c,u,v,w = s0..s5`; returns `(grammar, [a,b,c,u,v,w])`.
+pub fn example_5_7() -> (Grammar, [Sym; 6]) {
+    let syms = [Sym(0), Sym(1), Sym(2), Sym(3), Sym(4), Sym(5)];
+    let [a, b, c, u, v, w] = syms;
+    let mut g = Grammar::new(2);
+    g.add(0, a, vec![0, 1]);
+    g.add(0, b, vec![1]);
+    g.add(0, c, vec![]);
+    g.add(1, u, vec![0, 1]);
+    g.add(1, v, vec![0]);
+    g.add(1, w, vec![]);
+    (g, syms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_5_7_depth_2_yields() {
+        let (g, [a, b, c, _u, _v, w]) = example_5_7();
+        // (f^(2)(0))₁ = a·c·w + b·w + c (Sec. 5.2).
+        let sum = yields_sum(&g, 0, 2, 10_000).unwrap();
+        let acw = Expo::of(a).mul(&Expo::of(c)).mul(&Expo::of(w));
+        let bw = Expo::of(b).mul(&Expo::of(w));
+        assert_eq!(sum.coeff(&acw), 1);
+        assert_eq!(sum.coeff(&bw), 1);
+        assert_eq!(sum.coeff(&Expo::of(c)), 1);
+        assert_eq!(sum.len(), 3);
+        // And (f^(1)(0))₁ = c.
+        let sum1 = yields_sum(&g, 0, 1, 100).unwrap();
+        assert_eq!(sum1.len(), 1);
+        assert_eq!(sum1.coeff(&Expo::of(c)), 1);
+    }
+
+    #[test]
+    fn lemma_5_6_on_example_5_7() {
+        let (g, _) = example_5_7();
+        check_lemma_5_6(&g, 3, 2_000_000).expect("Lemma 5.6 must hold");
+    }
+
+    #[test]
+    fn lemma_5_6_on_quadratic_univariate() {
+        // f(x) = b + a x² (Example 5.5): x → a x x | b.
+        let mut g = Grammar::new(1);
+        g.add(0, Sym(0), vec![0, 0]);
+        g.add(0, Sym(1), vec![]);
+        check_lemma_5_6(&g, 4, 2_000_000).expect("Lemma 5.6 must hold");
+    }
+
+    #[test]
+    fn tree_depth_and_yield() {
+        let (g, [_a, b, _c, _u, _v, w]) = example_5_7();
+        // x → b y, y → w.
+        let t = Tree {
+            var: 0,
+            prod: 1,
+            children: vec![Tree {
+                var: 1,
+                prod: 2,
+                children: vec![],
+            }],
+        };
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.yield_expo(&g), Expo::of(b).mul(&Expo::of(w)));
+    }
+
+    #[test]
+    fn budget_exceeded_returns_none() {
+        let (g, _) = example_5_7();
+        assert!(trees_upto(&g, 0, 5, 3).is_none());
+    }
+
+    #[test]
+    fn depth_zero_has_no_trees() {
+        let (g, _) = example_5_7();
+        assert_eq!(trees_upto(&g, 0, 0, 10).unwrap().len(), 0);
+        assert!(yields_sum(&g, 0, 0, 10).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! # dlo-provenance — the free semiring ℕ\[Σ\] and the grammar substrate
+//!
+//! The machinery behind the convergence proofs of Sec. 5.2–5.3, built as a
+//! computational substrate so the proofs' combinatorial identities can be
+//! *checked* rather than trusted:
+//!
+//! * [`formal`] — formal multivariate polynomials over ℕ\[Σ\] and symbolic
+//!   Kleene iteration `f^(q)(0)`;
+//! * [`grammar`] — the CFG of eq. (38), depth-bounded parse-tree
+//!   enumeration, yields, and an executable Lemma 5.6 checker;
+//! * [`parikh`] — (semi)linear sets (Definition 5.8), the Proposition 5.13
+//!   basis for univariate polynomials, membership decision;
+//! * [`catalan`](mod@catalan) — Example 5.5: the `f(x) = b ⊕ a·x²` expansion whose
+//!   stabilized coefficients are the Catalan numbers (eq. 33/35).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalan;
+pub mod formal;
+pub mod grammar;
+pub mod parikh;
+
+pub use catalan::{catalan, iterate_coefficients};
+pub use formal::{formal_iterates, Expo, FExpr, FormalPoly, Sym};
+pub use grammar::{check_lemma_5_6, trees_upto, yields_sum, Grammar, Production, Tree};
+pub use parikh::{prop_5_13_basis, LinearSet, SemilinearSet};

@@ -1,0 +1,209 @@
+//! Semilinear sets and Parikh's theorem machinery (Definition 5.8,
+//! Theorem 5.9, Proposition 5.13).
+//!
+//! Parikh's theorem says the Parikh images of a context-free language form
+//! a semilinear set; Proposition 5.13 pins the exact linear basis for the
+//! univariate grammar of a polynomial `f(x) = a₀ ⊕ a₁x ⊕ … ⊕ a_n xⁿ`:
+//!
+//! `{Π(Y(T))} = { v₀ + k₁v₁ + … + k_n v_n | k ∈ ℕⁿ }` with
+//! `v₀ = (1, 0, …, 0)` and `v_i = (i−1, 0, …, 1ᵢ, …, 0)`.
+
+use crate::formal::{Expo, Sym};
+
+/// A linear set `{ base + k₁·p₁ + … + k_ℓ·p_ℓ | k ∈ ℕ^ℓ }`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinearSet {
+    /// The offset `v₀`.
+    pub base: Expo,
+    /// The periods `v₁ … v_ℓ`.
+    pub periods: Vec<Expo>,
+}
+
+impl LinearSet {
+    /// Decides membership by bounded search over the period coefficients.
+    ///
+    /// Correctness: every period has at least one strictly positive entry
+    /// (enforced), so coefficients are bounded by the target's degree.
+    pub fn contains(&self, target: &Expo) -> bool {
+        fn go(base: &Expo, periods: &[Expo], target: &Expo) -> bool {
+            // Check base ≤ target pointwise; equal => yes.
+            if base == target {
+                return true;
+            }
+            let Some((p, rest)) = periods.split_first() else {
+                return false;
+            };
+            debug_assert!(p.degree() > 0, "periods must be non-zero");
+            let mut cur = base.clone();
+            loop {
+                if go(&cur, rest, target) {
+                    return true;
+                }
+                cur = cur.mul(p);
+                // Prune once any exponent exceeds the target.
+                if cur
+                    .0
+                    .iter()
+                    .any(|(s, k)| *k > target.exponent(*s))
+                {
+                    return false;
+                }
+            }
+        }
+        go(&self.base, &self.periods, target)
+    }
+
+    /// Enumerates members with period coefficients bounded by `max_k`.
+    pub fn members_upto(&self, max_k: u32) -> Vec<Expo> {
+        let mut out = vec![];
+        fn go(cur: Expo, periods: &[Expo], max_k: u32, out: &mut Vec<Expo>) {
+            match periods.split_first() {
+                None => out.push(cur),
+                Some((p, rest)) => {
+                    let mut acc = cur;
+                    for _ in 0..=max_k {
+                        go(acc.clone(), rest, max_k, out);
+                        acc = acc.mul(p);
+                    }
+                }
+            }
+        }
+        go(self.base.clone(), &self.periods, max_k, &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// A semilinear set: a finite union of linear sets (Definition 5.8).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SemilinearSet {
+    /// The component linear sets.
+    pub components: Vec<LinearSet>,
+}
+
+impl SemilinearSet {
+    /// Membership across components.
+    pub fn contains(&self, target: &Expo) -> bool {
+        self.components.iter().any(|c| c.contains(target))
+    }
+}
+
+/// The Proposition 5.13 linear basis for a univariate polynomial: given
+/// the constant terminal `a₀` and the remaining monomials as
+/// `(terminal aᵢ, degree i)` pairs, the yields' Parikh images are exactly
+/// `{ v₀ + Σ kᵢvᵢ }` with `v₀ = e(a₀)` and `vᵢ = (i−1)·e(a₀) + e(aᵢ)`
+/// (each `aᵢ`-node consumes one pending leaf and opens `i` new ones, `i−1`
+/// of which must eventually close with `a₀`).
+pub fn prop_5_13_basis(a0: Sym, monomials: &[(Sym, usize)]) -> LinearSet {
+    let base = Expo::of(a0);
+    let periods = monomials
+        .iter()
+        .map(|&(ai, degree)| {
+            assert!(degree >= 1, "non-constant monomials only");
+            let mut v = Expo::of(ai);
+            for _ in 0..degree - 1 {
+                v = v.mul(&Expo::of(a0));
+            }
+            v
+        })
+        .collect();
+    LinearSet { base, periods }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::{trees_upto, Grammar};
+
+    fn univariate_grammar(degrees: &[usize]) -> (Grammar, Vec<Sym>) {
+        // One production per degree i: x → a_i x^i. degrees[0] must be 0.
+        let mut g = Grammar::new(1);
+        let mut syms = vec![];
+        for (ix, &d) in degrees.iter().enumerate() {
+            let s = Sym(ix as u32);
+            syms.push(s);
+            g.add(0, s, vec![0; d]);
+        }
+        (g, syms)
+    }
+
+    #[test]
+    fn linear_set_membership() {
+        let a = Sym(0);
+        let b = Sym(1);
+        let ls = LinearSet {
+            base: Expo::of(a),
+            periods: vec![Expo::of(b)],
+        };
+        assert!(ls.contains(&Expo::of(a)));
+        assert!(ls.contains(&Expo::of(a).mul(&Expo::of(b))));
+        assert!(!ls.contains(&Expo::of(b)));
+        assert!(!ls.contains(&Expo::of(a).mul(&Expo::of(a))));
+    }
+
+    #[test]
+    fn members_upto_enumerates() {
+        let a = Sym(0);
+        let b = Sym(1);
+        let ls = LinearSet {
+            base: Expo::unit(),
+            periods: vec![Expo::of(a), Expo::of(b)],
+        };
+        let members = ls.members_upto(1);
+        assert_eq!(members.len(), 4); // {}, a, b, ab
+    }
+
+    /// Proposition 5.13, forward direction: every parse-tree yield lies in
+    /// the linear set.
+    #[test]
+    fn prop_5_13_forward() {
+        // f(x) = a0 + a1 x + a2 x² + a3 x³.
+        let (g, syms) = univariate_grammar(&[0, 1, 2, 3]);
+        let basis = prop_5_13_basis(syms[0], &[(syms[1], 1), (syms[2], 2), (syms[3], 3)]);
+        let trees = trees_upto(&g, 0, 3, 200_000).unwrap();
+        assert!(!trees.is_empty());
+        for t in &trees {
+            let y = t.yield_expo(&g);
+            assert!(basis.contains(&y), "yield {y:?} outside the basis");
+        }
+    }
+
+    /// Proposition 5.13, backward direction: small members of the linear
+    /// set are realized by some parse tree.
+    #[test]
+    fn prop_5_13_backward() {
+        let (g, syms) = univariate_grammar(&[0, 2]); // f(x) = a0 + a1 x²
+        let basis = prop_5_13_basis(syms[0], &[(syms[1], 2)]);
+        // Members with k ≤ 3: yields of trees of depth ≤ 4 suffice.
+        let trees = trees_upto(&g, 0, 5, 2_000_000).unwrap();
+        let yields: Vec<Expo> = trees.iter().map(|t| t.yield_expo(&g)).collect();
+        for member in basis.members_upto(3) {
+            assert!(
+                yields.contains(&member),
+                "member {member:?} not realized by any tree"
+            );
+        }
+    }
+
+    #[test]
+    fn semilinear_union() {
+        let a = Sym(0);
+        let b = Sym(1);
+        let s = SemilinearSet {
+            components: vec![
+                LinearSet {
+                    base: Expo::of(a),
+                    periods: vec![],
+                },
+                LinearSet {
+                    base: Expo::of(b),
+                    periods: vec![],
+                },
+            ],
+        };
+        assert!(s.contains(&Expo::of(a)));
+        assert!(s.contains(&Expo::of(b)));
+        assert!(!s.contains(&Expo::unit()));
+    }
+}

@@ -1,0 +1,233 @@
+//! Affine functions over a POPS with *explicit* monomial sets (Sec. 5.5).
+//!
+//! On a POPS where `0` is not absorbing, a linear function cannot be
+//! represented as a full coefficient row — "absent" and "coefficient 0"
+//! differ (Sec. 2.2, Theorem 5.22 proof). [`AffineFn`] therefore keeps an
+//! explicit sparse term list plus an optional constant.
+
+use dlo_core::ground::GroundSystem;
+use dlo_pops::Pops;
+
+/// A linear (affine) function `f(x) = ⊕_{j ∈ V} a_j ⊗ x_j (⊕ konst)` with
+/// an explicit monomial set `V`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct AffineFn<P> {
+    /// Sparse coefficient list, sorted by variable, one entry per variable.
+    pub terms: Vec<(usize, P)>,
+    /// The constant monomial, if present (`None` ≠ `Some(0)` on a POPS!).
+    pub konst: Option<P>,
+}
+
+impl<P: Pops> AffineFn<P> {
+    /// The empty function (the empty sum, evaluating to `0`).
+    pub fn new() -> Self {
+        AffineFn {
+            terms: vec![],
+            konst: None,
+        }
+    }
+
+    /// A constant function.
+    pub fn constant(c: P) -> Self {
+        AffineFn {
+            terms: vec![],
+            konst: Some(c),
+        }
+    }
+
+    /// Adds `a ⊗ x_j` (merging with an existing `x_j` term via `⊕`).
+    pub fn add_term(&mut self, j: usize, a: P) {
+        match self.terms.binary_search_by_key(&j, |(v, _)| *v) {
+            Ok(pos) => {
+                let merged = self.terms[pos].1.add(&a);
+                self.terms[pos].1 = merged;
+            }
+            Err(pos) => self.terms.insert(pos, (j, a)),
+        }
+    }
+
+    /// Adds a constant monomial (merging via `⊕`).
+    pub fn add_const(&mut self, c: P) {
+        self.konst = Some(match self.konst.take() {
+            None => c,
+            Some(k) => k.add(&c),
+        });
+    }
+
+    /// The coefficient of `x_j`, if the monomial is present.
+    pub fn coeff_of(&self, j: usize) -> Option<&P> {
+        self.terms
+            .binary_search_by_key(&j, |(v, _)| *v)
+            .ok()
+            .map(|pos| &self.terms[pos].1)
+    }
+
+    /// This function with the `x_j` monomial removed.
+    pub fn without(&self, j: usize) -> Self {
+        AffineFn {
+            terms: self
+                .terms
+                .iter()
+                .filter(|(v, _)| *v != j)
+                .cloned()
+                .collect(),
+            konst: self.konst.clone(),
+        }
+    }
+
+    /// `s ⊗ f`: scales every monomial.
+    pub fn scale(&self, s: &P) -> Self {
+        AffineFn {
+            terms: self
+                .terms
+                .iter()
+                .map(|(v, a)| (*v, s.mul(a)))
+                .collect(),
+            konst: self.konst.as_ref().map(|k| s.mul(k)),
+        }
+    }
+
+    /// Substitutes `x_j := c(x)` (an affine function not mentioning `x_j`).
+    pub fn substitute(&self, j: usize, c: &AffineFn<P>) -> Self {
+        debug_assert!(c.coeff_of(j).is_none(), "substitution must eliminate x_j");
+        let Some(a) = self.coeff_of(j).cloned() else {
+            return self.clone();
+        };
+        let mut out = self.without(j);
+        for (v, cv) in &c.terms {
+            out.add_term(*v, a.mul(cv));
+        }
+        if let Some(k) = &c.konst {
+            out.add_const(a.mul(k));
+        }
+        out
+    }
+
+    /// Evaluates at `x`.
+    pub fn eval(&self, x: &[P]) -> P {
+        let mut acc = match &self.konst {
+            None => P::zero(),
+            Some(k) => k.clone(),
+        };
+        for (v, a) in &self.terms {
+            acc = acc.add(&a.mul(&x[*v]));
+        }
+        acc
+    }
+}
+
+/// A system of affine functions `x_i :- f_i(x)` — a grounded *linear*
+/// datalog° program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AffineSystem<P> {
+    /// One function per variable.
+    pub fns: Vec<AffineFn<P>>,
+}
+
+impl<P: Pops> AffineSystem<P> {
+    /// Number of variables.
+    pub fn dim(&self) -> usize {
+        self.fns.len()
+    }
+
+    /// One application of the ICO.
+    pub fn apply(&self, x: &[P]) -> Vec<P> {
+        self.fns.iter().map(|f| f.eval(x)).collect()
+    }
+
+    /// Naïve iteration from `⊥` with a cap.
+    pub fn naive_lfp(&self, cap: usize) -> Option<(Vec<P>, usize)> {
+        let mut x = vec![P::bottom(); self.dim()];
+        for steps in 0..=cap {
+            let next = self.apply(&x);
+            if next == x {
+                return Some((x, steps));
+            }
+            x = next;
+        }
+        None
+    }
+
+    /// Extracts the affine system from a grounded program; `None` if the
+    /// grounding is non-linear or uses interpreted value functions.
+    pub fn from_ground_system(sys: &GroundSystem<P>) -> Option<Self> {
+        let mut fns = Vec::with_capacity(sys.num_vars());
+        for poly in &sys.polys {
+            let mut f = AffineFn::new();
+            match poly {
+                None => {
+                    // Never-derived atom: constant ⊥ (stays undefined).
+                    f.add_const(P::bottom());
+                }
+                Some(poly) => {
+                    for m in &poly.monomials {
+                        match m.occs.len() {
+                            0 => f.add_const(m.coeff.clone()),
+                            1 => {
+                                if m.occs[0].func.is_some() {
+                                    return None;
+                                }
+                                f.add_term(m.occs[0].var, m.coeff.clone());
+                            }
+                            _ => return None,
+                        }
+                    }
+                }
+            }
+            fns.push(f);
+        }
+        Some(AffineSystem { fns })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlo_pops::lifted::lreal;
+    use dlo_pops::{LiftedReal, Nat, Trop};
+
+    #[test]
+    fn affine_eval_with_explicit_monomials() {
+        // Over R⊥: f(x) = 2·x0 + 5 vs g(x) = 0·x0 + 5 vs h(x) = 5.
+        let mut f = AffineFn::<LiftedReal>::new();
+        f.add_term(0, lreal(2.0));
+        f.add_const(lreal(5.0));
+        let mut g = AffineFn::<LiftedReal>::new();
+        g.add_term(0, lreal(0.0));
+        g.add_const(lreal(5.0));
+        let h = AffineFn::<LiftedReal>::constant(lreal(5.0));
+        let bot = vec![LiftedReal::Bot];
+        // Sec. 2.2 subtlety: g(⊥) = ⊥ ≠ h(⊥) = 5.
+        assert_eq!(f.eval(&bot), LiftedReal::Bot);
+        assert_eq!(g.eval(&bot), LiftedReal::Bot);
+        assert_eq!(h.eval(&bot), lreal(5.0));
+        let v = vec![lreal(3.0)];
+        assert_eq!(f.eval(&v), lreal(11.0));
+        assert_eq!(g.eval(&v), lreal(5.0));
+    }
+
+    #[test]
+    fn add_term_merges_duplicates() {
+        let mut f = AffineFn::<Nat>::new();
+        f.add_term(2, Nat(3));
+        f.add_term(2, Nat(4));
+        assert_eq!(f.coeff_of(2), Some(&Nat(7)));
+        assert_eq!(f.terms.len(), 1);
+    }
+
+    #[test]
+    fn substitution_eliminates_variable() {
+        // f(x) = min(x0 + 1, x1 + 2); substitute x1 := min(x0 + 5, 7).
+        let mut f = AffineFn::<Trop>::new();
+        f.add_term(0, Trop::finite(1.0));
+        f.add_term(1, Trop::finite(2.0));
+        let mut c = AffineFn::<Trop>::new();
+        c.add_term(0, Trop::finite(5.0));
+        c.add_const(Trop::finite(7.0));
+        let g = f.substitute(1, &c);
+        assert!(g.coeff_of(1).is_none());
+        // g(x0) = min(x0+1, x0+7, 9) = min(x0+1, 9).
+        assert_eq!(g.eval(&[Trop::finite(0.0), Trop::INF]), Trop::finite(1.0));
+        assert_eq!(g.eval(&[Trop::finite(20.0), Trop::INF]), Trop::finite(9.0));
+    }
+}

@@ -1,0 +1,190 @@
+//! Matrix partial closures and stability (Lemma 5.20, Corollary 5.21).
+//!
+//! `A^(q) = I ⊕ A ⊕ A² ⊕ … ⊕ A^q`. A matrix is `q`-stable when
+//! `A^(q) = A^(q+1)`; the naïve algorithm on the linear ICO
+//! `F(x) = A·x ⊕ b` converges in exactly `stability(A) + 1` steps for
+//! every `b` (Sec. 5.5). Over `Trop⁺_p` the worst case is
+//! `(p+1)·N − 1`, attained by the `N`-cycle (Lemma 5.20).
+
+use crate::matrix::Matrix;
+use dlo_pops::{Semiring, TropP};
+
+/// Computes the partial closure `A^(q)`.
+pub fn partial_closure<S: Semiring>(a: &Matrix<S>, q: usize) -> Matrix<S> {
+    let n = a.dim();
+    let mut acc = Matrix::<S>::identity(n);
+    let mut pow = Matrix::<S>::identity(n);
+    for _ in 0..q {
+        pow = pow.mul(a);
+        acc = acc.add(&pow);
+    }
+    acc
+}
+
+/// Iterates `A^(q)` until it stabilizes; returns `(A*, q)` where `q` is the
+/// stability index of `A` (Sec. 5.5), or `None` past the cap.
+pub fn closure_fixpoint<S: Semiring>(a: &Matrix<S>, cap: usize) -> Option<(Matrix<S>, usize)> {
+    let n = a.dim();
+    let mut acc = Matrix::<S>::identity(n);
+    let mut pow = Matrix::<S>::identity(n);
+    for q in 0..=cap {
+        pow = pow.mul(a);
+        let next = acc.add(&pow);
+        if next == acc {
+            return Some((acc, q));
+        }
+        acc = next;
+    }
+    None
+}
+
+/// The stability index of a matrix: least `q` with `A^(q) = A^(q+1)`.
+pub fn matrix_stability_index<S: Semiring>(a: &Matrix<S>, cap: usize) -> Option<usize> {
+    closure_fixpoint(a, cap).map(|(_, q)| q)
+}
+
+/// The adversarial `N`-cycle over `Trop⁺_p` from the proof of Lemma 5.20:
+/// edges `1→2→…→N→1`, each the bag `{{1, ∞, …, ∞}}`. Its stability index
+/// is exactly `(p+1)·N − 1`.
+pub fn trop_p_cycle<const P: usize>(n: usize) -> Matrix<TropP<P>> {
+    let mut m = Matrix::<TropP<P>>::zeros(n);
+    for i in 0..n {
+        m.set(i, (i + 1) % n, TropP::<P>::from_costs(&[1.0]));
+    }
+    m
+}
+
+/// Solves the linear fixpoint `x = A·x ⊕ b` by naïve (Kleene) iteration,
+/// returning `(x, steps)` or `None` past the cap.
+pub fn linear_naive_lfp<S: Semiring>(
+    a: &Matrix<S>,
+    b: &[S],
+    cap: usize,
+) -> Option<(Vec<S>, usize)> {
+    let mut x = vec![S::zero(); b.len()];
+    for steps in 0..=cap {
+        let mut next = a.mul_vec(&x);
+        for (n, bi) in next.iter_mut().zip(b) {
+            *n = n.add(bi);
+        }
+        if next == x {
+            return Some((x, steps));
+        }
+        x = next;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlo_fixpoint::trop_p_matrix_bound;
+    use dlo_pops::{Bool, PreSemiring, Trop};
+
+    #[test]
+    fn boolean_reachability_closure() {
+        // Path graph 0→1→2: A* has reachability (reflexive-transitive).
+        let mut a = Matrix::<Bool>::zeros(3);
+        a.set(0, 1, Bool(true));
+        a.set(1, 2, Bool(true));
+        let (star, q) = closure_fixpoint(&a, 10).unwrap();
+        assert_eq!(*star.get(0, 2), Bool(true));
+        assert_eq!(*star.get(2, 0), Bool(false));
+        assert_eq!(*star.get(1, 1), Bool(true)); // I included
+        assert!(q <= 2, "N-1 bound for 0-stable (Cor. 5.19): q = {q}");
+    }
+
+    #[test]
+    fn trop_apsp_closure_matches_floyd_warshall() {
+        // Fig. 2(a) weights.
+        let names = ["a", "b", "c", "d"];
+        let edges = [
+            (0, 1, 1.0),
+            (1, 2, 3.0),
+            (0, 2, 5.0),
+            (2, 3, 4.0),
+            (3, 1, 2.0),
+        ];
+        let mut a = Matrix::<Trop>::zeros(4);
+        for &(i, j, w) in &edges {
+            a.set(i, j, Trop::finite(w));
+        }
+        let (star, _) = closure_fixpoint(&a, 100).unwrap();
+        // Classic Floyd–Warshall oracle.
+        let inf = f64::INFINITY;
+        let mut d = [[inf; 4]; 4];
+        for (i, row) in d.iter_mut().enumerate() {
+            row[i] = 0.0;
+        }
+        for &(i, j, w) in &edges {
+            d[i][j] = w;
+        }
+        for k in 0..4 {
+            for i in 0..4 {
+                for j in 0..4 {
+                    if d[i][k] + d[k][j] < d[i][j] {
+                        d[i][j] = d[i][k] + d[k][j];
+                    }
+                }
+            }
+        }
+        for i in 0..4 {
+            for j in 0..4 {
+                let got = star.get(i, j).get();
+                assert_eq!(got, d[i][j], "({}, {})", names[i], names[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_5_20_cycle_attains_p_plus_1_n_minus_1() {
+        fn check<const P: usize>(n: usize) {
+            let a = trop_p_cycle::<P>(n);
+            let q = matrix_stability_index(&a, 1000).unwrap();
+            assert_eq!(
+                q as u128,
+                trop_p_matrix_bound(P, n),
+                "cycle over Trop_{P} with N={n}"
+            );
+        }
+        check::<0>(3);
+        check::<1>(3); // 2·3-1 = 5
+        check::<2>(4); // 3·4-1 = 11
+        check::<3>(5); // 4·5-1 = 19
+    }
+
+    #[test]
+    fn random_trop_p_matrices_respect_the_bound() {
+        // Deterministic pseudo-random fill; every index must be ≤ (p+1)N-1.
+        const P: usize = 2;
+        for n in 2..6 {
+            let mut seed = 0x9e3779b97f4a7c15u64;
+            let mut rng = move || {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                seed
+            };
+            let a = Matrix::<TropP<P>>::from_fn(n, |_, _| {
+                if rng() % 3 == 0 {
+                    TropP::<P>::from_costs(&[(rng() % 7) as f64])
+                } else {
+                    TropP::<P>::zero()
+                }
+            });
+            let q = matrix_stability_index(&a, 10_000).unwrap();
+            assert!(q as u128 <= trop_p_matrix_bound(P, n));
+        }
+    }
+
+    #[test]
+    fn linear_naive_lfp_solves_sssp() {
+        // x = A x ⊕ b with b = source indicator: SSSP from node 0.
+        let mut a = Matrix::<Trop>::zeros(3);
+        a.set(1, 0, Trop::finite(1.0)); // dist(1) = dist(0) + 1  (edge 0→1)
+        a.set(2, 1, Trop::finite(2.0)); // dist(2) = dist(1) + 2
+        let b = vec![Trop::finite(0.0), Trop::INF, Trop::INF];
+        let (x, _steps) = linear_naive_lfp(&a, &b, 100).unwrap();
+        assert_eq!(x, vec![Trop::finite(0.0), Trop::finite(1.0), Trop::finite(3.0)]);
+    }
+}

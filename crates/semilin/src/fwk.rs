@@ -1,0 +1,98 @@
+//! The Floyd–Warshall–Kleene closure (Sec. 5.5, \[52, 72\]).
+//!
+//! For a semiring with a star operation (`a* = a^(p)` on a p-stable
+//! semiring), the closure `A* = I ⊕ A ⊕ A² ⊕ …` is computable in `O(N³)`
+//! star/⊕/⊗ operations by Gaussian-style elimination — exponentially faster
+//! than naïve iteration when the matrix stability index is large
+//! (`(p+1)N − 1` over `Trop⁺_p`, Lemma 5.20).
+
+use crate::matrix::Matrix;
+use dlo_pops::StarSemiring;
+
+/// Computes `A* = I ⊕ A ⊕ A² ⊕ …` by Floyd–Warshall–Kleene elimination.
+pub fn fwk_closure<S: StarSemiring>(a: &Matrix<S>) -> Matrix<S> {
+    let n = a.dim();
+    let mut m = a.clone();
+    // Lehmann's algorithm: M_{k+1}[i][j] = M_k[i][j] ⊕ M_k[i][k] ⊗
+    // (M_k[k][k])* ⊗ M_k[k][j] for ALL i, j, reading the old row/column k
+    // (snapshotted) — valid in any semiring whose star satisfies
+    // a* = 1 ⊕ a ⊗ a*, which p-stability gives (a^(p) = 1 ⊕ a ⊗ a^(p)).
+    for k in 0..n {
+        let s = m.get(k, k).star();
+        let row_k: Vec<S> = (0..n).map(|j| m.get(k, j).clone()).collect();
+        let col_k: Vec<S> = (0..n).map(|i| m.get(i, k).clone()).collect();
+        for (i, ci) in col_k.iter().enumerate() {
+            let ik = ci.mul(&s);
+            for (j, rj) in row_k.iter().enumerate() {
+                let delta = ik.mul(rj);
+                m.merge(i, j, &delta);
+            }
+        }
+    }
+    // A* includes the identity.
+    m.add(&Matrix::identity(n))
+}
+
+/// Solves `x = A·x ⊕ b` as `x = A*·b` (Sec. 5.5).
+pub fn fwk_solve<S: StarSemiring>(a: &Matrix<S>, b: &[S]) -> Vec<S> {
+    fwk_closure(a).mul_vec(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::{closure_fixpoint, linear_naive_lfp, trop_p_cycle};
+    use dlo_pops::{Bool, PreSemiring, Trop, TropP};
+
+    #[test]
+    fn fwk_equals_iterative_closure_on_bool() {
+        let mut a = Matrix::<Bool>::zeros(4);
+        for (i, j) in [(0, 1), (1, 2), (2, 0), (2, 3)] {
+            a.set(i, j, Bool(true));
+        }
+        let (iter, _) = closure_fixpoint(&a, 100).unwrap();
+        assert_eq!(fwk_closure(&a), iter);
+    }
+
+    #[test]
+    fn fwk_equals_iterative_closure_on_trop() {
+        let edges = [
+            (0usize, 1usize, 1.0),
+            (1, 2, 3.0),
+            (0, 2, 5.0),
+            (2, 3, 4.0),
+            (3, 1, 2.0),
+            (3, 0, 7.0),
+        ];
+        let mut a = Matrix::<Trop>::zeros(4);
+        for &(i, j, w) in &edges {
+            a.set(i, j, Trop::finite(w));
+        }
+        let (iter, _) = closure_fixpoint(&a, 1000).unwrap();
+        assert_eq!(fwk_closure(&a), iter);
+    }
+
+    #[test]
+    fn fwk_equals_iterative_closure_on_trop_p_cycle() {
+        // The adversarial case: iterative needs (p+1)N-1 steps, FWK is N³.
+        let a = trop_p_cycle::<2>(4);
+        let (iter, q) = closure_fixpoint(&a, 1000).unwrap();
+        assert_eq!(q, 11);
+        assert_eq!(fwk_closure(&a), iter);
+    }
+
+    #[test]
+    fn fwk_solve_equals_naive_linear_lfp() {
+        let mut a = Matrix::<TropP<1>>::zeros(3);
+        a.set(0, 1, TropP::from_costs(&[1.0]));
+        a.set(1, 2, TropP::from_costs(&[2.0, 5.0]));
+        a.set(2, 0, TropP::from_costs(&[1.0]));
+        let b = vec![
+            TropP::<1>::from_costs(&[0.0]),
+            TropP::<1>::zero(),
+            TropP::<1>::zero(),
+        ];
+        let (naive, _) = linear_naive_lfp(&a, &b, 1000).unwrap();
+        assert_eq!(fwk_solve(&a, &b), naive);
+    }
+}

@@ -1,0 +1,31 @@
+//! # dlo-semilin — linear algebra over semirings and POPS
+//!
+//! Implements Sec. 5.5 of *Convergence of Datalog over (Pre-) Semirings*:
+//!
+//! * [`matrix`] — dense matrices over a semiring, matrix-vector ICOs;
+//! * [`closure`] — partial closures `A^(q)`, matrix stability indexes, the
+//!   adversarial `Trop⁺_p` cycle of Lemma 5.20, naïve linear solving;
+//! * [`fwk`] — the Floyd–Warshall–Kleene `O(N³)` closure for star
+//!   semirings;
+//! * [`affine`] / [`linear_lfp`](mod@linear_lfp) — affine functions with explicit monomial
+//!   sets (the POPS subtlety of Sec. 2.2) and Algorithm 2 (`LinearLFP`,
+//!   Theorem 5.22) in `O(pN + N³)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affine;
+pub mod closure;
+pub mod fwk;
+pub mod linear_lfp;
+pub mod matrix;
+pub mod newton;
+
+pub use affine::{AffineFn, AffineSystem};
+pub use closure::{
+    closure_fixpoint, linear_naive_lfp, matrix_stability_index, partial_closure, trop_p_cycle,
+};
+pub use fwk::{fwk_closure, fwk_solve};
+pub use linear_lfp::{linear_lfp, linear_lfp_auto};
+pub use newton::{jacobian, newton_lfp};
+pub use matrix::Matrix;

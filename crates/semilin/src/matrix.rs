@@ -1,0 +1,168 @@
+//! Dense square matrices over a semiring (Sec. 5.5).
+//!
+//! A linear ICO is a matrix-vector map `F(x) = A·x ⊕ b`; the naïve
+//! algorithm computes `A^(q)·b`, so matrix powers and partial closures
+//! `A^(q) = I ⊕ A ⊕ … ⊕ A^q` are the central objects.
+
+use dlo_pops::PreSemiring;
+use std::fmt;
+
+/// A dense `n × n` matrix over a (pre-)semiring.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix<S> {
+    n: usize,
+    data: Vec<S>,
+}
+
+impl<S: PreSemiring> Matrix<S> {
+    /// The all-zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Matrix {
+            n,
+            data: vec![S::zero(); n * n],
+        }
+    }
+
+    /// The identity matrix `I_n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m.set(i, i, S::one());
+        }
+        m
+    }
+
+    /// Builds a matrix from an entry function.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> S) -> Self {
+        let mut data = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { n, data }
+    }
+
+    /// The dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> &S {
+        &self.data[i * self.n + j]
+    }
+
+    /// Sets entry `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, v: S) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// `⊕`-combines `v` into entry `(i, j)`.
+    pub fn merge(&mut self, i: usize, j: usize, v: &S) {
+        let cur = self.get(i, j).add(v);
+        self.set(i, j, cur);
+    }
+
+    /// Matrix sum.
+    pub fn add(&self, rhs: &Self) -> Self {
+        assert_eq!(self.n, rhs.n);
+        Matrix {
+            n: self.n,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a.add(b))
+                .collect(),
+        }
+    }
+
+    /// Matrix product.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.n, rhs.n);
+        let n = self.n;
+        Matrix::from_fn(n, |i, j| {
+            let mut acc = S::zero();
+            for k in 0..n {
+                acc = acc.add(&self.get(i, k).mul(rhs.get(k, j)));
+            }
+            acc
+        })
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, x: &[S]) -> Vec<S> {
+        assert_eq!(self.n, x.len());
+        (0..self.n)
+            .map(|i| {
+                let mut acc = S::zero();
+                for (k, xk) in x.iter().enumerate() {
+                    acc = acc.add(&self.get(i, k).mul(xk));
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+impl<S: PreSemiring> fmt::Debug for Matrix<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.n {
+            let row: Vec<String> = (0..self.n)
+                .map(|j| format!("{:?}", self.get(i, j)))
+                .collect();
+            writeln!(f, "[{}]", row.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlo_pops::{Nat, Trop};
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::<Nat>::from_fn(3, |i, j| Nat((i * 3 + j) as u64));
+        let i3 = Matrix::<Nat>::identity(3);
+        assert_eq!(a.mul(&i3), a);
+        assert_eq!(i3.mul(&a), a);
+        assert_eq!(a.add(&Matrix::zeros(3)), a);
+    }
+
+    #[test]
+    fn nat_matrix_product() {
+        let a = Matrix::<Nat>::from_fn(2, |i, j| Nat((i + j) as u64)); // [0 1; 1 2]
+        let sq = a.mul(&a);
+        // [0 1;1 2]² = [1 2; 2 5]
+        assert_eq!(*sq.get(0, 0), Nat(1));
+        assert_eq!(*sq.get(0, 1), Nat(2));
+        assert_eq!(*sq.get(1, 0), Nat(2));
+        assert_eq!(*sq.get(1, 1), Nat(5));
+    }
+
+    #[test]
+    fn trop_matrix_product_is_min_plus() {
+        // Adjacency: 0→1 cost 2, 1→0 cost 3.
+        let mut a = Matrix::<Trop>::zeros(2);
+        a.set(0, 1, Trop::finite(2.0));
+        a.set(1, 0, Trop::finite(3.0));
+        let sq = a.mul(&a);
+        assert_eq!(*sq.get(0, 0), Trop::finite(5.0)); // 0→1→0
+        assert_eq!(*sq.get(0, 1), Trop::INF); // no 2-hop 0→1
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let a = Matrix::<Nat>::from_fn(3, |i, j| Nat(((i * j) % 4) as u64));
+        let x = vec![Nat(1), Nat(2), Nat(3)];
+        let as_mat = Matrix::from_fn(3, |i, _| x[i]);
+        let mv = a.mul_vec(&x);
+        let mm = a.mul(&as_mat);
+        for (i, v) in mv.iter().enumerate() {
+            assert_eq!(v, mm.get(i, 0));
+        }
+    }
+}

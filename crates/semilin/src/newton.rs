@@ -1,0 +1,159 @@
+//! Newton's method for polynomial fixpoints over idempotent commutative
+//! semirings (Esparza–Kiefer–Luttenberger \[19\], Hopkins–Kozen \[41\];
+//! discussed at length in the paper's introduction and Sec. 8).
+//!
+//! Each Newton step linearizes the system at the current iterate and
+//! solves the linear fixpoint exactly:
+//!
+//! ```text
+//! ν⁰     = F(0)
+//! ν^{i+1} = (DF|_{ν^i})* ⊗ F(ν^i)
+//! ```
+//!
+//! where `DF` is the formal Jacobian (`∂f_i/∂x_j` = sum over occurrences
+//! of `x_j`, each with the occurrence deleted) and `A*` is computed by the
+//! Floyd–Warshall–Kleene closure. For commutative **idempotent** semirings
+//! Newton reaches the least fixpoint in at most `N` iterations — but each
+//! iteration costs an `O(N³)` closure (the "Hessian materialization"
+//! analogy of the paper's intro), which is why the paper (and \[69\])
+//! expect plain (semi-)naïve iteration to win in practice. The benchmark
+//! harness reproduces that shape.
+
+use crate::fwk::fwk_closure;
+use crate::matrix::Matrix;
+use dlo_core::ground::GroundSystem;
+use dlo_pops::{Dioid, Pops, StarSemiring};
+
+/// The formal Jacobian `DF` evaluated at `x`:
+/// `DF\[i\]\[j\] = ⊕_{monomials m of f_i} ⊕_{occurrences k of x_j in m}
+/// coeff(m) ⊗ Π_{other occurrences l} x(v_l)`.
+///
+/// Only systems without interpreted value functions are differentiable
+/// this way; returns `None` otherwise.
+pub fn jacobian<P: Pops>(sys: &GroundSystem<P>, x: &[P]) -> Option<Matrix<P>> {
+    let n = sys.num_vars();
+    let mut j = Matrix::<P>::zeros(n);
+    for (i, poly) in sys.polys.iter().enumerate() {
+        let Some(poly) = poly else { continue };
+        for m in &poly.monomials {
+            for k in 0..m.occs.len() {
+                if m.occs[k].func.is_some() {
+                    return None;
+                }
+                let col = m.occs[k].var;
+                let mut acc = m.coeff.clone();
+                for (l, occ) in m.occs.iter().enumerate() {
+                    if l != k {
+                        acc = acc.mul(&x[occ.var]);
+                    }
+                }
+                j.merge(i, col, &acc);
+            }
+        }
+    }
+    Some(j)
+}
+
+/// Runs Newton's method on a grounded datalog° program over an idempotent
+/// commutative semiring with star. Returns `(lfp, newton_iterations)`, or
+/// `None` if the system uses value functions or fails to settle in `cap`
+/// Newton steps.
+pub fn newton_lfp<P: Dioid + Pops + StarSemiring>(
+    sys: &GroundSystem<P>,
+    cap: usize,
+) -> Option<(Vec<P>, usize)> {
+    // ν⁰ = F(0). (In a dioid ⊥ = 0.)
+    let mut v = sys.apply_ico(&sys.bottom());
+    for iters in 0..=cap {
+        let fv = sys.apply_ico(&v);
+        if fv == v {
+            return Some((v, iters));
+        }
+        let j = jacobian(sys, &v)?;
+        v = fwk_closure(&j).mul_vec(&fv);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlo_core::examples_lib as ex;
+    use dlo_core::{ground_sparse, naive_eval_system, BoolDatabase, EvalOutcome};
+    use dlo_pops::{Bool, Trop};
+
+    #[test]
+    fn newton_equals_naive_on_linear_tc() {
+        let (prog, edb) = ex::linear_tc_bool(&[("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")]);
+        let sys = ground_sparse(&prog, &edb, &BoolDatabase::new());
+        let EvalOutcome::Converged { output, steps } = naive_eval_system(&sys, 10_000) else {
+            panic!()
+        };
+        let (nv, nit) = newton_lfp(&sys, 100).unwrap();
+        assert_eq!(sys.to_database(&nv), output);
+        assert!(nit <= steps, "Newton {nit} must not exceed naive {steps}");
+        // On a linear system one linearization solves it exactly.
+        assert!(nit <= 1, "linear system: one Newton step, got {nit}");
+    }
+
+    #[test]
+    fn newton_equals_naive_on_quadratic_tc() {
+        // Example 6.6's non-linear rule: genuinely quadratic.
+        let (prog, edb) =
+            ex::quadratic_tc_bool(&[("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("e", "a")]);
+        let sys = ground_sparse(&prog, &edb, &BoolDatabase::new());
+        let naive = naive_eval_system(&sys, 10_000).unwrap();
+        let (nv, nit) = newton_lfp(&sys, 100).unwrap();
+        assert_eq!(sys.to_database(&nv), naive);
+        assert!(nit <= sys.num_vars(), "≤ N Newton iterations (idempotent)");
+    }
+
+    #[test]
+    fn newton_on_trop_sssp() {
+        let (prog, edb) = ex::sssp_trop("a");
+        let sys = ground_sparse(&prog, &edb, &BoolDatabase::new());
+        let naive = naive_eval_system(&sys, 10_000).unwrap();
+        let (nv, _) = newton_lfp(&sys, 100).unwrap();
+        assert_eq!(sys.to_database(&nv), naive);
+        let _ = Trop::INF;
+    }
+
+    #[test]
+    fn jacobian_of_quadratic_monomial() {
+        // f(x) = x0·x1 over B: J = [[x1, x0]].
+        use dlo_core::ground::poly::{Monomial, Polynomial, VarOcc};
+        use dlo_core::GroundAtom;
+        let mut sys = GroundSystem::<Bool> {
+            atoms: vec![
+                GroundAtom::new("X", vec![0i64.into()]),
+                GroundAtom::new("X", vec![1i64.into()]),
+            ],
+            index: Default::default(),
+            polys: vec![
+                Some(Polynomial {
+                    monomials: vec![Monomial {
+                        coeff: Bool(true),
+                        occs: vec![
+                            VarOcc { var: 0, func: None },
+                            VarOcc { var: 1, func: None },
+                        ],
+                    }],
+                }),
+                None,
+            ],
+        };
+        sys.index.insert(sys.atoms[0].clone(), 0);
+        sys.index.insert(sys.atoms[1].clone(), 1);
+        let j = jacobian(&sys, &[Bool(false), Bool(true)]).unwrap();
+        assert_eq!(*j.get(0, 0), Bool(true)); // ∂/∂x0 = x1 = true
+        assert_eq!(*j.get(0, 1), Bool(false)); // ∂/∂x1 = x0 = false
+    }
+
+    #[test]
+    fn value_functions_are_not_differentiable() {
+        let (prog, bools) = ex::win_move_three(&ex::fig4_edges());
+        let sys = dlo_core::ground(&prog, &dlo_core::Database::new(), &bools);
+        // THREE is a dioid but the `not` factors block the Jacobian.
+        assert!(jacobian(&sys, &sys.bottom()).is_none());
+    }
+}

@@ -1,0 +1,189 @@
+//! The alternating fixpoint of Van Gelder (Sec. 7.1).
+//!
+//! `J(0) = ∅`; `J(t+1)` is the least fixpoint of the *positive* program
+//! obtained by freezing every negative literal `¬A` to the Boolean
+//! `¬J(t)(A)`. The even iterates ascend, the odd iterates descend:
+//! `J(0) ⊆ J(2) ⊆ … ⊆ L` and `G ⊆ … ⊆ J(3) ⊆ J(1)`. The well-founded
+//! model assigns **true** to `L`, **false** to the complement of `G`, and
+//! **undefined** to the rest.
+
+use crate::ground::{Literal, NegProgram};
+
+/// A two-valued interpretation (bitset over atom indexes).
+pub type Interp = Vec<bool>;
+
+/// The three truth values of the well-founded model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Wf {
+    /// In every model (true).
+    True,
+    /// In no model (false).
+    False,
+    /// Undefined.
+    Undef,
+}
+
+/// The well-founded model plus the full alternating trace.
+#[derive(Clone, Debug)]
+pub struct WellFounded {
+    /// Per-atom three-valued assignment.
+    pub assignment: Vec<Wf>,
+    /// The alternating iterates `J(0), J(1), …` until both limits fixed.
+    pub trace: Vec<Interp>,
+}
+
+/// Least fixpoint of the positive program with negative literals frozen
+/// under `frozen`.
+fn positive_lfp(program: &NegProgram, frozen: &Interp) -> Interp {
+    let n = program.num_atoms();
+    let mut j = vec![false; n];
+    loop {
+        let mut changed = false;
+        for rule in &program.rules {
+            if j[rule.head] {
+                continue;
+            }
+            let fires = rule.body.iter().all(|l| match l {
+                Literal::Pos(a) => j[*a],
+                Literal::Neg(a) => !frozen[*a],
+            });
+            if fires {
+                j[rule.head] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return j;
+        }
+    }
+}
+
+/// Computes the well-founded model by the alternating fixpoint.
+pub fn well_founded(program: &NegProgram) -> WellFounded {
+    let n = program.num_atoms();
+    let mut trace: Vec<Interp> = vec![vec![false; n]];
+    loop {
+        let prev = trace.last().unwrap().clone();
+        let next = positive_lfp(program, &prev);
+        trace.push(next);
+        let t = trace.len() - 1;
+        // The sequence stabilizes when J(t+1) = J(t-1) for two parities,
+        // i.e. the last two pairs repeat: J(t) = J(t-2) and J(t-1) = J(t-3).
+        if t >= 3
+            && trace[t] == trace[t - 2]
+            && trace[t - 1] == trace[t - 3]
+        {
+            break;
+        }
+        // Degenerate stabilization (negation-free or immediate fixpoint).
+        if t >= 2 && trace[t] == trace[t - 1] && trace[t] == trace[t - 2] {
+            break;
+        }
+    }
+    // Even limit L (ascending) and odd limit G (descending).
+    let t = trace.len() - 1;
+    let (l, g) = if t.is_multiple_of(2) {
+        (&trace[t], &trace[t - 1])
+    } else {
+        (&trace[t - 1], &trace[t])
+    };
+    let assignment = (0..n)
+        .map(|i| {
+            if l[i] {
+                Wf::True
+            } else if !g[i] {
+                Wf::False
+            } else {
+                Wf::Undef
+            }
+        })
+        .collect();
+    WellFounded { assignment, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::{fig4_adjacency, win_move_program};
+
+    fn assignment_of(names: &NegProgram, wf: &WellFounded, name: &str) -> Wf {
+        wf.assignment[names.atom_index(name).unwrap()]
+    }
+
+    #[test]
+    fn sec_7_1_win_move_model() {
+        // Paper: W(c), W(e) true; W(d), W(f) false; W(a), W(b) undefined.
+        let p = win_move_program(&fig4_adjacency());
+        let wf = well_founded(&p);
+        assert_eq!(assignment_of(&p, &wf, "W(c)"), Wf::True);
+        assert_eq!(assignment_of(&p, &wf, "W(e)"), Wf::True);
+        assert_eq!(assignment_of(&p, &wf, "W(d)"), Wf::False);
+        assert_eq!(assignment_of(&p, &wf, "W(f)"), Wf::False);
+        assert_eq!(assignment_of(&p, &wf, "W(a)"), Wf::Undef);
+        assert_eq!(assignment_of(&p, &wf, "W(b)"), Wf::Undef);
+    }
+
+    #[test]
+    fn sec_7_1_alternating_trace_rows() {
+        // The paper's table: J(1) = 111110, J(2) = 000010, J(3) = 111010,
+        // J(4) = 001010 over (a, b, c, d, e, f).
+        let p = win_move_program(&fig4_adjacency());
+        let wf = well_founded(&p);
+        let row = |t: usize| -> String {
+            ["a", "b", "c", "d", "e", "f"]
+                .iter()
+                .map(|n| {
+                    if wf.trace[t][p.atom_index(&format!("W({n})")).unwrap()] {
+                        '1'
+                    } else {
+                        '0'
+                    }
+                })
+                .collect()
+        };
+        assert_eq!(row(0), "000000");
+        assert_eq!(row(1), "111110");
+        assert_eq!(row(2), "000010");
+        assert_eq!(row(3), "111010");
+        assert_eq!(row(4), "001010");
+        // J(5) = J(3), J(6) = J(4) — the paper's repetition.
+        assert_eq!(wf.trace[5], wf.trace[3]);
+        assert_eq!(wf.trace[6], wf.trace[4]);
+    }
+
+    #[test]
+    fn even_iterates_ascend_odd_descend() {
+        let p = win_move_program(&fig4_adjacency());
+        let wf = well_founded(&p);
+        let leq = |a: &Interp, b: &Interp| a.iter().zip(b).all(|(x, y)| !x || *y);
+        for t in (0..wf.trace.len().saturating_sub(2)).step_by(2) {
+            assert!(leq(&wf.trace[t], &wf.trace[t + 2]), "even ascend at {t}");
+        }
+        for t in (1..wf.trace.len().saturating_sub(2)).step_by(2) {
+            assert!(leq(&wf.trace[t + 2], &wf.trace[t]), "odd descend at {t}");
+        }
+    }
+
+    #[test]
+    fn negation_free_program_is_its_minimal_model() {
+        // P(a) :- P(a). Well-founded: P(a) false (unlike THREE's ⊥ —
+        // the Sec. 7.3 discrepancy).
+        let mut p = NegProgram::new();
+        let a = p.atom("P(a)");
+        p.rule(a, vec![Literal::Pos(a)]);
+        let wf = well_founded(&p);
+        assert_eq!(wf.assignment[a], Wf::False);
+    }
+
+    #[test]
+    fn acyclic_negation() {
+        // Q :- ¬R. R has no rules: R false, Q true.
+        let mut p = NegProgram::new();
+        let q = p.atom("Q");
+        let r = p.atom("R");
+        p.rule(q, vec![Literal::Neg(r)]);
+        let wf = well_founded(&p);
+        assert_eq!(wf.assignment[q], Wf::True);
+        assert_eq!(wf.assignment[r], Wf::False);
+    }
+}

@@ -1,0 +1,134 @@
+//! Ground datalog programs with negation (Sec. 7.1).
+//!
+//! A ground rule is `head :- l₁ ∧ … ∧ l_m` where each literal is a ground
+//! atom or its negation; multiple rules with the same head are a
+//! disjunction. This is the input format of both the alternating-fixpoint
+//! solver and the `THREE`-valued datalog° interpretation.
+
+use std::collections::BTreeMap;
+
+/// A literal over ground-atom indexes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Literal {
+    /// The atom itself.
+    Pos(usize),
+    /// Its negation.
+    Neg(usize),
+}
+
+/// A ground rule `head :- body₁ ∧ body₂ ∧ …`.
+#[derive(Clone, Debug)]
+pub struct NegRule {
+    /// Head atom index.
+    pub head: usize,
+    /// Conjunctive body.
+    pub body: Vec<Literal>,
+}
+
+/// A ground normal-logic program.
+#[derive(Clone, Debug, Default)]
+pub struct NegProgram {
+    /// Human-readable atom names (index-aligned).
+    pub atom_names: Vec<String>,
+    name_index: BTreeMap<String, usize>,
+    /// The rules.
+    pub rules: Vec<NegRule>,
+}
+
+impl NegProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an atom by name.
+    pub fn atom(&mut self, name: &str) -> usize {
+        if let Some(&ix) = self.name_index.get(name) {
+            return ix;
+        }
+        let ix = self.atom_names.len();
+        self.atom_names.push(name.to_string());
+        self.name_index.insert(name.to_string(), ix);
+        ix
+    }
+
+    /// Looks up an atom without interning.
+    pub fn atom_index(&self, name: &str) -> Option<usize> {
+        self.name_index.get(name).copied()
+    }
+
+    /// Adds a rule.
+    pub fn rule(&mut self, head: usize, body: Vec<Literal>) {
+        self.rules.push(NegRule { head, body });
+    }
+
+    /// Number of ground atoms.
+    pub fn num_atoms(&self) -> usize {
+        self.atom_names.len()
+    }
+
+    /// Whether any rule uses negation.
+    pub fn has_negation(&self) -> bool {
+        self.rules
+            .iter()
+            .any(|r| r.body.iter().any(|l| matches!(l, Literal::Neg(_))))
+    }
+}
+
+/// Builds the grounded win-move program (Sec. 7.1) for a graph given as
+/// `(node, successors)` adjacency: `W(x) :- ⋁_y E(x,y) ∧ ¬W(y)`.
+pub fn win_move_program(adjacency: &[(&str, Vec<&str>)]) -> NegProgram {
+    let mut p = NegProgram::new();
+    // Intern all nodes first for stable indexing in input order.
+    for (node, _) in adjacency {
+        p.atom(&format!("W({node})"));
+    }
+    for (node, succs) in adjacency {
+        let head = p.atom(&format!("W({node})"));
+        for s in succs {
+            let b = p.atom(&format!("W({s})"));
+            p.rule(head, vec![Literal::Neg(b)]);
+        }
+    }
+    p
+}
+
+/// The Fig. 4 graph as adjacency lists.
+pub fn fig4_adjacency() -> Vec<(&'static str, Vec<&'static str>)> {
+    vec![
+        ("a", vec!["b", "c"]),
+        ("b", vec!["a"]),
+        ("c", vec!["d", "e"]),
+        ("d", vec!["e"]),
+        ("e", vec!["f"]),
+        ("f", vec![]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut p = NegProgram::new();
+        let a = p.atom("A");
+        let b = p.atom("B");
+        assert_eq!(p.atom("A"), a);
+        assert_ne!(a, b);
+        assert_eq!(p.atom_index("B"), Some(b));
+        assert_eq!(p.atom_index("C"), None);
+    }
+
+    #[test]
+    fn win_move_grounding_matches_fig4() {
+        let p = win_move_program(&fig4_adjacency());
+        assert_eq!(p.num_atoms(), 6);
+        // 7 edges -> 7 rules.
+        assert_eq!(p.rules.len(), 7);
+        assert!(p.has_negation());
+        // W(f) has no rule.
+        let f = p.atom_index("W(f)").unwrap();
+        assert!(p.rules.iter().all(|r| r.head != f));
+    }
+}

@@ -1,0 +1,29 @@
+//! # dlo-wellfounded — datalog with negation (Sec. 7)
+//!
+//! Three independent routes to the semantics of the win-move game and of
+//! datalog¬ in general:
+//!
+//! * [`alternating`] — Van Gelder's alternating fixpoint computing the
+//!   well-founded model (Sec. 7.1), with the full `J(t)` trace;
+//! * [`three_eval`] — Fitting's Kripke–Kleene semantics as datalog° over
+//!   the POPS `THREE` with the monotone `not` (Sec. 7.2), including the
+//!   `P(a) :- P(a)` discrepancy of Sec. 7.3;
+//! * [`oracle`] — a retrograde game solver sharing no code with either
+//!   fixpoint computation;
+//! * [`winmove`] — instance generation and the three-way equivalence
+//!   harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alternating;
+pub mod ground;
+pub mod oracle;
+pub mod three_eval;
+pub mod winmove;
+
+pub use alternating::{well_founded, WellFounded, Wf};
+pub use ground::{fig4_adjacency, win_move_program, Literal, NegProgram, NegRule};
+pub use oracle::{solve_game, GameValue};
+pub use three_eval::{apply_ico, fitting_lfp, to_wf, Interp3};
+pub use winmove::WinMoveInstance;

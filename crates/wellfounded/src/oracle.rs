@@ -1,0 +1,101 @@
+//! An independent game-theoretic oracle for win-move (Sec. 7.1).
+//!
+//! Retrograde analysis of the pebble game: a position with no moves is
+//! *lost* for the player to move; a position with a move to a lost
+//! position is *won*; a position all of whose moves lead to won positions
+//! is *lost*; everything reached by neither rule is a *draw* (both players
+//! can avoid losing forever). The well-founded model of the win-move
+//! program must assign true/false/undefined exactly to won/lost/drawn —
+//! giving the test suite an oracle that shares no code with either
+//! fixpoint computation.
+
+/// Game-theoretic position values.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GameValue {
+    /// The player to move wins.
+    Won,
+    /// The player to move loses.
+    Lost,
+    /// Neither side can force a win.
+    Draw,
+}
+
+/// Solves the pebble game on a graph given as adjacency lists over node
+/// indexes `0..n`.
+pub fn solve_game(n: usize, edges: &[(usize, usize)]) -> Vec<GameValue> {
+    let mut succs: Vec<Vec<usize>> = vec![vec![]; n];
+    let mut preds: Vec<Vec<usize>> = vec![vec![]; n];
+    for &(u, v) in edges {
+        succs[u].push(v);
+        preds[v].push(u);
+    }
+    let mut value: Vec<Option<GameValue>> = vec![None; n];
+    // Counts of not-yet-decided successors / successors known Won.
+    let mut undecided: Vec<usize> = succs.iter().map(|s| s.len()).collect();
+    let mut queue: Vec<usize> = vec![];
+    for v in 0..n {
+        if succs[v].is_empty() {
+            value[v] = Some(GameValue::Lost);
+            queue.push(v);
+        }
+    }
+    while let Some(v) = queue.pop() {
+        match value[v].expect("queued positions are decided") {
+            GameValue::Lost => {
+                // Predecessors can move here and win.
+                for &u in &preds[v] {
+                    if value[u].is_none() {
+                        value[u] = Some(GameValue::Won);
+                        queue.push(u);
+                    }
+                }
+            }
+            GameValue::Won => {
+                // Predecessors lose this option.
+                for &u in &preds[v] {
+                    undecided[u] -= 1;
+                    if value[u].is_none() && undecided[u] == 0 {
+                        value[u] = Some(GameValue::Lost);
+                        queue.push(u);
+                    }
+                }
+            }
+            GameValue::Draw => unreachable!(),
+        }
+    }
+    value
+        .into_iter()
+        .map(|v| v.unwrap_or(GameValue::Draw))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_positions() {
+        // a=0 b=1 c=2 d=3 e=4 f=5.
+        let edges = [(0, 1), (0, 2), (1, 0), (2, 3), (2, 4), (3, 4), (4, 5)];
+        let v = solve_game(6, &edges);
+        assert_eq!(v[5], GameValue::Lost, "f has no moves");
+        assert_eq!(v[4], GameValue::Won, "e moves to f");
+        assert_eq!(v[3], GameValue::Lost, "d's only move hits a won pos");
+        assert_eq!(v[2], GameValue::Won, "c can move to d");
+        assert_eq!(v[0], GameValue::Draw, "a↔b cycle escapes only to Won c");
+        assert_eq!(v[1], GameValue::Draw);
+    }
+
+    #[test]
+    fn simple_chain() {
+        // 0→1→2: 2 lost, 1 won, 0 lost.
+        let v = solve_game(3, &[(0, 1), (1, 2)]);
+        assert_eq!(v, vec![GameValue::Lost, GameValue::Won, GameValue::Lost]);
+    }
+
+    #[test]
+    fn pure_cycle_is_all_draw() {
+        let v = solve_game(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(v.iter().all(|&x| x == GameValue::Draw));
+    }
+}

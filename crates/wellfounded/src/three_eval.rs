@@ -1,0 +1,131 @@
+//! Fitting's three-valued semantics as datalog° over `THREE` (Sec. 7.2).
+//!
+//! A ground normal program becomes a datalog° polynomial system over the
+//! POPS `THREE`: each head's polynomial is the `∨`-sum over its rules of
+//! the `∧`-product of literals, with `¬A` interpreted by the monotone
+//! (w.r.t. the knowledge order) function `not`. Atoms with no rules get
+//! the empty sum `0` (false). The least fixpoint under `≤_k` is Fitting's
+//! Kripke–Kleene model, which on win-move coincides with the well-founded
+//! model (the paper's Sec. 7.2 example) but differs in general
+//! (`P(a) :- P(a)`, Sec. 7.3).
+
+use crate::ground::{Literal, NegProgram};
+use dlo_pops::{PreSemiring, Three};
+
+/// A three-valued interpretation.
+pub type Interp3 = Vec<Three>;
+
+/// One application of the `THREE` immediate consequence operator.
+pub fn apply_ico(program: &NegProgram, x: &Interp3) -> Interp3 {
+    let mut next = vec![Three::False; program.num_atoms()];
+    let mut has_rule = vec![false; program.num_atoms()];
+    for rule in &program.rules {
+        has_rule[rule.head] = true;
+        let mut v = Three::True;
+        for l in &rule.body {
+            let lit = match l {
+                Literal::Pos(a) => x[*a],
+                Literal::Neg(a) => x[*a].not(),
+            };
+            v = v.mul(&lit);
+        }
+        next[rule.head] = next[rule.head].add(&v);
+    }
+    // Atoms with no rules keep the empty-sum value 0 (false) — already set.
+    let _ = has_rule;
+    next
+}
+
+/// Computes Fitting's least fixpoint over `THREE` with a full trace
+/// (the Sec. 7.2 table). Always converges: `THREE` is finite.
+pub fn fitting_lfp(program: &NegProgram) -> (Interp3, Vec<Interp3>) {
+    let mut trace = vec![vec![Three::Undef; program.num_atoms()]];
+    loop {
+        let cur = trace.last().unwrap();
+        let next = apply_ico(program, cur);
+        if &next == cur {
+            return (next, trace);
+        }
+        trace.push(next);
+    }
+}
+
+/// Converts the fixpoint to the well-founded-style assignment for
+/// comparison.
+pub fn to_wf(interp: &Interp3) -> Vec<crate::alternating::Wf> {
+    use crate::alternating::Wf;
+    interp
+        .iter()
+        .map(|t| match t {
+            Three::True => Wf::True,
+            Three::False => Wf::False,
+            Three::Undef => Wf::Undef,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alternating::{well_founded, Wf};
+    use crate::ground::{fig4_adjacency, win_move_program};
+
+    #[test]
+    fn sec_7_2_table() {
+        // W(0) = ⊥⊥⊥⊥⊥⊥; W(1) = ⊥⊥⊥⊥⊥0; W(2) = ⊥⊥⊥⊥10;
+        // W(3) = ⊥⊥⊥010; W(4) = ⊥⊥1010 = lfp.
+        let p = win_move_program(&fig4_adjacency());
+        let (lfp, trace) = fitting_lfp(&p);
+        let render = |x: &Interp3| -> String {
+            ["a", "b", "c", "d", "e", "f"]
+                .iter()
+                .map(|n| match x[p.atom_index(&format!("W({n})")).unwrap()] {
+                    Three::Undef => '⊥',
+                    Three::False => '0',
+                    Three::True => '1',
+                })
+                .collect()
+        };
+        assert_eq!(render(&trace[0]), "⊥⊥⊥⊥⊥⊥");
+        assert_eq!(render(&trace[1]), "⊥⊥⊥⊥⊥0");
+        assert_eq!(render(&trace[2]), "⊥⊥⊥⊥10");
+        assert_eq!(render(&trace[3]), "⊥⊥⊥010");
+        assert_eq!(render(&trace[4]), "⊥⊥1010");
+        assert_eq!(trace.len(), 5);
+        assert_eq!(render(&lfp), "⊥⊥1010");
+    }
+
+    #[test]
+    fn fitting_equals_well_founded_on_fig4() {
+        let p = win_move_program(&fig4_adjacency());
+        let (lfp, _) = fitting_lfp(&p);
+        let wf = well_founded(&p);
+        assert_eq!(to_wf(&lfp), wf.assignment);
+    }
+
+    #[test]
+    fn sec_7_3_discrepancy() {
+        // P(a) :- P(a): minimal model / well-founded gives false, Fitting
+        // gives ⊥.
+        use crate::ground::NegProgram;
+        let mut p = NegProgram::new();
+        let a = p.atom("P(a)");
+        p.rule(a, vec![Literal::Pos(a)]);
+        let (lfp, _) = fitting_lfp(&p);
+        assert_eq!(lfp[a], Three::Undef);
+        assert_eq!(well_founded(&p).assignment[a], Wf::False);
+    }
+
+    #[test]
+    fn iterates_ascend_in_knowledge_order() {
+        use dlo_pops::Pops;
+        let p = win_move_program(&fig4_adjacency());
+        let (_, trace) = fitting_lfp(&p);
+        for w in trace.windows(2) {
+            assert!(w[0]
+                .iter()
+                .zip(&w[1])
+                .all(|(x, y)| x.leq(y)));
+        }
+    }
+}

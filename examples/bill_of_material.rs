@@ -1,0 +1,39 @@
+//! Example 4.2: aggregation inside recursion over the lifted reals.
+//!
+//! The bill-of-material program `T(x) :- C(x) + Σ_y { T(y) | E(x,y) }`
+//! diverges over ℕ when the subpart graph has cycles, but over `ℝ_⊥`
+//! the cyclic parts settle at ⊥ ("cost undefined") while the acyclic
+//! parts get their true totals — the paper's motivating POPS example.
+//!
+//! Run with `cargo run --example bill_of_material`.
+
+use datalog_o::core::examples_lib::{bom_lifted_reals, bom_naturals};
+use datalog_o::core::{naive_eval, EvalOutcome};
+use datalog_o::pops::Lifted;
+
+fn main() {
+    // Over ℕ: the naive loop keeps growing on the a↔b cycle.
+    let (prog_n, pops_n, bools_n) = bom_naturals();
+    match naive_eval(&prog_n, &pops_n, &bools_n, 25) {
+        EvalOutcome::Diverged { last, cap } => {
+            println!("over N: diverged (cap {cap}); the cycle keeps inflating:");
+            for (t, v) in last.get("T").unwrap().support() {
+                println!("  T{} grew to {v:?}", datalog_o::core::value::fmt_tuple(t));
+            }
+        }
+        EvalOutcome::Converged { .. } => unreachable!("cycles diverge over N"),
+    }
+
+    // Over ℝ_⊥: converges; cyclic parts are ⊥.
+    let (prog, pops, bools) = bom_lifted_reals();
+    let out = naive_eval(&prog, &pops, &bools, 1000).unwrap();
+    println!("\nover the lifted reals R_⊥ (converges in 3 steps):");
+    let t = out.get("T").unwrap();
+    for name in ["a", "b", "c", "d"] {
+        let v = t.get(&vec![name.into()]);
+        match v {
+            Lifted::Bot => println!("  T({name}) = ⊥   (part of a subpart cycle)"),
+            Lifted::Val(x) => println!("  T({name}) = {}", x.get()),
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Quickstart: one datalog° program, three semirings.
+//!
+//! The all-pairs program of Example 1.1,
+//!
+//! ```text
+//! T(X, Y) :- E(X, Y) + T(X, Z) * E(Z, Y).
+//! ```
+//!
+//! parsed from text and run over `𝔹` (transitive closure), `Trop⁺`
+//! (all-pairs shortest paths) and `Trop⁺₁` (two shortest path lengths).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use datalog_o::core::{naive_eval, parse_program, BoolDatabase, Database, Program, Relation};
+use datalog_o::pops::{Bool, Trop, TropP};
+
+const PROGRAM: &str = "T(X, Y) :- E(X, Y) + T(X, Z) * E(Z, Y).";
+
+fn edges<P: datalog_o::pops::Pops>(weight: impl Fn(f64) -> P) -> Database<P> {
+    // The Fig. 2(a) graph.
+    let pairs = [
+        ("a", "b", 1.0),
+        ("b", "a", 2.0),
+        ("b", "c", 3.0),
+        ("c", "d", 4.0),
+        ("a", "c", 5.0),
+    ];
+    let mut db = Database::new();
+    db.insert(
+        "E",
+        Relation::from_pairs(
+            2,
+            pairs.iter().map(|(x, y, w)| {
+                (
+                    vec![(*x).into(), (*y).into()],
+                    weight(*w),
+                )
+            }),
+        ),
+    );
+    db
+}
+
+fn main() {
+    // --- over 𝔹: which pairs are connected? --------------------------------
+    let prog: Program<Bool> = parse_program(PROGRAM).expect("parses");
+    let out = naive_eval(&prog, &edges(|_| Bool(true)), &BoolDatabase::new(), 1000).unwrap();
+    println!("over B (transitive closure):");
+    for (t, _) in out.get("T").unwrap().support() {
+        print!(" {}", datalog_o::core::value::fmt_tuple(t));
+    }
+    println!("\n");
+
+    // --- over Trop⁺: how far apart? -----------------------------------------
+    let prog: Program<Trop> = parse_program(PROGRAM).expect("parses");
+    let out = naive_eval(&prog, &edges(Trop::finite), &BoolDatabase::new(), 1000).unwrap();
+    println!("over Trop+ (all-pairs shortest paths):");
+    for (t, v) in out.get("T").unwrap().support() {
+        println!("  T{} = {v:?}", datalog_o::core::value::fmt_tuple(t));
+    }
+    println!();
+
+    // --- over Trop⁺₁: the two best paths ------------------------------------
+    let prog: Program<TropP<1>> = {
+        // TropP has no text literal; build the same AST generically.
+        datalog_o::core::examples_lib::apsp_program()
+    };
+    let out = naive_eval(
+        &prog,
+        &edges(|w| TropP::<1>::from_costs(&[w])),
+        &BoolDatabase::new(),
+        1000,
+    )
+    .unwrap();
+    println!("over Trop+_1 (two shortest path lengths):");
+    for (t, v) in out.get("T").unwrap().support() {
+        println!(
+            "  T{} = {:?}",
+            datalog_o::core::value::fmt_tuple(t),
+            v.costs()
+        );
+    }
+}

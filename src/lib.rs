@@ -1,0 +1,34 @@
+//! # datalog-o — Datalog over (pre-)semirings
+//!
+//! Umbrella crate re-exporting the full workspace: a production-quality
+//! implementation of *Convergence of Datalog over (Pre-) Semirings*
+//! (PODS 2022). See the README for a tour and DESIGN.md for the system
+//! inventory.
+//!
+//! ```
+//! use datalog_o::core::{parse_program, naive_eval, BoolDatabase, Database, Relation, Program};
+//! use datalog_o::pops::Trop;
+//!
+//! // All-pairs shortest paths = transitive closure over (min, +).
+//! let program: Program<Trop> =
+//!     parse_program("T(X, Y) :- E(X, Y) + T(X, Z) * E(Z, Y).").unwrap();
+//!
+//! let mut edb = Database::new();
+//! edb.insert("E", Relation::from_pairs(2, vec![
+//!     (vec!["a".into(), "b".into()], Trop::finite(1.0)),
+//!     (vec!["b".into(), "c".into()], Trop::finite(3.0)),
+//! ]));
+//!
+//! let out = naive_eval(&program, &edb, &BoolDatabase::new(), 10_000).unwrap();
+//! assert_eq!(out.get("T").unwrap()
+//!               .get(&vec!["a".into(), "c".into()]), Trop::finite(4.0));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use dlo_core as core;
+pub use dlo_fixpoint as fixpoint;
+pub use dlo_pops as pops;
+pub use dlo_provenance as provenance;
+pub use dlo_semilin as semilin;
+pub use dlo_wellfounded as wellfounded;

@@ -1,0 +1,231 @@
+//! Integration: the convergence theory of Sec. 3/5 exercised across
+//! crates — measured stability indexes against every bound of
+//! Theorem 1.2 / 5.12 and Lemma 5.20 on randomized workloads.
+
+use datalog_o::core::{ground_sparse, naive_eval_system, BoolDatabase, Database, EvalOutcome, Relation};
+use datalog_o::fixpoint::{general_bound, linear_bound, trop_p_matrix_bound, zero_stable_bound};
+use datalog_o::pops::{stability, Bool, MaxPlus, Trop, TropEta, TropP};
+use datalog_o::semilin::{matrix_stability_index, trop_p_cycle, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_graph(rng: &mut StdRng, n: usize, m: usize) -> Vec<(usize, usize, f64)> {
+    let mut edges = vec![];
+    for _ in 0..m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            edges.push((u, v, rng.gen_range(1..10) as f64));
+        }
+    }
+    edges
+}
+
+fn trop_p_edb<const P: usize>(edges: &[(usize, usize, f64)]) -> Database<TropP<P>> {
+    let mut db = Database::new();
+    db.insert(
+        "E",
+        Relation::from_pairs(
+            2,
+            edges.iter().map(|&(u, v, w)| {
+                (
+                    vec![(u as i64).into(), (v as i64).into()],
+                    TropP::<P>::from_costs(&[w]),
+                )
+            }),
+        ),
+    );
+    db
+}
+
+/// Theorem 1.2, linear bound: random linear programs over Trop+_p converge
+/// within Σ (p+1)^i.
+#[test]
+fn linear_programs_respect_linear_bound() {
+    const P: usize = 2;
+    let mut rng = StdRng::seed_from_u64(0xfeed);
+    for trial in 0..10 {
+        let n = rng.gen_range(3..7);
+        let edges = random_graph(&mut rng, n, 2 * n);
+        let prog = dlo_bench::single_source_int_program::<TropP<P>>(0);
+        let sys = ground_sparse(&prog, &trop_p_edb::<P>(&edges), &BoolDatabase::new());
+        match naive_eval_system(&sys, 1_000_000) {
+            EvalOutcome::Converged { steps, .. } => {
+                assert!(
+                    (steps as u128) <= linear_bound(P, sys.num_vars()),
+                    "trial {trial}: steps {steps} > bound"
+                );
+                // Linear programs also respect the matrix bound (p+1)N-1 + 1.
+                assert!(
+                    (steps as u128) <= trop_p_matrix_bound(P, sys.num_vars()) + 1,
+                    "trial {trial}"
+                );
+            }
+            _ => panic!("stable semiring must converge (Thm 5.10)"),
+        }
+    }
+}
+
+/// Theorem 1.2, general bound: quadratic programs over Trop+_p.
+#[test]
+fn quadratic_programs_respect_general_bound() {
+    const P: usize = 1;
+    let mut rng = StdRng::seed_from_u64(0xbead);
+    for _ in 0..6 {
+        let n = rng.gen_range(3..5);
+        let edges = random_graph(&mut rng, n, 2 * n);
+        let prog = datalog_o::core::examples_lib::quadratic_tc_program::<TropP<P>>();
+        let sys = ground_sparse(&prog, &trop_p_edb::<P>(&edges), &BoolDatabase::new());
+        match naive_eval_system(&sys, 1_000_000) {
+            EvalOutcome::Converged { steps, .. } => {
+                assert!((steps as u128) <= general_bound(P, sys.num_vars()));
+            }
+            _ => panic!("must converge"),
+        }
+    }
+}
+
+/// Corollary 5.19: 0-stable POPS converge within N steps (B and Trop+).
+#[test]
+fn zero_stable_converges_within_n() {
+    let mut rng = StdRng::seed_from_u64(0xabc);
+    for _ in 0..10 {
+        let n = rng.gen_range(4..12);
+        let edges = random_graph(&mut rng, n, 3 * n);
+        // Trop+ SSSP.
+        let prog = dlo_bench::single_source_int_program::<Trop>(0);
+        let mut edb = Database::new();
+        edb.insert(
+            "E",
+            Relation::from_pairs(
+                2,
+                edges.iter().map(|&(u, v, w)| {
+                    (
+                        vec![(u as i64).into(), (v as i64).into()],
+                        Trop::finite(w),
+                    )
+                }),
+            ),
+        );
+        let sys = ground_sparse(&prog, &edb, &BoolDatabase::new());
+        let EvalOutcome::Converged { steps, .. } = naive_eval_system(&sys, 100_000) else {
+            panic!("0-stable must converge");
+        };
+        assert!((steps as u128) <= zero_stable_bound(sys.num_vars()));
+
+        // Boolean quadratic TC.
+        let progb = datalog_o::core::examples_lib::quadratic_tc_program::<Bool>();
+        let mut edbb = Database::new();
+        edbb.insert(
+            "E",
+            Relation::from_pairs(
+                2,
+                edges.iter().map(|&(u, v, _)| {
+                    (
+                        vec![(u as i64).into(), (v as i64).into()],
+                        Bool(true),
+                    )
+                }),
+            ),
+        );
+        let sysb = ground_sparse(&progb, &edbb, &BoolDatabase::new());
+        let EvalOutcome::Converged { steps, .. } = naive_eval_system(&sysb, 100_000) else {
+            panic!("B must converge");
+        };
+        assert!((steps as u128) <= zero_stable_bound(sysb.num_vars()));
+    }
+}
+
+/// Theorem 1.2 (converse direction): an unstable core diverges — MaxPlus
+/// with a positive cycle.
+#[test]
+fn unstable_core_diverges_on_cycles() {
+    let prog = dlo_bench::single_source_int_program::<MaxPlus>(0);
+    let mut edb = Database::new();
+    edb.insert(
+        "E",
+        Relation::from_pairs(
+            2,
+            [(0i64, 1i64), (1, 0)].iter().map(|&(u, v)| {
+                (
+                    vec![u.into(), v.into()],
+                    MaxPlus::finite(1.0), // positive gain cycle
+                )
+            }),
+        ),
+    );
+    let sys = ground_sparse(&prog, &edb, &BoolDatabase::new());
+    assert!(!naive_eval_system(&sys, 200).is_converged());
+    // The element driving it is indeed unstable:
+    assert_eq!(
+        stability::element_stability_index(&MaxPlus::finite(1.0), 100),
+        None
+    );
+    // With non-positive gains the same program converges (0-stable zone).
+    let mut edb2 = Database::new();
+    edb2.insert(
+        "E",
+        Relation::from_pairs(
+            2,
+            [(0i64, 1i64), (1, 0)].iter().map(|&(u, v)| {
+                (vec![u.into(), v.into()], MaxPlus::finite(-1.0))
+            }),
+        ),
+    );
+    let sys2 = ground_sparse(&prog, &edb2, &BoolDatabase::new());
+    assert!(naive_eval_system(&sys2, 200).is_converged());
+}
+
+/// Theorem 5.10: stable but non-uniformly-stable semirings always
+/// converge, in value-dependent time (Trop+_eta).
+#[test]
+fn trop_eta_converges_with_value_dependent_steps() {
+    type T = TropEta<32>;
+    let cycle = |w: u64| -> Database<T> {
+        let mut db = Database::new();
+        db.insert(
+            "E",
+            Relation::from_pairs(
+                2,
+                [(0i64, 1i64), (1, 0)]
+                    .iter()
+                    .map(|&(u, v)| (vec![u.into(), v.into()], T::singleton(w))),
+            ),
+        );
+        db
+    };
+    let prog = dlo_bench::single_source_int_program::<T>(0);
+    let steps = |w: u64| -> usize {
+        let sys = ground_sparse(&prog, &cycle(w), &BoolDatabase::new());
+        match naive_eval_system(&sys, 1_000_000) {
+            EvalOutcome::Converged { steps, .. } => steps,
+            _ => panic!("stable semiring must converge (Thm 5.10)"),
+        }
+    };
+    let (s16, s4, s1) = (steps(16), steps(4), steps(1));
+    assert!(s16 < s4 && s4 < s1, "steps must grow as weights shrink: {s16} {s4} {s1}");
+}
+
+/// Lemma 5.20 tightness at scale, plus the naïve-vs-matrix relationship:
+/// SSSP on the cycle takes exactly as long as the matrix stabilizes.
+#[test]
+fn cycle_matrix_and_program_agree_on_worst_case() {
+    const P: usize = 1;
+    for n in [3usize, 5, 8] {
+        let a = trop_p_cycle::<P>(n);
+        let q = matrix_stability_index(&a, 100_000).unwrap();
+        assert_eq!(q as u128, trop_p_matrix_bound(P, n));
+
+        // The corresponding datalog° program on the same cycle.
+        let edges: Vec<(usize, usize, f64)> =
+            (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect();
+        let prog = dlo_bench::single_source_int_program::<TropP<P>>(0);
+        let sys = ground_sparse(&prog, &trop_p_edb::<P>(&edges), &BoolDatabase::new());
+        let EvalOutcome::Converged { steps, .. } = naive_eval_system(&sys, 100_000) else {
+            panic!()
+        };
+        // Program steps track the matrix index up to the +1 seeding step.
+        assert!(steps >= q.saturating_sub(1) && steps <= q + 1, "n={n}: {steps} vs {q}");
+        let _ = Matrix::<TropP<P>>::identity(2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Integration: independent computation paths must agree.
+//!
+//! datalog° engine ↔ affine systems / `LinearLFP` ↔ matrix closures ↔
+//! classical graph algorithms ↔ game-theoretic oracles. Disagreement
+//! anywhere is a bug in exactly one layer — these tests triangulate.
+
+use datalog_o::core::{ground, ground_sparse, naive_eval_system, BoolDatabase, EvalOutcome};
+use datalog_o::pops::{Bool, PreSemiring, Trop, TropP};
+use datalog_o::semilin::{
+    fwk_closure, fwk_solve, linear_lfp, linear_lfp_auto, linear_naive_lfp, AffineSystem, Matrix,
+};
+use dlo_bench::{dijkstra, GraphInstance};
+
+#[test]
+fn engine_equals_dijkstra_equals_linear_lfp() {
+    for seed in [7u64, 8, 9, 10] {
+        let g = GraphInstance::random(15, 45, 9, seed);
+        let (prog, edb) = g.sssp();
+        let bools = BoolDatabase::new();
+
+        // Path 1: the datalog° engine (sparse grounding + naive).
+        let sys = ground_sparse(&prog, &edb, &bools);
+        let EvalOutcome::Converged { output, .. } = naive_eval_system(&sys, 100_000) else {
+            panic!()
+        };
+
+        // Path 2: Algorithm 2 on the grounded affine system.
+        let asys = AffineSystem::from_ground_system(&sys).expect("SSSP is linear");
+        let alg2 = linear_lfp_auto(&asys);
+
+        // Path 3: Dijkstra.
+        let oracle = dijkstra(&g, 0);
+
+        let l = output.get("L").unwrap();
+        for (i, want) in oracle.iter().enumerate() {
+            let from_engine = l.get(&vec![g.node(i)]).get();
+            assert_eq!(from_engine, *want, "engine vs dijkstra, node {i}");
+        }
+        for (atom, v) in sys.atoms.iter().zip(&alg2) {
+            let node: usize = atom.tuple[0].as_int().unwrap() as usize;
+            assert_eq!(v.get(), oracle[node], "LinearLFP vs dijkstra, node {node}");
+        }
+    }
+}
+
+#[test]
+fn dense_and_sparse_grounding_agree_on_natural_semirings() {
+    for seed in [21u64, 22] {
+        let g = GraphInstance::random(7, 18, 5, seed);
+        let (prog, edb) = g.sssp();
+        let bools = BoolDatabase::new();
+        let dense = ground(&prog, &edb, &bools);
+        let sparse = ground_sparse(&prog, &edb, &bools);
+        let d = naive_eval_system(&dense, 100_000).unwrap();
+        let s = naive_eval_system(&sparse, 100_000).unwrap();
+        assert_eq!(d, s, "seed {seed}");
+        // Sparse grounding must be no larger.
+        assert!(sparse.num_monomials() <= dense.num_monomials());
+    }
+}
+
+#[test]
+fn boolean_tc_equals_matrix_closure() {
+    let g = GraphInstance::random(10, 26, 1, 33);
+    // Engine path (linear TC program, sparse).
+    let prog = datalog_o::core::examples_lib::apsp_program::<Bool>();
+    let edb = g.bool_edb();
+    let sys = ground_sparse(&prog, &edb, &BoolDatabase::new());
+    let out = naive_eval_system(&sys, 100_000).unwrap();
+    let t = out.get("T");
+
+    // Matrix path: A⁺ = A·A*.
+    let mut a = Matrix::<Bool>::zeros(g.n);
+    for &(u, v, _) in &g.edges {
+        a.set(u, v, Bool(true));
+    }
+    let aplus = a.mul(&fwk_closure(&a));
+    for i in 0..g.n {
+        for j in 0..g.n {
+            let engine = t
+                .map(|r| !r.get(&vec![g.node(i), g.node(j)]).is_zero())
+                .unwrap_or(false);
+            assert_eq!(engine, aplus.get(i, j).0, "({i}, {j})");
+        }
+    }
+}
+
+#[test]
+fn linear_lfp_equals_naive_on_trop_p_random_systems() {
+    const P: usize = 2;
+    let mut seed = 0x77777777u64;
+    let mut rng = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    for n in [3usize, 6, 10] {
+        let a = Matrix::<TropP<P>>::from_fn(n, |_, _| {
+            if rng() % 3 == 0 {
+                TropP::<P>::from_costs(&[(rng() % 9) as f64, (rng() % 9) as f64])
+            } else {
+                TropP::<P>::zero()
+            }
+        });
+        let b: Vec<TropP<P>> = (0..n)
+            .map(|_| {
+                if rng() % 2 == 0 {
+                    TropP::<P>::from_costs(&[(rng() % 5) as f64])
+                } else {
+                    TropP::<P>::zero()
+                }
+            })
+            .collect();
+        let (naive, _) = linear_naive_lfp(&a, &b, 1_000_000).unwrap();
+        assert_eq!(fwk_solve(&a, &b), naive, "FWK n={n}");
+        // Via the affine system too.
+        let fns = (0..n)
+            .map(|i| {
+                let mut f = datalog_o::semilin::AffineFn::new();
+                for j in 0..n {
+                    if !a.get(i, j).is_zero() {
+                        f.add_term(j, a.get(i, j).clone());
+                    }
+                }
+                if !b[i].is_zero() {
+                    f.add_const(b[i].clone());
+                }
+                f
+            })
+            .collect();
+        let sys = AffineSystem { fns };
+        assert_eq!(linear_lfp(&sys, P), naive, "Alg2 n={n}");
+    }
+}
+
+#[test]
+fn winmove_three_way_on_larger_random_graphs() {
+    for seed in 50..60u64 {
+        let inst = datalog_o::wellfounded::WinMoveInstance::random(25, 70, seed);
+        inst.check_equivalence()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn trop_engine_agrees_with_trop_matrix_on_apsp() {
+    let g = GraphInstance::random(9, 24, 9, 44);
+    let prog = datalog_o::core::examples_lib::apsp_program::<Trop>();
+    let edb = g.trop_edb();
+    let sys = ground_sparse(&prog, &edb, &BoolDatabase::new());
+    let out = naive_eval_system(&sys, 100_000).unwrap();
+    let t = out.get("T").unwrap();
+
+    let mut a = Matrix::<Trop>::zeros(g.n);
+    for &(u, v, w) in &g.edges {
+        let merged = Trop::finite(w).add(a.get(u, v));
+        a.set(u, v, merged);
+    }
+    let aplus = a.mul(&fwk_closure(&a));
+    for i in 0..g.n {
+        for j in 0..g.n {
+            assert_eq!(
+                t.get(&vec![g.node(i), g.node(j)]),
+                *aplus.get(i, j),
+                "({i}, {j})"
+            );
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Integration: every numbered example of the paper, end to end through
+//! the umbrella crate (parser → grounder → evaluator → POPS).
+
+use datalog_o::core::examples_lib as ex;
+use datalog_o::core::{
+    ground, naive_eval, naive_eval_trace, parse_program, BoolDatabase, EvalOutcome, GroundAtom,
+    Program,
+};
+use datalog_o::pops::lifted::lreal;
+use datalog_o::pops::{Bool, LiftedReal, Three, Trop, TropP};
+
+fn tup(names: &[&str]) -> Vec<datalog_o::core::Constant> {
+    names.iter().map(|n| (*n).into()).collect()
+}
+
+#[test]
+fn example_1_1_apsp_shapes() {
+    // APSP over Trop+ on Fig. 2(a); spot-check against hand-computed paths.
+    let (prog, edb) = ex::apsp_trop(&[
+        ("a", "b", 1.0),
+        ("b", "a", 2.0),
+        ("b", "c", 3.0),
+        ("c", "d", 4.0),
+        ("a", "c", 5.0),
+    ]);
+    let out = naive_eval(&prog, &edb, &BoolDatabase::new(), 1000).unwrap();
+    let t = out.get("T").unwrap();
+    assert_eq!(t.get(&tup(&["a", "d"])), Trop::finite(8.0));
+    assert_eq!(t.get(&tup(&["a", "a"])), Trop::finite(3.0)); // a→b→a
+    assert_eq!(t.get(&tup(&["d", "a"])), Trop::INF);
+}
+
+#[test]
+fn example_4_1_all_four_pops_from_one_source_text() {
+    // The same surface text runs over B and Trop+ (ParseValue for both).
+    let src = "L(X) :- 1 | X = a.\nL(X) :- L(Z) * E(Z, X).";
+    let pb: Program<Bool> = parse_program(src).unwrap();
+    let pt: Program<Trop> = parse_program(src).unwrap();
+    let out_b = naive_eval(&pb, &ex::fig2a_graph(|_| Bool(true)), &BoolDatabase::new(), 100)
+        .unwrap();
+    let out_t = naive_eval(&pt, &ex::fig2a_graph(Trop::finite), &BoolDatabase::new(), 100)
+        .unwrap();
+    // Reachability support = finite-distance support.
+    let rb: Vec<_> = out_b.get("L").unwrap().support().map(|(t, _)| t.clone()).collect();
+    let rt: Vec<_> = out_t.get("L").unwrap().support().map(|(t, _)| t.clone()).collect();
+    assert_eq!(rb, rt);
+
+    // Trop+_1 and Trop+_eta agree with the paper's bags/sets.
+    let pp: Program<TropP<1>> = ex::single_source_program("a");
+    let out_p = naive_eval(
+        &pp,
+        &ex::fig2a_graph(|w| TropP::<1>::from_costs(&[w])),
+        &BoolDatabase::new(),
+        100,
+    )
+    .unwrap();
+    assert_eq!(
+        out_p.get("L").unwrap().get(&tup(&["a"])),
+        TropP::<1>::from_costs(&[0.0, 3.0])
+    );
+}
+
+#[test]
+fn example_4_2_both_pops() {
+    let (prog_n, pops_n, bools_n) = ex::bom_naturals();
+    assert!(!naive_eval(&prog_n, &pops_n, &bools_n, 40).is_converged());
+
+    let (prog, pops, bools) = ex::bom_lifted_reals();
+    let sys = ground(&prog, &pops, &bools);
+    let trace = naive_eval_trace(&sys, 100);
+    assert!(trace.converged);
+    assert_eq!(trace.iterates.len() - 1, 2);
+    // Row T1 of the paper: (⊥, ⊥, ⊥, 10).
+    let t1 = &trace.iterates[1];
+    let ix = |n: &str| sys.index[&GroundAtom::new("T", tup(&[n]))];
+    assert_eq!(t1[ix("a")], LiftedReal::Bot);
+    assert_eq!(t1[ix("d")], lreal(10.0));
+    // Fixpoint row.
+    let tf = trace.iterates.last().unwrap();
+    assert_eq!(tf[ix("c")], lreal(11.0));
+    assert_eq!(tf[ix("b")], LiftedReal::Bot);
+}
+
+#[test]
+fn example_4_3_company_control_is_transitive() {
+    let (prog, pops, bools) = ex::company_control(
+        &["a", "b", "c"],
+        &[("a", "b", 0.6), ("b", "c", 0.6), ("a", "c", 0.0)],
+    );
+    let out = naive_eval(&prog, &pops, &bools, 1000).unwrap();
+    let t = out.get("T").unwrap();
+    // a controls b directly; through b it holds b's 0.6 of c.
+    assert!(t.get(&tup(&["a", "b"])).get() > 0.5);
+    assert!(t.get(&tup(&["a", "c"])).get() > 0.5);
+}
+
+#[test]
+fn sec_4_5_prefix_sum_and_shortest_length() {
+    let (prog, edb) = ex::prefix_sum(&[1.0, 2.0, 3.0]);
+    let out = naive_eval(&prog, &edb, &BoolDatabase::new(), 100).unwrap();
+    let w = out.get("W").unwrap();
+    assert_eq!(w.get(&vec![2i64.into()]), lreal(6.0));
+
+    let (prog, edb) = ex::shortest_length(&[("x", "y", 9), ("x", "y", 4)]);
+    let out = naive_eval(&prog, &edb, &BoolDatabase::new(), 100).unwrap();
+    assert_eq!(
+        out.get("ShortestLength").unwrap().get(&tup(&["x", "y"])),
+        Trop::finite(4.0)
+    );
+}
+
+#[test]
+fn sec_7_win_move_through_core_engine() {
+    // The datalog° THREE program through the generic engine (with `not` as
+    // an interpreted function) matches the dedicated wellfounded crate.
+    let edges = ex::fig4_edges();
+    let (prog, bools) = ex::win_move_three(&edges);
+    let out = naive_eval(
+        &prog,
+        &datalog_o::core::Database::<Three>::new(),
+        &bools,
+        100,
+    )
+    .unwrap();
+    let win = out.get("Win").unwrap();
+    assert_eq!(win.get(&tup(&["c"])), Three::True);
+    assert_eq!(win.get(&tup(&["e"])), Three::True);
+    assert_eq!(win.get(&tup(&["d"])), Three::False);
+    assert_eq!(win.get(&tup(&["f"])), Three::False);
+    // a, b undefined: ⊥ is not stored in the output relation.
+    assert_eq!(win.get(&tup(&["a"])), Three::Undef);
+    assert_eq!(win.get(&tup(&["b"])), Three::Undef);
+
+    // Same answer as the wellfounded crate's dedicated evaluator.
+    let p = datalog_o::wellfounded::win_move_program(&datalog_o::wellfounded::fig4_adjacency());
+    let (lfp, _) = datalog_o::wellfounded::fitting_lfp(&p);
+    for n in ["a", "b", "c", "d", "e", "f"] {
+        let ix = p.atom_index(&format!("W({n})")).unwrap();
+        assert_eq!(win.get(&tup(&[n])), lfp[ix], "node {n}");
+    }
+}
+
+#[test]
+fn eq_29_one_rule_program_diverges_iff_unstable() {
+    // x :- 1 ⊕ c·x over ℕ diverges for c = 2 ...
+    use datalog_o::core::ast::{Atom, Factor, SumProduct, Term};
+    use datalog_o::pops::Nat;
+    let mut p = Program::<Nat>::new();
+    p.rule(
+        Atom::new("X", vec![Term::c("u")]),
+        vec![
+            SumProduct::new(vec![]).with_coeff(Nat(1)),
+            SumProduct::new(vec![Factor::atom("X", vec![Term::c("u")])]).with_coeff(Nat(2)),
+        ],
+    );
+    assert!(!naive_eval(&p, &Default::default(), &BoolDatabase::new(), 50).is_converged());
+
+    // ... and the same program over Trop+ converges (0-stable).
+    let mut pt = Program::<Trop>::new();
+    pt.rule(
+        Atom::new("X", vec![Term::c("u")]),
+        vec![
+            SumProduct::new(vec![]).with_coeff(Trop::finite(1.0)),
+            SumProduct::new(vec![Factor::atom("X", vec![Term::c("u")])])
+                .with_coeff(Trop::finite(2.0)),
+        ],
+    );
+    match naive_eval(&pt, &Default::default(), &BoolDatabase::new(), 50) {
+        EvalOutcome::Converged { output, steps } => {
+            assert!(steps <= 2);
+            assert_eq!(
+                output.get("X").unwrap().get(&tup(&["u"])),
+                Trop::finite(1.0)
+            );
+        }
+        _ => panic!("must converge over Trop+"),
+    }
+}

@@ -1,0 +1,202 @@
+//! Property tests: the algebraic laws of Sec. 2 and Sec. 6 on the
+//! *infinite* structures (the finite ones are checked exhaustively by
+//! `dlo_pops::checker`).
+
+use datalog_o::pops::{
+    stability, Bool, CompleteDistributiveDioid, Lifted, LiftedReal, MaxMin, MaxPlus, MinNat,
+    NNReal, Nat, Pops, PreSemiring, Trop, TropEta, TropP,
+};
+use proptest::prelude::*;
+
+// --- strategies -------------------------------------------------------------
+
+fn trop() -> impl Strategy<Value = Trop> {
+    prop_oneof![
+        (0u32..100).prop_map(|c| Trop::finite(c as f64 / 2.0)),
+        Just(Trop::INF),
+    ]
+}
+
+fn trop_p2() -> impl Strategy<Value = TropP<2>> {
+    proptest::collection::vec(0u32..40, 0..4)
+        .prop_map(|cs| TropP::<2>::from_costs(&cs.iter().map(|&c| c as f64).collect::<Vec<_>>()))
+}
+
+fn trop_eta() -> impl Strategy<Value = TropEta<6>> {
+    proptest::collection::vec(0u64..30, 1..5).prop_map(|cs| TropEta::<6>::from_costs(&cs))
+}
+
+fn minnat() -> impl Strategy<Value = MinNat> {
+    prop_oneof![(0u64..50).prop_map(MinNat::finite), Just(MinNat::INF)]
+}
+
+fn maxplus() -> impl Strategy<Value = MaxPlus> {
+    prop_oneof![
+        (-50i32..50).prop_map(|x| MaxPlus::finite(x as f64)),
+        Just(MaxPlus::NEG_INF),
+    ]
+}
+
+fn maxmin() -> impl Strategy<Value = MaxMin> {
+    (0u32..=100).prop_map(|x| MaxMin::of(x as f64 / 100.0))
+}
+
+fn nnreal() -> impl Strategy<Value = NNReal> {
+    (0u32..1000).prop_map(|x| NNReal::of(x as f64 / 8.0))
+}
+
+fn lifted_real() -> impl Strategy<Value = LiftedReal> {
+    prop_oneof![
+        Just(Lifted::Bot),
+        (-100i32..100).prop_map(|x| Lifted::Val(datalog_o::pops::Real::of(x as f64 / 4.0))),
+    ]
+}
+
+// --- generic law bundles -----------------------------------------------------
+
+fn semiring_laws<P: PreSemiring>(a: &P, b: &P, c: &P) {
+    assert_eq!(a.add(b), b.add(a), "⊕ comm");
+    assert_eq!(a.mul(b), b.mul(a), "⊗ comm");
+    assert_eq!(a.add(b).add(c), a.add(&b.add(c)), "⊕ assoc");
+    assert_eq!(a.mul(b).mul(c), a.mul(&b.mul(c)), "⊗ assoc");
+    assert_eq!(a.mul(&b.add(c)), a.mul(b).add(&a.mul(c)), "distributivity");
+    assert_eq!(&a.add(&P::zero()), a, "0 identity");
+    assert_eq!(&a.mul(&P::one()), a, "1 identity");
+}
+
+fn pops_laws<P: Pops>(a: &P, b: &P, c: &P) {
+    assert!(P::bottom().leq(a), "⊥ minimum");
+    assert!(a.leq(a), "reflexive");
+    if a.leq(b) && b.leq(a) {
+        assert_eq!(a, b, "antisymmetry");
+    }
+    if a.leq(b) && b.leq(c) {
+        assert!(a.leq(c), "transitivity");
+    }
+    if a.leq(b) {
+        assert!(a.add(c).leq(&b.add(c)), "⊕ monotone");
+        assert!(a.mul(c).leq(&b.mul(c)), "⊗ monotone");
+    }
+}
+
+fn dioid_minus_laws<P: CompleteDistributiveDioid>(a: &P, b: &P, c: &P) {
+    assert_eq!(a.add(a), a.clone(), "idempotent");
+    // (61): a ⊕ (b ⊖ a) ⊒ b.
+    assert!(b.leq(&a.add(&b.minus(a))), "(61)");
+    // (59): a ⊑ b ⟹ a ⊕ (b ⊖ a) = b.
+    if a.leq(b) {
+        assert_eq!(a.add(&b.minus(a)), b.clone(), "(59)");
+    }
+    // (60): (a ⊕ b) ⊖ (a ⊕ c) = b ⊖ (a ⊕ c).
+    assert_eq!(
+        a.add(b).minus(&a.add(c)),
+        b.minus(&a.add(c)),
+        "(60)"
+    );
+    // b ⊖ a = 0 ⟺ b ⊑ a (the semi-naïve stopping criterion).
+    assert_eq!(b.minus(a).is_zero(), b.leq(a), "⊖ zero test");
+}
+
+macro_rules! law_suite {
+    ($name:ident, $strat:expr, semiring) => {
+        proptest! {
+            #[test]
+            fn $name((a, b, c) in ($strat, $strat, $strat)) {
+                semiring_laws(&a, &b, &c);
+                let zero = <_ as PreSemiring>::zero();
+                prop_assert_eq!(a.mul(&zero), zero, "absorption");
+            }
+        }
+    };
+    ($name:ident, $strat:expr, pops) => {
+        proptest! {
+            #[test]
+            fn $name((a, b, c) in ($strat, $strat, $strat)) {
+                pops_laws(&a, &b, &c);
+            }
+        }
+    };
+    ($name:ident, $strat:expr, dioid) => {
+        proptest! {
+            #[test]
+            fn $name((a, b, c) in ($strat, $strat, $strat)) {
+                dioid_minus_laws(&a, &b, &c);
+            }
+        }
+    };
+}
+
+law_suite!(trop_semiring, trop(), semiring);
+law_suite!(trop_pops, trop(), pops);
+law_suite!(trop_dioid, trop(), dioid);
+law_suite!(trop_p2_semiring, trop_p2(), semiring);
+law_suite!(trop_p2_pops, trop_p2(), pops);
+law_suite!(trop_eta_semiring, trop_eta(), semiring);
+law_suite!(trop_eta_pops, trop_eta(), pops);
+law_suite!(minnat_semiring, minnat(), semiring);
+law_suite!(minnat_dioid, minnat(), dioid);
+law_suite!(maxplus_semiring, maxplus(), semiring);
+law_suite!(maxplus_dioid, maxplus(), dioid);
+law_suite!(maxmin_semiring, maxmin(), semiring);
+law_suite!(maxmin_dioid, maxmin(), dioid);
+law_suite!(nnreal_semiring, nnreal(), semiring);
+law_suite!(nnreal_pops, nnreal(), pops);
+
+proptest! {
+    /// Lifted POPS: pre-semiring laws hold but absorption fails at ⊥;
+    /// ⊥ absorbs both operations.
+    #[test]
+    fn lifted_real_laws((a, b, c) in (lifted_real(), lifted_real(), lifted_real())) {
+        semiring_laws(&a, &b, &c);
+        pops_laws(&a, &b, &c);
+        prop_assert_eq!(a.add(&Lifted::Bot), Lifted::Bot);
+        prop_assert_eq!(a.mul(&Lifted::Bot), Lifted::Bot);
+    }
+
+    /// Natural order on naturally ordered semirings: x ⊑ x ⊕ y always.
+    #[test]
+    fn natural_order_grows_with_add(a in trop(), b in trop()) {
+        prop_assert!(a.leq(&a.add(&b)));
+    }
+
+    /// Stability: every Trop element 0-stable, every TropP<2> element
+    /// 2-stable, every TropEta element stable (index ≤ η+1 for integers).
+    #[test]
+    fn stability_classes(t in trop(), p in trop_p2(), e in trop_eta()) {
+        prop_assert!(stability::is_p_stable(&t, 0));
+        prop_assert!(stability::is_p_stable(&p, 2));
+        prop_assert!(stability::element_stability_index(&e, 10).is_some());
+    }
+
+    /// Eq. (15)/(16): computing through bags/sets then reducing once agrees
+    /// with reducing at each step — probed via associativity mixes.
+    #[test]
+    fn trop_p_reduction_identities(
+        (a, b, c, d) in (trop_p2(), trop_p2(), trop_p2(), trop_p2())
+    ) {
+        prop_assert_eq!(a.add(&b).mul(&c.add(&d)),
+            a.mul(&c).add(&a.mul(&d)).add(&b.mul(&c)).add(&b.mul(&d)));
+    }
+
+    /// Bool never lies (sanity anchor for the macros).
+    #[test]
+    fn bool_laws(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+        let (a, b, c) = (Bool(a), Bool(b), Bool(c));
+        semiring_laws(&a, &b, &c);
+        pops_laws(&a, &b, &c);
+        dioid_minus_laws(&a, &b, &c);
+    }
+
+    /// Nat is naturally ordered but unstable for u ≥ 1 except u = 0.
+    /// (The probe window stays below u64 saturation, where the saturating
+    /// representation would fake stability at u64::MAX — see nat.rs.)
+    #[test]
+    fn nat_stability_dichotomy(u in 0u64..16) {
+        let ix = stability::element_stability_index(&Nat(u), 14);
+        if u == 0 {
+            prop_assert_eq!(ix, Some(0));
+        } else {
+            prop_assert_eq!(ix, None);
+        }
+    }
+}

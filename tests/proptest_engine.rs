@@ -1,0 +1,235 @@
+//! Property tests over the engine: randomized programs and instances.
+//!
+//! * Theorem 6.4: semi-naïve ≡ naïve on random graphs over the complete
+//!   distributive dioids;
+//! * sparse ≡ dense grounding on naturally ordered semirings;
+//! * `LinearLFP` ≡ naïve on random linear systems;
+//! * parser/pretty-printer round trips;
+//! * engine vs Dijkstra on weighted random graphs.
+
+use datalog_o::core::{
+    ground, ground_sparse, naive_eval_system, parse_program, relational_naive_eval,
+    relational_seminaive_eval, render_program, seminaive_eval_system, BoolDatabase, Database,
+    Program, Relation,
+};
+use datalog_o::pops::{Bool, MaxMin, MinNat, Trop};
+use datalog_o::semilin::{linear_lfp_auto, AffineSystem};
+use proptest::prelude::*;
+
+/// Strategy: a random edge list over `n ≤ 8` integer nodes.
+fn edges_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize, u8)>)> {
+    (3usize..8).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec(((0..n), (0..n), 1u8..9), 1..=3 * n),
+        )
+    })
+}
+
+fn trop_edb(edges: &[(usize, usize, u8)]) -> Database<Trop> {
+    let mut db = Database::new();
+    db.insert(
+        "E",
+        Relation::from_pairs(
+            2,
+            edges.iter().map(|&(u, v, w)| {
+                (
+                    vec![(u as i64).into(), (v as i64).into()],
+                    Trop::finite(w as f64),
+                )
+            }),
+        ),
+    );
+    db
+}
+
+fn minnat_edb(edges: &[(usize, usize, u8)]) -> Database<MinNat> {
+    let mut db = Database::new();
+    db.insert(
+        "E",
+        Relation::from_pairs(
+            2,
+            edges.iter().map(|&(u, v, w)| {
+                (
+                    vec![(u as i64).into(), (v as i64).into()],
+                    MinNat::finite(w as u64),
+                )
+            }),
+        ),
+    );
+    db
+}
+
+fn maxmin_edb(edges: &[(usize, usize, u8)]) -> Database<MaxMin> {
+    let mut db = Database::new();
+    db.insert(
+        "E",
+        Relation::from_pairs(
+            2,
+            edges.iter().map(|&(u, v, w)| {
+                (
+                    vec![(u as i64).into(), (v as i64).into()],
+                    MaxMin::of(w as f64 / 10.0),
+                )
+            }),
+        ),
+    );
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 6.4 over Trop: semi-naïve = naïve (SSSP, APSP).
+    #[test]
+    fn seminaive_equals_naive_trop((_n, edges) in edges_strategy()) {
+        prop_assume!(!edges.iter().all(|(u, v, _)| u == v));
+        let edb = trop_edb(&edges);
+        for prog in [
+            dlo_bench::single_source_int_program::<Trop>(0),
+            datalog_o::core::examples_lib::apsp_program::<Trop>(),
+        ] {
+            let sys = ground_sparse(&prog, &edb, &BoolDatabase::new());
+            let naive = naive_eval_system(&sys, 100_000).unwrap();
+            let (semi, _) = seminaive_eval_system(&sys, 100_000);
+            prop_assert_eq!(naive, semi.unwrap());
+        }
+    }
+
+    /// Theorem 6.4 over MinNat and MaxMin (other distributive dioids),
+    /// including the quadratic TC rule.
+    #[test]
+    fn seminaive_equals_naive_other_dioids((_n, edges) in edges_strategy()) {
+        let edb = minnat_edb(&edges);
+        let prog = datalog_o::core::examples_lib::quadratic_tc_program::<MinNat>();
+        let sys = ground_sparse(&prog, &edb, &BoolDatabase::new());
+        let naive = naive_eval_system(&sys, 100_000).unwrap();
+        let (semi, _) = seminaive_eval_system(&sys, 100_000);
+        prop_assert_eq!(naive, semi.unwrap());
+
+        let edbm = maxmin_edb(&edges);
+        let progm = datalog_o::core::examples_lib::apsp_program::<MaxMin>();
+        let sysm = ground_sparse(&progm, &edbm, &BoolDatabase::new());
+        let naivem = naive_eval_system(&sysm, 100_000).unwrap();
+        let (semim, _) = seminaive_eval_system(&sysm, 100_000);
+        prop_assert_eq!(naivem, semim.unwrap());
+    }
+
+    /// The relational backend (naive and semi-naive) agrees with the
+    /// grounded backend on random graphs over Trop and MinNat, for both
+    /// the linear SSSP/APSP programs and the quadratic TC rule.
+    #[test]
+    fn relational_backends_equal_grounded((_n, edges) in edges_strategy()) {
+        let edb = trop_edb(&edges);
+        let bools = BoolDatabase::new();
+        for prog in [
+            dlo_bench::single_source_int_program::<Trop>(0),
+            datalog_o::core::examples_lib::apsp_program::<Trop>(),
+            datalog_o::core::examples_lib::quadratic_tc_program::<Trop>(),
+        ] {
+            let grounded = naive_eval_system(
+                &ground_sparse(&prog, &edb, &bools), 100_000).unwrap();
+            let rel = relational_naive_eval(&prog, &edb, &bools, 100_000).unwrap();
+            let semi = relational_seminaive_eval(&prog, &edb, &bools, 100_000).unwrap();
+            for (pred, r) in grounded.iter() {
+                let empty = Relation::new(r.arity());
+                prop_assert_eq!(r, rel.get(pred).unwrap_or(&empty));
+                prop_assert_eq!(r, semi.get(pred).unwrap_or(&empty));
+            }
+            for (pred, r) in rel.iter() {
+                if grounded.get(pred).is_none() {
+                    prop_assert!(r.is_empty());
+                }
+            }
+        }
+    }
+
+    /// Sparse and dense grounding agree on naturally ordered semirings.
+    #[test]
+    fn sparse_equals_dense((_n, edges) in edges_strategy()) {
+        let edb = trop_edb(&edges);
+        let prog = dlo_bench::single_source_int_program::<Trop>(0);
+        let bools = BoolDatabase::new();
+        let d = naive_eval_system(&ground(&prog, &edb, &bools), 100_000).unwrap();
+        let s = naive_eval_system(&ground_sparse(&prog, &edb, &bools), 100_000).unwrap();
+        prop_assert_eq!(d, s);
+    }
+
+    /// LinearLFP (Algorithm 2) = naïve on random linear groundings.
+    #[test]
+    fn linear_lfp_equals_naive((_n, edges) in edges_strategy()) {
+        let edb = trop_edb(&edges);
+        let prog = dlo_bench::single_source_int_program::<Trop>(0);
+        let sys = ground_sparse(&prog, &edb, &BoolDatabase::new());
+        let asys = AffineSystem::from_ground_system(&sys).expect("linear");
+        let (naive, _) = asys.naive_lfp(100_000).unwrap();
+        prop_assert_eq!(linear_lfp_auto(&asys), naive);
+    }
+
+    /// The engine computes true shortest distances (Dijkstra oracle).
+    #[test]
+    fn sssp_matches_dijkstra((n, edges) in edges_strategy()) {
+        let g = dlo_bench::GraphInstance {
+            n,
+            edges: edges.iter().map(|&(u, v, w)| (u, v, w as f64)).collect(),
+        };
+        let (prog, edb) = g.sssp();
+        let sys = ground_sparse(&prog, &edb, &BoolDatabase::new());
+        let out = naive_eval_system(&sys, 100_000).unwrap();
+        let oracle = dlo_bench::dijkstra(&g, 0);
+        let l = out.get("L");
+        for (i, d) in oracle.iter().enumerate() {
+            let got = l.map(|r| r.get(&vec![g.node(i)])).unwrap_or(Trop::INF).get();
+            prop_assert_eq!(got, *d, "node {}", i);
+        }
+    }
+
+    /// Pretty-printer round trip: parse(render(p)) == p for programs built
+    /// from random rule text fragments.
+    #[test]
+    fn parser_roundtrip(
+        n_rules in 1usize..4,
+        seeds in proptest::collection::vec(0u32..1000, 1..4)
+    ) {
+        // Assemble a random-but-valid program text.
+        let mut src = String::new();
+        for (i, s) in seeds.iter().take(n_rules).enumerate() {
+            match s % 4 {
+                0 => src.push_str(&format!("R{i}(X) :- E(X, Z) * R{i}(Z).\n")),
+                1 => src.push_str(&format!("R{i}(X, Y) :- E(X, Y) + R{i}(X, Z) * E(Z, Y).\n")),
+                2 => src.push_str(&format!("R{i}(X) :- $2 | X = a.\n")),
+                _ => src.push_str(&format!(
+                    "R{i}(X) :- E(X, Y) | (B(Y) && X != {s}) || !(C(X)).\n"
+                )),
+            }
+        }
+        let p: Program<Trop> = parse_program(&src).unwrap();
+        let rendered = render_program(&p);
+        let p2: Program<Trop> = parse_program(&rendered).unwrap();
+        prop_assert_eq!(p, p2, "rendered:\n{}", rendered);
+    }
+
+    /// Boolean semantics sanity: support of the Trop fixpoint equals the
+    /// Boolean fixpoint's support (finite distance ⟺ reachable).
+    #[test]
+    fn trop_support_equals_bool_reachability((_n, edges) in edges_strategy()) {
+        let prog_t = dlo_bench::single_source_int_program::<Trop>(0);
+        let prog_b = dlo_bench::single_source_int_program::<Bool>(0);
+        let edb_t = trop_edb(&edges);
+        let mut edb_b = Database::new();
+        edb_b.insert(
+            "E",
+            Relation::from_pairs(
+                2,
+                edges.iter().map(|&(u, v, _)| {
+                    (vec![(u as i64).into(), (v as i64).into()], Bool(true))
+                }),
+            ),
+        );
+        let out_t = naive_eval_system(&ground_sparse(&prog_t, &edb_t, &BoolDatabase::new()), 100_000).unwrap();
+        let out_b = naive_eval_system(&ground_sparse(&prog_b, &edb_b, &BoolDatabase::new()), 100_000).unwrap();
+        let sup_t: Vec<_> = out_t.get("L").map(|r| r.support().map(|(t, _)| t.clone()).collect()).unwrap_or_default();
+        let sup_b: Vec<_> = out_b.get("L").map(|r| r.support().map(|(t, _)| t.clone()).collect()).unwrap_or_default();
+        prop_assert_eq!(sup_t, sup_b);
+    }
+}

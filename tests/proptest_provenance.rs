@@ -1,0 +1,114 @@
+//! Property tests for the grammar/Parikh substrate (Sec. 5.2–5.3) and the
+//! stability micro-theory.
+
+use datalog_o::pops::{stability, TropEta, TropP};
+use datalog_o::provenance::{
+    check_lemma_5_6, formal_iterates, trees_upto, FExpr, FormalPoly, Grammar, Sym,
+};
+use proptest::prelude::*;
+
+/// Strategy: a small random grammar (≤ 3 nonterminals, ≤ 3 productions
+/// each, RHS arity ≤ 2) with distinct terminals per production.
+fn grammar_strategy() -> impl Strategy<Value = Grammar> {
+    (1usize..4)
+        .prop_flat_map(|nvars| {
+            proptest::collection::vec(
+                proptest::collection::vec(
+                    proptest::collection::vec(0usize..nvars, 0..3),
+                    1..4,
+                ),
+                nvars..=nvars,
+            )
+        })
+        .prop_map(|per_var| {
+            let mut g = Grammar::new(per_var.len());
+            let mut sym = 0u32;
+            for (v, prods) in per_var.into_iter().enumerate() {
+                for children in prods {
+                    g.add(v, Sym(sym), children);
+                    sym += 1;
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Lemma 5.6 on random grammars: the formal iterate equals the sum of
+    /// yields of parse trees of bounded depth.
+    #[test]
+    fn lemma_5_6_random(g in grammar_strategy()) {
+        prop_assume!(check_lemma_5_6(&g, 0, 10).is_ok());
+        if let Err((i, q)) = check_lemma_5_6(&g, 3, 2_000_000) {
+            prop_assert!(false, "mismatch at var {} q {}", i, q);
+        }
+    }
+
+    /// Tree counts are monotone in depth and match coefficients totals.
+    #[test]
+    fn tree_counts_monotone(g in grammar_strategy()) {
+        for v in 0..g.num_vars() {
+            let t2 = trees_upto(&g, v, 2, 500_000).map(|t| t.len());
+            let t3 = trees_upto(&g, v, 3, 500_000).map(|t| t.len());
+            if let (Some(a), Some(b)) = (t2, t3) {
+                prop_assert!(a <= b);
+            }
+        }
+    }
+
+    /// The formal semiring ℕ[Σ] satisfies the semiring laws.
+    #[test]
+    fn formal_poly_semiring_laws(
+        sa in 0u32..4, sb in 0u32..4, sc in 0u32..4,
+        ka in 1u128..5, kb in 1u128..5
+    ) {
+        let a = FormalPoly::monomial(
+            datalog_o::provenance::Expo::of(Sym(sa)), ka);
+        let b = FormalPoly::monomial(
+            datalog_o::provenance::Expo::of(Sym(sb)), kb);
+        let c = FormalPoly::sym(Sym(sc));
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        prop_assert_eq!(a.add(&FormalPoly::zero()), a.clone());
+        prop_assert_eq!(a.mul(&FormalPoly::one()), a.clone());
+        prop_assert!(a.mul(&FormalPoly::zero()).is_empty());
+    }
+
+    /// Formal iterates form an ascending chain of monomial sets: every
+    /// monomial of f^(q)(0) persists in f^(q+1)(0) with count ≥ — in fact
+    /// tree counts only grow.
+    #[test]
+    fn formal_iterates_coefficients_grow(g in grammar_strategy()) {
+        let sys: Vec<FExpr> = g.to_formal_system();
+        let its = formal_iterates(&sys, 4);
+        for q in 1..4 {
+            for (i, poly) in its[q].iter().enumerate() {
+                for (v, c) in poly.terms() {
+                    prop_assert!(its[q + 1][i].coeff(v) >= *c);
+                }
+            }
+        }
+    }
+
+    /// The stability helpers agree: is_p_stable(u, index(u)) and not one
+    /// below (minimality), over TropP and TropEta samples.
+    #[test]
+    fn stability_index_is_minimal(costs in proptest::collection::vec(0u64..30, 1..4)) {
+        let fcosts: Vec<f64> = costs.iter().map(|&c| c as f64).collect();
+        let u = TropP::<3>::from_costs(&fcosts);
+        let ix = stability::element_stability_index(&u, 50).unwrap();
+        prop_assert!(stability::is_p_stable(&u, ix));
+        if ix > 0 {
+            prop_assert!(!stability::is_p_stable(&u, ix - 1));
+        }
+        let e = TropEta::<12>::from_costs(&costs);
+        let ixe = stability::element_stability_index(&e, 100).unwrap();
+        prop_assert!(stability::is_p_stable(&e, ixe));
+        if ixe > 0 {
+            prop_assert!(!stability::is_p_stable(&e, ixe - 1));
+        }
+    }
+}
