@@ -8,10 +8,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dlo_bench::GraphInstance;
+use dlo_core::examples_lib::apsp_program;
 use dlo_core::{
     ground_sparse, naive_eval_system, relational_naive_eval, relational_seminaive_eval,
     BoolDatabase,
 };
+use dlo_engine::engine_seminaive_eval;
+use dlo_pops::{Bool, Trop};
 
 fn bench_backends(c: &mut Criterion) {
     let mut group = c.benchmark_group("backend_sssp_total");
@@ -33,21 +36,14 @@ fn bench_backends(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("relational_naive", n), &(), |bch, ()| {
-            bch.iter(|| {
-                relational_naive_eval(std::hint::black_box(&prog), &edb, &bools, 1_000_000)
-            })
+            bch.iter(|| relational_naive_eval(std::hint::black_box(&prog), &edb, &bools, 1_000_000))
         });
         group.bench_with_input(
             BenchmarkId::new("relational_seminaive", n),
             &(),
             |bch, ()| {
                 bch.iter(|| {
-                    relational_seminaive_eval(
-                        std::hint::black_box(&prog),
-                        &edb,
-                        &bools,
-                        1_000_000,
-                    )
+                    relational_seminaive_eval(std::hint::black_box(&prog), &edb, &bools, 1_000_000)
                 })
             },
         );
@@ -55,5 +51,64 @@ fn bench_backends(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_backends);
+/// Engine vs relational on 1k-node transitive closure: a unit-weight
+/// chain (worst-case iteration count, |TC| = n(n-1)/2) and a sparse
+/// random digraph, over `Trop⁺` (all-pairs shortest paths) and `𝔹`
+/// (plain reachability).
+///
+/// The relational backend needs on the order of a minute per run at
+/// this size (it re-scans `BTreeMap` supports per delta tuple), so the
+/// stand-in criterion harness automatically takes a single sample for
+/// it; the engine side is fast enough for full sampling. Recorded
+/// baseline: `BENCH_engine.json`.
+fn bench_engine_tc(c: &mut Criterion) {
+    let bools = BoolDatabase::new();
+
+    // Cross-check the backends once on a small instance.
+    let small = GraphInstance::random(48, 120, 9, 7);
+    let prog_t = apsp_program::<Trop>();
+    let a = relational_seminaive_eval(&prog_t, &small.trop_edb(), &bools, 1_000_000).unwrap();
+    let b = engine_seminaive_eval(&prog_t, &small.trop_edb(), &bools, 1_000_000).unwrap();
+    for (pred, r) in a.iter() {
+        assert_eq!(
+            Some(r),
+            b.get(pred),
+            "engine/relational cross-check: {pred}"
+        );
+    }
+
+    let chain = GraphInstance::path(1000);
+    let random = GraphInstance::random(1000, 1500, 9, 7);
+    let mut group = c.benchmark_group("tc_1k");
+    group.sample_size(5);
+    for (name, g) in [("chain", &chain), ("random", &random)] {
+        let prog_t = apsp_program::<Trop>();
+        let edb_t = g.trop_edb();
+        let prog_b = apsp_program::<Bool>();
+        let edb_b = g.bool_edb();
+        group.bench_with_input(BenchmarkId::new("engine_trop", name), &(), |bch, ()| {
+            bch.iter(|| {
+                engine_seminaive_eval(std::hint::black_box(&prog_t), &edb_t, &bools, 1_000_000)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("engine_bool", name), &(), |bch, ()| {
+            bch.iter(|| {
+                engine_seminaive_eval(std::hint::black_box(&prog_b), &edb_b, &bools, 1_000_000)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("relational_trop", name), &(), |bch, ()| {
+            bch.iter(|| {
+                relational_seminaive_eval(std::hint::black_box(&prog_t), &edb_t, &bools, 1_000_000)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("relational_bool", name), &(), |bch, ()| {
+            bch.iter(|| {
+                relational_seminaive_eval(std::hint::black_box(&prog_b), &edb_b, &bools, 1_000_000)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends, bench_engine_tc);
 criterion_main!(benches);

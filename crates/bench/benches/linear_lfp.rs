@@ -8,7 +8,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dlo_pops::{PreSemiring, TropP};
-use dlo_semilin::{fwk_solve, linear_lfp_auto, linear_naive_lfp, trop_p_cycle, AffineFn, AffineSystem, Matrix};
+use dlo_semilin::{
+    fwk_solve, linear_lfp_auto, linear_naive_lfp, trop_p_cycle, AffineFn, AffineSystem, Matrix,
+};
 
 const P: usize = 3;
 

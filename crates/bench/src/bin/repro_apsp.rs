@@ -85,12 +85,8 @@ fn main() {
     );
 
     // Boolean reading: same program computes transitive closure.
-    let (progb, edbb) = dlo_core::examples_lib::linear_tc_bool(&[
-        ("a", "b"),
-        ("b", "c"),
-        ("c", "a"),
-        ("c", "d"),
-    ]);
+    let (progb, edbb) =
+        dlo_core::examples_lib::linear_tc_bool(&[("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")]);
     let sysb = ground_sparse(&progb, &edbb, &BoolDatabase::new());
     let outb = naive_eval_system(&sysb, 1000).unwrap();
     let tb = outb.get("T").unwrap();

@@ -29,9 +29,9 @@ fn main() {
             "E",
             dlo_core::Relation::from_pairs(
                 2,
-                g.edges.iter().map(|&(u, v, w)| {
-                    (vec![g.node(u), g.node(v)], TropP::<P>::from_costs(&[w]))
-                }),
+                g.edges
+                    .iter()
+                    .map(|&(u, v, w)| (vec![g.node(u), g.node(v)], TropP::<P>::from_costs(&[w]))),
             ),
         );
         let sys = ground_sparse(&prog, &edb, &dlo_core::BoolDatabase::new());
@@ -68,9 +68,9 @@ fn main() {
             "E",
             dlo_core::Relation::from_pairs(
                 2,
-                g.edges.iter().map(|&(u, v, w)| {
-                    (vec![g.node(u), g.node(v)], TropP::<P>::from_costs(&[w]))
-                }),
+                g.edges
+                    .iter()
+                    .map(|&(u, v, w)| (vec![g.node(u), g.node(v)], TropP::<P>::from_costs(&[w]))),
             ),
         );
         let sys = ground_sparse(&prog, &edb, &dlo_core::BoolDatabase::new());
@@ -123,8 +123,10 @@ fn main() {
         let edges: Vec<(String, String)> = (0..n - 1)
             .map(|i| (format!("v{i}"), format!("v{}", i + 1)))
             .collect();
-        let edge_refs: Vec<(&str, &str)> =
-            edges.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let edge_refs: Vec<(&str, &str)> = edges
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+            .collect();
         let (prog, edb) = dlo_core::examples_lib::quadratic_tc_bool(&edge_refs);
         let sys = ground_sparse(&prog, &edb, &dlo_core::BoolDatabase::new());
         match naive_eval_system(&sys, 1_000_000) {

@@ -40,7 +40,10 @@ fn main() {
     // (ii) — lfp = ∞ exists but naive never reaches it.
     {
         let f = |x: &NatInf| x.add(&NatInf::one());
-        let diverges = matches!(naive_lfp(f, NatInf::bottom(), 1000), Outcome::Diverged { .. });
+        let diverges = matches!(
+            naive_lfp(f, NatInf::bottom(), 1000),
+            Outcome::Diverged { .. }
+        );
         let inf_is_fixpoint = f(&NatInf::Inf) == NatInf::Inf;
         ok &= diverges && inf_is_fixpoint;
         rows.push(vec![
@@ -97,7 +100,10 @@ fn main() {
         rows.push(vec![
             "(iv)".into(),
             format!("Trop+_{P} 6-cycle"),
-            format!("steps {a} = {b} regardless of weights (≤ (p+1)N = {})", (P + 1) * 6),
+            format!(
+                "steps {a} = {b} regardless of weights (≤ (p+1)N = {})",
+                (P + 1) * 6
+            ),
         ]);
     }
 

@@ -6,8 +6,8 @@
 
 use dlo_bench::print_table;
 use dlo_core::examples_lib as ex;
-use dlo_core::{ground, naive_eval, naive_eval_trace, BoolDatabase};
 use dlo_core::tup;
+use dlo_core::{ground, naive_eval, naive_eval_trace, BoolDatabase};
 use dlo_pops::{Bool, PreSemiring, Trop, TropEta, TropP};
 
 fn main() {
@@ -44,7 +44,11 @@ fn main() {
             ]
         })
         .collect();
-    print_table("Example 4.1 over B — reachability from a", &["atom", "value"], &rows);
+    print_table(
+        "Example 4.1 over B — reachability from a",
+        &["atom", "value"],
+        &rows,
+    );
     ok &= (0..4).all(|i| rows[i][1] == "true");
 
     // --- Trop⁺₁: two shortest paths ---------------------------------------

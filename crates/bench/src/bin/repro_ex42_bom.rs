@@ -5,8 +5,8 @@
 //! the paper's table.
 
 use dlo_core::examples_lib as ex;
-use dlo_core::{ground, naive_eval, naive_eval_trace, EvalOutcome};
 use dlo_core::tup;
+use dlo_core::{ground, naive_eval, naive_eval_trace, EvalOutcome};
 use dlo_pops::lifted::lreal;
 use dlo_pops::LiftedReal;
 

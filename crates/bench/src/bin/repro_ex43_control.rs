@@ -15,9 +15,9 @@ fn main() {
     let companies = ["a", "b", "c", "d"];
     // Share matrix S(x, y) = fraction of y owned by x.
     let shares = [
-        ("a", "b", 0.6),  // a controls b outright
-        ("a", "c", 0.3),  // a alone is short of c …
-        ("b", "c", 0.3),  // … but a+b clears 0.5
+        ("a", "b", 0.6), // a controls b outright
+        ("a", "c", 0.3), // a alone is short of c …
+        ("b", "c", 0.3), // … but a+b clears 0.5
         ("a", "d", 0.2),
         ("b", "d", 0.2),  // a+b reach only 0.4 of d
         ("c", "d", 0.05), // even with c: 0.45 < 0.5

@@ -38,12 +38,7 @@ fn main() {
     );
 
     // --- keys to values -----------------------------------------------------
-    let lengths = [
-        ("a", "b", 3),
-        ("a", "b", 7),
-        ("a", "c", 5),
-        ("b", "c", 2),
-    ];
+    let lengths = [("a", "b", 3), ("a", "b", 7), ("a", "c", 5), ("b", "c", 2)];
     let (prog, edb) = shortest_length(&lengths);
     let out = naive_eval(&prog, &edb, &BoolDatabase::new(), 100).unwrap();
     let sl = out.get("ShortestLength").unwrap();

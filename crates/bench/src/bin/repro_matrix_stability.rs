@@ -7,7 +7,7 @@
 use dlo_bench::print_table;
 use dlo_fixpoint::trop_p_matrix_bound;
 use dlo_pops::{PreSemiring, TropP};
-use dlo_semilin::{fwk_closure, matrix_stability_index, trop_p_cycle, closure_fixpoint, Matrix};
+use dlo_semilin::{closure_fixpoint, fwk_closure, matrix_stability_index, trop_p_cycle, Matrix};
 
 fn cycle_row<const P: usize>(n: usize, ok: &mut bool) -> Vec<String> {
     let a = trop_p_cycle::<P>(n);

@@ -7,7 +7,9 @@
 //! iteration counts collapse under Newton, wall-clock does not.
 
 use dlo_bench::{print_table, GraphInstance};
-use dlo_core::{ground_sparse, naive_eval_system, seminaive_eval_system, BoolDatabase, EvalOutcome};
+use dlo_core::{
+    ground_sparse, naive_eval_system, seminaive_eval_system, BoolDatabase, EvalOutcome,
+};
 use dlo_pops::{Bool, Trop};
 use dlo_semilin::newton_lfp;
 use std::time::Instant;
@@ -65,7 +67,10 @@ fn main() {
     let edges: Vec<(String, String)> = (0..14)
         .map(|i| (format!("n{i}"), format!("n{}", i + 1)))
         .collect();
-    let er: Vec<(&str, &str)> = edges.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let er: Vec<(&str, &str)> = edges
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
     let (prog, edb) = dlo_core::examples_lib::quadratic_tc_bool(&er);
     let sys = ground_sparse(&prog, &edb, &BoolDatabase::new());
     let EvalOutcome::Converged { output, steps } = naive_eval_system(&sys, 100_000) else {

@@ -41,18 +41,24 @@ fn main() {
     let trees = trees_upto(&g, 0, 2, 1000).unwrap();
     for t in &trees {
         let y = t.yield_expo(&g);
-        let yield_str: String = y
-            .0
-            .iter()
-            .flat_map(|(s, k)| std::iter::repeat_n(names(*s), *k as usize))
-            .collect();
-        println!("  {:<28} yield {}", render_tree(&g, &names, &["x", "y"], t), yield_str);
+        let yield_str: String =
+            y.0.iter()
+                .flat_map(|(s, k)| std::iter::repeat_n(names(*s), *k as usize))
+                .collect();
+        println!(
+            "  {:<28} yield {}",
+            render_tree(&g, &names, &["x", "y"], t),
+            yield_str
+        );
     }
     ok &= trees.len() == 3;
 
     // (f^(2)(0))₁ = a·c·w + b·w + c — from the formal side.
     let its = formal_iterates(&g.to_formal_system(), 2);
-    println!("\n(f^(2)(0))_x = {:?}   (s0..s5 = a, b, c, u, v, w)", its[2][0]);
+    println!(
+        "\n(f^(2)(0))_x = {:?}   (s0..s5 = a, b, c, u, v, w)",
+        its[2][0]
+    );
     ok &= its[2][0].len() == 3;
 
     // Lemma 5.6 on Example 5.7 and on pseudo-random grammars.
@@ -76,8 +82,9 @@ fn main() {
             let nprods = 1 + rng() % 3;
             for _ in 0..nprods {
                 let arity = (rng() % 3) as usize;
-                let children: Vec<usize> =
-                    (0..arity).map(|_| (rng() % nvars as u64) as usize).collect();
+                let children: Vec<usize> = (0..arity)
+                    .map(|_| (rng() % nvars as u64) as usize)
+                    .collect();
                 rg.add(v, Sym(sym), children);
                 sym += 1;
             }

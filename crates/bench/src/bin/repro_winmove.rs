@@ -8,7 +8,7 @@
 //! * FOUR never derives ⊤ in the lfp (Fitting's Prop. 7.1 check, E29).
 
 use dlo_bench::print_table;
-use dlo_pops::{Four, PreSemiring, Pops};
+use dlo_pops::{Four, Pops, PreSemiring};
 use dlo_wellfounded::{
     fig4_adjacency, fitting_lfp, well_founded, win_move_program, Literal, NegProgram,
     WinMoveInstance,
@@ -25,13 +25,21 @@ fn main() {
     let mut rows = vec![];
     for (t, interp) in wf.trace.iter().enumerate() {
         let mut row = vec![format!("J({t})")];
-        row.extend(order.iter().map(|n| if interp[ix(n)] { "1" } else { "0" }.to_string()));
+        row.extend(
+            order
+                .iter()
+                .map(|n| if interp[ix(n)] { "1" } else { "0" }.to_string()),
+        );
         rows.push(row);
     }
     let mut headers = vec!["iterate"];
     headers.extend(order.iter().map(|n| match *n {
-        "a" => "W(a)", "b" => "W(b)", "c" => "W(c)",
-        "d" => "W(d)", "e" => "W(e)", _ => "W(f)",
+        "a" => "W(a)",
+        "b" => "W(b)",
+        "c" => "W(c)",
+        "d" => "W(d)",
+        "e" => "W(e)",
+        _ => "W(f)",
     }));
     print_table(
         "Sec. 7.1 — alternating fixpoint on the Fig. 4 win-move game",

@@ -85,12 +85,9 @@ impl GraphInstance {
             "E",
             Relation::from_pairs(
                 2,
-                self.edges.iter().map(|&(u, v, w)| {
-                    (
-                        vec![self.node(u), self.node(v)] as Tuple,
-                        Trop::finite(w),
-                    )
-                }),
+                self.edges
+                    .iter()
+                    .map(|&(u, v, w)| (vec![self.node(u), self.node(v)] as Tuple, Trop::finite(w))),
             ),
         );
         db
@@ -245,13 +242,9 @@ mod tests {
         for seed in [1u64, 2, 3] {
             let g = GraphInstance::random(12, 30, 9, seed);
             let (prog, edb) = g.sssp();
-            let out = dlo_core::naive_eval_sparse(
-                &prog,
-                &edb,
-                &dlo_core::BoolDatabase::new(),
-                10_000,
-            )
-            .unwrap();
+            let out =
+                dlo_core::naive_eval_sparse(&prog, &edb, &dlo_core::BoolDatabase::new(), 10_000)
+                    .unwrap();
             let oracle = dijkstra(&g, 0);
             let l = out.get("L");
             for (i, d) in oracle.iter().enumerate() {

@@ -1,0 +1,287 @@
+//! Offline stand-in for the `criterion` crate (see `crates/compat/README.md`).
+//!
+//! Implements the measurement surface the workspace's benches use:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`] / [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkId`], and [`Bencher::iter`]. Each benchmark is warmed up,
+//! then timed over `sample_size` samples (batched so one sample lasts
+//! roughly [`TARGET_SAMPLE_MS`] when iterations are fast); min / mean /
+//! median per-iteration times go to stdout.
+//!
+//! Knobs (environment):
+//! * `CRITERION_SAMPLES=<n>` — override the per-group sample count;
+//! * `CRITERION_JSON=<path>` — append one JSON line per finished
+//!   benchmark (id, min/mean/median in ns, sample shape) for
+//!   machine-readable baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock length of one measurement sample.
+pub const TARGET_SAMPLE_MS: u64 = 25;
+
+/// Re-export of the standard black box (real criterion deprecates its own
+/// in favour of this one).
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let sample_size = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10);
+        // Under `cargo test --benches` cargo invokes bench binaries with
+        // `--test`: run each benchmark once, skip measurement.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named benchmark identifier `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a displayed parameter.
+    pub fn new(function: &str, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` with a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_bench(&full, samples, self.criterion.test_mode, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_bench(&full, samples, self.criterion.test_mode, |b| f(b));
+        self
+    }
+
+    /// Ends the group (report flushing is per-bench; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the measured closure; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f` (the harness controls the count).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_once(f: &mut impl FnMut(&mut Bencher), iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_bench(id: &str, samples: usize, test_mode: bool, mut f: impl FnMut(&mut Bencher)) {
+    if test_mode {
+        run_once(&mut f, 1);
+        println!("{id}: ok (test mode)");
+        return;
+    }
+    // Warmup + batch sizing: aim for TARGET_SAMPLE_MS per sample, but
+    // never batch a benchmark whose single iteration is already slow.
+    let first = run_once(&mut f, 1).max(Duration::from_nanos(1));
+    let target = Duration::from_millis(TARGET_SAMPLE_MS);
+    let iters_per_sample: u64 = if first >= target {
+        1
+    } else {
+        (target.as_nanos() / first.as_nanos()).clamp(1, 1_000_000) as u64
+    };
+    // Keep very slow benchmarks bounded: one sample once a single
+    // iteration passes ~2s, a handful below that.
+    let samples = if first >= Duration::from_secs(2) {
+        1
+    } else if first >= Duration::from_millis(200) {
+        samples.min(3)
+    } else {
+        samples
+    }
+    .max(1);
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let d = run_once(&mut f, iters_per_sample);
+        per_iter_ns.push(d.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter_ns[0];
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    println!(
+        "{id:<50} time: [min {} mean {} median {}] ({} samples x {} iters)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(median),
+        per_iter_ns.len(),
+        iters_per_sample
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                file,
+                "{{\"id\":\"{id}\",\"min_ns\":{min:.1},\"mean_ns\":{mean:.1},\
+                 \"median_ns\":{median:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+                per_iter_ns.len(),
+                iters_per_sample
+            );
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_and_groups_render() {
+        assert_eq!(BenchmarkId::new("dense", 24).id, "dense/24");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 7,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 7);
+    }
+
+    #[test]
+    fn run_bench_smoke() {
+        // Exercise the measurement path end to end on a trivial closure.
+        run_bench("smoke/1", 2, false, |b| b.iter(|| 1 + 1));
+        run_bench("smoke/test-mode", 2, true, |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,188 @@
+//! Offline stand-in for the `proptest` crate (see `crates/compat/README.md`).
+//!
+//! Supports the subset the workspace's property suites use:
+//!
+//! * [`Strategy`] with [`Strategy::prop_map`] / [`Strategy::prop_flat_map`],
+//!   implemented for integer ranges, tuples (arity ≤ 4), and [`Just`];
+//! * [`collection::vec`] with `Range`/`RangeInclusive` size bounds;
+//! * [`any`] over a small [`Arbitrary`] set (`bool`, integer primitives);
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!` / `prop_oneof!`.
+//!
+//! Each test runs `cases` deterministic iterations (seeded per case index),
+//! so failures are reproducible run to run. There is **no shrinking**: a
+//! failing case reports its case number and message only.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Just, OneOf, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError};
+
+/// Everything a property-test file usually imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Runs `cases` deterministic iterations of a property body.
+///
+/// The machinery behind the [`proptest!`] macro; exposed so the macro can
+/// expand to a plain function call. `gen_and_run` receives a seeded RNG
+/// and returns `Ok(())`, `Err(Reject)` (assume failed — retried without
+/// counting), or `Err(Fail)` (assertion failed — reported).
+pub fn run_property<F>(name: &str, config: &ProptestConfig, mut gen_and_run: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let mut accepted: u32 = 0;
+    let mut attempt: u64 = 0;
+    // Mix the test name into the seed stream so distinct tests explore
+    // distinct inputs, while staying deterministic across runs.
+    let name_hash: u64 = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    });
+    let max_attempts = (config.cases as u64) * 20 + 100;
+    while accepted < config.cases {
+        if attempt >= max_attempts {
+            panic!(
+                "proptest '{name}': gave up after {attempt} attempts \
+                 ({accepted}/{} cases accepted — too many prop_assume! rejections)",
+                config.cases
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(name_hash ^ attempt.wrapping_mul(0x9E3779B97F4A7C15));
+        attempt += 1;
+        match gen_and_run(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at case {accepted} (attempt {attempt}): {msg}")
+            }
+        }
+    }
+}
+
+/// The `proptest!` macro: a deterministic, shrink-free re-implementation.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn name(pat in strategy, ...) { body }` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::run_property(stringify!($name), &__config, |__rng| {
+                $(let $pat = $crate::Strategy::generate(&($strat), __rng);)+
+                #[allow(unreachable_code, clippy::diverging_sub_expression)]
+                {
+                    $body
+                    Ok(())
+                }
+            });
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts inside a property body; failure aborts the case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}", format!($($fmt)*), l, r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (it is regenerated, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// A strategy choosing uniformly among the given strategies (all must
+/// produce the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(Box::new($strat) as Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}

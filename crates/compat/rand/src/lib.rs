@@ -1,0 +1,160 @@
+//! Offline stand-in for the `rand` crate (see `crates/compat/README.md`).
+//!
+//! Implements the slice of the rand 0.8 API the workspace uses: a seeded
+//! generator (`rngs::StdRng`, `SeedableRng::seed_from_u64`) and uniform
+//! sampling over integer ranges (`Rng::gen_range`). The generator is
+//! SplitMix64 — deterministic, well mixed, and stable across platforms,
+//! which is all the seeded workload generators need. It makes no attempt
+//! at statistical perfection (rejection-free modulo reduction) or
+//! cryptographic strength.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can seed an RNG from a `u64` (mini `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A sample range over `T` (mini `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Inclusive bounds `(lo, hi)` of the range; panics when empty.
+    fn bounds(&self) -> (T, T);
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn bounds(&self) -> ($t, $t) {
+                assert!(self.start < self.end, "cannot sample empty range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn bounds(&self) -> ($t, $t) {
+                assert!(self.start() <= self.end(), "cannot sample empty range");
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+/// The generator interface (mini `rand::Rng`).
+pub trait Rng {
+    /// The next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (integer types only).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: SampleRange<T>,
+    {
+        let (lo, hi) = range.bounds();
+        T::sample(self.next_u64(), lo, hi)
+    }
+
+    /// A uniform `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 <= p
+    }
+}
+
+/// Integer types `gen_range` can produce.
+pub trait UniformInt: Copy {
+    /// Maps a raw 64-bit draw into `[lo, hi]`.
+    fn sample(raw: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample(raw: u64, lo: Self, hi: Self) -> Self {
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + ((raw as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+macro_rules! impl_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample(raw: u64, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128) - (lo as i128) + 1;
+                lo + ((raw as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_unsigned!(u8, u16, u32, u64, u128, usize);
+impl_uniform_signed!(i8, i16, i32, i64, i128, isize);
+
+/// Named generators (mini `rand::rngs`).
+pub mod rngs {
+    /// The default seeded generator: SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014): additive state walk +
+            // two xor-shift-multiply finalization rounds.
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u32 = rng.gen_range(1..=9);
+            assert!((1..=9).contains(&y));
+            let z: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn covers_the_whole_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -50,8 +50,7 @@ pub fn check_ico_monotone_on_chain<P: Pops>(
     trace: &Trace<P>,
 ) -> Vec<Finding> {
     let mut out = vec![];
-    let leq_vec =
-        |a: &[P], b: &[P]| a.iter().zip(b).all(|(x, y)| x.leq(y));
+    let leq_vec = |a: &[P], b: &[P]| a.iter().zip(b).all(|(x, y)| x.leq(y));
     for (t, x) in trace.iterates.iter().enumerate() {
         for (u, y) in trace.iterates.iter().enumerate().skip(t) {
             if leq_vec(x, y) {

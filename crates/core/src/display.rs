@@ -61,10 +61,7 @@ fn render_const(c: &Constant) -> String {
     match c {
         Constant::Int(i) => i.to_string(),
         Constant::Str(s) => {
-            let plain = s
-                .chars()
-                .next()
-                .is_some_and(|c| c.is_lowercase())
+            let plain = s.chars().next().is_some_and(|c| c.is_lowercase())
                 && s.chars().all(|c| c.is_alphanumeric() || c == '_');
             if plain {
                 s.to_string()

@@ -36,11 +36,38 @@ pub enum EvalOutcome<P: Pops> {
 
 impl<P: Pops> EvalOutcome<P> {
     /// The converged output, panicking on divergence.
+    ///
+    /// The panic message reports the iteration cap that was hit and a
+    /// sample of atoms from the last computed instance, so a diverging
+    /// program (Sec. 4.2 cases (i)/(ii)) is diagnosable without
+    /// re-running under a tracer.
     pub fn unwrap(self) -> Database<P> {
         match self {
             EvalOutcome::Converged { output, .. } => output,
-            EvalOutcome::Diverged { cap, .. } => {
-                panic!("datalog° evaluation diverged (cap = {cap})")
+            EvalOutcome::Diverged { last, cap } => {
+                const SAMPLE: usize = 5;
+                let mut atoms: Vec<String> = vec![];
+                let mut total = 0usize;
+                for (pred, rel) in last.iter() {
+                    for (tuple, v) in rel.support() {
+                        total += 1;
+                        if atoms.len() < SAMPLE {
+                            atoms.push(format!("{pred}{} = {v:?}", crate::value::fmt_tuple(tuple)));
+                        }
+                    }
+                }
+                let sample = if atoms.is_empty() {
+                    "no supported atoms in the last instance".to_string()
+                } else {
+                    format!(
+                        "last instance has {total} supported atom(s), e.g. {}",
+                        atoms.join(", ")
+                    )
+                };
+                panic!(
+                    "datalog° evaluation diverged: no fixpoint within the \
+                     iteration cap ({cap}); {sample}"
+                )
             }
         }
     }
@@ -76,8 +103,7 @@ impl<P: Pops> Trace<P> {
     /// ground atom and one row per iteration, like the tables of
     /// Examples 4.1/4.2 and Sec. 7.
     pub fn render(&self) -> String {
-        let mut headers: Vec<String> =
-            self.atoms.iter().map(|a| format!("{a}")).collect();
+        let mut headers: Vec<String> = self.atoms.iter().map(|a| format!("{a}")).collect();
         let mut rows: Vec<Vec<String>> = vec![];
         for (t, x) in self.iterates.iter().enumerate() {
             let mut row = vec![format!("J({t})")];
@@ -124,5 +150,42 @@ pub(crate) fn to_outcome<P: Pops>(
             last: sys.to_database(&last),
             cap,
         },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+    use crate::tup;
+    use dlo_pops::Nat;
+
+    #[test]
+    fn diverged_unwrap_reports_cap_and_atom_sample() {
+        let mut last = Database::<Nat>::new();
+        let mut rel = Relation::new(1);
+        rel.set(tup!["u"], Nat(64));
+        last.insert("X", rel);
+        let outcome = EvalOutcome::Diverged { last, cap: 30 };
+        let panic = std::panic::catch_unwind(move || outcome.unwrap())
+            .expect_err("diverged unwrap must panic");
+        let msg = panic
+            .downcast_ref::<String>()
+            .expect("panic payload is a formatted string");
+        assert!(msg.contains("iteration cap (30)"), "got: {msg}");
+        assert!(msg.contains("X(u)"), "got: {msg}");
+        assert!(msg.contains("1 supported atom"), "got: {msg}");
+    }
+
+    #[test]
+    fn diverged_unwrap_mentions_empty_instances() {
+        let outcome = EvalOutcome::Diverged {
+            last: Database::<Nat>::new(),
+            cap: 7,
+        };
+        let panic = std::panic::catch_unwind(move || outcome.unwrap())
+            .expect_err("diverged unwrap must panic");
+        let msg = panic.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("no supported atoms"), "got: {msg}");
     }
 }

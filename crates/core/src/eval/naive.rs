@@ -105,9 +105,7 @@ mod tests {
         let trace = naive_eval_trace(&sys, 100);
         assert!(trace.converged);
         // Row L(2) of the paper: (0, 1, 5, ∞).
-        let ix = |name: &str| {
-            sys.index[&GroundAtom::new("L", tup![name])]
-        };
+        let ix = |name: &str| sys.index[&GroundAtom::new("L", tup![name])];
         let row2 = &trace.iterates[2];
         assert_eq!(row2[ix("a")], Trop::finite(0.0));
         assert_eq!(row2[ix("b")], Trop::finite(1.0));
@@ -129,8 +127,7 @@ mod tests {
             Atom::new("X", vec![Term::c("u")]),
             vec![
                 SumProduct::new(vec![]).with_coeff(Nat(1)),
-                SumProduct::new(vec![Factor::atom("X", vec![Term::c("u")])])
-                    .with_coeff(Nat(2)),
+                SumProduct::new(vec![Factor::atom("X", vec![Term::c("u")])]).with_coeff(Nat(2)),
             ],
         );
         let out = naive_eval(&p, &Database::new(), &BoolDatabase::new(), 30);

@@ -97,11 +97,7 @@ fn equality_bindings(phi: &Formula, theta: &mut Valuation) {
 
 /// Unifies `atom.args` against `tuple` under `theta`; on success returns
 /// the variables newly bound (which the caller must unbind).
-fn unify(
-    atom: &Atom,
-    tuple: &[Constant],
-    theta: &mut Valuation,
-) -> Option<Vec<Var>> {
+fn unify(atom: &Atom, tuple: &[Constant], theta: &mut Valuation) -> Option<Vec<Var>> {
     if tuple.len() != atom.args.len() {
         return None;
     }
@@ -352,8 +348,7 @@ pub fn relational_naive_eval<P: NaturallyOrdered>(
     let idb_preds: BTreeSet<String> = program.idb_preds().into_iter().collect();
     let mut current = empty_idbs(program);
     for steps in 0..=cap {
-        let next =
-            apply_ico_relational(program, pops_edb, bool_edb, &current, &adom, &idb_preds);
+        let next = apply_ico_relational(program, pops_edb, bool_edb, &current, &adom, &idb_preds);
         if next == current {
             return EvalOutcome::Converged {
                 output: current,
@@ -571,8 +566,7 @@ mod tests {
             ],
         );
         assert!(
-            !relational_naive_eval(&p, &Database::new(), &BoolDatabase::new(), 30)
-                .is_converged()
+            !relational_naive_eval(&p, &Database::new(), &BoolDatabase::new(), 30).is_converged()
         );
         let _ = Trop::INF;
     }

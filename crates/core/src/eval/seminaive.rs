@@ -171,7 +171,8 @@ mod tests {
     #[test]
     fn theorem_6_4_quadratic_tc_equals_naive() {
         // Example 6.6: non-linear transitive closure over 𝔹.
-        let (program, edb) = ex::quadratic_tc_bool(&[("a", "b"), ("b", "c"), ("c", "d"), ("d", "b")]);
+        let (program, edb) =
+            ex::quadratic_tc_bool(&[("a", "b"), ("b", "c"), ("c", "d"), ("d", "b")]);
         let bools = BoolDatabase::new();
         let sys = ground_sparse(&program, &edb, &bools);
         let naive = naive_eval_system(&sys, 1000).unwrap();

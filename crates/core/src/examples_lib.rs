@@ -64,10 +64,7 @@ pub fn fig2a_graph<P: Pops>(weight: impl Fn(f64) -> P) -> Database<P> {
 
 /// Example 4.1 over `Trop⁺` on the Fig. 2(a) graph (SSSP from `source`).
 pub fn sssp_trop(source: &str) -> (Program<Trop>, Database<Trop>) {
-    (
-        single_source_program(source),
-        fig2a_graph(Trop::finite),
-    )
+    (single_source_program(source), fig2a_graph(Trop::finite))
 }
 
 /// SSSP over `Trop⁺` on an arbitrary edge list with a weight function.
@@ -275,8 +272,11 @@ pub fn company_control(
                 Factor::atom("S", vec![Term::v(2), Term::v(1)]),
             ])
             .with_condition(
-                Formula::atom("Company", vec![Term::v(2)])
-                    .and(Formula::cmp(Term::v(2), CmpOp::Ne, Term::v(0))),
+                Formula::atom("Company", vec![Term::v(2)]).and(Formula::cmp(
+                    Term::v(2),
+                    CmpOp::Ne,
+                    Term::v(0),
+                )),
             ),
         ],
     );
@@ -384,12 +384,10 @@ pub fn win_move_three(edges: &[(&str, &str)]) -> (Program<Three>, BoolDatabase) 
     let mut p = Program::new();
     p.rule(
         Atom::new("Win", vec![Term::v(0)]),
-        vec![SumProduct::new(vec![Factor::wrapped(
-            "Win",
-            vec![Term::v(1)],
-            notf,
-        )])
-        .with_condition(Formula::atom("E", vec![Term::v(0), Term::v(1)]))],
+        vec![
+            SumProduct::new(vec![Factor::wrapped("Win", vec![Term::v(1)], notf)])
+                .with_condition(Formula::atom("E", vec![Term::v(0), Term::v(1)])),
+        ],
     );
     let mut bools = BoolDatabase::new();
     bools.insert(
@@ -414,10 +412,7 @@ pub fn fig4_edges() -> Vec<(&'static str, &'static str)> {
 
 /// Constructs an arbitrary-POPS relation from string-keyed unary pairs.
 pub fn unary_relation<P: Pops>(pairs: &[(&str, P)]) -> Relation<P> {
-    Relation::from_pairs(
-        1,
-        pairs.iter().map(|(k, v)| (tup![*k], v.clone())),
-    )
+    Relation::from_pairs(1, pairs.iter().map(|(k, v)| (tup![*k], v.clone())))
 }
 
 /// A named constant helper (re-exported for harness code).

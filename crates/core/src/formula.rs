@@ -9,8 +9,8 @@
 
 use crate::ast::{Atom, Term, Var};
 use crate::relation::BoolDatabase;
-use dlo_pops::Pops as _;
 use crate::value::{Constant, Tuple};
+use dlo_pops::Pops as _;
 use std::collections::BTreeMap;
 use std::fmt;
 

@@ -66,11 +66,7 @@ impl<P: Pops> GroundSystem<P> {
 
     /// Total number of monomials across all polynomials.
     pub fn num_monomials(&self) -> usize {
-        self.polys
-            .iter()
-            .flatten()
-            .map(|p| p.monomials.len())
-            .sum()
+        self.polys.iter().flatten().map(|p| p.monomials.len()).sum()
     }
 
     /// Applies the grounded immediate consequence operator once.
@@ -92,10 +88,7 @@ impl<P: Pops> GroundSystem<P> {
 
     /// Whether the grounded system is linear (every polynomial affine).
     pub fn is_affine(&self) -> bool {
-        self.polys
-            .iter()
-            .flatten()
-            .all(|p| p.is_affine())
+        self.polys.iter().flatten().all(|p| p.is_affine())
     }
 
     /// Packs an assignment vector back into per-predicate relations.
@@ -218,8 +211,7 @@ fn ground_with<P: Pops>(
                             return; // ill-typed key function: no grounding
                         };
                         if idb_preds.contains(&f.atom.pred) {
-                            let var =
-                                sys.intern(GroundAtom::new(&f.atom.pred, tuple));
+                            let var = sys.intern(GroundAtom::new(&f.atom.pred, tuple));
                             occs.push(VarOcc {
                                 var,
                                 func: f.func.clone(),
@@ -377,7 +369,14 @@ fn enumerate<P: Pops>(
             }
         }
         enumerate(
-            binding, vars, adom, pops_edb, bool_edb, theta, depth + 1, visit,
+            binding,
+            vars,
+            adom,
+            pops_edb,
+            bool_edb,
+            theta,
+            depth + 1,
+            visit,
         );
         for b in &bound_here {
             theta.remove(b);
@@ -506,21 +505,14 @@ mod tests {
             Atom::new("T", vec![Term::v(0)]),
             vec![
                 SumProduct::new(vec![Factor::atom("C", vec![Term::v(0)])]),
-                SumProduct::new(vec![Factor::atom("T", vec![Term::v(1)])]).with_condition(
-                    Formula::atom("E", vec![Term::v(0), Term::v(1)]),
-                ),
+                SumProduct::new(vec![Factor::atom("T", vec![Term::v(1)])])
+                    .with_condition(Formula::atom("E", vec![Term::v(0), Term::v(1)])),
             ],
         );
         let mut pops = Database::<LiftedReal>::new();
         pops.insert(
             "C",
-            Relation::from_pairs(
-                1,
-                vec![
-                    (tup!["c"], lreal(1.0)),
-                    (tup!["d"], lreal(10.0)),
-                ],
-            ),
+            Relation::from_pairs(1, vec![(tup!["c"], lreal(1.0)), (tup!["d"], lreal(10.0))]),
         );
         let mut bools = BoolDatabase::new();
         bools.insert(
@@ -538,7 +530,7 @@ mod tests {
         );
         let sys = ground(&p, &pops, &bools);
         assert_eq!(sys.num_vars(), 4); // T(a), T(b), T(c), T(d)
-        // T(a)'s polynomial: C(a) constant (⊥!) + T(b) + T(c).
+                                       // T(a)'s polynomial: C(a) constant (⊥!) + T(b) + T(c).
         let ta = sys.index[&GroundAtom::new("T", tup!["a"])];
         let poly = sys.polys[ta].as_ref().unwrap();
         assert_eq!(poly.monomials.len(), 3);

@@ -133,7 +133,10 @@ mod tests {
     fn mono(coeff: u64, vars: &[usize]) -> Monomial<Nat> {
         Monomial {
             coeff: Nat(coeff),
-            occs: vars.iter().map(|&v| VarOcc { var: v, func: None }).collect(),
+            occs: vars
+                .iter()
+                .map(|&v| VarOcc { var: v, func: None })
+                .collect(),
         }
     }
 
@@ -179,10 +182,7 @@ mod tests {
         // F(old) ⊕ differential when new = old ⊕ δ (Theorem 6.5 core step).
         let m = Monomial::<Trop> {
             coeff: Trop::finite(1.0),
-            occs: vec![
-                VarOcc { var: 0, func: None },
-                VarOcc { var: 1, func: None },
-            ],
+            occs: vec![VarOcc { var: 0, func: None }, VarOcc { var: 1, func: None }],
         };
         let old = vec![Trop::finite(5.0), Trop::finite(7.0)];
         let delta = vec![Trop::finite(2.0), Trop::INF]; // only x0 improved

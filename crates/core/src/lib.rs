@@ -33,11 +33,11 @@ pub mod strata;
 pub mod value;
 
 pub use ast::{Atom, Factor, KeyFn, Program, Rule, SumProduct, Term, UnaryFn, Var};
+pub use display::{render_program, render_rule, PrintValue};
 pub use eval::naive::{naive_eval, naive_eval_sparse, naive_eval_system, naive_eval_trace};
 pub use eval::relational::{relational_naive_eval, relational_seminaive_eval};
 pub use eval::seminaive::{seminaive_eval, seminaive_eval_system, WorkStats};
 pub use eval::{EvalOutcome, Trace, DEFAULT_CAP};
-pub use display::{render_program, render_rule, PrintValue};
 pub use formula::{CmpOp, Formula};
 pub use ground::{ground, ground_sparse, GroundSystem};
 pub use parser::{parse_program, ParseValue, ProgramParser};

@@ -263,7 +263,9 @@ impl<'a, P: ParseValue + Clone> State<'a, P> {
                     return Err(ParseError {
                         msg: format!(
                             "expected an atom, function, scalar or `1`, got {}",
-                            other.map(|t| t.to_string()).unwrap_or("end of input".into())
+                            other
+                                .map(|t| t.to_string())
+                                .unwrap_or("end of input".into())
                         ),
                     })
                 }
@@ -350,7 +352,9 @@ impl<'a, P: ParseValue + Clone> State<'a, P> {
                 return Err(ParseError {
                     msg: format!(
                         "expected a term, got {}",
-                        other.map(|t| t.to_string()).unwrap_or("end of input".into())
+                        other
+                            .map(|t| t.to_string())
+                            .unwrap_or("end of input".into())
                     ),
                 })
             }
@@ -445,7 +449,9 @@ impl<'a, P: ParseValue + Clone> State<'a, P> {
                 return Err(ParseError {
                     msg: format!(
                         "expected a comparison operator, got {}",
-                        other.map(|t| t.to_string()).unwrap_or("end of input".into())
+                        other
+                            .map(|t| t.to_string())
+                            .unwrap_or("end of input".into())
                     ),
                 })
             }
@@ -491,9 +497,7 @@ mod tests {
     fn parse_value_function() {
         let notf = UnaryFn::new("not", |x: &Three| x.not());
         let parser = ProgramParser::<Three>::new().with_func(notf);
-        let p = parser
-            .parse("Win(X) :- not(Win(Y)) | E(X, Y).")
-            .unwrap();
+        let p = parser.parse("Win(X) :- not(Win(Y)) | E(X, Y).").unwrap();
         let f = &p.rules[0].body[0].factors[0];
         assert!(f.func.is_some());
         assert_eq!(f.atom.pred, "Win");

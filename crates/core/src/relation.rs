@@ -79,6 +79,14 @@ impl<P: Pops> Relation<P> {
         self.entries.iter()
     }
 
+    /// Consumes the relation into its `(tuple, value)` pairs, in
+    /// deterministic order — the owned counterpart of [`Self::support`],
+    /// used by alternative backends (e.g. `dlo_engine`) to convert
+    /// without cloning.
+    pub fn into_support(self) -> impl Iterator<Item = (Tuple, P)> {
+        self.entries.into_iter()
+    }
+
     /// Number of supported tuples.
     pub fn support_size(&self) -> usize {
         self.entries.len()
@@ -160,16 +168,35 @@ impl<P: Pops> Database<P> {
     }
 }
 
+/// Conversion hook: consume an instance into named relations.
+impl<P: Pops> IntoIterator for Database<P> {
+    type Item = (String, Relation<P>);
+    type IntoIter = std::collections::btree_map::IntoIter<String, Relation<P>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.relations.into_iter()
+    }
+}
+
+/// Conversion hook: assemble an instance from named relations (later
+/// duplicates replace earlier ones, like repeated [`Database::insert`]).
+impl<P: Pops> FromIterator<(String, Relation<P>)> for Database<P> {
+    fn from_iter<I: IntoIterator<Item = (String, Relation<P>)>>(iter: I) -> Self {
+        Database {
+            relations: iter.into_iter().collect(),
+        }
+    }
+}
+
 /// A Boolean instance (`σ_B` in the paper) is just a `Database<Bool>`;
 /// presence of a tuple means `true`.
 pub type BoolDatabase = Database<dlo_pops::Bool>;
 
 /// Convenience: builds a Boolean relation from a tuple list.
-pub fn bool_relation<I: IntoIterator<Item = Tuple>>(arity: usize, tuples: I) -> Relation<dlo_pops::Bool> {
-    Relation::from_pairs(
-        arity,
-        tuples.into_iter().map(|t| (t, dlo_pops::Bool(true))),
-    )
+pub fn bool_relation<I: IntoIterator<Item = Tuple>>(
+    arity: usize,
+    tuples: I,
+) -> Relation<dlo_pops::Bool> {
+    Relation::from_pairs(arity, tuples.into_iter().map(|t| (t, dlo_pops::Bool(true))))
 }
 
 #[cfg(test)]

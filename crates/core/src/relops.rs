@@ -14,10 +14,7 @@ use dlo_pops::Pops;
 /// Maps values pointwise (`f` must send `⊥` to `⊥` to preserve supports;
 /// results equal to `⊥` are dropped).
 pub fn map_values<P: Pops, Q: Pops>(rel: &Relation<P>, f: impl Fn(&P) -> Q) -> Relation<Q> {
-    Relation::from_pairs(
-        rel.arity(),
-        rel.support().map(|(t, v)| (t.clone(), f(v))),
-    )
+    Relation::from_pairs(rel.arity(), rel.support().map(|(t, v)| (t.clone(), f(v))))
 }
 
 /// `⊕`-union of two relations of equal arity.
@@ -56,12 +53,7 @@ pub fn select<P: Pops>(rel: &Relation<P>, keep: impl Fn(&Tuple) -> bool) -> Rela
 /// Equi-join on column positions: combines tuples with
 /// `a\[acol\] = b\[bcol\]`, concatenating keys (b's join column dropped) and
 /// `⊗`-multiplying values — the `K`-relation join.
-pub fn join_on<P: Pops>(
-    a: &Relation<P>,
-    b: &Relation<P>,
-    acol: usize,
-    bcol: usize,
-) -> Relation<P> {
+pub fn join_on<P: Pops>(a: &Relation<P>, b: &Relation<P>, acol: usize, bcol: usize) -> Relation<P> {
     let arity = a.arity() + b.arity() - 1;
     let mut out = Relation::new(arity);
     // Hash-join on the shared key.

@@ -27,10 +27,7 @@ pub fn bool_bridge<P: Pops>(rel: &Relation<P>, keep: impl Fn(&P) -> bool) -> Rel
 
 /// Translates a `P`-relation into a `Q`-relation value-wise; `None` drops
 /// the tuple (maps it to `⊥_Q`).
-pub fn map_bridge<P: Pops, Q: Pops>(
-    rel: &Relation<P>,
-    f: impl Fn(&P) -> Option<Q>,
-) -> Relation<Q> {
+pub fn map_bridge<P: Pops, Q: Pops>(rel: &Relation<P>, f: impl Fn(&P) -> Option<Q>) -> Relation<Q> {
     Relation::from_pairs(
         rel.arity(),
         rel.support()

@@ -145,6 +145,9 @@ mod tests {
     fn ordering_is_deterministic() {
         let mut v = vec![Constant::str("b"), Constant::int(10), Constant::str("a")];
         v.sort();
-        assert_eq!(v, vec![Constant::int(10), Constant::str("a"), Constant::str("b")]);
+        assert_eq!(
+            v,
+            vec![Constant::int(10), Constant::str("a"), Constant::str("b")]
+        );
     }
 }

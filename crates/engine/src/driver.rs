@@ -1,0 +1,744 @@
+//! The evaluation drivers: naïve and parallel semi-naïve loops over
+//! compiled plans, behind the `EvalOutcome`/`Database` API.
+//!
+//! The semi-naïve loop is the relation-level reading of Theorem 6.5
+//! (mirroring `dlo_core::eval::relational::relational_seminaive_eval`
+//! step for step, so outcomes and step counts agree):
+//!
+//! ```text
+//! J(1) ← F(0);  δ(0) ← J(1)
+//! repeat:  contrib ← ⊕_{rules, sum-products, k} plan_k(new, δ, old)
+//!          δ'(t) ← contrib ⊖ J(t)   (pointwise on supports)
+//!          J(t+1) ← J(t) ⊕ contrib
+//! until δ = 0
+//! ```
+//!
+//! Work per iteration is distributed over scoped worker threads: each
+//! (plan, first-step row chunk) task joins into a private accumulator,
+//! and accumulators are `⊕`-merged in task order, so results are
+//! deterministic regardless of the worker count.
+
+use crate::exec::{run_plan, EvalCtx};
+use crate::intern::Interner;
+use crate::par;
+use crate::plan::{compile, CompileError, CompiledProgram, Plan, Source};
+use crate::storage::ColumnRel;
+use dlo_core::ast::Program;
+use dlo_core::eval::relational::{relational_naive_eval, relational_seminaive_eval};
+use dlo_core::eval::EvalOutcome;
+use dlo_core::relation::{BoolDatabase, Database, Relation};
+use dlo_core::value::Tuple;
+use dlo_pops::{Bool, CompleteDistributiveDioid, NaturallyOrdered, Pops, PreSemiring};
+use std::collections::HashMap;
+
+/// Below this much estimated first-step work an iteration runs on one
+/// thread (scoped-thread spawn is not free).
+const PAR_THRESHOLD: usize = 4096;
+/// Minimum first-step rows per parallel chunk.
+const CHUNK_MIN: usize = 1024;
+
+/// Tuning knobs for the engine drivers. [`Default`] is right for
+/// production use; tests use the knobs to force specific execution
+/// paths.
+#[derive(Clone, Debug)]
+pub struct EngineOpts {
+    /// Worker-thread cap; `None` reads `DLO_ENGINE_THREADS` /
+    /// `available_parallelism`.
+    pub threads: Option<usize>,
+    /// Minimum estimated first-step work before an iteration fans out.
+    pub par_threshold: usize,
+    /// Minimum first-step rows per parallel chunk.
+    pub chunk_min: usize,
+}
+
+impl Default for EngineOpts {
+    fn default() -> Self {
+        EngineOpts {
+            threads: None,
+            par_threshold: PAR_THRESHOLD,
+            chunk_min: CHUNK_MIN,
+        }
+    }
+}
+
+impl EngineOpts {
+    fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or_else(par::max_threads).max(1)
+    }
+}
+
+/// Per-IDB head accumulators for one iteration.
+type Accum<P> = Vec<HashMap<Box<[u32]>, P>>;
+
+/// The compiled program plus interned, indexed inputs.
+struct Engine<P> {
+    interner: Interner,
+    compiled: CompiledProgram<P>,
+    pops_edb: Vec<Option<ColumnRel<P>>>,
+    bool_edb: Vec<Option<ColumnRel<Bool>>>,
+    adom: Vec<u32>,
+    /// Index masks needed on each IDB's `new` storage (serves both the
+    /// `New` and `Old` sources).
+    idb_new_masks: Vec<Vec<u32>>,
+    /// Index masks needed on each IDB's per-iteration delta.
+    idb_delta_masks: Vec<Vec<u32>>,
+}
+
+/// The three semi-naïve IDB states.
+struct IdbState<P> {
+    new: Vec<ColumnRel<P>>,
+    changed: Vec<HashMap<u32, Option<P>>>,
+    delta: Vec<ColumnRel<P>>,
+}
+
+fn intern_rel<P: Pops>(rel: &Relation<P>, interner: &Interner) -> ColumnRel<P> {
+    let mut out = ColumnRel::new(rel.arity());
+    let mut key: Vec<u32> = Vec::with_capacity(rel.arity());
+    for (tuple, v) in rel.support() {
+        key.clear();
+        key.extend(tuple.iter().map(|c| {
+            interner
+                .lookup(c)
+                .expect("EDB constants are interned during setup")
+        }));
+        out.insert_row(&key, v.clone());
+    }
+    out
+}
+
+fn setup<P: Pops>(
+    program: &Program<P>,
+    pops_db: &Database<P>,
+    bool_db: &BoolDatabase,
+) -> Result<Engine<P>, CompileError> {
+    let mut interner = Interner::new();
+    for (_, rel) in pops_db.iter() {
+        for (tuple, _) in rel.support() {
+            for c in tuple {
+                interner.intern(c);
+            }
+        }
+    }
+    for (_, rel) in bool_db.iter() {
+        for (tuple, _) in rel.support() {
+            for c in tuple {
+                interner.intern(c);
+            }
+        }
+    }
+    let compiled = compile(program, &mut interner)?;
+    // The active domain (EDB constants ∪ program constants) is exactly
+    // the interned set; enumerate it in constant order to mirror the
+    // relational backend.
+    let mut adom: Vec<u32> = (0..interner.len() as u32).collect();
+    adom.sort_by(|a, b| interner.get(*a).cmp(interner.get(*b)));
+
+    let mut pops_edb: Vec<Option<ColumnRel<P>>> = compiled
+        .pops_edbs
+        .iter()
+        .map(|name| pops_db.get(name).map(|r| intern_rel(r, &interner)))
+        .collect();
+    let mut bool_edb: Vec<Option<ColumnRel<Bool>>> = compiled
+        .bool_edbs
+        .iter()
+        .map(|name| bool_db.get(name).map(|r| intern_rel(r, &interner)))
+        .collect();
+
+    let nidb = compiled.idbs.len();
+    let mut idb_new_masks: Vec<Vec<u32>> = vec![vec![]; nidb];
+    let mut idb_delta_masks: Vec<Vec<u32>> = vec![vec![]; nidb];
+    for (source, mask) in compiled.index_requirements() {
+        match source {
+            Source::PopsEdb(i) => {
+                if let Some(rel) = &mut pops_edb[i] {
+                    rel.ensure_index(mask);
+                }
+            }
+            Source::BoolEdb(i) => {
+                if let Some(rel) = &mut bool_edb[i] {
+                    rel.ensure_index(mask);
+                }
+            }
+            Source::IdbNew(i) | Source::IdbOld(i) => {
+                if !idb_new_masks[i].contains(&mask) {
+                    idb_new_masks[i].push(mask);
+                }
+            }
+            Source::IdbDelta(i) => {
+                if !idb_delta_masks[i].contains(&mask) {
+                    idb_delta_masks[i].push(mask);
+                }
+            }
+        }
+    }
+    Ok(Engine {
+        interner,
+        compiled,
+        pops_edb,
+        bool_edb,
+        adom,
+        idb_new_masks,
+        idb_delta_masks,
+    })
+}
+
+impl<P: Pops> Engine<P> {
+    fn empty_idbs(&self) -> Vec<ColumnRel<P>> {
+        self.compiled
+            .idbs
+            .iter()
+            .map(|(_, arity)| ColumnRel::new(*arity))
+            .collect()
+    }
+
+    fn decode(&self, rels: &[ColumnRel<P>]) -> Database<P> {
+        let mut db = Database::new();
+        for ((name, arity), rel) in self.compiled.idbs.iter().zip(rels) {
+            let pairs = rel.iter().map(|(_, key, v)| {
+                let tuple: Tuple = key
+                    .iter()
+                    .map(|&id| self.interner.get(id).clone())
+                    .collect();
+                (tuple, v.clone())
+            });
+            db.insert(name, Relation::from_pairs(*arity, pairs));
+        }
+        db
+    }
+
+    fn step0_estimate(&self, plan: &Plan<P>, state: &IdbState<P>) -> (usize, bool) {
+        match plan.steps.first() {
+            None => (1, false),
+            Some(step) if step.mask != 0 => (16, false),
+            Some(step) => {
+                let len = match step.source {
+                    Source::PopsEdb(i) => self.pops_edb[i].as_ref().map_or(0, |r| r.len()),
+                    Source::BoolEdb(i) => self.bool_edb[i].as_ref().map_or(0, |r| r.len()),
+                    Source::IdbNew(i) | Source::IdbOld(i) => state.new[i].len(),
+                    Source::IdbDelta(i) => state.delta[i].len(),
+                };
+                (len, true)
+            }
+        }
+    }
+}
+
+fn merge_into<P: PreSemiring>(map: &mut HashMap<Box<[u32]>, P>, key: &[u32], v: P) {
+    match map.get_mut(key) {
+        Some(g) => *g = g.add(&v),
+        None => {
+            map.insert(key.into(), v);
+        }
+    }
+}
+
+/// Drains an accumulator in interned-key order. Accumulators are hash
+/// maps for O(1) merging, but draining them in `RandomState` iteration
+/// order would make row-insertion order — and with it the `⊕`-fold
+/// association on POPS whose addition is not exactly associative (f64
+/// sums) — vary run to run. Interner ids are assigned deterministically
+/// from `BTreeMap`-ordered inputs, so sorting restores the workspace's
+/// determinism guarantee.
+fn drain_sorted<P>(acc: HashMap<Box<[u32]>, P>) -> Vec<(Box<[u32]>, P)> {
+    let mut entries: Vec<(Box<[u32]>, P)> = acc.into_iter().collect();
+    entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    entries
+}
+
+fn run_plans<P>(
+    engine: &Engine<P>,
+    plans: &[Plan<P>],
+    state: &IdbState<P>,
+    opts: &EngineOpts,
+) -> Accum<P>
+where
+    P: Pops + Send + Sync,
+{
+    let nidb = engine.compiled.idbs.len();
+    let ctx = EvalCtx {
+        interner: &engine.interner,
+        adom: &engine.adom,
+        pops_edb: &engine.pops_edb,
+        bool_edb: &engine.bool_edb,
+        idb_new: &state.new,
+        idb_changed: &state.changed,
+        idb_delta: &state.delta,
+    };
+    let mut global: Accum<P> = (0..nidb).map(|_| HashMap::new()).collect();
+    let threads = opts.effective_threads();
+    let estimates: Vec<(usize, bool)> = plans
+        .iter()
+        .map(|p| engine.step0_estimate(p, state))
+        .collect();
+    let total: usize = estimates.iter().map(|(e, _)| e).sum();
+
+    if threads <= 1 || total < opts.par_threshold {
+        for plan in plans {
+            let acc = &mut global[plan.head_pred];
+            run_plan(plan, &ctx, None, &mut |key, v| merge_into(acc, key, v));
+        }
+        return global;
+    }
+
+    // Task list: one per plan, with large scan-driven plans split into
+    // first-step row chunks.
+    let mut tasks: Vec<(usize, Option<(usize, usize)>)> = vec![];
+    for (pi, &(est, chunkable)) in estimates.iter().enumerate() {
+        if chunkable && est > 2 * opts.chunk_min {
+            let chunk = (est / (threads * 4)).max(opts.chunk_min);
+            let mut lo = 0;
+            while lo < est {
+                tasks.push((pi, Some((lo, (lo + chunk).min(est)))));
+                lo += chunk;
+            }
+        } else {
+            tasks.push((pi, None));
+        }
+    }
+    let results = par::run_indexed(tasks.len(), threads, |ti| {
+        let (pi, range) = tasks[ti];
+        let plan = &plans[pi];
+        let mut local: HashMap<Box<[u32]>, P> = HashMap::new();
+        run_plan(plan, &ctx, range, &mut |key, v| {
+            merge_into(&mut local, key, v)
+        });
+        (plan.head_pred, local)
+    });
+    for (pred, local) in results {
+        let acc = &mut global[pred];
+        for (key, v) in local {
+            merge_into(acc, &key, v);
+        }
+    }
+    global
+}
+
+/// Naïve evaluation on the engine: `J(t+1) = F(J(t))` with every IDB
+/// occurrence reading the new state. Agrees with
+/// `relational_naive_eval` (cross-checked in tests); falls back to it
+/// for programs the compiler rejects (key functions in rule heads).
+pub fn engine_naive_eval<P>(
+    program: &Program<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+    cap: usize,
+) -> EvalOutcome<P>
+where
+    P: NaturallyOrdered + Send + Sync,
+{
+    engine_naive_eval_with_opts(program, pops_edb, bool_edb, cap, &EngineOpts::default())
+}
+
+/// [`engine_naive_eval`] with explicit tuning knobs.
+pub fn engine_naive_eval_with_opts<P>(
+    program: &Program<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+    cap: usize,
+    opts: &EngineOpts,
+) -> EvalOutcome<P>
+where
+    P: NaturallyOrdered + Send + Sync,
+{
+    let engine = match setup(program, pops_edb, bool_edb) {
+        Ok(e) => e,
+        Err(_) => return relational_naive_eval(program, pops_edb, bool_edb, cap),
+    };
+    let nidb = engine.compiled.idbs.len();
+    let mut state = IdbState {
+        new: engine.empty_idbs(),
+        changed: vec![HashMap::new(); nidb],
+        delta: engine.empty_idbs(),
+    };
+    for (pred, rel) in state.new.iter_mut().enumerate() {
+        for &mask in &engine.idb_new_masks[pred] {
+            rel.ensure_index(mask);
+        }
+    }
+    for steps in 0..=cap {
+        let contrib = run_plans(&engine, &engine.compiled.seed_plans, &state, opts);
+        let mut next = engine.empty_idbs();
+        for (pred, acc) in contrib.into_iter().enumerate() {
+            for (key, v) in drain_sorted(acc) {
+                next[pred].insert_row(&key, v);
+            }
+        }
+        let fixed = next
+            .iter()
+            .zip(&state.new)
+            .all(|(n, c)| n.len() == c.len() && n.iter().all(|(_, k, v)| c.get(k) == Some(v)));
+        if fixed {
+            return EvalOutcome::Converged {
+                output: engine.decode(&state.new),
+                steps,
+            };
+        }
+        for (pred, rel) in next.iter_mut().enumerate() {
+            for &mask in &engine.idb_new_masks[pred] {
+                rel.ensure_index(mask);
+            }
+        }
+        state.new = next;
+    }
+    EvalOutcome::Diverged {
+        last: engine.decode(&state.new),
+        cap,
+    }
+}
+
+/// Parallel semi-naïve evaluation on the engine (Theorem 6.5). Agrees
+/// with `relational_seminaive_eval` — same fixpoint, same step count —
+/// while running interned, indexed, and multi-threaded; falls back to
+/// the relational implementation for programs the compiler rejects.
+pub fn engine_seminaive_eval<P>(
+    program: &Program<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+    cap: usize,
+) -> EvalOutcome<P>
+where
+    P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
+{
+    engine_seminaive_eval_with_opts(program, pops_edb, bool_edb, cap, &EngineOpts::default())
+}
+
+/// [`engine_seminaive_eval`] with explicit tuning knobs.
+pub fn engine_seminaive_eval_with_opts<P>(
+    program: &Program<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+    cap: usize,
+    opts: &EngineOpts,
+) -> EvalOutcome<P>
+where
+    P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
+{
+    let engine = match setup(program, pops_edb, bool_edb) {
+        Ok(e) => e,
+        Err(_) => return relational_seminaive_eval(program, pops_edb, bool_edb, cap),
+    };
+    let nidb = engine.compiled.idbs.len();
+    let mut state = IdbState {
+        new: engine.empty_idbs(),
+        changed: vec![HashMap::new(); nidb],
+        delta: engine.empty_idbs(),
+    };
+    for (pred, rel) in state.new.iter_mut().enumerate() {
+        for &mask in &engine.idb_new_masks[pred] {
+            rel.ensure_index(mask);
+        }
+    }
+    // Seeding: J(1) = F(0), δ(0) = J(1), every row marked as appended.
+    let contrib = run_plans(&engine, &engine.compiled.seed_plans, &state, opts);
+    for (pred, acc) in contrib.into_iter().enumerate() {
+        for (key, v) in drain_sorted(acc) {
+            let r = state.new[pred].insert_row(&key, v.clone());
+            state.changed[pred].insert(r, None);
+            state.delta[pred].insert_row(&key, v);
+        }
+    }
+    ensure_delta_indexes(&engine, &mut state);
+
+    for steps in 1..=cap {
+        if state.delta.iter().all(|d| d.is_empty()) {
+            return EvalOutcome::Converged {
+                output: engine.decode(&state.new),
+                steps,
+            };
+        }
+        let contrib = run_plans(&engine, &engine.compiled.delta_plans, &state, opts);
+        // Advance: δ' = contrib ⊖ new (pointwise), new' = new ⊕ contrib.
+        let mut next_delta = engine.empty_idbs();
+        for ch in &mut state.changed {
+            ch.clear();
+        }
+        for (pred, acc) in contrib.into_iter().enumerate() {
+            for (key, v) in drain_sorted(acc) {
+                let existing = state.new[pred].get(&key).cloned().unwrap_or_else(P::zero);
+                let diff = v.minus(&existing);
+                if diff.is_zero() {
+                    continue;
+                }
+                next_delta[pred].insert_row(&key, diff);
+                match state.new[pred].rowid(&key) {
+                    Some(r) => {
+                        let merged = existing.add(&v);
+                        state.changed[pred].insert(r, Some(existing));
+                        state.new[pred].set_val(r, merged);
+                    }
+                    None => {
+                        let r = state.new[pred].insert_row(&key, v);
+                        state.changed[pred].insert(r, None);
+                    }
+                }
+            }
+        }
+        state.delta = next_delta;
+        ensure_delta_indexes(&engine, &mut state);
+    }
+    EvalOutcome::Diverged {
+        last: engine.decode(&state.new),
+        cap,
+    }
+}
+
+fn ensure_delta_indexes<P: Pops>(engine: &Engine<P>, state: &mut IdbState<P>) {
+    for (pred, rel) in state.delta.iter_mut().enumerate() {
+        for &mask in &engine.idb_delta_masks[pred] {
+            rel.ensure_index(mask);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlo_core::examples_lib as ex;
+    use dlo_core::tup;
+    use dlo_pops::{MinNat, Trop};
+
+    fn assert_matches_relational<P>(program: &Program<P>, pops: &Database<P>, bools: &BoolDatabase)
+    where
+        P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
+    {
+        let reference = relational_naive_eval(program, pops, bools, 100_000).unwrap();
+        let naive = engine_naive_eval(program, pops, bools, 100_000).unwrap();
+        let semi = engine_seminaive_eval(program, pops, bools, 100_000).unwrap();
+        assert_eq!(reference, naive, "engine naive differs");
+        assert_eq!(reference, semi, "engine semi-naive differs");
+    }
+
+    #[test]
+    fn sssp_fig2a_matches_relational() {
+        let (program, edb) = ex::sssp_trop("a");
+        assert_matches_relational(&program, &edb, &BoolDatabase::new());
+        let out = engine_seminaive_eval(&program, &edb, &BoolDatabase::new(), 1000).unwrap();
+        let l = out.get("L").unwrap();
+        assert_eq!(l.get(&tup!["a"]), Trop::finite(0.0));
+        assert_eq!(l.get(&tup!["d"]), Trop::finite(8.0));
+    }
+
+    #[test]
+    fn apsp_and_quadratic_tc_match_relational() {
+        let (program, edb) = ex::apsp_trop(&[
+            ("a", "b", 1.0),
+            ("b", "a", 2.0),
+            ("b", "c", 3.0),
+            ("c", "d", 4.0),
+            ("a", "c", 5.0),
+        ]);
+        assert_matches_relational(&program, &edb, &BoolDatabase::new());
+
+        let (program, edb) =
+            ex::quadratic_tc_bool(&[("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")]);
+        assert_matches_relational(&program, &edb, &BoolDatabase::new());
+    }
+
+    #[test]
+    fn bool_guards_and_indicators_match_relational() {
+        // BOM over MinNat: a Boolean guard binding through the condition.
+        let program: Program<MinNat> = ex::bom_program();
+        let mut pops = Database::new();
+        pops.insert(
+            "C",
+            Relation::from_pairs(
+                1,
+                vec![
+                    (tup!["c"], MinNat::finite(1)),
+                    (tup!["d"], MinNat::finite(10)),
+                ],
+            ),
+        );
+        let mut bools = BoolDatabase::new();
+        bools.insert(
+            "E",
+            dlo_core::relation::bool_relation(2, vec![tup!["c", "d"]]),
+        );
+        assert_matches_relational(&program, &pops, &bools);
+
+        // SSSP with the {1 | X = s} indicator (equality pre-binding).
+        let program: Program<MinNat> = ex::single_source_program("s");
+        let mut edb = Database::new();
+        edb.insert(
+            "E",
+            Relation::from_pairs(
+                2,
+                vec![
+                    (tup!["s", "t"], MinNat::finite(2)),
+                    (tup!["t", "u"], MinNat::finite(3)),
+                ],
+            ),
+        );
+        assert_matches_relational(&program, &edb, &BoolDatabase::new());
+    }
+
+    #[test]
+    fn step_counts_match_the_relational_backend() {
+        let (program, edb) = ex::sssp_trop("a");
+        let bools = BoolDatabase::new();
+        let (_, rel_steps) = relational_seminaive_eval(&program, &edb, &bools, 1000)
+            .converged()
+            .unwrap();
+        let (_, eng_steps) = engine_seminaive_eval(&program, &edb, &bools, 1000)
+            .converged()
+            .unwrap();
+        assert_eq!(rel_steps, eng_steps);
+
+        let (_, rel_naive) = relational_naive_eval(&program, &edb, &bools, 1000)
+            .converged()
+            .unwrap();
+        let (_, eng_naive) = engine_naive_eval(&program, &edb, &bools, 1000)
+            .converged()
+            .unwrap();
+        assert_eq!(rel_naive, eng_naive);
+    }
+
+    #[test]
+    fn divergence_is_detected() {
+        use dlo_core::ast::{Atom, Factor, SumProduct, Term};
+        use dlo_pops::Nat;
+        let mut p = Program::<Nat>::new();
+        p.rule(
+            Atom::new("X", vec![Term::c("u")]),
+            vec![
+                SumProduct::new(vec![]).with_coeff(Nat(1)),
+                SumProduct::new(vec![Factor::atom("X", vec![Term::c("u")])]).with_coeff(Nat(2)),
+            ],
+        );
+        assert!(!engine_naive_eval(&p, &Database::new(), &BoolDatabase::new(), 30).is_converged());
+    }
+
+    #[test]
+    fn parallel_execution_is_deterministic_and_correct() {
+        // Force the fan-out path (threshold 1, tiny chunks, 4 workers)
+        // on a quadratic TC instance and require bit-identical results
+        // against the sequential run and the relational reference.
+        use dlo_bench_free_random_graph as graph;
+        let (program, edb) = graph(36, 150, 5);
+        let bools = BoolDatabase::new();
+        let parallel_opts = EngineOpts {
+            threads: Some(4),
+            par_threshold: 1,
+            chunk_min: 8,
+        };
+        let sequential_opts = EngineOpts {
+            threads: Some(1),
+            ..EngineOpts::default()
+        };
+        let par = engine_seminaive_eval_with_opts(&program, &edb, &bools, 100_000, &parallel_opts)
+            .unwrap();
+        let seq =
+            engine_seminaive_eval_with_opts(&program, &edb, &bools, 100_000, &sequential_opts)
+                .unwrap();
+        let reference = relational_seminaive_eval(&program, &edb, &bools, 100_000).unwrap();
+        assert_eq!(par, seq, "parallel and sequential runs differ");
+        assert_eq!(par, reference, "engine differs from relational");
+        assert!(par.get("T").unwrap().support_size() > 500, "non-trivial TC");
+    }
+
+    /// A seeded random graph + quadratic TC program without depending
+    /// on dlo_bench (which depends on this crate).
+    fn dlo_bench_free_random_graph(
+        n: usize,
+        m: usize,
+        max_w: u64,
+    ) -> (Program<MinNat>, Database<MinNat>) {
+        let mut s = 0x5eed_u64;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut pairs = vec![];
+        for _ in 0..m {
+            let u = (rng() % n as u64) as i64;
+            let v = (rng() % n as u64) as i64;
+            if u != v {
+                pairs.push((vec![u.into(), v.into()], MinNat::finite(1 + rng() % max_w)));
+            }
+        }
+        let mut db = Database::new();
+        db.insert("E", Relation::from_pairs(2, pairs));
+        (ex::quadratic_tc_program::<MinNat>(), db)
+    }
+
+    #[test]
+    fn mixed_arity_head_falls_back_to_relational() {
+        use dlo_core::ast::{Atom, Factor, SumProduct, Term};
+        // T used at arity 1 and arity 2: columnar storage cannot hold
+        // both, so the engine must reject at compile time and fall back.
+        let mut p = Program::<MinNat>::new();
+        p.rule(
+            Atom::new("T", vec![Term::v(0)]),
+            vec![SumProduct::new(vec![Factor::atom("A", vec![Term::v(0)])])],
+        );
+        p.rule(
+            Atom::new("T", vec![Term::v(0), Term::v(1)]),
+            vec![SumProduct::new(vec![Factor::atom(
+                "B",
+                vec![Term::v(0), Term::v(1)],
+            )])],
+        );
+        let mut interner = crate::intern::Interner::new();
+        assert!(matches!(
+            crate::plan::compile(&p, &mut interner),
+            Err(CompileError::HeadArityMismatch)
+        ));
+        // The entry points then delegate to the relational backend, which
+        // owns the (debug-asserted) semantics for such programs; what
+        // matters here is that the engine never feeds mixed-arity keys
+        // into its flat columnar storage.
+    }
+
+    #[test]
+    fn float_sums_are_deterministic_across_runs() {
+        use dlo_core::ast::{Atom, Factor, SumProduct, Term};
+        use dlo_pops::NNReal;
+        // ℝ₊'s ⊕ is f64 addition — not exactly associative — so result
+        // stability requires deterministic accumulation order. A DAG
+        // with many parallel paths and non-dyadic weights makes any
+        // order wobble visible in the low bits.
+        let mut p = Program::<NNReal>::new();
+        p.rule(
+            Atom::new("T", vec![Term::v(0), Term::v(1)]),
+            vec![
+                SumProduct::new(vec![Factor::atom("S", vec![Term::v(0), Term::v(1)])]),
+                SumProduct::new(vec![
+                    Factor::atom("T", vec![Term::v(0), Term::v(2)]),
+                    Factor::atom("S", vec![Term::v(2), Term::v(1)]),
+                ]),
+            ],
+        );
+        let mut edb = Database::new();
+        let mut pairs = vec![];
+        for (layer, names) in [("a", "b"), ("b", "c"), ("c", "d")].iter().enumerate() {
+            for i in 0..6i64 {
+                pairs.push((
+                    vec![format!("{}{i}", names.0).as_str().into(), names.1.into()],
+                    NNReal::of(0.1 + 0.3 * (layer as f64) + 0.7 * (i as f64) / 11.0),
+                ));
+                pairs.push((
+                    vec![names.0.into(), format!("{}{i}", names.0).as_str().into()],
+                    NNReal::of(0.3 / (1.0 + i as f64)),
+                ));
+            }
+        }
+        edb.insert("S", Relation::from_pairs(2, pairs));
+        let bools = BoolDatabase::new();
+        let first = engine_naive_eval(&p, &edb, &bools, 1000).unwrap();
+        for _ in 0..5 {
+            let again = engine_naive_eval(&p, &edb, &bools, 1000).unwrap();
+            assert_eq!(first, again, "engine result varied across runs");
+        }
+    }
+
+    #[test]
+    fn empty_program_converges_immediately() {
+        let p = Program::<Trop>::new();
+        let out = engine_seminaive_eval(&p, &Database::new(), &BoolDatabase::new(), 10);
+        let (db, steps) = out.converged().unwrap();
+        assert_eq!(steps, 1);
+        assert!(db.iter().next().is_none());
+    }
+}

@@ -1,0 +1,381 @@
+//! The join executor: runs one [`Plan`] against engine state.
+//!
+//! A plan run is a nested-loop join over the compiled steps — but each
+//! step, instead of scanning a `BTreeMap` support and unifying
+//! `Constant`s, either scans a flat row range or probes a hash-prefix
+//! index with an interned key. The *old* state `J(t-1)` is read through
+//! the *new* state's storage plus the per-iteration `changed` map
+//! (appended rows are skipped, updated rows patched back), so `J(t)` and
+//! `J(t-1)` share one physical relation and one index set.
+//!
+//! Valuations are provably visited at most once per derivation (rows are
+//! unique per relation and every column is probed, bound, or checked),
+//! so no per-valuation dedup set is needed — unlike the relational
+//! backend's `seen` tree.
+
+use crate::intern::Interner;
+use crate::plan::{CFormula, CTerm, HeadCol, Plan, ProbeCol, Source, Step};
+use crate::storage::ColumnRel;
+use dlo_core::ast::KeyFn;
+use dlo_core::formula::CmpOp;
+use dlo_pops::{Bool, Pops};
+use std::collections::HashMap;
+
+/// Sentinel for an unbound valuation slot.
+const UNBOUND: u32 = u32::MAX;
+
+/// Everything a plan run reads: interned EDBs, the active domain, and
+/// the three IDB states of Theorem 6.5.
+pub struct EvalCtx<'a, P> {
+    /// The (frozen) constant table.
+    pub interner: &'a Interner,
+    /// Active-domain constant ids, ascending by constant order.
+    pub adom: &'a [u32],
+    /// `P`-EDB relations by `pops_edbs` table index (`None` = absent).
+    pub pops_edb: &'a [Option<ColumnRel<P>>],
+    /// Boolean relations by `bool_edbs` table index (`None` = absent).
+    pub bool_edb: &'a [Option<ColumnRel<Bool>>],
+    /// Per-IDB *new* state `J(t)`.
+    pub idb_new: &'a [ColumnRel<P>],
+    /// Per-IDB rows changed in the step `J(t-1) → J(t)`:
+    /// `row ↦ Some(old value)` for updates, `row ↦ None` for appends.
+    pub idb_changed: &'a [HashMap<u32, Option<P>>],
+    /// Per-IDB delta `δ(t-1)` (values are the `⊖` differences).
+    pub idb_delta: &'a [ColumnRel<P>],
+}
+
+/// A partially evaluated key term: an interned id or a computed integer
+/// that may fall outside the interned domain.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Ev {
+    Id(u32),
+    Int(i64),
+}
+
+fn eval_cterm(t: &CTerm, slots: &[u32], interner: &Interner) -> Option<Ev> {
+    match t {
+        CTerm::Slot(s) => {
+            let v = slots[*s];
+            (v != UNBOUND).then_some(Ev::Id(v))
+        }
+        CTerm::Const(id) => Some(Ev::Id(*id)),
+        CTerm::Apply(f, inner) => {
+            let iv = match eval_cterm(inner, slots, interner)? {
+                Ev::Id(id) => interner.as_int(id)?,
+                Ev::Int(i) => i,
+            };
+            match f {
+                KeyFn::AddInt(d) => Some(Ev::Int(iv + d)),
+            }
+        }
+    }
+}
+
+fn ev_to_id(ev: Ev, interner: &Interner) -> Option<u32> {
+    match ev {
+        Ev::Id(id) => Some(id),
+        Ev::Int(i) => interner.lookup_int(i),
+    }
+}
+
+fn ev_to_int(ev: Ev, interner: &Interner) -> Option<i64> {
+    match ev {
+        Ev::Id(id) => interner.as_int(id),
+        Ev::Int(i) => Some(i),
+    }
+}
+
+fn ev_eq(l: Ev, r: Ev, interner: &Interner) -> bool {
+    match (l, r) {
+        (Ev::Id(a), Ev::Id(b)) => a == b,
+        (Ev::Id(a), Ev::Int(i)) | (Ev::Int(i), Ev::Id(a)) => interner.as_int(a) == Some(i),
+        (Ev::Int(a), Ev::Int(b)) => a == b,
+    }
+}
+
+/// Evaluates a compiled condition under a full valuation — the interned
+/// mirror of `Formula::eval` (unbound/ill-typed terms make atoms and
+/// comparisons false).
+pub(crate) fn eval_cformula<P: Pops>(f: &CFormula, slots: &[u32], ctx: &EvalCtx<'_, P>) -> bool {
+    match f {
+        CFormula::True => true,
+        CFormula::False => false,
+        CFormula::BoolAtom { pred, args } => {
+            let Some(rel) = &ctx.bool_edb[*pred] else {
+                return false;
+            };
+            if rel.arity() != args.len() {
+                return false;
+            }
+            let mut key: Vec<u32> = Vec::with_capacity(args.len());
+            for a in args {
+                let Some(ev) = eval_cterm(a, slots, ctx.interner) else {
+                    return false;
+                };
+                let Some(id) = ev_to_id(ev, ctx.interner) else {
+                    return false;
+                };
+                key.push(id);
+            }
+            rel.rowid(&key).is_some()
+        }
+        CFormula::Not(g) => !eval_cformula(g, slots, ctx),
+        CFormula::And(a, b) => eval_cformula(a, slots, ctx) && eval_cformula(b, slots, ctx),
+        CFormula::Or(a, b) => eval_cformula(a, slots, ctx) || eval_cformula(b, slots, ctx),
+        CFormula::Cmp(l, op, r) => {
+            let (Some(lv), Some(rv)) = (
+                eval_cterm(l, slots, ctx.interner),
+                eval_cterm(r, slots, ctx.interner),
+            ) else {
+                return false;
+            };
+            match op {
+                CmpOp::Eq => ev_eq(lv, rv, ctx.interner),
+                CmpOp::Ne => !ev_eq(lv, rv, ctx.interner),
+                CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                    let (Some(a), Some(b)) =
+                        (ev_to_int(lv, ctx.interner), ev_to_int(rv, ctx.interner))
+                    else {
+                        return false;
+                    };
+                    match op {
+                        CmpOp::Lt => a < b,
+                        CmpOp::Le => a <= b,
+                        CmpOp::Gt => a > b,
+                        CmpOp::Ge => a >= b,
+                        _ => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs `plan` against `ctx`, calling `emit(head_key, value)` once per
+/// surviving valuation. `range0` optionally restricts the first step's
+/// candidate rows to `[lo, hi)` — the parallel driver's chunking hook.
+pub fn run_plan<'a, P: Pops>(
+    plan: &Plan<P>,
+    ctx: &EvalCtx<'a, P>,
+    range0: Option<(usize, usize)>,
+    emit: &mut dyn FnMut(&[u32], P),
+) {
+    let mut runner = Runner {
+        plan,
+        ctx,
+        range0,
+        slots: vec![UNBOUND; plan.nslots],
+        values: vec![None; plan.nfactors],
+        row_keys: vec![None; plan.steps.len()],
+        emit,
+    };
+    for &(s, id) in &plan.pre_bound {
+        runner.slots[s] = id;
+    }
+    runner.step(0);
+}
+
+/// How a step's relation is read.
+enum StepRel<'a, P> {
+    Pops(&'a ColumnRel<P>),
+    /// New-state storage read *as* the old state: `changed` patches.
+    PopsOld(&'a ColumnRel<P>, &'a HashMap<u32, Option<P>>),
+    Guard(&'a ColumnRel<Bool>),
+}
+
+impl<'a, P: Pops> StepRel<'a, P> {
+    fn arity(&self) -> usize {
+        match self {
+            StepRel::Pops(r) | StepRel::PopsOld(r, _) => r.arity(),
+            StepRel::Guard(r) => r.arity(),
+        }
+    }
+    fn len(&self) -> usize {
+        match self {
+            StepRel::Pops(r) | StepRel::PopsOld(r, _) => r.len(),
+            StepRel::Guard(r) => r.len(),
+        }
+    }
+    fn probe(&self, mask: u32, key: &[u32]) -> &'a [u32] {
+        match self {
+            StepRel::Pops(r) | StepRel::PopsOld(r, _) => r.probe(mask, key),
+            StepRel::Guard(r) => r.probe(mask, key),
+        }
+    }
+    /// The row key and factor value of row `r`; `None` when the row does
+    /// not exist in this state (appended after `J(t-1)`).
+    fn row(&self, r: u32) -> Option<(&'a [u32], Option<&'a P>)> {
+        match self {
+            StepRel::Pops(rel) => Some((rel.row(r), Some(rel.val(r)))),
+            StepRel::PopsOld(rel, changed) => match changed.get(&r) {
+                Some(None) => None,
+                Some(Some(old)) => Some((rel.row(r), Some(old))),
+                None => Some((rel.row(r), Some(rel.val(r)))),
+            },
+            StepRel::Guard(rel) => Some((rel.row(r), None)),
+        }
+    }
+}
+
+struct Runner<'r, 'a, P: Pops> {
+    plan: &'r Plan<P>,
+    ctx: &'r EvalCtx<'a, P>,
+    range0: Option<(usize, usize)>,
+    slots: Vec<u32>,
+    values: Vec<Option<&'a P>>,
+    row_keys: Vec<Option<&'a [u32]>>,
+    emit: &'r mut dyn FnMut(&[u32], P),
+}
+
+impl<'a, P: Pops> Runner<'_, 'a, P> {
+    fn resolve(&self, step: &Step) -> Option<StepRel<'a, P>> {
+        match step.source {
+            Source::PopsEdb(i) => self.ctx.pops_edb[i].as_ref().map(StepRel::Pops),
+            Source::IdbNew(i) => Some(StepRel::Pops(&self.ctx.idb_new[i])),
+            Source::IdbOld(i) => Some(StepRel::PopsOld(
+                &self.ctx.idb_new[i],
+                &self.ctx.idb_changed[i],
+            )),
+            Source::IdbDelta(i) => Some(StepRel::Pops(&self.ctx.idb_delta[i])),
+            Source::BoolEdb(i) => self.ctx.bool_edb[i].as_ref().map(StepRel::Guard),
+        }
+    }
+
+    fn step(&mut self, i: usize) {
+        let Some(step) = self.plan.steps.get(i) else {
+            self.fill(0);
+            return;
+        };
+        // Missing relation: the factor is all-0 / the guard all-false.
+        let Some(rel) = self.resolve(step) else {
+            return;
+        };
+        if rel.arity() != step.arity {
+            return;
+        }
+
+        enum Candidates<'c> {
+            Scan(std::ops::Range<usize>),
+            Rows(&'c [u32]),
+        }
+        let candidates = if step.mask == 0 {
+            let (mut lo, mut hi) = (0, rel.len());
+            if i == 0 {
+                if let Some((a, b)) = self.range0 {
+                    lo = a.min(hi);
+                    hi = b.min(hi);
+                }
+            }
+            Candidates::Scan(lo..hi)
+        } else {
+            let mut key: Vec<u32> = Vec::with_capacity(step.probe.len());
+            for p in &step.probe {
+                let id = match p {
+                    ProbeCol::Const(id) => Some(*id),
+                    ProbeCol::Slot(s) => Some(self.slots[*s]),
+                    ProbeCol::Term(t) => eval_cterm(t, &self.slots, self.ctx.interner)
+                        .and_then(|ev| ev_to_id(ev, self.ctx.interner)),
+                };
+                match id {
+                    Some(id) => key.push(id),
+                    None => return, // un-interned probe value: no match
+                }
+            }
+            let mut rows = rel.probe(step.mask, &key);
+            if i == 0 {
+                if let Some((a, b)) = self.range0 {
+                    rows = &rows[a.min(rows.len())..b.min(rows.len())];
+                }
+            }
+            Candidates::Rows(rows)
+        };
+
+        let visit = |this: &mut Self, r: u32| {
+            let Some((key, value)) = rel.row(r) else {
+                return; // row absent from the old state
+            };
+            for &(col, slot) in &step.binds {
+                this.slots[slot] = key[col];
+            }
+            let ok = step.checks.iter().all(|(col, t)| {
+                eval_cterm(t, &this.slots, this.ctx.interner)
+                    .and_then(|ev| ev_to_id(ev, this.ctx.interner))
+                    == Some(key[*col])
+            });
+            if ok {
+                if let Some(factor) = &step.factor {
+                    this.values[factor.index] = value;
+                }
+                this.row_keys[i] = Some(key);
+                this.step(i + 1);
+            }
+            for &(_, slot) in &step.binds {
+                this.slots[slot] = UNBOUND;
+            }
+        };
+        match candidates {
+            Candidates::Scan(range) => {
+                for r in range {
+                    visit(self, r as u32);
+                }
+            }
+            Candidates::Rows(rows) => {
+                for &r in rows {
+                    visit(self, r);
+                }
+            }
+        }
+    }
+
+    /// Enumerates the active domain for slots no step binds (the
+    /// relational backend's leftover-variable enumeration).
+    fn fill(&mut self, j: usize) {
+        let Some(&slot) = self.plan.fill.get(j) else {
+            self.leaf();
+            return;
+        };
+        for k in 0..self.ctx.adom.len() {
+            self.slots[slot] = self.ctx.adom[k];
+            self.fill(j + 1);
+        }
+        self.slots[slot] = UNBOUND;
+    }
+
+    fn leaf(&mut self) {
+        // Deferred wildcard checks: the matched row's column must equal
+        // the now-evaluable key-function term.
+        for (si, col, t) in &self.plan.post_checks {
+            let expected = eval_cterm(t, &self.slots, self.ctx.interner)
+                .and_then(|ev| ev_to_id(ev, self.ctx.interner));
+            let actual = self.row_keys[*si].map(|key| key[*col]);
+            if expected.is_none() || expected != actual {
+                return;
+            }
+        }
+        if !eval_cformula(&self.plan.condition, &self.slots, self.ctx) {
+            return;
+        }
+        let mut acc = self.plan.coeff.clone().unwrap_or_else(P::one);
+        for fi in 0..self.plan.nfactors {
+            let Some(v) = self.values[fi] else { return };
+            let v = match &self.plan.factor_funcs[fi] {
+                Some(func) => func.apply(v),
+                None => v.clone(),
+            };
+            acc = acc.mul(&v);
+            if acc.is_zero() {
+                return; // 0 absorbs on naturally ordered semirings
+            }
+        }
+        let key: Vec<u32> = self
+            .plan
+            .head_cols
+            .iter()
+            .map(|h| match h {
+                HeadCol::Slot(s) => self.slots[*s],
+                HeadCol::Const(id) => *id,
+            })
+            .collect();
+        (self.emit)(&key, acc);
+    }
+}

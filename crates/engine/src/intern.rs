@@ -1,0 +1,92 @@
+//! Constant interning: `Constant → u32` with O(1) decode and integer
+//! views.
+//!
+//! Every constant that can appear during evaluation (EDB tuples, program
+//! constants) is interned **up front**, so the hot join loops compare and
+//! hash plain `u32`s — no `Arc<str>` hashing, no `Constant` clones. The
+//! interner is immutable during evaluation; key-function results
+//! (`x + 1`) are resolved by *lookup*: a result outside the interned
+//! domain cannot match any stored tuple, which is exactly the semantics
+//! of joining against finite supports.
+
+use dlo_core::value::Constant;
+use std::collections::HashMap;
+
+/// An append-only constant table with hashed reverse lookup.
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    by_const: HashMap<Constant, u32>,
+    consts: Vec<Constant>,
+    /// `ints[id]` is `Some(i)` iff `consts[id]` is the integer `i`
+    /// (flat side table so comparisons never touch the `Constant` enum).
+    ints: Vec<Option<i64>>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns `c`, returning its id (stable across repeated calls).
+    pub fn intern(&mut self, c: &Constant) -> u32 {
+        if let Some(&id) = self.by_const.get(c) {
+            return id;
+        }
+        let id = self.consts.len() as u32;
+        self.by_const.insert(c.clone(), id);
+        self.consts.push(c.clone());
+        self.ints.push(c.as_int());
+        id
+    }
+
+    /// The id of `c`, if interned.
+    pub fn lookup(&self, c: &Constant) -> Option<u32> {
+        self.by_const.get(c).copied()
+    }
+
+    /// The id of the integer constant `i`, if interned.
+    pub fn lookup_int(&self, i: i64) -> Option<u32> {
+        self.by_const.get(&Constant::Int(i)).copied()
+    }
+
+    /// Decodes an id.
+    pub fn get(&self, id: u32) -> &Constant {
+        &self.consts[id as usize]
+    }
+
+    /// The integer value of an interned constant, if it is an integer.
+    pub fn as_int(&self, id: u32) -> Option<i64> {
+        self.ints[id as usize]
+    }
+
+    /// Number of interned constants.
+    pub fn len(&self) -> usize {
+        self.consts.len()
+    }
+
+    /// Whether nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.consts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_decodable() {
+        let mut i = Interner::new();
+        let a = i.intern(&Constant::str("a"));
+        let b = i.intern(&Constant::int(7));
+        assert_eq!(i.intern(&Constant::str("a")), a);
+        assert_ne!(a, b);
+        assert_eq!(i.get(a), &Constant::str("a"));
+        assert_eq!(i.as_int(b), Some(7));
+        assert_eq!(i.as_int(a), None);
+        assert_eq!(i.lookup_int(7), Some(b));
+        assert_eq!(i.lookup_int(8), None);
+        assert_eq!(i.len(), 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! # dlo-engine — an interned, indexed, parallel datalog° engine
+//!
+//! The production execution backend for datalog° over naturally ordered
+//! POPS, justified by Theorem 6.5 of *Convergence of Datalog over (Pre-)
+//! Semirings* (PODS 2022). Where the relational backend
+//! (`dlo_core::eval::relational`) joins `BTreeMap` supports by unifying
+//! `Constant`s tuple-at-a-time, this crate compiles each program once
+//! and runs it on interned, columnar state:
+//!
+//! * [`intern`] — constants become `u32`s; rows are flat `Vec<u32>`
+//!   slices, so join keys hash and compare without touching a single
+//!   `Arc<str>`;
+//! * [`storage`] — relations carry lazily built **hash-prefix indexes**
+//!   per (relation, bound-column-set), maintained incrementally as the
+//!   monotone `new` state grows;
+//! * [`plan`] — a **rule compiler** greedily orders each sum-product's
+//!   atoms by bound-variable coverage and resolves every argument to a
+//!   column operation (probe / bind / check) at compile time;
+//! * [`exec`] — the join executor, including the `changed`-map trick
+//!   that serves `J(t)` and `J(t-1)` from one physical relation;
+//! * [`driver`] — naïve and **parallel semi-naïve** loops (prefix-new /
+//!   Δ / suffix-old per Theorem 6.5), fanning (plan × row-chunk) tasks
+//!   over scoped threads and `⊕`-merging deterministically.
+//!
+//! Entry points mirror the other backends and cross-check against them
+//! in `tests/cross_engine.rs`:
+//!
+//! ```
+//! use dlo_core::{parse_program, BoolDatabase, Database, Program, Relation};
+//! use dlo_engine::engine_seminaive_eval;
+//! use dlo_pops::Trop;
+//!
+//! let program: Program<Trop> =
+//!     parse_program("T(X, Y) :- E(X, Y) + T(X, Z) * E(Z, Y).").unwrap();
+//! let mut edb = Database::new();
+//! edb.insert("E", Relation::from_pairs(2, vec![
+//!     (vec!["a".into(), "b".into()], Trop::finite(1.0)),
+//!     (vec!["b".into(), "c".into()], Trop::finite(3.0)),
+//! ]));
+//! let out = engine_seminaive_eval(&program, &edb, &BoolDatabase::new(), 10_000).unwrap();
+//! assert_eq!(out.get("T").unwrap().get(&vec!["a".into(), "c".into()]),
+//!            Trop::finite(4.0));
+//! ```
+//!
+//! Programs the compiler cannot handle (key functions in rule *heads*)
+//! fall back to the relational backend transparently. Body key
+//! functions, conditions, Boolean guards, coefficients, and value
+//! functions are all supported. Set `DLO_ENGINE_THREADS=1` to force
+//! single-threaded execution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod exec;
+pub mod intern;
+pub mod par;
+pub mod plan;
+pub mod storage;
+
+pub use driver::{
+    engine_naive_eval, engine_naive_eval_with_opts, engine_seminaive_eval,
+    engine_seminaive_eval_with_opts, EngineOpts,
+};
+pub use intern::Interner;
+pub use plan::{compile, CompileError, CompiledProgram, Plan};
+pub use storage::ColumnRel;

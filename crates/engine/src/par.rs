@@ -1,0 +1,83 @@
+//! Minimal scoped-thread parallelism (no external thread-pool crates).
+//!
+//! One shared atomic counter hands task indexes to `min(threads, tasks)`
+//! scoped workers; each worker returns its `(index, result)` pairs and
+//! the caller reassembles them in task order, so the merge downstream is
+//! deterministic. Thread count comes from `DLO_ENGINE_THREADS` (set `1`
+//! to force sequential execution) or `std::thread::available_parallelism`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// The worker count the engine will use.
+pub fn max_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        if let Ok(v) = std::env::var("DLO_ENGINE_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Runs `f(0..n)` across `threads` scoped workers, returning results in
+/// task order. Falls back to a plain sequential map when parallelism
+/// cannot help.
+pub fn run_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.min(n))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = vec![];
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, t) in h.join().expect("engine worker panicked") {
+                slots[i] = Some(t);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task index visited"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_task_order() {
+        let out = run_indexed(100, 4, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_fallback_matches() {
+        assert_eq!(run_indexed(5, 1, |i| i + 1), vec![1, 2, 3, 4, 5]);
+        assert_eq!(run_indexed(0, 8, |i| i), Vec::<usize>::new());
+    }
+}

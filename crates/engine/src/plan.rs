@@ -1,0 +1,698 @@
+//! The rule compiler: sum-products → executable join plans.
+//!
+//! For each sum-product (and, for semi-naïve evaluation, each IDB
+//! occurrence `k` of Theorem 6.5's prefix-new / Δ / suffix-old split)
+//! the compiler emits a [`Plan`]: an ordered list of [`Step`]s whose
+//! atom arguments are resolved to *column positions* against interned
+//! constants — the executor never hashes a string or clones a
+//! `Constant`.
+//!
+//! Atom order is chosen greedily by **bound-variable coverage**: after
+//! pre-binding `Var = const` equalities from the condition's conjunctive
+//! spine, the compiler repeatedly picks the atom with the most
+//! already-bound columns (tie-breaking toward fewer new variables, then
+//! textual order). In a delta plan the Δ occurrence is forced first so
+//! the (small) delta relation drives the join. Each step records which
+//! columns are probed through a hash-prefix index ([`Step::mask`]),
+//! which bind fresh slots, and which merely check.
+//!
+//! Programs whose *head* applies a key function are rejected with
+//! [`CompileError`]; the public entry points fall back to the relational
+//! backend for those.
+
+use crate::intern::Interner;
+use crate::storage::ColMask;
+use dlo_core::ast::{Atom, KeyFn, Program, Rule, SumProduct, Term, UnaryFn, Var};
+use dlo_core::formula::{CmpOp, Formula};
+use dlo_pops::Pops;
+use std::collections::HashMap;
+
+/// Why a program cannot be compiled for the engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// A head argument applies a key function (would require interning
+    /// fresh constants during evaluation).
+    HeadFunction,
+    /// An atom exceeds the engine's 32-column limit.
+    ArityTooLarge,
+    /// The same head predicate is used at two different arities
+    /// (columnar storage fixes one arity per relation).
+    HeadArityMismatch,
+}
+
+/// Which relation a step reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Source {
+    /// A `P`-EDB relation (by `pops_edbs` table index).
+    PopsEdb(usize),
+    /// An IDB read from the *new* state `J(t)`.
+    IdbNew(usize),
+    /// An IDB read from the *old* state `J(t-1)`.
+    IdbOld(usize),
+    /// An IDB read from the delta `δ(t-1)`.
+    IdbDelta(usize),
+    /// A Boolean EDB guard (by `bool_edbs` table index).
+    BoolEdb(usize),
+}
+
+/// A compiled key term over valuation slots.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CTerm {
+    /// The value of a valuation slot.
+    Slot(usize),
+    /// An interned constant.
+    Const(u32),
+    /// A key function applied to a term.
+    Apply(KeyFn, Box<CTerm>),
+}
+
+/// A compiled conditional over valuation slots and interned constants.
+#[derive(Clone, Debug)]
+pub enum CFormula {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// A positive Boolean-EDB atom (by `bool_edbs` table index).
+    BoolAtom {
+        /// Table index of the Boolean predicate.
+        pred: usize,
+        /// Compiled argument terms.
+        args: Vec<CTerm>,
+    },
+    /// Negation.
+    Not(Box<CFormula>),
+    /// Conjunction.
+    And(Box<CFormula>, Box<CFormula>),
+    /// Disjunction.
+    Or(Box<CFormula>, Box<CFormula>),
+    /// A key comparison.
+    Cmp(CTerm, CmpOp, CTerm),
+}
+
+/// Where a probe-key column's value comes from.
+#[derive(Clone, Debug)]
+pub enum ProbeCol {
+    /// A fixed interned constant.
+    Const(u32),
+    /// A slot bound by an earlier step.
+    Slot(usize),
+    /// A computed term (key function over bound slots); evaluation
+    /// failure or an un-interned result means *no row can match*.
+    Term(CTerm),
+}
+
+/// The factor position a step's row value feeds.
+#[derive(Clone, Copy, Debug)]
+pub struct FactorSlot {
+    /// Index into the sum-product's factor list.
+    pub index: usize,
+}
+
+/// One join participant, fully column-resolved.
+#[derive(Clone, Debug)]
+pub struct Step {
+    /// The relation read.
+    pub source: Source,
+    /// Expected arity (rows of a different arity cannot match).
+    pub arity: usize,
+    /// Bitmask of probed columns (`0` = full scan).
+    pub mask: ColMask,
+    /// Probe-key sources, one per set mask bit, ascending by column.
+    pub probe: Vec<ProbeCol>,
+    /// `(column, slot)` pairs bound from the matched row.
+    pub binds: Vec<(usize, usize)>,
+    /// `(column, term)` equality checks evaluable once this step's binds
+    /// are in place (repeated variables, key functions over bound vars).
+    pub checks: Vec<(usize, CTerm)>,
+    /// Columns accepted now and re-verified at emit time
+    /// (key-function terms whose variables bind only later).
+    pub wildcards: Vec<usize>,
+    /// The factor this step supplies a value for (`None` for guards).
+    pub factor: Option<FactorSlot>,
+}
+
+/// A head column: a slot or an interned constant.
+#[derive(Clone, Copy, Debug)]
+pub enum HeadCol {
+    /// Copy a valuation slot.
+    Slot(usize),
+    /// A fixed interned constant.
+    Const(u32),
+}
+
+/// An executable join plan for one sum-product variant.
+#[derive(Clone)]
+pub struct Plan<P> {
+    /// Target IDB (by `idbs` table index).
+    pub head_pred: usize,
+    /// How to assemble the emitted head key.
+    pub head_cols: Vec<HeadCol>,
+    /// Number of valuation slots (head vars ∪ sum-product vars).
+    pub nslots: usize,
+    /// Number of factors (value positions).
+    pub nfactors: usize,
+    /// Slots pre-bound by `Var = const` equalities in the condition's
+    /// conjunctive spine.
+    pub pre_bound: Vec<(usize, u32)>,
+    /// Ordered join steps.
+    pub steps: Vec<Step>,
+    /// Per-factor value transforms, by factor index.
+    pub factor_funcs: Vec<Option<UnaryFn<P>>>,
+    /// Slots bound by no step: enumerated over the active domain.
+    pub fill: Vec<usize>,
+    /// The full compiled condition, evaluated per valuation.
+    pub condition: CFormula,
+    /// Optional scalar coefficient.
+    pub coeff: Option<P>,
+    /// Deferred wildcard checks: `(step, column, term)`.
+    pub post_checks: Vec<(usize, usize, CTerm)>,
+}
+
+/// Predicate tables and compiled plans for a program.
+#[derive(Clone)]
+pub struct CompiledProgram<P> {
+    /// IDB predicates `(name, arity)` in first-head order.
+    pub idbs: Vec<(String, usize)>,
+    /// Referenced `P`-EDB predicate names.
+    pub pops_edbs: Vec<String>,
+    /// Referenced Boolean predicate names.
+    pub bool_edbs: Vec<String>,
+    /// All-`New` plans, one per (rule, sum-product): the naïve ICO, also
+    /// used for semi-naïve seeding.
+    pub seed_plans: Vec<Plan<P>>,
+    /// Semi-naïve differential plans: the `k`-split variants of every
+    /// sum-product with ≥ 1 plain IDB factor, plus one full-recompute
+    /// plan per sum-product whose IDB factors carry value functions
+    /// (those are not differentiable through ⊖). IDB-free sum-products
+    /// are covered by seeding alone (eq. 65).
+    pub delta_plans: Vec<Plan<P>>,
+}
+
+impl<P: Pops> CompiledProgram<P> {
+    /// All `(source, mask)` index requirements across plans.
+    pub fn index_requirements(&self) -> Vec<(Source, ColMask)> {
+        let mut out = vec![];
+        for plan in self.seed_plans.iter().chain(&self.delta_plans) {
+            for step in &plan.steps {
+                if step.mask != 0 && !out.contains(&(step.source, step.mask)) {
+                    out.push((step.source, step.mask));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Compiles `program`, interning every program constant into `interner`.
+pub fn compile<P: Pops>(
+    program: &Program<P>,
+    interner: &mut Interner,
+) -> Result<CompiledProgram<P>, CompileError> {
+    let mut c = Compiler {
+        interner,
+        idbs: vec![],
+        pops_edbs: vec![],
+        bool_edbs: vec![],
+    };
+    for rule in &program.rules {
+        let name = &rule.head.pred;
+        match c.idbs.iter().find(|(n, _)| n == name) {
+            // Columnar storage has one fixed arity per relation; a head
+            // predicate used at two arities cannot be represented.
+            Some((_, arity)) if *arity != rule.head.args.len() => {
+                return Err(CompileError::HeadArityMismatch)
+            }
+            Some(_) => {}
+            None => c.idbs.push((name.clone(), rule.head.args.len())),
+        }
+    }
+    let mut seed_plans = vec![];
+    let mut delta_plans = vec![];
+    for rule in &program.rules {
+        for sp in &rule.body {
+            let idb_occurrences: Vec<usize> = sp
+                .factors
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| c.idbs.iter().any(|(n, _)| n == &f.atom.pred))
+                .map(|(fi, _)| fi)
+                .collect();
+            let wrapped_idb = idb_occurrences
+                .iter()
+                .any(|&fi| sp.factors[fi].func.is_some());
+            seed_plans.push(c.compile_sp(rule, sp, &|_| OccSource::New, None)?);
+            if idb_occurrences.is_empty() {
+                continue; // eq. (65): constant sum-products never re-fire.
+            }
+            if wrapped_idb {
+                // Value functions make the occurrence split unsound in
+                // general; re-derive the whole sum-product against the
+                // new state every iteration instead.
+                delta_plans.push(c.compile_sp(rule, sp, &|_| OccSource::New, None)?);
+            } else {
+                for k in 0..idb_occurrences.len() {
+                    let sel = move |occ: usize| match occ.cmp(&k) {
+                        std::cmp::Ordering::Less => OccSource::New,
+                        std::cmp::Ordering::Equal => OccSource::Delta,
+                        std::cmp::Ordering::Greater => OccSource::Old,
+                    };
+                    delta_plans.push(c.compile_sp(rule, sp, &sel, Some(k))?);
+                }
+            }
+        }
+    }
+    Ok(CompiledProgram {
+        idbs: c.idbs,
+        pops_edbs: c.pops_edbs,
+        bool_edbs: c.bool_edbs,
+        seed_plans,
+        delta_plans,
+    })
+}
+
+/// Which state the `i`-th IDB occurrence of a sum-product reads.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OccSource {
+    New,
+    Old,
+    Delta,
+}
+
+struct Compiler<'a> {
+    interner: &'a mut Interner,
+    idbs: Vec<(String, usize)>,
+    pops_edbs: Vec<String>,
+    bool_edbs: Vec<String>,
+}
+
+impl Compiler<'_> {
+    fn idb_id(&self, pred: &str) -> Option<usize> {
+        self.idbs.iter().position(|(n, _)| n == pred)
+    }
+
+    fn pops_edb_id(&mut self, pred: &str) -> usize {
+        match self.pops_edbs.iter().position(|n| n == pred) {
+            Some(i) => i,
+            None => {
+                self.pops_edbs.push(pred.to_string());
+                self.pops_edbs.len() - 1
+            }
+        }
+    }
+
+    fn bool_edb_id(&mut self, pred: &str) -> usize {
+        match self.bool_edbs.iter().position(|n| n == pred) {
+            Some(i) => i,
+            None => {
+                self.bool_edbs.push(pred.to_string());
+                self.bool_edbs.len() - 1
+            }
+        }
+    }
+
+    fn compile_term(&mut self, t: &Term, slot_of: &HashMap<Var, usize>) -> CTerm {
+        match t {
+            Term::Var(v) => CTerm::Slot(slot_of[v]),
+            Term::Const(c) => CTerm::Const(self.interner.intern(c)),
+            Term::Apply(f, inner) => CTerm::Apply(*f, Box::new(self.compile_term(inner, slot_of))),
+        }
+    }
+
+    fn compile_formula(&mut self, phi: &Formula, slot_of: &HashMap<Var, usize>) -> CFormula {
+        match phi {
+            Formula::True => CFormula::True,
+            Formula::False => CFormula::False,
+            Formula::BoolAtom(a) => CFormula::BoolAtom {
+                pred: self.bool_edb_id(&a.pred),
+                args: a
+                    .args
+                    .iter()
+                    .map(|t| self.compile_term(t, slot_of))
+                    .collect(),
+            },
+            Formula::Not(f) => CFormula::Not(Box::new(self.compile_formula(f, slot_of))),
+            Formula::And(a, b) => CFormula::And(
+                Box::new(self.compile_formula(a, slot_of)),
+                Box::new(self.compile_formula(b, slot_of)),
+            ),
+            Formula::Or(a, b) => CFormula::Or(
+                Box::new(self.compile_formula(a, slot_of)),
+                Box::new(self.compile_formula(b, slot_of)),
+            ),
+            Formula::Cmp(l, op, r) => CFormula::Cmp(
+                self.compile_term(l, slot_of),
+                *op,
+                self.compile_term(r, slot_of),
+            ),
+        }
+    }
+
+    /// Mirrors the relational backend's `equality_bindings`: pre-binds
+    /// `Var = const` equalities on the conjunctive spine, first
+    /// occurrence winning.
+    fn equality_bindings(
+        &mut self,
+        phi: &Formula,
+        slot_of: &HashMap<Var, usize>,
+        out: &mut Vec<(usize, u32)>,
+    ) {
+        match phi {
+            Formula::And(a, b) => {
+                self.equality_bindings(a, slot_of, out);
+                self.equality_bindings(b, slot_of, out);
+            }
+            Formula::Cmp(Term::Var(v), CmpOp::Eq, Term::Const(c))
+            | Formula::Cmp(Term::Const(c), CmpOp::Eq, Term::Var(v)) => {
+                let slot = slot_of[v];
+                if !out.iter().any(|(s, _)| *s == slot) {
+                    out.push((slot, self.interner.intern(c)));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn term_vars_bound(t: &Term, bound: &[bool], slot_of: &HashMap<Var, usize>) -> bool {
+        let mut vars = vec![];
+        t.vars(&mut vars);
+        vars.iter().all(|v| bound[slot_of[v]])
+    }
+
+    fn compile_sp<P: Pops>(
+        &mut self,
+        rule: &Rule<P>,
+        sp: &SumProduct<P>,
+        occ_source: &dyn Fn(usize) -> OccSource,
+        _delta_k: Option<usize>,
+    ) -> Result<Plan<P>, CompileError> {
+        // Slot layout: head vars first, then remaining sum-product vars
+        // (the relational backend's `vars` order).
+        let mut vars: Vec<Var> = vec![];
+        rule.head.vars(&mut vars);
+        for v in sp.vars() {
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        let slot_of: HashMap<Var, usize> = vars.iter().enumerate().map(|(i, v)| (*v, i)).collect();
+        let nslots = vars.len();
+
+        let head_cols: Vec<HeadCol> = rule
+            .head
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => Ok(HeadCol::Slot(slot_of[v])),
+                Term::Const(c) => Ok(HeadCol::Const(self.interner.intern(c))),
+                Term::Apply(..) => Err(CompileError::HeadFunction),
+            })
+            .collect::<Result<_, _>>()?;
+
+        let mut pre_bound = vec![];
+        self.equality_bindings(&sp.condition, &slot_of, &mut pre_bound);
+
+        // Binders: factors (with their IDB-occurrence source), then the
+        // condition's conjunctive guard atoms.
+        struct Binder<'b> {
+            atom: &'b Atom,
+            source: Source,
+            factor: Option<FactorSlot>,
+        }
+        let mut binders: Vec<Binder> = vec![];
+        let mut occ = 0usize;
+        for (fi, f) in sp.factors.iter().enumerate() {
+            if f.atom.args.len() > 32 {
+                return Err(CompileError::ArityTooLarge);
+            }
+            let source = match self.idb_id(&f.atom.pred) {
+                Some(p) => match occ_source(occ) {
+                    OccSource::New => {
+                        occ += 1;
+                        Source::IdbNew(p)
+                    }
+                    OccSource::Old => {
+                        occ += 1;
+                        Source::IdbOld(p)
+                    }
+                    OccSource::Delta => {
+                        occ += 1;
+                        Source::IdbDelta(p)
+                    }
+                },
+                None => Source::PopsEdb(self.pops_edb_id(&f.atom.pred)),
+            };
+            binders.push(Binder {
+                atom: &f.atom,
+                source,
+                factor: Some(FactorSlot { index: fi }),
+            });
+        }
+        for a in sp.condition.conjunctive_atoms() {
+            if a.args.len() > 32 {
+                return Err(CompileError::ArityTooLarge);
+            }
+            binders.push(Binder {
+                atom: a,
+                source: Source::BoolEdb(self.bool_edb_id(&a.pred)),
+                factor: None,
+            });
+        }
+
+        // Greedy ordering by bound-column coverage. The Δ occurrence is
+        // forced first so the small delta relation drives the join.
+        let mut bound = vec![false; nslots];
+        for &(s, _) in &pre_bound {
+            bound[s] = true;
+        }
+        let mut order: Vec<usize> = vec![];
+        let mut remaining: Vec<usize> = (0..binders.len()).collect();
+        if let Some(di) = binders
+            .iter()
+            .position(|b| matches!(b.source, Source::IdbDelta(_)))
+        {
+            order.push(di);
+            remaining.retain(|&i| i != di);
+            bind_atom_vars(binders[di].atom, &slot_of, &mut bound);
+        }
+        while !remaining.is_empty() {
+            let mut best = 0usize;
+            let mut best_score = (usize::MAX, usize::MAX, usize::MAX);
+            for (ri, &bi) in remaining.iter().enumerate() {
+                let atom = binders[bi].atom;
+                let mut probeable = 0usize;
+                let mut new_vars: Vec<usize> = vec![];
+                for t in &atom.args {
+                    match t {
+                        Term::Const(_) => probeable += 1,
+                        Term::Var(v) => {
+                            let s = slot_of[v];
+                            if bound[s] {
+                                probeable += 1;
+                            } else if !new_vars.contains(&s) {
+                                new_vars.push(s);
+                            }
+                        }
+                        t @ Term::Apply(..) => {
+                            if Self::term_vars_bound(t, &bound, &slot_of) {
+                                probeable += 1;
+                            }
+                        }
+                    }
+                }
+                // Lexicographic: most probeable cols, fewest new vars,
+                // earliest textual position.
+                let score = (usize::MAX - probeable, new_vars.len(), bi);
+                if score < best_score {
+                    best_score = score;
+                    best = ri;
+                }
+            }
+            let bi = remaining.remove(best);
+            order.push(bi);
+            bind_atom_vars(binders[bi].atom, &slot_of, &mut bound);
+        }
+
+        // Emit steps in the chosen order, tracking bound slots.
+        let mut bound = vec![false; nslots];
+        for &(s, _) in &pre_bound {
+            bound[s] = true;
+        }
+        let mut steps: Vec<Step> = vec![];
+        let mut post_checks: Vec<(usize, usize, CTerm)> = vec![];
+        for &bi in &order {
+            let binder = &binders[bi];
+            let atom = binder.atom;
+            let mut mask: ColMask = 0;
+            let mut probe = vec![];
+            let mut binds = vec![];
+            let mut checks = vec![];
+            let mut wildcards = vec![];
+            let mut local_bound: Vec<usize> = vec![];
+            for (col, t) in atom.args.iter().enumerate() {
+                match t {
+                    Term::Const(c) => {
+                        mask |= 1 << col;
+                        probe.push(ProbeCol::Const(self.interner.intern(c)));
+                    }
+                    Term::Var(v) => {
+                        let s = slot_of[v];
+                        if bound[s] {
+                            mask |= 1 << col;
+                            probe.push(ProbeCol::Slot(s));
+                        } else if local_bound.contains(&s) {
+                            checks.push((col, CTerm::Slot(s)));
+                        } else {
+                            binds.push((col, s));
+                            local_bound.push(s);
+                        }
+                    }
+                    t @ Term::Apply(..) => {
+                        let ct = self.compile_term(t, &slot_of);
+                        if Self::term_vars_bound(t, &bound, &slot_of) {
+                            mask |= 1 << col;
+                            probe.push(ProbeCol::Term(ct));
+                        } else {
+                            let mut tvars = vec![];
+                            t.vars(&mut tvars);
+                            if tvars
+                                .iter()
+                                .all(|v| bound[slot_of[v]] || local_bound.contains(&slot_of[v]))
+                            {
+                                checks.push((col, ct));
+                            } else {
+                                wildcards.push(col);
+                                post_checks.push((steps.len(), col, ct));
+                            }
+                        }
+                    }
+                }
+            }
+            for &s in &local_bound {
+                bound[s] = true;
+            }
+            steps.push(Step {
+                source: binder.source,
+                arity: atom.args.len(),
+                mask,
+                probe,
+                binds,
+                checks,
+                wildcards,
+                factor: binder.factor,
+            });
+        }
+
+        let fill: Vec<usize> = (0..nslots).filter(|&s| !bound[s]).collect();
+        let condition = self.compile_formula(&sp.condition, &slot_of);
+        Ok(Plan {
+            head_pred: self
+                .idb_id(&rule.head.pred)
+                .expect("head is an IDB by construction"),
+            head_cols,
+            nslots,
+            nfactors: sp.factors.len(),
+            pre_bound,
+            steps,
+            factor_funcs: sp.factors.iter().map(|f| f.func.clone()).collect(),
+            fill,
+            condition,
+            coeff: sp.coeff.clone(),
+            post_checks,
+        })
+    }
+}
+
+fn bind_atom_vars(atom: &Atom, slot_of: &HashMap<Var, usize>, bound: &mut [bool]) {
+    let mut vars = vec![];
+    atom.vars(&mut vars);
+    for v in vars {
+        bound[slot_of[&v]] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlo_core::ast::{Factor, SumProduct};
+    use dlo_core::parse_program;
+    use dlo_pops::Trop;
+
+    #[test]
+    fn apsp_compiles_with_delta_variants() {
+        let prog: dlo_core::Program<Trop> =
+            parse_program("T(X, Y) :- E(X, Y) + T(X, Z) * E(Z, Y).").unwrap();
+        let mut interner = Interner::new();
+        let c = compile(&prog, &mut interner).unwrap();
+        assert_eq!(c.idbs, vec![("T".to_string(), 2)]);
+        assert_eq!(c.pops_edbs, vec!["E".to_string()]);
+        // Two seed plans (one per sum-product), one delta variant (the
+        // recursive sum-product has exactly one IDB occurrence).
+        assert_eq!(c.seed_plans.len(), 2);
+        assert_eq!(c.delta_plans.len(), 1);
+        // The delta plan is driven by the Δ occurrence of T.
+        let dp = &c.delta_plans[0];
+        assert!(matches!(dp.steps[0].source, Source::IdbDelta(0)));
+        // The trailing E(Z, Y) probes on the Z column bound by T(X, Z).
+        assert!(matches!(dp.steps[1].source, Source::PopsEdb(0)));
+        assert_eq!(dp.steps[1].mask, 0b01);
+        assert!(dp.fill.is_empty());
+    }
+
+    #[test]
+    fn quadratic_tc_gets_two_delta_variants() {
+        let prog: dlo_core::Program<Trop> =
+            parse_program("T(X, Y) :- E(X, Y) + T(X, Z) * T(Z, Y).").unwrap();
+        let mut interner = Interner::new();
+        let c = compile(&prog, &mut interner).unwrap();
+        assert_eq!(c.delta_plans.len(), 2);
+        // k = 0: Δ then New; k = 1: Δ (occurrence 1) then New-prefix.
+        assert!(matches!(
+            c.delta_plans[0].steps[0].source,
+            Source::IdbDelta(0)
+        ));
+        assert!(matches!(
+            c.delta_plans[0].steps[1].source,
+            Source::IdbOld(0)
+        ));
+        assert!(matches!(
+            c.delta_plans[1].steps[0].source,
+            Source::IdbDelta(0)
+        ));
+        assert!(matches!(
+            c.delta_plans[1].steps[1].source,
+            Source::IdbNew(0)
+        ));
+    }
+
+    #[test]
+    fn equality_prebinding_reaches_probe_masks() {
+        // Single-source: L(X) :- {1 | X = a} ⊕ Σ_z L(Z) ⊗ E(Z, X).
+        let prog: dlo_core::Program<Trop> =
+            parse_program("L(X) :- 1 | X = a.\nL(X) :- L(Z) * E(Z, X).").unwrap();
+        let mut interner = Interner::new();
+        let c = compile(&prog, &mut interner).unwrap();
+        let indicator = &c.seed_plans[0];
+        assert_eq!(indicator.pre_bound.len(), 1);
+        assert!(indicator.steps.is_empty());
+        assert!(indicator.fill.is_empty());
+    }
+
+    #[test]
+    fn head_key_function_is_rejected() {
+        use dlo_core::ast::{Atom, Program, Term};
+        let mut p = Program::<Trop>::new();
+        p.rule(
+            Atom::new(
+                "W",
+                vec![Term::Apply(KeyFn::AddInt(1), Box::new(Term::v(0)))],
+            ),
+            vec![SumProduct::new(vec![Factor::atom("V", vec![Term::v(0)])])],
+        );
+        let mut interner = Interner::new();
+        match compile(&p, &mut interner) {
+            Err(e) => assert_eq!(e, CompileError::HeadFunction),
+            Ok(_) => panic!("head key function must be rejected"),
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Interned columnar relations with hash-prefix indexes.
+//!
+//! A [`ColumnRel`] stores rows in one flat `Vec<u32>` (row-major) with a
+//! parallel value vector and a full-row hash map for O(1) merge. Indexes
+//! are hash maps from a *bound-column projection* to the matching row
+//! ids, keyed by a column bitmask; they are built lazily per
+//! `(relation, bound-column-set)` — once a mask is requested it is
+//! maintained incrementally by [`ColumnRel::insert_row`], so monotone
+//! relations (the semi-naïve `new` state) never pay a rebuild.
+
+use dlo_pops::Pops;
+use std::collections::HashMap;
+
+/// A column bitmask: bit `c` set ⇔ column `c` participates in the probe.
+pub type ColMask = u32;
+
+/// Projects `row` onto the columns of `mask`, ascending.
+pub fn project(row: &[u32], mask: ColMask) -> Box<[u32]> {
+    row.iter()
+        .enumerate()
+        .filter(|(c, _)| mask & (1 << c) != 0)
+        .map(|(_, &v)| v)
+        .collect()
+}
+
+/// An interned finite-support relation: flat rows, values, row map, and
+/// lazily built prefix indexes.
+#[derive(Clone, Debug)]
+pub struct ColumnRel<P> {
+    arity: usize,
+    keys: Vec<u32>,
+    vals: Vec<P>,
+    map: HashMap<Box<[u32]>, u32>,
+    indexes: HashMap<ColMask, HashMap<Box<[u32]>, Vec<u32>>>,
+}
+
+impl<P: Pops> ColumnRel<P> {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        assert!(arity <= 32, "engine supports arity ≤ 32");
+        ColumnRel {
+            arity,
+            keys: Vec::new(),
+            vals: Vec::new(),
+            map: HashMap::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// The key columns of row `r`.
+    pub fn row(&self, r: u32) -> &[u32] {
+        let s = r as usize * self.arity;
+        &self.keys[s..s + self.arity]
+    }
+
+    /// The value of row `r`.
+    pub fn val(&self, r: u32) -> &P {
+        &self.vals[r as usize]
+    }
+
+    /// The row id holding `key`, if present.
+    pub fn rowid(&self, key: &[u32]) -> Option<u32> {
+        self.map.get(key).copied()
+    }
+
+    /// The value at `key`, if present.
+    pub fn get(&self, key: &[u32]) -> Option<&P> {
+        self.rowid(key).map(|r| self.val(r))
+    }
+
+    /// Appends a fresh row (caller guarantees `key` is absent) and
+    /// maintains every built index.
+    ///
+    /// The arity check is a hard assert: a wrong-length key would shift
+    /// every subsequent row boundary in the flat storage, silently
+    /// corrupting the relation.
+    pub fn insert_row(&mut self, key: &[u32], value: P) -> u32 {
+        assert_eq!(key.len(), self.arity, "row arity mismatch");
+        debug_assert!(!self.map.contains_key(key), "insert_row on present key");
+        let r = self.vals.len() as u32;
+        self.keys.extend_from_slice(key);
+        self.vals.push(value);
+        self.map.insert(key.into(), r);
+        for (&mask, index) in &mut self.indexes {
+            index.entry(project(key, mask)).or_default().push(r);
+        }
+        r
+    }
+
+    /// Overwrites the value of row `r` (keys unchanged, indexes intact).
+    pub fn set_val(&mut self, r: u32, value: P) {
+        self.vals[r as usize] = value;
+    }
+
+    /// `⊕`-merges `value` at `key` (insert when absent), returning the
+    /// affected row id.
+    pub fn merge(&mut self, key: &[u32], value: P) -> u32 {
+        match self.rowid(key) {
+            Some(r) => {
+                let combined = self.vals[r as usize].add(&value);
+                self.set_val(r, combined);
+                r
+            }
+            None => self.insert_row(key, value),
+        }
+    }
+
+    /// Builds the index for `mask` if missing (subsequently maintained by
+    /// [`Self::insert_row`]). `mask = 0` (full scan) needs no index.
+    pub fn ensure_index(&mut self, mask: ColMask) {
+        if mask == 0 || self.indexes.contains_key(&mask) {
+            return;
+        }
+        let mut index: HashMap<Box<[u32]>, Vec<u32>> = HashMap::new();
+        for r in 0..self.vals.len() as u32 {
+            index.entry(project(self.row(r), mask)).or_default().push(r);
+        }
+        self.indexes.insert(mask, index);
+    }
+
+    /// The row ids whose `mask`-projection equals `key`. The index must
+    /// have been built via [`Self::ensure_index`].
+    pub fn probe(&self, mask: ColMask, key: &[u32]) -> &[u32] {
+        static EMPTY: [u32; 0] = [];
+        self.indexes
+            .get(&mask)
+            .expect("probe before ensure_index")
+            .get(key)
+            .map(|v| v.as_slice())
+            .unwrap_or(&EMPTY)
+    }
+
+    /// Iterates `(row-id, key, value)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[u32], &P)> {
+        (0..self.vals.len() as u32).map(move |r| (r, self.row(r), self.val(r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlo_pops::Trop;
+
+    #[test]
+    fn rows_merge_and_probe() {
+        let mut rel = ColumnRel::<Trop>::new(2);
+        rel.ensure_index(0b01);
+        rel.insert_row(&[0, 1], Trop::finite(1.0));
+        rel.insert_row(&[0, 2], Trop::finite(2.0));
+        rel.insert_row(&[1, 2], Trop::finite(3.0));
+        // Incremental maintenance: the index was built while empty.
+        assert_eq!(rel.probe(0b01, &[0]), &[0, 1]);
+        assert_eq!(rel.probe(0b01, &[1]), &[2]);
+        assert_eq!(rel.probe(0b01, &[9]), &[0u32; 0]);
+        // Merge takes ⊕ (min on Trop).
+        let r = rel.merge(&[0, 1], Trop::finite(0.5));
+        assert_eq!(rel.val(r), &Trop::finite(0.5));
+        assert_eq!(rel.len(), 3);
+        // Late-built index sees all rows.
+        rel.ensure_index(0b10);
+        assert_eq!(rel.probe(0b10, &[2]).len(), 2);
+    }
+
+    #[test]
+    fn projection_is_ascending_by_column() {
+        assert_eq!(project(&[7, 8, 9], 0b101).as_ref(), &[7, 9]);
+        assert_eq!(project(&[7, 8, 9], 0).as_ref(), &[0u32; 0]);
+    }
+}

@@ -45,10 +45,7 @@ pub fn poset_height<T: Eq>(elements: &[T], leq: impl Fn(&T, &T) -> bool) -> usiz
 /// On a finite poset, the stability index of any monotone function starting
 /// from the minimum is at most the poset height: each non-fixpoint step
 /// climbs strictly. This helper just packages the bound for assertions.
-pub fn finite_poset_stability_bound<T: Eq>(
-    elements: &[T],
-    leq: impl Fn(&T, &T) -> bool,
-) -> usize {
+pub fn finite_poset_stability_bound<T: Eq>(elements: &[T], leq: impl Fn(&T, &T) -> bool) -> usize {
     poset_height(elements, leq)
 }
 

@@ -52,7 +52,9 @@ pub fn zero_stable_bound(n: usize) -> u128 {
 /// `((p+1)N − 1)`-stable, and linear datalog° over `Trop⁺_p` converges in
 /// `(p+1)N − 1` steps (tight).
 pub fn trop_p_matrix_bound(p: usize, n: usize) -> u128 {
-    ((p as u128) + 1).saturating_mul(n as u128).saturating_sub(1)
+    ((p as u128) + 1)
+        .saturating_mul(n as u128)
+        .saturating_sub(1)
 }
 
 /// Lemma 3.3 item (1): the two-block nested bound `pq + p + q`.

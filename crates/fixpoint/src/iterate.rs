@@ -116,13 +116,7 @@ mod tests {
     #[test]
     fn identity_converges_immediately() {
         let out = naive_lfp(|x: &u32| *x, 7u32, 10);
-        assert_eq!(
-            out,
-            Outcome::Converged {
-                value: 7,
-                steps: 0
-            }
-        );
+        assert_eq!(out, Outcome::Converged { value: 7, steps: 0 });
     }
 
     #[test]

@@ -20,6 +20,8 @@ pub mod bounds;
 pub mod iterate;
 pub mod nested;
 
-pub use bounds::{clone_bound, general_bound, linear_bound, trop_p_matrix_bound, zero_stable_bound};
+pub use bounds::{
+    clone_bound, general_bound, linear_bound, trop_p_matrix_bound, zero_stable_bound,
+};
 pub use iterate::{function_stability_index, naive_lfp, naive_lfp_trace, Outcome};
 pub use nested::{nested_lfp, product_lfp, Nested};

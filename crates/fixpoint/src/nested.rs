@@ -110,11 +110,7 @@ mod tests {
         let g = move |_x: &u32, y: &u32| (*y + 1).min(q);
         let nested = nested_lfp(f, g, 0, 0, 100).unwrap();
         assert_eq!((nested.x, nested.y), (4, 4));
-        let direct = naive_lfp(
-            |(x, y): &(u32, u32)| (f(x, y), g(x, y)),
-            (0u32, 0u32),
-            100,
-        );
+        let direct = naive_lfp(|(x, y): &(u32, u32)| (f(x, y), g(x, y)), (0u32, 0u32), 100);
         match direct {
             Outcome::Converged { value, steps } => {
                 assert_eq!(value, (4, 4));

@@ -34,8 +34,18 @@ pub fn pre_semiring_laws<S: PreSemiring + FiniteCarrier>() -> Vec<Violation> {
         check(&mut v, &x.add(&zero) == x, || format!("{x:?} ⊕ 0 = x"), x);
         check(&mut v, &x.mul(&one) == x, || format!("{x:?} ⊗ 1 = x"), x);
         for y in &c {
-            check(&mut v, x.add(y) == y.add(x), || format!("⊕ comm {x:?} {y:?}"), x);
-            check(&mut v, x.mul(y) == y.mul(x), || format!("⊗ comm {x:?} {y:?}"), x);
+            check(
+                &mut v,
+                x.add(y) == y.add(x),
+                || format!("⊕ comm {x:?} {y:?}"),
+                x,
+            );
+            check(
+                &mut v,
+                x.mul(y) == y.mul(x),
+                || format!("⊗ comm {x:?} {y:?}"),
+                x,
+            );
             for z in &c {
                 check(
                     &mut v,
@@ -203,7 +213,12 @@ pub fn proposition_6_1<S: Dioid + Pops + FiniteCarrier>() -> Vec<Violation> {
             );
             // a ⊕ b is an upper bound ...
             let s = a.add(b);
-            check(&mut v, a.leq(&s) && b.leq(&s), || format!("⊕ ub {a:?} {b:?}"), a);
+            check(
+                &mut v,
+                a.leq(&s) && b.leq(&s),
+                || format!("⊕ ub {a:?} {b:?}"),
+                a,
+            );
             // ... and the least one.
             for u in &c {
                 check(
@@ -342,7 +357,7 @@ mod tests {
         assert_clean(pops_laws::<LiftedBool>(), "B⊥ pops");
         assert_clean(strictness_law::<LiftedBool>(), "B⊥ strictness");
         // Lifted structures are not semirings: absorption fails at ⊥.
-        use crate::traits::{PreSemiring, Pops};
+        use crate::traits::{Pops, PreSemiring};
         assert_ne!(
             LiftedBool::zero().mul(&LiftedBool::bottom()),
             LiftedBool::zero()
@@ -351,19 +366,13 @@ mod tests {
 
     #[test]
     fn completed_bool_laws() {
-        assert_clean(
-            pre_semiring_laws::<Completed<Bool>>(),
-            "B⊥⊤ pre-semiring",
-        );
+        assert_clean(pre_semiring_laws::<Completed<Bool>>(), "B⊥⊤ pre-semiring");
         assert_clean(pops_laws::<Completed<Bool>>(), "B⊥⊤ pops");
     }
 
     #[test]
     fn powerset_bool_laws() {
-        assert_clean(
-            pre_semiring_laws::<PowerSet<Bool>>(),
-            "P(B) pre-semiring",
-        );
+        assert_clean(pre_semiring_laws::<PowerSet<Bool>>(), "P(B) pre-semiring");
         assert_clean(pops_laws::<PowerSet<Bool>>(), "P(B) pops");
     }
 }

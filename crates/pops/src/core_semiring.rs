@@ -109,9 +109,7 @@ mod tests {
         type E = Product<Bool, LiftedBool>;
         let core = core_carrier::<E>();
         assert_eq!(core.len(), 2); // (0,⊥) and (1,⊥)
-        assert!(core
-            .iter()
-            .all(|Product(_, b)| *b == LiftedBool::Bot));
+        assert!(core.iter().all(|Product(_, b)| *b == LiftedBool::Bot));
         assert!(proposition_2_4::<E>().is_empty());
     }
 }

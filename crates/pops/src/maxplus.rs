@@ -84,7 +84,10 @@ mod tests {
             MaxPlus::finite(3.0).mul(&MaxPlus::finite(5.0)),
             MaxPlus::finite(8.0)
         );
-        assert_eq!(MaxPlus::NEG_INF.mul(&MaxPlus::finite(5.0)), MaxPlus::NEG_INF);
+        assert_eq!(
+            MaxPlus::NEG_INF.mul(&MaxPlus::finite(5.0)),
+            MaxPlus::NEG_INF
+        );
     }
 
     #[test]

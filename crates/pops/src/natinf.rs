@@ -73,7 +73,11 @@ mod tests {
     fn infinity_conventions() {
         assert_eq!(NatInf::Inf.add(&NatInf::Fin(3)), NatInf::Inf);
         assert_eq!(NatInf::Inf.mul(&NatInf::Fin(3)), NatInf::Inf);
-        assert_eq!(NatInf::Inf.mul(&NatInf::Fin(0)), NatInf::Fin(0), "∞ × 0 = 0");
+        assert_eq!(
+            NatInf::Inf.mul(&NatInf::Fin(0)),
+            NatInf::Fin(0),
+            "∞ × 0 = 0"
+        );
         assert_eq!(NatInf::zero().mul(&NatInf::Inf), NatInf::Fin(0));
     }
 

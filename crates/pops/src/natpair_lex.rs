@@ -26,16 +26,10 @@ impl PreSemiring for NatPairLex {
         NatPairLex(1, 1)
     }
     fn add(&self, rhs: &Self) -> Self {
-        NatPairLex(
-            self.0.saturating_add(rhs.0),
-            self.1.saturating_add(rhs.1),
-        )
+        NatPairLex(self.0.saturating_add(rhs.0), self.1.saturating_add(rhs.1))
     }
     fn mul(&self, rhs: &Self) -> Self {
-        NatPairLex(
-            self.0.saturating_mul(rhs.0),
-            self.1.saturating_mul(rhs.1),
-        )
+        NatPairLex(self.0.saturating_mul(rhs.0), self.1.saturating_mul(rhs.1))
     }
 }
 

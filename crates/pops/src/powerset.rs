@@ -127,10 +127,7 @@ mod tests {
             a.add(&b),
             PN::from_iter([Nat(11), Nat(21), Nat(12), Nat(22)])
         );
-        assert_eq!(
-            a.mul(&b),
-            PN::from_iter([Nat(10), Nat(20), Nat(40)])
-        );
+        assert_eq!(a.mul(&b), PN::from_iter([Nat(10), Nat(20), Nat(40)]));
     }
 
     #[test]

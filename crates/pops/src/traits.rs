@@ -53,8 +53,7 @@ pub trait PreSemiring: Clone + Eq + Ord + Hash + Debug + 'static {
     where
         Self: 'a,
     {
-        iter.into_iter()
-            .fold(Self::zero(), |acc, x| acc.add(x))
+        iter.into_iter().fold(Self::zero(), |acc, x| acc.add(x))
     }
 
     /// `⊗`-fold of an iterator (empty product is `1`).

@@ -126,7 +126,10 @@ mod tests {
     #[test]
     fn minus_eq_6() {
         // new value strictly better -> keep it; otherwise ∞ ("no change").
-        assert_eq!(Trop::finite(3.0).minus(&Trop::finite(5.0)), Trop::finite(3.0));
+        assert_eq!(
+            Trop::finite(3.0).minus(&Trop::finite(5.0)),
+            Trop::finite(3.0)
+        );
         assert_eq!(Trop::finite(5.0).minus(&Trop::finite(3.0)), Trop::INF);
         assert_eq!(Trop::finite(5.0).minus(&Trop::finite(5.0)), Trop::INF);
         assert_eq!(Trop::finite(5.0).minus(&Trop::INF), Trop::finite(5.0));

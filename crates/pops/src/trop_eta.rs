@@ -172,7 +172,7 @@ mod tests {
         let a = U::singleton(7);
         assert!(!is_p_stable(&a, 5));
         assert!(is_p_stable(&a, 9)); // the paper's bound p = ⌈60/7⌉ = 9 works
-        // ... and the minimal index is 8 (7·8 = 56 ≤ 60 < 63 = 7·9).
+                                     // ... and the minimal index is 8 (7·8 = 56 ≤ 60 < 63 = 7·9).
         assert_eq!(element_stability_index(&a, 100), Some(8));
     }
 

@@ -215,7 +215,11 @@ mod tests {
             for &a in &grid {
                 for &b in &grid {
                     let e = T1::from_costs(
-                        &[a, b].iter().copied().filter(|c| c.is_finite()).collect::<Vec<_>>(),
+                        &[a, b]
+                            .iter()
+                            .copied()
+                            .filter(|c| c.is_finite())
+                            .collect::<Vec<_>>(),
                     );
                     if !v.contains(&e) {
                         v.push(e);

@@ -7,9 +7,9 @@
 //! both sides independently and exposes the coefficient stream used by the
 //! reproduction harness (experiment E9).
 
-use crate::formal::{formal_iterates_truncated, Expo, FExpr, FormalPoly, Sym};
 #[cfg(test)]
 use crate::formal::formal_iterates;
+use crate::formal::{formal_iterates_truncated, Expo, FExpr, FormalPoly, Sym};
 
 /// The terminal `a` of Example 5.5.
 pub const SYM_A: Sym = Sym(0);

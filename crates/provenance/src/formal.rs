@@ -151,17 +151,16 @@ impl fmt::Debug for FormalPoly {
             .terms
             .iter()
             .map(|(v, c)| {
-                let mono: Vec<String> = v
-                    .0
-                    .iter()
-                    .map(|(s, k)| {
-                        if *k == 1 {
-                            format!("s{}", s.0)
-                        } else {
-                            format!("s{}^{}", s.0, k)
-                        }
-                    })
-                    .collect();
+                let mono: Vec<String> =
+                    v.0.iter()
+                        .map(|(s, k)| {
+                            if *k == 1 {
+                                format!("s{}", s.0)
+                            } else {
+                                format!("s{}^{}", s.0, k)
+                            }
+                        })
+                        .collect();
                 let m = if mono.is_empty() {
                     "1".to_string()
                 } else {

@@ -81,12 +81,7 @@ pub struct Tree {
 impl Tree {
     /// Tree depth: a childless node has depth 1.
     pub fn depth(&self) -> usize {
-        1 + self
-            .children
-            .iter()
-            .map(|c| c.depth())
-            .max()
-            .unwrap_or(0)
+        1 + self.children.iter().map(|c| c.depth()).max().unwrap_or(0)
     }
 
     /// The Parikh image of the yield `Y(T)` (Sec. 5.2): the multiset of

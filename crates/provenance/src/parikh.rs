@@ -41,11 +41,7 @@ impl LinearSet {
                 }
                 cur = cur.mul(p);
                 // Prune once any exponent exceeds the target.
-                if cur
-                    .0
-                    .iter()
-                    .any(|(s, k)| *k > target.exponent(*s))
-                {
+                if cur.0.iter().any(|(s, k)| *k > target.exponent(*s)) {
                     return false;
                 }
             }

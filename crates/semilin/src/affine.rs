@@ -78,11 +78,7 @@ impl<P: Pops> AffineFn<P> {
     /// `s ⊗ f`: scales every monomial.
     pub fn scale(&self, s: &P) -> Self {
         AffineFn {
-            terms: self
-                .terms
-                .iter()
-                .map(|(v, a)| (*v, s.mul(a)))
-                .collect(),
+            terms: self.terms.iter().map(|(v, a)| (*v, s.mul(a))).collect(),
             konst: self.konst.as_ref().map(|k| s.mul(k)),
         }
     }

@@ -185,6 +185,9 @@ mod tests {
         a.set(2, 1, Trop::finite(2.0)); // dist(2) = dist(1) + 2
         let b = vec![Trop::finite(0.0), Trop::INF, Trop::INF];
         let (x, _steps) = linear_naive_lfp(&a, &b, 100).unwrap();
-        assert_eq!(x, vec![Trop::finite(0.0), Trop::finite(1.0), Trop::finite(3.0)]);
+        assert_eq!(
+            x,
+            vec![Trop::finite(0.0), Trop::finite(1.0), Trop::finite(3.0)]
+        );
     }
 }

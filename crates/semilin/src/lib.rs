@@ -27,5 +27,5 @@ pub use closure::{
 };
 pub use fwk::{fwk_closure, fwk_solve};
 pub use linear_lfp::{linear_lfp, linear_lfp_auto};
-pub use newton::{jacobian, newton_lfp};
 pub use matrix::Matrix;
+pub use newton::{jacobian, newton_lfp};

@@ -133,10 +133,7 @@ mod tests {
                 Some(Polynomial {
                     monomials: vec![Monomial {
                         coeff: Bool(true),
-                        occs: vec![
-                            VarOcc { var: 0, func: None },
-                            VarOcc { var: 1, func: None },
-                        ],
+                        occs: vec![VarOcc { var: 0, func: None }, VarOcc { var: 1, func: None }],
                     }],
                 }),
                 None,

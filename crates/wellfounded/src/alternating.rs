@@ -69,10 +69,7 @@ pub fn well_founded(program: &NegProgram) -> WellFounded {
         let t = trace.len() - 1;
         // The sequence stabilizes when J(t+1) = J(t-1) for two parities,
         // i.e. the last two pairs repeat: J(t) = J(t-2) and J(t-1) = J(t-3).
-        if t >= 3
-            && trace[t] == trace[t - 2]
-            && trace[t - 1] == trace[t - 3]
-        {
+        if t >= 3 && trace[t] == trace[t - 2] && trace[t - 1] == trace[t - 3] {
             break;
         }
         // Degenerate stabilization (negation-free or immediate fixpoint).

@@ -122,10 +122,7 @@ mod tests {
         let p = win_move_program(&fig4_adjacency());
         let (_, trace) = fitting_lfp(&p);
         for w in trace.windows(2) {
-            assert!(w[0]
-                .iter()
-                .zip(&w[1])
-                .all(|(x, y)| x.leq(y)));
+            assert!(w[0].iter().zip(&w[1]).all(|(x, y)| x.leq(y)));
         }
     }
 }

@@ -14,12 +14,12 @@ use datalog_o::pops::Pops;
 fn main() {
     let companies = ["acme", "beta", "corp", "dyne"];
     let shares = [
-        ("acme", "beta", 0.55),  // direct majority
+        ("acme", "beta", 0.55), // direct majority
         ("acme", "corp", 0.40),
-        ("beta", "corp", 0.15),  // acme + beta = 0.55 of corp
+        ("beta", "corp", 0.15), // acme + beta = 0.55 of corp
         ("acme", "dyne", 0.10),
         ("beta", "dyne", 0.15),
-        ("corp", "dyne", 0.30),  // acme + beta + corp = 0.55 of dyne!
+        ("corp", "dyne", 0.30), // acme + beta + corp = 0.55 of dyne!
     ];
     let (prog, pops, bools) = company_control(&companies, &shares);
     let out = naive_eval(&prog, &pops, &bools, 10_000).unwrap();

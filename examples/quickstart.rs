@@ -30,12 +30,9 @@ fn edges<P: datalog_o::pops::Pops>(weight: impl Fn(f64) -> P) -> Database<P> {
         "E",
         Relation::from_pairs(
             2,
-            pairs.iter().map(|(x, y, w)| {
-                (
-                    vec![(*x).into(), (*y).into()],
-                    weight(*w),
-                )
-            }),
+            pairs
+                .iter()
+                .map(|(x, y, w)| (vec![(*x).into(), (*y).into()], weight(*w))),
         ),
     );
     db

@@ -5,9 +5,7 @@
 //! Run with `cargo run --example shortest_paths`.
 
 use datalog_o::core::examples_lib::sssp_trop;
-use datalog_o::core::{
-    ground_sparse, naive_eval_trace, seminaive_eval_system, BoolDatabase,
-};
+use datalog_o::core::{ground_sparse, naive_eval_trace, seminaive_eval_system, BoolDatabase};
 
 fn main() {
     let (program, edb) = sssp_trop("a");

@@ -39,7 +39,9 @@ fn main() {
         edges: vec![(0, 1), (0, 2), (1, 0), (2, 3), (2, 4), (3, 4), (4, 5)],
     };
     match inst.check_equivalence() {
-        Ok(_) => println!("\nall three semantics agree: won = {{c, e}}, lost = {{d, f}}, drawn = {{a, b}}"),
+        Ok(_) => println!(
+            "\nall three semantics agree: won = {{c, e}}, lost = {{d, f}}, drawn = {{a, b}}"
+        ),
         Err(e) => println!("\nDISAGREEMENT: {e}"),
     }
     let _ = lfp;

@@ -27,8 +27,13 @@
 #![forbid(unsafe_code)]
 
 pub use dlo_core as core;
+pub use dlo_engine as engine;
 pub use dlo_fixpoint as fixpoint;
 pub use dlo_pops as pops;
 pub use dlo_provenance as provenance;
 pub use dlo_semilin as semilin;
 pub use dlo_wellfounded as wellfounded;
+
+// The engine backend's entry points at top level, next to the grounded
+// and relational backends re-exported through `core`.
+pub use dlo_engine::{engine_naive_eval, engine_seminaive_eval};

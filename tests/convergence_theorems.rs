@@ -2,7 +2,9 @@
 //! crates — measured stability indexes against every bound of
 //! Theorem 1.2 / 5.12 and Lemma 5.20 on randomized workloads.
 
-use datalog_o::core::{ground_sparse, naive_eval_system, BoolDatabase, Database, EvalOutcome, Relation};
+use datalog_o::core::{
+    ground_sparse, naive_eval_system, BoolDatabase, Database, EvalOutcome, Relation,
+};
 use datalog_o::fixpoint::{general_bound, linear_bound, trop_p_matrix_bound, zero_stable_bound};
 use datalog_o::pops::{stability, Bool, MaxPlus, Trop, TropEta, TropP};
 use datalog_o::semilin::{matrix_stability_index, trop_p_cycle, Matrix};
@@ -100,10 +102,7 @@ fn zero_stable_converges_within_n() {
             Relation::from_pairs(
                 2,
                 edges.iter().map(|&(u, v, w)| {
-                    (
-                        vec![(u as i64).into(), (v as i64).into()],
-                        Trop::finite(w),
-                    )
+                    (vec![(u as i64).into(), (v as i64).into()], Trop::finite(w))
                 }),
             ),
         );
@@ -120,12 +119,9 @@ fn zero_stable_converges_within_n() {
             "E",
             Relation::from_pairs(
                 2,
-                edges.iter().map(|&(u, v, _)| {
-                    (
-                        vec![(u as i64).into(), (v as i64).into()],
-                        Bool(true),
-                    )
-                }),
+                edges
+                    .iter()
+                    .map(|&(u, v, _)| (vec![(u as i64).into(), (v as i64).into()], Bool(true))),
             ),
         );
         let sysb = ground_sparse(&progb, &edbb, &BoolDatabase::new());
@@ -167,9 +163,9 @@ fn unstable_core_diverges_on_cycles() {
         "E",
         Relation::from_pairs(
             2,
-            [(0i64, 1i64), (1, 0)].iter().map(|&(u, v)| {
-                (vec![u.into(), v.into()], MaxPlus::finite(-1.0))
-            }),
+            [(0i64, 1i64), (1, 0)]
+                .iter()
+                .map(|&(u, v)| (vec![u.into(), v.into()], MaxPlus::finite(-1.0))),
         ),
     );
     let sys2 = ground_sparse(&prog, &edb2, &BoolDatabase::new());
@@ -203,7 +199,10 @@ fn trop_eta_converges_with_value_dependent_steps() {
         }
     };
     let (s16, s4, s1) = (steps(16), steps(4), steps(1));
-    assert!(s16 < s4 && s4 < s1, "steps must grow as weights shrink: {s16} {s4} {s1}");
+    assert!(
+        s16 < s4 && s4 < s1,
+        "steps must grow as weights shrink: {s16} {s4} {s1}"
+    );
 }
 
 /// Lemma 5.20 tightness at scale, plus the naïve-vs-matrix relationship:
@@ -217,15 +216,17 @@ fn cycle_matrix_and_program_agree_on_worst_case() {
         assert_eq!(q as u128, trop_p_matrix_bound(P, n));
 
         // The corresponding datalog° program on the same cycle.
-        let edges: Vec<(usize, usize, f64)> =
-            (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect();
+        let edges: Vec<(usize, usize, f64)> = (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect();
         let prog = dlo_bench::single_source_int_program::<TropP<P>>(0);
         let sys = ground_sparse(&prog, &trop_p_edb::<P>(&edges), &BoolDatabase::new());
         let EvalOutcome::Converged { steps, .. } = naive_eval_system(&sys, 100_000) else {
             panic!()
         };
         // Program steps track the matrix index up to the +1 seeding step.
-        assert!(steps >= q.saturating_sub(1) && steps <= q + 1, "n={n}: {steps} vs {q}");
+        assert!(
+            steps >= q.saturating_sub(1) && steps <= q + 1,
+            "n={n}: {steps} vs {q}"
+        );
         let _ = Matrix::<TropP<P>>::identity(2);
     }
 }

@@ -4,11 +4,17 @@
 //! classical graph algorithms ↔ game-theoretic oracles. Disagreement
 //! anywhere is a bug in exactly one layer — these tests triangulate.
 
-use datalog_o::core::{ground, ground_sparse, naive_eval_system, BoolDatabase, EvalOutcome};
-use datalog_o::pops::{Bool, PreSemiring, Trop, TropP};
+use datalog_o::core::{
+    ground, ground_sparse, naive_eval_system, relational_naive_eval, relational_seminaive_eval,
+    BoolDatabase, Database, EvalOutcome, Program, Relation,
+};
+use datalog_o::pops::{
+    Bool, CompleteDistributiveDioid, NaturallyOrdered, PreSemiring, Trop, TropP,
+};
 use datalog_o::semilin::{
     fwk_closure, fwk_solve, linear_lfp, linear_lfp_auto, linear_naive_lfp, AffineSystem, Matrix,
 };
+use datalog_o::{engine_naive_eval, engine_seminaive_eval};
 use dlo_bench::{dijkstra, GraphInstance};
 
 #[test]
@@ -140,6 +146,241 @@ fn winmove_three_way_on_larger_random_graphs() {
         let inst = datalog_o::wellfounded::WinMoveInstance::random(25, 70, seed);
         inst.check_equivalence()
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+/// Four-way agreement on every IDB: grounded (sparse) naive, relational
+/// naive, engine naive, engine semi-naive.
+fn assert_engine_agrees<P>(program: &Program<P>, pops: &Database<P>, bools: &BoolDatabase)
+where
+    P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
+{
+    let grounded = naive_eval_system(&ground_sparse(program, pops, bools), 100_000).unwrap();
+    let relational = relational_naive_eval(program, pops, bools, 100_000).unwrap();
+    let eng_naive = engine_naive_eval(program, pops, bools, 100_000).unwrap();
+    let eng_semi = engine_seminaive_eval(program, pops, bools, 100_000).unwrap();
+    for (pred, r) in grounded.iter() {
+        let empty = Relation::new(r.arity());
+        assert_eq!(
+            r,
+            relational.get(pred).unwrap_or(&empty),
+            "relational {pred}"
+        );
+        assert_eq!(
+            r,
+            eng_naive.get(pred).unwrap_or(&empty),
+            "engine naive {pred}"
+        );
+        assert_eq!(
+            r,
+            eng_semi.get(pred).unwrap_or(&empty),
+            "engine semi {pred}"
+        );
+    }
+    for (pred, r) in eng_semi.iter() {
+        if grounded.get(pred).is_none() {
+            assert!(r.is_empty(), "engine derived extra atoms in {pred}");
+        }
+    }
+}
+
+#[test]
+fn engine_matches_grounded_and_relational_on_sssp_example_4_1() {
+    // Example 4.1: SSSP over Trop⁺ on the Fig. 2(a) graph.
+    let (program, edb) = datalog_o::core::examples_lib::sssp_trop("a");
+    assert_engine_agrees(&program, &edb, &BoolDatabase::new());
+    // Spot-check the paper's answers through the engine path.
+    let out = engine_seminaive_eval(&program, &edb, &BoolDatabase::new(), 1000).unwrap();
+    let l = out.get("L").unwrap();
+    assert_eq!(l.get(&vec!["a".into()]), Trop::finite(0.0));
+    assert_eq!(l.get(&vec!["b".into()]), Trop::finite(1.0));
+    assert_eq!(l.get(&vec!["c".into()]), Trop::finite(4.0));
+    assert_eq!(l.get(&vec!["d".into()]), Trop::finite(8.0));
+}
+
+#[test]
+fn engine_matches_grounded_and_relational_on_bom_example_4_2() {
+    // Example 4.2 (bill of material) on the Fig. 2(b) subpart graph,
+    // over MinNat (a complete distributive dioid, so every backend runs).
+    use datalog_o::pops::MinNat;
+    let program: Program<MinNat> = datalog_o::core::examples_lib::bom_program();
+    let mut pops = Database::new();
+    pops.insert(
+        "C",
+        Relation::from_pairs(
+            1,
+            vec![
+                (vec!["a".into()], MinNat::finite(1)),
+                (vec!["b".into()], MinNat::finite(1)),
+                (vec!["c".into()], MinNat::finite(1)),
+                (vec!["d".into()], MinNat::finite(10)),
+            ],
+        ),
+    );
+    let bools = datalog_o::core::examples_lib::fig2b_bool_edges();
+    assert_engine_agrees(&program, &pops, &bools);
+}
+
+#[test]
+fn engine_matches_relational_on_company_control_example_4_3() {
+    // Example 4.3 over ℝ₊ with the monotone threshold wrapped around the
+    // IDB factor. ℝ₊ is naturally ordered but not a dioid (⊕ = +), so
+    // the semi-naïve backends are out; naive paths must still agree.
+    // Share weights are dyadic so float sums are exact under any
+    // association order.
+    let (program, pops, bools) = datalog_o::core::examples_lib::company_control(
+        &["a", "b", "c", "d"],
+        &[
+            ("a", "b", 0.75),
+            ("b", "c", 0.375),
+            ("a", "c", 0.25),
+            ("c", "d", 0.625),
+            ("b", "d", 0.25),
+        ],
+    );
+    let grounded = datalog_o::core::naive_eval_sparse(&program, &pops, &bools, 100_000).unwrap();
+    let relational = relational_naive_eval(&program, &pops, &bools, 100_000).unwrap();
+    let eng = engine_naive_eval(&program, &pops, &bools, 100_000).unwrap();
+    for (pred, r) in grounded.iter() {
+        let empty = Relation::new(r.arity());
+        assert_eq!(
+            r,
+            relational.get(pred).unwrap_or(&empty),
+            "relational {pred}"
+        );
+        assert_eq!(r, eng.get(pred).unwrap_or(&empty), "engine {pred}");
+    }
+    // a controls d transitively: T(a, d) must accumulate past 0.5.
+    let t = eng.get("T").unwrap();
+    assert!(t.get(&vec!["a".into(), "d".into()]).0.get() > 0.5);
+}
+
+#[test]
+fn engine_matches_grounded_and_relational_on_tc_random_graphs() {
+    for seed in [71u64, 72, 73] {
+        let g = GraphInstance::random(12, 30, 9, seed);
+        // Trop: linear APSP and the quadratic TC rule.
+        let apsp = datalog_o::core::examples_lib::apsp_program::<Trop>();
+        assert_engine_agrees(&apsp, &g.trop_edb(), &BoolDatabase::new());
+        let quad = datalog_o::core::examples_lib::quadratic_tc_program::<Trop>();
+        assert_engine_agrees(&quad, &g.trop_edb(), &BoolDatabase::new());
+        // Bool: plain transitive closure.
+        let tc = datalog_o::core::examples_lib::apsp_program::<Bool>();
+        assert_engine_agrees(&tc, &g.bool_edb(), &BoolDatabase::new());
+    }
+}
+
+#[test]
+fn engine_seminaive_agrees_with_relational_seminaive_step_counts() {
+    for seed in [81u64, 82] {
+        let g = GraphInstance::random(10, 24, 5, seed);
+        let (prog, edb) = g.sssp();
+        let bools = BoolDatabase::new();
+        let rel = relational_seminaive_eval(&prog, &edb, &bools, 100_000)
+            .converged()
+            .expect("relational converges");
+        let eng = engine_seminaive_eval(&prog, &edb, &bools, 100_000)
+            .converged()
+            .expect("engine converges");
+        assert_eq!(rel.0, eng.0, "fixpoints differ, seed {seed}");
+        assert_eq!(rel.1, eng.1, "step counts differ, seed {seed}");
+    }
+}
+
+/// Win-move (Sec. 7) through the engine: each alternating-fixpoint step
+/// of Van Gelder's construction is the positive datalog° program
+/// `W(X) :- { 1 | E(X, Y) ∧ ¬PrevW(Y) }` over 𝔹, with the previous
+/// iterate frozen into the Boolean EDB `PrevW`. The three-valued model
+/// read off the even/odd limits must match the wellfounded crate's
+/// solvers (alternating, Fitting/THREE) and the game-theoretic oracle.
+#[test]
+fn engine_powered_win_move_matches_three_and_oracle() {
+    use datalog_o::core::ast::{Atom, SumProduct, Term};
+    use datalog_o::core::bool_relation;
+    use datalog_o::core::formula::Formula;
+    use datalog_o::wellfounded::{Wf, WinMoveInstance};
+
+    let mut program = Program::<Bool>::new();
+    program.rule(
+        Atom::new("W", vec![Term::v(0)]),
+        vec![SumProduct::new(vec![]).with_condition(
+            Formula::atom("E", vec![Term::v(0), Term::v(1)])
+                .and(Formula::atom("PrevW", vec![Term::v(1)]).negate()),
+        )],
+    );
+
+    for seed in [90u64, 91, 92, 93, 94] {
+        let inst = WinMoveInstance::random(12, 26, seed);
+        let reference = inst
+            .check_equivalence()
+            .unwrap_or_else(|e| panic!("seed {seed}: reference solvers disagree: {e}"));
+
+        // Alternating fixpoint with the engine as the step evaluator.
+        let step = |prev: &Vec<bool>| -> Vec<bool> {
+            let mut bools = BoolDatabase::new();
+            bools.insert(
+                "E",
+                bool_relation(
+                    2,
+                    inst.edges
+                        .iter()
+                        .map(|&(u, v)| vec![(u as i64).into(), (v as i64).into()]),
+                ),
+            );
+            bools.insert(
+                "PrevW",
+                bool_relation(
+                    1,
+                    prev.iter()
+                        .enumerate()
+                        .filter(|(_, &w)| w)
+                        .map(|(i, _)| vec![(i as i64).into()]),
+                ),
+            );
+            let out = engine_seminaive_eval(&program, &Database::<Bool>::new(), &bools, 1000)
+                .converged()
+                .expect("one alternating step converges")
+                .0;
+            let w = out.get("W");
+            (0..inst.n)
+                .map(|i| {
+                    w.map(|r| !r.get(&vec![(i as i64).into()]).is_zero())
+                        .unwrap_or(false)
+                })
+                .collect()
+        };
+        let mut trace: Vec<Vec<bool>> = vec![vec![false; inst.n]];
+        loop {
+            let next = step(trace.last().unwrap());
+            trace.push(next);
+            let t = trace.len() - 1;
+            if t >= 3 && trace[t] == trace[t - 2] && trace[t - 1] == trace[t - 3] {
+                break;
+            }
+            if t >= 2 && trace[t] == trace[t - 1] && trace[t] == trace[t - 2] {
+                break;
+            }
+        }
+        let t = trace.len() - 1;
+        let (l, g) = if t.is_multiple_of(2) {
+            (&trace[t], &trace[t - 1])
+        } else {
+            (&trace[t - 1], &trace[t])
+        };
+        for i in 0..inst.n {
+            let engine_wf = if l[i] {
+                Wf::True
+            } else if !g[i] {
+                Wf::False
+            } else {
+                Wf::Undef
+            };
+            assert_eq!(
+                engine_wf, reference[i],
+                "seed {seed}, node {i}: engine-powered alternating fixpoint \
+                 disagrees with the reference solvers"
+            );
+        }
     }
 }
 

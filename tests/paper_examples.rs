@@ -36,13 +36,33 @@ fn example_4_1_all_four_pops_from_one_source_text() {
     let src = "L(X) :- 1 | X = a.\nL(X) :- L(Z) * E(Z, X).";
     let pb: Program<Bool> = parse_program(src).unwrap();
     let pt: Program<Trop> = parse_program(src).unwrap();
-    let out_b = naive_eval(&pb, &ex::fig2a_graph(|_| Bool(true)), &BoolDatabase::new(), 100)
-        .unwrap();
-    let out_t = naive_eval(&pt, &ex::fig2a_graph(Trop::finite), &BoolDatabase::new(), 100)
-        .unwrap();
+    let out_b = naive_eval(
+        &pb,
+        &ex::fig2a_graph(|_| Bool(true)),
+        &BoolDatabase::new(),
+        100,
+    )
+    .unwrap();
+    let out_t = naive_eval(
+        &pt,
+        &ex::fig2a_graph(Trop::finite),
+        &BoolDatabase::new(),
+        100,
+    )
+    .unwrap();
     // Reachability support = finite-distance support.
-    let rb: Vec<_> = out_b.get("L").unwrap().support().map(|(t, _)| t.clone()).collect();
-    let rt: Vec<_> = out_t.get("L").unwrap().support().map(|(t, _)| t.clone()).collect();
+    let rb: Vec<_> = out_b
+        .get("L")
+        .unwrap()
+        .support()
+        .map(|(t, _)| t.clone())
+        .collect();
+    let rt: Vec<_> = out_t
+        .get("L")
+        .unwrap()
+        .support()
+        .map(|(t, _)| t.clone())
+        .collect();
     assert_eq!(rb, rt);
 
     // Trop+_1 and Trop+_eta agree with the paper's bags/sets.

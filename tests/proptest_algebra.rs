@@ -88,11 +88,7 @@ fn dioid_minus_laws<P: CompleteDistributiveDioid>(a: &P, b: &P, c: &P) {
         assert_eq!(a.add(&b.minus(a)), b.clone(), "(59)");
     }
     // (60): (a ⊕ b) ⊖ (a ⊕ c) = b ⊖ (a ⊕ c).
-    assert_eq!(
-        a.add(b).minus(&a.add(c)),
-        b.minus(&a.add(c)),
-        "(60)"
-    );
+    assert_eq!(a.add(b).minus(&a.add(c)), b.minus(&a.add(c)), "(60)");
     // b ⊖ a = 0 ⟺ b ⊑ a (the semi-naïve stopping criterion).
     assert_eq!(b.minus(a).is_zero(), b.leq(a), "⊖ zero test");
 }

@@ -12,6 +12,7 @@ use datalog_o::core::{
     relational_seminaive_eval, render_program, seminaive_eval_system, BoolDatabase, Database,
     Program, Relation,
 };
+use datalog_o::engine_seminaive_eval;
 use datalog_o::pops::{Bool, MaxMin, MinNat, Trop};
 use datalog_o::semilin::{linear_lfp_auto, AffineSystem};
 use proptest::prelude::*;
@@ -141,6 +142,62 @@ proptest! {
                     prop_assert!(r.is_empty());
                 }
             }
+        }
+    }
+
+    /// The execution engine (interned + indexed + parallel semi-naïve)
+    /// agrees with the relational backend on random programs over Trop
+    /// and Bool: same fixpoint, and the semi-naïve step count never
+    /// exceeds the naïve count by more than the final no-change check.
+    #[test]
+    fn engine_agrees_with_relational((_n, edges) in edges_strategy()) {
+        let bools = BoolDatabase::new();
+        let edb_t = trop_edb(&edges);
+        for prog in [
+            dlo_bench::single_source_int_program::<Trop>(0),
+            datalog_o::core::examples_lib::apsp_program::<Trop>(),
+            datalog_o::core::examples_lib::quadratic_tc_program::<Trop>(),
+        ] {
+            let (naive, naive_steps) = relational_naive_eval(&prog, &edb_t, &bools, 100_000)
+                .converged().expect("relational converges");
+            let (eng, eng_steps) = engine_seminaive_eval(&prog, &edb_t, &bools, 100_000)
+                .converged().expect("engine converges");
+            for (pred, r) in naive.iter() {
+                let empty = Relation::new(r.arity());
+                prop_assert_eq!(r, eng.get(pred).unwrap_or(&empty));
+            }
+            for (pred, r) in eng.iter() {
+                if naive.get(pred).is_none() {
+                    prop_assert!(r.is_empty());
+                }
+            }
+            prop_assert!(eng_steps <= naive_steps + 1,
+                "engine took {} steps, naive {}", eng_steps, naive_steps);
+        }
+        let mut edb_b = Database::new();
+        edb_b.insert(
+            "E",
+            Relation::from_pairs(
+                2,
+                edges.iter().map(|&(u, v, _)| {
+                    (vec![(u as i64).into(), (v as i64).into()], Bool(true))
+                }),
+            ),
+        );
+        for prog in [
+            datalog_o::core::examples_lib::apsp_program::<Bool>(),
+            datalog_o::core::examples_lib::quadratic_tc_program::<Bool>(),
+        ] {
+            let (naive, naive_steps) = relational_naive_eval(&prog, &edb_b, &bools, 100_000)
+                .converged().expect("relational converges");
+            let (eng, eng_steps) = engine_seminaive_eval(&prog, &edb_b, &bools, 100_000)
+                .converged().expect("engine converges");
+            for (pred, r) in naive.iter() {
+                let empty = Relation::new(r.arity());
+                prop_assert_eq!(r, eng.get(pred).unwrap_or(&empty));
+            }
+            prop_assert!(eng_steps <= naive_steps + 1,
+                "engine took {} steps, naive {}", eng_steps, naive_steps);
         }
     }
 

@@ -13,10 +13,7 @@ fn grammar_strategy() -> impl Strategy<Value = Grammar> {
     (1usize..4)
         .prop_flat_map(|nvars| {
             proptest::collection::vec(
-                proptest::collection::vec(
-                    proptest::collection::vec(0usize..nvars, 0..3),
-                    1..4,
-                ),
+                proptest::collection::vec(proptest::collection::vec(0usize..nvars, 0..3), 1..4),
                 nvars..=nvars,
             )
         })

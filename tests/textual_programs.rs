@@ -23,7 +23,10 @@ fn same_source_reachability_and_distance() {
     // 𝔹: reachability.
     let pb: Program<Bool> = parse_program(src).unwrap();
     let mut db = Database::new();
-    db.insert("E", bool_relation(2, edges.iter().map(|(x, y)| vec![k(x), k(y)])));
+    db.insert(
+        "E",
+        bool_relation(2, edges.iter().map(|(x, y)| vec![k(x), k(y)])),
+    );
     let out = naive_eval(&pb, &db, &BoolDatabase::new(), 1000).unwrap();
     assert_eq!(out.get("Reach").unwrap().support_size(), 3); // s, a, b
 
@@ -34,7 +37,9 @@ fn same_source_reachability_and_distance() {
         "E",
         Relation::from_pairs(
             2,
-            edges.iter().map(|(x, y)| (vec![k(x), k(y)], MinNat::finite(1))),
+            edges
+                .iter()
+                .map(|(x, y)| (vec![k(x), k(y)], MinNat::finite(1))),
         ),
     );
     let out = naive_eval(&pm, &db, &BoolDatabase::new(), 1000).unwrap();
@@ -47,9 +52,7 @@ fn same_source_reachability_and_distance() {
 fn win_move_in_surface_syntax() {
     let notf = UnaryFn::new("not", |x: &Three| x.not());
     let parser = ProgramParser::<Three>::new().with_func(notf);
-    let program = parser
-        .parse("Win(X) :- not(Win(Y)) | E(X, Y).")
-        .unwrap();
+    let program = parser.parse("Win(X) :- not(Win(Y)) | E(X, Y).").unwrap();
     let mut bools = BoolDatabase::new();
     bools.insert(
         "E",
@@ -114,9 +117,7 @@ fn company_control_threshold_in_surface_syntax() {
     let thr = UnaryFn::new("thr", |v: &NNReal| v.threshold(0.5));
     let parser = ProgramParser::<NNReal>::new().with_func(thr);
     let program = parser
-        .parse(
-            "T(X, Y) :- S(X, Y) + thr(T(X, Z)) * S(Z, Y) | Company(Z) && Z != X.",
-        )
+        .parse("T(X, Y) :- S(X, Y) + thr(T(X, Z)) * S(Z, Y) | Company(Z) && Z != X.")
         .unwrap();
     let mut pops = Database::new();
     pops.insert(
@@ -130,10 +131,16 @@ fn company_control_threshold_in_surface_syntax() {
         ),
     );
     let mut bools = BoolDatabase::new();
-    bools.insert("Company", bool_relation(1, vec![vec![k("a")], vec![k("b")], vec![k("c")]]));
+    bools.insert(
+        "Company",
+        bool_relation(1, vec![vec![k("a")], vec![k("b")], vec![k("c")]]),
+    );
     let out = naive_eval(&program, &pops, &bools, 1000).unwrap();
     let t = out.get("T").unwrap();
-    assert!(t.get(&vec![k("a"), k("c")]).get() > 0.5, "transitive control");
+    assert!(
+        t.get(&vec![k("a"), k("c")]).get() > 0.5,
+        "transitive control"
+    );
 }
 
 #[test]
