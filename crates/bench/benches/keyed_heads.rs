@@ -1,0 +1,66 @@
+//! Engine vs relational on head-key-function workloads (Sec. 4.5).
+//!
+//! Two shapes, both deriving rows under keys computed in the rule head
+//! (the programs the engine used to hand back to the relational
+//! backend):
+//!
+//! * `hops` — hop-indexed shortest paths on a random digraph: wide
+//!   deltas, every iteration minting a fresh hop index;
+//! * `prefix` — the Example 4.5 prefix program in head-keyed form over
+//!   `Trop⁺`: a maximally deep chain (one new key per iteration), the
+//!   worst case for per-iteration overheads.
+//!
+//! Recorded baseline: `BENCH_keyed.json` (reproduce with
+//! `CRITERION_JSON=out.jsonl cargo bench -p dlo_bench --bench
+//! keyed_heads`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlo_bench::GraphInstance;
+use dlo_core::examples_lib::prefix_sum_keyed;
+use dlo_core::{relational_seminaive_eval, BoolDatabase};
+use dlo_engine::engine_seminaive_eval;
+use dlo_pops::Trop;
+
+fn bench_keyed_heads(c: &mut Criterion) {
+    let bools = BoolDatabase::new();
+
+    // Cross-check the backends once on a small instance of each shape.
+    let small = GraphInstance::random(24, 72, 9, 5);
+    let (prog, edb) = small.hops(6);
+    let a = relational_seminaive_eval(&prog, &edb, &bools, 1_000_000).unwrap();
+    let b = engine_seminaive_eval(&prog, &edb, &bools, 1_000_000).unwrap();
+    assert_eq!(a, b, "hops cross-check");
+    let (prog, edb) = prefix_sum_keyed::<Trop>(&[1.0, 2.0, 3.0, 4.0], Trop::finite);
+    let a = relational_seminaive_eval(&prog, &edb, &bools, 1_000_000).unwrap();
+    let b = engine_seminaive_eval(&prog, &edb, &bools, 1_000_000).unwrap();
+    assert_eq!(a, b, "prefix cross-check");
+
+    let mut group = c.benchmark_group("keyed_heads");
+    group.sample_size(5);
+
+    let g = GraphInstance::random(400, 1600, 9, 7);
+    let (prog_h, edb_h) = g.hops(24);
+    group.bench_with_input(BenchmarkId::new("engine", "hops"), &(), |bch, ()| {
+        bch.iter(|| engine_seminaive_eval(std::hint::black_box(&prog_h), &edb_h, &bools, 1_000_000))
+    });
+    group.bench_with_input(BenchmarkId::new("relational", "hops"), &(), |bch, ()| {
+        bch.iter(|| {
+            relational_seminaive_eval(std::hint::black_box(&prog_h), &edb_h, &bools, 1_000_000)
+        })
+    });
+
+    let values: Vec<f64> = (0..2000).map(|i| 0.5 + (i % 7) as f64).collect();
+    let (prog_p, edb_p) = prefix_sum_keyed::<Trop>(&values, Trop::finite);
+    group.bench_with_input(BenchmarkId::new("engine", "prefix"), &(), |bch, ()| {
+        bch.iter(|| engine_seminaive_eval(std::hint::black_box(&prog_p), &edb_p, &bools, 1_000_000))
+    });
+    group.bench_with_input(BenchmarkId::new("relational", "prefix"), &(), |bch, ()| {
+        bch.iter(|| {
+            relational_seminaive_eval(std::hint::black_box(&prog_p), &edb_p, &bools, 1_000_000)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_keyed_heads);
+criterion_main!(benches);

@@ -2,12 +2,16 @@
 //! and keys-to-values.
 //!
 //! * prefix sums via `W(i) :- case i = 0 : V(0); i < n : W(i-1) + V(i)`;
+//! * the same prefix computation in *head-keyed* form
+//!   (`W(i+1) :- W(i) ⊗ V(i+1)`) running **natively on the execution
+//!   engine** — head key functions no longer route around `dlo_engine`;
 //! * `ShortestLength(x,y) :- min_c ([Length(x,y,c)] + c)` where the key
 //!   `c` becomes a tropical value.
 
 use dlo_bench::print_table;
-use dlo_core::examples_lib::{prefix_sum, shortest_length};
-use dlo_core::{naive_eval, tup, BoolDatabase};
+use dlo_core::examples_lib::{prefix_sum, prefix_sum_keyed, shortest_length};
+use dlo_core::{naive_eval, relational_seminaive_eval, tup, BoolDatabase};
+use dlo_engine::engine_seminaive_eval;
 use dlo_pops::lifted::lreal;
 use dlo_pops::Trop;
 
@@ -34,6 +38,33 @@ fn main() {
     print_table(
         "Sec. 4.5 — prefix sums by case statement + key function i-1",
         &["atom", "computed", "expected"],
+        &rows,
+    );
+
+    // --- head-keyed prefix, natively on the engine --------------------------
+    // Over Trop⁺ every key has exactly one derivation, so ⊗ = + gives the
+    // same prefix sums; the engine mints the head-computed keys i+1 via
+    // its dynamic interner and must agree with the relational backend.
+    let (prog, edb) = prefix_sum_keyed::<Trop>(&values, Trop::finite);
+    let eng = engine_seminaive_eval(&prog, &edb, &BoolDatabase::new(), 1000).unwrap();
+    let rel = relational_seminaive_eval(&prog, &edb, &BoolDatabase::new(), 1000).unwrap();
+    ok &= eng == rel;
+    let w = eng.get("W").unwrap();
+    let mut rows = vec![];
+    let mut acc = 0.0;
+    for (i, v) in values.iter().enumerate() {
+        acc += v;
+        let got = w.get(&tup![i as i64]);
+        rows.push(vec![
+            format!("W({i})"),
+            format!("{got:?}"),
+            format!("{acc}"),
+        ]);
+        ok &= got == Trop::finite(acc);
+    }
+    print_table(
+        "Sec. 4.5 — head-keyed prefix W(i+1) :- W(i) * V(i+1), dlo_engine native",
+        &["atom", "engine", "expected"],
         &rows,
     );
 

@@ -1,5 +1,14 @@
 //! Evaluation of grounded datalog° programs: the naïve algorithm
 //! (Algorithm 1) and the semi-naïve algorithm (Algorithm 3).
+//!
+//! Three backends share the [`EvalOutcome`] contract: the grounded
+//! evaluators here ([`naive`]/[`seminaive`]), the tuple-at-a-time
+//! [`relational`] backend, and the interned execution engine in
+//! `dlo_engine`. All three are total over the language — the engine's
+//! old "falls back on head key functions" shim is gone; programs whose
+//! heads apply key functions (Sec. 4.5) evaluate natively on every
+//! backend, and the umbrella crate's default `eval` dispatches straight
+//! to the engine.
 
 pub mod naive;
 pub mod relational;

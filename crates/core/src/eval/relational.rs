@@ -96,8 +96,18 @@ fn equality_bindings(phi: &Formula, theta: &mut Valuation) {
 }
 
 /// Unifies `atom.args` against `tuple` under `theta`; on success returns
-/// the variables newly bound (which the caller must unbind).
-fn unify(atom: &Atom, tuple: &[Constant], theta: &mut Valuation) -> Option<Vec<Var>> {
+/// the variables newly bound (which the caller must unbind). A
+/// key-function argument whose variables are not yet bound cannot be
+/// evaluated here: it is accepted provisionally and pushed onto
+/// `deferred` as a `(term, matched constant)` obligation that [`join`]
+/// re-verifies once the valuation is complete (the caller truncates
+/// `deferred` when it backtracks past this tuple).
+fn unify<'a>(
+    atom: &'a Atom,
+    tuple: &'a [Constant],
+    theta: &mut Valuation,
+    deferred: &mut Vec<(&'a Term, &'a Constant)>,
+) -> Option<Vec<Var>> {
     if tuple.len() != atom.args.len() {
         return None;
     }
@@ -113,9 +123,10 @@ fn unify(atom: &Atom, tuple: &[Constant], theta: &mut Valuation) -> Option<Vec<V
                 }
             },
             term => match eval_term(term, theta) {
-                // Un-evaluable key-function terms are wildcards here; the
-                // full condition / value computation re-checks later.
-                None => true,
+                None => {
+                    deferred.push((term, c));
+                    true
+                }
                 Some(val) => &val == c,
             },
         };
@@ -131,7 +142,12 @@ fn unify(atom: &Atom, tuple: &[Constant], theta: &mut Valuation) -> Option<Vec<V
 
 /// Nested-loop join over `binders`, then ADom enumeration for leftover
 /// variables; calls `visit` once per (possibly repeated) full valuation —
-/// the caller deduplicates.
+/// the caller deduplicates. Deferred key-function obligations collected
+/// by [`unify`] are verified here at every complete valuation, so a
+/// tuple provisionally matched against a then-unevaluable term (e.g.
+/// `A(X - 1)` unified before `X` is bound) only survives if the term
+/// really evaluates to the tuple's constant.
+#[allow(clippy::too_many_arguments)]
 fn join<'a, P: Pops>(
     binders: &[Binder<'a, P>],
     vars: &[Var],
@@ -139,6 +155,7 @@ fn join<'a, P: Pops>(
     theta: &mut Valuation,
     depth: usize,
     values: &mut Vec<Option<&'a P>>,
+    deferred: &mut Vec<(&'a Term, &'a Constant)>,
     visit: &mut impl FnMut(&Valuation, &[Option<&'a P>]),
 ) {
     if depth == binders.len() {
@@ -147,45 +164,75 @@ fn join<'a, P: Pops>(
             adom: &[Constant],
             theta: &mut Valuation,
             values: &[Option<&'a P>],
+            deferred: &[(&'a Term, &'a Constant)],
             visit: &mut impl FnMut(&Valuation, &[Option<&'a P>]),
         ) {
             match vars.iter().find(|v| !theta.contains_key(v)) {
-                None => visit(theta, values),
+                None => {
+                    let obligations_hold = deferred
+                        .iter()
+                        .all(|(t, c)| eval_term(t, theta).as_ref() == Some(*c));
+                    if obligations_hold {
+                        visit(theta, values)
+                    }
+                }
                 Some(&v) => {
                     for c in adom {
                         theta.insert(v, c.clone());
-                        fill(vars, adom, theta, values, visit);
+                        fill(vars, adom, theta, values, deferred, visit);
                     }
                     theta.remove(&v);
                 }
             }
         }
-        fill(vars, adom, theta, values, visit);
+        fill(vars, adom, theta, values, deferred, visit);
         return;
     }
     match &binders[depth] {
         Binder::Factor { atom, rel, fi } => {
             let Some(rel) = rel else { return }; // missing relation: all 0
             for (tuple, value) in rel.support() {
-                if let Some(bound) = unify(atom, tuple, theta) {
+                let dlen = deferred.len();
+                if let Some(bound) = unify(atom, tuple, theta, deferred) {
                     values[*fi] = Some(value);
-                    join(binders, vars, adom, theta, depth + 1, values, visit);
+                    join(
+                        binders,
+                        vars,
+                        adom,
+                        theta,
+                        depth + 1,
+                        values,
+                        deferred,
+                        visit,
+                    );
                     values[*fi] = None;
                     for b in &bound {
                         theta.remove(b);
                     }
                 }
+                deferred.truncate(dlen);
             }
         }
         Binder::Guard { atom, rel } => {
             let Some(rel) = rel else { return }; // guard over empty: false
             for (tuple, _) in rel.support() {
-                if let Some(bound) = unify(atom, tuple, theta) {
-                    join(binders, vars, adom, theta, depth + 1, values, visit);
+                let dlen = deferred.len();
+                if let Some(bound) = unify(atom, tuple, theta, deferred) {
+                    join(
+                        binders,
+                        vars,
+                        adom,
+                        theta,
+                        depth + 1,
+                        values,
+                        deferred,
+                        visit,
+                    );
                     for b in &bound {
                         theta.remove(b);
                     }
                 }
+                deferred.truncate(dlen);
             }
         }
     }
@@ -241,6 +288,7 @@ fn eval_sum_product<P: NaturallyOrdered>(
 
     let mut seen: BTreeSet<Vec<Constant>> = BTreeSet::new();
     let mut values: Vec<Option<&P>> = vec![None; sp.factors.len()];
+    let mut deferred: Vec<(&Term, &Constant)> = vec![];
     join(
         &binders,
         &vars,
@@ -248,6 +296,7 @@ fn eval_sum_product<P: NaturallyOrdered>(
         &mut theta,
         0,
         &mut values,
+        &mut deferred,
         &mut |theta, values| {
             let key: Vec<Constant> = vars
                 .iter()
@@ -551,6 +600,55 @@ mod tests {
         let out = relational_naive_eval(&program, &pops, &bools, 1000).unwrap();
         // With ⊕ = min: T(c) = min(C(c), T(d)) = min(1, 10) = 1.
         assert_eq!(out.get("T").unwrap().get(&crate::tup!["c"]), MinNat(1));
+    }
+
+    #[test]
+    fn wildcard_key_function_args_are_rechecked() {
+        use crate::ast::{Atom, Factor, KeyFn, SumProduct, Term};
+        // R(X) :- A(X - 1) ⊗ V(X): the A factor unifies before X is
+        // bound, so its key-function argument is a wildcard at unify
+        // time and must be re-verified once the valuation completes —
+        // otherwise every (A-tuple, V-tuple) pair survives.
+        let mut p = Program::<Trop>::new();
+        p.rule(
+            Atom::new("R", vec![Term::v(0)]),
+            vec![SumProduct::new(vec![
+                Factor::atom(
+                    "A",
+                    vec![Term::Apply(KeyFn::AddInt(-1), Box::new(Term::v(0)))],
+                ),
+                Factor::atom("V", vec![Term::v(0)]),
+            ])],
+        );
+        let mut db = Database::new();
+        db.insert(
+            "A",
+            Relation::from_pairs(
+                1,
+                vec![
+                    (crate::tup![0i64], Trop::finite(10.0)),
+                    (crate::tup![5i64], Trop::finite(70.0)),
+                ],
+            ),
+        );
+        db.insert(
+            "V",
+            Relation::from_pairs(
+                1,
+                vec![
+                    (crate::tup![1i64], Trop::finite(1.0)),
+                    (crate::tup![6i64], Trop::finite(2.0)),
+                ],
+            ),
+        );
+        let grounded = naive_eval_sparse(&p, &db, &BoolDatabase::new(), 1000).unwrap();
+        let rel = relational_naive_eval(&p, &db, &BoolDatabase::new(), 1000).unwrap();
+        let semi = relational_seminaive_eval(&p, &db, &BoolDatabase::new(), 1000).unwrap();
+        let r = grounded.get("R").unwrap();
+        assert_eq!(r.get(&crate::tup![1i64]), Trop::finite(11.0), "A(0) ⊗ V(1)");
+        assert_eq!(r.get(&crate::tup![6i64]), Trop::finite(72.0), "A(5) ⊗ V(6)");
+        assert_eq!(r, rel.get("R").unwrap(), "relational naive recheck");
+        assert_eq!(r, semi.get("R").unwrap(), "relational semi-naive recheck");
     }
 
     #[test]

@@ -343,6 +343,55 @@ pub fn prefix_sum(values: &[f64]) -> (Program<LiftedReal>, Database<LiftedReal>)
     (p, db)
 }
 
+/// The Sec. 4.5 prefix program in *head-keyed* form, generic over the
+/// POPS:
+///
+/// `W(0) :- V(0)` and `W(i + 1) :- W(i) ⊗ V(i + 1)`
+///
+/// Where [`prefix_sum`] looks *backwards* with a body key function
+/// (`W(i-1)`), this version computes the next key **in the head** — the
+/// form that exercises grounding-time/emit-time key functions and, on
+/// the execution engine, dynamic interning of head-minted constants.
+/// Each key has exactly one derivation, so over any POPS the fixpoint is
+/// `W(i) = V(0) ⊗ … ⊗ V(i)`: genuine prefix sums over `Trop⁺` (⊗ = +)
+/// or the lifted reals.
+pub fn prefix_sum_keyed<P: Pops>(
+    values: &[f64],
+    lift: impl Fn(f64) -> P,
+) -> (Program<P>, Database<P>) {
+    use crate::ast::KeyFn;
+    let mut p = Program::new();
+    p.rule(
+        Atom::new("W", vec![Term::c(0)]),
+        vec![SumProduct::new(vec![Factor::atom("V", vec![Term::c(0)])])],
+    );
+    p.rule(
+        Atom::new(
+            "W",
+            vec![Term::Apply(KeyFn::AddInt(1), Box::new(Term::v(0)))],
+        ),
+        vec![SumProduct::new(vec![
+            Factor::atom("W", vec![Term::v(0)]),
+            Factor::atom(
+                "V",
+                vec![Term::Apply(KeyFn::AddInt(1), Box::new(Term::v(0)))],
+            ),
+        ])],
+    );
+    let mut db = Database::new();
+    db.insert(
+        "V",
+        Relation::from_pairs(
+            1,
+            values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (tup![i as i64], lift(*v))),
+        ),
+    );
+    (p, db)
+}
+
 /// The keys-to-values example of Sec. 4.5 over `Trop⁺`:
 ///
 /// `ShortestLength(x, y) :- min_c { [Length(x, y, c)] + c }`

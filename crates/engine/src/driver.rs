@@ -17,19 +17,34 @@
 //! (plan, first-step row chunk) task joins into a private accumulator,
 //! and accumulators are `⊕`-merged in task order, so results are
 //! deterministic regardless of the worker count.
+//!
+//! ## Head-computed keys and dynamic interning
+//!
+//! Key functions in rule heads (`W(i+1) :- W(i) ⊗ V(i+1)`, Sec. 4.5)
+//! derive constants that may not exist in the interner when plans are
+//! compiled. The interner is frozen while a phase runs in parallel, so
+//! the executor emits such cells as [`HeadVal::Fresh`] integers into a
+//! per-IDB *fresh accumulator* (an ordered map, for determinism); the
+//! drivers mint ids for them **between** phases — single-threaded, in
+//! sorted key order — and only then insert the rows. A row minted at
+//! iteration `t` is therefore first *visible* to joins at `t + 1`, which
+//! is exactly the semi-naïve contract: minted rows enter `new`, `δ`, and
+//! the `changed` map as ordinary appends, and every index on those
+//! relations is maintained incrementally by the insert itself. Body-side
+//! key functions never mint: a result the interner does not know cannot
+//! match any stored row.
 
-use crate::exec::{run_plan, EvalCtx};
+use crate::exec::{run_plan, EvalCtx, HeadVal};
 use crate::intern::Interner;
 use crate::par;
 use crate::plan::{compile, CompileError, CompiledProgram, Plan, Source};
 use crate::storage::ColumnRel;
 use dlo_core::ast::Program;
-use dlo_core::eval::relational::{relational_naive_eval, relational_seminaive_eval};
 use dlo_core::eval::EvalOutcome;
 use dlo_core::relation::{BoolDatabase, Database, Relation};
 use dlo_core::value::Tuple;
 use dlo_pops::{Bool, CompleteDistributiveDioid, NaturallyOrdered, Pops, PreSemiring};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Below this much estimated first-step work an iteration runs on one
 /// thread (scoped-thread spawn is not free).
@@ -69,6 +84,11 @@ impl EngineOpts {
 
 /// Per-IDB head accumulators for one iteration.
 type Accum<P> = Vec<HashMap<Box<[u32]>, P>>;
+
+/// Per-IDB accumulators for head keys containing not-yet-interned
+/// constants. `BTreeMap` so draining (and with it id minting) is
+/// deterministic without a separate sort.
+type FreshAccum<P> = Vec<BTreeMap<Box<[HeadVal]>, P>>;
 
 /// The compiled program plus interned, indexed inputs.
 struct Engine<P> {
@@ -182,6 +202,22 @@ fn setup<P: Pops>(
     })
 }
 
+/// [`setup`], panicking on the two structural limits of columnar storage
+/// (arity > 32, one head predicate at two arities). There is no slower
+/// backend to fall back to any more: the engine is total over the
+/// language, and programs outside these representation limits are
+/// malformed for every backend (the relational backend debug-asserts on
+/// mixed-arity heads).
+fn setup_or_panic<P: Pops>(
+    program: &Program<P>,
+    pops_db: &Database<P>,
+    bool_db: &BoolDatabase,
+) -> Engine<P> {
+    setup(program, pops_db, bool_db).unwrap_or_else(|e| {
+        panic!("dlo_engine cannot represent this program in columnar storage: {e:?}")
+    })
+}
+
 impl<P: Pops> Engine<P> {
     fn empty_idbs(&self) -> Vec<ColumnRel<P>> {
         self.compiled
@@ -232,6 +268,31 @@ fn merge_into<P: PreSemiring>(map: &mut HashMap<Box<[u32]>, P>, key: &[u32], v: 
     }
 }
 
+fn merge_fresh<P: PreSemiring>(map: &mut BTreeMap<Box<[HeadVal]>, P>, key: &[HeadVal], v: P) {
+    match map.get_mut(key) {
+        Some(g) => *g = g.add(&v),
+        None => {
+            map.insert(key.into(), v);
+        }
+    }
+}
+
+/// Resolves a fresh head key into a fully interned row, minting ids for
+/// integers first derived by a head key function this iteration.
+///
+/// Distinct fresh keys always mint to distinct rows: `Fresh` cells map
+/// injectively to brand-new ids (they were not interned when the phase
+/// ran) and `Id` cells predate the phase, so a minted row can collide
+/// neither with another minted row nor with any row already stored.
+fn mint_key(interner: &mut Interner, key: &[HeadVal]) -> Vec<u32> {
+    key.iter()
+        .map(|hv| match hv {
+            HeadVal::Id(id) => *id,
+            HeadVal::Fresh(i) => interner.intern_int(*i),
+        })
+        .collect()
+}
+
 /// Drains an accumulator in interned-key order. Accumulators are hash
 /// maps for O(1) merging, but draining them in `RandomState` iteration
 /// order would make row-insertion order — and with it the `⊕`-fold
@@ -250,7 +311,7 @@ fn run_plans<P>(
     plans: &[Plan<P>],
     state: &IdbState<P>,
     opts: &EngineOpts,
-) -> Accum<P>
+) -> (Accum<P>, FreshAccum<P>)
 where
     P: Pops + Send + Sync,
 {
@@ -265,6 +326,7 @@ where
         idb_delta: &state.delta,
     };
     let mut global: Accum<P> = (0..nidb).map(|_| HashMap::new()).collect();
+    let mut global_fresh: FreshAccum<P> = (0..nidb).map(|_| BTreeMap::new()).collect();
     let threads = opts.effective_threads();
     let estimates: Vec<(usize, bool)> = plans
         .iter()
@@ -275,9 +337,16 @@ where
     if threads <= 1 || total < opts.par_threshold {
         for plan in plans {
             let acc = &mut global[plan.head_pred];
-            run_plan(plan, &ctx, None, &mut |key, v| merge_into(acc, key, v));
+            let facc = &mut global_fresh[plan.head_pred];
+            run_plan(
+                plan,
+                &ctx,
+                None,
+                &mut |key, v| merge_into(acc, key, v),
+                &mut |key, v| merge_fresh(facc, key, v),
+            );
         }
-        return global;
+        return (global, global_fresh);
     }
 
     // Task list: one per plan, with large scan-driven plans split into
@@ -299,24 +368,41 @@ where
         let (pi, range) = tasks[ti];
         let plan = &plans[pi];
         let mut local: HashMap<Box<[u32]>, P> = HashMap::new();
-        run_plan(plan, &ctx, range, &mut |key, v| {
-            merge_into(&mut local, key, v)
-        });
-        (plan.head_pred, local)
+        let mut local_fresh: BTreeMap<Box<[HeadVal]>, P> = BTreeMap::new();
+        run_plan(
+            plan,
+            &ctx,
+            range,
+            &mut |key, v| merge_into(&mut local, key, v),
+            &mut |key, v| merge_fresh(&mut local_fresh, key, v),
+        );
+        (plan.head_pred, local, local_fresh)
     });
-    for (pred, local) in results {
+    // `run_indexed` returns results in task order, so both the `⊕`-merge
+    // association and the fresh-map contents are deterministic.
+    for (pred, local, local_fresh) in results {
         let acc = &mut global[pred];
         for (key, v) in local {
             merge_into(acc, &key, v);
         }
+        let facc = &mut global_fresh[pred];
+        for (key, v) in local_fresh {
+            merge_fresh(facc, &key, v);
+        }
     }
-    global
+    (global, global_fresh)
 }
 
 /// Naïve evaluation on the engine: `J(t+1) = F(J(t))` with every IDB
 /// occurrence reading the new state. Agrees with
-/// `relational_naive_eval` (cross-checked in tests); falls back to it
-/// for programs the compiler rejects (key functions in rule heads).
+/// `relational_naive_eval` (cross-checked in tests), including programs
+/// whose heads apply key functions — fresh constants are minted into the
+/// interner between iterations.
+///
+/// # Panics
+///
+/// On programs the columnar storage cannot represent: an atom of arity
+/// > 32, or one head predicate used at two arities.
 pub fn engine_naive_eval<P>(
     program: &Program<P>,
     pops_edb: &Database<P>,
@@ -340,10 +426,7 @@ pub fn engine_naive_eval_with_opts<P>(
 where
     P: NaturallyOrdered + Send + Sync,
 {
-    let engine = match setup(program, pops_edb, bool_edb) {
-        Ok(e) => e,
-        Err(_) => return relational_naive_eval(program, pops_edb, bool_edb, cap),
-    };
+    let mut engine = setup_or_panic(program, pops_edb, bool_edb);
     let nidb = engine.compiled.idbs.len();
     let mut state = IdbState {
         new: engine.empty_idbs(),
@@ -356,10 +439,16 @@ where
         }
     }
     for steps in 0..=cap {
-        let contrib = run_plans(&engine, &engine.compiled.seed_plans, &state, opts);
+        let (contrib, fresh) = run_plans(&engine, &engine.compiled.seed_plans, &state, opts);
         let mut next = engine.empty_idbs();
         for (pred, acc) in contrib.into_iter().enumerate() {
             for (key, v) in drain_sorted(acc) {
+                next[pred].insert_row(&key, v);
+            }
+        }
+        for (pred, acc) in fresh.into_iter().enumerate() {
+            for (key, v) in acc {
+                let key = mint_key(&mut engine.interner, &key);
                 next[pred].insert_row(&key, v);
             }
         }
@@ -388,8 +477,15 @@ where
 
 /// Parallel semi-naïve evaluation on the engine (Theorem 6.5). Agrees
 /// with `relational_seminaive_eval` — same fixpoint, same step count —
-/// while running interned, indexed, and multi-threaded; falls back to
-/// the relational implementation for programs the compiler rejects.
+/// while running interned, indexed, and multi-threaded. Head key
+/// functions evaluate natively: constants they derive are minted into
+/// the interner between iterations and enter `new`/`δ` as ordinary
+/// appends.
+///
+/// # Panics
+///
+/// On programs the columnar storage cannot represent: an atom of arity
+/// > 32, or one head predicate used at two arities.
 pub fn engine_seminaive_eval<P>(
     program: &Program<P>,
     pops_edb: &Database<P>,
@@ -413,10 +509,7 @@ pub fn engine_seminaive_eval_with_opts<P>(
 where
     P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
 {
-    let engine = match setup(program, pops_edb, bool_edb) {
-        Ok(e) => e,
-        Err(_) => return relational_seminaive_eval(program, pops_edb, bool_edb, cap),
-    };
+    let mut engine = setup_or_panic(program, pops_edb, bool_edb);
     let nidb = engine.compiled.idbs.len();
     let mut state = IdbState {
         new: engine.empty_idbs(),
@@ -429,9 +522,17 @@ where
         }
     }
     // Seeding: J(1) = F(0), δ(0) = J(1), every row marked as appended.
-    let contrib = run_plans(&engine, &engine.compiled.seed_plans, &state, opts);
+    let (contrib, fresh) = run_plans(&engine, &engine.compiled.seed_plans, &state, opts);
     for (pred, acc) in contrib.into_iter().enumerate() {
         for (key, v) in drain_sorted(acc) {
+            let r = state.new[pred].insert_row(&key, v.clone());
+            state.changed[pred].insert(r, None);
+            state.delta[pred].insert_row(&key, v);
+        }
+    }
+    for (pred, acc) in fresh.into_iter().enumerate() {
+        for (key, v) in acc {
+            let key = mint_key(&mut engine.interner, &key);
             let r = state.new[pred].insert_row(&key, v.clone());
             state.changed[pred].insert(r, None);
             state.delta[pred].insert_row(&key, v);
@@ -446,7 +547,7 @@ where
                 steps,
             };
         }
-        let contrib = run_plans(&engine, &engine.compiled.delta_plans, &state, opts);
+        let (contrib, fresh) = run_plans(&engine, &engine.compiled.delta_plans, &state, opts);
         // Advance: δ' = contrib ⊖ new (pointwise), new' = new ⊕ contrib.
         let mut next_delta = engine.empty_idbs();
         for ch in &mut state.changed {
@@ -473,6 +574,21 @@ where
                 }
             }
         }
+        // Fresh head keys name rows that cannot exist yet (their minted
+        // cells were not interned when the phase ran), so δ' = v ⊖ 0 and
+        // the insert is always an append.
+        for (pred, acc) in fresh.into_iter().enumerate() {
+            for (key, v) in acc {
+                let key = mint_key(&mut engine.interner, &key);
+                let diff = v.minus(&P::zero());
+                if diff.is_zero() {
+                    continue;
+                }
+                next_delta[pred].insert_row(&key, diff);
+                let r = state.new[pred].insert_row(&key, v);
+                state.changed[pred].insert(r, None);
+            }
+        }
         state.delta = next_delta;
         ensure_delta_indexes(&engine, &mut state);
     }
@@ -493,6 +609,7 @@ fn ensure_delta_indexes<P: Pops>(engine: &Engine<P>, state: &mut IdbState<P>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dlo_core::eval::relational::{relational_naive_eval, relational_seminaive_eval};
     use dlo_core::examples_lib as ex;
     use dlo_core::tup;
     use dlo_pops::{MinNat, Trop};
@@ -664,10 +781,13 @@ mod tests {
     }
 
     #[test]
-    fn mixed_arity_head_falls_back_to_relational() {
+    fn mixed_arity_head_is_rejected_loudly() {
+        use crate::plan::CompileError;
         use dlo_core::ast::{Atom, Factor, SumProduct, Term};
         // T used at arity 1 and arity 2: columnar storage cannot hold
-        // both, so the engine must reject at compile time and fall back.
+        // both. There is no fallback backend any more, so the compiler
+        // rejects and the entry points panic with a diagnosable message
+        // rather than silently corrupting flat storage.
         let mut p = Program::<MinNat>::new();
         p.rule(
             Atom::new("T", vec![Term::v(0)]),
@@ -685,10 +805,69 @@ mod tests {
             crate::plan::compile(&p, &mut interner),
             Err(CompileError::HeadArityMismatch)
         ));
-        // The entry points then delegate to the relational backend, which
-        // owns the (debug-asserted) semantics for such programs; what
-        // matters here is that the engine never feeds mixed-arity keys
-        // into its flat columnar storage.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine_naive_eval(&p, &Database::new(), &BoolDatabase::new(), 10)
+        }))
+        .expect_err("mixed-arity heads must panic");
+        let msg = err.downcast_ref::<String>().expect("formatted panic");
+        assert!(msg.contains("HeadArityMismatch"), "got: {msg}");
+    }
+
+    #[test]
+    fn head_key_functions_mint_fresh_constants() {
+        use dlo_core::ast::{Atom, Factor, KeyFn, SumProduct, Term};
+        use dlo_core::formula::{CmpOp, Formula};
+        // A counter that names rows the EDB never mentions:
+        //   N(0)   :- $1.
+        //   N(I+1) :- N(I) | I < 5.
+        // Keys 1..4 exist in no relation and no program constant — they
+        // are minted by the dynamic interner during the fixpoint.
+        let mut p = Program::<MinNat>::new();
+        p.rule(
+            Atom::new("N", vec![Term::c(0)]),
+            vec![SumProduct::new(vec![]).with_coeff(MinNat::finite(1))],
+        );
+        p.rule(
+            Atom::new(
+                "N",
+                vec![Term::Apply(KeyFn::AddInt(1), Box::new(Term::v(0)))],
+            ),
+            vec![SumProduct::new(vec![Factor::atom("N", vec![Term::v(0)])])
+                .with_condition(Formula::cmp(Term::v(0), CmpOp::Lt, Term::c(5)))],
+        );
+        assert_matches_relational(&p, &Database::new(), &BoolDatabase::new());
+        let out = engine_seminaive_eval(&p, &Database::new(), &BoolDatabase::new(), 100).unwrap();
+        let n = out.get("N").unwrap();
+        assert_eq!(n.support_size(), 6, "keys 0..=5");
+        for i in 0..=5i64 {
+            assert_eq!(n.get(&tup![i]), MinNat::finite(1), "N({i})");
+        }
+    }
+
+    #[test]
+    fn head_keyed_prefix_runs_natively_and_counts_steps() {
+        // Example 4.5's prefix program in head-keyed form over Trop⁺
+        // (⊗ = +, one derivation per key ⇒ true prefix sums):
+        //   W(0)   :- V(0).
+        //   W(I+1) :- W(I) * V(I+1).
+        let values = [2.0, 4.0, 1.5, 3.0, 0.5];
+        let (p, edb) = ex::prefix_sum_keyed::<Trop>(&values, Trop::finite);
+        assert_matches_relational(&p, &edb, &BoolDatabase::new());
+        let out = engine_seminaive_eval(&p, &edb, &BoolDatabase::new(), 1000).unwrap();
+        let w = out.get("W").unwrap();
+        let mut acc = 0.0;
+        for (i, v) in values.iter().enumerate() {
+            acc += v;
+            assert_eq!(w.get(&tup![i as i64]), Trop::finite(acc), "W({i})");
+        }
+        // Step counts still mirror the relational semi-naïve loop.
+        let (_, rel_steps) = relational_seminaive_eval(&p, &edb, &BoolDatabase::new(), 1000)
+            .converged()
+            .unwrap();
+        let (_, eng_steps) = engine_seminaive_eval(&p, &edb, &BoolDatabase::new(), 1000)
+            .converged()
+            .unwrap();
+        assert_eq!(rel_steps, eng_steps);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! backend's `seen` tree.
 
 use crate::intern::Interner;
-use crate::plan::{CFormula, CTerm, HeadCol, Plan, ProbeCol, Source, Step};
+use crate::plan::{CFormula, CTerm, HeadOp, Plan, ProbeCol, Source, Step};
 use crate::storage::ColumnRel;
 use dlo_core::ast::KeyFn;
 use dlo_core::formula::CmpOp;
@@ -23,6 +23,21 @@ use std::collections::HashMap;
 
 /// Sentinel for an unbound valuation slot.
 const UNBOUND: u32 = u32::MAX;
+
+/// One cell of an emitted head key whose row includes a head-computed
+/// constant: either an id the (frozen) interner already knows, or an
+/// integer first derived this iteration. The interner cannot be extended
+/// while plans run in parallel, so `Fresh` cells travel by value and the
+/// driver mints ids for them between iterations — deterministically,
+/// because fresh accumulators are ordered (`Ord` below) and drained in
+/// sorted order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum HeadVal {
+    /// An already-interned constant.
+    Id(u32),
+    /// An integer produced by a head key function with no id yet.
+    Fresh(i64),
+}
 
 /// Everything a plan run reads: interned EDBs, the active domain, and
 /// the three IDB states of Theorem 6.5.
@@ -152,13 +167,17 @@ pub(crate) fn eval_cformula<P: Pops>(f: &CFormula, slots: &[u32], ctx: &EvalCtx<
 }
 
 /// Runs `plan` against `ctx`, calling `emit(head_key, value)` once per
-/// surviving valuation. `range0` optionally restricts the first step's
-/// candidate rows to `[lo, hi)` — the parallel driver's chunking hook.
+/// surviving valuation whose head key is fully interned, and
+/// `emit_fresh` for valuations whose head contains a key-function result
+/// outside the interned domain (the driver mints ids for those between
+/// iterations). `range0` optionally restricts the first step's candidate
+/// rows to `[lo, hi)` — the parallel driver's chunking hook.
 pub fn run_plan<'a, P: Pops>(
     plan: &Plan<P>,
     ctx: &EvalCtx<'a, P>,
     range0: Option<(usize, usize)>,
     emit: &mut dyn FnMut(&[u32], P),
+    emit_fresh: &mut dyn FnMut(&[HeadVal], P),
 ) {
     let mut runner = Runner {
         plan,
@@ -168,6 +187,7 @@ pub fn run_plan<'a, P: Pops>(
         values: vec![None; plan.nfactors],
         row_keys: vec![None; plan.steps.len()],
         emit,
+        emit_fresh,
     };
     for &(s, id) in &plan.pre_bound {
         runner.slots[s] = id;
@@ -225,6 +245,7 @@ struct Runner<'r, 'a, P: Pops> {
     values: Vec<Option<&'a P>>,
     row_keys: Vec<Option<&'a [u32]>>,
     emit: &'r mut dyn FnMut(&[u32], P),
+    emit_fresh: &'r mut dyn FnMut(&[HeadVal], P),
 }
 
 impl<'a, P: Pops> Runner<'_, 'a, P> {
@@ -367,15 +388,44 @@ impl<'a, P: Pops> Runner<'_, 'a, P> {
                 return; // 0 absorbs on naturally ordered semirings
             }
         }
-        let key: Vec<u32> = self
-            .plan
-            .head_cols
-            .iter()
-            .map(|h| match h {
-                HeadCol::Slot(s) => self.slots[*s],
-                HeadCol::Const(id) => *id,
-            })
-            .collect();
-        (self.emit)(&key, acc);
+        // Assemble the head key. The all-interned case (every program
+        // without head key functions) stays on the flat `u32` path; a
+        // computed cell outside the interned domain upgrades the key to
+        // `HeadVal`s and routes through `emit_fresh`.
+        let mut key: Vec<u32> = Vec::with_capacity(self.plan.head_cols.len());
+        let mut fresh: Option<Vec<HeadVal>> = None;
+        for h in &self.plan.head_cols {
+            let hv = match h {
+                HeadOp::Slot(s) => HeadVal::Id(self.slots[*s]),
+                HeadOp::Const(id) => HeadVal::Id(*id),
+                HeadOp::Computed(t) => {
+                    // Unevaluable head terms (type mismatch) drop the
+                    // derivation, mirroring the relational `eval_args`.
+                    let Some(ev) = eval_cterm(t, &self.slots, self.ctx.interner) else {
+                        return;
+                    };
+                    match ev_to_id(ev, self.ctx.interner) {
+                        Some(id) => HeadVal::Id(id),
+                        None => match ev {
+                            Ev::Int(i) => HeadVal::Fresh(i),
+                            Ev::Id(_) => unreachable!("ids always resolve"),
+                        },
+                    }
+                }
+            };
+            match (&mut fresh, hv) {
+                (None, HeadVal::Id(id)) => key.push(id),
+                (None, hv) => {
+                    let mut up: Vec<HeadVal> = key.iter().map(|&id| HeadVal::Id(id)).collect();
+                    up.push(hv);
+                    fresh = Some(up);
+                }
+                (Some(up), hv) => up.push(hv),
+            }
+        }
+        match fresh {
+            None => (self.emit)(&key, acc),
+            Some(up) => (self.emit_fresh)(&up, acc),
+        }
     }
 }

@@ -1,13 +1,22 @@
 //! Constant interning: `Constant → u32` with O(1) decode and integer
 //! views.
 //!
-//! Every constant that can appear during evaluation (EDB tuples, program
-//! constants) is interned **up front**, so the hot join loops compare and
-//! hash plain `u32`s — no `Arc<str>` hashing, no `Constant` clones. The
-//! interner is immutable during evaluation; key-function results
-//! (`x + 1`) are resolved by *lookup*: a result outside the interned
-//! domain cannot match any stored tuple, which is exactly the semantics
-//! of joining against finite supports.
+//! Every constant known before evaluation (EDB tuples, program constants)
+//! is interned **up front**, so the hot join loops compare and hash plain
+//! `u32`s — no `Arc<str>` hashing, no `Constant` clones. The table is
+//! *dynamic*: programs whose rule **heads** apply a key function (`W(i+1)
+//! :- W(i) ⊗ V(i+1)`, Sec. 4.5) derive constants that did not exist at
+//! compile time, and the drivers mint fresh ids for them **between**
+//! iterations (the table is frozen while plans run in parallel, so the
+//! executor only ever reads it). Minting goes through the same
+//! [`Interner::intern`] append path, which keeps the decode (`consts`)
+//! and integer (`ints`) side tables in sync by construction.
+//!
+//! *Body* key-function results are still resolved by *lookup*: a result
+//! outside the interned domain cannot match any stored tuple, which is
+//! exactly the semantics of joining against finite supports. Head
+//! results are different — they name a new row rather than probe an
+//! existing one, hence the mint path.
 
 use dlo_core::value::Constant;
 use std::collections::HashMap;
@@ -38,6 +47,15 @@ impl Interner {
         self.consts.push(c.clone());
         self.ints.push(c.as_int());
         id
+    }
+
+    /// Interns the integer constant `i` (the mint path for head-computed
+    /// keys; stable across repeated calls like [`Self::intern`]).
+    pub fn intern_int(&mut self, i: i64) -> u32 {
+        if let Some(&id) = self.by_const.get(&Constant::Int(i)) {
+            return id;
+        }
+        self.intern(&Constant::Int(i))
     }
 
     /// The id of `c`, if interned.
@@ -87,6 +105,23 @@ mod tests {
         assert_eq!(i.as_int(a), None);
         assert_eq!(i.lookup_int(7), Some(b));
         assert_eq!(i.lookup_int(8), None);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn dynamic_minting_extends_the_table_in_sync() {
+        let mut i = Interner::new();
+        let a = i.intern(&Constant::int(1));
+        // Mint an id for a constant first derived during evaluation.
+        let fresh = i.intern_int(41);
+        assert_ne!(fresh, a);
+        assert_eq!(i.get(fresh), &Constant::int(41));
+        assert_eq!(i.as_int(fresh), Some(41));
+        assert_eq!(i.lookup_int(41), Some(fresh));
+        // Minting is idempotent, and pre-interned ints resolve to their
+        // existing ids.
+        assert_eq!(i.intern_int(41), fresh);
+        assert_eq!(i.intern_int(1), a);
         assert_eq!(i.len(), 2);
     }
 }

@@ -42,11 +42,37 @@
 //!            Trop::finite(4.0));
 //! ```
 //!
-//! Programs the compiler cannot handle (key functions in rule *heads*)
-//! fall back to the relational backend transparently. Body key
-//! functions, conditions, Boolean guards, coefficients, and value
-//! functions are all supported. Set `DLO_ENGINE_THREADS=1` to force
-//! single-threaded execution.
+//! The engine is **total over the language**: head key functions, body
+//! key functions, conditions, Boolean guards, coefficients, and value
+//! functions all evaluate natively — there is no relational fallback.
+//!
+//! ## Design note: head key functions and dynamic interning
+//!
+//! A key function in a rule *head* (`W(i+1) :- W(i) ⊗ V(i+1)`, Sec. 4.5)
+//! derives constants that need not exist when the program is compiled,
+//! so the interner cannot be frozen for the whole run. The resolution is
+//! split-phase:
+//!
+//! * while a (possibly parallel) iteration runs, the interner **is**
+//!   frozen — the executor emits head keys whose computed cells miss the
+//!   table as [`exec::HeadVal::Fresh`] integers into ordered per-IDB
+//!   accumulators;
+//! * between iterations, the driver mints ids for those integers in
+//!   sorted key order (deterministic, single-threaded) and inserts the
+//!   rows. A fresh cell is by definition a constant no existing row
+//!   contains, so minted rows are always appends: they enter the `new`
+//!   state, the `δ` relation, and the `changed` map exactly like any
+//!   other appended row, and incremental index maintenance covers them.
+//!
+//! Body-side key functions never mint — a computed probe value outside
+//! the interned domain simply matches nothing, which is the semantics of
+//! joining against finite supports.
+//!
+//! Set `DLO_ENGINE_THREADS=<n>` to cap the worker pool (`1` forces
+//! single-threaded execution); the default is
+//! `std::thread::available_parallelism()`. Minting is unaffected by the
+//! thread count: fresh accumulators are merged in task order and drained
+//! sorted, so results are bit-identical at any parallelism.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -16,9 +16,15 @@
 //! columns are probed through a hash-prefix index ([`Step::mask`]),
 //! which bind fresh slots, and which merely check.
 //!
-//! Programs whose *head* applies a key function are rejected with
-//! [`CompileError`]; the public entry points fall back to the relational
-//! backend for those.
+//! Head arguments compile to [`HeadOp`]s: slot copies, interned
+//! constants, or — for key functions applied in the head (Sec. 4.5) —
+//! [`HeadOp::Computed`] terms evaluated at emit time. Computed heads can
+//! derive constants that were never interned at compile time; the
+//! executor emits those as *fresh* integer cells and the drivers mint
+//! ids for them between iterations (see [`crate::intern`]). The only
+//! programs the compiler rejects are ones its columnar storage cannot
+//! represent at all: arity > 32, or one head predicate used at two
+//! arities.
 
 use crate::intern::Interner;
 use crate::storage::ColMask;
@@ -27,12 +33,12 @@ use dlo_core::formula::{CmpOp, Formula};
 use dlo_pops::Pops;
 use std::collections::HashMap;
 
-/// Why a program cannot be compiled for the engine.
+/// Why a program cannot be compiled for the engine. Both variants are
+/// structural limits of the flat columnar storage (not language gaps
+/// like the old head-key-function rejection); the drivers surface them
+/// as panics rather than falling back to a slower backend.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CompileError {
-    /// A head argument applies a key function (would require interning
-    /// fresh constants during evaluation).
-    HeadFunction,
     /// An atom exceeds the engine's 32-column limit.
     ArityTooLarge,
     /// The same head predicate is used at two different arities
@@ -132,13 +138,19 @@ pub struct Step {
     pub factor: Option<FactorSlot>,
 }
 
-/// A head column: a slot or an interned constant.
-#[derive(Clone, Copy, Debug)]
-pub enum HeadCol {
+/// A head column emit operation.
+#[derive(Clone, Debug)]
+pub enum HeadOp {
     /// Copy a valuation slot.
     Slot(usize),
     /// A fixed interned constant.
     Const(u32),
+    /// A key function over bound slots, evaluated at emit time. An
+    /// unevaluable term (e.g. `+1` on a string) drops the derivation —
+    /// mirroring the relational backend's `eval_args` — and a result
+    /// outside the interned domain is emitted as a *fresh* cell for the
+    /// driver to mint (see [`crate::exec::HeadVal`]).
+    Computed(CTerm),
 }
 
 /// An executable join plan for one sum-product variant.
@@ -147,7 +159,7 @@ pub struct Plan<P> {
     /// Target IDB (by `idbs` table index).
     pub head_pred: usize,
     /// How to assemble the emitted head key.
-    pub head_cols: Vec<HeadCol>,
+    pub head_cols: Vec<HeadOp>,
     /// Number of valuation slots (head vars ∪ sum-product vars).
     pub nslots: usize,
     /// Number of factors (value positions).
@@ -398,16 +410,16 @@ impl Compiler<'_> {
         let slot_of: HashMap<Var, usize> = vars.iter().enumerate().map(|(i, v)| (*v, i)).collect();
         let nslots = vars.len();
 
-        let head_cols: Vec<HeadCol> = rule
+        let head_cols: Vec<HeadOp> = rule
             .head
             .args
             .iter()
             .map(|t| match t {
-                Term::Var(v) => Ok(HeadCol::Slot(slot_of[v])),
-                Term::Const(c) => Ok(HeadCol::Const(self.interner.intern(c))),
-                Term::Apply(..) => Err(CompileError::HeadFunction),
+                Term::Var(v) => HeadOp::Slot(slot_of[v]),
+                Term::Const(c) => HeadOp::Const(self.interner.intern(c)),
+                t @ Term::Apply(..) => HeadOp::Computed(self.compile_term(t, &slot_of)),
             })
-            .collect::<Result<_, _>>()?;
+            .collect();
 
         let mut pre_bound = vec![];
         self.equality_bindings(&sp.condition, &slot_of, &mut pre_bound);
@@ -679,7 +691,7 @@ mod tests {
     }
 
     #[test]
-    fn head_key_function_is_rejected() {
+    fn head_key_function_compiles_to_a_computed_emit() {
         use dlo_core::ast::{Atom, Program, Term};
         let mut p = Program::<Trop>::new();
         p.rule(
@@ -690,9 +702,14 @@ mod tests {
             vec![SumProduct::new(vec![Factor::atom("V", vec![Term::v(0)])])],
         );
         let mut interner = Interner::new();
-        match compile(&p, &mut interner) {
-            Err(e) => assert_eq!(e, CompileError::HeadFunction),
-            Ok(_) => panic!("head key function must be rejected"),
+        let c = compile(&p, &mut interner).expect("head key functions compile natively");
+        let head = &c.seed_plans[0].head_cols;
+        assert_eq!(head.len(), 1);
+        match &head[0] {
+            HeadOp::Computed(CTerm::Apply(KeyFn::AddInt(1), inner)) => {
+                assert_eq!(**inner, CTerm::Slot(0));
+            }
+            other => panic!("expected a computed head op, got {other:?}"),
         }
     }
 }

@@ -37,3 +37,26 @@ pub use dlo_wellfounded as wellfounded;
 // The engine backend's entry points at top level, next to the grounded
 // and relational backends re-exported through `core`.
 pub use dlo_engine::{engine_naive_eval, engine_seminaive_eval};
+
+/// Evaluates a program with the **default backend**: the execution
+/// engine's parallel semi-naïve driver ([`engine_seminaive_eval`]),
+/// which since the removal of the head-key-function fallback covers the
+/// full language surface natively (interned, indexed, multi-threaded) —
+/// including key functions in rule heads. Reach for the grounded or
+/// relational backends through [`core`] only for exotic POPS outside
+/// the naturally-ordered dioids, or for iteration traces.
+///
+/// # Panics
+///
+/// On programs the engine's columnar storage cannot represent: an atom
+/// of arity > 32, or one head predicate used at two arities.
+pub fn eval<P>(
+    program: &core::Program<P>,
+    pops_edb: &core::Database<P>,
+    bool_edb: &core::BoolDatabase,
+) -> core::EvalOutcome<P>
+where
+    P: pops::NaturallyOrdered + pops::CompleteDistributiveDioid + Send + Sync,
+{
+    engine_seminaive_eval(program, pops_edb, bool_edb, core::DEFAULT_CAP)
+}

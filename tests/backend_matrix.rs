@@ -1,0 +1,450 @@
+//! The backend matrix: every oracle scenario from `paper_examples.rs`
+//! and `textual_programs.rs` pushed through **all three** backends —
+//! grounded naive, relational (naive + semi-naive), and the execution
+//! engine (naive + parallel semi-naive) — asserting identical output
+//! databases. `cross_engine.rs` spot-checks a subset against external
+//! oracles; this file is the exhaustive pairwise-agreement sweep, and
+//! since the engine lost its head-key-function fallback it proves the
+//! fast backend really is total over the language.
+//!
+//! Scenarios whose paper POPS is not naturally ordered (the lifted reals
+//! of Ex. 4.2, `THREE` of Sec. 7) cannot run on the relational/engine
+//! backends at all — the grounded backend is their reference — so the
+//! matrix runs those programs over a naturally ordered carrier instead
+//! (`MinNat`, `𝔹`), which exercises the identical rule shapes. POPS that
+//! are naturally ordered but not complete distributive dioids (`ℝ₊`,
+//! `Trop⁺_1`) run the three naive legs only.
+
+use datalog_o::core::examples_lib as ex;
+use datalog_o::core::{
+    bool_relation, naive_eval_sparse, parse_program, relational_naive_eval,
+    relational_seminaive_eval, BoolDatabase, Database, Program, ProgramParser, Relation, UnaryFn,
+};
+use datalog_o::pops::{
+    Bool, CompleteDistributiveDioid, MinNat, NNReal, NaturallyOrdered, Trop, TropP,
+};
+use datalog_o::{engine_naive_eval, engine_seminaive_eval};
+
+const CAP: usize = 100_000;
+
+fn k(s: &str) -> datalog_o::core::Constant {
+    s.into()
+}
+
+/// Asserts `got` carries exactly the relations of `reference` (empty
+/// relations are equivalent to absent ones on both sides).
+fn assert_same_db<P: datalog_o::pops::Pops>(
+    scenario: &str,
+    backend: &str,
+    reference: &Database<P>,
+    got: &Database<P>,
+) {
+    for (pred, r) in reference.iter() {
+        let empty = Relation::new(r.arity());
+        assert_eq!(
+            r,
+            got.get(pred).unwrap_or(&empty),
+            "{scenario}: {backend} differs on {pred}"
+        );
+    }
+    for (pred, r) in got.iter() {
+        if reference.get(pred).is_none() {
+            assert!(
+                r.is_empty(),
+                "{scenario}: {backend} derived extra atoms in {pred}"
+            );
+        }
+    }
+}
+
+/// The full five-leg matrix: grounded naive, relational naive/semi-naive,
+/// engine naive/semi-naive.
+fn assert_matrix_all<P>(
+    scenario: &str,
+    program: &Program<P>,
+    pops: &Database<P>,
+    bools: &BoolDatabase,
+) where
+    P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
+{
+    let grounded = naive_eval_sparse(program, pops, bools, CAP).unwrap();
+    let legs: [(&str, Database<P>); 4] = [
+        (
+            "relational naive",
+            relational_naive_eval(program, pops, bools, CAP).unwrap(),
+        ),
+        (
+            "relational semi-naive",
+            relational_seminaive_eval(program, pops, bools, CAP).unwrap(),
+        ),
+        (
+            "engine naive",
+            engine_naive_eval(program, pops, bools, CAP).unwrap(),
+        ),
+        (
+            "engine semi-naive",
+            engine_seminaive_eval(program, pops, bools, CAP).unwrap(),
+        ),
+    ];
+    for (backend, got) in &legs {
+        assert_same_db(scenario, backend, &grounded, got);
+    }
+}
+
+/// The three naive legs, for POPS without `⊖` (no complete distributive
+/// dioid structure): grounded, relational naive, engine naive.
+fn assert_matrix_naive<P>(
+    scenario: &str,
+    program: &Program<P>,
+    pops: &Database<P>,
+    bools: &BoolDatabase,
+) where
+    P: NaturallyOrdered + Send + Sync,
+{
+    let grounded = naive_eval_sparse(program, pops, bools, CAP).unwrap();
+    let rel = relational_naive_eval(program, pops, bools, CAP).unwrap();
+    let eng = engine_naive_eval(program, pops, bools, CAP).unwrap();
+    assert_same_db(scenario, "relational naive", &grounded, &rel);
+    assert_same_db(scenario, "engine naive", &grounded, &eng);
+}
+
+/// One `#[test]` per oracle scenario. `all` runs the five-leg matrix,
+/// `naive` the three naive legs; the block must evaluate to
+/// `(Program<P>, Database<P>, BoolDatabase)`.
+macro_rules! backend_matrix {
+    ($(all $name:ident => $setup:block)*) => {
+        $(#[test]
+        fn $name() {
+            let (program, pops, bools) = $setup;
+            assert_matrix_all(stringify!($name), &program, &pops, &bools);
+        })*
+    };
+    ($(naive $name:ident => $setup:block)*) => {
+        $(#[test]
+        fn $name() {
+            let (program, pops, bools) = $setup;
+            assert_matrix_naive(stringify!($name), &program, &pops, &bools);
+        })*
+    };
+}
+
+backend_matrix! {
+    // Example 4.1 — SSSP over Trop⁺ on the Fig. 2(a) graph.
+    all sssp_trop_example_4_1 => {
+        let (program, edb) = ex::sssp_trop("a");
+        (program, edb, BoolDatabase::new())
+    }
+
+    // Example 1.1 — APSP over Trop⁺ (the paper's opening program).
+    all apsp_trop_example_1_1 => {
+        let (program, edb) = ex::apsp_trop(&[
+            ("a", "b", 1.0),
+            ("b", "a", 2.0),
+            ("b", "c", 3.0),
+            ("c", "d", 4.0),
+            ("a", "c", 5.0),
+        ]);
+        (program, edb, BoolDatabase::new())
+    }
+
+    // Example 4.2 — bill of material, over MinNat (the naturally ordered
+    // carrier; the lifted-real original is grounded-only).
+    all bom_minnat_example_4_2 => {
+        let program: Program<MinNat> = ex::bom_program();
+        let mut pops = Database::new();
+        pops.insert(
+            "C",
+            Relation::from_pairs(
+                1,
+                vec![
+                    (vec![k("a")], MinNat::finite(1)),
+                    (vec![k("b")], MinNat::finite(1)),
+                    (vec![k("c")], MinNat::finite(1)),
+                    (vec![k("d")], MinNat::finite(10)),
+                ],
+            ),
+        );
+        (program, pops, ex::fig2b_bool_edges())
+    }
+
+    // Quadratic transitive closure with a Boolean edge guard.
+    all quadratic_tc_bool_guarded => {
+        let (program, edb) = ex::quadratic_tc_bool(&[("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")]);
+        (program, edb, BoolDatabase::new())
+    }
+
+    // Sec. 4.5 — keys to values (ShortestLength over Trop⁺).
+    all shortest_length_sec_4_5 => {
+        let (program, edb) = ex::shortest_length(&[("a", "b", 3), ("a", "b", 7), ("a", "c", 5), ("b", "c", 2)]);
+        (program, edb, BoolDatabase::new())
+    }
+
+    // Sec. 4.5 — the prefix program in head-keyed form over Trop⁺: the
+    // scenario the engine used to reject outright.
+    all prefix_head_keyed_sec_4_5 => {
+        let (program, edb) = ex::prefix_sum_keyed::<Trop>(&[2.0, 4.0, 1.5, 3.0, 0.5], Trop::finite);
+        (program, edb, BoolDatabase::new())
+    }
+
+    // Sec. 4.5 — the surface-syntax prefix program (body key function
+    // `W(I - 1)` plus comparisons), over MinNat instead of the
+    // grounded-only lifted reals.
+    all prefix_surface_syntax_minnat => {
+        let src = "
+            W(I) :- V(0) | I = 0.
+            W(I) :- W(I - 1) | I != 0 && I < 4.
+            W(I) :- V(I)     | I != 0 && I < 4.
+        ";
+        let program: Program<MinNat> = parse_program(src).unwrap();
+        let mut pops = Database::new();
+        pops.insert(
+            "V",
+            Relation::from_pairs(
+                1,
+                (0..4i64).map(|i| (vec![i.into()], MinNat::finite(1 + i as u64))),
+            ),
+        );
+        (program, pops, BoolDatabase::new())
+    }
+
+    // Textual single-source reachability, over 𝔹.
+    all reach_surface_syntax_bool => {
+        let src = "Reach(X) :- 1 | X = s.\nReach(X) :- Reach(Z) * E(Z, X).";
+        let program: Program<Bool> = parse_program(src).unwrap();
+        let mut pops = Database::new();
+        pops.insert(
+            "E",
+            bool_relation(
+                2,
+                [("s", "a"), ("a", "b"), ("b", "a"), ("c", "d")]
+                    .iter()
+                    .map(|(x, y)| vec![k(x), k(y)]),
+            ),
+        );
+        (program, pops, BoolDatabase::new())
+    }
+
+    // Textual single-source hop counts, over MinNat.
+    all reach_surface_syntax_minnat => {
+        let src = "Reach(X) :- 1 | X = s.\nReach(X) :- Reach(Z) * E(Z, X).";
+        let program: Program<MinNat> = parse_program(src).unwrap();
+        let mut pops = Database::new();
+        pops.insert(
+            "E",
+            Relation::from_pairs(
+                2,
+                [("s", "a"), ("a", "b"), ("b", "a"), ("c", "d")]
+                    .iter()
+                    .map(|(x, y)| (vec![k(x), k(y)], MinNat::finite(1))),
+            ),
+        );
+        (program, pops, BoolDatabase::new())
+    }
+
+    // Textual BOM over MinNat (the lifted-real surface program's shape).
+    all bom_surface_syntax_minnat => {
+        let src = "T(X) :- C(X).\nT(X) :- T(Y) | E(X, Y).";
+        let program: Program<MinNat> = parse_program(src).unwrap();
+        let mut pops = Database::new();
+        pops.insert(
+            "C",
+            Relation::from_pairs(
+                1,
+                vec![(vec![k("c")], MinNat::finite(1)), (vec![k("d")], MinNat::finite(10))],
+            ),
+        );
+        let mut bools = BoolDatabase::new();
+        bools.insert("E", bool_relation(2, vec![vec![k("c"), k("d")]]));
+        (program, pops, bools)
+    }
+
+    // Two textual rules with one head merge into one sum-sum-product.
+    all multiple_rules_same_head_trop => {
+        let src = "D(X) :- $5 | X = a.\nD(X) :- $3 | X = a.";
+        let program: Program<Trop> = parse_program(src).unwrap();
+        (program, Database::new(), BoolDatabase::new())
+    }
+
+    // Example 4.1's indicator form `{1 | X = s}` over MinNat.
+    all single_source_indicator_minnat => {
+        let program: Program<MinNat> = ex::single_source_program("s");
+        let mut edb = Database::new();
+        edb.insert(
+            "E",
+            Relation::from_pairs(
+                2,
+                vec![
+                    (vec![k("s"), k("t")], MinNat::finite(2)),
+                    (vec![k("t"), k("u")], MinNat::finite(3)),
+                ],
+            ),
+        );
+        (program, edb, BoolDatabase::new())
+    }
+
+    // Sec. 7 — one alternating-fixpoint step of win-move as a positive 𝔹
+    // program with a negated Boolean guard (`THREE` itself is not
+    // naturally ordered; this is the engine-compatible step program).
+    all win_move_step_bool => {
+        use datalog_o::core::ast::{Atom, SumProduct, Term};
+        use datalog_o::core::formula::Formula;
+        let mut program = Program::<Bool>::new();
+        program.rule(
+            Atom::new("W", vec![Term::v(0)]),
+            vec![SumProduct::new(vec![]).with_condition(
+                Formula::atom("E", vec![Term::v(0), Term::v(1)])
+                    .and(Formula::atom("PrevW", vec![Term::v(1)]).negate()),
+            )],
+        );
+        let mut bools = BoolDatabase::new();
+        bools.insert(
+            "E",
+            bool_relation(2, ex::fig4_edges().iter().map(|(x, y)| vec![k(x), k(y)])),
+        );
+        (program, Database::<Bool>::new(), bools)
+    }
+}
+
+backend_matrix! {
+    // Example 4.3 — company control over ℝ₊ with the monotone threshold
+    // value function. ℝ₊ is naturally ordered but ⊕ = + is not
+    // idempotent, so only the naive legs run. Dyadic share weights keep
+    // float sums exact under any association order.
+    naive company_control_example_4_3 => {
+        let (program, pops, bools) = ex::company_control(
+            &["a", "b", "c", "d"],
+            &[
+                ("a", "b", 0.75),
+                ("b", "c", 0.375),
+                ("a", "c", 0.25),
+                ("c", "d", 0.625),
+                ("b", "d", 0.25),
+            ],
+        );
+        (program, pops, bools)
+    }
+
+    // The same scenario written in surface syntax with a registered
+    // value function.
+    naive company_control_surface_syntax => {
+        let thr = UnaryFn::new("thr", |v: &NNReal| v.threshold(0.5));
+        let parser = ProgramParser::<NNReal>::new().with_func(thr);
+        let program = parser
+            .parse("T(X, Y) :- S(X, Y) + thr(T(X, Z)) * S(Z, Y) | Company(Z) && Z != X.")
+            .unwrap();
+        let mut pops = Database::new();
+        pops.insert(
+            "S",
+            Relation::from_pairs(
+                2,
+                vec![
+                    (vec![k("a"), k("b")], NNReal::of(0.75)),
+                    (vec![k("b"), k("c")], NNReal::of(0.875)),
+                ],
+            ),
+        );
+        let mut bools = BoolDatabase::new();
+        bools.insert(
+            "Company",
+            bool_relation(1, vec![vec![k("a")], vec![k("b")], vec![k("c")]]),
+        );
+        (program, pops, bools)
+    }
+
+    // Example 4.1 over the bag semiring Trop⁺_1 (naturally ordered, not
+    // a complete distributive dioid).
+    naive sssp_tropp_bag_example_4_1 => {
+        let program: Program<TropP<1>> = ex::single_source_program("a");
+        let edb = ex::fig2a_graph(|w| TropP::<1>::from_costs(&[w]));
+        (program, edb, BoolDatabase::new())
+    }
+}
+
+/// Satellite: divergence agreement. A non-stable program under a small
+/// iteration cap must make **every** backend report `Diverged` with the
+/// same cap — and the `EvalOutcome::unwrap` diagnostic (added in PR 1)
+/// must name that cap — so a user cannot get a panic from one backend
+/// and a silent wrong answer from another.
+#[test]
+fn divergence_agreement_nat_coefficient_blowup() {
+    use datalog_o::core::ast::{Atom, Factor, SumProduct, Term};
+    use datalog_o::pops::Nat;
+    // X(u) :- 1 ⊕ 2·X(u) over ℕ: case (ii) of Sec. 4.2, diverges.
+    let mut p = Program::<Nat>::new();
+    p.rule(
+        Atom::new("X", vec![Term::c("u")]),
+        vec![
+            SumProduct::new(vec![]).with_coeff(Nat(1)),
+            SumProduct::new(vec![Factor::atom("X", vec![Term::c("u")])]).with_coeff(Nat(2)),
+        ],
+    );
+    const SMALL_CAP: usize = 30;
+    let pops = Database::new();
+    let bools = BoolDatabase::new();
+    let legs: [(&str, datalog_o::core::EvalOutcome<Nat>); 3] = [
+        ("grounded", naive_eval_sparse(&p, &pops, &bools, SMALL_CAP)),
+        (
+            "relational",
+            relational_naive_eval(&p, &pops, &bools, SMALL_CAP),
+        ),
+        ("engine", engine_naive_eval(&p, &pops, &bools, SMALL_CAP)),
+    ];
+    for (backend, outcome) in legs {
+        assert!(!outcome.is_converged(), "{backend} must diverge");
+        let err = match std::panic::catch_unwind(move || outcome.unwrap()) {
+            Err(e) => e,
+            Ok(_) => panic!("{backend} unwrap must panic"),
+        };
+        let msg = err.downcast_ref::<String>().expect("formatted panic");
+        assert!(
+            msg.contains(&format!("iteration cap ({SMALL_CAP})")),
+            "{backend} diagnostic must name the cap, got: {msg}"
+        );
+    }
+}
+
+/// Unbounded head-key minting is the other road to divergence (case (i):
+/// the active domain grows forever). The semi-naive backends — including
+/// the engine's dynamic interner — must agree on that too.
+#[test]
+fn divergence_agreement_unbounded_head_minting() {
+    use datalog_o::core::ast::{Atom, Factor, KeyFn, SumProduct, Term};
+    // N(0) :- $1.  N(i+1) :- N(i).  — no guard: mints a key per step.
+    let mut p = Program::<MinNat>::new();
+    p.rule(
+        Atom::new("N", vec![Term::c(0)]),
+        vec![SumProduct::new(vec![]).with_coeff(MinNat::finite(1))],
+    );
+    p.rule(
+        Atom::new(
+            "N",
+            vec![Term::Apply(KeyFn::AddInt(1), Box::new(Term::v(0)))],
+        ),
+        vec![SumProduct::new(vec![Factor::atom("N", vec![Term::v(0)])])],
+    );
+    const SMALL_CAP: usize = 25;
+    let pops = Database::new();
+    let bools = BoolDatabase::new();
+    let legs: [(&str, datalog_o::core::EvalOutcome<MinNat>); 2] = [
+        (
+            "relational semi-naive",
+            relational_seminaive_eval(&p, &pops, &bools, SMALL_CAP),
+        ),
+        (
+            "engine semi-naive",
+            engine_seminaive_eval(&p, &pops, &bools, SMALL_CAP),
+        ),
+    ];
+    for (backend, outcome) in legs {
+        assert!(!outcome.is_converged(), "{backend} must diverge");
+        let err = match std::panic::catch_unwind(move || outcome.unwrap()) {
+            Err(e) => e,
+            Ok(_) => panic!("{backend} unwrap must panic"),
+        };
+        let msg = err.downcast_ref::<String>().expect("formatted panic");
+        assert!(
+            msg.contains(&format!("iteration cap ({SMALL_CAP})")),
+            "{backend} diagnostic must name the cap, got: {msg}"
+        );
+    }
+}

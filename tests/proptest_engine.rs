@@ -7,14 +7,18 @@
 //! * parser/pretty-printer round trips;
 //! * engine vs Dijkstra on weighted random graphs.
 
+use datalog_o::core::ast::{Atom, Factor, KeyFn, SumProduct, Term};
+use datalog_o::core::formula::{CmpOp, Formula};
 use datalog_o::core::{
-    ground, ground_sparse, naive_eval_system, parse_program, relational_naive_eval,
+    bool_relation, ground, ground_sparse, naive_eval_system, parse_program, relational_naive_eval,
     relational_seminaive_eval, render_program, seminaive_eval_system, BoolDatabase, Database,
-    Program, Relation,
+    EvalOutcome, Program, Relation,
 };
-use datalog_o::engine_seminaive_eval;
-use datalog_o::pops::{Bool, MaxMin, MinNat, Trop};
+use datalog_o::pops::{
+    Bool, CompleteDistributiveDioid, MaxMin, MinNat, NaturallyOrdered, Pops, Trop,
+};
 use datalog_o::semilin::{linear_lfp_auto, AffineSystem};
+use datalog_o::{engine_naive_eval, engine_seminaive_eval};
 use proptest::prelude::*;
 
 /// Strategy: a random edge list over `n ≤ 8` integer nodes.
@@ -78,8 +82,181 @@ fn maxmin_edb(edges: &[(usize, usize, u8)]) -> Database<MaxMin> {
     db
 }
 
+/// A randomized single-IDB program exercising the whole key-function
+/// surface: shifts in rule **heads** (the engine's dynamic-interning
+/// path), shifts in bodies (lookup/deferred-check paths), comparisons,
+/// and Boolean guards.
+///
+/// ```text
+/// R(x)          :- V(x ⟨+ seed_shift⟩).
+/// R(x + d)      :- R(x)            | x ⋖ bound [ ∧ B(x) ] [ ∧ x ≠ 0 ]   (counter form)
+/// R(y + d)      :- R(x) ⊗ E(x, y)  |           [ ∧ B(x) ] [ ∧ x ≠ 0 ]   (walk form)
+/// ```
+///
+/// Counter recursion is guarded by a comparison in the shift's
+/// direction, and walk recursion derives keys only from the finite edge
+/// set, so every instance converges on the 0-stable dioids tested.
+#[derive(Clone, Debug)]
+struct KeyedSpec {
+    head_shift: i64,
+    seed_shift: i64,
+    use_edge: bool,
+    use_guard: bool,
+    neq_zero: bool,
+    bound: i64,
+}
+
+fn keyed_spec_strategy() -> impl Strategy<Value = KeyedSpec> {
+    ((-2i64..=2, -1i64..=1, 0u8..2, 0u8..2), (0u8..2, 3i64..8)).prop_map(
+        |((head_shift, seed_shift, use_edge, use_guard), (neq_zero, bound))| KeyedSpec {
+            head_shift,
+            seed_shift,
+            use_edge: use_edge == 1,
+            use_guard: use_guard == 1,
+            neq_zero: neq_zero == 1,
+            bound,
+        },
+    )
+}
+
+fn shifted(var: u32, shift: i64) -> Term {
+    if shift == 0 {
+        Term::v(var)
+    } else {
+        Term::Apply(KeyFn::AddInt(shift), Box::new(Term::v(var)))
+    }
+}
+
+fn keyed_program<P: Pops>(spec: &KeyedSpec) -> Program<P> {
+    let mut p = Program::new();
+    p.rule(
+        Atom::new("R", vec![Term::v(0)]),
+        vec![SumProduct::new(vec![Factor::atom(
+            "V",
+            vec![shifted(0, spec.seed_shift)],
+        )])],
+    );
+    let (head, factors) = if spec.use_edge {
+        (
+            Atom::new("R", vec![shifted(1, spec.head_shift)]),
+            vec![
+                Factor::atom("R", vec![Term::v(0)]),
+                Factor::atom("E", vec![Term::v(0), Term::v(1)]),
+            ],
+        )
+    } else {
+        (
+            Atom::new("R", vec![shifted(0, spec.head_shift)]),
+            vec![Factor::atom("R", vec![Term::v(0)])],
+        )
+    };
+    let mut condition = Formula::True;
+    if !spec.use_edge && spec.head_shift != 0 {
+        // Bound the counter in the direction it runs, or it mints keys
+        // forever.
+        condition = if spec.head_shift > 0 {
+            Formula::cmp(Term::v(0), CmpOp::Lt, Term::c(spec.bound))
+        } else {
+            Formula::cmp(Term::v(0), CmpOp::Gt, Term::c(-spec.bound))
+        };
+    }
+    if spec.use_guard {
+        condition = condition.and(Formula::atom("B", vec![Term::v(0)]));
+    }
+    if spec.neq_zero {
+        condition = condition.and(Formula::cmp(Term::v(0), CmpOp::Ne, Term::c(0)));
+    }
+    p.rule(
+        head,
+        vec![SumProduct::new(factors).with_condition(condition)],
+    );
+    p
+}
+
+fn keyed_edb<P: Pops>(
+    n: usize,
+    edges: &[(usize, usize, u8)],
+    lift: impl Fn(u8) -> P,
+) -> Database<P> {
+    let mut db = Database::new();
+    db.insert(
+        "E",
+        Relation::from_pairs(
+            2,
+            edges
+                .iter()
+                .map(|&(u, v, w)| (vec![(u as i64).into(), (v as i64).into()], lift(w))),
+        ),
+    );
+    db.insert(
+        "V",
+        Relation::from_pairs(
+            1,
+            (0..n).map(|i| (vec![(i as i64).into()], lift(1 + (i % 5) as u8))),
+        ),
+    );
+    db
+}
+
+fn keyed_bools(n: usize) -> BoolDatabase {
+    let mut db = BoolDatabase::new();
+    db.insert(
+        "B",
+        bool_relation(1, (0..n).step_by(2).map(|i| vec![(i as i64).into()])),
+    );
+    db
+}
+
+/// Engine ≡ relational on one POPS, naïve-vs-naïve and
+/// semi-naïve-vs-semi-naïve, comparing the *full* outcome (database and
+/// step count).
+fn assert_keyed_agreement<P>(
+    spec: &KeyedSpec,
+    n: usize,
+    edges: &[(usize, usize, u8)],
+    lift: impl Fn(u8) -> P,
+) -> Result<(), TestCaseError>
+where
+    P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
+{
+    let prog = keyed_program::<P>(spec);
+    let edb = keyed_edb(n, edges, lift);
+    let bools = keyed_bools(n);
+    let rel_n = relational_naive_eval(&prog, &edb, &bools, 50_000);
+    let eng_n = engine_naive_eval(&prog, &edb, &bools, 50_000);
+    prop_assert_eq!(&rel_n, &eng_n, "naive backends disagree, spec {:?}", spec);
+    let rel_s = relational_seminaive_eval(&prog, &edb, &bools, 50_000);
+    let eng_s = engine_seminaive_eval(&prog, &edb, &bools, 50_000);
+    prop_assert_eq!(
+        &rel_s,
+        &eng_s,
+        "semi-naive backends disagree, spec {:?}",
+        spec
+    );
+    prop_assert!(
+        matches!(rel_n, EvalOutcome::Converged { .. }),
+        "keyed programs are bounded, spec {:?}",
+        spec
+    );
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random key-function programs (head + body shifts, comparisons,
+    /// Boolean guards): the engine's native head-key path agrees with
+    /// the relational backend on Trop, Bool, and MinNat — databases and
+    /// step counts both.
+    #[test]
+    fn engine_agrees_on_random_keyed_programs(
+        spec in keyed_spec_strategy(),
+        (n, edges) in edges_strategy(),
+    ) {
+        assert_keyed_agreement::<Trop>(&spec, n, &edges, |w| Trop::finite(w as f64))?;
+        assert_keyed_agreement::<MinNat>(&spec, n, &edges, |w| MinNat::finite(w as u64))?;
+        assert_keyed_agreement::<Bool>(&spec, n, &edges, |_| Bool(true))?;
+    }
 
     /// Theorem 6.4 over Trop: semi-naïve = naïve (SSSP, APSP).
     #[test]

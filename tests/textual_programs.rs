@@ -144,6 +144,42 @@ fn company_control_threshold_in_surface_syntax() {
 }
 
 #[test]
+fn head_keyed_prefix_in_surface_syntax_via_default_eval() {
+    // A key function in the rule *head*, straight from program text,
+    // through `datalog_o::eval` — which now dispatches to the execution
+    // engine for every program the parser accepts (no relational
+    // fallback). Over Trop⁺ each key has one derivation, so ⊗ = + gives
+    // prefix sums.
+    let src = "
+        W(0) :- V(0).
+        W(I + 1) :- W(I) * V(I + 1).
+    ";
+    let p: Program<Trop> = parse_program(src).unwrap();
+    let mut pops = Database::new();
+    pops.insert(
+        "V",
+        Relation::from_pairs(
+            1,
+            (0..5i64).map(|i| {
+                (
+                    vec![datalog_o::core::Constant::Int(i)],
+                    Trop::finite((i + 1) as f64),
+                )
+            }),
+        ),
+    );
+    let out = datalog_o::eval(&p, &pops, &BoolDatabase::new()).unwrap();
+    let w = out.get("W").unwrap();
+    for (i, want) in [1.0, 3.0, 6.0, 10.0, 15.0].iter().enumerate() {
+        assert_eq!(
+            w.get(&vec![datalog_o::core::Constant::Int(i as i64)]),
+            Trop::finite(*want),
+            "W({i})"
+        );
+    }
+}
+
+#[test]
 fn prefix_sum_in_surface_syntax() {
     let src = "
         W(I) :- V(0) | I = 0.
