@@ -1,0 +1,130 @@
+//! Semi-naïve vs worklist vs priority-frontier engine strategies
+//! (`dlo_engine::worklist`) on iteration-bound workloads.
+//!
+//! The 1k-node chain is the pathological case for global iteration:
+//! ~1000 semi-naïve rounds, each paying full accumulator/Δ-reindex
+//! machinery for a handful of new facts. The priority frontier drains
+//! one bucket per distinct distance instead (Dijkstra semantics over the
+//! absorptive dioids, Cor. 5.19), the FIFO worklist propagates per-row.
+//! The random digraph and the head-keyed `hops` workload bound the
+//! other regimes (wide deltas, dynamic interning).
+//!
+//! Recorded baseline: `BENCH_worklist.json` (reproduce with
+//! `CRITERION_JSON=out.jsonl cargo bench -p dlo_bench --bench
+//! worklist_frontier`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlo_bench::GraphInstance;
+use dlo_core::examples_lib::apsp_program;
+use dlo_core::BoolDatabase;
+use dlo_engine::{engine_priority_eval, engine_seminaive_eval, engine_worklist_eval};
+use dlo_pops::{Bool, Trop};
+
+const CAP: usize = 100_000_000;
+
+fn bench_worklist_tc(c: &mut Criterion) {
+    let bools = BoolDatabase::new();
+
+    // Cross-check the three strategies once on a small instance.
+    let small = GraphInstance::random(48, 120, 9, 7);
+    let prog_t = apsp_program::<Trop>();
+    let a = engine_seminaive_eval(&prog_t, &small.trop_edb(), &bools, CAP).unwrap();
+    let b = engine_worklist_eval(&prog_t, &small.trop_edb(), &bools, CAP).unwrap();
+    let c_ = engine_priority_eval(&prog_t, &small.trop_edb(), &bools, CAP).unwrap();
+    assert_eq!(a, b, "worklist cross-check");
+    assert_eq!(a, c_, "priority cross-check");
+
+    let chain = GraphInstance::path(1000);
+    let random = GraphInstance::random(1000, 1500, 9, 7);
+    let mut group = c.benchmark_group("worklist_tc1k");
+    for (name, g) in [("chain", &chain), ("random", &random)] {
+        let prog_t = apsp_program::<Trop>();
+        let edb_t = g.trop_edb();
+        let prog_b = apsp_program::<Bool>();
+        let edb_b = g.bool_edb();
+        group.bench_with_input(BenchmarkId::new("seminaive_trop", name), &(), |bch, ()| {
+            bch.iter(|| engine_seminaive_eval(std::hint::black_box(&prog_t), &edb_t, &bools, CAP))
+        });
+        group.bench_with_input(BenchmarkId::new("worklist_trop", name), &(), |bch, ()| {
+            bch.iter(|| engine_worklist_eval(std::hint::black_box(&prog_t), &edb_t, &bools, CAP))
+        });
+        group.bench_with_input(BenchmarkId::new("priority_trop", name), &(), |bch, ()| {
+            bch.iter(|| engine_priority_eval(std::hint::black_box(&prog_t), &edb_t, &bools, CAP))
+        });
+        group.bench_with_input(BenchmarkId::new("seminaive_bool", name), &(), |bch, ()| {
+            bch.iter(|| engine_seminaive_eval(std::hint::black_box(&prog_b), &edb_b, &bools, CAP))
+        });
+        group.bench_with_input(BenchmarkId::new("priority_bool", name), &(), |bch, ()| {
+            bch.iter(|| engine_priority_eval(std::hint::black_box(&prog_b), &edb_b, &bools, CAP))
+        });
+    }
+    group.finish();
+}
+
+/// The gradient graph (Bellman-Ford worst case, see
+/// [`GraphInstance::gradient`]): Θ(n²) value updates for the global
+/// semi-naïve loop vs Θ(n) settled pops for the frontier disciplines —
+/// the workload where best-first scheduling is an asymptotic win, not a
+/// constant factor.
+fn bench_worklist_gradient(c: &mut Criterion) {
+    let bools = BoolDatabase::new();
+    let small = GraphInstance::gradient(64);
+    let (prog, edb) = small.sssp();
+    let a = engine_seminaive_eval(&prog, &edb, &bools, CAP).unwrap();
+    let b = engine_priority_eval(&prog, &edb, &bools, CAP).unwrap();
+    let w = engine_worklist_eval(&prog, &edb, &bools, CAP).unwrap();
+    assert_eq!(a, b, "gradient priority cross-check");
+    assert_eq!(
+        a.get("L"),
+        w.get("L"),
+        "gradient worklist cross-check (fixpoints agree; step counts differ by design)"
+    );
+
+    let g = GraphInstance::gradient(2000);
+    let (prog, edb) = g.sssp();
+    let mut group = c.benchmark_group("worklist_gradient2k");
+    group.bench_with_input(BenchmarkId::new("seminaive", "sssp"), &(), |bch, ()| {
+        bch.iter(|| engine_seminaive_eval(std::hint::black_box(&prog), &edb, &bools, CAP))
+    });
+    group.bench_with_input(BenchmarkId::new("worklist", "sssp"), &(), |bch, ()| {
+        bch.iter(|| engine_worklist_eval(std::hint::black_box(&prog), &edb, &bools, CAP))
+    });
+    group.bench_with_input(BenchmarkId::new("priority", "sssp"), &(), |bch, ()| {
+        bch.iter(|| engine_priority_eval(std::hint::black_box(&prog), &edb, &bools, CAP))
+    });
+    group.finish();
+}
+
+/// The head-keyed `hops` workload: every frontier batch mints fresh hop
+/// indexes through the dynamic interner, so this bounds the minting
+/// overhead of the frontier drivers against the global loop.
+fn bench_worklist_hops(c: &mut Criterion) {
+    let bools = BoolDatabase::new();
+    let small = GraphInstance::random(24, 72, 9, 5);
+    let (prog, edb) = small.hops(6);
+    let a = engine_seminaive_eval(&prog, &edb, &bools, CAP).unwrap();
+    let b = engine_priority_eval(&prog, &edb, &bools, CAP).unwrap();
+    assert_eq!(a, b, "hops cross-check");
+
+    let g = GraphInstance::random(400, 1600, 9, 7);
+    let (prog_h, edb_h) = g.hops(24);
+    let mut group = c.benchmark_group("worklist_hops");
+    group.bench_with_input(BenchmarkId::new("seminaive", "hops"), &(), |bch, ()| {
+        bch.iter(|| engine_seminaive_eval(std::hint::black_box(&prog_h), &edb_h, &bools, CAP))
+    });
+    group.bench_with_input(BenchmarkId::new("worklist", "hops"), &(), |bch, ()| {
+        bch.iter(|| engine_worklist_eval(std::hint::black_box(&prog_h), &edb_h, &bools, CAP))
+    });
+    group.bench_with_input(BenchmarkId::new("priority", "hops"), &(), |bch, ()| {
+        bch.iter(|| engine_priority_eval(std::hint::black_box(&prog_h), &edb_h, &bools, CAP))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_worklist_tc,
+    bench_worklist_gradient,
+    bench_worklist_hops
+);
+criterion_main!(benches);

@@ -56,6 +56,26 @@ impl GraphInstance {
         }
     }
 
+    /// The **gradient** graph: the classic Bellman-Ford worst case for
+    /// synchronous (round-based) shortest-path relaxation. A unit-weight
+    /// chain `0 → 1 → … → n-1` plus direct edges `0 → i` of weight `3i`.
+    ///
+    /// From source 0 the true distance to `i` is `i` (the pure chain),
+    /// but at round `t < i` the best ≤`t`-edge path is "jump to
+    /// `i - t + 1`, walk the chain": cost `3i - 2t + 2`. So **every**
+    /// node `i` strictly improves at **every** round `t ≤ i` — Θ(n²)
+    /// value updates for a global semi-naïve loop — while a best-first
+    /// frontier (Dijkstra) settles each node exactly once: Θ(n) work.
+    /// This is the separation workload for `dlo_engine`'s priority
+    /// strategy; the chain/random TC instances bound the constant-factor
+    /// regime where derivation counts are strategy-invariant.
+    pub fn gradient(n: usize) -> Self {
+        assert!(n >= 2, "gradient graph needs at least a source and a sink");
+        let mut edges: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        edges.extend((1..n).map(|i| (0, i, 3.0 * i as f64)));
+        GraphInstance { n, edges }
+    }
+
     /// A `k × k` grid with edges right and down, unit weights.
     pub fn grid(k: usize) -> Self {
         let idx = |r: usize, c: usize| r * k + c;

@@ -13,6 +13,12 @@
 //! * `CRITERION_JSON=<path>` — append one JSON line per finished
 //!   benchmark (id, min/mean/median in ns, sample shape) for
 //!   machine-readable baselines.
+//!
+//! Slow benchmarks are clamped to fewer samples than requested (one
+//! sample past ~2s per iteration, three past ~200ms); when that
+//! happens, the stdout line says `capped` and the JSON line carries
+//! `"samples_capped": true`, so committed baselines are honest about
+//! how converged each number is.
 
 #![forbid(unsafe_code)]
 
@@ -119,7 +125,13 @@ impl BenchmarkGroup<'_> {
     {
         let full = format!("{}/{}", self.name, id.into().id);
         let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
-        run_bench(&full, samples, self.criterion.test_mode, |b| f(b, input));
+        run_bench(
+            &full,
+            samples,
+            self.criterion.test_mode,
+            json_path().as_deref(),
+            |b| f(b, input),
+        );
         self
     }
 
@@ -130,7 +142,13 @@ impl BenchmarkGroup<'_> {
     {
         let full = format!("{}/{}", self.name, id.into().id);
         let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
-        run_bench(&full, samples, self.criterion.test_mode, |b| f(b));
+        run_bench(
+            &full,
+            samples,
+            self.criterion.test_mode,
+            json_path().as_deref(),
+            |b| f(b),
+        );
         self
     }
 
@@ -164,7 +182,19 @@ fn run_once(f: &mut impl FnMut(&mut Bencher), iters: u64) -> Duration {
     b.elapsed
 }
 
-fn run_bench(id: &str, samples: usize, test_mode: bool, mut f: impl FnMut(&mut Bencher)) {
+/// The `CRITERION_JSON` target, if set (read once per benchmark; tests
+/// inject a path directly instead of mutating process-global env).
+fn json_path() -> Option<std::path::PathBuf> {
+    std::env::var_os("CRITERION_JSON").map(std::path::PathBuf::from)
+}
+
+fn run_bench(
+    id: &str,
+    samples: usize,
+    test_mode: bool,
+    json: Option<&std::path::Path>,
+    mut f: impl FnMut(&mut Bencher),
+) {
     if test_mode {
         run_once(&mut f, 1);
         println!("{id}: ok (test mode)");
@@ -180,15 +210,20 @@ fn run_bench(id: &str, samples: usize, test_mode: bool, mut f: impl FnMut(&mut B
         (target.as_nanos() / first.as_nanos()).clamp(1, 1_000_000) as u64
     };
     // Keep very slow benchmarks bounded: one sample once a single
-    // iteration passes ~2s, a handful below that.
+    // iteration passes ~2s, a handful below that. Clamping below the
+    // requested count is *recorded* — a single-sample "min" is not a
+    // minimum of anything, so baselines carry `samples_capped: true`
+    // rather than passing the number off as a converged statistic.
+    let requested = samples.max(1);
     let samples = if first >= Duration::from_secs(2) {
         1
     } else if first >= Duration::from_millis(200) {
-        samples.min(3)
+        requested.min(3)
     } else {
-        samples
+        requested
     }
     .max(1);
+    let capped = samples < requested;
 
     let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
     for _ in 0..samples {
@@ -200,14 +235,15 @@ fn run_bench(id: &str, samples: usize, test_mode: bool, mut f: impl FnMut(&mut B
     let median = per_iter_ns[per_iter_ns.len() / 2];
     let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
     println!(
-        "{id:<50} time: [min {} mean {} median {}] ({} samples x {} iters)",
+        "{id:<50} time: [min {} mean {} median {}] ({} samples x {} iters{})",
         fmt_ns(min),
         fmt_ns(mean),
         fmt_ns(median),
         per_iter_ns.len(),
-        iters_per_sample
+        iters_per_sample,
+        if capped { ", capped" } else { "" }
     );
-    if let Ok(path) = std::env::var("CRITERION_JSON") {
+    if let Some(path) = json {
         if let Ok(mut file) = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -216,7 +252,8 @@ fn run_bench(id: &str, samples: usize, test_mode: bool, mut f: impl FnMut(&mut B
             let _ = writeln!(
                 file,
                 "{{\"id\":\"{id}\",\"min_ns\":{min:.1},\"mean_ns\":{mean:.1},\
-                 \"median_ns\":{median:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+                 \"median_ns\":{median:.1},\"samples\":{},\"iters_per_sample\":{},\
+                 \"samples_capped\":{capped}}}",
                 per_iter_ns.len(),
                 iters_per_sample
             );
@@ -281,7 +318,35 @@ mod tests {
     #[test]
     fn run_bench_smoke() {
         // Exercise the measurement path end to end on a trivial closure.
-        run_bench("smoke/1", 2, false, |b| b.iter(|| 1 + 1));
-        run_bench("smoke/test-mode", 2, true, |b| b.iter(|| 1 + 1));
+        run_bench("smoke/1", 2, false, None, |b| b.iter(|| 1 + 1));
+        run_bench("smoke/test-mode", 2, true, None, |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn slow_benchmarks_record_the_sample_cap() {
+        // A ~210ms iteration trips the 3-sample clamp; with 5 samples
+        // requested the JSON line must carry samples_capped: true. The
+        // JSON target is injected directly (no process-global env
+        // mutation, which would race other tests in this binary).
+        let path =
+            std::env::temp_dir().join(format!("criterion_cap_test_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        run_bench("cap-test/slow", 5, false, Some(&path), |b| {
+            b.iter(|| std::thread::sleep(Duration::from_millis(210)))
+        });
+        run_bench("cap-test/fast", 2, false, Some(&path), |b| b.iter(|| 1 + 1));
+        let json = std::fs::read_to_string(&path).expect("JSONL written");
+        let slow = json
+            .lines()
+            .find(|l| l.contains("cap-test/slow"))
+            .expect("slow line");
+        assert!(slow.contains("\"samples\":3"), "got: {slow}");
+        assert!(slow.contains("\"samples_capped\":true"), "got: {slow}");
+        let fast = json
+            .lines()
+            .find(|l| l.contains("cap-test/fast"))
+            .expect("fast line");
+        assert!(fast.contains("\"samples_capped\":false"), "got: {fast}");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -8,7 +8,15 @@
 //! old "falls back on head key functions" shim is gone; programs whose
 //! heads apply key functions (Sec. 4.5) evaluate natively on every
 //! backend, and the umbrella crate's default `eval` dispatches straight
-//! to the engine.
+//! to the engine. The engine itself offers three evaluation
+//! *strategies* (global semi-naïve, FIFO worklist, priority frontier —
+//! `dlo_engine::Strategy`), gated by POPS trait bounds; for totally
+//! ordered absorptive dioids the umbrella crate's `eval_frontier` runs
+//! the Dijkstra-style priority loop.
+//!
+//! For worklist/priority outcomes, `steps` counts frontier pops or
+//! batches rather than ICO applications — fixpoints agree across
+//! backends, step counts only within one discipline.
 
 pub mod naive;
 pub mod relational;

@@ -38,6 +38,36 @@ impl<P: Pops> Relation<P> {
         rel
     }
 
+    /// Builds a relation from pairs whose tuples are **distinct**,
+    /// bulk-loading the underlying `BTreeMap` instead of walking the
+    /// tree per tuple. `⊥` values are dropped like everywhere else.
+    ///
+    /// This is the decode path for alternative backends: `dlo_engine`
+    /// materializes hundreds of thousands of unique rows per relation,
+    /// and `BTreeMap::from_iter`'s sort-and-bulk-build is an order of
+    /// magnitude faster than per-tuple [`Self::merge`] at that scale.
+    /// Duplicate tuples would be resolved last-wins by the map — *not*
+    /// `⊕`-combined — hence the distinctness requirement, debug-checked.
+    pub fn from_distinct_pairs<I: IntoIterator<Item = (Tuple, P)>>(arity: usize, pairs: I) -> Self {
+        let mut kept = 0usize;
+        let entries: BTreeMap<Tuple, P> = pairs
+            .into_iter()
+            .filter(|(t, v)| {
+                debug_assert_eq!(t.len(), arity, "arity mismatch");
+                let keep = !v.is_bottom();
+                kept += keep as usize;
+                keep
+            })
+            .collect();
+        debug_assert_eq!(
+            entries.len(),
+            kept,
+            "from_distinct_pairs requires distinct tuples (duplicates are \
+             last-wins here, not ⊕-combined — use from_pairs for those)"
+        );
+        Relation { arity, entries }
+    }
+
     /// The arity.
     pub fn arity(&self) -> usize {
         self.arity

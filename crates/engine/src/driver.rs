@@ -35,6 +35,7 @@
 //! match any stored row.
 
 use crate::exec::{run_plan, EvalCtx, HeadVal};
+use crate::hash::FxHashMap;
 use crate::intern::Interner;
 use crate::par;
 use crate::plan::{compile, CompileError, CompiledProgram, Plan, Source};
@@ -90,16 +91,17 @@ type Accum<P> = Vec<HashMap<Box<[u32]>, P>>;
 /// deterministic without a separate sort.
 type FreshAccum<P> = Vec<BTreeMap<Box<[HeadVal]>, P>>;
 
-/// The compiled program plus interned, indexed inputs.
-struct Engine<P> {
-    interner: Interner,
-    compiled: CompiledProgram<P>,
-    pops_edb: Vec<Option<ColumnRel<P>>>,
-    bool_edb: Vec<Option<ColumnRel<Bool>>>,
-    adom: Vec<u32>,
+/// The compiled program plus interned, indexed inputs (shared with the
+/// frontier drivers in [`crate::worklist`]).
+pub(crate) struct Engine<P> {
+    pub(crate) interner: Interner,
+    pub(crate) compiled: CompiledProgram<P>,
+    pub(crate) pops_edb: Vec<Option<ColumnRel<P>>>,
+    pub(crate) bool_edb: Vec<Option<ColumnRel<Bool>>>,
+    pub(crate) adom: Vec<u32>,
     /// Index masks needed on each IDB's `new` storage (serves both the
     /// `New` and `Old` sources).
-    idb_new_masks: Vec<Vec<u32>>,
+    pub(crate) idb_new_masks: Vec<Vec<u32>>,
     /// Index masks needed on each IDB's per-iteration delta.
     idb_delta_masks: Vec<Vec<u32>>,
 }
@@ -107,7 +109,7 @@ struct Engine<P> {
 /// The three semi-naïve IDB states.
 struct IdbState<P> {
     new: Vec<ColumnRel<P>>,
-    changed: Vec<HashMap<u32, Option<P>>>,
+    changed: Vec<FxHashMap<u32, Option<P>>>,
     delta: Vec<ColumnRel<P>>,
 }
 
@@ -208,7 +210,7 @@ fn setup<P: Pops>(
 /// language, and programs outside these representation limits are
 /// malformed for every backend (the relational backend debug-asserts on
 /// mixed-arity heads).
-fn setup_or_panic<P: Pops>(
+pub(crate) fn setup_or_panic<P: Pops>(
     program: &Program<P>,
     pops_db: &Database<P>,
     bool_db: &BoolDatabase,
@@ -219,7 +221,7 @@ fn setup_or_panic<P: Pops>(
 }
 
 impl<P: Pops> Engine<P> {
-    fn empty_idbs(&self) -> Vec<ColumnRel<P>> {
+    pub(crate) fn empty_idbs(&self) -> Vec<ColumnRel<P>> {
         self.compiled
             .idbs
             .iter()
@@ -227,17 +229,61 @@ impl<P: Pops> Engine<P> {
             .collect()
     }
 
-    fn decode(&self, rels: &[ColumnRel<P>]) -> Database<P> {
+    /// Materializes interned IDB storage back into `Database` form.
+    ///
+    /// The obvious per-row decode was the single most expensive phase of
+    /// a large run: `BTreeMap` construction from *unsorted* tuples sorts
+    /// them with full `Tuple` (vec-of-enum) comparisons. Instead the
+    /// rows are ordered **before** materialization using an
+    /// interned-rank table — rank order is order-isomorphic to
+    /// `Constant` order, so comparing packed `u64` ranks gives exactly
+    /// the tuple order the `BTreeMap` wants — and the bulk-loading
+    /// constructor then sees pre-sorted keys (its internal sort pass
+    /// degenerates to a linear scan).
+    pub(crate) fn decode(&self, rels: &[ColumnRel<P>]) -> Database<P> {
+        // Rank over *all* currently interned ids (minting may have
+        // extended the table past the setup-time active domain).
+        let mut ids: Vec<u32> = (0..self.interner.len() as u32).collect();
+        ids.sort_unstable_by(|a, b| self.interner.get(*a).cmp(self.interner.get(*b)));
+        let mut rank = vec![0u32; ids.len()];
+        for (pos, &id) in ids.iter().enumerate() {
+            rank[id as usize] = pos as u32;
+        }
+
         let mut db = Database::new();
         for ((name, arity), rel) in self.compiled.idbs.iter().zip(rels) {
-            let pairs = rel.iter().map(|(_, key, v)| {
-                let tuple: Tuple = key
+            let order: Vec<u32> = if *arity <= 2 {
+                let mut keyed: Vec<(u64, u32)> = (0..rel.len() as u32)
+                    .map(|r| {
+                        let packed = match rel.row(r) {
+                            [] => 0u64,
+                            [a] => rank[*a as usize] as u64,
+                            [a, b] => ((rank[*a as usize] as u64) << 32) | rank[*b as usize] as u64,
+                            _ => unreachable!("arity ≤ 2"),
+                        };
+                        (packed, r)
+                    })
+                    .collect();
+                keyed.sort_unstable_by_key(|&(k, _)| k);
+                keyed.into_iter().map(|(_, r)| r).collect()
+            } else {
+                let mut order: Vec<u32> = (0..rel.len() as u32).collect();
+                order.sort_unstable_by(|&a, &b| {
+                    let ra = rel.row(a).iter().map(|&id| rank[id as usize]);
+                    let rb = rel.row(b).iter().map(|&id| rank[id as usize]);
+                    ra.cmp(rb)
+                });
+                order
+            };
+            let pairs = order.into_iter().map(|r| {
+                let tuple: Tuple = rel
+                    .row(r)
                     .iter()
                     .map(|&id| self.interner.get(id).clone())
                     .collect();
-                (tuple, v.clone())
+                (tuple, rel.val(r).clone())
             });
-            db.insert(name, Relation::from_pairs(*arity, pairs));
+            db.insert(name, Relation::from_distinct_pairs(*arity, pairs));
         }
         db
     }
@@ -268,7 +314,11 @@ fn merge_into<P: PreSemiring>(map: &mut HashMap<Box<[u32]>, P>, key: &[u32], v: 
     }
 }
 
-fn merge_fresh<P: PreSemiring>(map: &mut BTreeMap<Box<[HeadVal]>, P>, key: &[HeadVal], v: P) {
+pub(crate) fn merge_fresh<P: PreSemiring>(
+    map: &mut BTreeMap<Box<[HeadVal]>, P>,
+    key: &[HeadVal],
+    v: P,
+) {
     match map.get_mut(key) {
         Some(g) => *g = g.add(&v),
         None => {
@@ -284,7 +334,7 @@ fn merge_fresh<P: PreSemiring>(map: &mut BTreeMap<Box<[HeadVal]>, P>, key: &[Hea
 /// injectively to brand-new ids (they were not interned when the phase
 /// ran) and `Id` cells predate the phase, so a minted row can collide
 /// neither with another minted row nor with any row already stored.
-fn mint_key(interner: &mut Interner, key: &[HeadVal]) -> Vec<u32> {
+pub(crate) fn mint_key(interner: &mut Interner, key: &[HeadVal]) -> Vec<u32> {
     key.iter()
         .map(|hv| match hv {
             HeadVal::Id(id) => *id,
@@ -430,7 +480,7 @@ where
     let nidb = engine.compiled.idbs.len();
     let mut state = IdbState {
         new: engine.empty_idbs(),
-        changed: vec![HashMap::new(); nidb],
+        changed: vec![FxHashMap::default(); nidb],
         delta: engine.empty_idbs(),
     };
     for (pred, rel) in state.new.iter_mut().enumerate() {
@@ -513,7 +563,7 @@ where
     let nidb = engine.compiled.idbs.len();
     let mut state = IdbState {
         new: engine.empty_idbs(),
-        changed: vec![HashMap::new(); nidb],
+        changed: vec![FxHashMap::default(); nidb],
         delta: engine.empty_idbs(),
     };
     for (pred, rel) in state.new.iter_mut().enumerate() {
@@ -527,7 +577,7 @@ where
         for (key, v) in drain_sorted(acc) {
             let r = state.new[pred].insert_row(&key, v.clone());
             state.changed[pred].insert(r, None);
-            state.delta[pred].insert_row(&key, v);
+            state.delta[pred].append_row(&key, v);
         }
     }
     for (pred, acc) in fresh.into_iter().enumerate() {
@@ -535,7 +585,7 @@ where
             let key = mint_key(&mut engine.interner, &key);
             let r = state.new[pred].insert_row(&key, v.clone());
             state.changed[pred].insert(r, None);
-            state.delta[pred].insert_row(&key, v);
+            state.delta[pred].append_row(&key, v);
         }
     }
     ensure_delta_indexes(&engine, &mut state);
@@ -560,7 +610,7 @@ where
                 if diff.is_zero() {
                     continue;
                 }
-                next_delta[pred].insert_row(&key, diff);
+                next_delta[pred].append_row(&key, diff);
                 match state.new[pred].rowid(&key) {
                     Some(r) => {
                         let merged = existing.add(&v);
@@ -584,7 +634,7 @@ where
                 if diff.is_zero() {
                     continue;
                 }
-                next_delta[pred].insert_row(&key, diff);
+                next_delta[pred].append_row(&key, diff);
                 let r = state.new[pred].insert_row(&key, v);
                 state.changed[pred].insert(r, None);
             }

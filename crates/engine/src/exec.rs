@@ -13,13 +13,13 @@
 //! so no per-valuation dedup set is needed — unlike the relational
 //! backend's `seen` tree.
 
+use crate::hash::FxHashMap;
 use crate::intern::Interner;
 use crate::plan::{CFormula, CTerm, HeadOp, Plan, ProbeCol, Source, Step};
 use crate::storage::ColumnRel;
 use dlo_core::ast::KeyFn;
 use dlo_core::formula::CmpOp;
 use dlo_pops::{Bool, Pops};
-use std::collections::HashMap;
 
 /// Sentinel for an unbound valuation slot.
 const UNBOUND: u32 = u32::MAX;
@@ -54,7 +54,7 @@ pub struct EvalCtx<'a, P> {
     pub idb_new: &'a [ColumnRel<P>],
     /// Per-IDB rows changed in the step `J(t-1) → J(t)`:
     /// `row ↦ Some(old value)` for updates, `row ↦ None` for appends.
-    pub idb_changed: &'a [HashMap<u32, Option<P>>],
+    pub idb_changed: &'a [FxHashMap<u32, Option<P>>],
     /// Per-IDB delta `δ(t-1)` (values are the `⊖` differences).
     pub idb_delta: &'a [ColumnRel<P>],
 }
@@ -186,6 +186,7 @@ pub fn run_plan<'a, P: Pops>(
         slots: vec![UNBOUND; plan.nslots],
         values: vec![None; plan.nfactors],
         row_keys: vec![None; plan.steps.len()],
+        probe_scratch: Vec::new(),
         emit,
         emit_fresh,
     };
@@ -199,7 +200,7 @@ pub fn run_plan<'a, P: Pops>(
 enum StepRel<'a, P> {
     Pops(&'a ColumnRel<P>),
     /// New-state storage read *as* the old state: `changed` patches.
-    PopsOld(&'a ColumnRel<P>, &'a HashMap<u32, Option<P>>),
+    PopsOld(&'a ColumnRel<P>, &'a FxHashMap<u32, Option<P>>),
     Guard(&'a ColumnRel<Bool>),
 }
 
@@ -244,6 +245,12 @@ struct Runner<'r, 'a, P: Pops> {
     slots: Vec<u32>,
     values: Vec<Option<&'a P>>,
     row_keys: Vec<Option<&'a [u32]>>,
+    /// Reusable probe-key buffer: one plan run probes indexes once per
+    /// candidate row across every step, so a fresh `Vec` per probe is
+    /// pure allocator traffic on the hot join path. Taken and restored
+    /// around each probe (the probed row list borrows the relation, not
+    /// the key, so the buffer is free again before recursing).
+    probe_scratch: Vec<u32>,
     emit: &'r mut dyn FnMut(&[u32], P),
     emit_fresh: &'r mut dyn FnMut(&[HeadVal], P),
 }
@@ -289,7 +296,8 @@ impl<'a, P: Pops> Runner<'_, 'a, P> {
             }
             Candidates::Scan(lo..hi)
         } else {
-            let mut key: Vec<u32> = Vec::with_capacity(step.probe.len());
+            let mut key = std::mem::take(&mut self.probe_scratch);
+            key.clear();
             for p in &step.probe {
                 let id = match p {
                     ProbeCol::Const(id) => Some(*id),
@@ -299,10 +307,16 @@ impl<'a, P: Pops> Runner<'_, 'a, P> {
                 };
                 match id {
                     Some(id) => key.push(id),
-                    None => return, // un-interned probe value: no match
+                    None => {
+                        self.probe_scratch = key;
+                        return; // un-interned probe value: no match
+                    }
                 }
             }
             let mut rows = rel.probe(step.mask, &key);
+            // The row list borrows `rel`, not `key` — hand the buffer
+            // back before recursing so deeper steps reuse it.
+            self.probe_scratch = key;
             if i == 0 {
                 if let Some((a, b)) = self.range0 {
                     rows = &rows[a.min(rows.len())..b.min(rows.len())];

@@ -199,13 +199,51 @@ pub struct CompiledProgram<P> {
     /// (those are not differentiable through ⊖). IDB-free sum-products
     /// are covered by seeding alone (eq. 65).
     pub delta_plans: Vec<Plan<P>>,
+    /// Worklist plans, grouped by the Δ occurrence's IDB: for each
+    /// sum-product and each IDB occurrence `k`, one plan with occurrence
+    /// `k` reading Δ and **every other occurrence reading New** (no
+    /// prefix/suffix split — the frontier drivers have no global
+    /// iteration boundary to split against). `worklist_plans[p]` holds
+    /// every plan whose Δ occurrence is predicate `p`; firing them all
+    /// whenever a `p`-row improves covers every derivation that row
+    /// participates in.
+    ///
+    /// Unlike [`Self::delta_plans`], value-function-wrapped IDB factors
+    /// get the occurrence split too: worklist Δ relations carry **full
+    /// current values**, not `⊖` differences, so `func(Δ)` is exact and
+    /// the split is sound for idempotent `⊕` (re-derivations merge to
+    /// the same value).
+    ///
+    /// Compiled unconditionally — even for runs that never fire them —
+    /// because a `Plan` is a one-off microsecond compile artifact
+    /// (O(rules × occurrences) of them per program), unlike *indexes*,
+    /// which cost per-row maintenance forever and are therefore gated
+    /// behind [`Self::worklist_index_requirements`].
+    pub worklist_plans: Vec<Vec<Plan<P>>>,
 }
 
 impl<P: Pops> CompiledProgram<P> {
-    /// All `(source, mask)` index requirements across plans.
+    /// All `(source, mask)` index requirements across the seed and
+    /// semi-naïve delta plans (what [`crate::driver`]'s loops read).
     pub fn index_requirements(&self) -> Vec<(Source, ColMask)> {
         let mut out = vec![];
         for plan in self.seed_plans.iter().chain(&self.delta_plans) {
+            for step in &plan.steps {
+                if step.mask != 0 && !out.contains(&(step.source, step.mask)) {
+                    out.push((step.source, step.mask));
+                }
+            }
+        }
+        out
+    }
+
+    /// All `(source, mask)` index requirements of the worklist plans —
+    /// kept separate from [`Self::index_requirements`] so the global
+    /// semi-naïve loop never pays for indexes only the frontier drivers
+    /// probe.
+    pub fn worklist_index_requirements(&self) -> Vec<(Source, ColMask)> {
+        let mut out = vec![];
+        for plan in self.worklist_plans.iter().flatten() {
             for step in &plan.steps {
                 if step.mask != 0 && !out.contains(&(step.source, step.mask)) {
                     out.push((step.source, step.mask));
@@ -241,6 +279,7 @@ pub fn compile<P: Pops>(
     }
     let mut seed_plans = vec![];
     let mut delta_plans = vec![];
+    let mut worklist_plans: Vec<Vec<Plan<P>>> = vec![vec![]; c.idbs.len()];
     for rule in &program.rules {
         for sp in &rule.body {
             let idb_occurrences: Vec<usize> = sp
@@ -256,6 +295,22 @@ pub fn compile<P: Pops>(
             seed_plans.push(c.compile_sp(rule, sp, &|_| OccSource::New, None)?);
             if idb_occurrences.is_empty() {
                 continue; // eq. (65): constant sum-products never re-fire.
+            }
+            // Worklist variants: occurrence k reads Δ, everything else
+            // reads New (including value-function-wrapped factors — Δ
+            // carries full values, see `CompiledProgram::worklist_plans`).
+            for (k, &fi) in idb_occurrences.iter().enumerate() {
+                let sel = move |occ: usize| {
+                    if occ == k {
+                        OccSource::Delta
+                    } else {
+                        OccSource::New
+                    }
+                };
+                let pred = c
+                    .idb_id(&sp.factors[fi].atom.pred)
+                    .expect("occurrence list filtered on IDBs");
+                worklist_plans[pred].push(c.compile_sp(rule, sp, &sel, Some(k))?);
             }
             if wrapped_idb {
                 // Value functions make the occurrence split unsound in
@@ -280,6 +335,7 @@ pub fn compile<P: Pops>(
         bool_edbs: c.bool_edbs,
         seed_plans,
         delta_plans,
+        worklist_plans,
     })
 }
 
@@ -675,6 +731,34 @@ mod tests {
             c.delta_plans[1].steps[1].source,
             Source::IdbNew(0)
         ));
+    }
+
+    #[test]
+    fn worklist_plans_are_grouped_by_delta_pred() {
+        // Quadratic TC: two IDB occurrences ⇒ two worklist plans, both
+        // grouped under T, each driven by its Δ occurrence with the
+        // *other* occurrence reading New (never Old — there is no global
+        // iteration boundary in the frontier drivers).
+        let prog: dlo_core::Program<Trop> =
+            parse_program("T(X, Y) :- E(X, Y) + T(X, Z) * T(Z, Y).").unwrap();
+        let mut interner = Interner::new();
+        let c = compile(&prog, &mut interner).unwrap();
+        assert_eq!(c.worklist_plans.len(), 1);
+        let plans = &c.worklist_plans[0];
+        assert_eq!(plans.len(), 2);
+        for plan in plans {
+            assert!(matches!(plan.steps[0].source, Source::IdbDelta(0)));
+            assert!(matches!(plan.steps[1].source, Source::IdbNew(0)));
+            assert!(!plan
+                .steps
+                .iter()
+                .any(|s| matches!(s.source, Source::IdbOld(_))));
+        }
+        // The delta masks worklist plans probe are reported separately.
+        let reqs = c.worklist_index_requirements();
+        assert!(reqs
+            .iter()
+            .any(|(s, _)| matches!(s, Source::IdbNew(0) | Source::IdbDelta(0))));
     }
 
     #[test]

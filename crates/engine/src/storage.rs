@@ -7,20 +7,114 @@
 //! `(relation, bound-column-set)` — once a mask is requested it is
 //! maintained incrementally by [`ColumnRel::insert_row`], so monotone
 //! relations (the semi-naïve `new` state) never pay a rebuild.
+//!
+//! ## Packed keys
+//!
+//! Row maps and indexes over keys of **width ≤ 2** (the overwhelmingly
+//! common case: unary and binary relations, single-column probes) store
+//! their keys packed into a `u64` instead of a `Box<[u32]>`. That turns
+//! every lookup into an inline-integer hash and compare — no per-key
+//! heap allocation on insert, no pointer chase on probe — which matters
+//! because TC-class fixpoints do one row-map merge and one index probe
+//! *per derivation*: at 500k+ derivations the boxed-slice map was the
+//! single largest line item in the profile (hash + eq both dereference,
+//! plus an allocation and eventual free per stored key).
 
+use crate::hash::FxHashMap;
 use dlo_pops::Pops;
-use std::collections::HashMap;
 
 /// A column bitmask: bit `c` set ⇔ column `c` participates in the probe.
 pub type ColMask = u32;
 
 /// Projects `row` onto the columns of `mask`, ascending.
 pub fn project(row: &[u32], mask: ColMask) -> Box<[u32]> {
-    row.iter()
-        .enumerate()
-        .filter(|(c, _)| mask & (1 << c) != 0)
-        .map(|(_, &v)| v)
-        .collect()
+    let mut out = Vec::with_capacity(mask.count_ones() as usize);
+    project_into(row, mask, &mut out);
+    out.into_boxed_slice()
+}
+
+/// [`project`] into a caller-owned scratch buffer (cleared first) — the
+/// allocation-free variant the hot paths use: index maintenance in
+/// [`ColumnRel::insert_row`] and the executor's probe-key assembly both
+/// run once per candidate row, so a fresh `Box<[u32]>` per call shows up
+/// directly in join profiles.
+pub fn project_into(row: &[u32], mask: ColMask, out: &mut Vec<u32>) {
+    out.clear();
+    for (c, &v) in row.iter().enumerate() {
+        if mask & (1 << c) != 0 {
+            out.push(v);
+        }
+    }
+}
+
+/// Packs a key of width ≤ 2 into one `u64` (width is fixed per map, so
+/// `[a]` and `[a, 0]` can never meet in the same map).
+#[inline]
+fn pack(key: &[u32]) -> u64 {
+    match key {
+        [] => 0,
+        [a] => *a as u64,
+        [a, b] => ((*a as u64) << 32) | *b as u64,
+        _ => unreachable!("packed maps hold keys of width ≤ 2"),
+    }
+}
+
+/// A hash map keyed by id tuples of a fixed width: packed into `u64`s
+/// for width ≤ 2, boxed slices beyond.
+#[derive(Clone, Debug)]
+enum KeyedMap<V> {
+    Packed(FxHashMap<u64, V>),
+    Wide(FxHashMap<Box<[u32]>, V>),
+}
+
+impl<V> KeyedMap<V> {
+    fn new(width: usize) -> Self {
+        if width <= 2 {
+            KeyedMap::Packed(FxHashMap::default())
+        } else {
+            KeyedMap::Wide(FxHashMap::default())
+        }
+    }
+
+    #[inline]
+    fn get(&self, key: &[u32]) -> Option<&V> {
+        match self {
+            KeyedMap::Packed(m) => m.get(&pack(key)),
+            KeyedMap::Wide(m) => m.get(key),
+        }
+    }
+
+    #[inline]
+    fn get_mut(&mut self, key: &[u32]) -> Option<&mut V> {
+        match self {
+            KeyedMap::Packed(m) => m.get_mut(&pack(key)),
+            KeyedMap::Wide(m) => m.get_mut(key),
+        }
+    }
+
+    #[inline]
+    fn contains_key(&self, key: &[u32]) -> bool {
+        self.get(key).is_some()
+    }
+
+    #[inline]
+    fn insert(&mut self, key: &[u32], v: V) {
+        match self {
+            KeyedMap::Packed(m) => {
+                m.insert(pack(key), v);
+            }
+            KeyedMap::Wide(m) => {
+                m.insert(key.into(), v);
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            KeyedMap::Packed(m) => m.clear(),
+            KeyedMap::Wide(m) => m.clear(),
+        }
+    }
 }
 
 /// An interned finite-support relation: flat rows, values, row map, and
@@ -30,8 +124,11 @@ pub struct ColumnRel<P> {
     arity: usize,
     keys: Vec<u32>,
     vals: Vec<P>,
-    map: HashMap<Box<[u32]>, u32>,
-    indexes: HashMap<ColMask, HashMap<Box<[u32]>, Vec<u32>>>,
+    map: KeyedMap<u32>,
+    indexes: FxHashMap<ColMask, KeyedMap<Vec<u32>>>,
+    /// Reusable projection buffer for index maintenance (never observed
+    /// across calls; cloned relations just get an empty one).
+    scratch: Vec<u32>,
 }
 
 impl<P: Pops> ColumnRel<P> {
@@ -42,8 +139,23 @@ impl<P: Pops> ColumnRel<P> {
             arity,
             keys: Vec::new(),
             vals: Vec::new(),
-            map: HashMap::new(),
-            indexes: HashMap::new(),
+            map: KeyedMap::new(arity),
+            indexes: FxHashMap::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Removes every row while keeping the arity, every registered index
+    /// mask, and the allocated capacity — the worklist drivers refill
+    /// per-frontier delta relations thousands of times per run, so
+    /// re-registering indexes (or re-growing buffers) per batch would
+    /// dominate.
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.vals.clear();
+        self.map.clear();
+        for index in self.indexes.values_mut() {
+            index.clear();
         }
     }
 
@@ -90,14 +202,29 @@ impl<P: Pops> ColumnRel<P> {
     /// every subsequent row boundary in the flat storage, silently
     /// corrupting the relation.
     pub fn insert_row(&mut self, key: &[u32], value: P) -> u32 {
-        assert_eq!(key.len(), self.arity, "row arity mismatch");
         debug_assert!(!self.map.contains_key(key), "insert_row on present key");
+        let r = self.append_row(key, value);
+        self.map.insert(key, r);
+        r
+    }
+
+    /// Appends a row **without** registering it in the full-key row map
+    /// — for relations only ever read by scan or prefix-index probe
+    /// (the drivers' Δ relations): the map insert is pure overhead when
+    /// nothing calls [`Self::rowid`]/[`Self::get`]/[`Self::merge`] on
+    /// the relation. Indexes are still maintained. Mixing `append_row`
+    /// with the map-dependent methods on one relation is a caller bug.
+    pub fn append_row(&mut self, key: &[u32], value: P) -> u32 {
+        assert_eq!(key.len(), self.arity, "row arity mismatch");
         let r = self.vals.len() as u32;
         self.keys.extend_from_slice(key);
         self.vals.push(value);
-        self.map.insert(key.into(), r);
         for (&mask, index) in &mut self.indexes {
-            index.entry(project(key, mask)).or_default().push(r);
+            project_into(key, mask, &mut self.scratch);
+            match index.get_mut(&self.scratch) {
+                Some(rows) => rows.push(r),
+                None => index.insert(&self.scratch, vec![r]),
+            }
         }
         r
     }
@@ -110,13 +237,50 @@ impl<P: Pops> ColumnRel<P> {
     /// `⊕`-merges `value` at `key` (insert when absent), returning the
     /// affected row id.
     pub fn merge(&mut self, key: &[u32], value: P) -> u32 {
-        match self.rowid(key) {
+        self.merge_changed(key, value).0
+    }
+
+    /// [`Self::merge`] that also reports whether the stored value
+    /// actually changed — the worklist drivers' improvement test (on
+    /// naturally ordered POPS `old ⊕ v ≠ old` ⟺ the row strictly
+    /// improved, no `⊖` needed).
+    ///
+    /// One map operation per call on the packed path: the row map entry
+    /// is claimed and filled in a single probe (this runs once per
+    /// derivation, so the second hash+probe of a lookup-then-insert
+    /// sequence was measurable at fixpoint scale).
+    pub fn merge_changed(&mut self, key: &[u32], value: P) -> (u32, bool) {
+        use std::collections::hash_map::Entry;
+        let next = self.vals.len() as u32;
+        let existing = match &mut self.map {
+            KeyedMap::Packed(m) => match m.entry(pack(key)) {
+                Entry::Occupied(e) => Some(*e.get()),
+                Entry::Vacant(e) => {
+                    e.insert(next);
+                    None
+                }
+            },
+            // Wide keys would need an owned Box to use the entry API;
+            // keep the two-op sequence there (arity > 2 is rare).
+            KeyedMap::Wide(m) => match m.get(key) {
+                Some(&r) => Some(r),
+                None => {
+                    m.insert(key.into(), next);
+                    None
+                }
+            },
+        };
+        match existing {
             Some(r) => {
                 let combined = self.vals[r as usize].add(&value);
-                self.set_val(r, combined);
-                r
+                if combined == self.vals[r as usize] {
+                    (r, false)
+                } else {
+                    self.set_val(r, combined);
+                    (r, true)
+                }
             }
-            None => self.insert_row(key, value),
+            None => (self.append_row(key, value), true),
         }
     }
 
@@ -126,9 +290,16 @@ impl<P: Pops> ColumnRel<P> {
         if mask == 0 || self.indexes.contains_key(&mask) {
             return;
         }
-        let mut index: HashMap<Box<[u32]>, Vec<u32>> = HashMap::new();
-        for r in 0..self.vals.len() as u32 {
-            index.entry(project(self.row(r), mask)).or_default().push(r);
+        let width = mask.count_ones() as usize;
+        let mut index: KeyedMap<Vec<u32>> = KeyedMap::new(width);
+        let mut key: Vec<u32> = Vec::with_capacity(width);
+        for r in 0..self.vals.len() {
+            let s = r * self.arity;
+            project_into(&self.keys[s..s + self.arity], mask, &mut key);
+            match index.get_mut(&key) {
+                Some(rows) => rows.push(r as u32),
+                None => index.insert(&key, vec![r as u32]),
+            }
         }
         self.indexes.insert(mask, index);
     }
@@ -177,8 +348,64 @@ mod tests {
     }
 
     #[test]
+    fn wide_relations_use_boxed_keys_transparently() {
+        // Arity 3 exceeds the packed-key width: same API, boxed path.
+        let mut rel = ColumnRel::<Trop>::new(3);
+        rel.ensure_index(0b101);
+        rel.insert_row(&[1, 2, 3], Trop::finite(1.0));
+        rel.insert_row(&[1, 9, 3], Trop::finite(2.0));
+        assert_eq!(rel.probe(0b101, &[1, 3]), &[0, 1]);
+        assert_eq!(rel.rowid(&[1, 9, 3]), Some(1));
+        let (r, changed) = rel.merge_changed(&[1, 2, 3], Trop::finite(0.25));
+        assert_eq!((r, changed), (0, true));
+        assert_eq!(rel.get(&[1, 2, 3]), Some(&Trop::finite(0.25)));
+    }
+
+    #[test]
+    fn packed_keys_distinguish_column_order() {
+        let mut rel = ColumnRel::<Trop>::new(2);
+        rel.insert_row(&[1, 2], Trop::finite(1.0));
+        rel.insert_row(&[2, 1], Trop::finite(2.0));
+        assert_eq!(rel.get(&[1, 2]), Some(&Trop::finite(1.0)));
+        assert_eq!(rel.get(&[2, 1]), Some(&Trop::finite(2.0)));
+        assert_eq!(rel.get(&[2, 2]), None);
+    }
+
+    #[test]
     fn projection_is_ascending_by_column() {
         assert_eq!(project(&[7, 8, 9], 0b101).as_ref(), &[7, 9]);
         assert_eq!(project(&[7, 8, 9], 0).as_ref(), &[0u32; 0]);
+        let mut scratch = vec![99, 99];
+        project_into(&[7, 8, 9], 0b110, &mut scratch);
+        assert_eq!(scratch, vec![8, 9]);
+    }
+
+    #[test]
+    fn clear_keeps_indexes_registered() {
+        let mut rel = ColumnRel::<Trop>::new(2);
+        rel.ensure_index(0b01);
+        rel.insert_row(&[0, 1], Trop::finite(1.0));
+        rel.clear();
+        assert!(rel.is_empty());
+        // The mask survives the clear: probes work and incremental
+        // maintenance resumes without another ensure_index.
+        assert_eq!(rel.probe(0b01, &[0]), &[0u32; 0]);
+        rel.insert_row(&[0, 2], Trop::finite(2.0));
+        assert_eq!(rel.probe(0b01, &[0]), &[0]);
+    }
+
+    #[test]
+    fn merge_changed_reports_strict_improvement() {
+        let mut rel = ColumnRel::<Trop>::new(1);
+        let (r, ch) = rel.merge_changed(&[3], Trop::finite(5.0));
+        assert!(ch, "insert is a change");
+        // Worse value: ⊕ = min leaves the row alone.
+        let (r2, ch) = rel.merge_changed(&[3], Trop::finite(9.0));
+        assert!(!ch);
+        assert_eq!(r, r2);
+        // Strictly better value: change reported.
+        let (_, ch) = rel.merge_changed(&[3], Trop::finite(1.0));
+        assert!(ch);
+        assert_eq!(rel.get(&[3]), Some(&Trop::finite(1.0)));
     }
 }

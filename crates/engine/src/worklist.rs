@@ -1,0 +1,791 @@
+//! Worklist and priority-frontier evaluation: per-row change propagation
+//! instead of global Δ iterations.
+//!
+//! The semi-naïve loop in [`crate::driver`] re-runs every delta plan
+//! against the *whole* Δ relation each round, so a program whose
+//! fixpoint has a long dependency chain (1k-node chain TC ⇒ ~1000
+//! rounds) pays the full per-round machinery — accumulator allocation,
+//! sorted drains, Δ re-indexing — a thousand times. Over **absorptive**
+//! POPS (`dlo_pops::Absorptive`: `x ⊕ 1 = 1`, i.e. every element is
+//! 0-stable) the paper guarantees much more structure than the global
+//! loop exploits: by Corollary 5.19 every polynomial over a 0-stable
+//! semiring is `N`-stable, so each ground fact's value strictly improves
+//! at most a bounded number of times before it settles. That licenses a
+//! **worklist**: keep a per-`(relation, row)` change queue, and when a
+//! row's value strictly improves (in the natural order), re-fire only
+//! the rules that row can feed.
+//!
+//! Two queue disciplines, picked by [`Strategy`] or by trait bounds:
+//!
+//! * **FIFO worklist** ([`engine_worklist_eval`], needs `Absorptive`) —
+//!   rows are processed in improvement order; a row may be re-processed
+//!   when a later derivation improves it again.
+//! * **Priority frontier** ([`engine_priority_eval`], needs
+//!   `Absorptive + TotallyOrderedDioid`) — a *bucketed best-first*
+//!   queue keyed by value: the ⊑-greatest pending bucket is drained as
+//!   one batch. Because `⊗` can only move values down the chain
+//!   (`x ⊗ y ⊑ x ⊗ 1 = x` by monotonicity + absorption), no future
+//!   derivation can improve a popped best-value row: every fact is
+//!   popped **settled**, Dijkstra-style, and the whole fixpoint is one
+//!   near-linear pass over the derivations. Stale queue entries (rows
+//!   improved after being pushed) are skipped lazily by comparing the
+//!   bucket value against the row's current value.
+//!
+//! Both disciplines fire the per-occurrence plans of
+//! [`crate::plan::CompiledProgram::worklist_plans`]: the changed row is
+//! staged as a one-batch Δ relation carrying its **full current value**
+//! (not a `⊖` difference — no `CompleteDistributiveDioid` bound needed),
+//! and every other occurrence reads the live `new` state. On idempotent
+//! `⊕` the occasional re-derivation merges to the same value, so the
+//! scheme is sound without the prefix-new/suffix-old split of
+//! Theorem 6.5.
+//!
+//! Head key functions work exactly as in the global drivers: the
+//! interner is frozen while plans run, fresh integer cells accumulate in
+//! ordered buffers, and ids are minted between batches
+//! ([`crate::driver::mint_key`]); minted rows enter `new` as appends and
+//! are pushed like any other improvement.
+//!
+//! `steps` in the returned [`EvalOutcome`] counts processed frontier
+//! units — batches for the priority driver, row pops for the FIFO one —
+//! and the `cap` bounds that count (divergence through unbounded head-key
+//! minting is still caught). Step counts are **not** comparable across
+//! strategies; fixpoints are.
+
+use crate::driver::{
+    engine_seminaive_eval_with_opts, merge_fresh, mint_key, setup_or_panic, EngineOpts,
+};
+use crate::exec::{run_plan, EvalCtx, HeadVal};
+use crate::hash::FxHashMap;
+use crate::intern::Interner;
+use crate::plan::Source;
+use crate::storage::ColumnRel;
+use dlo_core::ast::Program;
+use dlo_core::eval::EvalOutcome;
+use dlo_core::relation::{BoolDatabase, Database};
+use dlo_pops::{
+    Absorptive, CompleteDistributiveDioid, NaturallyOrdered, Pops, TotallyOrderedDioid,
+};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Which evaluation loop [`engine_eval`] runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Strategy {
+    /// The strongest discipline the trait bounds allow — for the
+    /// totally ordered absorptive dioids [`engine_eval`] is bounded
+    /// over, that is the priority frontier.
+    #[default]
+    Auto,
+    /// The global parallel semi-naïve loop (Theorem 6.5).
+    SemiNaive,
+    /// The FIFO worklist (sound for any absorptive POPS).
+    Worklist,
+    /// The bucketed best-first frontier (Dijkstra semantics; needs a
+    /// total natural order on top of absorption).
+    Priority,
+}
+
+/// A frontier queue: how improved rows wait to be re-fired.
+trait Frontier<P: Pops> {
+    /// Records that `(pred, row)` improved to `val`.
+    fn push(&mut self, pred: usize, row: u32, val: &P);
+    /// Moves the next unit of work into `batch` (cleared by the caller);
+    /// `false` when the frontier is drained.
+    fn pop_into(&mut self, new: &[ColumnRel<P>], batch: &mut Vec<(usize, u32)>) -> bool;
+}
+
+/// FIFO discipline: one row per batch, de-duplicated by an enqueued
+/// flag — a row improved again while waiting is simply processed at its
+/// newest value when its turn comes.
+struct FifoFrontier {
+    queue: VecDeque<(u32, u32)>,
+    queued: Vec<Vec<bool>>,
+}
+
+impl FifoFrontier {
+    fn new(nidb: usize) -> Self {
+        FifoFrontier {
+            queue: VecDeque::new(),
+            queued: vec![vec![]; nidb],
+        }
+    }
+}
+
+impl<P: Pops> Frontier<P> for FifoFrontier {
+    fn push(&mut self, pred: usize, row: u32, _val: &P) {
+        let flags = &mut self.queued[pred];
+        if row as usize >= flags.len() {
+            flags.resize(row as usize + 1, false);
+        }
+        if !flags[row as usize] {
+            flags[row as usize] = true;
+            self.queue.push_back((pred as u32, row));
+        }
+    }
+
+    fn pop_into(&mut self, _new: &[ColumnRel<P>], batch: &mut Vec<(usize, u32)>) -> bool {
+        match self.queue.pop_front() {
+            Some((pred, row)) => {
+                self.queued[pred as usize][row as usize] = false;
+                batch.push((pred as usize, row));
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Bucket key ordered best-first: the ⊑-greatest value is the
+/// `BTreeMap`'s first key.
+struct BestFirst<P>(P);
+
+impl<P: TotallyOrderedDioid> PartialEq for BestFirst<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl<P: TotallyOrderedDioid> Eq for BestFirst<P> {}
+impl<P: TotallyOrderedDioid> PartialOrd for BestFirst<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P: TotallyOrderedDioid> Ord for BestFirst<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: chain_cmp's `Greater` (further up ⊑, better) sorts
+        // first.
+        other.0.chain_cmp(&self.0)
+    }
+}
+
+/// Bucketed best-first discipline. Entries are pushed on every strict
+/// improvement; an entry is *live* iff its bucket value still equals the
+/// row's current value (lazy deletion — a superseding entry always sits
+/// in a strictly better bucket, so it is processed first and the stale
+/// one skipped).
+struct BucketFrontier<P> {
+    buckets: BTreeMap<BestFirst<P>, Vec<(u32, u32)>>,
+}
+
+impl<P: TotallyOrderedDioid> BucketFrontier<P> {
+    fn new() -> Self {
+        BucketFrontier {
+            buckets: BTreeMap::new(),
+        }
+    }
+}
+
+impl<P: TotallyOrderedDioid> Frontier<P> for BucketFrontier<P> {
+    fn push(&mut self, pred: usize, row: u32, val: &P) {
+        self.buckets
+            .entry(BestFirst(val.clone()))
+            .or_default()
+            .push((pred as u32, row));
+    }
+
+    fn pop_into(&mut self, new: &[ColumnRel<P>], batch: &mut Vec<(usize, u32)>) -> bool {
+        while let Some((key, rows)) = self.buckets.pop_first() {
+            for (pred, row) in rows {
+                if new[pred as usize].val(row) == &key.0 {
+                    batch.push((pred as usize, row));
+                }
+            }
+            if !batch.is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Per-IDB emission buffer: flat keys (arity stride) plus values, so one
+/// batch's emissions append without per-derivation allocation. Plans run
+/// against an immutable borrow of the state, so emissions are buffered
+/// here and `⊕`-merged into `new` after the batch's plans finish.
+struct EmitBuf<P> {
+    arity: usize,
+    keys: Vec<u32>,
+    vals: Vec<P>,
+}
+
+impl<P> EmitBuf<P> {
+    fn new(arity: usize) -> Self {
+        EmitBuf {
+            arity,
+            keys: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, key: &[u32], v: P) {
+        self.keys.extend_from_slice(key);
+        self.vals.push(v);
+    }
+}
+
+/// Merges every buffered emission into `new`, minting interner ids for
+/// fresh head keys, and pushes each strictly improved row.
+fn apply_emissions<P: Pops, F: Frontier<P>>(
+    interner: &mut Interner,
+    new: &mut [ColumnRel<P>],
+    bufs: &mut [EmitBuf<P>],
+    fresh: &mut [BTreeMap<Box<[HeadVal]>, P>],
+    frontier: &mut F,
+) {
+    for (pred, buf) in bufs.iter_mut().enumerate() {
+        let arity = buf.arity;
+        let mut vals = std::mem::take(&mut buf.vals);
+        for (i, v) in vals.drain(..).enumerate() {
+            let key = &buf.keys[i * arity..(i + 1) * arity];
+            let (row, changed) = new[pred].merge_changed(key, v);
+            if changed {
+                frontier.push(pred, row, new[pred].val(row));
+            }
+        }
+        buf.vals = vals; // hand the capacity back for the next batch
+        buf.keys.clear();
+    }
+    for (pred, facc) in fresh.iter_mut().enumerate() {
+        while let Some((key, v)) = facc.pop_first() {
+            let key = mint_key(interner, &key);
+            let (row, changed) = new[pred].merge_changed(&key, v);
+            if changed {
+                frontier.push(pred, row, new[pred].val(row));
+            }
+        }
+    }
+}
+
+/// The shared frontier loop: seed with `J(1) = F(0)`, then drain the
+/// queue, firing the per-occurrence worklist plans for each batch.
+fn run_frontier<P, F>(
+    program: &Program<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+    cap: usize,
+    make_frontier: impl FnOnce(usize) -> F,
+) -> EvalOutcome<P>
+where
+    P: Pops,
+    F: Frontier<P>,
+{
+    let mut engine = setup_or_panic(program, pops_edb, bool_edb);
+    let nidb = engine.compiled.idbs.len();
+    let mut frontier = make_frontier(nidb);
+
+    // Index plumbing: the global drivers' `new` masks plus whatever the
+    // worklist plans probe (EDB masks go straight onto the EDB
+    // relations; Δ masks onto the per-batch delta relations, ensured
+    // once — `ColumnRel::clear` keeps them registered).
+    let mut new_masks: Vec<Vec<u32>> = engine.idb_new_masks.clone();
+    let mut delta_masks: Vec<Vec<u32>> = vec![vec![]; nidb];
+    for (source, mask) in engine.compiled.worklist_index_requirements() {
+        match source {
+            Source::PopsEdb(i) => {
+                if let Some(rel) = &mut engine.pops_edb[i] {
+                    rel.ensure_index(mask);
+                }
+            }
+            Source::BoolEdb(i) => {
+                if let Some(rel) = &mut engine.bool_edb[i] {
+                    rel.ensure_index(mask);
+                }
+            }
+            Source::IdbNew(i) | Source::IdbOld(i) => {
+                if !new_masks[i].contains(&mask) {
+                    new_masks[i].push(mask);
+                }
+            }
+            Source::IdbDelta(i) => {
+                if !delta_masks[i].contains(&mask) {
+                    delta_masks[i].push(mask);
+                }
+            }
+        }
+    }
+    let mut new = engine.empty_idbs();
+    for (pred, rel) in new.iter_mut().enumerate() {
+        for &mask in &new_masks[pred] {
+            rel.ensure_index(mask);
+        }
+    }
+    let mut delta = engine.empty_idbs();
+    for (pred, rel) in delta.iter_mut().enumerate() {
+        for &mask in &delta_masks[pred] {
+            rel.ensure_index(mask);
+        }
+    }
+    // Never populated: with an empty changed map, `Old` reads ≡ `New`
+    // reads, which is exactly the worklist plans' contract (every
+    // non-Δ occurrence sees the live state).
+    let changed: Vec<FxHashMap<u32, Option<P>>> = vec![FxHashMap::default(); nidb];
+    let mut bufs: Vec<EmitBuf<P>> = engine
+        .compiled
+        .idbs
+        .iter()
+        .map(|(_, arity)| EmitBuf::new(*arity))
+        .collect();
+    let mut fresh: Vec<BTreeMap<Box<[HeadVal]>, P>> = (0..nidb).map(|_| BTreeMap::new()).collect();
+
+    // Seed: run the all-New plans against the empty state (only IDB-free
+    // sum-products contribute, eq. 65) and enqueue every inserted row.
+    {
+        let ctx = EvalCtx {
+            interner: &engine.interner,
+            adom: &engine.adom,
+            pops_edb: &engine.pops_edb,
+            bool_edb: &engine.bool_edb,
+            idb_new: &new,
+            idb_changed: &changed,
+            idb_delta: &delta,
+        };
+        for plan in &engine.compiled.seed_plans {
+            let buf = &mut bufs[plan.head_pred];
+            let facc = &mut fresh[plan.head_pred];
+            run_plan(
+                plan,
+                &ctx,
+                None,
+                &mut |key, v| buf.push(key, v),
+                &mut |key, v| merge_fresh(facc, key, v),
+            );
+        }
+    }
+    apply_emissions(
+        &mut engine.interner,
+        &mut new,
+        &mut bufs,
+        &mut fresh,
+        &mut frontier,
+    );
+
+    let mut batch: Vec<(usize, u32)> = Vec::new();
+    let mut touched: Vec<usize> = Vec::new();
+    let mut steps = 0usize;
+    loop {
+        batch.clear();
+        if !frontier.pop_into(&new, &mut batch) {
+            return EvalOutcome::Converged {
+                output: engine.decode(&new),
+                steps,
+            };
+        }
+        if steps == cap {
+            return EvalOutcome::Diverged {
+                last: engine.decode(&new),
+                cap,
+            };
+        }
+        steps += 1;
+
+        // Stage the batch as per-pred Δ relations carrying full current
+        // values (a batch never holds the same row twice: FIFO
+        // de-duplicates by flag, buckets by strict-improvement pushes).
+        touched.clear();
+        for &(pred, row) in &batch {
+            if delta[pred].is_empty() {
+                touched.push(pred);
+            }
+            let val = new[pred].val(row).clone();
+            delta[pred].append_row(new[pred].row(row), val);
+        }
+        {
+            let ctx = EvalCtx {
+                interner: &engine.interner,
+                adom: &engine.adom,
+                pops_edb: &engine.pops_edb,
+                bool_edb: &engine.bool_edb,
+                idb_new: &new,
+                idb_changed: &changed,
+                idb_delta: &delta,
+            };
+            for &pred in &touched {
+                for plan in &engine.compiled.worklist_plans[pred] {
+                    let buf = &mut bufs[plan.head_pred];
+                    let facc = &mut fresh[plan.head_pred];
+                    run_plan(
+                        plan,
+                        &ctx,
+                        None,
+                        &mut |key, v| buf.push(key, v),
+                        &mut |key, v| merge_fresh(facc, key, v),
+                    );
+                }
+            }
+        }
+        for &pred in &touched {
+            delta[pred].clear();
+        }
+        apply_emissions(
+            &mut engine.interner,
+            &mut new,
+            &mut bufs,
+            &mut fresh,
+            &mut frontier,
+        );
+    }
+}
+
+/// FIFO-worklist evaluation: per-row change propagation over any
+/// **absorptive** POPS. Reaches the same fixpoint as
+/// [`crate::driver::engine_seminaive_eval`] (cross-checked in
+/// `tests/backend_matrix.rs` and `tests/proptest_engine.rs`); `steps`
+/// counts row pops, and `cap` bounds that count.
+///
+/// # Panics
+///
+/// On programs the columnar storage cannot represent: an atom of arity
+/// > 32, or one head predicate used at two arities.
+pub fn engine_worklist_eval<P>(
+    program: &Program<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+    cap: usize,
+) -> EvalOutcome<P>
+where
+    P: NaturallyOrdered + Absorptive,
+{
+    run_frontier(program, pops_edb, bool_edb, cap, FifoFrontier::new)
+}
+
+/// Priority-frontier evaluation: bucketed best-first scheduling over a
+/// totally ordered absorptive dioid (Trop⁺, `MinNat`, `MaxMin`, `𝔹`).
+/// Every fact is popped settled (Dijkstra semantics — see the module
+/// docs for the absorption argument), so long-chain fixpoints run in one
+/// near-linear pass instead of one global iteration per chain link.
+/// `steps` counts frontier batches.
+///
+/// # Panics
+///
+/// On programs the columnar storage cannot represent: an atom of arity
+/// > 32, or one head predicate used at two arities.
+pub fn engine_priority_eval<P>(
+    program: &Program<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+    cap: usize,
+) -> EvalOutcome<P>
+where
+    P: NaturallyOrdered + Absorptive + TotallyOrderedDioid,
+{
+    run_frontier(program, pops_edb, bool_edb, cap, |_| BucketFrontier::new())
+}
+
+/// Evaluates with an explicit [`Strategy`], defaulting
+/// ([`Strategy::Auto`]) to the strongest discipline the bounds license —
+/// the priority frontier. The bounds are the union of what the three
+/// strategies need, so this entry point exists for POPS like `Trop`,
+/// `MinNat`, `MaxMin`, and `Bool` that support everything; callers whose
+/// POPS is merely absorptive use [`engine_worklist_eval`], and everything
+/// else stays on [`crate::driver::engine_seminaive_eval`].
+///
+/// # Panics
+///
+/// On programs the columnar storage cannot represent: an atom of arity
+/// > 32, or one head predicate used at two arities.
+pub fn engine_eval<P>(
+    program: &Program<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+    cap: usize,
+    strategy: Strategy,
+) -> EvalOutcome<P>
+where
+    P: NaturallyOrdered
+        + CompleteDistributiveDioid
+        + Absorptive
+        + TotallyOrderedDioid
+        + Send
+        + Sync,
+{
+    engine_eval_with_opts(
+        program,
+        pops_edb,
+        bool_edb,
+        cap,
+        strategy,
+        &EngineOpts::default(),
+    )
+}
+
+/// [`engine_eval`] with explicit tuning knobs (only the semi-naïve
+/// strategy is multi-threaded; the frontier drivers ignore the thread
+/// knobs — a parallel bucketed frontier is a roadmap item).
+pub fn engine_eval_with_opts<P>(
+    program: &Program<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+    cap: usize,
+    strategy: Strategy,
+    opts: &EngineOpts,
+) -> EvalOutcome<P>
+where
+    P: NaturallyOrdered
+        + CompleteDistributiveDioid
+        + Absorptive
+        + TotallyOrderedDioid
+        + Send
+        + Sync,
+{
+    match strategy {
+        Strategy::SemiNaive => {
+            engine_seminaive_eval_with_opts(program, pops_edb, bool_edb, cap, opts)
+        }
+        Strategy::Worklist => engine_worklist_eval(program, pops_edb, bool_edb, cap),
+        Strategy::Auto | Strategy::Priority => {
+            engine_priority_eval(program, pops_edb, bool_edb, cap)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::engine_seminaive_eval;
+    use dlo_core::ast::{Atom, Factor, KeyFn, SumProduct, Term, UnaryFn};
+    use dlo_core::eval::relational::relational_seminaive_eval;
+    use dlo_core::examples_lib as ex;
+    use dlo_core::relation::Relation;
+    use dlo_core::tup;
+    use dlo_pops::{MaxMin, MinNat, PreSemiring, Trop};
+
+    /// Both frontier strategies and the forced-strategy dispatcher agree
+    /// with the relational reference on output databases.
+    fn assert_frontier_matches_relational<P>(
+        program: &Program<P>,
+        pops: &Database<P>,
+        bools: &BoolDatabase,
+    ) -> Database<P>
+    where
+        P: NaturallyOrdered
+            + CompleteDistributiveDioid
+            + Absorptive
+            + TotallyOrderedDioid
+            + Send
+            + Sync,
+    {
+        let reference = relational_seminaive_eval(program, pops, bools, 100_000).unwrap();
+        let fifo = engine_worklist_eval(program, pops, bools, 1_000_000).unwrap();
+        let prio = engine_priority_eval(program, pops, bools, 1_000_000).unwrap();
+        assert_eq!(reference, fifo, "FIFO worklist differs from relational");
+        assert_eq!(reference, prio, "priority frontier differs from relational");
+        for strategy in [
+            Strategy::Auto,
+            Strategy::SemiNaive,
+            Strategy::Worklist,
+            Strategy::Priority,
+        ] {
+            let got = engine_eval(program, pops, bools, 1_000_000, strategy).unwrap();
+            assert_eq!(reference, got, "engine_eval({strategy:?}) differs");
+        }
+        reference
+    }
+
+    #[test]
+    fn sssp_and_apsp_match_relational() {
+        let (program, edb) = ex::sssp_trop("a");
+        let out = assert_frontier_matches_relational(&program, &edb, &BoolDatabase::new());
+        assert_eq!(out.get("L").unwrap().get(&tup!["d"]), Trop::finite(8.0));
+
+        let (program, edb) = ex::apsp_trop(&[
+            ("a", "b", 1.0),
+            ("b", "a", 2.0),
+            ("b", "c", 3.0),
+            ("c", "d", 4.0),
+            ("a", "c", 5.0),
+        ]);
+        assert_frontier_matches_relational(&program, &edb, &BoolDatabase::new());
+    }
+
+    #[test]
+    fn quadratic_tc_covers_both_occurrences() {
+        // T ⊗ T: the worklist must fire a changed row in *each*
+        // occurrence position (left factor and right factor).
+        let (program, edb) =
+            ex::quadratic_tc_bool(&[("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")]);
+        assert_frontier_matches_relational(&program, &edb, &BoolDatabase::new());
+    }
+
+    #[test]
+    fn priority_processes_chain_in_one_bucket_per_distance() {
+        // APSP on a 50-node unit chain: T(i, j) has value j - i, so the
+        // bucketed frontier drains exactly one batch per distinct
+        // distance (1..=49) — Dijkstra semantics — where the global
+        // semi-naïve loop needs one full iteration per distance *and*
+        // re-scans every plan each time.
+        let g_edges: Vec<(Vec<dlo_core::value::Constant>, Trop)> = (0..49i64)
+            .map(|i| (vec![i.into(), (i + 1).into()], Trop::finite(1.0)))
+            .collect();
+        let mut edb = Database::new();
+        edb.insert("E", Relation::from_pairs(2, g_edges));
+        let program = ex::apsp_program::<Trop>();
+        let (out, steps) = engine_priority_eval(&program, &edb, &BoolDatabase::new(), 1_000_000)
+            .converged()
+            .unwrap();
+        assert_eq!(out.get("T").unwrap().support_size(), 49 * 50 / 2);
+        assert_eq!(steps, 49, "one frontier batch per distinct distance");
+    }
+
+    #[test]
+    fn priority_skips_stale_entries() {
+        // a→b costs 10 directly but 2 via c. The direct edge seeds
+        // T(a,b) = 10 into bucket 10; the improvement to 2 supersedes it
+        // in bucket 2, and the stale bucket-10 entry must be skipped —
+        // total: batch(1) = {(a,c),(c,b)}, batch(2) = {(a,b)}, done.
+        let (program, edb) = ex::apsp_trop(&[("a", "b", 10.0), ("a", "c", 1.0), ("c", "b", 1.0)]);
+        let (out, steps) = engine_priority_eval(&program, &edb, &BoolDatabase::new(), 1_000_000)
+            .converged()
+            .unwrap();
+        assert_eq!(
+            out.get("T").unwrap().get(&tup!["a", "b"]),
+            Trop::finite(2.0)
+        );
+        assert_eq!(steps, 2, "the stale bucket-10 entry must not be a batch");
+    }
+
+    #[test]
+    fn head_key_minting_works_under_both_disciplines() {
+        use dlo_core::formula::{CmpOp, Formula};
+        // The counter program: keys 1..=5 exist in no EDB and are minted
+        // between frontier batches.
+        let mut p = Program::<MinNat>::new();
+        p.rule(
+            Atom::new("N", vec![Term::c(0)]),
+            vec![SumProduct::new(vec![]).with_coeff(MinNat::finite(1))],
+        );
+        p.rule(
+            Atom::new(
+                "N",
+                vec![Term::Apply(KeyFn::AddInt(1), Box::new(Term::v(0)))],
+            ),
+            vec![SumProduct::new(vec![Factor::atom("N", vec![Term::v(0)])])
+                .with_condition(Formula::cmp(Term::v(0), CmpOp::Lt, Term::c(5)))],
+        );
+        let out = assert_frontier_matches_relational(&p, &Database::new(), &BoolDatabase::new());
+        assert_eq!(out.get("N").unwrap().support_size(), 6);
+    }
+
+    #[test]
+    fn unbounded_minting_diverges_under_the_cap() {
+        // N(i+1) :- N(i) with no guard: the active domain grows forever.
+        // Both disciplines must hit the cap and report divergence, like
+        // the global backends do.
+        let mut p = Program::<MinNat>::new();
+        p.rule(
+            Atom::new("N", vec![Term::c(0)]),
+            vec![SumProduct::new(vec![]).with_coeff(MinNat::finite(1))],
+        );
+        p.rule(
+            Atom::new(
+                "N",
+                vec![Term::Apply(KeyFn::AddInt(1), Box::new(Term::v(0)))],
+            ),
+            vec![SumProduct::new(vec![Factor::atom("N", vec![Term::v(0)])])],
+        );
+        let pops = Database::new();
+        let bools = BoolDatabase::new();
+        assert!(!engine_worklist_eval(&p, &pops, &bools, 25).is_converged());
+        assert!(!engine_priority_eval(&p, &pops, &bools, 25).is_converged());
+    }
+
+    #[test]
+    fn value_functions_ride_the_full_value_delta() {
+        // A monotone value function on a recursive factor over MaxMin:
+        // capacity capped at 0.5 along recursive hops. The semi-naïve
+        // driver handles this with full-recompute delta plans; the
+        // worklist handles it because Δ carries full values (func(Δ) is
+        // exact, not a difference).
+        let cap_fn = UnaryFn::new("cap", |v: &MaxMin| v.mul(&MaxMin::of(0.3)));
+        let mut p = Program::<MaxMin>::new();
+        p.rule(
+            Atom::new("R", vec![Term::v(0)]),
+            vec![
+                SumProduct::new(vec![Factor::atom("S", vec![Term::v(0)])]),
+                SumProduct::new(vec![
+                    Factor::wrapped("R", vec![Term::v(1)], cap_fn),
+                    Factor::atom("E", vec![Term::v(1), Term::v(0)]),
+                ]),
+            ],
+        );
+        let mut edb = Database::new();
+        edb.insert(
+            "S",
+            Relation::from_pairs(1, vec![(tup!["s"], MaxMin::of(0.9))]),
+        );
+        edb.insert(
+            "E",
+            Relation::from_pairs(
+                2,
+                vec![
+                    (tup!["s", "a"], MaxMin::of(0.4)),
+                    (tup!["a", "b"], MaxMin::of(0.2)),
+                ],
+            ),
+        );
+        let out = assert_frontier_matches_relational(&p, &edb, &BoolDatabase::new());
+        let r = out.get("R").unwrap();
+        // ⊗ = min on MaxMin: R(a) = min(cap(0.9) = 0.3, 0.4) = 0.3,
+        // R(b) = min(cap(0.3) = 0.3, 0.2) = 0.2.
+        assert_eq!(r.get(&tup!["a"]), MaxMin::of(0.3));
+        assert_eq!(r.get(&tup!["b"]), MaxMin::of(0.2));
+    }
+
+    #[test]
+    fn fifo_reprocesses_improved_rows() {
+        // The triangle from `priority_skips_stale_entries` under FIFO:
+        // T(a,b) is processed at 10, improved to 2, and must be
+        // re-queued — 3 seed pops + 1 re-pop.
+        let (program, edb) = ex::apsp_trop(&[("a", "b", 10.0), ("a", "c", 1.0), ("c", "b", 1.0)]);
+        let (out, steps) = engine_worklist_eval(&program, &edb, &BoolDatabase::new(), 1_000_000)
+            .converged()
+            .unwrap();
+        assert_eq!(
+            out.get("T").unwrap().get(&tup!["a", "b"]),
+            Trop::finite(2.0)
+        );
+        assert_eq!(steps, 4, "three seed rows plus one re-pop");
+    }
+
+    #[test]
+    fn empty_program_converges_with_zero_batches() {
+        let p = Program::<Trop>::new();
+        let (db, steps) = engine_priority_eval(&p, &Database::new(), &BoolDatabase::new(), 10)
+            .converged()
+            .unwrap();
+        assert_eq!(steps, 0);
+        assert!(db.iter().next().is_none());
+    }
+
+    #[test]
+    fn random_graph_agrees_with_global_seminaive() {
+        // A denser instance exercising batches with mixed improvements.
+        let mut s = 0xfeed_u64;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut pairs = vec![];
+        for _ in 0..200 {
+            let u = (rng() % 40) as i64;
+            let v = (rng() % 40) as i64;
+            if u != v {
+                pairs.push((vec![u.into(), v.into()], MinNat::finite(1 + rng() % 9)));
+            }
+        }
+        let mut edb = Database::new();
+        edb.insert("E", Relation::from_pairs(2, pairs));
+        let program = ex::quadratic_tc_program::<MinNat>();
+        let bools = BoolDatabase::new();
+        let semi = engine_seminaive_eval(&program, &edb, &bools, 100_000).unwrap();
+        let fifo = engine_worklist_eval(&program, &edb, &bools, 10_000_000).unwrap();
+        let prio = engine_priority_eval(&program, &edb, &bools, 10_000_000).unwrap();
+        assert_eq!(semi, fifo);
+        assert_eq!(semi, prio);
+        assert!(
+            semi.get("T").unwrap().support_size() > 500,
+            "non-trivial TC"
+        );
+    }
+}

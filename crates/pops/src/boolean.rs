@@ -35,6 +35,14 @@ impl PreSemiring for Bool {
 impl Semiring for Bool {}
 impl Dioid for Bool {}
 impl NaturallyOrdered for Bool {}
+// `x ∨ 1 = 1`: 𝔹 is 0-stable (plain datalog saturates).
+impl Absorptive for Bool {}
+
+impl TotallyOrderedDioid for Bool {
+    fn chain_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
 
 impl Pops for Bool {
     fn bottom() -> Self {

@@ -86,6 +86,79 @@ pub fn absorption_law<S: Semiring + FiniteCarrier>() -> Vec<Violation> {
     v
 }
 
+/// Checks the absorptive-dioid law `x ⊕ 1 = 1` (every element 0-stable,
+/// Sec. 5.1) on an explicit sample — the [`Absorptive`] contract for
+/// structures whose carrier is infinite (`Trop⁺`, `MinNat`, …).
+pub fn absorptive_laws_on<S: Absorptive>(sample: &[S]) -> Vec<Violation> {
+    let mut v = vec![];
+    let one = S::one();
+    for x in sample {
+        check(
+            &mut v,
+            x.add(&one) == one,
+            || format!("absorptive: {x:?} ⊕ 1 = 1"),
+            x,
+        );
+        // Equivalent reading used by the frontier engine: every element
+        // sits below 1 in the natural order, so ⊗ never improves.
+        check(&mut v, x.leq(&one), || format!("absorptive: {x:?} ⊑ 1"), x);
+    }
+    v
+}
+
+/// [`absorptive_laws_on`] over a full finite carrier.
+pub fn absorptive_laws<S: Absorptive + FiniteCarrier>() -> Vec<Violation> {
+    absorptive_laws_on(&S::carrier())
+}
+
+/// Checks the [`TotallyOrderedDioid`] contract on an explicit sample:
+/// `chain_cmp` must be a total order that *coincides* with `⊑`
+/// (`Less` ⟺ strictly below, `Equal` ⟺ equal), which also forces `⊑`
+/// itself to be total on the sample.
+pub fn chain_order_laws_on<S: TotallyOrderedDioid>(sample: &[S]) -> Vec<Violation> {
+    use std::cmp::Ordering;
+    let mut v = vec![];
+    for x in sample {
+        for y in sample {
+            let c = x.chain_cmp(y);
+            check(
+                &mut v,
+                (c == Ordering::Equal) == (x == y),
+                || format!("chain_cmp Equal ⟺ == at {x:?}, {y:?}"),
+                x,
+            );
+            check(
+                &mut v,
+                (c != Ordering::Greater) == x.leq(y),
+                || format!("chain_cmp coincides with ⊑ at {x:?}, {y:?}"),
+                x,
+            );
+            check(
+                &mut v,
+                c == y.chain_cmp(x).reverse(),
+                || format!("chain_cmp antisymmetric at {x:?}, {y:?}"),
+                x,
+            );
+            for z in sample {
+                if x.chain_cmp(y) != Ordering::Greater && y.chain_cmp(z) != Ordering::Greater {
+                    check(
+                        &mut v,
+                        x.chain_cmp(z) != Ordering::Greater,
+                        || format!("chain_cmp transitive at {x:?}, {y:?}, {z:?}"),
+                        x,
+                    );
+                }
+            }
+        }
+    }
+    v
+}
+
+/// [`chain_order_laws_on`] over a full finite carrier.
+pub fn chain_order_laws<S: TotallyOrderedDioid + FiniteCarrier>() -> Vec<Violation> {
+    chain_order_laws_on(&S::carrier())
+}
+
 /// Checks the POPS laws (Definition 2.3): partial order, minimum `⊥`,
 /// monotone `⊕`/`⊗`, and strictness `x ⊗ ⊥ = ⊥`.
 pub fn pops_laws<P: Pops + FiniteCarrier>() -> Vec<Violation> {
@@ -326,6 +399,62 @@ mod tests {
         assert_clean(proposition_6_1::<Bool>(), "bool prop 6.1");
         assert_clean(difference_laws::<Bool>(), "bool minus");
         assert_clean(proposition_5_2::<Bool>(), "bool prop 5.2");
+        // The frontier-engine gates, exhaustively on the full carrier.
+        assert_clean(absorptive_laws::<Bool>(), "bool absorptive");
+        assert_clean(chain_order_laws::<Bool>(), "bool chain order");
+    }
+
+    /// A deliberately *wrong* pair of marker impls: max-plus naturals,
+    /// which are a perfectly good totally ordered dioid but are **not**
+    /// absorptive (`max(0, a) = a` for `a > 0`), wearing the
+    /// `Absorptive` marker anyway — and a `chain_cmp` that disagrees
+    /// with `⊑`. The law checkers must catch both; this is the gate that
+    /// keeps a mis-marked POPS out of the engine's fast path.
+    #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+    struct BadMaxNat(u64);
+
+    impl PreSemiring for BadMaxNat {
+        fn zero() -> Self {
+            BadMaxNat(0)
+        }
+        fn one() -> Self {
+            BadMaxNat(1)
+        }
+        fn add(&self, rhs: &Self) -> Self {
+            BadMaxNat(self.0.max(rhs.0))
+        }
+        fn mul(&self, rhs: &Self) -> Self {
+            BadMaxNat(self.0.saturating_mul(rhs.0))
+        }
+    }
+    impl Semiring for BadMaxNat {}
+    impl Dioid for BadMaxNat {}
+    impl Pops for BadMaxNat {
+        fn bottom() -> Self {
+            BadMaxNat(0)
+        }
+        fn leq(&self, rhs: &Self) -> bool {
+            self.0 <= rhs.0
+        }
+    }
+    impl Absorptive for BadMaxNat {} // WRONG: max(1, 5) = 5 ≠ 1
+    impl TotallyOrderedDioid for BadMaxNat {
+        fn chain_cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other.0.cmp(&self.0) // WRONG: reversed against ⊑
+        }
+    }
+
+    #[test]
+    fn wrong_marker_impls_fail_the_law_gates() {
+        let sample: Vec<BadMaxNat> = (0..6).map(BadMaxNat).collect();
+        assert!(
+            !absorptive_laws_on(&sample).is_empty(),
+            "a non-absorptive dioid wearing Absorptive must be caught"
+        );
+        assert!(
+            !chain_order_laws_on(&sample).is_empty(),
+            "a chain_cmp disagreeing with ⊑ must be caught"
+        );
     }
 
     #[test]

@@ -67,8 +67,8 @@ pub use product::Product;
 pub use real::Real;
 pub use three::Three;
 pub use traits::{
-    CompleteDistributiveDioid, Dioid, FiniteCarrier, NaturallyOrdered, Pops, PreSemiring, Semiring,
-    StarSemiring, UniformlyStable,
+    Absorptive, CompleteDistributiveDioid, Dioid, FiniteCarrier, NaturallyOrdered, Pops,
+    PreSemiring, Semiring, StarSemiring, TotallyOrderedDioid, UniformlyStable,
 };
 pub use trop::Trop;
 pub use trop_eta::TropEta;

@@ -43,6 +43,14 @@ impl PreSemiring for MaxMin {
 impl Semiring for MaxMin {}
 impl Dioid for MaxMin {}
 impl NaturallyOrdered for MaxMin {}
+// `max(x, 1) = 1` on `[0,1]`: bounded lattices are 0-stable.
+impl Absorptive for MaxMin {}
+
+impl TotallyOrderedDioid for MaxMin {
+    fn chain_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
 
 impl Pops for MaxMin {
     fn bottom() -> Self {
@@ -91,6 +99,18 @@ mod tests {
         assert_eq!(MaxMin::of(0.7).minus(&MaxMin::of(0.3)), MaxMin::of(0.7));
         assert_eq!(MaxMin::of(0.3).minus(&MaxMin::of(0.7)), MaxMin::zero());
         assert_eq!(MaxMin::of(0.3).minus(&MaxMin::of(0.3)), MaxMin::zero());
+    }
+
+    #[test]
+    fn frontier_marker_laws_hold_on_samples() {
+        let sample: Vec<MaxMin> = [0.0, 0.125, 0.5, 0.875, 1.0]
+            .iter()
+            .map(|&c| MaxMin::of(c))
+            .collect();
+        let v = crate::checker::absorptive_laws_on(&sample);
+        assert!(v.is_empty(), "{v:?}");
+        let v = crate::checker::chain_order_laws_on(&sample);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

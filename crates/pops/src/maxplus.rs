@@ -49,6 +49,17 @@ impl Semiring for MaxPlus {}
 impl Dioid for MaxPlus {}
 impl NaturallyOrdered for MaxPlus {}
 
+// Deliberately NOT `Absorptive`: `max(0, a) = a ≠ 0` for `a > 0`, so
+// positive elements are not 0-stable and worklist termination is not
+// guaranteed (positive cycles improve forever). The natural order is
+// still total, so MaxPlus can rank values — engines may use the order,
+// but the Dijkstra settled-on-pop argument does not apply.
+impl TotallyOrderedDioid for MaxPlus {
+    fn chain_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
 impl Pops for MaxPlus {
     fn bottom() -> Self {
         MaxPlus::NEG_INF
@@ -96,6 +107,22 @@ mod tests {
         // Non-positive gains are 0-stable: max(0, a) = 0.
         assert_eq!(element_stability_index(&MaxPlus::finite(-2.0), 50), Some(0));
         assert_eq!(element_stability_index(&MaxPlus::finite(0.0), 50), Some(0));
+    }
+
+    #[test]
+    fn chain_order_law_holds_but_absorption_fails() {
+        let sample: Vec<MaxPlus> = [-2.0, 0.0, 1.0, 5.0]
+            .iter()
+            .map(|&c| MaxPlus::finite(c))
+            .chain([MaxPlus::NEG_INF, MaxPlus::POS_INF])
+            .collect();
+        // The total order is sound…
+        let v = crate::checker::chain_order_laws_on(&sample);
+        assert!(v.is_empty(), "{v:?}");
+        // …but `x ⊕ 1 = 1` fails for positive gains, which is exactly
+        // why MaxPlus must not carry the `Absorptive` marker: a
+        // worklist over it has no termination guarantee.
+        assert_ne!(MaxPlus::finite(5.0).add(&MaxPlus::one()), MaxPlus::one());
     }
 
     #[test]

@@ -44,6 +44,15 @@ impl PreSemiring for MinNat {
 impl Semiring for MinNat {}
 impl Dioid for MinNat {}
 impl NaturallyOrdered for MinNat {}
+// `min(0, x) = 0`: 0-stable, worklist/priority evaluation applies.
+impl Absorptive for MinNat {}
+
+impl TotallyOrderedDioid for MinNat {
+    fn chain_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // ⊑ is the reverse numeric order.
+        other.0.cmp(&self.0)
+    }
+}
 
 impl Pops for MinNat {
     fn bottom() -> Self {
@@ -93,6 +102,19 @@ mod tests {
         assert_eq!(MinNat(3).minus(&MinNat(5)), MinNat(3));
         assert_eq!(MinNat(5).minus(&MinNat(3)), MinNat::INF);
         assert_eq!(MinNat(5).minus(&MinNat(5)), MinNat::INF);
+    }
+
+    #[test]
+    fn frontier_marker_laws_hold_on_samples() {
+        let sample: Vec<MinNat> = [0, 1, 2, 7, u64::MAX - 1]
+            .iter()
+            .map(|&c| MinNat::finite(c))
+            .chain([MinNat::INF])
+            .collect();
+        let v = crate::checker::absorptive_laws_on(&sample);
+        assert!(v.is_empty(), "{v:?}");
+        let v = crate::checker::chain_order_laws_on(&sample);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

@@ -102,6 +102,44 @@ pub trait NaturallyOrdered: Semiring + Pops {}
 /// least upper bound of its natural order.
 pub trait Dioid: Semiring {}
 
+/// Marker: the dioid is **absorptive** (`x ⊕ 1 = 1` for every `x`; also
+/// called *bounded*, *simple*, or — in the paper's terms — every element
+/// is **0-stable**, Sec. 5.1). By Corollary 5.19 every datalog° program
+/// over such a semiring is `N`-stable: each ground fact's value strictly
+/// improves at most `N` times before it settles. This is the law that
+/// licenses *worklist* (frontier) evaluation in `dlo_engine`: a per-fact
+/// change queue is guaranteed to drain, so no global iteration count is
+/// needed for termination.
+///
+/// The contract is checked by [`crate::checker::absorptive_laws`]
+/// (exhaustively on finite carriers) and
+/// [`crate::checker::absorptive_laws_on`] (on samples of infinite ones);
+/// a wrong impl fails those tests rather than silently producing
+/// unsettled fixpoints. Counter-example: [`crate::maxplus::MaxPlus`] is
+/// a complete distributive dioid whose positive elements are *not*
+/// 0-stable (`max(0, a) = a` for `a > 0`), so it must **not** implement
+/// this marker.
+pub trait Absorptive: Dioid + Pops {}
+
+/// A dioid whose natural order `⊑` is **total**, with the order exposed
+/// as a comparator so schedulers can rank values.
+///
+/// Combined with [`Absorptive`] this is the precondition for
+/// *Dijkstra-style* priority-frontier evaluation (`dlo_engine`'s
+/// `Strategy::Priority`): because `⊗` never moves a value up the chain
+/// (`x ⊗ y ⊑ x ⊗ 1 = x` by monotonicity and absorption), the
+/// ⊑-greatest pending fact can never be improved by any future
+/// derivation and is *settled* the moment it is popped.
+///
+/// The contract — `chain_cmp` is a total order that coincides with `⊑`
+/// — is checked by [`crate::checker::chain_order_laws`] /
+/// [`crate::checker::chain_order_laws_on`].
+pub trait TotallyOrderedDioid: Dioid + Pops {
+    /// The total order: `Less` ⟺ `self ⊏ other` (strictly below in the
+    /// natural order, i.e. strictly *worse*), `Equal` ⟺ `self == other`.
+    fn chain_cmp(&self, other: &Self) -> std::cmp::Ordering;
+}
+
 /// A POPS that is a *complete distributive dioid* (Definition 6.2): `⊑` is
 /// the dioid's natural order and `(S, ⊑)` is a complete distributive
 /// lattice. Provides the difference operator

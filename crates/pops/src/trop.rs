@@ -60,6 +60,16 @@ impl PreSemiring for Trop {
 impl Semiring for Trop {}
 impl Dioid for Trop {}
 impl NaturallyOrdered for Trop {}
+// `min(0, x) = 0` on non-negative costs: every element is 0-stable, so
+// worklist/priority evaluation applies (Cor. 5.19).
+impl Absorptive for Trop {}
+
+impl TotallyOrderedDioid for Trop {
+    fn chain_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // ⊑ is the reverse numeric order: smaller cost = further up.
+        other.0.cmp(&self.0)
+    }
+}
 
 impl Pops for Trop {
     fn bottom() -> Self {
@@ -133,6 +143,22 @@ mod tests {
         assert_eq!(Trop::finite(5.0).minus(&Trop::finite(3.0)), Trop::INF);
         assert_eq!(Trop::finite(5.0).minus(&Trop::finite(5.0)), Trop::INF);
         assert_eq!(Trop::finite(5.0).minus(&Trop::INF), Trop::finite(5.0));
+    }
+
+    #[test]
+    fn frontier_marker_laws_hold_on_samples() {
+        // Law gate for the `Absorptive` / `TotallyOrderedDioid` markers
+        // (the engine's worklist fast path trusts them): checked on a
+        // sample spanning 0, small/large finite costs, and ∞.
+        let sample: Vec<Trop> = [0.0, 0.25, 1.0, 3.5, 1e9]
+            .iter()
+            .map(|&c| Trop::finite(c))
+            .chain([Trop::INF])
+            .collect();
+        let v = crate::checker::absorptive_laws_on(&sample);
+        assert!(v.is_empty(), "{v:?}");
+        let v = crate::checker::chain_order_laws_on(&sample);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub use dlo_wellfounded as wellfounded;
 
 // The engine backend's entry points at top level, next to the grounded
 // and relational backends re-exported through `core`.
-pub use dlo_engine::{engine_naive_eval, engine_seminaive_eval};
+pub use dlo_engine::{
+    engine_eval, engine_naive_eval, engine_priority_eval, engine_seminaive_eval,
+    engine_worklist_eval, Strategy,
+};
 
 /// Evaluates a program with the **default backend**: the execution
 /// engine's parallel semi-naïve driver ([`engine_seminaive_eval`]),
@@ -44,7 +47,10 @@ pub use dlo_engine::{engine_naive_eval, engine_seminaive_eval};
 /// full language surface natively (interned, indexed, multi-threaded) —
 /// including key functions in rule heads. Reach for the grounded or
 /// relational backends through [`core`] only for exotic POPS outside
-/// the naturally-ordered dioids, or for iteration traces.
+/// the naturally-ordered dioids, or for iteration traces — and for the
+/// totally ordered absorptive dioids (`Trop`, `MinNat`, `MaxMin`,
+/// `Bool`) prefer [`eval_frontier`], which runs the Dijkstra-style
+/// priority frontier instead of global iterations.
 ///
 /// # Panics
 ///
@@ -59,4 +65,48 @@ where
     P: pops::NaturallyOrdered + pops::CompleteDistributiveDioid + Send + Sync,
 {
     engine_seminaive_eval(program, pops_edb, bool_edb, core::DEFAULT_CAP)
+}
+
+/// Default divergence cap for the frontier entry point. Frontier
+/// `steps` count per-value batches (or row pops), not global
+/// iterations, so the iteration-scale [`core::DEFAULT_CAP`] would
+/// falsely flag large *bounded* runs as diverged — one batch per
+/// distinct value means a 1M-row output can legitimately need far more
+/// than 100k steps.
+pub const FRONTIER_DEFAULT_CAP: usize = 100_000_000;
+
+/// Evaluates with the engine's **priority frontier**
+/// ([`engine_eval`] with [`Strategy::Auto`]): worklist-driven,
+/// settled-on-pop evaluation for totally ordered absorptive dioids
+/// (Sec. 5 / Cor. 5.19 — every polynomial over a 0-stable semiring is
+/// `N`-stable, so per-fact change propagation terminates). On
+/// long-chain fixpoints this replaces one global iteration per chain
+/// link with one bucket drain per distinct value. The divergence cap is
+/// [`FRONTIER_DEFAULT_CAP`] (frontier steps are finer-grained than
+/// global iterations).
+///
+/// # Panics
+///
+/// On programs the engine's columnar storage cannot represent: an atom
+/// of arity > 32, or one head predicate used at two arities.
+pub fn eval_frontier<P>(
+    program: &core::Program<P>,
+    pops_edb: &core::Database<P>,
+    bool_edb: &core::BoolDatabase,
+) -> core::EvalOutcome<P>
+where
+    P: pops::NaturallyOrdered
+        + pops::CompleteDistributiveDioid
+        + pops::Absorptive
+        + pops::TotallyOrderedDioid
+        + Send
+        + Sync,
+{
+    engine_eval(
+        program,
+        pops_edb,
+        bool_edb,
+        FRONTIER_DEFAULT_CAP,
+        Strategy::Auto,
+    )
 }

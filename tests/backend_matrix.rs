@@ -1,11 +1,12 @@
 //! The backend matrix: every oracle scenario from `paper_examples.rs`
 //! and `textual_programs.rs` pushed through **all three** backends —
 //! grounded naive, relational (naive + semi-naive), and the execution
-//! engine (naive + parallel semi-naive) — asserting identical output
-//! databases. `cross_engine.rs` spot-checks a subset against external
-//! oracles; this file is the exhaustive pairwise-agreement sweep, and
-//! since the engine lost its head-key-function fallback it proves the
-//! fast backend really is total over the language.
+//! engine (naive + parallel semi-naive + FIFO worklist + priority
+//! frontier) — asserting identical output databases. `cross_engine.rs`
+//! spot-checks a subset against external oracles; this file is the
+//! exhaustive pairwise-agreement sweep, and since the engine lost its
+//! head-key-function fallback it proves the fast backend really is
+//! total over the language.
 //!
 //! Scenarios whose paper POPS is not naturally ordered (the lifted reals
 //! of Ex. 4.2, `THREE` of Sec. 7) cannot run on the relational/engine
@@ -21,9 +22,10 @@ use datalog_o::core::{
     relational_seminaive_eval, BoolDatabase, Database, Program, ProgramParser, Relation, UnaryFn,
 };
 use datalog_o::pops::{
-    Bool, CompleteDistributiveDioid, MinNat, NNReal, NaturallyOrdered, Trop, TropP,
+    Absorptive, Bool, CompleteDistributiveDioid, MinNat, NNReal, NaturallyOrdered,
+    TotallyOrderedDioid, Trop, TropP,
 };
-use datalog_o::{engine_naive_eval, engine_seminaive_eval};
+use datalog_o::{engine_eval, engine_naive_eval, engine_seminaive_eval, Strategy};
 
 const CAP: usize = 100_000;
 
@@ -57,18 +59,27 @@ fn assert_same_db<P: datalog_o::pops::Pops>(
     }
 }
 
-/// The full five-leg matrix: grounded naive, relational naive/semi-naive,
-/// engine naive/semi-naive.
+/// The full seven-leg matrix: grounded naive, relational
+/// naive/semi-naive, engine naive/semi-naive, and the engine's two
+/// frontier strategies (FIFO worklist and bucketed priority). Every
+/// `all` scenario runs over a totally ordered absorptive dioid (`Trop`,
+/// `MinNat`, `𝔹`), so the frontier legs apply; POPS without those
+/// markers use [`assert_matrix_naive`] below.
 fn assert_matrix_all<P>(
     scenario: &str,
     program: &Program<P>,
     pops: &Database<P>,
     bools: &BoolDatabase,
 ) where
-    P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
+    P: NaturallyOrdered
+        + CompleteDistributiveDioid
+        + Absorptive
+        + TotallyOrderedDioid
+        + Send
+        + Sync,
 {
     let grounded = naive_eval_sparse(program, pops, bools, CAP).unwrap();
-    let legs: [(&str, Database<P>); 4] = [
+    let legs: [(&str, Database<P>); 6] = [
         (
             "relational naive",
             relational_naive_eval(program, pops, bools, CAP).unwrap(),
@@ -84,6 +95,14 @@ fn assert_matrix_all<P>(
         (
             "engine semi-naive",
             engine_seminaive_eval(program, pops, bools, CAP).unwrap(),
+        ),
+        (
+            "engine worklist",
+            engine_eval(program, pops, bools, CAP, Strategy::Worklist).unwrap(),
+        ),
+        (
+            "engine priority",
+            engine_eval(program, pops, bools, CAP, Strategy::Priority).unwrap(),
         ),
     ];
     for (backend, got) in &legs {
@@ -425,7 +444,7 @@ fn divergence_agreement_unbounded_head_minting() {
     const SMALL_CAP: usize = 25;
     let pops = Database::new();
     let bools = BoolDatabase::new();
-    let legs: [(&str, datalog_o::core::EvalOutcome<MinNat>); 2] = [
+    let legs: [(&str, datalog_o::core::EvalOutcome<MinNat>); 4] = [
         (
             "relational semi-naive",
             relational_seminaive_eval(&p, &pops, &bools, SMALL_CAP),
@@ -433,6 +452,17 @@ fn divergence_agreement_unbounded_head_minting() {
         (
             "engine semi-naive",
             engine_seminaive_eval(&p, &pops, &bools, SMALL_CAP),
+        ),
+        // The frontier drivers cap *pops/batches* rather than global
+        // iterations, but unbounded minting must still surface as the
+        // same capped divergence, cap named in the diagnostic.
+        (
+            "engine worklist",
+            engine_eval(&p, &pops, &bools, SMALL_CAP, Strategy::Worklist),
+        ),
+        (
+            "engine priority",
+            engine_eval(&p, &pops, &bools, SMALL_CAP, Strategy::Priority),
         ),
     ];
     for (backend, outcome) in legs {

@@ -15,10 +15,13 @@ use datalog_o::core::{
     EvalOutcome, Program, Relation,
 };
 use datalog_o::pops::{
-    Bool, CompleteDistributiveDioid, MaxMin, MinNat, NaturallyOrdered, Pops, Trop,
+    Absorptive, Bool, CompleteDistributiveDioid, MaxMin, MinNat, NaturallyOrdered, Pops,
+    TotallyOrderedDioid, Trop,
 };
 use datalog_o::semilin::{linear_lfp_auto, AffineSystem};
-use datalog_o::{engine_naive_eval, engine_seminaive_eval};
+use datalog_o::{
+    engine_eval, engine_naive_eval, engine_seminaive_eval, Strategy as EngineStrategy,
+};
 use proptest::prelude::*;
 
 /// Strategy: a random edge list over `n ≤ 8` integer nodes.
@@ -217,7 +220,12 @@ fn assert_keyed_agreement<P>(
     lift: impl Fn(u8) -> P,
 ) -> Result<(), TestCaseError>
 where
-    P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
+    P: NaturallyOrdered
+        + CompleteDistributiveDioid
+        + Absorptive
+        + TotallyOrderedDioid
+        + Send
+        + Sync,
 {
     let prog = keyed_program::<P>(spec);
     let edb = keyed_edb(n, edges, lift);
@@ -233,6 +241,33 @@ where
         "semi-naive backends disagree, spec {:?}",
         spec
     );
+    // The frontier strategies reach the same fixpoint; their step
+    // counts (pops/batches) differ from global iterations by design, so
+    // compare the output databases only.
+    let reference = match &rel_s {
+        EvalOutcome::Converged { output, .. } => output,
+        EvalOutcome::Diverged { .. } => {
+            prop_assert!(false, "keyed programs are bounded, spec {:?}", spec);
+            unreachable!()
+        }
+    };
+    for strategy in [EngineStrategy::Worklist, EngineStrategy::Priority] {
+        let out = engine_eval(&prog, &edb, &bools, 5_000_000, strategy);
+        let db = match out {
+            EvalOutcome::Converged { output, .. } => output,
+            EvalOutcome::Diverged { .. } => {
+                prop_assert!(false, "{:?} diverged on bounded keyed program", strategy);
+                unreachable!()
+            }
+        };
+        prop_assert_eq!(
+            reference,
+            &db,
+            "engine {:?} disagrees with relational semi-naive, spec {:?}",
+            strategy,
+            spec
+        );
+    }
     prop_assert!(
         matches!(rel_n, EvalOutcome::Converged { .. }),
         "keyed programs are bounded, spec {:?}",
@@ -376,6 +411,51 @@ proptest! {
             prop_assert!(eng_steps <= naive_steps + 1,
                 "engine took {} steps, naive {}", eng_steps, naive_steps);
         }
+    }
+
+    /// The frontier strategies (FIFO worklist, bucketed priority) reach
+    /// the same fixpoints as the global semi-naive engine on random
+    /// graph programs over the totally ordered absorptive dioids —
+    /// Trop (APSP/SSSP/quadratic TC), MinNat, and Bool.
+    #[test]
+    fn frontier_strategies_agree_with_seminaive((_n, edges) in edges_strategy()) {
+        let bools = BoolDatabase::new();
+        fn check<P>(prog: &datalog_o::core::Program<P>, edb: &Database<P>,
+                    bools: &BoolDatabase) -> Result<(), TestCaseError>
+        where
+            P: NaturallyOrdered + CompleteDistributiveDioid + Absorptive
+                + TotallyOrderedDioid + Send + Sync,
+        {
+            let semi = engine_seminaive_eval(prog, edb, bools, 100_000)
+                .converged().expect("bounded").0;
+            for strategy in [EngineStrategy::Worklist, EngineStrategy::Priority] {
+                let got = engine_eval(prog, edb, bools, 10_000_000, strategy)
+                    .converged().expect("bounded").0;
+                prop_assert_eq!(&semi, &got, "{:?} differs from semi-naive", strategy);
+            }
+            Ok(())
+        }
+        let edb_t = trop_edb(&edges);
+        for prog in [
+            dlo_bench::single_source_int_program::<Trop>(0),
+            datalog_o::core::examples_lib::apsp_program::<Trop>(),
+            datalog_o::core::examples_lib::quadratic_tc_program::<Trop>(),
+        ] {
+            check(&prog, &edb_t, &bools)?;
+        }
+        let edb_m = minnat_edb(&edges);
+        check(&datalog_o::core::examples_lib::quadratic_tc_program::<MinNat>(), &edb_m, &bools)?;
+        let mut edb_b = Database::new();
+        edb_b.insert(
+            "E",
+            Relation::from_pairs(
+                2,
+                edges.iter().map(|&(u, v, _)| {
+                    (vec![(u as i64).into(), (v as i64).into()], Bool(true))
+                }),
+            ),
+        );
+        check(&datalog_o::core::examples_lib::apsp_program::<Bool>(), &edb_b, &bools)?;
     }
 
     /// Sparse and dense grounding agree on naturally ordered semirings.
