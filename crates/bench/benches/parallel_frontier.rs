@@ -1,0 +1,227 @@
+//! Sequential vs parallel frontier batches (`dlo_engine::worklist`) at
+//! 1–4 worker threads, on the three frontier regimes:
+//!
+//! * `tc1k` — chain transitive closure over Trop: priority buckets hold
+//!   ~1000 rows, *below* the default fan-out threshold, so every thread
+//!   count runs the adaptive sequential fallback — these legs measure
+//!   that dense-enough-to-batch-but-too-sparse-to-spawn frontiers pay
+//!   nothing for the parallel machinery;
+//! * `gradient2k` — the Bellman-Ford worst case: priority batches hold
+//!   1–2 rows, the extreme sparse case for the fallback;
+//! * `hops` — the head-keyed hop workload on a dense 6k-node digraph:
+//!   FIFO generations hold ~6000 rows (above the threshold), so batch ×
+//!   plan tasks genuinely fan out — the dense workload where multi-core
+//!   hardware shows wall-clock speedup (a single-core container shows
+//!   the scheduling overhead instead; see `BENCH_parallel.json`'s
+//!   environment note).
+//!
+//! Ends by printing a sequential-vs-parallel speedup table (min of
+//! `TABLE_REPS` timed runs per cell, separate from the criterion
+//! sampling above it).
+//!
+//! Recorded baseline: `BENCH_parallel.json` (reproduce with
+//! `CRITERION_SAMPLES=3 CRITERION_JSON=out.jsonl cargo bench -p
+//! dlo_bench --bench parallel_frontier`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlo_bench::{print_table, GraphInstance};
+use dlo_core::examples_lib::apsp_program;
+use dlo_core::{BoolDatabase, Database, Program};
+use dlo_engine::{engine_eval_with_opts, EngineOpts, Strategy};
+use dlo_pops::Trop;
+use std::time::Instant;
+
+const CAP: usize = 100_000_000;
+const TABLE_REPS: usize = 3;
+
+fn opts(threads: usize) -> EngineOpts {
+    EngineOpts {
+        threads: Some(threads),
+        ..EngineOpts::default()
+    }
+}
+
+/// The dense head-keyed instance: generations of ~n rows, above the
+/// default fan-out threshold.
+fn hops_dense() -> (Program<Trop>, Database<Trop>) {
+    GraphInstance::random(6000, 48_000, 9, 7).hops(16)
+}
+
+fn bench_parallel_tc(c: &mut Criterion) {
+    let bools = BoolDatabase::new();
+    // Cross-check once: forced-parallel output equals sequential.
+    let small = GraphInstance::random(48, 120, 9, 7);
+    let prog = apsp_program::<Trop>();
+    let seq = engine_eval_with_opts(
+        &prog,
+        &small.trop_edb(),
+        &bools,
+        CAP,
+        Strategy::Priority,
+        &opts(1),
+    );
+    let par = engine_eval_with_opts(
+        &prog,
+        &small.trop_edb(),
+        &bools,
+        CAP,
+        Strategy::Priority,
+        &EngineOpts {
+            threads: Some(4),
+            par_threshold: 1,
+            chunk_min: 2,
+        },
+    );
+    assert_eq!(seq, par, "forced-parallel cross-check");
+
+    let chain = GraphInstance::path(1000);
+    let edb = chain.trop_edb();
+    let mut group = c.benchmark_group("parallel_tc1k");
+    for (strategy, sname) in [
+        (Strategy::Priority, "priority"),
+        (Strategy::Worklist, "worklist"),
+    ] {
+        for threads in [1usize, 2, 4] {
+            let o = opts(threads);
+            group.bench_with_input(
+                BenchmarkId::new(&format!("{sname}_trop_chain"), format!("t{threads}")),
+                &(),
+                |bch, ()| {
+                    bch.iter(|| {
+                        engine_eval_with_opts(
+                            std::hint::black_box(&prog),
+                            &edb,
+                            &bools,
+                            CAP,
+                            strategy,
+                            &o,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_parallel_gradient(c: &mut Criterion) {
+    let bools = BoolDatabase::new();
+    let (prog, edb) = GraphInstance::gradient(2000).sssp();
+    let mut group = c.benchmark_group("parallel_gradient2k");
+    for threads in [1usize, 4] {
+        let o = opts(threads);
+        group.bench_with_input(
+            BenchmarkId::new("priority_sssp", format!("t{threads}")),
+            &(),
+            |bch, ()| {
+                bch.iter(|| {
+                    engine_eval_with_opts(
+                        std::hint::black_box(&prog),
+                        &edb,
+                        &bools,
+                        CAP,
+                        Strategy::Priority,
+                        &o,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel_hops(c: &mut Criterion) {
+    let bools = BoolDatabase::new();
+    // Cross-check the dense instance's strategies agree (on a small
+    // sibling, to keep the check cheap).
+    let small = GraphInstance::random(24, 72, 9, 5);
+    let (sprog, sedb) = small.hops(6);
+    // Step counts differ across strategies by design — fixpoints agree.
+    let a =
+        engine_eval_with_opts(&sprog, &sedb, &bools, CAP, Strategy::SemiNaive, &opts(1)).unwrap();
+    let b =
+        engine_eval_with_opts(&sprog, &sedb, &bools, CAP, Strategy::Worklist, &opts(4)).unwrap();
+    assert_eq!(a, b, "hops cross-check");
+
+    let (prog, edb) = hops_dense();
+    let mut group = c.benchmark_group("parallel_hops");
+    for (strategy, sname) in [
+        (Strategy::Worklist, "worklist"),
+        (Strategy::SemiNaive, "seminaive"),
+    ] {
+        for threads in [1usize, 2, 4] {
+            let o = opts(threads);
+            group.bench_with_input(
+                BenchmarkId::new(sname, format!("t{threads}")),
+                &(),
+                |bch, ()| {
+                    bch.iter(|| {
+                        engine_eval_with_opts(
+                            std::hint::black_box(&prog),
+                            &edb,
+                            &bools,
+                            CAP,
+                            strategy,
+                            &o,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The stdout speedup table: min wall-clock of `TABLE_REPS` runs per
+/// (workload, strategy, threads) cell, plus the t1/t4 ratio.
+fn speedup_table(_c: &mut Criterion) {
+    let bools = BoolDatabase::new();
+    let chain = GraphInstance::path(1000);
+    let chain_prog = apsp_program::<Trop>();
+    let chain_edb = chain.trop_edb();
+    let (grad_prog, grad_edb) = GraphInstance::gradient(2000).sssp();
+    let (hops_prog, hops_edb) = hops_dense();
+    let cases: Vec<(&str, Strategy, &Program<Trop>, &Database<Trop>)> = vec![
+        ("chain_tc1k", Strategy::Priority, &chain_prog, &chain_edb),
+        ("chain_tc1k", Strategy::Worklist, &chain_prog, &chain_edb),
+        ("gradient2k", Strategy::Priority, &grad_prog, &grad_edb),
+        ("hops_dense", Strategy::Worklist, &hops_prog, &hops_edb),
+        ("hops_dense", Strategy::SemiNaive, &hops_prog, &hops_edb),
+    ];
+    let mut rows = vec![];
+    for (name, strategy, prog, edb) in cases {
+        let mut mins = vec![];
+        for threads in [1usize, 4] {
+            let o = opts(threads);
+            let mut best = u128::MAX;
+            for _ in 0..TABLE_REPS {
+                let t0 = Instant::now();
+                let out = engine_eval_with_opts(prog, edb, &bools, CAP, strategy, &o);
+                assert!(out.is_converged(), "{name} converges");
+                best = best.min(t0.elapsed().as_micros());
+            }
+            mins.push(best);
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{strategy:?}"),
+            format!("{:.1}", mins[0] as f64 / 1000.0),
+            format!("{:.1}", mins[1] as f64 / 1000.0),
+            format!("{:.2}x", mins[0] as f64 / mins[1] as f64),
+        ]);
+    }
+    print_table(
+        "sequential vs parallel frontier (min of 3 runs; speedup = t1/t4, < 1 means overhead)",
+        &["workload", "strategy", "t1_ms", "t4_ms", "speedup_t4"],
+        &rows,
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_tc,
+    bench_parallel_gradient,
+    bench_parallel_hops,
+    speedup_table
+);
+criterion_main!(benches);

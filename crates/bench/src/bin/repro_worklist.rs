@@ -1,5 +1,5 @@
 //! Strategy comparison on iteration-bound workloads: semi-naïve global
-//! iterations vs FIFO worklist vs bucketed priority frontier
+//! iterations vs FIFO generation worklist vs bucketed priority frontier
 //! (`dlo_engine::worklist`), with wall-clock timings and step counts.
 //!
 //! Three regimes:
@@ -12,53 +12,69 @@
 //!   semi-naïve vs Θ(n) settled pops for the frontier (Cor. 5.19 —
 //!   absorptive dioids settle facts best-first), an asymptotic
 //!   separation.
+//!
+//! Runs through the **decode-free** [`dlo_engine::engine_eval_interned`]
+//! entry point: the `eval_ms` column is the pure fixpoint time and
+//! `decode_ms` is the deferred rank-sorted `Database` materialization —
+//! the phase a pipeline feeding results back into the engine never pays.
+//! Support counts and the cross-strategy agreement check come straight
+//! off the interned handles.
 
 use dlo_bench::{print_table, GraphInstance};
 use dlo_core::examples_lib::apsp_program;
-use dlo_core::{BoolDatabase, EvalOutcome, Program};
-use dlo_engine::{engine_eval, Strategy};
+use dlo_core::{BoolDatabase, Program};
+use dlo_engine::{engine_eval_interned, EngineOpts, InternedOutcome, Strategy};
 use dlo_pops::Trop;
 use std::time::Instant;
 
 fn main() {
     let bools = BoolDatabase::new();
+    let opts = EngineOpts::default();
     let mut rows = vec![];
     let chain = GraphInstance::path(1000);
     let random = GraphInstance::random(1000, 1500, 9, 7);
     let (grad_prog, grad_edb) = GraphInstance::gradient(2000).sssp();
-    let cases: Vec<(&str, Program<Trop>, _)> = vec![
-        ("chain_1k", apsp_program::<Trop>(), chain.trop_edb()),
-        ("random_1k", apsp_program::<Trop>(), random.trop_edb()),
-        ("gradient_2k", grad_prog, grad_edb),
+    let cases: Vec<(&str, &str, Program<Trop>, _)> = vec![
+        ("chain_1k", "T", apsp_program::<Trop>(), chain.trop_edb()),
+        ("random_1k", "T", apsp_program::<Trop>(), random.trop_edb()),
+        ("gradient_2k", "L", grad_prog, grad_edb),
     ];
-    for (name, prog, edb) in &cases {
-        let mut outs: Vec<(usize, usize)> = vec![];
+    for (name, out_pred, prog, edb) in &cases {
+        let mut stats: Vec<(usize, usize, usize, usize)> = vec![];
         let mut dbs = vec![];
         for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
             let t0 = Instant::now();
-            let out = engine_eval(prog, edb, &bools, 100_000_000, strategy);
-            let ms = t0.elapsed().as_millis() as usize;
-            let (db, steps) = match out {
-                EvalOutcome::Converged { output, steps } => (output, steps),
-                EvalOutcome::Diverged { .. } => unreachable!("workloads converge"),
+            let out = engine_eval_interned(prog, edb, &bools, 100_000_000, strategy, &opts);
+            let eval_ms = t0.elapsed().as_millis() as usize;
+            let (out, steps) = match out {
+                InternedOutcome::Converged { output, steps } => (output, steps),
+                InternedOutcome::Diverged { .. } => unreachable!("workloads converge"),
             };
-            outs.push((ms, steps));
+            // Support size is free on the interned handle — no decode.
+            let support = out.support_size(out_pred);
+            let t1 = Instant::now();
+            let db = out.materialize();
+            let decode_ms = t1.elapsed().as_millis() as usize;
+            stats.push((eval_ms, decode_ms, steps, support));
             dbs.push(db);
         }
         assert_eq!(dbs[0], dbs[1], "{name}: worklist fixpoint differs");
         assert_eq!(dbs[0], dbs[2], "{name}: priority fixpoint differs");
         for (si, sname) in ["seminaive", "worklist", "priority"].iter().enumerate() {
+            let (eval_ms, decode_ms, steps, support) = stats[si];
             rows.push(vec![
                 name.to_string(),
                 sname.to_string(),
-                format!("{}", outs[si].0),
-                format!("{}", outs[si].1),
+                format!("{eval_ms}"),
+                format!("{decode_ms}"),
+                format!("{steps}"),
+                format!("{support}"),
             ]);
         }
     }
     print_table(
-        "engine strategies over Trop (steps: iterations / pops / batches)",
-        &["instance", "strategy", "ms", "steps"],
+        "engine strategies over Trop (steps: iterations / generations / batches; decode deferred via InternedOutput)",
+        &["instance", "strategy", "eval_ms", "decode_ms", "steps", "support"],
         &rows,
     );
 }

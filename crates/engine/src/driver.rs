@@ -37,15 +37,15 @@
 use crate::exec::{run_plan, EvalCtx, HeadVal};
 use crate::hash::FxHashMap;
 use crate::intern::Interner;
+use crate::output::{decode_db, InternedOutcome, InternedOutput};
 use crate::par;
 use crate::plan::{compile, CompileError, CompiledProgram, Plan, Source};
-use crate::storage::ColumnRel;
+use crate::storage::{AccumMap, ColMask, ColumnRel};
 use dlo_core::ast::Program;
 use dlo_core::eval::EvalOutcome;
 use dlo_core::relation::{BoolDatabase, Database, Relation};
-use dlo_core::value::Tuple;
 use dlo_pops::{Bool, CompleteDistributiveDioid, NaturallyOrdered, Pops, PreSemiring};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Below this much estimated first-step work an iteration runs on one
 /// thread (scoped-thread spawn is not free).
@@ -78,13 +78,17 @@ impl Default for EngineOpts {
 }
 
 impl EngineOpts {
-    fn effective_threads(&self) -> usize {
+    pub(crate) fn effective_threads(&self) -> usize {
         self.threads.unwrap_or_else(par::max_threads).max(1)
     }
 }
 
-/// Per-IDB head accumulators for one iteration.
-type Accum<P> = Vec<HashMap<Box<[u32]>, P>>;
+/// Per-IDB head accumulators for one iteration. [`AccumMap`] packs keys
+/// of width ≤ 2 into `u64`s — the same trick the row maps and indexes in
+/// [`crate::storage`] use — so the per-derivation `⊕`-merge is an
+/// inline-integer hash with no per-key allocation (the boxed-slice maps
+/// this replaces were the semi-naïve loop's last unpacked hot path).
+type Accum<P> = Vec<AccumMap<P>>;
 
 /// Per-IDB accumulators for head keys containing not-yet-interned
 /// constants. `BTreeMap` so draining (and with it id minting) is
@@ -104,6 +108,11 @@ pub(crate) struct Engine<P> {
     pub(crate) idb_new_masks: Vec<Vec<u32>>,
     /// Index masks needed on each IDB's per-iteration delta.
     idb_delta_masks: Vec<Vec<u32>>,
+    /// EDB-side `(source, mask)` index requirements of the seed and
+    /// semi-naïve delta plans, collected at setup and built by
+    /// [`Engine::build_edb_indexes`] — deferred so the builds can fan
+    /// out over the worker pool once the caller knows its thread count.
+    edb_reqs: Vec<(Source, ColMask)>,
 }
 
 /// The three semi-naïve IDB states.
@@ -155,12 +164,12 @@ fn setup<P: Pops>(
     let mut adom: Vec<u32> = (0..interner.len() as u32).collect();
     adom.sort_by(|a, b| interner.get(*a).cmp(interner.get(*b)));
 
-    let mut pops_edb: Vec<Option<ColumnRel<P>>> = compiled
+    let pops_edb: Vec<Option<ColumnRel<P>>> = compiled
         .pops_edbs
         .iter()
         .map(|name| pops_db.get(name).map(|r| intern_rel(r, &interner)))
         .collect();
-    let mut bool_edb: Vec<Option<ColumnRel<Bool>>> = compiled
+    let bool_edb: Vec<Option<ColumnRel<Bool>>> = compiled
         .bool_edbs
         .iter()
         .map(|name| bool_db.get(name).map(|r| intern_rel(r, &interner)))
@@ -169,18 +178,10 @@ fn setup<P: Pops>(
     let nidb = compiled.idbs.len();
     let mut idb_new_masks: Vec<Vec<u32>> = vec![vec![]; nidb];
     let mut idb_delta_masks: Vec<Vec<u32>> = vec![vec![]; nidb];
+    let mut edb_reqs: Vec<(Source, ColMask)> = vec![];
     for (source, mask) in compiled.index_requirements() {
         match source {
-            Source::PopsEdb(i) => {
-                if let Some(rel) = &mut pops_edb[i] {
-                    rel.ensure_index(mask);
-                }
-            }
-            Source::BoolEdb(i) => {
-                if let Some(rel) = &mut bool_edb[i] {
-                    rel.ensure_index(mask);
-                }
-            }
+            Source::PopsEdb(_) | Source::BoolEdb(_) => edb_reqs.push((source, mask)),
             Source::IdbNew(i) | Source::IdbOld(i) => {
                 if !idb_new_masks[i].contains(&mask) {
                     idb_new_masks[i].push(mask);
@@ -201,6 +202,7 @@ fn setup<P: Pops>(
         adom,
         idb_new_masks,
         idb_delta_masks,
+        edb_reqs,
     })
 }
 
@@ -229,66 +231,34 @@ impl<P: Pops> Engine<P> {
             .collect()
     }
 
-    /// Materializes interned IDB storage back into `Database` form.
-    ///
-    /// The obvious per-row decode was the single most expensive phase of
-    /// a large run: `BTreeMap` construction from *unsorted* tuples sorts
-    /// them with full `Tuple` (vec-of-enum) comparisons. Instead the
-    /// rows are ordered **before** materialization using an
-    /// interned-rank table — rank order is order-isomorphic to
-    /// `Constant` order, so comparing packed `u64` ranks gives exactly
-    /// the tuple order the `BTreeMap` wants — and the bulk-loading
-    /// constructor then sees pre-sorted keys (its internal sort pass
-    /// degenerates to a linear scan).
+    /// Materializes interned IDB storage back into `Database` form (the
+    /// rank-sorted bulk decode lives in [`crate::output`]; pipelines
+    /// that do not need `Constant`-keyed relations skip it entirely via
+    /// the `*_interned` entry points).
     pub(crate) fn decode(&self, rels: &[ColumnRel<P>]) -> Database<P> {
-        // Rank over *all* currently interned ids (minting may have
-        // extended the table past the setup-time active domain).
-        let mut ids: Vec<u32> = (0..self.interner.len() as u32).collect();
-        ids.sort_unstable_by(|a, b| self.interner.get(*a).cmp(self.interner.get(*b)));
-        let mut rank = vec![0u32; ids.len()];
-        for (pos, &id) in ids.iter().enumerate() {
-            rank[id as usize] = pos as u32;
-        }
-
-        let mut db = Database::new();
-        for ((name, arity), rel) in self.compiled.idbs.iter().zip(rels) {
-            let order: Vec<u32> = if *arity <= 2 {
-                let mut keyed: Vec<(u64, u32)> = (0..rel.len() as u32)
-                    .map(|r| {
-                        let packed = match rel.row(r) {
-                            [] => 0u64,
-                            [a] => rank[*a as usize] as u64,
-                            [a, b] => ((rank[*a as usize] as u64) << 32) | rank[*b as usize] as u64,
-                            _ => unreachable!("arity ≤ 2"),
-                        };
-                        (packed, r)
-                    })
-                    .collect();
-                keyed.sort_unstable_by_key(|&(k, _)| k);
-                keyed.into_iter().map(|(_, r)| r).collect()
-            } else {
-                let mut order: Vec<u32> = (0..rel.len() as u32).collect();
-                order.sort_unstable_by(|&a, &b| {
-                    let ra = rel.row(a).iter().map(|&id| rank[id as usize]);
-                    let rb = rel.row(b).iter().map(|&id| rank[id as usize]);
-                    ra.cmp(rb)
-                });
-                order
-            };
-            let pairs = order.into_iter().map(|r| {
-                let tuple: Tuple = rel
-                    .row(r)
-                    .iter()
-                    .map(|&id| self.interner.get(id).clone())
-                    .collect();
-                (tuple, rel.val(r).clone())
-            });
-            db.insert(name, Relation::from_distinct_pairs(*arity, pairs));
-        }
-        db
+        decode_db(&self.interner, &self.compiled.idbs, rels)
     }
 
-    fn step0_estimate(&self, plan: &Plan<P>, state: &IdbState<P>) -> (usize, bool) {
+    /// Fresh per-IDB head accumulators, one per predicate at its arity.
+    fn empty_accums(&self) -> Accum<P> {
+        self.compiled
+            .idbs
+            .iter()
+            .map(|(_, arity)| AccumMap::new(*arity))
+            .collect()
+    }
+
+    /// `(first-step work estimate, chunkable)` for a plan against the
+    /// given IDB states — the shared input of [`chunk_tasks`] for both
+    /// the global driver and the frontier batch executor. A probe-driven
+    /// first step gets a flat estimate (its candidate count is unknown
+    /// until the key is assembled); an unindexed scan is chunkable.
+    pub(crate) fn step0_estimate(
+        &self,
+        plan: &Plan<P>,
+        new: &[ColumnRel<P>],
+        delta: &[ColumnRel<P>],
+    ) -> (usize, bool) {
         match plan.steps.first() {
             None => (1, false),
             Some(step) if step.mask != 0 => (16, false),
@@ -296,8 +266,8 @@ impl<P: Pops> Engine<P> {
                 let len = match step.source {
                     Source::PopsEdb(i) => self.pops_edb[i].as_ref().map_or(0, |r| r.len()),
                     Source::BoolEdb(i) => self.bool_edb[i].as_ref().map_or(0, |r| r.len()),
-                    Source::IdbNew(i) | Source::IdbOld(i) => state.new[i].len(),
-                    Source::IdbDelta(i) => state.delta[i].len(),
+                    Source::IdbNew(i) | Source::IdbOld(i) => new[i].len(),
+                    Source::IdbDelta(i) => delta[i].len(),
                 };
                 (len, true)
             }
@@ -305,13 +275,87 @@ impl<P: Pops> Engine<P> {
     }
 }
 
-fn merge_into<P: PreSemiring>(map: &mut HashMap<Box<[u32]>, P>, key: &[u32], v: P) {
-    match map.get_mut(key) {
-        Some(g) => *g = g.add(&v),
-        None => {
-            map.insert(key.into(), v);
+/// Builds the parallel task list from per-plan first-step estimates: one
+/// task per plan, with chunkable scan-driven plans split into first-step
+/// row ranges. Shared by the global driver's iterations and the frontier
+/// drivers' batches so both paths fan out with one heuristic.
+pub(crate) fn chunk_tasks(
+    estimates: &[(usize, bool)],
+    threads: usize,
+    chunk_min: usize,
+) -> Vec<(usize, Option<(usize, usize)>)> {
+    let mut tasks: Vec<(usize, Option<(usize, usize)>)> = vec![];
+    for (pi, &(est, chunkable)) in estimates.iter().enumerate() {
+        if chunkable && est > 2 * chunk_min {
+            let chunk = (est / (threads * 4)).max(chunk_min);
+            let mut lo = 0;
+            while lo < est {
+                tasks.push((pi, Some((lo, (lo + chunk).min(est)))));
+                lo += chunk;
+            }
+        } else {
+            tasks.push((pi, None));
         }
     }
+    tasks
+}
+
+impl<P: Pops + Send> Engine<P> {
+    /// Builds every EDB-side index the compiled plans probe — the
+    /// seed/semi-naïve requirements collected at setup plus `extra`
+    /// (the frontier drivers pass their worklist-plan requirements;
+    /// IDB entries in `extra` are ignored, the caller owns those
+    /// relations) — fanning per-relation builds over `threads` scoped
+    /// workers. Builds are independent per relation and each index's
+    /// content is insertion-order determined, so parallel construction
+    /// is observation-equivalent to the old sequential loop.
+    pub(crate) fn build_edb_indexes(&mut self, extra: &[(Source, ColMask)], threads: usize) {
+        enum Work<'a, P> {
+            Pops(&'a mut ColumnRel<P>, Vec<ColMask>),
+            Bool(&'a mut ColumnRel<Bool>, Vec<ColMask>),
+        }
+        let mut pops_masks: Vec<Vec<ColMask>> = vec![vec![]; self.pops_edb.len()];
+        let mut bool_masks: Vec<Vec<ColMask>> = vec![vec![]; self.bool_edb.len()];
+        for &(source, mask) in self.edb_reqs.iter().chain(extra) {
+            match source {
+                Source::PopsEdb(i) if !pops_masks[i].contains(&mask) => pops_masks[i].push(mask),
+                Source::BoolEdb(i) if !bool_masks[i].contains(&mask) => bool_masks[i].push(mask),
+                _ => {}
+            }
+        }
+        let mut work: Vec<Work<'_, P>> = vec![];
+        for (rel, masks) in self.pops_edb.iter_mut().zip(pops_masks) {
+            if let Some(rel) = rel.as_mut() {
+                if !masks.is_empty() {
+                    work.push(Work::Pops(rel, masks));
+                }
+            }
+        }
+        for (rel, masks) in self.bool_edb.iter_mut().zip(bool_masks) {
+            if let Some(rel) = rel.as_mut() {
+                if !masks.is_empty() {
+                    work.push(Work::Bool(rel, masks));
+                }
+            }
+        }
+        par::run_each(work, threads, |w| match w {
+            Work::Pops(rel, masks) => {
+                for mask in masks {
+                    rel.ensure_index(mask);
+                }
+            }
+            Work::Bool(rel, masks) => {
+                for mask in masks {
+                    rel.ensure_index(mask);
+                }
+            }
+        });
+    }
+}
+
+/// Consumes a finished engine into the decode-free output handle.
+pub(crate) fn finish<P: Pops>(engine: Engine<P>, rels: Vec<ColumnRel<P>>) -> InternedOutput<P> {
+    InternedOutput::new(engine.interner, engine.compiled.idbs, rels)
 }
 
 pub(crate) fn merge_fresh<P: PreSemiring>(
@@ -343,19 +387,6 @@ pub(crate) fn mint_key(interner: &mut Interner, key: &[HeadVal]) -> Vec<u32> {
         .collect()
 }
 
-/// Drains an accumulator in interned-key order. Accumulators are hash
-/// maps for O(1) merging, but draining them in `RandomState` iteration
-/// order would make row-insertion order — and with it the `⊕`-fold
-/// association on POPS whose addition is not exactly associative (f64
-/// sums) — vary run to run. Interner ids are assigned deterministically
-/// from `BTreeMap`-ordered inputs, so sorting restores the workspace's
-/// determinism guarantee.
-fn drain_sorted<P>(acc: HashMap<Box<[u32]>, P>) -> Vec<(Box<[u32]>, P)> {
-    let mut entries: Vec<(Box<[u32]>, P)> = acc.into_iter().collect();
-    entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-    entries
-}
-
 fn run_plans<P>(
     engine: &Engine<P>,
     plans: &[Plan<P>],
@@ -375,12 +406,12 @@ where
         idb_changed: &state.changed,
         idb_delta: &state.delta,
     };
-    let mut global: Accum<P> = (0..nidb).map(|_| HashMap::new()).collect();
+    let mut global: Accum<P> = engine.empty_accums();
     let mut global_fresh: FreshAccum<P> = (0..nidb).map(|_| BTreeMap::new()).collect();
     let threads = opts.effective_threads();
     let estimates: Vec<(usize, bool)> = plans
         .iter()
-        .map(|p| engine.step0_estimate(p, state))
+        .map(|p| engine.step0_estimate(p, &state.new, &state.delta))
         .collect();
     let total: usize = estimates.iter().map(|(e, _)| e).sum();
 
@@ -392,38 +423,24 @@ where
                 plan,
                 &ctx,
                 None,
-                &mut |key, v| merge_into(acc, key, v),
+                &mut |key, v| acc.merge(key, v),
                 &mut |key, v| merge_fresh(facc, key, v),
             );
         }
         return (global, global_fresh);
     }
 
-    // Task list: one per plan, with large scan-driven plans split into
-    // first-step row chunks.
-    let mut tasks: Vec<(usize, Option<(usize, usize)>)> = vec![];
-    for (pi, &(est, chunkable)) in estimates.iter().enumerate() {
-        if chunkable && est > 2 * opts.chunk_min {
-            let chunk = (est / (threads * 4)).max(opts.chunk_min);
-            let mut lo = 0;
-            while lo < est {
-                tasks.push((pi, Some((lo, (lo + chunk).min(est)))));
-                lo += chunk;
-            }
-        } else {
-            tasks.push((pi, None));
-        }
-    }
+    let tasks = chunk_tasks(&estimates, threads, opts.chunk_min);
     let results = par::run_indexed(tasks.len(), threads, |ti| {
         let (pi, range) = tasks[ti];
         let plan = &plans[pi];
-        let mut local: HashMap<Box<[u32]>, P> = HashMap::new();
+        let mut local: AccumMap<P> = AccumMap::new(engine.compiled.idbs[plan.head_pred].1);
         let mut local_fresh: BTreeMap<Box<[HeadVal]>, P> = BTreeMap::new();
         run_plan(
             plan,
             &ctx,
             range,
-            &mut |key, v| merge_into(&mut local, key, v),
+            &mut |key, v| local.merge(key, v),
             &mut |key, v| merge_fresh(&mut local_fresh, key, v),
         );
         (plan.head_pred, local, local_fresh)
@@ -431,10 +448,7 @@ where
     // `run_indexed` returns results in task order, so both the `⊕`-merge
     // association and the fresh-map contents are deterministic.
     for (pred, local, local_fresh) in results {
-        let acc = &mut global[pred];
-        for (key, v) in local {
-            merge_into(acc, &key, v);
-        }
+        global[pred].absorb(local);
         let facc = &mut global_fresh[pred];
         for (key, v) in local_fresh {
             merge_fresh(facc, &key, v);
@@ -477,6 +491,7 @@ where
     P: NaturallyOrdered + Send + Sync,
 {
     let mut engine = setup_or_panic(program, pops_edb, bool_edb);
+    engine.build_edb_indexes(&[], opts.effective_threads());
     let nidb = engine.compiled.idbs.len();
     let mut state = IdbState {
         new: engine.empty_idbs(),
@@ -492,9 +507,9 @@ where
         let (contrib, fresh) = run_plans(&engine, &engine.compiled.seed_plans, &state, opts);
         let mut next = engine.empty_idbs();
         for (pred, acc) in contrib.into_iter().enumerate() {
-            for (key, v) in drain_sorted(acc) {
-                next[pred].insert_row(&key, v);
-            }
+            acc.drain_sorted(|key, v| {
+                next[pred].insert_row(key, v);
+            });
         }
         for (pred, acc) in fresh.into_iter().enumerate() {
             for (key, v) in acc {
@@ -559,7 +574,32 @@ pub fn engine_seminaive_eval_with_opts<P>(
 where
     P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
 {
+    engine_seminaive_eval_interned(program, pops_edb, bool_edb, cap, opts).materialize()
+}
+
+/// [`engine_seminaive_eval`] returning the **decode-free**
+/// [`InternedOutcome`]: the fixpoint stays interned (ids + interner
+/// handle) and the rank-sorted `Database` build is deferred until a
+/// caller asks for it — on 500k-row outputs that build is the largest
+/// single phase of a run, and pipelines feeding results back into the
+/// engine never need it.
+///
+/// # Panics
+///
+/// On programs the columnar storage cannot represent: an atom of arity
+/// > 32, or one head predicate used at two arities.
+pub fn engine_seminaive_eval_interned<P>(
+    program: &Program<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+    cap: usize,
+    opts: &EngineOpts,
+) -> InternedOutcome<P>
+where
+    P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
+{
     let mut engine = setup_or_panic(program, pops_edb, bool_edb);
+    engine.build_edb_indexes(&[], opts.effective_threads());
     let nidb = engine.compiled.idbs.len();
     let mut state = IdbState {
         new: engine.empty_idbs(),
@@ -574,11 +614,11 @@ where
     // Seeding: J(1) = F(0), δ(0) = J(1), every row marked as appended.
     let (contrib, fresh) = run_plans(&engine, &engine.compiled.seed_plans, &state, opts);
     for (pred, acc) in contrib.into_iter().enumerate() {
-        for (key, v) in drain_sorted(acc) {
-            let r = state.new[pred].insert_row(&key, v.clone());
+        acc.drain_sorted(|key, v| {
+            let r = state.new[pred].insert_row(key, v.clone());
             state.changed[pred].insert(r, None);
-            state.delta[pred].append_row(&key, v);
-        }
+            state.delta[pred].append_row(key, v);
+        });
     }
     for (pred, acc) in fresh.into_iter().enumerate() {
         for (key, v) in acc {
@@ -592,8 +632,8 @@ where
 
     for steps in 1..=cap {
         if state.delta.iter().all(|d| d.is_empty()) {
-            return EvalOutcome::Converged {
-                output: engine.decode(&state.new),
+            return InternedOutcome::Converged {
+                output: finish(engine, state.new),
                 steps,
             };
         }
@@ -604,25 +644,25 @@ where
             ch.clear();
         }
         for (pred, acc) in contrib.into_iter().enumerate() {
-            for (key, v) in drain_sorted(acc) {
-                let existing = state.new[pred].get(&key).cloned().unwrap_or_else(P::zero);
+            acc.drain_sorted(|key, v| {
+                let existing = state.new[pred].get(key).cloned().unwrap_or_else(P::zero);
                 let diff = v.minus(&existing);
                 if diff.is_zero() {
-                    continue;
+                    return;
                 }
-                next_delta[pred].append_row(&key, diff);
-                match state.new[pred].rowid(&key) {
+                next_delta[pred].append_row(key, diff);
+                match state.new[pred].rowid(key) {
                     Some(r) => {
                         let merged = existing.add(&v);
                         state.changed[pred].insert(r, Some(existing));
                         state.new[pred].set_val(r, merged);
                     }
                     None => {
-                        let r = state.new[pred].insert_row(&key, v);
+                        let r = state.new[pred].insert_row(key, v);
                         state.changed[pred].insert(r, None);
                     }
                 }
-            }
+            });
         }
         // Fresh head keys name rows that cannot exist yet (their minted
         // cells were not interned when the phase ran), so δ' = v ⊖ 0 and
@@ -642,8 +682,8 @@ where
         state.delta = next_delta;
         ensure_delta_indexes(&engine, &mut state);
     }
-    EvalOutcome::Diverged {
-        last: engine.decode(&state.new),
+    InternedOutcome::Diverged {
+        last: finish(engine, state.new),
         cap,
     }
 }

@@ -20,10 +20,17 @@
 //!   that serves `J(t)` and `J(t-1)` from one physical relation;
 //! * [`driver`] — naïve and **parallel semi-naïve** loops (prefix-new /
 //!   Δ / suffix-old per Theorem 6.5), fanning (plan × row-chunk) tasks
-//!   over scoped threads and `⊕`-merging deterministically;
-//! * [`worklist`] — the **frontier drivers**: FIFO worklist and
-//!   bucketed best-first priority scheduling, per-row change
-//!   propagation instead of global iterations;
+//!   over scoped threads and `⊕`-merging deterministically, with
+//!   packed-`u64` head accumulators for arities ≤ 2;
+//! * [`worklist`] — the **frontier drivers**: FIFO generation worklist
+//!   and bucketed best-first priority scheduling, per-row change
+//!   propagation instead of global iterations, each frontier batch
+//!   fanned over the same worker pool with a deterministic
+//!   (task-index, emit-order) merge;
+//! * [`output`] — **decode-free result handles**
+//!   ([`InternedOutput`]/[`InternedOutcome`]): the fixpoint stays
+//!   interned and `Database` materialization is deferred until asked
+//!   for;
 //! * [`hash`] — the deterministic fast hasher behind every hot map.
 //!
 //! ## Three evaluation strategies
@@ -43,11 +50,37 @@
 //! over `Trop`, `MinNat`, `MaxMin`, or `Bool` get Dijkstra semantics by
 //! default and can force any of the three. On workloads where
 //! round-based evaluation re-improves facts for many rounds (the
-//! gradient SSSP instance of `BENCH_worklist.json`) the frontier is
-//! asymptotically faster: Θ(n) settled pops vs Θ(n²) round updates,
-//! measured at 230× on 2000 nodes. On unique-path workloads (chain TC)
-//! derivation counts are strategy-invariant and the frontier wins
-//! constant factors only.
+//! gradient SSSP instance of `BENCH_worklist.json`) the priority
+//! frontier is asymptotically faster: Θ(n) settled pops vs Θ(n²) round
+//! updates, measured at 230× on 2000 nodes. On unique-path workloads
+//! (chain TC) derivation counts are strategy-invariant and the frontier
+//! wins constant factors only.
+//!
+//! The FIFO worklist drains **generations** (everything queued when the
+//! drain starts — Bellman-Ford rounds restricted to changed rows):
+//! batches are large enough to parallelize and per-batch overhead is
+//! amortized, which beats per-row pops on unique-path workloads, but on
+//! re-improvement-heavy instances (the gradient graph) it inherits the
+//! synchronous Θ(n²) update count — there the priority frontier, which
+//! only ever fires settled rows, is the right discipline and is what
+//! `Auto` picks.
+//!
+//! ## Parallelism: every strategy, one worker pool
+//!
+//! All three loops fan work over the scoped-thread pool in [`par`],
+//! capped by `DLO_ENGINE_THREADS` (set `1` to force sequential
+//! execution; the default is `std::thread::available_parallelism`) or
+//! per call via [`EngineOpts::threads`]. The semi-naïve loop
+//! parallelizes each global iteration; the frontier drivers parallelize
+//! each **batch** (a FIFO generation or a priority value bucket),
+//! splitting (settled-row × worklist-plan) work into chunked tasks, and
+//! fall back to the sequential inner loop when a batch's estimated
+//! first-step work is below [`EngineOpts::par_threshold`] — sparse
+//! frontiers never pay a spawn. EDB index builds also fan out, one
+//! relation per task. In every case results are **bit-identical at any
+//! thread count**: tasks are merged in task order, emission order is
+//! independent of chunk boundaries, and interner ids are minted
+//! single-threaded between phases.
 //!
 //! Entry points mirror the other backends and cross-check against them
 //! in `tests/cross_engine.rs` (and all strategies against each other in
@@ -94,13 +127,11 @@
 //!
 //! Body-side key functions never mint — a computed probe value outside
 //! the interned domain simply matches nothing, which is the semantics of
-//! joining against finite supports.
-//!
-//! Set `DLO_ENGINE_THREADS=<n>` to cap the worker pool (`1` forces
-//! single-threaded execution); the default is
-//! `std::thread::available_parallelism()`. Minting is unaffected by the
-//! thread count: fresh accumulators are merged in task order and drained
-//! sorted, so results are bit-identical at any parallelism.
+//! joining against finite supports. Minting is unaffected by the thread
+//! count: fresh accumulators are merged in task order and drained
+//! sorted, so results are bit-identical at any parallelism — under the
+//! frontier drivers ids are minted between batches exactly as the
+//! global drivers mint between iterations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -109,6 +140,7 @@ pub mod driver;
 pub mod exec;
 pub mod hash;
 pub mod intern;
+pub mod output;
 pub mod par;
 pub mod plan;
 pub mod storage;
@@ -116,11 +148,13 @@ pub mod worklist;
 
 pub use driver::{
     engine_naive_eval, engine_naive_eval_with_opts, engine_seminaive_eval,
-    engine_seminaive_eval_with_opts, EngineOpts,
+    engine_seminaive_eval_interned, engine_seminaive_eval_with_opts, EngineOpts,
 };
 pub use intern::Interner;
+pub use output::{InternedOutcome, InternedOutput};
 pub use plan::{compile, CompileError, CompiledProgram, Plan};
 pub use storage::ColumnRel;
 pub use worklist::{
-    engine_eval, engine_eval_with_opts, engine_priority_eval, engine_worklist_eval, Strategy,
+    engine_eval, engine_eval_interned, engine_eval_with_opts, engine_priority_eval,
+    engine_priority_eval_with_opts, engine_worklist_eval, engine_worklist_eval_with_opts, Strategy,
 };

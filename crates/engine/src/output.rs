@@ -1,0 +1,276 @@
+//! Decode-free result handles: interned output without the `Database`
+//! materialization cost.
+//!
+//! On large runs, materializing a [`Database`] — decoding every interned
+//! row back to `Constant` tuples and bulk-building rank-sorted
+//! `BTreeMap`s — is the single largest phase *after* the fixpoint itself
+//! (it was the largest overall before the rank-sorted bulk build). A
+//! pipeline that feeds results straight back into the engine, inspects a
+//! handful of values, or only needs support counts pays that full price
+//! for nothing. [`InternedOutput`] is the fix: it owns the final IDB
+//! storage **and** the interner that gives the ids meaning, exposes the
+//! cheap queries directly on interned state, and materializes a
+//! `Database` (whole, or one predicate at a time) only when asked.
+//!
+//! The `*_interned` driver entry points ([`crate::engine_eval_interned`],
+//! [`crate::engine_seminaive_eval_interned`]) return an
+//! [`InternedOutcome`], the decode-free mirror of
+//! `dlo_core::eval::EvalOutcome`; `.materialize()` converts between the
+//! two, and the classic `Database`-returning entry points are now thin
+//! wrappers over these.
+
+use crate::intern::Interner;
+use crate::storage::ColumnRel;
+use dlo_core::eval::EvalOutcome;
+use dlo_core::relation::{Database, Relation};
+use dlo_core::value::{Constant, Tuple};
+use dlo_pops::Pops;
+
+/// A fixpoint result in interned, columnar form: the final IDB relations
+/// plus the interner (including any ids minted for head-computed keys
+/// during the run) that decodes them.
+#[derive(Clone, Debug)]
+pub struct InternedOutput<P> {
+    interner: Interner,
+    idbs: Vec<(String, usize)>,
+    rels: Vec<ColumnRel<P>>,
+}
+
+impl<P: Pops> InternedOutput<P> {
+    pub(crate) fn new(
+        interner: Interner,
+        idbs: Vec<(String, usize)>,
+        rels: Vec<ColumnRel<P>>,
+    ) -> Self {
+        debug_assert_eq!(idbs.len(), rels.len());
+        InternedOutput {
+            interner,
+            idbs,
+            rels,
+        }
+    }
+
+    /// The constant table the rows are interned against (EDB and program
+    /// constants plus everything minted during the run).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// The IDB predicates `(name, arity)` in compilation order.
+    pub fn predicates(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.idbs.iter().map(|(n, a)| (n.as_str(), *a))
+    }
+
+    /// The interned storage of `pred`, if it is an IDB of the program.
+    pub fn relation(&self, pred: &str) -> Option<&ColumnRel<P>> {
+        self.idbs
+            .iter()
+            .position(|(n, _)| n == pred)
+            .map(|i| &self.rels[i])
+    }
+
+    /// Support size of `pred` (0 when absent) — no decode.
+    pub fn support_size(&self, pred: &str) -> usize {
+        self.relation(pred).map_or(0, |r| r.len())
+    }
+
+    /// The value of `pred(tuple)`, if present: the tuple's constants are
+    /// looked up in the interner (a constant the run never saw cannot
+    /// name a row) and the packed row map is probed — no decode.
+    pub fn get(&self, pred: &str, tuple: &[Constant]) -> Option<&P> {
+        let rel = self.relation(pred)?;
+        if tuple.len() != rel.arity() {
+            return None;
+        }
+        let mut key: Vec<u32> = Vec::with_capacity(tuple.len());
+        for c in tuple {
+            key.push(self.interner.lookup(c)?);
+        }
+        rel.get(&key)
+    }
+
+    /// Decodes one predicate into a [`Relation`] (rank-sorted bulk
+    /// build), leaving every other predicate interned.
+    pub fn materialize_pred(&self, pred: &str) -> Option<Relation<P>> {
+        let i = self.idbs.iter().position(|(n, _)| n == pred)?;
+        let rank = rank_table(&self.interner);
+        Some(decode_rel(
+            &self.interner,
+            &rank,
+            self.idbs[i].1,
+            &self.rels[i],
+        ))
+    }
+
+    /// Decodes the full output into a [`Database`] — the one expensive
+    /// operation on this type, deferred until a caller actually needs
+    /// `Constant`-keyed relations.
+    pub fn materialize(&self) -> Database<P> {
+        decode_db(&self.interner, &self.idbs, &self.rels)
+    }
+}
+
+/// Rank over *all* currently interned ids (minting may have extended the
+/// table past the setup-time active domain): rank order is
+/// order-isomorphic to `Constant` order, so packed-rank comparisons give
+/// exactly the tuple order a `BTreeMap` bulk build wants.
+fn rank_table(interner: &Interner) -> Vec<u32> {
+    let mut ids: Vec<u32> = (0..interner.len() as u32).collect();
+    ids.sort_unstable_by(|a, b| interner.get(*a).cmp(interner.get(*b)));
+    let mut rank = vec![0u32; ids.len()];
+    for (pos, &id) in ids.iter().enumerate() {
+        rank[id as usize] = pos as u32;
+    }
+    rank
+}
+
+/// The full rank-sorted decode of interned IDB storage — shared by
+/// [`InternedOutput::materialize`] and the classic `Database`-returning
+/// driver entry points.
+pub(crate) fn decode_db<P: Pops>(
+    interner: &Interner,
+    idbs: &[(String, usize)],
+    rels: &[ColumnRel<P>],
+) -> Database<P> {
+    let rank = rank_table(interner);
+    let mut db = Database::new();
+    for ((name, arity), rel) in idbs.iter().zip(rels) {
+        db.insert(name, decode_rel(interner, &rank, *arity, rel));
+    }
+    db
+}
+
+/// Decodes one interned relation with rows pre-ordered by interned rank,
+/// so `Relation::from_distinct_pairs` sees sorted keys and its internal
+/// sort degenerates to a linear scan.
+fn decode_rel<P: Pops>(
+    interner: &Interner,
+    rank: &[u32],
+    arity: usize,
+    rel: &ColumnRel<P>,
+) -> Relation<P> {
+    let order: Vec<u32> = if arity <= 2 {
+        let mut keyed: Vec<(u64, u32)> = (0..rel.len() as u32)
+            .map(|r| {
+                let packed = match rel.row(r) {
+                    [] => 0u64,
+                    [a] => rank[*a as usize] as u64,
+                    [a, b] => ((rank[*a as usize] as u64) << 32) | rank[*b as usize] as u64,
+                    _ => unreachable!("arity ≤ 2"),
+                };
+                (packed, r)
+            })
+            .collect();
+        keyed.sort_unstable_by_key(|&(k, _)| k);
+        keyed.into_iter().map(|(_, r)| r).collect()
+    } else {
+        let mut order: Vec<u32> = (0..rel.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            let ra = rel.row(a).iter().map(|&id| rank[id as usize]);
+            let rb = rel.row(b).iter().map(|&id| rank[id as usize]);
+            ra.cmp(rb)
+        });
+        order
+    };
+    let pairs = order.into_iter().map(|r| {
+        let tuple: Tuple = rel
+            .row(r)
+            .iter()
+            .map(|&id| interner.get(id).clone())
+            .collect();
+        (tuple, rel.val(r).clone())
+    });
+    Relation::from_distinct_pairs(arity, pairs)
+}
+
+/// The decode-free mirror of `dlo_core::eval::EvalOutcome`: same
+/// convergence semantics, interned payload.
+#[derive(Clone, Debug)]
+pub enum InternedOutcome<P> {
+    /// The loop reached a fixpoint.
+    Converged {
+        /// The least fixpoint, interned.
+        output: InternedOutput<P>,
+        /// Processed steps (global iterations for the semi-naïve
+        /// strategy, frontier batches for the worklist/priority ones —
+        /// not comparable across strategies).
+        steps: usize,
+    },
+    /// The loop hit its cap.
+    Diverged {
+        /// The last state computed, interned (for inspection).
+        last: InternedOutput<P>,
+        /// The cap that was hit.
+        cap: usize,
+    },
+}
+
+impl<P: Pops> InternedOutcome<P> {
+    /// Whether the run converged.
+    pub fn is_converged(&self) -> bool {
+        matches!(self, InternedOutcome::Converged { .. })
+    }
+
+    /// The converged output and step count, or `None` on divergence.
+    pub fn converged(self) -> Option<(InternedOutput<P>, usize)> {
+        match self {
+            InternedOutcome::Converged { output, steps } => Some((output, steps)),
+            InternedOutcome::Diverged { .. } => None,
+        }
+    }
+
+    /// The interned payload, converged or not.
+    pub fn output(&self) -> &InternedOutput<P> {
+        match self {
+            InternedOutcome::Converged { output, .. } => output,
+            InternedOutcome::Diverged { last, .. } => last,
+        }
+    }
+
+    /// Decodes into the classic `Database`-carrying [`EvalOutcome`].
+    pub fn materialize(self) -> EvalOutcome<P> {
+        match self {
+            InternedOutcome::Converged { output, steps } => EvalOutcome::Converged {
+                output: output.materialize(),
+                steps,
+            },
+            InternedOutcome::Diverged { last, cap } => EvalOutcome::Diverged {
+                last: last.materialize(),
+                cap,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::driver::engine_seminaive_eval_interned;
+    use crate::driver::EngineOpts;
+    use dlo_core::examples_lib as ex;
+    use dlo_core::relation::BoolDatabase;
+    use dlo_pops::Trop;
+
+    #[test]
+    fn interned_output_answers_without_decode_and_materializes_equal() {
+        let (program, edb) = ex::sssp_trop("a");
+        let bools = BoolDatabase::new();
+        let (out, steps) =
+            engine_seminaive_eval_interned(&program, &edb, &bools, 1000, &EngineOpts::default())
+                .converged()
+                .unwrap();
+        assert!(steps > 0);
+        // Cheap queries on interned state.
+        assert_eq!(out.get("L", &["d".into()]), Some(&Trop::finite(8.0)));
+        assert_eq!(out.get("L", &["never-seen".into()]), None);
+        assert_eq!(out.support_size("L"), out.relation("L").unwrap().len());
+        assert_eq!(out.support_size("absent"), 0);
+        // Full and per-pred materialization agree with the classic path.
+        let reference = crate::driver::engine_seminaive_eval(&program, &edb, &bools, 1000).unwrap();
+        assert_eq!(out.materialize(), reference);
+        assert_eq!(
+            out.materialize_pred("L").as_ref(),
+            reference.get("L"),
+            "single-pred decode matches"
+        );
+    }
+}

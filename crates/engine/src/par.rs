@@ -65,9 +65,59 @@ where
         .collect()
 }
 
+/// Runs `f` over owned work items across `threads` scoped workers.
+///
+/// Unlike [`run_indexed`] the items may hold mutable borrows (the
+/// parallel-index-build path hands each worker `&mut ColumnRel`s), so
+/// work cannot be handed out through a shared counter; items are dealt
+/// round-robin into per-worker buckets instead, which balances well when
+/// item costs are not front-loaded. Results are discarded — use this for
+/// effects on the items themselves, and only where those effects are
+/// order-independent (index builds are: each item owns its relation).
+pub fn run_each<T, F>(work: Vec<T>, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let n = work.len();
+    if threads <= 1 || n <= 1 {
+        for w in work {
+            f(w);
+        }
+        return;
+    }
+    let nbuckets = threads.min(n);
+    let mut buckets: Vec<Vec<T>> = (0..nbuckets).map(|_| Vec::new()).collect();
+    for (i, w) in work.into_iter().enumerate() {
+        buckets[i % nbuckets].push(w);
+    }
+    std::thread::scope(|scope| {
+        for bucket in buckets {
+            let f = &f;
+            scope.spawn(move || {
+                for w in bucket {
+                    f(w);
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn run_each_visits_every_item_with_mutable_borrows() {
+        let mut cells = vec![0u32; 17];
+        let work: Vec<(usize, &mut u32)> = cells.iter_mut().enumerate().collect();
+        run_each(work, 4, |(i, cell)| *cell = i as u32 + 1);
+        assert_eq!(cells, (1..=17).collect::<Vec<_>>());
+        // Sequential fallback takes the same path.
+        let mut one = vec![0u32];
+        run_each(one.iter_mut().collect::<Vec<_>>(), 8, |c| *c = 9);
+        assert_eq!(one, vec![9]);
+    }
 
     #[test]
     fn results_arrive_in_task_order() {

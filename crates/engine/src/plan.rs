@@ -214,6 +214,12 @@ pub struct CompiledProgram<P> {
     /// the split is sound for idempotent `⊕` (re-derivations merge to
     /// the same value).
     ///
+    /// The per-group order is fixed at compile time (rule order, then
+    /// occurrence order) and doubles as the **task order** of the
+    /// parallel frontier: a batch's plans are fired — inline or fanned
+    /// over the worker pool — in exactly this sequence, so the merged
+    /// emission stream is thread-count-invariant.
+    ///
     /// Compiled unconditionally — even for runs that never fire them —
     /// because a `Plan` is a one-off microsecond compile artifact
     /// (O(rules × occurrences) of them per program), unlike *indexes*,
@@ -251,6 +257,13 @@ impl<P: Pops> CompiledProgram<P> {
             }
         }
         out
+    }
+
+    /// The worklist plans fired when a row of IDB `pred` improves, in
+    /// the compile-time order the frontier drivers use as their
+    /// deterministic task order.
+    pub fn worklist_plans_for(&self, pred: usize) -> &[Plan<P>] {
+        &self.worklist_plans[pred]
     }
 }
 

@@ -21,7 +21,7 @@
 //! plus an allocation and eventual free per stored key).
 
 use crate::hash::FxHashMap;
-use dlo_pops::Pops;
+use dlo_pops::{Pops, PreSemiring};
 
 /// A column bitmask: bit `c` set ⇔ column `c` participates in the probe.
 pub type ColMask = u32;
@@ -113,6 +113,136 @@ impl<V> KeyedMap<V> {
         match self {
             KeyedMap::Packed(m) => m.clear(),
             KeyedMap::Wide(m) => m.clear(),
+        }
+    }
+}
+
+/// A `⊕`-merge accumulator with [`KeyedMap`]-style packed keys: widths
+/// ≤ 2 key an `FxHashMap<u64, P>` (inline hash, no per-key allocation),
+/// wider keys fall back to boxed slices. This is the per-iteration head
+/// accumulator of the semi-naïve driver — one `merge` per derivation, so
+/// at fixpoint scale the boxed-slice map it replaces was a top line item
+/// (hash + eq dereference, plus an allocation per stored key).
+#[derive(Debug)]
+pub enum AccumMap<P> {
+    /// Keys of width ≤ 2, packed into `u64`s (width fixed per map).
+    Packed {
+        /// The key width (needed to unpack on drain).
+        width: usize,
+        /// Packed key → accumulated value.
+        map: FxHashMap<u64, P>,
+    },
+    /// Keys of width > 2, boxed.
+    Wide(FxHashMap<Box<[u32]>, P>),
+}
+
+impl<P: PreSemiring> AccumMap<P> {
+    /// An empty accumulator for keys of the given width.
+    pub fn new(width: usize) -> Self {
+        if width <= 2 {
+            AccumMap::Packed {
+                width,
+                map: FxHashMap::default(),
+            }
+        } else {
+            AccumMap::Wide(FxHashMap::default())
+        }
+    }
+
+    /// Number of distinct keys accumulated.
+    pub fn len(&self) -> usize {
+        match self {
+            AccumMap::Packed { map, .. } => map.len(),
+            AccumMap::Wide(m) => m.len(),
+        }
+    }
+
+    /// Whether nothing has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `⊕`-merges `v` at `key` (insert when absent) in one map probe.
+    #[inline]
+    pub fn merge(&mut self, key: &[u32], v: P) {
+        match self {
+            AccumMap::Packed { map, .. } => match map.entry(pack(key)) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let g = e.get_mut();
+                    *g = g.add(&v);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                }
+            },
+            AccumMap::Wide(m) => match m.get_mut(key) {
+                Some(g) => *g = g.add(&v),
+                None => {
+                    m.insert(key.into(), v);
+                }
+            },
+        }
+    }
+
+    /// Drains every entry in ascending key order — packed `u64` order is
+    /// exactly the lexicographic column order the wide path sorts by, so
+    /// both variants drain identically. Sorted draining is the
+    /// workspace's determinism guarantee: accumulators are hash maps for
+    /// O(1) merging, and draining in hash-iteration order would make
+    /// row-insertion order (and with it the `⊕`-fold association on
+    /// POPS whose addition is not exactly associative, e.g. f64 sums)
+    /// vary run to run.
+    pub fn drain_sorted(self, mut out: impl FnMut(&[u32], P)) {
+        match self {
+            AccumMap::Packed { width, map } => {
+                let mut entries: Vec<(u64, P)> = map.into_iter().collect();
+                entries.sort_unstable_by_key(|&(k, _)| k);
+                for (k, v) in entries {
+                    match width {
+                        0 => out(&[], v),
+                        1 => out(&[k as u32], v),
+                        _ => out(&[(k >> 32) as u32, k as u32], v),
+                    }
+                }
+            }
+            AccumMap::Wide(m) => {
+                let mut entries: Vec<(Box<[u32]>, P)> = m.into_iter().collect();
+                entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                for (k, v) in entries {
+                    out(&k, v);
+                }
+            }
+        }
+    }
+
+    /// Moves every entry of `other` into `self` (used by the parallel
+    /// drivers to fold per-task accumulators in task order).
+    pub fn absorb(&mut self, other: AccumMap<P>) {
+        match (self, other) {
+            (AccumMap::Packed { map, .. }, AccumMap::Packed { map: o, .. }) => {
+                for (k, v) in o {
+                    match map.entry(k) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            let g = e.get_mut();
+                            *g = g.add(&v);
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(v);
+                        }
+                    }
+                }
+            }
+            (AccumMap::Wide(m), AccumMap::Wide(o)) => {
+                for (k, v) in o {
+                    match m.get_mut(&k) {
+                        Some(g) => *g = g.add(&v),
+                        None => {
+                            m.insert(k, v);
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("accumulators for one predicate share a width"),
         }
     }
 }
@@ -392,6 +522,45 @@ mod tests {
         assert_eq!(rel.probe(0b01, &[0]), &[0u32; 0]);
         rel.insert_row(&[0, 2], Trop::finite(2.0));
         assert_eq!(rel.probe(0b01, &[0]), &[0]);
+    }
+
+    #[test]
+    fn accum_map_merges_and_drains_sorted_on_both_paths() {
+        // Packed path (width 2): drain order is lexicographic by column.
+        let mut acc = AccumMap::<Trop>::new(2);
+        acc.merge(&[2, 1], Trop::finite(5.0));
+        acc.merge(&[1, 9], Trop::finite(3.0));
+        acc.merge(&[1, 9], Trop::finite(1.0)); // ⊕ = min
+        assert_eq!(acc.len(), 2);
+        let mut seen: Vec<(Vec<u32>, Trop)> = vec![];
+        acc.drain_sorted(|k, v| seen.push((k.to_vec(), v)));
+        assert_eq!(
+            seen,
+            vec![
+                (vec![1, 9], Trop::finite(1.0)),
+                (vec![2, 1], Trop::finite(5.0)),
+            ]
+        );
+        // Wide path (width 3): same contract.
+        let mut acc = AccumMap::<Trop>::new(3);
+        acc.merge(&[7, 0, 1], Trop::finite(2.0));
+        acc.merge(&[0, 0, 1], Trop::finite(4.0));
+        let mut keys: Vec<Vec<u32>> = vec![];
+        acc.drain_sorted(|k, _| keys.push(k.to_vec()));
+        assert_eq!(keys, vec![vec![0, 0, 1], vec![7, 0, 1]]);
+        // absorb folds a second accumulator in.
+        let mut a = AccumMap::<Trop>::new(1);
+        a.merge(&[3], Trop::finite(9.0));
+        let mut b = AccumMap::<Trop>::new(1);
+        b.merge(&[3], Trop::finite(2.0));
+        b.merge(&[4], Trop::finite(1.0));
+        a.absorb(b);
+        let mut seen: Vec<(Vec<u32>, Trop)> = vec![];
+        a.drain_sorted(|k, v| seen.push((k.to_vec(), v)));
+        assert_eq!(
+            seen,
+            vec![(vec![3], Trop::finite(2.0)), (vec![4], Trop::finite(1.0)),]
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Worklist and priority-frontier evaluation: per-row change propagation
-//! instead of global Δ iterations.
+//! instead of global Δ iterations, with frontier batches fanned over the
+//! worker pool.
 //!
 //! The semi-naïve loop in [`crate::driver`] re-runs every delta plan
 //! against the *whole* Δ relation each round, so a program whose
@@ -18,8 +19,10 @@
 //! Two queue disciplines, picked by [`Strategy`] or by trait bounds:
 //!
 //! * **FIFO worklist** ([`engine_worklist_eval`], needs `Absorptive`) —
-//!   rows are processed in improvement order; a row may be re-processed
-//!   when a later derivation improves it again.
+//!   the queue is drained one **generation** at a time: every row
+//!   pending when the drain starts forms one batch (Bellman-Ford-style
+//!   rounds restricted to changed rows); a row improved again by a later
+//!   generation is simply re-queued.
 //! * **Priority frontier** ([`engine_priority_eval`], needs
 //!   `Absorptive + TotallyOrderedDioid`) — a *bucketed best-first*
 //!   queue keyed by value: the ⊑-greatest pending bucket is drained as
@@ -30,6 +33,26 @@
 //!   near-linear pass over the derivations. Stale queue entries (rows
 //!   improved after being pushed) are skipped lazily by comparing the
 //!   bucket value against the row's current value.
+//!
+//! ## Parallel batches
+//!
+//! A frontier batch is an embarrassingly parallel unit: every row in it
+//! is already merged into `new` (the priority discipline even guarantees
+//! it is *settled*), the interner is frozen while plans run, and the
+//! per-occurrence plans only read state. So each batch's
+//! (settled-row × worklist-plan) work is partitioned into tasks — one
+//! per plan, with large Δ scans split into first-step row chunks exactly
+//! like [`crate::driver`]'s global loop — and fanned over the scoped
+//! worker pool of [`crate::par`]. Each task buffers its emissions in an
+//! ordered [`EmitBuf`]; the merge walks tasks **in task order** and
+//! appends, so the staged emission sequence is byte-for-byte the one the
+//! sequential inner loop produces and results are bit-identical at any
+//! `DLO_ENGINE_THREADS` (every stock absorptive dioid's `⊕` is exact, so
+//! association is immaterial; the task-order merge additionally pins the
+//! fold order per key). Batches whose estimated first-step work falls
+//! below [`crate::driver::EngineOpts::par_threshold`] run the sequential
+//! inner loop directly — sparse frontiers (the gradient workload pops
+//! 1–2 rows per batch) never pay a spawn.
 //!
 //! Both disciplines fire the per-occurrence plans of
 //! [`crate::plan::CompiledProgram::worklist_plans`]: the changed row is
@@ -46,19 +69,22 @@
 //! ([`crate::driver::mint_key`]); minted rows enter `new` as appends and
 //! are pushed like any other improvement.
 //!
-//! `steps` in the returned [`EvalOutcome`] counts processed frontier
-//! units — batches for the priority driver, row pops for the FIFO one —
-//! and the `cap` bounds that count (divergence through unbounded head-key
-//! minting is still caught). Step counts are **not** comparable across
-//! strategies; fixpoints are.
+//! `steps` in the returned outcome counts processed frontier batches —
+//! FIFO generations for the worklist driver, value buckets for the
+//! priority one — and the `cap` bounds that count (divergence through
+//! unbounded head-key minting is still caught). Step counts are **not**
+//! comparable across strategies; fixpoints are.
 
 use crate::driver::{
-    engine_seminaive_eval_with_opts, merge_fresh, mint_key, setup_or_panic, EngineOpts,
+    chunk_tasks, engine_seminaive_eval_interned, finish, merge_fresh, mint_key, setup_or_panic,
+    Engine, EngineOpts,
 };
 use crate::exec::{run_plan, EvalCtx, HeadVal};
 use crate::hash::FxHashMap;
 use crate::intern::Interner;
-use crate::plan::Source;
+use crate::output::InternedOutcome;
+use crate::par;
+use crate::plan::{Plan, Source};
 use crate::storage::ColumnRel;
 use dlo_core::ast::Program;
 use dlo_core::eval::EvalOutcome;
@@ -78,7 +104,7 @@ pub enum Strategy {
     Auto,
     /// The global parallel semi-naïve loop (Theorem 6.5).
     SemiNaive,
-    /// The FIFO worklist (sound for any absorptive POPS).
+    /// The FIFO generation worklist (sound for any absorptive POPS).
     Worklist,
     /// The bucketed best-first frontier (Dijkstra semantics; needs a
     /// total natural order on top of absorption).
@@ -89,14 +115,16 @@ pub enum Strategy {
 trait Frontier<P: Pops> {
     /// Records that `(pred, row)` improved to `val`.
     fn push(&mut self, pred: usize, row: u32, val: &P);
-    /// Moves the next unit of work into `batch` (cleared by the caller);
-    /// `false` when the frontier is drained.
+    /// Moves the next batch of work into `batch` (cleared by the
+    /// caller); `false` when the frontier is drained.
     fn pop_into(&mut self, new: &[ColumnRel<P>], batch: &mut Vec<(usize, u32)>) -> bool;
 }
 
-/// FIFO discipline: one row per batch, de-duplicated by an enqueued
-/// flag — a row improved again while waiting is simply processed at its
-/// newest value when its turn comes.
+/// FIFO discipline, drained in **generations**: one batch is everything
+/// queued when the drain starts. Rows are de-duplicated by an enqueued
+/// flag — a row improved twice between generations is processed once, at
+/// its newest value — so a batch never holds the same row twice (the
+/// delta-staging invariant) and each generation is a full parallel unit.
 struct FifoFrontier {
     queue: VecDeque<(u32, u32)>,
     queued: Vec<Vec<bool>>,
@@ -124,14 +152,11 @@ impl<P: Pops> Frontier<P> for FifoFrontier {
     }
 
     fn pop_into(&mut self, _new: &[ColumnRel<P>], batch: &mut Vec<(usize, u32)>) -> bool {
-        match self.queue.pop_front() {
-            Some((pred, row)) => {
-                self.queued[pred as usize][row as usize] = false;
-                batch.push((pred as usize, row));
-                true
-            }
-            None => false,
+        while let Some((pred, row)) = self.queue.pop_front() {
+            self.queued[pred as usize][row as usize] = false;
+            batch.push((pred as usize, row));
         }
+        !batch.is_empty()
     }
 }
 
@@ -162,7 +187,8 @@ impl<P: TotallyOrderedDioid> Ord for BestFirst<P> {
 /// improvement; an entry is *live* iff its bucket value still equals the
 /// row's current value (lazy deletion — a superseding entry always sits
 /// in a strictly better bucket, so it is processed first and the stale
-/// one skipped).
+/// one skipped). Two entries for one row always carry distinct values,
+/// so a batch never holds a row twice.
 struct BucketFrontier<P> {
     buckets: BTreeMap<BestFirst<P>, Vec<(u32, u32)>>,
 }
@@ -221,6 +247,15 @@ impl<P> EmitBuf<P> {
         self.keys.extend_from_slice(key);
         self.vals.push(v);
     }
+
+    /// Appends another buffer's emissions (the parallel merge step:
+    /// task-local buffers are concatenated in task order, reproducing
+    /// the sequential emission sequence exactly).
+    fn append(&mut self, mut other: EmitBuf<P>) {
+        debug_assert_eq!(self.arity, other.arity, "buffers keyed per predicate");
+        self.keys.extend_from_slice(&other.keys);
+        self.vals.append(&mut other.vals);
+    }
 }
 
 /// Merges every buffered emission into `new`, minting interner ids for
@@ -256,41 +291,128 @@ fn apply_emissions<P: Pops, F: Frontier<P>>(
     }
 }
 
+/// Runs a batch's plans (in the given order) against the frontier state,
+/// staging emissions into `bufs`/`fresh` in (task-index, emit-order).
+///
+/// Below `opts.par_threshold` estimated first-step rows the plans run
+/// inline; above it, (plan × row-chunk) tasks fan out over
+/// [`par::run_indexed`] and task-local buffers are concatenated in task
+/// order — chunks partition a plan's first-step candidates in row order,
+/// so the concatenation is exactly the sequential emission sequence and
+/// the staged state is independent of the thread count.
+#[allow(clippy::too_many_arguments)]
+fn run_frontier_plans<P>(
+    engine: &Engine<P>,
+    plans: &[&Plan<P>],
+    new: &[ColumnRel<P>],
+    changed: &[FxHashMap<u32, Option<P>>],
+    delta: &[ColumnRel<P>],
+    bufs: &mut [EmitBuf<P>],
+    fresh: &mut [BTreeMap<Box<[HeadVal]>, P>],
+    opts: &EngineOpts,
+) where
+    P: Pops + Send + Sync,
+{
+    let ctx = EvalCtx {
+        interner: &engine.interner,
+        adom: &engine.adom,
+        pops_edb: &engine.pops_edb,
+        bool_edb: &engine.bool_edb,
+        idb_new: new,
+        idb_changed: changed,
+        idb_delta: delta,
+    };
+    let threads = opts.effective_threads();
+    // Single-threaded runs skip even the estimate pass: the frontier
+    // fires thousands of (often tiny) batches per run, so per-batch
+    // bookkeeping must cost nothing when fan-out is off the table.
+    let run_sequential = |bufs: &mut [EmitBuf<P>], fresh: &mut [BTreeMap<Box<[HeadVal]>, P>]| {
+        for plan in plans {
+            let buf = &mut bufs[plan.head_pred];
+            let facc = &mut fresh[plan.head_pred];
+            run_plan(
+                plan,
+                &ctx,
+                None,
+                &mut |key, v| buf.push(key, v),
+                &mut |key, v| merge_fresh(facc, key, v),
+            );
+        }
+    };
+    if threads <= 1 {
+        run_sequential(bufs, fresh);
+        return;
+    }
+
+    // First-step work estimates (for a worklist plan, step 0 is the
+    // forced-first Δ occurrence; seed plans scan EDBs) and the task
+    // list, both via the driver's shared fan-out heuristic.
+    let estimates: Vec<(usize, bool)> = plans
+        .iter()
+        .map(|plan| engine.step0_estimate(plan, new, delta))
+        .collect();
+    let total: usize = estimates.iter().map(|(e, _)| e).sum();
+    if total < opts.par_threshold {
+        run_sequential(bufs, fresh);
+        return;
+    }
+
+    let tasks = chunk_tasks(&estimates, threads, opts.chunk_min);
+    let results = par::run_indexed(tasks.len(), threads, |ti| {
+        let (pi, range) = tasks[ti];
+        let plan = plans[pi];
+        let mut buf = EmitBuf::new(engine.compiled.idbs[plan.head_pred].1);
+        let mut local_fresh: BTreeMap<Box<[HeadVal]>, P> = BTreeMap::new();
+        run_plan(
+            plan,
+            &ctx,
+            range,
+            &mut |key, v| buf.push(key, v),
+            &mut |key, v| merge_fresh(&mut local_fresh, key, v),
+        );
+        (plan.head_pred, buf, local_fresh)
+    });
+    // Deterministic merge: `run_indexed` returns results in task order,
+    // and appends reproduce the sequential emission sequence.
+    for (pred, local, local_fresh) in results {
+        bufs[pred].append(local);
+        let facc = &mut fresh[pred];
+        for (key, v) in local_fresh {
+            merge_fresh(facc, &key, v);
+        }
+    }
+}
+
 /// The shared frontier loop: seed with `J(1) = F(0)`, then drain the
-/// queue, firing the per-occurrence worklist plans for each batch.
+/// queue batch by batch, firing the per-occurrence worklist plans of
+/// every touched predicate — in parallel when the batch is dense enough.
 fn run_frontier<P, F>(
     program: &Program<P>,
     pops_edb: &Database<P>,
     bool_edb: &BoolDatabase,
     cap: usize,
+    opts: &EngineOpts,
     make_frontier: impl FnOnce(usize) -> F,
-) -> EvalOutcome<P>
+) -> InternedOutcome<P>
 where
-    P: Pops,
+    P: Pops + Send + Sync,
     F: Frontier<P>,
 {
     let mut engine = setup_or_panic(program, pops_edb, bool_edb);
+    let threads = opts.effective_threads();
     let nidb = engine.compiled.idbs.len();
     let mut frontier = make_frontier(nidb);
 
     // Index plumbing: the global drivers' `new` masks plus whatever the
-    // worklist plans probe (EDB masks go straight onto the EDB
-    // relations; Δ masks onto the per-batch delta relations, ensured
-    // once — `ColumnRel::clear` keeps them registered).
+    // worklist plans probe. EDB builds (including the seed/delta-plan
+    // requirements collected at setup) fan out per relation over the
+    // worker pool; Δ masks go onto the per-batch delta relations,
+    // ensured once — `ColumnRel::clear` keeps them registered.
+    let wreqs = engine.compiled.worklist_index_requirements();
     let mut new_masks: Vec<Vec<u32>> = engine.idb_new_masks.clone();
     let mut delta_masks: Vec<Vec<u32>> = vec![vec![]; nidb];
-    for (source, mask) in engine.compiled.worklist_index_requirements() {
+    for &(source, mask) in &wreqs {
         match source {
-            Source::PopsEdb(i) => {
-                if let Some(rel) = &mut engine.pops_edb[i] {
-                    rel.ensure_index(mask);
-                }
-            }
-            Source::BoolEdb(i) => {
-                if let Some(rel) = &mut engine.bool_edb[i] {
-                    rel.ensure_index(mask);
-                }
-            }
             Source::IdbNew(i) | Source::IdbOld(i) => {
                 if !new_masks[i].contains(&mask) {
                     new_masks[i].push(mask);
@@ -301,8 +423,10 @@ where
                     delta_masks[i].push(mask);
                 }
             }
+            Source::PopsEdb(_) | Source::BoolEdb(_) => {}
         }
     }
+    engine.build_edb_indexes(&wreqs, threads);
     let mut new = engine.empty_idbs();
     for (pred, rel) in new.iter_mut().enumerate() {
         for &mask in &new_masks[pred] {
@@ -330,26 +454,17 @@ where
     // Seed: run the all-New plans against the empty state (only IDB-free
     // sum-products contribute, eq. 65) and enqueue every inserted row.
     {
-        let ctx = EvalCtx {
-            interner: &engine.interner,
-            adom: &engine.adom,
-            pops_edb: &engine.pops_edb,
-            bool_edb: &engine.bool_edb,
-            idb_new: &new,
-            idb_changed: &changed,
-            idb_delta: &delta,
-        };
-        for plan in &engine.compiled.seed_plans {
-            let buf = &mut bufs[plan.head_pred];
-            let facc = &mut fresh[plan.head_pred];
-            run_plan(
-                plan,
-                &ctx,
-                None,
-                &mut |key, v| buf.push(key, v),
-                &mut |key, v| merge_fresh(facc, key, v),
-            );
-        }
+        let seed_plans: Vec<&Plan<P>> = engine.compiled.seed_plans.iter().collect();
+        run_frontier_plans(
+            &engine,
+            &seed_plans,
+            &new,
+            &changed,
+            &delta,
+            &mut bufs,
+            &mut fresh,
+            opts,
+        );
     }
     apply_emissions(
         &mut engine.interner,
@@ -361,26 +476,29 @@ where
 
     let mut batch: Vec<(usize, u32)> = Vec::new();
     let mut touched: Vec<usize> = Vec::new();
+    // Reused plan-list scratch: sparse frontiers process thousands of
+    // 1–2 row batches per run, so the loop body allocates nothing.
+    let mut batch_plans: Vec<&Plan<P>> = Vec::new();
     let mut steps = 0usize;
     loop {
         batch.clear();
         if !frontier.pop_into(&new, &mut batch) {
-            return EvalOutcome::Converged {
-                output: engine.decode(&new),
+            return InternedOutcome::Converged {
+                output: finish(engine, new),
                 steps,
             };
         }
         if steps == cap {
-            return EvalOutcome::Diverged {
-                last: engine.decode(&new),
+            return InternedOutcome::Diverged {
+                last: finish(engine, new),
                 cap,
             };
         }
         steps += 1;
 
         // Stage the batch as per-pred Δ relations carrying full current
-        // values (a batch never holds the same row twice: FIFO
-        // de-duplicates by flag, buckets by strict-improvement pushes).
+        // values (a batch never holds the same row twice: both
+        // disciplines de-duplicate — see their docs).
         touched.clear();
         for &(pred, row) in &batch {
             if delta[pred].is_empty() {
@@ -389,30 +507,22 @@ where
             let val = new[pred].val(row).clone();
             delta[pred].append_row(new[pred].row(row), val);
         }
-        {
-            let ctx = EvalCtx {
-                interner: &engine.interner,
-                adom: &engine.adom,
-                pops_edb: &engine.pops_edb,
-                bool_edb: &engine.bool_edb,
-                idb_new: &new,
-                idb_changed: &changed,
-                idb_delta: &delta,
-            };
-            for &pred in &touched {
-                for plan in &engine.compiled.worklist_plans[pred] {
-                    let buf = &mut bufs[plan.head_pred];
-                    let facc = &mut fresh[plan.head_pred];
-                    run_plan(
-                        plan,
-                        &ctx,
-                        None,
-                        &mut |key, v| buf.push(key, v),
-                        &mut |key, v| merge_fresh(facc, key, v),
-                    );
-                }
-            }
-        }
+        batch_plans.clear();
+        batch_plans.extend(
+            touched
+                .iter()
+                .flat_map(|&pred| engine.compiled.worklist_plans_for(pred).iter()),
+        );
+        run_frontier_plans(
+            &engine,
+            &batch_plans,
+            &new,
+            &changed,
+            &delta,
+            &mut bufs,
+            &mut fresh,
+            opts,
+        );
         for &pred in &touched {
             delta[pred].clear();
         }
@@ -427,10 +537,11 @@ where
 }
 
 /// FIFO-worklist evaluation: per-row change propagation over any
-/// **absorptive** POPS. Reaches the same fixpoint as
+/// **absorptive** POPS, drained in generations that fan out over the
+/// worker pool. Reaches the same fixpoint as
 /// [`crate::driver::engine_seminaive_eval`] (cross-checked in
 /// `tests/backend_matrix.rs` and `tests/proptest_engine.rs`); `steps`
-/// counts row pops, and `cap` bounds that count.
+/// counts generations, and `cap` bounds that count.
 ///
 /// # Panics
 ///
@@ -443,17 +554,33 @@ pub fn engine_worklist_eval<P>(
     cap: usize,
 ) -> EvalOutcome<P>
 where
-    P: NaturallyOrdered + Absorptive,
+    P: NaturallyOrdered + Absorptive + Send + Sync,
 {
-    run_frontier(program, pops_edb, bool_edb, cap, FifoFrontier::new)
+    engine_worklist_eval_with_opts(program, pops_edb, bool_edb, cap, &EngineOpts::default())
+}
+
+/// [`engine_worklist_eval`] with explicit tuning knobs (thread cap,
+/// fan-out threshold, chunk size).
+pub fn engine_worklist_eval_with_opts<P>(
+    program: &Program<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+    cap: usize,
+    opts: &EngineOpts,
+) -> EvalOutcome<P>
+where
+    P: NaturallyOrdered + Absorptive + Send + Sync,
+{
+    run_frontier(program, pops_edb, bool_edb, cap, opts, FifoFrontier::new).materialize()
 }
 
 /// Priority-frontier evaluation: bucketed best-first scheduling over a
 /// totally ordered absorptive dioid (Trop⁺, `MinNat`, `MaxMin`, `𝔹`).
 /// Every fact is popped settled (Dijkstra semantics — see the module
 /// docs for the absorption argument), so long-chain fixpoints run in one
-/// near-linear pass instead of one global iteration per chain link.
-/// `steps` counts frontier batches.
+/// near-linear pass instead of one global iteration per chain link; each
+/// value bucket is processed as one (possibly parallel) batch. `steps`
+/// counts frontier batches.
 ///
 /// # Panics
 ///
@@ -466,9 +593,27 @@ pub fn engine_priority_eval<P>(
     cap: usize,
 ) -> EvalOutcome<P>
 where
-    P: NaturallyOrdered + Absorptive + TotallyOrderedDioid,
+    P: NaturallyOrdered + Absorptive + TotallyOrderedDioid + Send + Sync,
 {
-    run_frontier(program, pops_edb, bool_edb, cap, |_| BucketFrontier::new())
+    engine_priority_eval_with_opts(program, pops_edb, bool_edb, cap, &EngineOpts::default())
+}
+
+/// [`engine_priority_eval`] with explicit tuning knobs (thread cap,
+/// fan-out threshold, chunk size).
+pub fn engine_priority_eval_with_opts<P>(
+    program: &Program<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+    cap: usize,
+    opts: &EngineOpts,
+) -> EvalOutcome<P>
+where
+    P: NaturallyOrdered + Absorptive + TotallyOrderedDioid + Send + Sync,
+{
+    run_frontier(program, pops_edb, bool_edb, cap, opts, |_| {
+        BucketFrontier::new()
+    })
+    .materialize()
 }
 
 /// Evaluates with an explicit [`Strategy`], defaulting
@@ -508,9 +653,12 @@ where
     )
 }
 
-/// [`engine_eval`] with explicit tuning knobs (only the semi-naïve
-/// strategy is multi-threaded; the frontier drivers ignore the thread
-/// knobs — a parallel bucketed frontier is a roadmap item).
+/// [`engine_eval`] with explicit tuning knobs. Every strategy is
+/// multi-threaded: the semi-naïve loop fans (plan × row-chunk) tasks per
+/// global iteration, and the frontier drivers fan the same task shape
+/// per batch (with the adaptive sequential fallback for sparse batches).
+/// `opts.threads` caps the pool; `None` reads `DLO_ENGINE_THREADS` /
+/// `available_parallelism`. Results are bit-identical at any setting.
 pub fn engine_eval_with_opts<P>(
     program: &Program<P>,
     pops_edb: &Database<P>,
@@ -527,13 +675,47 @@ where
         + Send
         + Sync,
 {
+    engine_eval_interned(program, pops_edb, bool_edb, cap, strategy, opts).materialize()
+}
+
+/// [`engine_eval`] returning the **decode-free**
+/// [`InternedOutcome`]: the fixpoint stays in interned columnar form
+/// and `Database` materialization is deferred until asked for —
+/// pipelines that feed results back into the engine, or only inspect a
+/// few values, skip the rank-sorted decode entirely (the largest
+/// post-fixpoint phase on large outputs).
+///
+/// # Panics
+///
+/// On programs the columnar storage cannot represent: an atom of arity
+/// > 32, or one head predicate used at two arities.
+pub fn engine_eval_interned<P>(
+    program: &Program<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+    cap: usize,
+    strategy: Strategy,
+    opts: &EngineOpts,
+) -> InternedOutcome<P>
+where
+    P: NaturallyOrdered
+        + CompleteDistributiveDioid
+        + Absorptive
+        + TotallyOrderedDioid
+        + Send
+        + Sync,
+{
     match strategy {
         Strategy::SemiNaive => {
-            engine_seminaive_eval_with_opts(program, pops_edb, bool_edb, cap, opts)
+            engine_seminaive_eval_interned(program, pops_edb, bool_edb, cap, opts)
         }
-        Strategy::Worklist => engine_worklist_eval(program, pops_edb, bool_edb, cap),
+        Strategy::Worklist => {
+            run_frontier(program, pops_edb, bool_edb, cap, opts, FifoFrontier::new)
+        }
         Strategy::Auto | Strategy::Priority => {
-            engine_priority_eval(program, pops_edb, bool_edb, cap)
+            run_frontier(program, pops_edb, bool_edb, cap, opts, |_| {
+                BucketFrontier::new()
+            })
         }
     }
 }
@@ -549,8 +731,19 @@ mod tests {
     use dlo_core::tup;
     use dlo_pops::{MaxMin, MinNat, PreSemiring, Trop};
 
+    /// Tuning that forces the parallel batch path even on tiny batches.
+    fn forced_parallel() -> EngineOpts {
+        EngineOpts {
+            threads: Some(4),
+            par_threshold: 1,
+            chunk_min: 2,
+        }
+    }
+
     /// Both frontier strategies and the forced-strategy dispatcher agree
-    /// with the relational reference on output databases.
+    /// with the relational reference on output databases — and the
+    /// forced-parallel frontier runs are bit-identical to the sequential
+    /// ones, including step counts.
     fn assert_frontier_matches_relational<P>(
         program: &Program<P>,
         pops: &Database<P>,
@@ -575,8 +768,20 @@ mod tests {
             Strategy::Worklist,
             Strategy::Priority,
         ] {
-            let got = engine_eval(program, pops, bools, 1_000_000, strategy).unwrap();
-            assert_eq!(reference, got, "engine_eval({strategy:?}) differs");
+            let seq = engine_eval(program, pops, bools, 1_000_000, strategy);
+            let par = engine_eval_with_opts(
+                program,
+                pops,
+                bools,
+                1_000_000,
+                strategy,
+                &forced_parallel(),
+            );
+            assert_eq!(
+                seq, par,
+                "engine_eval({strategy:?}) differs between sequential and forced-parallel"
+            );
+            assert_eq!(reference, seq.unwrap(), "engine_eval({strategy:?}) differs");
         }
         reference
     }
@@ -669,7 +874,7 @@ mod tests {
     fn unbounded_minting_diverges_under_the_cap() {
         // N(i+1) :- N(i) with no guard: the active domain grows forever.
         // Both disciplines must hit the cap and report divergence, like
-        // the global backends do.
+        // the global backends do — sequential and forced-parallel alike.
         let mut p = Program::<MinNat>::new();
         p.rule(
             Atom::new("N", vec![Term::c(0)]),
@@ -684,8 +889,11 @@ mod tests {
         );
         let pops = Database::new();
         let bools = BoolDatabase::new();
-        assert!(!engine_worklist_eval(&p, &pops, &bools, 25).is_converged());
+        let seq = engine_worklist_eval(&p, &pops, &bools, 25);
+        assert!(!seq.is_converged());
         assert!(!engine_priority_eval(&p, &pops, &bools, 25).is_converged());
+        let par = engine_worklist_eval_with_opts(&p, &pops, &bools, 25, &forced_parallel());
+        assert_eq!(seq, par, "capped divergence must be thread-invariant");
     }
 
     #[test]
@@ -731,10 +939,11 @@ mod tests {
     }
 
     #[test]
-    fn fifo_reprocesses_improved_rows() {
-        // The triangle from `priority_skips_stale_entries` under FIFO:
-        // T(a,b) is processed at 10, improved to 2, and must be
-        // re-queued — 3 seed pops + 1 re-pop.
+    fn fifo_requeues_improved_rows_across_generations() {
+        // The triangle from `priority_skips_stale_entries` under FIFO
+        // generations: generation 1 is the three seed rows (T(a,b)
+        // processed at 10, improved to 2 by the batch), generation 2 is
+        // the re-queued improved row.
         let (program, edb) = ex::apsp_trop(&[("a", "b", 10.0), ("a", "c", 1.0), ("c", "b", 1.0)]);
         let (out, steps) = engine_worklist_eval(&program, &edb, &BoolDatabase::new(), 1_000_000)
             .converged()
@@ -743,7 +952,7 @@ mod tests {
             out.get("T").unwrap().get(&tup!["a", "b"]),
             Trop::finite(2.0)
         );
-        assert_eq!(steps, 4, "three seed rows plus one re-pop");
+        assert_eq!(steps, 2, "one seed generation plus one re-fire generation");
     }
 
     #[test]
@@ -787,5 +996,81 @@ mod tests {
             semi.get("T").unwrap().support_size() > 500,
             "non-trivial TC"
         );
+    }
+
+    #[test]
+    fn parallel_frontier_is_bit_identical_across_thread_counts() {
+        // The dense random TC instance again, this time comparing full
+        // outcomes (fixpoint AND batch counts) across thread counts with
+        // the fan-out forced — chunk boundaries must not leak into the
+        // staged emission order.
+        let mut s = 0xabcd_u64;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut pairs = vec![];
+        for _ in 0..300 {
+            let u = (rng() % 50) as i64;
+            let v = (rng() % 50) as i64;
+            if u != v {
+                pairs.push((
+                    vec![u.into(), v.into()],
+                    Trop::finite((1 + rng() % 9) as f64),
+                ));
+            }
+        }
+        let mut edb = Database::new();
+        edb.insert("E", Relation::from_pairs(2, pairs));
+        let program = ex::apsp_program::<Trop>();
+        let bools = BoolDatabase::new();
+        for strategy in [Strategy::Worklist, Strategy::Priority] {
+            let baseline = engine_eval_with_opts(
+                &program,
+                &edb,
+                &bools,
+                10_000_000,
+                strategy,
+                &EngineOpts {
+                    threads: Some(1),
+                    ..EngineOpts::default()
+                },
+            );
+            for threads in [2, 4] {
+                let opts = EngineOpts {
+                    threads: Some(threads),
+                    par_threshold: 1,
+                    chunk_min: 2,
+                };
+                let got =
+                    engine_eval_with_opts(&program, &edb, &bools, 10_000_000, strategy, &opts);
+                assert_eq!(
+                    baseline, got,
+                    "{strategy:?} at {threads} threads differs from single-threaded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interned_outcome_defers_the_decode() {
+        let (program, edb) = ex::sssp_trop("a");
+        let bools = BoolDatabase::new();
+        let (out, steps) = engine_eval_interned(
+            &program,
+            &edb,
+            &bools,
+            1_000_000,
+            Strategy::Priority,
+            &EngineOpts::default(),
+        )
+        .converged()
+        .unwrap();
+        assert!(steps > 0);
+        assert_eq!(out.get("L", &["d".into()]), Some(&Trop::finite(8.0)));
+        let reference = engine_priority_eval(&program, &edb, &bools, 1_000_000).unwrap();
+        assert_eq!(out.materialize(), reference);
     }
 }

@@ -37,8 +37,10 @@ pub use dlo_wellfounded as wellfounded;
 // The engine backend's entry points at top level, next to the grounded
 // and relational backends re-exported through `core`.
 pub use dlo_engine::{
-    engine_eval, engine_naive_eval, engine_priority_eval, engine_seminaive_eval,
-    engine_worklist_eval, Strategy,
+    engine_eval, engine_eval_interned, engine_eval_with_opts, engine_naive_eval,
+    engine_priority_eval, engine_priority_eval_with_opts, engine_seminaive_eval,
+    engine_seminaive_eval_interned, engine_worklist_eval, engine_worklist_eval_with_opts,
+    EngineOpts, InternedOutcome, InternedOutput, Strategy,
 };
 
 /// Evaluates a program with the **default backend**: the execution
@@ -81,9 +83,13 @@ pub const FRONTIER_DEFAULT_CAP: usize = 100_000_000;
 /// (Sec. 5 / Cor. 5.19 — every polynomial over a 0-stable semiring is
 /// `N`-stable, so per-fact change propagation terminates). On
 /// long-chain fixpoints this replaces one global iteration per chain
-/// link with one bucket drain per distinct value. The divergence cap is
-/// [`FRONTIER_DEFAULT_CAP`] (frontier steps are finer-grained than
-/// global iterations).
+/// link with one bucket drain per distinct value, and dense batches fan
+/// (settled-row × plan) tasks over the `DLO_ENGINE_THREADS` worker pool
+/// with a deterministic merge — results are bit-identical at any thread
+/// count. The divergence cap is [`FRONTIER_DEFAULT_CAP`] (frontier
+/// steps are finer-grained than global iterations). For pipelines that
+/// feed results back into the engine, [`engine_eval_interned`] skips
+/// the `Database` materialization entirely.
 ///
 /// # Panics
 ///

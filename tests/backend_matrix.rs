@@ -1,12 +1,13 @@
 //! The backend matrix: every oracle scenario from `paper_examples.rs`
 //! and `textual_programs.rs` pushed through **all three** backends —
 //! grounded naive, relational (naive + semi-naive), and the execution
-//! engine (naive + parallel semi-naive + FIFO worklist + priority
-//! frontier) — asserting identical output databases. `cross_engine.rs`
-//! spot-checks a subset against external oracles; this file is the
-//! exhaustive pairwise-agreement sweep, and since the engine lost its
-//! head-key-function fallback it proves the fast backend really is
-//! total over the language.
+//! engine (naive + parallel semi-naive + FIFO generation worklist +
+//! priority frontier, the frontier strategies both sequential and with
+//! the parallel batch path forced) — asserting identical output
+//! databases. `cross_engine.rs` spot-checks a subset against external
+//! oracles; this file is the exhaustive pairwise-agreement sweep, and
+//! since the engine lost its head-key-function fallback it proves the
+//! fast backend really is total over the language.
 //!
 //! Scenarios whose paper POPS is not naturally ordered (the lifted reals
 //! of Ex. 4.2, `THREE` of Sec. 7) cannot run on the relational/engine
@@ -25,9 +26,22 @@ use datalog_o::pops::{
     Absorptive, Bool, CompleteDistributiveDioid, MinNat, NNReal, NaturallyOrdered,
     TotallyOrderedDioid, Trop, TropP,
 };
-use datalog_o::{engine_eval, engine_naive_eval, engine_seminaive_eval, Strategy};
+use datalog_o::{
+    engine_eval, engine_eval_with_opts, engine_naive_eval, engine_seminaive_eval, EngineOpts,
+    Strategy,
+};
 
 const CAP: usize = 100_000;
+
+/// Tuning that forces the frontier drivers' parallel batch path even on
+/// single-row batches (4 workers, fan-out threshold 1).
+fn forced_parallel() -> EngineOpts {
+    EngineOpts {
+        threads: Some(4),
+        par_threshold: 1,
+        chunk_min: 2,
+    }
+}
 
 fn k(s: &str) -> datalog_o::core::Constant {
     s.into()
@@ -59,12 +73,14 @@ fn assert_same_db<P: datalog_o::pops::Pops>(
     }
 }
 
-/// The full seven-leg matrix: grounded naive, relational
-/// naive/semi-naive, engine naive/semi-naive, and the engine's two
-/// frontier strategies (FIFO worklist and bucketed priority). Every
-/// `all` scenario runs over a totally ordered absorptive dioid (`Trop`,
-/// `MinNat`, `𝔹`), so the frontier legs apply; POPS without those
-/// markers use [`assert_matrix_naive`] below.
+/// The full nine-leg matrix: grounded naive, relational
+/// naive/semi-naive, engine naive/semi-naive, the engine's two frontier
+/// strategies (FIFO generation worklist and bucketed priority), and
+/// both frontier strategies again with the parallel batch path forced
+/// (4 workers, fan-out threshold 1 — every batch fans out, however
+/// small). Every `all` scenario runs over a totally ordered absorptive
+/// dioid (`Trop`, `MinNat`, `𝔹`), so the frontier legs apply; POPS
+/// without those markers use [`assert_matrix_naive`] below.
 fn assert_matrix_all<P>(
     scenario: &str,
     program: &Program<P>,
@@ -78,8 +94,9 @@ fn assert_matrix_all<P>(
         + Send
         + Sync,
 {
+    let forced_parallel = forced_parallel();
     let grounded = naive_eval_sparse(program, pops, bools, CAP).unwrap();
-    let legs: [(&str, Database<P>); 6] = [
+    let legs: [(&str, Database<P>); 8] = [
         (
             "relational naive",
             relational_naive_eval(program, pops, bools, CAP).unwrap(),
@@ -104,6 +121,30 @@ fn assert_matrix_all<P>(
             "engine priority",
             engine_eval(program, pops, bools, CAP, Strategy::Priority).unwrap(),
         ),
+        (
+            "engine worklist (parallel)",
+            engine_eval_with_opts(
+                program,
+                pops,
+                bools,
+                CAP,
+                Strategy::Worklist,
+                &forced_parallel,
+            )
+            .unwrap(),
+        ),
+        (
+            "engine priority (parallel)",
+            engine_eval_with_opts(
+                program,
+                pops,
+                bools,
+                CAP,
+                Strategy::Priority,
+                &forced_parallel,
+            )
+            .unwrap(),
+        ),
     ];
     for (backend, got) in &legs {
         assert_same_db(scenario, backend, &grounded, got);
@@ -127,7 +168,7 @@ fn assert_matrix_naive<P>(
     assert_same_db(scenario, "engine naive", &grounded, &eng);
 }
 
-/// One `#[test]` per oracle scenario. `all` runs the five-leg matrix,
+/// One `#[test]` per oracle scenario. `all` runs the nine-leg matrix,
 /// `naive` the three naive legs; the block must evaluate to
 /// `(Program<P>, Database<P>, BoolDatabase)`.
 macro_rules! backend_matrix {
@@ -444,7 +485,8 @@ fn divergence_agreement_unbounded_head_minting() {
     const SMALL_CAP: usize = 25;
     let pops = Database::new();
     let bools = BoolDatabase::new();
-    let legs: [(&str, datalog_o::core::EvalOutcome<MinNat>); 4] = [
+    let forced_parallel = forced_parallel();
+    let legs: [(&str, datalog_o::core::EvalOutcome<MinNat>); 6] = [
         (
             "relational semi-naive",
             relational_seminaive_eval(&p, &pops, &bools, SMALL_CAP),
@@ -453,9 +495,10 @@ fn divergence_agreement_unbounded_head_minting() {
             "engine semi-naive",
             engine_seminaive_eval(&p, &pops, &bools, SMALL_CAP),
         ),
-        // The frontier drivers cap *pops/batches* rather than global
+        // The frontier drivers cap *batches* rather than global
         // iterations, but unbounded minting must still surface as the
-        // same capped divergence, cap named in the diagnostic.
+        // same capped divergence, cap named in the diagnostic — with
+        // the parallel batch path forced too.
         (
             "engine worklist",
             engine_eval(&p, &pops, &bools, SMALL_CAP, Strategy::Worklist),
@@ -463,6 +506,28 @@ fn divergence_agreement_unbounded_head_minting() {
         (
             "engine priority",
             engine_eval(&p, &pops, &bools, SMALL_CAP, Strategy::Priority),
+        ),
+        (
+            "engine worklist (parallel)",
+            engine_eval_with_opts(
+                &p,
+                &pops,
+                &bools,
+                SMALL_CAP,
+                Strategy::Worklist,
+                &forced_parallel,
+            ),
+        ),
+        (
+            "engine priority (parallel)",
+            engine_eval_with_opts(
+                &p,
+                &pops,
+                &bools,
+                SMALL_CAP,
+                Strategy::Priority,
+                &forced_parallel,
+            ),
         ),
     ];
     for (backend, outcome) in legs {

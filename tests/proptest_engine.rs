@@ -20,9 +20,20 @@ use datalog_o::pops::{
 };
 use datalog_o::semilin::{linear_lfp_auto, AffineSystem};
 use datalog_o::{
-    engine_eval, engine_naive_eval, engine_seminaive_eval, Strategy as EngineStrategy,
+    engine_eval, engine_eval_with_opts, engine_naive_eval, engine_seminaive_eval, EngineOpts,
+    Strategy as EngineStrategy,
 };
 use proptest::prelude::*;
+
+/// Tuning that forces the frontier drivers' parallel batch path even on
+/// single-row batches (`threads` workers, fan-out threshold 1).
+fn forced_parallel(threads: usize) -> EngineOpts {
+    EngineOpts {
+        threads: Some(threads),
+        par_threshold: 1,
+        chunk_min: 2,
+    }
+}
 
 /// Strategy: a random edge list over `n ≤ 8` integer nodes.
 fn edges_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize, u8)>)> {
@@ -267,6 +278,39 @@ where
             strategy,
             spec
         );
+        // Parallel frontier determinism on the minting path: the same
+        // strategy at thread counts 1/2/4 (fan-out forced down to
+        // single-row batches) must return the bit-identical full outcome
+        // — database, step count, and minted-id order all included.
+        let baseline = engine_eval_with_opts(
+            &prog,
+            &edb,
+            &bools,
+            5_000_000,
+            strategy,
+            &EngineOpts {
+                threads: Some(1),
+                ..EngineOpts::default()
+            },
+        );
+        for threads in [2usize, 4] {
+            let got = engine_eval_with_opts(
+                &prog,
+                &edb,
+                &bools,
+                5_000_000,
+                strategy,
+                &forced_parallel(threads),
+            );
+            prop_assert_eq!(
+                &baseline,
+                &got,
+                "{:?} differs at {} threads, spec {:?}",
+                strategy,
+                threads,
+                spec
+            );
+        }
     }
     prop_assert!(
         matches!(rel_n, EvalOutcome::Converged { .. }),
@@ -429,9 +473,16 @@ proptest! {
             let semi = engine_seminaive_eval(prog, edb, bools, 100_000)
                 .converged().expect("bounded").0;
             for strategy in [EngineStrategy::Worklist, EngineStrategy::Priority] {
-                let got = engine_eval(prog, edb, bools, 10_000_000, strategy)
-                    .converged().expect("bounded").0;
+                let seq = engine_eval(prog, edb, bools, 10_000_000, strategy);
+                let got = seq.clone().converged().expect("bounded").0;
                 prop_assert_eq!(&semi, &got, "{:?} differs from semi-naive", strategy);
+                // The forced-parallel frontier (4 workers, single-row
+                // fan-out threshold) is bit-identical to the sequential
+                // run — full outcome, step counts included.
+                let par = engine_eval_with_opts(prog, edb, bools, 10_000_000, strategy,
+                    &forced_parallel(4));
+                prop_assert_eq!(&seq, &par,
+                    "{:?} sequential vs forced-parallel outcomes differ", strategy);
             }
             Ok(())
         }
