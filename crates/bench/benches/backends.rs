@@ -17,6 +17,7 @@ use dlo_engine::engine_seminaive_eval;
 use dlo_pops::{Bool, Trop};
 
 fn bench_backends(c: &mut Criterion) {
+    dlo_bench::print_host_note();
     let mut group = c.benchmark_group("backend_sssp_total");
     for n in [24usize, 48] {
         let g = GraphInstance::random(n, 3 * n, 9, 61);

@@ -6,6 +6,7 @@ use dlo_bench::GraphInstance;
 use dlo_core::{ground, ground_sparse, BoolDatabase};
 
 fn bench_grounding(c: &mut Criterion) {
+    dlo_bench::print_host_note();
     let mut group = c.benchmark_group("ground_sssp");
     for n in [12usize, 24, 48] {
         let g = GraphInstance::random(n, 3 * n, 9, 23);

@@ -22,6 +22,7 @@ use dlo_engine::engine_seminaive_eval;
 use dlo_pops::Trop;
 
 fn bench_keyed_heads(c: &mut Criterion) {
+    dlo_bench::print_host_note();
     let bools = BoolDatabase::new();
 
     // Cross-check the backends once on a small instance of each shape.

@@ -34,6 +34,7 @@ fn system_from_matrix(a: &Matrix<TropP<P>>, b: &[TropP<P>]) -> AffineSystem<Trop
 }
 
 fn bench_cycle(c: &mut Criterion) {
+    dlo_bench::print_host_note();
     let mut group = c.benchmark_group("linear_lfp_trop3_cycle");
     for n in [8usize, 16, 32] {
         let a = trop_p_cycle::<P>(n);

@@ -1,0 +1,309 @@
+//! Demand-driven (magic-set) evaluation vs full fixpoints
+//! (`dlo_engine::query` vs the classic entry points):
+//!
+//! * `magic_sssp` — a **single-source** question against the
+//!   **all-pairs** shortest-path program, on the 1000-node unit chain
+//!   and the 800-node gradient graph: `eval_frontier_query`'s rewrite
+//!   restricts the priority frontier to one source (O(n) demanded
+//!   rows), where the full run settles all Θ(n²) pairs. This is the
+//!   acceptance-criterion pair: query ≥ 5× faster than full.
+//! * `magic_bom` — point bill-of-material lookups on a 24-tree subpart
+//!   forest: demand touches one tree in 24.
+//! * `magic_company` — company control over ℝ₊ (naturally ordered, no
+//!   `⊖`, not absorptive: naive loop only — and the POPS where the
+//!   set-valued magic clamp is load-bearing) for **one** company vs
+//!   all companies.
+//!
+//! Ends with a full-vs-query speedup table on stdout (min of
+//! `TABLE_REPS` timed runs per cell).
+//!
+//! Recorded baseline: `BENCH_magic.json` (reproduce with
+//! `CRITERION_SAMPLES=3 CRITERION_JSON=out.jsonl cargo bench -p
+//! dlo_bench --bench magic_sets`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlo_bench::{bom_forest, bom_forest_root, print_host_note, print_table, GraphInstance};
+use dlo_core::examples_lib::{apsp_program, company_control};
+use dlo_core::query::{Query, QueryArg};
+use dlo_core::{BoolDatabase, Database};
+use dlo_engine::{
+    engine_eval_with_opts, engine_naive_eval_with_opts, engine_query_eval_with_opts,
+    engine_query_naive_eval, engine_query_seminaive_eval, engine_seminaive_eval_with_opts,
+    EngineOpts, Strategy,
+};
+use dlo_pops::{NNReal, Trop};
+use std::time::Instant;
+
+const CAP: usize = 100_000_000;
+const TABLE_REPS: usize = 3;
+
+fn single_source_query() -> Query {
+    Query::new("T", vec![QueryArg::bound(0i64), QueryArg::Free])
+}
+
+/// The company-control chain over ℝ₊: c0 controls c1 controls … —
+/// `S(cᵢ, cᵢ₊₁) = 0.75` plus minority stakes two steps down.
+fn company_chain(n: usize) -> (dlo_core::Program<NNReal>, Database<NNReal>, BoolDatabase) {
+    let names: Vec<String> = (0..n).map(|i| format!("c{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    let mut shares: Vec<(&str, &str, f64)> = vec![];
+    for i in 0..n - 1 {
+        shares.push((name_refs[i], name_refs[i + 1], 0.75));
+        if i + 2 < n {
+            shares.push((name_refs[i], name_refs[i + 2], 0.25));
+        }
+    }
+    company_control(&name_refs, &shares)
+}
+
+fn bench_magic_sssp(c: &mut Criterion) {
+    print_host_note();
+    let bools = BoolDatabase::new();
+    let opts = EngineOpts::default();
+    let prog = apsp_program::<Trop>();
+    let q = single_source_query();
+
+    // Cross-check once per instance: query answers equal the full
+    // restriction.
+    for g in [GraphInstance::path(64), GraphInstance::gradient(64)] {
+        let edb = g.trop_edb();
+        let full =
+            engine_eval_with_opts(&prog, &edb, &bools, CAP, Strategy::Priority, &opts).unwrap();
+        let qa =
+            engine_query_eval_with_opts(&prog, &q, &edb, &bools, CAP, Strategy::Priority, &opts);
+        assert_eq!(q.restrict(full.get("T").unwrap()), qa.answers());
+    }
+
+    for (name, g) in [
+        ("chain1k", GraphInstance::path(1000)),
+        ("gradient800", GraphInstance::gradient(800)),
+    ] {
+        let edb = g.trop_edb();
+        let group_name = format!("magic_sssp_{name}");
+        let mut group = c.benchmark_group(&group_name);
+        group.bench_with_input(
+            BenchmarkId::new("full_priority", "allpairs"),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    engine_eval_with_opts(
+                        std::hint::black_box(&prog),
+                        &edb,
+                        &bools,
+                        CAP,
+                        Strategy::Priority,
+                        &opts,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("query_frontier", "source0"),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    engine_query_eval_with_opts(
+                        std::hint::black_box(&prog),
+                        &q,
+                        &edb,
+                        &bools,
+                        CAP,
+                        Strategy::Priority,
+                        &opts,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("query_seminaive", "source0"),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    engine_query_seminaive_eval(
+                        std::hint::black_box(&prog),
+                        &q,
+                        &edb,
+                        &bools,
+                        CAP,
+                        &opts,
+                    )
+                })
+            },
+        );
+        group.finish();
+    }
+}
+
+fn bench_magic_bom(c: &mut Criterion) {
+    let opts = EngineOpts::default();
+    let (prog, pops, bools) = bom_forest(24, 6, 3);
+    let q = Query::point("T", vec![bom_forest_root(7)]);
+    let full = engine_seminaive_eval_with_opts(&prog, &pops, &bools, CAP, &opts).unwrap();
+    let qa = engine_query_seminaive_eval(&prog, &q, &pops, &bools, CAP, &opts);
+    assert_eq!(q.restrict(full.get("T").unwrap()), qa.answers());
+
+    let mut group = c.benchmark_group("magic_bom24x3d6");
+    group.bench_with_input(
+        BenchmarkId::new("full_seminaive", "forest"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                engine_seminaive_eval_with_opts(
+                    std::hint::black_box(&prog),
+                    &pops,
+                    &bools,
+                    CAP,
+                    &opts,
+                )
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("query_seminaive", "root7"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                engine_query_seminaive_eval(
+                    std::hint::black_box(&prog),
+                    &q,
+                    &pops,
+                    &bools,
+                    CAP,
+                    &opts,
+                )
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_magic_company(c: &mut Criterion) {
+    let opts = EngineOpts::default();
+    let (prog, pops, bools) = company_chain(48);
+    let q = Query::new("T", vec![QueryArg::bound("c0"), QueryArg::Free]);
+    let full = engine_naive_eval_with_opts(&prog, &pops, &bools, CAP, &opts).unwrap();
+    let qa = engine_query_naive_eval(&prog, &q, &pops, &bools, CAP, &opts);
+    assert_eq!(q.restrict(full.get("T").unwrap()), qa.answers());
+
+    let mut group = c.benchmark_group("magic_company48");
+    group.bench_with_input(BenchmarkId::new("full_naive", "all"), &(), |b, ()| {
+        b.iter(|| {
+            engine_naive_eval_with_opts(std::hint::black_box(&prog), &pops, &bools, CAP, &opts)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("query_naive", "c0"), &(), |b, ()| {
+        b.iter(|| {
+            engine_query_naive_eval(std::hint::black_box(&prog), &q, &pops, &bools, CAP, &opts)
+        })
+    });
+    group.finish();
+}
+
+/// The stdout speedup table: min wall-clock of `TABLE_REPS` runs per
+/// (workload, full vs query) pair.
+fn speedup_table(_c: &mut Criterion) {
+    let bools = BoolDatabase::new();
+    let opts = EngineOpts::default();
+    let prog = apsp_program::<Trop>();
+    let q = single_source_query();
+    let mut rows = vec![];
+
+    let time = |f: &mut dyn FnMut()| -> u128 {
+        let mut best = u128::MAX;
+        for _ in 0..TABLE_REPS {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_micros());
+        }
+        best
+    };
+
+    for (name, g) in [
+        ("sssp_chain1k", GraphInstance::path(1000)),
+        ("sssp_gradient800", GraphInstance::gradient(800)),
+    ] {
+        let edb = g.trop_edb();
+        let full = time(&mut || {
+            assert!(
+                engine_eval_with_opts(&prog, &edb, &bools, CAP, Strategy::Priority, &opts)
+                    .is_converged()
+            );
+        });
+        let query = time(&mut || {
+            assert!(engine_query_eval_with_opts(
+                &prog,
+                &q,
+                &edb,
+                &bools,
+                CAP,
+                Strategy::Priority,
+                &opts
+            )
+            .is_converged());
+        });
+        rows.push(vec![
+            name.to_string(),
+            "priority".into(),
+            format!("{:.2}", full as f64 / 1000.0),
+            format!("{:.2}", query as f64 / 1000.0),
+            format!("{:.1}x", full as f64 / query as f64),
+        ]);
+    }
+    {
+        let (bprog, bpops, bbools) = bom_forest(24, 6, 3);
+        let bq = Query::point("T", vec![bom_forest_root(7)]);
+        let full = time(&mut || {
+            assert!(
+                engine_seminaive_eval_with_opts(&bprog, &bpops, &bbools, CAP, &opts).is_converged()
+            );
+        });
+        let query = time(&mut || {
+            assert!(
+                engine_query_seminaive_eval(&bprog, &bq, &bpops, &bbools, CAP, &opts)
+                    .is_converged()
+            );
+        });
+        rows.push(vec![
+            "bom24x3d6".into(),
+            "seminaive".into(),
+            format!("{:.2}", full as f64 / 1000.0),
+            format!("{:.2}", query as f64 / 1000.0),
+            format!("{:.1}x", full as f64 / query as f64),
+        ]);
+    }
+    {
+        let (cprog, cpops, cbools) = company_chain(48);
+        let cq = Query::new("T", vec![QueryArg::bound("c0"), QueryArg::Free]);
+        let full = time(&mut || {
+            assert!(
+                engine_naive_eval_with_opts(&cprog, &cpops, &cbools, CAP, &opts).is_converged()
+            );
+        });
+        let query = time(&mut || {
+            assert!(
+                engine_query_naive_eval(&cprog, &cq, &cpops, &cbools, CAP, &opts).is_converged()
+            );
+        });
+        rows.push(vec![
+            "company48".into(),
+            "naive".into(),
+            format!("{:.2}", full as f64 / 1000.0),
+            format!("{:.2}", query as f64 / 1000.0),
+            format!("{:.1}x", full as f64 / query as f64),
+        ]);
+    }
+    print_table(
+        "full fixpoint vs demand-driven query (min of 3 runs)",
+        &["workload", "strategy", "full_ms", "query_ms", "speedup"],
+        &rows,
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_magic_sssp,
+    bench_magic_bom,
+    bench_magic_company,
+    speedup_table
+);
+criterion_main!(benches);

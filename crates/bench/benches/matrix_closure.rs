@@ -15,6 +15,7 @@ fn trop_matrix(g: &GraphInstance) -> Matrix<Trop> {
 }
 
 fn bench_trop_closure(c: &mut Criterion) {
+    dlo_bench::print_host_note();
     let mut group = c.benchmark_group("closure_trop_random");
     for n in [16usize, 32, 64] {
         let g = GraphInstance::random(n, 4 * n, 9, 17);

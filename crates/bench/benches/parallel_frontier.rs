@@ -48,6 +48,7 @@ fn hops_dense() -> (Program<Trop>, Database<Trop>) {
 }
 
 fn bench_parallel_tc(c: &mut Criterion) {
+    dlo_bench::print_host_note();
     let bools = BoolDatabase::new();
     // Cross-check once: forced-parallel output equals sequential.
     let small = GraphInstance::random(48, 120, 9, 7);

@@ -12,6 +12,7 @@ use dlo_core::{ground_sparse, naive_eval_system, seminaive_eval_system, BoolData
 use dlo_pops::{Bool, Trop};
 
 fn bench_sssp(c: &mut Criterion) {
+    dlo_bench::print_host_note();
     let mut group = c.benchmark_group("sssp_trop");
     for (name, g) in [
         ("path64", GraphInstance::path(64)),

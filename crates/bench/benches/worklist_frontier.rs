@@ -23,6 +23,7 @@ use dlo_pops::{Bool, Trop};
 const CAP: usize = 100_000_000;
 
 fn bench_worklist_tc(c: &mut Criterion) {
+    dlo_bench::print_host_note();
     let bools = BoolDatabase::new();
 
     // Cross-check the three strategies once on a small instance.

@@ -251,6 +251,77 @@ fn ordered(x: f64) -> OrdF64 {
     OrdF64(x)
 }
 
+/// The **bill-of-material forest**: `trees` independent complete
+/// `fanout`-ary subpart trees of the given `depth`, as the Example 4.2
+/// program's inputs — Boolean subpart edges `E` (parent → child) and a
+/// unit cost relation `C` over every part (leaves cost extra so totals
+/// differ per subtree). A *point* query `?- T(root_i).` demands exactly
+/// one tree, so goal-directed evaluation does `1/trees` of the full
+/// fixpoint's work — the `magic_sets` bench's BOM leg.
+pub fn bom_forest(
+    trees: usize,
+    depth: usize,
+    fanout: usize,
+) -> (
+    dlo_core::Program<dlo_pops::MinNat>,
+    Database<dlo_pops::MinNat>,
+    dlo_core::BoolDatabase,
+) {
+    use dlo_core::examples_lib::bom_program;
+    use dlo_pops::MinNat;
+    let mut edges: Vec<Tuple> = vec![];
+    let mut costs: Vec<(Tuple, MinNat)> = vec![];
+    let part = |t: usize, i: usize| Constant::Int((t * 1_000_000 + i) as i64);
+    for t in 0..trees {
+        // Heap-indexed complete tree: node i has children i*fanout+1+k.
+        let nodes: usize = (0..=depth).map(|d| fanout.pow(d as u32)).sum();
+        for i in 0..nodes {
+            for kchild in 0..fanout {
+                let c = i * fanout + 1 + kchild;
+                if c < nodes {
+                    edges.push(vec![part(t, i), part(t, c)]);
+                }
+            }
+            let leaf = i * fanout + 1 >= nodes;
+            costs.push((
+                vec![part(t, i)],
+                MinNat::finite(if leaf { 1 + (i % 7) as u64 } else { 1 }),
+            ));
+        }
+    }
+    let mut pops = Database::new();
+    pops.insert("C", Relation::from_pairs(1, costs));
+    let mut bools = dlo_core::BoolDatabase::new();
+    bools.insert("E", bool_relation(2, edges));
+    (bom_program(), pops, bools)
+}
+
+/// The root part name of `bom_forest` tree `t` (query target).
+pub fn bom_forest_root(t: usize) -> Constant {
+    Constant::Int((t * 1_000_000) as i64)
+}
+
+/// Prints the host line every bench emits — `nproc`, the thread knob,
+/// and (on one core) the multi-core caveat the committed `BENCH_*.json`
+/// baselines carry in their metadata: parallel legs on a single-core
+/// container measure scheduling overhead, never wall-clock speedup.
+pub fn print_host_note() {
+    let (nproc, knob) = host_metadata();
+    println!("== host: nproc={nproc}, DLO_ENGINE_THREADS={knob}");
+    if nproc == 1 {
+        println!("!! single-core container: parallel numbers measure overhead, not speedup");
+    }
+    println!();
+}
+
+/// The host metadata benches embed in recorded baselines (mirrors
+/// [`print_host_note`] as data: `nproc` plus the raw thread knob).
+pub fn host_metadata() -> (usize, String) {
+    let nproc = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let knob = std::env::var("DLO_ENGINE_THREADS").unwrap_or_else(|_| "unset".to_string());
+    (nproc, knob)
+}
+
 /// Prints a two-column table with a caption (the repro binaries' shared
 /// output format).
 pub fn print_table(caption: &str, headers: &[&str], rows: &[Vec<String>]) {

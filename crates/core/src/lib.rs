@@ -12,6 +12,10 @@
 //! * [`eval`] — the naïve algorithm (Algorithm 1) with iteration traces,
 //!   and the semi-naïve algorithm (Algorithm 3 + the differential rule of
 //!   Theorem 6.5) for complete distributive dioids;
+//! * [`query`](mod@query) / [`demand`](mod@demand) — goal atoms
+//!   (`?- T("a", Y).`) and the magic-set rewrite that restricts a
+//!   program to what a query demands (Bool-lattice magic predicates
+//!   guarding POPS rules — sound for any POPS);
 //! * [`examples_lib`] — every example program of the paper as a
 //!   constructor (SSSP, APSP, bill-of-material, company control,
 //!   prefix-sum, win-move, …).
@@ -20,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod demand;
 pub mod diagnostics;
 pub mod display;
 pub mod eval;
@@ -27,12 +32,14 @@ pub mod examples_lib;
 pub mod formula;
 pub mod ground;
 pub mod parser;
+pub mod query;
 pub mod relation;
 pub mod relops;
 pub mod strata;
 pub mod value;
 
 pub use ast::{Atom, Factor, KeyFn, Program, Rule, SumProduct, Term, UnaryFn, Var};
+pub use demand::{magic_pred, magic_rewrite, DemandError, DemandProgram};
 pub use display::{render_program, render_rule, PrintValue};
 pub use eval::naive::{naive_eval, naive_eval_sparse, naive_eval_system, naive_eval_trace};
 pub use eval::relational::{relational_naive_eval, relational_seminaive_eval};
@@ -40,6 +47,9 @@ pub use eval::seminaive::{seminaive_eval, seminaive_eval_system, WorkStats};
 pub use eval::{EvalOutcome, Trace, DEFAULT_CAP};
 pub use formula::{CmpOp, Formula};
 pub use ground::{ground, ground_sparse, GroundSystem};
-pub use parser::{parse_program, ParseValue, ProgramParser};
+pub use parser::{
+    parse_program, parse_program_with_queries, parse_query, ParseValue, ProgramParser,
+};
+pub use query::{Query, QueryArg};
 pub use relation::{bool_relation, BoolDatabase, Database, Relation};
 pub use value::{Constant, GroundAtom, Tuple};

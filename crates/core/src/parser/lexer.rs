@@ -21,6 +21,8 @@ pub enum Tok {
     Scalar(String),
     /// `:-`
     Turnstile,
+    /// `?-` (a query goal)
+    QueryMark,
     /// `(`
     LParen,
     /// `)`
@@ -65,6 +67,7 @@ impl fmt::Display for Tok {
             Tok::Str(s) => write!(f, "{s:?}"),
             Tok::Scalar(s) => write!(f, "${s}"),
             Tok::Turnstile => write!(f, ":-"),
+            Tok::QueryMark => write!(f, "?-"),
             Tok::LParen => write!(f, "("),
             Tok::RParen => write!(f, ")"),
             Tok::Comma => write!(f, ","),
@@ -192,6 +195,17 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
                     return Err(LexError {
                         at: i,
                         msg: "expected `:-`".into(),
+                    });
+                }
+            }
+            '?' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    toks.push(Tok::QueryMark);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        at: i,
+                        msg: "expected `?-`".into(),
                     });
                 }
             }
@@ -327,6 +341,13 @@ mod tests {
     fn string_literals() {
         let toks = lex("E(\"hello world\", b)").unwrap();
         assert_eq!(toks[2], Tok::Str("hello world".into()));
+    }
+
+    #[test]
+    fn query_mark() {
+        let toks = lex("?- T(\"a\", Y).").unwrap();
+        assert_eq!(toks[0], Tok::QueryMark);
+        assert!(lex("? T(a)").is_err());
     }
 
     #[test]

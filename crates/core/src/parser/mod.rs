@@ -4,6 +4,9 @@
 //!
 //! ```text
 //! rule    := head ":-" body "."
+//! query   := "?-" PRED "(" qterm ("," qterm)* ")" "."
+//! qterm   := INT | lowercase-IDENT | STRING       a bound constant
+//!          | VAR                                  a free position
 //! head    := PRED "(" term ("," term)* ")"
 //! body    := sumprod ("+" sumprod)*
 //! sumprod := factors ["|" formula]
@@ -35,6 +38,7 @@ pub mod lexer;
 
 use crate::ast::{Atom, Factor, KeyFn, Program, SumProduct, Term, UnaryFn, Var};
 use crate::formula::{CmpOp, Formula};
+use crate::query::{Query, QueryArg};
 use crate::value::Constant;
 use lexer::{lex, Tok};
 use std::collections::BTreeMap;
@@ -154,8 +158,21 @@ impl<P: ParseValue + Clone> ProgramParser<P> {
         self
     }
 
-    /// Parses a whole program.
+    /// Parses a whole program. `?-` query goals are rejected here — use
+    /// [`Self::parse_with_queries`] for mixed rule/query sources.
     pub fn parse(&self, src: &str) -> Result<Program<P>, ParseError> {
+        let (program, queries) = self.parse_with_queries(src)?;
+        if let Some(q) = queries.first() {
+            return Err(ParseError {
+                msg: format!("unexpected query goal {q:?} (use parse_with_queries)"),
+            });
+        }
+        Ok(program)
+    }
+
+    /// Parses a program whose source may also contain `?-` query goals
+    /// (`?- T("a", Y).`), returned alongside the rules in source order.
+    pub fn parse_with_queries(&self, src: &str) -> Result<(Program<P>, Vec<Query>), ParseError> {
         let toks = lex(src).map_err(|e| ParseError {
             msg: format!("at byte {}: {}", e.at, e.msg),
         })?;
@@ -166,18 +183,48 @@ impl<P: ParseValue + Clone> ProgramParser<P> {
             funcs: &self.funcs,
         };
         let mut program = Program::new();
+        let mut queries = vec![];
         while !st.done() {
             st.vars.clear();
+            if st.peek() == Some(&Tok::QueryMark) {
+                st.bump();
+                queries.push(st.query_goal()?);
+                continue;
+            }
             let (head, body) = st.rule()?;
             program.rule(head, body);
         }
-        Ok(program)
+        Ok((program, queries))
     }
 }
 
 /// Parses with the default (function-free) parser.
 pub fn parse_program<P: ParseValue + Clone>(src: &str) -> Result<Program<P>, ParseError> {
     ProgramParser::new().parse(src)
+}
+
+/// Parses rules plus optional `?-` query goals with the default parser.
+pub fn parse_program_with_queries<P: ParseValue + Clone>(
+    src: &str,
+) -> Result<(Program<P>, Vec<Query>), ParseError> {
+    ProgramParser::new().parse_with_queries(src)
+}
+
+/// Parses a single standalone query goal, e.g. `?- T("a", Y).`
+/// (queries bind no POPS values, so this needs no value-space type).
+pub fn parse_query(src: &str) -> Result<Query, ParseError> {
+    let (program, mut queries) = ProgramParser::<dlo_pops::Bool>::new().parse_with_queries(src)?;
+    if !program.rules.is_empty() {
+        return Err(ParseError {
+            msg: "expected a query goal, found rules".into(),
+        });
+    }
+    match (queries.pop(), queries.is_empty()) {
+        (Some(q), true) => Ok(q),
+        _ => Err(ParseError {
+            msg: "expected exactly one `?- Goal(...).`".into(),
+        }),
+    }
 }
 
 struct State<'a, P> {
@@ -233,6 +280,27 @@ impl<'a, P: ParseValue + Clone> State<'a, P> {
         }
         self.expect(Tok::Dot)?;
         Ok((head, body))
+    }
+
+    /// The goal atom after a consumed `?-`: constants are bound
+    /// positions, upper-case identifiers free ones. Key functions are
+    /// rejected — a query names concrete bindings, it computes nothing.
+    fn query_goal(&mut self) -> Result<Query, ParseError> {
+        let atom = self.atom()?;
+        self.expect(Tok::Dot)?;
+        let mut args = vec![];
+        for t in &atom.args {
+            match t {
+                Term::Const(c) => args.push(QueryArg::Bound(c.clone())),
+                Term::Var(_) => args.push(QueryArg::Free),
+                Term::Apply(..) => {
+                    return Err(ParseError {
+                        msg: format!("key functions are not allowed in queries: {t:?}"),
+                    })
+                }
+            }
+        }
+        Ok(Query::new(&atom.pred, args))
     }
 
     fn sum_product(&mut self) -> Result<SumProduct<P>, ParseError> {
@@ -529,6 +597,39 @@ mod tests {
         let p: Program<Trop> = parse_program(src).unwrap();
         // Both rules use Var(0) for their X.
         assert_eq!(p.rules[0].head.args, p.rules[1].head.args);
+    }
+
+    #[test]
+    fn queries_parse_alongside_rules() {
+        let src = "
+            L(X) :- $0 | X = a.
+            L(X) :- L(Z) * E(Z, X).
+            ?- L(d).
+        ";
+        let (p, queries): (Program<Trop>, _) = parse_program_with_queries(src).unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(queries.len(), 1);
+        assert_eq!(queries[0].pred, "L");
+        assert_eq!(queries[0].adornment(), vec![true]);
+
+        let q = parse_query("?- T(\"a\", Y).").unwrap();
+        assert_eq!(q.pred, "T");
+        assert_eq!(q.adornment(), vec![true, false]);
+        assert_eq!(q.bound_consts(), vec![&crate::value::Constant::str("a")]);
+        // Integers and negative integers are bound constants.
+        let q = parse_query("?- H(0, -3, I).").unwrap();
+        assert_eq!(q.adornment(), vec![true, true, false]);
+    }
+
+    #[test]
+    fn query_error_paths() {
+        // Key functions make no sense in a goal.
+        assert!(parse_query("?- T(X + 1).").is_err());
+        // parse() rejects query goals outright.
+        assert!(parse_program::<Trop>("?- T(a).").is_err());
+        // Rules mixed into parse_query are rejected.
+        assert!(parse_query("T(X) :- E(X).\n?- T(a).").is_err());
+        assert!(parse_query("?- T(a). ?- T(b).").is_err());
     }
 
     #[test]

@@ -37,9 +37,9 @@
 use crate::exec::{run_plan, EvalCtx, HeadVal};
 use crate::hash::FxHashMap;
 use crate::intern::Interner;
-use crate::output::{decode_db, InternedOutcome, InternedOutput};
+use crate::output::{InternedOutcome, InternedOutput};
 use crate::par;
-use crate::plan::{compile, CompileError, CompiledProgram, Plan, Source};
+use crate::plan::{compile_demand, CompileError, CompiledProgram, Plan, Source};
 use crate::storage::{AccumMap, ColMask, ColumnRel};
 use dlo_core::ast::Program;
 use dlo_core::eval::EvalOutcome;
@@ -137,33 +137,26 @@ fn intern_rel<P: Pops>(rel: &Relation<P>, interner: &Interner) -> ColumnRel<P> {
     out
 }
 
+fn intern_db_consts<P: Pops>(db: &Database<P>, interner: &mut Interner) {
+    for (_, rel) in db.iter() {
+        for (tuple, _) in rel.support() {
+            for c in tuple {
+                interner.intern(c);
+            }
+        }
+    }
+}
+
 fn setup<P: Pops>(
     program: &Program<P>,
     pops_db: &Database<P>,
     bool_db: &BoolDatabase,
+    set_valued: &[String],
 ) -> Result<Engine<P>, CompileError> {
     let mut interner = Interner::new();
-    for (_, rel) in pops_db.iter() {
-        for (tuple, _) in rel.support() {
-            for c in tuple {
-                interner.intern(c);
-            }
-        }
-    }
-    for (_, rel) in bool_db.iter() {
-        for (tuple, _) in rel.support() {
-            for c in tuple {
-                interner.intern(c);
-            }
-        }
-    }
-    let compiled = compile(program, &mut interner)?;
-    // The active domain (EDB constants ∪ program constants) is exactly
-    // the interned set; enumerate it in constant order to mirror the
-    // relational backend.
-    let mut adom: Vec<u32> = (0..interner.len() as u32).collect();
-    adom.sort_by(|a, b| interner.get(*a).cmp(interner.get(*b)));
-
+    intern_db_consts(pops_db, &mut interner);
+    intern_db_consts(bool_db, &mut interner);
+    let compiled = compile_demand(program, &mut interner, set_valued)?;
     let pops_edb: Vec<Option<ColumnRel<P>>> = compiled
         .pops_edbs
         .iter()
@@ -174,6 +167,59 @@ fn setup<P: Pops>(
         .iter()
         .map(|name| bool_db.get(name).map(|r| intern_rel(r, &interner)))
         .collect();
+    Ok(assemble(interner, compiled, pops_edb, bool_edb))
+}
+
+/// [`setup`] over a previous run's **interned output** as the POPS EDB:
+/// the interner is shared (cloned — ids keep their meaning, no
+/// `Constant` round-trip), relation names resolve first against
+/// `extra_pops` (fresh classic-form relations, e.g. the original edge
+/// list) and then against `prev`'s interned relations, which are reused
+/// storage-for-storage. The active domain is everything the shared
+/// interner knows — a superset of the paper's EDB ∪ program constants
+/// when `prev` interned more than the fed relations mention, which only
+/// matters for programs that enumerate unbound slots over the domain.
+fn setup_interned<P: Pops>(
+    program: &Program<P>,
+    prev: &InternedOutput<P>,
+    extra_pops: &Database<P>,
+    bool_db: &BoolDatabase,
+    set_valued: &[String],
+) -> Result<Engine<P>, CompileError> {
+    let mut interner = prev.interner().clone();
+    intern_db_consts(extra_pops, &mut interner);
+    intern_db_consts(bool_db, &mut interner);
+    let compiled = compile_demand(program, &mut interner, set_valued)?;
+    let pops_edb: Vec<Option<ColumnRel<P>>> = compiled
+        .pops_edbs
+        .iter()
+        .map(|name| {
+            extra_pops
+                .get(name)
+                .map(|r| intern_rel(r, &interner))
+                .or_else(|| prev.relation(name).cloned())
+        })
+        .collect();
+    let bool_edb: Vec<Option<ColumnRel<Bool>>> = compiled
+        .bool_edbs
+        .iter()
+        .map(|name| bool_db.get(name).map(|r| intern_rel(r, &interner)))
+        .collect();
+    Ok(assemble(interner, compiled, pops_edb, bool_edb))
+}
+
+/// The shared setup tail: active domain plus index-mask bookkeeping.
+fn assemble<P: Pops>(
+    interner: Interner,
+    compiled: CompiledProgram<P>,
+    pops_edb: Vec<Option<ColumnRel<P>>>,
+    bool_edb: Vec<Option<ColumnRel<Bool>>>,
+) -> Engine<P> {
+    // The active domain (EDB constants ∪ program constants) is exactly
+    // the interned set; enumerate it in constant order to mirror the
+    // relational backend.
+    let mut adom: Vec<u32> = (0..interner.len() as u32).collect();
+    adom.sort_by(|a, b| interner.get(*a).cmp(interner.get(*b)));
 
     let nidb = compiled.idbs.len();
     let mut idb_new_masks: Vec<Vec<u32>> = vec![vec![]; nidb];
@@ -194,7 +240,7 @@ fn setup<P: Pops>(
             }
         }
     }
-    Ok(Engine {
+    Engine {
         interner,
         compiled,
         pops_edb,
@@ -203,7 +249,7 @@ fn setup<P: Pops>(
         idb_new_masks,
         idb_delta_masks,
         edb_reqs,
-    })
+    }
 }
 
 /// [`setup`], panicking on the two structural limits of columnar storage
@@ -216,8 +262,22 @@ pub(crate) fn setup_or_panic<P: Pops>(
     program: &Program<P>,
     pops_db: &Database<P>,
     bool_db: &BoolDatabase,
+    set_valued: &[String],
 ) -> Engine<P> {
-    setup(program, pops_db, bool_db).unwrap_or_else(|e| {
+    setup(program, pops_db, bool_db, set_valued).unwrap_or_else(|e| {
+        panic!("dlo_engine cannot represent this program in columnar storage: {e:?}")
+    })
+}
+
+/// [`setup_interned`] with the same panic contract as [`setup_or_panic`].
+pub(crate) fn setup_interned_or_panic<P: Pops>(
+    program: &Program<P>,
+    prev: &InternedOutput<P>,
+    extra_pops: &Database<P>,
+    bool_db: &BoolDatabase,
+    set_valued: &[String],
+) -> Engine<P> {
+    setup_interned(program, prev, extra_pops, bool_db, set_valued).unwrap_or_else(|e| {
         panic!("dlo_engine cannot represent this program in columnar storage: {e:?}")
     })
 }
@@ -229,14 +289,6 @@ impl<P: Pops> Engine<P> {
             .iter()
             .map(|(_, arity)| ColumnRel::new(*arity))
             .collect()
-    }
-
-    /// Materializes interned IDB storage back into `Database` form (the
-    /// rank-sorted bulk decode lives in [`crate::output`]; pipelines
-    /// that do not need `Constant`-keyed relations skip it entirely via
-    /// the `*_interned` entry points).
-    pub(crate) fn decode(&self, rels: &[ColumnRel<P>]) -> Database<P> {
-        decode_db(&self.interner, &self.compiled.idbs, rels)
     }
 
     /// Fresh per-IDB head accumulators, one per predicate at its arity.
@@ -490,7 +542,19 @@ pub fn engine_naive_eval_with_opts<P>(
 where
     P: NaturallyOrdered + Send + Sync,
 {
-    let mut engine = setup_or_panic(program, pops_edb, bool_edb);
+    naive_run(setup_or_panic(program, pops_edb, bool_edb, &[]), cap, opts).materialize()
+}
+
+/// The naïve loop over a prepared [`Engine`] (shared by the classic
+/// entry points and the demand-rewritten query path).
+pub(crate) fn naive_run<P>(
+    mut engine: Engine<P>,
+    cap: usize,
+    opts: &EngineOpts,
+) -> InternedOutcome<P>
+where
+    P: NaturallyOrdered + Send + Sync,
+{
     engine.build_edb_indexes(&[], opts.effective_threads());
     let nidb = engine.compiled.idbs.len();
     let mut state = IdbState {
@@ -507,14 +571,18 @@ where
         let (contrib, fresh) = run_plans(&engine, &engine.compiled.seed_plans, &state, opts);
         let mut next = engine.empty_idbs();
         for (pred, acc) in contrib.into_iter().enumerate() {
+            // Set-valued (magic) rows always hold `1`: demand is a set,
+            // whatever `⊕`-sum the plans accumulated.
+            let sv = engine.compiled.set_valued[pred];
             acc.drain_sorted(|key, v| {
-                next[pred].insert_row(key, v);
+                next[pred].insert_row(key, if sv { P::one() } else { v });
             });
         }
         for (pred, acc) in fresh.into_iter().enumerate() {
+            let sv = engine.compiled.set_valued[pred];
             for (key, v) in acc {
                 let key = mint_key(&mut engine.interner, &key);
-                next[pred].insert_row(&key, v);
+                next[pred].insert_row(&key, if sv { P::one() } else { v });
             }
         }
         let fixed = next
@@ -522,8 +590,8 @@ where
             .zip(&state.new)
             .all(|(n, c)| n.len() == c.len() && n.iter().all(|(_, k, v)| c.get(k) == Some(v)));
         if fixed {
-            return EvalOutcome::Converged {
-                output: engine.decode(&state.new),
+            return InternedOutcome::Converged {
+                output: finish(engine, state.new),
                 steps,
             };
         }
@@ -534,8 +602,8 @@ where
         }
         state.new = next;
     }
-    EvalOutcome::Diverged {
-        last: engine.decode(&state.new),
+    InternedOutcome::Diverged {
+        last: finish(engine, state.new),
         cap,
     }
 }
@@ -598,7 +666,49 @@ pub fn engine_seminaive_eval_interned<P>(
 where
     P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
 {
-    let mut engine = setup_or_panic(program, pops_edb, bool_edb);
+    seminaive_run(setup_or_panic(program, pops_edb, bool_edb, &[]), cap, opts)
+}
+
+/// [`engine_seminaive_eval_interned`] over an **interned EDB**: the
+/// previous run's [`InternedOutput`] serves as the POPS database
+/// (shared interner, relations reused storage-for-storage — no
+/// `Constant`/`Database` round-trip anywhere on the chain), with
+/// `extra_pops` overlaying fresh classic-form relations for names the
+/// interned output does not carry (e.g. the original edge list of a
+/// refine step). Name resolution prefers `extra_pops`.
+///
+/// # Panics
+///
+/// On programs the columnar storage cannot represent: an atom of arity
+/// > 32, or one head predicate used at two arities.
+pub fn engine_seminaive_eval_interned_edb<P>(
+    program: &Program<P>,
+    prev: &InternedOutput<P>,
+    extra_pops: &Database<P>,
+    bool_edb: &BoolDatabase,
+    cap: usize,
+    opts: &EngineOpts,
+) -> InternedOutcome<P>
+where
+    P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
+{
+    seminaive_run(
+        setup_interned_or_panic(program, prev, extra_pops, bool_edb, &[]),
+        cap,
+        opts,
+    )
+}
+
+/// The parallel semi-naïve loop over a prepared [`Engine`] (shared by
+/// the classic, interned-EDB, and demand-rewritten query entry points).
+pub(crate) fn seminaive_run<P>(
+    mut engine: Engine<P>,
+    cap: usize,
+    opts: &EngineOpts,
+) -> InternedOutcome<P>
+where
+    P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
+{
     engine.build_edb_indexes(&[], opts.effective_threads());
     let nidb = engine.compiled.idbs.len();
     let mut state = IdbState {
@@ -614,14 +724,19 @@ where
     // Seeding: J(1) = F(0), δ(0) = J(1), every row marked as appended.
     let (contrib, fresh) = run_plans(&engine, &engine.compiled.seed_plans, &state, opts);
     for (pred, acc) in contrib.into_iter().enumerate() {
+        // Set-valued (magic) rows enter — and forever stay — at `1`.
+        let sv = engine.compiled.set_valued[pred];
         acc.drain_sorted(|key, v| {
+            let v = if sv { P::one() } else { v };
             let r = state.new[pred].insert_row(key, v.clone());
             state.changed[pred].insert(r, None);
             state.delta[pred].append_row(key, v);
         });
     }
     for (pred, acc) in fresh.into_iter().enumerate() {
+        let sv = engine.compiled.set_valued[pred];
         for (key, v) in acc {
+            let v = if sv { P::one() } else { v };
             let key = mint_key(&mut engine.interner, &key);
             let r = state.new[pred].insert_row(&key, v.clone());
             state.changed[pred].insert(r, None);
@@ -644,7 +759,18 @@ where
             ch.clear();
         }
         for (pred, acc) in contrib.into_iter().enumerate() {
+            let sv = engine.compiled.set_valued[pred];
             acc.drain_sorted(|key, v| {
+                if sv {
+                    // Set-valued (magic) rows: present means settled —
+                    // no merge, no delta for already-demanded bindings.
+                    if state.new[pred].rowid(key).is_none() {
+                        next_delta[pred].append_row(key, P::one());
+                        let r = state.new[pred].insert_row(key, P::one());
+                        state.changed[pred].insert(r, None);
+                    }
+                    return;
+                }
                 let existing = state.new[pred].get(key).cloned().unwrap_or_else(P::zero);
                 let diff = v.minus(&existing);
                 if diff.is_zero() {
@@ -668,7 +794,9 @@ where
         // cells were not interned when the phase ran), so δ' = v ⊖ 0 and
         // the insert is always an append.
         for (pred, acc) in fresh.into_iter().enumerate() {
+            let sv = engine.compiled.set_valued[pred];
             for (key, v) in acc {
+                let v = if sv { P::one() } else { v };
                 let key = mint_key(&mut engine.interner, &key);
                 let diff = v.minus(&P::zero());
                 if diff.is_zero() {

@@ -27,13 +27,16 @@
 //!   propagation instead of global iterations, each frontier batch
 //!   fanned over the same worker pool with a deterministic
 //!   (task-index, emit-order) merge;
+//! * [`query`] — **demand-driven evaluation**: a `?- T("a", Y).` goal
+//!   is magic-set rewritten (`dlo_core::demand`) and evaluated by any
+//!   of the loops, with the frontier seeded from the query constants;
 //! * [`output`] — **decode-free result handles**
 //!   ([`InternedOutput`]/[`InternedOutcome`]): the fixpoint stays
 //!   interned and `Database` materialization is deferred until asked
 //!   for;
 //! * [`hash`] — the deterministic fast hasher behind every hot map.
 //!
-//! ## Three evaluation strategies
+//! ## Choosing a strategy
 //!
 //! [`worklist::Strategy`] names the three loops; which are *sound* is a
 //! property of the POPS, expressed as `dlo_pops` trait bounds and
@@ -41,9 +44,59 @@
 //!
 //! | strategy | entry point | requires | sound because |
 //! |---|---|---|---|
-//! | semi-naïve | [`engine_seminaive_eval`] | `NaturallyOrdered + CompleteDistributiveDioid` | Theorem 6.5 (`⊖`-differentials) |
+//! | naïve | [`engine_naive_eval`] | `NaturallyOrdered` | Algorithm 1 (monotone ICO iteration) |
+//! | semi-naïve | [`engine_seminaive_eval`] | `+ CompleteDistributiveDioid` | Theorem 6.5 (`⊖`-differentials) |
 //! | FIFO worklist | [`engine_worklist_eval`] | `+ Absorptive` | Cor. 5.19: over a 0-stable (absorptive, `x ⊕ 1 = 1`) semiring every polynomial is `N`-stable, so each fact strictly improves finitely often and a per-fact change queue drains |
 //! | priority frontier | [`engine_priority_eval`] | `+ TotallyOrderedDioid` | absorption makes `⊗` non-improving (`x ⊗ y ⊑ x`), so with a total order the ⊑-greatest pending fact can never be improved again: popped ⇒ settled (Dijkstra) |
+//!
+//! The practical selection guide:
+//!
+//! * **Know the query? Use query-seeded evaluation first** —
+//!   [`engine_query_eval`] (or `datalog_o::eval_query` /
+//!   `eval_frontier_query`). The magic-set rewrite is orthogonal to
+//!   the strategy table: it shrinks *what* is computed, the strategy
+//!   decides *how*. A single-source question against the all-pairs
+//!   program is 160–430× faster than the full priority frontier on
+//!   the committed `BENCH_magic.json` instances.
+//! * **Full fixpoint, totally ordered absorptive dioid** (`Trop`,
+//!   `MinNat`, `MaxMin`, `𝔹`): the **priority frontier** (what
+//!   `Strategy::Auto` picks) — settled-on-pop beats rounds whenever
+//!   facts would re-improve (gradient SSSP: Θ(n) vs Θ(n²), 230×).
+//! * **Absorptive but not totally ordered** (products of dioids): the
+//!   **FIFO worklist** — generation draining, still change-driven.
+//! * **Complete distributive dioid without absorption** (`Nat`,
+//!   `MaxPlus`): the **semi-naïve** loop — `⊖`-differentials need no
+//!   stability.
+//! * **Naturally ordered only** (`ℝ₊`, `TropP`): the **naïve** loop is
+//!   all that is licensed (no `⊖`) — and [`engine_query_naive_eval`]
+//!   still applies demand restriction to it.
+//!
+//! ## Design note: magic sets — Bool-valued demand guarding POPS rules
+//!
+//! [`query`]'s rewrite (`dlo_core::demand::magic_rewrite`) adds *magic
+//! predicates* that track which bindings the query can reach, and
+//! guards every rule with its head's magic atom. Demand is inherently
+//! **set-valued**: a magic fact means "needed", so magic relations
+//! live on the Bool lattice even when answers carry `Trop`/`ℝ₊`/…
+//! values. The compiler flags them ([`CompiledProgram::set_valued`])
+//! and every driver stores such rows at `1` on first insertion and
+//! never merges into them again — over a non-idempotent `⊕` a cyclic
+//! demand rule would otherwise pump `1 ⊕ 1 = 2 ⊕ …` forever.
+//! **Absorption is not required for the rewrite's correctness** (the
+//! guard multiplies by `1`, and demand over-approximates the
+//! contributing derivations — see `dlo_core::demand`'s module docs
+//! for the induction); it is only required, as always, for the
+//! frontier *strategies* one might run the rewritten program under.
+//! Under the frontier drivers the magic seed is the only seed-plan
+//! contribution, so the queue starts at the **query constants**
+//! instead of the whole EDB delta, and demand facts derive between
+//! batches exactly like head-key minting — including through key
+//! functions in magic heads, which mint demand for keys the interner
+//! has never seen. A domain-enumeration guard keeps the
+//! answers-are-a-restriction invariant exact: rules with variables no
+//! join can bind (enumerated over the active domain) force the
+//! all-free fallback, since magic guards would re-scope those
+//! variables to the demanded set.
 //!
 //! [`engine_eval`] takes a [`worklist::Strategy`] and is bounded over
 //! the union, with `Auto` resolving to the priority frontier — callers
@@ -143,18 +196,25 @@ pub mod intern;
 pub mod output;
 pub mod par;
 pub mod plan;
+pub mod query;
 pub mod storage;
 pub mod worklist;
 
 pub use driver::{
     engine_naive_eval, engine_naive_eval_with_opts, engine_seminaive_eval,
-    engine_seminaive_eval_interned, engine_seminaive_eval_with_opts, EngineOpts,
+    engine_seminaive_eval_interned, engine_seminaive_eval_interned_edb,
+    engine_seminaive_eval_with_opts, EngineOpts,
 };
 pub use intern::Interner;
 pub use output::{InternedOutcome, InternedOutput};
-pub use plan::{compile, CompileError, CompiledProgram, Plan};
+pub use plan::{compile, compile_demand, CompileError, CompiledProgram, Plan};
+pub use query::{
+    engine_query_eval, engine_query_eval_interned_edb, engine_query_eval_with_opts,
+    engine_query_naive_eval, engine_query_seminaive_eval, QueryAnswer,
+};
 pub use storage::ColumnRel;
 pub use worklist::{
-    engine_eval, engine_eval_interned, engine_eval_with_opts, engine_priority_eval,
-    engine_priority_eval_with_opts, engine_worklist_eval, engine_worklist_eval_with_opts, Strategy,
+    engine_eval, engine_eval_interned, engine_eval_interned_edb, engine_eval_with_opts,
+    engine_priority_eval, engine_priority_eval_with_opts, engine_worklist_eval,
+    engine_worklist_eval_with_opts, Strategy,
 };

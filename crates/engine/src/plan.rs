@@ -226,6 +226,14 @@ pub struct CompiledProgram<P> {
     /// which cost per-row maintenance forever and are therefore gated
     /// behind [`Self::worklist_index_requirements`].
     pub worklist_plans: Vec<Vec<Plan<P>>>,
+    /// Per-IDB **set-valued** flags (`true` for the magic predicates of
+    /// a demand rewrite, `dlo_core::demand`): the drivers store such
+    /// rows with value `1` on first insertion and never merge into
+    /// them again — demand lives on the Bool lattice {absent, present}
+    /// even when the program's values do not, which is what keeps the
+    /// magic rewrite convergent over non-idempotent `⊕` (`1 ⊕ 1` would
+    /// otherwise pump forever around demand cycles).
+    pub set_valued: Vec<bool>,
 }
 
 impl<P: Pops> CompiledProgram<P> {
@@ -271,6 +279,18 @@ impl<P: Pops> CompiledProgram<P> {
 pub fn compile<P: Pops>(
     program: &Program<P>,
     interner: &mut Interner,
+) -> Result<CompiledProgram<P>, CompileError> {
+    compile_demand(program, interner, &[])
+}
+
+/// [`compile`] with **demand metadata**: IDBs named in `set_valued`
+/// (the magic predicates of `dlo_core::demand::magic_rewrite`) are
+/// flagged for set-valued storage — the drivers insert their rows at
+/// value `1` once and never merge again.
+pub fn compile_demand<P: Pops>(
+    program: &Program<P>,
+    interner: &mut Interner,
+    set_valued: &[String],
 ) -> Result<CompiledProgram<P>, CompileError> {
     let mut c = Compiler {
         interner,
@@ -342,6 +362,7 @@ pub fn compile<P: Pops>(
             }
         }
     }
+    let set_valued_flags = c.idbs.iter().map(|(n, _)| set_valued.contains(n)).collect();
     Ok(CompiledProgram {
         idbs: c.idbs,
         pops_edbs: c.pops_edbs,
@@ -349,6 +370,7 @@ pub fn compile<P: Pops>(
         seed_plans,
         delta_plans,
         worklist_plans,
+        set_valued: set_valued_flags,
     })
 }
 

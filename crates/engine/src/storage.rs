@@ -117,7 +117,7 @@ impl<V> KeyedMap<V> {
     }
 }
 
-/// A `⊕`-merge accumulator with [`KeyedMap`]-style packed keys: widths
+/// A `⊕`-merge accumulator with `KeyedMap`-style packed keys: widths
 /// ≤ 2 key an `FxHashMap<u64, P>` (inline hash, no per-key allocation),
 /// wider keys fall back to boxed slices. This is the per-iteration head
 /// accumulator of the semi-naïve driver — one `merge` per derivation, so

@@ -44,7 +44,7 @@
 //! per plan, with large Δ scans split into first-step row chunks exactly
 //! like [`crate::driver`]'s global loop — and fanned over the scoped
 //! worker pool of [`crate::par`]. Each task buffers its emissions in an
-//! ordered [`EmitBuf`]; the merge walks tasks **in task order** and
+//! ordered `EmitBuf`; the merge walks tasks **in task order** and
 //! appends, so the staged emission sequence is byte-for-byte the one the
 //! sequential inner loop produces and results are bit-identical at any
 //! `DLO_ENGINE_THREADS` (every stock absorptive dioid's `⊕` is exact, so
@@ -66,7 +66,7 @@
 //! Head key functions work exactly as in the global drivers: the
 //! interner is frozen while plans run, fresh integer cells accumulate in
 //! ordered buffers, and ids are minted between batches
-//! ([`crate::driver::mint_key`]); minted rows enter `new` as appends and
+//! (`driver::mint_key`); minted rows enter `new` as appends and
 //! are pushed like any other improvement.
 //!
 //! `steps` in the returned outcome counts processed frontier batches —
@@ -76,8 +76,7 @@
 //! comparable across strategies; fixpoints are.
 
 use crate::driver::{
-    chunk_tasks, engine_seminaive_eval_interned, finish, merge_fresh, mint_key, setup_or_panic,
-    Engine, EngineOpts,
+    chunk_tasks, finish, merge_fresh, mint_key, seminaive_run, setup_or_panic, Engine, EngineOpts,
 };
 use crate::exec::{run_plan, EvalCtx, HeadVal};
 use crate::hash::FxHashMap;
@@ -259,19 +258,31 @@ impl<P> EmitBuf<P> {
 }
 
 /// Merges every buffered emission into `new`, minting interner ids for
-/// fresh head keys, and pushes each strictly improved row.
+/// fresh head keys, and pushes each strictly improved row. Set-valued
+/// (magic) predicates take the demand path instead: a new binding is
+/// inserted at `1` and pushed once; an existing one is left untouched —
+/// demand rows are settled the moment they exist, on any POPS.
 fn apply_emissions<P: Pops, F: Frontier<P>>(
     interner: &mut Interner,
     new: &mut [ColumnRel<P>],
+    set_valued: &[bool],
     bufs: &mut [EmitBuf<P>],
     fresh: &mut [BTreeMap<Box<[HeadVal]>, P>],
     frontier: &mut F,
 ) {
     for (pred, buf) in bufs.iter_mut().enumerate() {
         let arity = buf.arity;
+        let sv = set_valued[pred];
         let mut vals = std::mem::take(&mut buf.vals);
         for (i, v) in vals.drain(..).enumerate() {
             let key = &buf.keys[i * arity..(i + 1) * arity];
+            if sv {
+                if new[pred].rowid(key).is_none() {
+                    let row = new[pred].insert_row(key, P::one());
+                    frontier.push(pred, row, new[pred].val(row));
+                }
+                continue;
+            }
             let (row, changed) = new[pred].merge_changed(key, v);
             if changed {
                 frontier.push(pred, row, new[pred].val(row));
@@ -281,8 +292,16 @@ fn apply_emissions<P: Pops, F: Frontier<P>>(
         buf.keys.clear();
     }
     for (pred, facc) in fresh.iter_mut().enumerate() {
+        let sv = set_valued[pred];
         while let Some((key, v)) = facc.pop_first() {
             let key = mint_key(interner, &key);
+            if sv {
+                if new[pred].rowid(&key).is_none() {
+                    let row = new[pred].insert_row(&key, P::one());
+                    frontier.push(pred, row, new[pred].val(row));
+                }
+                continue;
+            }
             let (row, changed) = new[pred].merge_changed(&key, v);
             if changed {
                 frontier.push(pred, row, new[pred].val(row));
@@ -383,13 +402,20 @@ fn run_frontier_plans<P>(
     }
 }
 
-/// The shared frontier loop: seed with `J(1) = F(0)`, then drain the
-/// queue batch by batch, firing the per-occurrence worklist plans of
-/// every touched predicate — in parallel when the batch is dense enough.
+/// The shared frontier loop over a prepared [`Engine`]: seed with
+/// `J(1) = F(0)`, then drain the queue batch by batch, firing the
+/// per-occurrence worklist plans of every touched predicate — in
+/// parallel when the batch is dense enough.
+///
+/// On a demand-rewritten program ([`dlo_core::demand`]) the seed phase
+/// contributes exactly the magic seed fact — every other sum-product
+/// carries a magic guard factor and finds it empty — so the frontier
+/// starts at the **query constants** instead of the whole EDB delta,
+/// and magic-fact derivation interleaves between batches exactly like
+/// head-key minting: a popped row fires the worklist plans whose Δ
+/// occurrence it is, demand rows and answer rows alike.
 fn run_frontier<P, F>(
-    program: &Program<P>,
-    pops_edb: &Database<P>,
-    bool_edb: &BoolDatabase,
+    mut engine: Engine<P>,
     cap: usize,
     opts: &EngineOpts,
     make_frontier: impl FnOnce(usize) -> F,
@@ -398,7 +424,6 @@ where
     P: Pops + Send + Sync,
     F: Frontier<P>,
 {
-    let mut engine = setup_or_panic(program, pops_edb, bool_edb);
     let threads = opts.effective_threads();
     let nidb = engine.compiled.idbs.len();
     let mut frontier = make_frontier(nidb);
@@ -469,6 +494,7 @@ where
     apply_emissions(
         &mut engine.interner,
         &mut new,
+        &engine.compiled.set_valued,
         &mut bufs,
         &mut fresh,
         &mut frontier,
@@ -529,6 +555,7 @@ where
         apply_emissions(
             &mut engine.interner,
             &mut new,
+            &engine.compiled.set_valued,
             &mut bufs,
             &mut fresh,
             &mut frontier,
@@ -571,7 +598,13 @@ pub fn engine_worklist_eval_with_opts<P>(
 where
     P: NaturallyOrdered + Absorptive + Send + Sync,
 {
-    run_frontier(program, pops_edb, bool_edb, cap, opts, FifoFrontier::new).materialize()
+    run_frontier(
+        setup_or_panic(program, pops_edb, bool_edb, &[]),
+        cap,
+        opts,
+        FifoFrontier::new,
+    )
+    .materialize()
 }
 
 /// Priority-frontier evaluation: bucketed best-first scheduling over a
@@ -610,9 +643,12 @@ pub fn engine_priority_eval_with_opts<P>(
 where
     P: NaturallyOrdered + Absorptive + TotallyOrderedDioid + Send + Sync,
 {
-    run_frontier(program, pops_edb, bool_edb, cap, opts, |_| {
-        BucketFrontier::new()
-    })
+    run_frontier(
+        setup_or_panic(program, pops_edb, bool_edb, &[]),
+        cap,
+        opts,
+        |_| BucketFrontier::new(),
+    )
     .materialize()
 }
 
@@ -705,17 +741,74 @@ where
         + Send
         + Sync,
 {
+    strategy_run(
+        setup_or_panic(program, pops_edb, bool_edb, &[]),
+        cap,
+        strategy,
+        opts,
+    )
+}
+
+/// [`engine_eval_interned`] over an **interned EDB**: the previous
+/// run's [`crate::InternedOutput`] is the POPS database (shared
+/// interner, relations reused without any `Constant` round-trip), with
+/// `extra_pops` overlaying fresh classic-form relations for names the
+/// interned output lacks. Chained engine runs — including
+/// query-then-refine pipelines via
+/// [`crate::query::QueryAnswer::into_interned`] — stay interned end to
+/// end.
+///
+/// # Panics
+///
+/// On programs the columnar storage cannot represent: an atom of arity
+/// > 32, or one head predicate used at two arities.
+pub fn engine_eval_interned_edb<P>(
+    program: &Program<P>,
+    prev: &crate::output::InternedOutput<P>,
+    extra_pops: &Database<P>,
+    bool_edb: &BoolDatabase,
+    cap: usize,
+    strategy: Strategy,
+    opts: &EngineOpts,
+) -> InternedOutcome<P>
+where
+    P: NaturallyOrdered
+        + CompleteDistributiveDioid
+        + Absorptive
+        + TotallyOrderedDioid
+        + Send
+        + Sync,
+{
+    strategy_run(
+        crate::driver::setup_interned_or_panic(program, prev, extra_pops, bool_edb, &[]),
+        cap,
+        strategy,
+        opts,
+    )
+}
+
+/// Dispatches a prepared [`Engine`] to the loop `strategy` names —
+/// the shared tail of every multi-strategy entry point (classic,
+/// interned-EDB, and demand-rewritten query evaluation).
+pub(crate) fn strategy_run<P>(
+    engine: Engine<P>,
+    cap: usize,
+    strategy: Strategy,
+    opts: &EngineOpts,
+) -> InternedOutcome<P>
+where
+    P: NaturallyOrdered
+        + CompleteDistributiveDioid
+        + Absorptive
+        + TotallyOrderedDioid
+        + Send
+        + Sync,
+{
     match strategy {
-        Strategy::SemiNaive => {
-            engine_seminaive_eval_interned(program, pops_edb, bool_edb, cap, opts)
-        }
-        Strategy::Worklist => {
-            run_frontier(program, pops_edb, bool_edb, cap, opts, FifoFrontier::new)
-        }
+        Strategy::SemiNaive => seminaive_run(engine, cap, opts),
+        Strategy::Worklist => run_frontier(engine, cap, opts, FifoFrontier::new),
         Strategy::Auto | Strategy::Priority => {
-            run_frontier(program, pops_edb, bool_edb, cap, opts, |_| {
-                BucketFrontier::new()
-            })
+            run_frontier(engine, cap, opts, |_| BucketFrontier::new())
         }
     }
 }

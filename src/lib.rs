@@ -37,10 +37,12 @@ pub use dlo_wellfounded as wellfounded;
 // The engine backend's entry points at top level, next to the grounded
 // and relational backends re-exported through `core`.
 pub use dlo_engine::{
-    engine_eval, engine_eval_interned, engine_eval_with_opts, engine_naive_eval,
-    engine_priority_eval, engine_priority_eval_with_opts, engine_seminaive_eval,
-    engine_seminaive_eval_interned, engine_worklist_eval, engine_worklist_eval_with_opts,
-    EngineOpts, InternedOutcome, InternedOutput, Strategy,
+    engine_eval, engine_eval_interned, engine_eval_interned_edb, engine_eval_with_opts,
+    engine_naive_eval, engine_priority_eval, engine_priority_eval_with_opts, engine_query_eval,
+    engine_query_eval_interned_edb, engine_query_eval_with_opts, engine_query_naive_eval,
+    engine_query_seminaive_eval, engine_seminaive_eval, engine_seminaive_eval_interned,
+    engine_seminaive_eval_interned_edb, engine_worklist_eval, engine_worklist_eval_with_opts,
+    EngineOpts, InternedOutcome, InternedOutput, QueryAnswer, Strategy,
 };
 
 /// Evaluates a program with the **default backend**: the execution
@@ -110,6 +112,92 @@ where
 {
     engine_eval(
         program,
+        pops_edb,
+        bool_edb,
+        FRONTIER_DEFAULT_CAP,
+        Strategy::Auto,
+    )
+}
+
+/// **Query-driven** evaluation on the default backend (the engine's
+/// parallel semi-naïve loop): the program is magic-set rewritten for
+/// the query (`dlo_core::demand` — Bool-lattice demand predicates
+/// guarding the POPS rules, sound for any POPS), so only the fragment
+/// the query can reach is computed. The returned [`QueryAnswer`]
+/// exposes the query-restricted rows ([`QueryAnswer::answers`]), the
+/// full derived support for differential testing
+/// ([`QueryAnswer::support`]), and the interned storage for decode-free
+/// chaining.
+///
+/// ```
+/// use datalog_o::core::{parse_program, parse_query, BoolDatabase, Database, Program, Relation};
+/// use datalog_o::pops::Trop;
+///
+/// let program: Program<Trop> =
+///     parse_program("T(X, Y) :- E(X, Y) + T(X, Z) * E(Z, Y).").unwrap();
+/// let query = parse_query("?- T(\"a\", Y).").unwrap();
+/// let mut edb = Database::new();
+/// edb.insert("E", Relation::from_pairs(2, vec![
+///     (vec!["a".into(), "b".into()], Trop::finite(1.0)),
+///     (vec!["b".into(), "c".into()], Trop::finite(3.0)),
+/// ]));
+///
+/// let answer = datalog_o::eval_query(&program, &query, &edb, &BoolDatabase::new());
+/// assert_eq!(answer.answers()
+///                  .get(&vec!["a".into(), "c".into()]), Trop::finite(4.0));
+/// ```
+///
+/// # Panics
+///
+/// On queries the rewrite rejects (unknown predicate, arity mismatch)
+/// and on programs the engine's columnar storage cannot represent.
+pub fn eval_query<P>(
+    program: &core::Program<P>,
+    query: &core::Query,
+    pops_edb: &core::Database<P>,
+    bool_edb: &core::BoolDatabase,
+) -> QueryAnswer<P>
+where
+    P: pops::NaturallyOrdered + pops::CompleteDistributiveDioid + Send + Sync,
+{
+    engine_query_seminaive_eval(
+        program,
+        query,
+        pops_edb,
+        bool_edb,
+        core::DEFAULT_CAP,
+        &EngineOpts::default(),
+    )
+}
+
+/// [`eval_query`] on the **priority frontier**: the frontier is seeded
+/// from the query constants (the magic seed is the only initial
+/// contribution of the rewritten program), demand spreads between
+/// batches exactly like head-key minting, and answers settle on pop —
+/// a single-source question against an all-pairs program does
+/// Dijkstra-from-the-source work instead of the full least fixpoint
+/// (`BENCH_magic.json` records the separation).
+///
+/// # Panics
+///
+/// As [`eval_query`].
+pub fn eval_frontier_query<P>(
+    program: &core::Program<P>,
+    query: &core::Query,
+    pops_edb: &core::Database<P>,
+    bool_edb: &core::BoolDatabase,
+) -> QueryAnswer<P>
+where
+    P: pops::NaturallyOrdered
+        + pops::CompleteDistributiveDioid
+        + pops::Absorptive
+        + pops::TotallyOrderedDioid
+        + Send
+        + Sync,
+{
+    engine_query_eval(
+        program,
+        query,
         pops_edb,
         bool_edb,
         FRONTIER_DEFAULT_CAP,

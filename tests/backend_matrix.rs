@@ -19,15 +19,17 @@
 
 use datalog_o::core::examples_lib as ex;
 use datalog_o::core::{
-    bool_relation, naive_eval_sparse, parse_program, relational_naive_eval,
-    relational_seminaive_eval, BoolDatabase, Database, Program, ProgramParser, Relation, UnaryFn,
+    bool_relation, naive_eval_sparse, parse_program, parse_query, relational_naive_eval,
+    relational_seminaive_eval, BoolDatabase, Database, Program, ProgramParser, Query, Relation,
+    UnaryFn,
 };
 use datalog_o::pops::{
     Absorptive, Bool, CompleteDistributiveDioid, MinNat, NNReal, NaturallyOrdered,
     TotallyOrderedDioid, Trop, TropP,
 };
 use datalog_o::{
-    engine_eval, engine_eval_with_opts, engine_naive_eval, engine_seminaive_eval, EngineOpts,
+    engine_eval, engine_eval_with_opts, engine_naive_eval, engine_query_eval_with_opts,
+    engine_query_naive_eval, engine_query_seminaive_eval, engine_seminaive_eval, EngineOpts,
     Strategy,
 };
 
@@ -418,6 +420,206 @@ backend_matrix! {
         let edb = ex::fig2a_graph(|w| TropP::<1>::from_costs(&[w]));
         (program, edb, BoolDatabase::new())
     }
+}
+
+/// The demand legs: `engine_query_eval` under every strategy —
+/// sequential and with the parallel batch path forced — must return
+/// exactly the query-restriction of the grounded reference's full
+/// fixpoint, and every row of the demanded support must be value-exact
+/// against it (magic sets never under- or over-derive a demanded row).
+fn assert_query_matrix<P>(
+    scenario: &str,
+    program: &Program<P>,
+    pops: &Database<P>,
+    bools: &BoolDatabase,
+    query: &Query,
+) where
+    P: NaturallyOrdered
+        + CompleteDistributiveDioid
+        + Absorptive
+        + TotallyOrderedDioid
+        + Send
+        + Sync,
+{
+    let grounded = naive_eval_sparse(program, pops, bools, CAP).unwrap();
+    let empty = Relation::new(query.arity());
+    let expected = query.restrict(grounded.get(&query.pred).unwrap_or(&empty));
+    let forced = forced_parallel();
+    let defaults = EngineOpts::default();
+    let legs: Vec<(String, datalog_o::QueryAnswer<P>)> = [
+        (Strategy::SemiNaive, &defaults),
+        (Strategy::Worklist, &defaults),
+        (Strategy::Priority, &defaults),
+        (Strategy::Worklist, &forced),
+        (Strategy::Priority, &forced),
+    ]
+    .into_iter()
+    .map(|(strategy, opts)| {
+        (
+            format!("{strategy:?} ({} threads)", opts.threads.unwrap_or(1)),
+            engine_query_eval_with_opts(program, query, pops, bools, CAP, strategy, opts),
+        )
+    })
+    .chain(std::iter::once((
+        "query semi-naive (weak bounds)".to_string(),
+        engine_query_seminaive_eval(program, query, pops, bools, CAP, &defaults),
+    )))
+    .chain(std::iter::once((
+        "query naive".to_string(),
+        engine_query_naive_eval(program, query, pops, bools, CAP, &defaults),
+    )))
+    .collect();
+    for (leg, qa) in &legs {
+        assert!(qa.is_converged(), "{scenario}: {leg} diverged");
+        assert_eq!(
+            &expected,
+            &qa.answers(),
+            "{scenario}: {leg} answers differ from the grounded restriction for {query:?}"
+        );
+        for (pred, rel) in qa.support().iter() {
+            let reference = grounded.get(pred);
+            for (t, v) in rel.support() {
+                assert_eq!(
+                    reference.map(|r| r.get(t)),
+                    Some(v.clone()),
+                    "{scenario}: {leg} demanded row {pred}({t:?}) is not value-exact"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn demand_leg_sssp_point_query() {
+    let (program, edb) = ex::sssp_trop("a");
+    let query = parse_query("?- L(d).").unwrap();
+    assert_query_matrix(
+        "sssp_trop_example_4_1",
+        &program,
+        &edb,
+        &BoolDatabase::new(),
+        &query,
+    );
+}
+
+#[test]
+fn demand_leg_apsp_single_source_and_single_sink() {
+    let (program, edb) = ex::apsp_trop(&[
+        ("a", "b", 1.0),
+        ("b", "a", 2.0),
+        ("b", "c", 3.0),
+        ("c", "d", 4.0),
+        ("a", "c", 5.0),
+    ]);
+    let bools = BoolDatabase::new();
+    // Source-bound (adornment bf) and sink-bound (fb) both restrict.
+    for src in ["?- T(a, Y).", "?- T(X, d).", "?- T(b, c)."] {
+        let query = parse_query(src).unwrap();
+        assert_query_matrix("apsp_trop_example_1_1", &program, &edb, &bools, &query);
+    }
+}
+
+#[test]
+fn demand_leg_bom_point_lookup() {
+    let program: Program<MinNat> = ex::bom_program();
+    let mut pops = Database::new();
+    pops.insert(
+        "C",
+        Relation::from_pairs(
+            1,
+            vec![
+                (vec![k("a")], MinNat::finite(1)),
+                (vec![k("b")], MinNat::finite(1)),
+                (vec![k("c")], MinNat::finite(1)),
+                (vec![k("d")], MinNat::finite(10)),
+            ],
+        ),
+    );
+    let bools = ex::fig2b_bool_edges();
+    for part in ["a", "c", "d"] {
+        let query = Query::point("T", vec![part.into()]);
+        assert_query_matrix("bom_minnat_example_4_2", &program, &pops, &bools, &query);
+    }
+}
+
+#[test]
+fn demand_leg_reachability_bool() {
+    let src = "Reach(X) :- 1 | X = s.\nReach(X) :- Reach(Z) * E(Z, X).";
+    let program: Program<Bool> = parse_program(src).unwrap();
+    let mut pops = Database::new();
+    pops.insert(
+        "E",
+        bool_relation(
+            2,
+            [("s", "a"), ("a", "b"), ("b", "a"), ("c", "d")]
+                .iter()
+                .map(|(x, y)| vec![k(x), k(y)]),
+        ),
+    );
+    let bools = BoolDatabase::new();
+    // Both a reachable and an unreachable point query.
+    for node in ["b", "d"] {
+        let query = Query::point("Reach", vec![node.into()]);
+        assert_query_matrix("reach_surface_syntax_bool", &program, &pops, &bools, &query);
+    }
+}
+
+#[test]
+fn demand_leg_quadratic_tc_falls_back_to_full() {
+    // The quadratic rule collapses the adornment to all-free — the
+    // query path must still answer correctly (full computation plus
+    // restriction).
+    let (program, edb) = ex::quadratic_tc_bool(&[("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")]);
+    let query = parse_query("?- T(a, Y).").unwrap();
+    assert_query_matrix(
+        "quadratic_tc_bool_guarded",
+        &program,
+        &edb,
+        &BoolDatabase::new(),
+        &query,
+    );
+}
+
+#[test]
+fn demand_leg_head_keyed_prefix() {
+    // Head-key-function program: demand propagation itself mints keys.
+    let (program, edb) = ex::prefix_sum_keyed::<Trop>(&[2.0, 4.0, 1.5, 3.0, 0.5], Trop::finite);
+    let query = parse_query("?- W(3).").unwrap();
+    assert_query_matrix(
+        "prefix_head_keyed_sec_4_5",
+        &program,
+        &edb,
+        &BoolDatabase::new(),
+        &query,
+    );
+}
+
+#[test]
+fn demand_leg_company_control_nnreal_naive() {
+    // ℝ₊: naturally ordered, ⊕ not idempotent — the set-valued clamp is
+    // what keeps cyclic demand convergent here. Naive legs only (no ⊖).
+    let (program, pops, bools) = ex::company_control(
+        &["a", "b", "c", "d"],
+        &[
+            ("a", "b", 0.75),
+            ("b", "c", 0.375),
+            ("a", "c", 0.25),
+            ("c", "d", 0.625),
+            ("b", "d", 0.25),
+        ],
+    );
+    let grounded = naive_eval_sparse(&program, &pops, &bools, CAP).unwrap();
+    let query = Query::new(
+        "T",
+        vec![
+            datalog_o::core::QueryArg::bound("a"),
+            datalog_o::core::QueryArg::Free,
+        ],
+    );
+    let qa = engine_query_naive_eval(&program, &query, &pops, &bools, CAP, &EngineOpts::default());
+    assert!(qa.is_converged());
+    let expected = query.restrict(grounded.get("T").unwrap());
+    assert_eq!(expected, qa.answers());
 }
 
 /// Satellite: divergence agreement. A non-stable program under a small

@@ -14,14 +14,15 @@ use datalog_o::core::{
     relational_seminaive_eval, render_program, seminaive_eval_system, BoolDatabase, Database,
     EvalOutcome, Program, Relation,
 };
+use datalog_o::core::{Query, QueryArg};
 use datalog_o::pops::{
     Absorptive, Bool, CompleteDistributiveDioid, MaxMin, MinNat, NaturallyOrdered, Pops,
     TotallyOrderedDioid, Trop,
 };
 use datalog_o::semilin::{linear_lfp_auto, AffineSystem};
 use datalog_o::{
-    engine_eval, engine_eval_with_opts, engine_naive_eval, engine_seminaive_eval, EngineOpts,
-    Strategy as EngineStrategy,
+    engine_eval, engine_eval_with_opts, engine_naive_eval, engine_query_eval_with_opts,
+    engine_seminaive_eval, EngineOpts, Strategy as EngineStrategy,
 };
 use proptest::prelude::*;
 
@@ -320,6 +321,114 @@ where
     Ok(())
 }
 
+/// `eval_query` answers must be exactly the query-restriction of the
+/// full fixpoint — values and (decoded) minted keys alike — under every
+/// strategy, with the full query outcome (answers, demanded support,
+/// step count) bit-identical at `DLO_ENGINE_THREADS` ∈ {1, 2, 4}.
+fn assert_query_restriction<P>(
+    label: &str,
+    prog: &datalog_o::core::Program<P>,
+    edb: &Database<P>,
+    bools: &BoolDatabase,
+    query: &Query,
+) -> Result<(), TestCaseError>
+where
+    P: NaturallyOrdered
+        + CompleteDistributiveDioid
+        + Absorptive
+        + TotallyOrderedDioid
+        + Send
+        + Sync,
+{
+    let full = engine_seminaive_eval(prog, edb, bools, 100_000)
+        .converged()
+        .expect("bounded")
+        .0;
+    let empty = Relation::new(query.arity());
+    let expected = query.restrict(full.get(&query.pred).unwrap_or(&empty));
+    for strategy in [
+        EngineStrategy::SemiNaive,
+        EngineStrategy::Worklist,
+        EngineStrategy::Priority,
+    ] {
+        let baseline = engine_query_eval_with_opts(
+            prog,
+            query,
+            edb,
+            bools,
+            5_000_000,
+            strategy,
+            &EngineOpts {
+                threads: Some(1),
+                ..EngineOpts::default()
+            },
+        );
+        prop_assert!(
+            baseline.is_converged(),
+            "{label}: {strategy:?} query run diverged"
+        );
+        prop_assert_eq!(
+            &expected,
+            &baseline.answers(),
+            "{}: {:?} answers are not the full-fixpoint restriction of {:?}",
+            label,
+            strategy,
+            query
+        );
+        // Demanded support rows are value-exact against the full run.
+        for (pred, rel) in baseline.support().iter() {
+            let reference = full.get(pred);
+            for (t, v) in rel.support() {
+                prop_assert_eq!(
+                    reference.map(|r| r.get(t)),
+                    Some(v.clone()),
+                    "{}: {:?} demanded row {}({:?}) not value-exact",
+                    label,
+                    strategy,
+                    pred,
+                    t
+                );
+            }
+        }
+        for threads in [2usize, 4] {
+            let got = engine_query_eval_with_opts(
+                prog,
+                query,
+                edb,
+                bools,
+                5_000_000,
+                strategy,
+                &forced_parallel(threads),
+            );
+            prop_assert_eq!(
+                baseline.steps(),
+                got.steps(),
+                "{}: {:?} step counts differ at {} threads",
+                label,
+                strategy,
+                threads
+            );
+            prop_assert_eq!(
+                baseline.answers(),
+                got.answers(),
+                "{}: {:?} answers differ at {} threads",
+                label,
+                strategy,
+                threads
+            );
+            prop_assert_eq!(
+                baseline.support_with_demand(),
+                got.support_with_demand(),
+                "{}: {:?} demanded support differs at {} threads",
+                label,
+                strategy,
+                threads
+            );
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -335,6 +444,68 @@ proptest! {
         assert_keyed_agreement::<Trop>(&spec, n, &edges, |w| Trop::finite(w as f64))?;
         assert_keyed_agreement::<MinNat>(&spec, n, &edges, |w| MinNat::finite(w as u64))?;
         assert_keyed_agreement::<Bool>(&spec, n, &edges, |_| Bool(true))?;
+    }
+
+    /// Demand restriction on random graph programs (Trop/MinNat/Bool):
+    /// single-source and point queries against the linear SSSP and
+    /// all-pairs programs answer exactly the full fixpoint's
+    /// restriction, bit-identically at 1/2/4 threads.
+    #[test]
+    fn query_answers_restrict_graph_programs((n, edges) in edges_strategy()) {
+        let bools = BoolDatabase::new();
+        let mid = (n / 2) as i64;
+        let edb_t = trop_edb(&edges);
+        let sssp = dlo_bench::single_source_int_program::<Trop>(0);
+        assert_query_restriction("sssp/point", &sssp, &edb_t, &bools,
+            &Query::point("L", vec![mid.into()]))?;
+        let apsp = datalog_o::core::examples_lib::apsp_program::<Trop>();
+        assert_query_restriction("apsp/source", &apsp, &edb_t, &bools,
+            &Query::new("T", vec![QueryArg::bound(0i64), QueryArg::Free]))?;
+        assert_query_restriction("apsp/sink", &apsp, &edb_t, &bools,
+            &Query::new("T", vec![QueryArg::Free, QueryArg::bound(mid)]))?;
+        let edb_m = minnat_edb(&edges);
+        let apsp_m = datalog_o::core::examples_lib::apsp_program::<MinNat>();
+        assert_query_restriction("apsp/minnat", &apsp_m, &edb_m, &bools,
+            &Query::new("T", vec![QueryArg::bound(0i64), QueryArg::Free]))?;
+        let mut edb_b = Database::new();
+        edb_b.insert(
+            "E",
+            Relation::from_pairs(
+                2,
+                edges.iter().map(|&(u, v, _)| {
+                    (vec![(u as i64).into(), (v as i64).into()], Bool(true))
+                }),
+            ),
+        );
+        let apsp_b = datalog_o::core::examples_lib::apsp_program::<Bool>();
+        assert_query_restriction("apsp/bool", &apsp_b, &edb_b, &bools,
+            &Query::new("T", vec![QueryArg::bound(0i64), QueryArg::Free]))?;
+    }
+
+    /// Demand restriction on random keyed programs (head/body key
+    /// shifts, comparisons, Boolean guards — the minting surface):
+    /// point queries over Trop, MinNat, and Bool.
+    #[test]
+    fn query_answers_restrict_keyed_programs(
+        spec in keyed_spec_strategy(),
+        (n, edges) in edges_strategy(),
+    ) {
+        let q = Query::point("R", vec![(n as i64 / 2).into()]);
+        {
+            let prog = keyed_program::<Trop>(&spec);
+            let edb = keyed_edb(n, &edges, |w| Trop::finite(w as f64));
+            assert_query_restriction("keyed/trop", &prog, &edb, &keyed_bools(n), &q)?;
+        }
+        {
+            let prog = keyed_program::<MinNat>(&spec);
+            let edb = keyed_edb(n, &edges, |w| MinNat::finite(w as u64));
+            assert_query_restriction("keyed/minnat", &prog, &edb, &keyed_bools(n), &q)?;
+        }
+        {
+            let prog = keyed_program::<Bool>(&spec);
+            let edb = keyed_edb(n, &edges, |_| Bool(true));
+            assert_query_restriction("keyed/bool", &prog, &edb, &keyed_bools(n), &q)?;
+        }
     }
 
     /// Theorem 6.4 over Trop: semi-naïve = naïve (SSSP, APSP).
