@@ -71,6 +71,7 @@ fn bench_parallel_tc(c: &mut Criterion) {
             threads: Some(4),
             par_threshold: 1,
             chunk_min: 2,
+            ..EngineOpts::default()
         },
     );
     assert_eq!(seq, par, "forced-parallel cross-check");

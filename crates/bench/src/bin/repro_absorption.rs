@@ -63,7 +63,7 @@ fn main() {
         T1::from_costs(&[4.0]),
     );
     match naive_eval(&prog, &edb, &BoolDatabase::new(), 100) {
-        dlo_core::EvalOutcome::Converged { steps, output } => {
+        dlo_core::EvalOutcome::Converged { steps, output, .. } => {
             println!("\nf(x) = a0 + a2x² + a3x³ + a4x⁴ over Trop+_1:");
             println!("  converged in {steps} steps (paper: stability index 3)");
             println!(

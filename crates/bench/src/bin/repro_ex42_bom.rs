@@ -18,7 +18,7 @@ fn main() {
     let out = naive_eval(&prog_n, &pops_n, &bools_n, 50);
     println!("Example 4.2 over N: naive algorithm with cap 50 iterations …");
     match &out {
-        EvalOutcome::Diverged { last, cap } => {
+        EvalOutcome::Diverged { last, cap, .. } => {
             println!(
                 "  DIVERGES as the paper predicts (cap {cap} hit; T(a) has grown to {:?})\n",
                 last.get("T").unwrap().get(&tup!["a"])

@@ -8,14 +8,19 @@
 //! * `ShortestLength(x,y) :- min_c ([Length(x,y,c)] + c)` where the key
 //!   `c` becomes a tropical value.
 
-use dlo_bench::print_table;
+use dlo_bench::{print_host_note, print_table};
 use dlo_core::examples_lib::{prefix_sum, prefix_sum_keyed, shortest_length};
 use dlo_core::{naive_eval, relational_seminaive_eval, tup, BoolDatabase};
 use dlo_engine::engine_seminaive_eval;
 use dlo_pops::lifted::lreal;
 use dlo_pops::Trop;
 
+fn ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
 fn main() {
+    print_host_note();
     let mut ok = true;
 
     // --- prefix sums --------------------------------------------------------
@@ -46,7 +51,9 @@ fn main() {
     // same prefix sums; the engine mints the head-computed keys i+1 via
     // its dynamic interner and must agree with the relational backend.
     let (prog, edb) = prefix_sum_keyed::<Trop>(&values, Trop::finite);
-    let eng = engine_seminaive_eval(&prog, &edb, &BoolDatabase::new(), 1000).unwrap();
+    let eng_out = engine_seminaive_eval(&prog, &edb, &BoolDatabase::new(), 1000);
+    let stats = eng_out.stats().clone();
+    let eng = eng_out.unwrap();
     let rel = relational_seminaive_eval(&prog, &edb, &BoolDatabase::new(), 1000).unwrap();
     ok &= eng == rel;
     let w = eng.get("W").unwrap();
@@ -66,6 +73,41 @@ fn main() {
         "Sec. 4.5 — head-keyed prefix W(i+1) :- W(i) * V(i+1), dlo_engine native",
         &["atom", "engine", "expected"],
         &rows,
+    );
+    // The engine leg's telemetry. The head-computed keys i+1 all land
+    // inside V's already-interned domain here, so `minted` stays 0 —
+    // genuinely fresh head-derived constants would surface there.
+    print_table(
+        "engine leg telemetry (per-phase ms from EvalStats)",
+        &[
+            "strategy",
+            "setup_ms",
+            "index_ms",
+            "eval_ms",
+            "mint_ms",
+            "decode_ms",
+            "steps",
+            "emits",
+            "merges",
+            "minted",
+        ],
+        &[vec![
+            stats.strategy.clone(),
+            ms(stats.phases.setup),
+            ms(stats.phases.edb_index),
+            ms(stats.phases.eval),
+            ms(stats.phases.mint),
+            ms(stats.phases.decode),
+            format!("{}", stats.steps),
+            format!("{}", stats.counters.emits + stats.counters.fresh_emits),
+            format!(
+                "{}",
+                stats.counters.rows_inserted
+                    + stats.counters.rows_improved
+                    + stats.counters.merges_absorbed
+            ),
+            format!("{}", stats.counters.minted_ids),
+        ]],
     );
 
     // --- keys to values -----------------------------------------------------

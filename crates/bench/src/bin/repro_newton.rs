@@ -20,7 +20,7 @@ fn main() {
 
     let mut run = |name: &str, sys: &dlo_core::GroundSystem<Trop>| {
         let t0 = Instant::now();
-        let EvalOutcome::Converged { output, steps } = naive_eval_system(sys, 100_000) else {
+        let EvalOutcome::Converged { output, steps, .. } = naive_eval_system(sys, 100_000) else {
             ok = false;
             return;
         };
@@ -73,7 +73,7 @@ fn main() {
         .collect();
     let (prog, edb) = dlo_core::examples_lib::quadratic_tc_bool(&er);
     let sys = ground_sparse(&prog, &edb, &BoolDatabase::new());
-    let EvalOutcome::Converged { output, steps } = naive_eval_system(&sys, 100_000) else {
+    let EvalOutcome::Converged { output, steps, .. } = naive_eval_system(&sys, 100_000) else {
         panic!()
     };
     let (nv, nit) = newton_lfp(&sys, 1000).unwrap();

@@ -20,14 +20,18 @@
 //! Support counts and the cross-strategy agreement check come straight
 //! off the interned handles.
 
-use dlo_bench::{print_table, GraphInstance};
+use dlo_bench::{print_host_note, print_table, GraphInstance};
 use dlo_core::examples_lib::apsp_program;
 use dlo_core::{BoolDatabase, Program};
-use dlo_engine::{engine_eval_interned, EngineOpts, InternedOutcome, Strategy};
+use dlo_engine::{engine_eval_interned, EngineOpts, EvalStats, InternedOutcome, Strategy};
 use dlo_pops::Trop;
-use std::time::Instant;
+
+fn ms(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e6)
+}
 
 fn main() {
+    print_host_note();
     let bools = BoolDatabase::new();
     let opts = EngineOpts::default();
     let mut rows = vec![];
@@ -40,41 +44,52 @@ fn main() {
         ("gradient_2k", "L", grad_prog, grad_edb),
     ];
     for (name, out_pred, prog, edb) in &cases {
-        let mut stats: Vec<(usize, usize, usize, usize)> = vec![];
+        let mut stats: Vec<(EvalStats, usize, usize)> = vec![];
         let mut dbs = vec![];
         for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
-            let t0 = Instant::now();
             let out = engine_eval_interned(prog, edb, &bools, 100_000_000, strategy, &opts);
-            let eval_ms = t0.elapsed().as_millis() as usize;
-            let (out, steps) = match out {
-                InternedOutcome::Converged { output, steps } => (output, steps),
-                InternedOutcome::Diverged { .. } => unreachable!("workloads converge"),
-            };
+            assert!(
+                matches!(out, InternedOutcome::Converged { .. }),
+                "workloads converge"
+            );
             // Support size is free on the interned handle — no decode.
-            let support = out.support_size(out_pred);
-            let t1 = Instant::now();
-            let db = out.materialize();
-            let decode_ms = t1.elapsed().as_millis() as usize;
-            stats.push((eval_ms, decode_ms, steps, support));
-            dbs.push(db);
+            let support = out.output().support_size(out_pred);
+            // `materialize` times the deferred decode into the stats.
+            let decoded = out.materialize();
+            let s = decoded.stats().clone();
+            let steps = s.steps as usize;
+            stats.push((s, steps, support));
+            dbs.push(decoded.unwrap());
         }
         assert_eq!(dbs[0], dbs[1], "{name}: worklist fixpoint differs");
         assert_eq!(dbs[0], dbs[2], "{name}: priority fixpoint differs");
         for (si, sname) in ["seminaive", "worklist", "priority"].iter().enumerate() {
-            let (eval_ms, decode_ms, steps, support) = stats[si];
+            let (s, steps, support) = &stats[si];
             rows.push(vec![
                 name.to_string(),
                 sname.to_string(),
-                format!("{eval_ms}"),
-                format!("{decode_ms}"),
+                ms(s.phases.setup),
+                ms(s.phases.edb_index),
+                ms(s.phases.eval),
+                ms(s.phases.decode),
                 format!("{steps}"),
                 format!("{support}"),
+                format!("{}", s.counters.emits + s.counters.fresh_emits),
+                format!(
+                    "{}",
+                    s.counters.rows_inserted
+                        + s.counters.rows_improved
+                        + s.counters.merges_absorbed
+                ),
             ]);
         }
     }
     print_table(
-        "engine strategies over Trop (steps: iterations / generations / batches; decode deferred via InternedOutput)",
-        &["instance", "strategy", "eval_ms", "decode_ms", "steps", "support"],
+        "engine strategies over Trop (per-phase ms from EvalStats; steps: iterations / generations / batches)",
+        &[
+            "instance", "strategy", "setup_ms", "index_ms", "eval_ms", "decode_ms", "steps",
+            "support", "emits", "merges",
+        ],
         &rows,
     );
 }

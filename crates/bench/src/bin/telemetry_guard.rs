@@ -1,0 +1,151 @@
+//! CI guard for the always-on telemetry (PR 6): re-runs the baseline's
+//! `worklist_tc1k/worklist_trop/chain` leg with stats collection live
+//! and holds the wall-clock within 5% of the committed
+//! `BENCH_worklist.json` median, then runs the same workload **traced**
+//! and validates every JSONL line with the in-tree parser.
+//!
+//! The timing gate is **strict only when the host matches the
+//! baseline's recorded `host.nproc`** (the committed numbers come from
+//! a single-core container); on any other machine the comparison is
+//! advisory — printed, never failing — because cross-host medians mean
+//! nothing. The JSONL validation is strict everywhere.
+//!
+//! Usage (from the repo root, as CI does):
+//!
+//! ```console
+//! $ cargo run --release -p dlo_bench --bin telemetry_guard -- \
+//!       [BENCH_worklist.json] [telemetry_trace.jsonl]
+//! ```
+
+use dlo_bench::{host_metadata, print_host_note, GraphInstance};
+use dlo_core::eval::stats::json;
+use dlo_core::examples_lib::apsp_program;
+use dlo_core::BoolDatabase;
+use dlo_engine::{
+    engine_eval_interned, EngineOpts, InternedOutcome, JsonlSink, Strategy, TraceHandle,
+};
+use dlo_pops::Trop;
+use std::time::Instant;
+
+/// The baseline leg the guard re-measures: FIFO worklist on the
+/// 1000-node unit chain over Trop.
+const BASELINE_ID: &str = "worklist_tc1k/worklist_trop/chain";
+
+/// Allowed slowdown of the instrumented run over the recorded median.
+const MARGIN: f64 = 1.05;
+
+/// Timed runs; the best one is compared (criterion-style min-of-N
+/// absorbs scheduler noise on a shared runner).
+const RUNS: usize = 3;
+
+fn run_once(opts: &EngineOpts) -> (u64, dlo_engine::EvalStats) {
+    let program = apsp_program::<Trop>();
+    let edb = GraphInstance::path(1000).trop_edb();
+    let bools = BoolDatabase::new();
+    let t = Instant::now();
+    let out = engine_eval_interned(
+        &program,
+        &edb,
+        &bools,
+        100_000_000,
+        Strategy::Worklist,
+        opts,
+    );
+    let elapsed = t.elapsed().as_nanos() as u64;
+    assert!(
+        matches!(out, InternedOutcome::Converged { .. }),
+        "tc_chain_1k must converge"
+    );
+    (elapsed, out.stats().clone())
+}
+
+fn main() {
+    print_host_note();
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args.next().unwrap_or_else(|| "BENCH_worklist.json".into());
+    let trace_path = args
+        .next()
+        .unwrap_or_else(|| "telemetry_trace.jsonl".into());
+
+    // --- baseline ----------------------------------------------------------
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {baseline_path}: {e}"));
+    let baseline = json::parse(&text).expect("baseline JSON parses");
+    let baseline_nproc = baseline
+        .get("host")
+        .and_then(|h| h.get("nproc"))
+        .and_then(|n| n.as_u64())
+        .expect("baseline records host.nproc");
+    let median_ns = baseline
+        .get("results")
+        .and_then(|r| r.as_arr())
+        .and_then(|rows| {
+            rows.iter()
+                .find(|row| row.get("id").and_then(|i| i.as_str()) == Some(BASELINE_ID))
+        })
+        .and_then(|row| row.get("median_ns"))
+        .and_then(|n| n.as_f64())
+        .unwrap_or_else(|| panic!("baseline lacks a median for {BASELINE_ID}"));
+
+    // --- traced run: the JSONL stream must be valid -------------------------
+    let _ = std::fs::remove_file(&trace_path);
+    let sink = JsonlSink::create(std::path::Path::new(&trace_path)).expect("trace file");
+    let traced_opts = EngineOpts {
+        trace: Some(TraceHandle::new(sink)),
+        ..EngineOpts::default()
+    };
+    let (_, traced_stats) = run_once(&traced_opts);
+    drop(traced_opts);
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+    let mut kinds = vec![];
+    for line in trace.lines().filter(|l| !l.is_empty()) {
+        let event = json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        kinds.push(
+            event
+                .get("event")
+                .and_then(|e| e.as_str())
+                .expect("tagged event")
+                .to_string(),
+        );
+    }
+    assert_eq!(kinds.first().map(String::as_str), Some("run_start"));
+    assert_eq!(kinds.last().map(String::as_str), Some("run_end"));
+    let iterations = kinds.iter().filter(|k| *k == "iteration").count();
+    assert_eq!(
+        iterations,
+        traced_stats.iterations.len(),
+        "one iteration event per recorded snapshot"
+    );
+    println!(
+        "trace ok: {} events ({} iterations) in {trace_path}, all lines parse",
+        kinds.len(),
+        iterations
+    );
+
+    // --- overhead gate ------------------------------------------------------
+    let opts = EngineOpts::default();
+    let best_ns = (0..RUNS).map(|_| run_once(&opts).0).min().unwrap();
+    let limit_ns = median_ns * MARGIN;
+    let ratio = best_ns as f64 / median_ns;
+    let (nproc, _) = host_metadata();
+    let strict = nproc as u64 == baseline_nproc;
+    println!(
+        "{BASELINE_ID}: best-of-{RUNS} {:.1}ms vs baseline median {:.1}ms (x{ratio:.3}, limit x{MARGIN})",
+        best_ns as f64 / 1e6,
+        median_ns / 1e6,
+    );
+    if (best_ns as f64) <= limit_ns {
+        println!("telemetry overhead within budget");
+    } else if strict {
+        eprintln!(
+            "FAIL: instrumented run exceeds the baseline envelope on the baseline's host class \
+             (nproc={nproc})"
+        );
+        std::process::exit(1);
+    } else {
+        println!(
+            "advisory only: host nproc={nproc} differs from baseline nproc={baseline_nproc}, \
+             not failing"
+        );
+    }
+}

@@ -21,10 +21,15 @@
 pub mod naive;
 pub mod relational;
 pub mod seminaive;
+pub mod stats;
 
 use crate::ground::GroundSystem;
 use crate::relation::Database;
 use dlo_pops::Pops;
+pub use stats::{
+    Counters, EvalStats, IterStat, JsonlSink, MemorySink, PhaseNanos, RuleProfile, TraceEvent,
+    TraceHandle, TraceSink,
+};
 
 /// Default iteration cap used by the convenience entry points. High enough
 /// for every workload in the repository; all entry points also take an
@@ -32,7 +37,15 @@ use dlo_pops::Pops;
 pub const DEFAULT_CAP: usize = 100_000;
 
 /// The outcome of evaluating a datalog° program.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Both variants carry [`EvalStats`] — the always-on telemetry every
+/// backend populates (the grounded reference evaluators only fill the
+/// skeleton fields; the execution engine fills everything). Stats are
+/// **excluded from equality**: two outcomes compare equal iff their
+/// fixpoints and step counts agree, so cross-backend and cross-thread
+/// determinism tests are unaffected by timing noise. Compare
+/// [`EvalStats::invariants`] explicitly to test stats determinism.
+#[derive(Clone, Debug)]
 pub enum EvalOutcome<P: Pops> {
     /// The naïve/semi-naïve loop reached a fixpoint.
     Converged {
@@ -41,6 +54,8 @@ pub enum EvalOutcome<P: Pops> {
         /// Number of ICO applications performed before the fixpoint test
         /// succeeded (the `t` with `J(t+1) = J(t)`).
         steps: usize,
+        /// Evaluation telemetry (ignored by `==`).
+        stats: EvalStats,
     },
     /// The loop hit its iteration cap (Sec. 4.2 cases (i)/(ii)).
     Diverged {
@@ -48,20 +63,79 @@ pub enum EvalOutcome<P: Pops> {
         last: Database<P>,
         /// The cap that was hit.
         cap: usize,
+        /// Evaluation telemetry (ignored by `==`).
+        stats: EvalStats,
     },
 }
 
+impl<P: Pops> PartialEq for EvalOutcome<P> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                EvalOutcome::Converged {
+                    output: a,
+                    steps: sa,
+                    ..
+                },
+                EvalOutcome::Converged {
+                    output: b,
+                    steps: sb,
+                    ..
+                },
+            ) => a == b && sa == sb,
+            (
+                EvalOutcome::Diverged {
+                    last: a, cap: ca, ..
+                },
+                EvalOutcome::Diverged {
+                    last: b, cap: cb, ..
+                },
+            ) => a == b && ca == cb,
+            _ => false,
+        }
+    }
+}
+
+impl<P: Pops> Eq for EvalOutcome<P> {}
+
 impl<P: Pops> EvalOutcome<P> {
+    /// A converged outcome with default (empty) stats — the
+    /// constructor the grounded backends use.
+    pub fn from_converged(output: Database<P>, steps: usize) -> Self {
+        EvalOutcome::Converged {
+            output,
+            steps,
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// A diverged outcome with default (empty) stats.
+    pub fn from_diverged(last: Database<P>, cap: usize) -> Self {
+        EvalOutcome::Diverged {
+            last,
+            cap,
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// The evaluation telemetry, converged or not.
+    pub fn stats(&self) -> &EvalStats {
+        match self {
+            EvalOutcome::Converged { stats, .. } | EvalOutcome::Diverged { stats, .. } => stats,
+        }
+    }
     /// The converged output, panicking on divergence.
     ///
-    /// The panic message reports the iteration cap that was hit and a
-    /// sample of atoms from the last computed instance, so a diverging
-    /// program (Sec. 4.2 cases (i)/(ii)) is diagnosable without
-    /// re-running under a tracer.
+    /// The panic message reports the iteration cap that was hit, a
+    /// sample of atoms from the last computed instance, and — when the
+    /// backend recorded telemetry — the final step's stats snapshot
+    /// (last Δ size, frontier queue depth), so a diverging program
+    /// (Sec. 4.2 cases (i)/(ii)) is diagnosable without re-running
+    /// under a tracer.
     pub fn unwrap(self) -> Database<P> {
         match self {
             EvalOutcome::Converged { output, .. } => output,
-            EvalOutcome::Diverged { last, cap } => {
+            EvalOutcome::Diverged { last, cap, stats } => {
                 const SAMPLE: usize = 5;
                 let mut atoms: Vec<String> = vec![];
                 let mut total = 0usize;
@@ -81,9 +155,20 @@ impl<P: Pops> EvalOutcome<P> {
                         atoms.join(", ")
                     )
                 };
+                // The final step's telemetry snapshot, when a backend
+                // recorded one — this is what distinguishes "still
+                // pumping huge deltas" from "cap merely too low".
+                let snapshot = match stats.last_iter {
+                    Some(it) => format!(
+                        "; final step {}: {} delta row(s), queue depth {}, \
+                         {} emit(s), {} inserted, {} improved",
+                        it.step, it.delta_rows, it.queue_depth, it.emits, it.inserted, it.improved
+                    ),
+                    None => String::new(),
+                };
                 panic!(
                     "datalog° evaluation diverged: no fixpoint within the \
-                     iteration cap ({cap}); {sample}"
+                     iteration cap ({cap}); {sample}{snapshot}"
                 )
             }
         }
@@ -92,7 +177,7 @@ impl<P: Pops> EvalOutcome<P> {
     /// The converged output and step count, if any.
     pub fn converged(self) -> Option<(Database<P>, usize)> {
         match self {
-            EvalOutcome::Converged { output, steps } => Some((output, steps)),
+            EvalOutcome::Converged { output, steps, .. } => Some((output, steps)),
             EvalOutcome::Diverged { .. } => None,
         }
     }
@@ -159,14 +244,8 @@ pub(crate) fn to_outcome<P: Pops>(
     cap: usize,
 ) -> EvalOutcome<P> {
     match result {
-        Ok((x, steps)) => EvalOutcome::Converged {
-            output: sys.to_database(&x),
-            steps,
-        },
-        Err(last) => EvalOutcome::Diverged {
-            last: sys.to_database(&last),
-            cap,
-        },
+        Ok((x, steps)) => EvalOutcome::from_converged(sys.to_database(&x), steps),
+        Err(last) => EvalOutcome::from_diverged(sys.to_database(&last), cap),
     }
 }
 
@@ -183,7 +262,7 @@ mod tests {
         let mut rel = Relation::new(1);
         rel.set(tup!["u"], Nat(64));
         last.insert("X", rel);
-        let outcome = EvalOutcome::Diverged { last, cap: 30 };
+        let outcome = EvalOutcome::from_diverged(last, 30);
         let panic = std::panic::catch_unwind(move || outcome.unwrap())
             .expect_err("diverged unwrap must panic");
         let msg = panic
@@ -195,11 +274,33 @@ mod tests {
     }
 
     #[test]
-    fn diverged_unwrap_mentions_empty_instances() {
+    fn diverged_unwrap_includes_final_stats_snapshot() {
+        let mut stats = EvalStats::default();
+        stats.push_iteration(IterStat {
+            step: 29,
+            delta_rows: 12,
+            queue_depth: 4,
+            emits: 80,
+            inserted: 3,
+            improved: 9,
+            ..IterStat::default()
+        });
         let outcome = EvalOutcome::Diverged {
             last: Database::<Nat>::new(),
-            cap: 7,
+            cap: 30,
+            stats,
         };
+        let panic = std::panic::catch_unwind(move || outcome.unwrap())
+            .expect_err("diverged unwrap must panic");
+        let msg = panic.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("final step 29"), "got: {msg}");
+        assert!(msg.contains("12 delta row(s)"), "got: {msg}");
+        assert!(msg.contains("queue depth 4"), "got: {msg}");
+    }
+
+    #[test]
+    fn diverged_unwrap_mentions_empty_instances() {
+        let outcome = EvalOutcome::from_diverged(Database::<Nat>::new(), 7);
         let panic = std::panic::catch_unwind(move || outcome.unwrap())
             .expect_err("diverged unwrap must panic");
         let msg = panic.downcast_ref::<String>().unwrap();

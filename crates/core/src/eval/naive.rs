@@ -83,7 +83,7 @@ mod tests {
         let (program, edb) = ex::sssp_trop("a");
         let out = naive_eval(&program, &edb, &BoolDatabase::new(), 100);
         match out {
-            EvalOutcome::Converged { output, steps } => {
+            EvalOutcome::Converged { output, steps, .. } => {
                 // The paper's table shows rows L(0)..L(5) with L(5) = L(4)
                 // ("converges after 5 steps"); the stability index per the
                 // Sec. 4 definition (least t with J(t) = J(t+1)) is 4.

@@ -399,14 +399,11 @@ pub fn relational_naive_eval<P: NaturallyOrdered>(
     for steps in 0..=cap {
         let next = apply_ico_relational(program, pops_edb, bool_edb, &current, &adom, &idb_preds);
         if next == current {
-            return EvalOutcome::Converged {
-                output: current,
-                steps,
-            };
+            return EvalOutcome::from_converged(current, steps);
         }
         current = next;
     }
-    EvalOutcome::Diverged { last: current, cap }
+    EvalOutcome::from_diverged(current, cap)
 }
 
 /// Semi-naïve evaluation over relations: the relation-level differential
@@ -428,7 +425,7 @@ pub fn relational_seminaive_eval<P: CompleteDistributiveDioid + NaturallyOrdered
 
     for steps in 1..=cap {
         if delta.iter().all(|(_, r)| r.is_empty()) {
-            return EvalOutcome::Converged { output: new, steps };
+            return EvalOutcome::from_converged(new, steps);
         }
         let mut contrib = empty_idbs(program);
         {
@@ -493,7 +490,7 @@ pub fn relational_seminaive_eval<P: CompleteDistributiveDioid + NaturallyOrdered
         new = next_new;
         delta = next_delta;
     }
-    EvalOutcome::Diverged { last: new, cap }
+    EvalOutcome::from_diverged(new, cap)
 }
 
 #[cfg(test)]

@@ -1,0 +1,1008 @@
+//! Evaluation telemetry: counters, phase timers, per-iteration
+//! snapshots, per-rule profiles, and structured trace events.
+//!
+//! Every evaluation path of the execution engine (and, in skeleton
+//! form, the grounded backends) carries an [`EvalStats`] on its
+//! outcome. The stats are **always on** — the counters are plain `u64`
+//! adds on paths that already touch the counted object, and the
+//! committed benchmark baselines gate their overhead at ≤ 5% — and
+//! split into two determinism classes:
+//!
+//! * **thread-invariant**: [`Counters`], `steps`, the per-iteration
+//!   [`IterStat`] snapshots, and the per-rule emit/probe/scan counts.
+//!   These are exact sums over a task decomposition whose work items
+//!   are fixed by the compiled plans, so they are bit-identical at any
+//!   `DLO_ENGINE_THREADS` — the cross-thread determinism tests compare
+//!   them directly via [`EvalStats::invariants`].
+//! * **environmental**: wall-clock phase timers ([`PhaseNanos`]),
+//!   per-rule `time_ns`, the resolved thread count, and parallel
+//!   fan-out counts. [`EvalStats::invariants`] zeroes these.
+//!
+//! A [`TraceSink`] optionally receives the same data as structured
+//! [`TraceEvent`]s while the run executes: [`JsonlSink`] appends one
+//! JSON object per line to a file (the `DLO_TRACE=out.jsonl`
+//! quick-start), [`MemorySink`] buffers events for tests. The
+//! [`json`] submodule holds the hand-rolled writer/parser pair the
+//! sinks and round-trip tests share — no serde, no dependencies.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+/// Thread-invariant work counters, summed over the whole run.
+///
+/// Every field is an exact count of a deterministic event stream:
+/// identical across thread counts and across repeated runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Rows read from Δ relations (semi-naïve) or frontier batches
+    /// (worklist/priority) — the "delta rows in" of each step.
+    pub delta_rows: u64,
+    /// Head-key emissions that reached an accumulator (post condition,
+    /// post zero-short-circuit).
+    pub emits: u64,
+    /// Emissions whose head contained a computed cell outside the
+    /// interned domain (routed to the fresh accumulator for minting).
+    pub fresh_emits: u64,
+    /// Hash-prefix index probes issued by join steps.
+    pub index_probes: u64,
+    /// Candidate tuples scanned: full-scan range lengths plus probe
+    /// posting-list lengths, before per-row checks.
+    pub tuples_scanned: u64,
+    /// Accumulated rows inserted as brand-new keys.
+    pub rows_inserted: u64,
+    /// Accumulated rows that strictly improved an existing key's value.
+    pub rows_improved: u64,
+    /// Merges absorbed without change (`old ⊕ new = old`).
+    pub merges_absorbed: u64,
+    /// Set-valued (magic/demand) rows skipped because the key was
+    /// already present — the Bool-lattice short-circuit.
+    pub set_valued_shortcircuits: u64,
+    /// Interner ids minted for head-computed fresh cells.
+    pub minted_ids: u64,
+}
+
+impl Counters {
+    /// Adds `other` into `self`, field-wise.
+    pub fn add(&mut self, other: &Counters) {
+        self.delta_rows += other.delta_rows;
+        self.emits += other.emits;
+        self.fresh_emits += other.fresh_emits;
+        self.index_probes += other.index_probes;
+        self.tuples_scanned += other.tuples_scanned;
+        self.rows_inserted += other.rows_inserted;
+        self.rows_improved += other.rows_improved;
+        self.merges_absorbed += other.merges_absorbed;
+        self.set_valued_shortcircuits += other.set_valued_shortcircuits;
+        self.minted_ids += other.minted_ids;
+    }
+
+    /// Field-wise difference (`self - earlier`), for per-iteration
+    /// snapshots taken as before/after totals.
+    pub fn since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            delta_rows: self.delta_rows - earlier.delta_rows,
+            emits: self.emits - earlier.emits,
+            fresh_emits: self.fresh_emits - earlier.fresh_emits,
+            index_probes: self.index_probes - earlier.index_probes,
+            tuples_scanned: self.tuples_scanned - earlier.tuples_scanned,
+            rows_inserted: self.rows_inserted - earlier.rows_inserted,
+            rows_improved: self.rows_improved - earlier.rows_improved,
+            merges_absorbed: self.merges_absorbed - earlier.merges_absorbed,
+            set_valued_shortcircuits: self.set_valued_shortcircuits
+                - earlier.set_valued_shortcircuits,
+            minted_ids: self.minted_ids - earlier.minted_ids,
+        }
+    }
+}
+
+/// Wall-clock phase timers, in nanoseconds. Environmental — zeroed by
+/// [`EvalStats::invariants`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseNanos {
+    /// Program compile + EDB interning + state assembly.
+    pub setup: u64,
+    /// EDB hash-prefix index builds.
+    pub edb_index: u64,
+    /// The fixpoint loop itself (joins + merges).
+    pub eval: u64,
+    /// Between-iteration minting of fresh head keys.
+    pub mint: u64,
+    /// Decoding interned state back into a `Database`.
+    pub decode: u64,
+}
+
+impl PhaseNanos {
+    /// Sum of all phases, in nanoseconds.
+    pub fn total(&self) -> u64 {
+        self.setup + self.edb_index + self.eval + self.mint + self.decode
+    }
+}
+
+/// One iteration (semi-naïve) or frontier-batch (worklist/priority)
+/// snapshot. Every field is thread-invariant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IterStat {
+    /// Step number, 0-based.
+    pub step: u64,
+    /// Δ rows (or frontier batch rows) driving this step.
+    pub delta_rows: u64,
+    /// Frontier queue depth after the batch was popped (0 for the
+    /// global strategies, which have no queue).
+    pub queue_depth: u64,
+    /// Emissions reaching accumulators during this step.
+    pub emits: u64,
+    /// Fresh-cell emissions during this step.
+    pub fresh_emits: u64,
+    /// New keys inserted by this step's merges.
+    pub inserted: u64,
+    /// Existing keys strictly improved by this step's merges.
+    pub improved: u64,
+    /// Merges absorbed without change.
+    pub absorbed: u64,
+    /// Interner ids minted after this step.
+    pub minted: u64,
+}
+
+/// Observed cost of one compiled plan, attributed by the plan's stable
+/// id. `time_ns` is environmental; every other field is
+/// thread-invariant.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleProfile {
+    /// Rule index in program source order.
+    pub rule: u64,
+    /// Human-readable plan skeleton, e.g. `T :- T * E [Δ@0]`.
+    pub label: String,
+    /// Plan family: `"seed"`, `"delta"`, or `"worklist"`.
+    pub kind: String,
+    /// Emissions this plan produced.
+    pub emits: u64,
+    /// Fresh-cell emissions this plan produced.
+    pub fresh_emits: u64,
+    /// Index probes this plan issued.
+    pub probes: u64,
+    /// Candidate tuples this plan scanned.
+    pub scanned: u64,
+    /// Wall-clock nanoseconds spent running this plan.
+    pub time_ns: u64,
+}
+
+/// How many per-iteration snapshots [`EvalStats::iterations`] retains
+/// before switching to totals-only (frontier runs can take millions of
+/// batches; the cutoff is deterministic, and a [`TraceSink`] still
+/// streams every event).
+pub const ITER_SNAPSHOT_CAP: usize = 4096;
+
+/// The always-on evaluation statistics carried by every outcome.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Strategy that produced the outcome: `"naive"`, `"seminaive"`,
+    /// `"worklist"`, or `"priority"` (empty for backends that predate
+    /// telemetry, e.g. the grounded reference evaluators).
+    pub strategy: String,
+    /// Steps processed (global iterations or frontier batches —
+    /// mirrors the outcome's step count).
+    pub steps: u64,
+    /// Resolved worker-thread count (environmental).
+    pub threads: u64,
+    /// Tasks fanned over the worker pool (environmental — depends on
+    /// the thread count and parallel thresholds).
+    pub tasks_spawned: u64,
+    /// Iterations/batches that ran their plans in parallel
+    /// (environmental).
+    pub parallel_batches: u64,
+    /// Whole-run work counters (thread-invariant).
+    pub counters: Counters,
+    /// Wall-clock phase timers (environmental).
+    pub phases: PhaseNanos,
+    /// The first [`ITER_SNAPSHOT_CAP`] per-step snapshots
+    /// (thread-invariant).
+    pub iterations: Vec<IterStat>,
+    /// Snapshots dropped past the cap (thread-invariant).
+    pub iterations_dropped: u64,
+    /// The final step's snapshot, always retained — this is what the
+    /// divergence diagnostics print.
+    pub last_iter: Option<IterStat>,
+    /// Per-plan observed costs, ordered by plan id.
+    pub rules: Vec<RuleProfile>,
+}
+
+impl EvalStats {
+    /// The thread-invariant projection: a copy with every
+    /// environmental field (timers, thread count, fan-out counts,
+    /// per-rule times) zeroed. Two runs of the same program at
+    /// different `DLO_ENGINE_THREADS` produce **equal** projections;
+    /// the determinism tests assert exactly that.
+    pub fn invariants(&self) -> EvalStats {
+        let mut inv = self.clone();
+        inv.threads = 0;
+        inv.tasks_spawned = 0;
+        inv.parallel_batches = 0;
+        inv.phases = PhaseNanos::default();
+        for r in &mut inv.rules {
+            r.time_ns = 0;
+        }
+        inv
+    }
+
+    /// Records one per-step snapshot, honoring the retention cap and
+    /// maintaining [`EvalStats::last_iter`].
+    pub fn push_iteration(&mut self, it: IterStat) {
+        if self.iterations.len() < ITER_SNAPSHOT_CAP {
+            self.iterations.push(it);
+        } else {
+            self.iterations_dropped += 1;
+        }
+        self.last_iter = Some(it);
+    }
+
+    /// The EXPLAIN/profile report: phase timings, whole-run totals,
+    /// and per-plan observed costs sorted by time (descending, plan
+    /// order on ties).
+    pub fn explain(&self) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "== eval profile: strategy={}, steps={}, threads={} ==",
+            self.strategy, self.steps, self.threads
+        );
+        let p = &self.phases;
+        let _ = writeln!(
+            s,
+            "phases (ms): setup {:.3} | edb index {:.3} | eval {:.3} | mint {:.3} | decode {:.3}",
+            ms(p.setup),
+            ms(p.edb_index),
+            ms(p.eval),
+            ms(p.mint),
+            ms(p.decode)
+        );
+        let c = &self.counters;
+        let _ = writeln!(
+            s,
+            "totals: delta rows {} | emits {} (fresh {}) | probes {} | scanned {} | \
+             inserted {} | improved {} | absorbed {} | sv-shortcircuits {} | minted {}",
+            c.delta_rows,
+            c.emits,
+            c.fresh_emits,
+            c.index_probes,
+            c.tuples_scanned,
+            c.rows_inserted,
+            c.rows_improved,
+            c.merges_absorbed,
+            c.set_valued_shortcircuits,
+            c.minted_ids
+        );
+        if self.tasks_spawned > 0 {
+            let _ = writeln!(
+                s,
+                "parallelism: {} tasks over {} parallel batches",
+                self.tasks_spawned, self.parallel_batches
+            );
+        }
+        if !self.rules.is_empty() {
+            let _ = writeln!(s, "per-plan costs (by observed time):");
+            let mut order: Vec<usize> = (0..self.rules.len()).collect();
+            order.sort_by(|&a, &b| {
+                self.rules[b]
+                    .time_ns
+                    .cmp(&self.rules[a].time_ns)
+                    .then(a.cmp(&b))
+            });
+            for i in order {
+                let r = &self.rules[i];
+                let _ = writeln!(
+                    s,
+                    "  [{:<8}] r{}  {:<40}  emits {:<10} probes {:<10} scanned {:<12} time {:.3}ms",
+                    r.kind,
+                    r.rule,
+                    r.label,
+                    r.emits,
+                    r.probes,
+                    r.scanned,
+                    ms(r.time_ns)
+                );
+            }
+        }
+        s
+    }
+
+    /// One-line JSON encoding (the shape [`json::parse`] round-trips).
+    pub fn to_json(&self) -> String {
+        let mut w = json::Writer::new();
+        w.obj_open();
+        w.str_field("strategy", &self.strategy);
+        w.u64_field("steps", self.steps);
+        w.u64_field("threads", self.threads);
+        w.u64_field("tasks_spawned", self.tasks_spawned);
+        w.u64_field("parallel_batches", self.parallel_batches);
+        w.key("counters");
+        write_counters(&mut w, &self.counters);
+        w.key("phases");
+        w.obj_open();
+        w.u64_field("setup_ns", self.phases.setup);
+        w.u64_field("edb_index_ns", self.phases.edb_index);
+        w.u64_field("eval_ns", self.phases.eval);
+        w.u64_field("mint_ns", self.phases.mint);
+        w.u64_field("decode_ns", self.phases.decode);
+        w.obj_close();
+        w.key("iterations");
+        w.arr_open();
+        for it in &self.iterations {
+            write_iter(&mut w, it);
+        }
+        w.arr_close();
+        w.u64_field("iterations_dropped", self.iterations_dropped);
+        w.key("rules");
+        w.arr_open();
+        for r in &self.rules {
+            w.obj_open();
+            w.u64_field("rule", r.rule);
+            w.str_field("label", &r.label);
+            w.str_field("kind", &r.kind);
+            w.u64_field("emits", r.emits);
+            w.u64_field("fresh_emits", r.fresh_emits);
+            w.u64_field("probes", r.probes);
+            w.u64_field("scanned", r.scanned);
+            w.u64_field("time_ns", r.time_ns);
+            w.obj_close();
+        }
+        w.arr_close();
+        w.obj_close();
+        w.finish()
+    }
+}
+
+fn write_counters(w: &mut json::Writer, c: &Counters) {
+    w.obj_open();
+    w.u64_field("delta_rows", c.delta_rows);
+    w.u64_field("emits", c.emits);
+    w.u64_field("fresh_emits", c.fresh_emits);
+    w.u64_field("index_probes", c.index_probes);
+    w.u64_field("tuples_scanned", c.tuples_scanned);
+    w.u64_field("rows_inserted", c.rows_inserted);
+    w.u64_field("rows_improved", c.rows_improved);
+    w.u64_field("merges_absorbed", c.merges_absorbed);
+    w.u64_field("set_valued_shortcircuits", c.set_valued_shortcircuits);
+    w.u64_field("minted_ids", c.minted_ids);
+    w.obj_close();
+}
+
+fn write_iter(w: &mut json::Writer, it: &IterStat) {
+    w.obj_open();
+    w.u64_field("step", it.step);
+    w.u64_field("delta_rows", it.delta_rows);
+    w.u64_field("queue_depth", it.queue_depth);
+    w.u64_field("emits", it.emits);
+    w.u64_field("fresh_emits", it.fresh_emits);
+    w.u64_field("inserted", it.inserted);
+    w.u64_field("improved", it.improved);
+    w.u64_field("absorbed", it.absorbed);
+    w.u64_field("minted", it.minted);
+    w.obj_close();
+}
+
+/// A structured evaluation event, streamed to a [`TraceSink`] while the
+/// run executes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The run began: resolved strategy and thread count.
+    RunStart {
+        /// Strategy name (as in [`EvalStats::strategy`]).
+        strategy: String,
+        /// Resolved worker-thread count.
+        threads: u64,
+    },
+    /// A non-loop phase finished.
+    Phase {
+        /// Phase name: `"setup"`, `"edb_index"`, or `"decode"`.
+        name: String,
+        /// Wall-clock nanoseconds.
+        nanos: u64,
+    },
+    /// One iteration / frontier batch completed.
+    Iteration(IterStat),
+    /// The run finished.
+    RunEnd {
+        /// Steps processed.
+        steps: u64,
+        /// Whether the run reached a fixpoint (vs hitting its cap).
+        converged: bool,
+    },
+}
+
+impl TraceEvent {
+    /// One-line JSON encoding, tagged by an `"event"` field.
+    pub fn to_json(&self) -> String {
+        let mut w = json::Writer::new();
+        w.obj_open();
+        match self {
+            TraceEvent::RunStart { strategy, threads } => {
+                w.str_field("event", "run_start");
+                w.str_field("strategy", strategy);
+                w.u64_field("threads", *threads);
+            }
+            TraceEvent::Phase { name, nanos } => {
+                w.str_field("event", "phase");
+                w.str_field("name", name);
+                w.u64_field("nanos", *nanos);
+            }
+            TraceEvent::Iteration(it) => {
+                w.str_field("event", "iteration");
+                w.u64_field("step", it.step);
+                w.u64_field("delta_rows", it.delta_rows);
+                w.u64_field("queue_depth", it.queue_depth);
+                w.u64_field("emits", it.emits);
+                w.u64_field("fresh_emits", it.fresh_emits);
+                w.u64_field("inserted", it.inserted);
+                w.u64_field("improved", it.improved);
+                w.u64_field("absorbed", it.absorbed);
+                w.u64_field("minted", it.minted);
+            }
+            TraceEvent::RunEnd { steps, converged } => {
+                w.str_field("event", "run_end");
+                w.u64_field("steps", *steps);
+                w.bool_field("converged", *converged);
+            }
+        }
+        w.obj_close();
+        w.finish()
+    }
+}
+
+/// A receiver of structured per-run [`TraceEvent`]s.
+///
+/// Contract: [`TraceSink::record`] is called from the evaluating
+/// thread only (never from worker tasks), in deterministic event
+/// order — `RunStart`, then phases/iterations as they complete, then
+/// `RunEnd`. Sinks must not panic on I/O failure (drop the event
+/// instead); a panicking sink would poison the evaluation.
+pub trait TraceSink {
+    /// Receives one event. Must be cheap relative to an iteration.
+    fn record(&mut self, event: &TraceEvent);
+}
+
+/// A [`TraceSink`] appending one JSON object per line to a file — the
+/// `DLO_TRACE=out.jsonl` format.
+pub struct JsonlSink {
+    out: std::io::BufWriter<std::fs::File>,
+}
+
+impl JsonlSink {
+    /// Opens `path` in append mode (several runs of one process share
+    /// a trace file).
+    pub fn create(path: &std::path::Path) -> std::io::Result<JsonlSink> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(JsonlSink {
+            out: std::io::BufWriter::new(file),
+        })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, event: &TraceEvent) {
+        // I/O failure drops the event — tracing must not fail the run.
+        let _ = writeln!(self.out, "{}", event.to_json());
+        if matches!(event, TraceEvent::RunEnd { .. }) {
+            let _ = self.out.flush();
+        }
+    }
+}
+
+/// An in-memory [`TraceSink`] for tests. Cloning shares the buffer, so
+/// a test can hand one clone to the engine and inspect the other after
+/// the run.
+#[derive(Clone, Default)]
+pub struct MemorySink {
+    events: std::sync::Arc<std::sync::Mutex<Vec<TraceEvent>>>,
+}
+
+impl MemorySink {
+    /// A snapshot of every event recorded so far, in order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().map(|e| e.clone()).unwrap_or_default()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, event: &TraceEvent) {
+        if let Ok(mut events) = self.events.lock() {
+            events.push(event.clone());
+        }
+    }
+}
+
+/// A shared, cloneable handle to a [`TraceSink`], carried on the
+/// engine's options struct. Events are serialized through a mutex; the
+/// drivers only emit from the coordinating thread, so there is no
+/// contention.
+#[derive(Clone)]
+pub struct TraceHandle(std::sync::Arc<std::sync::Mutex<dyn TraceSink + Send>>);
+
+impl TraceHandle {
+    /// Wraps a sink.
+    pub fn new(sink: impl TraceSink + Send + 'static) -> TraceHandle {
+        TraceHandle(std::sync::Arc::new(std::sync::Mutex::new(sink)))
+    }
+
+    /// Records one event (poisoned-mutex recording is skipped — a
+    /// panicked sink must not cascade).
+    pub fn emit(&self, event: &TraceEvent) {
+        if let Ok(mut sink) = self.0.lock() {
+            sink.record(event);
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TraceHandle(..)")
+    }
+}
+
+pub mod json {
+    //! A minimal JSON writer/parser pair — just enough for the
+    //! telemetry formats (objects, arrays, strings, booleans, and
+    //! non-negative integer numbers), with no dependencies. The parser
+    //! exists so trace files and stats blocks can be round-trip
+    //! *tested* (and validated by the benchmark guard) without serde.
+
+    /// An incremental JSON writer with automatic comma placement.
+    #[derive(Default)]
+    pub struct Writer {
+        buf: String,
+        need_comma: Vec<bool>,
+    }
+
+    impl Writer {
+        /// A fresh writer.
+        pub fn new() -> Writer {
+            Writer::default()
+        }
+
+        fn pre_value(&mut self) {
+            if let Some(flag) = self.need_comma.last_mut() {
+                if *flag {
+                    self.buf.push(',');
+                }
+                *flag = true;
+            }
+        }
+
+        /// Opens an object (`{`).
+        pub fn obj_open(&mut self) {
+            self.pre_value();
+            self.buf.push('{');
+            self.need_comma.push(false);
+        }
+
+        /// Closes an object (`}`).
+        pub fn obj_close(&mut self) {
+            self.need_comma.pop();
+            self.buf.push('}');
+        }
+
+        /// Opens an array (`[`).
+        pub fn arr_open(&mut self) {
+            self.pre_value();
+            self.buf.push('[');
+            self.need_comma.push(false);
+        }
+
+        /// Closes an array (`]`).
+        pub fn arr_close(&mut self) {
+            self.need_comma.pop();
+            self.buf.push(']');
+        }
+
+        /// Writes an object key; the next value call supplies its value.
+        pub fn key(&mut self, k: &str) {
+            self.pre_value();
+            escape_into(&mut self.buf, k);
+            self.buf.push(':');
+            // The upcoming value must not emit another comma.
+            if let Some(flag) = self.need_comma.last_mut() {
+                *flag = false;
+            }
+        }
+
+        /// Writes `"k": "v"`.
+        pub fn str_field(&mut self, k: &str, v: &str) {
+            self.key(k);
+            self.pre_value();
+            escape_into(&mut self.buf, v);
+        }
+
+        /// Writes `"k": n`.
+        pub fn u64_field(&mut self, k: &str, n: u64) {
+            self.key(k);
+            self.pre_value();
+            let _ = std::fmt::Write::write_fmt(&mut self.buf, format_args!("{n}"));
+        }
+
+        /// Writes `"k": true|false`.
+        pub fn bool_field(&mut self, k: &str, b: bool) {
+            self.key(k);
+            self.pre_value();
+            self.buf.push_str(if b { "true" } else { "false" });
+        }
+
+        /// The accumulated JSON text.
+        pub fn finish(self) -> String {
+            self.buf
+        }
+    }
+
+    fn escape_into(buf: &mut String, s: &str) {
+        buf.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => buf.push_str("\\\""),
+                '\\' => buf.push_str("\\\\"),
+                '\n' => buf.push_str("\\n"),
+                '\r' => buf.push_str("\\r"),
+                '\t' => buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = std::fmt::Write::write_fmt(buf, format_args!("\\u{:04x}", c as u32));
+                }
+                c => buf.push(c),
+            }
+        }
+        buf.push('"');
+    }
+
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any number (integers round-trip exactly up to 2⁵³).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, insertion-ordered.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object-field lookup (first match), `None` on non-objects.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The value as a `u64`, if it is a non-negative integer number.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+                _ => None,
+            }
+        }
+
+        /// The value as an `f64` number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The value as a string slice.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value as an array slice.
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one JSON document, rejecting trailing garbage.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, pos))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = vec![];
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = match parse_value(b, pos)? {
+                        Value::Str(s) => s,
+                        other => return Err(format!("object key must be a string, got {other:?}")),
+                    };
+                    expect(b, pos, b':')?;
+                    let val = parse_value(b, pos)?;
+                    fields.push((key, val));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = vec![];
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'"') => {
+                *pos += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(*pos) {
+                        None => return Err("unterminated string".into()),
+                        Some(b'"') => {
+                            *pos += 1;
+                            return Ok(Value::Str(s));
+                        }
+                        Some(b'\\') => {
+                            *pos += 1;
+                            match b.get(*pos) {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'/') => s.push('/'),
+                                Some(b'n') => s.push('\n'),
+                                Some(b'r') => s.push('\r'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'u') => {
+                                    let hex =
+                                        b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                                    let code = u32::from_str_radix(
+                                        std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                        16,
+                                    )
+                                    .map_err(|_| "bad \\u escape")?;
+                                    s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                                    *pos += 4;
+                                }
+                                other => return Err(format!("bad escape {other:?}")),
+                            }
+                            *pos += 1;
+                        }
+                        Some(_) => {
+                            // Consume one UTF-8 scalar.
+                            let rest = &b[*pos..];
+                            let text =
+                                std::str::from_utf8(rest).map_err(|_| "invalid UTF-8 in string")?;
+                            let c = text.chars().next().unwrap();
+                            s.push(c);
+                            *pos += c.len_utf8();
+                        }
+                    }
+                }
+            }
+            Some(b't') if b[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if b[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if b[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(Value::Null)
+            }
+            Some(_) => {
+                let start = *pos;
+                if b.get(*pos) == Some(&b'-') {
+                    *pos += 1;
+                }
+                while *pos < b.len()
+                    && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                {
+                    *pos += 1;
+                }
+                let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number")?;
+                text.parse::<f64>()
+                    .map(Value::Num)
+                    .map_err(|e| format!("bad number {text:?}: {e}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_json_round_trips_through_the_parser() {
+        let mut stats = EvalStats {
+            strategy: "seminaive".into(),
+            steps: 7,
+            threads: 2,
+            ..EvalStats::default()
+        };
+        stats.counters.emits = 41;
+        stats.counters.rows_inserted = 13;
+        stats.push_iteration(IterStat {
+            step: 0,
+            delta_rows: 5,
+            emits: 41,
+            inserted: 13,
+            ..IterStat::default()
+        });
+        stats.rules.push(RuleProfile {
+            rule: 0,
+            label: "T :- T * E".into(),
+            kind: "delta".into(),
+            emits: 41,
+            probes: 9,
+            ..RuleProfile::default()
+        });
+        let parsed = json::parse(&stats.to_json()).expect("valid JSON");
+        assert_eq!(parsed.get("strategy").unwrap().as_str(), Some("seminaive"));
+        assert_eq!(parsed.get("steps").unwrap().as_u64(), Some(7));
+        let counters = parsed.get("counters").unwrap();
+        assert_eq!(counters.get("emits").unwrap().as_u64(), Some(41));
+        let iters = parsed.get("iterations").unwrap().as_arr().unwrap();
+        assert_eq!(iters.len(), 1);
+        assert_eq!(iters[0].get("inserted").unwrap().as_u64(), Some(13));
+        let rules = parsed.get("rules").unwrap().as_arr().unwrap();
+        assert_eq!(rules[0].get("label").unwrap().as_str(), Some("T :- T * E"));
+    }
+
+    #[test]
+    fn trace_events_encode_and_round_trip() {
+        let events = vec![
+            TraceEvent::RunStart {
+                strategy: "priority".into(),
+                threads: 4,
+            },
+            TraceEvent::Phase {
+                name: "setup".into(),
+                nanos: 123,
+            },
+            TraceEvent::Iteration(IterStat {
+                step: 0,
+                delta_rows: 2,
+                queue_depth: 9,
+                emits: 4,
+                ..IterStat::default()
+            }),
+            TraceEvent::RunEnd {
+                steps: 1,
+                converged: true,
+            },
+        ];
+        for ev in &events {
+            let parsed = json::parse(&ev.to_json()).expect("valid JSON");
+            assert!(parsed.get("event").is_some());
+        }
+        let parsed = json::parse(&events[3].to_json()).unwrap();
+        assert_eq!(parsed.get("converged"), Some(&json::Value::Bool(true)));
+    }
+
+    #[test]
+    fn memory_sink_buffers_events_in_order() {
+        let sink = MemorySink::default();
+        let handle = TraceHandle::new(sink.clone());
+        handle.emit(&TraceEvent::RunStart {
+            strategy: "naive".into(),
+            threads: 1,
+        });
+        handle.emit(&TraceEvent::RunEnd {
+            steps: 3,
+            converged: false,
+        });
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], TraceEvent::RunStart { .. }));
+        assert!(matches!(
+            events[1],
+            TraceEvent::RunEnd {
+                steps: 3,
+                converged: false
+            }
+        ));
+    }
+
+    #[test]
+    fn invariants_zeroes_environmental_fields_only() {
+        let mut stats = EvalStats {
+            strategy: "worklist".into(),
+            steps: 3,
+            threads: 8,
+            tasks_spawned: 40,
+            parallel_batches: 2,
+            ..EvalStats::default()
+        };
+        stats.phases.eval = 999;
+        stats.counters.emits = 17;
+        stats.rules.push(RuleProfile {
+            time_ns: 555,
+            emits: 17,
+            ..RuleProfile::default()
+        });
+        let inv = stats.invariants();
+        assert_eq!(inv.threads, 0);
+        assert_eq!(inv.tasks_spawned, 0);
+        assert_eq!(inv.phases, PhaseNanos::default());
+        assert_eq!(inv.rules[0].time_ns, 0);
+        assert_eq!(inv.counters.emits, 17);
+        assert_eq!(inv.strategy, "worklist");
+        assert_eq!(inv.steps, 3);
+    }
+
+    #[test]
+    fn string_escaping_survives_the_round_trip() {
+        let mut w = json::Writer::new();
+        w.obj_open();
+        w.str_field("label", "a \"quoted\"\nlabel\twith\\slashes");
+        w.obj_close();
+        let parsed = json::parse(&w.finish()).unwrap();
+        assert_eq!(
+            parsed.get("label").unwrap().as_str(),
+            Some("a \"quoted\"\nlabel\twith\\slashes")
+        );
+    }
+}

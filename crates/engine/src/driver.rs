@@ -34,18 +34,20 @@
 //! key functions never mint: a result the interner does not know cannot
 //! match any stored row.
 
-use crate::exec::{run_plan, EvalCtx, HeadVal};
+use crate::exec::{run_plan, EvalCtx, ExecCounters, HeadVal};
 use crate::hash::FxHashMap;
 use crate::intern::Interner;
 use crate::output::{InternedOutcome, InternedOutput};
 use crate::par;
 use crate::plan::{compile_demand, CompileError, CompiledProgram, Plan, Source};
 use crate::storage::{AccumMap, ColMask, ColumnRel};
+use crate::telemetry::Collector;
 use dlo_core::ast::Program;
-use dlo_core::eval::EvalOutcome;
+use dlo_core::eval::{EvalOutcome, TraceHandle};
 use dlo_core::relation::{BoolDatabase, Database, Relation};
 use dlo_pops::{Bool, CompleteDistributiveDioid, NaturallyOrdered, Pops, PreSemiring};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Below this much estimated first-step work an iteration runs on one
 /// thread (scoped-thread spawn is not free).
@@ -65,6 +67,11 @@ pub struct EngineOpts {
     pub par_threshold: usize,
     /// Minimum first-step rows per parallel chunk.
     pub chunk_min: usize,
+    /// Structured trace sink for this run. `None` falls back to the
+    /// `DLO_TRACE` environment variable (a JSONL path, appended to);
+    /// unset there too means tracing is off. Tracing never changes
+    /// results — only the timing fields of the returned stats.
+    pub trace: Option<TraceHandle>,
 }
 
 impl Default for EngineOpts {
@@ -73,6 +80,7 @@ impl Default for EngineOpts {
             threads: None,
             par_threshold: PAR_THRESHOLD,
             chunk_min: CHUNK_MIN,
+            trace: None,
         }
     }
 }
@@ -444,6 +452,7 @@ fn run_plans<P>(
     plans: &[Plan<P>],
     state: &IdbState<P>,
     opts: &EngineOpts,
+    col: &mut Collector,
 ) -> (Accum<P>, FreshAccum<P>)
 where
     P: Pops + Send + Sync,
@@ -471,13 +480,17 @@ where
         for plan in plans {
             let acc = &mut global[plan.head_pred];
             let facc = &mut global_fresh[plan.head_pred];
+            let mut counters = ExecCounters::default();
+            let t = Instant::now();
             run_plan(
                 plan,
                 &ctx,
                 None,
+                &mut counters,
                 &mut |key, v| acc.merge(key, v),
                 &mut |key, v| merge_fresh(facc, key, v),
             );
+            col.add_plan(plan.pid, counters, t.elapsed().as_nanos() as u64);
         }
         return (global, global_fresh);
     }
@@ -488,18 +501,32 @@ where
         let plan = &plans[pi];
         let mut local: AccumMap<P> = AccumMap::new(engine.compiled.idbs[plan.head_pred].1);
         let mut local_fresh: BTreeMap<Box<[HeadVal]>, P> = BTreeMap::new();
+        let mut counters = ExecCounters::default();
+        let t = Instant::now();
         run_plan(
             plan,
             &ctx,
             range,
+            &mut counters,
             &mut |key, v| local.merge(key, v),
             &mut |key, v| merge_fresh(&mut local_fresh, key, v),
         );
-        (plan.head_pred, local, local_fresh)
+        let nanos = t.elapsed().as_nanos() as u64;
+        (
+            plan.pid,
+            plan.head_pred,
+            local,
+            local_fresh,
+            counters,
+            nanos,
+        )
     });
-    // `run_indexed` returns results in task order, so both the `⊕`-merge
-    // association and the fresh-map contents are deterministic.
-    for (pred, local, local_fresh) in results {
+    col.parallel_batch(tasks.len());
+    // `run_indexed` returns results in task order, so the `⊕`-merge
+    // association, the fresh-map contents, and the counter sums are all
+    // deterministic (chunks of one plan contribute additively).
+    for (pid, pred, local, local_fresh, counters, nanos) in results {
+        col.add_plan(pid, counters, nanos);
         global[pred].absorb(local);
         let facc = &mut global_fresh[pred];
         for (key, v) in local_fresh {
@@ -542,20 +569,35 @@ pub fn engine_naive_eval_with_opts<P>(
 where
     P: NaturallyOrdered + Send + Sync,
 {
-    naive_run(setup_or_panic(program, pops_edb, bool_edb, &[]), cap, opts).materialize()
+    let t = Instant::now();
+    let engine = setup_or_panic(program, pops_edb, bool_edb, &[]);
+    let setup_ns = t.elapsed().as_nanos() as u64;
+    naive_run(engine, cap, opts, setup_ns).materialize()
 }
 
 /// The naïve loop over a prepared [`Engine`] (shared by the classic
-/// entry points and the demand-rewritten query path).
+/// entry points and the demand-rewritten query path). `setup_ns` is the
+/// caller-measured compile/intern time, recorded into the stats.
 pub(crate) fn naive_run<P>(
     mut engine: Engine<P>,
     cap: usize,
     opts: &EngineOpts,
+    setup_ns: u64,
 ) -> InternedOutcome<P>
 where
     P: NaturallyOrdered + Send + Sync,
 {
+    let mut col = Collector::new(
+        "naive",
+        opts.effective_threads(),
+        setup_ns,
+        engine.compiled.plan_metas(),
+        opts.trace.as_ref(),
+    );
+    let t = Instant::now();
     engine.build_edb_indexes(&[], opts.effective_threads());
+    col.edb_index_phase(t.elapsed().as_nanos() as u64);
+    let t_eval = Instant::now();
     let nidb = engine.compiled.idbs.len();
     let mut state = IdbState {
         new: engine.empty_idbs(),
@@ -568,7 +610,9 @@ where
         }
     }
     for steps in 0..=cap {
-        let (contrib, fresh) = run_plans(&engine, &engine.compiled.seed_plans, &state, opts);
+        let before = col.stats.counters;
+        let (contrib, fresh) =
+            run_plans(&engine, &engine.compiled.seed_plans, &state, opts, &mut col);
         let mut next = engine.empty_idbs();
         for (pred, acc) in contrib.into_iter().enumerate() {
             // Set-valued (magic) rows always hold `1`: demand is a set,
@@ -578,6 +622,8 @@ where
                 next[pred].insert_row(key, if sv { P::one() } else { v });
             });
         }
+        let t_mint = Instant::now();
+        let minted_before = engine.interner.len();
         for (pred, acc) in fresh.into_iter().enumerate() {
             let sv = engine.compiled.set_valued[pred];
             for (key, v) in acc {
@@ -585,14 +631,19 @@ where
                 next[pred].insert_row(&key, if sv { P::one() } else { v });
             }
         }
+        col.stats.counters.minted_ids += (engine.interner.len() - minted_before) as u64;
+        col.stats.phases.mint += t_mint.elapsed().as_nanos() as u64;
         let fixed = next
             .iter()
             .zip(&state.new)
             .all(|(n, c)| n.len() == c.len() && n.iter().all(|(_, k, v)| c.get(k) == Some(v)));
+        col.end_step(steps, 0, 0, &before);
         if fixed {
+            let stats = col.finish(steps, true, t_eval.elapsed().as_nanos() as u64);
             return InternedOutcome::Converged {
                 output: finish(engine, state.new),
                 steps,
+                stats,
             };
         }
         for (pred, rel) in next.iter_mut().enumerate() {
@@ -602,9 +653,11 @@ where
         }
         state.new = next;
     }
+    let stats = col.finish(cap, false, t_eval.elapsed().as_nanos() as u64);
     InternedOutcome::Diverged {
         last: finish(engine, state.new),
         cap,
+        stats,
     }
 }
 
@@ -666,7 +719,10 @@ pub fn engine_seminaive_eval_interned<P>(
 where
     P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
 {
-    seminaive_run(setup_or_panic(program, pops_edb, bool_edb, &[]), cap, opts)
+    let t = Instant::now();
+    let engine = setup_or_panic(program, pops_edb, bool_edb, &[]);
+    let setup_ns = t.elapsed().as_nanos() as u64;
+    seminaive_run(engine, cap, opts, setup_ns)
 }
 
 /// [`engine_seminaive_eval_interned`] over an **interned EDB**: the
@@ -692,11 +748,10 @@ pub fn engine_seminaive_eval_interned_edb<P>(
 where
     P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
 {
-    seminaive_run(
-        setup_interned_or_panic(program, prev, extra_pops, bool_edb, &[]),
-        cap,
-        opts,
-    )
+    let t = Instant::now();
+    let engine = setup_interned_or_panic(program, prev, extra_pops, bool_edb, &[]);
+    let setup_ns = t.elapsed().as_nanos() as u64;
+    seminaive_run(engine, cap, opts, setup_ns)
 }
 
 /// The parallel semi-naïve loop over a prepared [`Engine`] (shared by
@@ -705,11 +760,22 @@ pub(crate) fn seminaive_run<P>(
     mut engine: Engine<P>,
     cap: usize,
     opts: &EngineOpts,
+    setup_ns: u64,
 ) -> InternedOutcome<P>
 where
     P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
 {
+    let mut col = Collector::new(
+        "seminaive",
+        opts.effective_threads(),
+        setup_ns,
+        engine.compiled.plan_metas(),
+        opts.trace.as_ref(),
+    );
+    let t = Instant::now();
     engine.build_edb_indexes(&[], opts.effective_threads());
+    col.edb_index_phase(t.elapsed().as_nanos() as u64);
+    let t_eval = Instant::now();
     let nidb = engine.compiled.idbs.len();
     let mut state = IdbState {
         new: engine.empty_idbs(),
@@ -722,7 +788,8 @@ where
         }
     }
     // Seeding: J(1) = F(0), δ(0) = J(1), every row marked as appended.
-    let (contrib, fresh) = run_plans(&engine, &engine.compiled.seed_plans, &state, opts);
+    let seed_before = col.stats.counters;
+    let (contrib, fresh) = run_plans(&engine, &engine.compiled.seed_plans, &state, opts, &mut col);
     for (pred, acc) in contrib.into_iter().enumerate() {
         // Set-valued (magic) rows enter — and forever stay — at `1`.
         let sv = engine.compiled.set_valued[pred];
@@ -731,8 +798,11 @@ where
             let r = state.new[pred].insert_row(key, v.clone());
             state.changed[pred].insert(r, None);
             state.delta[pred].append_row(key, v);
+            col.stats.counters.rows_inserted += 1;
         });
     }
+    let t_mint = Instant::now();
+    let minted_before = engine.interner.len();
     for (pred, acc) in fresh.into_iter().enumerate() {
         let sv = engine.compiled.set_valued[pred];
         for (key, v) in acc {
@@ -741,18 +811,32 @@ where
             let r = state.new[pred].insert_row(&key, v.clone());
             state.changed[pred].insert(r, None);
             state.delta[pred].append_row(&key, v);
+            col.stats.counters.rows_inserted += 1;
         }
     }
+    col.stats.counters.minted_ids += (engine.interner.len() - minted_before) as u64;
+    col.stats.phases.mint += t_mint.elapsed().as_nanos() as u64;
     ensure_delta_indexes(&engine, &mut state);
+    col.end_step(0, 0, 0, &seed_before);
 
     for steps in 1..=cap {
         if state.delta.iter().all(|d| d.is_empty()) {
+            let stats = col.finish(steps, true, t_eval.elapsed().as_nanos() as u64);
             return InternedOutcome::Converged {
                 output: finish(engine, state.new),
                 steps,
+                stats,
             };
         }
-        let (contrib, fresh) = run_plans(&engine, &engine.compiled.delta_plans, &state, opts);
+        let before = col.stats.counters;
+        let delta_rows: u64 = state.delta.iter().map(|d| d.len() as u64).sum();
+        let (contrib, fresh) = run_plans(
+            &engine,
+            &engine.compiled.delta_plans,
+            &state,
+            opts,
+            &mut col,
+        );
         // Advance: δ' = contrib ⊖ new (pointwise), new' = new ⊕ contrib.
         let mut next_delta = engine.empty_idbs();
         for ch in &mut state.changed {
@@ -760,6 +844,7 @@ where
         }
         for (pred, acc) in contrib.into_iter().enumerate() {
             let sv = engine.compiled.set_valued[pred];
+            let c = &mut col.stats.counters;
             acc.drain_sorted(|key, v| {
                 if sv {
                     // Set-valued (magic) rows: present means settled —
@@ -768,12 +853,16 @@ where
                         next_delta[pred].append_row(key, P::one());
                         let r = state.new[pred].insert_row(key, P::one());
                         state.changed[pred].insert(r, None);
+                        c.rows_inserted += 1;
+                    } else {
+                        c.set_valued_shortcircuits += 1;
                     }
                     return;
                 }
                 let existing = state.new[pred].get(key).cloned().unwrap_or_else(P::zero);
                 let diff = v.minus(&existing);
                 if diff.is_zero() {
+                    c.merges_absorbed += 1;
                     return;
                 }
                 next_delta[pred].append_row(key, diff);
@@ -782,10 +871,12 @@ where
                         let merged = existing.add(&v);
                         state.changed[pred].insert(r, Some(existing));
                         state.new[pred].set_val(r, merged);
+                        c.rows_improved += 1;
                     }
                     None => {
                         let r = state.new[pred].insert_row(key, v);
                         state.changed[pred].insert(r, None);
+                        c.rows_inserted += 1;
                     }
                 }
             });
@@ -793,6 +884,8 @@ where
         // Fresh head keys name rows that cannot exist yet (their minted
         // cells were not interned when the phase ran), so δ' = v ⊖ 0 and
         // the insert is always an append.
+        let t_mint = Instant::now();
+        let minted_before = engine.interner.len();
         for (pred, acc) in fresh.into_iter().enumerate() {
             let sv = engine.compiled.set_valued[pred];
             for (key, v) in acc {
@@ -800,19 +893,26 @@ where
                 let key = mint_key(&mut engine.interner, &key);
                 let diff = v.minus(&P::zero());
                 if diff.is_zero() {
+                    col.stats.counters.merges_absorbed += 1;
                     continue;
                 }
                 next_delta[pred].append_row(&key, diff);
                 let r = state.new[pred].insert_row(&key, v);
                 state.changed[pred].insert(r, None);
+                col.stats.counters.rows_inserted += 1;
             }
         }
+        col.stats.counters.minted_ids += (engine.interner.len() - minted_before) as u64;
+        col.stats.phases.mint += t_mint.elapsed().as_nanos() as u64;
         state.delta = next_delta;
         ensure_delta_indexes(&engine, &mut state);
+        col.end_step(steps, delta_rows, 0, &before);
     }
+    let stats = col.finish(cap, false, t_eval.elapsed().as_nanos() as u64);
     InternedOutcome::Diverged {
         last: finish(engine, state.new),
         cap,
+        stats,
     }
 }
 
@@ -955,6 +1055,7 @@ mod tests {
             threads: Some(4),
             par_threshold: 1,
             chunk_min: 8,
+            ..EngineOpts::default()
         };
         let sequential_opts = EngineOpts {
             threads: Some(1),

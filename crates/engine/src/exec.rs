@@ -39,6 +39,34 @@ pub enum HeadVal {
     Fresh(i64),
 }
 
+/// Work counters for one plan run (or one chunked task of one), summed
+/// by the telemetry layer in deterministic task order. The counted
+/// events are fixed by the plan and the state it reads — chunking only
+/// partitions the first step's candidate rows — so totals are
+/// bit-identical at any thread count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecCounters {
+    /// Hash-prefix index probes issued.
+    pub probes: u64,
+    /// Candidate tuples scanned (full-scan ranges + probe posting
+    /// lists, before per-row checks).
+    pub scanned: u64,
+    /// Fully interned head-key emissions.
+    pub emits: u64,
+    /// Emissions routed to the fresh accumulator for minting.
+    pub fresh_emits: u64,
+}
+
+impl ExecCounters {
+    /// Adds `other` into `self`, field-wise.
+    pub fn add(&mut self, other: &ExecCounters) {
+        self.probes += other.probes;
+        self.scanned += other.scanned;
+        self.emits += other.emits;
+        self.fresh_emits += other.fresh_emits;
+    }
+}
+
 /// Everything a plan run reads: interned EDBs, the active domain, and
 /// the three IDB states of Theorem 6.5.
 pub struct EvalCtx<'a, P> {
@@ -171,11 +199,13 @@ pub(crate) fn eval_cformula<P: Pops>(f: &CFormula, slots: &[u32], ctx: &EvalCtx<
 /// `emit_fresh` for valuations whose head contains a key-function result
 /// outside the interned domain (the driver mints ids for those between
 /// iterations). `range0` optionally restricts the first step's candidate
-/// rows to `[lo, hi)` — the parallel driver's chunking hook.
+/// rows to `[lo, hi)` — the parallel driver's chunking hook. Probe,
+/// scan, and emit counts are accumulated into `counters`.
 pub fn run_plan<'a, P: Pops>(
     plan: &Plan<P>,
     ctx: &EvalCtx<'a, P>,
     range0: Option<(usize, usize)>,
+    counters: &mut ExecCounters,
     emit: &mut dyn FnMut(&[u32], P),
     emit_fresh: &mut dyn FnMut(&[HeadVal], P),
 ) {
@@ -187,6 +217,7 @@ pub fn run_plan<'a, P: Pops>(
         values: vec![None; plan.nfactors],
         row_keys: vec![None; plan.steps.len()],
         probe_scratch: Vec::new(),
+        counters,
         emit,
         emit_fresh,
     };
@@ -251,6 +282,7 @@ struct Runner<'r, 'a, P: Pops> {
     /// around each probe (the probed row list borrows the relation, not
     /// the key, so the buffer is free again before recursing).
     probe_scratch: Vec<u32>,
+    counters: &'r mut ExecCounters,
     emit: &'r mut dyn FnMut(&[u32], P),
     emit_fresh: &'r mut dyn FnMut(&[HeadVal], P),
 }
@@ -294,6 +326,7 @@ impl<'a, P: Pops> Runner<'_, 'a, P> {
                     hi = b.min(hi);
                 }
             }
+            self.counters.scanned += (hi - lo) as u64;
             Candidates::Scan(lo..hi)
         } else {
             let mut key = std::mem::take(&mut self.probe_scratch);
@@ -322,6 +355,8 @@ impl<'a, P: Pops> Runner<'_, 'a, P> {
                     rows = &rows[a.min(rows.len())..b.min(rows.len())];
                 }
             }
+            self.counters.probes += 1;
+            self.counters.scanned += rows.len() as u64;
             Candidates::Rows(rows)
         };
 
@@ -438,8 +473,14 @@ impl<'a, P: Pops> Runner<'_, 'a, P> {
             }
         }
         match fresh {
-            None => (self.emit)(&key, acc),
-            Some(up) => (self.emit_fresh)(&up, acc),
+            None => {
+                self.counters.emits += 1;
+                (self.emit)(&key, acc)
+            }
+            Some(up) => {
+                self.counters.fresh_emits += 1;
+                (self.emit_fresh)(&up, acc)
+            }
         }
     }
 }

@@ -21,7 +21,7 @@
 
 use crate::intern::Interner;
 use crate::storage::ColumnRel;
-use dlo_core::eval::EvalOutcome;
+use dlo_core::eval::{EvalOutcome, EvalStats};
 use dlo_core::relation::{Database, Relation};
 use dlo_core::value::{Constant, Tuple};
 use dlo_pops::Pops;
@@ -184,7 +184,9 @@ fn decode_rel<P: Pops>(
 }
 
 /// The decode-free mirror of `dlo_core::eval::EvalOutcome`: same
-/// convergence semantics, interned payload.
+/// convergence semantics, interned payload. Both variants carry the
+/// run's [`EvalStats`]; [`InternedOutcome::materialize`] forwards them
+/// (with the decode phase timed into [`EvalStats::phases`]).
 #[derive(Clone, Debug)]
 pub enum InternedOutcome<P> {
     /// The loop reached a fixpoint.
@@ -195,6 +197,8 @@ pub enum InternedOutcome<P> {
         /// strategy, frontier batches for the worklist/priority ones —
         /// not comparable across strategies).
         steps: usize,
+        /// Evaluation telemetry.
+        stats: EvalStats,
     },
     /// The loop hit its cap.
     Diverged {
@@ -202,6 +206,8 @@ pub enum InternedOutcome<P> {
         last: InternedOutput<P>,
         /// The cap that was hit.
         cap: usize,
+        /// Evaluation telemetry.
+        stats: EvalStats,
     },
 }
 
@@ -214,7 +220,7 @@ impl<P: Pops> InternedOutcome<P> {
     /// The converged output and step count, or `None` on divergence.
     pub fn converged(self) -> Option<(InternedOutput<P>, usize)> {
         match self {
-            InternedOutcome::Converged { output, steps } => Some((output, steps)),
+            InternedOutcome::Converged { output, steps, .. } => Some((output, steps)),
             InternedOutcome::Diverged { .. } => None,
         }
     }
@@ -227,17 +233,53 @@ impl<P: Pops> InternedOutcome<P> {
         }
     }
 
-    /// Decodes into the classic `Database`-carrying [`EvalOutcome`].
+    /// The evaluation telemetry, converged or not.
+    pub fn stats(&self) -> &EvalStats {
+        match self {
+            InternedOutcome::Converged { stats, .. } | InternedOutcome::Diverged { stats, .. } => {
+                stats
+            }
+        }
+    }
+
+    /// The EXPLAIN/profile report for this run (see
+    /// [`EvalStats::explain`]).
+    pub fn explain(&self) -> String {
+        self.stats().explain()
+    }
+
+    /// Decodes into the classic `Database`-carrying [`EvalOutcome`],
+    /// timing the decode into the stats' `decode` phase.
     pub fn materialize(self) -> EvalOutcome<P> {
         match self {
-            InternedOutcome::Converged { output, steps } => EvalOutcome::Converged {
-                output: output.materialize(),
+            InternedOutcome::Converged {
+                output,
                 steps,
-            },
-            InternedOutcome::Diverged { last, cap } => EvalOutcome::Diverged {
-                last: last.materialize(),
+                mut stats,
+            } => {
+                let t = std::time::Instant::now();
+                let db = output.materialize();
+                stats.phases.decode += t.elapsed().as_nanos() as u64;
+                EvalOutcome::Converged {
+                    output: db,
+                    steps,
+                    stats,
+                }
+            }
+            InternedOutcome::Diverged {
+                last,
                 cap,
-            },
+                mut stats,
+            } => {
+                let t = std::time::Instant::now();
+                let db = last.materialize();
+                stats.phases.decode += t.elapsed().as_nanos() as u64;
+                EvalOutcome::Diverged {
+                    last: db,
+                    cap,
+                    stats,
+                }
+            }
         }
     }
 }

@@ -156,6 +156,15 @@ pub enum HeadOp {
 /// An executable join plan for one sum-product variant.
 #[derive(Clone)]
 pub struct Plan<P> {
+    /// Global plan id, unique across a program's seed/delta/worklist
+    /// plans — the key the telemetry layer attributes observed costs
+    /// to ([`CompiledProgram::plan_metas`] decodes it back to a rule).
+    pub pid: usize,
+    /// Index of the originating rule, in program source order.
+    pub rule_idx: usize,
+    /// Human-readable plan skeleton (`head :- f₁ * f₂ …`, with the Δ
+    /// occurrence marked), for profile reports.
+    pub label: String,
     /// Target IDB (by `idbs` table index).
     pub head_pred: usize,
     /// How to assemble the emitted head key.
@@ -236,7 +245,54 @@ pub struct CompiledProgram<P> {
     pub set_valued: Vec<bool>,
 }
 
+/// Telemetry metadata for one compiled plan, indexed by [`Plan::pid`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanMeta {
+    /// Index of the originating rule, in program source order.
+    pub rule_idx: usize,
+    /// The plan's skeleton label (shared with [`Plan::label`]).
+    pub label: String,
+    /// Plan family: `"seed"`, `"delta"`, or `"worklist"`.
+    pub kind: &'static str,
+}
+
 impl<P: Pops> CompiledProgram<P> {
+    /// Total number of compiled plans (`pid`s run `0..total_plans()`).
+    pub fn total_plans(&self) -> usize {
+        self.seed_plans.len()
+            + self.delta_plans.len()
+            + self.worklist_plans.iter().map(|g| g.len()).sum::<usize>()
+    }
+
+    /// Per-plan telemetry metadata, ordered by [`Plan::pid`].
+    pub fn plan_metas(&self) -> Vec<PlanMeta> {
+        let mut metas = vec![
+            PlanMeta {
+                rule_idx: 0,
+                label: String::new(),
+                kind: "seed",
+            };
+            self.total_plans()
+        ];
+        let fill = |metas: &mut Vec<PlanMeta>, plan: &Plan<P>, kind: &'static str| {
+            metas[plan.pid] = PlanMeta {
+                rule_idx: plan.rule_idx,
+                label: plan.label.clone(),
+                kind,
+            };
+        };
+        for plan in &self.seed_plans {
+            fill(&mut metas, plan, "seed");
+        }
+        for plan in &self.delta_plans {
+            fill(&mut metas, plan, "delta");
+        }
+        for plan in self.worklist_plans.iter().flatten() {
+            fill(&mut metas, plan, "worklist");
+        }
+        metas
+    }
+
     /// All `(source, mask)` index requirements across the seed and
     /// semi-naïve delta plans (what [`crate::driver`]'s loops read).
     pub fn index_requirements(&self) -> Vec<(Source, ColMask)> {
@@ -313,7 +369,7 @@ pub fn compile_demand<P: Pops>(
     let mut seed_plans = vec![];
     let mut delta_plans = vec![];
     let mut worklist_plans: Vec<Vec<Plan<P>>> = vec![vec![]; c.idbs.len()];
-    for rule in &program.rules {
+    for (rule_idx, rule) in program.rules.iter().enumerate() {
         for sp in &rule.body {
             let idb_occurrences: Vec<usize> = sp
                 .factors
@@ -325,7 +381,7 @@ pub fn compile_demand<P: Pops>(
             let wrapped_idb = idb_occurrences
                 .iter()
                 .any(|&fi| sp.factors[fi].func.is_some());
-            seed_plans.push(c.compile_sp(rule, sp, &|_| OccSource::New, None)?);
+            seed_plans.push(c.compile_sp(rule_idx, rule, sp, &|_| OccSource::New, None)?);
             if idb_occurrences.is_empty() {
                 continue; // eq. (65): constant sum-products never re-fire.
             }
@@ -343,13 +399,13 @@ pub fn compile_demand<P: Pops>(
                 let pred = c
                     .idb_id(&sp.factors[fi].atom.pred)
                     .expect("occurrence list filtered on IDBs");
-                worklist_plans[pred].push(c.compile_sp(rule, sp, &sel, Some(k))?);
+                worklist_plans[pred].push(c.compile_sp(rule_idx, rule, sp, &sel, Some(k))?);
             }
             if wrapped_idb {
                 // Value functions make the occurrence split unsound in
                 // general; re-derive the whole sum-product against the
                 // new state every iteration instead.
-                delta_plans.push(c.compile_sp(rule, sp, &|_| OccSource::New, None)?);
+                delta_plans.push(c.compile_sp(rule_idx, rule, sp, &|_| OccSource::New, None)?);
             } else {
                 for k in 0..idb_occurrences.len() {
                     let sel = move |occ: usize| match occ.cmp(&k) {
@@ -357,12 +413,22 @@ pub fn compile_demand<P: Pops>(
                         std::cmp::Ordering::Equal => OccSource::Delta,
                         std::cmp::Ordering::Greater => OccSource::Old,
                     };
-                    delta_plans.push(c.compile_sp(rule, sp, &sel, Some(k))?);
+                    delta_plans.push(c.compile_sp(rule_idx, rule, sp, &sel, Some(k))?);
                 }
             }
         }
     }
     let set_valued_flags = c.idbs.iter().map(|(n, _)| set_valued.contains(n)).collect();
+    // Assign global plan ids: seed, then delta, then worklist plans in
+    // group order — the key telemetry attributes observed costs to.
+    for (pid, plan) in seed_plans
+        .iter_mut()
+        .chain(delta_plans.iter_mut())
+        .chain(worklist_plans.iter_mut().flatten())
+        .enumerate()
+    {
+        plan.pid = pid;
+    }
     Ok(CompiledProgram {
         idbs: c.idbs,
         pops_edbs: c.pops_edbs,
@@ -484,11 +550,25 @@ impl Compiler<'_> {
 
     fn compile_sp<P: Pops>(
         &mut self,
+        rule_idx: usize,
         rule: &Rule<P>,
         sp: &SumProduct<P>,
         occ_source: &dyn Fn(usize) -> OccSource,
-        _delta_k: Option<usize>,
+        delta_k: Option<usize>,
     ) -> Result<Plan<P>, CompileError> {
+        // The profile-report skeleton: head and factor predicate names
+        // (values and conditions elided — `P` need not be printable),
+        // with the Δ-driven occurrence marked.
+        let mut label = format!("{} :- ", rule.head.pred);
+        for (i, f) in sp.factors.iter().enumerate() {
+            if i > 0 {
+                label.push_str(" * ");
+            }
+            label.push_str(&f.atom.pred);
+        }
+        if let Some(k) = delta_k {
+            label.push_str(&format!(" [\u{0394}@{k}]"));
+        }
         // Slot layout: head vars first, then remaining sum-product vars
         // (the relational backend's `vars` order).
         let mut vars: Vec<Var> = vec![];
@@ -689,6 +769,9 @@ impl Compiler<'_> {
         let fill: Vec<usize> = (0..nslots).filter(|&s| !bound[s]).collect();
         let condition = self.compile_formula(&sp.condition, &slot_of);
         Ok(Plan {
+            pid: 0, // assigned globally after compilation
+            rule_idx,
+            label,
             head_pred: self
                 .idb_id(&rule.head.pred)
                 .expect("head is an IDB by construction"),

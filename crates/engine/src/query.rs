@@ -26,12 +26,14 @@ use crate::output::{InternedOutcome, InternedOutput};
 use crate::worklist::{strategy_run, Strategy};
 use dlo_core::ast::Program;
 use dlo_core::demand::{magic_rewrite, DemandProgram};
+use dlo_core::eval::EvalStats;
 use dlo_core::query::Query;
 use dlo_core::relation::{BoolDatabase, Database, Relation};
 use dlo_core::value::Constant;
 use dlo_pops::{
     Absorptive, CompleteDistributiveDioid, NaturallyOrdered, Pops, TotallyOrderedDioid,
 };
+use std::time::Instant;
 
 /// The outcome of a query evaluation: the demand-restricted fixpoint in
 /// interned form, plus the query metadata needed to read it.
@@ -71,6 +73,19 @@ impl<P: Pops> QueryAnswer<P> {
             InternedOutcome::Converged { steps, .. } => Some(*steps),
             InternedOutcome::Diverged { .. } => None,
         }
+    }
+
+    /// The evaluation telemetry of the demanded run (rewrite + setup
+    /// time is folded into the `setup` phase).
+    pub fn stats(&self) -> &EvalStats {
+        self.outcome.stats()
+    }
+
+    /// The EXPLAIN/profile report for the demanded run (see
+    /// [`EvalStats::explain`]) — per-plan attribution includes the
+    /// generated magic rules.
+    pub fn explain(&self) -> String {
+        self.outcome.explain()
     }
 
     /// The query this answer was computed for.
@@ -214,9 +229,11 @@ where
         + Send
         + Sync,
 {
+    let t = Instant::now();
     let dp = rewrite_or_panic(program, query);
     let engine = setup_or_panic(&dp.program, pops_edb, bool_edb, &dp.magic_preds);
-    QueryAnswer::new(strategy_run(engine, cap, strategy, opts), &dp)
+    let setup_ns = t.elapsed().as_nanos() as u64;
+    QueryAnswer::new(strategy_run(engine, cap, strategy, opts, setup_ns), &dp)
 }
 
 /// Query-driven evaluation on the parallel semi-naïve loop — the
@@ -238,9 +255,11 @@ pub fn engine_query_seminaive_eval<P>(
 where
     P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
 {
+    let t = Instant::now();
     let dp = rewrite_or_panic(program, query);
     let engine = setup_or_panic(&dp.program, pops_edb, bool_edb, &dp.magic_preds);
-    QueryAnswer::new(seminaive_run(engine, cap, opts), &dp)
+    let setup_ns = t.elapsed().as_nanos() as u64;
+    QueryAnswer::new(seminaive_run(engine, cap, opts, setup_ns), &dp)
 }
 
 /// Query-driven evaluation on the naïve loop — for naturally ordered
@@ -261,9 +280,11 @@ pub fn engine_query_naive_eval<P>(
 where
     P: NaturallyOrdered + Send + Sync,
 {
+    let t = Instant::now();
     let dp = rewrite_or_panic(program, query);
     let engine = setup_or_panic(&dp.program, pops_edb, bool_edb, &dp.magic_preds);
-    QueryAnswer::new(naive_run(engine, cap, opts), &dp)
+    let setup_ns = t.elapsed().as_nanos() as u64;
+    QueryAnswer::new(naive_run(engine, cap, opts, setup_ns), &dp)
 }
 
 /// [`engine_query_eval_with_opts`] over an **interned EDB** (see
@@ -293,9 +314,11 @@ where
         + Send
         + Sync,
 {
+    let t = Instant::now();
     let dp = rewrite_or_panic(program, query);
     let engine = setup_interned_or_panic(&dp.program, prev, extra_pops, bool_edb, &dp.magic_preds);
-    QueryAnswer::new(strategy_run(engine, cap, strategy, opts), &dp)
+    let setup_ns = t.elapsed().as_nanos() as u64;
+    QueryAnswer::new(strategy_run(engine, cap, strategy, opts, setup_ns), &dp)
 }
 
 #[cfg(test)]

@@ -78,13 +78,14 @@
 use crate::driver::{
     chunk_tasks, finish, merge_fresh, mint_key, seminaive_run, setup_or_panic, Engine, EngineOpts,
 };
-use crate::exec::{run_plan, EvalCtx, HeadVal};
+use crate::exec::{run_plan, EvalCtx, ExecCounters, HeadVal};
 use crate::hash::FxHashMap;
 use crate::intern::Interner;
 use crate::output::InternedOutcome;
 use crate::par;
 use crate::plan::{Plan, Source};
 use crate::storage::ColumnRel;
+use crate::telemetry::Collector;
 use dlo_core::ast::Program;
 use dlo_core::eval::EvalOutcome;
 use dlo_core::relation::{BoolDatabase, Database};
@@ -92,6 +93,7 @@ use dlo_pops::{
     Absorptive, CompleteDistributiveDioid, NaturallyOrdered, Pops, TotallyOrderedDioid,
 };
 use std::collections::{BTreeMap, VecDeque};
+use std::time::Instant;
 
 /// Which evaluation loop [`engine_eval`] runs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -117,6 +119,9 @@ trait Frontier<P: Pops> {
     /// Moves the next batch of work into `batch` (cleared by the
     /// caller); `false` when the frontier is drained.
     fn pop_into(&mut self, new: &[ColumnRel<P>], batch: &mut Vec<(usize, u32)>) -> bool;
+    /// Pending entries (stale ones included — a deterministic queue
+    /// measure, reported per batch in the stats).
+    fn depth(&self) -> usize;
 }
 
 /// FIFO discipline, drained in **generations**: one batch is everything
@@ -156,6 +161,10 @@ impl<P: Pops> Frontier<P> for FifoFrontier {
             batch.push((pred as usize, row));
         }
         !batch.is_empty()
+    }
+
+    fn depth(&self) -> usize {
+        self.queue.len()
     }
 }
 
@@ -221,6 +230,10 @@ impl<P: TotallyOrderedDioid> Frontier<P> for BucketFrontier<P> {
         }
         false
     }
+
+    fn depth(&self) -> usize {
+        self.buckets.values().map(|rows| rows.len()).sum()
+    }
 }
 
 /// Per-IDB emission buffer: flat keys (arity stride) plus values, so one
@@ -269,45 +282,74 @@ fn apply_emissions<P: Pops, F: Frontier<P>>(
     bufs: &mut [EmitBuf<P>],
     fresh: &mut [BTreeMap<Box<[HeadVal]>, P>],
     frontier: &mut F,
+    col: &mut Collector,
 ) {
     for (pred, buf) in bufs.iter_mut().enumerate() {
         let arity = buf.arity;
         let sv = set_valued[pred];
         let mut vals = std::mem::take(&mut buf.vals);
+        let c = &mut col.stats.counters;
         for (i, v) in vals.drain(..).enumerate() {
             let key = &buf.keys[i * arity..(i + 1) * arity];
             if sv {
                 if new[pred].rowid(key).is_none() {
                     let row = new[pred].insert_row(key, P::one());
                     frontier.push(pred, row, new[pred].val(row));
+                    c.rows_inserted += 1;
+                } else {
+                    c.set_valued_shortcircuits += 1;
                 }
                 continue;
             }
+            let len_before = new[pred].len();
             let (row, changed) = new[pred].merge_changed(key, v);
             if changed {
                 frontier.push(pred, row, new[pred].val(row));
+                if new[pred].len() > len_before {
+                    c.rows_inserted += 1;
+                } else {
+                    c.rows_improved += 1;
+                }
+            } else {
+                c.merges_absorbed += 1;
             }
         }
         buf.vals = vals; // hand the capacity back for the next batch
         buf.keys.clear();
     }
+    let t_mint = Instant::now();
+    let minted_before = interner.len();
     for (pred, facc) in fresh.iter_mut().enumerate() {
         let sv = set_valued[pred];
+        let c = &mut col.stats.counters;
         while let Some((key, v)) = facc.pop_first() {
             let key = mint_key(interner, &key);
             if sv {
                 if new[pred].rowid(&key).is_none() {
                     let row = new[pred].insert_row(&key, P::one());
                     frontier.push(pred, row, new[pred].val(row));
+                    c.rows_inserted += 1;
+                } else {
+                    c.set_valued_shortcircuits += 1;
                 }
                 continue;
             }
+            let len_before = new[pred].len();
             let (row, changed) = new[pred].merge_changed(&key, v);
             if changed {
                 frontier.push(pred, row, new[pred].val(row));
+                if new[pred].len() > len_before {
+                    c.rows_inserted += 1;
+                } else {
+                    c.rows_improved += 1;
+                }
+            } else {
+                c.merges_absorbed += 1;
             }
         }
     }
+    col.stats.counters.minted_ids += (interner.len() - minted_before) as u64;
+    col.stats.phases.mint += t_mint.elapsed().as_nanos() as u64;
 }
 
 /// Runs a batch's plans (in the given order) against the frontier state,
@@ -329,6 +371,7 @@ fn run_frontier_plans<P>(
     bufs: &mut [EmitBuf<P>],
     fresh: &mut [BTreeMap<Box<[HeadVal]>, P>],
     opts: &EngineOpts,
+    col: &mut Collector,
 ) where
     P: Pops + Send + Sync,
 {
@@ -345,21 +388,27 @@ fn run_frontier_plans<P>(
     // Single-threaded runs skip even the estimate pass: the frontier
     // fires thousands of (often tiny) batches per run, so per-batch
     // bookkeeping must cost nothing when fan-out is off the table.
-    let run_sequential = |bufs: &mut [EmitBuf<P>], fresh: &mut [BTreeMap<Box<[HeadVal]>, P>]| {
+    let run_sequential = |bufs: &mut [EmitBuf<P>],
+                          fresh: &mut [BTreeMap<Box<[HeadVal]>, P>],
+                          col: &mut Collector| {
         for plan in plans {
             let buf = &mut bufs[plan.head_pred];
             let facc = &mut fresh[plan.head_pred];
+            let mut counters = ExecCounters::default();
+            let t = Instant::now();
             run_plan(
                 plan,
                 &ctx,
                 None,
+                &mut counters,
                 &mut |key, v| buf.push(key, v),
                 &mut |key, v| merge_fresh(facc, key, v),
             );
+            col.add_plan(plan.pid, counters, t.elapsed().as_nanos() as u64);
         }
     };
     if threads <= 1 {
-        run_sequential(bufs, fresh);
+        run_sequential(bufs, fresh, col);
         return;
     }
 
@@ -372,7 +421,7 @@ fn run_frontier_plans<P>(
         .collect();
     let total: usize = estimates.iter().map(|(e, _)| e).sum();
     if total < opts.par_threshold {
-        run_sequential(bufs, fresh);
+        run_sequential(bufs, fresh, col);
         return;
     }
 
@@ -382,18 +431,25 @@ fn run_frontier_plans<P>(
         let plan = plans[pi];
         let mut buf = EmitBuf::new(engine.compiled.idbs[plan.head_pred].1);
         let mut local_fresh: BTreeMap<Box<[HeadVal]>, P> = BTreeMap::new();
+        let mut counters = ExecCounters::default();
+        let t = Instant::now();
         run_plan(
             plan,
             &ctx,
             range,
+            &mut counters,
             &mut |key, v| buf.push(key, v),
             &mut |key, v| merge_fresh(&mut local_fresh, key, v),
         );
-        (plan.head_pred, buf, local_fresh)
+        let nanos = t.elapsed().as_nanos() as u64;
+        (plan.pid, plan.head_pred, buf, local_fresh, counters, nanos)
     });
+    col.parallel_batch(tasks.len());
     // Deterministic merge: `run_indexed` returns results in task order,
-    // and appends reproduce the sequential emission sequence.
-    for (pred, local, local_fresh) in results {
+    // and appends reproduce the sequential emission sequence (counter
+    // sums are additive over a plan's chunks, so they are too).
+    for (pid, pred, local, local_fresh, counters, nanos) in results {
+        col.add_plan(pid, counters, nanos);
         bufs[pred].append(local);
         let facc = &mut fresh[pred];
         for (key, v) in local_fresh {
@@ -418,6 +474,8 @@ fn run_frontier<P, F>(
     mut engine: Engine<P>,
     cap: usize,
     opts: &EngineOpts,
+    strategy: &str,
+    setup_ns: u64,
     make_frontier: impl FnOnce(usize) -> F,
 ) -> InternedOutcome<P>
 where
@@ -425,6 +483,13 @@ where
     F: Frontier<P>,
 {
     let threads = opts.effective_threads();
+    let mut col = Collector::new(
+        strategy,
+        threads,
+        setup_ns,
+        engine.compiled.plan_metas(),
+        opts.trace.as_ref(),
+    );
     let nidb = engine.compiled.idbs.len();
     let mut frontier = make_frontier(nidb);
 
@@ -451,7 +516,10 @@ where
             Source::PopsEdb(_) | Source::BoolEdb(_) => {}
         }
     }
+    let t = Instant::now();
     engine.build_edb_indexes(&wreqs, threads);
+    col.edb_index_phase(t.elapsed().as_nanos() as u64);
+    let t_eval = Instant::now();
     let mut new = engine.empty_idbs();
     for (pred, rel) in new.iter_mut().enumerate() {
         for &mask in &new_masks[pred] {
@@ -478,6 +546,7 @@ where
 
     // Seed: run the all-New plans against the empty state (only IDB-free
     // sum-products contribute, eq. 65) and enqueue every inserted row.
+    let seed_before = col.stats.counters;
     {
         let seed_plans: Vec<&Plan<P>> = engine.compiled.seed_plans.iter().collect();
         run_frontier_plans(
@@ -489,6 +558,7 @@ where
             &mut bufs,
             &mut fresh,
             opts,
+            &mut col,
         );
     }
     apply_emissions(
@@ -498,7 +568,9 @@ where
         &mut bufs,
         &mut fresh,
         &mut frontier,
+        &mut col,
     );
+    col.end_step(0, 0, frontier.depth() as u64, &seed_before);
 
     let mut batch: Vec<(usize, u32)> = Vec::new();
     let mut touched: Vec<usize> = Vec::new();
@@ -509,18 +581,23 @@ where
     loop {
         batch.clear();
         if !frontier.pop_into(&new, &mut batch) {
+            let stats = col.finish(steps, true, t_eval.elapsed().as_nanos() as u64);
             return InternedOutcome::Converged {
                 output: finish(engine, new),
                 steps,
+                stats,
             };
         }
         if steps == cap {
+            let stats = col.finish(cap, false, t_eval.elapsed().as_nanos() as u64);
             return InternedOutcome::Diverged {
                 last: finish(engine, new),
                 cap,
+                stats,
             };
         }
         steps += 1;
+        let before = col.stats.counters;
 
         // Stage the batch as per-pred Δ relations carrying full current
         // values (a batch never holds the same row twice: both
@@ -548,6 +625,7 @@ where
             &mut bufs,
             &mut fresh,
             opts,
+            &mut col,
         );
         for &pred in &touched {
             delta[pred].clear();
@@ -559,7 +637,9 @@ where
             &mut bufs,
             &mut fresh,
             &mut frontier,
+            &mut col,
         );
+        col.end_step(steps, batch.len() as u64, frontier.depth() as u64, &before);
     }
 }
 
@@ -598,13 +678,10 @@ pub fn engine_worklist_eval_with_opts<P>(
 where
     P: NaturallyOrdered + Absorptive + Send + Sync,
 {
-    run_frontier(
-        setup_or_panic(program, pops_edb, bool_edb, &[]),
-        cap,
-        opts,
-        FifoFrontier::new,
-    )
-    .materialize()
+    let t = Instant::now();
+    let engine = setup_or_panic(program, pops_edb, bool_edb, &[]);
+    let setup_ns = t.elapsed().as_nanos() as u64;
+    run_frontier(engine, cap, opts, "worklist", setup_ns, FifoFrontier::new).materialize()
 }
 
 /// Priority-frontier evaluation: bucketed best-first scheduling over a
@@ -643,12 +720,12 @@ pub fn engine_priority_eval_with_opts<P>(
 where
     P: NaturallyOrdered + Absorptive + TotallyOrderedDioid + Send + Sync,
 {
-    run_frontier(
-        setup_or_panic(program, pops_edb, bool_edb, &[]),
-        cap,
-        opts,
-        |_| BucketFrontier::new(),
-    )
+    let t = Instant::now();
+    let engine = setup_or_panic(program, pops_edb, bool_edb, &[]);
+    let setup_ns = t.elapsed().as_nanos() as u64;
+    run_frontier(engine, cap, opts, "priority", setup_ns, |_| {
+        BucketFrontier::new()
+    })
     .materialize()
 }
 
@@ -741,12 +818,10 @@ where
         + Send
         + Sync,
 {
-    strategy_run(
-        setup_or_panic(program, pops_edb, bool_edb, &[]),
-        cap,
-        strategy,
-        opts,
-    )
+    let t = Instant::now();
+    let engine = setup_or_panic(program, pops_edb, bool_edb, &[]);
+    let setup_ns = t.elapsed().as_nanos() as u64;
+    strategy_run(engine, cap, strategy, opts, setup_ns)
 }
 
 /// [`engine_eval_interned`] over an **interned EDB**: the previous
@@ -779,12 +854,10 @@ where
         + Send
         + Sync,
 {
-    strategy_run(
-        crate::driver::setup_interned_or_panic(program, prev, extra_pops, bool_edb, &[]),
-        cap,
-        strategy,
-        opts,
-    )
+    let t = Instant::now();
+    let engine = crate::driver::setup_interned_or_panic(program, prev, extra_pops, bool_edb, &[]);
+    let setup_ns = t.elapsed().as_nanos() as u64;
+    strategy_run(engine, cap, strategy, opts, setup_ns)
 }
 
 /// Dispatches a prepared [`Engine`] to the loop `strategy` names —
@@ -795,6 +868,7 @@ pub(crate) fn strategy_run<P>(
     cap: usize,
     strategy: Strategy,
     opts: &EngineOpts,
+    setup_ns: u64,
 ) -> InternedOutcome<P>
 where
     P: NaturallyOrdered
@@ -805,10 +879,14 @@ where
         + Sync,
 {
     match strategy {
-        Strategy::SemiNaive => seminaive_run(engine, cap, opts),
-        Strategy::Worklist => run_frontier(engine, cap, opts, FifoFrontier::new),
+        Strategy::SemiNaive => seminaive_run(engine, cap, opts, setup_ns),
+        Strategy::Worklist => {
+            run_frontier(engine, cap, opts, "worklist", setup_ns, FifoFrontier::new)
+        }
         Strategy::Auto | Strategy::Priority => {
-            run_frontier(engine, cap, opts, |_| BucketFrontier::new())
+            run_frontier(engine, cap, opts, "priority", setup_ns, |_| {
+                BucketFrontier::new()
+            })
         }
     }
 }
@@ -830,6 +908,7 @@ mod tests {
             threads: Some(4),
             par_threshold: 1,
             chunk_min: 2,
+            ..EngineOpts::default()
         }
     }
 
@@ -1136,6 +1215,7 @@ mod tests {
                     threads: Some(threads),
                     par_threshold: 1,
                     chunk_min: 2,
+                    ..EngineOpts::default()
                 };
                 let got =
                     engine_eval_with_opts(&program, &edb, &bools, 10_000_000, strategy, &opts);

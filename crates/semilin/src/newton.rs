@@ -86,7 +86,7 @@ mod tests {
     fn newton_equals_naive_on_linear_tc() {
         let (prog, edb) = ex::linear_tc_bool(&[("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")]);
         let sys = ground_sparse(&prog, &edb, &BoolDatabase::new());
-        let EvalOutcome::Converged { output, steps } = naive_eval_system(&sys, 10_000) else {
+        let EvalOutcome::Converged { output, steps, .. } = naive_eval_system(&sys, 10_000) else {
             panic!()
         };
         let (nv, nit) = newton_lfp(&sys, 100).unwrap();

@@ -15,7 +15,7 @@ fn main() {
     // Over ℕ: the naive loop keeps growing on the a↔b cycle.
     let (prog_n, pops_n, bools_n) = bom_naturals();
     match naive_eval(&prog_n, &pops_n, &bools_n, 25) {
-        EvalOutcome::Diverged { last, cap } => {
+        EvalOutcome::Diverged { last, cap, .. } => {
             println!("over N: diverged (cap {cap}); the cycle keeps inflating:");
             for (t, v) in last.get("T").unwrap().support() {
                 println!("  T{} grew to {v:?}", datalog_o::core::value::fmt_tuple(t));

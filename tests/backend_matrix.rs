@@ -28,9 +28,9 @@ use datalog_o::pops::{
     TotallyOrderedDioid, Trop, TropP,
 };
 use datalog_o::{
-    engine_eval, engine_eval_with_opts, engine_naive_eval, engine_query_eval_with_opts,
-    engine_query_naive_eval, engine_query_seminaive_eval, engine_seminaive_eval, EngineOpts,
-    Strategy,
+    engine_eval, engine_eval_interned, engine_eval_with_opts, engine_naive_eval,
+    engine_query_eval_with_opts, engine_query_naive_eval, engine_query_seminaive_eval,
+    engine_seminaive_eval, EngineOpts, Strategy,
 };
 
 const CAP: usize = 100_000;
@@ -42,6 +42,7 @@ fn forced_parallel() -> EngineOpts {
         threads: Some(4),
         par_threshold: 1,
         chunk_min: 2,
+        ..EngineOpts::default()
     }
 }
 
@@ -743,5 +744,142 @@ fn divergence_agreement_unbounded_head_minting() {
             msg.contains(&format!("iteration cap ({SMALL_CAP})")),
             "{backend} diagnostic must name the cap, got: {msg}"
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Telemetry legs: the `EvalStats` carried on every outcome obey their
+// arithmetic invariants, agree across entry points, and are identical
+// (modulo wall-clock fields, via `EvalStats::invariants`) at any thread
+// count.
+
+/// Shared instance for the stats legs: the 5-edge APSP graph used by
+/// the demand legs, which exercises improvement (two a→c routes).
+fn stats_workload() -> (Program<Trop>, Database<Trop>) {
+    ex::apsp_trop(&[
+        ("a", "b", 1.0),
+        ("b", "a", 2.0),
+        ("b", "c", 3.0),
+        ("c", "d", 4.0),
+        ("a", "c", 5.0),
+    ])
+}
+
+/// Every drained merge — insertion, improvement, absorption, or
+/// set-valued short-circuit — consumes at least one emitted
+/// contribution, so the emit counters bound the merge counters on every
+/// strategy, and the naive loop (which rebuilds rather than merges)
+/// reports no row merges at all.
+#[test]
+fn stats_emits_cover_merges_across_strategies() {
+    let (program, pops) = stats_workload();
+    let bools = BoolDatabase::new();
+    let legs = [
+        ("naive", engine_naive_eval(&program, &pops, &bools, CAP)),
+        (
+            "seminaive",
+            engine_eval(&program, &pops, &bools, CAP, Strategy::SemiNaive),
+        ),
+        (
+            "worklist",
+            engine_eval(&program, &pops, &bools, CAP, Strategy::Worklist),
+        ),
+        (
+            "priority",
+            engine_eval(&program, &pops, &bools, CAP, Strategy::Priority),
+        ),
+    ];
+    for (leg, out) in &legs {
+        let s = out.stats();
+        assert_eq!(&s.strategy, leg, "strategy name recorded");
+        assert!(s.steps > 0, "{leg}: steps populated");
+        assert!(
+            s.counters.emits + s.counters.fresh_emits > 0,
+            "{leg}: emits populated"
+        );
+        assert!(
+            s.counters.emits + s.counters.fresh_emits
+                >= s.counters.rows_inserted
+                    + s.counters.rows_improved
+                    + s.counters.merges_absorbed
+                    + s.counters.set_valued_shortcircuits,
+            "{leg}: merges exceed emissions: {:?}",
+            s.counters
+        );
+        if *leg == "naive" {
+            assert_eq!(s.counters.rows_inserted, 0, "naive counts no row merges");
+        } else {
+            assert!(s.counters.rows_inserted > 0, "{leg}: insertions populated");
+        }
+    }
+}
+
+/// On the merging strategies every IDB row is inserted exactly once
+/// (later contributions improve or are absorbed), so the per-iteration
+/// `inserted` deltas sum to the final support — the invariant that makes
+/// the iteration trace a complete account of where the output came from.
+#[test]
+fn stats_iteration_inserts_sum_to_final_support() {
+    let (program, pops) = stats_workload();
+    let bools = BoolDatabase::new();
+    let opts = EngineOpts::default();
+    for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
+        let out = engine_eval_interned(&program, &pops, &bools, CAP, strategy, &opts);
+        let support = out.output().support_size("T") as u64;
+        let s = out.stats();
+        assert_eq!(
+            s.iterations_dropped, 0,
+            "{strategy:?}: tiny run keeps all snapshots"
+        );
+        let inserted: u64 = s.iterations.iter().map(|it| it.inserted).sum();
+        assert_eq!(
+            inserted, support,
+            "{strategy:?}: per-iteration inserts must sum to the final support"
+        );
+        assert_eq!(
+            s.counters.rows_inserted, support,
+            "{strategy:?}: totals agree"
+        );
+        assert_eq!(
+            s.last_iter.as_ref().map(|it| it.step),
+            Some(s.iterations.last().unwrap().step),
+            "{strategy:?}: last_iter mirrors the newest snapshot"
+        );
+    }
+}
+
+/// The deterministic counters — everything except wall-clock timings,
+/// thread counts, and fan-out bookkeeping — are bit-identical at any
+/// thread count and across the materializing / interned entry points.
+#[test]
+fn stats_invariants_identical_across_threads_and_entry_points() {
+    let (program, pops) = stats_workload();
+    let bools = BoolDatabase::new();
+    for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
+        let mut seen = vec![];
+        for threads in [1usize, 2, 4] {
+            let opts = EngineOpts {
+                threads: Some(threads),
+                par_threshold: 1,
+                chunk_min: 2,
+                ..EngineOpts::default()
+            };
+            let materialized = engine_eval_with_opts(&program, &pops, &bools, CAP, strategy, &opts);
+            let interned = engine_eval_interned(&program, &pops, &bools, CAP, strategy, &opts);
+            assert_eq!(
+                materialized.stats().invariants(),
+                interned.stats().invariants(),
+                "{strategy:?} @ {threads} threads: entry points disagree on stats"
+            );
+            seen.push((threads, materialized.stats().invariants()));
+        }
+        for pair in seen.windows(2) {
+            let (t0, s0) = &pair[0];
+            let (t1, s1) = &pair[1];
+            assert_eq!(
+                s0, s1,
+                "{strategy:?}: stats differ between {t0} and {t1} threads"
+            );
+        }
     }
 }

@@ -186,7 +186,7 @@ fn eq_29_one_rule_program_diverges_iff_unstable() {
         ],
     );
     match naive_eval(&pt, &Default::default(), &BoolDatabase::new(), 50) {
-        EvalOutcome::Converged { output, steps } => {
+        EvalOutcome::Converged { output, steps, .. } => {
             assert!(steps <= 2);
             assert_eq!(
                 output.get("X").unwrap().get(&tup(&["u"])),

@@ -33,6 +33,7 @@ fn forced_parallel(threads: usize) -> EngineOpts {
         threads: Some(threads),
         par_threshold: 1,
         chunk_min: 2,
+        ..EngineOpts::default()
     }
 }
 
@@ -767,5 +768,35 @@ proptest! {
         let sup_t: Vec<_> = out_t.get("L").map(|r| r.support().map(|(t, _)| t.clone()).collect()).unwrap_or_default();
         let sup_b: Vec<_> = out_b.get("L").map(|r| r.support().map(|(t, _)| t.clone()).collect()).unwrap_or_default();
         prop_assert_eq!(sup_t, sup_b);
+    }
+
+    /// Telemetry on random graphs: emits bound merges on every
+    /// strategy, and the deterministic stats (timings masked by
+    /// `EvalStats::invariants`) are bit-identical across thread counts.
+    #[test]
+    fn stats_deterministic_across_threads((_n, edges) in edges_strategy()) {
+        let prog = datalog_o::core::examples_lib::apsp_program::<Trop>();
+        let edb = trop_edb(&edges);
+        let bools = BoolDatabase::new();
+        for strategy in [EngineStrategy::SemiNaive, EngineStrategy::Worklist,
+                         EngineStrategy::Priority] {
+            let mut baseline = None;
+            for threads in [1usize, 2, 4] {
+                let out = engine_eval_with_opts(&prog, &edb, &bools, 10_000_000, strategy,
+                    &forced_parallel(threads));
+                let s = out.stats();
+                prop_assert!(
+                    s.counters.emits + s.counters.fresh_emits
+                        >= s.counters.rows_inserted + s.counters.rows_improved
+                            + s.counters.merges_absorbed,
+                    "{:?}: merges exceed emissions", strategy);
+                let inv = s.invariants();
+                match &baseline {
+                    None => baseline = Some(inv),
+                    Some(b) => prop_assert_eq!(b, &inv,
+                        "{:?}: stats differ at {} threads", strategy, threads),
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,264 @@
+//! PR 6 observability surface: structured trace events reach the
+//! configured sink, the `DLO_TRACE` JSONL fallback produces parseable
+//! lines, `explain()` attributes time and emissions to compiled rules,
+//! and every public evaluation entry point returns populated
+//! [`EvalStats`] — all without changing any result (the determinism
+//! legs live in `backend_matrix.rs` / `proptest_engine.rs`).
+
+use datalog_o::core::eval::stats::json;
+use datalog_o::core::examples_lib as ex;
+use datalog_o::core::{parse_query, BoolDatabase, Database};
+use datalog_o::pops::Trop;
+use datalog_o::{
+    engine_eval, engine_eval_interned, engine_eval_with_opts, engine_naive_eval, engine_query_eval,
+    engine_query_naive_eval, engine_query_seminaive_eval, engine_seminaive_eval, EngineOpts,
+    JsonlSink, MemorySink, Strategy, TraceEvent, TraceHandle,
+};
+
+const CAP: usize = 100_000;
+
+fn sssp() -> (datalog_o::core::Program<Trop>, Database<Trop>) {
+    ex::sssp_trop("a")
+}
+
+/// A [`MemorySink`] handed through [`EngineOpts::trace`] receives the
+/// full structured event stream: `RunStart`, one `Phase` per timed
+/// non-loop phase, one `Iteration` per recorded step (matching the
+/// stats' iteration snapshots), and a final converged `RunEnd`.
+#[test]
+fn memory_sink_receives_structured_event_stream() {
+    let (program, edb) = sssp();
+    let bools = BoolDatabase::new();
+    for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
+        let sink = MemorySink::default();
+        let opts = EngineOpts {
+            trace: Some(TraceHandle::new(sink.clone())),
+            ..EngineOpts::default()
+        };
+        let out = engine_eval_with_opts(&program, &edb, &bools, CAP, strategy, &opts);
+        let stats = out.stats();
+        let events = sink.events();
+        let Some(TraceEvent::RunStart {
+            strategy: name,
+            threads,
+        }) = events.first()
+        else {
+            panic!("{strategy:?}: stream must open with RunStart, got {events:?}");
+        };
+        assert_eq!(
+            name, &stats.strategy,
+            "{strategy:?}: RunStart names the strategy"
+        );
+        assert_eq!(
+            *threads, stats.threads,
+            "{strategy:?}: RunStart names the pool size"
+        );
+        let Some(TraceEvent::RunEnd { steps, converged }) = events.last() else {
+            panic!("{strategy:?}: stream must close with RunEnd");
+        };
+        assert!(*converged, "{strategy:?}: SSSP converges");
+        assert_eq!(
+            *steps, stats.steps,
+            "{strategy:?}: RunEnd steps match stats"
+        );
+        let iterations: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Iteration(it) => Some(*it),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            iterations, stats.iterations,
+            "{strategy:?}: traced iterations mirror the stats snapshots"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Phase { name, .. } if name == "edb_index")),
+            "{strategy:?}: EDB index phase is traced"
+        );
+    }
+}
+
+/// The file sink writes one JSON object per line; every line parses
+/// with the in-tree parser, and the decoded events round-trip the run
+/// boundaries. This is the `DLO_TRACE=out.jsonl` format, exercised
+/// here through an explicit handle so parallel tests cannot interleave
+/// streams in one file.
+#[test]
+fn jsonl_sink_round_trips_through_the_parser() {
+    let (program, edb) = sssp();
+    let bools = BoolDatabase::new();
+    let path = std::env::temp_dir().join(format!("dlo_trace_test_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let sink = JsonlSink::create(&path).expect("temp trace file");
+    let opts = EngineOpts {
+        trace: Some(TraceHandle::new(sink)),
+        ..EngineOpts::default()
+    };
+    let out = engine_eval_with_opts(&program, &edb, &bools, CAP, Strategy::Priority, &opts);
+    drop(opts); // drop the handle so the writer flushes before we read
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let _ = std::fs::remove_file(&path);
+    let lines: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+    assert!(!lines.is_empty(), "traced run must write events");
+    let mut kinds = vec![];
+    for line in &lines {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        let kind = v.get("event").and_then(|e| e.as_str()).expect("event tag");
+        kinds.push(kind.to_string());
+    }
+    assert_eq!(kinds.first().map(String::as_str), Some("run_start"));
+    assert_eq!(kinds.last().map(String::as_str), Some("run_end"));
+    let iteration_lines = kinds.iter().filter(|k| *k == "iteration").count();
+    assert_eq!(
+        iteration_lines,
+        out.stats().iterations.len(),
+        "one iteration line per recorded step"
+    );
+    // The stats block itself speaks the same JSON dialect.
+    let stats_json = json::parse(&out.stats().to_json()).expect("stats JSON parses");
+    assert_eq!(
+        stats_json.get("steps").and_then(|v| v.as_u64()),
+        Some(out.stats().steps)
+    );
+}
+
+/// `explain()` renders a per-rule profile: every compiled plan of the
+/// SSSP program shows up with its rule skeleton, and the phase/counter
+/// headline agrees with the raw stats.
+#[test]
+fn explain_attributes_work_to_rules() {
+    let (program, edb) = sssp();
+    let bools = BoolDatabase::new();
+    let out = engine_eval(&program, &edb, &bools, CAP, Strategy::Auto);
+    let stats = out.stats();
+    let report = stats.explain();
+    assert!(
+        report.contains(&stats.strategy),
+        "explain names the strategy:\n{report}"
+    );
+    assert!(!stats.rules.is_empty(), "per-rule profiles populated");
+    for rule in &stats.rules {
+        assert!(
+            report.contains(&rule.label),
+            "explain lists rule {:?}:\n{report}",
+            rule.label
+        );
+    }
+    // The SSSP recursion joins L with E — some profiled plan says so.
+    assert!(
+        stats
+            .rules
+            .iter()
+            .any(|r| r.label.contains("L") && r.label.contains("E")),
+        "rule labels carry the program skeleton: {:?}",
+        stats.rules
+    );
+    let emitted: u64 = stats.rules.iter().map(|r| r.emits + r.fresh_emits).sum();
+    assert_eq!(
+        emitted,
+        stats.counters.emits + stats.counters.fresh_emits,
+        "per-rule emissions sum to the run totals"
+    );
+}
+
+/// Every public evaluation entry point — materializing, interned, and
+/// query-seeded, across all four strategies — returns stats with the
+/// strategy name, a step count, and emission counters filled in.
+#[test]
+fn every_entry_point_returns_populated_stats() {
+    let (program, edb) = sssp();
+    let bools = BoolDatabase::new();
+    let opts = EngineOpts::default();
+    let query = parse_query("?- L(d).").unwrap();
+    let mut legs: Vec<(String, datalog_o::EvalStats)> = vec![
+        (
+            "naive".into(),
+            engine_naive_eval(&program, &edb, &bools, CAP)
+                .stats()
+                .clone(),
+        ),
+        (
+            "seminaive".into(),
+            engine_seminaive_eval(&program, &edb, &bools, CAP)
+                .stats()
+                .clone(),
+        ),
+    ];
+    for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
+        legs.push((
+            format!("engine_eval/{strategy:?}"),
+            engine_eval(&program, &edb, &bools, CAP, strategy)
+                .stats()
+                .clone(),
+        ));
+        legs.push((
+            format!("engine_eval_interned/{strategy:?}"),
+            engine_eval_interned(&program, &edb, &bools, CAP, strategy, &opts)
+                .stats()
+                .clone(),
+        ));
+    }
+    legs.push((
+        "engine_query_eval".into(),
+        engine_query_eval(&program, &query, &edb, &bools, CAP, Strategy::Auto)
+            .stats()
+            .clone(),
+    ));
+    legs.push((
+        "engine_query_seminaive_eval".into(),
+        engine_query_seminaive_eval(&program, &query, &edb, &bools, CAP, &opts)
+            .stats()
+            .clone(),
+    ));
+    legs.push((
+        "engine_query_naive_eval".into(),
+        engine_query_naive_eval(&program, &query, &edb, &bools, CAP, &opts)
+            .stats()
+            .clone(),
+    ));
+    for (leg, stats) in &legs {
+        assert!(!stats.strategy.is_empty(), "{leg}: strategy recorded");
+        assert!(stats.steps > 0, "{leg}: steps recorded");
+        assert!(
+            stats.counters.emits + stats.counters.fresh_emits > 0,
+            "{leg}: emissions recorded"
+        );
+        assert!(stats.threads > 0, "{leg}: thread count recorded");
+        assert!(
+            !stats.iterations.is_empty(),
+            "{leg}: iteration snapshots recorded"
+        );
+        // Query entry points pay the rewrite inside setup; everyone
+        // times setup.
+        assert!(stats.phases.setup > 0, "{leg}: setup phase timed");
+    }
+}
+
+/// The `DLO_TRACE` environment fallback appends parseable JSONL without
+/// an explicit handle. Runs in-process with other tests, so it only
+/// asserts about lines (other engine tests do not set the variable, and
+/// the variable is cleared before any of their runs could start here).
+#[test]
+fn dlo_trace_env_fallback_writes_jsonl() {
+    let (program, edb) = sssp();
+    let bools = BoolDatabase::new();
+    let path = std::env::temp_dir().join(format!("dlo_trace_env_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    std::env::set_var("DLO_TRACE", &path);
+    let out = engine_eval(&program, &edb, &bools, CAP, Strategy::Auto);
+    std::env::remove_var("DLO_TRACE");
+    assert!(out.is_converged());
+    let text = std::fs::read_to_string(&path).expect("DLO_TRACE file written");
+    let _ = std::fs::remove_file(&path);
+    let mut saw_end = false;
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        if v.get("event").and_then(|e| e.as_str()) == Some("run_end") {
+            saw_end = true;
+        }
+    }
+    assert!(saw_end, "stream contains a run_end event");
+}
