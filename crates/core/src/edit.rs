@@ -1,0 +1,85 @@
+//! Edit and batch types for incremental maintenance.
+//!
+//! An EDB *edit* is the unit of change a live materialization absorbs
+//! (see `dlo_engine::incremental::Materialization`): either a
+//! [`FactInsert`] — `⊕`-merge a `(pred, tuple, value)` fact into the
+//! EDB, the dioid reading of "insert" where re-inserting an existing
+//! tuple combines values — or a [`FactDelete`] — remove the tuple's
+//! fact entirely. Lowering a stored value is expressed as a delete
+//! followed by an insert of the new value.
+//!
+//! These live in `dlo_core` so edit scripts can be generated, stored,
+//! and replayed (e.g. by the bench workloads and the differential test
+//! harness) without depending on the engine crate.
+
+use crate::value::Tuple;
+
+/// Insert (`⊕`-merge) one POPS fact into an EDB relation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FactInsert<P> {
+    /// Target EDB predicate name.
+    pub pred: String,
+    /// The key tuple.
+    pub tuple: Tuple,
+    /// The value to `⊕`-merge at that key.
+    pub value: P,
+}
+
+impl<P> FactInsert<P> {
+    /// Convenience constructor.
+    pub fn new(pred: &str, tuple: Tuple, value: P) -> Self {
+        FactInsert {
+            pred: pred.to_string(),
+            tuple,
+            value,
+        }
+    }
+}
+
+/// Remove one fact (the tuple and its whole value) from an EDB relation.
+///
+/// Deleting a tuple that is not present is a no-op.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FactDelete {
+    /// Target EDB predicate name.
+    pub pred: String,
+    /// The key tuple to remove.
+    pub tuple: Tuple,
+}
+
+impl FactDelete {
+    /// Convenience constructor.
+    pub fn new(pred: &str, tuple: Tuple) -> Self {
+        FactDelete {
+            pred: pred.to_string(),
+            tuple,
+        }
+    }
+}
+
+/// One step of an edit script.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Edit<P> {
+    /// `⊕`-merge a fact into the EDB.
+    Insert(FactInsert<P>),
+    /// Remove a fact from the EDB.
+    Delete(FactDelete),
+}
+
+impl<P> Edit<P> {
+    /// Insert edit from parts.
+    pub fn insert(pred: &str, tuple: Tuple, value: P) -> Self {
+        Edit::Insert(FactInsert::new(pred, tuple, value))
+    }
+    /// Delete edit from parts.
+    pub fn delete(pred: &str, tuple: Tuple) -> Self {
+        Edit::Delete(FactDelete::new(pred, tuple))
+    }
+    /// The predicate this edit targets.
+    pub fn pred(&self) -> &str {
+        match self {
+            Edit::Insert(i) => &i.pred,
+            Edit::Delete(d) => &d.pred,
+        }
+    }
+}

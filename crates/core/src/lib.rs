@@ -27,6 +27,7 @@ pub mod ast;
 pub mod demand;
 pub mod diagnostics;
 pub mod display;
+pub mod edit;
 pub mod eval;
 pub mod examples_lib;
 pub mod formula;
@@ -41,6 +42,7 @@ pub mod value;
 pub use ast::{Atom, Factor, KeyFn, Program, Rule, SumProduct, Term, UnaryFn, Var};
 pub use demand::{magic_pred, magic_rewrite, DemandError, DemandProgram};
 pub use display::{render_program, render_rule, PrintValue};
+pub use edit::{Edit, FactDelete, FactInsert};
 pub use eval::naive::{naive_eval, naive_eval_sparse, naive_eval_system, naive_eval_trace};
 pub use eval::relational::{relational_naive_eval, relational_seminaive_eval};
 pub use eval::seminaive::{seminaive_eval, seminaive_eval_system, WorkStats};

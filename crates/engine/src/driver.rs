@@ -72,6 +72,16 @@ pub struct EngineOpts {
     /// unset there too means tracing is off. Tracing never changes
     /// results — only the timing fields of the returned stats.
     pub trace: Option<TraceHandle>,
+    /// Record every k-th per-iteration [`IterStat`](dlo_core::eval::stats::IterStat)
+    /// snapshot (step numbers divisible by `k`). Long incremental runs
+    /// would otherwise saturate the snapshot cap
+    /// ([`dlo_core::eval::stats::ITER_SNAPSHOT_CAP`]) with early
+    /// iterations and drop the interesting tail. `None` reads
+    /// `DLO_STATS_SAMPLE`, defaulting to `1` (record every step).
+    /// Sampled-out steps count into `iterations_dropped`, `last_iter`
+    /// is always maintained, and an attached trace sink still streams
+    /// every iteration event. Results are never affected.
+    pub iter_sample: Option<usize>,
 }
 
 impl Default for EngineOpts {
@@ -81,6 +91,7 @@ impl Default for EngineOpts {
             par_threshold: PAR_THRESHOLD,
             chunk_min: CHUNK_MIN,
             trace: None,
+            iter_sample: None,
         }
     }
 }
@@ -89,6 +100,19 @@ impl EngineOpts {
     pub(crate) fn effective_threads(&self) -> usize {
         self.threads.unwrap_or_else(par::max_threads).max(1)
     }
+
+    /// Resolves the iteration-snapshot sampling stride: the explicit
+    /// knob wins, then `DLO_STATS_SAMPLE`, then `1` (every step).
+    pub(crate) fn effective_iter_sample(&self) -> u64 {
+        match self.iter_sample {
+            Some(k) => (k as u64).max(1),
+            None => std::env::var("DLO_STATS_SAMPLE")
+                .ok()
+                .and_then(|s| s.trim().parse::<u64>().ok())
+                .filter(|&k| k >= 1)
+                .unwrap_or(1),
+        }
+    }
 }
 
 /// Per-IDB head accumulators for one iteration. [`AccumMap`] packs keys
@@ -96,12 +120,12 @@ impl EngineOpts {
 /// [`crate::storage`] use — so the per-derivation `⊕`-merge is an
 /// inline-integer hash with no per-key allocation (the boxed-slice maps
 /// this replaces were the semi-naïve loop's last unpacked hot path).
-type Accum<P> = Vec<AccumMap<P>>;
+pub(crate) type Accum<P> = Vec<AccumMap<P>>;
 
 /// Per-IDB accumulators for head keys containing not-yet-interned
 /// constants. `BTreeMap` so draining (and with it id minting) is
 /// deterministic without a separate sort.
-type FreshAccum<P> = Vec<BTreeMap<Box<[HeadVal]>, P>>;
+pub(crate) type FreshAccum<P> = Vec<BTreeMap<Box<[HeadVal]>, P>>;
 
 /// The compiled program plus interned, indexed inputs (shared with the
 /// frontier drivers in [`crate::worklist`]).
@@ -115,19 +139,21 @@ pub(crate) struct Engine<P> {
     /// `New` and `Old` sources).
     pub(crate) idb_new_masks: Vec<Vec<u32>>,
     /// Index masks needed on each IDB's per-iteration delta.
-    idb_delta_masks: Vec<Vec<u32>>,
+    pub(crate) idb_delta_masks: Vec<Vec<u32>>,
     /// EDB-side `(source, mask)` index requirements of the seed and
     /// semi-naïve delta plans, collected at setup and built by
     /// [`Engine::build_edb_indexes`] — deferred so the builds can fan
     /// out over the worker pool once the caller knows its thread count.
-    edb_reqs: Vec<(Source, ColMask)>,
+    pub(crate) edb_reqs: Vec<(Source, ColMask)>,
 }
 
-/// The three semi-naïve IDB states.
-struct IdbState<P> {
-    new: Vec<ColumnRel<P>>,
-    changed: Vec<FxHashMap<u32, Option<P>>>,
-    delta: Vec<ColumnRel<P>>,
+/// The three semi-naïve IDB states (shared with the incremental
+/// maintenance driver in [`crate::incremental`], which keeps one alive
+/// across edits).
+pub(crate) struct IdbState<P> {
+    pub(crate) new: Vec<ColumnRel<P>>,
+    pub(crate) changed: Vec<FxHashMap<u32, Option<P>>>,
+    pub(crate) delta: Vec<ColumnRel<P>>,
 }
 
 fn intern_rel<P: Pops>(rel: &Relation<P>, interner: &Interner) -> ColumnRel<P> {
@@ -447,7 +473,7 @@ pub(crate) fn mint_key(interner: &mut Interner, key: &[HeadVal]) -> Vec<u32> {
         .collect()
 }
 
-fn run_plans<P>(
+pub(crate) fn run_plans<P>(
     engine: &Engine<P>,
     plans: &[Plan<P>],
     state: &IdbState<P>,
@@ -592,7 +618,7 @@ where
         opts.effective_threads(),
         setup_ns,
         engine.compiled.plan_metas(),
-        opts.trace.as_ref(),
+        opts,
     );
     let t = Instant::now();
     engine.build_edb_indexes(&[], opts.effective_threads());
@@ -770,7 +796,7 @@ where
         opts.effective_threads(),
         setup_ns,
         engine.compiled.plan_metas(),
-        opts.trace.as_ref(),
+        opts,
     );
     let t = Instant::now();
     engine.build_edb_indexes(&[], opts.effective_threads());
@@ -837,75 +863,7 @@ where
             opts,
             &mut col,
         );
-        // Advance: δ' = contrib ⊖ new (pointwise), new' = new ⊕ contrib.
-        let mut next_delta = engine.empty_idbs();
-        for ch in &mut state.changed {
-            ch.clear();
-        }
-        for (pred, acc) in contrib.into_iter().enumerate() {
-            let sv = engine.compiled.set_valued[pred];
-            let c = &mut col.stats.counters;
-            acc.drain_sorted(|key, v| {
-                if sv {
-                    // Set-valued (magic) rows: present means settled —
-                    // no merge, no delta for already-demanded bindings.
-                    if state.new[pred].rowid(key).is_none() {
-                        next_delta[pred].append_row(key, P::one());
-                        let r = state.new[pred].insert_row(key, P::one());
-                        state.changed[pred].insert(r, None);
-                        c.rows_inserted += 1;
-                    } else {
-                        c.set_valued_shortcircuits += 1;
-                    }
-                    return;
-                }
-                let existing = state.new[pred].get(key).cloned().unwrap_or_else(P::zero);
-                let diff = v.minus(&existing);
-                if diff.is_zero() {
-                    c.merges_absorbed += 1;
-                    return;
-                }
-                next_delta[pred].append_row(key, diff);
-                match state.new[pred].rowid(key) {
-                    Some(r) => {
-                        let merged = existing.add(&v);
-                        state.changed[pred].insert(r, Some(existing));
-                        state.new[pred].set_val(r, merged);
-                        c.rows_improved += 1;
-                    }
-                    None => {
-                        let r = state.new[pred].insert_row(key, v);
-                        state.changed[pred].insert(r, None);
-                        c.rows_inserted += 1;
-                    }
-                }
-            });
-        }
-        // Fresh head keys name rows that cannot exist yet (their minted
-        // cells were not interned when the phase ran), so δ' = v ⊖ 0 and
-        // the insert is always an append.
-        let t_mint = Instant::now();
-        let minted_before = engine.interner.len();
-        for (pred, acc) in fresh.into_iter().enumerate() {
-            let sv = engine.compiled.set_valued[pred];
-            for (key, v) in acc {
-                let v = if sv { P::one() } else { v };
-                let key = mint_key(&mut engine.interner, &key);
-                let diff = v.minus(&P::zero());
-                if diff.is_zero() {
-                    col.stats.counters.merges_absorbed += 1;
-                    continue;
-                }
-                next_delta[pred].append_row(&key, diff);
-                let r = state.new[pred].insert_row(&key, v);
-                state.changed[pred].insert(r, None);
-                col.stats.counters.rows_inserted += 1;
-            }
-        }
-        col.stats.counters.minted_ids += (engine.interner.len() - minted_before) as u64;
-        col.stats.phases.mint += t_mint.elapsed().as_nanos() as u64;
-        state.delta = next_delta;
-        ensure_delta_indexes(&engine, &mut state);
+        apply_contrib(&mut engine, &mut state, contrib, fresh, &mut col);
         col.end_step(steps, delta_rows, 0, &before);
     }
     let stats = col.finish(cap, false, t_eval.elapsed().as_nanos() as u64);
@@ -916,7 +874,94 @@ where
     }
 }
 
-fn ensure_delta_indexes<P: Pops>(engine: &Engine<P>, state: &mut IdbState<P>) {
+/// The semi-naïve **advance**: merges one phase's accumulated
+/// contributions into the IDB state — `δ' = contrib ⊖ new` (pointwise
+/// on supports), `new' = new ⊕ contrib` — minting fresh head keys
+/// between phases, and leaves `state.delta` holding the next
+/// iteration's indexed delta. Shared by [`seminaive_run`]'s loop and
+/// the incremental maintenance driver in [`crate::incremental`], whose
+/// edit paths seed the very same advance from edit-delta plans.
+pub(crate) fn apply_contrib<P>(
+    engine: &mut Engine<P>,
+    state: &mut IdbState<P>,
+    contrib: Accum<P>,
+    fresh: FreshAccum<P>,
+    col: &mut Collector,
+) where
+    P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
+{
+    // Advance: δ' = contrib ⊖ new (pointwise), new' = new ⊕ contrib.
+    let mut next_delta = engine.empty_idbs();
+    for ch in &mut state.changed {
+        ch.clear();
+    }
+    for (pred, acc) in contrib.into_iter().enumerate() {
+        let sv = engine.compiled.set_valued[pred];
+        let c = &mut col.stats.counters;
+        acc.drain_sorted(|key, v| {
+            if sv {
+                // Set-valued (magic) rows: present means settled —
+                // no merge, no delta for already-demanded bindings.
+                if state.new[pred].rowid(key).is_none() {
+                    next_delta[pred].append_row(key, P::one());
+                    let r = state.new[pred].insert_row(key, P::one());
+                    state.changed[pred].insert(r, None);
+                    c.rows_inserted += 1;
+                } else {
+                    c.set_valued_shortcircuits += 1;
+                }
+                return;
+            }
+            let existing = state.new[pred].get(key).cloned().unwrap_or_else(P::zero);
+            let diff = v.minus(&existing);
+            if diff.is_zero() {
+                c.merges_absorbed += 1;
+                return;
+            }
+            next_delta[pred].append_row(key, diff);
+            match state.new[pred].rowid(key) {
+                Some(r) => {
+                    let merged = existing.add(&v);
+                    state.changed[pred].insert(r, Some(existing));
+                    state.new[pred].set_val(r, merged);
+                    c.rows_improved += 1;
+                }
+                None => {
+                    let r = state.new[pred].insert_row(key, v);
+                    state.changed[pred].insert(r, None);
+                    c.rows_inserted += 1;
+                }
+            }
+        });
+    }
+    // Fresh head keys name rows that cannot exist yet (their minted
+    // cells were not interned when the phase ran), so δ' = v ⊖ 0 and
+    // the insert is always an append.
+    let t_mint = Instant::now();
+    let minted_before = engine.interner.len();
+    for (pred, acc) in fresh.into_iter().enumerate() {
+        let sv = engine.compiled.set_valued[pred];
+        for (key, v) in acc {
+            let v = if sv { P::one() } else { v };
+            let key = mint_key(&mut engine.interner, &key);
+            let diff = v.minus(&P::zero());
+            if diff.is_zero() {
+                col.stats.counters.merges_absorbed += 1;
+                continue;
+            }
+            next_delta[pred].append_row(&key, diff);
+            let r = state.new[pred].insert_row(&key, v);
+            state.changed[pred].insert(r, None);
+            col.stats.counters.rows_inserted += 1;
+        }
+    }
+    col.stats.counters.minted_ids += (engine.interner.len() - minted_before) as u64;
+    col.stats.phases.mint += t_mint.elapsed().as_nanos() as u64;
+    state.delta = next_delta;
+    ensure_delta_indexes(engine, state);
+}
+
+pub(crate) fn ensure_delta_indexes<P: Pops>(engine: &Engine<P>, state: &mut IdbState<P>) {
     for (pred, rel) in state.delta.iter_mut().enumerate() {
         for &mask in &engine.idb_delta_masks[pred] {
             rel.ensure_index(mask);

@@ -1,0 +1,1063 @@
+//! Incremental maintenance: a live [`Materialization`] that absorbs
+//! EDB edits without re-running the fixpoint from scratch.
+//!
+//! ## Inserts: telescoping the EDB differential
+//!
+//! For an edit `E ↦ E ⊕ ΔE` the new fixpoint's seed difference
+//! telescopes over the EDB *occurrences* of each sum-product exactly
+//! like Theorem 6.5 telescopes over IDB occurrences: for a body with
+//! occurrences `E₁ … Eₙ` of edited relations,
+//!
+//! ```text
+//! F'(J) ⊖ F(J) = ⊕ᵢ  (E@old …)  ⊗ ΔEᵢ ⊗ (E@new …)
+//!                    └ j < i ┘            └ j > i ┘
+//! ```
+//!
+//! which is exact under distributivity of `⊗` over `⊕` — no dioid
+//! structure needed for the identity itself. [`Materialization::new`]
+//! compiles these *variant rules* once (predicates renamed with the
+//! reserved `@dlt`/`@old` suffixes, which resolve to engine EDB slots
+//! populated per edit), so every edit reuses the same plans; the
+//! `@dlt` binder is forced first by the join order, making the edit
+//! seed `O(|Δ|·join)` instead of a full scan. Because the old fixpoint
+//! `J` is a pre-fixpoint of the grown immediate-consequence operator
+//! `F'`, the ordinary semi-naïve continuation from `J` with seed
+//! `δ = F'(J) ⊖ F(J)` converges to the new least fixpoint — *insert-only
+//! maintenance needs no retraction machinery at all*.
+//!
+//! ## Deletes: DRed generalized to dioid values
+//!
+//! Deletion is where non-idempotent / non-invertible `⊕` bites: a
+//! deleted row's contributions are folded into downstream sums and
+//! cannot be subtracted pointwise (no general `⊖` restores them, and
+//! on absorptive dioids many distinct support sets share one value).
+//! The classical delete–rederive answer carries over to POPS values:
+//!
+//! 1. **Overapproximate the affected set**: every IDB key whose
+//!    *derivation-uses* graph reaches a deleted EDB row, found by
+//!    running the same `@dlt` variant plans (batch rows at their old
+//!    values) and then propagating key-sets through the compiled delta
+//!    plans against the pre-edit state. This is per-fact supporting-rule
+//!    provenance read off the plans themselves — purely syntactic, so
+//!    it is sound for any POPS: joins enumerate instances by key, and a
+//!    zero-valued instance stays zero when inputs shrink (value maps
+//!    are monotone and deletions move values down the natural order).
+//! 2. **Zero out**: drop every affected row (storage is rebuilt without
+//!    them — the surviving rows keep their exact values, because no
+//!    derivation reaching them ever touched a deleted fact).
+//! 3. **Rederive from surviving support**: one full application
+//!    `F'(surv)` of the original seed plans (restricted to predicates
+//!    with affected keys), whose contributions re-enter through the
+//!    standard semi-naïve advance, then run the delta loop to fixpoint.
+//!    The survivors form a pre-fixpoint of `F'` below the new fixpoint,
+//!    so the continuation converges to it; surviving keys self-absorb
+//!    in the advance (`F'(surv)ₖ ⊖ survₖ = 0`), which is what makes the
+//!    overapproximation harmless even when `⊕` is not idempotent.
+//!
+//! ## Naïve mode
+//!
+//! POPS without `⊖` (e.g. `NNReal` for company control) cannot run the
+//! semi-naïve continuation, but both arguments above only need a
+//! pre-fixpoint start: [`Materialization::insert_naive`] /
+//! [`Materialization::delete_naive`] run the naïve loop `J ↦ F'(J)`
+//! from the old state (respectively the survivors) with the original
+//! seed plans only — the variant rules stay out, since naïve steps
+//! recompute full sums and the differential would double-count.
+//!
+//! ## Contract
+//!
+//! * Edits target **POPS EDB relations** only (Boolean guard EDBs are
+//!   static; re-build for those).
+//! * [`dlo_core::edit::FactInsert`] `⊕`-merges a value into a tuple;
+//!   [`dlo_core::edit::FactDelete`] removes the tuple's fact entirely.
+//!   Lower a value by deleting then re-inserting.
+//! * Results are **bit-identical to the from-scratch fixpoint on the
+//!   edited EDB** at any `DLO_ENGINE_THREADS` (same task-order merges,
+//!   sorted drains, and mint-between-phases as every other driver),
+//!   with one documented caveat shared with the interned-EDB chain:
+//!   the active domain only ever grows — constants introduced by
+//!   earlier epochs remain enumerable by programs with unbound slots.
+//! * Each edit produces its own [`EvalStats`] (per-phase, per-rule)
+//!   via [`Materialization::last_stats`].
+//! * An edit that exceeds the step cap panics: the handle's state
+//!   would otherwise be mid-fixpoint. Pick caps as for from-scratch
+//!   runs.
+
+use crate::driver::{
+    apply_contrib, ensure_delta_indexes, mint_key, run_plans, setup_or_panic, Engine, EngineOpts,
+    IdbState,
+};
+use crate::hash::FxHashMap;
+use crate::output::InternedOutput;
+use crate::plan::{Plan, Source, EDB_DELTA_SUFFIX, EDB_OLD_SUFFIX};
+use crate::query::{engine_query_eval_interned_edb, QueryAnswer};
+use crate::storage::{ColMask, ColumnRel};
+use crate::telemetry::Collector;
+use crate::worklist::Strategy;
+use dlo_core::ast::{Program, Rule};
+use dlo_core::edit::{Edit, FactDelete, FactInsert};
+use dlo_core::eval::stats::EvalStats;
+use dlo_core::query::Query;
+use dlo_core::relation::{BoolDatabase, Database};
+use dlo_core::value::Constant;
+use dlo_pops::{
+    Absorptive, CompleteDistributiveDioid, NaturallyOrdered, Pops, TotallyOrderedDioid,
+};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Engine EDB-slot bookkeeping for one editable predicate.
+struct EditSlot {
+    /// Predicate name in the source program.
+    name: String,
+    /// Arity (from its factor occurrences).
+    arity: usize,
+    /// `pops_edb` index of the live relation.
+    cur: usize,
+    /// `pops_edb` index of the `name@dlt` edit-batch relation.
+    dlt: Option<usize>,
+    /// `pops_edb` index of the `name@old` pre-edit snapshot (only
+    /// registered when some sum-product mentions the predicate at two
+    /// or more occurrences).
+    old: Option<usize>,
+}
+
+/// A long-lived materialized fixpoint over an interned engine state,
+/// absorbing EDB edits incrementally (see the module docs for the
+/// algorithm and its correctness argument).
+///
+/// Built by [`Materialization::new`] (semi-naïve differential edits,
+/// needs `⊖`) or [`Materialization::new_naive`] (naïve-loop edits, any
+/// naturally ordered POPS). [`Materialization::query`] delegates to the
+/// magic-set demand path against the current epoch.
+pub struct Materialization<P: Pops> {
+    /// The original program (used by the query rewrite; the engine runs
+    /// the augmented maintenance program).
+    program: Program<P>,
+    engine: Engine<P>,
+    state: IdbState<P>,
+    /// Original-rule full-application plans (initial build, naïve
+    /// edits, delete rederive).
+    seed_plans: Vec<Plan<P>>,
+    /// Variant-rule telescoped plans reading `@dlt`/`@old` (insert
+    /// differential seed, delete affected-set seed).
+    edit_plans: Vec<Plan<P>>,
+    /// Original-rule semi-naïve delta plans (continuation loops and
+    /// affected-set propagation).
+    delta_plans: Vec<Plan<P>>,
+    /// Probe masks required per `pops_edb` slot, so relations staged or
+    /// rebuilt between edits carry the indexes the plans expect.
+    pops_masks: Vec<Vec<ColMask>>,
+    slots: Vec<EditSlot>,
+    /// The authoritative classic-form EDB at the current epoch (feeds
+    /// the query path and differential testing).
+    edb: Database<P>,
+    bool_edb: BoolDatabase,
+    cap: usize,
+    strategy: Strategy,
+    opts: EngineOpts,
+    epoch: u64,
+    snapshot: Option<InternedOutput<P>>,
+    last_stats: EvalStats,
+}
+
+/// Appends the telescoped variant rules: for each sum-product and each
+/// EDB occurrence `i`, a copy reading `E@dlt` at `i`, `E@old` at
+/// earlier EDB occurrences, and the live relations elsewhere. Factor
+/// order (and with it `⊗` order) is preserved, which is what makes the
+/// telescoping identity exact for non-commutative value assembly.
+fn maintenance_program<P: Pops>(program: &Program<P>) -> (Program<P>, Vec<(String, usize)>) {
+    let idbs: HashSet<&str> = program.rules.iter().map(|r| r.head.pred.as_str()).collect();
+    let mut editable: Vec<(String, usize)> = vec![];
+    let mut out = program.clone();
+    for rule in &program.rules {
+        assert!(
+            !rule.head.pred.contains('@'),
+            "predicate {:?} uses the reserved '@' namespace",
+            rule.head.pred
+        );
+        for sp in &rule.body {
+            for f in &sp.factors {
+                assert!(
+                    !f.atom.pred.contains('@'),
+                    "predicate {:?} uses the reserved '@' namespace",
+                    f.atom.pred
+                );
+            }
+            let edb_occs: Vec<usize> = sp
+                .factors
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !idbs.contains(f.atom.pred.as_str()))
+                .map(|(i, _)| i)
+                .collect();
+            for (fi, f) in sp.factors.iter().enumerate() {
+                if edb_occs.contains(&fi) && !editable.iter().any(|(n, _)| *n == f.atom.pred) {
+                    editable.push((f.atom.pred.clone(), f.atom.args.len()));
+                }
+            }
+            for (vi, &fi) in edb_occs.iter().enumerate() {
+                let mut vsp = sp.clone();
+                vsp.factors[fi].atom.pred =
+                    format!("{}{}", vsp.factors[fi].atom.pred, EDB_DELTA_SUFFIX);
+                for &fj in &edb_occs[..vi] {
+                    vsp.factors[fj].atom.pred =
+                        format!("{}{}", vsp.factors[fj].atom.pred, EDB_OLD_SUFFIX);
+                }
+                out.rules.push(Rule {
+                    head: rule.head.clone(),
+                    body: vec![vsp],
+                });
+            }
+        }
+    }
+    (out, editable)
+}
+
+impl<P: Pops + Send + Sync> Materialization<P> {
+    /// Shared construction: compile the maintenance program, partition
+    /// plans, and resolve the edit slots. The fixpoint itself is run by
+    /// the public constructors.
+    fn prepare(
+        program: &Program<P>,
+        pops_edb: &Database<P>,
+        bool_edb: &BoolDatabase,
+        cap: usize,
+        strategy: Strategy,
+        opts: &EngineOpts,
+    ) -> Self {
+        for (name, _) in pops_edb.iter() {
+            assert!(
+                !name.contains('@'),
+                "EDB predicate {name:?} uses the reserved '@' namespace"
+            );
+        }
+        let (aug, editable) = maintenance_program(program);
+        let n_rules = program.rules.len();
+        let mut engine = setup_or_panic(&aug, pops_edb, bool_edb, &[]);
+        engine.build_edb_indexes(&[], opts.effective_threads());
+        let seed_plans: Vec<Plan<P>> = engine
+            .compiled
+            .seed_plans
+            .iter()
+            .filter(|p| p.rule_idx < n_rules)
+            .cloned()
+            .collect();
+        let edit_plans: Vec<Plan<P>> = engine
+            .compiled
+            .seed_plans
+            .iter()
+            .filter(|p| p.rule_idx >= n_rules)
+            .cloned()
+            .collect();
+        let delta_plans: Vec<Plan<P>> = engine
+            .compiled
+            .delta_plans
+            .iter()
+            .filter(|p| p.rule_idx < n_rules)
+            .cloned()
+            .collect();
+        let mut pops_masks: Vec<Vec<ColMask>> = vec![vec![]; engine.pops_edb.len()];
+        for &(source, mask) in &engine.edb_reqs {
+            if let Source::PopsEdb(i) = source {
+                if !pops_masks[i].contains(&mask) {
+                    pops_masks[i].push(mask);
+                }
+            }
+        }
+        let pos = |name: &str| engine.compiled.pops_edbs.iter().position(|n| n == name);
+        let slots: Vec<EditSlot> = editable
+            .into_iter()
+            .map(|(name, arity)| EditSlot {
+                cur: pos(&name).expect("every editable predicate is a compiled EDB"),
+                dlt: pos(&format!("{name}{EDB_DELTA_SUFFIX}")),
+                old: pos(&format!("{name}{EDB_OLD_SUFFIX}")),
+                name,
+                arity,
+            })
+            .collect();
+        let nidb = engine.compiled.idbs.len();
+        let mut state = IdbState {
+            new: engine.empty_idbs(),
+            changed: vec![FxHashMap::default(); nidb],
+            delta: engine.empty_idbs(),
+        };
+        for (pred, rel) in state.new.iter_mut().enumerate() {
+            for &mask in &engine.idb_new_masks[pred] {
+                rel.ensure_index(mask);
+            }
+        }
+        Materialization {
+            program: program.clone(),
+            engine,
+            state,
+            seed_plans,
+            edit_plans,
+            delta_plans,
+            pops_masks,
+            slots,
+            edb: pops_edb.clone(),
+            bool_edb: bool_edb.clone(),
+            cap,
+            strategy,
+            opts: opts.clone(),
+            epoch: 0,
+            snapshot: None,
+            last_stats: EvalStats::default(),
+        }
+    }
+
+    /// The epoch counter: bumped by every edit.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The [`EvalStats`] of the last build or edit (per-phase and
+    /// per-rule, like every engine driver).
+    pub fn last_stats(&self) -> &EvalStats {
+        &self.last_stats
+    }
+
+    /// The classic-form EDB at the current epoch (edits applied).
+    pub fn edb(&self) -> &Database<P> {
+        &self.edb
+    }
+
+    /// One maintained value, decode-free: `None` if the tuple (or any
+    /// of its constants) is not in the fixpoint's support.
+    pub fn get(&self, pred: &str, tuple: &[Constant]) -> Option<&P> {
+        let pi = self
+            .engine
+            .compiled
+            .idbs
+            .iter()
+            .position(|(n, _)| n == pred)?;
+        let key: Option<Vec<u32>> = tuple
+            .iter()
+            .map(|c| self.engine.interner.lookup(c))
+            .collect();
+        self.state.new[pi].get(&key?)
+    }
+
+    /// Support size of one maintained IDB predicate (0 if unknown).
+    pub fn support_size(&self, pred: &str) -> usize {
+        self.engine
+            .compiled
+            .idbs
+            .iter()
+            .position(|(n, _)| n == pred)
+            .map_or(0, |pi| self.state.new[pi].len())
+    }
+
+    /// The current epoch as a decode-free [`InternedOutput`] snapshot
+    /// (cloned lazily, invalidated by edits). This is the epoch handle
+    /// the ROADMAP's query server chains further evaluations on.
+    pub fn output(&mut self) -> &InternedOutput<P> {
+        if self.snapshot.is_none() {
+            self.snapshot = Some(InternedOutput::new(
+                self.engine.interner.clone(),
+                self.engine.compiled.idbs.clone(),
+                self.state.new.clone(),
+            ));
+        }
+        self.snapshot.as_ref().expect("just built")
+    }
+
+    fn begin_edit(&mut self) {
+        self.snapshot = None;
+        self.epoch += 1;
+    }
+
+    /// Clears the per-edit `changed` maps so that between edits (and
+    /// during affected-set propagation) `Old` reads coincide with the
+    /// current state.
+    fn settle(&mut self) {
+        for ch in &mut self.state.changed {
+            ch.clear();
+        }
+    }
+
+    fn slot_index(&self, pred: &str) -> usize {
+        self.slots
+            .iter()
+            .position(|s| s.name == pred)
+            .unwrap_or_else(|| {
+                panic!("edit targets {pred:?}, which is not an EDB predicate of the program")
+            })
+    }
+
+    /// Re-sorts the active domain after batch constants were interned
+    /// (mirrors the setup-time enumeration order).
+    fn refresh_adom(&mut self) {
+        let interner = &self.engine.interner;
+        let mut adom: Vec<u32> = (0..interner.len() as u32).collect();
+        adom.sort_by(|a, b| interner.get(*a).cmp(interner.get(*b)));
+        self.engine.adom = adom;
+    }
+
+    /// Interns and stages an insert batch: snapshots `@old` where
+    /// registered, builds the `@dlt` relations (duplicate tuples
+    /// `⊕`-merge), and `⊕`-merges the rows into the live interned and
+    /// classic relations. Returns the touched slot indexes.
+    fn stage_insert(&mut self, batch: &[FactInsert<P>]) -> Vec<usize> {
+        let before_len = self.engine.interner.len();
+        let mut per_slot: Vec<Vec<(Vec<u32>, P)>> = (0..self.slots.len()).map(|_| vec![]).collect();
+        for f in batch {
+            let si = self.slot_index(&f.pred);
+            let slot = &self.slots[si];
+            assert_eq!(
+                f.tuple.len(),
+                slot.arity,
+                "insert into {:?} with arity {} (expected {})",
+                f.pred,
+                f.tuple.len(),
+                slot.arity
+            );
+            let (name, arity) = (slot.name.clone(), slot.arity);
+            let key: Vec<u32> = f
+                .tuple
+                .iter()
+                .map(|c| self.engine.interner.intern(c))
+                .collect();
+            per_slot[si].push((key, f.value.clone()));
+            self.edb
+                .get_or_insert(&name, arity)
+                .merge(f.tuple.clone(), f.value.clone());
+        }
+        if self.engine.interner.len() > before_len {
+            self.refresh_adom();
+        }
+        let mut touched = vec![];
+        for (si, rows) in per_slot.into_iter().enumerate() {
+            if rows.is_empty() {
+                continue;
+            }
+            touched.push(si);
+            let (cur, dlt, old, arity) = {
+                let s = &self.slots[si];
+                (s.cur, s.dlt, s.old, s.arity)
+            };
+            if let Some(oi) = old {
+                let mut snap = self.engine.pops_edb[cur].clone();
+                if let Some(rel) = snap.as_mut() {
+                    for &mask in &self.pops_masks[oi] {
+                        rel.ensure_index(mask);
+                    }
+                }
+                self.engine.pops_edb[oi] = snap;
+            }
+            if let Some(di) = dlt {
+                let mut d = ColumnRel::new(arity);
+                for &mask in &self.pops_masks[di] {
+                    d.ensure_index(mask);
+                }
+                for (key, v) in &rows {
+                    d.merge(key, v.clone());
+                }
+                self.engine.pops_edb[di] = Some(d);
+            }
+            if self.engine.pops_edb[cur].is_none() {
+                let mut r = ColumnRel::new(arity);
+                for &mask in &self.pops_masks[cur] {
+                    r.ensure_index(mask);
+                }
+                self.engine.pops_edb[cur] = Some(r);
+            }
+            let live = self.engine.pops_edb[cur].as_mut().expect("just ensured");
+            for (key, v) in rows {
+                live.merge(&key, v);
+            }
+        }
+        touched
+    }
+
+    /// Stages a delete batch: `@dlt` holds the *present* targeted rows
+    /// at their current values, `@old` snapshots the pre-delete
+    /// relation (so every telescoped variant enumerates marking
+    /// instances), and the classic mirror drops the facts. The live
+    /// interned relations are **not** touched yet — the affected-set
+    /// propagation runs against the pre-delete state. Returns the
+    /// deleted interned keys per touched slot.
+    fn stage_delete(&mut self, batch: &[FactDelete]) -> Vec<(usize, HashSet<Box<[u32]>>)> {
+        let mut per_slot: Vec<HashSet<Box<[u32]>>> =
+            (0..self.slots.len()).map(|_| HashSet::new()).collect();
+        for f in batch {
+            let si = self.slot_index(&f.pred);
+            let slot = &self.slots[si];
+            assert_eq!(
+                f.tuple.len(),
+                slot.arity,
+                "delete from {:?} with arity {} (expected {})",
+                f.pred,
+                f.tuple.len(),
+                slot.arity
+            );
+            let (name, arity, cur) = (slot.name.clone(), slot.arity, slot.cur);
+            let key: Option<Vec<u32>> = f
+                .tuple
+                .iter()
+                .map(|c| self.engine.interner.lookup(c))
+                .collect();
+            let Some(key) = key else { continue };
+            let present = self.engine.pops_edb[cur]
+                .as_ref()
+                .is_some_and(|r| r.rowid(&key).is_some());
+            if !present {
+                continue;
+            }
+            per_slot[si].insert(key.into());
+            self.edb
+                .get_or_insert(&name, arity)
+                .set(f.tuple.clone(), P::bottom());
+        }
+        let mut staged = vec![];
+        for (si, keys) in per_slot.into_iter().enumerate() {
+            if keys.is_empty() {
+                continue;
+            }
+            let (cur, dlt, old, arity) = {
+                let s = &self.slots[si];
+                (s.cur, s.dlt, s.old, s.arity)
+            };
+            if let Some(oi) = old {
+                let mut snap = self.engine.pops_edb[cur].clone();
+                if let Some(rel) = snap.as_mut() {
+                    for &mask in &self.pops_masks[oi] {
+                        rel.ensure_index(mask);
+                    }
+                }
+                self.engine.pops_edb[oi] = snap;
+            }
+            if let Some(di) = dlt {
+                let mut d = ColumnRel::new(arity);
+                for &mask in &self.pops_masks[di] {
+                    d.ensure_index(mask);
+                }
+                let live = self.engine.pops_edb[cur].as_ref().expect("checked present");
+                for (_, row, v) in live.iter() {
+                    if keys.contains(row) {
+                        d.insert_row(row, v.clone());
+                    }
+                }
+                self.engine.pops_edb[di] = Some(d);
+            }
+            staged.push((si, keys));
+        }
+        staged
+    }
+
+    /// Clears the `@dlt` relations (masks stay registered) and drops
+    /// the `@old` snapshots of the touched slots.
+    fn clear_edit_rels(&mut self, touched: &[usize]) {
+        for &si in touched {
+            let (dlt, old) = (self.slots[si].dlt, self.slots[si].old);
+            if let Some(di) = dlt {
+                if let Some(rel) = self.engine.pops_edb[di].as_mut() {
+                    rel.clear();
+                }
+            }
+            if let Some(oi) = old {
+                self.engine.pops_edb[oi] = None;
+            }
+        }
+    }
+
+    /// Rebuilds the live interned relations without the deleted rows.
+    fn apply_edb_deletes(&mut self, staged: &[(usize, HashSet<Box<[u32]>>)]) {
+        for (si, keys) in staged {
+            let (cur, arity) = (self.slots[*si].cur, self.slots[*si].arity);
+            let old_rel = self.engine.pops_edb[cur].take().expect("staged ⇒ present");
+            let mut next = ColumnRel::new(arity);
+            for &mask in &self.pops_masks[cur] {
+                next.ensure_index(mask);
+            }
+            for (_, row, v) in old_rel.iter() {
+                if !keys.contains(row) {
+                    next.insert_row(row, v.clone());
+                }
+            }
+            self.engine.pops_edb[cur] = Some(next);
+        }
+    }
+
+    /// The DRed marking pass: the overapproximated affected set, as
+    /// row-id sets into the current IDB state. Runs the `@dlt` variant
+    /// plans to seed, then propagates key-sets through the original
+    /// delta plans (rows carry their full current values; only the
+    /// emitted keys are used) until closure. Must run against the
+    /// pre-delete state with empty `changed` maps.
+    fn affected_closure(&mut self, col: &mut Collector, steps: &mut usize) -> Vec<HashSet<u32>> {
+        let nidb = self.engine.compiled.idbs.len();
+        let mut affected: Vec<HashSet<u32>> = (0..nidb).map(|_| HashSet::new()).collect();
+        let before = col.stats.counters;
+        let (contrib, _fresh) =
+            run_plans(&self.engine, &self.edit_plans, &self.state, &self.opts, col);
+        let mut frontier: Vec<Vec<u32>> = vec![vec![]; nidb];
+        for (pred, acc) in contrib.into_iter().enumerate() {
+            let new = &self.state.new[pred];
+            let (aff, front) = (&mut affected[pred], &mut frontier[pred]);
+            acc.drain_sorted(|key, _| {
+                if let Some(r) = new.rowid(key) {
+                    if aff.insert(r) {
+                        front.push(r);
+                    }
+                }
+            });
+        }
+        col.end_step(*steps, 0, 0, &before);
+        while frontier.iter().any(|f| !f.is_empty()) {
+            *steps += 1;
+            assert!(
+                *steps <= self.cap,
+                "Materialization delete marking exceeded the step cap ({})",
+                self.cap
+            );
+            let before = col.stats.counters;
+            let mut delta = self.engine.empty_idbs();
+            let mut delta_rows = 0u64;
+            for (pred, rows) in frontier.iter().enumerate() {
+                let new = &self.state.new[pred];
+                for &r in rows {
+                    delta[pred].append_row(new.row(r), new.val(r).clone());
+                    delta_rows += 1;
+                }
+            }
+            self.state.delta = delta;
+            ensure_delta_indexes(&self.engine, &mut self.state);
+            let (contrib, _fresh) = run_plans(
+                &self.engine,
+                &self.delta_plans,
+                &self.state,
+                &self.opts,
+                col,
+            );
+            frontier = vec![vec![]; nidb];
+            for (pred, acc) in contrib.into_iter().enumerate() {
+                let new = &self.state.new[pred];
+                let (aff, front) = (&mut affected[pred], &mut frontier[pred]);
+                acc.drain_sorted(|key, _| {
+                    if let Some(r) = new.rowid(key) {
+                        if aff.insert(r) {
+                            front.push(r);
+                        }
+                    }
+                });
+            }
+            col.end_step(*steps, delta_rows, 0, &before);
+        }
+        self.state.delta = self.engine.empty_idbs();
+        ensure_delta_indexes(&self.engine, &mut self.state);
+        affected
+    }
+
+    /// Rebuilds the affected IDB relations without the marked rows
+    /// (the zero-out step; surviving rows keep their exact values and
+    /// row order, so all downstream drains stay deterministic).
+    fn retract_affected(&mut self, affected: &[HashSet<u32>]) {
+        for (pred, rows) in affected.iter().enumerate() {
+            if rows.is_empty() {
+                continue;
+            }
+            let arity = self.engine.compiled.idbs[pred].1;
+            let old = std::mem::replace(&mut self.state.new[pred], ColumnRel::new(arity));
+            let mut next = ColumnRel::new(arity);
+            for &mask in &self.engine.idb_new_masks[pred] {
+                next.ensure_index(mask);
+            }
+            for (r, row, v) in old.iter() {
+                if !rows.contains(&r) {
+                    next.insert_row(row, v.clone());
+                }
+            }
+            self.state.new[pred] = next;
+            self.state.changed[pred].clear();
+        }
+    }
+
+    /// The naïve loop `J ↦ F'(J)` from the current state using the
+    /// original seed plans, to fixpoint. Starting from a pre-fixpoint
+    /// (the old state after an insert; the survivors after a delete)
+    /// it converges to the new least fixpoint.
+    fn naive_loop(&mut self, col: &mut Collector) -> usize
+    where
+        P: NaturallyOrdered,
+    {
+        for steps in 0..=self.cap {
+            let before = col.stats.counters;
+            let (contrib, fresh) =
+                run_plans(&self.engine, &self.seed_plans, &self.state, &self.opts, col);
+            let mut next = self.engine.empty_idbs();
+            for (pred, acc) in contrib.into_iter().enumerate() {
+                let sv = self.engine.compiled.set_valued[pred];
+                acc.drain_sorted(|key, v| {
+                    next[pred].insert_row(key, if sv { P::one() } else { v });
+                });
+            }
+            let t_mint = Instant::now();
+            let minted_before = self.engine.interner.len();
+            for (pred, acc) in fresh.into_iter().enumerate() {
+                let sv = self.engine.compiled.set_valued[pred];
+                for (key, v) in acc {
+                    let key = mint_key(&mut self.engine.interner, &key);
+                    next[pred].insert_row(&key, if sv { P::one() } else { v });
+                }
+            }
+            col.stats.counters.minted_ids += (self.engine.interner.len() - minted_before) as u64;
+            col.stats.phases.mint += t_mint.elapsed().as_nanos() as u64;
+            let fixed = next
+                .iter()
+                .zip(&self.state.new)
+                .all(|(n, c)| n.len() == c.len() && n.iter().all(|(_, k, v)| c.get(k) == Some(v)));
+            col.end_step(steps, 0, 0, &before);
+            if fixed {
+                return steps;
+            }
+            for (pred, rel) in next.iter_mut().enumerate() {
+                for &mask in &self.engine.idb_new_masks[pred] {
+                    rel.ensure_index(mask);
+                }
+            }
+            self.state.new = next;
+        }
+        panic!(
+            "Materialization naïve edit exceeded the step cap ({}): program diverges on the edited EDB",
+            self.cap
+        );
+    }
+}
+
+impl<P> Materialization<P>
+where
+    P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
+{
+    /// Builds the materialization and runs the initial fixpoint with
+    /// the parallel semi-naïve loop. `strategy` governs the demand path
+    /// behind [`Materialization::query`]; edits always run the
+    /// semi-naïve differential continuation.
+    ///
+    /// # Panics
+    ///
+    /// On programs the columnar storage cannot represent, on predicate
+    /// names using the reserved `@` namespace, and when the initial
+    /// fixpoint exceeds `cap` steps.
+    pub fn new(
+        program: &Program<P>,
+        pops_edb: &Database<P>,
+        bool_edb: &BoolDatabase,
+        cap: usize,
+        strategy: Strategy,
+        opts: &EngineOpts,
+    ) -> Self {
+        let t = Instant::now();
+        let mut m = Self::prepare(program, pops_edb, bool_edb, cap, strategy, opts);
+        let mut col = Collector::new(
+            "incremental-build",
+            m.opts.effective_threads(),
+            t.elapsed().as_nanos() as u64,
+            m.engine.compiled.plan_metas(),
+            &m.opts,
+        );
+        let t_eval = Instant::now();
+        let steps = m.seminaive_build(&mut col);
+        m.settle();
+        m.last_stats = col.finish(steps, true, t_eval.elapsed().as_nanos() as u64);
+        m
+    }
+
+    /// The initial semi-naïve fixpoint: seed `J(1) = F(0)`, then the
+    /// delta loop (mirrors the from-scratch driver over the original
+    /// rules; the variant rules see empty `@dlt` and contribute
+    /// nothing).
+    fn seminaive_build(&mut self, col: &mut Collector) -> usize {
+        let seed_before = col.stats.counters;
+        let (contrib, fresh) =
+            run_plans(&self.engine, &self.seed_plans, &self.state, &self.opts, col);
+        for (pred, acc) in contrib.into_iter().enumerate() {
+            let sv = self.engine.compiled.set_valued[pred];
+            let state = &mut self.state;
+            let c = &mut col.stats.counters;
+            acc.drain_sorted(|key, v| {
+                let v = if sv { P::one() } else { v };
+                let r = state.new[pred].insert_row(key, v.clone());
+                state.changed[pred].insert(r, None);
+                state.delta[pred].append_row(key, v);
+                c.rows_inserted += 1;
+            });
+        }
+        let t_mint = Instant::now();
+        let minted_before = self.engine.interner.len();
+        for (pred, acc) in fresh.into_iter().enumerate() {
+            let sv = self.engine.compiled.set_valued[pred];
+            for (key, v) in acc {
+                let v = if sv { P::one() } else { v };
+                let key = mint_key(&mut self.engine.interner, &key);
+                let r = self.state.new[pred].insert_row(&key, v.clone());
+                self.state.changed[pred].insert(r, None);
+                self.state.delta[pred].append_row(&key, v);
+                col.stats.counters.rows_inserted += 1;
+            }
+        }
+        col.stats.counters.minted_ids += (self.engine.interner.len() - minted_before) as u64;
+        col.stats.phases.mint += t_mint.elapsed().as_nanos() as u64;
+        ensure_delta_indexes(&self.engine, &mut self.state);
+        col.end_step(0, 0, 0, &seed_before);
+        self.delta_loop(col, 0)
+    }
+
+    /// The semi-naïve continuation: run the original delta plans and
+    /// advance until every delta drains. Returns the final step count.
+    fn delta_loop(&mut self, col: &mut Collector, start: usize) -> usize {
+        let mut steps = start;
+        while !self.state.delta.iter().all(|d| d.is_empty()) {
+            steps += 1;
+            assert!(
+                steps <= self.cap,
+                "Materialization edit exceeded the step cap ({}): program diverges on the edited EDB",
+                self.cap
+            );
+            let before = col.stats.counters;
+            let delta_rows: u64 = self.state.delta.iter().map(|d| d.len() as u64).sum();
+            let (contrib, fresh) = run_plans(
+                &self.engine,
+                &self.delta_plans,
+                &self.state,
+                &self.opts,
+                col,
+            );
+            apply_contrib(&mut self.engine, &mut self.state, contrib, fresh, col);
+            col.end_step(steps, delta_rows, 0, &before);
+        }
+        steps
+    }
+
+    /// Absorbs an insert batch: `⊕`-merges the facts into the EDB and
+    /// advances the fixpoint by the telescoped differential — the
+    /// variant plans compute `F'(J) ⊖ F(J)` driven by the batch, the
+    /// standard advance folds it in, and the delta loop continues from
+    /// the old fixpoint (a pre-fixpoint of the grown operator).
+    ///
+    /// Returns the edit's own [`EvalStats`].
+    ///
+    /// # Panics
+    ///
+    /// On unknown predicates, arity mismatches, or cap overrun.
+    pub fn insert(&mut self, batch: &[FactInsert<P>]) -> &EvalStats {
+        let t = Instant::now();
+        self.begin_edit();
+        let touched = self.stage_insert(batch);
+        let mut col = Collector::new(
+            "incremental-insert",
+            self.opts.effective_threads(),
+            t.elapsed().as_nanos() as u64,
+            self.engine.compiled.plan_metas(),
+            &self.opts,
+        );
+        let t_eval = Instant::now();
+        let before = col.stats.counters;
+        let (contrib, fresh) = run_plans(
+            &self.engine,
+            &self.edit_plans,
+            &self.state,
+            &self.opts,
+            &mut col,
+        );
+        apply_contrib(&mut self.engine, &mut self.state, contrib, fresh, &mut col);
+        col.end_step(0, batch.len() as u64, 0, &before);
+        let steps = self.delta_loop(&mut col, 0);
+        self.clear_edit_rels(&touched);
+        self.settle();
+        self.last_stats = col.finish(steps, true, t_eval.elapsed().as_nanos() as u64);
+        &self.last_stats
+    }
+
+    /// Absorbs a delete batch by delete–rederive (module docs): mark
+    /// the affected closure against the pre-delete state, drop the
+    /// deleted EDB rows and the affected IDB rows, rederive from the
+    /// surviving support with the original seed plans, and run the
+    /// delta loop to fixpoint. Deleting absent facts is a no-op.
+    ///
+    /// Returns the edit's own [`EvalStats`].
+    ///
+    /// # Panics
+    ///
+    /// On unknown predicates, arity mismatches, or cap overrun.
+    pub fn delete(&mut self, batch: &[FactDelete]) -> &EvalStats {
+        let t = Instant::now();
+        self.begin_edit();
+        let staged = self.stage_delete(batch);
+        let mut col = Collector::new(
+            "incremental-delete",
+            self.opts.effective_threads(),
+            t.elapsed().as_nanos() as u64,
+            self.engine.compiled.plan_metas(),
+            &self.opts,
+        );
+        let t_eval = Instant::now();
+        if staged.is_empty() {
+            self.last_stats = col.finish(0, true, t_eval.elapsed().as_nanos() as u64);
+            return &self.last_stats;
+        }
+        let touched: Vec<usize> = staged.iter().map(|(si, _)| *si).collect();
+        let mut steps = 0usize;
+        let affected = self.affected_closure(&mut col, &mut steps);
+        self.clear_edit_rels(&touched);
+        self.apply_edb_deletes(&staged);
+        self.retract_affected(&affected);
+        let has_affected: Vec<bool> = affected.iter().map(|a| !a.is_empty()).collect();
+        if has_affected.iter().any(|&b| b) {
+            let rederive: Vec<Plan<P>> = self
+                .seed_plans
+                .iter()
+                .filter(|p| has_affected[p.head_pred])
+                .cloned()
+                .collect();
+            steps += 1;
+            let before = col.stats.counters;
+            let (contrib, fresh) =
+                run_plans(&self.engine, &rederive, &self.state, &self.opts, &mut col);
+            apply_contrib(&mut self.engine, &mut self.state, contrib, fresh, &mut col);
+            col.end_step(steps, 0, 0, &before);
+            steps = self.delta_loop(&mut col, steps);
+        }
+        self.settle();
+        self.last_stats = col.finish(steps, true, t_eval.elapsed().as_nanos() as u64);
+        &self.last_stats
+    }
+
+    /// Applies an edit script in order, one batch per edit. Returns the
+    /// stats of the last edit (each edit's stats are observable through
+    /// [`Materialization::last_stats`] between steps).
+    pub fn apply(&mut self, script: &[Edit<P>]) -> &EvalStats {
+        for edit in script {
+            match edit {
+                Edit::Insert(f) => {
+                    self.insert(std::slice::from_ref(f));
+                }
+                Edit::Delete(f) => {
+                    self.delete(std::slice::from_ref(f));
+                }
+            }
+        }
+        &self.last_stats
+    }
+}
+
+impl<P> Materialization<P>
+where
+    P: NaturallyOrdered + Send + Sync,
+{
+    /// [`Materialization::new`] for POPS **without** a `⊖` operator
+    /// (e.g. `NNReal`): the initial build and every edit run the naïve
+    /// loop `J ↦ F'(J)` — from the old state for inserts, from the
+    /// DRed survivors for deletes — which needs only natural order.
+    pub fn new_naive(
+        program: &Program<P>,
+        pops_edb: &Database<P>,
+        bool_edb: &BoolDatabase,
+        cap: usize,
+        opts: &EngineOpts,
+    ) -> Self {
+        let t = Instant::now();
+        let mut m = Self::prepare(program, pops_edb, bool_edb, cap, Strategy::Auto, opts);
+        let mut col = Collector::new(
+            "incremental-build-naive",
+            m.opts.effective_threads(),
+            t.elapsed().as_nanos() as u64,
+            m.engine.compiled.plan_metas(),
+            &m.opts,
+        );
+        let t_eval = Instant::now();
+        let steps = m.naive_loop(&mut col);
+        m.last_stats = col.finish(steps, true, t_eval.elapsed().as_nanos() as u64);
+        m
+    }
+
+    /// Naïve-mode insert: `⊕`-merge the batch into the EDB, then run
+    /// the naïve loop from the old fixpoint (a pre-fixpoint of the
+    /// grown operator — often a single confirming step when the edit is
+    /// absorbed). The variant rules stay out: naïve steps recompute
+    /// full sums, so the differential would double-count.
+    pub fn insert_naive(&mut self, batch: &[FactInsert<P>]) -> &EvalStats {
+        let t = Instant::now();
+        self.begin_edit();
+        let touched = self.stage_insert(batch);
+        // The naïve loop never reads the edit relations; drop them now.
+        self.clear_edit_rels(&touched);
+        let mut col = Collector::new(
+            "incremental-insert-naive",
+            self.opts.effective_threads(),
+            t.elapsed().as_nanos() as u64,
+            self.engine.compiled.plan_metas(),
+            &self.opts,
+        );
+        let t_eval = Instant::now();
+        let steps = self.naive_loop(&mut col);
+        self.last_stats = col.finish(steps, true, t_eval.elapsed().as_nanos() as u64);
+        &self.last_stats
+    }
+
+    /// Naïve-mode delete: the same DRed marking and zero-out as
+    /// [`Materialization::delete`] (the marking pass is purely
+    /// key-syntactic, no `⊖` involved), then the naïve loop rederives
+    /// from the surviving support.
+    pub fn delete_naive(&mut self, batch: &[FactDelete]) -> &EvalStats {
+        let t = Instant::now();
+        self.begin_edit();
+        let staged = self.stage_delete(batch);
+        let mut col = Collector::new(
+            "incremental-delete-naive",
+            self.opts.effective_threads(),
+            t.elapsed().as_nanos() as u64,
+            self.engine.compiled.plan_metas(),
+            &self.opts,
+        );
+        let t_eval = Instant::now();
+        if staged.is_empty() {
+            self.last_stats = col.finish(0, true, t_eval.elapsed().as_nanos() as u64);
+            return &self.last_stats;
+        }
+        let touched: Vec<usize> = staged.iter().map(|(si, _)| *si).collect();
+        let mut steps = 0usize;
+        let affected = self.affected_closure(&mut col, &mut steps);
+        self.clear_edit_rels(&touched);
+        self.apply_edb_deletes(&staged);
+        self.retract_affected(&affected);
+        steps += self.naive_loop(&mut col);
+        self.last_stats = col.finish(steps, true, t_eval.elapsed().as_nanos() as u64);
+        &self.last_stats
+    }
+}
+
+impl<P> Materialization<P>
+where
+    P: NaturallyOrdered
+        + CompleteDistributiveDioid
+        + Absorptive
+        + TotallyOrderedDioid
+        + Send
+        + Sync,
+{
+    /// Answers a query against the **current epoch** through the
+    /// magic-set demand path: the original program is rewritten for the
+    /// query's binding pattern and evaluated (with the configured
+    /// strategy) over the epoch's interner and the current classic EDB
+    /// — decode-free chaining, exactly the PR-5 path, so the demanded
+    /// fragment is recomputed rather than read from the materialized
+    /// state (subsumptive reuse is the ROADMAP's next step).
+    pub fn query(&mut self, query: &Query) -> QueryAnswer<P> {
+        if self.snapshot.is_none() {
+            self.output();
+        }
+        let snap = self.snapshot.as_ref().expect("just built");
+        engine_query_eval_interned_edb(
+            &self.program,
+            query,
+            snap,
+            &self.edb,
+            &self.bool_edb,
+            self.cap,
+            self.strategy,
+            &self.opts,
+        )
+    }
+}

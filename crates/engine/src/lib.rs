@@ -30,6 +30,10 @@
 //! * [`query`] — **demand-driven evaluation**: a `?- T("a", Y).` goal
 //!   is magic-set rewritten (`dlo_core::demand`) and evaluated by any
 //!   of the loops, with the frontier seeded from the query constants;
+//! * [`incremental`] — **incremental maintenance**: a long-lived
+//!   [`Materialization`] absorbs EDB edits — `⊕`-merge inserts by the
+//!   telescoped differential, deletes by dioid-valued delete–rederive —
+//!   without re-running the fixpoint from scratch;
 //! * [`output`] — **decode-free result handles**
 //!   ([`InternedOutput`]/[`InternedOutcome`]): the fixpoint stays
 //!   interned and `Database` materialization is deferred until asked
@@ -97,6 +101,38 @@
 //! join can bind (enumerated over the active domain) force the
 //! all-free fallback, since magic guards would re-scope those
 //! variables to the demanded set.
+//!
+//! ## Design note: incremental maintenance over non-idempotent `⊕`
+//!
+//! [`incremental`]'s two edit paths are deliberately asymmetric.
+//! **Inserts need no retraction machinery on any POPS**: growing the
+//! EDB grows the immediate-consequence operator pointwise, so the old
+//! fixpoint is a pre-fixpoint of the new operator and the ordinary
+//! semi-naïve continuation — seeded with the *telescoped EDB
+//! differential* `F'(J) ⊖ F(J)`, computed by `@dlt`-variant plans that
+//! replay Theorem 6.5's prefix-new/Δ/suffix-old split over EDB
+//! occurrences — converges to the new least fixpoint in `O(|Δ|)`-driven
+//! work. **Deletes are where idempotence would be quietly assumed**:
+//! classical DRed over the Boolean lattice can re-derive a deleted
+//! fact's value by finding *any* alternative derivation, but over a
+//! non-idempotent `⊕` (counting `Nat`, `ℝ₊` sums) a fact's value folds
+//! *every* derivation together, and over an absorptive dioid (`Trop`)
+//! distinct support sets share the same value — neither lets the engine
+//! subtract one lost derivation pointwise (there is no general `⊖`
+//! inverse: `minus` solves `x ⊕ ? = y` only from below). The engine
+//! therefore **overapproximates the affected set** — every IDB key
+//! whose derivation-uses graph reaches a deleted EDB row, enumerated
+//! *by key* from per-fact supporting-rule provenance (the compiled
+//! delta plans themselves) — zeroes those rows out entirely, and
+//! rederives them from the surviving support, which is exact because
+//! survivors are untouched by construction and form a pre-fixpoint of
+//! the shrunk operator. Key-level overapproximation is sound for any
+//! naturally ordered POPS: value maps are monotone, so an instance that
+//! contributed `0` before the delete still contributes `0` after, and
+//! surviving keys self-absorb in the semi-naïve advance. Insert-only
+//! workloads should prefer [`Materialization::insert`] alone — the
+//! marking pass, the zero-out, and the rederive all exist purely to pay
+//! for deletion.
 //!
 //! [`engine_eval`] takes a [`worklist::Strategy`] and is bounded over
 //! the union, with `Auto` resolving to the priority frontier — callers
@@ -223,6 +259,7 @@
 pub mod driver;
 pub mod exec;
 pub mod hash;
+pub mod incremental;
 pub mod intern;
 pub mod output;
 pub mod par;
@@ -241,6 +278,7 @@ pub use driver::{
     engine_seminaive_eval_interned, engine_seminaive_eval_interned_edb,
     engine_seminaive_eval_with_opts, EngineOpts,
 };
+pub use incremental::Materialization;
 pub use intern::Interner;
 pub use output::{InternedOutcome, InternedOutput};
 pub use plan::{compile, compile_demand, CompileError, CompiledProgram, Plan, PlanMeta};

@@ -33,6 +33,21 @@ use dlo_core::formula::{CmpOp, Formula};
 use dlo_pops::Pops;
 use std::collections::HashMap;
 
+/// Reserved predicate-name suffix naming an **EDB edit delta** in the
+/// variant rules the incremental maintenance driver
+/// ([`crate::incremental`]) appends to a program: `E@dlt` holds the
+/// rows of the current edit batch. The surface parser cannot produce
+/// `@` in a predicate name, so the suffix never collides with user
+/// programs. A binder on such a relation is forced first by the greedy
+/// join order (like an IDB Δ occurrence) so edit-seed joins are driven
+/// by the tiny batch instead of scanning the big stored relations.
+pub(crate) const EDB_DELTA_SUFFIX: &str = "@dlt";
+
+/// Reserved suffix for the **pre-edit snapshot** of an edited EDB
+/// relation (`E@old`), read by occurrences left of the `@dlt`
+/// occurrence in a telescoped variant rule.
+pub(crate) const EDB_OLD_SUFFIX: &str = "@old";
+
 /// Why a program cannot be compiled for the engine. Both variants are
 /// structural limits of the flat columnar storage (not language gaps
 /// like the old head-key-function rejection); the drivers surface them
@@ -650,10 +665,20 @@ impl Compiler<'_> {
         }
         let mut order: Vec<usize> = vec![];
         let mut remaining: Vec<usize> = (0..binders.len()).collect();
-        if let Some(di) = binders
+        // An EDB edit delta (`E@dlt`, see [`EDB_DELTA_SUFFIX`]) plays
+        // the same role in an incremental-maintenance variant rule as
+        // the IDB Δ does in a delta plan: tiny, and the reason the plan
+        // fires at all — so it gets the same forced-first treatment.
+        let forced = binders
             .iter()
             .position(|b| matches!(b.source, Source::IdbDelta(_)))
-        {
+            .or_else(|| {
+                binders.iter().position(|b| {
+                    matches!(b.source, Source::PopsEdb(_))
+                        && b.atom.pred.ends_with(EDB_DELTA_SUFFIX)
+                })
+            });
+        if let Some(di) = forced {
             order.push(di);
             remaining.retain(|&i| i != di);
             bind_atom_vars(binders[di].atom, &slot_of, &mut bound);

@@ -19,6 +19,7 @@
 //! in append mode). The collector emits every event from the
 //! coordinating thread only, so sinks never see concurrent calls.
 
+use crate::driver::EngineOpts;
 use crate::exec::ExecCounters;
 use crate::plan::PlanMeta;
 use dlo_core::eval::stats::{
@@ -33,6 +34,11 @@ pub(crate) struct Collector {
     per_plan: Vec<(ExecCounters, u64)>,
     metas: Vec<PlanMeta>,
     trace: Option<TraceHandle>,
+    /// Snapshot sampling stride from [`EngineOpts::iter_sample`] /
+    /// `DLO_STATS_SAMPLE`: only steps divisible by this are pushed into
+    /// [`EvalStats::iterations`] (sampled-out steps count as dropped;
+    /// `last_iter` and the trace stream always see every step).
+    iter_sample: u64,
 }
 
 /// Resolves the active trace handle: an explicit [`TraceHandle`] on
@@ -60,7 +66,7 @@ impl Collector {
         threads: usize,
         setup_ns: u64,
         metas: Vec<PlanMeta>,
-        opts_trace: Option<&TraceHandle>,
+        opts: &EngineOpts,
     ) -> Collector {
         let mut stats = EvalStats {
             strategy: strategy.to_string(),
@@ -68,7 +74,7 @@ impl Collector {
             ..EvalStats::default()
         };
         stats.phases.setup = setup_ns;
-        let trace = resolve_trace(opts_trace);
+        let trace = resolve_trace(opts.trace.as_ref());
         if let Some(t) = &trace {
             t.emit(&TraceEvent::RunStart {
                 strategy: strategy.to_string(),
@@ -85,6 +91,7 @@ impl Collector {
             per_plan,
             metas,
             trace,
+            iter_sample: opts.effective_iter_sample(),
         }
     }
 
@@ -118,8 +125,8 @@ impl Collector {
     }
 
     /// Completes one iteration/batch: computes the snapshot from the
-    /// counter delta since `before`, pushes it (cap-aware), and streams
-    /// it to the trace.
+    /// counter delta since `before`, pushes it (sample- and cap-aware),
+    /// and streams it to the trace.
     pub fn end_step(&mut self, step: usize, delta_rows: u64, queue_depth: u64, before: &Counters) {
         self.stats.counters.delta_rows += delta_rows;
         let d = self.stats.counters.since(before);
@@ -134,7 +141,14 @@ impl Collector {
             absorbed: d.merges_absorbed,
             minted: d.minted_ids,
         };
-        self.stats.push_iteration(it);
+        if it.step.is_multiple_of(self.iter_sample) {
+            self.stats.push_iteration(it);
+        } else {
+            // Sampled out: accounted like a cap overflow, and still the
+            // freshest `last_iter`.
+            self.stats.iterations_dropped += 1;
+            self.stats.last_iter = Some(it);
+        }
         if let Some(t) = &self.trace {
             t.emit(&TraceEvent::Iteration(it));
         }

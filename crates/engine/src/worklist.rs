@@ -488,7 +488,7 @@ where
         threads,
         setup_ns,
         engine.compiled.plan_metas(),
-        opts.trace.as_ref(),
+        opts,
     );
     let nidb = engine.compiled.idbs.len();
     let mut frontier = make_frontier(nidb);

@@ -42,8 +42,8 @@ pub use dlo_engine::{
     engine_query_eval_interned_edb, engine_query_eval_with_opts, engine_query_naive_eval,
     engine_query_seminaive_eval, engine_seminaive_eval, engine_seminaive_eval_interned,
     engine_seminaive_eval_interned_edb, engine_worklist_eval, engine_worklist_eval_with_opts,
-    EngineOpts, EvalStats, InternedOutcome, InternedOutput, JsonlSink, MemorySink, QueryAnswer,
-    RuleProfile, Strategy, TraceEvent, TraceHandle, TraceSink,
+    EngineOpts, EvalStats, InternedOutcome, InternedOutput, JsonlSink, Materialization, MemorySink,
+    QueryAnswer, RuleProfile, Strategy, TraceEvent, TraceHandle, TraceSink,
 };
 
 /// Evaluates a program with the **default backend**: the execution

@@ -23,6 +23,7 @@ use datalog_o::core::{
     relational_seminaive_eval, BoolDatabase, Database, Program, ProgramParser, Query, Relation,
     UnaryFn,
 };
+use datalog_o::core::{FactDelete, FactInsert};
 use datalog_o::pops::{
     Absorptive, Bool, CompleteDistributiveDioid, MinNat, NNReal, NaturallyOrdered,
     TotallyOrderedDioid, Trop, TropP,
@@ -30,7 +31,7 @@ use datalog_o::pops::{
 use datalog_o::{
     engine_eval, engine_eval_interned, engine_eval_with_opts, engine_naive_eval,
     engine_query_eval_with_opts, engine_query_naive_eval, engine_query_seminaive_eval,
-    engine_seminaive_eval, EngineOpts, Strategy,
+    engine_seminaive_eval, EngineOpts, Materialization, Strategy,
 };
 
 const CAP: usize = 100_000;
@@ -846,6 +847,140 @@ fn stats_iteration_inserts_sum_to_final_support() {
             "{strategy:?}: last_iter mirrors the newest snapshot"
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// Incremental legs: a live `Materialization` driven through edits must
+// land on exactly the grounded oracle's fixpoint for the edited EDB
+// after every step — the same reference the batch legs above use.
+
+/// SSSP gradient with an edge retraction that **lengthens** the optimum
+/// (the adversarial case for delete-rederive: the deleted edge carried
+/// the unique shortest route, so the affected distances must settle on
+/// strictly worse survivors, not resurrect the old values). Runs the
+/// whole script under every dioid strategy.
+#[test]
+fn incremental_leg_sssp_gradient_retraction() {
+    let (program, edb0) = ex::sssp_trop("a");
+    let bools = BoolDatabase::new();
+    for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
+        let scenario = format!("incremental sssp ({strategy:?})");
+        let mut edb = edb0.clone();
+        let mut mat = Materialization::new(
+            &program,
+            &edb,
+            &bools,
+            CAP,
+            strategy,
+            &EngineOpts::default(),
+        );
+        // Fig. 2(a): a→b 1, b→a 2, b→c 3, c→d 4, a→c 5. L(c) = 4 via b.
+        assert_eq!(mat.get("L", &[k("c")]), Some(&Trop::finite(4.0)));
+
+        // Retract the b→c hop: every shortest path through it lengthens
+        // — L(c) falls back to the direct a→c edge, L(d) follows.
+        edb.get_or_insert("E", 2)
+            .set(vec![k("b"), k("c")], Trop::INF);
+        mat.delete(&[FactDelete::new("E", vec![k("b"), k("c")])]);
+        assert_eq!(mat.get("L", &[k("c")]), Some(&Trop::finite(5.0)));
+        assert_eq!(mat.get("L", &[k("d")]), Some(&Trop::finite(9.0)));
+        let oracle = naive_eval_sparse(&program, &edb, &bools, CAP).unwrap();
+        assert_same_db(
+            &scenario,
+            "after retraction",
+            &oracle,
+            &mat.output().materialize(),
+        );
+
+        // A new b→d shortcut improves the lengthened distance back down.
+        edb.get_or_insert("E", 2)
+            .merge(vec![k("b"), k("d")], Trop::finite(1.5));
+        mat.insert(&[FactInsert::new(
+            "E",
+            vec![k("b"), k("d")],
+            Trop::finite(1.5),
+        )]);
+        assert_eq!(mat.get("L", &[k("d")]), Some(&Trop::finite(2.5)));
+        let oracle = naive_eval_sparse(&program, &edb, &bools, CAP).unwrap();
+        assert_same_db(
+            &scenario,
+            "after shortcut",
+            &oracle,
+            &mat.output().materialize(),
+        );
+
+        // Reinsert the retracted edge at its old weight: the original
+        // optimum is restored exactly.
+        edb.get_or_insert("E", 2)
+            .merge(vec![k("b"), k("c")], Trop::finite(3.0));
+        mat.insert(&[FactInsert::new(
+            "E",
+            vec![k("b"), k("c")],
+            Trop::finite(3.0),
+        )]);
+        assert_eq!(mat.get("L", &[k("c")]), Some(&Trop::finite(4.0)));
+        let oracle = naive_eval_sparse(&program, &edb, &bools, CAP).unwrap();
+        assert_same_db(
+            &scenario,
+            "after reinsert",
+            &oracle,
+            &mat.output().materialize(),
+        );
+    }
+}
+
+/// Company control (Ex. 4.3, ℝ₊) through a share sale: ⊕ = + is not
+/// idempotent, so the maintenance runs in **naive mode** (no ⊖-delta,
+/// no DRed value zero-out — full re-fixpoint from the marked state).
+/// Dyadic share weights keep float sums exact under any association
+/// order, so the grounded oracle comparison is bitwise.
+#[test]
+fn incremental_leg_company_control_share_sale() {
+    let (program, edb0, bools) = ex::company_control(
+        &["a", "b", "c", "d"],
+        &[
+            ("a", "b", 0.75),
+            ("b", "c", 0.375),
+            ("a", "c", 0.25),
+            ("c", "d", 0.625),
+            ("b", "d", 0.25),
+        ],
+    );
+    let scenario = "incremental company control (naive mode)";
+    let mut edb = edb0.clone();
+    let mut mat = Materialization::new_naive(&program, &edb, &bools, CAP, &EngineOpts::default());
+    let oracle = naive_eval_sparse(&program, &edb, &bools, CAP).unwrap();
+    assert_same_db(
+        scenario,
+        "initial build",
+        &oracle,
+        &mat.output().materialize(),
+    );
+
+    // b sells its 37.5% stake in c: a's transitive control of c through
+    // b collapses to the direct 25% holding.
+    edb.get_or_insert("S", 2)
+        .set(vec![k("b"), k("c")], NNReal::of(0.0));
+    mat.delete_naive(&[FactDelete::new("S", vec![k("b"), k("c")])]);
+    let oracle = naive_eval_sparse(&program, &edb, &bools, CAP).unwrap();
+    assert_same_db(scenario, "after sale", &oracle, &mat.output().materialize());
+
+    // a buys the stake: shares ⊕-accumulate, a(→c) = 0.25 + 0.375 and a
+    // crosses the 50% control threshold of c, re-opening the c→d route.
+    edb.get_or_insert("S", 2)
+        .merge(vec![k("a"), k("c")], NNReal::of(0.375));
+    mat.insert_naive(&[FactInsert::new(
+        "S",
+        vec![k("a"), k("c")],
+        NNReal::of(0.375),
+    )]);
+    let oracle = naive_eval_sparse(&program, &edb, &bools, CAP).unwrap();
+    assert_same_db(
+        scenario,
+        "after purchase",
+        &oracle,
+        &mat.output().materialize(),
+    );
 }
 
 /// The deterministic counters — everything except wall-clock timings,

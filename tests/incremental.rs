@@ -1,0 +1,405 @@
+//! The incremental-maintenance differential harness: every edit script
+//! — random and adversarial — is applied step by step to a live
+//! [`Materialization`] *and* mirrored on a classic [`Database`], and
+//! after **every** step the materialization must equal the from-scratch
+//! fixpoint of the edited EDB, across evaluation strategies and thread
+//! counts, values exact per row.
+//!
+//! The adversarial shapes target the places where incremental
+//! maintenance over dioids can silently go wrong:
+//!
+//! * insert-only (the no-retraction fast path),
+//! * delete-only (DRed marking + rederive),
+//! * interleaved inserts and deletes (state handoff between the paths),
+//! * delete-then-reinsert (a zeroed-out fact must come back bit-equal),
+//! * deleting the only shortest path (the surviving optimum must
+//!   *lengthen* — a value a pointwise `⊖` could never produce).
+
+use datalog_o::core::examples_lib as ex;
+use datalog_o::core::{
+    parse_program, parse_query, BoolDatabase, Constant, Database, Edit, Program, Relation, Tuple,
+};
+use datalog_o::pops::Trop;
+use datalog_o::{engine_eval_with_opts, EngineOpts, Materialization, Strategy};
+
+const CAP: usize = 100_000;
+
+fn k(s: &str) -> Constant {
+    s.into()
+}
+
+fn apsp_program() -> Program<Trop> {
+    parse_program("T(X, Y) :- E(X, Y) + T(X, Z) * E(Z, Y).").unwrap()
+}
+
+fn edge_db(edges: &[(&str, &str, f64)]) -> Database<Trop> {
+    let mut db = Database::new();
+    db.insert(
+        "E",
+        Relation::from_pairs(
+            2,
+            edges
+                .iter()
+                .map(|(u, v, w)| (vec![k(u), k(v)], Trop::finite(*w))),
+        ),
+    );
+    db
+}
+
+fn insert(u: &str, v: &str, w: f64) -> Edit<Trop> {
+    Edit::insert("E", vec![k(u), k(v)], Trop::finite(w))
+}
+
+fn delete(u: &str, v: &str) -> Edit<Trop> {
+    Edit::delete("E", vec![k(u), k(v)])
+}
+
+/// Applies one edit to the classic mirror exactly as the engine defines
+/// edit semantics: insert `⊕`-merges, delete removes the fact.
+fn mirror(edb: &mut Database<Trop>, edit: &Edit<Trop>) {
+    match edit {
+        Edit::Insert(f) => edb
+            .get_or_insert(&f.pred, f.tuple.len())
+            .merge(f.tuple.clone(), f.value),
+        Edit::Delete(f) => edb
+            .get_or_insert(&f.pred, f.tuple.len())
+            .set(f.tuple.clone(), Trop::INF),
+    }
+}
+
+/// Runs `script` through a [`Materialization`] and asserts that after
+/// every step it is bit-identical to the from-scratch fixpoint of the
+/// mirrored EDB under each of `strategies`.
+fn assert_differential(
+    scenario: &str,
+    program: &Program<Trop>,
+    edb: &Database<Trop>,
+    script: &[Edit<Trop>],
+    strategies: &[Strategy],
+    opts: &EngineOpts,
+) {
+    let bools = BoolDatabase::new();
+    let mut mat = Materialization::new(program, edb, &bools, CAP, Strategy::Auto, opts);
+    let mut mirror_edb = edb.clone();
+    for (step, edit) in script.iter().enumerate() {
+        mat.apply(std::slice::from_ref(edit));
+        mirror(&mut mirror_edb, edit);
+        let live = mat.output().materialize();
+        for &strategy in strategies {
+            let scratch = engine_eval_with_opts(program, &mirror_edb, &bools, CAP, strategy, opts)
+                .converged()
+                .unwrap_or_else(|| panic!("{scenario}: oracle diverged at step {step}"))
+                .0;
+            for (pred, reference) in scratch.iter() {
+                let empty = Relation::new(reference.arity());
+                assert_eq!(
+                    reference,
+                    live.get(pred).unwrap_or(&empty),
+                    "{scenario}: step {step} ({edit:?}) differs from {strategy:?} oracle on {pred}"
+                );
+            }
+            for (pred, r) in live.iter() {
+                if scratch.get(pred).is_none() {
+                    assert!(
+                        r.is_empty(),
+                        "{scenario}: step {step} kept extra atoms in {pred}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+const ALL_STRATEGIES: [Strategy; 3] = [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority];
+
+/// The Fig. 2(a)-flavoured base graph every adversarial script starts
+/// from: a short expensive edge shadowed by a cheap two-hop path.
+fn base_edges() -> Vec<(&'static str, &'static str, f64)> {
+    vec![
+        ("a", "b", 1.0),
+        ("b", "c", 2.0),
+        ("a", "c", 9.0),
+        ("c", "d", 1.0),
+        ("b", "d", 7.0),
+    ]
+}
+
+#[test]
+fn insert_only_scripts_match_from_scratch() {
+    let script = vec![
+        insert("d", "e", 2.0), // new node, extends closure
+        insert("a", "c", 1.5), // improves an existing optimum
+        insert("a", "c", 5.0), // worse parallel edge: ⊕-absorbed, no-op
+        insert("e", "a", 0.5), // closes a cycle
+        insert("c", "c", 0.0), // zero-weight self-loop
+    ];
+    assert_differential(
+        "insert-only",
+        &apsp_program(),
+        &edge_db(&base_edges()),
+        &script,
+        &ALL_STRATEGIES,
+        &EngineOpts::default(),
+    );
+}
+
+#[test]
+fn delete_only_scripts_match_from_scratch() {
+    let script = vec![
+        delete("b", "d"), // redundant edge: optimum unchanged
+        delete("b", "c"), // optimum a→c lengthens to the direct edge
+        delete("a", "c"), // disconnects c and d from a entirely
+        delete("a", "c"), // deleting an absent fact is a no-op
+        delete("a", "b"), // empties the reachable set
+    ];
+    assert_differential(
+        "delete-only",
+        &apsp_program(),
+        &edge_db(&base_edges()),
+        &script,
+        &ALL_STRATEGIES,
+        &EngineOpts::default(),
+    );
+}
+
+#[test]
+fn interleaved_scripts_match_from_scratch() {
+    let script = vec![
+        insert("d", "a", 1.0),
+        delete("b", "c"),
+        insert("b", "c", 0.5),
+        delete("a", "b"),
+        insert("a", "d", 2.0),
+        delete("c", "d"),
+        insert("c", "d", 4.0),
+    ];
+    assert_differential(
+        "interleaved",
+        &apsp_program(),
+        &edge_db(&base_edges()),
+        &script,
+        &ALL_STRATEGIES,
+        &EngineOpts::default(),
+    );
+}
+
+#[test]
+fn delete_then_reinsert_restores_exact_values() {
+    let script = vec![
+        delete("b", "c"),
+        insert("b", "c", 2.0), // same weight: fixpoint must return bit-equal
+        delete("a", "b"),
+        insert("a", "b", 3.0), // worse weight: downstream paths lengthen
+        delete("a", "b"),
+        insert("a", "b", 1.0), // back to the original optimum
+    ];
+    assert_differential(
+        "delete-then-reinsert",
+        &apsp_program(),
+        &edge_db(&base_edges()),
+        &script,
+        &ALL_STRATEGIES,
+        &EngineOpts::default(),
+    );
+}
+
+#[test]
+fn deleting_the_only_shortest_path_lengthens_the_optimum() {
+    // a→b→c (cost 3) is the unique optimum; the direct edge costs 9.
+    // Deleting b→c must *worsen* T(a,c) to 9 — the value moves up the
+    // natural order, which no pointwise subtraction could produce.
+    let program = apsp_program();
+    let edb = edge_db(&base_edges());
+    let bools = BoolDatabase::new();
+    let opts = EngineOpts::default();
+    let mut mat = Materialization::new(&program, &edb, &bools, CAP, Strategy::Auto, &opts);
+    let ac: Tuple = vec![k("a"), k("c")];
+    assert_eq!(mat.get("T", &ac), Some(&Trop::finite(3.0)));
+    mat.delete(&[datalog_o::core::FactDelete::new("E", vec![k("b"), k("c")])]);
+    assert_eq!(
+        mat.get("T", &ac),
+        Some(&Trop::finite(9.0)),
+        "optimum must lengthen to the surviving direct edge"
+    );
+    // And the full state still matches from-scratch.
+    assert_differential(
+        "only-shortest-path",
+        &program,
+        &edb,
+        &[delete("b", "c")],
+        &ALL_STRATEGIES,
+        &opts,
+    );
+}
+
+/// A tiny deterministic LCG — no external crates, stable across runs.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// A random edit script over a fixed node universe: inserts twice as
+/// likely as deletes, weights in 1..=8, self-loops allowed.
+fn random_script(seed: u64, len: usize, nodes: &[&'static str]) -> Vec<Edit<Trop>> {
+    let mut rng = Lcg(seed);
+    (0..len)
+        .map(|_| {
+            let u = nodes[(rng.next() % nodes.len() as u64) as usize];
+            let v = nodes[(rng.next() % nodes.len() as u64) as usize];
+            if rng.next().is_multiple_of(3) {
+                delete(u, v)
+            } else {
+                insert(u, v, (1 + rng.next() % 8) as f64)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn random_edit_scripts_match_from_scratch() {
+    let nodes = ["a", "b", "c", "d", "e", "f"];
+    for seed in [3, 17, 99] {
+        let script = random_script(seed, 24, &nodes);
+        assert_differential(
+            &format!("random-{seed}"),
+            &apsp_program(),
+            &edge_db(&base_edges()),
+            &script,
+            &[Strategy::SemiNaive],
+            &EngineOpts::default(),
+        );
+    }
+}
+
+#[test]
+fn edits_are_bit_identical_at_any_thread_count() {
+    // The same random script at 1, 2, and 4 workers — with the fan-out
+    // threshold forced down so the parallel path actually runs — must
+    // produce identical databases *after every step*.
+    let program = apsp_program();
+    let edb = edge_db(&base_edges());
+    let bools = BoolDatabase::new();
+    let script = random_script(42, 16, &["a", "b", "c", "d", "e"]);
+    let opts_for = |threads: usize| EngineOpts {
+        threads: Some(threads),
+        par_threshold: 1,
+        chunk_min: 2,
+        ..EngineOpts::default()
+    };
+    let mut mats: Vec<Materialization<Trop>> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| Materialization::new(&program, &edb, &bools, CAP, Strategy::Auto, &opts_for(t)))
+        .collect();
+    for (step, edit) in script.iter().enumerate() {
+        let mut snapshots = vec![];
+        for mat in &mut mats {
+            mat.apply(std::slice::from_ref(edit));
+            snapshots.push(mat.output().materialize());
+        }
+        assert_eq!(
+            snapshots[0], snapshots[1],
+            "step {step}: threads 1 vs 2 differ"
+        );
+        assert_eq!(
+            snapshots[0], snapshots[2],
+            "step {step}: threads 1 vs 4 differ"
+        );
+    }
+}
+
+#[test]
+fn sssp_gradient_scripts_match_from_scratch() {
+    // A single-source program (head arity 1) over the Fig. 2(a) graph:
+    // deletes force rederivation chains through the source condition,
+    // inserts restore them, and one delete targets an absent edge.
+    let (program, edb) = ex::sssp_trop("a");
+    let script = vec![
+        insert("a", "d", 10.0),
+        delete("b", "d"),
+        delete("c", "d"), // only the new shortcut remains
+        insert("b", "d", 1.0),
+        delete("a", "b"),
+    ];
+    assert_differential(
+        "sssp-gradient",
+        &program,
+        &edb,
+        &script,
+        &ALL_STRATEGIES,
+        &EngineOpts::default(),
+    );
+}
+
+#[test]
+fn queries_answer_against_the_current_epoch() {
+    let program = apsp_program();
+    let edb = edge_db(&base_edges());
+    let bools = BoolDatabase::new();
+    let opts = EngineOpts::default();
+    let mut mat = Materialization::new(&program, &edb, &bools, CAP, Strategy::Auto, &opts);
+    let query = parse_query("?- T(\"a\", Y).").unwrap();
+
+    let before = mat.query(&query);
+    assert_eq!(
+        before.answers().get(&vec![k("a"), k("c")]),
+        Trop::finite(3.0)
+    );
+    assert_eq!(mat.epoch(), 0);
+
+    mat.apply(&[delete("b", "c"), insert("a", "e", 0.25)]);
+    assert_eq!(mat.epoch(), 2);
+    let after = mat.query(&query);
+    assert_eq!(
+        after.answers().get(&vec![k("a"), k("c")]),
+        Trop::finite(9.0),
+        "query must see the post-delete optimum"
+    );
+    assert_eq!(
+        after.answers().get(&vec![k("a"), k("e")]),
+        Trop::finite(0.25),
+        "query must see the inserted edge"
+    );
+}
+
+#[test]
+fn per_edit_stats_attribute_work_to_each_edit() {
+    let program = apsp_program();
+    let edb = edge_db(&base_edges());
+    let bools = BoolDatabase::new();
+    let mut mat = Materialization::new(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::Auto,
+        &EngineOpts::default(),
+    );
+    assert_eq!(mat.last_stats().strategy, "incremental-build");
+    assert!(mat.last_stats().counters.rows_inserted > 0);
+
+    let stats = mat.insert(&[datalog_o::core::FactInsert::new(
+        "E",
+        vec![k("d"), k("e")],
+        Trop::finite(2.0),
+    )]);
+    assert_eq!(stats.strategy, "incremental-insert");
+    assert!(
+        stats.counters.rows_inserted >= 1,
+        "the edit derived new facts"
+    );
+    assert!(
+        !stats.rules.is_empty(),
+        "per-rule profile rides along on edits"
+    );
+
+    let stats = mat.delete(&[datalog_o::core::FactDelete::new("E", vec![k("d"), k("e")])]);
+    assert_eq!(stats.strategy, "incremental-delete");
+    assert!(stats.counters.emits > 0, "marking + rederive ran plans");
+}

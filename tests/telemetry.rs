@@ -17,6 +17,15 @@ use datalog_o::{
 
 const CAP: usize = 100_000;
 
+/// Serializes the tests whose assertions depend on per-iteration
+/// snapshot counts with the one that sets `DLO_STATS_SAMPLE`
+/// process-wide (test threads share the environment).
+static SNAPSHOT_ENV: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn snapshot_env_guard() -> std::sync::MutexGuard<'static, ()> {
+    SNAPSHOT_ENV.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 fn sssp() -> (datalog_o::core::Program<Trop>, Database<Trop>) {
     ex::sssp_trop("a")
 }
@@ -27,6 +36,7 @@ fn sssp() -> (datalog_o::core::Program<Trop>, Database<Trop>) {
 /// stats' iteration snapshots), and a final converged `RunEnd`.
 #[test]
 fn memory_sink_receives_structured_event_stream() {
+    let _env = snapshot_env_guard();
     let (program, edb) = sssp();
     let bools = BoolDatabase::new();
     for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
@@ -88,6 +98,7 @@ fn memory_sink_receives_structured_event_stream() {
 /// streams in one file.
 #[test]
 fn jsonl_sink_round_trips_through_the_parser() {
+    let _env = snapshot_env_guard();
     let (program, edb) = sssp();
     let bools = BoolDatabase::new();
     let path = std::env::temp_dir().join(format!("dlo_trace_test_{}.jsonl", std::process::id()));
@@ -235,6 +246,141 @@ fn every_entry_point_returns_populated_stats() {
         // times setup.
         assert!(stats.phases.setup > 0, "{leg}: setup phase timed");
     }
+}
+
+/// The [`EngineOpts::iter_sample`] knob keeps every k-th per-iteration
+/// snapshot: recorded steps are exactly those divisible by `k`,
+/// sampled-out steps are accounted in `iterations_dropped`, `last_iter`
+/// survives, an attached trace sink still streams **every** iteration,
+/// and results are untouched.
+#[test]
+fn iter_sample_records_every_kth_snapshot() {
+    let _env = snapshot_env_guard();
+    // A 14-node chain: the semi-naïve loop takes one step per link, so
+    // there are enough iterations for the stride to matter.
+    let names: Vec<String> = (0..14).map(|i| format!("n{i}")).collect();
+    let edges: Vec<(&str, &str)> = names
+        .windows(2)
+        .map(|w| (w[0].as_str(), w[1].as_str()))
+        .collect();
+    let (program, edb) = ex::sssp_trop_graph("n0", &edges, |i| 1.0 + i as f64);
+    let bools = BoolDatabase::new();
+
+    let full = engine_eval_with_opts(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::SemiNaive,
+        &EngineOpts::default(),
+    );
+    let full_iters = &full.stats().iterations;
+    assert!(
+        full_iters.len() >= 10,
+        "chain run yields enough iterations to sample: {}",
+        full_iters.len()
+    );
+
+    let sink = MemorySink::default();
+    let sampled = engine_eval_with_opts(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::SemiNaive,
+        &EngineOpts {
+            iter_sample: Some(3),
+            trace: Some(TraceHandle::new(sink.clone())),
+            ..EngineOpts::default()
+        },
+    );
+    assert_eq!(
+        full.clone().unwrap(),
+        sampled.clone().unwrap(),
+        "sampling never changes results"
+    );
+    let stats = sampled.stats();
+    let expected: Vec<_> = full_iters
+        .iter()
+        .copied()
+        .filter(|it| it.step % 3 == 0)
+        .collect();
+    assert_eq!(
+        stats.iterations, expected,
+        "recorded snapshots are exactly the steps divisible by the stride"
+    );
+    assert_eq!(
+        stats.iterations_dropped as usize,
+        full_iters.len() - expected.len(),
+        "sampled-out steps are accounted as dropped"
+    );
+    assert_eq!(
+        stats.last_iter,
+        full.stats().last_iter,
+        "the final step's snapshot survives sampling"
+    );
+    let traced = sink
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Iteration(_)))
+        .count();
+    assert_eq!(
+        traced,
+        full_iters.len(),
+        "the trace sink still streams every iteration"
+    );
+}
+
+/// `DLO_STATS_SAMPLE` is the environment fallback for the same knob; an
+/// explicit `iter_sample` wins over it.
+#[test]
+fn dlo_stats_sample_env_fallback() {
+    let _env = snapshot_env_guard();
+    let (program, edb) = sssp();
+    let bools = BoolDatabase::new();
+    std::env::set_var("DLO_STATS_SAMPLE", "2");
+    let via_env = engine_eval_with_opts(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::SemiNaive,
+        &EngineOpts::default(),
+    );
+    let explicit_wins = engine_eval_with_opts(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::SemiNaive,
+        &EngineOpts {
+            iter_sample: Some(1),
+            ..EngineOpts::default()
+        },
+    );
+    std::env::remove_var("DLO_STATS_SAMPLE");
+    let unsampled = engine_eval_with_opts(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::SemiNaive,
+        &EngineOpts::default(),
+    );
+    assert!(
+        via_env.stats().iterations.iter().all(|it| it.step % 2 == 0),
+        "env stride keeps even steps only"
+    );
+    assert!(
+        via_env.stats().iterations.len() < unsampled.stats().iterations.len(),
+        "env stride drops snapshots"
+    );
+    assert_eq!(
+        explicit_wins.stats().iterations,
+        unsampled.stats().iterations,
+        "an explicit iter_sample overrides the environment"
+    );
+    assert_eq!(via_env.unwrap(), unsampled.unwrap(), "results unchanged");
 }
 
 /// The `DLO_TRACE` environment fallback appends parseable JSONL without
