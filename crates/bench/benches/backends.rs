@@ -69,7 +69,9 @@ fn bench_engine_tc(c: &mut Criterion) {
     let small = GraphInstance::random(48, 120, 9, 7);
     let prog_t = apsp_program::<Trop>();
     let a = relational_seminaive_eval(&prog_t, &small.trop_edb(), &bools, 1_000_000).unwrap();
-    let b = engine_seminaive_eval(&prog_t, &small.trop_edb(), &bools, 1_000_000).unwrap();
+    let b = engine_seminaive_eval(&prog_t, &small.trop_edb(), &bools, 1_000_000)
+        .expect("compiles")
+        .unwrap();
     for (pred, r) in a.iter() {
         assert_eq!(
             Some(r),
@@ -90,11 +92,13 @@ fn bench_engine_tc(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("engine_trop", name), &(), |bch, ()| {
             bch.iter(|| {
                 engine_seminaive_eval(std::hint::black_box(&prog_t), &edb_t, &bools, 1_000_000)
+                    .expect("compiles")
             })
         });
         group.bench_with_input(BenchmarkId::new("engine_bool", name), &(), |bch, ()| {
             bch.iter(|| {
                 engine_seminaive_eval(std::hint::black_box(&prog_b), &edb_b, &bools, 1_000_000)
+                    .expect("compiles")
             })
         });
         group.bench_with_input(BenchmarkId::new("relational_trop", name), &(), |bch, ()| {

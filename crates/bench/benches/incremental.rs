@@ -77,7 +77,7 @@ fn fresh_mat(
     bools: &BoolDatabase,
     opts: &EngineOpts,
 ) -> Materialization<Trop> {
-    Materialization::new(prog, edb, bools, CAP, Strategy::SemiNaive, opts)
+    Materialization::new(prog, edb, bools, CAP, Strategy::SemiNaive, opts).expect("compiles")
 }
 
 fn bench_incremental_chain1k(c: &mut Criterion) {
@@ -91,9 +91,11 @@ fn bench_incremental_chain1k(c: &mut Criterion) {
     // Cross-check once: a full delete + reinsert cycle lands back on
     // the from-scratch fixpoint, bit for bit.
     let mut mat = fresh_mat(&prog, &edb, &bools, &opts);
-    let scratch = engine_seminaive_eval_with_opts(&prog, &edb, &bools, CAP, &opts).unwrap();
-    mat.delete(&[tail_delete(&g)]);
-    mat.insert(&[tail_insert(&g)]);
+    let scratch = engine_seminaive_eval_with_opts(&prog, &edb, &bools, CAP, &opts)
+        .expect("compiles")
+        .unwrap();
+    mat.delete(&[tail_delete(&g)]).expect("edit applies");
+    mat.insert(&[tail_insert(&g)]).expect("edit applies");
     assert_eq!(
         scratch.get("T"),
         mat.output().materialize().get("T"),
@@ -123,8 +125,9 @@ fn bench_incremental_chain1k(c: &mut Criterion) {
             let del = [tail_delete(&g)];
             let ins = [tail_insert(&g)];
             b.iter(|| {
-                mat.delete(std::hint::black_box(&del));
-                mat.insert(&ins);
+                mat.delete(std::hint::black_box(&del))
+                    .expect("edit applies");
+                mat.insert(&ins).expect("edit applies");
             })
         },
     );
@@ -134,7 +137,8 @@ fn bench_incremental_chain1k(c: &mut Criterion) {
         |b, ()| {
             let ins = [absorbed_insert(&g)];
             b.iter(|| {
-                mat.insert(std::hint::black_box(&ins));
+                mat.insert(std::hint::black_box(&ins))
+                    .expect("edit applies");
             })
         },
     );
@@ -158,7 +162,9 @@ fn speedup_table(_c: &mut Criterion) {
         for _ in 0..TABLE_REPS {
             let t0 = Instant::now();
             assert!(
-                engine_seminaive_eval_with_opts(&prog, &edb, &bools, CAP, &opts).is_converged()
+                engine_seminaive_eval_with_opts(&prog, &edb, &bools, CAP, &opts)
+                    .expect("compiles")
+                    .is_converged()
             );
             best = best.min(t0.elapsed().as_micros());
         }
@@ -178,11 +184,11 @@ fn speedup_table(_c: &mut Criterion) {
     };
     let ins = [shortcut_insert(&g)];
     let insert_us = one_shot(&mut |mat| {
-        mat.insert(&ins);
+        mat.insert(&ins).expect("edit applies");
     });
     let del = [tail_delete(&g)];
     let delete_us = one_shot(&mut |mat| {
-        mat.delete(&del);
+        mat.delete(&del).expect("edit applies");
     });
 
     // The absorbed fast path is idempotent: one instance, repeated.
@@ -192,7 +198,7 @@ fn speedup_table(_c: &mut Criterion) {
         let mut best = u128::MAX;
         for _ in 0..TABLE_REPS {
             let t0 = Instant::now();
-            mat.insert(&ins);
+            mat.insert(&ins).expect("edit applies");
             best = best.min(t0.elapsed().as_micros());
         }
         best

@@ -29,11 +29,15 @@ fn bench_keyed_heads(c: &mut Criterion) {
     let small = GraphInstance::random(24, 72, 9, 5);
     let (prog, edb) = small.hops(6);
     let a = relational_seminaive_eval(&prog, &edb, &bools, 1_000_000).unwrap();
-    let b = engine_seminaive_eval(&prog, &edb, &bools, 1_000_000).unwrap();
+    let b = engine_seminaive_eval(&prog, &edb, &bools, 1_000_000)
+        .expect("compiles")
+        .unwrap();
     assert_eq!(a, b, "hops cross-check");
     let (prog, edb) = prefix_sum_keyed::<Trop>(&[1.0, 2.0, 3.0, 4.0], Trop::finite);
     let a = relational_seminaive_eval(&prog, &edb, &bools, 1_000_000).unwrap();
-    let b = engine_seminaive_eval(&prog, &edb, &bools, 1_000_000).unwrap();
+    let b = engine_seminaive_eval(&prog, &edb, &bools, 1_000_000)
+        .expect("compiles")
+        .unwrap();
     assert_eq!(a, b, "prefix cross-check");
 
     let mut group = c.benchmark_group("keyed_heads");
@@ -42,7 +46,10 @@ fn bench_keyed_heads(c: &mut Criterion) {
     let g = GraphInstance::random(400, 1600, 9, 7);
     let (prog_h, edb_h) = g.hops(24);
     group.bench_with_input(BenchmarkId::new("engine", "hops"), &(), |bch, ()| {
-        bch.iter(|| engine_seminaive_eval(std::hint::black_box(&prog_h), &edb_h, &bools, 1_000_000))
+        bch.iter(|| {
+            engine_seminaive_eval(std::hint::black_box(&prog_h), &edb_h, &bools, 1_000_000)
+                .expect("compiles")
+        })
     });
     group.bench_with_input(BenchmarkId::new("relational", "hops"), &(), |bch, ()| {
         bch.iter(|| {
@@ -53,7 +60,10 @@ fn bench_keyed_heads(c: &mut Criterion) {
     let values: Vec<f64> = (0..2000).map(|i| 0.5 + (i % 7) as f64).collect();
     let (prog_p, edb_p) = prefix_sum_keyed::<Trop>(&values, Trop::finite);
     group.bench_with_input(BenchmarkId::new("engine", "prefix"), &(), |bch, ()| {
-        bch.iter(|| engine_seminaive_eval(std::hint::black_box(&prog_p), &edb_p, &bools, 1_000_000))
+        bch.iter(|| {
+            engine_seminaive_eval(std::hint::black_box(&prog_p), &edb_p, &bools, 1_000_000)
+                .expect("compiles")
+        })
     });
     group.bench_with_input(BenchmarkId::new("relational", "prefix"), &(), |bch, ()| {
         bch.iter(|| {

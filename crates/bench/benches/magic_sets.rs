@@ -67,10 +67,12 @@ fn bench_magic_sssp(c: &mut Criterion) {
     // restriction.
     for g in [GraphInstance::path(64), GraphInstance::gradient(64)] {
         let edb = g.trop_edb();
-        let full =
-            engine_eval_with_opts(&prog, &edb, &bools, CAP, Strategy::Priority, &opts).unwrap();
+        let full = engine_eval_with_opts(&prog, &edb, &bools, CAP, Strategy::Priority, &opts)
+            .expect("compiles")
+            .unwrap();
         let qa =
-            engine_query_eval_with_opts(&prog, &q, &edb, &bools, CAP, Strategy::Priority, &opts);
+            engine_query_eval_with_opts(&prog, &q, &edb, &bools, CAP, Strategy::Priority, &opts)
+                .expect("compiles");
         assert_eq!(q.restrict(full.get("T").unwrap()), qa.answers());
     }
 
@@ -94,6 +96,7 @@ fn bench_magic_sssp(c: &mut Criterion) {
                         Strategy::Priority,
                         &opts,
                     )
+                    .expect("compiles")
                 })
             },
         );
@@ -111,6 +114,7 @@ fn bench_magic_sssp(c: &mut Criterion) {
                         Strategy::Priority,
                         &opts,
                     )
+                    .expect("compiles")
                 })
             },
         );
@@ -127,6 +131,7 @@ fn bench_magic_sssp(c: &mut Criterion) {
                         CAP,
                         &opts,
                     )
+                    .expect("compiles")
                 })
             },
         );
@@ -138,8 +143,10 @@ fn bench_magic_bom(c: &mut Criterion) {
     let opts = EngineOpts::default();
     let (prog, pops, bools) = bom_forest(24, 6, 3);
     let q = Query::point("T", vec![bom_forest_root(7)]);
-    let full = engine_seminaive_eval_with_opts(&prog, &pops, &bools, CAP, &opts).unwrap();
-    let qa = engine_query_seminaive_eval(&prog, &q, &pops, &bools, CAP, &opts);
+    let full = engine_seminaive_eval_with_opts(&prog, &pops, &bools, CAP, &opts)
+        .expect("compiles")
+        .unwrap();
+    let qa = engine_query_seminaive_eval(&prog, &q, &pops, &bools, CAP, &opts).expect("compiles");
     assert_eq!(q.restrict(full.get("T").unwrap()), qa.answers());
 
     let mut group = c.benchmark_group("magic_bom24x3d6");
@@ -171,6 +178,7 @@ fn bench_magic_bom(c: &mut Criterion) {
                     CAP,
                     &opts,
                 )
+                .expect("compiles")
             })
         },
     );
@@ -181,8 +189,10 @@ fn bench_magic_company(c: &mut Criterion) {
     let opts = EngineOpts::default();
     let (prog, pops, bools) = company_chain(48);
     let q = Query::new("T", vec![QueryArg::bound("c0"), QueryArg::Free]);
-    let full = engine_naive_eval_with_opts(&prog, &pops, &bools, CAP, &opts).unwrap();
-    let qa = engine_query_naive_eval(&prog, &q, &pops, &bools, CAP, &opts);
+    let full = engine_naive_eval_with_opts(&prog, &pops, &bools, CAP, &opts)
+        .expect("compiles")
+        .unwrap();
+    let qa = engine_query_naive_eval(&prog, &q, &pops, &bools, CAP, &opts).expect("compiles");
     assert_eq!(q.restrict(full.get("T").unwrap()), qa.answers());
 
     let mut group = c.benchmark_group("magic_company48");
@@ -194,6 +204,7 @@ fn bench_magic_company(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("query_naive", "c0"), &(), |b, ()| {
         b.iter(|| {
             engine_query_naive_eval(std::hint::black_box(&prog), &q, &pops, &bools, CAP, &opts)
+                .expect("compiles")
         })
     });
     group.finish();
@@ -226,6 +237,7 @@ fn speedup_table(_c: &mut Criterion) {
         let full = time(&mut || {
             assert!(
                 engine_eval_with_opts(&prog, &edb, &bools, CAP, Strategy::Priority, &opts)
+                    .expect("compiles")
                     .is_converged()
             );
         });
@@ -239,6 +251,7 @@ fn speedup_table(_c: &mut Criterion) {
                 Strategy::Priority,
                 &opts
             )
+            .expect("compiles")
             .is_converged());
         });
         rows.push(vec![
@@ -254,12 +267,15 @@ fn speedup_table(_c: &mut Criterion) {
         let bq = Query::point("T", vec![bom_forest_root(7)]);
         let full = time(&mut || {
             assert!(
-                engine_seminaive_eval_with_opts(&bprog, &bpops, &bbools, CAP, &opts).is_converged()
+                engine_seminaive_eval_with_opts(&bprog, &bpops, &bbools, CAP, &opts)
+                    .expect("compiles")
+                    .is_converged()
             );
         });
         let query = time(&mut || {
             assert!(
                 engine_query_seminaive_eval(&bprog, &bq, &bpops, &bbools, CAP, &opts)
+                    .expect("compiles")
                     .is_converged()
             );
         });
@@ -276,12 +292,16 @@ fn speedup_table(_c: &mut Criterion) {
         let cq = Query::new("T", vec![QueryArg::bound("c0"), QueryArg::Free]);
         let full = time(&mut || {
             assert!(
-                engine_naive_eval_with_opts(&cprog, &cpops, &cbools, CAP, &opts).is_converged()
+                engine_naive_eval_with_opts(&cprog, &cpops, &cbools, CAP, &opts)
+                    .expect("compiles")
+                    .is_converged()
             );
         });
         let query = time(&mut || {
             assert!(
-                engine_query_naive_eval(&cprog, &cq, &cpops, &cbools, CAP, &opts).is_converged()
+                engine_query_naive_eval(&cprog, &cq, &cpops, &cbools, CAP, &opts)
+                    .expect("compiles")
+                    .is_converged()
             );
         });
         rows.push(vec![

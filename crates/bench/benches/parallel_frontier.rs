@@ -60,7 +60,8 @@ fn bench_parallel_tc(c: &mut Criterion) {
         CAP,
         Strategy::Priority,
         &opts(1),
-    );
+    )
+    .expect("compiles");
     let par = engine_eval_with_opts(
         &prog,
         &small.trop_edb(),
@@ -73,7 +74,8 @@ fn bench_parallel_tc(c: &mut Criterion) {
             chunk_min: 2,
             ..EngineOpts::default()
         },
-    );
+    )
+    .expect("compiles");
     assert_eq!(seq, par, "forced-parallel cross-check");
 
     let chain = GraphInstance::path(1000);
@@ -98,6 +100,7 @@ fn bench_parallel_tc(c: &mut Criterion) {
                             strategy,
                             &o,
                         )
+                        .expect("compiles")
                     })
                 },
             );
@@ -125,6 +128,7 @@ fn bench_parallel_gradient(c: &mut Criterion) {
                         Strategy::Priority,
                         &o,
                     )
+                    .expect("compiles")
                 })
             },
         );
@@ -139,10 +143,12 @@ fn bench_parallel_hops(c: &mut Criterion) {
     let small = GraphInstance::random(24, 72, 9, 5);
     let (sprog, sedb) = small.hops(6);
     // Step counts differ across strategies by design — fixpoints agree.
-    let a =
-        engine_eval_with_opts(&sprog, &sedb, &bools, CAP, Strategy::SemiNaive, &opts(1)).unwrap();
-    let b =
-        engine_eval_with_opts(&sprog, &sedb, &bools, CAP, Strategy::Worklist, &opts(4)).unwrap();
+    let a = engine_eval_with_opts(&sprog, &sedb, &bools, CAP, Strategy::SemiNaive, &opts(1))
+        .expect("compiles")
+        .unwrap();
+    let b = engine_eval_with_opts(&sprog, &sedb, &bools, CAP, Strategy::Worklist, &opts(4))
+        .expect("compiles")
+        .unwrap();
     assert_eq!(a, b, "hops cross-check");
 
     let (prog, edb) = hops_dense();
@@ -166,6 +172,7 @@ fn bench_parallel_hops(c: &mut Criterion) {
                             strategy,
                             &o,
                         )
+                        .expect("compiles")
                     })
                 },
             );
@@ -198,7 +205,8 @@ fn speedup_table(_c: &mut Criterion) {
             let mut best = u128::MAX;
             for _ in 0..TABLE_REPS {
                 let t0 = Instant::now();
-                let out = engine_eval_with_opts(prog, edb, &bools, CAP, strategy, &o);
+                let out =
+                    engine_eval_with_opts(prog, edb, &bools, CAP, strategy, &o).expect("compiles");
                 assert!(out.is_converged(), "{name} converges");
                 best = best.min(t0.elapsed().as_micros());
             }

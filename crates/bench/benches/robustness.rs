@@ -1,0 +1,144 @@
+//! Overhead of resource governance (PR 8): the same TC / SSSP
+//! workloads evaluated ungoverned, with a (never-tripping) budget, and
+//! with budget + cancellation token live. Governance is checked once
+//! per phase on the coordinating thread, so the governed legs should
+//! sit within noise of the ungoverned ones — the committed
+//! `BENCH_robustness.json` pins that claim and
+//! `robustness_guard` enforces it in CI against the
+//! `BENCH_worklist.json` median.
+//!
+//! Reproduce with `CRITERION_JSON=out.jsonl cargo bench -p dlo_bench
+//! --bench robustness`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlo_bench::GraphInstance;
+use dlo_core::examples_lib::apsp_program;
+use dlo_core::BoolDatabase;
+use dlo_engine::{engine_eval_with_opts, CancelToken, EngineOpts, EvalBudget, Strategy};
+use dlo_pops::Trop;
+
+const CAP: usize = 100_000_000;
+
+/// A generous budget no benchmark workload can trip: the point is to
+/// measure the per-phase check, not to abort.
+fn roomy_budget() -> EvalBudget {
+    EvalBudget::default()
+        .with_deadline(Duration::from_secs(3600))
+        .with_max_steps(u64::MAX / 2)
+        .with_max_rows(u64::MAX / 2)
+        .with_max_minted(u64::MAX / 2)
+}
+
+fn governed(cancel: bool) -> EngineOpts {
+    EngineOpts {
+        budget: roomy_budget(),
+        cancel: cancel.then(CancelToken::new),
+        ..EngineOpts::default()
+    }
+}
+
+fn bench_robustness_tc(c: &mut Criterion) {
+    dlo_bench::print_host_note();
+    let bools = BoolDatabase::new();
+    let program = apsp_program::<Trop>();
+    let chain = GraphInstance::path(1000);
+    let edb = chain.trop_edb();
+
+    // Governance must not change results: cross-check before timing.
+    let free = engine_eval_with_opts(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::Worklist,
+        &EngineOpts::default(),
+    )
+    .expect("compiles");
+    let gov = engine_eval_with_opts(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::Worklist,
+        &governed(true),
+    )
+    .expect("compiles");
+    assert_eq!(free, gov, "governed run must be bit-identical");
+
+    let mut group = c.benchmark_group("robustness_tc1k");
+    let legs: [(&str, EngineOpts); 3] = [
+        ("ungoverned", EngineOpts::default()),
+        ("budget", governed(false)),
+        ("budget_cancel", governed(true)),
+    ];
+    for (name, opts) in &legs {
+        group.bench_with_input(BenchmarkId::new("worklist_trop", *name), &(), |bch, ()| {
+            bch.iter(|| {
+                engine_eval_with_opts(
+                    std::hint::black_box(&program),
+                    &edb,
+                    &bools,
+                    CAP,
+                    Strategy::Worklist,
+                    opts,
+                )
+                .expect("compiles")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_robustness_sssp(c: &mut Criterion) {
+    let bools = BoolDatabase::new();
+    let g = GraphInstance::gradient(1000);
+    let (program, edb) = g.sssp();
+
+    let free = engine_eval_with_opts(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::Priority,
+        &EngineOpts::default(),
+    )
+    .expect("compiles");
+    let gov = engine_eval_with_opts(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::Priority,
+        &governed(true),
+    )
+    .expect("compiles");
+    assert_eq!(free, gov, "governed run must be bit-identical");
+
+    let mut group = c.benchmark_group("robustness_sssp_gradient");
+    let legs: [(&str, EngineOpts); 3] = [
+        ("ungoverned", EngineOpts::default()),
+        ("budget", governed(false)),
+        ("budget_cancel", governed(true)),
+    ];
+    for (name, opts) in &legs {
+        group.bench_with_input(BenchmarkId::new("priority_trop", *name), &(), |bch, ()| {
+            bch.iter(|| {
+                engine_eval_with_opts(
+                    std::hint::black_box(&program),
+                    &edb,
+                    &bools,
+                    CAP,
+                    Strategy::Priority,
+                    opts,
+                )
+                .expect("compiles")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_robustness_tc, bench_robustness_sssp);
+criterion_main!(benches);

@@ -29,9 +29,15 @@ fn bench_worklist_tc(c: &mut Criterion) {
     // Cross-check the three strategies once on a small instance.
     let small = GraphInstance::random(48, 120, 9, 7);
     let prog_t = apsp_program::<Trop>();
-    let a = engine_seminaive_eval(&prog_t, &small.trop_edb(), &bools, CAP).unwrap();
-    let b = engine_worklist_eval(&prog_t, &small.trop_edb(), &bools, CAP).unwrap();
-    let c_ = engine_priority_eval(&prog_t, &small.trop_edb(), &bools, CAP).unwrap();
+    let a = engine_seminaive_eval(&prog_t, &small.trop_edb(), &bools, CAP)
+        .expect("compiles")
+        .unwrap();
+    let b = engine_worklist_eval(&prog_t, &small.trop_edb(), &bools, CAP)
+        .expect("compiles")
+        .unwrap();
+    let c_ = engine_priority_eval(&prog_t, &small.trop_edb(), &bools, CAP)
+        .expect("compiles")
+        .unwrap();
     assert_eq!(a, b, "worklist cross-check");
     assert_eq!(a, c_, "priority cross-check");
 
@@ -44,19 +50,34 @@ fn bench_worklist_tc(c: &mut Criterion) {
         let prog_b = apsp_program::<Bool>();
         let edb_b = g.bool_edb();
         group.bench_with_input(BenchmarkId::new("seminaive_trop", name), &(), |bch, ()| {
-            bch.iter(|| engine_seminaive_eval(std::hint::black_box(&prog_t), &edb_t, &bools, CAP))
+            bch.iter(|| {
+                engine_seminaive_eval(std::hint::black_box(&prog_t), &edb_t, &bools, CAP)
+                    .expect("compiles")
+            })
         });
         group.bench_with_input(BenchmarkId::new("worklist_trop", name), &(), |bch, ()| {
-            bch.iter(|| engine_worklist_eval(std::hint::black_box(&prog_t), &edb_t, &bools, CAP))
+            bch.iter(|| {
+                engine_worklist_eval(std::hint::black_box(&prog_t), &edb_t, &bools, CAP)
+                    .expect("compiles")
+            })
         });
         group.bench_with_input(BenchmarkId::new("priority_trop", name), &(), |bch, ()| {
-            bch.iter(|| engine_priority_eval(std::hint::black_box(&prog_t), &edb_t, &bools, CAP))
+            bch.iter(|| {
+                engine_priority_eval(std::hint::black_box(&prog_t), &edb_t, &bools, CAP)
+                    .expect("compiles")
+            })
         });
         group.bench_with_input(BenchmarkId::new("seminaive_bool", name), &(), |bch, ()| {
-            bch.iter(|| engine_seminaive_eval(std::hint::black_box(&prog_b), &edb_b, &bools, CAP))
+            bch.iter(|| {
+                engine_seminaive_eval(std::hint::black_box(&prog_b), &edb_b, &bools, CAP)
+                    .expect("compiles")
+            })
         });
         group.bench_with_input(BenchmarkId::new("priority_bool", name), &(), |bch, ()| {
-            bch.iter(|| engine_priority_eval(std::hint::black_box(&prog_b), &edb_b, &bools, CAP))
+            bch.iter(|| {
+                engine_priority_eval(std::hint::black_box(&prog_b), &edb_b, &bools, CAP)
+                    .expect("compiles")
+            })
         });
     }
     group.finish();
@@ -71,9 +92,15 @@ fn bench_worklist_gradient(c: &mut Criterion) {
     let bools = BoolDatabase::new();
     let small = GraphInstance::gradient(64);
     let (prog, edb) = small.sssp();
-    let a = engine_seminaive_eval(&prog, &edb, &bools, CAP).unwrap();
-    let b = engine_priority_eval(&prog, &edb, &bools, CAP).unwrap();
-    let w = engine_worklist_eval(&prog, &edb, &bools, CAP).unwrap();
+    let a = engine_seminaive_eval(&prog, &edb, &bools, CAP)
+        .expect("compiles")
+        .unwrap();
+    let b = engine_priority_eval(&prog, &edb, &bools, CAP)
+        .expect("compiles")
+        .unwrap();
+    let w = engine_worklist_eval(&prog, &edb, &bools, CAP)
+        .expect("compiles")
+        .unwrap();
     assert_eq!(a, b, "gradient priority cross-check");
     assert_eq!(
         a.get("L"),
@@ -85,13 +112,19 @@ fn bench_worklist_gradient(c: &mut Criterion) {
     let (prog, edb) = g.sssp();
     let mut group = c.benchmark_group("worklist_gradient2k");
     group.bench_with_input(BenchmarkId::new("seminaive", "sssp"), &(), |bch, ()| {
-        bch.iter(|| engine_seminaive_eval(std::hint::black_box(&prog), &edb, &bools, CAP))
+        bch.iter(|| {
+            engine_seminaive_eval(std::hint::black_box(&prog), &edb, &bools, CAP).expect("compiles")
+        })
     });
     group.bench_with_input(BenchmarkId::new("worklist", "sssp"), &(), |bch, ()| {
-        bch.iter(|| engine_worklist_eval(std::hint::black_box(&prog), &edb, &bools, CAP))
+        bch.iter(|| {
+            engine_worklist_eval(std::hint::black_box(&prog), &edb, &bools, CAP).expect("compiles")
+        })
     });
     group.bench_with_input(BenchmarkId::new("priority", "sssp"), &(), |bch, ()| {
-        bch.iter(|| engine_priority_eval(std::hint::black_box(&prog), &edb, &bools, CAP))
+        bch.iter(|| {
+            engine_priority_eval(std::hint::black_box(&prog), &edb, &bools, CAP).expect("compiles")
+        })
     });
     group.finish();
 }
@@ -103,21 +136,34 @@ fn bench_worklist_hops(c: &mut Criterion) {
     let bools = BoolDatabase::new();
     let small = GraphInstance::random(24, 72, 9, 5);
     let (prog, edb) = small.hops(6);
-    let a = engine_seminaive_eval(&prog, &edb, &bools, CAP).unwrap();
-    let b = engine_priority_eval(&prog, &edb, &bools, CAP).unwrap();
+    let a = engine_seminaive_eval(&prog, &edb, &bools, CAP)
+        .expect("compiles")
+        .unwrap();
+    let b = engine_priority_eval(&prog, &edb, &bools, CAP)
+        .expect("compiles")
+        .unwrap();
     assert_eq!(a, b, "hops cross-check");
 
     let g = GraphInstance::random(400, 1600, 9, 7);
     let (prog_h, edb_h) = g.hops(24);
     let mut group = c.benchmark_group("worklist_hops");
     group.bench_with_input(BenchmarkId::new("seminaive", "hops"), &(), |bch, ()| {
-        bch.iter(|| engine_seminaive_eval(std::hint::black_box(&prog_h), &edb_h, &bools, CAP))
+        bch.iter(|| {
+            engine_seminaive_eval(std::hint::black_box(&prog_h), &edb_h, &bools, CAP)
+                .expect("compiles")
+        })
     });
     group.bench_with_input(BenchmarkId::new("worklist", "hops"), &(), |bch, ()| {
-        bch.iter(|| engine_worklist_eval(std::hint::black_box(&prog_h), &edb_h, &bools, CAP))
+        bch.iter(|| {
+            engine_worklist_eval(std::hint::black_box(&prog_h), &edb_h, &bools, CAP)
+                .expect("compiles")
+        })
     });
     group.bench_with_input(BenchmarkId::new("priority", "hops"), &(), |bch, ()| {
-        bch.iter(|| engine_priority_eval(std::hint::black_box(&prog_h), &edb_h, &bools, CAP))
+        bch.iter(|| {
+            engine_priority_eval(std::hint::black_box(&prog_h), &edb_h, &bools, CAP)
+                .expect("compiles")
+        })
     });
     group.finish();
 }

@@ -51,7 +51,7 @@ fn main() {
     // same prefix sums; the engine mints the head-computed keys i+1 via
     // its dynamic interner and must agree with the relational backend.
     let (prog, edb) = prefix_sum_keyed::<Trop>(&values, Trop::finite);
-    let eng_out = engine_seminaive_eval(&prog, &edb, &BoolDatabase::new(), 1000);
+    let eng_out = engine_seminaive_eval(&prog, &edb, &BoolDatabase::new(), 1000).expect("compiles");
     let stats = eng_out.stats().clone();
     let eng = eng_out.unwrap();
     let rel = relational_seminaive_eval(&prog, &edb, &BoolDatabase::new(), 1000).unwrap();

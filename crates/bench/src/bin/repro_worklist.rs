@@ -47,7 +47,8 @@ fn main() {
         let mut stats: Vec<(EvalStats, usize, usize)> = vec![];
         let mut dbs = vec![];
         for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
-            let out = engine_eval_interned(prog, edb, &bools, 100_000_000, strategy, &opts);
+            let out = engine_eval_interned(prog, edb, &bools, 100_000_000, strategy, &opts)
+                .expect("compiles");
             assert!(
                 matches!(out, InternedOutcome::Converged { .. }),
                 "workloads converge"

@@ -1,0 +1,210 @@
+//! CI guard for resource governance (PR 8): re-runs the baseline's
+//! `worklist_tc1k/worklist_trop/chain` leg with a full (never-tripping)
+//! budget **and** a live cancellation token, and holds the governed
+//! wall-clock within 5% of the committed `BENCH_worklist.json` median —
+//! governance is a once-per-phase check on the coordinating thread and
+//! must stay invisible. The measured legs (ungoverned re-run, budget
+//! only, budget + cancel) are written to `BENCH_robustness.json` for
+//! the artifact upload, together with the observed ratios and the
+//! governance counters of one governed run.
+//!
+//! Like `telemetry_guard`, the timing gate is **strict only when the
+//! host matches the baseline's recorded `host.nproc`**; elsewhere the
+//! comparison is advisory — printed, never failing. The bit-identity
+//! cross-check (governed output == ungoverned output) is strict
+//! everywhere.
+//!
+//! Usage (from the repo root, as CI does):
+//!
+//! ```console
+//! $ cargo run --release -p dlo_bench --bin robustness_guard -- \
+//!       [BENCH_worklist.json] [BENCH_robustness.json]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use dlo_bench::{host_metadata, print_host_note, GraphInstance};
+use dlo_core::eval::stats::json;
+use dlo_core::examples_lib::apsp_program;
+use dlo_core::BoolDatabase;
+use dlo_engine::{
+    engine_eval_interned, CancelToken, EngineOpts, EvalBudget, InternedOutcome, Strategy,
+};
+use dlo_pops::Trop;
+
+/// The baseline leg the guard re-measures under governance.
+const BASELINE_ID: &str = "worklist_tc1k/worklist_trop/chain";
+
+/// Allowed slowdown of the governed run over the recorded median.
+const MARGIN: f64 = 1.05;
+
+/// Timed runs per leg; the best one is compared (min-of-N absorbs
+/// scheduler noise on a shared runner).
+const RUNS: usize = 3;
+
+fn roomy_budget() -> EvalBudget {
+    EvalBudget::default()
+        .with_deadline(Duration::from_secs(3600))
+        .with_max_steps(u64::MAX / 2)
+        .with_max_rows(u64::MAX / 2)
+        .with_max_minted(u64::MAX / 2)
+}
+
+fn run_once(opts: &EngineOpts) -> (u64, dlo_core::Database<Trop>, dlo_engine::EvalStats) {
+    let program = apsp_program::<Trop>();
+    let edb = GraphInstance::path(1000).trop_edb();
+    let bools = BoolDatabase::new();
+    let t = Instant::now();
+    let out = engine_eval_interned(
+        &program,
+        &edb,
+        &bools,
+        100_000_000,
+        Strategy::Worklist,
+        opts,
+    )
+    .expect("compiles");
+    let elapsed = t.elapsed().as_nanos() as u64;
+    assert!(
+        matches!(out, InternedOutcome::Converged { .. }),
+        "tc_chain_1k must converge"
+    );
+    let stats = out.stats().clone();
+    let db = out
+        .converged()
+        .expect("converged checked above")
+        .0
+        .materialize();
+    (elapsed, db, stats)
+}
+
+/// Best-of-N wall clock for one option set.
+fn best_of(opts: &EngineOpts) -> (u64, dlo_core::Database<Trop>, dlo_engine::EvalStats) {
+    let mut best: Option<(u64, dlo_core::Database<Trop>, dlo_engine::EvalStats)> = None;
+    for _ in 0..RUNS {
+        let run = run_once(opts);
+        if best.as_ref().is_none_or(|(b, _, _)| run.0 < *b) {
+            best = Some(run);
+        }
+    }
+    best.expect("RUNS > 0")
+}
+
+fn main() {
+    print_host_note();
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args.next().unwrap_or_else(|| "BENCH_worklist.json".into());
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_robustness.json".into());
+
+    // --- baseline ----------------------------------------------------------
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {baseline_path}: {e}"));
+    let baseline = json::parse(&text).expect("baseline JSON parses");
+    let baseline_nproc = baseline
+        .get("host")
+        .and_then(|h| h.get("nproc"))
+        .and_then(|n| n.as_u64())
+        .expect("baseline records host.nproc");
+    let median_ns = baseline
+        .get("results")
+        .and_then(|r| r.as_arr())
+        .and_then(|rows| {
+            rows.iter()
+                .find(|row| row.get("id").and_then(|i| i.as_str()) == Some(BASELINE_ID))
+        })
+        .and_then(|row| row.get("median_ns"))
+        .and_then(|n| n.as_f64())
+        .unwrap_or_else(|| panic!("baseline lacks a median for {BASELINE_ID}"));
+
+    // --- the three legs ----------------------------------------------------
+    let ungoverned_opts = EngineOpts::default();
+    let budget_opts = EngineOpts {
+        budget: roomy_budget(),
+        ..EngineOpts::default()
+    };
+    let governed_opts = EngineOpts {
+        budget: roomy_budget(),
+        cancel: Some(CancelToken::new()),
+        ..EngineOpts::default()
+    };
+    let (free_ns, free_out, _) = best_of(&ungoverned_opts);
+    let (budget_ns, budget_out, _) = best_of(&budget_opts);
+    let (gov_ns, gov_out, gov_stats) = best_of(&governed_opts);
+
+    // Governance must never change results.
+    assert_eq!(free_out, budget_out, "budgeted run is not bit-identical");
+    assert_eq!(free_out, gov_out, "governed run is not bit-identical");
+    assert!(gov_stats.counters.budget_checks > 0, "budget was checked");
+    assert!(gov_stats.counters.cancel_polls > 0, "token was polled");
+
+    let ratio_vs_baseline = gov_ns as f64 / median_ns;
+    let ratio_vs_local = gov_ns as f64 / free_ns as f64;
+    println!(
+        "{BASELINE_ID} governed: best-of-{RUNS} {:.1}ms vs baseline median {:.1}ms \
+         (x{ratio_vs_baseline:.3}, limit x{MARGIN}); local ungoverned {:.1}ms (x{ratio_vs_local:.3})",
+        gov_ns as f64 / 1e6,
+        median_ns / 1e6,
+        free_ns as f64 / 1e6,
+    );
+    println!(
+        "governance counters: {} budget checks, {} cancel polls over {} steps",
+        gov_stats.counters.budget_checks, gov_stats.counters.cancel_polls, gov_stats.steps
+    );
+
+    // --- record ------------------------------------------------------------
+    let (nproc, knob) = host_metadata();
+    let results = [
+        ("robustness_tc1k/worklist_trop/ungoverned", free_ns),
+        ("robustness_tc1k/worklist_trop/budget", budget_ns),
+        ("robustness_tc1k/worklist_trop/budget_cancel", gov_ns),
+    ];
+    let rows: Vec<String> = results
+        .iter()
+        .map(|(id, ns)| {
+            format!(
+                "    {{\n      \"id\": \"{id}\",\n      \"best_ns\": {ns},\n      \"samples\": {RUNS}\n    }}"
+            )
+        })
+        .collect();
+    let report = format!(
+        "{{\n  \"description\": \"Governed vs ungoverned wall-clock for the dlo_engine FIFO \
+         worklist on 1000-node unit-chain transitive closure over Trop (best of {RUNS}). \
+         Budgets and cancellation are checked once per phase on the coordinating thread; the \
+         guard holds the fully governed leg within {MARGIN}x of the committed \
+         BENCH_worklist.json median for {BASELINE_ID}. Reproduce with: cargo run --release -p \
+         dlo_bench --bin robustness_guard.\",\n  \
+         \"host\": {{\n    \"nproc\": {nproc},\n    \"dlo_engine_threads\": \"{knob}\",\n    \
+         \"baseline_nproc\": {baseline_nproc}\n  }},\n  \
+         \"baseline_id\": \"{BASELINE_ID}\",\n  \
+         \"baseline_median_ns\": {median_ns},\n  \
+         \"governed_over_baseline\": {ratio_vs_baseline:.4},\n  \
+         \"governed_over_local_ungoverned\": {ratio_vs_local:.4},\n  \
+         \"budget_checks\": {},\n  \"cancel_polls\": {},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        gov_stats.counters.budget_checks,
+        gov_stats.counters.cancel_polls,
+        rows.join(",\n"),
+    );
+    json::parse(&report).expect("report round-trips through the in-tree parser");
+    std::fs::write(&out_path, &report).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    // --- overhead gate ------------------------------------------------------
+    let strict = nproc as u64 == baseline_nproc;
+    if ratio_vs_baseline <= MARGIN {
+        println!("governance overhead within budget");
+    } else if strict {
+        eprintln!(
+            "FAIL: governed run exceeds the baseline envelope on the baseline's host class \
+             (nproc={nproc})"
+        );
+        std::process::exit(1);
+    } else {
+        println!(
+            "advisory only: host nproc={nproc} differs from baseline nproc={baseline_nproc}, \
+             not failing"
+        );
+    }
+}

@@ -50,7 +50,8 @@ fn run_once(opts: &EngineOpts) -> (u64, dlo_engine::EvalStats) {
         100_000_000,
         Strategy::Worklist,
         opts,
-    );
+    )
+    .expect("compiles");
     let elapsed = t.elapsed().as_nanos() as u64;
     assert!(
         matches!(out, InternedOutcome::Converged { .. }),

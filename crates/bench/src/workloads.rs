@@ -386,7 +386,9 @@ mod tests {
         let (prog, edb) = g.hops(4);
         let bools = dlo_core::BoolDatabase::new();
         let rel = dlo_core::relational_seminaive_eval(&prog, &edb, &bools, 10_000).unwrap();
-        let eng = dlo_engine::engine_seminaive_eval(&prog, &edb, &bools, 10_000).unwrap();
+        let eng = dlo_engine::engine_seminaive_eval(&prog, &edb, &bools, 10_000)
+            .expect("compiles")
+            .unwrap();
         assert_eq!(rel, eng, "head-keyed hops: engine vs relational");
         // Exactly-one-hop rows exist and carry edge costs.
         let h = eng.get("H").unwrap();

@@ -18,6 +18,7 @@
 //! batches rather than ICO applications — fixpoints agree across
 //! backends, step counts only within one discipline.
 
+pub mod error;
 pub mod naive;
 pub mod relational;
 pub mod seminaive;
@@ -26,6 +27,7 @@ pub mod stats;
 use crate::ground::GroundSystem;
 use crate::relation::Database;
 use dlo_pops::Pops;
+pub use error::{BudgetKind, CancelToken, EvalBudget, EvalError};
 pub use stats::{
     Counters, EvalStats, IterStat, JsonlSink, MemorySink, PhaseNanos, RuleProfile, TraceEvent,
     TraceHandle, TraceSink,
@@ -133,44 +135,24 @@ impl<P: Pops> EvalOutcome<P> {
     /// (Sec. 4.2 cases (i)/(ii)) is diagnosable without re-running
     /// under a tracer.
     pub fn unwrap(self) -> Database<P> {
+        match self.into_result() {
+            Ok(output) => output,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The converged output, or the typed [`EvalError::Diverged`] the
+    /// panic-free entry points report: it carries the same atom-sample
+    /// and final-snapshot diagnostic as the [`EvalOutcome::unwrap`]
+    /// panic, plus the run's [`EvalStats`].
+    pub fn into_result(self) -> Result<Database<P>, EvalError> {
         match self {
-            EvalOutcome::Converged { output, .. } => output,
-            EvalOutcome::Diverged { last, cap, stats } => {
-                const SAMPLE: usize = 5;
-                let mut atoms: Vec<String> = vec![];
-                let mut total = 0usize;
-                for (pred, rel) in last.iter() {
-                    for (tuple, v) in rel.support() {
-                        total += 1;
-                        if atoms.len() < SAMPLE {
-                            atoms.push(format!("{pred}{} = {v:?}", crate::value::fmt_tuple(tuple)));
-                        }
-                    }
-                }
-                let sample = if atoms.is_empty() {
-                    "no supported atoms in the last instance".to_string()
-                } else {
-                    format!(
-                        "last instance has {total} supported atom(s), e.g. {}",
-                        atoms.join(", ")
-                    )
-                };
-                // The final step's telemetry snapshot, when a backend
-                // recorded one — this is what distinguishes "still
-                // pumping huge deltas" from "cap merely too low".
-                let snapshot = match stats.last_iter {
-                    Some(it) => format!(
-                        "; final step {}: {} delta row(s), queue depth {}, \
-                         {} emit(s), {} inserted, {} improved",
-                        it.step, it.delta_rows, it.queue_depth, it.emits, it.inserted, it.improved
-                    ),
-                    None => String::new(),
-                };
-                panic!(
-                    "datalog° evaluation diverged: no fixpoint within the \
-                     iteration cap ({cap}); {sample}{snapshot}"
-                )
-            }
+            EvalOutcome::Converged { output, .. } => Ok(output),
+            EvalOutcome::Diverged { last, cap, stats } => Err(EvalError::Diverged {
+                cap,
+                diagnostic: divergence_diagnostic(&last, &stats),
+                stats: Box::new(stats),
+            }),
         }
     }
 
@@ -186,6 +168,43 @@ impl<P: Pops> EvalOutcome<P> {
     pub fn is_converged(&self) -> bool {
         matches!(self, EvalOutcome::Converged { .. })
     }
+}
+
+/// The divergence report shared by [`EvalOutcome::unwrap`] and
+/// [`EvalError::Diverged`]: a sample of atoms from the last computed
+/// instance and — when the backend recorded telemetry — the final
+/// step's stats snapshot (last Δ size, frontier queue depth), which is
+/// what distinguishes "still pumping huge deltas" from "cap merely too
+/// low".
+pub(crate) fn divergence_diagnostic<P: Pops>(last: &Database<P>, stats: &EvalStats) -> String {
+    const SAMPLE: usize = 5;
+    let mut atoms: Vec<String> = vec![];
+    let mut total = 0usize;
+    for (pred, rel) in last.iter() {
+        for (tuple, v) in rel.support() {
+            total += 1;
+            if atoms.len() < SAMPLE {
+                atoms.push(format!("{pred}{} = {v:?}", crate::value::fmt_tuple(tuple)));
+            }
+        }
+    }
+    let sample = if atoms.is_empty() {
+        "no supported atoms in the last instance".to_string()
+    } else {
+        format!(
+            "last instance has {total} supported atom(s), e.g. {}",
+            atoms.join(", ")
+        )
+    };
+    let snapshot = match stats.last_iter {
+        Some(it) => format!(
+            "; final step {}: {} delta row(s), queue depth {}, \
+             {} emit(s), {} inserted, {} improved",
+            it.step, it.delta_rows, it.queue_depth, it.emits, it.inserted, it.improved
+        ),
+        None => String::new(),
+    };
+    format!("{sample}{snapshot}")
 }
 
 /// A full iteration trace: the sequence of IDB instances
@@ -296,6 +315,44 @@ mod tests {
         assert!(msg.contains("final step 29"), "got: {msg}");
         assert!(msg.contains("12 delta row(s)"), "got: {msg}");
         assert!(msg.contains("queue depth 4"), "got: {msg}");
+    }
+
+    #[test]
+    fn diverged_into_result_carries_the_unwrap_diagnostic_and_stats() {
+        let mut last = Database::<Nat>::new();
+        let mut rel = Relation::new(1);
+        rel.set(tup!["u"], Nat(64));
+        last.insert("X", rel);
+        let mut stats = EvalStats {
+            strategy: "seminaive".into(),
+            ..EvalStats::default()
+        };
+        stats.push_iteration(IterStat {
+            step: 29,
+            delta_rows: 12,
+            ..IterStat::default()
+        });
+        let outcome = EvalOutcome::Diverged {
+            last,
+            cap: 30,
+            stats,
+        };
+        let err = outcome.into_result().expect_err("diverged must error");
+        match &err {
+            EvalError::Diverged {
+                cap,
+                diagnostic,
+                stats,
+            } => {
+                assert_eq!(*cap, 30);
+                assert!(diagnostic.contains("X(u)"), "got: {diagnostic}");
+                assert!(diagnostic.contains("12 delta row(s)"), "got: {diagnostic}");
+                assert_eq!(stats.strategy, "seminaive");
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+        let text = err.to_string();
+        assert!(text.contains("iteration cap (30)"), "got: {text}");
     }
 
     #[test]

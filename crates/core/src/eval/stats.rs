@@ -59,6 +59,13 @@ pub struct Counters {
     pub set_valued_shortcircuits: u64,
     /// Interner ids minted for head-computed fresh cells.
     pub minted_ids: u64,
+    /// Budget checks performed at phase boundaries (0 when no
+    /// [`super::EvalBudget`] ceiling is set — governance off means no
+    /// checks at all).
+    pub budget_checks: u64,
+    /// [`super::CancelToken`] polls performed at phase boundaries (0
+    /// when no token is installed).
+    pub cancel_polls: u64,
 }
 
 impl Counters {
@@ -74,6 +81,8 @@ impl Counters {
         self.merges_absorbed += other.merges_absorbed;
         self.set_valued_shortcircuits += other.set_valued_shortcircuits;
         self.minted_ids += other.minted_ids;
+        self.budget_checks += other.budget_checks;
+        self.cancel_polls += other.cancel_polls;
     }
 
     /// Field-wise difference (`self - earlier`), for per-iteration
@@ -91,6 +100,8 @@ impl Counters {
             set_valued_shortcircuits: self.set_valued_shortcircuits
                 - earlier.set_valued_shortcircuits,
             minted_ids: self.minted_ids - earlier.minted_ids,
+            budget_checks: self.budget_checks - earlier.budget_checks,
+            cancel_polls: self.cancel_polls - earlier.cancel_polls,
         }
     }
 }
@@ -364,6 +375,8 @@ fn write_counters(w: &mut json::Writer, c: &Counters) {
     w.u64_field("merges_absorbed", c.merges_absorbed);
     w.u64_field("set_valued_shortcircuits", c.set_valued_shortcircuits);
     w.u64_field("minted_ids", c.minted_ids);
+    w.u64_field("budget_checks", c.budget_checks);
+    w.u64_field("cancel_polls", c.cancel_polls);
     w.obj_close();
 }
 
@@ -401,6 +414,17 @@ pub enum TraceEvent {
     },
     /// One iteration / frontier batch completed.
     Iteration(IterStat),
+    /// The run is aborting before a fixpoint: a budget ceiling,
+    /// deadline, cancellation, or contained worker panic stopped it.
+    /// Always followed by a `RunEnd` with `converged: false`, so sinks
+    /// flush on aborted runs exactly as on completed ones.
+    Abort {
+        /// The failure kind tag (see `EvalError::kind`): `"budget"`,
+        /// `"deadline"`, `"cancelled"`, or `"worker_panic"`.
+        reason: String,
+        /// Steps completed when the run stopped.
+        steps: u64,
+    },
     /// The run finished.
     RunEnd {
         /// Steps processed.
@@ -437,6 +461,11 @@ impl TraceEvent {
                 w.u64_field("improved", it.improved);
                 w.u64_field("absorbed", it.absorbed);
                 w.u64_field("minted", it.minted);
+            }
+            TraceEvent::Abort { reason, steps } => {
+                w.str_field("event", "abort");
+                w.str_field("reason", reason);
+                w.u64_field("steps", *steps);
             }
             TraceEvent::RunEnd { steps, converged } => {
                 w.str_field("event", "run_end");
@@ -940,6 +969,41 @@ mod tests {
         }
         let parsed = json::parse(&events[3].to_json()).unwrap();
         assert_eq!(parsed.get("converged"), Some(&json::Value::Bool(true)));
+    }
+
+    #[test]
+    fn abort_event_encodes_reason_and_steps() {
+        let ev = TraceEvent::Abort {
+            reason: "deadline".into(),
+            steps: 42,
+        };
+        let parsed = json::parse(&ev.to_json()).expect("valid JSON");
+        assert_eq!(parsed.get("event").unwrap().as_str(), Some("abort"));
+        assert_eq!(parsed.get("reason").unwrap().as_str(), Some("deadline"));
+        assert_eq!(parsed.get("steps").unwrap().as_u64(), Some(42));
+    }
+
+    #[test]
+    fn governance_counters_round_trip_and_diff() {
+        let mut stats = EvalStats::default();
+        stats.counters.budget_checks = 9;
+        stats.counters.cancel_polls = 4;
+        let parsed = json::parse(&stats.to_json()).unwrap();
+        let counters = parsed.get("counters").unwrap();
+        assert_eq!(counters.get("budget_checks").unwrap().as_u64(), Some(9));
+        assert_eq!(counters.get("cancel_polls").unwrap().as_u64(), Some(4));
+        let earlier = Counters {
+            budget_checks: 2,
+            cancel_polls: 1,
+            ..Counters::default()
+        };
+        let d = stats.counters.since(&earlier);
+        assert_eq!(d.budget_checks, 7);
+        assert_eq!(d.cancel_polls, 3);
+        let mut sum = Counters::default();
+        sum.add(&stats.counters);
+        assert_eq!(sum.budget_checks, 9);
+        assert_eq!(sum.cancel_polls, 4);
     }
 
     #[test]

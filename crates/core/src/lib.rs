@@ -46,7 +46,7 @@ pub use edit::{Edit, FactDelete, FactInsert};
 pub use eval::naive::{naive_eval, naive_eval_sparse, naive_eval_system, naive_eval_trace};
 pub use eval::relational::{relational_naive_eval, relational_seminaive_eval};
 pub use eval::seminaive::{seminaive_eval, seminaive_eval_system, WorkStats};
-pub use eval::{EvalOutcome, Trace, DEFAULT_CAP};
+pub use eval::{BudgetKind, CancelToken, EvalBudget, EvalError, EvalOutcome, Trace, DEFAULT_CAP};
 pub use formula::{CmpOp, Formula};
 pub use ground::{ground, ground_sparse, GroundSystem};
 pub use parser::{

@@ -35,6 +35,7 @@
 //! match any stored row.
 
 use crate::exec::{run_plan, EvalCtx, ExecCounters, HeadVal};
+use crate::govern::{abort_error, Abort, Governor};
 use crate::hash::FxHashMap;
 use crate::intern::Interner;
 use crate::output::{InternedOutcome, InternedOutput};
@@ -43,10 +44,11 @@ use crate::plan::{compile_demand, CompileError, CompiledProgram, Plan, Source};
 use crate::storage::{AccumMap, ColMask, ColumnRel};
 use crate::telemetry::Collector;
 use dlo_core::ast::Program;
-use dlo_core::eval::{EvalOutcome, TraceHandle};
+use dlo_core::eval::{CancelToken, EvalBudget, EvalError, EvalOutcome, TraceHandle};
 use dlo_core::relation::{BoolDatabase, Database, Relation};
 use dlo_pops::{Bool, CompleteDistributiveDioid, NaturallyOrdered, Pops, PreSemiring};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Below this much estimated first-step work an iteration runs on one
@@ -82,6 +84,17 @@ pub struct EngineOpts {
     /// is always maintained, and an attached trace sink still streams
     /// every iteration event. Results are never affected.
     pub iter_sample: Option<usize>,
+    /// Resource ceilings for the run (wall-clock deadline, step /
+    /// emitted-row / minted-id budgets), checked once per phase on the
+    /// coordinating thread. The default is unlimited — ungoverned runs
+    /// pay nothing. An exhausted ceiling returns the matching
+    /// [`EvalError`] variant carrying the stats accumulated so far.
+    pub budget: EvalBudget,
+    /// Cooperative cancellation: clone a [`CancelToken`], hand one copy
+    /// here, and flip the other from any thread; the run stops at its
+    /// next phase boundary with [`EvalError::Cancelled`]. `None` (the
+    /// default) skips the poll entirely.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for EngineOpts {
@@ -92,6 +105,8 @@ impl Default for EngineOpts {
             chunk_min: CHUNK_MIN,
             trace: None,
             iter_sample: None,
+            budget: EvalBudget::unlimited(),
+            cancel: None,
         }
     }
 }
@@ -286,34 +301,39 @@ fn assemble<P: Pops>(
     }
 }
 
-/// [`setup`], panicking on the two structural limits of columnar storage
-/// (arity > 32, one head predicate at two arities). There is no slower
-/// backend to fall back to any more: the engine is total over the
+/// Renders a compiler rejection into the typed error every entry point
+/// returns. The two structural limits of columnar storage (arity > 32,
+/// one head predicate at two arities) land here; there is no slower
+/// backend to fall back to any more — the engine is total over the
 /// language, and programs outside these representation limits are
 /// malformed for every backend (the relational backend debug-asserts on
 /// mixed-arity heads).
-pub(crate) fn setup_or_panic<P: Pops>(
+pub(crate) fn compile_error(e: CompileError) -> EvalError {
+    EvalError::Compile {
+        detail: format!("dlo_engine cannot represent this program in columnar storage: {e:?}"),
+    }
+}
+
+/// [`setup`], converting compiler rejections into
+/// [`EvalError::Compile`] (see [`compile_error`]).
+pub(crate) fn setup_checked<P: Pops>(
     program: &Program<P>,
     pops_db: &Database<P>,
     bool_db: &BoolDatabase,
     set_valued: &[String],
-) -> Engine<P> {
-    setup(program, pops_db, bool_db, set_valued).unwrap_or_else(|e| {
-        panic!("dlo_engine cannot represent this program in columnar storage: {e:?}")
-    })
+) -> Result<Engine<P>, EvalError> {
+    setup(program, pops_db, bool_db, set_valued).map_err(compile_error)
 }
 
-/// [`setup_interned`] with the same panic contract as [`setup_or_panic`].
-pub(crate) fn setup_interned_or_panic<P: Pops>(
+/// [`setup_interned`] with the same error contract as [`setup_checked`].
+pub(crate) fn setup_interned_checked<P: Pops>(
     program: &Program<P>,
     prev: &InternedOutput<P>,
     extra_pops: &Database<P>,
     bool_db: &BoolDatabase,
     set_valued: &[String],
-) -> Engine<P> {
-    setup_interned(program, prev, extra_pops, bool_db, set_valued).unwrap_or_else(|e| {
-        panic!("dlo_engine cannot represent this program in columnar storage: {e:?}")
-    })
+) -> Result<Engine<P>, EvalError> {
+    setup_interned(program, prev, extra_pops, bool_db, set_valued).map_err(compile_error)
 }
 
 impl<P: Pops> Engine<P> {
@@ -394,8 +414,14 @@ impl<P: Pops + Send> Engine<P> {
     /// relations) — fanning per-relation builds over `threads` scoped
     /// workers. Builds are independent per relation and each index's
     /// content is insertion-order determined, so parallel construction
-    /// is observation-equivalent to the old sequential loop.
-    pub(crate) fn build_edb_indexes(&mut self, extra: &[(Source, ColMask)], threads: usize) {
+    /// is observation-equivalent to the old sequential loop. A panic in
+    /// a build is contained by the pool and surfaced as the abort the
+    /// drivers turn into [`EvalError::WorkerPanic`].
+    pub(crate) fn build_edb_indexes(
+        &mut self,
+        extra: &[(Source, ColMask)],
+        threads: usize,
+    ) -> Result<(), Abort> {
         enum Work<'a, P> {
             Pops(&'a mut ColumnRel<P>, Vec<ColMask>),
             Bool(&'a mut ColumnRel<Bool>, Vec<ColMask>),
@@ -435,7 +461,8 @@ impl<P: Pops + Send> Engine<P> {
                     rel.ensure_index(mask);
                 }
             }
-        });
+        })
+        .map_err(|message| Abort::WorkerPanic { message })
     }
 }
 
@@ -473,13 +500,18 @@ pub(crate) fn mint_key(interner: &mut Interner, key: &[HeadVal]) -> Vec<u32> {
         .collect()
 }
 
+/// Runs one phase's plans, fanning out when the estimated work warrants
+/// it. A panicking plan (sequential or parallel) is contained and
+/// surfaced as [`Abort::WorkerPanic`] — deterministically, because the
+/// lowest-indexed panicking task wins in the pool and the sequential
+/// path visits tasks in the same order.
 pub(crate) fn run_plans<P>(
     engine: &Engine<P>,
     plans: &[Plan<P>],
     state: &IdbState<P>,
     opts: &EngineOpts,
     col: &mut Collector,
-) -> (Accum<P>, FreshAccum<P>)
+) -> Result<(Accum<P>, FreshAccum<P>), Abort>
 where
     P: Pops + Send + Sync,
 {
@@ -508,17 +540,22 @@ where
             let facc = &mut global_fresh[plan.head_pred];
             let mut counters = ExecCounters::default();
             let t = Instant::now();
-            run_plan(
-                plan,
-                &ctx,
-                None,
-                &mut counters,
-                &mut |key, v| acc.merge(key, v),
-                &mut |key, v| merge_fresh(facc, key, v),
-            );
+            catch_unwind(AssertUnwindSafe(|| {
+                run_plan(
+                    plan,
+                    &ctx,
+                    None,
+                    &mut counters,
+                    &mut |key, v| acc.merge(key, v),
+                    &mut |key, v| merge_fresh(facc, key, v),
+                );
+            }))
+            .map_err(|p| Abort::WorkerPanic {
+                message: par::payload_message(p),
+            })?;
             col.add_plan(plan.pid, counters, t.elapsed().as_nanos() as u64);
         }
-        return (global, global_fresh);
+        return Ok((global, global_fresh));
     }
 
     let tasks = chunk_tasks(&estimates, threads, opts.chunk_min);
@@ -546,7 +583,8 @@ where
             counters,
             nanos,
         )
-    });
+    })
+    .map_err(|message| Abort::WorkerPanic { message })?;
     col.parallel_batch(tasks.len());
     // `run_indexed` returns results in task order, so the `⊕`-merge
     // association, the fresh-map contents, and the counter sums are all
@@ -559,7 +597,7 @@ where
             merge_fresh(facc, &key, v);
         }
     }
-    (global, global_fresh)
+    Ok((global, global_fresh))
 }
 
 /// Naïve evaluation on the engine: `J(t+1) = F(J(t))` with every IDB
@@ -568,16 +606,22 @@ where
 /// whose heads apply key functions — fresh constants are minted into the
 /// interner between iterations.
 ///
-/// # Panics
+/// # Errors
 ///
-/// On programs the columnar storage cannot represent: an atom of arity
-/// > 32, or one head predicate used at two arities.
+/// [`EvalError::Compile`] on programs the columnar storage cannot
+/// represent (an atom of arity > 32, one head predicate at two
+/// arities); under governed options also the budget / deadline /
+/// cancellation / worker-panic variants. Hitting the iteration cap is
+/// **not** an error here — it returns `Ok` with
+/// [`EvalOutcome::Diverged`] (use
+/// [`EvalOutcome::into_result`](dlo_core::eval::EvalOutcome::into_result)
+/// for the typed divergence error).
 pub fn engine_naive_eval<P>(
     program: &Program<P>,
     pops_edb: &Database<P>,
     bool_edb: &BoolDatabase,
     cap: usize,
-) -> EvalOutcome<P>
+) -> Result<EvalOutcome<P>, EvalError>
 where
     P: NaturallyOrdered + Send + Sync,
 {
@@ -585,20 +629,24 @@ where
 }
 
 /// [`engine_naive_eval`] with explicit tuning knobs.
+///
+/// # Errors
+///
+/// As [`engine_naive_eval`].
 pub fn engine_naive_eval_with_opts<P>(
     program: &Program<P>,
     pops_edb: &Database<P>,
     bool_edb: &BoolDatabase,
     cap: usize,
     opts: &EngineOpts,
-) -> EvalOutcome<P>
+) -> Result<EvalOutcome<P>, EvalError>
 where
     P: NaturallyOrdered + Send + Sync,
 {
     let t = Instant::now();
-    let engine = setup_or_panic(program, pops_edb, bool_edb, &[]);
+    let engine = setup_checked(program, pops_edb, bool_edb, &[])?;
     let setup_ns = t.elapsed().as_nanos() as u64;
-    naive_run(engine, cap, opts, setup_ns).materialize()
+    Ok(naive_run(engine, cap, opts, setup_ns)?.materialize())
 }
 
 /// The naïve loop over a prepared [`Engine`] (shared by the classic
@@ -609,7 +657,7 @@ pub(crate) fn naive_run<P>(
     cap: usize,
     opts: &EngineOpts,
     setup_ns: u64,
-) -> InternedOutcome<P>
+) -> Result<InternedOutcome<P>, EvalError>
 where
     P: NaturallyOrdered + Send + Sync,
 {
@@ -620,8 +668,11 @@ where
         engine.compiled.plan_metas(),
         opts,
     );
+    let gov = Governor::new(opts, setup_ns);
     let t = Instant::now();
-    engine.build_edb_indexes(&[], opts.effective_threads());
+    if let Err(a) = engine.build_edb_indexes(&[], opts.effective_threads()) {
+        return Err(abort_error(a, col, 0, 0));
+    }
     col.edb_index_phase(t.elapsed().as_nanos() as u64);
     let t_eval = Instant::now();
     let nidb = engine.compiled.idbs.len();
@@ -636,9 +687,27 @@ where
         }
     }
     for steps in 0..=cap {
+        if let Err(a) = gov.check(steps as u64, &mut col) {
+            return Err(abort_error(
+                a,
+                col,
+                steps,
+                t_eval.elapsed().as_nanos() as u64,
+            ));
+        }
         let before = col.stats.counters;
         let (contrib, fresh) =
-            run_plans(&engine, &engine.compiled.seed_plans, &state, opts, &mut col);
+            match run_plans(&engine, &engine.compiled.seed_plans, &state, opts, &mut col) {
+                Ok(r) => r,
+                Err(a) => {
+                    return Err(abort_error(
+                        a,
+                        col,
+                        steps,
+                        t_eval.elapsed().as_nanos() as u64,
+                    ))
+                }
+            };
         let mut next = engine.empty_idbs();
         for (pred, acc) in contrib.into_iter().enumerate() {
             // Set-valued (magic) rows always hold `1`: demand is a set,
@@ -666,11 +735,11 @@ where
         col.end_step(steps, 0, 0, &before);
         if fixed {
             let stats = col.finish(steps, true, t_eval.elapsed().as_nanos() as u64);
-            return InternedOutcome::Converged {
+            return Ok(InternedOutcome::Converged {
                 output: finish(engine, state.new),
                 steps,
                 stats,
-            };
+            });
         }
         for (pred, rel) in next.iter_mut().enumerate() {
             for &mask in &engine.idb_new_masks[pred] {
@@ -680,11 +749,11 @@ where
         state.new = next;
     }
     let stats = col.finish(cap, false, t_eval.elapsed().as_nanos() as u64);
-    InternedOutcome::Diverged {
+    Ok(InternedOutcome::Diverged {
         last: finish(engine, state.new),
         cap,
         stats,
-    }
+    })
 }
 
 /// Parallel semi-naïve evaluation on the engine (Theorem 6.5). Agrees
@@ -694,16 +763,16 @@ where
 /// the interner between iterations and enter `new`/`δ` as ordinary
 /// appends.
 ///
-/// # Panics
+/// # Errors
 ///
-/// On programs the columnar storage cannot represent: an atom of arity
-/// > 32, or one head predicate used at two arities.
+/// As [`engine_naive_eval`]: compile rejections and governed aborts are
+/// typed errors; hitting the iteration cap is `Ok(Diverged)`.
 pub fn engine_seminaive_eval<P>(
     program: &Program<P>,
     pops_edb: &Database<P>,
     bool_edb: &BoolDatabase,
     cap: usize,
-) -> EvalOutcome<P>
+) -> Result<EvalOutcome<P>, EvalError>
 where
     P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
 {
@@ -711,17 +780,21 @@ where
 }
 
 /// [`engine_seminaive_eval`] with explicit tuning knobs.
+///
+/// # Errors
+///
+/// As [`engine_naive_eval`].
 pub fn engine_seminaive_eval_with_opts<P>(
     program: &Program<P>,
     pops_edb: &Database<P>,
     bool_edb: &BoolDatabase,
     cap: usize,
     opts: &EngineOpts,
-) -> EvalOutcome<P>
+) -> Result<EvalOutcome<P>, EvalError>
 where
     P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
 {
-    engine_seminaive_eval_interned(program, pops_edb, bool_edb, cap, opts).materialize()
+    Ok(engine_seminaive_eval_interned(program, pops_edb, bool_edb, cap, opts)?.materialize())
 }
 
 /// [`engine_seminaive_eval`] returning the **decode-free**
@@ -731,22 +804,21 @@ where
 /// single phase of a run, and pipelines feeding results back into the
 /// engine never need it.
 ///
-/// # Panics
+/// # Errors
 ///
-/// On programs the columnar storage cannot represent: an atom of arity
-/// > 32, or one head predicate used at two arities.
+/// As [`engine_naive_eval`].
 pub fn engine_seminaive_eval_interned<P>(
     program: &Program<P>,
     pops_edb: &Database<P>,
     bool_edb: &BoolDatabase,
     cap: usize,
     opts: &EngineOpts,
-) -> InternedOutcome<P>
+) -> Result<InternedOutcome<P>, EvalError>
 where
     P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
 {
     let t = Instant::now();
-    let engine = setup_or_panic(program, pops_edb, bool_edb, &[]);
+    let engine = setup_checked(program, pops_edb, bool_edb, &[])?;
     let setup_ns = t.elapsed().as_nanos() as u64;
     seminaive_run(engine, cap, opts, setup_ns)
 }
@@ -759,10 +831,9 @@ where
 /// interned output does not carry (e.g. the original edge list of a
 /// refine step). Name resolution prefers `extra_pops`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// On programs the columnar storage cannot represent: an atom of arity
-/// > 32, or one head predicate used at two arities.
+/// As [`engine_naive_eval`].
 pub fn engine_seminaive_eval_interned_edb<P>(
     program: &Program<P>,
     prev: &InternedOutput<P>,
@@ -770,12 +841,12 @@ pub fn engine_seminaive_eval_interned_edb<P>(
     bool_edb: &BoolDatabase,
     cap: usize,
     opts: &EngineOpts,
-) -> InternedOutcome<P>
+) -> Result<InternedOutcome<P>, EvalError>
 where
     P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
 {
     let t = Instant::now();
-    let engine = setup_interned_or_panic(program, prev, extra_pops, bool_edb, &[]);
+    let engine = setup_interned_checked(program, prev, extra_pops, bool_edb, &[])?;
     let setup_ns = t.elapsed().as_nanos() as u64;
     seminaive_run(engine, cap, opts, setup_ns)
 }
@@ -787,7 +858,7 @@ pub(crate) fn seminaive_run<P>(
     cap: usize,
     opts: &EngineOpts,
     setup_ns: u64,
-) -> InternedOutcome<P>
+) -> Result<InternedOutcome<P>, EvalError>
 where
     P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
 {
@@ -798,8 +869,11 @@ where
         engine.compiled.plan_metas(),
         opts,
     );
+    let gov = Governor::new(opts, setup_ns);
     let t = Instant::now();
-    engine.build_edb_indexes(&[], opts.effective_threads());
+    if let Err(a) = engine.build_edb_indexes(&[], opts.effective_threads()) {
+        return Err(abort_error(a, col, 0, 0));
+    }
     col.edb_index_phase(t.elapsed().as_nanos() as u64);
     let t_eval = Instant::now();
     let nidb = engine.compiled.idbs.len();
@@ -814,8 +888,15 @@ where
         }
     }
     // Seeding: J(1) = F(0), δ(0) = J(1), every row marked as appended.
+    if let Err(a) = gov.check(0, &mut col) {
+        return Err(abort_error(a, col, 0, t_eval.elapsed().as_nanos() as u64));
+    }
     let seed_before = col.stats.counters;
-    let (contrib, fresh) = run_plans(&engine, &engine.compiled.seed_plans, &state, opts, &mut col);
+    let (contrib, fresh) =
+        match run_plans(&engine, &engine.compiled.seed_plans, &state, opts, &mut col) {
+            Ok(r) => r,
+            Err(a) => return Err(abort_error(a, col, 0, t_eval.elapsed().as_nanos() as u64)),
+        };
     for (pred, acc) in contrib.into_iter().enumerate() {
         // Set-valued (magic) rows enter — and forever stay — at `1`.
         let sv = engine.compiled.set_valued[pred];
@@ -848,30 +929,48 @@ where
     for steps in 1..=cap {
         if state.delta.iter().all(|d| d.is_empty()) {
             let stats = col.finish(steps, true, t_eval.elapsed().as_nanos() as u64);
-            return InternedOutcome::Converged {
+            return Ok(InternedOutcome::Converged {
                 output: finish(engine, state.new),
                 steps,
                 stats,
-            };
+            });
+        }
+        if let Err(a) = gov.check(steps as u64, &mut col) {
+            return Err(abort_error(
+                a,
+                col,
+                steps,
+                t_eval.elapsed().as_nanos() as u64,
+            ));
         }
         let before = col.stats.counters;
         let delta_rows: u64 = state.delta.iter().map(|d| d.len() as u64).sum();
-        let (contrib, fresh) = run_plans(
+        let (contrib, fresh) = match run_plans(
             &engine,
             &engine.compiled.delta_plans,
             &state,
             opts,
             &mut col,
-        );
+        ) {
+            Ok(r) => r,
+            Err(a) => {
+                return Err(abort_error(
+                    a,
+                    col,
+                    steps,
+                    t_eval.elapsed().as_nanos() as u64,
+                ))
+            }
+        };
         apply_contrib(&mut engine, &mut state, contrib, fresh, &mut col);
         col.end_step(steps, delta_rows, 0, &before);
     }
     let stats = col.finish(cap, false, t_eval.elapsed().as_nanos() as u64);
-    InternedOutcome::Diverged {
+    Ok(InternedOutcome::Diverged {
         last: finish(engine, state.new),
         cap,
         stats,
-    }
+    })
 }
 
 /// The semi-naïve **advance**: merges one phase's accumulated
@@ -982,8 +1081,12 @@ mod tests {
         P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
     {
         let reference = relational_naive_eval(program, pops, bools, 100_000).unwrap();
-        let naive = engine_naive_eval(program, pops, bools, 100_000).unwrap();
-        let semi = engine_seminaive_eval(program, pops, bools, 100_000).unwrap();
+        let naive = engine_naive_eval(program, pops, bools, 100_000)
+            .expect("compiles")
+            .unwrap();
+        let semi = engine_seminaive_eval(program, pops, bools, 100_000)
+            .expect("compiles")
+            .unwrap();
         assert_eq!(reference, naive, "engine naive differs");
         assert_eq!(reference, semi, "engine semi-naive differs");
     }
@@ -992,7 +1095,9 @@ mod tests {
     fn sssp_fig2a_matches_relational() {
         let (program, edb) = ex::sssp_trop("a");
         assert_matches_relational(&program, &edb, &BoolDatabase::new());
-        let out = engine_seminaive_eval(&program, &edb, &BoolDatabase::new(), 1000).unwrap();
+        let out = engine_seminaive_eval(&program, &edb, &BoolDatabase::new(), 1000)
+            .expect("compiles")
+            .unwrap();
         let l = out.get("L").unwrap();
         assert_eq!(l.get(&tup!["a"]), Trop::finite(0.0));
         assert_eq!(l.get(&tup!["d"]), Trop::finite(8.0));
@@ -1060,6 +1165,7 @@ mod tests {
             .converged()
             .unwrap();
         let (_, eng_steps) = engine_seminaive_eval(&program, &edb, &bools, 1000)
+            .expect("compiles")
             .converged()
             .unwrap();
         assert_eq!(rel_steps, eng_steps);
@@ -1068,6 +1174,7 @@ mod tests {
             .converged()
             .unwrap();
         let (_, eng_naive) = engine_naive_eval(&program, &edb, &bools, 1000)
+            .expect("compiles")
             .converged()
             .unwrap();
         assert_eq!(rel_naive, eng_naive);
@@ -1085,7 +1192,11 @@ mod tests {
                 SumProduct::new(vec![Factor::atom("X", vec![Term::c("u")])]).with_coeff(Nat(2)),
             ],
         );
-        assert!(!engine_naive_eval(&p, &Database::new(), &BoolDatabase::new(), 30).is_converged());
+        assert!(
+            !engine_naive_eval(&p, &Database::new(), &BoolDatabase::new(), 30)
+                .expect("capped divergence is Ok(Diverged), not an error")
+                .is_converged()
+        );
     }
 
     #[test]
@@ -1107,9 +1218,11 @@ mod tests {
             ..EngineOpts::default()
         };
         let par = engine_seminaive_eval_with_opts(&program, &edb, &bools, 100_000, &parallel_opts)
+            .expect("compiles")
             .unwrap();
         let seq =
             engine_seminaive_eval_with_opts(&program, &edb, &bools, 100_000, &sequential_opts)
+                .expect("compiles")
                 .unwrap();
         let reference = relational_seminaive_eval(&program, &edb, &bools, 100_000).unwrap();
         assert_eq!(par, seq, "parallel and sequential runs differ");
@@ -1150,7 +1263,7 @@ mod tests {
         use dlo_core::ast::{Atom, Factor, SumProduct, Term};
         // T used at arity 1 and arity 2: columnar storage cannot hold
         // both. There is no fallback backend any more, so the compiler
-        // rejects and the entry points panic with a diagnosable message
+        // rejects and the entry points return a typed compile error
         // rather than silently corrupting flat storage.
         let mut p = Program::<MinNat>::new();
         p.rule(
@@ -1169,12 +1282,16 @@ mod tests {
             crate::plan::compile(&p, &mut interner),
             Err(CompileError::HeadArityMismatch)
         ));
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            engine_naive_eval(&p, &Database::new(), &BoolDatabase::new(), 10)
-        }))
-        .expect_err("mixed-arity heads must panic");
-        let msg = err.downcast_ref::<String>().expect("formatted panic");
-        assert!(msg.contains("HeadArityMismatch"), "got: {msg}");
+        let err = engine_naive_eval(&p, &Database::new(), &BoolDatabase::new(), 10)
+            .expect_err("mixed-arity heads must be a compile error");
+        match &err {
+            EvalError::Compile { detail } => {
+                assert!(detail.contains("HeadArityMismatch"), "got: {detail}");
+            }
+            other => panic!("expected EvalError::Compile, got {other:?}"),
+        }
+        assert_eq!(err.kind(), "compile");
+        assert!(err.stats().is_none(), "compile errors predate any run");
     }
 
     #[test]
@@ -1200,7 +1317,9 @@ mod tests {
                 .with_condition(Formula::cmp(Term::v(0), CmpOp::Lt, Term::c(5)))],
         );
         assert_matches_relational(&p, &Database::new(), &BoolDatabase::new());
-        let out = engine_seminaive_eval(&p, &Database::new(), &BoolDatabase::new(), 100).unwrap();
+        let out = engine_seminaive_eval(&p, &Database::new(), &BoolDatabase::new(), 100)
+            .expect("compiles")
+            .unwrap();
         let n = out.get("N").unwrap();
         assert_eq!(n.support_size(), 6, "keys 0..=5");
         for i in 0..=5i64 {
@@ -1217,7 +1336,9 @@ mod tests {
         let values = [2.0, 4.0, 1.5, 3.0, 0.5];
         let (p, edb) = ex::prefix_sum_keyed::<Trop>(&values, Trop::finite);
         assert_matches_relational(&p, &edb, &BoolDatabase::new());
-        let out = engine_seminaive_eval(&p, &edb, &BoolDatabase::new(), 1000).unwrap();
+        let out = engine_seminaive_eval(&p, &edb, &BoolDatabase::new(), 1000)
+            .expect("compiles")
+            .unwrap();
         let w = out.get("W").unwrap();
         let mut acc = 0.0;
         for (i, v) in values.iter().enumerate() {
@@ -1229,6 +1350,7 @@ mod tests {
             .converged()
             .unwrap();
         let (_, eng_steps) = engine_seminaive_eval(&p, &edb, &BoolDatabase::new(), 1000)
+            .expect("compiles")
             .converged()
             .unwrap();
         assert_eq!(rel_steps, eng_steps);
@@ -1269,9 +1391,13 @@ mod tests {
         }
         edb.insert("S", Relation::from_pairs(2, pairs));
         let bools = BoolDatabase::new();
-        let first = engine_naive_eval(&p, &edb, &bools, 1000).unwrap();
+        let first = engine_naive_eval(&p, &edb, &bools, 1000)
+            .expect("compiles")
+            .unwrap();
         for _ in 0..5 {
-            let again = engine_naive_eval(&p, &edb, &bools, 1000).unwrap();
+            let again = engine_naive_eval(&p, &edb, &bools, 1000)
+                .expect("compiles")
+                .unwrap();
             assert_eq!(first, again, "engine result varied across runs");
         }
     }
@@ -1279,7 +1405,8 @@ mod tests {
     #[test]
     fn empty_program_converges_immediately() {
         let p = Program::<Trop>::new();
-        let out = engine_seminaive_eval(&p, &Database::new(), &BoolDatabase::new(), 10);
+        let out = engine_seminaive_eval(&p, &Database::new(), &BoolDatabase::new(), 10)
+            .expect("compiles");
         let (db, steps) = out.converged().unwrap();
         assert_eq!(steps, 1);
         assert!(db.iter().next().is_none());

@@ -79,14 +79,24 @@
 //!   earlier epochs remain enumerable by programs with unbound slots.
 //! * Each edit produces its own [`EvalStats`] (per-phase, per-rule)
 //!   via [`Materialization::last_stats`].
-//! * An edit that exceeds the step cap panics: the handle's state
-//!   would otherwise be mid-fixpoint. Pick caps as for from-scratch
-//!   runs.
+//! * Every public method returns `Result<_, `[`EvalError`]`>`. Invalid
+//!   batches (unknown predicate, arity mismatch) are rejected **before
+//!   any staging**, so they leave the handle untouched. An edit that
+//!   fails *mid-flight* — step-cap overrun ([`EvalError::Diverged`]),
+//!   budget/deadline exhaustion, cancellation, or a contained worker
+//!   panic — leaves the interned state mid-fixpoint, so the handle is
+//!   **poisoned**: every subsequent edit or query returns
+//!   [`EvalError::Poisoned`] until [`Materialization::rebuild`] (or
+//!   [`Materialization::rebuild_naive`]) re-derives the fixpoint from
+//!   the retained classic EDB, bit-identical to a from-scratch build.
+//!   The failed edit's EDB effect is retained: `rebuild()` completes
+//!   the derivation the interrupted edit began.
 
 use crate::driver::{
-    apply_contrib, ensure_delta_indexes, mint_key, run_plans, setup_or_panic, Engine, EngineOpts,
+    apply_contrib, ensure_delta_indexes, mint_key, run_plans, setup_checked, Engine, EngineOpts,
     IdbState,
 };
+use crate::govern::{abort_error, Abort, Governor};
 use crate::hash::FxHashMap;
 use crate::output::InternedOutput;
 use crate::plan::{Plan, Source, EDB_DELTA_SUFFIX, EDB_OLD_SUFFIX};
@@ -97,6 +107,7 @@ use crate::worklist::Strategy;
 use dlo_core::ast::{Program, Rule};
 use dlo_core::edit::{Edit, FactDelete, FactInsert};
 use dlo_core::eval::stats::EvalStats;
+use dlo_core::eval::{CancelToken, EvalBudget, EvalError};
 use dlo_core::query::Query;
 use dlo_core::relation::{BoolDatabase, Database};
 use dlo_core::value::Constant;
@@ -159,6 +170,37 @@ pub struct Materialization<P: Pops> {
     epoch: u64,
     snapshot: Option<InternedOutput<P>>,
     last_stats: EvalStats,
+    /// Set when an edit failed mid-flight (the interned state may be
+    /// mid-fixpoint): every subsequent edit/query returns
+    /// [`EvalError::Poisoned`] until a rebuild.
+    poisoned: Option<String>,
+}
+
+/// A failed maintenance loop: why it stopped, plus the completed step
+/// count at the stop (the collector still needs finishing).
+enum LoopFail {
+    /// Governed interruption or contained worker panic.
+    Abort(Abort, usize),
+    /// Step-cap overrun: the program diverges on the edited EDB.
+    Diverged(usize),
+}
+
+/// Finishes the collector for a failed loop and builds the public
+/// error (the caller decides whether the failure poisons the handle).
+fn fail_error(cap: usize, fail: LoopFail, col: Collector, eval_ns: u64) -> EvalError {
+    match fail {
+        LoopFail::Abort(a, steps) => abort_error(a, col, steps, eval_ns),
+        LoopFail::Diverged(steps) => {
+            let stats = col.finish(steps, false, eval_ns);
+            EvalError::Diverged {
+                cap,
+                diagnostic: format!(
+                    "maintenance did not converge within {cap} steps: the program diverges on the edited EDB"
+                ),
+                stats: Box::new(stats),
+            }
+        }
+    }
 }
 
 /// Appends the telescoped variant rules: for each sum-product and each
@@ -166,23 +208,24 @@ pub struct Materialization<P: Pops> {
 /// earlier EDB occurrences, and the live relations elsewhere. Factor
 /// order (and with it `⊗` order) is preserved, which is what makes the
 /// telescoping identity exact for non-commutative value assembly.
-fn maintenance_program<P: Pops>(program: &Program<P>) -> (Program<P>, Vec<(String, usize)>) {
+type MaintenanceProgram<P> = (Program<P>, Vec<(String, usize)>);
+
+fn maintenance_program<P: Pops>(program: &Program<P>) -> Result<MaintenanceProgram<P>, EvalError> {
+    let reserved = |pred: &str| EvalError::Compile {
+        detail: format!("predicate {pred:?} uses the reserved '@' namespace"),
+    };
     let idbs: HashSet<&str> = program.rules.iter().map(|r| r.head.pred.as_str()).collect();
     let mut editable: Vec<(String, usize)> = vec![];
     let mut out = program.clone();
     for rule in &program.rules {
-        assert!(
-            !rule.head.pred.contains('@'),
-            "predicate {:?} uses the reserved '@' namespace",
-            rule.head.pred
-        );
+        if rule.head.pred.contains('@') {
+            return Err(reserved(&rule.head.pred));
+        }
         for sp in &rule.body {
             for f in &sp.factors {
-                assert!(
-                    !f.atom.pred.contains('@'),
-                    "predicate {:?} uses the reserved '@' namespace",
-                    f.atom.pred
-                );
+                if f.atom.pred.contains('@') {
+                    return Err(reserved(&f.atom.pred));
+                }
             }
             let edb_occs: Vec<usize> = sp
                 .factors
@@ -211,7 +254,7 @@ fn maintenance_program<P: Pops>(program: &Program<P>) -> (Program<P>, Vec<(Strin
             }
         }
     }
-    (out, editable)
+    Ok((out, editable))
 }
 
 impl<P: Pops + Send + Sync> Materialization<P> {
@@ -225,17 +268,20 @@ impl<P: Pops + Send + Sync> Materialization<P> {
         cap: usize,
         strategy: Strategy,
         opts: &EngineOpts,
-    ) -> Self {
+    ) -> Result<Self, EvalError> {
         for (name, _) in pops_edb.iter() {
-            assert!(
-                !name.contains('@'),
-                "EDB predicate {name:?} uses the reserved '@' namespace"
-            );
+            if name.contains('@') {
+                return Err(EvalError::Compile {
+                    detail: format!("EDB predicate {name:?} uses the reserved '@' namespace"),
+                });
+            }
         }
-        let (aug, editable) = maintenance_program(program);
+        let (aug, editable) = maintenance_program(program)?;
         let n_rules = program.rules.len();
-        let mut engine = setup_or_panic(&aug, pops_edb, bool_edb, &[]);
-        engine.build_edb_indexes(&[], opts.effective_threads());
+        let mut engine = setup_checked(&aug, pops_edb, bool_edb, &[])?;
+        engine
+            .build_edb_indexes(&[], opts.effective_threads())
+            .map_err(|a| a.into_error(EvalStats::default()))?;
         let seed_plans: Vec<Plan<P>> = engine
             .compiled
             .seed_plans
@@ -287,7 +333,7 @@ impl<P: Pops + Send + Sync> Materialization<P> {
                 rel.ensure_index(mask);
             }
         }
-        Materialization {
+        Ok(Materialization {
             program: program.clone(),
             engine,
             state,
@@ -304,7 +350,8 @@ impl<P: Pops + Send + Sync> Materialization<P> {
             epoch: 0,
             snapshot: None,
             last_stats: EvalStats::default(),
-        }
+            poisoned: None,
+        })
     }
 
     /// The epoch counter: bumped by every edit.
@@ -321,6 +368,76 @@ impl<P: Pops + Send + Sync> Materialization<P> {
     /// The classic-form EDB at the current epoch (edits applied).
     pub fn edb(&self) -> &Database<P> {
         &self.edb
+    }
+
+    /// Why the handle is poisoned, if it is: a previous edit failed
+    /// mid-flight and only [`Materialization::rebuild`] /
+    /// [`Materialization::rebuild_naive`] will accept further work.
+    /// Read-only probes ([`Materialization::get`],
+    /// [`Materialization::edb`], …) stay available for diagnostics.
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    /// Replaces the [`EvalBudget`] governing subsequent edits, queries,
+    /// and rebuilds (each run measures its deadline from its own start).
+    pub fn set_budget(&mut self, budget: EvalBudget) {
+        self.opts.budget = budget;
+    }
+
+    /// Installs (or clears) the [`CancelToken`] polled by subsequent
+    /// edits, queries, and rebuilds.
+    pub fn set_cancel(&mut self, cancel: Option<CancelToken>) {
+        self.opts.cancel = cancel;
+    }
+
+    /// The poisoned-bit gate every edit and query passes first.
+    fn check_poisoned(&self) -> Result<(), EvalError> {
+        match &self.poisoned {
+            Some(reason) => Err(EvalError::Poisoned {
+                reason: reason.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Records a mid-flight failure and passes the error through.
+    fn poison(&mut self, err: EvalError) -> EvalError {
+        self.poisoned = Some(format!(
+            "epoch {} edit failed mid-flight ({}): rebuild() to recover",
+            self.epoch, err
+        ));
+        err
+    }
+
+    /// Validates a batch **before any staging**, so rejected edits
+    /// leave the handle untouched (and unpoisoned): every predicate
+    /// must be an editable EDB slot and every tuple must match its
+    /// arity.
+    fn validate_edits<'a>(
+        &self,
+        facts: impl Iterator<Item = (&'a str, usize)>,
+    ) -> Result<(), EvalError> {
+        for (pred, arity) in facts {
+            let slot =
+                self.slots
+                    .iter()
+                    .find(|s| s.name == pred)
+                    .ok_or_else(|| EvalError::Compile {
+                        detail: format!(
+                            "edit targets {pred:?}, which is not an EDB predicate of the program"
+                        ),
+                    })?;
+            if arity != slot.arity {
+                return Err(EvalError::Compile {
+                    detail: format!(
+                        "edit on {pred:?} with arity {arity} (expected {})",
+                        slot.arity
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// One maintained value, decode-free: `None` if the tuple (or any
@@ -586,12 +703,20 @@ impl<P: Pops + Send + Sync> Materialization<P> {
     /// delta plans (rows carry their full current values; only the
     /// emitted keys are used) until closure. Must run against the
     /// pre-delete state with empty `changed` maps.
-    fn affected_closure(&mut self, col: &mut Collector, steps: &mut usize) -> Vec<HashSet<u32>> {
+    fn affected_closure(
+        &mut self,
+        col: &mut Collector,
+        gov: &Governor,
+        steps: &mut usize,
+    ) -> Result<Vec<HashSet<u32>>, LoopFail> {
         let nidb = self.engine.compiled.idbs.len();
         let mut affected: Vec<HashSet<u32>> = (0..nidb).map(|_| HashSet::new()).collect();
         let before = col.stats.counters;
+        gov.check(*steps as u64, col)
+            .map_err(|a| LoopFail::Abort(a, *steps))?;
         let (contrib, _fresh) =
-            run_plans(&self.engine, &self.edit_plans, &self.state, &self.opts, col);
+            run_plans(&self.engine, &self.edit_plans, &self.state, &self.opts, col)
+                .map_err(|a| LoopFail::Abort(a, *steps))?;
         let mut frontier: Vec<Vec<u32>> = vec![vec![]; nidb];
         for (pred, acc) in contrib.into_iter().enumerate() {
             let new = &self.state.new[pred];
@@ -606,12 +731,12 @@ impl<P: Pops + Send + Sync> Materialization<P> {
         }
         col.end_step(*steps, 0, 0, &before);
         while frontier.iter().any(|f| !f.is_empty()) {
+            gov.check(*steps as u64, col)
+                .map_err(|a| LoopFail::Abort(a, *steps))?;
+            if *steps >= self.cap {
+                return Err(LoopFail::Diverged(*steps));
+            }
             *steps += 1;
-            assert!(
-                *steps <= self.cap,
-                "Materialization delete marking exceeded the step cap ({})",
-                self.cap
-            );
             let before = col.stats.counters;
             let mut delta = self.engine.empty_idbs();
             let mut delta_rows = 0u64;
@@ -630,7 +755,8 @@ impl<P: Pops + Send + Sync> Materialization<P> {
                 &self.state,
                 &self.opts,
                 col,
-            );
+            )
+            .map_err(|a| LoopFail::Abort(a, *steps))?;
             frontier = vec![vec![]; nidb];
             for (pred, acc) in contrib.into_iter().enumerate() {
                 let new = &self.state.new[pred];
@@ -647,7 +773,7 @@ impl<P: Pops + Send + Sync> Materialization<P> {
         }
         self.state.delta = self.engine.empty_idbs();
         ensure_delta_indexes(&self.engine, &mut self.state);
-        affected
+        Ok(affected)
     }
 
     /// Rebuilds the affected IDB relations without the marked rows
@@ -678,14 +804,17 @@ impl<P: Pops + Send + Sync> Materialization<P> {
     /// original seed plans, to fixpoint. Starting from a pre-fixpoint
     /// (the old state after an insert; the survivors after a delete)
     /// it converges to the new least fixpoint.
-    fn naive_loop(&mut self, col: &mut Collector) -> usize
+    fn naive_loop(&mut self, col: &mut Collector, gov: &Governor) -> Result<usize, LoopFail>
     where
         P: NaturallyOrdered,
     {
         for steps in 0..=self.cap {
+            gov.check(steps as u64, col)
+                .map_err(|a| LoopFail::Abort(a, steps))?;
             let before = col.stats.counters;
             let (contrib, fresh) =
-                run_plans(&self.engine, &self.seed_plans, &self.state, &self.opts, col);
+                run_plans(&self.engine, &self.seed_plans, &self.state, &self.opts, col)
+                    .map_err(|a| LoopFail::Abort(a, steps))?;
             let mut next = self.engine.empty_idbs();
             for (pred, acc) in contrib.into_iter().enumerate() {
                 let sv = self.engine.compiled.set_valued[pred];
@@ -710,7 +839,7 @@ impl<P: Pops + Send + Sync> Materialization<P> {
                 .all(|(n, c)| n.len() == c.len() && n.iter().all(|(_, k, v)| c.get(k) == Some(v)));
             col.end_step(steps, 0, 0, &before);
             if fixed {
-                return steps;
+                return Ok(steps);
             }
             for (pred, rel) in next.iter_mut().enumerate() {
                 for &mask in &self.engine.idb_new_masks[pred] {
@@ -719,10 +848,7 @@ impl<P: Pops + Send + Sync> Materialization<P> {
             }
             self.state.new = next;
         }
-        panic!(
-            "Materialization naïve edit exceeded the step cap ({}): program diverges on the edited EDB",
-            self.cap
-        );
+        Err(LoopFail::Diverged(self.cap))
     }
 }
 
@@ -735,11 +861,14 @@ where
     /// behind [`Materialization::query`]; edits always run the
     /// semi-naïve differential continuation.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// On programs the columnar storage cannot represent, on predicate
-    /// names using the reserved `@` namespace, and when the initial
-    /// fixpoint exceeds `cap` steps.
+    /// [`EvalError::Compile`] on programs the columnar storage cannot
+    /// represent or predicate names using the reserved `@` namespace;
+    /// [`EvalError::Diverged`] when the initial fixpoint exceeds `cap`
+    /// steps; the governed variants when `opts` carries a budget or
+    /// cancel token that trips during the build. A failed build returns
+    /// no handle, so there is nothing to poison.
     pub fn new(
         program: &Program<P>,
         pops_edb: &Database<P>,
@@ -747,9 +876,9 @@ where
         cap: usize,
         strategy: Strategy,
         opts: &EngineOpts,
-    ) -> Self {
+    ) -> Result<Self, EvalError> {
         let t = Instant::now();
-        let mut m = Self::prepare(program, pops_edb, bool_edb, cap, strategy, opts);
+        let mut m = Self::prepare(program, pops_edb, bool_edb, cap, strategy, opts)?;
         let mut col = Collector::new(
             "incremental-build",
             m.opts.effective_threads(),
@@ -757,21 +886,61 @@ where
             m.engine.compiled.plan_metas(),
             &m.opts,
         );
+        let gov = Governor::new(&m.opts, t.elapsed().as_nanos() as u64);
         let t_eval = Instant::now();
-        let steps = m.seminaive_build(&mut col);
-        m.settle();
-        m.last_stats = col.finish(steps, true, t_eval.elapsed().as_nanos() as u64);
-        m
+        match m.seminaive_build(&mut col, &gov) {
+            Ok(steps) => {
+                m.settle();
+                m.last_stats = col.finish(steps, true, t_eval.elapsed().as_nanos() as u64);
+                Ok(m)
+            }
+            Err(f) => Err(fail_error(
+                m.cap,
+                f,
+                col,
+                t_eval.elapsed().as_nanos() as u64,
+            )),
+        }
+    }
+
+    /// Recovers (or refreshes) the handle: re-derives the fixpoint from
+    /// the retained classic EDB exactly as [`Materialization::new`]
+    /// would — bit-identical to a from-scratch construction at any
+    /// thread count — and clears the poisoned bit. The epoch advances
+    /// past every previous epoch. A rebuild is itself governed by the
+    /// current budget/cancel settings (adjust them first via
+    /// [`Materialization::set_budget`] / [`Materialization::set_cancel`]
+    /// if the poisoning budget would trip again); a failed rebuild
+    /// leaves the handle poisoned.
+    ///
+    /// # Errors
+    ///
+    /// As [`Materialization::new`].
+    pub fn rebuild(&mut self) -> Result<&EvalStats, EvalError> {
+        let epoch = self.epoch + 1;
+        let mut fresh = Self::new(
+            &self.program,
+            &self.edb,
+            &self.bool_edb,
+            self.cap,
+            self.strategy,
+            &self.opts,
+        )?;
+        fresh.epoch = epoch;
+        *self = fresh;
+        Ok(&self.last_stats)
     }
 
     /// The initial semi-naïve fixpoint: seed `J(1) = F(0)`, then the
     /// delta loop (mirrors the from-scratch driver over the original
     /// rules; the variant rules see empty `@dlt` and contribute
     /// nothing).
-    fn seminaive_build(&mut self, col: &mut Collector) -> usize {
+    fn seminaive_build(&mut self, col: &mut Collector, gov: &Governor) -> Result<usize, LoopFail> {
         let seed_before = col.stats.counters;
+        gov.check(0, col).map_err(|a| LoopFail::Abort(a, 0))?;
         let (contrib, fresh) =
-            run_plans(&self.engine, &self.seed_plans, &self.state, &self.opts, col);
+            run_plans(&self.engine, &self.seed_plans, &self.state, &self.opts, col)
+                .map_err(|a| LoopFail::Abort(a, 0))?;
         for (pred, acc) in contrib.into_iter().enumerate() {
             let sv = self.engine.compiled.set_valued[pred];
             let state = &mut self.state;
@@ -801,20 +970,25 @@ where
         col.stats.phases.mint += t_mint.elapsed().as_nanos() as u64;
         ensure_delta_indexes(&self.engine, &mut self.state);
         col.end_step(0, 0, 0, &seed_before);
-        self.delta_loop(col, 0)
+        self.delta_loop(col, gov, 0)
     }
 
     /// The semi-naïve continuation: run the original delta plans and
     /// advance until every delta drains. Returns the final step count.
-    fn delta_loop(&mut self, col: &mut Collector, start: usize) -> usize {
+    fn delta_loop(
+        &mut self,
+        col: &mut Collector,
+        gov: &Governor,
+        start: usize,
+    ) -> Result<usize, LoopFail> {
         let mut steps = start;
         while !self.state.delta.iter().all(|d| d.is_empty()) {
+            gov.check(steps as u64, col)
+                .map_err(|a| LoopFail::Abort(a, steps))?;
+            if steps >= self.cap {
+                return Err(LoopFail::Diverged(steps));
+            }
             steps += 1;
-            assert!(
-                steps <= self.cap,
-                "Materialization edit exceeded the step cap ({}): program diverges on the edited EDB",
-                self.cap
-            );
             let before = col.stats.counters;
             let delta_rows: u64 = self.state.delta.iter().map(|d| d.len() as u64).sum();
             let (contrib, fresh) = run_plans(
@@ -823,11 +997,12 @@ where
                 &self.state,
                 &self.opts,
                 col,
-            );
+            )
+            .map_err(|a| LoopFail::Abort(a, steps))?;
             apply_contrib(&mut self.engine, &mut self.state, contrib, fresh, col);
             col.end_step(steps, delta_rows, 0, &before);
         }
-        steps
+        Ok(steps)
     }
 
     /// Absorbs an insert batch: `⊕`-merges the facts into the EDB and
@@ -838,10 +1013,17 @@ where
     ///
     /// Returns the edit's own [`EvalStats`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// On unknown predicates, arity mismatches, or cap overrun.
-    pub fn insert(&mut self, batch: &[FactInsert<P>]) -> &EvalStats {
+    /// [`EvalError::Poisoned`] if a previous edit failed mid-flight;
+    /// [`EvalError::Compile`] on unknown predicates or arity mismatches
+    /// (rejected before staging — the handle is untouched);
+    /// [`EvalError::Diverged`] on cap overrun and the governed variants
+    /// on budget/deadline/cancellation — these **poison** the handle
+    /// (see the module docs).
+    pub fn insert(&mut self, batch: &[FactInsert<P>]) -> Result<&EvalStats, EvalError> {
+        self.check_poisoned()?;
+        self.validate_edits(batch.iter().map(|f| (f.pred.as_str(), f.tuple.len())))?;
         let t = Instant::now();
         self.begin_edit();
         let touched = self.stage_insert(batch);
@@ -852,22 +1034,38 @@ where
             self.engine.compiled.plan_metas(),
             &self.opts,
         );
+        let gov = Governor::new(&self.opts, t.elapsed().as_nanos() as u64);
         let t_eval = Instant::now();
+        let run = self.insert_run(&mut col, &gov, batch.len() as u64);
+        let eval_ns = t_eval.elapsed().as_nanos() as u64;
+        match run {
+            Ok(steps) => {
+                self.clear_edit_rels(&touched);
+                self.settle();
+                self.last_stats = col.finish(steps, true, eval_ns);
+                Ok(&self.last_stats)
+            }
+            Err(f) => Err(self.poison(fail_error(self.cap, f, col, eval_ns))),
+        }
+    }
+
+    /// The governed tail of [`Materialization::insert`]: the
+    /// differential seed plus the semi-naïve continuation, factored out
+    /// so the public wrapper can poison any failure with one match.
+    fn insert_run(
+        &mut self,
+        col: &mut Collector,
+        gov: &Governor,
+        batch_rows: u64,
+    ) -> Result<usize, LoopFail> {
         let before = col.stats.counters;
-        let (contrib, fresh) = run_plans(
-            &self.engine,
-            &self.edit_plans,
-            &self.state,
-            &self.opts,
-            &mut col,
-        );
-        apply_contrib(&mut self.engine, &mut self.state, contrib, fresh, &mut col);
-        col.end_step(0, batch.len() as u64, 0, &before);
-        let steps = self.delta_loop(&mut col, 0);
-        self.clear_edit_rels(&touched);
-        self.settle();
-        self.last_stats = col.finish(steps, true, t_eval.elapsed().as_nanos() as u64);
-        &self.last_stats
+        gov.check(0, col).map_err(|a| LoopFail::Abort(a, 0))?;
+        let (contrib, fresh) =
+            run_plans(&self.engine, &self.edit_plans, &self.state, &self.opts, col)
+                .map_err(|a| LoopFail::Abort(a, 0))?;
+        apply_contrib(&mut self.engine, &mut self.state, contrib, fresh, col);
+        col.end_step(0, batch_rows, 0, &before);
+        self.delta_loop(col, gov, 0)
     }
 
     /// Absorbs a delete batch by delete–rederive (module docs): mark
@@ -878,10 +1076,12 @@ where
     ///
     /// Returns the edit's own [`EvalStats`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// On unknown predicates, arity mismatches, or cap overrun.
-    pub fn delete(&mut self, batch: &[FactDelete]) -> &EvalStats {
+    /// As [`Materialization::insert`].
+    pub fn delete(&mut self, batch: &[FactDelete]) -> Result<&EvalStats, EvalError> {
+        self.check_poisoned()?;
+        self.validate_edits(batch.iter().map(|f| (f.pred.as_str(), f.tuple.len())))?;
         let t = Instant::now();
         self.begin_edit();
         let staged = self.stage_delete(batch);
@@ -892,16 +1092,37 @@ where
             self.engine.compiled.plan_metas(),
             &self.opts,
         );
+        let gov = Governor::new(&self.opts, t.elapsed().as_nanos() as u64);
         let t_eval = Instant::now();
         if staged.is_empty() {
             self.last_stats = col.finish(0, true, t_eval.elapsed().as_nanos() as u64);
-            return &self.last_stats;
+            return Ok(&self.last_stats);
         }
+        let run = self.delete_run(&mut col, &gov, &staged);
+        let eval_ns = t_eval.elapsed().as_nanos() as u64;
+        match run {
+            Ok(steps) => {
+                self.settle();
+                self.last_stats = col.finish(steps, true, eval_ns);
+                Ok(&self.last_stats)
+            }
+            Err(f) => Err(self.poison(fail_error(self.cap, f, col, eval_ns))),
+        }
+    }
+
+    /// The governed tail of [`Materialization::delete`]: marking,
+    /// zero-out, rederive, continuation.
+    fn delete_run(
+        &mut self,
+        col: &mut Collector,
+        gov: &Governor,
+        staged: &[(usize, HashSet<Box<[u32]>>)],
+    ) -> Result<usize, LoopFail> {
         let touched: Vec<usize> = staged.iter().map(|(si, _)| *si).collect();
         let mut steps = 0usize;
-        let affected = self.affected_closure(&mut col, &mut steps);
+        let affected = self.affected_closure(col, gov, &mut steps)?;
         self.clear_edit_rels(&touched);
-        self.apply_edb_deletes(&staged);
+        self.apply_edb_deletes(staged);
         self.retract_affected(&affected);
         let has_affected: Vec<bool> = affected.iter().map(|a| !a.is_empty()).collect();
         if has_affected.iter().any(|&b| b) {
@@ -911,34 +1132,40 @@ where
                 .filter(|p| has_affected[p.head_pred])
                 .cloned()
                 .collect();
+            gov.check(steps as u64, col)
+                .map_err(|a| LoopFail::Abort(a, steps))?;
             steps += 1;
             let before = col.stats.counters;
-            let (contrib, fresh) =
-                run_plans(&self.engine, &rederive, &self.state, &self.opts, &mut col);
-            apply_contrib(&mut self.engine, &mut self.state, contrib, fresh, &mut col);
+            let (contrib, fresh) = run_plans(&self.engine, &rederive, &self.state, &self.opts, col)
+                .map_err(|a| LoopFail::Abort(a, steps))?;
+            apply_contrib(&mut self.engine, &mut self.state, contrib, fresh, col);
             col.end_step(steps, 0, 0, &before);
-            steps = self.delta_loop(&mut col, steps);
+            steps = self.delta_loop(col, gov, steps)?;
         }
-        self.settle();
-        self.last_stats = col.finish(steps, true, t_eval.elapsed().as_nanos() as u64);
-        &self.last_stats
+        Ok(steps)
     }
 
-    /// Applies an edit script in order, one batch per edit. Returns the
+    /// Applies an edit script in order, one batch per edit, stopping at
+    /// the first failing edit (its error propagates, with the handle
+    /// poisoned exactly as the direct call would have). Returns the
     /// stats of the last edit (each edit's stats are observable through
     /// [`Materialization::last_stats`] between steps).
-    pub fn apply(&mut self, script: &[Edit<P>]) -> &EvalStats {
+    ///
+    /// # Errors
+    ///
+    /// As [`Materialization::insert`].
+    pub fn apply(&mut self, script: &[Edit<P>]) -> Result<&EvalStats, EvalError> {
         for edit in script {
             match edit {
                 Edit::Insert(f) => {
-                    self.insert(std::slice::from_ref(f));
+                    self.insert(std::slice::from_ref(f))?;
                 }
                 Edit::Delete(f) => {
-                    self.delete(std::slice::from_ref(f));
+                    self.delete(std::slice::from_ref(f))?;
                 }
             }
         }
-        &self.last_stats
+        Ok(&self.last_stats)
     }
 }
 
@@ -950,15 +1177,19 @@ where
     /// (e.g. `NNReal`): the initial build and every edit run the naïve
     /// loop `J ↦ F'(J)` — from the old state for inserts, from the
     /// DRed survivors for deletes — which needs only natural order.
+    ///
+    /// # Errors
+    ///
+    /// As [`Materialization::new`].
     pub fn new_naive(
         program: &Program<P>,
         pops_edb: &Database<P>,
         bool_edb: &BoolDatabase,
         cap: usize,
         opts: &EngineOpts,
-    ) -> Self {
+    ) -> Result<Self, EvalError> {
         let t = Instant::now();
-        let mut m = Self::prepare(program, pops_edb, bool_edb, cap, Strategy::Auto, opts);
+        let mut m = Self::prepare(program, pops_edb, bool_edb, cap, Strategy::Auto, opts)?;
         let mut col = Collector::new(
             "incremental-build-naive",
             m.opts.effective_threads(),
@@ -966,10 +1197,42 @@ where
             m.engine.compiled.plan_metas(),
             &m.opts,
         );
+        let gov = Governor::new(&m.opts, t.elapsed().as_nanos() as u64);
         let t_eval = Instant::now();
-        let steps = m.naive_loop(&mut col);
-        m.last_stats = col.finish(steps, true, t_eval.elapsed().as_nanos() as u64);
-        m
+        match m.naive_loop(&mut col, &gov) {
+            Ok(steps) => {
+                m.last_stats = col.finish(steps, true, t_eval.elapsed().as_nanos() as u64);
+                Ok(m)
+            }
+            Err(f) => Err(fail_error(
+                m.cap,
+                f,
+                col,
+                t_eval.elapsed().as_nanos() as u64,
+            )),
+        }
+    }
+
+    /// [`Materialization::rebuild`] for naïve-mode handles: re-derives
+    /// from the retained classic EDB with [`Materialization::new_naive`]
+    /// and clears the poisoned bit.
+    ///
+    /// # Errors
+    ///
+    /// As [`Materialization::new`].
+    pub fn rebuild_naive(&mut self) -> Result<&EvalStats, EvalError> {
+        let epoch = self.epoch + 1;
+        let mut fresh = Self::new_naive(
+            &self.program,
+            &self.edb,
+            &self.bool_edb,
+            self.cap,
+            &self.opts,
+        )?;
+        fresh.epoch = epoch;
+        fresh.strategy = self.strategy;
+        *self = fresh;
+        Ok(&self.last_stats)
     }
 
     /// Naïve-mode insert: `⊕`-merge the batch into the EDB, then run
@@ -977,7 +1240,13 @@ where
     /// grown operator — often a single confirming step when the edit is
     /// absorbed). The variant rules stay out: naïve steps recompute
     /// full sums, so the differential would double-count.
-    pub fn insert_naive(&mut self, batch: &[FactInsert<P>]) -> &EvalStats {
+    ///
+    /// # Errors
+    ///
+    /// As [`Materialization::insert`].
+    pub fn insert_naive(&mut self, batch: &[FactInsert<P>]) -> Result<&EvalStats, EvalError> {
+        self.check_poisoned()?;
+        self.validate_edits(batch.iter().map(|f| (f.pred.as_str(), f.tuple.len())))?;
         let t = Instant::now();
         self.begin_edit();
         let touched = self.stage_insert(batch);
@@ -990,17 +1259,30 @@ where
             self.engine.compiled.plan_metas(),
             &self.opts,
         );
+        let gov = Governor::new(&self.opts, t.elapsed().as_nanos() as u64);
         let t_eval = Instant::now();
-        let steps = self.naive_loop(&mut col);
-        self.last_stats = col.finish(steps, true, t_eval.elapsed().as_nanos() as u64);
-        &self.last_stats
+        let run = self.naive_loop(&mut col, &gov);
+        let eval_ns = t_eval.elapsed().as_nanos() as u64;
+        match run {
+            Ok(steps) => {
+                self.last_stats = col.finish(steps, true, eval_ns);
+                Ok(&self.last_stats)
+            }
+            Err(f) => Err(self.poison(fail_error(self.cap, f, col, eval_ns))),
+        }
     }
 
     /// Naïve-mode delete: the same DRed marking and zero-out as
     /// [`Materialization::delete`] (the marking pass is purely
     /// key-syntactic, no `⊖` involved), then the naïve loop rederives
     /// from the surviving support.
-    pub fn delete_naive(&mut self, batch: &[FactDelete]) -> &EvalStats {
+    ///
+    /// # Errors
+    ///
+    /// As [`Materialization::insert`].
+    pub fn delete_naive(&mut self, batch: &[FactDelete]) -> Result<&EvalStats, EvalError> {
+        self.check_poisoned()?;
+        self.validate_edits(batch.iter().map(|f| (f.pred.as_str(), f.tuple.len())))?;
         let t = Instant::now();
         self.begin_edit();
         let staged = self.stage_delete(batch);
@@ -1011,20 +1293,29 @@ where
             self.engine.compiled.plan_metas(),
             &self.opts,
         );
+        let gov = Governor::new(&self.opts, t.elapsed().as_nanos() as u64);
         let t_eval = Instant::now();
         if staged.is_empty() {
             self.last_stats = col.finish(0, true, t_eval.elapsed().as_nanos() as u64);
-            return &self.last_stats;
+            return Ok(&self.last_stats);
         }
-        let touched: Vec<usize> = staged.iter().map(|(si, _)| *si).collect();
-        let mut steps = 0usize;
-        let affected = self.affected_closure(&mut col, &mut steps);
-        self.clear_edit_rels(&touched);
-        self.apply_edb_deletes(&staged);
-        self.retract_affected(&affected);
-        steps += self.naive_loop(&mut col);
-        self.last_stats = col.finish(steps, true, t_eval.elapsed().as_nanos() as u64);
-        &self.last_stats
+        let run = (|| {
+            let touched: Vec<usize> = staged.iter().map(|(si, _)| *si).collect();
+            let mut steps = 0usize;
+            let affected = self.affected_closure(&mut col, &gov, &mut steps)?;
+            self.clear_edit_rels(&touched);
+            self.apply_edb_deletes(&staged);
+            self.retract_affected(&affected);
+            Ok(steps + self.naive_loop(&mut col, &gov)?)
+        })();
+        let eval_ns = t_eval.elapsed().as_nanos() as u64;
+        match run {
+            Ok(steps) => {
+                self.last_stats = col.finish(steps, true, eval_ns);
+                Ok(&self.last_stats)
+            }
+            Err(f) => Err(self.poison(fail_error(self.cap, f, col, eval_ns))),
+        }
     }
 }
 
@@ -1044,7 +1335,13 @@ where
     /// — decode-free chaining, exactly the PR-5 path, so the demanded
     /// fragment is recomputed rather than read from the materialized
     /// state (subsumptive reuse is the ROADMAP's next step).
-    pub fn query(&mut self, query: &Query) -> QueryAnswer<P> {
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::engine_query_eval`], plus [`EvalError::Poisoned`]
+    /// when a prior edit on this handle failed mid-flight.
+    pub fn query(&mut self, query: &Query) -> Result<QueryAnswer<P>, EvalError> {
+        self.check_poisoned()?;
         if self.snapshot.is_none() {
             self.output();
         }

@@ -202,6 +202,53 @@
 //! [`EvalStats::invariants`] masks the timing fields, which is what
 //! the cross-thread determinism tests compare.
 //!
+//! ## Design note: robustness & resource governance
+//!
+//! Every public entry point returns `Result<_, `[`EvalError`]`>` and
+//! **no input or runtime condition panics across the API boundary**
+//! (pinned by `tests/robustness.rs`'s proptest leg). The error taxonomy
+//! separates three failure classes:
+//!
+//! * **Compile-time rejection** ([`EvalError::Compile`]): programs the
+//!   columnar storage cannot represent (arity > 32, one head predicate
+//!   at two arities) and queries the magic rewrite rejects. No
+//!   evaluation ran, so these carry no stats.
+//! * **Governed interruption**: an [`EvalBudget`] on
+//!   [`EngineOpts::budget`] bounds wall-clock (deadline, measured from
+//!   entry so compile/intern time counts), fixpoint phases
+//!   (`max_steps`), emitted rows, and minted ids; a shared
+//!   [`CancelToken`] on [`EngineOpts::cancel`] requests cooperative
+//!   cancellation from another thread. Both are checked **once per
+//!   phase boundary** — a global iteration, worklist generation, or
+//!   frontier batch — on the coordinating thread, so governance costs
+//!   one branch per phase, the hot per-tuple loops are untouched
+//!   (≤5% overhead, enforced by the `robustness_guard` bench gate), and
+//!   a governed run stops within one phase of crossing a line. The
+//!   resulting [`EvalError::BudgetExhausted`] /
+//!   [`EvalError::DeadlineExceeded`] / [`EvalError::Cancelled`] carries
+//!   the final [`EvalStats`] snapshot (with `budget_checks` /
+//!   `cancel_polls` counters and a trailing `abort` trace event) as the
+//!   **only** surfaced partial output — the partially evaluated
+//!   instance itself is deliberately *not* returned as answers, because
+//!   a pre-fixpoint's values are not over- or under-approximations a
+//!   caller can reason about on a general POPS.
+//! * **Contained worker panics** ([`EvalError::WorkerPanic`]): every
+//!   parallel task body (and the sequential fallback) runs under
+//!   `catch_unwind`, the lowest-indexed panicking task wins
+//!   deterministically at any thread count, and the coordinating thread
+//!   converts it into the typed error instead of unwinding or aborting
+//!   the process.
+//!
+//! Divergence is *not* an error here: hitting the iteration cap still
+//! returns `Ok` with [`dlo_core::EvalOutcome::Diverged`] (use
+//! `into_result()` to convert it into [`EvalError::Diverged`] when a
+//! capped run should be error-shaped). Long-lived [`Materialization`]s
+//! add a **poisoned bit**: if an edit fails mid-flight in a way that may
+//! have left interned state inconsistent, every subsequent call returns
+//! [`EvalError::Poisoned`] until [`Materialization::rebuild`] re-derives
+//! the fixpoint from the retained EDB — bit-identical to a from-scratch
+//! construction.
+//!
 //! Entry points mirror the other backends and cross-check against them
 //! in `tests/cross_engine.rs` (and all strategies against each other in
 //! `tests/backend_matrix.rs` / `tests/proptest_engine.rs`):
@@ -218,7 +265,9 @@
 //!     (vec!["a".into(), "b".into()], Trop::finite(1.0)),
 //!     (vec!["b".into(), "c".into()], Trop::finite(3.0)),
 //! ]));
-//! let out = engine_seminaive_eval(&program, &edb, &BoolDatabase::new(), 10_000).unwrap();
+//! let out = engine_seminaive_eval(&program, &edb, &BoolDatabase::new(), 10_000)
+//!     .expect("compiles")
+//!     .unwrap();
 //! assert_eq!(out.get("T").unwrap().get(&vec!["a".into(), "c".into()]),
 //!            Trop::finite(4.0));
 //! ```
@@ -258,6 +307,7 @@
 
 pub mod driver;
 pub mod exec;
+pub(crate) mod govern;
 pub mod hash;
 pub mod incremental;
 pub mod intern;
@@ -273,6 +323,7 @@ pub use dlo_core::eval::stats::{
     Counters, EvalStats, IterStat, JsonlSink, MemorySink, PhaseNanos, RuleProfile, TraceEvent,
     TraceHandle, TraceSink,
 };
+pub use dlo_core::eval::{BudgetKind, CancelToken, EvalBudget, EvalError};
 pub use driver::{
     engine_naive_eval, engine_naive_eval_with_opts, engine_seminaive_eval,
     engine_seminaive_eval_interned, engine_seminaive_eval_interned_edb,

@@ -298,6 +298,7 @@ mod tests {
         let bools = BoolDatabase::new();
         let (out, steps) =
             engine_seminaive_eval_interned(&program, &edb, &bools, 1000, &EngineOpts::default())
+                .expect("compiles")
                 .converged()
                 .unwrap();
         assert!(steps > 0);
@@ -307,7 +308,9 @@ mod tests {
         assert_eq!(out.support_size("L"), out.relation("L").unwrap().len());
         assert_eq!(out.support_size("absent"), 0);
         // Full and per-pred materialization agree with the classic path.
-        let reference = crate::driver::engine_seminaive_eval(&program, &edb, &bools, 1000).unwrap();
+        let reference = crate::driver::engine_seminaive_eval(&program, &edb, &bools, 1000)
+            .expect("compiles")
+            .unwrap();
         assert_eq!(out.materialize(), reference);
         assert_eq!(
             out.materialize_pred("L").as_ref(),

@@ -5,7 +5,16 @@
 //! the caller reassembles them in task order, so the merge downstream is
 //! deterministic. Thread count comes from `DLO_ENGINE_THREADS` (set `1`
 //! to force sequential execution) or `std::thread::available_parallelism`.
+//!
+//! **Panic containment:** every task body runs under
+//! [`std::panic::catch_unwind`], on the sequential fallback too, so a
+//! panicking task never unwinds across the pool (which would abort the
+//! scope and take the process down with it). Both entry points return
+//! `Err(message)` carrying the payload of the *lowest-indexed*
+//! panicking task — deterministic at any thread count — and the drivers
+//! surface it as `EvalError::WorkerPanic`.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -24,19 +33,40 @@ pub fn max_threads() -> usize {
     })
 }
 
+/// Renders a caught panic payload (strings pass through; anything else
+/// gets a placeholder).
+pub(crate) fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs `f(0..n)` across `threads` scoped workers, returning results in
-/// task order. Falls back to a plain sequential map when parallelism
-/// cannot help.
-pub fn run_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+/// task order, or the contained panic message of the lowest-indexed
+/// panicking task. Falls back to a plain sequential map (with the same
+/// containment) when parallelism cannot help.
+pub fn run_indexed<T, F>(n: usize, threads: usize, f: F) -> Result<Vec<T>, String>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(t) => out.push(t),
+                Err(p) => return Err(payload_message(p)),
+            }
+        }
+        return Ok(out);
     }
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut first_panic: Option<(usize, String)> = None;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads.min(n))
             .map(|_| {
@@ -45,24 +75,53 @@ where
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
-                            break;
+                            break Ok(local);
                         }
-                        local.push((i, f(i)));
+                        match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                            Ok(t) => local.push((i, t)),
+                            // Stop this worker at the panic; peers drain
+                            // the remaining indexes normally.
+                            Err(p) => break Err((i, payload_message(p), local)),
+                        }
                     }
-                    local
                 })
             })
             .collect();
         for h in handles {
-            for (i, t) in h.join().expect("engine worker panicked") {
-                slots[i] = Some(t);
+            // The scoped closure never unwinds (every task body is
+            // contained above), so join() only fails if the *runtime*
+            // killed the thread — propagate that as a panic message too
+            // rather than unwinding across the pool.
+            match h.join() {
+                Ok(Ok(local)) => {
+                    for (i, t) in local {
+                        slots[i] = Some(t);
+                    }
+                }
+                Ok(Err((i, msg, local))) => {
+                    for (j, t) in local {
+                        slots[j] = Some(t);
+                    }
+                    if first_panic.as_ref().is_none_or(|(fi, _)| i < *fi) {
+                        first_panic = Some((i, msg));
+                    }
+                }
+                Err(p) => {
+                    let msg = payload_message(p);
+                    if first_panic.is_none() {
+                        first_panic = Some((usize::MAX, msg));
+                    }
+                }
             }
         }
     });
-    slots
+    if let Some((_, msg)) = first_panic {
+        return Err(msg);
+    }
+    Ok(slots
         .into_iter()
         .map(|s| s.expect("every task index visited"))
-        .collect()
+        .collect())
 }
 
 /// Runs `f` over owned work items across `threads` scoped workers.
@@ -74,7 +133,9 @@ where
 /// item costs are not front-loaded. Results are discarded — use this for
 /// effects on the items themselves, and only where those effects are
 /// order-independent (index builds are: each item owns its relation).
-pub fn run_each<T, F>(work: Vec<T>, threads: usize, f: F)
+/// A panicking item is contained like in [`run_indexed`]; the message of
+/// the lowest-numbered panicking item is returned.
+pub fn run_each<T, F>(work: Vec<T>, threads: usize, f: F) -> Result<(), String>
 where
     T: Send,
     F: Fn(T) + Sync,
@@ -82,25 +143,54 @@ where
     let n = work.len();
     if threads <= 1 || n <= 1 {
         for w in work {
-            f(w);
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(w))) {
+                return Err(payload_message(p));
+            }
         }
-        return;
+        return Ok(());
     }
     let nbuckets = threads.min(n);
-    let mut buckets: Vec<Vec<T>> = (0..nbuckets).map(|_| Vec::new()).collect();
+    let mut buckets: Vec<Vec<(usize, T)>> = (0..nbuckets).map(|_| Vec::new()).collect();
     for (i, w) in work.into_iter().enumerate() {
-        buckets[i % nbuckets].push(w);
+        buckets[i % nbuckets].push((i, w));
     }
+    let mut first_panic: Option<(usize, String)> = None;
     std::thread::scope(|scope| {
-        for bucket in buckets {
-            let f = &f;
-            scope.spawn(move || {
-                for w in bucket {
-                    f(w);
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                let f = &f;
+                scope.spawn(move || {
+                    for (i, w) in bucket {
+                        if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(w))) {
+                            return Err((i, payload_message(p)));
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err((i, msg))) => {
+                    if first_panic.as_ref().is_none_or(|(fi, _)| i < *fi) {
+                        first_panic = Some((i, msg));
+                    }
                 }
-            });
+                Err(p) => {
+                    let msg = payload_message(p);
+                    if first_panic.is_none() {
+                        first_panic = Some((usize::MAX, msg));
+                    }
+                }
+            }
         }
     });
+    match first_panic {
+        Some((_, msg)) => Err(msg),
+        None => Ok(()),
+    }
 }
 
 #[cfg(test)]
@@ -111,23 +201,52 @@ mod tests {
     fn run_each_visits_every_item_with_mutable_borrows() {
         let mut cells = vec![0u32; 17];
         let work: Vec<(usize, &mut u32)> = cells.iter_mut().enumerate().collect();
-        run_each(work, 4, |(i, cell)| *cell = i as u32 + 1);
+        run_each(work, 4, |(i, cell)| *cell = i as u32 + 1).expect("no panics");
         assert_eq!(cells, (1..=17).collect::<Vec<_>>());
         // Sequential fallback takes the same path.
         let mut one = vec![0u32];
-        run_each(one.iter_mut().collect::<Vec<_>>(), 8, |c| *c = 9);
+        run_each(one.iter_mut().collect::<Vec<_>>(), 8, |c| *c = 9).expect("no panics");
         assert_eq!(one, vec![9]);
     }
 
     #[test]
     fn results_arrive_in_task_order() {
-        let out = run_indexed(100, 4, |i| i * i);
+        let out = run_indexed(100, 4, |i| i * i).expect("no panics");
         assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
     }
 
     #[test]
     fn sequential_fallback_matches() {
-        assert_eq!(run_indexed(5, 1, |i| i + 1), vec![1, 2, 3, 4, 5]);
-        assert_eq!(run_indexed(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(5, 1, |i| i + 1).unwrap(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(run_indexed(0, 8, |i| i).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn panicking_task_is_contained_deterministically() {
+        // The lowest panicking index wins at every thread count, and
+        // the panic never unwinds out of the call.
+        for threads in [1, 2, 4, 8] {
+            let err = run_indexed(40, threads, |i| {
+                if i == 7 || i == 23 {
+                    panic!("task {i} exploded");
+                }
+                i
+            })
+            .expect_err("must contain the panic");
+            assert_eq!(err, "task 7 exploded", "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn panicking_item_in_run_each_is_contained() {
+        for threads in [1, 3, 6] {
+            let err = run_each((0..20).collect::<Vec<_>>(), threads, |i| {
+                if i >= 11 {
+                    panic!("item {i} exploded");
+                }
+            })
+            .expect_err("must contain the panic");
+            assert_eq!(err, "item 11 exploded", "threads={threads}");
+        }
     }
 }

@@ -19,14 +19,12 @@
 //! of its rows must carry exactly its full-fixpoint value), and the
 //! raw [`InternedOutput`] for chaining into further engine runs.
 
-use crate::driver::{
-    naive_run, seminaive_run, setup_interned_or_panic, setup_or_panic, EngineOpts,
-};
+use crate::driver::{naive_run, seminaive_run, setup_checked, setup_interned_checked, EngineOpts};
 use crate::output::{InternedOutcome, InternedOutput};
 use crate::worklist::{strategy_run, Strategy};
 use dlo_core::ast::Program;
 use dlo_core::demand::{magic_rewrite, DemandProgram};
-use dlo_core::eval::EvalStats;
+use dlo_core::eval::{EvalError, EvalStats};
 use dlo_core::query::Query;
 use dlo_core::relation::{BoolDatabase, Database, Relation};
 use dlo_core::value::Constant;
@@ -167,9 +165,15 @@ impl<P: Pops> QueryAnswer<P> {
     }
 }
 
-fn rewrite_or_panic<P: Pops>(program: &Program<P>, query: &Query) -> DemandProgram<P> {
-    magic_rewrite(program, query)
-        .unwrap_or_else(|e| panic!("dlo_engine cannot evaluate this query: {e}"))
+/// Runs the magic-set rewrite, mapping a rejected query (unknown
+/// predicate, arity mismatch) to [`EvalError::Compile`].
+fn rewrite_checked<P: Pops>(
+    program: &Program<P>,
+    query: &Query,
+) -> Result<DemandProgram<P>, EvalError> {
+    magic_rewrite(program, query).map_err(|e| EvalError::Compile {
+        detail: format!("dlo_engine cannot evaluate this query: {e}"),
+    })
 }
 
 /// Query-driven evaluation with an explicit [`Strategy`] (the
@@ -178,10 +182,10 @@ fn rewrite_or_panic<P: Pops>(program: &Program<P>, query: &Query) -> DemandProgr
 /// `Auto`/`Priority` the frontier pops the magic seed first and demand
 /// spreads Dijkstra-interleaved with answers.
 ///
-/// # Panics
+/// # Errors
 ///
-/// On queries the rewrite rejects (unknown predicate, arity mismatch)
-/// and on programs the columnar storage cannot represent.
+/// As [`crate::engine_naive_eval`], plus [`EvalError::Compile`] on
+/// queries the rewrite rejects (unknown predicate, arity mismatch).
 pub fn engine_query_eval<P>(
     program: &Program<P>,
     query: &Query,
@@ -189,7 +193,7 @@ pub fn engine_query_eval<P>(
     bool_edb: &BoolDatabase,
     cap: usize,
     strategy: Strategy,
-) -> QueryAnswer<P>
+) -> Result<QueryAnswer<P>, EvalError>
 where
     P: NaturallyOrdered
         + CompleteDistributiveDioid
@@ -212,6 +216,10 @@ where
 /// [`engine_query_eval`] with explicit tuning knobs. Results are
 /// bit-identical at any thread count, exactly as for the full-fixpoint
 /// entry points (enforced in `tests/proptest_engine.rs`).
+///
+/// # Errors
+///
+/// As [`engine_query_eval`].
 pub fn engine_query_eval_with_opts<P>(
     program: &Program<P>,
     query: &Query,
@@ -220,7 +228,7 @@ pub fn engine_query_eval_with_opts<P>(
     cap: usize,
     strategy: Strategy,
     opts: &EngineOpts,
-) -> QueryAnswer<P>
+) -> Result<QueryAnswer<P>, EvalError>
 where
     P: NaturallyOrdered
         + CompleteDistributiveDioid
@@ -230,10 +238,13 @@ where
         + Sync,
 {
     let t = Instant::now();
-    let dp = rewrite_or_panic(program, query);
-    let engine = setup_or_panic(&dp.program, pops_edb, bool_edb, &dp.magic_preds);
+    let dp = rewrite_checked(program, query)?;
+    let engine = setup_checked(&dp.program, pops_edb, bool_edb, &dp.magic_preds)?;
     let setup_ns = t.elapsed().as_nanos() as u64;
-    QueryAnswer::new(strategy_run(engine, cap, strategy, opts, setup_ns), &dp)
+    Ok(QueryAnswer::new(
+        strategy_run(engine, cap, strategy, opts, setup_ns)?,
+        &dp,
+    ))
 }
 
 /// Query-driven evaluation on the parallel semi-naïve loop — the
@@ -241,7 +252,7 @@ where
 /// chain order (the magic rewrite itself is sound for any POPS; see
 /// `dlo_core::demand`).
 ///
-/// # Panics
+/// # Errors
 ///
 /// As [`engine_query_eval`].
 pub fn engine_query_seminaive_eval<P>(
@@ -251,22 +262,25 @@ pub fn engine_query_seminaive_eval<P>(
     bool_edb: &BoolDatabase,
     cap: usize,
     opts: &EngineOpts,
-) -> QueryAnswer<P>
+) -> Result<QueryAnswer<P>, EvalError>
 where
     P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
 {
     let t = Instant::now();
-    let dp = rewrite_or_panic(program, query);
-    let engine = setup_or_panic(&dp.program, pops_edb, bool_edb, &dp.magic_preds);
+    let dp = rewrite_checked(program, query)?;
+    let engine = setup_checked(&dp.program, pops_edb, bool_edb, &dp.magic_preds)?;
     let setup_ns = t.elapsed().as_nanos() as u64;
-    QueryAnswer::new(seminaive_run(engine, cap, opts, setup_ns), &dp)
+    Ok(QueryAnswer::new(
+        seminaive_run(engine, cap, opts, setup_ns)?,
+        &dp,
+    ))
 }
 
 /// Query-driven evaluation on the naïve loop — for naturally ordered
 /// POPS without `⊖` (e.g. ℝ₊'s company-control workload, which is why
 /// the `magic_sets` bench's point-lookup leg exists at this bound).
 ///
-/// # Panics
+/// # Errors
 ///
 /// As [`engine_query_eval`].
 pub fn engine_query_naive_eval<P>(
@@ -276,15 +290,18 @@ pub fn engine_query_naive_eval<P>(
     bool_edb: &BoolDatabase,
     cap: usize,
     opts: &EngineOpts,
-) -> QueryAnswer<P>
+) -> Result<QueryAnswer<P>, EvalError>
 where
     P: NaturallyOrdered + Send + Sync,
 {
     let t = Instant::now();
-    let dp = rewrite_or_panic(program, query);
-    let engine = setup_or_panic(&dp.program, pops_edb, bool_edb, &dp.magic_preds);
+    let dp = rewrite_checked(program, query)?;
+    let engine = setup_checked(&dp.program, pops_edb, bool_edb, &dp.magic_preds)?;
     let setup_ns = t.elapsed().as_nanos() as u64;
-    QueryAnswer::new(naive_run(engine, cap, opts, setup_ns), &dp)
+    Ok(QueryAnswer::new(
+        naive_run(engine, cap, opts, setup_ns)?,
+        &dp,
+    ))
 }
 
 /// [`engine_query_eval_with_opts`] over an **interned EDB** (see
@@ -292,7 +309,7 @@ where
 /// where a previous run's output is queried without ever leaving
 /// interned form.
 ///
-/// # Panics
+/// # Errors
 ///
 /// As [`engine_query_eval`].
 #[allow(clippy::too_many_arguments)]
@@ -305,7 +322,7 @@ pub fn engine_query_eval_interned_edb<P>(
     cap: usize,
     strategy: Strategy,
     opts: &EngineOpts,
-) -> QueryAnswer<P>
+) -> Result<QueryAnswer<P>, EvalError>
 where
     P: NaturallyOrdered
         + CompleteDistributiveDioid
@@ -315,10 +332,13 @@ where
         + Sync,
 {
     let t = Instant::now();
-    let dp = rewrite_or_panic(program, query);
-    let engine = setup_interned_or_panic(&dp.program, prev, extra_pops, bool_edb, &dp.magic_preds);
+    let dp = rewrite_checked(program, query)?;
+    let engine = setup_interned_checked(&dp.program, prev, extra_pops, bool_edb, &dp.magic_preds)?;
     let setup_ns = t.elapsed().as_nanos() as u64;
-    QueryAnswer::new(strategy_run(engine, cap, strategy, opts, setup_ns), &dp)
+    Ok(QueryAnswer::new(
+        strategy_run(engine, cap, strategy, opts, setup_ns)?,
+        &dp,
+    ))
 }
 
 #[cfg(test)]
@@ -335,10 +355,13 @@ mod tests {
     fn sssp_point_query_answers_match_the_full_fixpoint() {
         let (program, edb) = ex::sssp_trop("a");
         let bools = BoolDatabase::new();
-        let full = engine_priority_eval(&program, &edb, &bools, 1_000_000).unwrap();
+        let full = engine_priority_eval(&program, &edb, &bools, 1_000_000)
+            .expect("compiles")
+            .unwrap();
         let q = Query::point("L", vec!["d".into()]);
         for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
-            let qa = engine_query_eval(&program, &q, &edb, &bools, 1_000_000, strategy);
+            let qa = engine_query_eval(&program, &q, &edb, &bools, 1_000_000, strategy)
+                .expect("query compiles");
             assert!(qa.is_converged(), "{strategy:?}");
             let answers = qa.answers();
             assert_eq!(answers.get(&tup!["d"]), Trop::finite(8.0), "{strategy:?}");
@@ -368,7 +391,8 @@ mod tests {
         ]);
         let bools = BoolDatabase::new();
         let q = Query::new("T", vec![QueryArg::bound("a"), QueryArg::Free]);
-        let qa = engine_query_eval(&program, &q, &edb, &bools, 1_000_000, Strategy::Priority);
+        let qa = engine_query_eval(&program, &q, &edb, &bools, 1_000_000, Strategy::Priority)
+            .expect("query compiles");
         let answers = qa.answers();
         assert_eq!(answers.get(&tup!["a", "d"]), Trop::finite(8.0));
         // Demand restricted: only sources reachable demand-wise (just
@@ -377,7 +401,9 @@ mod tests {
         let support = qa.support();
         let t = support.get("T").unwrap();
         assert!(t.support().all(|(tu, _)| tu[0] == "a".into()), "{t:?}");
-        let full = engine_priority_eval(&program, &edb, &bools, 1_000_000).unwrap();
+        let full = engine_priority_eval(&program, &edb, &bools, 1_000_000)
+            .expect("compiles")
+            .unwrap();
         assert_eq!(&answers, &q.restrict(full.get("T").unwrap()));
     }
 
@@ -396,9 +422,12 @@ mod tests {
             ],
         );
         let q = Query::new("T", vec![QueryArg::bound("a"), QueryArg::Free]);
-        let qa = engine_query_naive_eval(&program, &q, &pops, &bools, 1000, &EngineOpts::default());
+        let qa = engine_query_naive_eval(&program, &q, &pops, &bools, 1000, &EngineOpts::default())
+            .expect("query compiles");
         assert!(qa.is_converged(), "magic stays on the Bool lattice");
-        let full = crate::driver::engine_naive_eval(&program, &pops, &bools, 1000).unwrap();
+        let full = crate::driver::engine_naive_eval(&program, &pops, &bools, 1000)
+            .expect("compiles")
+            .unwrap();
         assert_eq!(&qa.answers(), &q.restrict(full.get("T").unwrap()));
         assert_eq!(
             qa.answers().get(&tup!["a", "d"]),
@@ -434,10 +463,13 @@ mod tests {
         );
         let pops = Database::new();
         let bools = BoolDatabase::new();
-        let full = engine_seminaive_eval(&p, &pops, &bools, 100).unwrap();
+        let full = engine_seminaive_eval(&p, &pops, &bools, 100)
+            .expect("compiles")
+            .unwrap();
         let q = Query::point("N", vec![3i64.into()]);
         for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
-            let qa = engine_query_eval(&p, &q, &pops, &bools, 1_000_000, strategy);
+            let qa = engine_query_eval(&p, &q, &pops, &bools, 1_000_000, strategy)
+                .expect("query compiles");
             assert!(qa.magic_preds().is_empty(), "all-free fallback");
             assert_eq!(&qa.answers(), &q.restrict(full.get("N").unwrap()));
         }
@@ -485,19 +517,23 @@ mod tests {
             ),
         );
         let bools = BoolDatabase::new();
-        let full = engine_seminaive_eval(&p, &pops, &bools, 100).unwrap();
+        let full = engine_seminaive_eval(&p, &pops, &bools, 100)
+            .expect("compiles")
+            .unwrap();
         // Positive query: R(5) is derivable (3 → 4 → 5).
         let q5 = Query::point("R", vec![5i64.into()]);
         // Past-the-data query: demand for R(7) asks for R(6) — key 6 is
         // minted as a demand constant, finds nothing, answers empty.
         let q7 = Query::point("R", vec![7i64.into()]);
         for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
-            let qa5 = engine_query_eval(&p, &q5, &pops, &bools, 1_000_000, strategy);
+            let qa5 = engine_query_eval(&p, &q5, &pops, &bools, 1_000_000, strategy)
+                .expect("query compiles");
             assert!(!qa5.magic_preds().is_empty(), "rewrite applied");
             assert_eq!(&qa5.answers(), &q5.restrict(full.get("R").unwrap()));
             assert_eq!(qa5.answers().support_size(), 1, "{strategy:?}");
 
-            let qa7 = engine_query_eval(&p, &q7, &pops, &bools, 1_000_000, strategy);
+            let qa7 = engine_query_eval(&p, &q7, &pops, &bools, 1_000_000, strategy)
+                .expect("query compiles");
             assert_eq!(&qa7.answers(), &q7.restrict(full.get("R").unwrap()));
             assert!(qa7.answers().is_empty(), "{strategy:?}: R(7) underivable");
             // The minted demand key 6 is really in the magic relation.
@@ -543,10 +579,13 @@ mod tests {
         );
         let pops = Database::new();
         let bools = BoolDatabase::new();
-        let full = engine_seminaive_eval(&p, &pops, &bools, 100).unwrap();
+        let full = engine_seminaive_eval(&p, &pops, &bools, 100)
+            .expect("compiles")
+            .unwrap();
         let q = Query::point("A", vec![2i64.into()]);
         for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
-            let qa = engine_query_eval(&p, &q, &pops, &bools, 1_000_000, strategy);
+            let qa = engine_query_eval(&p, &q, &pops, &bools, 1_000_000, strategy)
+                .expect("query compiles");
             assert!(qa.magic_preds().is_empty(), "domain-enumeration fallback");
             assert_eq!(
                 &qa.answers(),
@@ -580,6 +619,7 @@ mod tests {
             Strategy::Priority,
             &EngineOpts::default(),
         )
+        .expect("compiles")
         .converged()
         .unwrap();
         // Refine: best cost to reach anything from X via the closed T.
@@ -592,7 +632,8 @@ mod tests {
             1_000_000,
             Strategy::Priority,
             &EngineOpts::default(),
-        );
+        )
+        .expect("compiles");
         let (iout, _) = out.converged().unwrap();
         assert_eq!(iout.get("Best", &["a".into()]), Some(&Trop::finite(1.0)));
         // Query the same chained setup goal-directedly.
@@ -606,13 +647,16 @@ mod tests {
             1_000_000,
             Strategy::Priority,
             &EngineOpts::default(),
-        );
+        )
+        .expect("query compiles");
         assert_eq!(qa.answers().get(&tup!["c"]), Trop::finite(4.0));
         // And the classic round-trip path agrees.
         let materialized = prev.materialize();
         let mut edb2 = Database::new();
         edb2.insert("T", materialized.get("T").unwrap().clone());
-        let classic = engine_seminaive_eval(&refine, &edb2, &bools, 1000).unwrap();
+        let classic = engine_seminaive_eval(&refine, &edb2, &bools, 1000)
+            .expect("compiles")
+            .unwrap();
         assert_eq!(iout.materialize(), classic);
     }
 
@@ -634,24 +678,33 @@ mod tests {
             &BoolDatabase::new(),
             1_000_000,
             Strategy::Priority,
-        );
+        )
+        .expect("query compiles");
         assert_eq!(qa.dropped_preds(), &["Huge".to_string()]);
         assert!(qa.support().get("Huge").is_none());
         let _ = PreSemiring::is_one(&Trop::one()); // keep the trait import used
     }
 
     #[test]
-    #[should_panic(expected = "cannot evaluate this query")]
-    fn unknown_query_predicate_panics_with_a_diagnostic() {
+    fn unknown_query_predicate_is_a_typed_compile_error() {
         let (program, edb) = ex::sssp_trop("a");
         let q = Query::point("Nope", vec!["a".into()]);
-        let _ = engine_query_eval(
+        let err = engine_query_eval(
             &program,
             &q,
             &edb,
             &BoolDatabase::new(),
             1000,
             Strategy::Priority,
-        );
+        )
+        .expect_err("unknown predicate must be rejected");
+        assert_eq!(err.kind(), "compile");
+        assert!(err.stats().is_none(), "no run happened");
+        match err {
+            EvalError::Compile { detail } => {
+                assert!(detail.contains("cannot evaluate this query"), "{detail}");
+            }
+            other => panic!("expected Compile, got {other:?}"),
+        }
     }
 }

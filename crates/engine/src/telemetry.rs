@@ -154,6 +154,19 @@ impl Collector {
         }
     }
 
+    /// Streams the abort event of a governed stop (budget, deadline,
+    /// cancellation, or contained worker panic). Always followed by the
+    /// `RunEnd { converged: false }` that [`Collector::finish`] emits,
+    /// so JSONL sinks flush exactly as on a normal run.
+    pub fn abort(&mut self, reason: &str, steps: usize) {
+        if let Some(t) = &self.trace {
+            t.emit(&TraceEvent::Abort {
+                reason: reason.to_string(),
+                steps: steps as u64,
+            });
+        }
+    }
+
     /// Finishes the run: stamps steps and the eval-loop wall-clock,
     /// folds the per-pid aggregation into [`EvalStats::rules`], emits
     /// `RunEnd`, and returns the completed stats.

@@ -76,9 +76,10 @@
 //! comparable across strategies; fixpoints are.
 
 use crate::driver::{
-    chunk_tasks, finish, merge_fresh, mint_key, seminaive_run, setup_or_panic, Engine, EngineOpts,
+    chunk_tasks, finish, merge_fresh, mint_key, seminaive_run, setup_checked, Engine, EngineOpts,
 };
 use crate::exec::{run_plan, EvalCtx, ExecCounters, HeadVal};
+use crate::govern::{abort_error, Abort, Governor};
 use crate::hash::FxHashMap;
 use crate::intern::Interner;
 use crate::output::InternedOutcome;
@@ -87,12 +88,13 @@ use crate::plan::{Plan, Source};
 use crate::storage::ColumnRel;
 use crate::telemetry::Collector;
 use dlo_core::ast::Program;
-use dlo_core::eval::EvalOutcome;
+use dlo_core::eval::{EvalError, EvalOutcome};
 use dlo_core::relation::{BoolDatabase, Database};
 use dlo_pops::{
     Absorptive, CompleteDistributiveDioid, NaturallyOrdered, Pops, TotallyOrderedDioid,
 };
 use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Which evaluation loop [`engine_eval`] runs.
@@ -372,7 +374,8 @@ fn run_frontier_plans<P>(
     fresh: &mut [BTreeMap<Box<[HeadVal]>, P>],
     opts: &EngineOpts,
     col: &mut Collector,
-) where
+) -> Result<(), Abort>
+where
     P: Pops + Send + Sync,
 {
     let ctx = EvalCtx {
@@ -390,26 +393,32 @@ fn run_frontier_plans<P>(
     // bookkeeping must cost nothing when fan-out is off the table.
     let run_sequential = |bufs: &mut [EmitBuf<P>],
                           fresh: &mut [BTreeMap<Box<[HeadVal]>, P>],
-                          col: &mut Collector| {
+                          col: &mut Collector|
+     -> Result<(), Abort> {
         for plan in plans {
             let buf = &mut bufs[plan.head_pred];
             let facc = &mut fresh[plan.head_pred];
             let mut counters = ExecCounters::default();
             let t = Instant::now();
-            run_plan(
-                plan,
-                &ctx,
-                None,
-                &mut counters,
-                &mut |key, v| buf.push(key, v),
-                &mut |key, v| merge_fresh(facc, key, v),
-            );
+            catch_unwind(AssertUnwindSafe(|| {
+                run_plan(
+                    plan,
+                    &ctx,
+                    None,
+                    &mut counters,
+                    &mut |key, v| buf.push(key, v),
+                    &mut |key, v| merge_fresh(facc, key, v),
+                );
+            }))
+            .map_err(|p| Abort::WorkerPanic {
+                message: par::payload_message(p),
+            })?;
             col.add_plan(plan.pid, counters, t.elapsed().as_nanos() as u64);
         }
+        Ok(())
     };
     if threads <= 1 {
-        run_sequential(bufs, fresh, col);
-        return;
+        return run_sequential(bufs, fresh, col);
     }
 
     // First-step work estimates (for a worklist plan, step 0 is the
@@ -421,8 +430,7 @@ fn run_frontier_plans<P>(
         .collect();
     let total: usize = estimates.iter().map(|(e, _)| e).sum();
     if total < opts.par_threshold {
-        run_sequential(bufs, fresh, col);
-        return;
+        return run_sequential(bufs, fresh, col);
     }
 
     let tasks = chunk_tasks(&estimates, threads, opts.chunk_min);
@@ -443,7 +451,8 @@ fn run_frontier_plans<P>(
         );
         let nanos = t.elapsed().as_nanos() as u64;
         (plan.pid, plan.head_pred, buf, local_fresh, counters, nanos)
-    });
+    })
+    .map_err(|message| Abort::WorkerPanic { message })?;
     col.parallel_batch(tasks.len());
     // Deterministic merge: `run_indexed` returns results in task order,
     // and appends reproduce the sequential emission sequence (counter
@@ -456,6 +465,7 @@ fn run_frontier_plans<P>(
             merge_fresh(facc, &key, v);
         }
     }
+    Ok(())
 }
 
 /// The shared frontier loop over a prepared [`Engine`]: seed with
@@ -477,7 +487,7 @@ fn run_frontier<P, F>(
     strategy: &str,
     setup_ns: u64,
     make_frontier: impl FnOnce(usize) -> F,
-) -> InternedOutcome<P>
+) -> Result<InternedOutcome<P>, EvalError>
 where
     P: Pops + Send + Sync,
     F: Frontier<P>,
@@ -516,8 +526,11 @@ where
             Source::PopsEdb(_) | Source::BoolEdb(_) => {}
         }
     }
+    let gov = Governor::new(opts, setup_ns);
     let t = Instant::now();
-    engine.build_edb_indexes(&wreqs, threads);
+    if let Err(a) = engine.build_edb_indexes(&wreqs, threads) {
+        return Err(abort_error(a, col, 0, 0));
+    }
     col.edb_index_phase(t.elapsed().as_nanos() as u64);
     let t_eval = Instant::now();
     let mut new = engine.empty_idbs();
@@ -546,10 +559,13 @@ where
 
     // Seed: run the all-New plans against the empty state (only IDB-free
     // sum-products contribute, eq. 65) and enqueue every inserted row.
+    if let Err(a) = gov.check(0, &mut col) {
+        return Err(abort_error(a, col, 0, t_eval.elapsed().as_nanos() as u64));
+    }
     let seed_before = col.stats.counters;
     {
         let seed_plans: Vec<&Plan<P>> = engine.compiled.seed_plans.iter().collect();
-        run_frontier_plans(
+        if let Err(a) = run_frontier_plans(
             &engine,
             &seed_plans,
             &new,
@@ -559,7 +575,9 @@ where
             &mut fresh,
             opts,
             &mut col,
-        );
+        ) {
+            return Err(abort_error(a, col, 0, t_eval.elapsed().as_nanos() as u64));
+        }
     }
     apply_emissions(
         &mut engine.interner,
@@ -582,19 +600,27 @@ where
         batch.clear();
         if !frontier.pop_into(&new, &mut batch) {
             let stats = col.finish(steps, true, t_eval.elapsed().as_nanos() as u64);
-            return InternedOutcome::Converged {
+            return Ok(InternedOutcome::Converged {
                 output: finish(engine, new),
                 steps,
                 stats,
-            };
+            });
         }
         if steps == cap {
             let stats = col.finish(cap, false, t_eval.elapsed().as_nanos() as u64);
-            return InternedOutcome::Diverged {
+            return Ok(InternedOutcome::Diverged {
                 last: finish(engine, new),
                 cap,
                 stats,
-            };
+            });
+        }
+        if let Err(a) = gov.check(steps as u64, &mut col) {
+            return Err(abort_error(
+                a,
+                col,
+                steps,
+                t_eval.elapsed().as_nanos() as u64,
+            ));
         }
         steps += 1;
         let before = col.stats.counters;
@@ -616,7 +642,7 @@ where
                 .iter()
                 .flat_map(|&pred| engine.compiled.worklist_plans_for(pred).iter()),
         );
-        run_frontier_plans(
+        if let Err(a) = run_frontier_plans(
             &engine,
             &batch_plans,
             &new,
@@ -626,7 +652,14 @@ where
             &mut fresh,
             opts,
             &mut col,
-        );
+        ) {
+            return Err(abort_error(
+                a,
+                col,
+                steps,
+                t_eval.elapsed().as_nanos() as u64,
+            ));
+        }
         for &pred in &touched {
             delta[pred].clear();
         }
@@ -650,16 +683,15 @@ where
 /// `tests/backend_matrix.rs` and `tests/proptest_engine.rs`); `steps`
 /// counts generations, and `cap` bounds that count.
 ///
-/// # Panics
+/// # Errors
 ///
-/// On programs the columnar storage cannot represent: an atom of arity
-/// > 32, or one head predicate used at two arities.
+/// As [`crate::engine_naive_eval`].
 pub fn engine_worklist_eval<P>(
     program: &Program<P>,
     pops_edb: &Database<P>,
     bool_edb: &BoolDatabase,
     cap: usize,
-) -> EvalOutcome<P>
+) -> Result<EvalOutcome<P>, EvalError>
 where
     P: NaturallyOrdered + Absorptive + Send + Sync,
 {
@@ -667,21 +699,25 @@ where
 }
 
 /// [`engine_worklist_eval`] with explicit tuning knobs (thread cap,
-/// fan-out threshold, chunk size).
+/// fan-out threshold, chunk size, budget, cancellation).
+///
+/// # Errors
+///
+/// As [`crate::engine_naive_eval`].
 pub fn engine_worklist_eval_with_opts<P>(
     program: &Program<P>,
     pops_edb: &Database<P>,
     bool_edb: &BoolDatabase,
     cap: usize,
     opts: &EngineOpts,
-) -> EvalOutcome<P>
+) -> Result<EvalOutcome<P>, EvalError>
 where
     P: NaturallyOrdered + Absorptive + Send + Sync,
 {
     let t = Instant::now();
-    let engine = setup_or_panic(program, pops_edb, bool_edb, &[]);
+    let engine = setup_checked(program, pops_edb, bool_edb, &[])?;
     let setup_ns = t.elapsed().as_nanos() as u64;
-    run_frontier(engine, cap, opts, "worklist", setup_ns, FifoFrontier::new).materialize()
+    Ok(run_frontier(engine, cap, opts, "worklist", setup_ns, FifoFrontier::new)?.materialize())
 }
 
 /// Priority-frontier evaluation: bucketed best-first scheduling over a
@@ -692,16 +728,15 @@ where
 /// value bucket is processed as one (possibly parallel) batch. `steps`
 /// counts frontier batches.
 ///
-/// # Panics
+/// # Errors
 ///
-/// On programs the columnar storage cannot represent: an atom of arity
-/// > 32, or one head predicate used at two arities.
+/// As [`crate::engine_naive_eval`].
 pub fn engine_priority_eval<P>(
     program: &Program<P>,
     pops_edb: &Database<P>,
     bool_edb: &BoolDatabase,
     cap: usize,
-) -> EvalOutcome<P>
+) -> Result<EvalOutcome<P>, EvalError>
 where
     P: NaturallyOrdered + Absorptive + TotallyOrderedDioid + Send + Sync,
 {
@@ -709,24 +744,28 @@ where
 }
 
 /// [`engine_priority_eval`] with explicit tuning knobs (thread cap,
-/// fan-out threshold, chunk size).
+/// fan-out threshold, chunk size, budget, cancellation).
+///
+/// # Errors
+///
+/// As [`crate::engine_naive_eval`].
 pub fn engine_priority_eval_with_opts<P>(
     program: &Program<P>,
     pops_edb: &Database<P>,
     bool_edb: &BoolDatabase,
     cap: usize,
     opts: &EngineOpts,
-) -> EvalOutcome<P>
+) -> Result<EvalOutcome<P>, EvalError>
 where
     P: NaturallyOrdered + Absorptive + TotallyOrderedDioid + Send + Sync,
 {
     let t = Instant::now();
-    let engine = setup_or_panic(program, pops_edb, bool_edb, &[]);
+    let engine = setup_checked(program, pops_edb, bool_edb, &[])?;
     let setup_ns = t.elapsed().as_nanos() as u64;
-    run_frontier(engine, cap, opts, "priority", setup_ns, |_| {
+    Ok(run_frontier(engine, cap, opts, "priority", setup_ns, |_| {
         BucketFrontier::new()
-    })
-    .materialize()
+    })?
+    .materialize())
 }
 
 /// Evaluates with an explicit [`Strategy`], defaulting
@@ -737,17 +776,16 @@ where
 /// POPS is merely absorptive use [`engine_worklist_eval`], and everything
 /// else stays on [`crate::driver::engine_seminaive_eval`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// On programs the columnar storage cannot represent: an atom of arity
-/// > 32, or one head predicate used at two arities.
+/// As [`crate::engine_naive_eval`].
 pub fn engine_eval<P>(
     program: &Program<P>,
     pops_edb: &Database<P>,
     bool_edb: &BoolDatabase,
     cap: usize,
     strategy: Strategy,
-) -> EvalOutcome<P>
+) -> Result<EvalOutcome<P>, EvalError>
 where
     P: NaturallyOrdered
         + CompleteDistributiveDioid
@@ -772,6 +810,10 @@ where
 /// per batch (with the adaptive sequential fallback for sparse batches).
 /// `opts.threads` caps the pool; `None` reads `DLO_ENGINE_THREADS` /
 /// `available_parallelism`. Results are bit-identical at any setting.
+///
+/// # Errors
+///
+/// As [`crate::engine_naive_eval`].
 pub fn engine_eval_with_opts<P>(
     program: &Program<P>,
     pops_edb: &Database<P>,
@@ -779,7 +821,7 @@ pub fn engine_eval_with_opts<P>(
     cap: usize,
     strategy: Strategy,
     opts: &EngineOpts,
-) -> EvalOutcome<P>
+) -> Result<EvalOutcome<P>, EvalError>
 where
     P: NaturallyOrdered
         + CompleteDistributiveDioid
@@ -788,7 +830,7 @@ where
         + Send
         + Sync,
 {
-    engine_eval_interned(program, pops_edb, bool_edb, cap, strategy, opts).materialize()
+    Ok(engine_eval_interned(program, pops_edb, bool_edb, cap, strategy, opts)?.materialize())
 }
 
 /// [`engine_eval`] returning the **decode-free**
@@ -798,10 +840,9 @@ where
 /// few values, skip the rank-sorted decode entirely (the largest
 /// post-fixpoint phase on large outputs).
 ///
-/// # Panics
+/// # Errors
 ///
-/// On programs the columnar storage cannot represent: an atom of arity
-/// > 32, or one head predicate used at two arities.
+/// As [`crate::engine_naive_eval`].
 pub fn engine_eval_interned<P>(
     program: &Program<P>,
     pops_edb: &Database<P>,
@@ -809,7 +850,7 @@ pub fn engine_eval_interned<P>(
     cap: usize,
     strategy: Strategy,
     opts: &EngineOpts,
-) -> InternedOutcome<P>
+) -> Result<InternedOutcome<P>, EvalError>
 where
     P: NaturallyOrdered
         + CompleteDistributiveDioid
@@ -819,7 +860,7 @@ where
         + Sync,
 {
     let t = Instant::now();
-    let engine = setup_or_panic(program, pops_edb, bool_edb, &[]);
+    let engine = setup_checked(program, pops_edb, bool_edb, &[])?;
     let setup_ns = t.elapsed().as_nanos() as u64;
     strategy_run(engine, cap, strategy, opts, setup_ns)
 }
@@ -833,10 +874,9 @@ where
 /// [`crate::query::QueryAnswer::into_interned`] — stay interned end to
 /// end.
 ///
-/// # Panics
+/// # Errors
 ///
-/// On programs the columnar storage cannot represent: an atom of arity
-/// > 32, or one head predicate used at two arities.
+/// As [`crate::engine_naive_eval`].
 pub fn engine_eval_interned_edb<P>(
     program: &Program<P>,
     prev: &crate::output::InternedOutput<P>,
@@ -845,7 +885,7 @@ pub fn engine_eval_interned_edb<P>(
     cap: usize,
     strategy: Strategy,
     opts: &EngineOpts,
-) -> InternedOutcome<P>
+) -> Result<InternedOutcome<P>, EvalError>
 where
     P: NaturallyOrdered
         + CompleteDistributiveDioid
@@ -855,7 +895,7 @@ where
         + Sync,
 {
     let t = Instant::now();
-    let engine = crate::driver::setup_interned_or_panic(program, prev, extra_pops, bool_edb, &[]);
+    let engine = crate::driver::setup_interned_checked(program, prev, extra_pops, bool_edb, &[])?;
     let setup_ns = t.elapsed().as_nanos() as u64;
     strategy_run(engine, cap, strategy, opts, setup_ns)
 }
@@ -869,7 +909,7 @@ pub(crate) fn strategy_run<P>(
     strategy: Strategy,
     opts: &EngineOpts,
     setup_ns: u64,
-) -> InternedOutcome<P>
+) -> Result<InternedOutcome<P>, EvalError>
 where
     P: NaturallyOrdered
         + CompleteDistributiveDioid
@@ -930,8 +970,12 @@ mod tests {
             + Sync,
     {
         let reference = relational_seminaive_eval(program, pops, bools, 100_000).unwrap();
-        let fifo = engine_worklist_eval(program, pops, bools, 1_000_000).unwrap();
-        let prio = engine_priority_eval(program, pops, bools, 1_000_000).unwrap();
+        let fifo = engine_worklist_eval(program, pops, bools, 1_000_000)
+            .expect("compiles")
+            .unwrap();
+        let prio = engine_priority_eval(program, pops, bools, 1_000_000)
+            .expect("compiles")
+            .unwrap();
         assert_eq!(reference, fifo, "FIFO worklist differs from relational");
         assert_eq!(reference, prio, "priority frontier differs from relational");
         for strategy in [
@@ -940,7 +984,7 @@ mod tests {
             Strategy::Worklist,
             Strategy::Priority,
         ] {
-            let seq = engine_eval(program, pops, bools, 1_000_000, strategy);
+            let seq = engine_eval(program, pops, bools, 1_000_000, strategy).expect("compiles");
             let par = engine_eval_with_opts(
                 program,
                 pops,
@@ -948,7 +992,8 @@ mod tests {
                 1_000_000,
                 strategy,
                 &forced_parallel(),
-            );
+            )
+            .expect("compiles");
             assert_eq!(
                 seq, par,
                 "engine_eval({strategy:?}) differs between sequential and forced-parallel"
@@ -997,6 +1042,7 @@ mod tests {
         edb.insert("E", Relation::from_pairs(2, g_edges));
         let program = ex::apsp_program::<Trop>();
         let (out, steps) = engine_priority_eval(&program, &edb, &BoolDatabase::new(), 1_000_000)
+            .expect("compiles")
             .converged()
             .unwrap();
         assert_eq!(out.get("T").unwrap().support_size(), 49 * 50 / 2);
@@ -1011,6 +1057,7 @@ mod tests {
         // total: batch(1) = {(a,c),(c,b)}, batch(2) = {(a,b)}, done.
         let (program, edb) = ex::apsp_trop(&[("a", "b", 10.0), ("a", "c", 1.0), ("c", "b", 1.0)]);
         let (out, steps) = engine_priority_eval(&program, &edb, &BoolDatabase::new(), 1_000_000)
+            .expect("compiles")
             .converged()
             .unwrap();
         assert_eq!(
@@ -1061,10 +1108,13 @@ mod tests {
         );
         let pops = Database::new();
         let bools = BoolDatabase::new();
-        let seq = engine_worklist_eval(&p, &pops, &bools, 25);
+        let seq = engine_worklist_eval(&p, &pops, &bools, 25).expect("compiles");
         assert!(!seq.is_converged());
-        assert!(!engine_priority_eval(&p, &pops, &bools, 25).is_converged());
-        let par = engine_worklist_eval_with_opts(&p, &pops, &bools, 25, &forced_parallel());
+        assert!(!engine_priority_eval(&p, &pops, &bools, 25)
+            .expect("compiles")
+            .is_converged());
+        let par = engine_worklist_eval_with_opts(&p, &pops, &bools, 25, &forced_parallel())
+            .expect("compiles");
         assert_eq!(seq, par, "capped divergence must be thread-invariant");
     }
 
@@ -1118,6 +1168,7 @@ mod tests {
         // the re-queued improved row.
         let (program, edb) = ex::apsp_trop(&[("a", "b", 10.0), ("a", "c", 1.0), ("c", "b", 1.0)]);
         let (out, steps) = engine_worklist_eval(&program, &edb, &BoolDatabase::new(), 1_000_000)
+            .expect("compiles")
             .converged()
             .unwrap();
         assert_eq!(
@@ -1131,6 +1182,7 @@ mod tests {
     fn empty_program_converges_with_zero_batches() {
         let p = Program::<Trop>::new();
         let (db, steps) = engine_priority_eval(&p, &Database::new(), &BoolDatabase::new(), 10)
+            .expect("compiles")
             .converged()
             .unwrap();
         assert_eq!(steps, 0);
@@ -1159,9 +1211,15 @@ mod tests {
         edb.insert("E", Relation::from_pairs(2, pairs));
         let program = ex::quadratic_tc_program::<MinNat>();
         let bools = BoolDatabase::new();
-        let semi = engine_seminaive_eval(&program, &edb, &bools, 100_000).unwrap();
-        let fifo = engine_worklist_eval(&program, &edb, &bools, 10_000_000).unwrap();
-        let prio = engine_priority_eval(&program, &edb, &bools, 10_000_000).unwrap();
+        let semi = engine_seminaive_eval(&program, &edb, &bools, 100_000)
+            .expect("compiles")
+            .unwrap();
+        let fifo = engine_worklist_eval(&program, &edb, &bools, 10_000_000)
+            .expect("compiles")
+            .unwrap();
+        let prio = engine_priority_eval(&program, &edb, &bools, 10_000_000)
+            .expect("compiles")
+            .unwrap();
         assert_eq!(semi, fifo);
         assert_eq!(semi, prio);
         assert!(
@@ -1209,7 +1267,8 @@ mod tests {
                     threads: Some(1),
                     ..EngineOpts::default()
                 },
-            );
+            )
+            .expect("compiles");
             for threads in [2, 4] {
                 let opts = EngineOpts {
                     threads: Some(threads),
@@ -1218,7 +1277,8 @@ mod tests {
                     ..EngineOpts::default()
                 };
                 let got =
-                    engine_eval_with_opts(&program, &edb, &bools, 10_000_000, strategy, &opts);
+                    engine_eval_with_opts(&program, &edb, &bools, 10_000_000, strategy, &opts)
+                        .expect("compiles");
                 assert_eq!(
                     baseline, got,
                     "{strategy:?} at {threads} threads differs from single-threaded"
@@ -1239,11 +1299,14 @@ mod tests {
             Strategy::Priority,
             &EngineOpts::default(),
         )
+        .expect("compiles")
         .converged()
         .unwrap();
         assert!(steps > 0);
         assert_eq!(out.get("L", &["d".into()]), Some(&Trop::finite(8.0)));
-        let reference = engine_priority_eval(&program, &edb, &bools, 1_000_000).unwrap();
+        let reference = engine_priority_eval(&program, &edb, &bools, 1_000_000)
+            .expect("compiles")
+            .unwrap();
         assert_eq!(out.materialize(), reference);
     }
 }

@@ -42,8 +42,9 @@ pub use dlo_engine::{
     engine_query_eval_interned_edb, engine_query_eval_with_opts, engine_query_naive_eval,
     engine_query_seminaive_eval, engine_seminaive_eval, engine_seminaive_eval_interned,
     engine_seminaive_eval_interned_edb, engine_worklist_eval, engine_worklist_eval_with_opts,
-    EngineOpts, EvalStats, InternedOutcome, InternedOutput, JsonlSink, Materialization, MemorySink,
-    QueryAnswer, RuleProfile, Strategy, TraceEvent, TraceHandle, TraceSink,
+    BudgetKind, CancelToken, EngineOpts, EvalBudget, EvalError, EvalStats, InternedOutcome,
+    InternedOutput, JsonlSink, Materialization, MemorySink, QueryAnswer, RuleProfile, Strategy,
+    TraceEvent, TraceHandle, TraceSink,
 };
 
 /// Evaluates a program with the **default backend**: the execution
@@ -57,15 +58,16 @@ pub use dlo_engine::{
 /// `Bool`) prefer [`eval_frontier`], which runs the Dijkstra-style
 /// priority frontier instead of global iterations.
 ///
-/// # Panics
+/// # Errors
 ///
-/// On programs the engine's columnar storage cannot represent: an atom
-/// of arity > 32, or one head predicate used at two arities.
+/// [`EvalError::Compile`] on programs the engine's columnar storage
+/// cannot represent: an atom of arity > 32, or one head predicate used
+/// at two arities. Never panics.
 pub fn eval<P>(
     program: &core::Program<P>,
     pops_edb: &core::Database<P>,
     bool_edb: &core::BoolDatabase,
-) -> core::EvalOutcome<P>
+) -> Result<core::EvalOutcome<P>, EvalError>
 where
     P: pops::NaturallyOrdered + pops::CompleteDistributiveDioid + Send + Sync,
 {
@@ -94,15 +96,14 @@ pub const FRONTIER_DEFAULT_CAP: usize = 100_000_000;
 /// feed results back into the engine, [`engine_eval_interned`] skips
 /// the `Database` materialization entirely.
 ///
-/// # Panics
+/// # Errors
 ///
-/// On programs the engine's columnar storage cannot represent: an atom
-/// of arity > 32, or one head predicate used at two arities.
+/// As [`eval`].
 pub fn eval_frontier<P>(
     program: &core::Program<P>,
     pops_edb: &core::Database<P>,
     bool_edb: &core::BoolDatabase,
-) -> core::EvalOutcome<P>
+) -> Result<core::EvalOutcome<P>, EvalError>
 where
     P: pops::NaturallyOrdered
         + pops::CompleteDistributiveDioid
@@ -143,21 +144,21 @@ where
 ///     (vec!["b".into(), "c".into()], Trop::finite(3.0)),
 /// ]));
 ///
-/// let answer = datalog_o::eval_query(&program, &query, &edb, &BoolDatabase::new());
+/// let answer = datalog_o::eval_query(&program, &query, &edb, &BoolDatabase::new()).unwrap();
 /// assert_eq!(answer.answers()
 ///                  .get(&vec!["a".into(), "c".into()]), Trop::finite(4.0));
 /// ```
 ///
-/// # Panics
+/// # Errors
 ///
-/// On queries the rewrite rejects (unknown predicate, arity mismatch)
-/// and on programs the engine's columnar storage cannot represent.
+/// As [`eval`], plus [`EvalError::Compile`] on queries the rewrite
+/// rejects (unknown predicate, arity mismatch).
 pub fn eval_query<P>(
     program: &core::Program<P>,
     query: &core::Query,
     pops_edb: &core::Database<P>,
     bool_edb: &core::BoolDatabase,
-) -> QueryAnswer<P>
+) -> Result<QueryAnswer<P>, EvalError>
 where
     P: pops::NaturallyOrdered + pops::CompleteDistributiveDioid + Send + Sync,
 {
@@ -179,7 +180,7 @@ where
 /// Dijkstra-from-the-source work instead of the full least fixpoint
 /// (`BENCH_magic.json` records the separation).
 ///
-/// # Panics
+/// # Errors
 ///
 /// As [`eval_query`].
 pub fn eval_frontier_query<P>(
@@ -187,7 +188,7 @@ pub fn eval_frontier_query<P>(
     query: &core::Query,
     pops_edb: &core::Database<P>,
     bool_edb: &core::BoolDatabase,
-) -> QueryAnswer<P>
+) -> Result<QueryAnswer<P>, EvalError>
 where
     P: pops::NaturallyOrdered
         + pops::CompleteDistributiveDioid

@@ -111,19 +111,27 @@ fn assert_matrix_all<P>(
         ),
         (
             "engine naive",
-            engine_naive_eval(program, pops, bools, CAP).unwrap(),
+            engine_naive_eval(program, pops, bools, CAP)
+                .expect("compiles")
+                .unwrap(),
         ),
         (
             "engine semi-naive",
-            engine_seminaive_eval(program, pops, bools, CAP).unwrap(),
+            engine_seminaive_eval(program, pops, bools, CAP)
+                .expect("compiles")
+                .unwrap(),
         ),
         (
             "engine worklist",
-            engine_eval(program, pops, bools, CAP, Strategy::Worklist).unwrap(),
+            engine_eval(program, pops, bools, CAP, Strategy::Worklist)
+                .expect("compiles")
+                .unwrap(),
         ),
         (
             "engine priority",
-            engine_eval(program, pops, bools, CAP, Strategy::Priority).unwrap(),
+            engine_eval(program, pops, bools, CAP, Strategy::Priority)
+                .expect("compiles")
+                .unwrap(),
         ),
         (
             "engine worklist (parallel)",
@@ -135,6 +143,7 @@ fn assert_matrix_all<P>(
                 Strategy::Worklist,
                 &forced_parallel,
             )
+            .expect("compiles")
             .unwrap(),
         ),
         (
@@ -147,6 +156,7 @@ fn assert_matrix_all<P>(
                 Strategy::Priority,
                 &forced_parallel,
             )
+            .expect("compiles")
             .unwrap(),
         ),
     ];
@@ -167,7 +177,9 @@ fn assert_matrix_naive<P>(
 {
     let grounded = naive_eval_sparse(program, pops, bools, CAP).unwrap();
     let rel = relational_naive_eval(program, pops, bools, CAP).unwrap();
-    let eng = engine_naive_eval(program, pops, bools, CAP).unwrap();
+    let eng = engine_naive_eval(program, pops, bools, CAP)
+        .expect("compiles")
+        .unwrap();
     assert_same_db(scenario, "relational naive", &grounded, &rel);
     assert_same_db(scenario, "engine naive", &grounded, &eng);
 }
@@ -459,16 +471,17 @@ fn assert_query_matrix<P>(
     .map(|(strategy, opts)| {
         (
             format!("{strategy:?} ({} threads)", opts.threads.unwrap_or(1)),
-            engine_query_eval_with_opts(program, query, pops, bools, CAP, strategy, opts),
+            engine_query_eval_with_opts(program, query, pops, bools, CAP, strategy, opts)
+                .expect("compiles"),
         )
     })
     .chain(std::iter::once((
         "query semi-naive (weak bounds)".to_string(),
-        engine_query_seminaive_eval(program, query, pops, bools, CAP, &defaults),
+        engine_query_seminaive_eval(program, query, pops, bools, CAP, &defaults).expect("compiles"),
     )))
     .chain(std::iter::once((
         "query naive".to_string(),
-        engine_query_naive_eval(program, query, pops, bools, CAP, &defaults),
+        engine_query_naive_eval(program, query, pops, bools, CAP, &defaults).expect("compiles"),
     )))
     .collect();
     for (leg, qa) in &legs {
@@ -618,7 +631,8 @@ fn demand_leg_company_control_nnreal_naive() {
             datalog_o::core::QueryArg::Free,
         ],
     );
-    let qa = engine_query_naive_eval(&program, &query, &pops, &bools, CAP, &EngineOpts::default());
+    let qa = engine_query_naive_eval(&program, &query, &pops, &bools, CAP, &EngineOpts::default())
+        .expect("compiles");
     assert!(qa.is_converged());
     let expected = query.restrict(grounded.get("T").unwrap());
     assert_eq!(expected, qa.answers());
@@ -651,7 +665,10 @@ fn divergence_agreement_nat_coefficient_blowup() {
             "relational",
             relational_naive_eval(&p, &pops, &bools, SMALL_CAP),
         ),
-        ("engine", engine_naive_eval(&p, &pops, &bools, SMALL_CAP)),
+        (
+            "engine",
+            engine_naive_eval(&p, &pops, &bools, SMALL_CAP).expect("compiles"),
+        ),
     ];
     for (backend, outcome) in legs {
         assert!(!outcome.is_converged(), "{backend} must diverge");
@@ -697,7 +714,7 @@ fn divergence_agreement_unbounded_head_minting() {
         ),
         (
             "engine semi-naive",
-            engine_seminaive_eval(&p, &pops, &bools, SMALL_CAP),
+            engine_seminaive_eval(&p, &pops, &bools, SMALL_CAP).expect("compiles"),
         ),
         // The frontier drivers cap *batches* rather than global
         // iterations, but unbounded minting must still surface as the
@@ -705,11 +722,11 @@ fn divergence_agreement_unbounded_head_minting() {
         // the parallel batch path forced too.
         (
             "engine worklist",
-            engine_eval(&p, &pops, &bools, SMALL_CAP, Strategy::Worklist),
+            engine_eval(&p, &pops, &bools, SMALL_CAP, Strategy::Worklist).expect("compiles"),
         ),
         (
             "engine priority",
-            engine_eval(&p, &pops, &bools, SMALL_CAP, Strategy::Priority),
+            engine_eval(&p, &pops, &bools, SMALL_CAP, Strategy::Priority).expect("compiles"),
         ),
         (
             "engine worklist (parallel)",
@@ -720,7 +737,8 @@ fn divergence_agreement_unbounded_head_minting() {
                 SMALL_CAP,
                 Strategy::Worklist,
                 &forced_parallel,
-            ),
+            )
+            .expect("compiles"),
         ),
         (
             "engine priority (parallel)",
@@ -731,7 +749,8 @@ fn divergence_agreement_unbounded_head_minting() {
                 SMALL_CAP,
                 Strategy::Priority,
                 &forced_parallel,
-            ),
+            )
+            .expect("compiles"),
         ),
     ];
     for (backend, outcome) in legs {
@@ -776,18 +795,21 @@ fn stats_emits_cover_merges_across_strategies() {
     let (program, pops) = stats_workload();
     let bools = BoolDatabase::new();
     let legs = [
-        ("naive", engine_naive_eval(&program, &pops, &bools, CAP)),
+        (
+            "naive",
+            engine_naive_eval(&program, &pops, &bools, CAP).expect("compiles"),
+        ),
         (
             "seminaive",
-            engine_eval(&program, &pops, &bools, CAP, Strategy::SemiNaive),
+            engine_eval(&program, &pops, &bools, CAP, Strategy::SemiNaive).expect("compiles"),
         ),
         (
             "worklist",
-            engine_eval(&program, &pops, &bools, CAP, Strategy::Worklist),
+            engine_eval(&program, &pops, &bools, CAP, Strategy::Worklist).expect("compiles"),
         ),
         (
             "priority",
-            engine_eval(&program, &pops, &bools, CAP, Strategy::Priority),
+            engine_eval(&program, &pops, &bools, CAP, Strategy::Priority).expect("compiles"),
         ),
     ];
     for (leg, out) in &legs {
@@ -825,7 +847,8 @@ fn stats_iteration_inserts_sum_to_final_support() {
     let bools = BoolDatabase::new();
     let opts = EngineOpts::default();
     for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
-        let out = engine_eval_interned(&program, &pops, &bools, CAP, strategy, &opts);
+        let out =
+            engine_eval_interned(&program, &pops, &bools, CAP, strategy, &opts).expect("compiles");
         let support = out.output().support_size("T") as u64;
         let s = out.stats();
         assert_eq!(
@@ -873,7 +896,8 @@ fn incremental_leg_sssp_gradient_retraction() {
             CAP,
             strategy,
             &EngineOpts::default(),
-        );
+        )
+        .expect("compiles");
         // Fig. 2(a): a→b 1, b→a 2, b→c 3, c→d 4, a→c 5. L(c) = 4 via b.
         assert_eq!(mat.get("L", &[k("c")]), Some(&Trop::finite(4.0)));
 
@@ -881,7 +905,8 @@ fn incremental_leg_sssp_gradient_retraction() {
         // — L(c) falls back to the direct a→c edge, L(d) follows.
         edb.get_or_insert("E", 2)
             .set(vec![k("b"), k("c")], Trop::INF);
-        mat.delete(&[FactDelete::new("E", vec![k("b"), k("c")])]);
+        mat.delete(&[FactDelete::new("E", vec![k("b"), k("c")])])
+            .expect("edit applies");
         assert_eq!(mat.get("L", &[k("c")]), Some(&Trop::finite(5.0)));
         assert_eq!(mat.get("L", &[k("d")]), Some(&Trop::finite(9.0)));
         let oracle = naive_eval_sparse(&program, &edb, &bools, CAP).unwrap();
@@ -899,7 +924,8 @@ fn incremental_leg_sssp_gradient_retraction() {
             "E",
             vec![k("b"), k("d")],
             Trop::finite(1.5),
-        )]);
+        )])
+        .expect("edit applies");
         assert_eq!(mat.get("L", &[k("d")]), Some(&Trop::finite(2.5)));
         let oracle = naive_eval_sparse(&program, &edb, &bools, CAP).unwrap();
         assert_same_db(
@@ -917,7 +943,8 @@ fn incremental_leg_sssp_gradient_retraction() {
             "E",
             vec![k("b"), k("c")],
             Trop::finite(3.0),
-        )]);
+        )])
+        .expect("edit applies");
         assert_eq!(mat.get("L", &[k("c")]), Some(&Trop::finite(4.0)));
         let oracle = naive_eval_sparse(&program, &edb, &bools, CAP).unwrap();
         assert_same_db(
@@ -948,7 +975,8 @@ fn incremental_leg_company_control_share_sale() {
     );
     let scenario = "incremental company control (naive mode)";
     let mut edb = edb0.clone();
-    let mut mat = Materialization::new_naive(&program, &edb, &bools, CAP, &EngineOpts::default());
+    let mut mat = Materialization::new_naive(&program, &edb, &bools, CAP, &EngineOpts::default())
+        .expect("compiles");
     let oracle = naive_eval_sparse(&program, &edb, &bools, CAP).unwrap();
     assert_same_db(
         scenario,
@@ -961,7 +989,8 @@ fn incremental_leg_company_control_share_sale() {
     // b collapses to the direct 25% holding.
     edb.get_or_insert("S", 2)
         .set(vec![k("b"), k("c")], NNReal::of(0.0));
-    mat.delete_naive(&[FactDelete::new("S", vec![k("b"), k("c")])]);
+    mat.delete_naive(&[FactDelete::new("S", vec![k("b"), k("c")])])
+        .expect("edit applies");
     let oracle = naive_eval_sparse(&program, &edb, &bools, CAP).unwrap();
     assert_same_db(scenario, "after sale", &oracle, &mat.output().materialize());
 
@@ -973,7 +1002,8 @@ fn incremental_leg_company_control_share_sale() {
         "S",
         vec![k("a"), k("c")],
         NNReal::of(0.375),
-    )]);
+    )])
+    .expect("edit applies");
     let oracle = naive_eval_sparse(&program, &edb, &bools, CAP).unwrap();
     assert_same_db(
         scenario,
@@ -999,8 +1029,10 @@ fn stats_invariants_identical_across_threads_and_entry_points() {
                 chunk_min: 2,
                 ..EngineOpts::default()
             };
-            let materialized = engine_eval_with_opts(&program, &pops, &bools, CAP, strategy, &opts);
-            let interned = engine_eval_interned(&program, &pops, &bools, CAP, strategy, &opts);
+            let materialized = engine_eval_with_opts(&program, &pops, &bools, CAP, strategy, &opts)
+                .expect("compiles");
+            let interned = engine_eval_interned(&program, &pops, &bools, CAP, strategy, &opts)
+                .expect("compiles");
             assert_eq!(
                 materialized.stats().invariants(),
                 interned.stats().invariants(),

@@ -157,8 +157,12 @@ where
 {
     let grounded = naive_eval_system(&ground_sparse(program, pops, bools), 100_000).unwrap();
     let relational = relational_naive_eval(program, pops, bools, 100_000).unwrap();
-    let eng_naive = engine_naive_eval(program, pops, bools, 100_000).unwrap();
-    let eng_semi = engine_seminaive_eval(program, pops, bools, 100_000).unwrap();
+    let eng_naive = engine_naive_eval(program, pops, bools, 100_000)
+        .expect("compiles")
+        .unwrap();
+    let eng_semi = engine_seminaive_eval(program, pops, bools, 100_000)
+        .expect("compiles")
+        .unwrap();
     for (pred, r) in grounded.iter() {
         let empty = Relation::new(r.arity());
         assert_eq!(
@@ -190,7 +194,9 @@ fn engine_matches_grounded_and_relational_on_sssp_example_4_1() {
     let (program, edb) = datalog_o::core::examples_lib::sssp_trop("a");
     assert_engine_agrees(&program, &edb, &BoolDatabase::new());
     // Spot-check the paper's answers through the engine path.
-    let out = engine_seminaive_eval(&program, &edb, &BoolDatabase::new(), 1000).unwrap();
+    let out = engine_seminaive_eval(&program, &edb, &BoolDatabase::new(), 1000)
+        .expect("compiles")
+        .unwrap();
     let l = out.get("L").unwrap();
     assert_eq!(l.get(&vec!["a".into()]), Trop::finite(0.0));
     assert_eq!(l.get(&vec!["b".into()]), Trop::finite(1.0));
@@ -240,7 +246,9 @@ fn engine_matches_relational_on_company_control_example_4_3() {
     );
     let grounded = datalog_o::core::naive_eval_sparse(&program, &pops, &bools, 100_000).unwrap();
     let relational = relational_naive_eval(&program, &pops, &bools, 100_000).unwrap();
-    let eng = engine_naive_eval(&program, &pops, &bools, 100_000).unwrap();
+    let eng = engine_naive_eval(&program, &pops, &bools, 100_000)
+        .expect("compiles")
+        .unwrap();
     for (pred, r) in grounded.iter() {
         let empty = Relation::new(r.arity());
         assert_eq!(
@@ -280,6 +288,7 @@ fn engine_seminaive_agrees_with_relational_seminaive_step_counts() {
             .converged()
             .expect("relational converges");
         let eng = engine_seminaive_eval(&prog, &edb, &bools, 100_000)
+            .expect("compiles")
             .converged()
             .expect("engine converges");
         assert_eq!(rel.0, eng.0, "fixpoints differ, seed {seed}");
@@ -338,6 +347,7 @@ fn engine_powered_win_move_matches_three_and_oracle() {
                 ),
             );
             let out = engine_seminaive_eval(&program, &Database::<Bool>::new(), &bools, 1000)
+                .expect("compiles")
                 .converged()
                 .expect("one alternating step converges")
                 .0;

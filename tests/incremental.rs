@@ -79,14 +79,16 @@ fn assert_differential(
     opts: &EngineOpts,
 ) {
     let bools = BoolDatabase::new();
-    let mut mat = Materialization::new(program, edb, &bools, CAP, Strategy::Auto, opts);
+    let mut mat =
+        Materialization::new(program, edb, &bools, CAP, Strategy::Auto, opts).expect("compiles");
     let mut mirror_edb = edb.clone();
     for (step, edit) in script.iter().enumerate() {
-        mat.apply(std::slice::from_ref(edit));
+        mat.apply(std::slice::from_ref(edit)).expect("edit applies");
         mirror(&mut mirror_edb, edit);
         let live = mat.output().materialize();
         for &strategy in strategies {
             let scratch = engine_eval_with_opts(program, &mirror_edb, &bools, CAP, strategy, opts)
+                .expect("compiles")
                 .converged()
                 .unwrap_or_else(|| panic!("{scenario}: oracle diverged at step {step}"))
                 .0;
@@ -212,10 +214,12 @@ fn deleting_the_only_shortest_path_lengthens_the_optimum() {
     let edb = edge_db(&base_edges());
     let bools = BoolDatabase::new();
     let opts = EngineOpts::default();
-    let mut mat = Materialization::new(&program, &edb, &bools, CAP, Strategy::Auto, &opts);
+    let mut mat =
+        Materialization::new(&program, &edb, &bools, CAP, Strategy::Auto, &opts).expect("compiles");
     let ac: Tuple = vec![k("a"), k("c")];
     assert_eq!(mat.get("T", &ac), Some(&Trop::finite(3.0)));
-    mat.delete(&[datalog_o::core::FactDelete::new("E", vec![k("b"), k("c")])]);
+    mat.delete(&[datalog_o::core::FactDelete::new("E", vec![k("b"), k("c")])])
+        .expect("edit applies");
     assert_eq!(
         mat.get("T", &ac),
         Some(&Trop::finite(9.0)),
@@ -295,12 +299,15 @@ fn edits_are_bit_identical_at_any_thread_count() {
     };
     let mut mats: Vec<Materialization<Trop>> = [1usize, 2, 4]
         .iter()
-        .map(|&t| Materialization::new(&program, &edb, &bools, CAP, Strategy::Auto, &opts_for(t)))
+        .map(|&t| {
+            Materialization::new(&program, &edb, &bools, CAP, Strategy::Auto, &opts_for(t))
+                .expect("compiles")
+        })
         .collect();
     for (step, edit) in script.iter().enumerate() {
         let mut snapshots = vec![];
         for mat in &mut mats {
-            mat.apply(std::slice::from_ref(edit));
+            mat.apply(std::slice::from_ref(edit)).expect("edit applies");
             snapshots.push(mat.output().materialize());
         }
         assert_eq!(
@@ -343,19 +350,21 @@ fn queries_answer_against_the_current_epoch() {
     let edb = edge_db(&base_edges());
     let bools = BoolDatabase::new();
     let opts = EngineOpts::default();
-    let mut mat = Materialization::new(&program, &edb, &bools, CAP, Strategy::Auto, &opts);
+    let mut mat =
+        Materialization::new(&program, &edb, &bools, CAP, Strategy::Auto, &opts).expect("compiles");
     let query = parse_query("?- T(\"a\", Y).").unwrap();
 
-    let before = mat.query(&query);
+    let before = mat.query(&query).expect("query compiles");
     assert_eq!(
         before.answers().get(&vec![k("a"), k("c")]),
         Trop::finite(3.0)
     );
     assert_eq!(mat.epoch(), 0);
 
-    mat.apply(&[delete("b", "c"), insert("a", "e", 0.25)]);
+    mat.apply(&[delete("b", "c"), insert("a", "e", 0.25)])
+        .expect("edit applies");
     assert_eq!(mat.epoch(), 2);
-    let after = mat.query(&query);
+    let after = mat.query(&query).expect("query compiles");
     assert_eq!(
         after.answers().get(&vec![k("a"), k("c")]),
         Trop::finite(9.0),
@@ -380,15 +389,18 @@ fn per_edit_stats_attribute_work_to_each_edit() {
         CAP,
         Strategy::Auto,
         &EngineOpts::default(),
-    );
+    )
+    .expect("compiles");
     assert_eq!(mat.last_stats().strategy, "incremental-build");
     assert!(mat.last_stats().counters.rows_inserted > 0);
 
-    let stats = mat.insert(&[datalog_o::core::FactInsert::new(
-        "E",
-        vec![k("d"), k("e")],
-        Trop::finite(2.0),
-    )]);
+    let stats = mat
+        .insert(&[datalog_o::core::FactInsert::new(
+            "E",
+            vec![k("d"), k("e")],
+            Trop::finite(2.0),
+        )])
+        .expect("edit applies");
     assert_eq!(stats.strategy, "incremental-insert");
     assert!(
         stats.counters.rows_inserted >= 1,
@@ -399,7 +411,9 @@ fn per_edit_stats_attribute_work_to_each_edit() {
         "per-rule profile rides along on edits"
     );
 
-    let stats = mat.delete(&[datalog_o::core::FactDelete::new("E", vec![k("d"), k("e")])]);
+    let stats = mat
+        .delete(&[datalog_o::core::FactDelete::new("E", vec![k("d"), k("e")])])
+        .expect("edit applies");
     assert_eq!(stats.strategy, "incremental-delete");
     assert!(stats.counters.emits > 0, "marking + rederive ran plans");
 }

@@ -244,10 +244,10 @@ where
     let edb = keyed_edb(n, edges, lift);
     let bools = keyed_bools(n);
     let rel_n = relational_naive_eval(&prog, &edb, &bools, 50_000);
-    let eng_n = engine_naive_eval(&prog, &edb, &bools, 50_000);
+    let eng_n = engine_naive_eval(&prog, &edb, &bools, 50_000).expect("compiles");
     prop_assert_eq!(&rel_n, &eng_n, "naive backends disagree, spec {:?}", spec);
     let rel_s = relational_seminaive_eval(&prog, &edb, &bools, 50_000);
-    let eng_s = engine_seminaive_eval(&prog, &edb, &bools, 50_000);
+    let eng_s = engine_seminaive_eval(&prog, &edb, &bools, 50_000).expect("compiles");
     prop_assert_eq!(
         &rel_s,
         &eng_s,
@@ -265,7 +265,7 @@ where
         }
     };
     for strategy in [EngineStrategy::Worklist, EngineStrategy::Priority] {
-        let out = engine_eval(&prog, &edb, &bools, 5_000_000, strategy);
+        let out = engine_eval(&prog, &edb, &bools, 5_000_000, strategy).expect("compiles");
         let db = match out {
             EvalOutcome::Converged { output, .. } => output,
             EvalOutcome::Diverged { .. } => {
@@ -294,7 +294,8 @@ where
                 threads: Some(1),
                 ..EngineOpts::default()
             },
-        );
+        )
+        .expect("compiles");
         for threads in [2usize, 4] {
             let got = engine_eval_with_opts(
                 &prog,
@@ -303,7 +304,8 @@ where
                 5_000_000,
                 strategy,
                 &forced_parallel(threads),
-            );
+            )
+            .expect("compiles");
             prop_assert_eq!(
                 &baseline,
                 &got,
@@ -342,6 +344,7 @@ where
         + Sync,
 {
     let full = engine_seminaive_eval(prog, edb, bools, 100_000)
+        .expect("compiles")
         .converged()
         .expect("bounded")
         .0;
@@ -363,7 +366,8 @@ where
                 threads: Some(1),
                 ..EngineOpts::default()
             },
-        );
+        )
+        .expect("compiles");
         prop_assert!(
             baseline.is_converged(),
             "{label}: {strategy:?} query run diverged"
@@ -400,7 +404,8 @@ where
                 5_000_000,
                 strategy,
                 &forced_parallel(threads),
-            );
+            )
+            .expect("compiles");
             prop_assert_eq!(
                 baseline.steps(),
                 got.steps(),
@@ -538,21 +543,23 @@ where
 {
     let opts = EngineOpts::default();
     let mut mat =
-        Materialization::new(prog, &edb, bools, 100_000, EngineStrategy::SemiNaive, &opts);
+        Materialization::new(prog, &edb, bools, 100_000, EngineStrategy::SemiNaive, &opts)
+            .expect("compiles");
     for (step, edit) in script.iter().enumerate() {
         match edit {
             Edit::Insert(f) => {
                 edb.get_or_insert(&f.pred, f.tuple.len())
                     .merge(f.tuple.clone(), f.value.clone());
-                mat.insert(std::slice::from_ref(f));
+                mat.insert(std::slice::from_ref(f)).expect("edit applies");
             }
             Edit::Delete(f) => {
                 edb.get_or_insert(&f.pred, f.tuple.len())
                     .set(f.tuple.clone(), P::bottom());
-                mat.delete(std::slice::from_ref(f));
+                mat.delete(std::slice::from_ref(f)).expect("edit applies");
             }
         }
         let oracle = engine_seminaive_eval(prog, &edb, bools, 100_000)
+            .expect("compiles")
             .converged()
             .expect("bounded program")
             .0;
@@ -819,7 +826,7 @@ proptest! {
         ] {
             let (naive, naive_steps) = relational_naive_eval(&prog, &edb_t, &bools, 100_000)
                 .converged().expect("relational converges");
-            let (eng, eng_steps) = engine_seminaive_eval(&prog, &edb_t, &bools, 100_000)
+            let (eng, eng_steps) = engine_seminaive_eval(&prog, &edb_t, &bools, 100_000).expect("compiles")
                 .converged().expect("engine converges");
             for (pred, r) in naive.iter() {
                 let empty = Relation::new(r.arity());
@@ -849,7 +856,7 @@ proptest! {
         ] {
             let (naive, naive_steps) = relational_naive_eval(&prog, &edb_b, &bools, 100_000)
                 .converged().expect("relational converges");
-            let (eng, eng_steps) = engine_seminaive_eval(&prog, &edb_b, &bools, 100_000)
+            let (eng, eng_steps) = engine_seminaive_eval(&prog, &edb_b, &bools, 100_000).expect("compiles")
                 .converged().expect("engine converges");
             for (pred, r) in naive.iter() {
                 let empty = Relation::new(r.arity());
@@ -873,17 +880,17 @@ proptest! {
             P: NaturallyOrdered + CompleteDistributiveDioid + Absorptive
                 + TotallyOrderedDioid + Send + Sync,
         {
-            let semi = engine_seminaive_eval(prog, edb, bools, 100_000)
+            let semi = engine_seminaive_eval(prog, edb, bools, 100_000).expect("compiles")
                 .converged().expect("bounded").0;
             for strategy in [EngineStrategy::Worklist, EngineStrategy::Priority] {
-                let seq = engine_eval(prog, edb, bools, 10_000_000, strategy);
+                let seq = engine_eval(prog, edb, bools, 10_000_000, strategy).expect("compiles");
                 let got = seq.clone().converged().expect("bounded").0;
                 prop_assert_eq!(&semi, &got, "{:?} differs from semi-naive", strategy);
                 // The forced-parallel frontier (4 workers, single-row
                 // fan-out threshold) is bit-identical to the sequential
                 // run — full outcome, step counts included.
                 let par = engine_eval_with_opts(prog, edb, bools, 10_000_000, strategy,
-                    &forced_parallel(4));
+                    &forced_parallel(4)).expect("compiles");
                 prop_assert_eq!(&seq, &par,
                     "{:?} sequential vs forced-parallel outcomes differ", strategy);
             }
@@ -1014,7 +1021,7 @@ proptest! {
             let mut baseline = None;
             for threads in [1usize, 2, 4] {
                 let out = engine_eval_with_opts(&prog, &edb, &bools, 10_000_000, strategy,
-                    &forced_parallel(threads));
+                    &forced_parallel(threads)).expect("compiles");
                 let s = out.stats();
                 prop_assert!(
                     s.counters.emits + s.counters.fresh_emits

@@ -1,0 +1,665 @@
+//! Fault-tolerance suite: typed compile errors, resource budgets,
+//! cancellation, deadline-bounded termination, and poisoned
+//! materializations recovering through `rebuild()`.
+//!
+//! Three legs:
+//!
+//! * **Compile regressions** — one test per [`EvalError::Compile`]
+//!   cause (arity > 32, mixed-arity heads) pinning that every entry
+//!   point returns the typed error instead of panicking.
+//! * **Governance properties** — random graph and keyed programs under
+//!   tiny budgets, zero deadlines, and pre-cancelled tokens: no panic
+//!   escapes, every error carries populated [`EvalStats`], and a
+//!   successful re-run after a budget error is bit-identical to the
+//!   ungoverned run.
+//! * **Injected failures** — edits forced over a ceiling poison the
+//!   [`Materialization`]; `rebuild()` recovers bit-identically to a
+//!   from-scratch build of the retained EDB, across strategies and
+//!   thread counts {1, 2, 4}.
+
+use std::time::{Duration, Instant};
+
+use datalog_o::core::ast::{Atom, Factor, SumProduct, Term};
+use datalog_o::core::{
+    parse_program, parse_query, BoolDatabase, Database, EvalOutcome, FactInsert, Program, Relation,
+};
+use datalog_o::pops::Trop;
+use datalog_o::{
+    engine_eval_with_opts, engine_naive_eval, engine_query_eval_with_opts, engine_seminaive_eval,
+    CancelToken, EngineOpts, EvalBudget, EvalError, EvalStats, Materialization, Strategy,
+};
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+
+const CAP: usize = 1_000_000;
+
+fn k(s: &str) -> datalog_o::core::Constant {
+    s.into()
+}
+
+/// `T(X, Y) :- E(X, Y) + T(X, Z) * E(Z, Y).` over Trop.
+fn apsp() -> Program<Trop> {
+    parse_program("T(X, Y) :- E(X, Y) + T(X, Z) * E(Z, Y).").unwrap()
+}
+
+fn chain_edb(n: usize) -> Database<Trop> {
+    let mut db = Database::new();
+    db.insert(
+        "E",
+        Relation::from_pairs(
+            2,
+            (0..n).map(|i| {
+                (
+                    vec![k(&format!("n{i}")), k(&format!("n{}", i + 1))],
+                    Trop::finite(1.0),
+                )
+            }),
+        ),
+    );
+    db
+}
+
+fn opts_with(budget: EvalBudget, cancel: Option<CancelToken>, threads: usize) -> EngineOpts {
+    EngineOpts {
+        threads: Some(threads),
+        budget,
+        cancel,
+        ..EngineOpts::default()
+    }
+}
+
+/// An error's stats must be a real snapshot of the aborted run, not a
+/// default: governance counters recorded, strategy label set.
+fn assert_populated(err: &EvalError, governed: bool) {
+    let stats = err
+        .stats()
+        .unwrap_or_else(|| panic!("{} error must carry stats", err.kind()));
+    assert!(
+        !stats.strategy.is_empty(),
+        "{}: stats.strategy empty",
+        err.kind()
+    );
+    if governed {
+        assert!(
+            stats.counters.budget_checks > 0 || stats.counters.cancel_polls > 0,
+            "{}: governed abort recorded no checks",
+            err.kind()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compile regressions: one per CompileError cause.
+// ---------------------------------------------------------------------
+
+/// An atom wider than the engine's 32-column storage limit is a typed
+/// compile error from every entry point — never a panic.
+#[test]
+fn arity_over_32_is_a_typed_compile_error() {
+    let mut p = Program::<Trop>::new();
+    let wide: Vec<Term> = (0..33u32).map(Term::v).collect();
+    p.rule(
+        Atom::new("W", wide.clone()),
+        vec![SumProduct::new(vec![Factor::atom("A", wide)])],
+    );
+    let edb = Database::new();
+    let bools = BoolDatabase::new();
+    let err = engine_naive_eval(&p, &edb, &bools, 10).expect_err("arity 33 must not compile");
+    match &err {
+        EvalError::Compile { detail } => {
+            assert!(detail.contains("ArityTooLarge"), "got: {detail}");
+        }
+        other => panic!("expected EvalError::Compile, got {other:?}"),
+    }
+    assert_eq!(err.kind(), "compile");
+    assert!(err.stats().is_none(), "compile errors predate any run");
+    // Same rejection from the semi-naïve, frontier, and query paths.
+    assert_eq!(
+        engine_seminaive_eval(&p, &edb, &bools, 10)
+            .expect_err("semi-naive")
+            .kind(),
+        "compile"
+    );
+    for strategy in [Strategy::Worklist, Strategy::Priority] {
+        let e = engine_eval_with_opts(&p, &edb, &bools, 10, strategy, &EngineOpts::default())
+            .expect_err("frontier");
+        assert_eq!(e.kind(), "compile");
+    }
+    let mat = Materialization::new(
+        &p,
+        &edb,
+        &bools,
+        10,
+        Strategy::SemiNaive,
+        &EngineOpts::default(),
+    );
+    assert_eq!(mat.err().expect("materialization").kind(), "compile");
+}
+
+/// One head predicate at two arities is rejected the same way (the
+/// in-crate regression covers `engine_naive_eval`; this pins the query
+/// rewrite and Materialization fronts).
+#[test]
+fn mixed_arity_heads_are_typed_compile_errors_everywhere() {
+    let mut p = Program::<Trop>::new();
+    p.rule(
+        Atom::new("T", vec![Term::v(0)]),
+        vec![SumProduct::new(vec![Factor::atom("A", vec![Term::v(0)])])],
+    );
+    p.rule(
+        Atom::new("T", vec![Term::v(0), Term::v(1)]),
+        vec![SumProduct::new(vec![Factor::atom(
+            "B",
+            vec![Term::v(0), Term::v(1)],
+        )])],
+    );
+    let edb = Database::new();
+    let bools = BoolDatabase::new();
+    for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
+        let e = engine_eval_with_opts(&p, &edb, &bools, 10, strategy, &EngineOpts::default())
+            .expect_err("mixed-arity heads must not compile");
+        match &e {
+            EvalError::Compile { detail } => {
+                assert!(detail.contains("HeadArityMismatch"), "got: {detail}");
+            }
+            other => panic!("expected EvalError::Compile, got {other:?}"),
+        }
+    }
+    let q = parse_query("?- T(\"a\").").unwrap();
+    let e = engine_query_eval_with_opts(
+        &p,
+        &q,
+        &edb,
+        &bools,
+        10,
+        Strategy::SemiNaive,
+        &EngineOpts::default(),
+    )
+    .expect_err("query front");
+    assert_eq!(e.kind(), "compile");
+    let mat = Materialization::new(
+        &p,
+        &edb,
+        &bools,
+        10,
+        Strategy::SemiNaive,
+        &EngineOpts::default(),
+    );
+    assert_eq!(mat.err().expect("materialization front").kind(), "compile");
+}
+
+// ---------------------------------------------------------------------
+// Deadline-bounded termination on a genuinely divergent program.
+// ---------------------------------------------------------------------
+
+/// An unguarded counter mints a fresh key every step — the program has
+/// no finite fixpoint. A wall-clock deadline must stop the run promptly
+/// (checks are per phase; phases here are microseconds) with a typed
+/// error carrying the partial stats.
+#[test]
+fn deadline_bounds_a_divergent_run() {
+    let program: Program<Trop> = parse_program(
+        "N(X) :- V(X).\n\
+         N(X + 1) :- N(X).",
+    )
+    .unwrap();
+    let mut edb = Database::new();
+    edb.insert(
+        "V",
+        Relation::from_pairs(1, vec![(vec![0i64.into()], Trop::finite(0.0))]),
+    );
+    let bools = BoolDatabase::new();
+    let deadline = Duration::from_millis(200);
+    for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
+        let opts = opts_with(EvalBudget::default().with_deadline(deadline), None, 1);
+        let t = Instant::now();
+        let err = engine_eval_with_opts(&program, &edb, &bools, usize::MAX, strategy, &opts)
+            .expect_err("negative cycle cannot converge");
+        let elapsed = t.elapsed();
+        assert_eq!(err.kind(), "deadline", "{strategy:?}");
+        assert_populated(&err, true);
+        assert!(
+            elapsed < deadline * 2 + Duration::from_millis(250),
+            "{strategy:?}: took {elapsed:?} against a {deadline:?} deadline"
+        );
+    }
+}
+
+/// A pre-cancelled token stops every strategy at its first phase
+/// boundary, with `cancel_polls` recorded in the carried stats.
+#[test]
+fn pre_cancelled_token_stops_every_strategy() {
+    let program = apsp();
+    let edb = chain_edb(64);
+    let bools = BoolDatabase::new();
+    let token = CancelToken::new();
+    token.cancel();
+    for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
+        let opts = opts_with(EvalBudget::default(), Some(token.clone()), 1);
+        let err = engine_eval_with_opts(&program, &edb, &bools, CAP, strategy, &opts)
+            .expect_err("pre-cancelled run must not complete");
+        assert_eq!(err.kind(), "cancelled", "{strategy:?}");
+        let stats = err.stats().expect("cancelled carries stats");
+        assert!(stats.counters.cancel_polls > 0, "{strategy:?}");
+    }
+}
+
+/// Governance counters are thread-invariant: a budgeted-but-successful
+/// run reports identical deterministic stats (and nonzero
+/// `budget_checks`) at 1, 2, and 4 threads.
+#[test]
+fn budget_counters_are_thread_invariant() {
+    let program = apsp();
+    let edb = chain_edb(24);
+    let bools = BoolDatabase::new();
+    for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
+        let mut baseline: Option<(EvalOutcome<Trop>, EvalStats)> = None;
+        for threads in [1usize, 2, 4] {
+            let opts = EngineOpts {
+                threads: Some(threads),
+                par_threshold: 1,
+                chunk_min: 2,
+                budget: EvalBudget::default().with_max_steps(1_000_000),
+                ..EngineOpts::default()
+            };
+            let out = engine_eval_with_opts(&program, &edb, &bools, CAP, strategy, &opts)
+                .expect("well within budget");
+            let stats = out.stats().clone();
+            assert!(stats.counters.budget_checks > 0, "{strategy:?}");
+            match &baseline {
+                None => baseline = Some((out, stats)),
+                Some((b_out, b_stats)) => {
+                    assert_eq!(
+                        b_out, &out,
+                        "{strategy:?}: outcome differs at {threads} threads"
+                    );
+                    assert_eq!(
+                        b_stats.invariants(),
+                        stats.invariants(),
+                        "{strategy:?}: governed stats differ at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Ungoverned runs pay nothing observable: both counters stay zero.
+#[test]
+fn ungoverned_runs_record_no_governance_counters() {
+    let program = apsp();
+    let edb = chain_edb(8);
+    let bools = BoolDatabase::new();
+    for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
+        let out = engine_eval_with_opts(
+            &program,
+            &edb,
+            &bools,
+            CAP,
+            strategy,
+            &EngineOpts::default(),
+        )
+        .expect("compiles");
+        let s = out.stats();
+        assert_eq!(s.counters.budget_checks, 0, "{strategy:?}");
+        assert_eq!(s.counters.cancel_polls, 0, "{strategy:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Injected failures: poisoning and recovery.
+// ---------------------------------------------------------------------
+
+/// Forces an edit over a one-row budget, then checks the full poisoned
+/// lifecycle: the edit reports the typed error, later calls return
+/// [`EvalError::Poisoned`], `rebuild()` under a restored budget
+/// recovers, and the recovered state is bit-identical to a from-scratch
+/// build over the retained (post-edit) EDB.
+fn assert_poison_and_rebuild(strategy: Strategy, threads: usize) {
+    let program = apsp();
+    let edb = chain_edb(12);
+    let bools = BoolDatabase::new();
+    let opts = EngineOpts {
+        threads: Some(threads),
+        par_threshold: 1,
+        chunk_min: 2,
+        ..EngineOpts::default()
+    };
+    let mut mat = Materialization::new(&program, &edb, &bools, CAP, strategy, &opts)
+        .expect("ungoverned build succeeds");
+    assert!(mat.poisoned().is_none());
+
+    // A long bridge edge derives many new paths: guaranteed to trip a
+    // one-row emit ceiling mid-loop.
+    let edit = [FactInsert::new(
+        "E",
+        vec![k("n12"), k("n0")],
+        Trop::finite(0.5),
+    )];
+    mat.set_budget(EvalBudget::default().with_max_rows(1));
+    let err = mat.insert(&edit).expect_err("one-row ceiling must trip");
+    assert_eq!(err.kind(), "budget", "{strategy:?}/{threads}");
+    assert_populated(&err, true);
+    let reason = mat.poisoned().expect("failed edit poisons").to_string();
+    assert!(
+        reason.contains("rebuild"),
+        "reason advertises recovery: {reason}"
+    );
+
+    // Every entry point on a poisoned handle short-circuits.
+    assert_eq!(mat.insert(&edit).expect_err("poisoned").kind(), "poisoned");
+    assert_eq!(
+        mat.delete(&[datalog_o::core::FactDelete::new(
+            "E",
+            vec![k("n0"), k("n1")]
+        )])
+        .expect_err("poisoned")
+        .kind(),
+        "poisoned"
+    );
+    let q = parse_query("?- T(\"n0\", Y).").unwrap();
+    assert_eq!(mat.query(&q).expect_err("poisoned").kind(), "poisoned");
+
+    // A rebuild under the tripping budget fails and stays poisoned.
+    assert_eq!(
+        mat.rebuild().expect_err("budget still trips").kind(),
+        "budget"
+    );
+    assert!(mat.poisoned().is_some());
+
+    // Restore the budget: rebuild re-derives from the retained EDB
+    // (which includes the failed edit's staged facts) and the handle is
+    // live again.
+    mat.set_budget(EvalBudget::unlimited());
+    let epoch_before = mat.epoch();
+    mat.rebuild().expect("ungoverned rebuild succeeds");
+    assert!(mat.poisoned().is_none());
+    assert!(mat.epoch() > epoch_before, "epochs stay monotone");
+
+    let recovered = mat.output().materialize();
+    let scratch = Materialization::new(&program, mat.edb(), &bools, CAP, strategy, &opts)
+        .expect("from-scratch build on the retained EDB");
+    let mut scratch = scratch;
+    assert_eq!(
+        recovered,
+        scratch.output().materialize(),
+        "{strategy:?}/{threads}: recovered state is not the from-scratch fixpoint"
+    );
+
+    // And the recovered handle accepts edits again.
+    mat.insert(&[FactInsert::new(
+        "E",
+        vec![k("n3"), k("n0")],
+        Trop::finite(2.0),
+    )])
+    .expect("recovered handle is live");
+}
+
+#[test]
+fn poisoned_materialization_rebuilds_bit_identically() {
+    for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
+        for threads in [1usize, 2, 4] {
+            assert_poison_and_rebuild(strategy, threads);
+        }
+    }
+}
+
+/// Cancellation mid-lifecycle poisons too, and `set_cancel(None)`
+/// plus `rebuild()` recovers.
+#[test]
+fn cancelled_edit_poisons_and_rebuild_recovers() {
+    let program = apsp();
+    let edb = chain_edb(6);
+    let bools = BoolDatabase::new();
+    let mut mat = Materialization::new(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::SemiNaive,
+        &EngineOpts::default(),
+    )
+    .expect("compiles");
+    let token = CancelToken::new();
+    token.cancel();
+    mat.set_cancel(Some(token));
+    let err = mat
+        .insert(&[FactInsert::new(
+            "E",
+            vec![k("n6"), k("n0")],
+            Trop::finite(1.0),
+        )])
+        .expect_err("pre-cancelled edit");
+    assert_eq!(err.kind(), "cancelled");
+    assert!(mat.poisoned().is_some());
+    mat.set_cancel(None);
+    mat.rebuild().expect("rebuild after clearing the token");
+    assert!(mat.poisoned().is_none());
+}
+
+/// Invalid batches are rejected *before* staging: the typed error comes
+/// back, but the handle is not poisoned and keeps accepting edits.
+#[test]
+fn invalid_edits_reject_without_poisoning() {
+    let program = apsp();
+    let edb = chain_edb(4);
+    let bools = BoolDatabase::new();
+    let mut mat = Materialization::new(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::SemiNaive,
+        &EngineOpts::default(),
+    )
+    .expect("compiles");
+    let unknown = mat
+        .insert(&[FactInsert::new("Nope", vec![k("a")], Trop::finite(1.0))])
+        .expect_err("unknown predicate");
+    assert_eq!(unknown.kind(), "compile");
+    let arity = mat
+        .insert(&[FactInsert::new("E", vec![k("a")], Trop::finite(1.0))])
+        .expect_err("arity mismatch");
+    assert_eq!(arity.kind(), "compile");
+    assert!(mat.poisoned().is_none(), "bad input must not poison");
+    mat.insert(&[FactInsert::new(
+        "E",
+        vec![k("n4"), k("n0")],
+        Trop::finite(1.0),
+    )])
+    .expect("handle still live");
+}
+
+// ---------------------------------------------------------------------
+// Governance properties on random programs.
+// ---------------------------------------------------------------------
+
+fn random_edb(edges: &[(usize, usize, u8)]) -> Database<Trop> {
+    let mut db = Database::new();
+    db.insert(
+        "E",
+        Relation::from_pairs(
+            2,
+            edges.iter().map(|&(u, v, w)| {
+                (
+                    vec![(u as i64).into(), (v as i64).into()],
+                    Trop::finite(w as f64),
+                )
+            }),
+        ),
+    );
+    db
+}
+
+fn edges_strategy() -> impl PropStrategy<Value = Vec<(usize, usize, u8)>> {
+    (3usize..8).prop_flat_map(|n| proptest::collection::vec(((0..n), (0..n), 1u8..9), 1..=3 * n))
+}
+
+/// Every governed run either matches the ungoverned outcome exactly or
+/// returns a typed, stats-carrying error — and a later ungoverned run
+/// on the same inputs is bit-identical to the reference. No panics.
+fn assert_governed_behavior(
+    program: &Program<Trop>,
+    edb: &Database<Trop>,
+    bools: &BoolDatabase,
+) -> Result<(), TestCaseError> {
+    for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
+        let free = engine_eval_with_opts(
+            program,
+            edb,
+            bools,
+            CAP,
+            strategy,
+            &opts_with(EvalBudget::default(), None, 2),
+        )
+        .expect("ungoverned reference run");
+        let pre_cancelled = {
+            let t = CancelToken::new();
+            t.cancel();
+            t
+        };
+        let regimes: Vec<(&str, EngineOpts)> = vec![
+            (
+                "steps-0",
+                opts_with(EvalBudget::default().with_max_steps(0), None, 2),
+            ),
+            (
+                "steps-1",
+                opts_with(EvalBudget::default().with_max_steps(1), None, 2),
+            ),
+            (
+                "rows-1",
+                opts_with(EvalBudget::default().with_max_rows(1), None, 2),
+            ),
+            (
+                "rows-32",
+                opts_with(EvalBudget::default().with_max_rows(32), None, 2),
+            ),
+            (
+                "deadline-0",
+                opts_with(EvalBudget::default().with_deadline(Duration::ZERO), None, 2),
+            ),
+            (
+                "cancelled",
+                opts_with(EvalBudget::default(), Some(pre_cancelled), 2),
+            ),
+        ];
+        for (label, opts) in &regimes {
+            match engine_eval_with_opts(program, edb, bools, CAP, strategy, opts) {
+                Ok(out) => prop_assert_eq!(
+                    &free,
+                    &out,
+                    "{:?}/{}: governed success must match the ungoverned outcome",
+                    strategy,
+                    label
+                ),
+                Err(err) => {
+                    prop_assert!(
+                        matches!(err.kind(), "budget" | "deadline" | "cancelled"),
+                        "{:?}/{}: unexpected error kind {}",
+                        strategy,
+                        label,
+                        err.kind()
+                    );
+                    assert_populated(&err, true);
+                }
+            }
+        }
+        // Re-running ungoverned after the governed failures is still
+        // bit-identical: aborted runs leak no state.
+        let again = engine_eval_with_opts(
+            program,
+            edb,
+            bools,
+            CAP,
+            strategy,
+            &opts_with(EvalBudget::default(), None, 2),
+        )
+        .expect("ungoverned re-run");
+        prop_assert_eq!(&free, &again, "{:?}: re-run after aborts differs", strategy);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Budgets, zero deadlines, and pre-cancelled tokens on random
+    /// APSP instances: no panics, typed errors with populated stats,
+    /// and bit-identical ungoverned re-runs.
+    #[test]
+    fn governed_runs_never_panic_on_random_graphs(edges in edges_strategy()) {
+        let program = apsp();
+        let edb = random_edb(&edges);
+        assert_governed_behavior(&program, &edb, &BoolDatabase::new())?;
+    }
+
+    /// The same property on a head-key-minting program (the counter
+    /// rule mints fresh constants, exercising the minted-id ceiling's
+    /// code path alongside steps/rows/deadline).
+    #[test]
+    fn governed_runs_never_panic_on_keyed_programs(edges in edges_strategy()) {
+        let program: Program<Trop> = parse_program(
+            "R(X) :- V(X).\n\
+             R(X + 1) :- R(X) | X < 6.",
+        )
+        .unwrap();
+        let mut edb = random_edb(&edges);
+        edb.insert(
+            "V",
+            Relation::from_pairs(1, (0..4i64).map(|i| (vec![i.into()], Trop::finite(i as f64)))),
+        );
+        assert_governed_behavior(&program, &edb, &BoolDatabase::new())?;
+        // And the minted-id ceiling specifically: the counter mints
+        // fresh keys, so a zero ceiling must abort with the Rows/Minted
+        // budget error rather than panicking.
+        let opts = opts_with(EvalBudget::default().with_max_minted(0), None, 2);
+        match engine_eval_with_opts(&program, &edb, &BoolDatabase::new(), CAP,
+                                    Strategy::SemiNaive, &opts) {
+            Ok(_) => {}
+            Err(err) => {
+                prop_assert_eq!(err.kind(), "budget");
+                assert_populated(&err, true);
+            }
+        }
+    }
+
+    /// Materialization edits under tiny budgets on random graphs: the
+    /// edit either succeeds or poisons with a typed error, and
+    /// `rebuild()` under no budget always recovers to exactly the
+    /// from-scratch fixpoint of the retained EDB.
+    #[test]
+    fn governed_edits_poison_and_recover_on_random_graphs(edges in edges_strategy()) {
+        let program = apsp();
+        let edb = random_edb(&edges);
+        let bools = BoolDatabase::new();
+        let opts = EngineOpts::default();
+        let mut mat = Materialization::new(&program, &edb, &bools, CAP,
+                                           Strategy::SemiNaive, &opts)
+            .expect("compiles");
+        mat.set_budget(EvalBudget::default().with_max_rows(1));
+        let edit = [FactInsert::new("E", vec![0i64.into(), 1i64.into()], Trop::finite(0.5))];
+        match mat.insert(&edit) {
+            Ok(_) => prop_assert!(mat.poisoned().is_none()),
+            Err(err) => {
+                prop_assert_eq!(err.kind(), "budget");
+                assert_populated(&err, true);
+                prop_assert!(mat.poisoned().is_some());
+                mat.set_budget(EvalBudget::unlimited());
+                mat.rebuild().expect("ungoverned rebuild");
+            }
+        }
+        prop_assert!(mat.poisoned().is_none());
+        let got = mat.output().materialize();
+        let oracle = engine_seminaive_eval(&program, mat.edb(), &bools, CAP)
+            .expect("compiles")
+            .converged()
+            .expect("bounded")
+            .0;
+        for (pred, r) in oracle.iter() {
+            let empty = Relation::new(r.arity());
+            prop_assert_eq!(r, got.get(pred).unwrap_or(&empty),
+                "{} diverges from from-scratch after recovery", pred);
+        }
+    }
+}

@@ -45,7 +45,8 @@ fn memory_sink_receives_structured_event_stream() {
             trace: Some(TraceHandle::new(sink.clone())),
             ..EngineOpts::default()
         };
-        let out = engine_eval_with_opts(&program, &edb, &bools, CAP, strategy, &opts);
+        let out =
+            engine_eval_with_opts(&program, &edb, &bools, CAP, strategy, &opts).expect("compiles");
         let stats = out.stats();
         let events = sink.events();
         let Some(TraceEvent::RunStart {
@@ -108,7 +109,8 @@ fn jsonl_sink_round_trips_through_the_parser() {
         trace: Some(TraceHandle::new(sink)),
         ..EngineOpts::default()
     };
-    let out = engine_eval_with_opts(&program, &edb, &bools, CAP, Strategy::Priority, &opts);
+    let out = engine_eval_with_opts(&program, &edb, &bools, CAP, Strategy::Priority, &opts)
+        .expect("compiles");
     drop(opts); // drop the handle so the writer flushes before we read
     let text = std::fs::read_to_string(&path).expect("trace file written");
     let _ = std::fs::remove_file(&path);
@@ -143,7 +145,7 @@ fn jsonl_sink_round_trips_through_the_parser() {
 fn explain_attributes_work_to_rules() {
     let (program, edb) = sssp();
     let bools = BoolDatabase::new();
-    let out = engine_eval(&program, &edb, &bools, CAP, Strategy::Auto);
+    let out = engine_eval(&program, &edb, &bools, CAP, Strategy::Auto).expect("compiles");
     let stats = out.stats();
     let report = stats.explain();
     assert!(
@@ -188,12 +190,14 @@ fn every_entry_point_returns_populated_stats() {
         (
             "naive".into(),
             engine_naive_eval(&program, &edb, &bools, CAP)
+                .expect("compiles")
                 .stats()
                 .clone(),
         ),
         (
             "seminaive".into(),
             engine_seminaive_eval(&program, &edb, &bools, CAP)
+                .expect("compiles")
                 .stats()
                 .clone(),
         ),
@@ -202,12 +206,14 @@ fn every_entry_point_returns_populated_stats() {
         legs.push((
             format!("engine_eval/{strategy:?}"),
             engine_eval(&program, &edb, &bools, CAP, strategy)
+                .expect("compiles")
                 .stats()
                 .clone(),
         ));
         legs.push((
             format!("engine_eval_interned/{strategy:?}"),
             engine_eval_interned(&program, &edb, &bools, CAP, strategy, &opts)
+                .expect("compiles")
                 .stats()
                 .clone(),
         ));
@@ -215,18 +221,21 @@ fn every_entry_point_returns_populated_stats() {
     legs.push((
         "engine_query_eval".into(),
         engine_query_eval(&program, &query, &edb, &bools, CAP, Strategy::Auto)
+            .expect("compiles")
             .stats()
             .clone(),
     ));
     legs.push((
         "engine_query_seminaive_eval".into(),
         engine_query_seminaive_eval(&program, &query, &edb, &bools, CAP, &opts)
+            .expect("compiles")
             .stats()
             .clone(),
     ));
     legs.push((
         "engine_query_naive_eval".into(),
         engine_query_naive_eval(&program, &query, &edb, &bools, CAP, &opts)
+            .expect("compiles")
             .stats()
             .clone(),
     ));
@@ -273,7 +282,8 @@ fn iter_sample_records_every_kth_snapshot() {
         CAP,
         Strategy::SemiNaive,
         &EngineOpts::default(),
-    );
+    )
+    .expect("compiles");
     let full_iters = &full.stats().iterations;
     assert!(
         full_iters.len() >= 10,
@@ -293,7 +303,8 @@ fn iter_sample_records_every_kth_snapshot() {
             trace: Some(TraceHandle::new(sink.clone())),
             ..EngineOpts::default()
         },
-    );
+    )
+    .expect("compiles");
     assert_eq!(
         full.clone().unwrap(),
         sampled.clone().unwrap(),
@@ -346,7 +357,8 @@ fn dlo_stats_sample_env_fallback() {
         CAP,
         Strategy::SemiNaive,
         &EngineOpts::default(),
-    );
+    )
+    .expect("compiles");
     let explicit_wins = engine_eval_with_opts(
         &program,
         &edb,
@@ -357,7 +369,8 @@ fn dlo_stats_sample_env_fallback() {
             iter_sample: Some(1),
             ..EngineOpts::default()
         },
-    );
+    )
+    .expect("compiles");
     std::env::remove_var("DLO_STATS_SAMPLE");
     let unsampled = engine_eval_with_opts(
         &program,
@@ -366,7 +379,8 @@ fn dlo_stats_sample_env_fallback() {
         CAP,
         Strategy::SemiNaive,
         &EngineOpts::default(),
-    );
+    )
+    .expect("compiles");
     assert!(
         via_env.stats().iterations.iter().all(|it| it.step % 2 == 0),
         "env stride keeps even steps only"
@@ -394,7 +408,7 @@ fn dlo_trace_env_fallback_writes_jsonl() {
     let path = std::env::temp_dir().join(format!("dlo_trace_env_{}.jsonl", std::process::id()));
     let _ = std::fs::remove_file(&path);
     std::env::set_var("DLO_TRACE", &path);
-    let out = engine_eval(&program, &edb, &bools, CAP, Strategy::Auto);
+    let out = engine_eval(&program, &edb, &bools, CAP, Strategy::Auto).expect("compiles");
     std::env::remove_var("DLO_TRACE");
     assert!(out.is_converged());
     let text = std::fs::read_to_string(&path).expect("DLO_TRACE file written");

@@ -168,7 +168,9 @@ fn head_keyed_prefix_in_surface_syntax_via_default_eval() {
             }),
         ),
     );
-    let out = datalog_o::eval(&p, &pops, &BoolDatabase::new()).unwrap();
+    let out = datalog_o::eval(&p, &pops, &BoolDatabase::new())
+        .expect("compiles")
+        .unwrap();
     let w = out.get("W").unwrap();
     for (i, want) in [1.0, 3.0, 6.0, 10.0, 15.0].iter().enumerate() {
         assert_eq!(
