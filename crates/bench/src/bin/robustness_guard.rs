@@ -14,6 +14,12 @@
 //! cross-check (governed output == ungoverned output) is strict
 //! everywhere.
 //!
+//! PR 9 adds a **graceful-degradation leg**: the same chain instance on
+//! the priority frontier under a budget that cannot finish must abort
+//! with a *non-empty settled prefix*, every settled row bit-identical
+//! to the converged fixpoint (settled-on-pop, Cor. 5.19). This check is
+//! strict on every host.
+//!
 //! Usage (from the repo root, as CI does):
 //!
 //! ```console
@@ -28,7 +34,8 @@ use dlo_core::eval::stats::json;
 use dlo_core::examples_lib::apsp_program;
 use dlo_core::BoolDatabase;
 use dlo_engine::{
-    engine_eval_interned, CancelToken, EngineOpts, EvalBudget, InternedOutcome, Strategy,
+    engine_eval_interned, engine_eval_partial_with_opts, CancelToken, EngineOpts, EvalBudget,
+    InternedOutcome, Strategy,
 };
 use dlo_pops::Trop;
 
@@ -153,18 +160,88 @@ fn main() {
         gov_stats.counters.budget_checks, gov_stats.counters.cancel_polls, gov_stats.steps
     );
 
+    // --- graceful degradation ----------------------------------------------
+    // The same chain on the priority frontier, throttled to half the
+    // steps a converged run needs: the abort must hand back a settled
+    // prefix that is non-empty and bit-identical to the full fixpoint
+    // on every settled row (settled-on-pop, Cor. 5.19).
+    let program = apsp_program::<Trop>();
+    let edb = GraphInstance::path(1000).trop_edb();
+    let bools = BoolDatabase::new();
+    let full = engine_eval_interned(
+        &program,
+        &edb,
+        &bools,
+        100_000_000,
+        Strategy::Priority,
+        &EngineOpts::default(),
+    )
+    .expect("compiles");
+    let full_steps = full.stats().steps;
+    let full_db = full
+        .converged()
+        .expect("priority tc_chain_1k converges")
+        .0
+        .materialize();
+    let degraded_opts = EngineOpts {
+        budget: EvalBudget::default().with_max_steps(full_steps / 2),
+        ..EngineOpts::default()
+    };
+    let t = Instant::now();
+    let degraded = engine_eval_partial_with_opts(
+        &program,
+        &edb,
+        &bools,
+        100_000_000,
+        Strategy::Priority,
+        &degraded_opts,
+    )
+    .expect_err("half the converged step count cannot finish the chain");
+    let degraded_ns = t.elapsed().as_nanos() as u64;
+    let degraded_kind = degraded.error().kind().to_string();
+    assert!(
+        matches!(degraded_kind.as_str(), "budget" | "deadline"),
+        "degradation leg stopped for '{degraded_kind}', expected a governed abort"
+    );
+    let partial = degraded.partial();
+    assert!(partial.is_exact(), "priority partials are settled-exact");
+    let settled_rows = partial.settled().settled_rows();
+    assert!(settled_rows > 0, "degraded run settled a non-empty prefix");
+    let settled_db = partial.materialize_settled();
+    let mut settled_checked = 0u64;
+    for (pred, rel) in settled_db.iter() {
+        let reference = full_db
+            .get(pred)
+            .expect("settled predicate exists in the full fixpoint");
+        for (tuple, v) in rel.support() {
+            assert_eq!(
+                *v,
+                reference.get(tuple),
+                "settled {pred}({tuple:?}) differs from the converged value"
+            );
+            settled_checked += 1;
+        }
+    }
+    assert!(settled_checked > 0, "settled snapshot carries rows");
+    let full_rows: usize = full_db.iter().map(|(_, r)| r.support_size()).sum();
+    println!(
+        "degradation: {degraded_kind}-aborted priority run settled {settled_rows} rows \
+         (full fixpoint: {full_rows}), all bit-identical to the converged answer"
+    );
+
     // --- record ------------------------------------------------------------
     let (nproc, knob) = host_metadata();
     let results = [
-        ("robustness_tc1k/worklist_trop/ungoverned", free_ns),
-        ("robustness_tc1k/worklist_trop/budget", budget_ns),
-        ("robustness_tc1k/worklist_trop/budget_cancel", gov_ns),
+        ("robustness_tc1k/worklist_trop/ungoverned", free_ns, RUNS),
+        ("robustness_tc1k/worklist_trop/budget", budget_ns, RUNS),
+        ("robustness_tc1k/worklist_trop/budget_cancel", gov_ns, RUNS),
+        ("robustness_tc1k/priority_trop/degraded", degraded_ns, 1),
     ];
     let rows: Vec<String> = results
         .iter()
-        .map(|(id, ns)| {
+        .map(|(id, ns, samples)| {
             format!(
-                "    {{\n      \"id\": \"{id}\",\n      \"best_ns\": {ns},\n      \"samples\": {RUNS}\n    }}"
+                "    {{\n      \"id\": \"{id}\",\n      \"best_ns\": {ns},\n      \"samples\": {samples}\n    }}"
             )
         })
         .collect();
@@ -173,8 +250,10 @@ fn main() {
          worklist on 1000-node unit-chain transitive closure over Trop (best of {RUNS}). \
          Budgets and cancellation are checked once per phase on the coordinating thread; the \
          guard holds the fully governed leg within {MARGIN}x of the committed \
-         BENCH_worklist.json median for {BASELINE_ID}. Reproduce with: cargo run --release -p \
-         dlo_bench --bin robustness_guard.\",\n  \
+         BENCH_worklist.json median for {BASELINE_ID}. The degraded leg throttles the priority \
+         frontier to half its converged step count and checks the abort returns a non-empty \
+         settled prefix bit-identical to the full fixpoint. Reproduce with: cargo run --release \
+         -p dlo_bench --bin robustness_guard.\",\n  \
          \"host\": {{\n    \"nproc\": {nproc},\n    \"dlo_engine_threads\": \"{knob}\",\n    \
          \"baseline_nproc\": {baseline_nproc}\n  }},\n  \
          \"baseline_id\": \"{BASELINE_ID}\",\n  \
@@ -182,6 +261,8 @@ fn main() {
          \"governed_over_baseline\": {ratio_vs_baseline:.4},\n  \
          \"governed_over_local_ungoverned\": {ratio_vs_local:.4},\n  \
          \"budget_checks\": {},\n  \"cancel_polls\": {},\n  \
+         \"degraded\": {{\n    \"abort_kind\": \"{degraded_kind}\",\n    \
+         \"settled_rows\": {settled_rows},\n    \"full_rows\": {full_rows}\n  }},\n  \
          \"results\": [\n{}\n  ]\n}}\n",
         gov_stats.counters.budget_checks,
         gov_stats.counters.cancel_polls,

@@ -9,17 +9,22 @@
 //! or merely non-convergent query without coming down.
 //!
 //! Run-phase errors carry the final [`EvalStats`] snapshot the engine
-//! had accumulated when the run stopped — partial output is surfaced
-//! **only as a diagnostic** (the stats snapshot and, for divergence,
-//! an atom sample): a budget-interrupted accumulation is not a
-//! fixpoint, so handing the partial instance back as answers would let
-//! callers mistake a prefix of the computation for the least fixpoint.
+//! had accumulated when the run stopped. The error value itself stays
+//! engine-agnostic: a budget-interrupted accumulation is not a
+//! fixpoint, so the *typed error* never masquerades as answers.
+//! Degraded answers are a separate, explicitly-labelled surface: the
+//! engine's `PartialOutput` rides next to the error on the
+//! partial-aware entry points, marked per key as settled (exact under
+//! the priority strategy's settled-on-pop invariant) or merely a
+//! lower bound — callers opt into the prefix, they cannot mistake it
+//! for the least fixpoint.
 //!
 //! Governance inputs live here too: [`EvalBudget`] (deadline, step,
-//! emitted-row, and minted-id ceilings, checked at phase boundaries so
-//! the hot per-tuple loops stay untouched) and [`CancelToken`] (a
-//! shared atomic flag a server thread can flip mid-run, polled at the
-//! same boundaries).
+//! emitted-row, and minted-id ceilings, checked at loop checkpoints so
+//! the hot per-tuple loops stay untouched), the [`BudgetClass`]
+//! presets an admission-control layer hands out, and [`CancelToken`]
+//! (a shared atomic flag a server thread can flip mid-run, polled at
+//! the same checkpoints).
 
 use super::stats::EvalStats;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -102,6 +107,83 @@ impl EvalBudget {
     pub fn with_max_minted(mut self, minted: u64) -> EvalBudget {
         self.max_minted = Some(minted);
         self
+    }
+}
+
+/// Named budget presets — the admission-control vocabulary a server
+/// front-end hands out per query class, and the ladder the engine's
+/// retry loop climbs on [`EvalError::BudgetExhausted`] /
+/// [`EvalError::DeadlineExceeded`].
+///
+/// The presets are deliberately coarse: `Interactive` is sized for a
+/// human waiting on a prompt, `Batch` for a report job, `Unbounded`
+/// disables governance entirely. Escalation is deterministic:
+/// [`BudgetClass::next_up`] walks `Interactive → Batch → Unbounded`
+/// and stops.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BudgetClass {
+    /// A human is waiting: sub-second deadline, modest row/step room.
+    #[default]
+    Interactive,
+    /// A job can take a while, but not forever.
+    Batch,
+    /// No ceilings — governance off.
+    Unbounded,
+}
+
+impl BudgetClass {
+    /// The preset [`EvalBudget`] for this class.
+    pub fn budget(self) -> EvalBudget {
+        match self {
+            BudgetClass::Interactive => EvalBudget::unlimited()
+                .with_deadline(Duration::from_millis(500))
+                .with_max_steps(1 << 20)
+                .with_max_rows(1 << 24)
+                .with_max_minted(1 << 20),
+            BudgetClass::Batch => EvalBudget::unlimited()
+                .with_deadline(Duration::from_secs(60))
+                .with_max_steps(1 << 28)
+                .with_max_rows(1 << 36)
+                .with_max_minted(1 << 28),
+            BudgetClass::Unbounded => EvalBudget::unlimited(),
+        }
+    }
+
+    /// The next class up the escalation ladder, or `None` from
+    /// [`BudgetClass::Unbounded`].
+    pub fn next_up(self) -> Option<BudgetClass> {
+        match self {
+            BudgetClass::Interactive => Some(BudgetClass::Batch),
+            BudgetClass::Batch => Some(BudgetClass::Unbounded),
+            BudgetClass::Unbounded => None,
+        }
+    }
+
+    /// A stable lowercase tag (logging / report keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            BudgetClass::Interactive => "interactive",
+            BudgetClass::Batch => "batch",
+            BudgetClass::Unbounded => "unbounded",
+        }
+    }
+
+    /// The escalation ladder from `self` upward, as budgets:
+    /// `Interactive` yields `[interactive, batch, unbounded]`.
+    pub fn ladder(self) -> Vec<EvalBudget> {
+        let mut out = vec![self.budget()];
+        let mut cur = self;
+        while let Some(next) = cur.next_up() {
+            out.push(next.budget());
+            cur = next;
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for BudgetClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -225,6 +307,67 @@ impl EvalError {
             EvalError::WorkerPanic { .. } => "worker_panic",
             EvalError::Poisoned { .. } => "poisoned",
         }
+    }
+
+    /// One-line JSON encoding for structured logs, mirroring
+    /// [`EvalStats::to_json`](super::stats::EvalStats::to_json) and
+    /// using the same in-tree writer: an object tagged by an `"error"`
+    /// field (the [`EvalError::kind`] tag) with a rendered `"message"`,
+    /// the variant's own fields, and — for run-phase failures — a
+    /// compact `"stats"` summary (strategy, steps, emits, governance
+    /// counters). Round-trips through `stats::json::parse`.
+    pub fn to_json(&self) -> String {
+        use super::stats::json;
+        let mut w = json::Writer::new();
+        w.obj_open();
+        w.str_field("error", self.kind());
+        w.str_field("message", &self.to_string());
+        match self {
+            EvalError::Compile { detail } => {
+                w.str_field("detail", detail);
+            }
+            EvalError::Diverged {
+                cap, diagnostic, ..
+            } => {
+                w.u64_field("cap", *cap as u64);
+                w.str_field("diagnostic", diagnostic);
+            }
+            EvalError::BudgetExhausted {
+                resource,
+                limit,
+                used,
+                ..
+            } => {
+                w.str_field("resource", &resource.to_string());
+                w.u64_field("limit", *limit);
+                w.u64_field("used", *used);
+            }
+            EvalError::DeadlineExceeded {
+                deadline, elapsed, ..
+            } => {
+                w.u64_field("deadline_ms", deadline.as_millis() as u64);
+                w.u64_field("elapsed_ms", elapsed.as_millis() as u64);
+            }
+            EvalError::Cancelled { .. } => {}
+            EvalError::WorkerPanic { message, .. } => {
+                w.str_field("panic", message);
+            }
+            EvalError::Poisoned { reason } => {
+                w.str_field("reason", reason);
+            }
+        }
+        if let Some(stats) = self.stats() {
+            w.key("stats");
+            w.obj_open();
+            w.str_field("strategy", &stats.strategy);
+            w.u64_field("steps", stats.steps);
+            w.u64_field("emits", stats.counters.emits);
+            w.u64_field("budget_checks", stats.counters.budget_checks);
+            w.u64_field("cancel_polls", stats.counters.cancel_polls);
+            w.obj_close();
+        }
+        w.obj_close();
+        w.finish()
     }
 }
 
@@ -356,6 +499,63 @@ mod tests {
         };
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn budget_classes_escalate_deterministically() {
+        assert_eq!(BudgetClass::Interactive.next_up(), Some(BudgetClass::Batch));
+        assert_eq!(BudgetClass::Batch.next_up(), Some(BudgetClass::Unbounded));
+        assert_eq!(BudgetClass::Unbounded.next_up(), None);
+        assert!(BudgetClass::Interactive.budget().is_limited());
+        assert!(BudgetClass::Batch.budget().is_limited());
+        assert!(!BudgetClass::Unbounded.budget().is_limited());
+        // The interactive deadline is tighter than batch.
+        assert!(
+            BudgetClass::Interactive.budget().deadline.unwrap()
+                < BudgetClass::Batch.budget().deadline.unwrap()
+        );
+        let ladder = BudgetClass::Interactive.ladder();
+        assert_eq!(ladder.len(), 3);
+        assert_eq!(ladder[0], BudgetClass::Interactive.budget());
+        assert_eq!(ladder[2], EvalBudget::unlimited());
+        assert_eq!(BudgetClass::Batch.ladder().len(), 2);
+        assert_eq!(BudgetClass::Interactive.to_string(), "interactive");
+    }
+
+    #[test]
+    fn error_json_round_trips_and_tags_the_kind() {
+        use super::super::stats::json;
+        let e = EvalError::BudgetExhausted {
+            resource: BudgetKind::Rows,
+            limit: 64,
+            used: 91,
+            stats: Box::new(EvalStats {
+                strategy: "priority".into(),
+                steps: 12,
+                ..EvalStats::default()
+            }),
+        };
+        let parsed = json::parse(&e.to_json()).expect("valid JSON");
+        assert_eq!(parsed.get("error").unwrap().as_str(), Some("budget"));
+        assert_eq!(
+            parsed.get("resource").unwrap().as_str(),
+            Some("emitted rows")
+        );
+        assert_eq!(parsed.get("limit").unwrap().as_u64(), Some(64));
+        assert_eq!(parsed.get("used").unwrap().as_u64(), Some(91));
+        let stats = parsed.get("stats").expect("stats summary");
+        assert_eq!(stats.get("strategy").unwrap().as_str(), Some("priority"));
+        assert_eq!(stats.get("steps").unwrap().as_u64(), Some(12));
+
+        // Variants without a run: no stats object, kind still tagged.
+        let p = EvalError::Poisoned {
+            reason: "edit failed".into(),
+        };
+        let parsed = json::parse(&p.to_json()).expect("valid JSON");
+        assert_eq!(parsed.get("error").unwrap().as_str(), Some("poisoned"));
+        assert!(parsed.get("stats").is_none());
+        let msg = parsed.get("message").unwrap().as_str().unwrap();
+        assert!(msg.contains("rebuild()"), "got: {msg}");
     }
 
     #[test]

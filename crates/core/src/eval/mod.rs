@@ -27,7 +27,7 @@ pub mod stats;
 use crate::ground::GroundSystem;
 use crate::relation::Database;
 use dlo_pops::Pops;
-pub use error::{BudgetKind, CancelToken, EvalBudget, EvalError};
+pub use error::{BudgetClass, BudgetKind, CancelToken, EvalBudget, EvalError};
 pub use stats::{
     Counters, EvalStats, IterStat, JsonlSink, MemorySink, PhaseNanos, RuleProfile, TraceEvent,
     TraceHandle, TraceSink,

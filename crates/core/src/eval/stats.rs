@@ -424,6 +424,16 @@ pub enum TraceEvent {
         reason: String,
         /// Steps completed when the run stopped.
         steps: u64,
+        /// Which checkpoint granularity detected the stop: `"phase"`
+        /// (seed/setup boundary), `"iteration"` (naïve/semi-naïve
+        /// loop), `"generation"` (FIFO worklist batch), or `"bucket"`
+        /// (priority frontier pop). Distinguishes a deadline caught at
+        /// a coarse boundary from one caught mid-loop.
+        granularity: String,
+        /// Rows already settled (exact under the priority strategy's
+        /// settled-on-pop invariant, 0 when nothing is provably
+        /// settled) at the moment the checkpoint fired.
+        settled_rows: u64,
     },
     /// The run finished.
     RunEnd {
@@ -462,10 +472,17 @@ impl TraceEvent {
                 w.u64_field("absorbed", it.absorbed);
                 w.u64_field("minted", it.minted);
             }
-            TraceEvent::Abort { reason, steps } => {
+            TraceEvent::Abort {
+                reason,
+                steps,
+                granularity,
+                settled_rows,
+            } => {
                 w.str_field("event", "abort");
                 w.str_field("reason", reason);
                 w.u64_field("steps", *steps);
+                w.str_field("granularity", granularity);
+                w.u64_field("settled_rows", *settled_rows);
             }
             TraceEvent::RunEnd { steps, converged } => {
                 w.str_field("event", "run_end");
@@ -976,11 +993,15 @@ mod tests {
         let ev = TraceEvent::Abort {
             reason: "deadline".into(),
             steps: 42,
+            granularity: "bucket".into(),
+            settled_rows: 17,
         };
         let parsed = json::parse(&ev.to_json()).expect("valid JSON");
         assert_eq!(parsed.get("event").unwrap().as_str(), Some("abort"));
         assert_eq!(parsed.get("reason").unwrap().as_str(), Some("deadline"));
         assert_eq!(parsed.get("steps").unwrap().as_u64(), Some(42));
+        assert_eq!(parsed.get("granularity").unwrap().as_str(), Some("bucket"));
+        assert_eq!(parsed.get("settled_rows").unwrap().as_u64(), Some(17));
     }
 
     #[test]

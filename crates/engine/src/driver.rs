@@ -35,16 +35,17 @@
 //! match any stored row.
 
 use crate::exec::{run_plan, EvalCtx, ExecCounters, HeadVal};
-use crate::govern::{abort_error, Abort, Governor};
+use crate::govern::{abort_error, Abort, Checkpoint, Governor};
 use crate::hash::FxHashMap;
 use crate::intern::Interner;
-use crate::output::{InternedOutcome, InternedOutput};
+use crate::output::{AbortedEval, InternedOutcome, InternedOutput, PartialOutput, SettledMark};
 use crate::par;
 use crate::plan::{compile_demand, CompileError, CompiledProgram, Plan, Source};
 use crate::storage::{AccumMap, ColMask, ColumnRel};
 use crate::telemetry::Collector;
 use dlo_core::ast::Program;
-use dlo_core::eval::{CancelToken, EvalBudget, EvalError, EvalOutcome, TraceHandle};
+use dlo_core::eval::stats::EvalStats;
+use dlo_core::eval::{BudgetClass, CancelToken, EvalBudget, EvalError, EvalOutcome, TraceHandle};
 use dlo_core::relation::{BoolDatabase, Database, Relation};
 use dlo_pops::{Bool, CompleteDistributiveDioid, NaturallyOrdered, Pops, PreSemiring};
 use std::collections::BTreeMap;
@@ -112,6 +113,19 @@ impl Default for EngineOpts {
 }
 
 impl EngineOpts {
+    /// Options preset for a [`BudgetClass`]: the class's
+    /// [`EvalBudget`] with every other knob at its default. The
+    /// canonical starting point for governed runs —
+    /// `EngineOpts::for_class(BudgetClass::Interactive)` gives the
+    /// sub-second ceiling, and [`crate::retry`] escalates through the
+    /// remaining classes when it proves too tight.
+    pub fn for_class(class: BudgetClass) -> EngineOpts {
+        EngineOpts {
+            budget: class.budget(),
+            ..EngineOpts::default()
+        }
+    }
+
     pub(crate) fn effective_threads(&self) -> usize {
         self.threads.unwrap_or_else(par::max_threads).max(1)
     }
@@ -471,6 +485,43 @@ pub(crate) fn finish<P: Pops>(engine: Engine<P>, rels: Vec<ColumnRel<P>>) -> Int
     InternedOutput::new(engine.interner, engine.compiled.idbs, rels)
 }
 
+/// The shared abort tail of every driver, with the partially evaluated
+/// instance attached instead of dropped: emits the abort trace event
+/// via [`abort_error`], then packages the abort-time IDB state (`rels`)
+/// and the settled marking into a [`PartialOutput`] riding next to the
+/// typed error. The stats snapshot inside the error and inside the
+/// partial are the same completed snapshot.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn abort_with_partial<P: Pops>(
+    abort: Abort,
+    checkpoint: Checkpoint,
+    engine: Engine<P>,
+    rels: Vec<ColumnRel<P>>,
+    settled: SettledMark,
+    col: Collector,
+    steps: usize,
+    eval_ns: u64,
+) -> Box<AbortedEval<P>> {
+    let settled_rows = settled.settled_rows();
+    let error = abort_error(abort, checkpoint, settled_rows, col, steps, eval_ns);
+    let stats = error.stats().cloned().unwrap_or_default();
+    let partial = PartialOutput::new(finish(engine, rels), settled, stats);
+    Box::new(AbortedEval::new(error, partial))
+}
+
+/// Wraps a pre-run failure (a compile rejection) into the
+/// partial-result error channel of the `*_partial` entry points: no
+/// evaluation ever started, so the attached partial is empty (no
+/// predicates, no rows, nothing settled).
+pub(crate) fn empty_aborted<P: Pops>(error: EvalError) -> Box<AbortedEval<P>> {
+    let partial = PartialOutput::new(
+        InternedOutput::new(Interner::new(), vec![], vec![]),
+        SettledMark::best_effort(0),
+        EvalStats::default(),
+    );
+    Box::new(AbortedEval::new(error, partial))
+}
+
 pub(crate) fn merge_fresh<P: PreSemiring>(
     map: &mut BTreeMap<Box<[HeadVal]>, P>,
     key: &[HeadVal],
@@ -646,18 +697,23 @@ where
     let t = Instant::now();
     let engine = setup_checked(program, pops_edb, bool_edb, &[])?;
     let setup_ns = t.elapsed().as_nanos() as u64;
-    Ok(naive_run(engine, cap, opts, setup_ns)?.materialize())
+    Ok(naive_run(engine, cap, opts, setup_ns)
+        .map_err(|b| EvalError::from(*b))?
+        .materialize())
 }
 
 /// The naïve loop over a prepared [`Engine`] (shared by the classic
 /// entry points and the demand-rewritten query path). `setup_ns` is the
-/// caller-measured compile/intern time, recorded into the stats.
+/// caller-measured compile/intern time, recorded into the stats. A
+/// governed abort returns the boxed [`AbortedEval`]: the typed error
+/// plus the abort-time IDB state as a best-effort lower bound (the
+/// naïve loop never settles rows early).
 pub(crate) fn naive_run<P>(
     mut engine: Engine<P>,
     cap: usize,
     opts: &EngineOpts,
     setup_ns: u64,
-) -> Result<InternedOutcome<P>, EvalError>
+) -> Result<InternedOutcome<P>, Box<AbortedEval<P>>>
 where
     P: NaturallyOrdered + Send + Sync,
 {
@@ -669,13 +725,41 @@ where
         opts,
     );
     let gov = Governor::new(opts, setup_ns);
+    let nidb = engine.compiled.idbs.len();
+    // Pre-index phase checkpoint: a cancelled or already-over-deadline
+    // run (setup time is backdated into the governor) stops before
+    // paying for the EDB index build.
+    if let Err(a) = gov.check(0, &mut col) {
+        let rels = engine.empty_idbs();
+        let settled = SettledMark::best_effort(nidb);
+        return Err(abort_with_partial(
+            a,
+            Checkpoint::Phase,
+            engine,
+            rels,
+            settled,
+            col,
+            0,
+            0,
+        ));
+    }
     let t = Instant::now();
     if let Err(a) = engine.build_edb_indexes(&[], opts.effective_threads()) {
-        return Err(abort_error(a, col, 0, 0));
+        let rels = engine.empty_idbs();
+        let settled = SettledMark::best_effort(nidb);
+        return Err(abort_with_partial(
+            a,
+            Checkpoint::Phase,
+            engine,
+            rels,
+            settled,
+            col,
+            0,
+            0,
+        ));
     }
     col.edb_index_phase(t.elapsed().as_nanos() as u64);
     let t_eval = Instant::now();
-    let nidb = engine.compiled.idbs.len();
     let mut state = IdbState {
         new: engine.empty_idbs(),
         changed: vec![FxHashMap::default(); nidb],
@@ -688,26 +772,34 @@ where
     }
     for steps in 0..=cap {
         if let Err(a) = gov.check(steps as u64, &mut col) {
-            return Err(abort_error(
+            return Err(abort_with_partial(
                 a,
+                Checkpoint::Iteration,
+                engine,
+                state.new,
+                SettledMark::best_effort(nidb),
                 col,
                 steps,
                 t_eval.elapsed().as_nanos() as u64,
             ));
         }
         let before = col.stats.counters;
-        let (contrib, fresh) =
-            match run_plans(&engine, &engine.compiled.seed_plans, &state, opts, &mut col) {
-                Ok(r) => r,
-                Err(a) => {
-                    return Err(abort_error(
-                        a,
-                        col,
-                        steps,
-                        t_eval.elapsed().as_nanos() as u64,
-                    ))
-                }
-            };
+        let ran = run_plans(&engine, &engine.compiled.seed_plans, &state, opts, &mut col);
+        let (contrib, fresh) = match ran {
+            Ok(r) => r,
+            Err(a) => {
+                return Err(abort_with_partial(
+                    a,
+                    Checkpoint::Iteration,
+                    engine,
+                    state.new,
+                    SettledMark::best_effort(nidb),
+                    col,
+                    steps,
+                    t_eval.elapsed().as_nanos() as u64,
+                ))
+            }
+        };
         let mut next = engine.empty_idbs();
         for (pred, acc) in contrib.into_iter().enumerate() {
             // Set-valued (magic) rows always hold `1`: demand is a set,
@@ -820,7 +912,7 @@ where
     let t = Instant::now();
     let engine = setup_checked(program, pops_edb, bool_edb, &[])?;
     let setup_ns = t.elapsed().as_nanos() as u64;
-    seminaive_run(engine, cap, opts, setup_ns)
+    seminaive_run(engine, cap, opts, setup_ns).map_err(|b| EvalError::from(*b))
 }
 
 /// [`engine_seminaive_eval_interned`] over an **interned EDB**: the
@@ -848,17 +940,21 @@ where
     let t = Instant::now();
     let engine = setup_interned_checked(program, prev, extra_pops, bool_edb, &[])?;
     let setup_ns = t.elapsed().as_nanos() as u64;
-    seminaive_run(engine, cap, opts, setup_ns)
+    seminaive_run(engine, cap, opts, setup_ns).map_err(|b| EvalError::from(*b))
 }
 
 /// The parallel semi-naïve loop over a prepared [`Engine`] (shared by
 /// the classic, interned-EDB, and demand-rewritten query entry points).
+/// A governed abort returns the boxed [`AbortedEval`]: the typed error
+/// plus the abort-time IDB state as a best-effort lower bound
+/// (`J(t) ⊑ lfp` is the loop invariant, but nothing is settled until
+/// convergence).
 pub(crate) fn seminaive_run<P>(
     mut engine: Engine<P>,
     cap: usize,
     opts: &EngineOpts,
     setup_ns: u64,
-) -> Result<InternedOutcome<P>, EvalError>
+) -> Result<InternedOutcome<P>, Box<AbortedEval<P>>>
 where
     P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
 {
@@ -870,13 +966,39 @@ where
         opts,
     );
     let gov = Governor::new(opts, setup_ns);
+    let nidb = engine.compiled.idbs.len();
+    // Pre-index phase checkpoint (see `naive_run`).
+    if let Err(a) = gov.check(0, &mut col) {
+        let rels = engine.empty_idbs();
+        let settled = SettledMark::best_effort(nidb);
+        return Err(abort_with_partial(
+            a,
+            Checkpoint::Phase,
+            engine,
+            rels,
+            settled,
+            col,
+            0,
+            0,
+        ));
+    }
     let t = Instant::now();
     if let Err(a) = engine.build_edb_indexes(&[], opts.effective_threads()) {
-        return Err(abort_error(a, col, 0, 0));
+        let rels = engine.empty_idbs();
+        let settled = SettledMark::best_effort(nidb);
+        return Err(abort_with_partial(
+            a,
+            Checkpoint::Phase,
+            engine,
+            rels,
+            settled,
+            col,
+            0,
+            0,
+        ));
     }
     col.edb_index_phase(t.elapsed().as_nanos() as u64);
     let t_eval = Instant::now();
-    let nidb = engine.compiled.idbs.len();
     let mut state = IdbState {
         new: engine.empty_idbs(),
         changed: vec![FxHashMap::default(); nidb],
@@ -889,14 +1011,34 @@ where
     }
     // Seeding: J(1) = F(0), δ(0) = J(1), every row marked as appended.
     if let Err(a) = gov.check(0, &mut col) {
-        return Err(abort_error(a, col, 0, t_eval.elapsed().as_nanos() as u64));
+        return Err(abort_with_partial(
+            a,
+            Checkpoint::Phase,
+            engine,
+            state.new,
+            SettledMark::best_effort(nidb),
+            col,
+            0,
+            t_eval.elapsed().as_nanos() as u64,
+        ));
     }
     let seed_before = col.stats.counters;
-    let (contrib, fresh) =
-        match run_plans(&engine, &engine.compiled.seed_plans, &state, opts, &mut col) {
-            Ok(r) => r,
-            Err(a) => return Err(abort_error(a, col, 0, t_eval.elapsed().as_nanos() as u64)),
-        };
+    let ran = run_plans(&engine, &engine.compiled.seed_plans, &state, opts, &mut col);
+    let (contrib, fresh) = match ran {
+        Ok(r) => r,
+        Err(a) => {
+            return Err(abort_with_partial(
+                a,
+                Checkpoint::Phase,
+                engine,
+                state.new,
+                SettledMark::best_effort(nidb),
+                col,
+                0,
+                t_eval.elapsed().as_nanos() as u64,
+            ))
+        }
+    };
     for (pred, acc) in contrib.into_iter().enumerate() {
         // Set-valued (magic) rows enter — and forever stay — at `1`.
         let sv = engine.compiled.set_valued[pred];
@@ -936,8 +1078,12 @@ where
             });
         }
         if let Err(a) = gov.check(steps as u64, &mut col) {
-            return Err(abort_error(
+            return Err(abort_with_partial(
                 a,
+                Checkpoint::Iteration,
+                engine,
+                state.new,
+                SettledMark::best_effort(nidb),
                 col,
                 steps,
                 t_eval.elapsed().as_nanos() as u64,
@@ -945,17 +1091,22 @@ where
         }
         let before = col.stats.counters;
         let delta_rows: u64 = state.delta.iter().map(|d| d.len() as u64).sum();
-        let (contrib, fresh) = match run_plans(
+        let ran = run_plans(
             &engine,
             &engine.compiled.delta_plans,
             &state,
             opts,
             &mut col,
-        ) {
+        );
+        let (contrib, fresh) = match ran {
             Ok(r) => r,
             Err(a) => {
-                return Err(abort_error(
+                return Err(abort_with_partial(
                     a,
+                    Checkpoint::Iteration,
+                    engine,
+                    state.new,
+                    SettledMark::best_effort(nidb),
                     col,
                     steps,
                     t_eval.elapsed().as_nanos() as u64,

@@ -1,29 +1,67 @@
-//! Resource governance for the evaluation drivers: phase-boundary
+//! Resource governance for the evaluation drivers: checkpointed
 //! budget checks, cancellation polls, and the shared abort tail that
 //! turns an interrupted run into a typed [`EvalError`].
 //!
 //! A [`Governor`] is created by each driver right next to its
-//! [`Collector`] and consulted **once per phase** (global iteration,
-//! worklist generation, or frontier batch) on the coordinating thread —
-//! never inside the per-tuple loops, so governance costs one branch plus
-//! at most one `Instant::now()` per phase and the hot paths stay
-//! untouched. The checks increment the `budget_checks` / `cancel_polls`
-//! counters, which are therefore thread-invariant like every other
-//! counter, and stay `0` when governance is off.
+//! [`Collector`] and consulted at every loop checkpoint — the
+//! **phase** boundaries (before the EDB index build and at the seed
+//! round), each naïve/semi-naïve **iteration** top, each FIFO worklist
+//! **generation**, and each priority-frontier **bucket** pop. A
+//! post-merge re-check would be redundant: the very next loop-top
+//! checkpoint fires before any further join work starts. All
+//! checks run on the coordinating thread — never inside the per-tuple
+//! loops — so governance costs a couple of branches plus at most one
+//! `Instant::now()` per checkpoint and the hot paths stay untouched.
+//! The checks increment the `budget_checks` / `cancel_polls` counters,
+//! which are therefore thread-invariant like every other counter, and
+//! stay `0` when governance is off. Which checkpoint detected a stop
+//! is recorded as the [`Checkpoint`] granularity on the abort trace
+//! event, so traces distinguish a deadline caught at a coarse boundary
+//! from one caught mid-loop.
 //!
 //! An interrupted run flows through [`abort_error`]: the collector
 //! emits a [`TraceEvent::Abort`](dlo_core::eval::stats::TraceEvent)
+//! (tagged with the checkpoint granularity and the settled-row count)
 //! followed by the usual `RunEnd { converged: false }` (so JSONL sinks
 //! flush), and the completed [`EvalStats`] snapshot rides inside the
-//! returned error as the only surfaced partial output — see
-//! `dlo_core::eval::error` for why the partial instance itself is not
-//! handed back as answers.
+//! returned error. The partially evaluated instance itself is no
+//! longer dropped: the drivers capture it as a
+//! [`PartialOutput`](crate::output::PartialOutput) next to the error —
+//! exact on the settled frontier under the priority strategy, a
+//! best-effort lower bound elsewhere.
 
 use crate::driver::EngineOpts;
 use crate::telemetry::Collector;
 use dlo_core::eval::stats::EvalStats;
 use dlo_core::eval::{BudgetKind, CancelToken, EvalBudget, EvalError};
 use std::time::{Duration, Instant};
+
+/// The loop granularity at which a governance checkpoint fired —
+/// recorded on the abort trace event so a trace shows whether a stop
+/// was caught at a coarse boundary (a whole seed phase blown past the
+/// deadline) or mid-loop (one bucket over).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Checkpoint {
+    /// A non-loop boundary: the seed phase before the first iteration.
+    Phase,
+    /// A naïve / semi-naïve global iteration.
+    Iteration,
+    /// A FIFO worklist generation.
+    Generation,
+    /// A priority-frontier bucket pop.
+    Bucket,
+}
+
+impl Checkpoint {
+    pub(crate) fn as_str(self) -> &'static str {
+        match self {
+            Checkpoint::Phase => "phase",
+            Checkpoint::Iteration => "iteration",
+            Checkpoint::Generation => "generation",
+            Checkpoint::Bucket => "bucket",
+        }
+    }
+}
 
 /// Why a governed run stopped early — the driver-internal precursor of
 /// the run-phase [`EvalError`] variants ([`abort_error`] adds the final
@@ -173,15 +211,18 @@ impl Governor {
 }
 
 /// The shared abort tail of every driver: emits the `Abort` trace event
-/// (then `RunEnd` via [`Collector::finish`], so sinks flush), completes
-/// the stats, and wraps them into the typed error.
+/// (tagged with the [`Checkpoint`] granularity that fired and the
+/// settled-row count, then `RunEnd` via [`Collector::finish`], so sinks
+/// flush), completes the stats, and wraps them into the typed error.
 pub(crate) fn abort_error(
     abort: Abort,
+    checkpoint: Checkpoint,
+    settled_rows: u64,
     mut col: Collector,
     steps: usize,
     eval_ns: u64,
 ) -> EvalError {
-    col.abort(&abort.reason(), steps);
+    col.abort(&abort.reason(), checkpoint.as_str(), settled_rows, steps);
     let stats = col.finish(steps, false, eval_ns);
     abort.into_error(stats)
 }

@@ -93,12 +93,12 @@
 //!   the derivation the interrupted edit began.
 
 use crate::driver::{
-    apply_contrib, ensure_delta_indexes, mint_key, run_plans, setup_checked, Engine, EngineOpts,
-    IdbState,
+    apply_contrib, ensure_delta_indexes, mint_key, run_plans, setup_checked,
+    setup_interned_checked, Engine, EngineOpts, IdbState,
 };
-use crate::govern::{abort_error, Abort, Governor};
+use crate::govern::{abort_error, Abort, Checkpoint, Governor};
 use crate::hash::FxHashMap;
-use crate::output::InternedOutput;
+use crate::output::{InternedOutput, PartialOutput, SettledMark};
 use crate::plan::{Plan, Source, EDB_DELTA_SUFFIX, EDB_OLD_SUFFIX};
 use crate::query::{engine_query_eval_interned_edb, QueryAnswer};
 use crate::storage::{ColMask, ColumnRel};
@@ -174,6 +174,10 @@ pub struct Materialization<P: Pops> {
     /// mid-fixpoint): every subsequent edit/query returns
     /// [`EvalError::Poisoned`] until a rebuild.
     poisoned: Option<String>,
+    /// The mid-fixpoint interned state captured when the handle was
+    /// poisoned, exposed read-only by [`Materialization::partial`] for
+    /// diagnostics while the poison stands.
+    partial: Option<PartialOutput<P>>,
 }
 
 /// A failed maintenance loop: why it stopped, plus the completed step
@@ -189,7 +193,7 @@ enum LoopFail {
 /// error (the caller decides whether the failure poisons the handle).
 fn fail_error(cap: usize, fail: LoopFail, col: Collector, eval_ns: u64) -> EvalError {
     match fail {
-        LoopFail::Abort(a, steps) => abort_error(a, col, steps, eval_ns),
+        LoopFail::Abort(a, steps) => abort_error(a, Checkpoint::Iteration, 0, col, steps, eval_ns),
         LoopFail::Diverged(steps) => {
             let stats = col.finish(steps, false, eval_ns);
             EvalError::Diverged {
@@ -268,6 +272,7 @@ impl<P: Pops + Send + Sync> Materialization<P> {
         cap: usize,
         strategy: Strategy,
         opts: &EngineOpts,
+        prev: Option<&InternedOutput<P>>,
     ) -> Result<Self, EvalError> {
         for (name, _) in pops_edb.iter() {
             if name.contains('@') {
@@ -278,7 +283,14 @@ impl<P: Pops + Send + Sync> Materialization<P> {
         }
         let (aug, editable) = maintenance_program(program)?;
         let n_rules = program.rules.len();
-        let mut engine = setup_checked(&aug, pops_edb, bool_edb, &[])?;
+        let mut engine = match prev {
+            // Rebuild path: carry the retained interner forward (the
+            // EDB relations themselves come from `pops_edb` — `prev`
+            // holds no relations), so constant ids minted by earlier
+            // epochs stay stable across the recovery.
+            Some(prev) => setup_interned_checked(&aug, prev, pops_edb, bool_edb, &[])?,
+            None => setup_checked(&aug, pops_edb, bool_edb, &[])?,
+        };
         engine
             .build_edb_indexes(&[], opts.effective_threads())
             .map_err(|a| a.into_error(EvalStats::default()))?;
@@ -351,6 +363,7 @@ impl<P: Pops + Send + Sync> Materialization<P> {
             snapshot: None,
             last_stats: EvalStats::default(),
             poisoned: None,
+            partial: None,
         })
     }
 
@@ -401,13 +414,39 @@ impl<P: Pops + Send + Sync> Materialization<P> {
         }
     }
 
-    /// Records a mid-flight failure and passes the error through.
+    /// Records a mid-flight failure and passes the error through,
+    /// stashing the mid-fixpoint interned state as a read-only
+    /// [`PartialOutput`] next to the poison.
     fn poison(&mut self, err: EvalError) -> EvalError {
         self.poisoned = Some(format!(
             "epoch {} edit failed mid-flight ({}): rebuild() to recover",
             self.epoch, err
         ));
+        let nidb = self.engine.compiled.idbs.len();
+        let interned = InternedOutput::new(
+            self.engine.interner.clone(),
+            self.engine.compiled.idbs.clone(),
+            self.state.new.clone(),
+        );
+        self.partial = Some(PartialOutput::new(
+            interned,
+            SettledMark::best_effort(nidb),
+            err.stats().cloned().unwrap_or_default(),
+        ));
         err
+    }
+
+    /// The mid-fixpoint state captured when the handle was poisoned,
+    /// or `None` while the handle is healthy. Read-only diagnostics:
+    /// for an interrupted **insert** the values are a pointwise lower
+    /// bound of the post-edit fixpoint (the maintenance loop only grows
+    /// values along the natural order); for an interrupted **delete**
+    /// the state may sit between the zero-out and the rederive, so rows
+    /// can be *missing or below* their pre-edit values too — treat it
+    /// as a snapshot for inspection, not a bound. Cleared by a
+    /// successful rebuild.
+    pub fn partial(&self) -> Option<&PartialOutput<P>> {
+        self.partial.as_ref()
     }
 
     /// Validates a batch **before any staging**, so rejected edits
@@ -877,8 +916,22 @@ where
         strategy: Strategy,
         opts: &EngineOpts,
     ) -> Result<Self, EvalError> {
+        Self::build(program, pops_edb, bool_edb, cap, strategy, opts, None)
+    }
+
+    /// [`Materialization::new`] with an optional retained interner from
+    /// a previous epoch (the rebuild path).
+    fn build(
+        program: &Program<P>,
+        pops_edb: &Database<P>,
+        bool_edb: &BoolDatabase,
+        cap: usize,
+        strategy: Strategy,
+        opts: &EngineOpts,
+        prev: Option<&InternedOutput<P>>,
+    ) -> Result<Self, EvalError> {
         let t = Instant::now();
-        let mut m = Self::prepare(program, pops_edb, bool_edb, cap, strategy, opts)?;
+        let mut m = Self::prepare(program, pops_edb, bool_edb, cap, strategy, opts, prev)?;
         let mut col = Collector::new(
             "incremental-build",
             m.opts.effective_threads(),
@@ -904,10 +957,13 @@ where
     }
 
     /// Recovers (or refreshes) the handle: re-derives the fixpoint from
-    /// the retained classic EDB exactly as [`Materialization::new`]
-    /// would — bit-identical to a from-scratch construction at any
-    /// thread count — and clears the poisoned bit. The epoch advances
-    /// past every previous epoch. A rebuild is itself governed by the
+    /// the retained classic EDB and clears the poisoned bit (and the
+    /// stashed [`Materialization::partial`]). The fixpoint agrees with
+    /// a from-scratch build at any thread count, and the retained
+    /// **interner is reused**, so constant ids minted by earlier epochs
+    /// stay stable across the recovery — interned keys held by callers
+    /// keep resolving to the same constants. The epoch advances past
+    /// every previous epoch. A rebuild is itself governed by the
     /// current budget/cancel settings (adjust them first via
     /// [`Materialization::set_budget`] / [`Materialization::set_cancel`]
     /// if the poisoning budget would trip again); a failed rebuild
@@ -918,13 +974,15 @@ where
     /// As [`Materialization::new`].
     pub fn rebuild(&mut self) -> Result<&EvalStats, EvalError> {
         let epoch = self.epoch + 1;
-        let mut fresh = Self::new(
+        let prev = InternedOutput::new(self.engine.interner.clone(), vec![], vec![]);
+        let mut fresh = Self::build(
             &self.program,
             &self.edb,
             &self.bool_edb,
             self.cap,
             self.strategy,
             &self.opts,
+            Some(&prev),
         )?;
         fresh.epoch = epoch;
         *self = fresh;
@@ -1188,8 +1246,21 @@ where
         cap: usize,
         opts: &EngineOpts,
     ) -> Result<Self, EvalError> {
+        Self::build_naive(program, pops_edb, bool_edb, cap, opts, None)
+    }
+
+    /// [`Materialization::new_naive`] with an optional retained
+    /// interner from a previous epoch (the rebuild path).
+    fn build_naive(
+        program: &Program<P>,
+        pops_edb: &Database<P>,
+        bool_edb: &BoolDatabase,
+        cap: usize,
+        opts: &EngineOpts,
+        prev: Option<&InternedOutput<P>>,
+    ) -> Result<Self, EvalError> {
         let t = Instant::now();
-        let mut m = Self::prepare(program, pops_edb, bool_edb, cap, Strategy::Auto, opts)?;
+        let mut m = Self::prepare(program, pops_edb, bool_edb, cap, Strategy::Auto, opts, prev)?;
         let mut col = Collector::new(
             "incremental-build-naive",
             m.opts.effective_threads(),
@@ -1214,20 +1285,23 @@ where
     }
 
     /// [`Materialization::rebuild`] for naïve-mode handles: re-derives
-    /// from the retained classic EDB with [`Materialization::new_naive`]
-    /// and clears the poisoned bit.
+    /// from the retained classic EDB with the naïve loop, reusing the
+    /// retained interner (stable constant ids) and clearing the
+    /// poisoned bit and stashed partial.
     ///
     /// # Errors
     ///
     /// As [`Materialization::new`].
     pub fn rebuild_naive(&mut self) -> Result<&EvalStats, EvalError> {
         let epoch = self.epoch + 1;
-        let mut fresh = Self::new_naive(
+        let prev = InternedOutput::new(self.engine.interner.clone(), vec![], vec![]);
+        let mut fresh = Self::build_naive(
             &self.program,
             &self.edb,
             &self.bool_edb,
             self.cap,
             &self.opts,
+            Some(&prev),
         )?;
         fresh.epoch = epoch;
         fresh.strategy = self.strategy;

@@ -218,20 +218,22 @@
 //!   entry so compile/intern time counts), fixpoint phases
 //!   (`max_steps`), emitted rows, and minted ids; a shared
 //!   [`CancelToken`] on [`EngineOpts::cancel`] requests cooperative
-//!   cancellation from another thread. Both are checked **once per
-//!   phase boundary** — a global iteration, worklist generation, or
-//!   frontier batch — on the coordinating thread, so governance costs
-//!   one branch per phase, the hot per-tuple loops are untouched
-//!   (≤5% overhead, enforced by the `robustness_guard` bench gate), and
-//!   a governed run stops within one phase of crossing a line. The
-//!   resulting [`EvalError::BudgetExhausted`] /
-//!   [`EvalError::DeadlineExceeded`] / [`EvalError::Cancelled`] carries
-//!   the final [`EvalStats`] snapshot (with `budget_checks` /
-//!   `cancel_polls` counters and a trailing `abort` trace event) as the
-//!   **only** surfaced partial output — the partially evaluated
-//!   instance itself is deliberately *not* returned as answers, because
-//!   a pre-fixpoint's values are not over- or under-approximations a
-//!   caller can reason about on a general POPS.
+//!   cancellation from another thread. [`EngineOpts::for_class`] picks
+//!   a [`BudgetClass`] preset (`Interactive` / `Batch` / `Unbounded`)
+//!   instead of hand-tuning ceilings. Checks run at every loop
+//!   checkpoint — the seed phase, each global iteration, each worklist
+//!   generation, each priority **bucket** pop — on the coordinating
+//!   thread only, so governance costs a branch per checkpoint, the hot
+//!   per-tuple loops are untouched (≤5% overhead, enforced by the
+//!   `robustness_guard` bench gate), and a governed run stops within
+//!   one checkpoint of crossing a line (the abort trace event records
+//!   which granularity fired). The resulting
+//!   [`EvalError::BudgetExhausted`] / [`EvalError::DeadlineExceeded`] /
+//!   [`EvalError::Cancelled`] carries the final [`EvalStats`] snapshot
+//!   (with `budget_checks` / `cancel_polls` counters and a trailing
+//!   `abort` trace event), and the `*_partial` entry points surface the
+//!   abort-time instance itself — see the graceful-degradation note
+//!   below.
 //! * **Contained worker panics** ([`EvalError::WorkerPanic`]): every
 //!   parallel task body (and the sequential fallback) runs under
 //!   `catch_unwind`, the lowest-indexed panicking task wins
@@ -246,8 +248,50 @@
 //! add a **poisoned bit**: if an edit fails mid-flight in a way that may
 //! have left interned state inconsistent, every subsequent call returns
 //! [`EvalError::Poisoned`] until [`Materialization::rebuild`] re-derives
-//! the fixpoint from the retained EDB — bit-identical to a from-scratch
-//! construction.
+//! the fixpoint from the retained EDB — same fixpoint as a from-scratch
+//! construction, with the retained interner reused so constant ids stay
+//! stable across the recovery.
+//!
+//! ## Design note: graceful degradation — partial results on abort
+//!
+//! A governed abort no longer discards the work done. The `*_partial`
+//! entry points ([`engine_eval_partial_with_opts`],
+//! [`engine_eval_partial_interned_edb`],
+//! [`query::engine_query_eval_partial_with_opts`]) return
+//! [`AbortedEval`] / [`query::AbortedQuery`]: the typed error **plus**
+//! a [`PartialOutput`] capturing the abort-time interned state and a
+//! per-row [`SettledMark`]. How much that state means depends on the
+//! strategy:
+//!
+//! * Under the **priority frontier**, absorption plus the total order
+//!   make a popped row final: `x ⊗ y ⊑ x` means no later derivation
+//!   can improve the ⊑-greatest pending fact (Cor. 5.19 — the same
+//!   argument that licenses the strategy licenses **settled-on-pop**).
+//!   The engine marks each popped row before its derivations fire, so
+//!   the settled frontier of the partial is **exact**: every settled
+//!   row carries precisely its least-fixpoint value, and
+//!   [`PartialOutput::materialize_settled`] is a sub-instance of the
+//!   answer (differentially pinned in `tests/robustness.rs` at 1, 2,
+//!   and 4 threads). An interrupted Dijkstra yields correct shortest
+//!   paths for everything it settled.
+//! * Under the other strategies every intermediate `J(t)` still sits
+//!   below the least fixpoint (`J(t) ⊑ lfp`, the loop invariant), so
+//!   the partial is a **pointwise lower bound** — a progress snapshot,
+//!   not an answer — and its mark says so ([`SettledMark::is_exact`]
+//!   is `false`).
+//!
+//! On top of the partial channel, [`retry::eval_with_retry`] runs a
+//! deterministic **budget-class escalation ladder**: a run stopped by a
+//! recoverable limit (budget/deadline) is retried one [`BudgetClass`]
+//! rung up, warm-started from the aborted attempt's interner via the
+//! interned-EDB chain — ids already minted stay stable and are never
+//! re-interned, while the fixpoint is recomputed so every successful
+//! attempt stays bit-identical to a cold ungoverned run. A
+//! [`retry::RetryReport`] logs each attempt; exhausted ladders return
+//! [`retry::RetryFailure`] with the last partial attached. Long-lived
+//! [`Materialization`]s expose the same state read-only: a poisoned
+//! handle keeps its mid-flight partial on
+//! [`Materialization::partial`] until a rebuild clears it.
 //!
 //! Entry points mirror the other backends and cross-check against them
 //! in `tests/cross_engine.rs` (and all strategies against each other in
@@ -315,6 +359,7 @@ pub mod output;
 pub mod par;
 pub mod plan;
 pub mod query;
+pub mod retry;
 pub mod storage;
 pub(crate) mod telemetry;
 pub mod worklist;
@@ -323,7 +368,7 @@ pub use dlo_core::eval::stats::{
     Counters, EvalStats, IterStat, JsonlSink, MemorySink, PhaseNanos, RuleProfile, TraceEvent,
     TraceHandle, TraceSink,
 };
-pub use dlo_core::eval::{BudgetKind, CancelToken, EvalBudget, EvalError};
+pub use dlo_core::eval::{BudgetClass, BudgetKind, CancelToken, EvalBudget, EvalError};
 pub use driver::{
     engine_naive_eval, engine_naive_eval_with_opts, engine_seminaive_eval,
     engine_seminaive_eval_interned, engine_seminaive_eval_interned_edb,
@@ -331,15 +376,17 @@ pub use driver::{
 };
 pub use incremental::Materialization;
 pub use intern::Interner;
-pub use output::{InternedOutcome, InternedOutput};
+pub use output::{AbortedEval, InternedOutcome, InternedOutput, PartialOutput, SettledMark};
 pub use plan::{compile, compile_demand, CompileError, CompiledProgram, Plan, PlanMeta};
 pub use query::{
-    engine_query_eval, engine_query_eval_interned_edb, engine_query_eval_with_opts,
-    engine_query_naive_eval, engine_query_seminaive_eval, QueryAnswer,
+    engine_query_eval, engine_query_eval_interned_edb, engine_query_eval_partial_with_opts,
+    engine_query_eval_with_opts, engine_query_naive_eval, engine_query_seminaive_eval,
+    AbortedQuery, QueryAnswer,
 };
+pub use retry::{eval_with_retry, AttemptLog, RetryFailure, RetryPolicy, RetryReport};
 pub use storage::ColumnRel;
 pub use worklist::{
-    engine_eval, engine_eval_interned, engine_eval_interned_edb, engine_eval_with_opts,
-    engine_priority_eval, engine_priority_eval_with_opts, engine_worklist_eval,
-    engine_worklist_eval_with_opts, Strategy,
+    engine_eval, engine_eval_interned, engine_eval_interned_edb, engine_eval_partial_interned_edb,
+    engine_eval_partial_with_opts, engine_eval_with_opts, engine_priority_eval,
+    engine_priority_eval_with_opts, engine_worklist_eval, engine_worklist_eval_with_opts, Strategy,
 };

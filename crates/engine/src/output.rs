@@ -21,7 +21,7 @@
 
 use crate::intern::Interner;
 use crate::storage::ColumnRel;
-use dlo_core::eval::{EvalOutcome, EvalStats};
+use dlo_core::eval::{EvalError, EvalOutcome, EvalStats};
 use dlo_core::relation::{Database, Relation};
 use dlo_core::value::{Constant, Tuple};
 use dlo_pops::Pops;
@@ -281,6 +281,247 @@ impl<P: Pops> InternedOutcome<P> {
                 }
             }
         }
+    }
+}
+
+/// Per-key settled/unsettled marks over an [`InternedOutput`]'s rows.
+///
+/// Under the priority strategy the frontier pops keys best-value-first
+/// and absorption makes `⊗` non-improving, so a popped key can never
+/// improve again (the Dijkstra-style argument of the source paper's
+/// Cor. 5.19): every popped row is **settled** — its value already
+/// equals the least fixpoint's. The mark is then `exact`. The other
+/// strategies give no such per-key guarantee; their marks are empty
+/// and `exact` is false, and the partial instance is only a pointwise
+/// lower bound (`J(t) ⊑ lfp`).
+#[derive(Clone, Debug, Default)]
+pub struct SettledMark {
+    exact: bool,
+    /// Per IDB predicate (in the output's compilation order), a bitmap
+    /// over row indices; short vectors mean "unsettled past the end".
+    rows: Vec<Vec<bool>>,
+    count: u64,
+}
+
+impl SettledMark {
+    /// The no-guarantee mark every non-priority driver produces:
+    /// nothing settled, not exact.
+    pub(crate) fn best_effort(npreds: usize) -> SettledMark {
+        SettledMark {
+            exact: false,
+            rows: vec![Vec::new(); npreds],
+            count: 0,
+        }
+    }
+
+    /// An exact (settled-on-pop) mark with no rows settled yet.
+    pub(crate) fn exact_empty(npreds: usize) -> SettledMark {
+        SettledMark {
+            exact: true,
+            rows: vec![Vec::new(); npreds],
+            count: 0,
+        }
+    }
+
+    /// Marks one row settled.
+    pub(crate) fn mark(&mut self, pred: usize, row: u32) {
+        let bits = &mut self.rows[pred];
+        let i = row as usize;
+        if bits.len() <= i {
+            bits.resize(i + 1, false);
+        }
+        if !bits[i] {
+            bits[i] = true;
+            self.count += 1;
+        }
+    }
+
+    /// Clears one row's settled bit (defensive: an improved re-push
+    /// means the earlier pop had not settled it after all).
+    pub(crate) fn unmark(&mut self, pred: usize, row: u32) {
+        let bits = &mut self.rows[pred];
+        let i = row as usize;
+        if i < bits.len() && bits[i] {
+            bits[i] = false;
+            self.count -= 1;
+        }
+    }
+
+    /// Whether the settled rows are guaranteed to carry their final
+    /// fixpoint values (priority strategy only).
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    /// Number of settled rows.
+    pub fn settled_rows(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether row `row` of predicate index `pred` is settled.
+    pub fn is_settled(&self, pred: usize, row: u32) -> bool {
+        self.rows
+            .get(pred)
+            .and_then(|bits| bits.get(row as usize))
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+/// The abort-time state of a governed run that stopped early: the
+/// partially evaluated instance (interned, decode-free), the per-key
+/// [`SettledMark`], and the run's final [`EvalStats`].
+///
+/// Everything in here is a *pointwise lower bound* on the least
+/// fixpoint (`J(t) ⊑ lfp`, the loop invariant of Algorithm 1); the
+/// settled subset is additionally **exact** when the mark says so.
+#[derive(Clone, Debug)]
+pub struct PartialOutput<P> {
+    interned: InternedOutput<P>,
+    settled: SettledMark,
+    stats: EvalStats,
+}
+
+impl<P: Pops> PartialOutput<P> {
+    pub(crate) fn new(interned: InternedOutput<P>, settled: SettledMark, stats: EvalStats) -> Self {
+        PartialOutput {
+            interned,
+            settled,
+            stats,
+        }
+    }
+
+    /// The partial instance, interned. Feeding this back through the
+    /// `*_interned_edb` entry points (as the retry module does) reuses
+    /// its interner, so a warm retry mints the same ids.
+    pub fn interned(&self) -> &InternedOutput<P> {
+        &self.interned
+    }
+
+    /// Consumes the handle, keeping the interned payload.
+    pub fn into_interned(self) -> InternedOutput<P> {
+        self.interned
+    }
+
+    /// The per-key settled marks.
+    pub fn settled(&self) -> &SettledMark {
+        &self.settled
+    }
+
+    /// The telemetry snapshot at the abort.
+    pub fn stats(&self) -> &EvalStats {
+        &self.stats
+    }
+
+    /// Whether the settled subset is exact (see [`SettledMark`]).
+    pub fn is_exact(&self) -> bool {
+        self.settled.exact
+    }
+
+    /// The value of `pred(tuple)` **if that key is settled** — i.e.
+    /// guaranteed final under an exact mark. Returns `None` for
+    /// unsettled keys even when the partial instance holds a (lower
+    /// bound) value for them.
+    pub fn settled_value(&self, pred: &str, tuple: &[Constant]) -> Option<&P> {
+        let idx = self.interned.idbs.iter().position(|(n, _)| n == pred)?;
+        let rel = &self.interned.rels[idx];
+        let mut key: Vec<u32> = Vec::with_capacity(tuple.len());
+        for c in tuple {
+            key.push(self.interned.interner.lookup(c)?);
+        }
+        let row = rel.rowid(&key)?;
+        if self.settled.is_settled(idx, row) {
+            Some(rel.val(row))
+        } else {
+            None
+        }
+    }
+
+    /// Decodes the whole partial instance — a pointwise lower bound on
+    /// the least fixpoint, settled or not.
+    pub fn materialize(&self) -> Database<P> {
+        self.interned.materialize()
+    }
+
+    /// Decodes only the settled rows: under an exact mark this is a
+    /// sub-instance of the least fixpoint, bit-identical on every key
+    /// it contains. Empty when nothing is settled.
+    pub fn materialize_settled(&self) -> Database<P> {
+        let mut db = Database::new();
+        for (idx, ((name, arity), rel)) in self
+            .interned
+            .idbs
+            .iter()
+            .zip(&self.interned.rels)
+            .enumerate()
+        {
+            let mut out = Relation::new(*arity);
+            for (row, key, val) in rel.iter() {
+                if self.settled.is_settled(idx, row) {
+                    let tuple: Tuple = key
+                        .iter()
+                        .map(|&id| self.interned.interner.get(id).clone())
+                        .collect();
+                    out.set(tuple, val.clone());
+                }
+            }
+            db.insert(name, out);
+        }
+        db
+    }
+}
+
+/// A governed run that stopped early, with its abort-time state: the
+/// typed [`EvalError`] plus the [`PartialOutput`] the driver captured
+/// at the failing checkpoint. Returned by the `*_partial` entry
+/// points; the classic entry points drop the partial and surface only
+/// the error.
+#[derive(Clone, Debug)]
+pub struct AbortedEval<P> {
+    error: EvalError,
+    partial: PartialOutput<P>,
+}
+
+impl<P: Pops> AbortedEval<P> {
+    pub(crate) fn new(error: EvalError, partial: PartialOutput<P>) -> Self {
+        AbortedEval { error, partial }
+    }
+
+    /// The typed failure.
+    pub fn error(&self) -> &EvalError {
+        &self.error
+    }
+
+    /// The abort-time partial state.
+    pub fn partial(&self) -> &PartialOutput<P> {
+        &self.partial
+    }
+
+    /// Splits the carrier.
+    pub fn into_parts(self) -> (EvalError, PartialOutput<P>) {
+        (self.error, self.partial)
+    }
+}
+
+impl<P: Pops> From<AbortedEval<P>> for EvalError {
+    fn from(aborted: AbortedEval<P>) -> EvalError {
+        aborted.error
+    }
+}
+
+impl<P: Pops> std::fmt::Display for AbortedEval<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} settled row(s) captured{})",
+            self.error,
+            self.partial.settled.settled_rows(),
+            if self.partial.is_exact() {
+                ", exact"
+            } else {
+                ", lower bound only"
+            }
+        )
     }
 }
 

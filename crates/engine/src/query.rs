@@ -19,9 +19,11 @@
 //! of its rows must carry exactly its full-fixpoint value), and the
 //! raw [`InternedOutput`] for chaining into further engine runs.
 
-use crate::driver::{naive_run, seminaive_run, setup_checked, setup_interned_checked, EngineOpts};
-use crate::output::{InternedOutcome, InternedOutput};
-use crate::worklist::{strategy_run, Strategy};
+use crate::driver::{
+    empty_aborted, naive_run, seminaive_run, setup_checked, setup_interned_checked, EngineOpts,
+};
+use crate::output::{AbortedEval, InternedOutcome, InternedOutput, PartialOutput};
+use crate::worklist::{strategy_run, strategy_run_partial, Strategy};
 use dlo_core::ast::Program;
 use dlo_core::demand::{magic_rewrite, DemandProgram};
 use dlo_core::eval::{EvalError, EvalStats};
@@ -165,6 +167,104 @@ impl<P: Pops> QueryAnswer<P> {
     }
 }
 
+/// A query evaluation that was interrupted by governance: the typed
+/// error plus the abort-time [`PartialOutput`] of the **demanded**
+/// fragment, tagged with the query metadata needed to read it — the
+/// query-path counterpart of [`AbortedEval`].
+///
+/// Under the `Priority` strategy [`Self::partial_answers`] is *exact*
+/// on the rows it carries: every settled row of the queried predicate
+/// holds its final demanded-fixpoint value (Cor. 5.19 settled-on-pop).
+/// Elsewhere the partial is a pointwise lower bound, useful as a
+/// progress snapshot but not as an answer.
+#[derive(Debug)]
+pub struct AbortedQuery<P> {
+    error: EvalError,
+    partial: PartialOutput<P>,
+    query: Query,
+    magic_preds: Vec<String>,
+    dropped_preds: Vec<String>,
+}
+
+impl<P: Pops> AbortedQuery<P> {
+    fn from_eval(aborted: Box<AbortedEval<P>>, dp: &DemandProgram<P>) -> Box<Self> {
+        let (error, partial) = aborted.into_parts();
+        Box::new(AbortedQuery {
+            error,
+            partial,
+            query: dp.query.clone(),
+            magic_preds: dp.magic_preds.clone(),
+            dropped_preds: dp.dropped_preds.clone(),
+        })
+    }
+
+    /// The typed error that stopped the run.
+    pub fn error(&self) -> &EvalError {
+        &self.error
+    }
+
+    /// Consumes the handle into its error (the partial is dropped).
+    pub fn into_error(self) -> EvalError {
+        self.error
+    }
+
+    /// The abort-time state of the demanded fragment.
+    pub fn partial(&self) -> &PartialOutput<P> {
+        &self.partial
+    }
+
+    /// Whether the settled frontier is exact (`Priority` strategy).
+    pub fn is_exact(&self) -> bool {
+        self.partial.is_exact()
+    }
+
+    /// The query this aborted run was answering.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The generated magic predicates of the rewrite.
+    pub fn magic_preds(&self) -> &[String] {
+        &self.magic_preds
+    }
+
+    /// IDBs whose rules the rewrite dropped: no demand reaches them.
+    pub fn dropped_preds(&self) -> &[String] {
+        &self.dropped_preds
+    }
+
+    /// The **settled** rows of the queried predicate, restricted to the
+    /// query's bound constants and decoded — a partial answer. Exact
+    /// when [`Self::is_exact`] (each returned row carries its final
+    /// value; rows that did not settle before the abort are simply
+    /// absent); otherwise a pointwise lower bound.
+    pub fn partial_answers(&self) -> Relation<P> {
+        let db = self.partial.materialize_settled();
+        match db.get(&self.query.pred) {
+            Some(rel) => self.query.restrict(rel),
+            None => Relation::new(self.query.arity()),
+        }
+    }
+}
+
+impl<P: Pops> std::fmt::Display for AbortedQuery<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (partial query answer: {} settled rows{})",
+            self.error,
+            self.partial.settled().settled_rows(),
+            if self.is_exact() { ", exact" } else { "" },
+        )
+    }
+}
+
+impl<P: Pops> From<Box<AbortedQuery<P>>> for EvalError {
+    fn from(aborted: Box<AbortedQuery<P>>) -> EvalError {
+        aborted.error
+    }
+}
+
 /// Runs the magic-set rewrite, mapping a rejected query (unknown
 /// predicate, arity mismatch) to [`EvalError::Compile`].
 fn rewrite_checked<P: Pops>(
@@ -247,6 +347,54 @@ where
     ))
 }
 
+/// [`engine_query_eval_with_opts`] surfacing graceful degradation: a
+/// governed abort returns [`AbortedQuery`] — the typed error *plus* the
+/// abort-time demanded state, whose settled rows are exact partial
+/// answers under the `Priority` strategy (see
+/// [`AbortedQuery::partial_answers`]).
+///
+/// # Errors
+///
+/// As [`engine_query_eval`], but every error arrives as a boxed
+/// [`AbortedQuery`] (compile-stage failures carry an empty partial).
+pub fn engine_query_eval_partial_with_opts<P>(
+    program: &Program<P>,
+    query: &Query,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+    cap: usize,
+    strategy: Strategy,
+    opts: &EngineOpts,
+) -> Result<QueryAnswer<P>, Box<AbortedQuery<P>>>
+where
+    P: NaturallyOrdered
+        + CompleteDistributiveDioid
+        + Absorptive
+        + TotallyOrderedDioid
+        + Send
+        + Sync,
+{
+    let t = Instant::now();
+    let empty_dp = |e: EvalError| {
+        let (error, partial) = empty_aborted::<P>(e).into_parts();
+        Box::new(AbortedQuery {
+            error,
+            partial,
+            query: query.clone(),
+            magic_preds: vec![],
+            dropped_preds: vec![],
+        })
+    };
+    let dp = rewrite_checked(program, query).map_err(&empty_dp)?;
+    let engine =
+        setup_checked(&dp.program, pops_edb, bool_edb, &dp.magic_preds).map_err(&empty_dp)?;
+    let setup_ns = t.elapsed().as_nanos() as u64;
+    match strategy_run_partial(engine, cap, strategy, opts, setup_ns) {
+        Ok(outcome) => Ok(QueryAnswer::new(outcome, &dp)),
+        Err(aborted) => Err(AbortedQuery::from_eval(aborted, &dp)),
+    }
+}
+
 /// Query-driven evaluation on the parallel semi-naïve loop — the
 /// weakest-bounds strategy, for POPS without absorption or a total
 /// chain order (the magic rewrite itself is sound for any POPS; see
@@ -271,7 +419,7 @@ where
     let engine = setup_checked(&dp.program, pops_edb, bool_edb, &dp.magic_preds)?;
     let setup_ns = t.elapsed().as_nanos() as u64;
     Ok(QueryAnswer::new(
-        seminaive_run(engine, cap, opts, setup_ns)?,
+        seminaive_run(engine, cap, opts, setup_ns).map_err(|b| EvalError::from(*b))?,
         &dp,
     ))
 }
@@ -299,7 +447,7 @@ where
     let engine = setup_checked(&dp.program, pops_edb, bool_edb, &dp.magic_preds)?;
     let setup_ns = t.elapsed().as_nanos() as u64;
     Ok(QueryAnswer::new(
-        naive_run(engine, cap, opts, setup_ns)?,
+        naive_run(engine, cap, opts, setup_ns).map_err(|b| EvalError::from(*b))?,
         &dp,
     ))
 }

@@ -155,14 +155,20 @@ impl Collector {
     }
 
     /// Streams the abort event of a governed stop (budget, deadline,
-    /// cancellation, or contained worker panic). Always followed by the
-    /// `RunEnd { converged: false }` that [`Collector::finish`] emits,
-    /// so JSONL sinks flush exactly as on a normal run.
-    pub fn abort(&mut self, reason: &str, steps: usize) {
+    /// cancellation, or contained worker panic). `granularity` names
+    /// the checkpoint that detected the stop (`"phase"`,
+    /// `"iteration"`, `"generation"`, or `"bucket"`); `settled_rows`
+    /// is the number of rows provably settled at that moment (exact
+    /// under the priority strategy, 0 elsewhere). Always followed by
+    /// the `RunEnd { converged: false }` that [`Collector::finish`]
+    /// emits, so JSONL sinks flush exactly as on a normal run.
+    pub fn abort(&mut self, reason: &str, granularity: &str, settled_rows: u64, steps: usize) {
         if let Some(t) = &self.trace {
             t.emit(&TraceEvent::Abort {
                 reason: reason.to_string(),
                 steps: steps as u64,
+                granularity: granularity.to_string(),
+                settled_rows,
             });
         }
     }

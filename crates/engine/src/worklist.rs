@@ -76,13 +76,14 @@
 //! comparable across strategies; fixpoints are.
 
 use crate::driver::{
-    chunk_tasks, finish, merge_fresh, mint_key, seminaive_run, setup_checked, Engine, EngineOpts,
+    abort_with_partial, chunk_tasks, empty_aborted, finish, merge_fresh, mint_key, seminaive_run,
+    setup_checked, setup_interned_checked, Engine, EngineOpts,
 };
 use crate::exec::{run_plan, EvalCtx, ExecCounters, HeadVal};
-use crate::govern::{abort_error, Abort, Governor};
+use crate::govern::{Abort, Checkpoint, Governor};
 use crate::hash::FxHashMap;
 use crate::intern::Interner;
-use crate::output::InternedOutcome;
+use crate::output::{AbortedEval, InternedOutcome, InternedOutput, SettledMark};
 use crate::par;
 use crate::plan::{Plan, Source};
 use crate::storage::ColumnRel;
@@ -277,6 +278,13 @@ impl<P> EmitBuf<P> {
 /// (magic) predicates take the demand path instead: a new binding is
 /// inserted at `1` and pushed once; an existing one is left untouched —
 /// demand rows are settled the moment they exist, on any POPS.
+///
+/// `settled` is the run's settled-row marking: an improvement to an
+/// *existing* row defensively unmarks it (under the priority
+/// discipline a popped row can never improve — Cor. 5.19 — so the
+/// unmark never fires there; it keeps the marking sound by
+/// construction rather than by theorem).
+#[allow(clippy::too_many_arguments)]
 fn apply_emissions<P: Pops, F: Frontier<P>>(
     interner: &mut Interner,
     new: &mut [ColumnRel<P>],
@@ -284,6 +292,7 @@ fn apply_emissions<P: Pops, F: Frontier<P>>(
     bufs: &mut [EmitBuf<P>],
     fresh: &mut [BTreeMap<Box<[HeadVal]>, P>],
     frontier: &mut F,
+    settled: &mut SettledMark,
     col: &mut Collector,
 ) {
     for (pred, buf) in bufs.iter_mut().enumerate() {
@@ -311,6 +320,7 @@ fn apply_emissions<P: Pops, F: Frontier<P>>(
                     c.rows_inserted += 1;
                 } else {
                     c.rows_improved += 1;
+                    settled.unmark(pred, row);
                 }
             } else {
                 c.merges_absorbed += 1;
@@ -344,6 +354,7 @@ fn apply_emissions<P: Pops, F: Frontier<P>>(
                     c.rows_inserted += 1;
                 } else {
                     c.rows_improved += 1;
+                    settled.unmark(pred, row);
                 }
             } else {
                 c.merges_absorbed += 1;
@@ -487,7 +498,7 @@ fn run_frontier<P, F>(
     strategy: &str,
     setup_ns: u64,
     make_frontier: impl FnOnce(usize) -> F,
-) -> Result<InternedOutcome<P>, EvalError>
+) -> Result<InternedOutcome<P>, Box<AbortedEval<P>>>
 where
     P: Pops + Send + Sync,
     F: Frontier<P>,
@@ -502,6 +513,23 @@ where
     );
     let nidb = engine.compiled.idbs.len();
     let mut frontier = make_frontier(nidb);
+    // Settled-row tracking for graceful degradation: under the priority
+    // discipline every popped row is settled (Cor. 5.19 — `⊗` cannot
+    // move a best value back up), so marking rows on pop yields an
+    // abort-time partial that is *exact* on the marked frontier. FIFO
+    // generations give no such guarantee; their partial stays a
+    // best-effort lower bound with nothing marked.
+    let exact = strategy == "priority";
+    let mut settled = if exact {
+        SettledMark::exact_empty(nidb)
+    } else {
+        SettledMark::best_effort(nidb)
+    };
+    let loop_checkpoint = if exact {
+        Checkpoint::Bucket
+    } else {
+        Checkpoint::Generation
+    };
 
     // Index plumbing: the global drivers' `new` masks plus whatever the
     // worklist plans probe. EDB builds (including the seed/delta-plan
@@ -527,9 +555,35 @@ where
         }
     }
     let gov = Governor::new(opts, setup_ns);
+    // Pre-index phase checkpoint: a cancelled or already-over-deadline
+    // run (setup is backdated into the governor) stops before paying
+    // for the EDB index build.
+    if let Err(a) = gov.check(0, &mut col) {
+        let rels = engine.empty_idbs();
+        return Err(abort_with_partial(
+            a,
+            Checkpoint::Phase,
+            engine,
+            rels,
+            settled,
+            col,
+            0,
+            0,
+        ));
+    }
     let t = Instant::now();
     if let Err(a) = engine.build_edb_indexes(&wreqs, threads) {
-        return Err(abort_error(a, col, 0, 0));
+        let rels = engine.empty_idbs();
+        return Err(abort_with_partial(
+            a,
+            Checkpoint::Phase,
+            engine,
+            rels,
+            settled,
+            col,
+            0,
+            0,
+        ));
     }
     col.edb_index_phase(t.elapsed().as_nanos() as u64);
     let t_eval = Instant::now();
@@ -560,7 +614,16 @@ where
     // Seed: run the all-New plans against the empty state (only IDB-free
     // sum-products contribute, eq. 65) and enqueue every inserted row.
     if let Err(a) = gov.check(0, &mut col) {
-        return Err(abort_error(a, col, 0, t_eval.elapsed().as_nanos() as u64));
+        return Err(abort_with_partial(
+            a,
+            Checkpoint::Phase,
+            engine,
+            new,
+            settled,
+            col,
+            0,
+            t_eval.elapsed().as_nanos() as u64,
+        ));
     }
     let seed_before = col.stats.counters;
     {
@@ -576,7 +639,16 @@ where
             opts,
             &mut col,
         ) {
-            return Err(abort_error(a, col, 0, t_eval.elapsed().as_nanos() as u64));
+            return Err(abort_with_partial(
+                a,
+                Checkpoint::Phase,
+                engine,
+                new,
+                settled,
+                col,
+                0,
+                t_eval.elapsed().as_nanos() as u64,
+            ));
         }
     }
     apply_emissions(
@@ -586,6 +658,7 @@ where
         &mut bufs,
         &mut fresh,
         &mut frontier,
+        &mut settled,
         &mut col,
     );
     col.end_step(0, 0, frontier.depth() as u64, &seed_before);
@@ -614,9 +687,22 @@ where
                 stats,
             });
         }
+        // Settled-on-pop: a popped row's value is final the moment the
+        // frontier hands it over (priority only) — independent of
+        // whether its derivations ever fire — so marking precedes the
+        // governance check and a mid-run abort still counts this batch.
+        if exact {
+            for &(pred, row) in &batch {
+                settled.mark(pred, row);
+            }
+        }
         if let Err(a) = gov.check(steps as u64, &mut col) {
-            return Err(abort_error(
+            return Err(abort_with_partial(
                 a,
+                loop_checkpoint,
+                engine,
+                new,
+                settled,
                 col,
                 steps,
                 t_eval.elapsed().as_nanos() as u64,
@@ -653,8 +739,12 @@ where
             opts,
             &mut col,
         ) {
-            return Err(abort_error(
+            return Err(abort_with_partial(
                 a,
+                loop_checkpoint,
+                engine,
+                new,
+                settled,
                 col,
                 steps,
                 t_eval.elapsed().as_nanos() as u64,
@@ -670,6 +760,7 @@ where
             &mut bufs,
             &mut fresh,
             &mut frontier,
+            &mut settled,
             &mut col,
         );
         col.end_step(steps, batch.len() as u64, frontier.depth() as u64, &before);
@@ -717,7 +808,11 @@ where
     let t = Instant::now();
     let engine = setup_checked(program, pops_edb, bool_edb, &[])?;
     let setup_ns = t.elapsed().as_nanos() as u64;
-    Ok(run_frontier(engine, cap, opts, "worklist", setup_ns, FifoFrontier::new)?.materialize())
+    Ok(
+        run_frontier(engine, cap, opts, "worklist", setup_ns, FifoFrontier::new)
+            .map_err(|b| EvalError::from(*b))?
+            .materialize(),
+    )
 }
 
 /// Priority-frontier evaluation: bucketed best-first scheduling over a
@@ -764,7 +859,8 @@ where
     let setup_ns = t.elapsed().as_nanos() as u64;
     Ok(run_frontier(engine, cap, opts, "priority", setup_ns, |_| {
         BucketFrontier::new()
-    })?
+    })
+    .map_err(|b| EvalError::from(*b))?
     .materialize())
 }
 
@@ -900,16 +996,19 @@ where
     strategy_run(engine, cap, strategy, opts, setup_ns)
 }
 
-/// Dispatches a prepared [`Engine`] to the loop `strategy` names —
-/// the shared tail of every multi-strategy entry point (classic,
-/// interned-EDB, and demand-rewritten query evaluation).
-pub(crate) fn strategy_run<P>(
+/// Dispatches a prepared [`Engine`] to the loop `strategy` names,
+/// keeping the partial-result channel: a governed abort returns the
+/// boxed [`AbortedEval`] — the typed error plus the abort-time
+/// instance (exact on the settled frontier under
+/// [`Strategy::Priority`] / [`Strategy::Auto`], a best-effort lower
+/// bound otherwise).
+pub(crate) fn strategy_run_partial<P>(
     engine: Engine<P>,
     cap: usize,
     strategy: Strategy,
     opts: &EngineOpts,
     setup_ns: u64,
-) -> Result<InternedOutcome<P>, EvalError>
+) -> Result<InternedOutcome<P>, Box<AbortedEval<P>>>
 where
     P: NaturallyOrdered
         + CompleteDistributiveDioid
@@ -929,6 +1028,112 @@ where
             })
         }
     }
+}
+
+/// Dispatches a prepared [`Engine`] to the loop `strategy` names —
+/// the shared tail of every multi-strategy entry point (classic,
+/// interned-EDB, and demand-rewritten query evaluation). The classic
+/// error contract: a governed abort surfaces as the bare
+/// [`EvalError`], dropping the partial instance (use the `*_partial`
+/// entry points to keep it).
+pub(crate) fn strategy_run<P>(
+    engine: Engine<P>,
+    cap: usize,
+    strategy: Strategy,
+    opts: &EngineOpts,
+    setup_ns: u64,
+) -> Result<InternedOutcome<P>, EvalError>
+where
+    P: NaturallyOrdered
+        + CompleteDistributiveDioid
+        + Absorptive
+        + TotallyOrderedDioid
+        + Send
+        + Sync,
+{
+    strategy_run_partial(engine, cap, strategy, opts, setup_ns).map_err(|b| EvalError::from(*b))
+}
+
+/// [`engine_eval_with_opts`] with **graceful degradation**: instead of
+/// dropping the partially evaluated instance on a governed abort
+/// (budget, deadline, cancellation, worker panic), the error channel
+/// carries a boxed [`AbortedEval`] — the typed [`EvalError`] plus a
+/// [`PartialOutput`](crate::output::PartialOutput) of the abort-time
+/// state. Under [`Strategy::Priority`] / [`Strategy::Auto`] the
+/// partial is **exact** on its settled frontier (settled-on-pop,
+/// Cor. 5.19): every marked row already holds its final fixpoint
+/// value. Under the other strategies nothing is marked and the partial
+/// is a pointwise lower bound of the least fixpoint (`J(t) ⊑ lfp`).
+/// Compile rejections ride the same channel with an empty partial.
+///
+/// The `Ok` side is unchanged — a run that converges (or hits the
+/// divergence cap) behaves exactly like [`engine_eval_interned`].
+///
+/// # Errors
+///
+/// Never fails with a bare error: every failure is an [`AbortedEval`]
+/// wrapping the same [`EvalError`] the classic entry points return.
+pub fn engine_eval_partial_with_opts<P>(
+    program: &Program<P>,
+    pops_edb: &Database<P>,
+    bool_edb: &BoolDatabase,
+    cap: usize,
+    strategy: Strategy,
+    opts: &EngineOpts,
+) -> Result<InternedOutcome<P>, Box<AbortedEval<P>>>
+where
+    P: NaturallyOrdered
+        + CompleteDistributiveDioid
+        + Absorptive
+        + TotallyOrderedDioid
+        + Send
+        + Sync,
+{
+    let t = Instant::now();
+    let engine = match setup_checked(program, pops_edb, bool_edb, &[]) {
+        Ok(engine) => engine,
+        Err(error) => return Err(empty_aborted(error)),
+    };
+    let setup_ns = t.elapsed().as_nanos() as u64;
+    strategy_run_partial(engine, cap, strategy, opts, setup_ns)
+}
+
+/// [`engine_eval_partial_with_opts`] over an **interned EDB** — the
+/// warm-start primitive of [`crate::retry`]: feed a failed attempt's
+/// [`PartialOutput::interned`](crate::output::PartialOutput::interned)
+/// as `prev` (its interner is reused, so every id minted before the
+/// abort keeps its meaning) with the original EDB as `extra_pops`, and
+/// the retry resumes from a warm interner instead of starting cold.
+/// Name resolution prefers `extra_pops`, exactly like
+/// [`engine_eval_interned_edb`].
+///
+/// # Errors
+///
+/// As [`engine_eval_partial_with_opts`].
+pub fn engine_eval_partial_interned_edb<P>(
+    program: &Program<P>,
+    prev: &InternedOutput<P>,
+    extra_pops: &Database<P>,
+    bool_edb: &BoolDatabase,
+    cap: usize,
+    strategy: Strategy,
+    opts: &EngineOpts,
+) -> Result<InternedOutcome<P>, Box<AbortedEval<P>>>
+where
+    P: NaturallyOrdered
+        + CompleteDistributiveDioid
+        + Absorptive
+        + TotallyOrderedDioid
+        + Send
+        + Sync,
+{
+    let t = Instant::now();
+    let engine = match setup_interned_checked(program, prev, extra_pops, bool_edb, &[]) {
+        Ok(engine) => engine,
+        Err(error) => return Err(empty_aborted(error)),
+    };
+    let setup_ns = t.elapsed().as_nanos() as u64;
+    strategy_run_partial(engine, cap, strategy, opts, setup_ns)
 }
 
 #[cfg(test)]

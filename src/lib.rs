@@ -37,14 +37,16 @@ pub use dlo_wellfounded as wellfounded;
 // The engine backend's entry points at top level, next to the grounded
 // and relational backends re-exported through `core`.
 pub use dlo_engine::{
-    engine_eval, engine_eval_interned, engine_eval_interned_edb, engine_eval_with_opts,
-    engine_naive_eval, engine_priority_eval, engine_priority_eval_with_opts, engine_query_eval,
-    engine_query_eval_interned_edb, engine_query_eval_with_opts, engine_query_naive_eval,
+    engine_eval, engine_eval_interned, engine_eval_interned_edb, engine_eval_partial_interned_edb,
+    engine_eval_partial_with_opts, engine_eval_with_opts, engine_naive_eval, engine_priority_eval,
+    engine_priority_eval_with_opts, engine_query_eval, engine_query_eval_interned_edb,
+    engine_query_eval_partial_with_opts, engine_query_eval_with_opts, engine_query_naive_eval,
     engine_query_seminaive_eval, engine_seminaive_eval, engine_seminaive_eval_interned,
     engine_seminaive_eval_interned_edb, engine_worklist_eval, engine_worklist_eval_with_opts,
-    BudgetKind, CancelToken, EngineOpts, EvalBudget, EvalError, EvalStats, InternedOutcome,
-    InternedOutput, JsonlSink, Materialization, MemorySink, QueryAnswer, RuleProfile, Strategy,
-    TraceEvent, TraceHandle, TraceSink,
+    eval_with_retry, AbortedEval, AbortedQuery, AttemptLog, BudgetClass, BudgetKind, CancelToken,
+    EngineOpts, EvalBudget, EvalError, EvalStats, InternedOutcome, InternedOutput, JsonlSink,
+    Materialization, MemorySink, PartialOutput, QueryAnswer, RetryFailure, RetryPolicy,
+    RetryReport, RuleProfile, SettledMark, Strategy, TraceEvent, TraceHandle, TraceSink,
 };
 
 /// Evaluates a program with the **default backend**: the execution

@@ -417,3 +417,168 @@ fn per_edit_stats_attribute_work_to_each_edit() {
     assert_eq!(stats.strategy, "incremental-delete");
     assert!(stats.counters.emits > 0, "marking + rederive ran plans");
 }
+
+/// `rebuild()` reuses the retained interner: constant ids minted by
+/// earlier epochs (including constants introduced by edits) resolve to
+/// the same ids after the recovery, so interned keys held by callers
+/// stay valid across a rebuild.
+#[test]
+fn rebuild_keeps_minted_constant_ids_stable() {
+    use datalog_o::core::FactInsert;
+    use datalog_o::EvalBudget;
+    let program = apsp_program();
+    let edb = edge_db(&base_edges());
+    let bools = BoolDatabase::new();
+    let mut mat = Materialization::new(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::SemiNaive,
+        &EngineOpts::default(),
+    )
+    .expect("compiles");
+
+    // Edits introduce constants the original EDB never mentioned.
+    mat.insert(&[FactInsert::new(
+        "E",
+        vec![k("zz1"), k("zz2")],
+        Trop::finite(1.0),
+    )])
+    .expect("edit applies");
+    mat.insert(&[FactInsert::new(
+        "E",
+        vec![k("zz2"), k("a")],
+        Trop::finite(2.0),
+    )])
+    .expect("edit applies");
+    let probe: Vec<Constant> = vec![k("a"), k("b"), k("zz1"), k("zz2")];
+    let ids_before: Vec<u32> = probe
+        .iter()
+        .map(|c| mat.output().interner().lookup(c).expect("interned"))
+        .collect();
+
+    // A healthy-handle rebuild (refresh) keeps every id.
+    mat.rebuild().expect("ungoverned rebuild");
+    let ids_refreshed: Vec<u32> = probe
+        .iter()
+        .map(|c| mat.output().interner().lookup(c).expect("still interned"))
+        .collect();
+    assert_eq!(ids_before, ids_refreshed, "refresh rebuild remints ids");
+
+    // Poison the handle, then recover: ids still stable.
+    mat.set_budget(EvalBudget::default().with_max_rows(1));
+    mat.insert(&[FactInsert::new(
+        "E",
+        vec![k("zz3"), k("a")],
+        Trop::finite(0.5),
+    )])
+    .expect_err("one-row ceiling trips");
+    assert!(mat.poisoned().is_some());
+    mat.set_budget(EvalBudget::unlimited());
+    mat.rebuild().expect("recovery rebuild");
+    assert!(mat.poisoned().is_none());
+    let ids_after: Vec<u32> = probe
+        .iter()
+        .map(|c| mat.output().interner().lookup(c).expect("still interned"))
+        .collect();
+    assert_eq!(ids_before, ids_after, "recovery rebuild remints ids");
+
+    // And the recovered fixpoint still matches from-scratch.
+    let edb_now = mat.edb().clone();
+    let oracle = engine_eval_with_opts(
+        &program,
+        &edb_now,
+        &bools,
+        CAP,
+        Strategy::SemiNaive,
+        &EngineOpts::default(),
+    )
+    .expect("compiles")
+    .converged()
+    .expect("oracle converges")
+    .0;
+    let live = mat.output().materialize();
+    for (pred, reference) in oracle.iter() {
+        let empty = Relation::new(reference.arity());
+        assert_eq!(
+            reference,
+            live.get(pred).unwrap_or(&empty),
+            "rebuilt {pred} differs from from-scratch"
+        );
+    }
+}
+
+/// A poisoned handle keeps the failed edit's mid-fixpoint state
+/// read-only next to the poison: `partial()` is `Some` (best-effort,
+/// not exact), its values sit at-or-below the post-edit fixpoint for an
+/// interrupted insert, and a successful rebuild clears it.
+#[test]
+fn poisoned_handle_exposes_partial_beside_the_poison() {
+    use datalog_o::core::FactInsert;
+    use datalog_o::pops::Pops;
+    use datalog_o::EvalBudget;
+    let program = apsp_program();
+    let edb = edge_db(&base_edges());
+    let bools = BoolDatabase::new();
+    let mut mat = Materialization::new(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::SemiNaive,
+        &EngineOpts::default(),
+    )
+    .expect("compiles");
+    assert!(mat.partial().is_none(), "healthy handle has no partial");
+
+    mat.set_budget(EvalBudget::default().with_max_rows(1));
+    mat.insert(&[FactInsert::new(
+        "E",
+        vec![k("d"), k("a")],
+        Trop::finite(0.5),
+    )])
+    .expect_err("one-row ceiling trips");
+    assert!(mat.poisoned().is_some());
+    let partial = mat.partial().expect("poisoned handle exposes its partial");
+    assert!(
+        !partial.is_exact(),
+        "incremental partials are best-effort, never exact"
+    );
+
+    // An interrupted *insert* leaves a pointwise lower bound of the
+    // post-edit fixpoint (the maintenance loop only grows values).
+    let oracle = engine_eval_with_opts(
+        &program,
+        mat.edb(),
+        &bools,
+        CAP,
+        Strategy::SemiNaive,
+        &EngineOpts::default(),
+    )
+    .expect("from-scratch on the retained EDB")
+    .converged()
+    .expect("oracle converges")
+    .0;
+    let snap = partial.materialize();
+    for (pred, rel) in snap.iter() {
+        for (t, v) in rel.support() {
+            let fv = oracle
+                .get(pred)
+                .map(|r| r.get(t))
+                .unwrap_or_else(Trop::bottom);
+            assert!(
+                v.leq(&fv),
+                "partial {pred}({t:?}) = {v:?} above post-edit fixpoint {fv:?}"
+            );
+        }
+    }
+
+    // Recovery clears the partial with the poison.
+    mat.set_budget(EvalBudget::unlimited());
+    mat.rebuild().expect("recovery rebuild");
+    assert!(
+        mat.partial().is_none(),
+        "rebuild clears the stashed partial"
+    );
+}

@@ -16,6 +16,12 @@
 //!   [`Materialization`]; `rebuild()` recovers bit-identically to a
 //!   from-scratch build of the retained EDB, across strategies and
 //!   thread counts {1, 2, 4}.
+//! * **Graceful degradation** — governed aborts carry a
+//!   `PartialOutput`: exact on the priority frontier's settled rows
+//!   (differentially pinned against the ungoverned fixpoint at 1, 2,
+//!   and 4 threads), a pointwise lower bound elsewhere; and
+//!   `eval_with_retry`'s budget-class escalation recovers the full
+//!   bit-identical fixpoint from a partial attempt.
 
 use std::time::{Duration, Instant};
 
@@ -23,10 +29,12 @@ use datalog_o::core::ast::{Atom, Factor, SumProduct, Term};
 use datalog_o::core::{
     parse_program, parse_query, BoolDatabase, Database, EvalOutcome, FactInsert, Program, Relation,
 };
-use datalog_o::pops::Trop;
+use datalog_o::pops::{Pops, Trop};
 use datalog_o::{
-    engine_eval_with_opts, engine_naive_eval, engine_query_eval_with_opts, engine_seminaive_eval,
-    CancelToken, EngineOpts, EvalBudget, EvalError, EvalStats, Materialization, Strategy,
+    engine_eval_partial_with_opts, engine_eval_with_opts, engine_naive_eval,
+    engine_query_eval_partial_with_opts, engine_query_eval_with_opts, engine_seminaive_eval,
+    eval_with_retry, BudgetClass, CancelToken, EngineOpts, EvalBudget, EvalError, EvalStats,
+    Materialization, RetryPolicy, Strategy,
 };
 use proptest::prelude::*;
 use proptest::strategy::Strategy as PropStrategy;
@@ -661,5 +669,353 @@ proptest! {
             prop_assert_eq!(r, got.get(pred).unwrap_or(&empty),
                 "{} diverges from from-scratch after recovery", pred);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Graceful degradation: partial results on abort, retry escalation.
+// ---------------------------------------------------------------------
+
+/// The PR's acceptance differential: a priority-strategy run aborted by
+/// a step budget returns a partial whose **settled** rows carry exactly
+/// the ungoverned fixpoint's values — at 1, 2, and 4 threads — and the
+/// settled set itself is thread-invariant (budget aborts are
+/// deterministic: steps count value buckets).
+#[test]
+fn aborted_priority_run_returns_exact_settled_partial() {
+    let program = apsp();
+    let edb = chain_edb(200);
+    let bools = BoolDatabase::new();
+    let full = engine_eval_with_opts(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::Priority,
+        &EngineOpts::default(),
+    )
+    .expect("reference run")
+    .unwrap();
+
+    let mut settled_baseline: Option<Database<Trop>> = None;
+    for threads in [1usize, 2, 4] {
+        let opts = EngineOpts {
+            threads: Some(threads),
+            par_threshold: 1,
+            chunk_min: 2,
+            budget: EvalBudget::default().with_max_steps(40),
+            ..EngineOpts::default()
+        };
+        let aborted =
+            engine_eval_partial_with_opts(&program, &edb, &bools, CAP, Strategy::Priority, &opts)
+                .expect_err("a 40-step budget must trip on a 200-node chain");
+        assert_eq!(aborted.error().kind(), "budget", "{threads} threads");
+        assert_populated(aborted.error(), true);
+        let partial = aborted.partial();
+        assert!(partial.is_exact(), "priority partials are exact");
+        assert!(
+            partial.settled().settled_rows() > 0,
+            "{threads} threads: settled prefix must be non-empty"
+        );
+        let settled = partial.materialize_settled();
+        let mut checked = 0usize;
+        for (pred, rel) in settled.iter() {
+            let full_rel = full.get(pred).expect("settled pred exists in the fixpoint");
+            for (t, v) in rel.support() {
+                assert_eq!(
+                    full_rel.get(t),
+                    v.clone(),
+                    "{threads} threads: settled {pred}({t:?}) must be final"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "the differential actually compared rows");
+        // Decode-free probe agrees with the decoded settled relation.
+        let t0 = vec![k("n0"), k("n1")];
+        if let Some(v) = partial.settled_value("T", &t0) {
+            assert_eq!(full.get("T").unwrap().get(&t0), v.clone());
+        }
+        match &settled_baseline {
+            None => settled_baseline = Some(settled),
+            Some(base) => assert_eq!(base, &settled, "settled set differs at {threads} threads"),
+        }
+    }
+}
+
+/// `eval_with_retry` escalation: attempt 0 trips its step budget, the
+/// retry climbs one rung (warm-started from the partial's interner) and
+/// converges to the full bit-identical fixpoint, with the per-attempt
+/// report recording both rungs.
+#[test]
+fn retry_escalation_reaches_the_full_fixpoint() {
+    let program = apsp();
+    let edb = chain_edb(120);
+    let bools = BoolDatabase::new();
+    let full = engine_eval_with_opts(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::Priority,
+        &EngineOpts::default(),
+    )
+    .expect("reference run")
+    .unwrap();
+    let mut backoffs: Vec<usize> = vec![];
+    let policy = RetryPolicy::from_class(BudgetClass::Interactive)
+        .with_ladder(vec![
+            EvalBudget::default().with_max_steps(20),
+            EvalBudget::unlimited(),
+        ])
+        .with_backoff(move |attempt| backoffs.push(attempt));
+    let base = opts_with(EvalBudget::default(), None, 2);
+    let (outcome, report) = eval_with_retry(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::Priority,
+        &base,
+        policy,
+    )
+    .expect("the second rung is unbounded");
+    assert_eq!(report.attempts_made(), 2);
+    assert_eq!(report.attempts[0].outcome, "budget");
+    assert!(!report.attempts[0].warm_start);
+    assert!(report.attempts[0].settled_rows > 0, "partial was non-empty");
+    assert_eq!(report.attempts[1].outcome, "converged");
+    assert!(report.attempts[1].warm_start);
+    let (iout, _) = outcome.converged().expect("bounded");
+    assert_eq!(iout.materialize(), full, "escalated run is the fixpoint");
+}
+
+/// A non-recoverable stop (pre-cancelled token) fails immediately: no
+/// rungs are consumed beyond the first attempt, and the failure carries
+/// the attempt trail plus the last partial.
+#[test]
+fn retry_does_not_escalate_past_cancellation() {
+    let program = apsp();
+    let edb = chain_edb(16);
+    let bools = BoolDatabase::new();
+    let token = CancelToken::new();
+    token.cancel();
+    let policy = RetryPolicy::from_class(BudgetClass::Interactive);
+    let base = opts_with(EvalBudget::default(), Some(token), 1);
+    let failure = eval_with_retry(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::Priority,
+        &base,
+        policy,
+    )
+    .expect_err("cancellation is not recoverable");
+    assert_eq!(failure.error().kind(), "cancelled");
+    assert_eq!(failure.report.attempts_made(), 1);
+    assert_eq!(failure.report.attempts[0].outcome, "cancelled");
+}
+
+/// The query path degrades the same way: a demanded priority run
+/// stopped by its budget returns settled partial answers that are
+/// value-exact against the full fixpoint's query restriction.
+#[test]
+fn aborted_query_returns_exact_settled_partial_answers() {
+    let program = apsp();
+    let edb = chain_edb(200);
+    let bools = BoolDatabase::new();
+    let full = engine_eval_with_opts(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::Priority,
+        &EngineOpts::default(),
+    )
+    .expect("reference run")
+    .unwrap();
+    let q = parse_query("?- T(\"n0\", Y).").unwrap();
+    let opts = opts_with(EvalBudget::default().with_max_steps(30), None, 1);
+    let aborted = engine_query_eval_partial_with_opts(
+        &program,
+        &q,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::Priority,
+        &opts,
+    )
+    .expect_err("a 30-step budget must trip on the demanded 200-chain");
+    assert_eq!(aborted.error().kind(), "budget");
+    assert!(aborted.is_exact(), "priority query partials are exact");
+    let partial_answers = aborted.partial_answers();
+    let full_t = full.get("T").expect("T in fixpoint");
+    let mut rows = 0usize;
+    for (t, v) in partial_answers.support() {
+        assert_eq!(full_t.get(t), v.clone(), "partial answer T({t:?})");
+        rows += 1;
+    }
+    assert!(rows > 0, "some answers settled before the abort");
+}
+
+/// `BudgetClass` presets are ordered and terminate at `Unbounded`, and
+/// `EngineOpts::for_class` installs the preset budget.
+#[test]
+fn budget_classes_escalate_to_unbounded() {
+    assert_eq!(BudgetClass::Interactive.next_up(), Some(BudgetClass::Batch));
+    assert_eq!(BudgetClass::Batch.next_up(), Some(BudgetClass::Unbounded));
+    assert_eq!(BudgetClass::Unbounded.next_up(), None);
+    assert_eq!(BudgetClass::Interactive.ladder().len(), 3);
+    assert!(BudgetClass::Interactive.budget().is_limited());
+    assert!(!BudgetClass::Unbounded.budget().is_limited());
+    let opts = EngineOpts::for_class(BudgetClass::Interactive);
+    assert!(opts.budget.is_limited());
+    // An Unbounded-class run behaves like an ungoverned one.
+    let program = apsp();
+    let edb = chain_edb(8);
+    let bools = BoolDatabase::new();
+    let free = engine_eval_with_opts(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::Priority,
+        &EngineOpts::default(),
+    )
+    .expect("compiles");
+    let classed = engine_eval_with_opts(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::Priority,
+        &EngineOpts::for_class(BudgetClass::Unbounded),
+    )
+    .expect("compiles");
+    assert_eq!(free, classed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Partial outputs are pointwise lower bounds of the fixpoint on
+    /// every strategy (the `J(t) ⊑ lfp` loop invariant), and exact on
+    /// the priority frontier's settled rows.
+    #[test]
+    fn partials_are_lower_bounds_and_priority_settled_rows_are_exact(
+        edges in edges_strategy()
+    ) {
+        let program = apsp();
+        let edb = random_edb(&edges);
+        let bools = BoolDatabase::new();
+        let full = engine_eval_with_opts(
+            &program, &edb, &bools, CAP, Strategy::Priority, &EngineOpts::default(),
+        ).expect("reference").unwrap();
+        for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
+            for max_steps in [0u64, 1, 2, 4] {
+                let opts = opts_with(
+                    EvalBudget::default().with_max_steps(max_steps), None, 2);
+                let Err(aborted) = engine_eval_partial_with_opts(
+                    &program, &edb, &bools, CAP, strategy, &opts,
+                ) else { continue };
+                prop_assert_eq!(aborted.error().kind(), "budget");
+                let partial = aborted.partial();
+                prop_assert_eq!(
+                    partial.is_exact(),
+                    matches!(strategy, Strategy::Priority),
+                    "exactness is a priority-only promise"
+                );
+                // Every partial row sits ⊑-below its fixpoint value.
+                let snap = partial.materialize();
+                for (pred, rel) in snap.iter() {
+                    for (t, v) in rel.support() {
+                        let fv = full.get(pred)
+                            .map(|r| r.get(t))
+                            .unwrap_or_else(Trop::bottom);
+                        prop_assert!(
+                            v.leq(&fv),
+                            "{:?}: partial {}({:?}) = {:?} above fixpoint {:?}",
+                            strategy, pred, t, v, fv
+                        );
+                    }
+                }
+                // Settled rows are bit-exact.
+                let settled = partial.materialize_settled();
+                if partial.is_exact() {
+                    for (pred, rel) in settled.iter() {
+                        for (t, v) in rel.support() {
+                            prop_assert_eq!(
+                                full.get(pred).expect("pred in fixpoint").get(t),
+                                v.clone(),
+                                "settled {}({:?}) not final", pred, t
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The priority frontier's settled set under a step budget is
+    /// bit-identical at 1, 2, and 4 threads (budget aborts are
+    /// deterministic — steps count value buckets).
+    #[test]
+    fn priority_settled_sets_are_thread_invariant(edges in edges_strategy()) {
+        let program = apsp();
+        let edb = random_edb(&edges);
+        let bools = BoolDatabase::new();
+        for max_steps in [1u64, 3] {
+            let mut baseline: Option<(bool, Database<Trop>)> = None;
+            for threads in [1usize, 2, 4] {
+                let opts = EngineOpts {
+                    threads: Some(threads),
+                    par_threshold: 1,
+                    chunk_min: 2,
+                    budget: EvalBudget::default().with_max_steps(max_steps),
+                    ..EngineOpts::default()
+                };
+                let got = match engine_eval_partial_with_opts(
+                    &program, &edb, &bools, CAP, Strategy::Priority, &opts,
+                ) {
+                    Ok(_) => (true, Database::new()),
+                    Err(aborted) => (false, aborted.partial().materialize_settled()),
+                };
+                match &baseline {
+                    None => baseline = Some(got),
+                    Some(base) => prop_assert_eq!(
+                        base, &got,
+                        "settled set differs at {} threads (max_steps {})",
+                        threads, max_steps
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Retry-with-escalation on random graphs always ends at the
+    /// ungoverned fixpoint: whatever rung finally fits, the result is
+    /// bit-identical to a cold unbounded run.
+    #[test]
+    fn retry_escalation_converges_on_random_graphs(edges in edges_strategy()) {
+        let program = apsp();
+        let edb = random_edb(&edges);
+        let bools = BoolDatabase::new();
+        let full = engine_eval_with_opts(
+            &program, &edb, &bools, CAP, Strategy::Priority, &EngineOpts::default(),
+        ).expect("reference").unwrap();
+        let policy = RetryPolicy::from_class(BudgetClass::Interactive)
+            .with_ladder(vec![
+                EvalBudget::default().with_max_steps(1),
+                EvalBudget::default().with_max_steps(2),
+                EvalBudget::unlimited(),
+            ]);
+        let (outcome, report) = eval_with_retry(
+            &program, &edb, &bools, CAP, Strategy::Priority,
+            &opts_with(EvalBudget::default(), None, 2), policy,
+        ).expect("final rung is unbounded");
+        prop_assert!(report.attempts_made() >= 1);
+        let (iout, _) = outcome.converged().expect("bounded");
+        prop_assert_eq!(iout.materialize(), full);
     }
 }
