@@ -1,0 +1,147 @@
+//! Hash-prefix join vs sorted-arrangement merge join
+//! (`dlo_engine::arrange`) on the four join regimes the engine serves:
+//!
+//! * `tc4_labeled` — the arity-4 labeled closure: the recursive probe
+//!   key covers three columns, past the packed-`u64` fast path of the
+//!   hash-prefix indexes, so the hash side pays boxed wide keys — the
+//!   regime `JoinMode::Auto` arranges by default;
+//! * `wide_lookup` — the build-dominated lookup: a large arity-4 fact
+//!   table probed through two prefix-sharing wide masks, which one
+//!   sorted arrangement serves while hashing builds two boxed-key
+//!   indexes over the full table;
+//! * `tc512` — chain transitive closure over Trop: arity-2 packed-key
+//!   joins, the regime where the hash fast path is hard to beat and the
+//!   merge legs measure what forcing arrangements costs;
+//! * `sssp` — single-source shortest path on a random digraph: sparse
+//!   deltas probing a static arity-3 weighted edge relation.
+//!
+//! Ends by printing a hash-vs-merge wall-clock table (min of
+//! `TABLE_REPS` timed runs per cell, separate from the criterion
+//! sampling above it).
+//!
+//! Recorded baseline: `BENCH_arrange.json`, written and gated by the
+//! `arrange_guard` binary (reproduce with `cargo run --release -p
+//! dlo_bench --bin arrange_guard`); this bench is the interactive
+//! profiling surface for the same legs (`CRITERION_SAMPLES=3
+//! CRITERION_JSON=out.jsonl cargo bench -p dlo_bench --bench arrange`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlo_bench::{labeled_tc4, print_table, wide_lookup, GraphInstance};
+use dlo_core::examples_lib::apsp_program;
+use dlo_core::{BoolDatabase, Database, Program};
+use dlo_engine::{engine_eval_with_opts, EngineOpts, JoinMode, Strategy};
+use dlo_pops::Trop;
+use std::time::Instant;
+
+const CAP: usize = 100_000_000;
+const TABLE_REPS: usize = 3;
+
+fn mode_opts(mode: JoinMode) -> EngineOpts {
+    EngineOpts {
+        join_mode: Some(mode),
+        ..EngineOpts::default()
+    }
+}
+
+/// The benched workloads: `(label, program, trop EDB)`. The `wide`
+/// instance is smaller than `arrange_guard`'s recorded one to keep the
+/// criterion sweep interactive.
+fn workloads() -> Vec<(&'static str, Program<Trop>, Database<Trop>)> {
+    let (tc4_prog, tc4_edb) = labeled_tc4(4, 256);
+    let (wide_prog, wide_edb) = wide_lookup(400_000, 10_000, 42);
+    let (sssp_prog, sssp_edb) = GraphInstance::random(2000, 8000, 9, 11).sssp();
+    vec![
+        ("tc4_labeled", tc4_prog, tc4_edb),
+        ("wide_lookup", wide_prog, wide_edb),
+        (
+            "tc512",
+            apsp_program::<Trop>(),
+            GraphInstance::path(512).trop_edb(),
+        ),
+        ("sssp", sssp_prog, sssp_edb),
+    ]
+}
+
+fn bench_arrange(c: &mut Criterion) {
+    dlo_bench::print_host_note();
+    let bools = BoolDatabase::new();
+
+    // Cross-check once on a small sibling: the join mode must not
+    // change the fixpoint (the full matrix lives in the tier-1 tests).
+    let (sprog, sedb) = labeled_tc4(2, 24);
+    let hash = engine_eval_with_opts(
+        &sprog,
+        &sedb,
+        &bools,
+        CAP,
+        Strategy::SemiNaive,
+        &mode_opts(JoinMode::Hash),
+    )
+    .expect("compiles");
+    let merge = engine_eval_with_opts(
+        &sprog,
+        &sedb,
+        &bools,
+        CAP,
+        Strategy::SemiNaive,
+        &mode_opts(JoinMode::Merge),
+    )
+    .expect("compiles");
+    assert_eq!(hash, merge, "join-mode cross-check");
+
+    let workloads = workloads();
+    let mut group = c.benchmark_group("arrange_join");
+    for (label, prog, edb) in &workloads {
+        for (mode, mname) in [(JoinMode::Hash, "hash"), (JoinMode::Merge, "merge")] {
+            let o = mode_opts(mode);
+            group.bench_with_input(BenchmarkId::new(label, mname), &(), |bch, ()| {
+                bch.iter(|| {
+                    engine_eval_with_opts(
+                        std::hint::black_box(prog),
+                        edb,
+                        &bools,
+                        CAP,
+                        Strategy::SemiNaive,
+                        &o,
+                    )
+                    .expect("compiles")
+                })
+            });
+        }
+    }
+    group.finish();
+
+    // The summary table: min of TABLE_REPS per (workload, mode).
+    let timed = |prog: &Program<Trop>, edb: &Database<Trop>, mode: JoinMode| -> f64 {
+        let o = mode_opts(mode);
+        (0..TABLE_REPS)
+            .map(|_| {
+                let t = Instant::now();
+                engine_eval_with_opts(prog, edb, &bools, CAP, Strategy::SemiNaive, &o)
+                    .expect("compiles");
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let rows: Vec<Vec<String>> = workloads
+        .iter()
+        .map(|(label, prog, edb)| {
+            let h = timed(prog, edb, JoinMode::Hash);
+            let m = timed(prog, edb, JoinMode::Merge);
+            vec![
+                label.to_string(),
+                format!("{h:.1}"),
+                format!("{m:.1}"),
+                format!("{:.2}x", h / m),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("hash vs merge join (min of {TABLE_REPS}; speedup > 1 means arranged is faster)"),
+        &["workload", "hash_ms", "merge_ms", "arranged_speedup"],
+        &rows,
+    );
+}
+
+criterion_group!(benches, bench_arrange);
+criterion_main!(benches);

@@ -1,0 +1,277 @@
+//! CI guard for the sorted-arrangement merge-join path (PR 10): runs
+//! the hash-join and merge-join configurations of the semi-naïve
+//! engine head to head on five workloads — chain transitive closure,
+//! single-source shortest path on a random digraph, the head-keyed hop
+//! workload, the arity-4 labeled closure whose three-column probe key
+//! defeats the packed-`u64` hash fast path, and the build-dominated
+//! wide fact lookup whose two prefix-sharing wide masks one
+//! arrangement serves where hashing builds two boxed-key indexes — and
+//! writes the measured comparison to `BENCH_arrange.json` for the
+//! artifact upload.
+//!
+//! Three checks ride along:
+//!
+//! * **bit-identity** (strict everywhere): both join modes must return
+//!   the same database on every workload, and the merge legs must
+//!   actually route probes through arrangements (`merge_join_steps`);
+//! * **arranged speedup** (strict when recording a fresh baseline,
+//!   advisory against a committed one): at least one workload must run
+//!   ≥ 1.3× faster arranged than hashed — the wide-key regime the
+//!   arrangements were built for;
+//! * **regression gate** (strict only when the host matches the
+//!   committed baseline's `host.nproc`, like `robustness_guard`): the
+//!   live merge-join TC leg must stay ≥ 1.0× the baseline's hash-join
+//!   median — the planner auto-arranges arity > 2, so merge losing to
+//!   hash on the arity-4 closure means the default plan regressed.
+//!
+//! Usage (from the repo root, as CI does):
+//!
+//! ```console
+//! $ cargo run --release -p dlo_bench --bin arrange_guard -- \
+//!       [BENCH_arrange.json] [BENCH_arrange.json]
+//! ```
+
+use std::time::Instant;
+
+use dlo_bench::{
+    host_metadata, labeled_tc4, print_host_note, print_table, wide_lookup, GraphInstance,
+};
+use dlo_core::eval::stats::json;
+use dlo_core::examples_lib::apsp_program;
+use dlo_core::{BoolDatabase, Database, Program};
+use dlo_engine::{engine_eval_with_opts, EngineOpts, JoinMode, Strategy};
+use dlo_pops::Trop;
+
+/// The leg the regression gate compares against the committed baseline.
+const GATE_ID: &str = "arrange_tc4/labeled_trop/seminaive";
+
+/// Timed runs per (workload, mode); the median is recorded and the
+/// best is gated (min-of-N absorbs scheduler noise on a shared runner).
+const RUNS: usize = 3;
+
+const CAP: usize = 100_000_000;
+
+/// Required arranged speedup on at least one workload when recording.
+const SPEEDUP_FLOOR: f64 = 1.3;
+
+fn mode_opts(mode: JoinMode) -> EngineOpts {
+    EngineOpts {
+        join_mode: Some(mode),
+        ..EngineOpts::default()
+    }
+}
+
+/// One measured workload: per-mode wall-clock samples (ns).
+struct Leg {
+    id: &'static str,
+    hash_ns: Vec<u64>,
+    merge_ns: Vec<u64>,
+}
+
+impl Leg {
+    fn hash_median(&self) -> u64 {
+        median(&self.hash_ns)
+    }
+    fn merge_median(&self) -> u64 {
+        median(&self.merge_ns)
+    }
+    fn merge_best(&self) -> u64 {
+        *self.merge_ns.iter().min().expect("RUNS > 0")
+    }
+    /// Hash-median over merge-median: > 1 means arranged is faster.
+    fn speedup(&self) -> f64 {
+        self.hash_median() as f64 / self.merge_median() as f64
+    }
+}
+
+fn median(samples: &[u64]) -> u64 {
+    let mut s = samples.to_vec();
+    s.sort_unstable();
+    s[s.len() / 2]
+}
+
+/// Times `RUNS` runs per join mode and cross-checks bit-identity and
+/// the probe-routing counters between the modes.
+fn measure(id: &'static str, program: &Program<Trop>, edb: &Database<Trop>) -> Leg {
+    let bools = BoolDatabase::new();
+    let timed = |mode: JoinMode| -> (Vec<u64>, Database<Trop>, u64, u64) {
+        let o = mode_opts(mode);
+        let mut samples = vec![];
+        let mut kept = None;
+        for _ in 0..RUNS {
+            let t = Instant::now();
+            let out = engine_eval_with_opts(program, edb, &bools, CAP, Strategy::SemiNaive, &o)
+                .expect("compiles");
+            samples.push(t.elapsed().as_nanos() as u64);
+            assert!(out.is_converged(), "{id}: {mode:?} leg converges");
+            let c = &out.stats().counters;
+            kept = Some((c.merge_join_steps, c.hash_join_steps, out));
+        }
+        let (merge_steps, hash_steps, out) = kept.expect("RUNS > 0");
+        (samples, out.unwrap(), merge_steps, hash_steps)
+    };
+    let (hash_ns, hash_db, h_merge, _) = timed(JoinMode::Hash);
+    let (merge_ns, merge_db, m_merge, m_hash) = timed(JoinMode::Merge);
+    assert_eq!(
+        hash_db, merge_db,
+        "{id}: join mode changed the fixpoint — merge join is broken"
+    );
+    assert_eq!(h_merge, 0, "{id}: forced hash must not probe arrangements");
+    assert_eq!(m_hash, 0, "{id}: forced merge must not hash-probe");
+    assert!(
+        m_merge > 0,
+        "{id}: forced merge routed no probes through arrangements"
+    );
+    Leg {
+        id,
+        hash_ns,
+        merge_ns,
+    }
+}
+
+fn main() {
+    print_host_note();
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args.next().unwrap_or_else(|| "BENCH_arrange.json".into());
+    let out_path = args.next().unwrap_or_else(|| "BENCH_arrange.json".into());
+
+    // --- committed baseline (absent on a fresh record) ----------------------
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .map(|text| json::parse(&text).expect("baseline JSON parses"));
+    let recording = baseline.is_none();
+
+    // --- the five workloads -------------------------------------------------
+    let (tc4_prog, tc4_edb) = labeled_tc4(4, 256);
+    let (wide_prog, wide_edb) = wide_lookup(1_000_000, 20_000, 42);
+    let tc_prog = apsp_program::<Trop>();
+    let tc_edb = GraphInstance::path(512).trop_edb();
+    let (sssp_prog, sssp_edb) = GraphInstance::random(2000, 8000, 9, 11).sssp();
+    let (hops_prog, hops_edb) = GraphInstance::random(1200, 7200, 9, 7).hops(12);
+    let legs = [
+        measure(GATE_ID, &tc4_prog, &tc4_edb),
+        measure("arrange_lookup/wide_trop/seminaive", &wide_prog, &wide_edb),
+        measure("arrange_tc512/chain_trop/seminaive", &tc_prog, &tc_edb),
+        measure("arrange_sssp/random_trop/seminaive", &sssp_prog, &sssp_edb),
+        measure("arrange_hops/keyed_trop/seminaive", &hops_prog, &hops_edb),
+    ];
+
+    let rows: Vec<Vec<String>> = legs
+        .iter()
+        .map(|leg| {
+            vec![
+                leg.id.to_string(),
+                format!("{:.1}", leg.hash_median() as f64 / 1e6),
+                format!("{:.1}", leg.merge_median() as f64 / 1e6),
+                format!("{:.2}x", leg.speedup()),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("hash vs merge join (median of {RUNS}; speedup > 1 means arranged is faster)"),
+        &["workload", "hash_ms", "merge_ms", "arranged_speedup"],
+        &rows,
+    );
+
+    // --- arranged-speedup floor ---------------------------------------------
+    let best_speedup = legs
+        .iter()
+        .map(Leg::speedup)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if best_speedup >= SPEEDUP_FLOOR {
+        println!("arranged speedup floor met: best {best_speedup:.2}x >= {SPEEDUP_FLOOR}x");
+    } else if recording {
+        eprintln!(
+            "FAIL: no workload reached the {SPEEDUP_FLOOR}x arranged speedup floor \
+             (best {best_speedup:.2}x) while recording a fresh baseline"
+        );
+        std::process::exit(1);
+    } else {
+        println!(
+            "advisory only: best arranged speedup {best_speedup:.2}x below the \
+             {SPEEDUP_FLOOR}x recording floor on this host"
+        );
+    }
+
+    // --- record -------------------------------------------------------------
+    let (nproc, knob) = host_metadata();
+    let result_rows: Vec<String> = legs
+        .iter()
+        .map(|leg| {
+            format!(
+                "    {{\n      \"id\": \"{}\",\n      \"hash_median_ns\": {},\n      \
+                 \"merge_median_ns\": {},\n      \"arranged_speedup\": {:.4},\n      \
+                 \"samples\": {RUNS}\n    }}",
+                leg.id,
+                leg.hash_median(),
+                leg.merge_median(),
+                leg.speedup(),
+            )
+        })
+        .collect();
+    let report = format!(
+        "{{\n  \"description\": \"Forced hash-join vs forced merge-join wall-clock for the \
+         dlo_engine semi-naive driver (median of {RUNS}) on: the arity-4 labeled closure \
+         (three-column probe key, past the packed-u64 hash fast path — the regime the planner \
+         auto-arranges), the build-dominated wide fact lookup (1M-row arity-4 table, two \
+         prefix-sharing wide probe masks served by one arrangement vs two boxed-key hash \
+         indexes), 512-node chain transitive closure, single-source shortest path on a \
+         random 2000-node digraph, and the head-keyed hop workload. Both modes are asserted \
+         bit-identical per workload before timing is reported. The gate holds the live \
+         merge-join {GATE_ID} leg at >= 1.0x the committed hash-join median on the baseline \
+         host class. Reproduce with: cargo run --release -p dlo_bench --bin \
+         arrange_guard.\",\n  \
+         \"host\": {{\n    \"nproc\": {nproc},\n    \"dlo_engine_threads\": \"{knob}\"\n  }},\n  \
+         \"gate_id\": \"{GATE_ID}\",\n  \
+         \"best_arranged_speedup\": {best_speedup:.4},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        result_rows.join(",\n"),
+    );
+    json::parse(&report).expect("report round-trips through the in-tree parser");
+    std::fs::write(&out_path, &report).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    // --- regression gate ----------------------------------------------------
+    let Some(baseline) = baseline else {
+        println!("no committed baseline at {baseline_path}: recorded fresh, gate skipped");
+        return;
+    };
+    let baseline_nproc = baseline
+        .get("host")
+        .and_then(|h| h.get("nproc"))
+        .and_then(|n| n.as_u64())
+        .expect("baseline records host.nproc");
+    let hash_median_ns = baseline
+        .get("results")
+        .and_then(|r| r.as_arr())
+        .and_then(|rows| {
+            rows.iter()
+                .find(|row| row.get("id").and_then(|i| i.as_str()) == Some(GATE_ID))
+        })
+        .and_then(|row| row.get("hash_median_ns"))
+        .and_then(|n| n.as_f64())
+        .unwrap_or_else(|| panic!("baseline lacks a hash median for {GATE_ID}"));
+    let gate_leg = &legs[0];
+    let ratio = hash_median_ns / gate_leg.merge_best() as f64;
+    println!(
+        "{GATE_ID} gate: live merge best-of-{RUNS} {:.1}ms vs baseline hash median {:.1}ms \
+         (x{ratio:.3}, floor x1.0)",
+        gate_leg.merge_best() as f64 / 1e6,
+        hash_median_ns / 1e6,
+    );
+    let strict = nproc as u64 == baseline_nproc;
+    if ratio >= 1.0 {
+        println!("merge-join TC holds the baseline envelope");
+    } else if strict {
+        eprintln!(
+            "FAIL: merge-join {GATE_ID} fell below the committed hash-join median on the \
+             baseline's host class (nproc={nproc})"
+        );
+        std::process::exit(1);
+    } else {
+        println!(
+            "advisory only: host nproc={nproc} differs from baseline nproc={baseline_nproc}, \
+             not failing"
+        );
+    }
+}

@@ -301,6 +301,138 @@ pub fn bom_forest_root(t: usize) -> Constant {
     Constant::Int((t * 1_000_000) as i64)
 }
 
+/// The arity-4 **wide fact lookup** workload: a large random fact
+/// table `F(A, B, C, D)` probed by two rules through two wide masks —
+///
+/// ```text
+/// Out1(A, D) :- S(A, B, C)     * F(A, B, C, D).   // probe {A, B, C}
+/// Out2(A)    :- S4(A, B, C, D) * F(A, B, C, D).   // probe {A, B, C, D}
+/// ```
+///
+/// Both probe keys are ≥ 3 columns (past the packed-`u64` hash fast
+/// path), and the two masks share a prefix order: one sorted
+/// arrangement of `F` serves both, where the hash path must build two
+/// boxed-wide-key indexes over the full table. `S` holds `probes`
+/// known-present `(A, B, C)` triples and `S4` a sample of full rows, so
+/// evaluation is a handful of probes against a build-dominated index —
+/// the regime where arrangement construction cost decides wall-clock.
+pub fn wide_lookup(
+    rows: usize,
+    probes: usize,
+    seed: u64,
+) -> (dlo_core::Program<Trop>, Database<Trop>) {
+    use dlo_core::ast::{Atom, Factor, Program, SumProduct, Term};
+    let mut p = Program::new();
+    p.rule(
+        Atom::new("Out1", vec![Term::v(0), Term::v(3)]),
+        vec![SumProduct::new(vec![
+            Factor::atom("S", vec![Term::v(0), Term::v(1), Term::v(2)]),
+            Factor::atom("F", vec![Term::v(0), Term::v(1), Term::v(2), Term::v(3)]),
+        ])],
+    );
+    p.rule(
+        Atom::new("Out2", vec![Term::v(0)]),
+        vec![SumProduct::new(vec![
+            Factor::atom("S4", vec![Term::v(0), Term::v(1), Term::v(2), Term::v(3)]),
+            Factor::atom("F", vec![Term::v(0), Term::v(1), Term::v(2), Term::v(3)]),
+        ])],
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::BTreeSet::new();
+    let mut facts: Vec<(Tuple, Trop)> = Vec::with_capacity(rows);
+    let domain = (rows as f64).cbrt() as i64 * 2 + 2;
+    while facts.len() < rows {
+        let (a, b, c) = (
+            rng.gen_range(0..domain),
+            rng.gen_range(0..domain),
+            rng.gen_range(0..domain),
+        );
+        if !seen.insert((a, b, c)) {
+            continue;
+        }
+        let d = rng.gen_range(0..domain);
+        facts.push((
+            vec![
+                Constant::Int(a),
+                Constant::Int(b),
+                Constant::Int(c),
+                Constant::Int(d),
+            ],
+            Trop::finite(rng.gen_range(1..=9) as f64),
+        ));
+    }
+    let s_rows: Vec<(Tuple, Trop)> = facts
+        .iter()
+        .take(probes)
+        .map(|(t, _)| (t[..3].to_vec(), Trop::finite(1.0)))
+        .collect();
+    let s4_rows: Vec<(Tuple, Trop)> = facts
+        .iter()
+        .step_by((rows / probes).max(1))
+        .take(probes)
+        .map(|(t, _)| (t.clone(), Trop::finite(1.0)))
+        .collect();
+    let mut db = Database::new();
+    db.insert("F", Relation::from_pairs(4, facts));
+    db.insert("S", Relation::from_pairs(3, s_rows));
+    db.insert("S4", Relation::from_pairs(4, s4_rows));
+    (p, db)
+}
+
+/// The arity-4 **labeled closure** workload: edges carry a two-column
+/// label `(class, tier)`, and paths compose only within one label —
+///
+/// ```text
+/// R(X, Y, A, B) :- E4(X, Y, A, B) + R(X, Z, A, B) * E4(Z, Y, A, B).
+/// ```
+///
+/// so the fixpoint is a per-label transitive closure. The probed
+/// relation (`E4`) has arity 4 and the recursive join's probe covers
+/// three columns `(Z, A, B)` — past the packed-`u64` fast path of the
+/// hash-prefix indexes (≥ 3 key columns fall back to boxed wide keys),
+/// which is exactly the regime the sorted arrangements exist for. The
+/// instance is `classes²` disjoint unit chains of `chain` nodes, one
+/// per label pair, with node ids disjoint across labels.
+pub fn labeled_tc4(classes: usize, chain: usize) -> (dlo_core::Program<Trop>, Database<Trop>) {
+    use dlo_core::ast::{Atom, Factor, Program, SumProduct, Term};
+    let mut p = Program::new();
+    p.rule(
+        Atom::new("R", vec![Term::v(0), Term::v(1), Term::v(2), Term::v(3)]),
+        vec![
+            SumProduct::new(vec![Factor::atom(
+                "E4",
+                vec![Term::v(0), Term::v(1), Term::v(2), Term::v(3)],
+            )]),
+            SumProduct::new(vec![
+                Factor::atom("R", vec![Term::v(0), Term::v(4), Term::v(2), Term::v(3)]),
+                Factor::atom("E4", vec![Term::v(4), Term::v(1), Term::v(2), Term::v(3)]),
+            ]),
+        ],
+    );
+    let mut rows: Vec<(Tuple, Trop)> = vec![];
+    let mut id = 0i64;
+    for a in 0..classes {
+        for b in 0..classes {
+            let base = id;
+            id += chain as i64;
+            for i in 0..chain as i64 - 1 {
+                rows.push((
+                    vec![
+                        Constant::Int(base + i),
+                        Constant::Int(base + i + 1),
+                        Constant::Int(a as i64),
+                        Constant::Int(b as i64),
+                    ],
+                    Trop::finite(1.0),
+                ));
+            }
+        }
+    }
+    let mut db = Database::new();
+    db.insert("E4", Relation::from_pairs(4, rows));
+    (p, db)
+}
+
 /// Prints the host line every bench emits — `nproc`, the thread knob,
 /// and (on one core) the multi-core caveat the committed `BENCH_*.json`
 /// baselines carry in their metadata: parallel legs on a single-core

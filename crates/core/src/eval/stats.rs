@@ -43,8 +43,22 @@ pub struct Counters {
     /// Emissions whose head contained a computed cell outside the
     /// interned domain (routed to the fresh accumulator for minting).
     pub fresh_emits: u64,
-    /// Hash-prefix index probes issued by join steps.
+    /// Index probes issued by join steps (hash-prefix lookups plus
+    /// sorted-arrangement searches — the sum is join-mode-invariant).
     pub index_probes: u64,
+    /// Probes served by a sorted arrangement (merge-join path). The
+    /// merge/hash split depends on the configured join mode, so
+    /// [`EvalStats::invariants`] zeroes it; within one mode it is
+    /// thread-invariant.
+    pub merge_join_steps: u64,
+    /// Probes served by a hash-prefix index (hash-join path). Mode-
+    /// dependent like [`Counters::merge_join_steps`];
+    /// `merge_join_steps + hash_join_steps = index_probes` always.
+    pub hash_join_steps: u64,
+    /// Arrangement spine batches folded by size-tiered merging while
+    /// appends maintained sorted runs. Mode-dependent (0 under hash
+    /// joins), thread-invariant within a mode.
+    pub arrange_batches_merged: u64,
     /// Candidate tuples scanned: full-scan range lengths plus probe
     /// posting-list lengths, before per-row checks.
     pub tuples_scanned: u64,
@@ -75,6 +89,9 @@ impl Counters {
         self.emits += other.emits;
         self.fresh_emits += other.fresh_emits;
         self.index_probes += other.index_probes;
+        self.merge_join_steps += other.merge_join_steps;
+        self.hash_join_steps += other.hash_join_steps;
+        self.arrange_batches_merged += other.arrange_batches_merged;
         self.tuples_scanned += other.tuples_scanned;
         self.rows_inserted += other.rows_inserted;
         self.rows_improved += other.rows_improved;
@@ -93,6 +110,9 @@ impl Counters {
             emits: self.emits - earlier.emits,
             fresh_emits: self.fresh_emits - earlier.fresh_emits,
             index_probes: self.index_probes - earlier.index_probes,
+            merge_join_steps: self.merge_join_steps - earlier.merge_join_steps,
+            hash_join_steps: self.hash_join_steps - earlier.hash_join_steps,
+            arrange_batches_merged: self.arrange_batches_merged - earlier.arrange_batches_merged,
             tuples_scanned: self.tuples_scanned - earlier.tuples_scanned,
             rows_inserted: self.rows_inserted - earlier.rows_inserted,
             rows_improved: self.rows_improved - earlier.rows_improved,
@@ -114,6 +134,11 @@ pub struct PhaseNanos {
     pub setup: u64,
     /// EDB hash-prefix index builds.
     pub edb_index: u64,
+    /// Sorted-arrangement builds and co-located index ensures (the
+    /// merge-join analogue of `edb_index`; spine merges riding row
+    /// appends are counted by
+    /// [`Counters::arrange_batches_merged`], not timed separately).
+    pub arrange: u64,
     /// The fixpoint loop itself (joins + merges).
     pub eval: u64,
     /// Between-iteration minting of fresh head keys.
@@ -125,7 +150,7 @@ pub struct PhaseNanos {
 impl PhaseNanos {
     /// Sum of all phases, in nanoseconds.
     pub fn total(&self) -> u64 {
-        self.setup + self.edb_index + self.eval + self.mint + self.decode
+        self.setup + self.edb_index + self.arrange + self.eval + self.mint + self.decode
     }
 }
 
@@ -165,6 +190,12 @@ pub struct RuleProfile {
     pub label: String,
     /// Plan family: `"seed"`, `"delta"`, or `"worklist"`.
     pub kind: String,
+    /// Join strategy the active join mode resolves this plan to:
+    /// `"merge"` (every probing step arranged), `"hash"` (every
+    /// probing step hash-indexed), `"mixed"`, or `"scan"` (no probing
+    /// steps). Mode-dependent — zeroed (emptied) by
+    /// [`EvalStats::invariants`].
+    pub join: String,
     /// Emissions this plan produced.
     pub emits: u64,
     /// Fresh-cell emissions this plan produced.
@@ -218,19 +249,27 @@ pub struct EvalStats {
 }
 
 impl EvalStats {
-    /// The thread-invariant projection: a copy with every
-    /// environmental field (timers, thread count, fan-out counts,
-    /// per-rule times) zeroed. Two runs of the same program at
-    /// different `DLO_ENGINE_THREADS` produce **equal** projections;
-    /// the determinism tests assert exactly that.
+    /// The invariant projection: a copy with every environmental field
+    /// (timers, thread count, fan-out counts, per-rule times) zeroed,
+    /// **and** every join-strategy attribution field zeroed — the
+    /// merge/hash split of `index_probes`, the spine-merge count, and
+    /// the per-rule `join` tag depend on the configured join mode the
+    /// way timers depend on the host, not on the program. Two runs of
+    /// the same program at different `DLO_ENGINE_THREADS` *or*
+    /// different join modes produce **equal** projections; the
+    /// determinism tests assert exactly that.
     pub fn invariants(&self) -> EvalStats {
         let mut inv = self.clone();
         inv.threads = 0;
         inv.tasks_spawned = 0;
         inv.parallel_batches = 0;
         inv.phases = PhaseNanos::default();
+        inv.counters.merge_join_steps = 0;
+        inv.counters.hash_join_steps = 0;
+        inv.counters.arrange_batches_merged = 0;
         for r in &mut inv.rules {
             r.time_ns = 0;
+            r.join.clear();
         }
         inv
     }
@@ -260,9 +299,11 @@ impl EvalStats {
         let p = &self.phases;
         let _ = writeln!(
             s,
-            "phases (ms): setup {:.3} | edb index {:.3} | eval {:.3} | mint {:.3} | decode {:.3}",
+            "phases (ms): setup {:.3} | edb index {:.3} | arrange {:.3} | eval {:.3} | \
+             mint {:.3} | decode {:.3}",
             ms(p.setup),
             ms(p.edb_index),
+            ms(p.arrange),
             ms(p.eval),
             ms(p.mint),
             ms(p.decode)
@@ -270,18 +311,22 @@ impl EvalStats {
         let c = &self.counters;
         let _ = writeln!(
             s,
-            "totals: delta rows {} | emits {} (fresh {}) | probes {} | scanned {} | \
-             inserted {} | improved {} | absorbed {} | sv-shortcircuits {} | minted {}",
+            "totals: delta rows {} | emits {} (fresh {}) | probes {} (merge {} / hash {}) | \
+             scanned {} | inserted {} | improved {} | absorbed {} | sv-shortcircuits {} | \
+             minted {} | batches merged {}",
             c.delta_rows,
             c.emits,
             c.fresh_emits,
             c.index_probes,
+            c.merge_join_steps,
+            c.hash_join_steps,
             c.tuples_scanned,
             c.rows_inserted,
             c.rows_improved,
             c.merges_absorbed,
             c.set_valued_shortcircuits,
-            c.minted_ids
+            c.minted_ids,
+            c.arrange_batches_merged
         );
         if self.tasks_spawned > 0 {
             let _ = writeln!(
@@ -303,10 +348,12 @@ impl EvalStats {
                 let r = &self.rules[i];
                 let _ = writeln!(
                     s,
-                    "  [{:<8}] r{}  {:<40}  emits {:<10} probes {:<10} scanned {:<12} time {:.3}ms",
+                    "  [{:<8}] r{}  {:<40}  join {:<5} emits {:<10} probes {:<10} \
+                     scanned {:<12} time {:.3}ms",
                     r.kind,
                     r.rule,
                     r.label,
+                    if r.join.is_empty() { "-" } else { &r.join },
                     r.emits,
                     r.probes,
                     r.scanned,
@@ -332,6 +379,7 @@ impl EvalStats {
         w.obj_open();
         w.u64_field("setup_ns", self.phases.setup);
         w.u64_field("edb_index_ns", self.phases.edb_index);
+        w.u64_field("arrange_ns", self.phases.arrange);
         w.u64_field("eval_ns", self.phases.eval);
         w.u64_field("mint_ns", self.phases.mint);
         w.u64_field("decode_ns", self.phases.decode);
@@ -350,6 +398,7 @@ impl EvalStats {
             w.u64_field("rule", r.rule);
             w.str_field("label", &r.label);
             w.str_field("kind", &r.kind);
+            w.str_field("join", &r.join);
             w.u64_field("emits", r.emits);
             w.u64_field("fresh_emits", r.fresh_emits);
             w.u64_field("probes", r.probes);
@@ -369,6 +418,9 @@ fn write_counters(w: &mut json::Writer, c: &Counters) {
     w.u64_field("emits", c.emits);
     w.u64_field("fresh_emits", c.fresh_emits);
     w.u64_field("index_probes", c.index_probes);
+    w.u64_field("merge_join_steps", c.merge_join_steps);
+    w.u64_field("hash_join_steps", c.hash_join_steps);
+    w.u64_field("arrange_batches_merged", c.arrange_batches_merged);
     w.u64_field("tuples_scanned", c.tuples_scanned);
     w.u64_field("rows_inserted", c.rows_inserted);
     w.u64_field("rows_improved", c.rows_improved);

@@ -1,0 +1,406 @@
+//! Immutable sorted columnar runs with an LSM-style spine.
+//!
+//! An [`Arrangement`] is the sorted counterpart of a hash-prefix index:
+//! the relation's rows re-ordered by a **column permutation** that puts
+//! the probe columns first (ascending), so a bound-prefix probe becomes
+//! two binary searches over a contiguous `u32` run instead of a hash
+//! lookup through boxed keys. Rows live in immutable [`ArrangeBatch`]es
+//! behind `Arc`s, organized as a small spine:
+//!
+//! * **Appends are cheap.** A new row becomes a size-1 batch; batches
+//!   are merged size-tiered (merge while the newest batch has grown at
+//!   least as large as its predecessor), so `n` appends cost `O(n log
+//!   n)` total and the spine stays `O(log n)` deep — the classic
+//!   Bentley–Saxe / LSM amortization, and the shape of the
+//!   differential-dataflow spine the ROADMAP cites.
+//! * **Snapshots are free.** Cloning an arrangement clones `Arc`s, not
+//!   row data: a `Materialization` epoch can hand readers a frozen
+//!   spine while the writer keeps appending fresh batches on its own
+//!   clone.
+//! * **Probes stay deterministic.** A probe collects matching row ids
+//!   from every batch and sorts them ascending — exactly the order the
+//!   hash path's incrementally-maintained posting lists produce — so
+//!   merge-mode and hash-mode evaluation emit in the same sequence and
+//!   stay bit-identical even on POPS with non-associative `⊕` (f64).
+//!
+//! Values are *not* copied into batches: probes return row ids into the
+//! owning [`ColumnRel`](crate::storage::ColumnRel)'s flat storage, the
+//! same contract as hash probes. Only permuted key copies are
+//! materialized, which is what the binary search touches.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use crate::storage::ColMask;
+
+/// The sort order induced by a probe mask: the bound columns ascending,
+/// then the remaining columns ascending. Because bound columns come
+/// first in ascending column order, the probe key (assembled ascending
+/// by the executor) is directly comparable to a batch-key prefix, and
+/// one arrangement serves every mask whose ascending column list is a
+/// prefix of the permutation (`{c0}` rides on `{c0, c1}`'s order).
+pub fn perm_for(arity: usize, mask: ColMask) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..arity as u32).filter(|c| mask & (1 << c) != 0).collect();
+    perm.extend((0..arity as u32).filter(|c| mask & (1 << c) == 0));
+    perm
+}
+
+/// One immutable sorted run: row ids plus permuted key copies, ordered
+/// lexicographically by permuted key (ties broken by row id, which can
+/// only matter transiently — a relation never stores duplicate keys).
+#[derive(Debug)]
+pub struct ArrangeBatch {
+    /// Row ids into the owning relation, parallel to `keys`.
+    rows: Vec<u32>,
+    /// Flat row-major permuted key copies: `rows.len() * arity` words.
+    keys: Vec<u32>,
+}
+
+impl ArrangeBatch {
+    /// Number of rows in this run.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the run is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Compares row `i`'s leading columns to `key` column by column —
+    /// hand-rolled rather than slice `cmp` because probe keys are 1–3
+    /// words and this sits inside every binary-search step of every
+    /// probe.
+    #[inline]
+    fn prefix_cmp(&self, arity: usize, i: usize, key: &[u32]) -> Ordering {
+        let base = i * arity;
+        for (j, k) in key.iter().enumerate() {
+            match self.keys[base + j].cmp(k) {
+                Ordering::Equal => {}
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// First position whose key prefix is `≥ key`.
+    fn lower_bound(&self, arity: usize, key: &[u32]) -> usize {
+        let (mut lo, mut hi) = (0, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.prefix_cmp(arity, mid, key) == Ordering::Less {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// First position past `from` whose key prefix is `> key`. Join
+    /// fan-outs are usually tiny, so this gallops: a short linear scan
+    /// from `from` (already positioned by [`Self::lower_bound`]) covers
+    /// the common case in O(match) instead of another O(log n) search,
+    /// with a binary-search fallback for long runs.
+    fn upper_bound(&self, arity: usize, key: &[u32], from: usize) -> usize {
+        const LINEAR: usize = 8;
+        let mut i = from;
+        let stop = (from + LINEAR).min(self.len());
+        while i < stop {
+            if self.prefix_cmp(arity, i, key) != Ordering::Equal {
+                return i;
+            }
+            i += 1;
+        }
+        let (mut lo, mut hi) = (i, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.prefix_cmp(arity, mid, key) == Ordering::Greater {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+}
+
+/// A relation's rows sorted by one column permutation, held as a spine
+/// of immutable batches. Cloning shares the batches (`Arc`), not the
+/// row data.
+#[derive(Clone, Debug)]
+pub struct Arrangement {
+    arity: usize,
+    perm: Vec<u32>,
+    spine: Vec<Arc<ArrangeBatch>>,
+}
+
+impl Arrangement {
+    /// An empty arrangement ordered for probes through `mask`.
+    pub fn new(arity: usize, mask: ColMask) -> Self {
+        assert!(arity > 0, "arrangements require arity ≥ 1");
+        Arrangement {
+            arity,
+            perm: perm_for(arity, mask),
+            spine: Vec::new(),
+        }
+    }
+
+    /// Whether probes through `mask` can run against this sort order:
+    /// true iff the mask's columns, ascending, are exactly the leading
+    /// columns of the permutation.
+    pub fn serves(&self, mask: ColMask) -> bool {
+        let w = mask.count_ones() as usize;
+        if w == 0 || w > self.arity {
+            return false;
+        }
+        let mut j = 0;
+        for c in 0..self.arity as u32 {
+            if mask & (1 << c) != 0 {
+                if self.perm.get(j) != Some(&c) {
+                    return false;
+                }
+                j += 1;
+            }
+        }
+        j == w
+    }
+
+    /// Total rows across the spine.
+    pub fn len(&self) -> usize {
+        self.spine.iter().map(|b| b.len()).sum()
+    }
+
+    /// Whether no rows are arranged.
+    pub fn is_empty(&self) -> bool {
+        self.spine.iter().all(|b| b.is_empty())
+    }
+
+    /// The spine's batches, newest last (exposed so tests can pin the
+    /// copy-on-write contract via `Arc::ptr_eq`).
+    pub fn batches(&self) -> &[Arc<ArrangeBatch>] {
+        &self.spine
+    }
+
+    /// Drops every batch while keeping the sort order registered, so a
+    /// cleared relation keeps maintaining the arrangement on refill.
+    pub fn clear(&mut self) {
+        self.spine.clear();
+    }
+
+    /// Replaces the spine with one batch holding every row of `keys`
+    /// (flat row-major, `keys.len() / arity` rows) in sort order — the
+    /// bulk path [`ensure_arranged`](crate::storage::ColumnRel::ensure_arranged)
+    /// uses when an arrangement is first requested on a populated
+    /// relation: one sort instead of `n` tiered merges.
+    pub fn seed(&mut self, keys: &[u32]) {
+        let arity = self.arity;
+        let n = keys.len() / arity;
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        let perm = &self.perm;
+        idx.sort_unstable_by(|&a, &b| {
+            let ra = &keys[a as usize * arity..(a as usize + 1) * arity];
+            let rb = &keys[b as usize * arity..(b as usize + 1) * arity];
+            for &c in perm {
+                match ra[c as usize].cmp(&rb[c as usize]) {
+                    Ordering::Equal => continue,
+                    o => return o,
+                }
+            }
+            a.cmp(&b)
+        });
+        let mut flat = Vec::with_capacity(n * arity);
+        for &r in &idx {
+            let row = &keys[r as usize * arity..(r as usize + 1) * arity];
+            for &c in perm {
+                flat.push(row[c as usize]);
+            }
+        }
+        self.spine = vec![Arc::new(ArrangeBatch {
+            rows: idx,
+            keys: flat,
+        })];
+    }
+
+    /// Appends one row as a size-1 batch, then merges size-tiered.
+    /// Returns the number of batch merges performed (telemetry:
+    /// `arrange_batches_merged`).
+    pub fn push(&mut self, row: &[u32], rowid: u32) -> u64 {
+        debug_assert_eq!(row.len(), self.arity);
+        let keys: Vec<u32> = self.perm.iter().map(|&c| row[c as usize]).collect();
+        self.spine.push(Arc::new(ArrangeBatch {
+            rows: vec![rowid],
+            keys,
+        }));
+        let mut merges = 0;
+        while self.spine.len() >= 2 {
+            let n = self.spine.len();
+            if self.spine[n - 1].len() < self.spine[n - 2].len() {
+                break;
+            }
+            let b = self.spine.pop().expect("spine len ≥ 2");
+            let a = self.spine.pop().expect("spine len ≥ 2");
+            self.spine.push(Arc::new(self.merge(&a, &b)));
+            merges += 1;
+        }
+        merges
+    }
+
+    fn merge(&self, a: &ArrangeBatch, b: &ArrangeBatch) -> ArrangeBatch {
+        let arity = self.arity;
+        let mut rows = Vec::with_capacity(a.len() + b.len());
+        let mut keys = Vec::with_capacity((a.len() + b.len()) * arity);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            let ka = &a.keys[i * arity..(i + 1) * arity];
+            let kb = &b.keys[j * arity..(j + 1) * arity];
+            let take_a = match ka.cmp(kb) {
+                Ordering::Less => true,
+                Ordering::Greater => false,
+                Ordering::Equal => a.rows[i] <= b.rows[j],
+            };
+            if take_a {
+                rows.push(a.rows[i]);
+                keys.extend_from_slice(ka);
+                i += 1;
+            } else {
+                rows.push(b.rows[j]);
+                keys.extend_from_slice(kb);
+                j += 1;
+            }
+        }
+        while i < a.len() {
+            rows.push(a.rows[i]);
+            keys.extend_from_slice(&a.keys[i * arity..(i + 1) * arity]);
+            i += 1;
+        }
+        while j < b.len() {
+            rows.push(b.rows[j]);
+            keys.extend_from_slice(&b.keys[j * arity..(j + 1) * arity]);
+            j += 1;
+        }
+        ArrangeBatch { rows, keys }
+    }
+
+    /// Collects into `out` the row ids whose leading `key.len()`
+    /// permuted columns equal `key` — two binary searches per batch.
+    /// `out` is *not* cleared and *not* sorted here; the caller sorts
+    /// once after collecting across batches (see
+    /// [`probe_arranged`](crate::storage::ColumnRel::probe_arranged)).
+    pub fn probe_into(&self, key: &[u32], out: &mut Vec<u32>) {
+        debug_assert!(!key.is_empty() && key.len() <= self.arity);
+        for batch in &self.spine {
+            let lo = batch.lower_bound(self.arity, key);
+            let hi = batch.upper_bound(self.arity, key, lo);
+            out.extend_from_slice(&batch.rows[lo..hi]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(arr: &Arrangement, key: &[u32]) -> Vec<u32> {
+        let mut out = Vec::new();
+        arr.probe_into(key, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn perm_puts_bound_columns_first_ascending() {
+        assert_eq!(perm_for(3, 0b100), vec![2, 0, 1]);
+        assert_eq!(perm_for(4, 0b0101), vec![0, 2, 1, 3]);
+        assert_eq!(perm_for(2, 0b11), vec![0, 1]);
+    }
+
+    #[test]
+    fn seeded_arrangement_answers_prefix_probes() {
+        // Rows of arity 3, probed on column 1 (mask 0b010).
+        let rows: Vec<u32> = vec![
+            5, 7, 1, // r0
+            2, 7, 9, // r1
+            4, 3, 0, // r2
+            5, 7, 0, // r3
+        ];
+        let mut arr = Arrangement::new(3, 0b010);
+        arr.seed(&rows);
+        assert_eq!(arr.len(), 4);
+        assert_eq!(arr.batches().len(), 1);
+        assert_eq!(probe(&arr, &[7]), vec![0, 1, 3]);
+        assert_eq!(probe(&arr, &[3]), vec![2]);
+        assert_eq!(probe(&arr, &[8]), Vec::<u32>::new());
+        // Two-column probe rides the same order: perm = [1, 0, 2], so
+        // mask {1} is its own prefix but {0,1} is not ({0,1} ascending
+        // = [0,1] ≠ perm prefix [1,0]).
+        assert!(arr.serves(0b010));
+        assert!(!arr.serves(0b011));
+        assert!(!arr.serves(0b001));
+    }
+
+    #[test]
+    fn prefix_masks_share_one_sort_order() {
+        // mask {0, 2} on arity 3 → perm [0, 2, 1]; mask {0} is a prefix.
+        let arr = Arrangement::new(3, 0b101);
+        assert!(arr.serves(0b101));
+        assert!(arr.serves(0b001));
+        assert!(!arr.serves(0b100)); // [2] ≠ leading [0]
+        assert!(!arr.serves(0b111)); // [0,1,2] ≠ [0,2,1]
+    }
+
+    #[test]
+    fn appends_tier_merge_and_probe_across_batches() {
+        let mut arr = Arrangement::new(2, 0b01);
+        let mut merges = 0;
+        // 8 appends: sizes collapse 1,1→2, …; counters add up.
+        for r in 0..8u32 {
+            merges += arr.push(&[r % 3, r], r);
+        }
+        assert_eq!(arr.len(), 8);
+        assert!(merges > 0);
+        assert!(arr.batches().len() <= 4, "spine stays logarithmic");
+        assert_eq!(probe(&arr, &[0]), vec![0, 3, 6]);
+        assert_eq!(probe(&arr, &[1]), vec![1, 4, 7]);
+        assert_eq!(probe(&arr, &[2]), vec![2, 5]);
+    }
+
+    #[test]
+    fn seed_then_append_keeps_bulk_batch_until_tier_catches_up() {
+        let rows: Vec<u32> = (0..6).flat_map(|r| vec![r % 2, r]).collect();
+        let mut arr = Arrangement::new(2, 0b01);
+        arr.seed(&rows);
+        let seeded = Arc::clone(&arr.batches()[0]);
+        arr.push(&[0, 6], 6);
+        arr.push(&[1, 7], 7);
+        // The bulk batch is untouched (shared, not rewritten) while the
+        // small appends merge among themselves.
+        assert!(Arc::ptr_eq(&arr.batches()[0], &seeded));
+        assert_eq!(probe(&arr, &[0]), vec![0, 2, 4, 6]);
+        assert_eq!(probe(&arr, &[1]), vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn clones_share_batches_and_diverge_on_append() {
+        let mut arr = Arrangement::new(2, 0b01);
+        for r in 0..4u32 {
+            arr.push(&[r, r], r);
+        }
+        let snap = arr.clone();
+        assert!(Arc::ptr_eq(&arr.batches()[0], &snap.batches()[0]));
+        arr.push(&[9, 9], 4);
+        assert_eq!(probe(&snap, &[9]), Vec::<u32>::new());
+        assert_eq!(probe(&arr, &[9]), vec![4]);
+    }
+
+    #[test]
+    fn clear_keeps_order_registered() {
+        let mut arr = Arrangement::new(2, 0b10);
+        arr.push(&[1, 2], 0);
+        arr.clear();
+        assert!(arr.is_empty());
+        assert!(arr.serves(0b10));
+        arr.push(&[3, 2], 0);
+        assert_eq!(probe(&arr, &[2]), vec![0]);
+    }
+}

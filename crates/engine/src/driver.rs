@@ -41,7 +41,7 @@ use crate::intern::Interner;
 use crate::output::{AbortedEval, InternedOutcome, InternedOutput, PartialOutput, SettledMark};
 use crate::par;
 use crate::plan::{compile_demand, CompileError, CompiledProgram, Plan, Source};
-use crate::storage::{AccumMap, ColMask, ColumnRel};
+use crate::storage::{AccumMap, ColMask, ColumnRel, JoinMode};
 use crate::telemetry::Collector;
 use dlo_core::ast::Program;
 use dlo_core::eval::stats::EvalStats;
@@ -96,6 +96,11 @@ pub struct EngineOpts {
     /// next phase boundary with [`EvalError::Cancelled`]. `None` (the
     /// default) skips the poll entirely.
     pub cancel: Option<CancelToken>,
+    /// Join-strategy selection ([`JoinMode`]): `None` reads the
+    /// `DLO_JOIN` environment variable, falling back to
+    /// [`JoinMode::Auto`]. Purely a performance knob — every mode is
+    /// bit-identical (see the arrangement design note in [`crate`]).
+    pub join_mode: Option<JoinMode>,
 }
 
 impl Default for EngineOpts {
@@ -108,6 +113,7 @@ impl Default for EngineOpts {
             iter_sample: None,
             budget: EvalBudget::unlimited(),
             cancel: None,
+            join_mode: None,
         }
     }
 }
@@ -128,6 +134,14 @@ impl EngineOpts {
 
     pub(crate) fn effective_threads(&self) -> usize {
         self.threads.unwrap_or_else(par::max_threads).max(1)
+    }
+
+    /// Resolves the join mode: the explicit knob wins, then `DLO_JOIN`,
+    /// then [`JoinMode::Auto`].
+    pub(crate) fn effective_join_mode(&self) -> JoinMode {
+        self.join_mode
+            .or_else(JoinMode::from_env)
+            .unwrap_or_default()
     }
 
     /// Resolves the iteration-snapshot sampling stride: the explicit
@@ -174,6 +188,11 @@ pub(crate) struct Engine<P> {
     /// [`Engine::build_edb_indexes`] — deferred so the builds can fan
     /// out over the worker pool once the caller knows its thread count.
     pub(crate) edb_reqs: Vec<(Source, ColMask)>,
+    /// The resolved [`JoinMode`] for this run: every ensure site reads
+    /// it to pick hash indexes vs sorted arrangements. Entry points set
+    /// it from [`EngineOpts::effective_join_mode`] before any probe
+    /// structure is built.
+    pub(crate) join_mode: JoinMode,
 }
 
 /// The three semi-naïve IDB states (shared with the incremental
@@ -312,6 +331,7 @@ fn assemble<P: Pops>(
         idb_new_masks,
         idb_delta_masks,
         edb_reqs,
+        join_mode: JoinMode::default(),
     }
 }
 
@@ -464,20 +484,52 @@ impl<P: Pops + Send> Engine<P> {
                 }
             }
         }
+        let mode = self.join_mode;
         par::run_each(work, threads, |w| match w {
             Work::Pops(rel, masks) => {
                 for mask in masks {
-                    rel.ensure_index(mask);
+                    rel.ensure_probe_for(mask, mode);
                 }
             }
             Work::Bool(rel, masks) => {
                 for mask in masks {
-                    rel.ensure_index(mask);
+                    rel.ensure_probe_for(mask, mode);
                 }
             }
         })
         .map_err(|message| Abort::WorkerPanic { message })
     }
+}
+
+/// Ensures every probe structure in `masks` on `rel` under `mode`
+/// ([`ColumnRel::ensure_probe_for`]), reporting whether any of them
+/// dispatched to a sorted arrangement — callers attribute the loop's
+/// wall-clock to the `arrange` phase leg only when one did (an
+/// approximation: a mixed loop's hash builds ride along, but the legs
+/// are timing-only and never affect results).
+pub(crate) fn ensure_probes<P: Pops>(
+    rel: &mut ColumnRel<P>,
+    masks: &[u32],
+    mode: JoinMode,
+) -> bool {
+    let mut arranged = false;
+    for &mask in masks {
+        arranged |= mode.arranged(rel.arity(), mask);
+        rel.ensure_probe_for(mask, mode);
+    }
+    arranged
+}
+
+/// Drains the spine-merge counters every IDB relation accumulated since
+/// the last drain into the run's `arrange_batches_merged` total. All
+/// arrangement maintenance happens on the coordinating thread (inserts
+/// are single-threaded between phases), so the total is thread-invariant.
+pub(crate) fn drain_arrange_merges<P: Pops>(state: &mut IdbState<P>, col: &mut Collector) {
+    let mut merges = 0;
+    for rel in state.new.iter_mut().chain(state.delta.iter_mut()) {
+        merges += rel.take_arrange_merges();
+    }
+    col.stats.counters.arrange_batches_merged += merges;
 }
 
 /// Consumes a finished engine into the decode-free output handle.
@@ -717,11 +769,13 @@ pub(crate) fn naive_run<P>(
 where
     P: NaturallyOrdered + Send + Sync,
 {
+    let mode = opts.effective_join_mode();
+    engine.join_mode = mode;
     let mut col = Collector::new(
         "naive",
         opts.effective_threads(),
         setup_ns,
-        engine.compiled.plan_metas(),
+        engine.compiled.plan_metas_for(mode),
         opts,
     );
     let gov = Governor::new(opts, setup_ns);
@@ -765,10 +819,13 @@ where
         changed: vec![FxHashMap::default(); nidb],
         delta: engine.empty_idbs(),
     };
+    let t_arr = Instant::now();
+    let mut arranged = false;
     for (pred, rel) in state.new.iter_mut().enumerate() {
-        for &mask in &engine.idb_new_masks[pred] {
-            rel.ensure_index(mask);
-        }
+        arranged |= ensure_probes(rel, &engine.idb_new_masks[pred], mode);
+    }
+    if arranged {
+        col.arrange_phase(t_arr.elapsed().as_nanos() as u64);
     }
     for steps in 0..=cap {
         if let Err(a) = gov.check(steps as u64, &mut col) {
@@ -833,10 +890,13 @@ where
                 stats,
             });
         }
+        let t_arr = Instant::now();
+        let mut arranged = false;
         for (pred, rel) in next.iter_mut().enumerate() {
-            for &mask in &engine.idb_new_masks[pred] {
-                rel.ensure_index(mask);
-            }
+            arranged |= ensure_probes(rel, &engine.idb_new_masks[pred], mode);
+        }
+        if arranged {
+            col.arrange_phase(t_arr.elapsed().as_nanos() as u64);
         }
         state.new = next;
     }
@@ -958,11 +1018,13 @@ pub(crate) fn seminaive_run<P>(
 where
     P: NaturallyOrdered + CompleteDistributiveDioid + Send + Sync,
 {
+    let mode = opts.effective_join_mode();
+    engine.join_mode = mode;
     let mut col = Collector::new(
         "seminaive",
         opts.effective_threads(),
         setup_ns,
-        engine.compiled.plan_metas(),
+        engine.compiled.plan_metas_for(mode),
         opts,
     );
     let gov = Governor::new(opts, setup_ns);
@@ -1004,10 +1066,13 @@ where
         changed: vec![FxHashMap::default(); nidb],
         delta: engine.empty_idbs(),
     };
+    let t_arr = Instant::now();
+    let mut arranged = false;
     for (pred, rel) in state.new.iter_mut().enumerate() {
-        for &mask in &engine.idb_new_masks[pred] {
-            rel.ensure_index(mask);
-        }
+        arranged |= ensure_probes(rel, &engine.idb_new_masks[pred], mode);
+    }
+    if arranged {
+        col.arrange_phase(t_arr.elapsed().as_nanos() as u64);
     }
     // Seeding: J(1) = F(0), δ(0) = J(1), every row marked as appended.
     if let Err(a) = gov.check(0, &mut col) {
@@ -1065,7 +1130,11 @@ where
     }
     col.stats.counters.minted_ids += (engine.interner.len() - minted_before) as u64;
     col.stats.phases.mint += t_mint.elapsed().as_nanos() as u64;
-    ensure_delta_indexes(&engine, &mut state);
+    let t_arr = Instant::now();
+    if ensure_delta_indexes(&engine, &mut state) {
+        col.arrange_phase(t_arr.elapsed().as_nanos() as u64);
+    }
+    drain_arrange_merges(&mut state, &mut col);
     col.end_step(0, 0, 0, &seed_before);
 
     for steps in 1..=cap {
@@ -1208,15 +1277,22 @@ pub(crate) fn apply_contrib<P>(
     col.stats.counters.minted_ids += (engine.interner.len() - minted_before) as u64;
     col.stats.phases.mint += t_mint.elapsed().as_nanos() as u64;
     state.delta = next_delta;
-    ensure_delta_indexes(engine, state);
+    let t_arr = Instant::now();
+    if ensure_delta_indexes(engine, state) {
+        col.arrange_phase(t_arr.elapsed().as_nanos() as u64);
+    }
+    drain_arrange_merges(state, col);
 }
 
-pub(crate) fn ensure_delta_indexes<P: Pops>(engine: &Engine<P>, state: &mut IdbState<P>) {
+/// Ensures the per-iteration delta's probe structures under the
+/// engine's resolved [`JoinMode`]; returns whether any dispatched to an
+/// arrangement (see [`ensure_probes`]).
+pub(crate) fn ensure_delta_indexes<P: Pops>(engine: &Engine<P>, state: &mut IdbState<P>) -> bool {
+    let mut arranged = false;
     for (pred, rel) in state.delta.iter_mut().enumerate() {
-        for &mask in &engine.idb_delta_masks[pred] {
-            rel.ensure_index(mask);
-        }
+        arranged |= ensure_probes(rel, &engine.idb_delta_masks[pred], engine.join_mode);
     }
+    arranged
 }
 
 #[cfg(test)]

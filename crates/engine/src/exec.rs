@@ -2,8 +2,12 @@
 //!
 //! A plan run is a nested-loop join over the compiled steps — but each
 //! step, instead of scanning a `BTreeMap` support and unifying
-//! `Constant`s, either scans a flat row range or probes a hash-prefix
-//! index with an interned key. The *old* state `J(t-1)` is read through
+//! `Constant`s, either scans a flat row range or probes with an
+//! interned key: through a hash-prefix index, or — when the relation
+//! carries a sorted arrangement serving the step's mask — through the
+//! arrangement's binary searches (a merge probe, dispatched per step
+//! on whichever structure exists; both yield row ids in identical
+//! ascending order). The *old* state `J(t-1)` is read through
 //! the *new* state's storage plus the per-iteration `changed` map
 //! (appended rows are skipped, updated rows patched back), so `J(t)` and
 //! `J(t-1)` share one physical relation and one index set.
@@ -13,6 +17,7 @@
 //! so no per-valuation dedup set is needed — unlike the relational
 //! backend's `seen` tree.
 
+use crate::arrange::Arrangement;
 use crate::hash::FxHashMap;
 use crate::intern::Interner;
 use crate::plan::{CFormula, CTerm, HeadOp, Plan, ProbeCol, Source, Step};
@@ -46,8 +51,12 @@ pub enum HeadVal {
 /// bit-identical at any thread count.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExecCounters {
-    /// Hash-prefix index probes issued.
+    /// Index probes issued (hash or arranged — the split is below).
     pub probes: u64,
+    /// Probes answered by a sorted arrangement's binary searches.
+    pub merge_probes: u64,
+    /// Probes answered by a hash-prefix index.
+    pub hash_probes: u64,
     /// Candidate tuples scanned (full-scan ranges + probe posting
     /// lists, before per-row checks).
     pub scanned: u64,
@@ -61,6 +70,8 @@ impl ExecCounters {
     /// Adds `other` into `self`, field-wise.
     pub fn add(&mut self, other: &ExecCounters) {
         self.probes += other.probes;
+        self.merge_probes += other.merge_probes;
+        self.hash_probes += other.hash_probes;
         self.scanned += other.scanned;
         self.emits += other.emits;
         self.fresh_emits += other.fresh_emits;
@@ -209,6 +220,20 @@ pub fn run_plan<'a, P: Pops>(
     emit: &mut dyn FnMut(&[u32], P),
     emit_fresh: &mut dyn FnMut(&[HeadVal], P),
 ) {
+    // Resolve each probing step's arrangement once per plan run: the
+    // step → relation mapping is fixed for the run, and looking the
+    // arrangement up per probe (a hash get plus a prefix-sharing scan)
+    // would sit on the hot join path.
+    let step_arr: Vec<Option<&'a Arrangement>> = plan
+        .steps
+        .iter()
+        .map(|s| {
+            if s.mask == 0 {
+                return None;
+            }
+            resolve_step(ctx, s).and_then(|rel| rel.arrangement_for(s.mask))
+        })
+        .collect();
     let mut runner = Runner {
         plan,
         ctx,
@@ -217,6 +242,8 @@ pub fn run_plan<'a, P: Pops>(
         values: vec![None; plan.nfactors],
         row_keys: vec![None; plan.steps.len()],
         probe_scratch: Vec::new(),
+        arr_rows: vec![Vec::new(); plan.steps.len()],
+        step_arr,
         counters,
         emit,
         emit_fresh,
@@ -254,6 +281,14 @@ impl<'a, P: Pops> StepRel<'a, P> {
             StepRel::Guard(r) => r.probe(mask, key),
         }
     }
+    /// The sorted arrangement serving `mask`, if one is built — the
+    /// merge-probe dispatch, resolved once per plan run.
+    fn arrangement_for(&self, mask: u32) -> Option<&'a Arrangement> {
+        match self {
+            StepRel::Pops(r) | StepRel::PopsOld(r, _) => r.arrangement_for(mask),
+            StepRel::Guard(r) => r.arrangement_for(mask),
+        }
+    }
     /// The row key and factor value of row `r`; `None` when the row does
     /// not exist in this state (appended after `J(t-1)`).
     fn row(&self, r: u32) -> Option<(&'a [u32], Option<&'a P>)> {
@@ -282,23 +317,36 @@ struct Runner<'r, 'a, P: Pops> {
     /// around each probe (the probed row list borrows the relation, not
     /// the key, so the buffer is free again before recursing).
     probe_scratch: Vec<u32>,
+    /// Per-step-depth row buffers for arranged probes: an arrangement
+    /// collects matches across spine batches into caller-owned storage
+    /// (unlike a hash probe, which returns a borrowed posting list), and
+    /// giving each depth its own buffer keeps the recursion
+    /// allocation-free in steady state.
+    arr_rows: Vec<Vec<u32>>,
+    /// Per-step arrangement dispatch, resolved once in [`run_plan`]:
+    /// `Some` routes the step's probes through the sorted arrangement,
+    /// `None` through the hash-prefix index.
+    step_arr: Vec<Option<&'a Arrangement>>,
     counters: &'r mut ExecCounters,
     emit: &'r mut dyn FnMut(&[u32], P),
     emit_fresh: &'r mut dyn FnMut(&[HeadVal], P),
 }
 
+/// Resolves the relation a step reads from the evaluation context (the
+/// mapping is fixed for a whole plan run).
+fn resolve_step<'a, P: Pops>(ctx: &EvalCtx<'a, P>, step: &Step) -> Option<StepRel<'a, P>> {
+    match step.source {
+        Source::PopsEdb(i) => ctx.pops_edb[i].as_ref().map(StepRel::Pops),
+        Source::IdbNew(i) => Some(StepRel::Pops(&ctx.idb_new[i])),
+        Source::IdbOld(i) => Some(StepRel::PopsOld(&ctx.idb_new[i], &ctx.idb_changed[i])),
+        Source::IdbDelta(i) => Some(StepRel::Pops(&ctx.idb_delta[i])),
+        Source::BoolEdb(i) => ctx.bool_edb[i].as_ref().map(StepRel::Guard),
+    }
+}
+
 impl<'a, P: Pops> Runner<'_, 'a, P> {
     fn resolve(&self, step: &Step) -> Option<StepRel<'a, P>> {
-        match step.source {
-            Source::PopsEdb(i) => self.ctx.pops_edb[i].as_ref().map(StepRel::Pops),
-            Source::IdbNew(i) => Some(StepRel::Pops(&self.ctx.idb_new[i])),
-            Source::IdbOld(i) => Some(StepRel::PopsOld(
-                &self.ctx.idb_new[i],
-                &self.ctx.idb_changed[i],
-            )),
-            Source::IdbDelta(i) => Some(StepRel::Pops(&self.ctx.idb_delta[i])),
-            Source::BoolEdb(i) => self.ctx.bool_edb[i].as_ref().map(StepRel::Guard),
-        }
+        resolve_step(self.ctx, step)
     }
 
     fn step(&mut self, i: usize) {
@@ -313,52 +361,6 @@ impl<'a, P: Pops> Runner<'_, 'a, P> {
         if rel.arity() != step.arity {
             return;
         }
-
-        enum Candidates<'c> {
-            Scan(std::ops::Range<usize>),
-            Rows(&'c [u32]),
-        }
-        let candidates = if step.mask == 0 {
-            let (mut lo, mut hi) = (0, rel.len());
-            if i == 0 {
-                if let Some((a, b)) = self.range0 {
-                    lo = a.min(hi);
-                    hi = b.min(hi);
-                }
-            }
-            self.counters.scanned += (hi - lo) as u64;
-            Candidates::Scan(lo..hi)
-        } else {
-            let mut key = std::mem::take(&mut self.probe_scratch);
-            key.clear();
-            for p in &step.probe {
-                let id = match p {
-                    ProbeCol::Const(id) => Some(*id),
-                    ProbeCol::Slot(s) => Some(self.slots[*s]),
-                    ProbeCol::Term(t) => eval_cterm(t, &self.slots, self.ctx.interner)
-                        .and_then(|ev| ev_to_id(ev, self.ctx.interner)),
-                };
-                match id {
-                    Some(id) => key.push(id),
-                    None => {
-                        self.probe_scratch = key;
-                        return; // un-interned probe value: no match
-                    }
-                }
-            }
-            let mut rows = rel.probe(step.mask, &key);
-            // The row list borrows `rel`, not `key` — hand the buffer
-            // back before recursing so deeper steps reuse it.
-            self.probe_scratch = key;
-            if i == 0 {
-                if let Some((a, b)) = self.range0 {
-                    rows = &rows[a.min(rows.len())..b.min(rows.len())];
-                }
-            }
-            self.counters.probes += 1;
-            self.counters.scanned += rows.len() as u64;
-            Candidates::Rows(rows)
-        };
 
         let visit = |this: &mut Self, r: u32| {
             let Some((key, value)) = rel.row(r) else {
@@ -383,16 +385,81 @@ impl<'a, P: Pops> Runner<'_, 'a, P> {
                 this.slots[slot] = UNBOUND;
             }
         };
-        match candidates {
-            Candidates::Scan(range) => {
-                for r in range {
-                    visit(self, r as u32);
+
+        if step.mask == 0 {
+            let (mut lo, mut hi) = (0, rel.len());
+            if i == 0 {
+                if let Some((a, b)) = self.range0 {
+                    lo = a.min(hi);
+                    hi = b.min(hi);
                 }
             }
-            Candidates::Rows(rows) => {
-                for &r in rows {
-                    visit(self, r);
+            self.counters.scanned += (hi - lo) as u64;
+            for r in lo..hi {
+                visit(self, r as u32);
+            }
+            return;
+        }
+
+        let mut key = std::mem::take(&mut self.probe_scratch);
+        key.clear();
+        for p in &step.probe {
+            let id = match p {
+                ProbeCol::Const(id) => Some(*id),
+                ProbeCol::Slot(s) => Some(self.slots[*s]),
+                ProbeCol::Term(t) => eval_cterm(t, &self.slots, self.ctx.interner)
+                    .and_then(|ev| ev_to_id(ev, self.ctx.interner)),
+            };
+            match id {
+                Some(id) => key.push(id),
+                None => {
+                    self.probe_scratch = key;
+                    return; // un-interned probe value: no match
                 }
+            }
+        }
+        if let Some(arr) = self.step_arr[i] {
+            // Arranged path: collect matches across spine batches into
+            // this depth's buffer, sorted ascending — the exact order
+            // the hash posting lists hold, so both paths emit
+            // identically. (Single-batch matches of ≤ 1 row, the common
+            // join fan-out, skip the sort outright.)
+            let mut rows = std::mem::take(&mut self.arr_rows[i]);
+            rows.clear();
+            arr.probe_into(&key, &mut rows);
+            if rows.len() > 1 {
+                rows.sort_unstable();
+            }
+            self.probe_scratch = key;
+            let (mut lo, mut hi) = (0, rows.len());
+            if i == 0 {
+                if let Some((a, b)) = self.range0 {
+                    lo = a.min(hi);
+                    hi = b.min(hi);
+                }
+            }
+            self.counters.probes += 1;
+            self.counters.merge_probes += 1;
+            self.counters.scanned += (hi - lo) as u64;
+            for &r in &rows[lo..hi] {
+                visit(self, r);
+            }
+            self.arr_rows[i] = rows;
+        } else {
+            let mut rows = rel.probe(step.mask, &key);
+            // The row list borrows `rel`, not `key` — hand the buffer
+            // back before recursing so deeper steps reuse it.
+            self.probe_scratch = key;
+            if i == 0 {
+                if let Some((a, b)) = self.range0 {
+                    rows = &rows[a.min(rows.len())..b.min(rows.len())];
+                }
+            }
+            self.counters.probes += 1;
+            self.counters.hash_probes += 1;
+            self.counters.scanned += rows.len() as u64;
+            for &r in rows {
+                visit(self, r);
             }
         }
     }

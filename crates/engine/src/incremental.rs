@@ -93,8 +93,8 @@
 //!   the derivation the interrupted edit began.
 
 use crate::driver::{
-    apply_contrib, ensure_delta_indexes, mint_key, run_plans, setup_checked,
-    setup_interned_checked, Engine, EngineOpts, IdbState,
+    apply_contrib, drain_arrange_merges, ensure_delta_indexes, ensure_probes, mint_key, run_plans,
+    setup_checked, setup_interned_checked, Engine, EngineOpts, IdbState,
 };
 use crate::govern::{abort_error, Abort, Checkpoint, Governor};
 use crate::hash::FxHashMap;
@@ -169,6 +169,15 @@ pub struct Materialization<P: Pops> {
     opts: EngineOpts,
     epoch: u64,
     snapshot: Option<InternedOutput<P>>,
+    /// Per-IDB [`ColumnRel::version`]s captured when `snapshot` was
+    /// last refreshed — [`Materialization::output`] re-clones only the
+    /// relations whose version moved, so edits that never touch a
+    /// predicate leave its snapshot clone (and the `Arc`-shared
+    /// arrangement batches inside it) alive across epochs.
+    snap_versions: Vec<u64>,
+    /// Interner length at the last snapshot refresh (the interner is
+    /// append-only, so its length is its version).
+    snap_interner_len: usize,
     last_stats: EvalStats,
     /// Set when an edit failed mid-flight (the interned state may be
     /// mid-fixpoint): every subsequent edit/query returns
@@ -283,6 +292,7 @@ impl<P: Pops + Send + Sync> Materialization<P> {
         }
         let (aug, editable) = maintenance_program(program)?;
         let n_rules = program.rules.len();
+        let join_mode = opts.effective_join_mode();
         let mut engine = match prev {
             // Rebuild path: carry the retained interner forward (the
             // EDB relations themselves come from `pops_edb` — `prev`
@@ -291,6 +301,7 @@ impl<P: Pops + Send + Sync> Materialization<P> {
             Some(prev) => setup_interned_checked(&aug, prev, pops_edb, bool_edb, &[])?,
             None => setup_checked(&aug, pops_edb, bool_edb, &[])?,
         };
+        engine.join_mode = join_mode;
         engine
             .build_edb_indexes(&[], opts.effective_threads())
             .map_err(|a| a.into_error(EvalStats::default()))?;
@@ -341,9 +352,7 @@ impl<P: Pops + Send + Sync> Materialization<P> {
             delta: engine.empty_idbs(),
         };
         for (pred, rel) in state.new.iter_mut().enumerate() {
-            for &mask in &engine.idb_new_masks[pred] {
-                rel.ensure_index(mask);
-            }
+            ensure_probes(rel, &engine.idb_new_masks[pred], join_mode);
         }
         Ok(Materialization {
             program: program.clone(),
@@ -361,6 +370,8 @@ impl<P: Pops + Send + Sync> Materialization<P> {
             opts: opts.clone(),
             epoch: 0,
             snapshot: None,
+            snap_versions: vec![],
+            snap_interner_len: 0,
             last_stats: EvalStats::default(),
             poisoned: None,
             partial: None,
@@ -505,23 +516,69 @@ impl<P: Pops + Send + Sync> Materialization<P> {
             .map_or(0, |pi| self.state.new[pi].len())
     }
 
-    /// The current epoch as a decode-free [`InternedOutput`] snapshot
-    /// (cloned lazily, invalidated by edits). This is the epoch handle
-    /// the ROADMAP's query server chains further evaluations on.
+    /// The current epoch as a decode-free [`InternedOutput`] snapshot.
+    /// This is the epoch handle the ROADMAP's query server chains
+    /// further evaluations on.
+    ///
+    /// The snapshot is maintained **differentially**: edits no longer
+    /// discard it wholesale — on the next call only the relations whose
+    /// [`ColumnRel::version`] moved since the last refresh are
+    /// re-cloned (and the interner only when minting extended it).
+    /// Untouched predicates keep their existing clones, whose sorted
+    /// arrangements share spine batches with the live state via `Arc` —
+    /// an O(1) copy-on-write epoch hand-off, no row data copied.
     pub fn output(&mut self) -> &InternedOutput<P> {
-        if self.snapshot.is_none() {
+        if let Some(snap) = self.snapshot.as_mut() {
+            if self.engine.interner.len() != self.snap_interner_len {
+                snap.set_interner(self.engine.interner.clone());
+                self.snap_interner_len = self.engine.interner.len();
+            }
+            for (pred, rel) in self.state.new.iter().enumerate() {
+                if rel.version() != self.snap_versions[pred] {
+                    snap.update_relation(pred, rel.clone());
+                    self.snap_versions[pred] = rel.version();
+                }
+            }
+        } else {
             self.snapshot = Some(InternedOutput::new(
                 self.engine.interner.clone(),
                 self.engine.compiled.idbs.clone(),
                 self.state.new.clone(),
             ));
+            self.snap_versions = self.state.new.iter().map(|r| r.version()).collect();
+            self.snap_interner_len = self.engine.interner.len();
         }
         self.snapshot.as_ref().expect("just built")
     }
 
     fn begin_edit(&mut self) {
-        self.snapshot = None;
         self.epoch += 1;
+    }
+
+    /// Monotone count of probe-structure builds (hash indexes and
+    /// sorted arrangements) over one maintained IDB relation's
+    /// lifetime — the churn probe the incremental tests pin: edits must
+    /// never rebuild probe structures for relations they do not touch.
+    /// Returns 0 for unknown predicates.
+    pub fn index_builds_for(&self, pred: &str) -> u64 {
+        self.engine
+            .compiled
+            .idbs
+            .iter()
+            .position(|(n, _)| n == pred)
+            .map_or(0, |pi| self.state.new[pi].index_builds())
+    }
+
+    /// The [`ColumnRel::version`] of one maintained IDB relation
+    /// (0 for unknown predicates) — lets tests assert that an edit
+    /// left a predicate's storage untouched.
+    pub fn version_for(&self, pred: &str) -> u64 {
+        self.engine
+            .compiled
+            .idbs
+            .iter()
+            .position(|(n, _)| n == pred)
+            .map_or(0, |pi| self.state.new[pi].version())
     }
 
     /// Clears the per-edit `changed` maps so that between edits (and
@@ -556,6 +613,7 @@ impl<P: Pops + Send + Sync> Materialization<P> {
     /// `⊕`-merge), and `⊕`-merges the rows into the live interned and
     /// classic relations. Returns the touched slot indexes.
     fn stage_insert(&mut self, batch: &[FactInsert<P>]) -> Vec<usize> {
+        let mode = self.engine.join_mode;
         let before_len = self.engine.interner.len();
         let mut per_slot: Vec<Vec<(Vec<u32>, P)>> = (0..self.slots.len()).map(|_| vec![]).collect();
         for f in batch {
@@ -596,17 +654,13 @@ impl<P: Pops + Send + Sync> Materialization<P> {
             if let Some(oi) = old {
                 let mut snap = self.engine.pops_edb[cur].clone();
                 if let Some(rel) = snap.as_mut() {
-                    for &mask in &self.pops_masks[oi] {
-                        rel.ensure_index(mask);
-                    }
+                    ensure_probes(rel, &self.pops_masks[oi], mode);
                 }
                 self.engine.pops_edb[oi] = snap;
             }
             if let Some(di) = dlt {
                 let mut d = ColumnRel::new(arity);
-                for &mask in &self.pops_masks[di] {
-                    d.ensure_index(mask);
-                }
+                ensure_probes(&mut d, &self.pops_masks[di], mode);
                 for (key, v) in &rows {
                     d.merge(key, v.clone());
                 }
@@ -614,9 +668,7 @@ impl<P: Pops + Send + Sync> Materialization<P> {
             }
             if self.engine.pops_edb[cur].is_none() {
                 let mut r = ColumnRel::new(arity);
-                for &mask in &self.pops_masks[cur] {
-                    r.ensure_index(mask);
-                }
+                ensure_probes(&mut r, &self.pops_masks[cur], mode);
                 self.engine.pops_edb[cur] = Some(r);
             }
             let live = self.engine.pops_edb[cur].as_mut().expect("just ensured");
@@ -635,6 +687,7 @@ impl<P: Pops + Send + Sync> Materialization<P> {
     /// propagation runs against the pre-delete state. Returns the
     /// deleted interned keys per touched slot.
     fn stage_delete(&mut self, batch: &[FactDelete]) -> Vec<(usize, HashSet<Box<[u32]>>)> {
+        let mode = self.engine.join_mode;
         let mut per_slot: Vec<HashSet<Box<[u32]>>> =
             (0..self.slots.len()).map(|_| HashSet::new()).collect();
         for f in batch {
@@ -678,17 +731,13 @@ impl<P: Pops + Send + Sync> Materialization<P> {
             if let Some(oi) = old {
                 let mut snap = self.engine.pops_edb[cur].clone();
                 if let Some(rel) = snap.as_mut() {
-                    for &mask in &self.pops_masks[oi] {
-                        rel.ensure_index(mask);
-                    }
+                    ensure_probes(rel, &self.pops_masks[oi], mode);
                 }
                 self.engine.pops_edb[oi] = snap;
             }
             if let Some(di) = dlt {
                 let mut d = ColumnRel::new(arity);
-                for &mask in &self.pops_masks[di] {
-                    d.ensure_index(mask);
-                }
+                ensure_probes(&mut d, &self.pops_masks[di], mode);
                 let live = self.engine.pops_edb[cur].as_ref().expect("checked present");
                 for (_, row, v) in live.iter() {
                     if keys.contains(row) {
@@ -720,13 +769,12 @@ impl<P: Pops + Send + Sync> Materialization<P> {
 
     /// Rebuilds the live interned relations without the deleted rows.
     fn apply_edb_deletes(&mut self, staged: &[(usize, HashSet<Box<[u32]>>)]) {
+        let mode = self.engine.join_mode;
         for (si, keys) in staged {
             let (cur, arity) = (self.slots[*si].cur, self.slots[*si].arity);
             let old_rel = self.engine.pops_edb[cur].take().expect("staged ⇒ present");
             let mut next = ColumnRel::new(arity);
-            for &mask in &self.pops_masks[cur] {
-                next.ensure_index(mask);
-            }
+            ensure_probes(&mut next, &self.pops_masks[cur], mode);
             for (_, row, v) in old_rel.iter() {
                 if !keys.contains(row) {
                     next.insert_row(row, v.clone());
@@ -819,6 +867,7 @@ impl<P: Pops + Send + Sync> Materialization<P> {
     /// (the zero-out step; surviving rows keep their exact values and
     /// row order, so all downstream drains stay deterministic).
     fn retract_affected(&mut self, affected: &[HashSet<u32>]) {
+        let mode = self.engine.join_mode;
         for (pred, rows) in affected.iter().enumerate() {
             if rows.is_empty() {
                 continue;
@@ -826,14 +875,16 @@ impl<P: Pops + Send + Sync> Materialization<P> {
             let arity = self.engine.compiled.idbs[pred].1;
             let old = std::mem::replace(&mut self.state.new[pred], ColumnRel::new(arity));
             let mut next = ColumnRel::new(arity);
-            for &mask in &self.engine.idb_new_masks[pred] {
-                next.ensure_index(mask);
-            }
+            ensure_probes(&mut next, &self.engine.idb_new_masks[pred], mode);
             for (r, row, v) in old.iter() {
                 if !rows.contains(&r) {
                     next.insert_row(row, v.clone());
                 }
             }
+            // The replacement's version must not alias the replaced
+            // relation's — equal versions promise equal contents to the
+            // snapshot's dirty tracking.
+            next.succeed_version(&old);
             self.state.new[pred] = next;
             self.state.changed[pred].clear();
         }
@@ -881,9 +932,8 @@ impl<P: Pops + Send + Sync> Materialization<P> {
                 return Ok(steps);
             }
             for (pred, rel) in next.iter_mut().enumerate() {
-                for &mask in &self.engine.idb_new_masks[pred] {
-                    rel.ensure_index(mask);
-                }
+                ensure_probes(rel, &self.engine.idb_new_masks[pred], self.engine.join_mode);
+                rel.succeed_version(&self.state.new[pred]);
             }
             self.state.new = next;
         }
@@ -936,7 +986,7 @@ where
             "incremental-build",
             m.opts.effective_threads(),
             t.elapsed().as_nanos() as u64,
-            m.engine.compiled.plan_metas(),
+            m.engine.compiled.plan_metas_for(m.engine.join_mode),
             &m.opts,
         );
         let gov = Governor::new(&m.opts, t.elapsed().as_nanos() as u64);
@@ -1026,7 +1076,11 @@ where
         }
         col.stats.counters.minted_ids += (self.engine.interner.len() - minted_before) as u64;
         col.stats.phases.mint += t_mint.elapsed().as_nanos() as u64;
-        ensure_delta_indexes(&self.engine, &mut self.state);
+        let t_arr = Instant::now();
+        if ensure_delta_indexes(&self.engine, &mut self.state) {
+            col.arrange_phase(t_arr.elapsed().as_nanos() as u64);
+        }
+        drain_arrange_merges(&mut self.state, col);
         col.end_step(0, 0, 0, &seed_before);
         self.delta_loop(col, gov, 0)
     }
@@ -1089,7 +1143,7 @@ where
             "incremental-insert",
             self.opts.effective_threads(),
             t.elapsed().as_nanos() as u64,
-            self.engine.compiled.plan_metas(),
+            self.engine.compiled.plan_metas_for(self.engine.join_mode),
             &self.opts,
         );
         let gov = Governor::new(&self.opts, t.elapsed().as_nanos() as u64);
@@ -1147,7 +1201,7 @@ where
             "incremental-delete",
             self.opts.effective_threads(),
             t.elapsed().as_nanos() as u64,
-            self.engine.compiled.plan_metas(),
+            self.engine.compiled.plan_metas_for(self.engine.join_mode),
             &self.opts,
         );
         let gov = Governor::new(&self.opts, t.elapsed().as_nanos() as u64);
@@ -1265,7 +1319,7 @@ where
             "incremental-build-naive",
             m.opts.effective_threads(),
             t.elapsed().as_nanos() as u64,
-            m.engine.compiled.plan_metas(),
+            m.engine.compiled.plan_metas_for(m.engine.join_mode),
             &m.opts,
         );
         let gov = Governor::new(&m.opts, t.elapsed().as_nanos() as u64);
@@ -1330,7 +1384,7 @@ where
             "incremental-insert-naive",
             self.opts.effective_threads(),
             t.elapsed().as_nanos() as u64,
-            self.engine.compiled.plan_metas(),
+            self.engine.compiled.plan_metas_for(self.engine.join_mode),
             &self.opts,
         );
         let gov = Governor::new(&self.opts, t.elapsed().as_nanos() as u64);
@@ -1364,7 +1418,7 @@ where
             "incremental-delete-naive",
             self.opts.effective_threads(),
             t.elapsed().as_nanos() as u64,
-            self.engine.compiled.plan_metas(),
+            self.engine.compiled.plan_metas_for(self.engine.join_mode),
             &self.opts,
         );
         let gov = Governor::new(&self.opts, t.elapsed().as_nanos() as u64);
@@ -1416,9 +1470,9 @@ where
     /// when a prior edit on this handle failed mid-flight.
     pub fn query(&mut self, query: &Query) -> Result<QueryAnswer<P>, EvalError> {
         self.check_poisoned()?;
-        if self.snapshot.is_none() {
-            self.output();
-        }
+        // Always refresh: the snapshot survives edits (differential
+        // maintenance), so it may be stale rather than absent.
+        self.output();
         let snap = self.snapshot.as_ref().expect("just built");
         engine_query_eval_interned_edb(
             &self.program,
@@ -1430,5 +1484,134 @@ where
             self.strategy,
             &self.opts,
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::JoinMode;
+    use dlo_core::parser::parse_program;
+    use dlo_core::relation::Relation;
+    use dlo_core::tup;
+    use dlo_pops::Trop;
+
+    /// Two independent quadratic closures, so an edit on one EDB leaves
+    /// the other IDB provably untouched.
+    fn two_tc() -> (Program<Trop>, Database<Trop>) {
+        let program = parse_program(
+            "P(X, Z) :- EP(X, Z) + P(X, Y) * P(Y, Z).\n\
+             Q(X, Z) :- EQ(X, Z) + Q(X, Y) * Q(Y, Z).",
+        )
+        .unwrap();
+        let mut edb = Database::new();
+        edb.insert(
+            "EP",
+            Relation::from_pairs(
+                2,
+                vec![
+                    (tup!["a", "b"], Trop::finite(1.0)),
+                    (tup!["b", "c"], Trop::finite(1.0)),
+                ],
+            ),
+        );
+        edb.insert(
+            "EQ",
+            Relation::from_pairs(
+                2,
+                vec![
+                    (tup!["x", "y"], Trop::finite(2.0)),
+                    (tup!["y", "z"], Trop::finite(2.0)),
+                ],
+            ),
+        );
+        (program, edb)
+    }
+
+    /// The no-churn contract: an edit touching only `EP` must not
+    /// rebuild `Q`'s probe structures, must not move `Q`'s version, and
+    /// the refreshed snapshot must keep `Q`'s existing clone — whose
+    /// sorted arrangements share spine batches by `Arc`, row data
+    /// uncopied — while still folding the edit into `P`.
+    #[test]
+    fn edits_keep_untouched_relations_and_share_arrangement_batches() {
+        let opts = EngineOpts {
+            join_mode: Some(JoinMode::Merge),
+            ..EngineOpts::default()
+        };
+        let (program, edb) = two_tc();
+        let mut m = Materialization::new(
+            &program,
+            &edb,
+            &BoolDatabase::new(),
+            100_000,
+            Strategy::Auto,
+            &opts,
+        )
+        .unwrap();
+        let snap1 = m.output().clone();
+        let builds_q = m.index_builds_for("Q");
+        let ver_q = m.version_for("Q");
+        let ver_p = m.version_for("P");
+        assert!(ver_q > 0, "Q was derived, so its version moved");
+
+        m.insert(&[FactInsert::new("EP", tup!["c", "d"], Trop::finite(1.0))])
+            .unwrap();
+        let snap2 = m.output().clone();
+
+        // The edit reached P…
+        let ad = tup!["a", "d"];
+        assert_eq!(m.get("P", &ad), Some(&Trop::finite(3.0)));
+        assert_eq!(snap2.get("P", &ad), Some(&Trop::finite(3.0)));
+        assert!(m.version_for("P") > ver_p, "P's storage was edited");
+        // …and left Q alone: no probe-structure rebuilds, no mutation.
+        assert_eq!(m.index_builds_for("Q"), builds_q, "Q index churn");
+        assert_eq!(m.version_for("Q"), ver_q, "Q storage churn");
+
+        // The quadratic rule probes Q's own state, so under forced
+        // merge mode Q carries at least one sorted arrangement — and
+        // the two epoch snapshots share its spine batches by pointer.
+        let (q1, q2) = (snap1.relation("Q").unwrap(), snap2.relation("Q").unwrap());
+        let shared_mask = (1u32..4)
+            .find(|&mask| q1.arrangement_for(mask).is_some())
+            .expect("merge mode arranges Q's probe masks");
+        let (a1, a2) = (
+            q1.arrangement_for(shared_mask).unwrap(),
+            q2.arrangement_for(shared_mask).unwrap(),
+        );
+        assert_eq!(a1.batches().len(), a2.batches().len());
+        for (b1, b2) in a1.batches().iter().zip(a2.batches()) {
+            assert!(
+                std::sync::Arc::ptr_eq(b1, b2),
+                "epoch snapshots must share arrangement batches"
+            );
+        }
+    }
+
+    /// A delete rebuilds the touched IDB wholesale; the version must
+    /// move strictly (never alias the pre-edit version) so snapshot
+    /// dirty-tracking re-clones it.
+    #[test]
+    fn delete_rederive_moves_versions_strictly() {
+        let (program, edb) = two_tc();
+        let mut m = Materialization::new(
+            &program,
+            &edb,
+            &BoolDatabase::new(),
+            100_000,
+            Strategy::Auto,
+            &EngineOpts::default(),
+        )
+        .unwrap();
+        let ver_p = m.version_for("P");
+        let ver_q = m.version_for("Q");
+        m.delete(&[FactDelete::new("EP", tup!["a", "b"])]).unwrap();
+        assert!(m.version_for("P") > ver_p, "delete must move P's version");
+        assert_eq!(m.version_for("Q"), ver_q, "Q untouched by the delete");
+        let (ab, bc) = (tup!["a", "b"], tup!["b", "c"]);
+        assert_eq!(m.get("P", &ab), None);
+        let snap = m.output();
+        assert_eq!(snap.get("P", &ab), None);
+        assert_eq!(snap.get("P", &bc), Some(&Trop::finite(1.0)));
     }
 }

@@ -12,7 +12,8 @@
 //!   `Arc<str>`;
 //! * [`storage`] — relations carry lazily built **hash-prefix indexes**
 //!   per (relation, bound-column-set), maintained incrementally as the
-//!   monotone `new` state grows;
+//!   monotone `new` state grows, plus **sorted columnar arrangements**
+//!   ([`arrange`]) where the planner prefers merge probes;
 //! * [`plan`] — a **rule compiler** greedily orders each sum-product's
 //!   atoms by bound-variable coverage and resolves every argument to a
 //!   column operation (probe / bind / check) at compile time;
@@ -133,6 +134,51 @@
 //! workloads should prefer [`Materialization::insert`] alone — the
 //! marking pass, the zero-out, and the rederive all exist purely to pay
 //! for deletion.
+//!
+//! ## Design note: sorted arrangements — merge probes and epoch-shared snapshots
+//!
+//! [`arrange`] is the sorted counterpart of the hash-prefix index: a
+//! relation's rows re-ordered by a **column permutation** (probe
+//! columns first, ascending, then the rest), held as an LSM-style
+//! spine of immutable `Arc`-shared batches with size-tiered merging.
+//! Three contracts make it a drop-in second probe structure:
+//!
+//! * **Sort orders.** The permutation for mask `m` starts with `m`'s
+//!   columns ascending, so the executor's probe key (always assembled
+//!   ascending) compares directly against a batch-key prefix — one
+//!   binary-search pair per batch answers the probe, and every mask
+//!   whose ascending column list is a prefix of the permutation rides
+//!   the same arrangement for free (`{c0}` on `{c0,c1}`'s order).
+//!   Range and prefix scans fall out of the same search.
+//! * **Spine merging.** Appends become size-1 batches, merged whenever
+//!   the newest batch has caught up with its predecessor — `O(log n)`
+//!   batches, `O(n log n)` total merge work (Bentley–Saxe), counted in
+//!   `arrange_batches_merged`. A bulk `ensure` on a populated relation
+//!   sorts once into a single batch instead.
+//! * **Snapshot contract.** Batches are immutable behind `Arc`s, so
+//!   cloning a relation (what a [`Materialization`] epoch snapshot
+//!   does) shares every batch without copying row data; the writer's
+//!   subsequent appends land in new batches the snapshot never sees.
+//!   This pairs with the **append-only interner**: a snapshot's ids
+//!   stay valid forever because ids are never reassigned, so frozen
+//!   batches and a cloned interner together form a consistent frozen
+//!   epoch. Values are *not* duplicated into batches — probes return
+//!   row ids into the relation's flat storage, the hash-probe
+//!   contract.
+//!
+//! **Determinism.** Arranged probes collect matching row ids across
+//! all batches and sort them ascending — exactly the order hash
+//! posting lists hold (built ascending, maintained by append) — so
+//! merge-mode and hash-mode evaluation visit rows identically and stay
+//! **bit-identical** on every POPS, including non-associative f64
+//! `⊕`-folds. [`JoinMode`] is therefore purely a performance knob:
+//! `Auto` (default) arranges relations of arity > 2 (where packed-u64
+//! hash keys give out and boxed-slice hashing dominates), `Merge` /
+//! `Hash` force either structure, resolved per run from
+//! [`EngineOpts::join_mode`] or the `DLO_JOIN` environment variable.
+//! `explain()` attributes the chosen strategy per rule, and the
+//! `merge_join_steps` / `hash_join_steps` counters always sum to
+//! `index_probes`.
 //!
 //! [`engine_eval`] takes a [`worklist::Strategy`] and is bounded over
 //! the union, with `Auto` resolving to the priority frontier — callers
@@ -349,6 +395,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrange;
 pub mod driver;
 pub mod exec;
 pub(crate) mod govern;
@@ -384,7 +431,7 @@ pub use query::{
     AbortedQuery, QueryAnswer,
 };
 pub use retry::{eval_with_retry, AttemptLog, RetryFailure, RetryPolicy, RetryReport};
-pub use storage::ColumnRel;
+pub use storage::{ColumnRel, JoinMode};
 pub use worklist::{
     engine_eval, engine_eval_interned, engine_eval_interned_edb, engine_eval_partial_interned_edb,
     engine_eval_partial_with_opts, engine_eval_with_opts, engine_priority_eval,

@@ -27,7 +27,7 @@
 //! arities.
 
 use crate::intern::Interner;
-use crate::storage::ColMask;
+use crate::storage::{ColMask, JoinMode};
 use dlo_core::ast::{Atom, KeyFn, Program, Rule, SumProduct, Term, UnaryFn, Var};
 use dlo_core::formula::{CmpOp, Formula};
 use dlo_pops::Pops;
@@ -269,6 +269,10 @@ pub struct PlanMeta {
     pub label: String,
     /// Plan family: `"seed"`, `"delta"`, or `"worklist"`.
     pub kind: &'static str,
+    /// Join strategy over the plan's probing steps under the resolved
+    /// [`JoinMode`]: `"merge"` (all probes arranged), `"hash"` (all
+    /// hash-indexed), `"mixed"`, or `"scan"` (no probing step at all).
+    pub join: &'static str,
 }
 
 impl<P: Pops> CompiledProgram<P> {
@@ -279,13 +283,23 @@ impl<P: Pops> CompiledProgram<P> {
             + self.worklist_plans.iter().map(|g| g.len()).sum::<usize>()
     }
 
-    /// Per-plan telemetry metadata, ordered by [`Plan::pid`].
+    /// Per-plan telemetry metadata, ordered by [`Plan::pid`], with join
+    /// strategies attributed under the default [`JoinMode`]. Drivers
+    /// use [`Self::plan_metas_for`] with the mode they resolved.
     pub fn plan_metas(&self) -> Vec<PlanMeta> {
+        self.plan_metas_for(JoinMode::default())
+    }
+
+    /// Per-plan telemetry metadata with each plan's join strategy
+    /// resolved under `mode` — the per-occurrence merge-vs-hash choice
+    /// `explain()` reports.
+    pub fn plan_metas_for(&self, mode: JoinMode) -> Vec<PlanMeta> {
         let mut metas = vec![
             PlanMeta {
                 rule_idx: 0,
                 label: String::new(),
                 kind: "seed",
+                join: "scan",
             };
             self.total_plans()
         ];
@@ -294,6 +308,7 @@ impl<P: Pops> CompiledProgram<P> {
                 rule_idx: plan.rule_idx,
                 label: plan.label.clone(),
                 kind,
+                join: plan_join(plan, mode),
             };
         };
         for plan in &self.seed_plans {
@@ -811,6 +826,29 @@ impl Compiler<'_> {
             coeff: sp.coeff.clone(),
             post_checks,
         })
+    }
+}
+
+/// The join-strategy tag of one plan under `mode`: what each probing
+/// step dispatches to, folded across steps.
+fn plan_join<P: Pops>(plan: &Plan<P>, mode: JoinMode) -> &'static str {
+    let mut merge = 0usize;
+    let mut hash = 0usize;
+    for step in &plan.steps {
+        if step.mask == 0 {
+            continue;
+        }
+        if mode.arranged(step.arity, step.mask) {
+            merge += 1;
+        } else {
+            hash += 1;
+        }
+    }
+    match (merge, hash) {
+        (0, 0) => "scan",
+        (_, 0) => "merge",
+        (0, _) => "hash",
+        _ => "mixed",
     }
 }
 

@@ -20,11 +20,71 @@
 //! single largest line item in the profile (hash + eq both dereference,
 //! plus an allocation and eventual free per stored key).
 
+use crate::arrange::Arrangement;
 use crate::hash::FxHashMap;
 use dlo_pops::{Pops, PreSemiring};
 
 /// A column bitmask: bit `c` set ⇔ column `c` participates in the probe.
 pub type ColMask = u32;
+
+/// Which probe structure joins run through.
+///
+/// Resolution order at evaluation entry:
+/// [`EngineOpts::join_mode`](crate::EngineOpts) if set, else the
+/// `DLO_JOIN` environment variable (`auto` / `merge` / `hash`), else
+/// [`JoinMode::Auto`]. All three modes are bit-identical — arranged
+/// probes return row ids in the same ascending order hash posting
+/// lists hold — so the choice is purely a performance knob.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum JoinMode {
+    /// Planner heuristic: sorted arrangements where the packed-`u64`
+    /// hash fast path gives out (arity > 2), hash indexes elsewhere.
+    #[default]
+    Auto,
+    /// Force sorted arrangements for every non-trivial probe mask.
+    Merge,
+    /// Force hash-prefix indexes everywhere (the pre-arrangement
+    /// engine).
+    Hash,
+}
+
+impl JoinMode {
+    /// Reads `DLO_JOIN` (`auto` / `merge` / `hash`, case-insensitive);
+    /// `None` when unset or unrecognized.
+    pub fn from_env() -> Option<Self> {
+        match std::env::var("DLO_JOIN")
+            .ok()?
+            .to_ascii_lowercase()
+            .as_str()
+        {
+            "auto" => Some(JoinMode::Auto),
+            "merge" => Some(JoinMode::Merge),
+            "hash" => Some(JoinMode::Hash),
+            _ => None,
+        }
+    }
+
+    /// Whether a probe through `mask` on a relation of `arity` runs
+    /// against a sorted arrangement (else a hash-prefix index).
+    /// `mask = 0` is a full scan and needs neither.
+    pub fn arranged(self, arity: usize, mask: ColMask) -> bool {
+        mask != 0
+            && match self {
+                JoinMode::Hash => false,
+                JoinMode::Merge => true,
+                JoinMode::Auto => arity > 2,
+            }
+    }
+
+    /// Short label for telemetry and bench reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            JoinMode::Auto => "auto",
+            JoinMode::Merge => "merge",
+            JoinMode::Hash => "hash",
+        }
+    }
+}
 
 /// Projects `row` onto the columns of `mask`, ascending.
 pub fn project(row: &[u32], mask: ColMask) -> Box<[u32]> {
@@ -256,6 +316,20 @@ pub struct ColumnRel<P> {
     vals: Vec<P>,
     map: KeyedMap<u32>,
     indexes: FxHashMap<ColMask, KeyedMap<Vec<u32>>>,
+    /// Sorted arrangements keyed by the mask that requested them; a
+    /// clone shares their batches (`Arc`), not the row data.
+    arrangements: FxHashMap<ColMask, Arrangement>,
+    /// Monotone count of index/arrangement *builds* (not incremental
+    /// maintenance) — `Materialization` pins its no-churn contract on
+    /// this staying flat for untouched relations.
+    index_builds: u64,
+    /// Spine merges since the last [`Self::take_arrange_merges`].
+    arrange_merges: u64,
+    /// Monotone mutation counter: bumped on every row append, value
+    /// overwrite, and clear. Equal versions ⟹ identical contents, which
+    /// is what lets [`Materialization`](crate::incremental) skip
+    /// re-cloning untouched relations across edit epochs.
+    version: u64,
     /// Reusable projection buffer for index maintenance (never observed
     /// across calls; cloned relations just get an empty one).
     scratch: Vec<u32>,
@@ -271,6 +345,10 @@ impl<P: Pops> ColumnRel<P> {
             vals: Vec::new(),
             map: KeyedMap::new(arity),
             indexes: FxHashMap::default(),
+            arrangements: FxHashMap::default(),
+            index_builds: 0,
+            arrange_merges: 0,
+            version: 0,
             scratch: Vec::new(),
         }
     }
@@ -281,11 +359,15 @@ impl<P: Pops> ColumnRel<P> {
     /// re-registering indexes (or re-growing buffers) per batch would
     /// dominate.
     pub fn clear(&mut self) {
+        self.version += 1;
         self.keys.clear();
         self.vals.clear();
         self.map.clear();
         for index in self.indexes.values_mut() {
             index.clear();
+        }
+        for arr in self.arrangements.values_mut() {
+            arr.clear();
         }
     }
 
@@ -346,6 +428,7 @@ impl<P: Pops> ColumnRel<P> {
     /// with the map-dependent methods on one relation is a caller bug.
     pub fn append_row(&mut self, key: &[u32], value: P) -> u32 {
         assert_eq!(key.len(), self.arity, "row arity mismatch");
+        self.version += 1;
         let r = self.vals.len() as u32;
         self.keys.extend_from_slice(key);
         self.vals.push(value);
@@ -356,11 +439,17 @@ impl<P: Pops> ColumnRel<P> {
                 None => index.insert(&self.scratch, vec![r]),
             }
         }
+        let mut merges = 0;
+        for arr in self.arrangements.values_mut() {
+            merges += arr.push(key, r);
+        }
+        self.arrange_merges += merges;
         r
     }
 
     /// Overwrites the value of row `r` (keys unchanged, indexes intact).
     pub fn set_val(&mut self, r: u32, value: P) {
+        self.version += 1;
         self.vals[r as usize] = value;
     }
 
@@ -420,6 +509,7 @@ impl<P: Pops> ColumnRel<P> {
         if mask == 0 || self.indexes.contains_key(&mask) {
             return;
         }
+        self.index_builds += 1;
         let width = mask.count_ones() as usize;
         let mut index: KeyedMap<Vec<u32>> = KeyedMap::new(width);
         let mut key: Vec<u32> = Vec::with_capacity(width);
@@ -444,6 +534,95 @@ impl<P: Pops> ColumnRel<P> {
             .get(key)
             .map(|v| v.as_slice())
             .unwrap_or(&EMPTY)
+    }
+
+    /// Builds the sorted arrangement for `mask` if no existing
+    /// arrangement serves it (subsequently maintained batch-wise by
+    /// [`Self::append_row`]/[`Self::insert_row`]). One bulk sort when
+    /// first requested on a populated relation; `mask = 0` needs no
+    /// arrangement.
+    pub fn ensure_arranged(&mut self, mask: ColMask) {
+        if mask == 0
+            || self.arrangements.contains_key(&mask)
+            || self.arrangements.values().any(|a| a.serves(mask))
+        {
+            return;
+        }
+        self.index_builds += 1;
+        let mut arr = Arrangement::new(self.arity, mask);
+        arr.seed(&self.keys);
+        self.arrangements.insert(mask, arr);
+    }
+
+    /// Whether probes through `mask` can run against a sorted
+    /// arrangement (directly or via a shared prefix order).
+    pub fn has_arranged(&self, mask: ColMask) -> bool {
+        mask != 0
+            && (self.arrangements.contains_key(&mask)
+                || self.arrangements.values().any(|a| a.serves(mask)))
+    }
+
+    /// Collects into `out` (cleared first) the row ids whose
+    /// `mask`-projection equals `key`, **sorted ascending** — the same
+    /// visit order the hash path's posting lists produce, which is what
+    /// keeps merge- and hash-mode evaluation bit-identical. The
+    /// arrangement must have been built via [`Self::ensure_arranged`].
+    pub fn probe_arranged(&self, mask: ColMask, key: &[u32], out: &mut Vec<u32>) {
+        out.clear();
+        let arr = self
+            .arrangements
+            .get(&mask)
+            .or_else(|| self.arrangements.values().find(|a| a.serves(mask)))
+            .expect("probe_arranged before ensure_arranged");
+        arr.probe_into(key, out);
+        if out.len() > 1 {
+            out.sort_unstable();
+        }
+    }
+
+    /// Builds whichever probe structure `mode` selects for `mask` —
+    /// the single ensure entry point the drivers call.
+    pub fn ensure_probe_for(&mut self, mask: ColMask, mode: JoinMode) {
+        if mode.arranged(self.arity, mask) {
+            self.ensure_arranged(mask);
+        } else {
+            self.ensure_index(mask);
+        }
+    }
+
+    /// Monotone count of index/arrangement builds over this relation's
+    /// lifetime (clones inherit the count).
+    pub fn index_builds(&self) -> u64 {
+        self.index_builds
+    }
+
+    /// The mutation version (see the field doc): two observations with
+    /// equal versions are guaranteed to see identical contents.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Advances this relation's version strictly past `prev`'s — called
+    /// when a freshly built relation replaces `prev` wholesale
+    /// (delete–rederive), so version comparisons never alias across the
+    /// replacement.
+    pub fn succeed_version(&mut self, prev: &Self) {
+        self.version = self.version.max(prev.version) + 1;
+    }
+
+    /// Drains the spine-merge counter accumulated by appends since the
+    /// last call (telemetry: `arrange_batches_merged`).
+    pub fn take_arrange_merges(&mut self) -> u64 {
+        std::mem::take(&mut self.arrange_merges)
+    }
+
+    /// The arrangement serving `mask`, if built (test hook for the
+    /// copy-on-write snapshot contract).
+    #[doc(hidden)]
+    pub fn arrangement_for(&self, mask: ColMask) -> Option<&Arrangement> {
+        self.arrangements
+            .get(&mask)
+            .or_else(|| self.arrangements.values().find(|a| a.serves(mask)))
     }
 
     /// Iterates `(row-id, key, value)` in insertion order.
@@ -560,6 +739,114 @@ mod tests {
         assert_eq!(
             seen,
             vec![(vec![3], Trop::finite(2.0)), (vec![4], Trop::finite(1.0)),]
+        );
+    }
+
+    #[test]
+    fn arranged_probes_match_hash_probes_in_order() {
+        let mut rel = ColumnRel::<Trop>::new(3);
+        rel.ensure_index(0b011);
+        rel.ensure_arranged(0b011);
+        for r in 0..50u32 {
+            rel.insert_row(&[r % 4, r % 3, r], Trop::finite(r as f64));
+        }
+        let mut out = Vec::new();
+        for a in 0..4 {
+            for b in 0..3 {
+                rel.probe_arranged(0b011, &[a, b], &mut out);
+                assert_eq!(out.as_slice(), rel.probe(0b011, &[a, b]));
+            }
+        }
+        // Late build (after rows exist): bulk seed sees everything.
+        rel.ensure_arranged(0b100);
+        rel.ensure_index(0b100);
+        for v in 0..50 {
+            rel.probe_arranged(0b100, &[v], &mut out);
+            assert_eq!(out.as_slice(), rel.probe(0b100, &[v]));
+        }
+    }
+
+    #[test]
+    fn prefix_probe_reuses_wider_arrangement() {
+        let mut rel = ColumnRel::<Trop>::new(3);
+        rel.ensure_arranged(0b011);
+        let builds = rel.index_builds();
+        // {0} ascending is a prefix of the [0, 1, 2] order: no new build.
+        rel.ensure_arranged(0b001);
+        assert_eq!(rel.index_builds(), builds);
+        assert!(rel.has_arranged(0b001));
+        assert!(!rel.has_arranged(0b010));
+        rel.insert_row(&[1, 2, 3], Trop::finite(1.0));
+        rel.insert_row(&[1, 5, 4], Trop::finite(2.0));
+        rel.insert_row(&[2, 2, 5], Trop::finite(3.0));
+        let mut out = Vec::new();
+        rel.probe_arranged(0b001, &[1], &mut out);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn clone_shares_arrangement_batches() {
+        use std::sync::Arc;
+        let mut rel = ColumnRel::<Trop>::new(3);
+        rel.ensure_arranged(0b001);
+        for r in 0..10u32 {
+            rel.insert_row(&[r, r, r], Trop::finite(r as f64));
+        }
+        let snap = rel.clone();
+        let a = rel.arrangement_for(0b001).unwrap().batches();
+        let b = snap.arrangement_for(0b001).unwrap().batches();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(Arc::ptr_eq(x, y), "snapshot copies Arcs, not rows");
+        }
+        // Writer appends diverge without touching the snapshot's view.
+        rel.insert_row(&[99, 0, 0], Trop::finite(0.0));
+        let mut out = Vec::new();
+        rel.probe_arranged(0b001, &[99], &mut out);
+        assert_eq!(out, vec![10]);
+        snap.probe_arranged(0b001, &[99], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn join_mode_policy_and_env_parsing() {
+        assert!(!JoinMode::Auto.arranged(2, 0b01));
+        assert!(JoinMode::Auto.arranged(3, 0b01));
+        assert!(JoinMode::Merge.arranged(1, 0b1));
+        assert!(!JoinMode::Merge.arranged(4, 0));
+        assert!(!JoinMode::Hash.arranged(4, 0b1111));
+        assert_eq!(JoinMode::Merge.label(), "merge");
+    }
+
+    #[test]
+    fn ensure_probe_for_dispatches_on_mode() {
+        let mut rel = ColumnRel::<Trop>::new(3);
+        rel.ensure_probe_for(0b001, JoinMode::Hash);
+        assert!(!rel.has_arranged(0b001));
+        assert_eq!(rel.index_builds(), 1);
+        rel.ensure_probe_for(0b010, JoinMode::Auto); // arity 3 → arranged
+        assert!(rel.has_arranged(0b010));
+        assert_eq!(rel.index_builds(), 2);
+        let mut narrow = ColumnRel::<Trop>::new(2);
+        narrow.ensure_probe_for(0b01, JoinMode::Auto); // arity 2 → hash
+        assert!(!narrow.has_arranged(0b01));
+    }
+
+    #[test]
+    fn cleared_arrangement_resumes_maintenance() {
+        let mut rel = ColumnRel::<Trop>::new(3);
+        rel.ensure_arranged(0b001);
+        rel.insert_row(&[1, 0, 0], Trop::finite(1.0));
+        rel.clear();
+        let builds = rel.index_builds();
+        rel.insert_row(&[2, 0, 0], Trop::finite(2.0));
+        let mut out = Vec::new();
+        rel.probe_arranged(0b001, &[2], &mut out);
+        assert_eq!(out, vec![0]);
+        assert_eq!(
+            rel.index_builds(),
+            builds,
+            "refill is maintenance, not a rebuild"
         );
     }
 

@@ -106,6 +106,18 @@ impl Collector {
         }
     }
 
+    /// Records time spent building/maintaining sorted arrangements
+    /// (the `arrange` leg of [`dlo_core::eval::stats::PhaseNanos`]).
+    pub fn arrange_phase(&mut self, nanos: u64) {
+        self.stats.phases.arrange += nanos;
+        if let Some(t) = &self.trace {
+            t.emit(&TraceEvent::Phase {
+                name: "arrange".to_string(),
+                nanos,
+            });
+        }
+    }
+
     /// Attributes one plan execution's counters and wall-clock to its
     /// pid, and adds the counters to the whole-run totals.
     pub fn add_plan(&mut self, pid: usize, counters: ExecCounters, nanos: u64) {
@@ -115,6 +127,8 @@ impl Collector {
         self.stats.counters.emits += counters.emits;
         self.stats.counters.fresh_emits += counters.fresh_emits;
         self.stats.counters.index_probes += counters.probes;
+        self.stats.counters.merge_join_steps += counters.merge_probes;
+        self.stats.counters.hash_join_steps += counters.hash_probes;
         self.stats.counters.tuples_scanned += counters.scanned;
     }
 
@@ -187,6 +201,7 @@ impl Collector {
                 rule: meta.rule_idx as u64,
                 label: meta.label.clone(),
                 kind: meta.kind.to_string(),
+                join: meta.join.to_string(),
                 emits: c.emits,
                 fresh_emits: c.fresh_emits,
                 probes: c.probes,

@@ -76,8 +76,8 @@
 //! comparable across strategies; fixpoints are.
 
 use crate::driver::{
-    abort_with_partial, chunk_tasks, empty_aborted, finish, merge_fresh, mint_key, seminaive_run,
-    setup_checked, setup_interned_checked, Engine, EngineOpts,
+    abort_with_partial, chunk_tasks, empty_aborted, ensure_probes, finish, merge_fresh, mint_key,
+    seminaive_run, setup_checked, setup_interned_checked, Engine, EngineOpts,
 };
 use crate::exec::{run_plan, EvalCtx, ExecCounters, HeadVal};
 use crate::govern::{Abort, Checkpoint, Governor};
@@ -504,11 +504,13 @@ where
     F: Frontier<P>,
 {
     let threads = opts.effective_threads();
+    let mode = opts.effective_join_mode();
+    engine.join_mode = mode;
     let mut col = Collector::new(
         strategy,
         threads,
         setup_ns,
-        engine.compiled.plan_metas(),
+        engine.compiled.plan_metas_for(mode),
         opts,
     );
     let nidb = engine.compiled.idbs.len();
@@ -587,17 +589,18 @@ where
     }
     col.edb_index_phase(t.elapsed().as_nanos() as u64);
     let t_eval = Instant::now();
+    let t_arr = Instant::now();
+    let mut arranged = false;
     let mut new = engine.empty_idbs();
     for (pred, rel) in new.iter_mut().enumerate() {
-        for &mask in &new_masks[pred] {
-            rel.ensure_index(mask);
-        }
+        arranged |= ensure_probes(rel, &new_masks[pred], mode);
     }
     let mut delta = engine.empty_idbs();
     for (pred, rel) in delta.iter_mut().enumerate() {
-        for &mask in &delta_masks[pred] {
-            rel.ensure_index(mask);
-        }
+        arranged |= ensure_probes(rel, &delta_masks[pred], mode);
+    }
+    if arranged {
+        col.arrange_phase(t_arr.elapsed().as_nanos() as u64);
     }
     // Never populated: with an empty changed map, `Old` reads ≡ `New`
     // reads, which is exactly the worklist plans' contract (every
@@ -661,6 +664,7 @@ where
         &mut settled,
         &mut col,
     );
+    drain_rel_merges(&mut new, &mut delta, &mut col);
     col.end_step(0, 0, frontier.depth() as u64, &seed_before);
 
     let mut batch: Vec<(usize, u32)> = Vec::new();
@@ -763,8 +767,27 @@ where
             &mut settled,
             &mut col,
         );
+        drain_rel_merges(&mut new, &mut delta, &mut col);
         col.end_step(steps, batch.len() as u64, frontier.depth() as u64, &before);
     }
+}
+
+/// Drains the spine-merge counters of the frontier's `new` and staged
+/// Δ relations into the run's `arrange_batches_merged` total (the
+/// frontier keeps its IDB state in loose vectors rather than an
+/// [`crate::driver::IdbState`], so it cannot reuse
+/// [`crate::driver::drain_arrange_merges`]). All maintenance is
+/// coordinator-side, so the total is thread-invariant.
+fn drain_rel_merges<P: Pops>(
+    new: &mut [ColumnRel<P>],
+    delta: &mut [ColumnRel<P>],
+    col: &mut Collector,
+) {
+    let mut merges = 0;
+    for rel in new.iter_mut().chain(delta.iter_mut()) {
+        merges += rel.take_arrange_merges();
+    }
+    col.stats.counters.arrange_batches_merged += merges;
 }
 
 /// FIFO-worklist evaluation: per-row change propagation over any

@@ -44,8 +44,8 @@ pub use dlo_engine::{
     engine_query_seminaive_eval, engine_seminaive_eval, engine_seminaive_eval_interned,
     engine_seminaive_eval_interned_edb, engine_worklist_eval, engine_worklist_eval_with_opts,
     eval_with_retry, AbortedEval, AbortedQuery, AttemptLog, BudgetClass, BudgetKind, CancelToken,
-    EngineOpts, EvalBudget, EvalError, EvalStats, InternedOutcome, InternedOutput, JsonlSink,
-    Materialization, MemorySink, PartialOutput, QueryAnswer, RetryFailure, RetryPolicy,
+    EngineOpts, EvalBudget, EvalError, EvalStats, InternedOutcome, InternedOutput, JoinMode,
+    JsonlSink, Materialization, MemorySink, PartialOutput, QueryAnswer, RetryFailure, RetryPolicy,
     RetryReport, RuleProfile, SettledMark, Strategy, TraceEvent, TraceHandle, TraceSink,
 };
 

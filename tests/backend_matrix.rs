@@ -24,6 +24,7 @@ use datalog_o::core::{
     UnaryFn,
 };
 use datalog_o::core::{FactDelete, FactInsert};
+use datalog_o::engine::engine_naive_eval_with_opts;
 use datalog_o::pops::{
     Absorptive, Bool, CompleteDistributiveDioid, MinNat, NNReal, NaturallyOrdered,
     TotallyOrderedDioid, Trop, TropP,
@@ -31,7 +32,7 @@ use datalog_o::pops::{
 use datalog_o::{
     engine_eval, engine_eval_interned, engine_eval_with_opts, engine_naive_eval,
     engine_query_eval_with_opts, engine_query_naive_eval, engine_query_seminaive_eval,
-    engine_seminaive_eval, EngineOpts, Materialization, Strategy,
+    engine_seminaive_eval, EngineOpts, JoinMode, Materialization, Strategy,
 };
 
 const CAP: usize = 100_000;
@@ -163,6 +164,36 @@ fn assert_matrix_all<P>(
     for (backend, got) in &legs {
         assert_same_db(scenario, backend, &grounded, got);
     }
+    // Join-strategy legs: merge joins forced on and forced off must
+    // both be bit-identical to the planner-auto legs above (and the
+    // grounded oracle) on every dioid strategy — the join mode is a
+    // performance knob, never a semantics knob.
+    for mode in [JoinMode::Merge, JoinMode::Hash] {
+        let opts = EngineOpts {
+            join_mode: Some(mode),
+            ..EngineOpts::default()
+        };
+        for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
+            let got = engine_eval_with_opts(program, pops, bools, CAP, strategy, &opts)
+                .expect("compiles")
+                .unwrap();
+            assert_same_db(
+                scenario,
+                &format!("engine {strategy:?} ({} join)", mode.label()),
+                &grounded,
+                &got,
+            );
+        }
+        let naive = engine_naive_eval_with_opts(program, pops, bools, CAP, &opts)
+            .expect("compiles")
+            .unwrap();
+        assert_same_db(
+            scenario,
+            &format!("engine naive ({} join)", mode.label()),
+            &grounded,
+            &naive,
+        );
+    }
 }
 
 /// The three naive legs, for POPS without `⊖` (no complete distributive
@@ -182,6 +213,21 @@ fn assert_matrix_naive<P>(
         .unwrap();
     assert_same_db(scenario, "relational naive", &grounded, &rel);
     assert_same_db(scenario, "engine naive", &grounded, &eng);
+    for mode in [JoinMode::Merge, JoinMode::Hash] {
+        let opts = EngineOpts {
+            join_mode: Some(mode),
+            ..EngineOpts::default()
+        };
+        let got = engine_naive_eval_with_opts(program, pops, bools, CAP, &opts)
+            .expect("compiles")
+            .unwrap();
+        assert_same_db(
+            scenario,
+            &format!("engine naive ({} join)", mode.label()),
+            &grounded,
+            &got,
+        );
+    }
 }
 
 /// One `#[test]` per oracle scenario. `all` runs the nine-leg matrix,
@@ -1011,6 +1057,139 @@ fn incremental_leg_company_control_share_sale() {
         &oracle,
         &mat.output().materialize(),
     );
+}
+
+/// The tentpole invariance sweep: forced merge joins, forced hash
+/// joins, and planner-auto are bit-identical to the grounded oracle at
+/// 1, 2, and 4 threads on every dioid strategy; the deterministic
+/// counters are thread-invariant within each (strategy, mode); each
+/// forced mode actually takes its path; and the two join counters
+/// always partition `index_probes`.
+#[test]
+fn join_modes_bit_identical_across_threads() {
+    let (program, pops) = stats_workload();
+    let bools = BoolDatabase::new();
+    let grounded = naive_eval_sparse(&program, &pops, &bools, CAP).unwrap();
+    for strategy in [Strategy::SemiNaive, Strategy::Worklist, Strategy::Priority] {
+        for mode in [None, Some(JoinMode::Merge), Some(JoinMode::Hash)] {
+            let mut seen = vec![];
+            for threads in [1usize, 2, 4] {
+                let opts = EngineOpts {
+                    threads: Some(threads),
+                    par_threshold: 1,
+                    chunk_min: 2,
+                    join_mode: mode,
+                    ..EngineOpts::default()
+                };
+                let out = engine_eval_with_opts(&program, &pops, &bools, CAP, strategy, &opts)
+                    .expect("compiles");
+                let s = out.stats().clone();
+                assert_eq!(
+                    s.counters.merge_join_steps + s.counters.hash_join_steps,
+                    s.counters.index_probes,
+                    "{strategy:?}/{mode:?}: join counters must partition index_probes"
+                );
+                match mode {
+                    Some(JoinMode::Merge) => {
+                        assert!(
+                            s.counters.merge_join_steps > 0,
+                            "{strategy:?}: forced merge must probe arrangements"
+                        );
+                        assert_eq!(
+                            s.counters.hash_join_steps, 0,
+                            "{strategy:?}: forced merge must not probe hash indexes"
+                        );
+                    }
+                    // Planner-auto keeps the packed hash path on this
+                    // all-arity-2 workload, exactly like forced hash.
+                    Some(JoinMode::Hash) | Some(JoinMode::Auto) | None => {
+                        assert_eq!(
+                            s.counters.merge_join_steps, 0,
+                            "{strategy:?}/{mode:?}: no arrangements expected"
+                        );
+                        assert!(
+                            s.counters.hash_join_steps > 0,
+                            "{strategy:?}/{mode:?}: hash path must probe"
+                        );
+                    }
+                }
+                assert_same_db(
+                    "join_modes_bit_identical",
+                    &format!("{strategy:?}/{mode:?} @ {threads} threads"),
+                    &grounded,
+                    &out.unwrap(),
+                );
+                seen.push((threads, s.invariants()));
+            }
+            for pair in seen.windows(2) {
+                let (t0, s0) = &pair[0];
+                let (t1, s1) = &pair[1];
+                assert_eq!(
+                    s0, s1,
+                    "{strategy:?}/{mode:?}: stats differ between {t0} and {t1} threads"
+                );
+            }
+        }
+    }
+}
+
+/// Planner-auto switches to merge joins past the packed-key width: an
+/// arity-3 join probes through a sorted arrangement with no forcing,
+/// and stays bit-identical to the grounded oracle at any thread count.
+#[test]
+fn planner_auto_arranges_wide_relations() {
+    let src = "J(X, U) :- A(X, Y, Z) * B(Y, Z, U).";
+    let program: Program<Trop> = parse_program(src).unwrap();
+    let mut pops = Database::new();
+    pops.insert(
+        "A",
+        Relation::from_pairs(
+            3,
+            vec![
+                (vec![k("a"), k("b"), k("c")], Trop::finite(1.0)),
+                (vec![k("a"), k("b"), k("d")], Trop::finite(2.0)),
+                (vec![k("f"), k("b"), k("d")], Trop::finite(3.0)),
+            ],
+        ),
+    );
+    pops.insert(
+        "B",
+        Relation::from_pairs(
+            3,
+            vec![
+                (vec![k("b"), k("c"), k("e")], Trop::finite(1.0)),
+                (vec![k("b"), k("d"), k("e")], Trop::finite(4.0)),
+                (vec![k("b"), k("d"), k("g")], Trop::finite(0.5)),
+            ],
+        ),
+    );
+    let bools = BoolDatabase::new();
+    let grounded = naive_eval_sparse(&program, &pops, &bools, CAP).unwrap();
+    for threads in [1usize, 2, 4] {
+        let opts = EngineOpts {
+            threads: Some(threads),
+            par_threshold: 1,
+            chunk_min: 2,
+            ..EngineOpts::default()
+        };
+        let out = engine_eval_with_opts(&program, &pops, &bools, CAP, Strategy::SemiNaive, &opts)
+            .expect("compiles");
+        let s = out.stats().clone();
+        assert!(
+            s.counters.merge_join_steps > 0,
+            "auto mode must arrange the arity-3 probe side"
+        );
+        assert_eq!(
+            s.counters.hash_join_steps, 0,
+            "no packed-width probes in this program"
+        );
+        assert_same_db(
+            "planner_auto_arranges_wide",
+            &format!("auto @ {threads} threads"),
+            &grounded,
+            &out.unwrap(),
+        );
+    }
 }
 
 /// The deterministic counters — everything except wall-clock timings,

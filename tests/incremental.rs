@@ -509,6 +509,93 @@ fn rebuild_keeps_minted_constant_ids_stable() {
     }
 }
 
+/// Edits must not churn state the edit never touches: with two
+/// independent closures in one program, editing one EDB leaves the
+/// other IDB's lazy indexes *and* its row storage untouched — pinned
+/// by the engine's per-relation `index_builds` / `version` counters.
+/// (Before differential snapshot maintenance, every edit re-cloned and
+/// re-indexed every relation.)
+#[test]
+fn edits_leave_untouched_relations_indexes_alone() {
+    let program: Program<Trop> = parse_program(
+        "P(X, Z) :- EP(X, Z) + P(X, Y) * P(Y, Z).\n\
+         Q(X, Z) :- EQ(X, Z) + Q(X, Y) * Q(Y, Z).",
+    )
+    .unwrap();
+    let mut edb = Database::new();
+    edb.insert(
+        "EP",
+        Relation::from_pairs(
+            2,
+            vec![
+                (vec![k("a"), k("b")], Trop::finite(1.0)),
+                (vec![k("b"), k("c")], Trop::finite(1.0)),
+            ],
+        ),
+    );
+    edb.insert(
+        "EQ",
+        Relation::from_pairs(
+            2,
+            vec![
+                (vec![k("x"), k("y")], Trop::finite(2.0)),
+                (vec![k("y"), k("z")], Trop::finite(2.0)),
+            ],
+        ),
+    );
+    let bools = BoolDatabase::new();
+    let mut mat = Materialization::new(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        Strategy::Auto,
+        &EngineOpts::default(),
+    )
+    .expect("compiles");
+
+    // Build the initial snapshot, then record Q's counters.
+    let _ = mat.output();
+    let q_builds = mat.index_builds_for("Q");
+    let q_version = mat.version_for("Q");
+    let p_version = mat.version_for("P");
+
+    // A stream of edits that only ever touches the P side.
+    mat.apply(&[
+        Edit::insert("EP", vec![k("c"), k("d")], Trop::finite(1.0)),
+        Edit::delete("EP", vec![k("a"), k("b")]),
+        Edit::insert("EP", vec![k("a"), k("b")], Trop::finite(0.5)),
+    ])
+    .expect("edits apply");
+    let snap = mat.output().materialize();
+    assert_eq!(
+        snap.get("P").unwrap().get(&vec![k("a"), k("d")]),
+        Trop::finite(2.5),
+        "P reflects the edits"
+    );
+    assert_eq!(
+        snap.get("Q").unwrap().get(&vec![k("x"), k("z")]),
+        Trop::finite(4.0),
+        "Q is still complete"
+    );
+
+    assert_ne!(
+        mat.version_for("P"),
+        p_version,
+        "the edited relation's version must move"
+    );
+    assert_eq!(
+        mat.index_builds_for("Q"),
+        q_builds,
+        "edits to EP must not rebuild Q's indexes"
+    );
+    assert_eq!(
+        mat.version_for("Q"),
+        q_version,
+        "edits to EP must not rewrite Q's rows"
+    );
+}
+
 /// A poisoned handle keeps the failed edit's mid-fixpoint state
 /// read-only next to the poison: `partial()` is `Some` (best-effort,
 /// not exact), its values sit at-or-below the post-edit fixpoint for an

@@ -22,7 +22,7 @@ use datalog_o::pops::{
 use datalog_o::semilin::{linear_lfp_auto, AffineSystem};
 use datalog_o::{
     engine_eval, engine_eval_with_opts, engine_naive_eval, engine_query_eval_with_opts,
-    engine_seminaive_eval, EngineOpts, Materialization, Strategy as EngineStrategy,
+    engine_seminaive_eval, EngineOpts, JoinMode, Materialization, Strategy as EngineStrategy,
 };
 use proptest::prelude::*;
 
@@ -1006,6 +1006,41 @@ proptest! {
         let sup_t: Vec<_> = out_t.get("L").map(|r| r.support().map(|(t, _)| t.clone()).collect()).unwrap_or_default();
         let sup_b: Vec<_> = out_b.get("L").map(|r| r.support().map(|(t, _)| t.clone()).collect()).unwrap_or_default();
         prop_assert_eq!(sup_t, sup_b);
+    }
+
+    /// Join-strategy invariance on random graphs: forced merge joins,
+    /// forced hash joins, and planner-auto return the bit-identical
+    /// full outcome on every dioid strategy, sequential and with the
+    /// parallel batch path forced — the join mode is a performance
+    /// knob, never a semantics knob.
+    #[test]
+    fn join_modes_agree_on_random_graphs((_n, edges) in edges_strategy()) {
+        let bools = BoolDatabase::new();
+        let edb = trop_edb(&edges);
+        for prog in [
+            datalog_o::core::examples_lib::apsp_program::<Trop>(),
+            datalog_o::core::examples_lib::quadratic_tc_program::<Trop>(),
+        ] {
+            for strategy in [EngineStrategy::SemiNaive, EngineStrategy::Worklist,
+                             EngineStrategy::Priority] {
+                let baseline = engine_eval_with_opts(&prog, &edb, &bools, 10_000_000, strategy,
+                    &EngineOpts {
+                        join_mode: Some(JoinMode::Hash),
+                        ..EngineOpts::default()
+                    }).expect("compiles");
+                for mode in [JoinMode::Merge, JoinMode::Auto] {
+                    for threads in [1usize, 4] {
+                        let mut opts = forced_parallel(threads);
+                        opts.join_mode = Some(mode);
+                        let got = engine_eval_with_opts(&prog, &edb, &bools, 10_000_000,
+                            strategy, &opts).expect("compiles");
+                        prop_assert_eq!(&baseline, &got,
+                            "{:?}: {:?} join @ {} threads differs from sequential hash join",
+                            strategy, mode, threads);
+                    }
+                }
+            }
+        }
     }
 
     /// Telemetry on random graphs: emits bound merges on every

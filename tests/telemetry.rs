@@ -12,7 +12,7 @@ use datalog_o::pops::Trop;
 use datalog_o::{
     engine_eval, engine_eval_interned, engine_eval_with_opts, engine_naive_eval, engine_query_eval,
     engine_query_naive_eval, engine_query_seminaive_eval, engine_seminaive_eval, EngineOpts,
-    JsonlSink, MemorySink, Strategy, TraceEvent, TraceHandle,
+    JoinMode, JsonlSink, MemorySink, Strategy, TraceEvent, TraceHandle,
 };
 
 const CAP: usize = 100_000;
@@ -174,6 +174,128 @@ fn explain_attributes_work_to_rules() {
         emitted,
         stats.counters.emits + stats.counters.fresh_emits,
         "per-rule emissions sum to the run totals"
+    );
+}
+
+/// The join-strategy telemetry added with the sorted arrangements:
+/// forcing merge joins routes every probing step through
+/// `merge_join_steps` (and times the `arrange` phase leg), forcing hash
+/// joins routes them all through `hash_join_steps`, the two always sum
+/// to `index_probes`, `explain()` tags each probing rule with the
+/// resolved strategy, and the stats JSON carries the new fields.
+#[test]
+fn join_mode_telemetry_attributes_probes_and_arranges() {
+    // Quadratic TC probes the *IDB* on both sides of the recursive
+    // join, so forced merge mode arranges per-iteration relations (the
+    // `arrange` phase leg) rather than only the static EDB.
+    let program = ex::quadratic_tc_program::<Trop>();
+    let mut edb = Database::new();
+    edb.insert(
+        "E",
+        datalog_o::core::Relation::from_pairs(
+            2,
+            ["a", "b", "c", "d"]
+                .windows(2)
+                .map(|w| (vec![w[0].into(), w[1].into()], Trop::finite(1.0))),
+        ),
+    );
+    let bools = BoolDatabase::new();
+    let run = |mode: JoinMode| {
+        engine_eval_with_opts(
+            &program,
+            &edb,
+            &bools,
+            CAP,
+            Strategy::SemiNaive,
+            &EngineOpts {
+                join_mode: Some(mode),
+                ..EngineOpts::default()
+            },
+        )
+        .expect("compiles")
+    };
+
+    let merged = run(JoinMode::Merge);
+    let hashed = run(JoinMode::Hash);
+    assert_eq!(
+        merged.clone().unwrap(),
+        hashed.clone().unwrap(),
+        "join mode is a performance knob, not a semantics knob"
+    );
+
+    let mc = &merged.stats().counters;
+    assert!(mc.merge_join_steps > 0, "forced merge probes arrangements");
+    assert_eq!(mc.hash_join_steps, 0, "forced merge never hash-probes");
+    assert_eq!(
+        mc.merge_join_steps + mc.hash_join_steps,
+        mc.index_probes,
+        "the split partitions the probe total"
+    );
+    // The naive driver re-arranges the rebuilt IDB every iteration, so
+    // its forced-merge runs must bank arrange-phase time. (Semi-naïve
+    // maintains arrangements incrementally inside row insertion —
+    // counted by `arrange_batches_merged`, not timed.)
+    let naive = datalog_o::engine::engine_naive_eval_with_opts(
+        &program,
+        &edb,
+        &bools,
+        CAP,
+        &EngineOpts {
+            join_mode: Some(JoinMode::Merge),
+            ..EngineOpts::default()
+        },
+    )
+    .expect("compiles");
+    assert!(
+        naive.stats().phases.arrange > 0,
+        "arrangement builds are timed under their own phase leg"
+    );
+    assert_eq!(naive.unwrap(), merged.clone().unwrap());
+
+    let hc = &hashed.stats().counters;
+    assert!(hc.hash_join_steps > 0, "forced hash probes prefix indexes");
+    assert_eq!(hc.merge_join_steps, 0, "forced hash never merge-probes");
+    assert_eq!(hc.merge_join_steps + hc.hash_join_steps, hc.index_probes);
+    assert_eq!(
+        mc.index_probes, hc.index_probes,
+        "the probe total is mode-invariant"
+    );
+
+    // explain() tags each probing rule with the strategy it resolved to.
+    assert!(
+        merged.stats().rules.iter().any(|r| r.join == "merge"),
+        "merge-mode profile tags rules: {:?}",
+        merged.stats().rules
+    );
+    assert!(
+        hashed.stats().rules.iter().any(|r| r.join == "hash"),
+        "hash-mode profile tags rules: {:?}",
+        hashed.stats().rules
+    );
+    assert!(
+        merged.stats().explain().contains("merge"),
+        "explain renders the join tag"
+    );
+
+    // The JSON dialect carries the new counters and the arrange leg.
+    let v = json::parse(&merged.stats().to_json()).expect("stats JSON parses");
+    let counters = v.get("counters").expect("counters object");
+    assert_eq!(
+        counters.get("merge_join_steps").and_then(|x| x.as_u64()),
+        Some(mc.merge_join_steps)
+    );
+    assert_eq!(
+        counters.get("hash_join_steps").and_then(|x| x.as_u64()),
+        Some(mc.hash_join_steps)
+    );
+    assert!(
+        counters.get("arrange_batches_merged").is_some(),
+        "spine-merge counter serialized"
+    );
+    let phases = v.get("phases").expect("phases object");
+    assert_eq!(
+        phases.get("arrange_ns").and_then(|x| x.as_u64()),
+        Some(merged.stats().phases.arrange)
     );
 }
 
